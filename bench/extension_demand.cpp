@@ -1,0 +1,147 @@
+//===- bench/extension_demand.cpp - CGCM vs demand paging ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares CGCM (compiler-inserted, statically optimized communication)
+/// against the DyManD-style demand-paging extension (docs/Extensions.md)
+/// on three regimes:
+///
+///  * promotion-friendly code (jacobi): both are acyclic; CGCM avoids
+///    fault latency, demand paging avoids runtime-call overhead;
+///  * CPU-interleaved code (gramschmidt): CGCM stays cyclic at unit
+///    granularity; the demand pager only moves what each side touches;
+///  * beyond-CGCM code (triple indirection): the management pass must
+///    reject it (>2 levels), demand paging runs it.
+///
+/// This is "future work" relative to the paper — exactly the direction
+/// its successors (DyManD) took — implemented here as an executor policy
+/// that needs no compiler support at all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Pipeline.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace cgcm;
+
+namespace {
+
+struct Row {
+  double Cycles = 0;
+  uint64_t HtoD = 0, DtoH = 0, Faults = 0;
+  std::string Output;
+};
+
+Row runCGCM(const std::string &Src) {
+  auto M = compileMiniC(Src, "cgcm");
+  runCGCMPipeline(*M);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(*M);
+  Mach.run();
+  return {Mach.getStats().totalCycles(), Mach.getStats().TransfersHtoD,
+          Mach.getStats().TransfersDtoH, 0, Mach.getOutput()};
+}
+
+Row runDemand(const std::string &Src) {
+  auto M = compileMiniC(Src, "dymand");
+  PipelineOptions Opts;
+  Opts.Manage = false;
+  Opts.Optimize = false;
+  runCGCMPipeline(*M, Opts);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::DemandManaged);
+  Mach.loadModule(*M);
+  Mach.run();
+  return {Mach.getStats().totalCycles(), Mach.getStats().TransfersHtoD,
+          Mach.getStats().TransfersDtoH, Mach.getStats().DemandFaults,
+          Mach.getOutput()};
+}
+
+const char *DeepProgram = R"(
+  double leaf0[32];
+  double leaf1[32];
+  double *mid[2];
+  double **top[1];
+  __kernel void deep(double ***t, long n) {
+    long i = __tid();
+    if (i < n)
+      t[0][i % 2][i] = t[0][i % 2][i] * 2.0 + 1.0;
+  }
+  int main() {
+    int i;
+    for (i = 0; i < 32; i++) {
+      leaf0[i] = i * 0.5;
+      leaf1[i] = i * 0.25;
+    }
+    mid[0] = leaf0;
+    mid[1] = leaf1;
+    top[0] = mid;
+    int t;
+    for (t = 0; t < 4; t++)
+      launch deep<<<1, 32>>>(top, 32);
+    double s = 0.0;
+    for (i = 0; i < 32; i++) s += leaf0[i] + leaf1[i];
+    print_f64(s);
+    return 0;
+  }
+)";
+
+} // namespace
+
+int main() {
+  std::printf("Extension: CGCM (static) vs DyManD-style demand paging\n\n");
+  std::printf("%-22s %14s %8s %8s %8s\n", "program / system", "cycles",
+              "HtoD", "DtoH", "faults");
+
+  int Failures = 0;
+  auto Check = [&](bool Cond, const char *Msg) {
+    std::printf("  [%s] %s\n", Cond ? "ok" : "FAIL", Msg);
+    if (!Cond)
+      ++Failures;
+  };
+
+  const Workload *Jacobi = findWorkload("jacobi-2d-imper");
+  Row JC = runCGCM(Jacobi->Source);
+  Row JD = runDemand(Jacobi->Source);
+  std::printf("%-22s %14.0f %8llu %8llu %8llu\n", "jacobi / CGCM", JC.Cycles,
+              (unsigned long long)JC.HtoD, (unsigned long long)JC.DtoH,
+              (unsigned long long)JC.Faults);
+  std::printf("%-22s %14.0f %8llu %8llu %8llu\n", "jacobi / demand",
+              JD.Cycles, (unsigned long long)JD.HtoD,
+              (unsigned long long)JD.DtoH, (unsigned long long)JD.Faults);
+
+  const Workload *GS = findWorkload("gramschmidt");
+  Row GC = runCGCM(GS->Source);
+  Row GD = runDemand(GS->Source);
+  std::printf("%-22s %14.0f %8llu %8llu %8llu\n", "gramschmidt / CGCM",
+              GC.Cycles, (unsigned long long)GC.HtoD,
+              (unsigned long long)GC.DtoH, (unsigned long long)GC.Faults);
+  std::printf("%-22s %14.0f %8llu %8llu %8llu\n", "gramschmidt / demand",
+              GD.Cycles, (unsigned long long)GD.HtoD,
+              (unsigned long long)GD.DtoH, (unsigned long long)GD.Faults);
+
+  Row DD = runDemand(DeepProgram);
+  std::printf("%-22s %14.0f %8llu %8llu %8llu\n", "3-level / demand",
+              DD.Cycles, (unsigned long long)DD.HtoD,
+              (unsigned long long)DD.DtoH, (unsigned long long)DD.Faults);
+
+  std::printf("\nShape checks:\n");
+  Check(JC.Output == JD.Output && GC.Output == GD.Output,
+        "demand paging matches CGCM's results");
+  Check(JD.Cycles < JC.Cycles * 2.0 && JD.Cycles > JC.Cycles * 0.25,
+        "on promotion-friendly code both systems are acyclic and close");
+  Check(JD.HtoD <= 4,
+        "demand-paged data stays resident across the whole time loop");
+  Check(!DD.Output.empty() && DD.Faults >= 4,
+        "demand paging runs 3-level indirection (CGCM's management pass "
+        "rejects it; see Management.TripleIndirectionIsRejected)");
+  return Failures == 0 ? 0 : 1;
+}

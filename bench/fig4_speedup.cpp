@@ -1,0 +1,97 @@
+//===- bench/fig4_speedup.cpp - Reproduce Figure 4 ---------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 4: whole-program speedup over best sequential
+/// CPU-only execution for the idealized inspector-executor, unoptimized
+/// CGCM, and optimized CGCM, across all 24 programs, plus the geomean
+/// rows the paper reports:
+///
+///   paper: geomean IE 0.92x, unoptimized CGCM 0.71x, optimized 5.36x;
+///          clamped-at-1.0 geomeans 1.53x / 2.81x / 7.18x.
+///
+/// Absolute factors depend on the simulated machine; the claims checked
+/// here are the *shape* claims: optimized CGCM beats both baselines in
+/// geomean, optimization never hurts, unoptimized communication can be
+/// catastrophic (srad/nw class), and gramschmidt is the one program where
+/// the idealized inspector-executor wins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+using namespace cgcm;
+
+int main() {
+  std::printf("Figure 4: whole-program speedup over sequential CPU-only\n");
+  std::printf("%-16s %10s %12s %12s\n", "program", "insp-exec", "cgcm-unopt",
+              "cgcm-opt");
+
+  double GeoIE = 0, GeoUnopt = 0, GeoOpt = 0;
+  double GeoIEClamped = 0, GeoUnoptClamped = 0, GeoOptClamped = 0;
+  std::map<std::string, double> OptSpeedup, IESpeedup, UnoptSpeedup;
+
+  const std::vector<Workload> &Suite = getWorkloads();
+  for (const Workload &W : Suite) {
+    WorkloadRun Seq = runWorkload(W, BenchConfig::Sequential);
+    double IE =
+        Seq.TotalCycles /
+        runWorkload(W, BenchConfig::InspectorExecutor).TotalCycles;
+    double Unopt =
+        Seq.TotalCycles /
+        runWorkload(W, BenchConfig::CGCMUnoptimized).TotalCycles;
+    double Opt = Seq.TotalCycles /
+                 runWorkload(W, BenchConfig::CGCMOptimized).TotalCycles;
+    IESpeedup[W.Name] = IE;
+    UnoptSpeedup[W.Name] = Unopt;
+    OptSpeedup[W.Name] = Opt;
+    GeoIE += std::log(IE);
+    GeoUnopt += std::log(Unopt);
+    GeoOpt += std::log(Opt);
+    GeoIEClamped += std::log(std::max(1.0, IE));
+    GeoUnoptClamped += std::log(std::max(1.0, Unopt));
+    GeoOptClamped += std::log(std::max(1.0, Opt));
+    std::printf("%-16s %9.3fx %11.3fx %11.3fx\n", W.Name.c_str(), IE, Unopt,
+                Opt);
+  }
+  double N = static_cast<double>(Suite.size());
+  std::printf("%-16s %9.3fx %11.3fx %11.3fx   (paper: 0.92x / 0.71x / 5.36x)\n",
+              "geomean", std::exp(GeoIE / N), std::exp(GeoUnopt / N),
+              std::exp(GeoOpt / N));
+  std::printf("%-16s %9.3fx %11.3fx %11.3fx   (paper: 1.53x / 2.81x / 7.18x)\n",
+              "geomean(>=1.0)", std::exp(GeoIEClamped / N),
+              std::exp(GeoUnoptClamped / N), std::exp(GeoOptClamped / N));
+
+  // Shape checks mirroring the paper's headline claims.
+  int Failures = 0;
+  auto Check = [&](bool Cond, const char *Msg) {
+    std::printf("  [%s] %s\n", Cond ? "ok" : "FAIL", Msg);
+    if (!Cond)
+      ++Failures;
+  };
+  std::printf("\nShape checks against the paper:\n");
+  Check(std::exp(GeoOpt / N) > std::exp(GeoIE / N),
+        "optimized CGCM beats idealized inspector-executor in geomean");
+  Check(std::exp(GeoOpt / N) > std::exp(GeoUnopt / N) * 2.0,
+        "optimization gives a large geomean win over unoptimized CGCM");
+  Check(std::exp(GeoOpt / N) > 2.0,
+        "optimized CGCM shows a substantial whole-program geomean speedup");
+  bool NeverHurts = true;
+  for (const Workload &W : Suite)
+    if (OptSpeedup[W.Name] < UnoptSpeedup[W.Name] * 0.98)
+      NeverHurts = false;
+  Check(NeverHurts, "communication optimization never reduces performance");
+  Check(UnoptSpeedup["srad"] < 0.2 && UnoptSpeedup["nw"] < 0.2,
+        "srad and nw show dramatic unoptimized slowdowns");
+  Check(IESpeedup["gramschmidt"] > OptSpeedup["gramschmidt"],
+        "gramschmidt is the one program where inspector-executor wins");
+  return Failures == 0 ? 0 : 1;
+}

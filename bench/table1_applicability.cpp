@@ -1,0 +1,193 @@
+//===- bench/table1_applicability.cpp - Reproduce Table 1 ---------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1: the applicability comparison between
+/// communication-management systems. Each row of the paper's table is a
+/// capability; here each capability becomes a concrete probe program
+/// whose kernel exercises exactly that feature, and each framework's
+/// applicability predicate is evaluated on it:
+///
+///   framework          aliasing  irregular  weak-types  ptr-arith  max-ind
+///   JCUDA                 x          .          x           x         8*
+///   Named regions         .          x         (.)          x         1
+///   Affine (PGI)          .          x         (.)          x         1
+///   Inspector-executor    x          .          .           x         1
+///   CGCM                  .          .          .           .         2
+///
+/// (*JCUDA is Java-specific and not modeled; the four modeled frameworks
+/// are the ones the evaluation compares.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/IRGen.h"
+#include "transform/Applicability.h"
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+struct Probe {
+  const char *Name;
+  const char *Source;
+  // Expected applicability (paper Table 1 semantics).
+  bool ExpectNR;
+  bool ExpectIE;
+  bool ExpectCGCM;
+};
+
+/// Each probe launches one kernel exercising one communication hazard.
+const Probe Probes[] = {
+    {"baseline (named unit)", R"(
+      double a[64];
+      __kernel void k(double *p, long n) {
+        long i = __tid();
+        if (i < n) p[i] = p[i] * 2.0;
+      }
+      int main() {
+        launch k<<<1, 64>>>(a, 64);
+        return 0;
+      }
+    )",
+     true, true, true},
+
+    {"aliasing pointers", R"(
+      double a[64];
+      __kernel void k(double *p, double *q, long n) {
+        long i = __tid();
+        if (i < n) p[i] = q[i] * 2.0;
+      }
+      int main() {
+        launch k<<<1, 64>>>(a, a, 64);
+        return 0;
+      }
+    )",
+     false, false, true},
+
+    {"irregular accesses", R"(
+      double a[64];
+      double b[64];
+      int idx[64];
+      __kernel void k(long n) {
+        long i = __tid();
+        if (i < n) a[idx[i]] = b[i];
+      }
+      int main() {
+        launch k<<<1, 64>>>(64);
+        return 0;
+      }
+    )",
+     false, true, true},
+
+    {"weak typing (int<->ptr)", R"(
+      double a[64];
+      __kernel void k(double *p, long n) {
+        long i = __tid();
+        if (i < n) p[i] = p[i] + 1.0;
+      }
+      int main() {
+        launch k<<<1, 64>>>((double*)((long)a + 0), 64);
+        return 0;
+      }
+    )",
+     false, false, true},
+
+    {"pointer arithmetic (interior)", R"(
+      double a[64];
+      __kernel void k(double *p, long n) {
+        long i = __tid();
+        if (i < n) p[i] = p[i] * 0.5;
+      }
+      int main() {
+        double *mid = (double*)a + 16;
+        launch k<<<1, 32>>>(mid, 32);
+        return 0;
+      }
+    )",
+     false, false, true},
+
+    {"double indirection", R"(
+      double row0[16];
+      double row1[16];
+      double *rows[2];
+      __kernel void k(double **r, long n) {
+        long i = __tid();
+        if (i < n) {
+          r[0][i] = r[0][i] + 1.0;
+          r[1][i] = r[1][i] + 2.0;
+        }
+      }
+      int main() {
+        rows[0] = row0;
+        rows[1] = row1;
+        launch k<<<1, 16>>>(rows, 16);
+        return 0;
+      }
+    )",
+     false, false, true},
+
+    {"triple indirection (outside CGCM)", R"(
+      double x[8];
+      double *p1[1];
+      double **p2[1];
+      __kernel void k(double ***ppp) {
+        long i = __tid();
+        if (i < 1) ppp[0][0][0] = 1.0;
+      }
+      int main() {
+        p1[0] = x;
+        p2[0] = p1;
+        launch k<<<1, 1>>>(p2);
+        return 0;
+      }
+    )",
+     false, false, false},
+};
+
+} // namespace
+
+int main() {
+  std::printf("Table 1: communication-framework applicability by feature\n");
+  std::printf("%-32s %6s %6s %8s %8s\n", "probe", "NR", "affine", "insp-ex",
+              "CGCM");
+  int Failures = 0;
+  for (const Probe &P : Probes) {
+    auto M = compileMiniC(P.Source, "probe");
+    PipelineOptions Opts;
+    Opts.Parallelize = false;
+    Opts.Manage = false;
+    Opts.Optimize = false;
+    runCGCMPipeline(*M, Opts);
+    std::vector<LaunchApplicability> Apps = analyzeModuleApplicability(*M);
+    if (Apps.size() != 1) {
+      std::printf("%-32s probe has %zu launches (expected 1)\n", P.Name,
+                  Apps.size());
+      ++Failures;
+      continue;
+    }
+    const LaunchApplicability &A = Apps[0];
+    bool Ok = A.NamedRegions == P.ExpectNR &&
+              A.InspectorExecutor == P.ExpectIE && A.CGCM == P.ExpectCGCM &&
+              A.Affine == A.NamedRegions;
+    std::printf("%-32s %6s %6s %8s %8s   %s\n", P.Name,
+                A.NamedRegions ? "yes" : "no", A.Affine ? "yes" : "no",
+                A.InspectorExecutor ? "yes" : "no", A.CGCM ? "yes" : "no",
+                Ok ? "[ok]" : "[FAIL]");
+    if (!Ok)
+      ++Failures;
+  }
+  std::printf("\nCGCM handles every hazard up to two levels of indirection "
+              "(its stated restriction);\nnamed-region/affine techniques need "
+              "distinct whole named units, induction-variable\nindexes, and "
+              "sound types; inspector-executor additionally tolerates "
+              "irregular\nsubscripts (that is what inspection is for).\n");
+  return Failures == 0 ? 0 : 1;
+}

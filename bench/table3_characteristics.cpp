@@ -1,0 +1,109 @@
+//===- bench/table3_characteristics.cpp - Reproduce Table 3 ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 3: per program — suite, measured limiting factor,
+/// GPU and communication time as a percentage of total execution time
+/// (unoptimized and optimized), kernel counts, and the applicability of
+/// CGCM vs the named-region and inspector-executor techniques, with the
+/// paper's values printed alongside.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace cgcm;
+
+namespace {
+
+struct Percents {
+  double Gpu = 0, Comm = 0;
+};
+
+Percents percents(const ExecStats &S) {
+  double Total = S.totalCycles();
+  Percents P;
+  if (Total > 0) {
+    P.Gpu = 100.0 * S.GpuCycles / Total;
+    P.Comm = 100.0 * (S.CommCycles + S.InspectorCycles) / Total;
+  }
+  return P;
+}
+
+const char *classify(const Percents &P) {
+  // The paper's three buckets: GPU-bound, communication-bound, or other
+  // (CPU / IO).
+  double Other = 100.0 - P.Gpu - P.Comm;
+  if (P.Gpu >= P.Comm && P.Gpu >= Other)
+    return "GPU";
+  if (P.Comm >= P.Gpu && P.Comm >= Other)
+    return "Comm.";
+  return "Other";
+}
+
+} // namespace
+
+int main() {
+  std::printf("Table 3: program characteristics (measured | paper)\n");
+  std::printf("%-16s %-9s %-7s %-7s | %-15s %-15s | %-9s %-9s\n", "program",
+              "suite", "limit", "paper", "GPU%% un/opt", "Comm%% un/opt",
+              "kernels", "IE+NR");
+
+  unsigned TotalKernels = 0, TotalNR = 0;
+  unsigned LimitMatches = 0;
+  int Failures = 0;
+
+  for (const Workload &W : getWorkloads()) {
+    WorkloadRun Unopt = runWorkload(W, BenchConfig::CGCMUnoptimized);
+    WorkloadRun Opt = runWorkload(W, BenchConfig::CGCMOptimized);
+    Percents PU = percents(Unopt.Stats);
+    Percents PO = percents(Opt.Stats);
+    const char *Limit = classify(PO);
+
+    std::vector<LaunchApplicability> Apps = analyzeWorkloadApplicability(W);
+    unsigned NR = 0;
+    for (const LaunchApplicability &A : Apps)
+      if (A.NamedRegions)
+        ++NR;
+    TotalKernels += Apps.size();
+    TotalNR += NR;
+    if (Limit == W.PaperLimitingFactor)
+      ++LimitMatches;
+
+    std::printf("%-16s %-9s %-7s %-7s | %5.1f/%5.1f (%4.1f/%4.1f) | "
+                "%5.1f/%5.1f (%4.1f/%4.1f) | %2zu (%2u) %4u (%2u)\n",
+                W.Name.c_str(), W.Suite.c_str(), Limit,
+                W.PaperLimitingFactor.c_str(), PU.Gpu, PO.Gpu,
+                W.PaperGpuPctUnopt, W.PaperGpuPctOpt, PU.Comm, PO.Comm,
+                W.PaperCommPctUnopt, W.PaperCommPctOpt, Apps.size(),
+                W.PaperKernels, NR, W.PaperNamedRegionKernels);
+
+    if (Apps.size() != W.PaperKernels || NR != W.PaperNamedRegionKernels) {
+      std::printf("  [FAIL] %s kernel/applicability counts diverge\n",
+                  W.Name.c_str());
+      ++Failures;
+    }
+  }
+
+  std::printf("\nTotals: %u kernels (paper 101), %u named-region applicable "
+              "(paper table sums to 78)\n",
+              TotalKernels, TotalNR);
+  std::printf("Limiting-factor agreement with the paper: %u / 24\n",
+              LimitMatches);
+  auto Check = [&](bool Cond, const char *Msg) {
+    std::printf("  [%s] %s\n", Cond ? "ok" : "FAIL", Msg);
+    if (!Cond)
+      ++Failures;
+  };
+  Check(TotalKernels == 101, "101 DOALL kernels across the suite");
+  Check(TotalNR == 78, "named-region applicability matches Table 3's sums");
+  Check(LimitMatches >= 16,
+        "limiting-factor classification matches the paper for most programs");
+  return Failures == 0 ? 0 : 1;
+}

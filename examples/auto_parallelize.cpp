@@ -1,0 +1,125 @@
+//===- examples/auto_parallelize.cpp - Fully automatic parallelization ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's headline configuration: a plain sequential program goes in,
+/// and CGCM coupled with the simple DOALL parallelizer produces a GPU
+/// program with fully automatic, fully optimized communication. This
+/// example shows the IR at each stage of the pipeline — the sequential
+/// loops, the extracted kernels, the Listing-3-style management, and the
+/// Listing-4-style promoted form — and then runs both versions to compare
+/// results and modeled time.
+///
+/// Build and run:  ./build/examples/auto_parallelize
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/CommManagement.h"
+#include "transform/DOALL.h"
+#include "transform/MapPromotion.h"
+#include "transform/Mem2Reg.h"
+
+#include <cstdio>
+
+using namespace cgcm;
+
+namespace {
+
+const char *Source = R"(
+  double A[64][64];
+  double B[64][64];
+  int main() {
+    int i; int j; int t;
+    for (i = 0; i < 64; i++) {
+      for (j = 0; j < 64; j++) {
+        A[i][j] = ((i + j) % 9) * 0.1;
+        B[i][j] = 0.0;
+      }
+    }
+    for (t = 0; t < 12; t++) {
+      for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++)
+          B[i][j] = 0.25 * (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] +
+                            A[i][j + 1]);
+      }
+      for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++)
+          A[i][j] = B[i][j];
+      }
+    }
+    double sum = 0.0;
+    for (i = 0; i < 64; i++)
+      for (j = 0; j < 64; j++)
+        sum += A[i][j];
+    print_f64(sum);
+    return 0;
+  }
+)";
+
+void banner(const char *Title) {
+  std::printf("\n===================== %s =====================\n", Title);
+}
+
+double execute(Module &M, LaunchPolicy Policy, std::string &Output) {
+  Machine Mach;
+  Mach.setLaunchPolicy(Policy);
+  Mach.loadModule(M);
+  Mach.run();
+  Output = Mach.getOutput();
+  return Mach.getStats().totalCycles();
+}
+
+} // namespace
+
+int main() {
+  // Reference: the sequential program as written.
+  auto Seq = compileMiniC(Source, "stencil");
+  std::string SeqOut;
+  double SeqCycles = execute(*Seq, LaunchPolicy::CpuEmulation, SeqOut);
+
+  // The pipeline, one pass at a time, printing the interesting stages.
+  auto M = compileMiniC(Source, "stencil");
+  promoteAllocasToRegisters(*M);
+
+  DOALLStats Doall = parallelizeDOALLLoops(*M);
+  banner("after DOALL parallelization");
+  std::printf("%u kernels extracted:\n", Doall.KernelsCreated);
+  for (Function *K : Doall.Kernels)
+    std::printf("  kernel @%s (%u live-in parameters)\n",
+                K->getName().c_str(), K->getNumArgs());
+
+  ManagementStats Mgmt = insertCommunicationManagement(*M);
+  banner("after communication management (Listing 3 shape)");
+  std::printf("%u launches managed; %u map calls inserted; %u globals "
+              "declared\n",
+              Mgmt.LaunchesManaged, Mgmt.MapsInserted, Mgmt.GlobalsDeclared);
+
+  PromotionStats Promo = promoteMaps(*M);
+  banner("after map promotion (Listing 4 shape)");
+  std::printf("%u loop hoists, %u unmaps deleted in %u iterations\n",
+              Promo.LoopHoists, Promo.UnmapsDeleted, Promo.Iterations);
+  std::printf("\nmain after optimization:\n");
+  for (const auto &F : M->functions()) {
+    if (F->getName() != "main")
+      continue;
+    // Print just main (the module dump includes every kernel).
+    std::string Text = M->getString();
+    size_t Pos = Text.find("define i32 @main");
+    if (Pos != std::string::npos)
+      std::printf("%s\n", Text.substr(Pos, 1400).c_str());
+  }
+
+  std::string OptOut;
+  double OptCycles = execute(*M, LaunchPolicy::Managed, OptOut);
+
+  banner("results");
+  std::printf("sequential checksum: %s", SeqOut.c_str());
+  std::printf("GPU checksum:        %s", OptOut.c_str());
+  std::printf("modeled speedup:     %.2fx\n", SeqCycles / OptCycles);
+  return SeqOut == OptOut && OptCycles < SeqCycles ? 0 : 1;
+}

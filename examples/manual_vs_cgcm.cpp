@@ -1,0 +1,157 @@
+//===- examples/manual_vs_cgcm.cpp - Listing 1 vs Listing 2 --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating comparison. Listing 1 manages the CPU-GPU copy
+/// of an array of strings by hand — allocate device memory per string,
+/// copy each string, build a translated pointer table, copy it, launch,
+/// copy everything back, free. Listing 2 is the same program with CGCM:
+/// the kernel is launched on the host pointer and the system does the
+/// rest.
+///
+/// Here "Listing 1" is written against the runtime's building blocks
+/// (the cuMemAlloc/cuMemcpy-level device API) to show exactly the
+/// boilerplate being deleted; "Listing 2" goes through the compiler
+/// pipeline. Both produce identical results; the CGCM version is a
+/// fraction of the code and cannot get a buffer size or direction wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// Listing 1, by hand: manual explicit CPU-GPU memory management against
+/// the simulated device. Every line here is communication management,
+/// not useful work — exactly the paper's point.
+std::string runManual() {
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host(HostAddressBase, "host");
+  GPUDevice Device(TM, Stats);
+
+  // Host data: an array of strings.
+  const char *HText[4] = {"What", "so", "proudly", "we"};
+  uint64_t HArray = Host.allocate(4 * 8);
+  std::vector<uint64_t> HStrings;
+  for (unsigned I = 0; I != 4; ++I) {
+    uint64_t S = Host.allocate(std::strlen(HText[I]) + 1);
+    Host.write(S, HText[I], std::strlen(HText[I]) + 1);
+    Host.writeUInt(HArray + I * 8, S, 8);
+    HStrings.push_back(S);
+  }
+
+  // --- Listing 1 boilerplate begins -------------------------------------
+  // Copy elements from the array to the GPU.
+  uint64_t HDevPtrs[4];
+  for (unsigned I = 0; I != 4; ++I) {
+    uint64_t Size = std::strlen(HText[I]) + 1;
+    HDevPtrs[I] = Device.cuMemAlloc(Size);
+    Device.cuMemcpyHtoD(HDevPtrs[I], Host, HStrings[I], Size);
+  }
+  // Copy the translated pointer array to the GPU.
+  uint64_t DArray = Device.cuMemAlloc(4 * 8);
+  for (unsigned I = 0; I != 4; ++I)
+    Device.getMemory().writeUInt(DArray + I * 8, HDevPtrs[I], 8);
+
+  // "Kernel": uppercase the first character of each string, on device
+  // memory only.
+  for (unsigned I = 0; I != 4; ++I) {
+    uint64_t SPtr = Device.getMemory().readUInt(DArray + I * 8, 8);
+    char C;
+    Device.getMemory().read(SPtr, &C, 1);
+    if (C >= 'a' && C <= 'z')
+      C = static_cast<char>(C - 'a' + 'A');
+    Device.getMemory().write(SPtr, &C, 1);
+  }
+
+  // Free the array; copy the elements back and free the GPU copies.
+  Device.cuMemFree(DArray);
+  std::string Result;
+  for (unsigned I = 0; I != 4; ++I) {
+    uint64_t Size = std::strlen(HText[I]) + 1;
+    Device.cuMemcpyDtoH(Host, HStrings[I], HDevPtrs[I], Size);
+    Device.cuMemFree(HDevPtrs[I]);
+  }
+  // --- Listing 1 boilerplate ends ---------------------------------------
+
+  for (unsigned I = 0; I != 4; ++I)
+    Result += Host.readCString(HStrings[I]) + " ";
+  return Result;
+}
+
+/// Listing 2: the same program with implicit communication; CGCM inserts
+/// and optimizes everything.
+std::string runAutomatic() {
+  // The strings live in mutable char arrays: string literals are
+  // read-only allocation units, and CGCM (correctly) never copies
+  // read-only units back from the device.
+  const char *Source = R"(
+    char w0[8] = "What";
+    char w1[8] = "so";
+    char w2[8] = "proudly";
+    char w3[8] = "we";
+    char *verse[4];
+    __kernel void upper_first(long n) {
+      long t = __tid();
+      if (t < n) {
+        char *s = verse[t];
+        if (s[0] >= 'a') {
+          if (s[0] <= 'z')
+            s[0] = s[0] - 'a' + 'A';
+        }
+      }
+    }
+    int main() {
+      verse[0] = w0;
+      verse[1] = w1;
+      verse[2] = w2;
+      verse[3] = w3;
+      launch upper_first<<<1, 4>>>(4);
+      int i;
+      for (i = 0; i < 4; i++)
+        print_str(verse[i]);
+      return 0;
+    }
+  )";
+  auto M = compileMiniC(Source, "listing2");
+  PipelineOptions Opts;
+  Opts.Parallelize = false;
+  runCGCMPipeline(*M, Opts);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(*M);
+  Mach.run();
+  // print_str emits one line per string.
+  std::string Out = Mach.getOutput(), Result;
+  for (char C : Out)
+    Result += (C == '\n') ? ' ' : C;
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::string Manual = runManual();
+  std::string Automatic = runAutomatic();
+  std::printf("manual (Listing 1, ~30 lines of communication code): %s\n",
+              Manual.c_str());
+  std::printf("CGCM   (Listing 2, zero communication code):         %s\n",
+              Automatic.c_str());
+  bool Match = Manual == Automatic && Manual.rfind("What ", 0) == 0;
+  std::printf("%s\n", Match ? "results identical"
+                            : "MISMATCH between manual and automatic");
+  return Match ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+//===- examples/quickstart.cpp - CGCM in five minutes --------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shortest end-to-end tour of the public API:
+///
+///   1. compile a MiniC program that launches a GPU kernel with plain
+///      host pointers (no communication code anywhere);
+///   2. run the CGCM pipeline, which inserts and then optimizes all
+///      CPU-GPU communication automatically;
+///   3. execute on the simulated machine and inspect the statistics.
+///
+/// Build and run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+
+using namespace cgcm;
+
+int main() {
+  // A program in MiniC, the project's C-like input language. The `saxpy`
+  // kernel is launched with ordinary host pointers: without CGCM this
+  // faults the moment the GPU dereferences CPU memory.
+  const char *Source = R"(
+    __kernel void saxpy(double *y, double *x, double a, long n) {
+      long i = __tid();
+      if (i < n)
+        y[i] = y[i] + a * x[i];
+    }
+    int main() {
+      long n = 1024;
+      double *x = (double*)malloc(n * sizeof(double));
+      double *y = (double*)malloc(n * sizeof(double));
+      long i;
+      for (i = 0; i < n; i = i + 1) {
+        x[i] = i * 0.5;
+        y[i] = 1.0;
+      }
+      int t;
+      for (t = 0; t < 10; t++)
+        launch saxpy<<<8, 128>>>(y, x, 0.1, n);
+      double sum = 0.0;
+      for (i = 0; i < n; i = i + 1)
+        sum += y[i];
+      print_f64(sum);
+      return 0;
+    }
+  )";
+
+  // 1. Frontend: MiniC -> IR.
+  std::unique_ptr<Module> M = compileMiniC(Source, "quickstart");
+
+  // 2. The CGCM pipeline. `Parallelize=false` because the kernel is
+  //    manually written; the pass pipeline inserts map/unmap/release
+  //    around the launch and then hoists them out of the time loop.
+  PipelineOptions Opts;
+  Opts.Parallelize = false;
+  PipelineResult PR = runCGCMPipeline(*M, Opts);
+  std::printf("pipeline: %u launches managed, %u maps inserted, "
+              "%u loop hoists\n",
+              PR.Mgmt.LaunchesManaged, PR.Mgmt.MapsInserted,
+              PR.MapPromo.LoopHoists);
+
+  // 3. Execute on the simulated CPU+GPU machine.
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(*M);
+  Mach.run();
+
+  const ExecStats &S = Mach.getStats();
+  std::printf("program output: %s", Mach.getOutput().c_str());
+  std::printf("kernel launches: %llu\n",
+              static_cast<unsigned long long>(S.KernelLaunches));
+  std::printf("transfers: %llu to device (%llu bytes), %llu back "
+              "(%llu bytes)\n",
+              static_cast<unsigned long long>(S.TransfersHtoD),
+              static_cast<unsigned long long>(S.BytesHtoD),
+              static_cast<unsigned long long>(S.TransfersDtoH),
+              static_cast<unsigned long long>(S.BytesDtoH));
+  std::printf("modeled time: %.0f cycles (%.0f%% communication)\n",
+              S.totalCycles(), 100.0 * S.CommCycles / S.totalCycles());
+
+  // Thanks to map promotion, ten launches needed only one round trip.
+  return S.TransfersHtoD <= 3 ? 0 : 1;
+}

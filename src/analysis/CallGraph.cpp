@@ -1,0 +1,92 @@
+//===- analysis/CallGraph.cpp - Module call graph ---------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+using namespace cgcm;
+
+CallGraph::CallGraph(Module &M) {
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    for (Instruction *I : F->instructions()) {
+      auto *CI = dyn_cast<CallInst>(I);
+      if (!CI || CI->getCallee()->isDeclaration())
+        continue;
+      CallSites[F.get()].push_back(CI);
+      Callers[CI->getCallee()].push_back(CI);
+    }
+  }
+
+  // Tarjan-lite: iterative DFS computing completion order; a function is
+  // recursive if it can reach itself.
+  std::map<Function *, std::set<Function *>> Reach;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    // Transitive closure by worklist (graphs here are tiny).
+    std::set<Function *> &R = Reach[F.get()];
+    std::vector<Function *> Work{F.get()};
+    while (!Work.empty()) {
+      Function *Cur = Work.back();
+      Work.pop_back();
+      auto It = CallSites.find(Cur);
+      if (It == CallSites.end())
+        continue;
+      for (CallInst *CI : It->second)
+        if (R.insert(CI->getCallee()).second)
+          Work.push_back(CI->getCallee());
+    }
+    if (R.count(F.get()))
+      Recursive.insert(F.get());
+  }
+
+  // Bottom-up order: repeatedly emit functions all of whose non-recursive
+  // callees are emitted.
+  std::set<Function *> Emitted;
+  bool Progress = true;
+  std::vector<Function *> Defined;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Defined.push_back(F.get());
+  while (Progress) {
+    Progress = false;
+    for (Function *F : Defined) {
+      if (Emitted.count(F))
+        continue;
+      bool Ready = true;
+      auto It = CallSites.find(F);
+      if (It != CallSites.end())
+        for (CallInst *CI : It->second) {
+          Function *Callee = CI->getCallee();
+          if (Callee != F && !Emitted.count(Callee) &&
+              !Recursive.count(Callee)) {
+            Ready = false;
+            break;
+          }
+        }
+      if (Ready) {
+        BottomUp.push_back(F);
+        Emitted.insert(F);
+        Progress = true;
+      }
+    }
+  }
+  // Mutually recursive leftovers in arbitrary order.
+  for (Function *F : Defined)
+    if (!Emitted.count(F))
+      BottomUp.push_back(F);
+}
+
+const std::vector<CallInst *> &CallGraph::getCallSites(Function *Caller) const {
+  auto It = CallSites.find(Caller);
+  return It == CallSites.end() ? Empty : It->second;
+}
+
+const std::vector<CallInst *> &CallGraph::getCallers(Function *F) const {
+  auto It = Callers.find(F);
+  return It == Callers.end() ? Empty : It->second;
+}

@@ -1,0 +1,51 @@
+//===- analysis/CallGraph.h - Module call graph -----------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct call graph over a module. Map promotion and alloca promotion
+/// climb this graph bottom-up; recursive functions (non-trivial SCCs) are
+/// excluded from promotion, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_CALLGRAPH_H
+#define CGCM_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace cgcm {
+
+class CallGraph {
+public:
+  explicit CallGraph(Module &M);
+
+  /// Call sites in \p Caller's body that call defined functions.
+  const std::vector<CallInst *> &getCallSites(Function *Caller) const;
+
+  /// All call instructions whose callee is \p F.
+  const std::vector<CallInst *> &getCallers(Function *F) const;
+
+  /// True if \p F participates in a cycle (including self-recursion).
+  bool isRecursive(Function *F) const { return Recursive.count(F) != 0; }
+
+  /// Defined functions in bottom-up order (callees before callers).
+  const std::vector<Function *> &getBottomUpOrder() const { return BottomUp; }
+
+private:
+  std::map<Function *, std::vector<CallInst *>> CallSites;
+  std::map<Function *, std::vector<CallInst *>> Callers;
+  std::set<Function *> Recursive;
+  std::vector<Function *> BottomUp;
+  std::vector<CallInst *> Empty;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,135 @@
+//===- analysis/Dominators.cpp - Dominator tree ----------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace cgcm;
+
+DominatorTree::DominatorTree(Function &F) : F(F) {
+  assert(!F.isDeclaration() && "dominators of a declaration");
+
+  // Depth-first post order, then reverse.
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  BasicBlock *Entry = F.getEntryBlock();
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+
+  // Cooper-Harvey-Kennedy iteration.
+  IDom[Entry] = Entry;
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : BB->predecessors()) {
+        if (!RPONumber.count(P) || !IDom.count(P))
+          continue;
+        NewIDom = NewIDom ? Intersect(NewIDom, P) : P;
+      }
+      assert(NewIDom && "reachable block with no processed predecessor");
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Dominance frontiers (Cytron et al.).
+  for (BasicBlock *BB : RPO) {
+    std::vector<BasicBlock *> Preds;
+    for (BasicBlock *P : BB->predecessors())
+      if (RPONumber.count(P))
+        Preds.push_back(P);
+    if (Preds.size() < 2)
+      continue;
+    for (BasicBlock *P : Preds) {
+      BasicBlock *Runner = P;
+      while (Runner != IDom[BB]) {
+        Frontier[Runner].insert(BB);
+        Runner = IDom[Runner];
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::getIDom(BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  if (A == B)
+    return true;
+  auto ItB = RPONumber.find(B);
+  auto ItA = RPONumber.find(A);
+  if (ItA == RPONumber.end() || ItB == RPONumber.end())
+    return false;
+  // Walk up B's idom chain; depth is bounded by the block count.
+  BasicBlock *Cur = B;
+  for (;;) {
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false;
+    Cur = It->second;
+    if (Cur == A)
+      return true;
+  }
+}
+
+bool DominatorTree::dominates(Instruction *Def, Instruction *User) const {
+  BasicBlock *DefBB = Def->getParent();
+  BasicBlock *UseBB = User->getParent();
+  if (DefBB != UseBB)
+    return dominates(DefBB, UseBB);
+  for (const auto &I : *DefBB) {
+    if (I.get() == Def)
+      return true;
+    if (I.get() == User)
+      return false;
+  }
+  CGCM_UNREACHABLE("instructions not found in their parent block");
+}
+
+const std::set<BasicBlock *> &
+DominatorTree::getFrontier(BasicBlock *BB) const {
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? EmptyFrontier : It->second;
+}

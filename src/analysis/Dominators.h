@@ -1,0 +1,57 @@
+//===- analysis/Dominators.h - Dominator tree ------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree computed with the Cooper-Harvey-Kennedy iterative
+/// algorithm, plus dominance frontiers for SSA construction (Mem2Reg).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_DOMINATORS_H
+#define CGCM_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace cgcm {
+
+class DominatorTree {
+public:
+  explicit DominatorTree(Function &F);
+
+  /// The immediate dominator of \p BB, or null for the entry block and
+  /// unreachable blocks.
+  BasicBlock *getIDom(BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BasicBlock *A, BasicBlock *B) const;
+
+  /// True if instruction \p Def dominates the use site \p User.
+  bool dominates(Instruction *Def, Instruction *User) const;
+
+  /// Dominance frontier of \p BB.
+  const std::set<BasicBlock *> &getFrontier(BasicBlock *BB) const;
+
+  /// Blocks in reverse post order (entry first), reachable only.
+  const std::vector<BasicBlock *> &getReversePostOrder() const { return RPO; }
+
+  bool isReachable(BasicBlock *BB) const { return RPONumber.count(BB) != 0; }
+
+private:
+  Function &F;
+  std::vector<BasicBlock *> RPO;
+  std::map<BasicBlock *, unsigned> RPONumber;
+  std::map<BasicBlock *, BasicBlock *> IDom;
+  std::map<BasicBlock *, std::set<BasicBlock *>> Frontier;
+  std::set<BasicBlock *> EmptyFrontier;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_DOMINATORS_H

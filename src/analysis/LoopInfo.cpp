@@ -1,0 +1,120 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cgcm;
+
+BasicBlock *Loop::getPreheader() const {
+  BasicBlock *Pre = nullptr;
+  for (BasicBlock *P : Header->predecessors()) {
+    if (contains(P))
+      continue;
+    if (Pre)
+      return nullptr; // Multiple outside predecessors.
+    Pre = P;
+  }
+  return Pre;
+}
+
+std::vector<BasicBlock *> Loop::getExitBlocks() const {
+  std::vector<BasicBlock *> Exits;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *S : BB->successors())
+      if (!contains(S) &&
+          std::find(Exits.begin(), Exits.end(), S) == Exits.end())
+        Exits.push_back(S);
+  return Exits;
+}
+
+std::vector<BasicBlock *> Loop::getLatches() const {
+  std::vector<BasicBlock *> Latches;
+  for (BasicBlock *P : Header->predecessors())
+    if (contains(P))
+      Latches.push_back(P);
+  return Latches;
+}
+
+LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
+  // Find back edges: Tail -> Header where Header dominates Tail. Merge
+  // back edges sharing a header into one natural loop.
+  std::map<BasicBlock *, std::set<BasicBlock *>> HeaderToBody;
+  for (BasicBlock *BB : DT.getReversePostOrder()) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!DT.dominates(Succ, BB))
+        continue;
+      // Back edge BB -> Succ: collect the natural loop body by walking
+      // predecessors from the tail until the header.
+      std::set<BasicBlock *> &Body = HeaderToBody[Succ];
+      Body.insert(Succ);
+      std::vector<BasicBlock *> Work;
+      if (Body.insert(BB).second)
+        Work.push_back(BB);
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        if (Cur == Succ)
+          continue;
+        for (BasicBlock *P : Cur->predecessors())
+          if (DT.isReachable(P) && Body.insert(P).second)
+            Work.push_back(P);
+      }
+    }
+  }
+
+  for (auto &[Header, Body] : HeaderToBody)
+    Loops.push_back(std::make_unique<Loop>(Header, std::move(Body)));
+
+  // Establish nesting: the parent is the smallest strictly-containing loop.
+  for (auto &L : Loops) {
+    Loop *Best = nullptr;
+    for (auto &Candidate : Loops) {
+      if (Candidate.get() == L.get())
+        continue;
+      if (!Candidate->contains(L.get()) ||
+          Candidate->getBlocks().size() == L->getBlocks().size())
+        continue;
+      if (!Best ||
+          Candidate->getBlocks().size() < Best->getBlocks().size())
+        Best = Candidate.get();
+    }
+    if (Best) {
+      L->setParentLoop(Best);
+      Best->addSubLoop(L.get());
+    }
+  }
+
+  // Sort outermost-first (by depth, then by header RPO for determinism).
+  std::map<BasicBlock *, unsigned> HeaderOrder;
+  unsigned N = 0;
+  for (BasicBlock *BB : DT.getReversePostOrder())
+    HeaderOrder[BB] = N++;
+  std::sort(Loops.begin(), Loops.end(), [&](const auto &A, const auto &B) {
+    if (A->getDepth() != B->getDepth())
+      return A->getDepth() < B->getDepth();
+    return HeaderOrder[A->getHeader()] < HeaderOrder[B->getHeader()];
+  });
+}
+
+std::vector<Loop *> LoopInfo::getTopLevelLoops() const {
+  std::vector<Loop *> Result;
+  for (const auto &L : Loops)
+    if (!L->getParentLoop())
+      Result.push_back(L.get());
+  return Result;
+}
+
+Loop *LoopInfo::getLoopFor(const BasicBlock *BB) const {
+  Loop *Best = nullptr;
+  for (const auto &L : Loops)
+    if (L->contains(BB))
+      if (!Best || Best->getBlocks().size() > L->getBlocks().size())
+        Best = L.get();
+  return Best;
+}

@@ -1,0 +1,96 @@
+//===- analysis/LoopInfo.h - Natural loop detection ------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifies natural loops from back edges in the dominator tree. Loops
+/// are the regions the DOALL parallelizer targets and the regions map
+/// promotion hoists runtime calls out of (paper Algorithm 4: "a region is
+/// either a function or a loop body").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_LOOPINFO_H
+#define CGCM_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace cgcm {
+
+class Loop {
+public:
+  Loop(BasicBlock *Header, std::set<BasicBlock *> Blocks)
+      : Header(Header), Blocks(std::move(Blocks)) {}
+
+  BasicBlock *getHeader() const { return Header; }
+  const std::set<BasicBlock *> &getBlocks() const { return Blocks; }
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+  bool contains(const Instruction *I) const {
+    return contains(I->getParent());
+  }
+  bool contains(const Loop *Other) const {
+    for (BasicBlock *BB : Other->Blocks)
+      if (!contains(BB))
+        return false;
+    return true;
+  }
+
+  Loop *getParentLoop() const { return Parent; }
+  void setParentLoop(Loop *L) { Parent = L; }
+  const std::vector<Loop *> &getSubLoops() const { return SubLoops; }
+  void addSubLoop(Loop *L) { SubLoops.push_back(L); }
+
+  /// The unique block outside the loop that branches to the header, or
+  /// null if there is none (multiple outside predecessors).
+  BasicBlock *getPreheader() const;
+
+  /// Blocks outside the loop that are targets of exits from the loop.
+  std::vector<BasicBlock *> getExitBlocks() const;
+
+  /// Blocks inside the loop that branch back to the header.
+  std::vector<BasicBlock *> getLatches() const;
+
+  /// The number of enclosing loops (top level = 0).
+  unsigned getDepth() const {
+    unsigned D = 0;
+    for (Loop *L = Parent; L; L = L->Parent)
+      ++D;
+    return D;
+  }
+
+private:
+  BasicBlock *Header;
+  std::set<BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+class LoopInfo {
+public:
+  LoopInfo(Function &F, const DominatorTree &DT);
+
+  /// All loops, outermost first within each nest.
+  const std::vector<std::unique_ptr<Loop>> &getLoops() const { return Loops; }
+
+  /// Top-level loops only.
+  std::vector<Loop *> getTopLevelLoops() const;
+
+  /// The innermost loop containing \p BB, or null.
+  Loop *getLoopFor(const BasicBlock *BB) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_LOOPINFO_H

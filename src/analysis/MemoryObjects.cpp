@@ -1,0 +1,132 @@
+//===- analysis/MemoryObjects.cpp - Object roots and simple aliasing --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryObjects.h"
+
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+MemoryObject classifyRoot(const Value *V) {
+  MemoryObject O;
+  O.Root = V;
+  if (isa<GlobalVariable>(V)) {
+    O.K = MemoryObject::Kind::Global;
+    return O;
+  }
+  if (isa<AllocaInst>(V)) {
+    O.K = MemoryObject::Kind::Alloca;
+    return O;
+  }
+  if (const auto *CI = dyn_cast<CallInst>(V)) {
+    const std::string &N = CI->getCallee()->getName();
+    if (N == "malloc" || N == "calloc" || N == "realloc") {
+      O.K = MemoryObject::Kind::HeapSite;
+      return O;
+    }
+  }
+  O.K = MemoryObject::Kind::Unknown;
+  return O;
+}
+
+MemoryObject unknownAt(const Value *V) {
+  MemoryObject U;
+  U.Root = V;
+  U.K = MemoryObject::Kind::Unknown;
+  return U;
+}
+
+/// Shared-visited walker: cycles (loop phis over geps) terminate because
+/// every value is expanded at most once.
+MemoryObject findImpl(const Value *V, std::set<const Value *> &Visited) {
+  while (true) {
+    if (!Visited.insert(V).second)
+      return unknownAt(V); // Cycle with no dominating root found yet.
+    if (const auto *G = dyn_cast<GEPInst>(V)) {
+      V = G->getPointerOperand();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(V)) {
+      switch (C->getOp()) {
+      case CastInst::Op::Bitcast:
+      case CastInst::Op::IntToPtr:
+      case CastInst::Op::PtrToInt:
+        V = C->getValueOperand();
+        continue;
+      default:
+        return classifyRoot(V);
+      }
+    }
+    if (const auto *P = dyn_cast<PhiInst>(V)) {
+      // A phi keeps an object if all non-cyclic incoming paths agree.
+      MemoryObject Common;
+      bool First = true;
+      for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I) {
+        const Value *In = P->getIncomingValue(I);
+        if (Visited.count(In))
+          continue; // Recurrence edge.
+        MemoryObject O = findImpl(In, Visited);
+        if (!O.isIdentified() && Visited.count(O.Root))
+          continue; // Path that cycled back; ignore.
+        if (First) {
+          Common = O;
+          First = false;
+        } else if (!(Common == O)) {
+          return unknownAt(P);
+        }
+      }
+      return First ? unknownAt(P) : Common;
+    }
+    if (const auto *S = dyn_cast<SelectInst>(V)) {
+      MemoryObject A = findImpl(S->getTrueValue(), Visited);
+      MemoryObject B = findImpl(S->getFalseValue(), Visited);
+      if (A == B)
+        return A;
+      return unknownAt(S);
+    }
+    if (const auto *B = dyn_cast<BinOpInst>(V)) {
+      // Pointer arithmetic through integers: base the object on whichever
+      // operand is rooted in an identified object (cast-heavy code). If
+      // both or neither are, give up.
+      MemoryObject A = findImpl(B->getLHS(), Visited);
+      MemoryObject C = findImpl(B->getRHS(), Visited);
+      if (A.isIdentified() && !C.isIdentified())
+        return A;
+      if (C.isIdentified() && !A.isIdentified())
+        return C;
+      return unknownAt(B);
+    }
+    return classifyRoot(V);
+  }
+}
+
+} // namespace
+
+MemoryObject cgcm::findMemoryObject(const Value *Addr) {
+  std::set<const Value *> Visited;
+  return findImpl(Addr, Visited);
+}
+
+bool cgcm::mayAlias(const MemoryObject &A, const MemoryObject &B) {
+  if (!A.isIdentified() || !B.isIdentified())
+    return true;
+  return A == B;
+}
+
+std::vector<MemoryAccess> cgcm::collectMemoryAccesses(const Function &F) {
+  std::vector<MemoryAccess> Result;
+  for (const auto &BB : F) {
+    for (const auto &I : *BB) {
+      if (const auto *LI = dyn_cast<LoadInst>(I.get()))
+        Result.push_back({LI, LI->getPointerOperand(), false});
+      else if (const auto *SI = dyn_cast<StoreInst>(I.get()))
+        Result.push_back({SI, SI->getPointerOperand(), true});
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- analysis/MemoryObjects.h - Object roots and simple aliasing ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifies the *memory object* an address expression is rooted in by
+/// walking through geps, casts, and phis/selects. Two identified objects
+/// (distinct globals, distinct allocas, distinct allocation sites) do not
+/// alias; anything rooted in an unknown value (argument, loaded pointer)
+/// may alias everything. This is deliberately the weak static analysis the
+/// paper assumes: CGCM's correctness never depends on it — only the DOALL
+/// parallelizer and the promotion profitability checks use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_MEMORYOBJECTS_H
+#define CGCM_ANALYSIS_MEMORYOBJECTS_H
+
+#include "ir/Module.h"
+
+#include <set>
+#include <vector>
+
+namespace cgcm {
+
+/// The root of an address expression.
+struct MemoryObject {
+  enum class Kind {
+    Global,   ///< A module global (named region).
+    Alloca,   ///< A stack allocation.
+    HeapSite, ///< A malloc/calloc/realloc call site.
+    Unknown,  ///< Argument, loaded pointer, inttoptr, ...
+  };
+
+  Kind K = Kind::Unknown;
+  const Value *Root = nullptr;
+
+  bool isIdentified() const { return K != Kind::Unknown; }
+
+  bool operator==(const MemoryObject &O) const {
+    return K == O.K && Root == O.Root;
+  }
+  bool operator<(const MemoryObject &O) const {
+    if (K != O.K)
+      return K < O.K;
+    return Root < O.Root;
+  }
+};
+
+/// Finds the object an address is rooted in, walking gep/cast chains.
+/// Phi/select with multiple distinct roots yields Unknown.
+MemoryObject findMemoryObject(const Value *Addr);
+
+/// May the objects alias? Identified distinct objects do not; Unknown
+/// aliases everything.
+bool mayAlias(const MemoryObject &A, const MemoryObject &B);
+
+/// All loads/stores in \p F (convenience for mod/ref scans).
+struct MemoryAccess {
+  const Instruction *I;
+  const Value *Addr;
+  bool IsWrite;
+};
+std::vector<MemoryAccess> collectMemoryAccesses(const Function &F);
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_MEMORYOBJECTS_H

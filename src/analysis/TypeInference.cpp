@@ -1,0 +1,185 @@
+//===- analysis/TypeInference.cpp - Use-based pointer-degree inference ------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TypeInference.h"
+
+#include "support/ErrorHandling.h"
+
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// Worklist inference over the device-side code. Degrees only grow, and
+/// are capped, so the fixpoint terminates.
+class InferenceEngine {
+public:
+  explicit InferenceEngine(const std::set<const Function *> &DeviceFns)
+      : DeviceFns(DeviceFns) {}
+
+  void run() {
+    // Seed: every address operand of a memory operation is a pointer.
+    for (const Function *F : DeviceFns) {
+      for (const auto &BB : *F) {
+        for (const auto &I : *BB) {
+          if (const auto *LI = dyn_cast<LoadInst>(I.get()))
+            raise(LI->getPointerOperand(), 1);
+          else if (const auto *SI = dyn_cast<StoreInst>(I.get()))
+            raise(SI->getPointerOperand(), 1);
+        }
+      }
+    }
+    while (!Work.empty()) {
+      const Value *V = Work.back();
+      Work.pop_back();
+      propagate(V, Degrees[V]);
+    }
+  }
+
+  unsigned degreeOf(const Value *V) const {
+    auto It = Degrees.find(V);
+    return It == Degrees.end() ? 0 : It->second;
+  }
+
+private:
+  /// Raises V's degree to at least D and queues propagation.
+  void raise(const Value *V, unsigned D) {
+    if (D > 3)
+      D = 3;
+    unsigned &Cur = Degrees[V];
+    if (Cur >= D)
+      return;
+    Cur = D;
+    Work.push_back(V);
+  }
+
+  /// Backward propagation: whatever flows *into* V carries the same
+  /// degree; loading a degree-D pointer means the loaded-from address
+  /// holds pointers, i.e. has degree D+1 (paper's double-pointer rule).
+  void propagate(const Value *V, unsigned D) {
+    if (const auto *G = dyn_cast<GEPInst>(V)) {
+      raise(G->getPointerOperand(), D);
+      return; // Indexes are not addresses.
+    }
+    if (const auto *C = dyn_cast<CastInst>(V)) {
+      raise(C->getValueOperand(), D);
+      return;
+    }
+    if (const auto *B = dyn_cast<BinOpInst>(V)) {
+      // Field-insensitive: types flow through pointer arithmetic, and
+      // either addend may be the pointer.
+      if (B->getOp() == BinOpInst::Op::Add ||
+          B->getOp() == BinOpInst::Op::Sub) {
+        raise(B->getLHS(), D);
+        raise(B->getRHS(), D);
+      }
+      return;
+    }
+    if (const auto *P = dyn_cast<PhiInst>(V)) {
+      for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+        raise(P->getIncomingValue(I), D);
+      return;
+    }
+    if (const auto *S = dyn_cast<SelectInst>(V)) {
+      raise(S->getTrueValue(), D);
+      raise(S->getFalseValue(), D);
+      return;
+    }
+    if (const auto *L = dyn_cast<LoadInst>(V)) {
+      raise(L->getPointerOperand(), D + 1);
+      return;
+    }
+    if (const auto *CI = dyn_cast<CallInst>(V)) {
+      // The result of a device call being a pointer makes the callee's
+      // returned values pointers.
+      const Function *Callee = CI->getCallee();
+      if (DeviceFns.count(Callee))
+        for (const auto &BB : *Callee)
+          for (const auto &I : *BB)
+            if (const auto *R = dyn_cast<RetInst>(I.get()))
+              if (R->hasReturnValue())
+                raise(R->getReturnValue(), D);
+      return;
+    }
+    // Arguments, globals, constants: sinks of the backward flow. Calls
+    // passing arguments into device functions flow forward below.
+    if (const auto *A = dyn_cast<Argument>(V)) {
+      // Degree flows from a callee's formal back to actuals at device
+      // call sites.
+      const Function *F = A->getParent();
+      for (const Function *Caller : DeviceFns)
+        for (const auto &BB : *Caller)
+          for (const auto &I : *BB)
+            if (const auto *CI = dyn_cast<CallInst>(I.get()))
+              if (CI->getCallee() == F)
+                raise(CI->getArg(A->getArgNo()), D);
+    }
+  }
+
+  const std::set<const Function *> &DeviceFns;
+  std::map<const Value *, unsigned> Degrees;
+  std::vector<const Value *> Work;
+};
+
+PointerDegree toDegree(unsigned D) {
+  switch (D) {
+  case 0:
+    return PointerDegree::Scalar;
+  case 1:
+    return PointerDegree::Pointer;
+  case 2:
+    return PointerDegree::DoublePointer;
+  default:
+    return PointerDegree::Deeper;
+  }
+}
+
+} // namespace
+
+KernelLiveIns cgcm::analyzeKernelLiveIns(const Function &Kernel) {
+  KernelLiveIns Result;
+
+  // Device-reachable functions (kernels may call device helpers).
+  std::vector<const Function *> Work{&Kernel};
+  Result.DeviceFunctions.insert(&Kernel);
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (const auto *CI = dyn_cast<CallInst>(I.get()))
+          if (!CI->getCallee()->isDeclaration() &&
+              Result.DeviceFunctions.insert(CI->getCallee()).second)
+            Work.push_back(CI->getCallee());
+  }
+
+  InferenceEngine Engine(Result.DeviceFunctions);
+  Engine.run();
+
+  for (unsigned I = 0, E = Kernel.getNumArgs(); I != E; ++I)
+    Result.ArgDegrees.push_back(toDegree(Engine.degreeOf(Kernel.getArg(I))));
+
+  // Globals used anywhere on the device are live-ins; a global that is
+  // merely *used* is at least a pointer (its storage must reach the GPU).
+  for (const Function *F : Result.DeviceFunctions) {
+    for (const auto &BB : *F) {
+      for (const auto &I : *BB) {
+        for (const Value *Op : I->operands()) {
+          const auto *GV = dyn_cast<GlobalVariable>(Op);
+          if (!GV)
+            continue;
+          unsigned D = std::max(1u, Engine.degreeOf(GV));
+          PointerDegree PD = toDegree(D);
+          auto It = Result.GlobalDegrees.find(GV);
+          if (It == Result.GlobalDegrees.end() || It->second < PD)
+            Result.GlobalDegrees[GV] = PD;
+        }
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===- analysis/TypeInference.h - Use-based pointer-degree inference ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's type inference (section 4): because the C/C++ type systems
+/// are unreliable, the compiler ignores declared types and infers, from
+/// *use inside the GPU function only*, whether each live-in value is a
+/// scalar, a pointer, or a double pointer:
+///
+///  * a value that flows to the address operand of a load or store —
+///    potentially through additions, casts, sign extensions, geps — is a
+///    pointer;
+///  * if a value loaded through a pointer itself flows to a memory
+///    operation's address, the original pointer is a double pointer.
+///
+/// The inference is field-insensitive (types flow through pointer
+/// arithmetic) and caps at two degrees of indirection, CGCM's stated
+/// restriction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_TYPEINFERENCE_H
+#define CGCM_ANALYSIS_TYPEINFERENCE_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace cgcm {
+
+/// Inferred indirection degree of a live-in value.
+enum class PointerDegree {
+  Scalar = 0,
+  Pointer = 1,
+  DoublePointer = 2,
+  /// Three or more levels — outside CGCM's applicability (the management
+  /// pass reports an error if a live-in infers to this).
+  Deeper = 3,
+};
+
+/// Live-in analysis + type inference for one kernel. Live-ins are the
+/// kernel's formal arguments plus every global variable used by the
+/// kernel (transitively through device-side calls).
+struct KernelLiveIns {
+  std::vector<PointerDegree> ArgDegrees;      ///< Indexed by argument number.
+  std::map<const GlobalVariable *, PointerDegree> GlobalDegrees;
+  /// Functions reachable from the kernel on the device.
+  std::set<const Function *> DeviceFunctions;
+};
+
+/// Computes live-ins and their inferred degrees for \p Kernel.
+KernelLiveIns analyzeKernelLiveIns(const Function &Kernel);
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_TYPEINFERENCE_H

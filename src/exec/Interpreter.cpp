@@ -1,0 +1,792 @@
+//===- exec/Interpreter.cpp - IR interpreter ---------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace cgcm;
+
+namespace {
+
+uint64_t signExtend(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return V;
+  uint64_t Mask = (1ull << Bits) - 1;
+  V &= Mask;
+  if (V & (1ull << (Bits - 1)))
+    V |= ~Mask;
+  return V;
+}
+
+unsigned intWidth(const Type *Ty) {
+  return cast<IntegerType>(Ty)->getBitWidth();
+}
+
+double bitsToDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, 8);
+  return D;
+}
+
+uint64_t doubleToBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  return Bits;
+}
+
+} // namespace
+
+struct Interpreter::Frame {
+  std::vector<uint64_t> Slots;
+  /// Host/device allocations made by allocas in this frame, freed on
+  /// return (reverse order). Second member: was declareAlloca'd.
+  std::vector<std::pair<uint64_t, bool>> Allocas;
+};
+
+SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
+                                  ExecContext &Ctx) {
+  bool Dev = isDeviceAddress(Addr);
+  if (Ctx.DemandPage) {
+    // DyManD-style demand paging (docs/Extensions.md): a GPU access to
+    // host memory faults its allocation unit onto the device; a CPU
+    // access to a demand-resident unit faults it back. Any pointer depth
+    // works because translation happens at the access, not at the launch.
+    if (Ctx.OnGPU && !Dev) {
+      uint64_t Translated;
+      if (!M.Runtime->translateToDevice(Addr, Translated)) {
+        M.Stats.RuntimeCycles += M.TM.DemandFaultLatency;
+        ++M.Stats.DemandFaults;
+        Translated = M.Runtime->map(Addr);
+        const AllocUnitInfo *Info = M.Runtime->lookup(Addr);
+        assert(Info && "mapped unit must be tracked");
+        M.DemandResident.insert(Info->Base);
+      }
+      Addr = Translated;
+      Dev = true;
+    } else if (!Ctx.OnGPU && !Dev && !M.DemandResident.empty()) {
+      if (const AllocUnitInfo *Info = M.Runtime->lookup(Addr)) {
+        auto It = M.DemandResident.find(Info->Base);
+        if (It != M.DemandResident.end()) {
+          if (Info->RefCount > 0) {
+            // Fault the unit back: copy-back (epoch permitting) + free.
+            M.Stats.RuntimeCycles += M.TM.DemandFaultLatency;
+            ++M.Stats.DemandFaults;
+            M.Runtime->unmap(Info->Base);
+            M.Runtime->release(Info->Base);
+          }
+          M.DemandResident.erase(It);
+        }
+      }
+    }
+  }
+  if (!Ctx.OnGPU && Dev)
+    reportFatalError("CPU code dereferenced a GPU pointer (address " +
+                     std::to_string(Addr) +
+                     "); a missing unmap would cause this in a real system");
+  if (Ctx.OnGPU && !Dev && Ctx.EnforceSpace)
+    reportFatalError(
+        "GPU function dereferenced a CPU pointer (address " +
+        std::to_string(Addr) +
+        "); CPU-GPU communication was not managed for this value");
+  SimMemory &Mem = Dev ? M.Device.getMemory() : M.Host;
+  if (M.CheckedMemory && !Mem.isAccessible(Addr, Size))
+    reportFatalError(Mem.getSpaceName() + ": access of " +
+                     std::to_string(Size) + " bytes at " +
+                     std::to_string(Addr) +
+                     " is outside every live allocation unit");
+  if (Ctx.AccessCount)
+    ++*Ctx.AccessCount;
+  if ((Ctx.ReadUnits && !IsWrite) || (Ctx.WriteUnits && IsWrite)) {
+    uint64_t Base, USize;
+    if (Mem.findAllocation(Addr, Base, USize)) {
+      if (IsWrite)
+        Ctx.WriteUnits->insert(Base);
+      else
+        Ctx.ReadUnits->insert(Base);
+    }
+  }
+  return Mem;
+}
+
+uint64_t Interpreter::loadValue(uint64_t Addr, Type *Ty, ExecContext &Ctx) {
+  SimMemory &Mem =
+      memoryFor(Addr, /*IsWrite=*/false, Ty->getSizeInBytes(), Ctx);
+  if (Ty->isFloatTy()) {
+    float F;
+    Mem.read(Addr, &F, 4);
+    return doubleToBits(static_cast<double>(F));
+  }
+  if (Ty->isDoubleTy()) {
+    uint64_t Bits;
+    Mem.read(Addr, &Bits, 8);
+    return Bits;
+  }
+  if (Ty->isPointerTy())
+    return Mem.readUInt(Addr, 8);
+  if (Ty->isIntegerTy()) {
+    unsigned W = intWidth(Ty);
+    uint64_t Raw = Mem.readUInt(Addr, Ty->getSizeInBytes());
+    return W == 1 ? (Raw & 1) : signExtend(Raw, W);
+  }
+  reportFatalError("load of unsupported type " + Ty->getString());
+}
+
+void Interpreter::storeValue(uint64_t Addr, uint64_t Bits, Type *Ty,
+                             ExecContext &Ctx) {
+  SimMemory &Mem = memoryFor(Addr, /*IsWrite=*/true, Ty->getSizeInBytes(),
+                             Ctx);
+  if (Ty->isFloatTy()) {
+    float F = static_cast<float>(bitsToDouble(Bits));
+    Mem.write(Addr, &F, 4);
+    return;
+  }
+  if (Ty->isDoubleTy() || Ty->isPointerTy()) {
+    Mem.write(Addr, &Bits, 8);
+    return;
+  }
+  if (Ty->isIntegerTy()) {
+    Mem.writeUInt(Addr, Bits, Ty->getSizeInBytes());
+    return;
+  }
+  reportFatalError("store of unsupported type " + Ty->getString());
+}
+
+uint64_t Interpreter::evalOperand(const Value *V, Frame &Fr,
+                                  ExecContext &Ctx) {
+  switch (V->getKind()) {
+  case Value::ValueKind::ConstantInt:
+    return static_cast<uint64_t>(cast<ConstantInt>(V)->getValue());
+  case Value::ValueKind::ConstantFP:
+    return doubleToBits(cast<ConstantFP>(V)->getValue());
+  case Value::ValueKind::ConstantNull:
+    return 0;
+  case Value::ValueKind::GlobalVariable: {
+    const auto *GV = cast<GlobalVariable>(V);
+    // On the GPU a module global names a *device* region
+    // (cuModuleGetGlobal); on the CPU it is a host address. Under the
+    // inspector-executor policy kernels run against host memory, and
+    // under demand paging the host address faults per access.
+    if (Ctx.OnGPU && Ctx.EnforceSpace && !Ctx.DemandPage)
+      return M.Device.cuModuleGetGlobal(GV->getName(), GV->getSizeInBytes());
+    return M.getGlobalAddress(GV);
+  }
+  default: {
+    const FunctionLayout &L = M.getLayout(
+        isa<Argument>(V) ? cast<Argument>(V)->getParent()
+                         : cast<Instruction>(V)->getFunction());
+    auto It = L.Slots.find(V);
+    assert(It != L.Slots.end() && "operand has no register slot");
+    return Fr.Slots[It->second];
+  }
+  }
+}
+
+uint64_t Interpreter::execFunction(Function *F,
+                                   const std::vector<uint64_t> &Args,
+                                   ExecContext &Ctx) {
+  if (F->isDeclaration())
+    reportFatalError("execution reached undefined function '" + F->getName() +
+                     "'");
+  if (++CallDepth > 4096)
+    reportFatalError("call stack overflow in '" + F->getName() + "'");
+
+  const FunctionLayout &L = M.getLayout(F);
+  Frame Fr;
+  Fr.Slots.assign(L.NumSlots, 0);
+  assert(Args.size() == F->getNumArgs() && "argument count mismatch");
+  for (unsigned I = 0; I != Args.size(); ++I)
+    Fr.Slots[L.Slots.at(F->getArg(I))] = Args[I];
+
+  auto SetSlot = [&](const Instruction *I, uint64_t V) {
+    Fr.Slots[L.Slots.at(I)] = V;
+  };
+  auto ChargeOps = [&](uint64_t N) {
+    M.TotalOps += N;
+    if (M.OpLimit && M.TotalOps > M.OpLimit)
+      reportFatalError("interpreter op limit exceeded");
+    if (Ctx.GpuOpCounter) {
+      *Ctx.GpuOpCounter += N;
+    } else {
+      M.Stats.CpuOps += N;
+      M.Stats.CpuCycles += static_cast<double>(N) * M.TM.CpuCyclesPerOp;
+    }
+  };
+  auto PopFrame = [&] {
+    for (auto It = Fr.Allocas.rbegin(), E = Fr.Allocas.rend(); It != E;
+         ++It) {
+      if (It->second)
+        M.Runtime->removeAlloca(It->first);
+      SimMemory &Mem =
+          isDeviceAddress(It->first) ? M.Device.getMemory() : M.Host;
+      Mem.free(It->first);
+    }
+    --CallDepth;
+  };
+
+  BasicBlock *BB = F->getEntryBlock();
+  BasicBlock *PrevBB = nullptr;
+  auto It = BB->begin();
+
+  for (;;) {
+    assert(It != BB->end() && "fell off the end of a basic block");
+    Instruction *I = It->get();
+    ChargeOps(1);
+
+    switch (I->getKind()) {
+    case Value::ValueKind::Phi: {
+      // Evaluate the whole phi group against PrevBB atomically.
+      std::vector<std::pair<Instruction *, uint64_t>> Pending;
+      while (It != BB->end() && isa<PhiInst>(It->get())) {
+        auto *P = cast<PhiInst>(It->get());
+        Value *In = P->getIncomingValueFor(PrevBB);
+        if (!In)
+          reportFatalError("phi has no incoming value for predecessor in '" +
+                           F->getName() + "'");
+        Pending.push_back({P, evalOperand(In, Fr, Ctx)});
+        ++It;
+      }
+      for (auto &[P, V] : Pending)
+        SetSlot(P, V);
+      continue;
+    }
+    case Value::ValueKind::Alloca: {
+      const auto *AI = cast<AllocaInst>(I);
+      uint64_t Count =
+          AI->hasArraySize() ? evalOperand(AI->getArraySize(), Fr, Ctx) : 1;
+      uint64_t Size = AI->getAllocatedType()->getSizeInBytes() * Count;
+      SimMemory &Mem = Ctx.OnGPU ? M.Device.getMemory() : M.Host;
+      uint64_t Addr = Mem.allocate(Size);
+      bool AutoDeclared = false;
+      if (!Ctx.OnGPU && M.Policy == LaunchPolicy::DemandManaged) {
+        // Demand paging needs every unit tracked; there is no compiler
+        // pass to insert declareAlloca, so the machine registers it.
+        M.Runtime->declareAlloca(Addr, Size);
+        AutoDeclared = true;
+      }
+      Fr.Allocas.push_back({Addr, AutoDeclared});
+      SetSlot(AI, Addr);
+      break;
+    }
+    case Value::ValueKind::Load: {
+      const auto *LI = cast<LoadInst>(I);
+      uint64_t Addr = evalOperand(LI->getPointerOperand(), Fr, Ctx);
+      SetSlot(LI, loadValue(Addr, LI->getType(), Ctx));
+      break;
+    }
+    case Value::ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(I);
+      uint64_t Addr = evalOperand(SI->getPointerOperand(), Fr, Ctx);
+      uint64_t V = evalOperand(SI->getValueOperand(), Fr, Ctx);
+      storeValue(Addr, V, SI->getValueOperand()->getType(), Ctx);
+      break;
+    }
+    case Value::ValueKind::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      uint64_t Base = evalOperand(G->getPointerOperand(), Fr, Ctx);
+      int64_t Idx = static_cast<int64_t>(
+          evalOperand(G->getIndexOperand(), Fr, Ctx));
+      uint64_t Step = G->getSteppedType()->getSizeInBytes();
+      SetSlot(G, Base + static_cast<uint64_t>(Idx * static_cast<int64_t>(Step)));
+      break;
+    }
+    case Value::ValueKind::BinOp: {
+      const auto *BO = cast<BinOpInst>(I);
+      uint64_t A = evalOperand(BO->getLHS(), Fr, Ctx);
+      uint64_t Bv = evalOperand(BO->getRHS(), Fr, Ctx);
+      Type *Ty = BO->getType();
+      uint64_t R;
+      if (BO->isFloatingPointOp()) {
+        double X = bitsToDouble(A), Y = bitsToDouble(Bv), D;
+        switch (BO->getOp()) {
+        case BinOpInst::Op::FAdd:
+          D = X + Y;
+          break;
+        case BinOpInst::Op::FSub:
+          D = X - Y;
+          break;
+        case BinOpInst::Op::FMul:
+          D = X * Y;
+          break;
+        case BinOpInst::Op::FDiv:
+          D = X / Y;
+          break;
+        default:
+          CGCM_UNREACHABLE("non-FP op classified as FP");
+        }
+        if (Ty->isFloatTy())
+          D = static_cast<double>(static_cast<float>(D));
+        R = doubleToBits(D);
+      } else {
+        int64_t X = static_cast<int64_t>(A), Y = static_cast<int64_t>(Bv), S;
+        unsigned W = intWidth(Ty);
+        switch (BO->getOp()) {
+        case BinOpInst::Op::Add:
+          S = X + Y;
+          break;
+        case BinOpInst::Op::Sub:
+          S = X - Y;
+          break;
+        case BinOpInst::Op::Mul:
+          S = X * Y;
+          break;
+        case BinOpInst::Op::SDiv:
+          if (Y == 0)
+            reportFatalError("integer division by zero");
+          S = X / Y;
+          break;
+        case BinOpInst::Op::SRem:
+          if (Y == 0)
+            reportFatalError("integer remainder by zero");
+          S = X % Y;
+          break;
+        case BinOpInst::Op::And:
+          S = X & Y;
+          break;
+        case BinOpInst::Op::Or:
+          S = X | Y;
+          break;
+        case BinOpInst::Op::Xor:
+          S = X ^ Y;
+          break;
+        case BinOpInst::Op::Shl:
+          S = static_cast<int64_t>(static_cast<uint64_t>(X)
+                                   << (static_cast<uint64_t>(Y) & 63));
+          break;
+        case BinOpInst::Op::AShr:
+          S = X >> (static_cast<uint64_t>(Y) & 63);
+          break;
+        case BinOpInst::Op::LShr: {
+          uint64_t Masked = static_cast<uint64_t>(X);
+          if (W < 64)
+            Masked &= (1ull << W) - 1;
+          S = static_cast<int64_t>(Masked >> (static_cast<uint64_t>(Y) & 63));
+          break;
+        }
+        default:
+          CGCM_UNREACHABLE("FP op classified as int");
+        }
+        R = signExtend(static_cast<uint64_t>(S), W);
+      }
+      SetSlot(BO, R);
+      break;
+    }
+    case Value::ValueKind::Cmp: {
+      const auto *C = cast<CmpInst>(I);
+      uint64_t A = evalOperand(C->getLHS(), Fr, Ctx);
+      uint64_t Bv = evalOperand(C->getRHS(), Fr, Ctx);
+      bool R;
+      if (C->isFloatPredicate()) {
+        double X = bitsToDouble(A), Y = bitsToDouble(Bv);
+        switch (C->getPredicate()) {
+        case CmpInst::Predicate::FOEQ:
+          R = X == Y;
+          break;
+        case CmpInst::Predicate::FONE:
+          R = X != Y;
+          break;
+        case CmpInst::Predicate::FOLT:
+          R = X < Y;
+          break;
+        case CmpInst::Predicate::FOLE:
+          R = X <= Y;
+          break;
+        case CmpInst::Predicate::FOGT:
+          R = X > Y;
+          break;
+        case CmpInst::Predicate::FOGE:
+          R = X >= Y;
+          break;
+        default:
+          CGCM_UNREACHABLE("int predicate classified as FP");
+        }
+      } else {
+        // Pointers compare as unsigned addresses; integers as signed.
+        bool Ptr = C->getLHS()->getType()->isPointerTy();
+        int64_t X = static_cast<int64_t>(A), Y = static_cast<int64_t>(Bv);
+        switch (C->getPredicate()) {
+        case CmpInst::Predicate::EQ:
+          R = A == Bv;
+          break;
+        case CmpInst::Predicate::NE:
+          R = A != Bv;
+          break;
+        case CmpInst::Predicate::SLT:
+          R = Ptr ? A < Bv : X < Y;
+          break;
+        case CmpInst::Predicate::SLE:
+          R = Ptr ? A <= Bv : X <= Y;
+          break;
+        case CmpInst::Predicate::SGT:
+          R = Ptr ? A > Bv : X > Y;
+          break;
+        case CmpInst::Predicate::SGE:
+          R = Ptr ? A >= Bv : X >= Y;
+          break;
+        default:
+          CGCM_UNREACHABLE("FP predicate classified as int");
+        }
+      }
+      SetSlot(C, R ? 1 : 0);
+      break;
+    }
+    case Value::ValueKind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      uint64_t V = evalOperand(C->getValueOperand(), Fr, Ctx);
+      Type *From = C->getValueOperand()->getType();
+      Type *To = C->getType();
+      uint64_t R = V;
+      switch (C->getOp()) {
+      case CastInst::Op::Trunc:
+        R = intWidth(To) == 1 ? (V & 1) : signExtend(V, intWidth(To));
+        break;
+      case CastInst::Op::ZExt: {
+        unsigned FW = intWidth(From);
+        R = FW >= 64 ? V : (V & ((1ull << FW) - 1));
+        break;
+      }
+      case CastInst::Op::SExt:
+        R = signExtend(V, intWidth(From));
+        break;
+      case CastInst::Op::FPToSI:
+        R = signExtend(
+            static_cast<uint64_t>(static_cast<int64_t>(bitsToDouble(V))),
+            intWidth(To));
+        break;
+      case CastInst::Op::SIToFP: {
+        double D = static_cast<double>(static_cast<int64_t>(V));
+        if (To->isFloatTy())
+          D = static_cast<double>(static_cast<float>(D));
+        R = doubleToBits(D);
+        break;
+      }
+      case CastInst::Op::FPExt:
+        R = V; // Registers already hold double precision bits.
+        break;
+      case CastInst::Op::FPTrunc:
+        R = doubleToBits(
+            static_cast<double>(static_cast<float>(bitsToDouble(V))));
+        break;
+      case CastInst::Op::Bitcast:
+      case CastInst::Op::PtrToInt:
+      case CastInst::Op::IntToPtr:
+        R = V;
+        break;
+      }
+      SetSlot(C, R);
+      break;
+    }
+    case Value::ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      uint64_t C = evalOperand(S->getCondition(), Fr, Ctx);
+      SetSlot(S, (C & 1) ? evalOperand(S->getTrueValue(), Fr, Ctx)
+                         : evalOperand(S->getFalseValue(), Fr, Ctx));
+      break;
+    }
+    case Value::ValueKind::Call: {
+      const auto *CI = cast<CallInst>(I);
+      uint64_t R = execCall(CI, Fr, Ctx);
+      if (!CI->getType()->isVoidTy())
+        SetSlot(CI, R);
+      break;
+    }
+    case Value::ValueKind::KernelLaunch:
+      execKernelLaunch(cast<KernelLaunchInst>(I), Fr, Ctx);
+      break;
+    case Value::ValueKind::Br: {
+      const auto *Br = cast<BranchInst>(I);
+      BasicBlock *Next;
+      if (Br->isConditional()) {
+        uint64_t C = evalOperand(Br->getCondition(), Fr, Ctx);
+        Next = Br->getSuccessor((C & 1) ? 0 : 1);
+      } else {
+        Next = Br->getSuccessor(0);
+      }
+      PrevBB = BB;
+      BB = Next;
+      It = BB->begin();
+      continue;
+    }
+    case Value::ValueKind::Ret: {
+      const auto *R = cast<RetInst>(I);
+      uint64_t V =
+          R->hasReturnValue() ? evalOperand(R->getReturnValue(), Fr, Ctx) : 0;
+      PopFrame();
+      return V;
+    }
+    default:
+      CGCM_UNREACHABLE("unknown instruction kind in interpreter");
+    }
+    ++It;
+  }
+}
+
+uint64_t Interpreter::execCall(const CallInst *CI, Frame &Fr,
+                               ExecContext &Ctx) {
+  Function *Callee = CI->getCallee();
+  std::vector<uint64_t> Args;
+  Args.reserve(CI->getNumArgs());
+  for (unsigned I = 0, E = CI->getNumArgs(); I != E; ++I)
+    Args.push_back(evalOperand(CI->getArg(I), Fr, Ctx));
+
+  Machine::Intrinsic K = M.getIntrinsic(Callee);
+  auto ChargeExtra = [&](uint64_t N) {
+    if (Ctx.GpuOpCounter)
+      *Ctx.GpuOpCounter += N;
+    else {
+      M.Stats.CpuOps += N;
+      M.Stats.CpuCycles += static_cast<double>(N) * M.TM.CpuCyclesPerOp;
+    }
+  };
+  auto RequireCPU = [&](const char *What) {
+    if (Ctx.OnGPU)
+      reportFatalError(std::string(What) + " called inside a GPU function");
+  };
+  auto MathResult = [&](double D) {
+    ChargeExtra(8); // Transcendental ops cost more than one ALU op.
+    return doubleToBits(D);
+  };
+
+  switch (K) {
+  case Machine::Intrinsic::None: {
+    // Ordinary user function.
+    return execFunction(Callee, Args, Ctx);
+  }
+  case Machine::Intrinsic::Malloc: {
+    RequireCPU("malloc");
+    ChargeExtra(30);
+    uint64_t Addr = M.Host.allocate(Args[0]);
+    uint64_t Base, Size;
+    M.Host.findAllocation(Addr, Base, Size);
+    M.Runtime->notifyHeapAlloc(Addr, Size);
+    return Addr;
+  }
+  case Machine::Intrinsic::Calloc: {
+    RequireCPU("calloc");
+    ChargeExtra(30);
+    uint64_t Bytes = Args[0] * Args[1];
+    uint64_t Addr = M.Host.allocate(Bytes);
+    uint64_t Base, Size;
+    M.Host.findAllocation(Addr, Base, Size);
+    std::vector<uint8_t> Zeros(Size, 0);
+    M.Host.write(Addr, Zeros.data(), Size);
+    M.Runtime->notifyHeapAlloc(Addr, Size);
+    return Addr;
+  }
+  case Machine::Intrinsic::Realloc: {
+    RequireCPU("realloc");
+    ChargeExtra(30);
+    if (Args[0] == 0) {
+      uint64_t Addr = M.Host.allocate(Args[1]);
+      uint64_t Base, Size;
+      M.Host.findAllocation(Addr, Base, Size);
+      M.Runtime->notifyHeapAlloc(Addr, Size);
+      return Addr;
+    }
+    uint64_t NewAddr = M.Host.reallocate(Args[0], Args[1]);
+    uint64_t Base, Size;
+    M.Host.findAllocation(NewAddr, Base, Size);
+    M.Runtime->notifyHeapRealloc(Args[0], NewAddr, Size);
+    return NewAddr;
+  }
+  case Machine::Intrinsic::Free: {
+    RequireCPU("free");
+    ChargeExtra(10);
+    if (Args[0] == 0)
+      return 0;
+    M.Runtime->notifyHeapFree(Args[0]);
+    M.Host.free(Args[0]);
+    return 0;
+  }
+  case Machine::Intrinsic::Sqrt:
+    return MathResult(std::sqrt(bitsToDouble(Args[0])));
+  case Machine::Intrinsic::Exp:
+    return MathResult(std::exp(bitsToDouble(Args[0])));
+  case Machine::Intrinsic::Log:
+    return MathResult(std::log(bitsToDouble(Args[0])));
+  case Machine::Intrinsic::Sin:
+    return MathResult(std::sin(bitsToDouble(Args[0])));
+  case Machine::Intrinsic::Cos:
+    return MathResult(std::cos(bitsToDouble(Args[0])));
+  case Machine::Intrinsic::Fabs:
+    return MathResult(std::fabs(bitsToDouble(Args[0])));
+  case Machine::Intrinsic::Pow:
+    return MathResult(std::pow(bitsToDouble(Args[0]), bitsToDouble(Args[1])));
+  case Machine::Intrinsic::PrintI64:
+    RequireCPU("print_i64");
+    M.Output += std::to_string(static_cast<int64_t>(Args[0])) + "\n";
+    return 0;
+  case Machine::Intrinsic::PrintF64: {
+    RequireCPU("print_f64");
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g\n", bitsToDouble(Args[0]));
+    M.Output += Buf;
+    return 0;
+  }
+  case Machine::Intrinsic::PrintStr:
+    RequireCPU("print_str");
+    M.Output += M.Host.readCString(Args[0]) + "\n";
+    return 0;
+  case Machine::Intrinsic::Tid:
+    if (!Ctx.OnGPU)
+      reportFatalError("__tid() called outside a GPU function");
+    return Ctx.Tid;
+  case Machine::Intrinsic::NTid:
+    if (!Ctx.OnGPU)
+      reportFatalError("__ntid() called outside a GPU function");
+    return Ctx.NTid;
+  case Machine::Intrinsic::CgcmMap:
+    RequireCPU("cgcm_map");
+    return M.Runtime->map(Args[0]);
+  case Machine::Intrinsic::CgcmUnmap:
+    RequireCPU("cgcm_unmap");
+    M.Runtime->unmap(Args[0]);
+    return 0;
+  case Machine::Intrinsic::CgcmRelease:
+    RequireCPU("cgcm_release");
+    M.Runtime->release(Args[0]);
+    return 0;
+  case Machine::Intrinsic::CgcmMapArray:
+    RequireCPU("cgcm_map_array");
+    return M.Runtime->mapArray(Args[0]);
+  case Machine::Intrinsic::CgcmUnmapArray:
+    RequireCPU("cgcm_unmap_array");
+    M.Runtime->unmapArray(Args[0]);
+    return 0;
+  case Machine::Intrinsic::CgcmReleaseArray:
+    RequireCPU("cgcm_release_array");
+    M.Runtime->releaseArray(Args[0]);
+    return 0;
+  case Machine::Intrinsic::CgcmDeclareGlobal: {
+    RequireCPU("cgcm_declare_global");
+    // (namePtr, ptr, size, isReadOnly)
+    std::string Name = M.Host.readCString(Args[0]);
+    M.Runtime->declareGlobal(Name, Args[1], Args[2], Args[3] & 1);
+    return 0;
+  }
+  case Machine::Intrinsic::CgcmDeclareAlloca: {
+    RequireCPU("cgcm_declare_alloca");
+    M.Runtime->declareAlloca(Args[0], Args[1]);
+    // Mark the owning frame entry so the registration expires with it.
+    for (auto &[Addr, Declared] : Fr.Allocas)
+      if (Addr == Args[0])
+        Declared = true;
+    return 0;
+  }
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
+                                   ExecContext &Ctx) {
+  if (Ctx.OnGPU)
+    reportFatalError("nested kernel launch on the GPU");
+  Function *Kernel = KL->getKernel();
+  uint64_t Grid = evalOperand(KL->getGrid(), Fr, Ctx);
+  uint64_t Block = evalOperand(KL->getBlock(), Fr, Ctx);
+  uint64_t Threads = Grid * Block;
+  if (Threads == 0)
+    reportFatalError("kernel launched with zero threads");
+  std::vector<uint64_t> Args;
+  for (unsigned I = 0, E = KL->getNumArgs(); I != E; ++I)
+    Args.push_back(evalOperand(KL->getArg(I), Fr, Ctx));
+
+  LaunchPolicy Policy = M.Policy;
+  uint64_t GpuOps = 0;
+
+  if (Policy == LaunchPolicy::CpuEmulation) {
+    // Sequential baseline: the kernel body is what the original loop did;
+    // run it on host memory at CPU cost with no GPU-side overheads.
+    for (uint64_t Tid = 0; Tid != Threads; ++Tid) {
+      ExecContext GCtx;
+      GCtx.OnGPU = true; // __tid/__ntid resolve...
+      GCtx.EnforceSpace = false;
+      GCtx.Tid = Tid;
+      GCtx.NTid = Threads;
+      GCtx.GpuOpCounter = &GpuOps;
+      execFunction(Kernel, Args, GCtx);
+    }
+    M.Stats.CpuOps += GpuOps;
+    M.Stats.CpuCycles += static_cast<double>(GpuOps) * M.TM.CpuCyclesPerOp;
+    // Keep the runtime's epoch honest even in emulation, so a managed
+    // module still unmaps correctly under this policy.
+    M.Runtime->onKernelLaunch();
+    return;
+  }
+
+  if (Policy == LaunchPolicy::InspectorExecutor) {
+    // Idealized inspector-executor (paper section 6.3): the inspector
+    // walks the kernel's accesses sequentially (oracle-precise), the
+    // scheduler transfers exactly one byte per accessed allocation unit,
+    // and execution proceeds against host data.
+    std::set<uint64_t> ReadUnits, WriteUnits;
+    uint64_t Accesses = 0;
+    for (uint64_t Tid = 0; Tid != Threads; ++Tid) {
+      ExecContext GCtx;
+      GCtx.OnGPU = true;
+      GCtx.EnforceSpace = false;
+      GCtx.Tid = Tid;
+      GCtx.NTid = Threads;
+      GCtx.GpuOpCounter = &GpuOps;
+      GCtx.ReadUnits = &ReadUnits;
+      GCtx.WriteUnits = &WriteUnits;
+      GCtx.AccessCount = &Accesses;
+      execFunction(Kernel, Args, GCtx);
+    }
+    double InspectCost =
+        static_cast<double>(Accesses) * M.TM.InspectorCyclesPerAccess;
+    M.Device.recordEvent(EventKind::Inspect, M.Stats.totalCycles(),
+                         InspectCost);
+    M.Stats.InspectorCycles += InspectCost;
+    uint64_t HtoDBytes = ReadUnits.size() + WriteUnits.size();
+    if (HtoDBytes) {
+      double Cost = M.TM.transferCycles(HtoDBytes);
+      M.Device.recordEvent(EventKind::HtoD, M.Stats.totalCycles(), Cost,
+                           HtoDBytes);
+      M.Stats.CommCycles += Cost;
+      M.Stats.BytesHtoD += HtoDBytes;
+      ++M.Stats.TransfersHtoD;
+    }
+    double KCost = M.TM.kernelCycles(GpuOps, Threads);
+    M.Device.recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
+    M.Stats.GpuCycles += KCost;
+    M.Stats.GpuOps += GpuOps;
+    if (!WriteUnits.empty()) {
+      double Cost = M.TM.transferCycles(WriteUnits.size());
+      M.Device.recordEvent(EventKind::DtoH, M.Stats.totalCycles(), Cost,
+                           WriteUnits.size());
+      M.Stats.CommCycles += Cost;
+      M.Stats.BytesDtoH += WriteUnits.size();
+      ++M.Stats.TransfersDtoH;
+    }
+    ++M.Stats.KernelLaunches;
+    M.Runtime->onKernelLaunch();
+    return;
+  }
+
+  // Trap / Managed / DemandManaged: threads execute against device
+  // memory; a host access faults — fatally under Trap/Managed (the
+  // unmanaged-communication bug), or into the demand pager.
+  for (uint64_t Tid = 0; Tid != Threads; ++Tid) {
+    ExecContext GCtx;
+    GCtx.OnGPU = true;
+    GCtx.EnforceSpace = true;
+    GCtx.Tid = Tid;
+    GCtx.NTid = Threads;
+    GCtx.GpuOpCounter = &GpuOps;
+    GCtx.DemandPage = Policy == LaunchPolicy::DemandManaged;
+    execFunction(Kernel, Args, GCtx);
+  }
+  double KCost = M.TM.kernelCycles(GpuOps, Threads);
+  M.Device.recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
+  M.Stats.GpuCycles += KCost;
+  M.Stats.GpuOps += GpuOps;
+  ++M.Stats.KernelLaunches;
+  M.Runtime->onKernelLaunch();
+}

@@ -1,0 +1,77 @@
+//===- exec/Interpreter.h - IR interpreter ----------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR interpreter behind Machine. CPU code interprets directly
+/// against host memory; GPU kernels interpret per-thread against device
+/// memory (or host memory under the inspector-executor policy, which
+/// additionally collects the set of accessed allocation units).
+///
+/// Register convention: every SSA value is a 64-bit slot. Integers are
+/// stored sign-extended to 64 bits; floating-point values of both widths
+/// are stored as the bit pattern of a double (float-typed operations
+/// round through float precision); pointers are simulated addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_EXEC_INTERPRETER_H
+#define CGCM_EXEC_INTERPRETER_H
+
+#include "exec/Machine.h"
+
+#include <set>
+
+namespace cgcm {
+
+/// Per-execution context: CPU vs GPU, thread identity, and optional
+/// inspector access collection.
+struct ExecContext {
+  bool OnGPU = false;
+  /// When true (Trap/Managed), a GPU access to host memory faults and a
+  /// CPU access to device memory faults.
+  bool EnforceSpace = true;
+  uint64_t Tid = 0;
+  uint64_t NTid = 1;
+  /// GPU-side op counter (per launch); null on the CPU.
+  uint64_t *GpuOpCounter = nullptr;
+  /// DyManD-style demand paging is active (LaunchPolicy::DemandManaged).
+  bool DemandPage = false;
+  /// Inspector-executor collection (null when not inspecting).
+  std::set<uint64_t> *ReadUnits = nullptr;
+  std::set<uint64_t> *WriteUnits = nullptr;
+  uint64_t *AccessCount = nullptr;
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(Machine &M) : M(M) {}
+
+  /// Executes \p F with \p Args; returns the register value of the
+  /// returned result (0 for void).
+  uint64_t execFunction(Function *F, const std::vector<uint64_t> &Args,
+                        ExecContext &Ctx);
+
+private:
+  struct Frame;
+
+  uint64_t evalOperand(const Value *V, Frame &Fr, ExecContext &Ctx);
+  void execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
+                        ExecContext &Ctx);
+  uint64_t execCall(const CallInst *CI, Frame &Fr, ExecContext &Ctx);
+  uint64_t loadValue(uint64_t Addr, Type *Ty, ExecContext &Ctx);
+  void storeValue(uint64_t Addr, uint64_t Bits, Type *Ty, ExecContext &Ctx);
+  /// Resolves the memory space for an access, translating \p Addr when
+  /// demand paging moves the data.
+  SimMemory &memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
+                       ExecContext &Ctx);
+
+  Machine &M;
+  unsigned CallDepth = 0;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_EXEC_INTERPRETER_H

@@ -1,0 +1,149 @@
+//===- exec/Machine.cpp - Simulated CPU+GPU machine -------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+
+#include "exec/Interpreter.h"
+#include "support/ErrorHandling.h"
+
+using namespace cgcm;
+
+Machine::Machine()
+    : Host(HostAddressBase, "host"), Device(TM, Stats),
+      Runtime(std::make_unique<CGCMRuntime>(Host, Device, TM, Stats)) {}
+
+void Machine::loadModule(Module &M) {
+  assert(!LoadedModule && "Machine is one-shot; create a new one per run");
+  LoadedModule = &M;
+  for (const auto &GV : M.globals()) {
+    uint64_t Addr = Host.allocate(GV->getSizeInBytes());
+    GlobalAddrs[GV.get()] = Addr;
+    AddrToGlobal[Addr] = GV.get();
+    if (GV->hasInitializer())
+      Host.write(Addr, GV->getInitializer().data(),
+                 GV->getInitializer().size());
+    else {
+      std::vector<uint8_t> Zeros(GV->getSizeInBytes(), 0);
+      Host.write(Addr, Zeros.data(), Zeros.size());
+    }
+  }
+  // Relocations: write the addresses of referenced globals.
+  for (const auto &GV : M.globals()) {
+    uint64_t Base = GlobalAddrs[GV.get()];
+    for (const GlobalVariable::Relocation &R : GV->getRelocations()) {
+      uint64_t Target = GlobalAddrs.at(R.Target);
+      Host.writeUInt(Base + R.ByteOffset, Target, 8);
+    }
+  }
+}
+
+uint64_t Machine::getGlobalAddress(const GlobalVariable *GV) const {
+  auto It = GlobalAddrs.find(GV);
+  if (It == GlobalAddrs.end())
+    reportFatalError("global '" + GV->getName() + "' was never loaded");
+  return It->second;
+}
+
+const GlobalVariable *Machine::findGlobalByAddress(uint64_t Addr) const {
+  auto It = AddrToGlobal.find(Addr);
+  return It == AddrToGlobal.end() ? nullptr : It->second;
+}
+
+const FunctionLayout &Machine::getLayout(const Function *F) {
+  auto It = Layouts.find(F);
+  if (It != Layouts.end())
+    return It->second;
+  FunctionLayout &L = Layouts[F];
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    L.Slots[F->getArg(I)] = L.NumSlots++;
+  for (const auto &BB : *F)
+    for (const auto &Inst : *BB)
+      if (!Inst->getType()->isVoidTy())
+        L.Slots[Inst.get()] = L.NumSlots++;
+  return L;
+}
+
+Machine::Intrinsic Machine::getIntrinsic(const Function *F) {
+  auto It = Intrinsics.find(F);
+  if (It != Intrinsics.end())
+    return It->second;
+  const std::string &N = F->getName();
+  Intrinsic K = Intrinsic::None;
+  if (N == "malloc")
+    K = Intrinsic::Malloc;
+  else if (N == "calloc")
+    K = Intrinsic::Calloc;
+  else if (N == "realloc")
+    K = Intrinsic::Realloc;
+  else if (N == "free")
+    K = Intrinsic::Free;
+  else if (N == "sqrt")
+    K = Intrinsic::Sqrt;
+  else if (N == "exp")
+    K = Intrinsic::Exp;
+  else if (N == "log")
+    K = Intrinsic::Log;
+  else if (N == "sin")
+    K = Intrinsic::Sin;
+  else if (N == "cos")
+    K = Intrinsic::Cos;
+  else if (N == "fabs")
+    K = Intrinsic::Fabs;
+  else if (N == "pow")
+    K = Intrinsic::Pow;
+  else if (N == "print_i64")
+    K = Intrinsic::PrintI64;
+  else if (N == "print_f64")
+    K = Intrinsic::PrintF64;
+  else if (N == "print_str")
+    K = Intrinsic::PrintStr;
+  else if (N == "__tid")
+    K = Intrinsic::Tid;
+  else if (N == "__ntid")
+    K = Intrinsic::NTid;
+  else if (N == "cgcm_map")
+    K = Intrinsic::CgcmMap;
+  else if (N == "cgcm_unmap")
+    K = Intrinsic::CgcmUnmap;
+  else if (N == "cgcm_release")
+    K = Intrinsic::CgcmRelease;
+  else if (N == "cgcm_map_array")
+    K = Intrinsic::CgcmMapArray;
+  else if (N == "cgcm_unmap_array")
+    K = Intrinsic::CgcmUnmapArray;
+  else if (N == "cgcm_release_array")
+    K = Intrinsic::CgcmReleaseArray;
+  else if (N == "cgcm_declare_global")
+    K = Intrinsic::CgcmDeclareGlobal;
+  else if (N == "cgcm_declare_alloca")
+    K = Intrinsic::CgcmDeclareAlloca;
+  Intrinsics[F] = K;
+  return K;
+}
+
+int64_t Machine::run() {
+  assert(LoadedModule && "no module loaded");
+  if (Policy == LaunchPolicy::DemandManaged) {
+    // Demand paging works without any compiler support, so the machine
+    // itself registers the globals the management pass would have
+    // declared.
+    for (const auto &GV : LoadedModule->globals())
+      Runtime->declareGlobal(GV->getName(), getGlobalAddress(GV.get()),
+                             GV->getSizeInBytes(), GV->isConstant());
+  }
+  Function *Main = LoadedModule->getFunction("main");
+  if (!Main || Main->isDeclaration())
+    reportFatalError("module '" + LoadedModule->getName() + "' has no main");
+  return static_cast<int64_t>(runFunction(Main, {}));
+}
+
+uint64_t Machine::runFunction(Function *F, const std::vector<uint64_t> &Args) {
+  Interpreter Interp(*this);
+  ExecContext Ctx;
+  // Under demand paging CPU code must also fault resident units back.
+  Ctx.DemandPage = Policy == LaunchPolicy::DemandManaged;
+  return Interp.execFunction(F, Args, Ctx);
+}

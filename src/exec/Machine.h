@@ -1,0 +1,173 @@
+//===- exec/Machine.h - Simulated CPU+GPU machine ---------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine owns the divided memories (host + device), the timing model,
+/// the CGCM runtime, and an IR interpreter. It loads a Module (placing
+/// globals in host memory) and executes `main`, interpreting CPU code
+/// directly and dispatching KernelLaunch instructions to the GPU executor
+/// under a configurable launch policy:
+///
+///  * Trap (default): kernels run on the device and fault on any host-
+///    memory access — the raw, unmanaged behaviour that motivates CGCM.
+///  * Managed: like Trap; used with the CGCM management pass, whose
+///    map/unmap calls make all kernel accesses device-legal.
+///  * InspectorExecutor: the idealized baseline of section 6.3 — an
+///    oracle inspector enumerates accessed allocation units (charging
+///    sequential inspection cost), one byte per accessed unit is
+///    transferred each way, and the kernel then runs against host memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_EXEC_MACHINE_H
+#define CGCM_EXEC_MACHINE_H
+
+#include "gpusim/GPUDevice.h"
+#include "gpusim/SimMemory.h"
+#include "gpusim/Timing.h"
+#include "ir/Module.h"
+#include "runtime/CGCMRuntime.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+enum class LaunchPolicy {
+  Trap,              ///< Unmanaged: device-space faults surface the bug.
+  Managed,           ///< With CGCM management: kernels see device memory.
+  InspectorExecutor, ///< Idealized IE baseline (oracle inspection).
+  CpuEmulation,      ///< Sequential baseline: kernels run as host loops at
+                     ///< CPU cost with no transfers or launch overhead.
+  DemandManaged,     ///< DyManD-style extension: no compiler-inserted
+                     ///< communication at all; GPU accesses to host
+                     ///< memory fault and map their allocation unit on
+                     ///< demand, CPU accesses to demand-resident units
+                     ///< fault the data back. Removes CGCM's indirection
+                     ///< restriction (see docs/Extensions.md).
+};
+
+/// Precomputed register-slot assignment for one function.
+struct FunctionLayout {
+  std::map<const Value *, unsigned> Slots;
+  unsigned NumSlots = 0;
+};
+
+class Machine {
+public:
+  Machine();
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Configuration
+  //===--------------------------------------------------------------------===//
+
+  TimingModel &getTiming() { return TM; }
+  ExecStats &getStats() { return Stats; }
+  SimMemory &getHostMemory() { return Host; }
+  GPUDevice &getDevice() { return Device; }
+  CGCMRuntime &getRuntime() { return *Runtime; }
+
+  void setLaunchPolicy(LaunchPolicy P) { Policy = P; }
+  LaunchPolicy getLaunchPolicy() const { return Policy; }
+
+  /// Per-access allocation-unit bounds checking (slow; used in tests).
+  void setCheckedMemory(bool V) { CheckedMemory = V; }
+  bool isCheckedMemory() const { return CheckedMemory; }
+
+  /// Hard cap on interpreted operations (runaway guard). 0 = unlimited.
+  void setOpLimit(uint64_t Limit) { OpLimit = Limit; }
+  uint64_t getOpLimit() const { return OpLimit; }
+
+  //===--------------------------------------------------------------------===//
+  // Program loading and execution
+  //===--------------------------------------------------------------------===//
+
+  /// Places globals in host memory (applying initializers and
+  /// relocations) and prepares function layouts.
+  void loadModule(Module &M);
+
+  /// Host address of a loaded global.
+  uint64_t getGlobalAddress(const GlobalVariable *GV) const;
+
+  /// The module global matching a host address, or null.
+  const GlobalVariable *findGlobalByAddress(uint64_t Addr) const;
+
+  /// Runs `main` (no arguments) and returns its exit value.
+  int64_t run();
+
+  /// Runs an arbitrary defined function with integer/pointer arguments.
+  uint64_t runFunction(Function *F, const std::vector<uint64_t> &Args);
+
+  /// Output accumulated by print_* builtins.
+  const std::string &getOutput() const { return Output; }
+
+  const FunctionLayout &getLayout(const Function *F);
+
+  Module *getLoadedModule() const { return LoadedModule; }
+
+  /// Builtin functions the executor implements natively.
+  enum class Intrinsic {
+    None,
+    Malloc,
+    Calloc,
+    Realloc,
+    Free,
+    Sqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Fabs,
+    Pow,
+    PrintI64,
+    PrintF64,
+    PrintStr,
+    Tid,
+    NTid,
+    CgcmMap,
+    CgcmUnmap,
+    CgcmRelease,
+    CgcmMapArray,
+    CgcmUnmapArray,
+    CgcmReleaseArray,
+    CgcmDeclareGlobal,
+    CgcmDeclareAlloca,
+  };
+
+  Intrinsic getIntrinsic(const Function *F);
+
+private:
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host;
+  GPUDevice Device;
+  std::unique_ptr<CGCMRuntime> Runtime;
+  LaunchPolicy Policy = LaunchPolicy::Trap;
+  bool CheckedMemory = false;
+  uint64_t OpLimit = 0;
+
+  Module *LoadedModule = nullptr;
+  std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
+  std::map<uint64_t, const GlobalVariable *> AddrToGlobal;
+  std::map<const Function *, FunctionLayout> Layouts;
+  std::map<const Function *, Intrinsic> Intrinsics;
+  std::string Output;
+  uint64_t TotalOps = 0;
+  /// Allocation-unit bases currently resident on the device because a
+  /// kernel faulted them in (DemandManaged policy only).
+  std::set<uint64_t> DemandResident;
+
+  friend class Interpreter;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_EXEC_MACHINE_H

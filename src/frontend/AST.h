@@ -1,0 +1,307 @@
+//===- frontend/AST.h - MiniC abstract syntax tree -------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC. The tree is produced by the Parser and consumed by
+/// IRGen; nodes are plain structs with a Kind tag (the AST is internal to
+/// the frontend, so it uses a lighter-weight discrimination scheme than
+/// the IR's Casting.h hierarchy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FRONTEND_AST_H
+#define CGCM_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// A declared MiniC type: base scalar + pointer depth + array dimensions.
+/// `double *A[4]` is {Double, ptr 1, dims [4]} — an array of 4 pointers.
+struct ASTType {
+  enum class Base { Void, Char, Int, Long, Float, Double };
+
+  Base B = Base::Int;
+  unsigned PtrDepth = 0;
+  std::vector<uint64_t> ArrayDims;
+  bool IsConst = false;
+
+  bool isVoid() const {
+    return B == Base::Void && PtrDepth == 0 && ArrayDims.empty();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum class Kind {
+    IntLit,
+    FloatLit,
+    StringLit,
+    Var,
+    Unary,
+    Binary,
+    Assign,
+    Cond,
+    Call,
+    Index,
+    Cast,
+    Sizeof,
+  };
+
+  explicit Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Expr() = default;
+
+  Kind K;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(int64_t V, SourceLoc Loc) : Expr(Kind::IntLit, Loc), Value(V) {}
+  int64_t Value;
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr(double V, SourceLoc Loc) : Expr(Kind::FloatLit, Loc), Value(V) {}
+  double Value;
+};
+
+struct StringLitExpr : Expr {
+  StringLitExpr(std::string V, SourceLoc Loc)
+      : Expr(Kind::StringLit, Loc), Value(std::move(V)) {}
+  std::string Value;
+};
+
+struct VarExpr : Expr {
+  VarExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::Var, Loc), Name(std::move(Name)) {}
+  std::string Name;
+};
+
+struct UnaryExpr : Expr {
+  enum class Op { Neg, Not, BitNot, Deref, AddrOf };
+  UnaryExpr(Op O, ExprPtr Sub, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), O(O), Sub(std::move(Sub)) {}
+  Op O;
+  ExprPtr Sub;
+};
+
+struct BinaryExpr : Expr {
+  enum class Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    LogAnd,
+    LogOr,
+    EQ,
+    NE,
+    LT,
+    LE,
+    GT,
+    GE,
+  };
+  BinaryExpr(Op O, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), O(O), LHS(std::move(L)), RHS(std::move(R)) {}
+  Op O;
+  ExprPtr LHS, RHS;
+};
+
+struct AssignExpr : Expr {
+  /// Compound assignments carry the arithmetic op; plain `=` has no op.
+  enum class Op { None, Add, Sub, Mul, Div };
+  AssignExpr(Op O, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(Kind::Assign, Loc), O(O), LHS(std::move(L)), RHS(std::move(R)) {}
+  Op O;
+  ExprPtr LHS, RHS;
+};
+
+struct CondExpr : Expr {
+  CondExpr(ExprPtr C, ExprPtr T, ExprPtr F, SourceLoc Loc)
+      : Expr(Kind::Cond, Loc), Cond(std::move(C)), TrueE(std::move(T)),
+        FalseE(std::move(F)) {}
+  ExprPtr Cond, TrueE, FalseE;
+};
+
+struct CallExpr : Expr {
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr Base, ExprPtr Idx, SourceLoc Loc)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)), Idx(std::move(Idx)) {}
+  ExprPtr Base, Idx;
+};
+
+struct CastExpr : Expr {
+  CastExpr(ASTType To, ExprPtr Sub, SourceLoc Loc)
+      : Expr(Kind::Cast, Loc), To(To), Sub(std::move(Sub)) {}
+  ASTType To;
+  ExprPtr Sub;
+};
+
+struct SizeofExpr : Expr {
+  SizeofExpr(ASTType Of, SourceLoc Loc) : Expr(Kind::Sizeof, Loc), Of(Of) {}
+  ASTType Of;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum class Kind {
+    Block,
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    Return,
+    Break,
+    Continue,
+    Launch,
+    Empty,
+  };
+
+  explicit Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+  virtual ~Stmt() = default;
+
+  Kind K;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  BlockStmt(std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Body(std::move(Body)) {}
+  std::vector<StmtPtr> Body;
+};
+
+struct DeclStmt : Stmt {
+  DeclStmt(ASTType Ty, std::string Name, ExprPtr Init, SourceLoc Loc)
+      : Stmt(Kind::Decl, Loc), Ty(Ty), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  ASTType Ty;
+  std::string Name;
+  ExprPtr Init; ///< May be null.
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+  ExprPtr E;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr C, StmtPtr T, StmtPtr F, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(F)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+};
+
+struct ForStmt : Stmt {
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Inc, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Inc(std::move(Inc)), Body(std::move(Body)) {}
+  StmtPtr Init; ///< Decl or expression statement; may be null.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Inc;  ///< May be null.
+  StmtPtr Body;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr C, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(C)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr V, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(V)) {}
+  ExprPtr Value; ///< May be null.
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+};
+
+struct EmptyStmt : Stmt {
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(Kind::Empty, Loc) {}
+};
+
+/// Manual kernel launch: `launch f<<<grid, block>>>(args);`.
+struct LaunchStmt : Stmt {
+  LaunchStmt(std::string Kernel, ExprPtr Grid, ExprPtr Block,
+             std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Stmt(Kind::Launch, Loc), Kernel(std::move(Kernel)),
+        Grid(std::move(Grid)), Block(std::move(Block)), Args(std::move(Args)) {}
+  std::string Kernel;
+  ExprPtr Grid, Block;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+/// A global variable definition. The initializer is a flat list of
+/// scalar constant expressions or string literals (strings in a pointer
+/// array become separate char-array globals plus relocations).
+struct GlobalDecl {
+  ASTType Ty;
+  std::string Name;
+  std::vector<ExprPtr> Init; ///< Empty means zero-initialized.
+  SourceLoc Loc;
+};
+
+struct ParamDecl {
+  ASTType Ty;
+  std::string Name;
+};
+
+struct FuncDecl {
+  ASTType RetTy;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; ///< Null for declarations.
+  bool IsKernel = false;
+  SourceLoc Loc;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Functions;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_FRONTEND_AST_H

@@ -1,0 +1,941 @@
+//===- frontend/IRGen.cpp - AST to IR lowering ------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/IRGen.h"
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+#include <cstring>
+#include <algorithm>
+#include <map>
+
+using namespace cgcm;
+
+namespace {
+
+class IRGen {
+public:
+  IRGen(const TranslationUnit &TU, const std::string &ModuleName)
+      : TU(TU), M(std::make_unique<Module>(ModuleName)), B(*M) {}
+
+  std::unique_ptr<Module> run() {
+    declareBuiltins();
+    genGlobals();
+    declareFunctions();
+    for (const FuncDecl &FD : TU.Functions)
+      if (FD.Body)
+        genFunctionBody(FD);
+    return std::move(M);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Types and diagnostics
+  //===--------------------------------------------------------------------===//
+
+  [[noreturn]] void error(SourceLoc Loc, const std::string &Msg) {
+    reportFatalError("semantic error at " + Loc.getString() + ": " + Msg);
+  }
+
+  Type *scalarType(ASTType::Base BaseKind) {
+    TypeContext &Ctx = M->getContext();
+    switch (BaseKind) {
+    case ASTType::Base::Void:
+      return Ctx.getVoidTy();
+    case ASTType::Base::Char:
+      return Ctx.getInt8Ty();
+    case ASTType::Base::Int:
+      return Ctx.getInt32Ty();
+    case ASTType::Base::Long:
+      return Ctx.getInt64Ty();
+    case ASTType::Base::Float:
+      return Ctx.getFloatTy();
+    case ASTType::Base::Double:
+      return Ctx.getDoubleTy();
+    }
+    CGCM_UNREACHABLE("covered switch");
+  }
+
+  Type *lowerType(const ASTType &Ty) {
+    Type *T = scalarType(Ty.B);
+    for (unsigned I = 0; I != Ty.PtrDepth; ++I)
+      T = M->getContext().getPointerTo(T);
+    // Dims are outermost first: `double A[N][M]` is [N x [M x double]].
+    for (auto It = Ty.ArrayDims.rbegin(), E = Ty.ArrayDims.rend(); It != E;
+         ++It)
+      T = M->getContext().getArrayTy(T, *It);
+    return T;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Builtins, globals, signatures
+  //===--------------------------------------------------------------------===//
+
+  Function *declare(const std::string &Name, Type *Ret,
+                    std::vector<Type *> Params) {
+    return M->getOrCreateFunction(
+        Name, M->getContext().getFunctionTy(Ret, std::move(Params)));
+  }
+
+  void declareBuiltins() {
+    TypeContext &Ctx = M->getContext();
+    Type *I64 = Ctx.getInt64Ty();
+    Type *F64 = Ctx.getDoubleTy();
+    Type *I8Ptr = Ctx.getPointerTo(Ctx.getInt8Ty());
+    Type *VoidTy = Ctx.getVoidTy();
+    declare("malloc", I8Ptr, {I64});
+    declare("calloc", I8Ptr, {I64, I64});
+    declare("realloc", I8Ptr, {I8Ptr, I64});
+    declare("free", VoidTy, {I8Ptr});
+    for (const char *FName : {"sqrt", "exp", "log", "sin", "cos", "fabs"})
+      declare(FName, F64, {F64});
+    declare("pow", F64, {F64, F64});
+    declare("print_i64", VoidTy, {I64});
+    declare("print_f64", VoidTy, {F64});
+    declare("print_str", VoidTy, {I8Ptr});
+    declare("__tid", I64, {});
+    declare("__ntid", I64, {});
+  }
+
+  /// Const-folds a global initializer element.
+  void foldScalarInto(const Expr *E, Type *ElemTy, std::vector<uint8_t> &Out,
+                      uint64_t Offset) {
+    double FV = 0;
+    int64_t IV = 0;
+    bool IsFloat = false;
+    const Expr *Cur = E;
+    bool Negate = false;
+    while (Cur->K == Expr::Kind::Unary) {
+      const auto *U = static_cast<const UnaryExpr *>(Cur);
+      if (U->O != UnaryExpr::Op::Neg)
+        error(E->Loc, "unsupported constant initializer");
+      Negate = !Negate;
+      Cur = U->Sub.get();
+    }
+    if (Cur->K == Expr::Kind::IntLit) {
+      IV = static_cast<const IntLitExpr *>(Cur)->Value;
+      FV = static_cast<double>(IV);
+    } else if (Cur->K == Expr::Kind::FloatLit) {
+      FV = static_cast<const FloatLitExpr *>(Cur)->Value;
+      IV = static_cast<int64_t>(FV);
+      IsFloat = true;
+    } else {
+      error(E->Loc, "global initializers must be constant scalars or strings");
+    }
+    if (Negate) {
+      IV = -IV;
+      FV = -FV;
+    }
+    uint64_t Size = ElemTy->getSizeInBytes();
+    if (Offset + Size > Out.size())
+      error(E->Loc, "too many initializer elements");
+    if (ElemTy->isFloatTy()) {
+      float F = static_cast<float>(FV);
+      std::memcpy(Out.data() + Offset, &F, 4);
+    } else if (ElemTy->isDoubleTy()) {
+      std::memcpy(Out.data() + Offset, &FV, 8);
+    } else if (ElemTy->isIntegerTy()) {
+      if (IsFloat)
+        error(E->Loc, "float literal initializing an integer global");
+      std::memcpy(Out.data() + Offset, &IV, Size);
+    } else {
+      error(E->Loc, "unsupported initializer element type");
+    }
+  }
+
+  GlobalVariable *internString(const std::string &S) {
+    auto It = StringPool.find(S);
+    if (It != StringPool.end())
+      return It->second;
+    TypeContext &Ctx = M->getContext();
+    Type *ArrTy = Ctx.getArrayTy(Ctx.getInt8Ty(), S.size() + 1);
+    GlobalVariable *GV = M->createGlobal(
+        ArrTy, ".str" + std::to_string(StringPool.size()), /*IsConstant=*/true);
+    std::vector<uint8_t> Bytes(S.begin(), S.end());
+    Bytes.push_back(0);
+    GV->setInitializer(std::move(Bytes));
+    StringPool[S] = GV;
+    return GV;
+  }
+
+  void genGlobals() {
+    for (const GlobalDecl &GD : TU.Globals) {
+      Type *Ty = lowerType(GD.Ty);
+      if (Ty->isVoidTy())
+        error(GD.Loc, "global of void type");
+      GlobalVariable *GV = M->createGlobal(Ty, GD.Name, GD.Ty.IsConst);
+      GlobalTypes[GD.Name] = Ty;
+      if (GD.Init.empty())
+        continue;
+
+      std::vector<uint8_t> Bytes(Ty->getSizeInBytes(), 0);
+      // Determine the element type a flat initializer walks over.
+      Type *ElemTy = Ty;
+      while (auto *AT = dyn_cast<ArrayType>(ElemTy))
+        ElemTy = AT->getElementType();
+      uint64_t ElemSize = ElemTy->getSizeInBytes();
+      for (size_t I = 0; I != GD.Init.size(); ++I) {
+        const Expr *E = GD.Init[I].get();
+        uint64_t Offset = I * ElemSize;
+        if (E->K == Expr::Kind::StringLit) {
+          const auto *SL = static_cast<const StringLitExpr *>(E);
+          if (ElemTy->isPointerTy()) {
+            // char *names[] = {"a", "b"}: pointer elements relocated to
+            // interned string globals (paper Listing 1's data shape).
+            GlobalVariable *Str = internString(SL->Value);
+            if (Offset + 8 > Bytes.size())
+              error(E->Loc, "too many initializer elements");
+            GV->addRelocation(Offset, Str);
+          } else if (ElemTy->isIntegerTy() &&
+                     cast<IntegerType>(ElemTy)->getBitWidth() == 8) {
+            // char s[] = "...": copy bytes. Only valid as sole init.
+            if (SL->Value.size() + 1 > Bytes.size())
+              error(E->Loc, "string longer than char array");
+            std::memcpy(Bytes.data(), SL->Value.data(), SL->Value.size());
+          } else {
+            error(E->Loc, "string initializer for a non-char, non-pointer "
+                          "global");
+          }
+          continue;
+        }
+        foldScalarInto(E, ElemTy, Bytes, Offset);
+      }
+      GV->setInitializer(std::move(Bytes));
+    }
+  }
+
+  void declareFunctions() {
+    for (const FuncDecl &FD : TU.Functions) {
+      Type *Ret = lowerType(FD.RetTy);
+      std::vector<Type *> Params;
+      for (const ParamDecl &P : FD.Params) {
+        Type *PT = lowerType(P.Ty);
+        if (PT->isVoidTy() || PT->isArrayTy())
+          error(FD.Loc, "invalid parameter type in '" + FD.Name + "'");
+        Params.push_back(PT);
+      }
+      Function *F = declare(FD.Name, Ret, std::move(Params));
+      if (FD.IsKernel) {
+        if (!Ret->isVoidTy())
+          error(FD.Loc, "__kernel functions must return void");
+        F->setKernel(true);
+      }
+      for (unsigned I = 0; I != FD.Params.size(); ++I)
+        F->getArg(I)->setName(FD.Params[I].Name);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function bodies
+  //===--------------------------------------------------------------------===//
+
+  struct LocalVar {
+    Value *Addr;   ///< Alloca or global address.
+    Type *ValueTy; ///< Type of the stored object.
+  };
+
+  void genFunctionBody(const FuncDecl &FD) {
+    CurF = M->getFunction(FD.Name);
+    assert(CurF && "function signature missing");
+    if (!CurF->empty())
+      error(FD.Loc, "redefinition of function '" + FD.Name + "'");
+    Scopes.clear();
+    Scopes.emplace_back();
+    BreakTargets.clear();
+    ContinueTargets.clear();
+
+    BasicBlock *Entry = CurF->createBlock("entry");
+    B.setInsertPoint(Entry);
+    // Spill parameters to allocas; Mem2Reg re-promotes non-escaping ones.
+    for (unsigned I = 0, E = CurF->getNumArgs(); I != E; ++I) {
+      Argument *A = CurF->getArg(I);
+      AllocaInst *Slot = B.createAlloca(A->getType(), nullptr, A->getName());
+      B.createStore(A, Slot);
+      Scopes.back()[A->getName()] = {Slot, A->getType()};
+    }
+
+    genStmt(FD.Body.get());
+
+    if (!B.getInsertBlock()->getTerminator()) {
+      Type *Ret = CurF->getReturnType();
+      if (Ret->isVoidTy())
+        B.createRet();
+      else
+        B.createRet(zeroValue(Ret, FD.Loc));
+    }
+    Scopes.clear();
+  }
+
+  Value *zeroValue(Type *Ty, SourceLoc Loc) {
+    if (auto *IT = dyn_cast<IntegerType>(Ty))
+      return M->getConstantInt(IT, 0);
+    if (Ty->isFloatingPointTy())
+      return M->getConstantFP(Ty, 0.0);
+    if (auto *PT = dyn_cast<PointerType>(Ty))
+      return M->getNullPtr(PT);
+    error(Loc, "no zero value for type " + Ty->getString());
+  }
+
+  LocalVar *lookupLocal(const std::string &Name) {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Conversions
+  //===--------------------------------------------------------------------===//
+
+  Value *convert(Value *V, Type *To, SourceLoc Loc, bool Explicit = false) {
+    Type *From = V->getType();
+    if (From == To)
+      return V;
+    TypeContext &Ctx = M->getContext();
+    if (From->isIntegerTy() && To->isIntegerTy()) {
+      unsigned FB = cast<IntegerType>(From)->getBitWidth();
+      unsigned TB = cast<IntegerType>(To)->getBitWidth();
+      if (FB < TB)
+        return B.createCast(FB == 1 ? CastInst::Op::ZExt : CastInst::Op::SExt,
+                            V, To);
+      return B.createCast(CastInst::Op::Trunc, V, To);
+    }
+    if (From->isIntegerTy() && To->isFloatingPointTy())
+      return B.createCast(CastInst::Op::SIToFP, V, To);
+    if (From->isFloatingPointTy() && To->isIntegerTy())
+      return B.createCast(CastInst::Op::FPToSI, V, To);
+    if (From->isFloatTy() && To->isDoubleTy())
+      return B.createCast(CastInst::Op::FPExt, V, To);
+    if (From->isDoubleTy() && To->isFloatTy())
+      return B.createCast(CastInst::Op::FPTrunc, V, To);
+    if (From->isPointerTy() && To->isPointerTy())
+      return B.createCast(CastInst::Op::Bitcast, V, To);
+    if (From->isPointerTy() && To->isIntegerTy() && Explicit) {
+      Value *I = B.createCast(CastInst::Op::PtrToInt, V, Ctx.getInt64Ty());
+      return convert(I, To, Loc, Explicit);
+    }
+    if (From->isIntegerTy() && To->isPointerTy() && Explicit) {
+      Value *I = convert(V, Ctx.getInt64Ty(), Loc, Explicit);
+      return B.createCast(CastInst::Op::IntToPtr, I, To);
+    }
+    error(Loc, "cannot convert " + From->getString() + " to " +
+                   To->getString());
+  }
+
+  /// Converts to an i1 condition value.
+  Value *toBool(Value *V, SourceLoc Loc) {
+    Type *Ty = V->getType();
+    if (auto *IT = dyn_cast<IntegerType>(Ty)) {
+      if (IT->getBitWidth() == 1)
+        return V;
+      return B.createCmp(CmpInst::Predicate::NE, V,
+                         M->getConstantInt(IT, 0));
+    }
+    if (Ty->isFloatingPointTy())
+      return B.createCmp(CmpInst::Predicate::FONE, V,
+                         M->getConstantFP(Ty, 0.0));
+    if (auto *PT = dyn_cast<PointerType>(Ty))
+      return B.createCmp(CmpInst::Predicate::NE, V, M->getNullPtr(PT));
+    error(Loc, "value of type " + Ty->getString() + " is not a condition");
+  }
+
+  /// The common type two scalar operand types promote to (no IR emitted).
+  Type *commonType(Type *LT, Type *RT, SourceLoc Loc) {
+    if (LT == RT)
+      return LT;
+    TypeContext &Ctx = M->getContext();
+    if (LT->isDoubleTy() || RT->isDoubleTy())
+      return Ctx.getDoubleTy();
+    if (LT->isFloatTy() || RT->isFloatTy())
+      return Ctx.getFloatTy();
+    if (LT->isIntegerTy() && RT->isIntegerTy())
+      return Ctx.getIntegerTy(std::max({cast<IntegerType>(LT)->getBitWidth(),
+                                        cast<IntegerType>(RT)->getBitWidth(),
+                                        32u}));
+    error(Loc, "no common type for " + LT->getString() + " and " +
+                   RT->getString());
+  }
+
+  /// C-style usual arithmetic conversions for two scalar operands.
+  std::pair<Value *, Value *> promote(Value *L, Value *R, SourceLoc Loc) {
+    Type *LT = L->getType(), *RT = R->getType();
+    TypeContext &Ctx = M->getContext();
+    if (LT->isDoubleTy() || RT->isDoubleTy())
+      return {convert(L, Ctx.getDoubleTy(), Loc),
+              convert(R, Ctx.getDoubleTy(), Loc)};
+    if (LT->isFloatTy() || RT->isFloatTy())
+      return {convert(L, Ctx.getFloatTy(), Loc),
+              convert(R, Ctx.getFloatTy(), Loc)};
+    if (LT->isIntegerTy() && RT->isIntegerTy()) {
+      unsigned W = std::max({cast<IntegerType>(LT)->getBitWidth(),
+                             cast<IntegerType>(RT)->getBitWidth(), 32u});
+      Type *T = Ctx.getIntegerTy(W);
+      return {convert(L, T, Loc), convert(R, T, Loc)};
+    }
+    error(Loc, "invalid operands " + LT->getString() + " and " +
+                   RT->getString());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Generates the address of an lvalue expression.
+  Value *genLValue(const Expr *E) {
+    switch (E->K) {
+    case Expr::Kind::Var: {
+      const auto *V = static_cast<const VarExpr *>(E);
+      if (LocalVar *LV = lookupLocal(V->Name))
+        return LV->Addr;
+      if (GlobalVariable *GV = M->getGlobal(V->Name))
+        return GV;
+      error(E->Loc, "unknown variable '" + V->Name + "'");
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      if (U->O == UnaryExpr::Op::Deref) {
+        Value *P = genRValue(U->Sub.get());
+        if (!P->getType()->isPointerTy())
+          error(E->Loc, "dereference of a non-pointer");
+        return P;
+      }
+      error(E->Loc, "expression is not assignable");
+    }
+    case Expr::Kind::Index: {
+      const auto *IE = static_cast<const IndexExpr *>(E);
+      Value *Base = genPointerBase(IE->Base.get());
+      Value *Idx = convert(genRValue(IE->Idx.get()),
+                           M->getContext().getInt64Ty(), E->Loc);
+      return B.createGEP(Base, Idx);
+    }
+    default:
+      error(E->Loc, "expression is not assignable");
+    }
+  }
+
+  /// Generates a pointer for the base of an index or arithmetic: arrays
+  /// yield their decayed address, pointers yield their value.
+  Value *genPointerBase(const Expr *E) {
+    // Arrays must not be loaded; use their address with decay.
+    if (E->K == Expr::Kind::Var || E->K == Expr::Kind::Index) {
+      Value *Addr = genLValue(E);
+      auto *PT = cast<PointerType>(Addr->getType());
+      if (isa<ArrayType>(PT->getPointeeType()))
+        return decayArray(Addr);
+      return B.createLoad(Addr);
+    }
+    Value *V = genRValue(E);
+    if (!V->getType()->isPointerTy())
+      error(E->Loc, "subscripted value is not a pointer or array");
+    return V;
+  }
+
+  /// [N x T]* -> T* (address-preserving decay).
+  Value *decayArray(Value *Addr) { return B.createArrayDecay(Addr); }
+
+  Value *genRValue(const Expr *E) {
+    switch (E->K) {
+    case Expr::Kind::IntLit:
+      return M->getInt32(
+          static_cast<int32_t>(static_cast<const IntLitExpr *>(E)->Value));
+    case Expr::Kind::FloatLit:
+      return M->getConstantFP(M->getContext().getDoubleTy(),
+                              static_cast<const FloatLitExpr *>(E)->Value);
+    case Expr::Kind::StringLit: {
+      GlobalVariable *GV =
+          internString(static_cast<const StringLitExpr *>(E)->Value);
+      return decayArray(GV);
+    }
+    case Expr::Kind::Var: {
+      const auto *V = static_cast<const VarExpr *>(E);
+      Value *Addr = genLValue(E);
+      auto *PT = cast<PointerType>(Addr->getType());
+      if (isa<ArrayType>(PT->getPointeeType()))
+        return decayArray(Addr);
+      (void)V;
+      return B.createLoad(Addr);
+    }
+    case Expr::Kind::Index: {
+      Value *Addr = genLValue(E);
+      auto *PT = cast<PointerType>(Addr->getType());
+      if (isa<ArrayType>(PT->getPointeeType()))
+        return decayArray(Addr);
+      return B.createLoad(Addr);
+    }
+    case Expr::Kind::Unary:
+      return genUnary(static_cast<const UnaryExpr *>(E));
+    case Expr::Kind::Binary:
+      return genBinary(static_cast<const BinaryExpr *>(E));
+    case Expr::Kind::Assign:
+      return genAssign(static_cast<const AssignExpr *>(E));
+    case Expr::Kind::Cond:
+      return genCond(static_cast<const CondExpr *>(E));
+    case Expr::Kind::Call:
+      return genCall(static_cast<const CallExpr *>(E));
+    case Expr::Kind::Cast: {
+      const auto *C = static_cast<const CastExpr *>(E);
+      Type *To = lowerType(C->To);
+      return convert(genRValue(C->Sub.get()), To, E->Loc, /*Explicit=*/true);
+    }
+    case Expr::Kind::Sizeof: {
+      const auto *S = static_cast<const SizeofExpr *>(E);
+      return M->getInt64(
+          static_cast<int64_t>(lowerType(S->Of)->getSizeInBytes()));
+    }
+    }
+    CGCM_UNREACHABLE("covered switch");
+  }
+
+  Value *genUnary(const UnaryExpr *E) {
+    switch (E->O) {
+    case UnaryExpr::Op::Neg: {
+      Value *V = genRValue(E->Sub.get());
+      if (V->getType()->isFloatingPointTy())
+        return B.createBinOp(BinOpInst::Op::FSub,
+                             M->getConstantFP(V->getType(), 0.0), V);
+      auto [L, R] = promote(zeroValue(V->getType(), E->Loc), V, E->Loc);
+      return B.createSub(L, R);
+    }
+    case UnaryExpr::Op::Not: {
+      Value *C = toBool(genRValue(E->Sub.get()), E->Loc);
+      return B.createBinOp(BinOpInst::Op::Xor, C, M->getInt1(true));
+    }
+    case UnaryExpr::Op::BitNot: {
+      Value *V = genRValue(E->Sub.get());
+      if (!V->getType()->isIntegerTy())
+        error(E->Loc, "operand of ~ is not an integer");
+      return B.createBinOp(
+          BinOpInst::Op::Xor, V,
+          M->getConstantInt(cast<IntegerType>(V->getType()), -1));
+    }
+    case UnaryExpr::Op::Deref: {
+      Value *P = genRValue(E->Sub.get());
+      if (!P->getType()->isPointerTy())
+        error(E->Loc, "dereference of a non-pointer");
+      return B.createLoad(P);
+    }
+    case UnaryExpr::Op::AddrOf:
+      return genLValue(E->Sub.get());
+    }
+    CGCM_UNREACHABLE("covered switch");
+  }
+
+  Value *genBinary(const BinaryExpr *E) {
+    using Op = BinaryExpr::Op;
+    if (E->O == Op::LogAnd || E->O == Op::LogOr)
+      return genShortCircuit(E);
+
+    Value *L = genRValue(E->LHS.get());
+    Value *R = genRValue(E->RHS.get());
+
+    // Pointer arithmetic: p + i, p - i, i + p.
+    if (E->O == Op::Add || E->O == Op::Sub) {
+      if (L->getType()->isPointerTy() && R->getType()->isIntegerTy()) {
+        Value *Idx = convert(R, M->getContext().getInt64Ty(), E->Loc);
+        if (E->O == Op::Sub)
+          Idx = B.createSub(M->getInt64(0), Idx);
+        return B.createGEP(L, Idx);
+      }
+      if (E->O == Op::Add && R->getType()->isPointerTy() &&
+          L->getType()->isIntegerTy()) {
+        Value *Idx = convert(L, M->getContext().getInt64Ty(), E->Loc);
+        return B.createGEP(R, Idx);
+      }
+    }
+    // Pointer comparisons compare addresses.
+    if (L->getType()->isPointerTy() && R->getType()->isPointerTy() &&
+        E->O >= Op::EQ) {
+      Type *I64 = M->getContext().getInt64Ty();
+      L = B.createCast(CastInst::Op::PtrToInt, L, I64);
+      R = B.createCast(CastInst::Op::PtrToInt, R, I64);
+    }
+
+    auto [PL, PR] = promote(L, R, E->Loc);
+    bool FP = PL->getType()->isFloatingPointTy();
+    switch (E->O) {
+    case Op::Add:
+      return B.createBinOp(FP ? BinOpInst::Op::FAdd : BinOpInst::Op::Add, PL,
+                           PR);
+    case Op::Sub:
+      return B.createBinOp(FP ? BinOpInst::Op::FSub : BinOpInst::Op::Sub, PL,
+                           PR);
+    case Op::Mul:
+      return B.createBinOp(FP ? BinOpInst::Op::FMul : BinOpInst::Op::Mul, PL,
+                           PR);
+    case Op::Div:
+      return B.createBinOp(FP ? BinOpInst::Op::FDiv : BinOpInst::Op::SDiv, PL,
+                           PR);
+    case Op::Rem:
+      if (FP)
+        error(E->Loc, "%% requires integer operands");
+      return B.createBinOp(BinOpInst::Op::SRem, PL, PR);
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::Shr: {
+      if (FP)
+        error(E->Loc, "bitwise operator requires integer operands");
+      BinOpInst::Op BO = E->O == Op::And   ? BinOpInst::Op::And
+                         : E->O == Op::Or  ? BinOpInst::Op::Or
+                         : E->O == Op::Xor ? BinOpInst::Op::Xor
+                         : E->O == Op::Shl ? BinOpInst::Op::Shl
+                                           : BinOpInst::Op::AShr;
+      return B.createBinOp(BO, PL, PR);
+    }
+    case Op::EQ:
+    case Op::NE:
+    case Op::LT:
+    case Op::LE:
+    case Op::GT:
+    case Op::GE: {
+      CmpInst::Predicate P;
+      if (FP)
+        P = E->O == Op::EQ   ? CmpInst::Predicate::FOEQ
+            : E->O == Op::NE ? CmpInst::Predicate::FONE
+            : E->O == Op::LT ? CmpInst::Predicate::FOLT
+            : E->O == Op::LE ? CmpInst::Predicate::FOLE
+            : E->O == Op::GT ? CmpInst::Predicate::FOGT
+                             : CmpInst::Predicate::FOGE;
+      else
+        P = E->O == Op::EQ   ? CmpInst::Predicate::EQ
+            : E->O == Op::NE ? CmpInst::Predicate::NE
+            : E->O == Op::LT ? CmpInst::Predicate::SLT
+            : E->O == Op::LE ? CmpInst::Predicate::SLE
+            : E->O == Op::GT ? CmpInst::Predicate::SGT
+                             : CmpInst::Predicate::SGE;
+      return B.createCmp(P, PL, PR);
+    }
+    case Op::LogAnd:
+    case Op::LogOr:
+      break;
+    }
+    CGCM_UNREACHABLE("covered switch");
+  }
+
+  Value *genShortCircuit(const BinaryExpr *E) {
+    bool IsAnd = E->O == BinaryExpr::Op::LogAnd;
+    // -O0 style: the result lives in a temporary i1 slot, promoted later.
+    AllocaInst *Slot =
+        B.createAlloca(M->getContext().getInt1Ty(), nullptr, "sc");
+    Value *L = toBool(genRValue(E->LHS.get()), E->Loc);
+    B.createStore(L, Slot);
+    BasicBlock *RHSBB = CurF->createBlock("sc.rhs");
+    BasicBlock *EndBB = CurF->createBlock("sc.end");
+    if (IsAnd)
+      B.createCondBr(L, RHSBB, EndBB);
+    else
+      B.createCondBr(L, EndBB, RHSBB);
+    B.setInsertPoint(RHSBB);
+    Value *R = toBool(genRValue(E->RHS.get()), E->Loc);
+    B.createStore(R, Slot);
+    B.createBr(EndBB);
+    B.setInsertPoint(EndBB);
+    return B.createLoad(Slot);
+  }
+
+  Value *genCond(const CondExpr *E) {
+    Value *C = toBool(genRValue(E->Cond.get()), E->Loc);
+    BasicBlock *TrueBB = CurF->createBlock("cond.true");
+    BasicBlock *FalseBB = CurF->createBlock("cond.false");
+    BasicBlock *EndBB = CurF->createBlock("cond.end");
+    B.createCondBr(C, TrueBB, FalseBB);
+
+    B.setInsertPoint(TrueBB);
+    Value *T = genRValue(E->TrueE.get());
+    BasicBlock *TrueOut = B.getInsertBlock();
+
+    B.setInsertPoint(FalseBB);
+    Value *F = genRValue(E->FalseE.get());
+    BasicBlock *FalseOut = B.getInsertBlock();
+
+    // Unify the arm types (each conversion is emitted in its own arm),
+    // then route both through a slot.
+    Type *ResTy = commonType(T->getType(), F->getType(), E->Loc);
+    if (T->getType() != ResTy) {
+      B.setInsertPoint(TrueOut);
+      T = convert(T, ResTy, E->Loc);
+      TrueOut = B.getInsertBlock();
+    }
+    if (F->getType() != ResTy) {
+      B.setInsertPoint(FalseOut);
+      F = convert(F, ResTy, E->Loc);
+      FalseOut = B.getInsertBlock();
+    }
+    AllocaInst *Slot = nullptr;
+    {
+      // The slot alloca must precede both arms; put it in the entry block.
+      BasicBlock *Entry = CurF->getEntryBlock();
+      IRBuilder EB(*M);
+      EB.setInsertPoint(Entry->front());
+      Slot = EB.createAlloca(ResTy, nullptr, "cond");
+    }
+    B.setInsertPoint(TrueOut);
+    B.createStore(T, Slot);
+    B.createBr(EndBB);
+    B.setInsertPoint(FalseOut);
+    B.createStore(F, Slot);
+    B.createBr(EndBB);
+    B.setInsertPoint(EndBB);
+    return B.createLoad(Slot);
+  }
+
+  Value *genAssign(const AssignExpr *E) {
+    Value *Addr = genLValue(E->LHS.get());
+    auto *PT = cast<PointerType>(Addr->getType());
+    Type *ElemTy = PT->getPointeeType();
+    Value *R = genRValue(E->RHS.get());
+
+    if (E->O != AssignExpr::Op::None) {
+      Value *Old = B.createLoad(Addr);
+      // Pointer compound assignment: p += i.
+      if (ElemTy->isPointerTy()) {
+        if (!R->getType()->isIntegerTy())
+          error(E->Loc, "pointer compound assignment needs an integer");
+        Value *Idx = convert(R, M->getContext().getInt64Ty(), E->Loc);
+        if (E->O == AssignExpr::Op::Sub)
+          Idx = B.createSub(M->getInt64(0), Idx);
+        else if (E->O != AssignExpr::Op::Add)
+          error(E->Loc, "invalid pointer compound assignment");
+        R = B.createGEP(Old, Idx);
+      } else {
+        auto [L2, R2] = promote(Old, R, E->Loc);
+        bool FP = L2->getType()->isFloatingPointTy();
+        BinOpInst::Op BO;
+        switch (E->O) {
+        case AssignExpr::Op::Add:
+          BO = FP ? BinOpInst::Op::FAdd : BinOpInst::Op::Add;
+          break;
+        case AssignExpr::Op::Sub:
+          BO = FP ? BinOpInst::Op::FSub : BinOpInst::Op::Sub;
+          break;
+        case AssignExpr::Op::Mul:
+          BO = FP ? BinOpInst::Op::FMul : BinOpInst::Op::Mul;
+          break;
+        case AssignExpr::Op::Div:
+          BO = FP ? BinOpInst::Op::FDiv : BinOpInst::Op::SDiv;
+          break;
+        case AssignExpr::Op::None:
+          CGCM_UNREACHABLE("handled above");
+        }
+        R = B.createBinOp(BO, L2, R2);
+      }
+    }
+    Value *Converted = convert(R, ElemTy, E->Loc);
+    B.createStore(Converted, Addr);
+    return Converted;
+  }
+
+  Value *genCall(const CallExpr *E) {
+    Function *Callee = M->getFunction(E->Callee);
+    if (!Callee)
+      error(E->Loc, "call to unknown function '" + E->Callee + "'");
+    if (Callee->isKernel())
+      error(E->Loc, "kernels must be invoked with 'launch'");
+    FunctionType *FTy = Callee->getFunctionType();
+    if (E->Args.size() != FTy->getNumParams())
+      error(E->Loc, "wrong number of arguments to '" + E->Callee + "'");
+    std::vector<Value *> Args;
+    for (unsigned I = 0; I != E->Args.size(); ++I)
+      Args.push_back(convert(genRValue(E->Args[I].get()),
+                             FTy->getParamType(I), E->Loc));
+    return B.createCall(Callee, Args);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  /// Starts a fresh block for code following a terminator so that
+  /// statements after return/break/continue do not append to a terminated
+  /// block (they become trivially unreachable).
+  void ensureOpenBlock() {
+    if (B.getInsertBlock()->getTerminator())
+      B.setInsertPoint(CurF->createBlock("dead"));
+  }
+
+  void genStmt(const Stmt *S) {
+    ensureOpenBlock();
+    switch (S->K) {
+    case Stmt::Kind::Block: {
+      Scopes.emplace_back();
+      for (const StmtPtr &Sub : static_cast<const BlockStmt *>(S)->Body)
+        genStmt(Sub.get());
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      const auto *D = static_cast<const DeclStmt *>(S);
+      Type *Ty = lowerType(D->Ty);
+      if (Ty->isVoidTy())
+        error(S->Loc, "variable of void type");
+      AllocaInst *Slot = B.createAlloca(Ty, nullptr, D->Name);
+      Scopes.back()[D->Name] = {Slot, Ty};
+      if (D->Init) {
+        Value *V = genRValue(D->Init.get());
+        if (Ty->isArrayTy())
+          error(S->Loc, "array locals cannot be initialized with =");
+        B.createStore(convert(V, Ty, S->Loc), Slot);
+      }
+      return;
+    }
+    case Stmt::Kind::Expr:
+      genRValue(static_cast<const ExprStmt *>(S)->E.get());
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      Value *C = toBool(genRValue(I->Cond.get()), S->Loc);
+      BasicBlock *ThenBB = CurF->createBlock("if.then");
+      BasicBlock *ElseBB = I->Else ? CurF->createBlock("if.else") : nullptr;
+      BasicBlock *EndBB = CurF->createBlock("if.end");
+      B.createCondBr(C, ThenBB, ElseBB ? ElseBB : EndBB);
+      B.setInsertPoint(ThenBB);
+      genStmt(I->Then.get());
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(EndBB);
+      if (ElseBB) {
+        B.setInsertPoint(ElseBB);
+        genStmt(I->Else.get());
+        if (!B.getInsertBlock()->getTerminator())
+          B.createBr(EndBB);
+      }
+      B.setInsertPoint(EndBB);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      BasicBlock *CondBB = CurF->createBlock("while.cond");
+      BasicBlock *BodyBB = CurF->createBlock("while.body");
+      BasicBlock *EndBB = CurF->createBlock("while.end");
+      B.createBr(CondBB);
+      B.setInsertPoint(CondBB);
+      Value *C = toBool(genRValue(W->Cond.get()), S->Loc);
+      B.createCondBr(C, BodyBB, EndBB);
+      B.setInsertPoint(BodyBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(CondBB);
+      genStmt(W->Body.get());
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(CondBB);
+      B.setInsertPoint(EndBB);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = static_cast<const ForStmt *>(S);
+      Scopes.emplace_back();
+      if (F->Init)
+        genStmt(F->Init.get());
+      BasicBlock *CondBB = CurF->createBlock("for.cond");
+      BasicBlock *BodyBB = CurF->createBlock("for.body");
+      BasicBlock *IncBB = CurF->createBlock("for.inc");
+      BasicBlock *EndBB = CurF->createBlock("for.end");
+      B.createBr(CondBB);
+      B.setInsertPoint(CondBB);
+      if (F->Cond) {
+        Value *C = toBool(genRValue(F->Cond.get()), S->Loc);
+        B.createCondBr(C, BodyBB, EndBB);
+      } else {
+        B.createBr(BodyBB);
+      }
+      B.setInsertPoint(BodyBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(IncBB);
+      genStmt(F->Body.get());
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(IncBB);
+      B.setInsertPoint(IncBB);
+      if (F->Inc)
+        genRValue(F->Inc.get());
+      B.createBr(CondBB);
+      B.setInsertPoint(EndBB);
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      Type *RetTy = CurF->getReturnType();
+      if (R->Value) {
+        if (RetTy->isVoidTy())
+          error(S->Loc, "returning a value from a void function");
+        B.createRet(convert(genRValue(R->Value.get()), RetTy, S->Loc));
+      } else {
+        if (!RetTy->isVoidTy())
+          error(S->Loc, "missing return value");
+        B.createRet();
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (BreakTargets.empty())
+        error(S->Loc, "'break' outside a loop");
+      B.createBr(BreakTargets.back());
+      return;
+    case Stmt::Kind::Continue:
+      if (ContinueTargets.empty())
+        error(S->Loc, "'continue' outside a loop");
+      B.createBr(ContinueTargets.back());
+      return;
+    case Stmt::Kind::Launch: {
+      const auto *L = static_cast<const LaunchStmt *>(S);
+      Function *K = M->getFunction(L->Kernel);
+      if (!K || !K->isKernel())
+        error(S->Loc, "'" + L->Kernel + "' is not a kernel");
+      Type *I64 = M->getContext().getInt64Ty();
+      Value *Grid = convert(genRValue(L->Grid.get()), I64, S->Loc);
+      Value *Block = convert(genRValue(L->Block.get()), I64, S->Loc);
+      FunctionType *FTy = K->getFunctionType();
+      if (L->Args.size() != FTy->getNumParams())
+        error(S->Loc, "wrong number of launch arguments");
+      std::vector<Value *> Args;
+      for (unsigned I = 0; I != L->Args.size(); ++I)
+        Args.push_back(convert(genRValue(L->Args[I].get()),
+                               FTy->getParamType(I), S->Loc));
+      B.createKernelLaunch(K, Grid, Block, Args);
+      return;
+    }
+    case Stmt::Kind::Empty:
+      return;
+    }
+    CGCM_UNREACHABLE("covered switch");
+  }
+
+  const TranslationUnit &TU;
+  std::unique_ptr<Module> M;
+  IRBuilder B;
+  Function *CurF = nullptr;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+  std::map<std::string, GlobalVariable *> StringPool;
+  std::map<std::string, Type *> GlobalTypes;
+};
+
+} // namespace
+
+std::unique_ptr<Module> cgcm::generateIR(const TranslationUnit &TU,
+                                         const std::string &ModuleName) {
+  return IRGen(TU, ModuleName).run();
+}
+
+std::unique_ptr<Module> cgcm::compileMiniC(const std::string &Source,
+                                           const std::string &ModuleName) {
+  TranslationUnit TU = parseSource(Source);
+  std::unique_ptr<Module> M = generateIR(TU, ModuleName);
+  std::string Err;
+  if (!verifyModule(*M, &Err))
+    reportFatalError("IR verification failed after frontend for module '" +
+                     ModuleName + "': " + Err);
+  return M;
+}

@@ -1,0 +1,36 @@
+//===- frontend/IRGen.h - AST to IR lowering --------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniC TranslationUnit to CGCM IR in the classic -O0 style:
+/// every local variable is an alloca, control flow is explicit CFG, and
+/// scalar promotion to SSA happens later in the Mem2Reg pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FRONTEND_IRGEN_H
+#define CGCM_FRONTEND_IRGEN_H
+
+#include "frontend/AST.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace cgcm {
+
+/// Lowers \p TU into a fresh module named \p ModuleName. Semantic errors
+/// (unknown names, type clashes) are fatal with source locations.
+std::unique_ptr<Module> generateIR(const TranslationUnit &TU,
+                                   const std::string &ModuleName);
+
+/// Convenience: parse + lower + verify in one step.
+std::unique_ptr<Module> compileMiniC(const std::string &Source,
+                                     const std::string &ModuleName);
+
+} // namespace cgcm
+
+#endif // CGCM_FRONTEND_IRGEN_H

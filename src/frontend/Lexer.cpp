@@ -1,0 +1,453 @@
+//===- frontend/Lexer.cpp - MiniC lexer ------------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cctype>
+#include <map>
+
+using namespace cgcm;
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    for (;;) {
+      Token T = next();
+      bool Done = T.is(Token::Kind::Eof);
+      Tokens.push_back(std::move(T));
+      if (Done)
+        return Tokens;
+    }
+  }
+
+private:
+  [[noreturn]] void error(const std::string &Msg) {
+    reportFatalError("lex error at " + Loc.getString() + ": " + Msg);
+  }
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Loc.Line;
+      Loc.Col = 1;
+    } else {
+      ++Loc.Col;
+    }
+    return C;
+  }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+        advance();
+      if (peek() == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd())
+          error("unterminated block comment");
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(Token::Kind K, SourceLoc At) {
+    Token T;
+    T.K = K;
+    T.Loc = At;
+    return T;
+  }
+
+  Token next() {
+    skipWhitespaceAndComments();
+    SourceLoc At = Loc;
+    if (atEnd())
+      return make(Token::Kind::Eof, At);
+
+    char C = advance();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return identifierOrKeyword(C, At);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return number(C, At);
+
+    switch (C) {
+    case '(':
+      return make(Token::Kind::LParen, At);
+    case ')':
+      return make(Token::Kind::RParen, At);
+    case '{':
+      return make(Token::Kind::LBrace, At);
+    case '}':
+      return make(Token::Kind::RBrace, At);
+    case '[':
+      return make(Token::Kind::LBracket, At);
+    case ']':
+      return make(Token::Kind::RBracket, At);
+    case ',':
+      return make(Token::Kind::Comma, At);
+    case ';':
+      return make(Token::Kind::Semi, At);
+    case '?':
+      return make(Token::Kind::Question, At);
+    case ':':
+      return make(Token::Kind::Colon, At);
+    case '~':
+      return make(Token::Kind::Tilde, At);
+    case '^':
+      return make(Token::Kind::Caret, At);
+    case '%':
+      return make(Token::Kind::Percent, At);
+    case '+':
+      if (peek() == '+') {
+        advance();
+        return make(Token::Kind::PlusPlus, At);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::PlusAssign, At);
+      }
+      return make(Token::Kind::Plus, At);
+    case '-':
+      if (peek() == '-') {
+        advance();
+        return make(Token::Kind::MinusMinus, At);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::MinusAssign, At);
+      }
+      return make(Token::Kind::Minus, At);
+    case '*':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::StarAssign, At);
+      }
+      return make(Token::Kind::Star, At);
+    case '/':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::SlashAssign, At);
+      }
+      return make(Token::Kind::Slash, At);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(Token::Kind::AmpAmp, At);
+      }
+      return make(Token::Kind::Amp, At);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(Token::Kind::PipePipe, At);
+      }
+      return make(Token::Kind::Pipe, At);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::BangEq, At);
+      }
+      return make(Token::Kind::Bang, At);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::EqEq, At);
+      }
+      return make(Token::Kind::Assign, At);
+    case '<':
+      if (peek() == '<' && peek(1) == '<') {
+        advance();
+        advance();
+        return make(Token::Kind::TripleLt, At);
+      }
+      if (peek() == '<') {
+        advance();
+        return make(Token::Kind::Shl, At);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::LtEq, At);
+      }
+      return make(Token::Kind::Lt, At);
+    case '>':
+      if (peek() == '>' && peek(1) == '>') {
+        advance();
+        advance();
+        return make(Token::Kind::TripleGt, At);
+      }
+      if (peek() == '>') {
+        advance();
+        return make(Token::Kind::Shr, At);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(Token::Kind::GtEq, At);
+      }
+      return make(Token::Kind::Gt, At);
+    case '"':
+      return stringLiteral(At);
+    case '\'':
+      return charLiteral(At);
+    default:
+      error(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  Token identifierOrKeyword(char First, SourceLoc At) {
+    std::string Text(1, First);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text.push_back(advance());
+
+    static const std::map<std::string, Token::Kind> Keywords = {
+        {"void", Token::Kind::KwVoid},       {"char", Token::Kind::KwChar},
+        {"int", Token::Kind::KwInt},         {"long", Token::Kind::KwLong},
+        {"float", Token::Kind::KwFloat},     {"double", Token::Kind::KwDouble},
+        {"const", Token::Kind::KwConst},     {"if", Token::Kind::KwIf},
+        {"else", Token::Kind::KwElse},       {"for", Token::Kind::KwFor},
+        {"while", Token::Kind::KwWhile},     {"return", Token::Kind::KwReturn},
+        {"break", Token::Kind::KwBreak},
+        {"continue", Token::Kind::KwContinue},
+        {"sizeof", Token::Kind::KwSizeof},
+        {"__kernel", Token::Kind::KwKernel},
+        {"launch", Token::Kind::KwLaunch},
+    };
+    auto It = Keywords.find(Text);
+    Token T = make(It != Keywords.end() ? It->second : Token::Kind::Ident, At);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  Token number(char First, SourceLoc At) {
+    std::string Text(1, First);
+    bool IsFloat = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      IsFloat = true;
+      Text.push_back(advance());
+      if (peek() == '+' || peek() == '-')
+        Text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+    }
+    Token T = make(IsFloat ? Token::Kind::FloatLit : Token::Kind::IntLit, At);
+    if (IsFloat)
+      T.FloatValue = std::stod(Text);
+    else
+      T.IntValue = std::stoll(Text);
+    return T;
+  }
+
+  char escape(char C) {
+    switch (C) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case '0':
+      return '\0';
+    case '\\':
+      return '\\';
+    case '\'':
+      return '\'';
+    case '"':
+      return '"';
+    default:
+      error(std::string("unknown escape '\\") + C + "'");
+    }
+  }
+
+  Token stringLiteral(SourceLoc At) {
+    Token T = make(Token::Kind::StringLit, At);
+    while (!atEnd() && peek() != '"') {
+      char C = advance();
+      if (C == '\\')
+        C = escape(advance());
+      T.Text.push_back(C);
+    }
+    if (atEnd())
+      error("unterminated string literal");
+    advance(); // Closing quote.
+    return T;
+  }
+
+  Token charLiteral(SourceLoc At) {
+    Token T = make(Token::Kind::CharLit, At);
+    char C = advance();
+    if (C == '\\')
+      C = escape(advance());
+    T.IntValue = static_cast<int64_t>(C);
+    if (advance() != '\'')
+      error("unterminated character literal");
+    return T;
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  SourceLoc Loc;
+};
+
+} // namespace
+
+std::vector<Token> cgcm::lexSource(const std::string &Source) {
+  return Lexer(Source).run();
+}
+
+const char *cgcm::getTokenKindName(Token::Kind K) {
+  switch (K) {
+  case Token::Kind::Ident:
+    return "identifier";
+  case Token::Kind::IntLit:
+    return "integer literal";
+  case Token::Kind::FloatLit:
+    return "float literal";
+  case Token::Kind::CharLit:
+    return "char literal";
+  case Token::Kind::StringLit:
+    return "string literal";
+  case Token::Kind::Eof:
+    return "end of file";
+  case Token::Kind::KwVoid:
+    return "'void'";
+  case Token::Kind::KwChar:
+    return "'char'";
+  case Token::Kind::KwInt:
+    return "'int'";
+  case Token::Kind::KwLong:
+    return "'long'";
+  case Token::Kind::KwFloat:
+    return "'float'";
+  case Token::Kind::KwDouble:
+    return "'double'";
+  case Token::Kind::KwConst:
+    return "'const'";
+  case Token::Kind::KwIf:
+    return "'if'";
+  case Token::Kind::KwElse:
+    return "'else'";
+  case Token::Kind::KwFor:
+    return "'for'";
+  case Token::Kind::KwWhile:
+    return "'while'";
+  case Token::Kind::KwReturn:
+    return "'return'";
+  case Token::Kind::KwBreak:
+    return "'break'";
+  case Token::Kind::KwContinue:
+    return "'continue'";
+  case Token::Kind::KwSizeof:
+    return "'sizeof'";
+  case Token::Kind::KwKernel:
+    return "'__kernel'";
+  case Token::Kind::KwLaunch:
+    return "'launch'";
+  case Token::Kind::LParen:
+    return "'('";
+  case Token::Kind::RParen:
+    return "')'";
+  case Token::Kind::LBrace:
+    return "'{'";
+  case Token::Kind::RBrace:
+    return "'}'";
+  case Token::Kind::LBracket:
+    return "'['";
+  case Token::Kind::RBracket:
+    return "']'";
+  case Token::Kind::Comma:
+    return "','";
+  case Token::Kind::Semi:
+    return "';'";
+  case Token::Kind::Question:
+    return "'?'";
+  case Token::Kind::Colon:
+    return "':'";
+  case Token::Kind::Assign:
+    return "'='";
+  case Token::Kind::PlusAssign:
+    return "'+='";
+  case Token::Kind::MinusAssign:
+    return "'-='";
+  case Token::Kind::StarAssign:
+    return "'*='";
+  case Token::Kind::SlashAssign:
+    return "'/='";
+  case Token::Kind::Plus:
+    return "'+'";
+  case Token::Kind::Minus:
+    return "'-'";
+  case Token::Kind::Star:
+    return "'*'";
+  case Token::Kind::Slash:
+    return "'/'";
+  case Token::Kind::Percent:
+    return "'%'";
+  case Token::Kind::Amp:
+    return "'&'";
+  case Token::Kind::AmpAmp:
+    return "'&&'";
+  case Token::Kind::Pipe:
+    return "'|'";
+  case Token::Kind::PipePipe:
+    return "'||'";
+  case Token::Kind::Caret:
+    return "'^'";
+  case Token::Kind::Tilde:
+    return "'~'";
+  case Token::Kind::Bang:
+    return "'!'";
+  case Token::Kind::EqEq:
+    return "'=='";
+  case Token::Kind::BangEq:
+    return "'!='";
+  case Token::Kind::Lt:
+    return "'<'";
+  case Token::Kind::LtEq:
+    return "'<='";
+  case Token::Kind::Gt:
+    return "'>'";
+  case Token::Kind::GtEq:
+    return "'>='";
+  case Token::Kind::Shl:
+    return "'<<'";
+  case Token::Kind::Shr:
+    return "'>>'";
+  case Token::Kind::TripleLt:
+    return "'<<<'";
+  case Token::Kind::TripleGt:
+    return "'>>>'";
+  case Token::Kind::PlusPlus:
+    return "'++'";
+  case Token::Kind::MinusMinus:
+    return "'--'";
+  }
+  return "<unknown token>";
+}

@@ -1,0 +1,120 @@
+//===- frontend/Lexer.h - MiniC lexer --------------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C-like input language the workloads and
+/// examples are written in. MiniC deliberately keeps C's communication
+/// hazards: raw pointers, pointer arithmetic, casts, weak typing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FRONTEND_LEXER_H
+#define CGCM_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// A source position for diagnostics (1-based line/column).
+struct SourceLoc {
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  std::string getString() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+struct Token {
+  enum class Kind {
+    // Literals and identifiers.
+    Ident,
+    IntLit,
+    FloatLit,
+    CharLit,
+    StringLit,
+    // Keywords.
+    KwVoid,
+    KwChar,
+    KwInt,
+    KwLong,
+    KwFloat,
+    KwDouble,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwKernel,   ///< `__kernel` function qualifier.
+    KwLaunch,   ///< `launch f<<<g, b>>>(...)` statement.
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Tilde,
+    Bang,
+    EqEq,
+    BangEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Shl,
+    Shr,
+    TripleLt, ///< `<<<` in a launch statement.
+    TripleGt, ///< `>>>` in a launch statement.
+    PlusPlus,
+    MinusMinus,
+    Eof,
+  };
+
+  Kind K = Kind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier or string-literal body.
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+
+  bool is(Kind Other) const { return K == Other; }
+};
+
+/// Tokenizes \p Source completely. Lexical errors are fatal (MiniC inputs
+/// are programmer-authored workloads, not untrusted data).
+std::vector<Token> lexSource(const std::string &Source);
+
+/// Returns a printable spelling for a token kind, for diagnostics.
+const char *getTokenKindName(Token::Kind K);
+
+} // namespace cgcm
+
+#endif // CGCM_FRONTEND_LEXER_H

@@ -1,0 +1,623 @@
+//===- frontend/Parser.cpp - MiniC recursive-descent parser ----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace cgcm;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  TranslationUnit run() {
+    TranslationUnit TU;
+    while (!peek().is(Token::Kind::Eof))
+      parseTopLevel(TU);
+    return TU;
+  }
+
+private:
+  using TK = Token::Kind;
+
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  const Token &advance() { return Tokens[Pos++]; }
+
+  bool check(TK K) const { return peek().is(K); }
+
+  bool match(TK K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  const Token &expect(TK K, const char *Context) {
+    if (!check(K))
+      error(std::string("expected ") + getTokenKindName(K) + " " + Context +
+            ", found " + getTokenKindName(peek().K));
+    return advance();
+  }
+
+  [[noreturn]] void error(const std::string &Msg) {
+    reportFatalError("parse error at " + peek().Loc.getString() + ": " + Msg);
+  }
+
+  bool isTypeStart(unsigned Ahead = 0) const {
+    switch (peek(Ahead).K) {
+    case TK::KwVoid:
+    case TK::KwChar:
+    case TK::KwInt:
+    case TK::KwLong:
+    case TK::KwFloat:
+    case TK::KwDouble:
+    case TK::KwConst:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// type := ['const'] basetype '*'*  — array suffixes attach to the
+  /// declarator and are parsed by the caller.
+  ASTType parseTypePrefix() {
+    ASTType Ty;
+    if (match(TK::KwConst))
+      Ty.IsConst = true;
+    switch (advance().K) {
+    case TK::KwVoid:
+      Ty.B = ASTType::Base::Void;
+      break;
+    case TK::KwChar:
+      Ty.B = ASTType::Base::Char;
+      break;
+    case TK::KwInt:
+      Ty.B = ASTType::Base::Int;
+      break;
+    case TK::KwLong:
+      Ty.B = ASTType::Base::Long;
+      break;
+    case TK::KwFloat:
+      Ty.B = ASTType::Base::Float;
+      break;
+    case TK::KwDouble:
+      Ty.B = ASTType::Base::Double;
+      break;
+    default:
+      error("expected a type name");
+    }
+    while (match(TK::Star))
+      ++Ty.PtrDepth;
+    // `void*` is spelled in MiniC but modeled as char*.
+    if (Ty.B == ASTType::Base::Void && Ty.PtrDepth > 0)
+      Ty.B = ASTType::Base::Char;
+    return Ty;
+  }
+
+  /// Parses `[N][M]...` array suffixes onto \p Ty.
+  void parseArraySuffix(ASTType &Ty) {
+    while (match(TK::LBracket)) {
+      const Token &N = expect(TK::IntLit, "in array dimension");
+      if (N.IntValue <= 0)
+        error("array dimension must be positive");
+      Ty.ArrayDims.push_back(static_cast<uint64_t>(N.IntValue));
+      expect(TK::RBracket, "after array dimension");
+    }
+  }
+
+  void parseTopLevel(TranslationUnit &TU) {
+    SourceLoc Loc = peek().Loc;
+    bool IsKernel = match(TK::KwKernel);
+    if (!isTypeStart())
+      error("expected a declaration");
+    ASTType Ty = parseTypePrefix();
+    std::string Name = expect(TK::Ident, "in declaration").Text;
+
+    if (check(TK::LParen)) {
+      parseFunction(TU, Ty, std::move(Name), IsKernel, Loc);
+      return;
+    }
+    if (IsKernel)
+      error("__kernel qualifier on a non-function");
+    parseGlobal(TU, Ty, std::move(Name), Loc);
+  }
+
+  void parseFunction(TranslationUnit &TU, ASTType RetTy, std::string Name,
+                     bool IsKernel, SourceLoc Loc) {
+    expect(TK::LParen, "in function declaration");
+    std::vector<ParamDecl> Params;
+    if (!check(TK::RParen)) {
+      if (check(TK::KwVoid) && peek(1).is(TK::RParen)) {
+        advance(); // `(void)` parameter list.
+      } else {
+        do {
+          ASTType PTy = parseTypePrefix();
+          std::string PName = expect(TK::Ident, "in parameter").Text;
+          parseArraySuffix(PTy);
+          // Array parameters decay to pointers, as in C.
+          if (!PTy.ArrayDims.empty()) {
+            PTy.ArrayDims.erase(PTy.ArrayDims.begin());
+            if (PTy.ArrayDims.empty())
+              ++PTy.PtrDepth;
+            else
+              error("multi-dimensional array parameters are unsupported; "
+                    "pass a pointer");
+          }
+          Params.push_back({PTy, std::move(PName)});
+        } while (match(TK::Comma));
+      }
+    }
+    expect(TK::RParen, "after parameters");
+
+    FuncDecl FD;
+    FD.RetTy = RetTy;
+    FD.Name = std::move(Name);
+    FD.Params = std::move(Params);
+    FD.IsKernel = IsKernel;
+    FD.Loc = Loc;
+    if (!match(TK::Semi))
+      FD.Body = parseBlock();
+    TU.Functions.push_back(std::move(FD));
+  }
+
+  void parseGlobal(TranslationUnit &TU, ASTType Ty, std::string Name,
+                   SourceLoc Loc) {
+    parseArraySuffix(Ty);
+    GlobalDecl GD;
+    GD.Ty = Ty;
+    GD.Name = std::move(Name);
+    GD.Loc = Loc;
+    if (match(TK::Assign)) {
+      if (match(TK::LBrace)) {
+        if (!check(TK::RBrace)) {
+          do
+            GD.Init.push_back(parseTernary());
+          while (match(TK::Comma) && !check(TK::RBrace));
+        }
+        expect(TK::RBrace, "after initializer list");
+      } else {
+        GD.Init.push_back(parseTernary());
+      }
+    }
+    expect(TK::Semi, "after global declaration");
+    TU.Globals.push_back(std::move(GD));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  StmtPtr parseBlock() {
+    SourceLoc Loc = peek().Loc;
+    expect(TK::LBrace, "to open a block");
+    std::vector<StmtPtr> Body;
+    while (!check(TK::RBrace) && !check(TK::Eof))
+      Body.push_back(parseStmt());
+    expect(TK::RBrace, "to close a block");
+    return std::make_unique<BlockStmt>(std::move(Body), Loc);
+  }
+
+  StmtPtr parseStmt() {
+    SourceLoc Loc = peek().Loc;
+    switch (peek().K) {
+    case TK::LBrace:
+      return parseBlock();
+    case TK::Semi:
+      advance();
+      return std::make_unique<EmptyStmt>(Loc);
+    case TK::KwIf: {
+      advance();
+      expect(TK::LParen, "after 'if'");
+      ExprPtr Cond = parseExpr();
+      expect(TK::RParen, "after if condition");
+      StmtPtr Then = parseStmt();
+      StmtPtr Else;
+      if (match(TK::KwElse))
+        Else = parseStmt();
+      return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else), Loc);
+    }
+    case TK::KwWhile: {
+      advance();
+      expect(TK::LParen, "after 'while'");
+      ExprPtr Cond = parseExpr();
+      expect(TK::RParen, "after while condition");
+      StmtPtr Body = parseStmt();
+      return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body),
+                                         Loc);
+    }
+    case TK::KwFor: {
+      advance();
+      expect(TK::LParen, "after 'for'");
+      StmtPtr Init;
+      if (!check(TK::Semi))
+        Init = parseDeclOrExprStmtNoSemi();
+      expect(TK::Semi, "after for initializer");
+      ExprPtr Cond;
+      if (!check(TK::Semi))
+        Cond = parseExpr();
+      expect(TK::Semi, "after for condition");
+      ExprPtr Inc;
+      if (!check(TK::RParen))
+        Inc = parseExpr();
+      expect(TK::RParen, "after for increment");
+      StmtPtr Body = parseStmt();
+      return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                       std::move(Inc), std::move(Body), Loc);
+    }
+    case TK::KwReturn: {
+      advance();
+      ExprPtr V;
+      if (!check(TK::Semi))
+        V = parseExpr();
+      expect(TK::Semi, "after return");
+      return std::make_unique<ReturnStmt>(std::move(V), Loc);
+    }
+    case TK::KwBreak:
+      advance();
+      expect(TK::Semi, "after 'break'");
+      return std::make_unique<BreakStmt>(Loc);
+    case TK::KwContinue:
+      advance();
+      expect(TK::Semi, "after 'continue'");
+      return std::make_unique<ContinueStmt>(Loc);
+    case TK::KwLaunch: {
+      advance();
+      std::string Kernel = expect(TK::Ident, "after 'launch'").Text;
+      expect(TK::TripleLt, "in launch configuration");
+      ExprPtr Grid = parseTernary();
+      expect(TK::Comma, "between grid and block");
+      ExprPtr Block = parseTernary();
+      expect(TK::TripleGt, "after launch configuration");
+      expect(TK::LParen, "before launch arguments");
+      std::vector<ExprPtr> Args;
+      if (!check(TK::RParen)) {
+        do
+          Args.push_back(parseTernary());
+        while (match(TK::Comma));
+      }
+      expect(TK::RParen, "after launch arguments");
+      expect(TK::Semi, "after launch statement");
+      return std::make_unique<LaunchStmt>(std::move(Kernel), std::move(Grid),
+                                          std::move(Block), std::move(Args),
+                                          Loc);
+    }
+    default: {
+      StmtPtr S = parseDeclOrExprStmtNoSemi();
+      expect(TK::Semi, "after statement");
+      return S;
+    }
+    }
+  }
+
+  StmtPtr parseDeclOrExprStmtNoSemi() {
+    SourceLoc Loc = peek().Loc;
+    if (isTypeStart()) {
+      ASTType Ty = parseTypePrefix();
+      std::string Name = expect(TK::Ident, "in declaration").Text;
+      parseArraySuffix(Ty);
+      ExprPtr Init;
+      if (match(TK::Assign))
+        Init = parseExpr();
+      return std::make_unique<DeclStmt>(Ty, std::move(Name), std::move(Init),
+                                        Loc);
+    }
+    ExprPtr E = parseExpr();
+    return std::make_unique<ExprStmt>(std::move(E), Loc);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing via nested methods)
+  //===--------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  ExprPtr parseAssign() {
+    ExprPtr L = parseTernary();
+    SourceLoc Loc = peek().Loc;
+    AssignExpr::Op Op;
+    if (match(TK::Assign))
+      Op = AssignExpr::Op::None;
+    else if (match(TK::PlusAssign))
+      Op = AssignExpr::Op::Add;
+    else if (match(TK::MinusAssign))
+      Op = AssignExpr::Op::Sub;
+    else if (match(TK::StarAssign))
+      Op = AssignExpr::Op::Mul;
+    else if (match(TK::SlashAssign))
+      Op = AssignExpr::Op::Div;
+    else
+      return L;
+    ExprPtr R = parseAssign();
+    return std::make_unique<AssignExpr>(Op, std::move(L), std::move(R), Loc);
+  }
+
+  ExprPtr parseTernary() {
+    ExprPtr C = parseLogOr();
+    if (!check(TK::Question))
+      return C;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr T = parseExpr();
+    expect(TK::Colon, "in conditional expression");
+    ExprPtr F = parseTernary();
+    return std::make_unique<CondExpr>(std::move(C), std::move(T), std::move(F),
+                                      Loc);
+  }
+
+  ExprPtr parseLogOr() {
+    ExprPtr L = parseLogAnd();
+    while (check(TK::PipePipe)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseLogAnd();
+      L = std::make_unique<BinaryExpr>(BinaryExpr::Op::LogOr, std::move(L),
+                                       std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseLogAnd() {
+    ExprPtr L = parseBitOr();
+    while (check(TK::AmpAmp)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseBitOr();
+      L = std::make_unique<BinaryExpr>(BinaryExpr::Op::LogAnd, std::move(L),
+                                       std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseBitOr() {
+    ExprPtr L = parseBitXor();
+    while (check(TK::Pipe)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseBitXor();
+      L = std::make_unique<BinaryExpr>(BinaryExpr::Op::Or, std::move(L),
+                                       std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseBitXor() {
+    ExprPtr L = parseBitAnd();
+    while (check(TK::Caret)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseBitAnd();
+      L = std::make_unique<BinaryExpr>(BinaryExpr::Op::Xor, std::move(L),
+                                       std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseBitAnd() {
+    ExprPtr L = parseEquality();
+    while (check(TK::Amp) && !peek(1).is(TK::Amp)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseEquality();
+      L = std::make_unique<BinaryExpr>(BinaryExpr::Op::And, std::move(L),
+                                       std::move(R), Loc);
+    }
+    return L;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr L = parseRelational();
+    for (;;) {
+      BinaryExpr::Op Op;
+      if (check(TK::EqEq))
+        Op = BinaryExpr::Op::EQ;
+      else if (check(TK::BangEq))
+        Op = BinaryExpr::Op::NE;
+      else
+        return L;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseRelational();
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr L = parseShift();
+    for (;;) {
+      BinaryExpr::Op Op;
+      if (check(TK::Lt))
+        Op = BinaryExpr::Op::LT;
+      else if (check(TK::LtEq))
+        Op = BinaryExpr::Op::LE;
+      else if (check(TK::Gt))
+        Op = BinaryExpr::Op::GT;
+      else if (check(TK::GtEq))
+        Op = BinaryExpr::Op::GE;
+      else
+        return L;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseShift();
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+  }
+
+  ExprPtr parseShift() {
+    ExprPtr L = parseAdditive();
+    for (;;) {
+      BinaryExpr::Op Op;
+      if (check(TK::Shl))
+        Op = BinaryExpr::Op::Shl;
+      else if (check(TK::Shr))
+        Op = BinaryExpr::Op::Shr;
+      else
+        return L;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseAdditive();
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr L = parseMultiplicative();
+    for (;;) {
+      BinaryExpr::Op Op;
+      if (check(TK::Plus))
+        Op = BinaryExpr::Op::Add;
+      else if (check(TK::Minus))
+        Op = BinaryExpr::Op::Sub;
+      else
+        return L;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseMultiplicative();
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr L = parseUnary();
+    for (;;) {
+      BinaryExpr::Op Op;
+      if (check(TK::Star))
+        Op = BinaryExpr::Op::Mul;
+      else if (check(TK::Slash))
+        Op = BinaryExpr::Op::Div;
+      else if (check(TK::Percent))
+        Op = BinaryExpr::Op::Rem;
+      else
+        return L;
+      SourceLoc Loc = advance().Loc;
+      ExprPtr R = parseUnary();
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    SourceLoc Loc = peek().Loc;
+    if (match(TK::Minus))
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Neg, parseUnary(),
+                                         Loc);
+    if (match(TK::Bang))
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Not, parseUnary(),
+                                         Loc);
+    if (match(TK::Tilde))
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::BitNot, parseUnary(),
+                                         Loc);
+    if (match(TK::Star))
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::Deref, parseUnary(),
+                                         Loc);
+    if (match(TK::Amp))
+      return std::make_unique<UnaryExpr>(UnaryExpr::Op::AddrOf, parseUnary(),
+                                         Loc);
+    if (match(TK::PlusPlus)) {
+      // ++x desugars to (x += 1).
+      ExprPtr X = parseUnary();
+      return std::make_unique<AssignExpr>(
+          AssignExpr::Op::Add, std::move(X),
+          std::make_unique<IntLitExpr>(1, Loc), Loc);
+    }
+    if (match(TK::MinusMinus)) {
+      ExprPtr X = parseUnary();
+      return std::make_unique<AssignExpr>(
+          AssignExpr::Op::Sub, std::move(X),
+          std::make_unique<IntLitExpr>(1, Loc), Loc);
+    }
+    // Cast: '(' type ')' unary.
+    if (check(TK::LParen) && isTypeStart(1)) {
+      advance();
+      ASTType To = parseTypePrefix();
+      expect(TK::RParen, "after cast type");
+      return std::make_unique<CastExpr>(To, parseUnary(), Loc);
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    for (;;) {
+      SourceLoc Loc = peek().Loc;
+      if (match(TK::LBracket)) {
+        ExprPtr Idx = parseExpr();
+        expect(TK::RBracket, "after index");
+        E = std::make_unique<IndexExpr>(std::move(E), std::move(Idx), Loc);
+        continue;
+      }
+      if (check(TK::PlusPlus) || check(TK::MinusMinus)) {
+        // Postfix ++/-- desugar to compound assignment. MiniC restricts
+        // them to statement position where the result value is unused.
+        AssignExpr::Op Op = check(TK::PlusPlus) ? AssignExpr::Op::Add
+                                                : AssignExpr::Op::Sub;
+        advance();
+        E = std::make_unique<AssignExpr>(
+            Op, std::move(E), std::make_unique<IntLitExpr>(1, Loc), Loc);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc Loc = peek().Loc;
+    switch (peek().K) {
+    case TK::IntLit: {
+      int64_t V = advance().IntValue;
+      return std::make_unique<IntLitExpr>(V, Loc);
+    }
+    case TK::FloatLit: {
+      double V = advance().FloatValue;
+      return std::make_unique<FloatLitExpr>(V, Loc);
+    }
+    case TK::CharLit: {
+      int64_t V = advance().IntValue;
+      return std::make_unique<IntLitExpr>(V, Loc);
+    }
+    case TK::StringLit: {
+      std::string V = advance().Text;
+      return std::make_unique<StringLitExpr>(std::move(V), Loc);
+    }
+    case TK::KwSizeof: {
+      advance();
+      expect(TK::LParen, "after 'sizeof'");
+      ASTType Of = parseTypePrefix();
+      expect(TK::RParen, "after sizeof type");
+      return std::make_unique<SizeofExpr>(Of, Loc);
+    }
+    case TK::Ident: {
+      std::string Name = advance().Text;
+      if (match(TK::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!check(TK::RParen)) {
+          do
+            Args.push_back(parseTernary());
+          while (match(TK::Comma));
+        }
+        expect(TK::RParen, "after call arguments");
+        return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                          Loc);
+      }
+      return std::make_unique<VarExpr>(std::move(Name), Loc);
+    }
+    case TK::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(TK::RParen, "after parenthesized expression");
+      return E;
+    }
+    default:
+      error(std::string("expected an expression, found ") +
+            getTokenKindName(peek().K));
+    }
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+TranslationUnit cgcm::parseSource(const std::string &Source) {
+  return Parser(lexSource(Source)).run();
+}

@@ -1,0 +1,27 @@
+//===- frontend/Parser.h - MiniC recursive-descent parser ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses MiniC source into a TranslationUnit. Syntax errors are fatal
+/// with source locations; inputs are project-authored workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FRONTEND_PARSER_H
+#define CGCM_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace cgcm {
+
+/// Parses \p Source into an AST.
+TranslationUnit parseSource(const std::string &Source);
+
+} // namespace cgcm
+
+#endif // CGCM_FRONTEND_PARSER_H

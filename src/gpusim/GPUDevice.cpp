@@ -1,0 +1,44 @@
+//===- gpusim/GPUDevice.cpp - Simulated CUDA-like device --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GPUDevice.h"
+
+#include <vector>
+
+using namespace cgcm;
+
+void GPUDevice::cuMemcpyHtoD(uint64_t DevPtr, const SimMemory &Host,
+                             uint64_t HostPtr, uint64_t Size) {
+  std::vector<uint8_t> Buf(Size);
+  Host.read(HostPtr, Buf.data(), Size);
+  Mem.write(DevPtr, Buf.data(), Size);
+  double Cost = TM.transferCycles(Size);
+  recordEvent(EventKind::HtoD, Stats.totalCycles(), Cost, Size);
+  Stats.CommCycles += Cost;
+  Stats.BytesHtoD += Size;
+  ++Stats.TransfersHtoD;
+}
+
+void GPUDevice::cuMemcpyDtoH(SimMemory &Host, uint64_t HostPtr,
+                             uint64_t DevPtr, uint64_t Size) {
+  std::vector<uint8_t> Buf(Size);
+  Mem.read(DevPtr, Buf.data(), Size);
+  Host.write(HostPtr, Buf.data(), Size);
+  double Cost = TM.transferCycles(Size);
+  recordEvent(EventKind::DtoH, Stats.totalCycles(), Cost, Size);
+  Stats.CommCycles += Cost;
+  Stats.BytesDtoH += Size;
+  ++Stats.TransfersDtoH;
+}
+
+uint64_t GPUDevice::cuModuleGetGlobal(const std::string &Name, uint64_t Size) {
+  auto It = ModuleGlobals.find(Name);
+  if (It != ModuleGlobals.end())
+    return It->second;
+  uint64_t Addr = Mem.allocate(Size);
+  ModuleGlobals[Name] = Addr;
+  return Addr;
+}

@@ -1,0 +1,93 @@
+//===- gpusim/GPUDevice.h - Simulated CUDA-like device ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A software GPU with its own memory space and a driver-style API
+/// mirroring the subset of the CUDA driver API the paper's runtime uses:
+/// cuMemAlloc, cuMemFree, cuMemcpyHtoD, cuMemcpyDtoH, cuModuleGetGlobal.
+/// Transfers charge the timing model and append timeline events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_GPUSIM_GPUDEVICE_H
+#define CGCM_GPUSIM_GPUDEVICE_H
+
+#include "gpusim/SimMemory.h"
+#include "gpusim/Timing.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class GPUDevice {
+public:
+  GPUDevice(TimingModel &TM, ExecStats &Stats)
+      : Mem(DeviceAddressBase, "device"), TM(TM), Stats(Stats) {}
+
+  SimMemory &getMemory() { return Mem; }
+  const SimMemory &getMemory() const { return Mem; }
+
+  //===--------------------------------------------------------------------===//
+  // Driver-style API (paper Algorithms 1-3 call these)
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates device memory; returns a device-space address.
+  uint64_t cuMemAlloc(uint64_t Size) { return Mem.allocate(Size); }
+
+  /// Frees device memory allocated by cuMemAlloc.
+  void cuMemFree(uint64_t DevPtr) { Mem.free(DevPtr); }
+
+  /// Copies host bytes to device memory, charging transfer cost.
+  void cuMemcpyHtoD(uint64_t DevPtr, const SimMemory &Host, uint64_t HostPtr,
+                    uint64_t Size);
+
+  /// Copies device bytes to host memory, charging transfer cost.
+  void cuMemcpyDtoH(SimMemory &Host, uint64_t HostPtr, uint64_t DevPtr,
+                    uint64_t Size);
+
+  /// Returns the device-space address of the named module global,
+  /// allocating it on first use (the "named region" of global variables).
+  uint64_t cuModuleGetGlobal(const std::string &Name, uint64_t Size);
+
+  /// True if the named global already has a device instance.
+  bool hasModuleGlobal(const std::string &Name) const {
+    return ModuleGlobals.count(Name) != 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Timeline (for the Figure 2 schedule bench)
+  //===--------------------------------------------------------------------===//
+
+  void setTimelineEnabled(bool V) { TimelineEnabled = V; }
+  const std::vector<TimelineEvent> &getTimeline() const { return Timeline; }
+  void recordEvent(EventKind Kind, double Start, double Duration,
+                   uint64_t Bytes = 0) {
+    if (TimelineEnabled)
+      Timeline.push_back({Kind, Start, Duration, Bytes});
+  }
+  void clearTimeline() { Timeline.clear(); }
+
+  /// Resets device memory and module globals between program runs.
+  void reset() {
+    Mem = SimMemory(DeviceAddressBase, "device");
+    ModuleGlobals.clear();
+    Timeline.clear();
+  }
+
+private:
+  SimMemory Mem;
+  TimingModel &TM;
+  ExecStats &Stats;
+  std::map<std::string, uint64_t> ModuleGlobals;
+  bool TimelineEnabled = false;
+  std::vector<TimelineEvent> Timeline;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_GPUSIM_GPUDEVICE_H

@@ -1,0 +1,131 @@
+//===- gpusim/SimMemory.cpp - Simulated address space -----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/SimMemory.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace cgcm;
+
+static uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) & ~(A - 1); }
+
+uint64_t SimMemory::allocate(uint64_t Size) {
+  if (Size == 0)
+    Size = 1;
+  Size = alignUp(Size, 16);
+  // Exact-size reuse keeps fragmentation bounded without a full free-list
+  // coalescer; workloads allocate uniform buffers.
+  auto It = FreeList.find(Size);
+  uint64_t Addr;
+  if (It != FreeList.end()) {
+    Addr = It->second;
+    FreeList.erase(It);
+  } else {
+    Addr = Brk;
+    Brk += Size;
+  }
+  Allocations[Addr] = Size;
+  return Addr;
+}
+
+void SimMemory::free(uint64_t Addr) {
+  auto It = Allocations.find(Addr);
+  if (It == Allocations.end())
+    reportFatalError(SpaceName + ": free of address " + std::to_string(Addr) +
+                     " which is not a live allocation base");
+  FreeList.insert({It->second, Addr});
+  Allocations.erase(It);
+}
+
+uint64_t SimMemory::reallocate(uint64_t Addr, uint64_t NewSize) {
+  auto It = Allocations.find(Addr);
+  if (It == Allocations.end())
+    reportFatalError(SpaceName + ": realloc of a non-allocation address");
+  uint64_t OldSize = It->second;
+  uint64_t NewAddr = allocate(NewSize);
+  uint64_t CopySize = std::min(OldSize, NewSize);
+  std::vector<uint8_t> Tmp(CopySize);
+  read(Addr, Tmp.data(), CopySize);
+  write(NewAddr, Tmp.data(), CopySize);
+  free(Addr);
+  return NewAddr;
+}
+
+bool SimMemory::findAllocation(uint64_t Addr, uint64_t &UnitBase,
+                               uint64_t &UnitSize) const {
+  // Greatest base <= Addr.
+  auto It = Allocations.upper_bound(Addr);
+  if (It == Allocations.begin())
+    return false;
+  --It;
+  if (Addr >= It->first + It->second)
+    return false;
+  UnitBase = It->first;
+  UnitSize = It->second;
+  return true;
+}
+
+bool SimMemory::isAccessible(uint64_t Addr, uint64_t Size) const {
+  uint64_t UnitBase, UnitSize;
+  if (!findAllocation(Addr, UnitBase, UnitSize))
+    return false;
+  return Addr + Size <= UnitBase + UnitSize;
+}
+
+void SimMemory::ensureCapacity(uint64_t Addr, uint64_t Size) const {
+  if (Addr < Base || Addr + Size > Brk + (1ull << 20))
+    reportFatalError(SpaceName + ": access at address " + std::to_string(Addr) +
+                     " (" + std::to_string(Size) +
+                     " bytes) is outside this memory space");
+  uint64_t End = Addr - Base + Size;
+  if (Storage.size() < End)
+    Storage.resize(std::max<uint64_t>(End, Storage.size() * 2 + 4096));
+}
+
+void SimMemory::read(uint64_t Addr, void *Out, uint64_t Size) const {
+  ensureCapacity(Addr, Size);
+  std::memcpy(Out, Storage.data() + (Addr - Base), Size);
+}
+
+void SimMemory::write(uint64_t Addr, const void *In, uint64_t Size) {
+  ensureCapacity(Addr, Size);
+  std::memcpy(Storage.data() + (Addr - Base), In, Size);
+}
+
+uint64_t SimMemory::readUInt(uint64_t Addr, uint64_t Size) const {
+  assert(Size <= 8 && "oversized scalar read");
+  uint64_t V = 0;
+  read(Addr, &V, Size);
+  return V;
+}
+
+void SimMemory::writeUInt(uint64_t Addr, uint64_t Value, uint64_t Size) {
+  assert(Size <= 8 && "oversized scalar write");
+  write(Addr, &Value, Size);
+}
+
+std::string SimMemory::readCString(uint64_t Addr) const {
+  std::string S;
+  for (;;) {
+    char C;
+    read(Addr + S.size(), &C, 1);
+    if (!C)
+      return S;
+    S.push_back(C);
+    if (S.size() > (1u << 20))
+      reportFatalError(SpaceName + ": unterminated C string");
+  }
+}
+
+uint64_t SimMemory::getLiveBytes() const {
+  uint64_t Total = 0;
+  for (const auto &[Addr, Size] : Allocations)
+    Total += Size;
+  return Total;
+}

@@ -1,0 +1,104 @@
+//===- gpusim/SimMemory.h - Simulated address space -------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated flat memory space with a simple allocator. Two instances
+/// exist per machine: host memory (low addresses) and device memory (high
+/// addresses), reproducing the divided CPU-GPU memory architecture the
+/// paper targets. The allocator's blocks are the ground-truth *allocation
+/// units* of section 3.1: all bytes reachable from a pointer by valid
+/// pointer arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_GPUSIM_SIMMEMORY_H
+#define CGCM_GPUSIM_SIMMEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// Host addresses start here (null page below stays unmapped).
+inline constexpr uint64_t HostAddressBase = 0x10000;
+
+/// Device addresses live at and above this bit. Crossing this boundary
+/// with a CPU (or GPU) access is the communication bug CGCM prevents.
+inline constexpr uint64_t DeviceAddressBase = 1ull << 46;
+
+inline bool isDeviceAddress(uint64_t Addr) {
+  return Addr >= DeviceAddressBase;
+}
+
+class SimMemory {
+public:
+  SimMemory(uint64_t Base, std::string SpaceName)
+      : Base(Base), SpaceName(std::move(SpaceName)), Brk(Base) {}
+
+  uint64_t getBase() const { return Base; }
+  const std::string &getSpaceName() const { return SpaceName; }
+
+  /// Allocates \p Size bytes (at least 1), 16-byte aligned. Returns the
+  /// base address of a fresh allocation unit.
+  uint64_t allocate(uint64_t Size);
+
+  /// Frees an allocation unit by its base address. Freeing an interior
+  /// pointer or an unallocated address is a fatal error (heap misuse).
+  void free(uint64_t Addr);
+
+  /// Grows (or shrinks) an allocation, preserving contents; returns the
+  /// new base address.
+  uint64_t reallocate(uint64_t Addr, uint64_t NewSize);
+
+  /// Looks up the allocation unit containing \p Addr (interior pointers
+  /// welcome). Returns false if \p Addr is not inside any live unit.
+  bool findAllocation(uint64_t Addr, uint64_t &UnitBase,
+                      uint64_t &UnitSize) const;
+
+  /// True if [Addr, Addr+Size) is within a single live allocation unit.
+  bool isAccessible(uint64_t Addr, uint64_t Size) const;
+
+  //===--------------------------------------------------------------------===//
+  // Typed access. Addresses are validated against the space bounds; a
+  // fatal error reports out-of-space access.
+  //===--------------------------------------------------------------------===//
+
+  void read(uint64_t Addr, void *Out, uint64_t Size) const;
+  void write(uint64_t Addr, const void *In, uint64_t Size);
+
+  uint64_t readUInt(uint64_t Addr, uint64_t Size) const;
+  void writeUInt(uint64_t Addr, uint64_t Value, uint64_t Size);
+
+  /// Reads a NUL-terminated string (for print_str and tests).
+  std::string readCString(uint64_t Addr) const;
+
+  /// Number of live allocation units.
+  size_t getNumLiveAllocations() const { return Allocations.size(); }
+
+  /// Total bytes in live allocation units.
+  uint64_t getLiveBytes() const;
+
+  /// Iterates live allocations as (base, size) pairs.
+  const std::map<uint64_t, uint64_t> &allocations() const {
+    return Allocations;
+  }
+
+private:
+  void ensureCapacity(uint64_t Addr, uint64_t Size) const;
+
+  uint64_t Base;
+  std::string SpaceName;
+  uint64_t Brk; ///< Next fresh address (bump pointer).
+  mutable std::vector<uint8_t> Storage;
+  std::map<uint64_t, uint64_t> Allocations;  ///< base -> size (live).
+  std::multimap<uint64_t, uint64_t> FreeList; ///< size -> base (reuse pool).
+};
+
+} // namespace cgcm
+
+#endif // CGCM_GPUSIM_SIMMEMORY_H

@@ -1,0 +1,92 @@
+//===- ir/BasicBlock.h - Basic block ---------------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block owns an ordered list of instructions ending in a
+/// terminator. Blocks are Values so they can be named and printed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_BASICBLOCK_H
+#define CGCM_IR_BASICBLOCK_H
+
+#include "ir/Instructions.h"
+#include "ir/Value.h"
+
+#include <list>
+#include <memory>
+
+namespace cgcm {
+
+class Function;
+
+class BasicBlock : public Value {
+public:
+  using InstListType = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstListType::iterator;
+  using const_iterator = InstListType::const_iterator;
+
+  BasicBlock(Type *LabelTy, std::string Name)
+      : Value(ValueKind::BasicBlock, LabelTy, std::move(Name)) {}
+
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block terminator, or null if the block is not yet terminated.
+  Instruction *getTerminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// Appends \p I, taking ownership.
+  Instruction *push_back(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// Inserts \p I before \p Pos, taking ownership.
+  Instruction *insertBefore(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately after \p Pos, taking ownership.
+  Instruction *insertAfter(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Finds the list iterator for \p I (which must be in this block).
+  iterator getIterator(Instruction *I);
+
+  /// Unlinks \p I and returns ownership.
+  std::unique_ptr<Instruction> remove(Instruction *I);
+
+  /// Successor blocks via the terminator (empty if none).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Predecessor blocks (computed by scanning the function; cached by
+  /// analyses that need it repeatedly).
+  std::vector<BasicBlock *> predecessors() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::BasicBlock;
+  }
+
+private:
+  Function *Parent = nullptr;
+  InstListType Insts;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_BASICBLOCK_H

@@ -1,0 +1,85 @@
+//===- ir/Constants.h - Constant values ------------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant scalar values. Constants are uniqued per Module, so pointer
+/// equality is value equality for a given type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_CONSTANTS_H
+#define CGCM_IR_CONSTANTS_H
+
+#include "ir/Value.h"
+
+#include <cstdint>
+
+namespace cgcm {
+
+/// Common base for constants (scalar immediates and the null pointer).
+class Constant : public Value {
+protected:
+  using Value::Value;
+
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt ||
+           V->getKind() == ValueKind::ConstantFP ||
+           V->getKind() == ValueKind::ConstantNull;
+  }
+};
+
+/// An integer immediate of any supported width, stored sign-extended.
+class ConstantInt : public Constant {
+  friend class Module;
+  ConstantInt(IntegerType *Ty, int64_t V)
+      : Constant(ValueKind::ConstantInt, Ty), Val(V) {}
+
+public:
+  int64_t getValue() const { return Val; }
+  uint64_t getZExtValue() const;
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// A floating-point immediate (float or double typed).
+class ConstantFP : public Constant {
+  friend class Module;
+  ConstantFP(Type *Ty, double V) : Constant(ValueKind::ConstantFP, Ty), Val(V) {}
+
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  double Val;
+};
+
+/// The null pointer constant for a given pointer type.
+class ConstantNull : public Constant {
+  friend class Module;
+  explicit ConstantNull(PointerType *Ty)
+      : Constant(ValueKind::ConstantNull, Ty) {}
+
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantNull;
+  }
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_CONSTANTS_H

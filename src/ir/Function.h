@@ -1,0 +1,165 @@
+//===- ir/Function.h - Functions, arguments, and globals -------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function (CPU function, GPU kernel, or external declaration), Argument,
+/// and GlobalVariable. GPU kernels carry an IsKernel flag; glue kernels
+/// produced by the glue-kernel optimization additionally carry IsGlue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_FUNCTION_H
+#define CGCM_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace cgcm {
+
+class Module;
+
+/// A formal parameter of a function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, Function *Parent, unsigned ArgNo)
+      : Value(ValueKind::Argument, Ty, std::move(Name)), Parent(Parent),
+        ArgNo(ArgNo) {}
+
+  Function *getParent() const { return Parent; }
+  unsigned getArgNo() const { return ArgNo; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  Function *Parent;
+  unsigned ArgNo;
+};
+
+/// A module-level variable. The interpreter assigns its host address at
+/// program load; the CGCM management pass registers it with the runtime
+/// via declareGlobal before main runs (paper section 3.1).
+class GlobalVariable : public Value {
+public:
+  /// A pointer-sized patch applied at load time: the address of Target is
+  /// written at ByteOffset within this global's storage. This is how an
+  /// array-of-strings initializer (Listing 1/2 of the paper) is expressed.
+  struct Relocation {
+    uint64_t ByteOffset;
+    GlobalVariable *Target;
+  };
+
+  GlobalVariable(PointerType *AddrTy, Type *ValueTy, std::string Name,
+                 bool IsConstant)
+      : Value(ValueKind::GlobalVariable, AddrTy, std::move(Name)),
+        ValueTy(ValueTy), IsConstant(IsConstant) {}
+
+  /// The type of the stored object (the value's type is a pointer to it).
+  Type *getValueType() const { return ValueTy; }
+  uint64_t getSizeInBytes() const { return ValueTy->getSizeInBytes(); }
+
+  bool isConstant() const { return IsConstant; }
+
+  bool hasInitializer() const { return !Init.empty(); }
+  const std::vector<uint8_t> &getInitializer() const { return Init; }
+  void setInitializer(std::vector<uint8_t> Bytes) { Init = std::move(Bytes); }
+
+  const std::vector<Relocation> &getRelocations() const { return Relocs; }
+  void addRelocation(uint64_t ByteOffset, GlobalVariable *Target) {
+    Relocs.push_back({ByteOffset, Target});
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  Type *ValueTy;
+  bool IsConstant;
+  std::vector<uint8_t> Init;
+  std::vector<Relocation> Relocs;
+};
+
+/// A function: a declaration (no body) or a definition (entry block plus
+/// successors). Functions are Values so calls can reference them.
+class Function : public Value {
+public:
+  using BlockListType = std::list<std::unique_ptr<BasicBlock>>;
+  using iterator = BlockListType::iterator;
+  using const_iterator = BlockListType::const_iterator;
+
+  Function(FunctionType *FTy, PointerType *AddrTy, std::string Name,
+           Module *Parent);
+
+  Module *getParent() const { return Parent; }
+  FunctionType *getFunctionType() const { return FTy; }
+  Type *getReturnType() const { return FTy->getReturnType(); }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  /// True for functions compiled for the GPU and invoked via KernelLaunch.
+  bool isKernel() const { return IsKernel; }
+  void setKernel(bool V) { IsKernel = V; }
+
+  /// True for single-threaded GPU functions created by the glue-kernel
+  /// optimization (paper section 5.3).
+  bool isGlueKernel() const { return IsGlue; }
+  void setGlueKernel(bool V) { IsGlue = V; }
+
+  unsigned getNumArgs() const { return Args.size(); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+
+  /// Appends a parameter, updating the function type. Every call site
+  /// must be extended in the same transformation (the verifier checks).
+  /// Used by alloca promotion to thread preallocated buffers.
+  Argument *appendArgument(Type *Ty, const std::string &Name);
+
+  iterator begin() { return Blocks.begin(); }
+  iterator end() { return Blocks.end(); }
+  const_iterator begin() const { return Blocks.begin(); }
+  const_iterator end() const { return Blocks.end(); }
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return Blocks.front().get();
+  }
+
+  /// Creates a new block appended to this function.
+  BasicBlock *createBlock(const std::string &Name);
+
+  /// Creates a new block inserted immediately after \p After.
+  BasicBlock *createBlockAfter(BasicBlock *After, const std::string &Name);
+
+  /// Unlinks \p BB (which must be in this function) and deletes it. All
+  /// instructions in it must be dead.
+  void eraseBlock(BasicBlock *BB);
+
+  /// All instructions of the function in block order (convenience for
+  /// analyses; snapshot, not a live view).
+  std::vector<Instruction *> instructions() const;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Function;
+  }
+
+private:
+  Module *Parent;
+  FunctionType *FTy;
+  bool IsKernel = false;
+  bool IsGlue = false;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockListType Blocks;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_FUNCTION_H

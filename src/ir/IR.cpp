@@ -1,0 +1,421 @@
+//===- ir/IR.cpp - Instruction/BasicBlock/Function/Module bodies ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace cgcm;
+
+//===----------------------------------------------------------------------===//
+// ConstantInt
+//===----------------------------------------------------------------------===//
+
+uint64_t ConstantInt::getZExtValue() const {
+  unsigned Bits = cast<IntegerType>(getType())->getBitWidth();
+  if (Bits == 64)
+    return static_cast<uint64_t>(Val);
+  return static_cast<uint64_t>(Val) & ((1ull << Bits) - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction is not linked into a block");
+  assert(!hasUses() && "erasing an instruction that still has users");
+  Parent->remove(this); // Unique_ptr returned and dropped here.
+}
+
+std::unique_ptr<Instruction> Instruction::removeFromParent() {
+  assert(Parent && "instruction is not linked into a block");
+  return Parent->remove(this);
+}
+
+const char *Instruction::getOpcodeName() const {
+  switch (getKind()) {
+  case ValueKind::Alloca:
+    return "alloca";
+  case ValueKind::Load:
+    return "load";
+  case ValueKind::Store:
+    return "store";
+  case ValueKind::GEP:
+    return "gep";
+  case ValueKind::BinOp:
+    return BinOpInst::getOpName(cast<BinOpInst>(this)->getOp());
+  case ValueKind::Cmp:
+    return "cmp";
+  case ValueKind::Cast:
+    return CastInst::getOpName(cast<CastInst>(this)->getOp());
+  case ValueKind::Call:
+    return "call";
+  case ValueKind::KernelLaunch:
+    return "launch";
+  case ValueKind::Phi:
+    return "phi";
+  case ValueKind::Select:
+    return "select";
+  case ValueKind::Br:
+    return "br";
+  case ValueKind::Ret:
+    return "ret";
+  default:
+    CGCM_UNREACHABLE("not an instruction kind");
+  }
+}
+
+const char *BinOpInst::getOpName(Op Opcode) {
+  switch (Opcode) {
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::SDiv:
+    return "sdiv";
+  case Op::SRem:
+    return "srem";
+  case Op::FAdd:
+    return "fadd";
+  case Op::FSub:
+    return "fsub";
+  case Op::FMul:
+    return "fmul";
+  case Op::FDiv:
+    return "fdiv";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Shl:
+    return "shl";
+  case Op::AShr:
+    return "ashr";
+  case Op::LShr:
+    return "lshr";
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+const char *CmpInst::getPredicateName(Predicate Pred) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return "eq";
+  case Predicate::NE:
+    return "ne";
+  case Predicate::SLT:
+    return "slt";
+  case Predicate::SLE:
+    return "sle";
+  case Predicate::SGT:
+    return "sgt";
+  case Predicate::SGE:
+    return "sge";
+  case Predicate::FOEQ:
+    return "foeq";
+  case Predicate::FONE:
+    return "fone";
+  case Predicate::FOLT:
+    return "folt";
+  case Predicate::FOLE:
+    return "fole";
+  case Predicate::FOGT:
+    return "fogt";
+  case Predicate::FOGE:
+    return "foge";
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+const char *CastInst::getOpName(Op Opcode) {
+  switch (Opcode) {
+  case Op::Trunc:
+    return "trunc";
+  case Op::ZExt:
+    return "zext";
+  case Op::SExt:
+    return "sext";
+  case Op::FPToSI:
+    return "fptosi";
+  case Op::SIToFP:
+    return "sitofp";
+  case Op::FPExt:
+    return "fpext";
+  case Op::FPTrunc:
+    return "fptrunc";
+  case Op::Bitcast:
+    return "bitcast";
+  case Op::PtrToInt:
+    return "ptrtoint";
+  case Op::IntToPtr:
+    return "inttoptr";
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+Value *PhiInst::getIncomingValueFor(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (Blocks[I] == BB)
+      return getIncomingValue(I);
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+BasicBlock::iterator BasicBlock::getIterator(Instruction *I) {
+  for (auto It = Insts.begin(), E = Insts.end(); It != E; ++It)
+    if (It->get() == I)
+      return It;
+  CGCM_UNREACHABLE("instruction not in this block");
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos,
+                                      std::unique_ptr<Instruction> I) {
+  auto It = getIterator(Pos);
+  I->setParent(this);
+  return Insts.insert(It, std::move(I))->get();
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *Pos,
+                                     std::unique_ptr<Instruction> I) {
+  auto It = getIterator(Pos);
+  ++It;
+  I->setParent(this);
+  return Insts.insert(It, std::move(I))->get();
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction *I) {
+  auto It = getIterator(I);
+  std::unique_ptr<Instruction> Owned = std::move(*It);
+  Insts.erase(It);
+  Owned->setParent(nullptr);
+  return Owned;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  if (const Instruction *Term = getTerminator())
+    if (const auto *Br = dyn_cast<BranchInst>(Term))
+      for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+        Result.push_back(Br->getSuccessor(I));
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Result;
+  if (!Parent)
+    return Result;
+  for (const auto &BB : *Parent) {
+    for (BasicBlock *Succ : BB->successors())
+      if (Succ == this) {
+        Result.push_back(BB.get());
+        break;
+      }
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(FunctionType *FTy, PointerType *AddrTy, std::string Name,
+                   Module *Parent)
+    : Value(ValueKind::Function, AddrTy, std::move(Name)), Parent(Parent),
+      FTy(FTy) {
+  for (unsigned I = 0, E = FTy->getNumParams(); I != E; ++I)
+    Args.push_back(std::make_unique<Argument>(
+        FTy->getParamType(I), "arg" + std::to_string(I), this, I));
+}
+
+Argument *Function::appendArgument(Type *Ty, const std::string &Name) {
+  std::vector<Type *> Params = FTy->getParamTypes();
+  Params.push_back(Ty);
+  FTy = Parent->getContext().getFunctionTy(FTy->getReturnType(),
+                                           std::move(Params));
+  Args.push_back(
+      std::make_unique<Argument>(Ty, Name, this, Args.size()));
+  return Args.back().get();
+}
+
+BasicBlock *Function::createBlock(const std::string &Name) {
+  auto BB = std::make_unique<BasicBlock>(
+      Parent->getContext().getVoidTy(), Name);
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::createBlockAfter(BasicBlock *After,
+                                       const std::string &Name) {
+  auto BB = std::make_unique<BasicBlock>(
+      Parent->getContext().getVoidTy(), Name);
+  BB->setParent(this);
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
+    if (It->get() == After) {
+      ++It;
+      return Blocks.insert(It, std::move(BB))->get();
+    }
+  }
+  CGCM_UNREACHABLE("block not in this function");
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
+    if (It->get() == BB) {
+      // Drop instructions back-to-front so defs are deleted after uses.
+      while (!BB->empty()) {
+        Instruction *Last = BB->back();
+        Last->dropAllOperands();
+        assert(!Last->hasUses() && "erasing block with live-out values");
+        BB->remove(Last);
+      }
+      Blocks.erase(It);
+      return;
+    }
+  }
+  CGCM_UNREACHABLE("block not in this function");
+}
+
+std::vector<Instruction *> Function::instructions() const {
+  std::vector<Instruction *> Result;
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      Result.push_back(I.get());
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Module::~Module() {
+  // Break every def-use edge before members are destroyed, so that value
+  // destructors (which assert emptiness of their use lists) run clean
+  // regardless of member declaration order.
+  for (const auto &F : Functions)
+    for (Instruction *I : F->instructions())
+      I->dropAllOperands();
+}
+
+ConstantInt *Module::getConstantInt(IntegerType *Ty, int64_t V) {
+  // Canonicalize to the sign-extended value for the width.
+  unsigned Bits = Ty->getBitWidth();
+  if (Bits < 64) {
+    uint64_t Mask = (1ull << Bits) - 1;
+    uint64_t U = static_cast<uint64_t>(V) & Mask;
+    if (U & (1ull << (Bits - 1)))
+      U |= ~Mask;
+    V = static_cast<int64_t>(U);
+  }
+  auto Key = std::make_pair(Ty, V);
+  auto It = IntConstants.find(Key);
+  if (It != IntConstants.end())
+    return It->second.get();
+  auto *C = new ConstantInt(Ty, V);
+  IntConstants[Key] = std::unique_ptr<ConstantInt>(C);
+  return C;
+}
+
+ConstantInt *Module::getInt1(bool V) {
+  return getConstantInt(Ctx.getInt1Ty(), V ? 1 : 0);
+}
+
+ConstantInt *Module::getInt32(int32_t V) {
+  return getConstantInt(Ctx.getInt32Ty(), V);
+}
+
+ConstantInt *Module::getInt64(int64_t V) {
+  return getConstantInt(Ctx.getInt64Ty(), V);
+}
+
+ConstantFP *Module::getConstantFP(Type *Ty, double V) {
+  assert(Ty->isFloatingPointTy() && "FP constant must have FP type");
+  auto Key = std::make_pair(Ty, V);
+  auto It = FPConstants.find(Key);
+  if (It != FPConstants.end())
+    return It->second.get();
+  auto *C = new ConstantFP(Ty, V);
+  FPConstants[Key] = std::unique_ptr<ConstantFP>(C);
+  return C;
+}
+
+ConstantNull *Module::getNullPtr(PointerType *Ty) {
+  auto It = NullConstants.find(Ty);
+  if (It != NullConstants.end())
+    return It->second.get();
+  auto *C = new ConstantNull(Ty);
+  NullConstants[Ty] = std::unique_ptr<ConstantNull>(C);
+  return C;
+}
+
+GlobalVariable *Module::createGlobal(Type *ValueTy, const std::string &Name,
+                                     bool IsConstant) {
+  assert(!getGlobal(Name) && "duplicate global name");
+  auto *GV = new GlobalVariable(Ctx.getPointerTo(ValueTy), ValueTy, Name,
+                                IsConstant);
+  Globals.push_back(std::unique_ptr<GlobalVariable>(GV));
+  return GV;
+}
+
+GlobalVariable *Module::getGlobal(const std::string &Name) const {
+  for (const auto &GV : Globals)
+    if (GV->getName() == Name)
+      return GV.get();
+  return nullptr;
+}
+
+Function *Module::getOrCreateFunction(const std::string &Name,
+                                      FunctionType *FTy) {
+  if (Function *F = getFunction(Name)) {
+    if (F->getFunctionType() != FTy)
+      reportFatalError("function '" + Name + "' redeclared with a different type");
+    return F;
+  }
+  auto *F = new Function(FTy, Ctx.getPointerTo(FTy), Name, this);
+  Functions.push_back(std::unique_ptr<Function>(F));
+  return F;
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+void Module::eraseFunction(Function *F) {
+  assert(!F->hasUses() && "erasing a function that still has users");
+  for (auto It = Functions.begin(), E = Functions.end(); It != E; ++It) {
+    if (It->get() == F) {
+      // Drop every operand edge first so cross-block uses cannot outlive
+      // their definitions during block erasure.
+      for (Instruction *I : F->instructions())
+        I->dropAllOperands();
+      for (Instruction *I : F->instructions())
+        if (I->hasUses())
+          reportFatalError("erasing function with externally used values");
+      while (!F->empty())
+        F->eraseBlock(F->begin()->get());
+      Functions.erase(It);
+      return;
+    }
+  }
+  CGCM_UNREACHABLE("function not in this module");
+}

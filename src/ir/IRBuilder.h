@@ -1,0 +1,184 @@
+//===- ir/IRBuilder.h - Convenience IR construction ------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder appends instructions at an insertion point, computing result
+/// types and interning constants. Used by the frontend's IR generation,
+/// by the CGCM transformation passes, and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_IRBUILDER_H
+#define CGCM_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <memory>
+
+namespace cgcm {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &getModule() { return M; }
+  TypeContext &getContext() { return M.getContext(); }
+
+  /// Sets the insertion point to the end of \p BB.
+  void setInsertPoint(BasicBlock *BB) {
+    InsertBB = BB;
+    InsertBefore = nullptr;
+  }
+
+  /// Sets the insertion point to just before \p I.
+  void setInsertPoint(Instruction *I) {
+    InsertBB = I->getParent();
+    InsertBefore = I;
+  }
+
+  BasicBlock *getInsertBlock() const { return InsertBB; }
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  AllocaInst *createAlloca(Type *Allocated, Value *ArraySize = nullptr,
+                           const std::string &Name = "") {
+    auto *PT = getContext().getPointerTo(Allocated);
+    return insert(
+        std::make_unique<AllocaInst>(Allocated, PT, ArraySize, Name));
+  }
+
+  LoadInst *createLoad(Value *Ptr, const std::string &Name = "") {
+    auto *PT = dyn_cast<PointerType>(Ptr->getType());
+    if (!PT)
+      reportFatalError("load from non-pointer value");
+    return insert(
+        std::make_unique<LoadInst>(Ptr, PT->getPointeeType(), Name));
+  }
+
+  StoreInst *createStore(Value *Val, Value *Ptr) {
+    assert(isa<PointerType>(Ptr->getType()) && "store to non-pointer");
+    return insert(
+        std::make_unique<StoreInst>(Val, Ptr, getContext().getVoidTy()));
+  }
+
+  /// C pointer arithmetic: the result has the operand's pointer type and
+  /// the index steps by sizeof(pointee). Array-to-element decay is a
+  /// separate bitcast (see createArrayDecay).
+  GEPInst *createGEP(Value *Ptr, Value *Idx, const std::string &Name = "") {
+    auto *PT = dyn_cast<PointerType>(Ptr->getType());
+    if (!PT)
+      reportFatalError("gep on non-pointer value");
+    return insert(std::make_unique<GEPInst>(Ptr, Idx, PT, Name));
+  }
+
+  /// [N x T]* -> T* (address-preserving array decay).
+  CastInst *createArrayDecay(Value *Ptr, const std::string &Name = "") {
+    auto *PT = dyn_cast<PointerType>(Ptr->getType());
+    if (!PT || !isa<ArrayType>(PT->getPointeeType()))
+      reportFatalError("array decay of a non-array pointer");
+    Type *Elem = cast<ArrayType>(PT->getPointeeType())->getElementType();
+    return createCast(CastInst::Op::Bitcast, Ptr,
+                      getContext().getPointerTo(Elem), Name);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic
+  //===--------------------------------------------------------------------===//
+
+  BinOpInst *createBinOp(BinOpInst::Op Op, Value *LHS, Value *RHS,
+                         const std::string &Name = "") {
+    assert(LHS->getType() == RHS->getType() && "binop operand type mismatch");
+    return insert(std::make_unique<BinOpInst>(Op, LHS, RHS, Name));
+  }
+
+  BinOpInst *createAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpInst::Op::Add, L, R, Name);
+  }
+  BinOpInst *createSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpInst::Op::Sub, L, R, Name);
+  }
+  BinOpInst *createMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(BinOpInst::Op::Mul, L, R, Name);
+  }
+
+  CmpInst *createCmp(CmpInst::Predicate Pred, Value *LHS, Value *RHS,
+                     const std::string &Name = "") {
+    assert(LHS->getType() == RHS->getType() && "cmp operand type mismatch");
+    return insert(std::make_unique<CmpInst>(Pred, LHS, RHS,
+                                            getContext().getInt1Ty(), Name));
+  }
+
+  CastInst *createCast(CastInst::Op Op, Value *V, Type *DestTy,
+                       const std::string &Name = "") {
+    return insert(std::make_unique<CastInst>(Op, V, DestTy, Name));
+  }
+
+  SelectInst *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                           const std::string &Name = "") {
+    assert(TrueV->getType() == FalseV->getType() &&
+           "select arm type mismatch");
+    return insert(std::make_unique<SelectInst>(Cond, TrueV, FalseV, Name));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls and control flow
+  //===--------------------------------------------------------------------===//
+
+  CallInst *createCall(Function *Callee, const std::vector<Value *> &Args,
+                       const std::string &Name = "") {
+    return insert(std::make_unique<CallInst>(
+        Callee, Callee->getReturnType(), Args, Name));
+  }
+
+  KernelLaunchInst *createKernelLaunch(Function *Kernel, Value *Grid,
+                                       Value *Block,
+                                       const std::vector<Value *> &Args) {
+    assert(Kernel->isKernel() && "launch target is not a kernel");
+    return insert(std::make_unique<KernelLaunchInst>(
+        Kernel, Grid, Block, Args, getContext().getVoidTy()));
+  }
+
+  PhiInst *createPhi(Type *Ty, const std::string &Name = "") {
+    return insert(std::make_unique<PhiInst>(Ty, Name));
+  }
+
+  BranchInst *createBr(BasicBlock *Dest) {
+    return insert(
+        std::make_unique<BranchInst>(Dest, getContext().getVoidTy()));
+  }
+
+  BranchInst *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                           BasicBlock *FalseBB) {
+    return insert(std::make_unique<BranchInst>(Cond, TrueBB, FalseBB,
+                                               getContext().getVoidTy()));
+  }
+
+  RetInst *createRet(Value *V = nullptr) {
+    return insert(std::make_unique<RetInst>(V, getContext().getVoidTy()));
+  }
+
+private:
+  template <typename InstT> InstT *insert(std::unique_ptr<InstT> I) {
+    assert(InsertBB && "no insertion point set");
+    InstT *Raw = I.get();
+    if (InsertBefore)
+      InsertBB->insertBefore(InsertBefore, std::move(I));
+    else
+      InsertBB->push_back(std::move(I));
+    return Raw;
+  }
+
+  Module &M;
+  BasicBlock *InsertBB = nullptr;
+  Instruction *InsertBefore = nullptr;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_IRBUILDER_H

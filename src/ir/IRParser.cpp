@@ -1,0 +1,681 @@
+//===- ir/IRParser.cpp - Textual IR parser -----------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// A line-oriented cursor over the IR text.
+class Cursor {
+public:
+  explicit Cursor(const std::string &Text) : Text(Text) {}
+
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  void skipSpace() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t'))
+      ++Pos;
+  }
+
+  /// Advances past the newline; returns false at end of text.
+  bool nextLine() {
+    while (!atEnd() && Text[Pos] != '\n')
+      ++Pos;
+    if (atEnd())
+      return false;
+    ++Pos;
+    ++Line;
+    return true;
+  }
+
+  bool startsWith(const char *S) {
+    skipSpace();
+    size_t N = std::strlen(S);
+    return Text.compare(Pos, N, S) == 0;
+  }
+
+  bool consume(const char *S) {
+    skipSpace();
+    size_t N = std::strlen(S);
+    if (Text.compare(Pos, N, S) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  void expect(const char *S) {
+    if (!consume(S))
+      fail(std::string("expected '") + S + "'");
+  }
+
+  char peek() {
+    skipSpace();
+    return atEnd() ? '\0' : Text[Pos];
+  }
+
+  bool peekRaw(char C) const { return !atEnd() && Text[Pos] == C; }
+
+  char take() { return Text[Pos++]; }
+
+  /// Identifier characters used by names, labels, and keywords.
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.' || C == '-';
+  }
+
+  std::string ident() {
+    skipSpace();
+    std::string S;
+    while (!atEnd() && isIdentChar(Text[Pos]))
+      S.push_back(Text[Pos++]);
+    if (S.empty())
+      fail("expected an identifier");
+    return S;
+  }
+
+  /// A number token (integer or floating point, with sign/exponent).
+  std::string numberToken() {
+    skipSpace();
+    std::string S;
+    while (!atEnd() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == 'i' ||
+            Text[Pos] == 'n' || Text[Pos] == 'f' || Text[Pos] == 'a'))
+      S.push_back(Text[Pos++]);
+    if (S.empty())
+      fail("expected a number");
+    return S;
+  }
+
+  [[noreturn]] void fail(const std::string &Msg) {
+    reportFatalError("IR parse error at line " + std::to_string(Line) +
+                     ": " + Msg);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+class IRParser {
+public:
+  IRParser(const std::string &Text, const std::string &Name)
+      : C(Text), M(std::make_unique<Module>(Name)) {}
+
+  std::unique_ptr<Module> run() {
+    scanSignatures();
+    parseBodies();
+    std::string Err;
+    if (!verifyModule(*M, &Err))
+      reportFatalError("parsed IR failed verification: " + Err);
+    return std::move(M);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Type *parseType() {
+    TypeContext &Ctx = M->getContext();
+    Type *T = nullptr;
+    if (C.consume("[")) {
+      std::string N = C.numberToken();
+      C.expect("x");
+      Type *Elem = parseType();
+      C.expect("]");
+      T = Ctx.getArrayTy(Elem, std::stoull(N));
+    } else {
+      std::string Name = C.ident();
+      if (Name == "void")
+        T = Ctx.getVoidTy();
+      else if (Name == "float")
+        T = Ctx.getFloatTy();
+      else if (Name == "double")
+        T = Ctx.getDoubleTy();
+      else if (Name.size() >= 2 && Name[0] == 'i')
+        T = Ctx.getIntegerTy(std::stoul(Name.substr(1)));
+      else
+        C.fail("unknown type '" + Name + "'");
+    }
+    while (C.peekRaw('*')) {
+      C.take();
+      T = Ctx.getPointerTo(T);
+    }
+    return T;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 1: globals and function signatures
+  //===--------------------------------------------------------------------===//
+
+  void scanSignatures() {
+    Cursor Scan = C;
+    do {
+      Scan.skipSpace();
+      if (Scan.startsWith("@"))
+        parseGlobal(Scan);
+      else if (Scan.startsWith("declare") || Scan.startsWith("define"))
+        parseFunctionHeader(Scan);
+    } while (Scan.nextLine());
+  }
+
+  void parseGlobal(Cursor &S) {
+    S.expect("@");
+    std::string Name = S.ident();
+    S.expect("=");
+    bool IsConst = false;
+    if (S.consume("constant"))
+      IsConst = true;
+    else
+      S.expect("global");
+    // Types must come from the module's context: reuse parseType through
+    // a cursor swap.
+    std::swap(C.Pos, S.Pos);
+    std::swap(C.Line, S.Line);
+    Type *Ty = parseType();
+    GlobalVariable *GV = M->createGlobal(Ty, Name, IsConst);
+    if (C.consume("init")) {
+      C.expect("\"");
+      std::vector<uint8_t> Bytes;
+      auto HexVal = [&](char H) -> unsigned {
+        if (H >= '0' && H <= '9')
+          return H - '0';
+        if (H >= 'A' && H <= 'F')
+          return H - 'A' + 10;
+        C.fail("bad hex digit in initializer");
+      };
+      while (!C.peekRaw('"')) {
+        char Hi = C.take(), Lo = C.take();
+        Bytes.push_back(static_cast<uint8_t>(HexVal(Hi) * 16 + HexVal(Lo)));
+      }
+      C.take(); // Closing quote.
+      GV->setInitializer(std::move(Bytes));
+    }
+    PendingRelocs[GV] = {};
+    while (C.consume("reloc(")) {
+      std::string Off = C.numberToken();
+      C.expect(",");
+      C.expect("@");
+      std::string Target = C.ident();
+      C.expect(")");
+      PendingRelocs[GV].push_back({std::stoull(Off), Target});
+    }
+    std::swap(C.Pos, S.Pos);
+    std::swap(C.Line, S.Line);
+  }
+
+  void parseFunctionHeader(Cursor &S) {
+    bool IsDef = S.consume("define");
+    if (!IsDef)
+      S.expect("declare");
+    bool IsKernel = false, IsGlue = false;
+    if (S.consume("glue_kernel"))
+      IsKernel = IsGlue = true;
+    else if (S.consume("kernel"))
+      IsKernel = true;
+    std::swap(C.Pos, S.Pos);
+    std::swap(C.Line, S.Line);
+    Type *Ret = parseType();
+    C.expect("@");
+    std::string Name = C.ident();
+    C.expect("(");
+    std::vector<Type *> Params;
+    std::vector<std::string> ArgNames;
+    if (!C.consume(")")) {
+      do {
+        Params.push_back(parseType());
+        C.expect("%");
+        ArgNames.push_back(C.ident());
+      } while (C.consume(","));
+      C.expect(")");
+    }
+    Function *F = M->getOrCreateFunction(
+        Name, M->getContext().getFunctionTy(Ret, Params));
+    F->setKernel(IsKernel);
+    F->setGlueKernel(IsGlue);
+    ArgTokens[F] = ArgNames;
+    std::swap(C.Pos, S.Pos);
+    std::swap(C.Line, S.Line);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 2: bodies
+  //===--------------------------------------------------------------------===//
+
+  void parseBodies() {
+    do {
+      C.skipSpace();
+      if (C.startsWith("define"))
+        parseBody();
+    } while (C.nextLine());
+    // Apply relocations now that all globals exist.
+    for (auto &[GV, Relocs] : PendingRelocs)
+      for (auto &[Off, Target] : Relocs) {
+        GlobalVariable *T = M->getGlobal(Target);
+        if (!T)
+          reportFatalError("relocation target '@" + Target + "' not found");
+        GV->addRelocation(Off, T);
+      }
+  }
+
+  BasicBlock *blockFor(Function *F, const std::string &Label) {
+    auto &Map = Blocks[F];
+    auto It = Map.find(Label);
+    if (It != Map.end())
+      return It->second;
+    BasicBlock *BB = F->createBlock(Label);
+    Map[Label] = BB;
+    return BB;
+  }
+
+  void parseBody() {
+    C.expect("define");
+    C.consume("glue_kernel") || C.consume("kernel");
+    parseType();
+    C.expect("@");
+    Function *F = M->getFunction(C.ident());
+    assert(F && "signature pass missed a function");
+    // Skip the parameter list; bind argument tokens.
+    Values.clear();
+    const std::vector<std::string> &ArgNames = ArgTokens[F];
+    for (unsigned I = 0; I != F->getNumArgs(); ++I) {
+      Values[ArgNames[I]] = F->getArg(I);
+      F->getArg(I)->setName(stripSuffix(ArgNames[I]));
+    }
+    while (!C.peekRaw('{')) {
+      if (C.atEnd())
+        C.fail("unterminated function header");
+      C.take();
+    }
+    C.take(); // '{'
+    C.nextLine();
+
+    // Pre-scan the body for labels so blocks are created in their
+    // textual order (a forward branch must not reorder the layout, or a
+    // re-print would no longer parse defs-before-uses).
+    {
+      Cursor Scan = C;
+      do {
+        Scan.skipSpace();
+        if (Scan.startsWith("}"))
+          break;
+        if (Cursor::isIdentChar(Scan.peek())) {
+          std::string Tok = Scan.ident();
+          if (Scan.peekRaw(':'))
+            blockFor(F, Tok);
+        }
+      } while (Scan.nextLine());
+    }
+
+    IRBuilder B(*M);
+    BasicBlock *Cur = nullptr;
+    PendingPhis.clear();
+    for (;;) {
+      C.skipSpace();
+      if (C.consume("}"))
+        break;
+      if (C.atEnd())
+        C.fail("unterminated function body");
+      // Label or instruction?
+      size_t Save = C.Pos;
+      std::string Tok;
+      if (Cursor::isIdentChar(C.peek())) {
+        Tok = C.ident();
+        if (C.peekRaw(':')) {
+          C.take();
+          Cur = blockFor(F, Tok);
+          B.setInsertPoint(Cur);
+          C.nextLine();
+          continue;
+        }
+      }
+      C.Pos = Save;
+      if (!Cur)
+        C.fail("instruction outside a block");
+      parseInstruction(F, B);
+      C.nextLine();
+    }
+    resolvePendingPhis(F);
+  }
+
+  static std::string stripSuffix(const std::string &Tok) {
+    size_t Dot = Tok.rfind('.');
+    return Dot == std::string::npos ? Tok : Tok.substr(0, Dot);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Operands
+  //===--------------------------------------------------------------------===//
+
+  Value *parseOperand(Type *Ty) {
+    char P = C.peek();
+    if (P == '%') {
+      C.take();
+      std::string Tok = C.ident();
+      auto It = Values.find(Tok);
+      if (It == Values.end())
+        C.fail("use of undefined value %" + Tok +
+               " (only phis may forward-reference)");
+      return It->second;
+    }
+    if (P == '@') {
+      C.take();
+      std::string Name = C.ident();
+      if (GlobalVariable *GV = M->getGlobal(Name))
+        return GV;
+      if (Function *F = M->getFunction(Name))
+        return F;
+      C.fail("unknown global @" + Name);
+    }
+    if (C.consume("null")) {
+      auto *PT = dyn_cast<PointerType>(Ty);
+      if (!PT)
+        C.fail("null in non-pointer context");
+      return M->getNullPtr(PT);
+    }
+    std::string Num = C.numberToken();
+    if (!Ty)
+      C.fail("constant '" + Num + "' in untyped context");
+    if (auto *IT = dyn_cast<IntegerType>(Ty))
+      return M->getConstantInt(IT, std::stoll(Num));
+    if (Ty->isFloatingPointTy())
+      return M->getConstantFP(Ty, std::stod(Num));
+    C.fail("constant '" + Num + "' of unsupported type");
+  }
+
+  void define(const std::string &Tok, Value *V) {
+    V->setName(stripSuffix(Tok));
+    Values[Tok] = V;
+    // Resolve phis that forward-referenced this token.
+    for (auto &[Phi, Incomings] : PendingPhis)
+      for (auto &In : Incomings)
+        if (In.Token == Tok && !In.Resolved) {
+          Phi->setIncomingValue(In.Index, V);
+          In.Resolved = true;
+        }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instructions
+  //===--------------------------------------------------------------------===//
+
+  void parseInstruction(Function *F, IRBuilder &B) {
+    std::string ResultTok;
+    if (C.peek() == '%') {
+      C.take();
+      ResultTok = C.ident();
+      C.expect("=");
+    }
+    std::string Op = C.ident();
+    Value *Result = nullptr;
+
+    if (Op == "alloca") {
+      Type *Allocated = parseType();
+      Value *Count = nullptr;
+      if (C.consume(", count")) {
+        Type *CTy = parseType();
+        Count = parseOperand(CTy);
+      }
+      Result = B.createAlloca(Allocated, Count);
+    } else if (Op == "load") {
+      Type *Ty = parseType();
+      C.expect(",");
+      Value *Ptr = parseOperand(M->getContext().getPointerTo(Ty));
+      Result = B.createLoad(Ptr);
+    } else if (Op == "store") {
+      Type *Ty = parseType();
+      Value *V = parseOperand(Ty);
+      C.expect(",");
+      Value *Ptr = parseOperand(M->getContext().getPointerTo(Ty));
+      B.createStore(V, Ptr);
+    } else if (Op == "gep") {
+      Type *Stepped = parseType();
+      C.expect(",");
+      Value *Ptr = parseOperand(M->getContext().getPointerTo(Stepped));
+      C.expect(",");
+      Value *Idx = parseOperand(M->getContext().getInt64Ty());
+      Result = B.createGEP(Ptr, Idx);
+    } else if (BinOpInst::Op BinOp; parseBinOpName(Op, BinOp)) {
+      Type *Ty = parseType();
+      Value *L = parseOperand(Ty);
+      C.expect(",");
+      Value *R = parseOperand(Ty);
+      Result = B.createBinOp(BinOp, L, R);
+    } else if (Op == "cmp") {
+      CmpInst::Predicate Pred = parsePredicate(C.ident());
+      Type *Ty = parseType();
+      Value *L = parseOperand(Ty);
+      C.expect(",");
+      Value *R = parseOperand(Ty);
+      Result = B.createCmp(Pred, L, R);
+    } else if (CastInst::Op CastOp; parseCastName(Op, CastOp)) {
+      Type *From = parseType();
+      Value *V = parseOperand(From);
+      C.expect("to");
+      Type *To = parseType();
+      Result = B.createCast(CastOp, V, To);
+    } else if (Op == "call") {
+      C.expect("@");
+      Function *Callee = M->getFunction(C.ident());
+      if (!Callee)
+        C.fail("call to unknown function");
+      C.expect("(");
+      std::vector<Value *> Args;
+      if (!C.consume(")")) {
+        unsigned I = 0;
+        do
+          Args.push_back(
+              parseOperand(Callee->getFunctionType()->getParamType(I++)));
+        while (C.consume(","));
+        C.expect(")");
+      }
+      Result = B.createCall(Callee, Args);
+      if (Callee->getReturnType()->isVoidTy())
+        Result = nullptr;
+    } else if (Op == "launch") {
+      C.expect("@");
+      Function *Kernel = M->getFunction(C.ident());
+      if (!Kernel)
+        C.fail("launch of unknown kernel");
+      C.expect("<<<");
+      Value *Grid = parseOperand(M->getContext().getInt64Ty());
+      C.expect(",");
+      Value *Block = parseOperand(M->getContext().getInt64Ty());
+      C.expect(">>>");
+      C.expect("(");
+      std::vector<Value *> Args;
+      if (!C.consume(")")) {
+        unsigned I = 0;
+        do
+          Args.push_back(
+              parseOperand(Kernel->getFunctionType()->getParamType(I++)));
+        while (C.consume(","));
+        C.expect(")");
+      }
+      B.createKernelLaunch(Kernel, Grid, Block, Args);
+    } else if (Op == "phi") {
+      Type *Ty = parseType();
+      PhiInst *P = B.createPhi(Ty);
+      PendingPhis.push_back({P, {}});
+      do {
+        C.expect("[");
+        // The incoming value may forward-reference: record the token.
+        std::string Tok;
+        if (C.peek() == '%') {
+          size_t Save = C.Pos;
+          C.take();
+          Tok = C.ident();
+          if (!Values.count(Tok)) {
+            // Placeholder: a zero constant of the right type, patched in
+            // define().
+            Value *Placeholder = zeroOf(Ty);
+            P->addIncoming(Placeholder, nullptr);
+            PendingPhis.back().Incomings.push_back(
+                {Tok, P->getNumIncoming() - 1, false});
+          } else {
+            C.Pos = Save;
+            P->addIncoming(parseOperand(Ty), nullptr);
+          }
+        } else {
+          P->addIncoming(parseOperand(Ty), nullptr);
+        }
+        C.expect(",");
+        std::string Label = C.ident();
+        P->setIncomingBlock(P->getNumIncoming() - 1,
+                            blockFor(P->getParent()->getParent(), Label));
+        C.expect("]");
+      } while (C.consume(","));
+      Result = P;
+    } else if (Op == "select") {
+      Value *Cond = parseOperand(M->getContext().getInt1Ty());
+      C.expect(",");
+      Type *Ty = parseType();
+      Value *T = parseOperand(Ty);
+      C.expect(",");
+      Value *E = parseOperand(Ty);
+      Result = B.createSelect(Cond, T, E);
+    } else if (Op == "br") {
+      // Conditional branches always name an i1 %value first (the
+      // frontend never emits constant conditions; Simplify folds them).
+      if (C.peek() == '%') {
+        Value *Cond = parseOperand(M->getContext().getInt1Ty());
+        C.expect(",");
+        std::string T = C.ident();
+        C.expect(",");
+        std::string E = C.ident();
+        B.createCondBr(Cond, blockFor(F, T), blockFor(F, E));
+      } else {
+        B.createBr(blockFor(F, C.ident()));
+      }
+    } else if (Op == "ret") {
+      C.skipSpace();
+      if (C.peekRaw('\n') || C.peekRaw('\r') || C.atEnd()) {
+        B.createRet();
+      } else {
+        Type *Ty = parseType();
+        B.createRet(parseOperand(Ty));
+      }
+    } else {
+      C.fail("unknown instruction '" + Op + "'");
+    }
+
+    if (!ResultTok.empty()) {
+      if (!Result)
+        C.fail("void instruction cannot define %" + ResultTok);
+      define(ResultTok, Result);
+    }
+  }
+
+  Value *zeroOf(Type *Ty) {
+    if (auto *IT = dyn_cast<IntegerType>(Ty))
+      return M->getConstantInt(IT, 0);
+    if (Ty->isFloatingPointTy())
+      return M->getConstantFP(Ty, 0.0);
+    return M->getNullPtr(cast<PointerType>(Ty));
+  }
+
+  static bool parseBinOpName(const std::string &N, BinOpInst::Op &Op) {
+    static const std::map<std::string, BinOpInst::Op> Map = {
+        {"add", BinOpInst::Op::Add},   {"sub", BinOpInst::Op::Sub},
+        {"mul", BinOpInst::Op::Mul},   {"sdiv", BinOpInst::Op::SDiv},
+        {"srem", BinOpInst::Op::SRem}, {"fadd", BinOpInst::Op::FAdd},
+        {"fsub", BinOpInst::Op::FSub}, {"fmul", BinOpInst::Op::FMul},
+        {"fdiv", BinOpInst::Op::FDiv}, {"and", BinOpInst::Op::And},
+        {"or", BinOpInst::Op::Or},     {"xor", BinOpInst::Op::Xor},
+        {"shl", BinOpInst::Op::Shl},   {"ashr", BinOpInst::Op::AShr},
+        {"lshr", BinOpInst::Op::LShr},
+    };
+    auto It = Map.find(N);
+    if (It == Map.end())
+      return false;
+    Op = It->second;
+    return true;
+  }
+
+  static bool parseCastName(const std::string &N, CastInst::Op &Op) {
+    static const std::map<std::string, CastInst::Op> Map = {
+        {"trunc", CastInst::Op::Trunc},
+        {"zext", CastInst::Op::ZExt},
+        {"sext", CastInst::Op::SExt},
+        {"fptosi", CastInst::Op::FPToSI},
+        {"sitofp", CastInst::Op::SIToFP},
+        {"fpext", CastInst::Op::FPExt},
+        {"fptrunc", CastInst::Op::FPTrunc},
+        {"bitcast", CastInst::Op::Bitcast},
+        {"ptrtoint", CastInst::Op::PtrToInt},
+        {"inttoptr", CastInst::Op::IntToPtr},
+    };
+    auto It = Map.find(N);
+    if (It == Map.end())
+      return false;
+    Op = It->second;
+    return true;
+  }
+
+  CmpInst::Predicate parsePredicate(const std::string &N) {
+    static const std::map<std::string, CmpInst::Predicate> Map = {
+        {"eq", CmpInst::Predicate::EQ},     {"ne", CmpInst::Predicate::NE},
+        {"slt", CmpInst::Predicate::SLT},   {"sle", CmpInst::Predicate::SLE},
+        {"sgt", CmpInst::Predicate::SGT},   {"sge", CmpInst::Predicate::SGE},
+        {"foeq", CmpInst::Predicate::FOEQ}, {"fone", CmpInst::Predicate::FONE},
+        {"folt", CmpInst::Predicate::FOLT}, {"fole", CmpInst::Predicate::FOLE},
+        {"fogt", CmpInst::Predicate::FOGT}, {"foge", CmpInst::Predicate::FOGE},
+    };
+    auto It = Map.find(N);
+    if (It == Map.end())
+      C.fail("unknown predicate '" + N + "'");
+    return It->second;
+  }
+
+  void resolvePendingPhis(Function *F) {
+    for (auto &[Phi, Incomings] : PendingPhis)
+      for (auto &In : Incomings)
+        if (!In.Resolved)
+          C.fail("phi incoming %" + In.Token + " never defined in @" +
+                 F->getName());
+    PendingPhis.clear();
+  }
+
+  struct PendingIncoming {
+    std::string Token;
+    unsigned Index;
+    bool Resolved;
+  };
+  struct PendingPhi {
+    PhiInst *Phi;
+    std::vector<PendingIncoming> Incomings;
+  };
+
+  Cursor C;
+  std::unique_ptr<Module> M;
+  std::map<std::string, Value *> Values; ///< Per-function token bindings.
+  std::map<Function *, std::map<std::string, BasicBlock *>> Blocks;
+  std::map<Function *, std::vector<std::string>> ArgTokens;
+  std::map<GlobalVariable *, std::vector<std::pair<uint64_t, std::string>>>
+      PendingRelocs;
+  std::vector<PendingPhi> PendingPhis;
+};
+
+} // namespace
+
+std::unique_ptr<Module> cgcm::parseIR(const std::string &Text,
+                                      const std::string &ModuleName) {
+  IRParser P(Text, ModuleName);
+  return P.run();
+}

@@ -1,0 +1,36 @@
+//===- ir/IRParser.h - Textual IR parser ------------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR produced by Module::getString() back into a
+/// Module, enabling print/parse round trips, IR-level test inputs, and
+/// offline inspection workflows (cgcmc --dump-ir output can be re-run).
+///
+/// One restriction: non-phi operands must be defined textually before
+/// use (phi incomings may forward-reference). The printer emits blocks
+/// in layout order, which satisfies this for all IR the project
+/// produces; the round-trip property tests enforce it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_IRPARSER_H
+#define CGCM_IR_IRPARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace cgcm {
+
+/// Parses \p Text into a fresh module. Syntax errors are fatal with a
+/// line number (inputs are tool-produced).
+std::unique_ptr<Module> parseIR(const std::string &Text,
+                                const std::string &ModuleName = "parsed");
+
+} // namespace cgcm
+
+#endif // CGCM_IR_IRPARSER_H

@@ -1,0 +1,265 @@
+//===- ir/IRPrinter.cpp - Textual IR output --------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Module in a readable LLVM-flavoured textual syntax. The
+/// output is operand-typed and label-unique so ir/IRParser.cpp can parse
+/// it back: print -> parse round-trips (property-tested over the suite).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/ErrorHandling.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+/// Assigns stable names (%name or %N, blocks as label names) within one
+/// function and renders instructions.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { numberValues(); }
+
+  void print(std::ostream &OS) {
+    OS << (F.isDeclaration() ? "declare " : "define ");
+    if (F.isKernel())
+      OS << (F.isGlueKernel() ? "glue_kernel " : "kernel ");
+    OS << F.getReturnType()->getString() << " @" << F.getName() << "(";
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      const Argument *A = F.getArg(I);
+      OS << A->getType()->getString() << " " << ref(A);
+    }
+    OS << ")";
+    if (F.isDeclaration()) {
+      OS << "\n";
+      return;
+    }
+    OS << " {\n";
+    for (const auto &BB : F) {
+      OS << blockName(BB.get()) << ":\n";
+      for (const auto &I : *BB)
+        printInst(OS, I.get());
+    }
+    OS << "}\n";
+  }
+
+private:
+  void numberValues() {
+    unsigned N = 0;
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      Names[F.getArg(I)] = uniqueName(F.getArg(I), N);
+    unsigned B = 0;
+    std::set<std::string> UsedLabels;
+    for (const auto &BB : F) {
+      std::string Label =
+          BB->hasName() ? BB->getName() : "bb" + std::to_string(B);
+      // Labels must be unique for the text form to parse back.
+      while (!UsedLabels.insert(Label).second)
+        Label += "." + std::to_string(B);
+      BlockNames[BB.get()] = Label;
+      ++B;
+      for (const auto &I : *BB)
+        if (!I->getType()->isVoidTy())
+          Names[I.get()] = uniqueName(I.get(), N);
+    }
+  }
+
+  std::string uniqueName(const Value *V, unsigned &N) {
+    if (V->hasName())
+      return "%" + V->getName() + "." + std::to_string(N++);
+    return "%" + std::to_string(N++);
+  }
+
+  std::string blockName(const BasicBlock *BB) const {
+    auto It = BlockNames.find(BB);
+    assert(It != BlockNames.end() && "block not numbered");
+    return It->second;
+  }
+
+  /// Renders an operand reference (typed for constants and globals).
+  std::string ref(const Value *V) const {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->getValue());
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      // max_digits10 keeps the value exact through a print/parse cycle.
+      std::ostringstream SS;
+      SS.precision(17);
+      SS << CF->getValue();
+      std::string Str = SS.str();
+      // Ensure FP constants are lexically distinct from integers.
+      if (Str.find('.') == std::string::npos &&
+          Str.find('e') == std::string::npos &&
+          Str.find("inf") == std::string::npos &&
+          Str.find("nan") == std::string::npos)
+        Str += ".0";
+      return Str;
+    }
+    if (isa<ConstantNull>(V))
+      return "null";
+    if (isa<GlobalVariable>(V))
+      return "@" + V->getName();
+    if (isa<Function>(V))
+      return "@" + V->getName();
+    auto It = Names.find(V);
+    if (It == Names.end())
+      return "%<badref>";
+    return It->second;
+  }
+
+  void printInst(std::ostream &OS, const Instruction *I) const {
+    OS << "  ";
+    if (!I->getType()->isVoidTy())
+      OS << ref(I) << " = ";
+    switch (I->getKind()) {
+    case Value::ValueKind::Alloca: {
+      const auto *AI = cast<AllocaInst>(I);
+      OS << "alloca " << AI->getAllocatedType()->getString();
+      if (AI->hasArraySize())
+        OS << ", count " << AI->getArraySize()->getType()->getString() << " "
+           << ref(AI->getArraySize());
+      break;
+    }
+    case Value::ValueKind::Load:
+      OS << "load " << I->getType()->getString() << ", "
+         << ref(I->getOperand(0));
+      break;
+    case Value::ValueKind::Store:
+      OS << "store " << I->getOperand(0)->getType()->getString() << " "
+         << ref(I->getOperand(0)) << ", " << ref(I->getOperand(1));
+      break;
+    case Value::ValueKind::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      OS << "gep " << G->getSteppedType()->getString() << ", "
+         << ref(G->getPointerOperand()) << ", " << ref(G->getIndexOperand());
+      break;
+    }
+    case Value::ValueKind::BinOp: {
+      const auto *B = cast<BinOpInst>(I);
+      OS << BinOpInst::getOpName(B->getOp()) << " "
+         << B->getType()->getString() << " " << ref(B->getLHS()) << ", "
+         << ref(B->getRHS());
+      break;
+    }
+    case Value::ValueKind::Cmp: {
+      const auto *C = cast<CmpInst>(I);
+      OS << "cmp " << CmpInst::getPredicateName(C->getPredicate()) << " "
+         << C->getLHS()->getType()->getString() << " " << ref(C->getLHS())
+         << ", " << ref(C->getRHS());
+      break;
+    }
+    case Value::ValueKind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      OS << CastInst::getOpName(C->getOp()) << " "
+         << C->getValueOperand()->getType()->getString() << " "
+         << ref(C->getValueOperand()) << " to "
+         << I->getType()->getString();
+      break;
+    }
+    case Value::ValueKind::Call: {
+      const auto *C = cast<CallInst>(I);
+      OS << "call @" << C->getCallee()->getName() << "(";
+      for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A) {
+        if (A)
+          OS << ", ";
+        OS << ref(C->getArg(A));
+      }
+      OS << ")";
+      break;
+    }
+    case Value::ValueKind::KernelLaunch: {
+      const auto *K = cast<KernelLaunchInst>(I);
+      OS << "launch @" << K->getKernel()->getName() << "<<<"
+         << ref(K->getGrid()) << ", " << ref(K->getBlock()) << ">>>(";
+      for (unsigned A = 0, E = K->getNumArgs(); A != E; ++A) {
+        if (A)
+          OS << ", ";
+        OS << ref(K->getArg(A));
+      }
+      OS << ")";
+      break;
+    }
+    case Value::ValueKind::Phi: {
+      const auto *P = cast<PhiInst>(I);
+      OS << "phi " << I->getType()->getString() << " ";
+      for (unsigned V = 0, E = P->getNumIncoming(); V != E; ++V) {
+        if (V)
+          OS << ", ";
+        OS << "[" << ref(P->getIncomingValue(V)) << ", "
+           << blockName(P->getIncomingBlock(V)) << "]";
+      }
+      break;
+    }
+    case Value::ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      OS << "select " << ref(S->getCondition()) << ", "
+         << S->getTrueValue()->getType()->getString() << " "
+         << ref(S->getTrueValue()) << ", " << ref(S->getFalseValue());
+      break;
+    }
+    case Value::ValueKind::Br: {
+      const auto *B = cast<BranchInst>(I);
+      if (B->isConditional())
+        OS << "br " << ref(B->getCondition()) << ", "
+           << blockName(B->getSuccessor(0)) << ", "
+           << blockName(B->getSuccessor(1));
+      else
+        OS << "br " << blockName(B->getSuccessor(0));
+      break;
+    }
+    case Value::ValueKind::Ret: {
+      const auto *R = cast<RetInst>(I);
+      OS << "ret";
+      if (R->hasReturnValue())
+        OS << " " << R->getReturnValue()->getType()->getString() << " "
+           << ref(R->getReturnValue());
+      break;
+    }
+    default:
+      CGCM_UNREACHABLE("unknown instruction kind in printer");
+    }
+    OS << "\n";
+  }
+
+  const Function &F;
+  std::map<const Value *, std::string> Names;
+  std::map<const BasicBlock *, std::string> BlockNames;
+};
+
+} // namespace
+
+std::string Module::getString() const {
+  std::ostringstream OS;
+  OS << "; module '" << Name << "'\n";
+  for (const auto &GV : Globals) {
+    OS << "@" << GV->getName() << " = "
+       << (GV->isConstant() ? "constant " : "global ")
+       << GV->getValueType()->getString();
+    if (GV->hasInitializer()) {
+      static const char *Hex = "0123456789ABCDEF";
+      OS << " init \"";
+      for (uint8_t B : GV->getInitializer())
+        OS << Hex[B >> 4] << Hex[B & 15];
+      OS << "\"";
+    }
+    for (const GlobalVariable::Relocation &R : GV->getRelocations())
+      OS << " reloc(" << R.ByteOffset << ", @" << R.Target->getName()
+         << ")";
+    OS << "\n";
+  }
+  for (const auto &F : Functions) {
+    OS << "\n";
+    FunctionPrinter(*F).print(OS);
+  }
+  return OS.str();
+}

@@ -1,0 +1,435 @@
+//===- ir/Instructions.h - Instruction class hierarchy --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the CGCM IR: memory (alloca/load/store/gep),
+/// arithmetic (binop/cmp/cast/select), control flow (br/ret/phi), calls,
+/// and the KernelLaunch instruction that models spawning a GPU function
+/// (the paper's `kernel<<<grid, block>>>(...)` syntax).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_INSTRUCTIONS_H
+#define CGCM_IR_INSTRUCTIONS_H
+
+#include "ir/Constants.h"
+#include "ir/Value.h"
+
+#include <cassert>
+#include <vector>
+
+namespace cgcm {
+
+class BasicBlock;
+class Function;
+
+/// Common base of all instructions. Instructions are owned by their parent
+/// basic block.
+class Instruction : public User {
+public:
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// The function containing this instruction, or null if unlinked.
+  Function *getFunction() const;
+
+  bool isTerminator() const {
+    return getKind() == ValueKind::Br || getKind() == ValueKind::Ret;
+  }
+
+  /// Unlinks this instruction from its parent block and deletes it. The
+  /// instruction must have no remaining users.
+  void eraseFromParent();
+
+  /// Unlinks this instruction from its parent block, transferring
+  /// ownership to the caller.
+  std::unique_ptr<Instruction> removeFromParent();
+
+  /// Returns a human-readable opcode name, e.g. "load".
+  const char *getOpcodeName() const;
+
+  static bool classof(const Value *V) { return V->isInstruction(); }
+
+protected:
+  Instruction(ValueKind Kind, Type *Ty, std::string Name = "")
+      : User(Kind, Ty, std::move(Name)) {}
+
+private:
+  BasicBlock *Parent = nullptr;
+};
+
+/// Stack allocation of one object (or a dynamic count of objects) of the
+/// allocated type; yields a pointer into the current frame.
+class AllocaInst : public Instruction {
+public:
+  AllocaInst(Type *Allocated, PointerType *ResultTy, Value *ArraySize,
+             std::string Name)
+      : Instruction(ValueKind::Alloca, ResultTy, std::move(Name)),
+        Allocated(Allocated) {
+    if (ArraySize)
+      addOperand(ArraySize);
+  }
+
+  Type *getAllocatedType() const { return Allocated; }
+  bool hasArraySize() const { return getNumOperands() == 1; }
+  Value *getArraySize() const {
+    return hasArraySize() ? getOperand(0) : nullptr;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Alloca;
+  }
+
+private:
+  Type *Allocated;
+};
+
+/// Loads a value of the pointee type through a pointer operand.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Value *Ptr, Type *ResultTy, std::string Name)
+      : Instruction(ValueKind::Load, ResultTy, std::move(Name)) {
+    addOperand(Ptr);
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Load;
+  }
+};
+
+/// Stores a value through a pointer operand.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Value *Val, Value *Ptr, Type *VoidTy)
+      : Instruction(ValueKind::Store, VoidTy) {
+    addOperand(Val);
+    addOperand(Ptr);
+  }
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Store;
+  }
+};
+
+/// C-style pointer arithmetic: steps a pointer by an index. The result
+/// has the same pointer type; the byte offset is index * sizeof(pointee).
+/// Array-to-element decay is expressed as a bitcast, so indexing a
+/// multi-dimensional array is a chain of decay + gep pairs.
+class GEPInst : public Instruction {
+public:
+  GEPInst(Value *Ptr, Value *Idx, PointerType *ResultTy, std::string Name)
+      : Instruction(ValueKind::GEP, ResultTy, std::move(Name)) {
+    addOperand(Ptr);
+    addOperand(Idx);
+  }
+
+  Value *getPointerOperand() const { return getOperand(0); }
+  Value *getIndexOperand() const { return getOperand(1); }
+
+  /// The type whose size scales the index.
+  Type *getSteppedType() const {
+    return cast<PointerType>(getType())->getPointeeType();
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::GEP; }
+};
+
+/// Two-operand arithmetic and bitwise operations.
+class BinOpInst : public Instruction {
+public:
+  enum class Op {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    And,
+    Or,
+    Xor,
+    Shl,
+    AShr,
+    LShr,
+  };
+
+  BinOpInst(Op Opcode, Value *LHS, Value *RHS, std::string Name)
+      : Instruction(ValueKind::BinOp, LHS->getType(), std::move(Name)),
+        Opcode(Opcode) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Op getOp() const { return Opcode; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatingPointOp() const {
+    return Opcode == Op::FAdd || Opcode == Op::FSub || Opcode == Op::FMul ||
+           Opcode == Op::FDiv;
+  }
+
+  static const char *getOpName(Op Opcode);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::BinOp;
+  }
+
+private:
+  Op Opcode;
+};
+
+/// Integer and ordered floating-point comparisons yielding i1.
+class CmpInst : public Instruction {
+public:
+  enum class Predicate {
+    EQ,
+    NE,
+    SLT,
+    SLE,
+    SGT,
+    SGE,
+    FOEQ,
+    FONE,
+    FOLT,
+    FOLE,
+    FOGT,
+    FOGE,
+  };
+
+  CmpInst(Predicate Pred, Value *LHS, Value *RHS, IntegerType *I1Ty,
+          std::string Name)
+      : Instruction(ValueKind::Cmp, I1Ty, std::move(Name)), Pred(Pred) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  Predicate getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatPredicate() const { return Pred >= Predicate::FOEQ; }
+
+  static const char *getPredicateName(Predicate Pred);
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Cmp; }
+
+private:
+  Predicate Pred;
+};
+
+/// Value conversions, including the subversive pointer/integer casts the
+/// paper's type inference must see through.
+class CastInst : public Instruction {
+public:
+  enum class Op {
+    Trunc,
+    ZExt,
+    SExt,
+    FPToSI,
+    SIToFP,
+    FPExt,
+    FPTrunc,
+    Bitcast,
+    PtrToInt,
+    IntToPtr,
+  };
+
+  CastInst(Op Opcode, Value *V, Type *DestTy, std::string Name)
+      : Instruction(ValueKind::Cast, DestTy, std::move(Name)), Opcode(Opcode) {
+    addOperand(V);
+  }
+
+  Op getOp() const { return Opcode; }
+  Value *getValueOperand() const { return getOperand(0); }
+
+  static const char *getOpName(Op Opcode);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Cast;
+  }
+
+private:
+  Op Opcode;
+};
+
+/// A direct call. Intrinsics (malloc family, math, CGCM runtime entry
+/// points) are calls to declared functions that the executor recognizes by
+/// name.
+class CallInst : public Instruction {
+public:
+  CallInst(Function *Callee, Type *ResultTy, const std::vector<Value *> &Args,
+           std::string Name)
+      : Instruction(ValueKind::Call, ResultTy, std::move(Name)),
+        Callee(Callee) {
+    for (Value *A : Args)
+      addOperand(A);
+  }
+
+  Function *getCallee() const { return Callee; }
+  void setCallee(Function *F) { Callee = F; }
+  unsigned getNumArgs() const { return getNumOperands(); }
+  Value *getArg(unsigned I) const { return getOperand(I); }
+  void setArg(unsigned I, Value *V) { setOperand(I, V); }
+
+  /// Appends an actual argument (paired with Function::appendArgument).
+  void appendArg(Value *V) { addOperand(V); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Call;
+  }
+
+private:
+  Function *Callee;
+};
+
+/// Spawns a GPU function over a grid of blocks x threads. Operand layout:
+/// [grid, block, args...]. The result is void; kernels communicate through
+/// memory, which is exactly why communication management exists.
+class KernelLaunchInst : public Instruction {
+public:
+  KernelLaunchInst(Function *Kernel, Value *Grid, Value *Block,
+                   const std::vector<Value *> &Args, Type *VoidTy)
+      : Instruction(ValueKind::KernelLaunch, VoidTy), Kernel(Kernel) {
+    addOperand(Grid);
+    addOperand(Block);
+    for (Value *A : Args)
+      addOperand(A);
+  }
+
+  Function *getKernel() const { return Kernel; }
+  Value *getGrid() const { return getOperand(0); }
+  Value *getBlock() const { return getOperand(1); }
+  unsigned getNumArgs() const { return getNumOperands() - 2; }
+  Value *getArg(unsigned I) const { return getOperand(I + 2); }
+  void setArg(unsigned I, Value *V) { setOperand(I + 2, V); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::KernelLaunch;
+  }
+
+private:
+  Function *Kernel;
+};
+
+/// SSA phi node. Incoming blocks are kept in a parallel array to the
+/// incoming-value operands.
+class PhiInst : public Instruction {
+public:
+  PhiInst(Type *Ty, std::string Name)
+      : Instruction(ValueKind::Phi, Ty, std::move(Name)) {}
+
+  void addIncoming(Value *V, BasicBlock *BB) {
+    addOperand(V);
+    Blocks.push_back(BB);
+  }
+
+  unsigned getNumIncoming() const { return getNumOperands(); }
+  Value *getIncomingValue(unsigned I) const { return getOperand(I); }
+  void setIncomingValue(unsigned I, Value *V) { setOperand(I, V); }
+  BasicBlock *getIncomingBlock(unsigned I) const { return Blocks[I]; }
+  void setIncomingBlock(unsigned I, BasicBlock *BB) { Blocks[I] = BB; }
+
+  /// The incoming value for \p BB, or null if \p BB is not a predecessor.
+  Value *getIncomingValueFor(const BasicBlock *BB) const;
+
+  /// Drops all incoming (value, block) pairs.
+  void clearIncoming() {
+    dropAllOperands();
+    Blocks.clear();
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Phi; }
+
+private:
+  std::vector<BasicBlock *> Blocks;
+};
+
+/// Ternary select: cond ? tval : fval.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV, std::string Name)
+      : Instruction(ValueKind::Select, TrueV->getType(), std::move(Name)) {
+    addOperand(Cond);
+    addOperand(TrueV);
+    addOperand(FalseV);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Select;
+  }
+};
+
+/// Conditional or unconditional branch. Successor blocks are fields, not
+/// operands.
+class BranchInst : public Instruction {
+public:
+  /// Unconditional branch.
+  BranchInst(BasicBlock *Dest, Type *VoidTy)
+      : Instruction(ValueKind::Br, VoidTy) {
+    Succs[0] = Dest;
+    Succs[1] = nullptr;
+  }
+
+  /// Conditional branch.
+  BranchInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB,
+             Type *VoidTy)
+      : Instruction(ValueKind::Br, VoidTy) {
+    addOperand(Cond);
+    Succs[0] = TrueBB;
+    Succs[1] = FalseBB;
+  }
+
+  bool isConditional() const { return getNumOperands() == 1; }
+  Value *getCondition() const {
+    assert(isConditional() && "no condition on unconditional branch");
+    return getOperand(0);
+  }
+
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned I) const {
+    assert(I < getNumSuccessors() && "successor # out of range");
+    return Succs[I];
+  }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < getNumSuccessors() && "successor # out of range");
+    Succs[I] = BB;
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Br; }
+
+private:
+  BasicBlock *Succs[2];
+};
+
+/// Function return, with an optional value.
+class RetInst : public Instruction {
+public:
+  RetInst(Value *V, Type *VoidTy) : Instruction(ValueKind::Ret, VoidTy) {
+    if (V)
+      addOperand(V);
+  }
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    return hasReturnValue() ? getOperand(0) : nullptr;
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Ret; }
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_INSTRUCTIONS_H

@@ -1,0 +1,92 @@
+//===- ir/Module.h - Top-level IR container --------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns a TypeContext, a constant pool, globals, and functions.
+/// As in the paper's model, all global variables share a single common
+/// namespace with no distinction between CPU and GPU memory spaces until
+/// the CGCM passes introduce one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_MODULE_H
+#define CGCM_IR_MODULE_H
+
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+  ~Module();
+
+  const std::string &getName() const { return Name; }
+  TypeContext &getContext() { return Ctx; }
+
+  //===--------------------------------------------------------------------===//
+  // Constants (uniqued per module)
+  //===--------------------------------------------------------------------===//
+
+  ConstantInt *getConstantInt(IntegerType *Ty, int64_t V);
+  ConstantInt *getInt1(bool V);
+  ConstantInt *getInt32(int32_t V);
+  ConstantInt *getInt64(int64_t V);
+  ConstantFP *getConstantFP(Type *Ty, double V);
+  ConstantNull *getNullPtr(PointerType *Ty);
+
+  //===--------------------------------------------------------------------===//
+  // Globals
+  //===--------------------------------------------------------------------===//
+
+  GlobalVariable *createGlobal(Type *ValueTy, const std::string &Name,
+                               bool IsConstant);
+  GlobalVariable *getGlobal(const std::string &Name) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a function. If a declaration with the same name and type
+  /// already exists, returns it instead.
+  Function *getOrCreateFunction(const std::string &Name, FunctionType *FTy);
+  Function *getFunction(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Removes a dead function (no callers, no launches).
+  void eraseFunction(Function *F);
+
+  /// Renders the whole module in textual IR form.
+  std::string getString() const;
+
+private:
+  std::string Name;
+  TypeContext Ctx;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::map<std::pair<IntegerType *, int64_t>, std::unique_ptr<ConstantInt>>
+      IntConstants;
+  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>> FPConstants;
+  std::map<PointerType *, std::unique_ptr<ConstantNull>> NullConstants;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_MODULE_H

@@ -1,0 +1,152 @@
+//===- ir/Type.cpp - CGCM IR type system ----------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace cgcm;
+
+uint64_t Type::getSizeInBytes() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    CGCM_UNREACHABLE("void type has no size");
+  case TypeKind::Integer: {
+    unsigned Bits = cast<IntegerType>(this)->getBitWidth();
+    return Bits <= 8 ? 1 : Bits / 8;
+  }
+  case TypeKind::Float:
+    return 4;
+  case TypeKind::Double:
+    return 8;
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return AT->getElementType()->getSizeInBytes() * AT->getNumElements();
+  }
+  case TypeKind::Function:
+    CGCM_UNREACHABLE("function type has no size");
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+std::string Type::getString() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Integer:
+    return "i" + std::to_string(cast<IntegerType>(this)->getBitWidth());
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Pointer:
+    return cast<PointerType>(this)->getPointeeType()->getString() + "*";
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return "[" + std::to_string(AT->getNumElements()) + " x " +
+           AT->getElementType()->getString() + "]";
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = FT->getReturnType()->getString() + " (";
+    for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I) {
+      if (I)
+        S += ", ";
+      S += FT->getParamType(I)->getString();
+    }
+    return S + ")";
+  }
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+namespace {
+/// Trivially constructible concrete type for the singleton kinds.
+class PrimitiveType : public Type {
+public:
+  PrimitiveType(TypeContext &Ctx, TypeKind Kind) : Type(Ctx, Kind) {}
+};
+} // namespace
+
+TypeContext::TypeContext() {
+  auto AddPrimitive = [&](Type::TypeKind Kind) -> Type * {
+    OwnedTypes.push_back(std::make_unique<PrimitiveType>(*this, Kind));
+    return OwnedTypes.back().get();
+  };
+  VoidTy = AddPrimitive(Type::TypeKind::Void);
+  FloatTy = AddPrimitive(Type::TypeKind::Float);
+  DoubleTy = AddPrimitive(Type::TypeKind::Double);
+
+  auto AddInteger = [&](unsigned Bits) -> IntegerType * {
+    auto *T = new IntegerType(*this, Bits);
+    OwnedTypes.push_back(std::unique_ptr<Type>(T));
+    return T;
+  };
+  Int1Ty = AddInteger(1);
+  Int8Ty = AddInteger(8);
+  Int16Ty = AddInteger(16);
+  Int32Ty = AddInteger(32);
+  Int64Ty = AddInteger(64);
+}
+
+TypeContext::~TypeContext() = default;
+
+IntegerType *TypeContext::getIntegerTy(unsigned BitWidth) {
+  switch (BitWidth) {
+  case 1:
+    return Int1Ty;
+  case 8:
+    return Int8Ty;
+  case 16:
+    return Int16Ty;
+  case 32:
+    return Int32Ty;
+  case 64:
+    return Int64Ty;
+  default:
+    reportFatalError("unsupported integer bit width " +
+                     std::to_string(BitWidth));
+  }
+}
+
+PointerType *TypeContext::getPointerTo(Type *Pointee) {
+  assert(Pointee && "null pointee type");
+  auto It = PointerTypes.find(Pointee);
+  if (It != PointerTypes.end())
+    return It->second;
+  auto *T = new PointerType(*this, Pointee);
+  OwnedTypes.push_back(std::unique_ptr<Type>(T));
+  PointerTypes[Pointee] = T;
+  return T;
+}
+
+ArrayType *TypeContext::getArrayTy(Type *Element, uint64_t NumElements) {
+  assert(Element && "null element type");
+  auto Key = std::make_pair(Element, NumElements);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  auto *T = new ArrayType(*this, Element, NumElements);
+  OwnedTypes.push_back(std::unique_ptr<Type>(T));
+  ArrayTypes[Key] = T;
+  return T;
+}
+
+FunctionType *TypeContext::getFunctionTy(Type *Ret,
+                                         std::vector<Type *> Params) {
+  auto Key = std::make_pair(Ret, Params);
+  auto It = FunctionTypes.find(Key);
+  if (It != FunctionTypes.end())
+    return It->second;
+  auto *T = new FunctionType(*this, Ret, std::move(Params));
+  OwnedTypes.push_back(std::unique_ptr<Type>(T));
+  FunctionTypes[Key] = T;
+  return T;
+}

@@ -1,0 +1,193 @@
+//===- ir/Type.h - CGCM IR type system ------------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CGCM IR type system: void, integers (1/8/16/32/64 bits), float,
+/// double, pointers, sized arrays, and function types. Types are uniqued
+/// by a TypeContext and compared by pointer identity.
+///
+/// The type system is intentionally C-like and *unreliable* in the sense
+/// the paper exploits: nothing stops a front end from bit-casting integers
+/// to pointers, which is why the CGCM compiler infers pointer-ness from
+/// use rather than from declared types (paper section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_TYPE_H
+#define CGCM_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class TypeContext;
+
+/// Base class of the IR type hierarchy. Instances are uniqued per
+/// TypeContext, so pointer equality is type equality.
+class Type {
+public:
+  enum class TypeKind {
+    Void,
+    Integer,
+    Float,   ///< 32-bit IEEE float.
+    Double,  ///< 64-bit IEEE double.
+    Pointer,
+    Array,
+    Function,
+  };
+
+  Type(const Type &) = delete;
+  Type &operator=(const Type &) = delete;
+  virtual ~Type() = default;
+
+  TypeKind getKind() const { return Kind; }
+  TypeContext &getContext() const { return Ctx; }
+
+  bool isVoidTy() const { return Kind == TypeKind::Void; }
+  bool isIntegerTy() const { return Kind == TypeKind::Integer; }
+  bool isFloatTy() const { return Kind == TypeKind::Float; }
+  bool isDoubleTy() const { return Kind == TypeKind::Double; }
+  bool isFloatingPointTy() const { return isFloatTy() || isDoubleTy(); }
+  bool isPointerTy() const { return Kind == TypeKind::Pointer; }
+  bool isArrayTy() const { return Kind == TypeKind::Array; }
+  bool isFunctionTy() const { return Kind == TypeKind::Function; }
+
+  /// \returns the size of a value of this type in bytes as laid out in
+  /// simulated memory. Void and function types have no size (asserts).
+  uint64_t getSizeInBytes() const;
+
+  /// Renders the type in IR syntax, e.g. "[8 x double]*".
+  std::string getString() const;
+
+protected:
+  Type(TypeContext &Ctx, TypeKind Kind) : Ctx(Ctx), Kind(Kind) {}
+
+private:
+  TypeContext &Ctx;
+  TypeKind Kind;
+};
+
+/// An integer type with an explicit bit width (1, 8, 16, 32, or 64).
+class IntegerType : public Type {
+  friend class TypeContext;
+  IntegerType(TypeContext &Ctx, unsigned BitWidth)
+      : Type(Ctx, TypeKind::Integer), BitWidth(BitWidth) {}
+
+public:
+  unsigned getBitWidth() const { return BitWidth; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Integer;
+  }
+
+private:
+  unsigned BitWidth;
+};
+
+/// A pointer to a pointee type. All pointers are 8 bytes.
+class PointerType : public Type {
+  friend class TypeContext;
+  PointerType(TypeContext &Ctx, Type *Pointee)
+      : Type(Ctx, TypeKind::Pointer), Pointee(Pointee) {}
+
+public:
+  Type *getPointeeType() const { return Pointee; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Pointer;
+  }
+
+private:
+  Type *Pointee;
+};
+
+/// A fixed-size array of a homogeneous element type.
+class ArrayType : public Type {
+  friend class TypeContext;
+  ArrayType(TypeContext &Ctx, Type *Element, uint64_t NumElements)
+      : Type(Ctx, TypeKind::Array), Element(Element),
+        NumElements(NumElements) {}
+
+public:
+  Type *getElementType() const { return Element; }
+  uint64_t getNumElements() const { return NumElements; }
+
+  static bool classof(const Type *T) { return T->getKind() == TypeKind::Array; }
+
+private:
+  Type *Element;
+  uint64_t NumElements;
+};
+
+/// A function signature: return type plus parameter types.
+class FunctionType : public Type {
+  friend class TypeContext;
+  FunctionType(TypeContext &Ctx, Type *Ret, std::vector<Type *> Params)
+      : Type(Ctx, TypeKind::Function), Ret(Ret), Params(std::move(Params)) {}
+
+public:
+  Type *getReturnType() const { return Ret; }
+  const std::vector<Type *> &getParamTypes() const { return Params; }
+  unsigned getNumParams() const { return Params.size(); }
+  Type *getParamType(unsigned I) const { return Params[I]; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Function;
+  }
+
+private:
+  Type *Ret;
+  std::vector<Type *> Params;
+};
+
+/// Owns and uniques all types for one Module. Distinct structural types
+/// map to distinct objects; equal structure maps to the same object.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+  ~TypeContext();
+
+  Type *getVoidTy() { return VoidTy; }
+  Type *getFloatTy() { return FloatTy; }
+  Type *getDoubleTy() { return DoubleTy; }
+  IntegerType *getInt1Ty() { return Int1Ty; }
+  IntegerType *getInt8Ty() { return Int8Ty; }
+  IntegerType *getInt16Ty() { return Int16Ty; }
+  IntegerType *getInt32Ty() { return Int32Ty; }
+  IntegerType *getInt64Ty() { return Int64Ty; }
+  IntegerType *getIntegerTy(unsigned BitWidth);
+
+  PointerType *getPointerTo(Type *Pointee);
+  ArrayType *getArrayTy(Type *Element, uint64_t NumElements);
+  FunctionType *getFunctionTy(Type *Ret, std::vector<Type *> Params);
+
+private:
+  std::vector<std::unique_ptr<Type>> OwnedTypes;
+  Type *VoidTy;
+  Type *FloatTy;
+  Type *DoubleTy;
+  IntegerType *Int1Ty;
+  IntegerType *Int8Ty;
+  IntegerType *Int16Ty;
+  IntegerType *Int32Ty;
+  IntegerType *Int64Ty;
+  std::map<Type *, PointerType *> PointerTypes;
+  std::map<std::pair<Type *, uint64_t>, ArrayType *> ArrayTypes;
+  std::map<std::pair<Type *, std::vector<Type *>>, FunctionType *>
+      FunctionTypes;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_TYPE_H

@@ -1,0 +1,66 @@
+//===- ir/Value.cpp - Base of the IR value hierarchy ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include <algorithm>
+
+using namespace cgcm;
+
+Value::~Value() {
+  assert(Users.empty() && "deleting a value that still has users");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  // Take a snapshot: setOperand mutates the use list we are iterating.
+  std::vector<User *> Snapshot = Users;
+  for (User *U : Snapshot)
+    for (unsigned I = 0, E = U->getNumOperands(); I != E; ++I)
+      if (U->getOperand(I) == this)
+        U->setOperand(I, New);
+  assert(Users.empty() && "RAUW left stale uses behind");
+}
+
+void User::addOperand(Value *V) {
+  assert(V && "null operand");
+  Operands.push_back(V);
+  V->Users.push_back(this);
+}
+
+void User::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "setOperand() out of range");
+  assert(V && "null operand");
+  Value *Old = Operands[I];
+  if (Old == V)
+    return;
+  auto &OldUsers = Old->Users;
+  auto It = std::find(OldUsers.begin(), OldUsers.end(), this);
+  assert(It != OldUsers.end() && "use list out of sync");
+  OldUsers.erase(It);
+  Operands[I] = V;
+  V->Users.push_back(this);
+}
+
+void User::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "removeOperand() out of range");
+  Value *Old = Operands[I];
+  auto &OldUsers = Old->Users;
+  auto It = std::find(OldUsers.begin(), OldUsers.end(), this);
+  assert(It != OldUsers.end() && "use list out of sync");
+  OldUsers.erase(It);
+  Operands.erase(Operands.begin() + I);
+}
+
+void User::dropAllOperands() {
+  for (Value *V : Operands) {
+    auto &VUsers = V->Users;
+    auto It = std::find(VUsers.begin(), VUsers.end(), this);
+    assert(It != VUsers.end() && "use list out of sync");
+    VUsers.erase(It);
+  }
+  Operands.clear();
+}

@@ -1,0 +1,135 @@
+//===- ir/Value.h - Base of the IR value hierarchy ------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the base of everything that can appear as an operand: function
+/// arguments, constants, globals, functions, and instructions. User extends
+/// Value with an operand list; def-use edges are maintained in both
+/// directions so passes can enumerate users and rewrite uses (RAUW).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_VALUE_H
+#define CGCM_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class User;
+
+/// Base class of all IR values. Every value has a type and an optional
+/// name; the printer falls back to per-function numbering for unnamed
+/// values.
+class Value {
+public:
+  enum class ValueKind {
+    Argument,
+    BasicBlock,
+    ConstantInt,
+    ConstantFP,
+    ConstantNull,
+    GlobalVariable,
+    Function,
+    // Instruction kinds. Keep InstBegin/InstEnd in sync with the range.
+    InstBegin,
+    Alloca = InstBegin,
+    Load,
+    Store,
+    GEP,
+    BinOp,
+    Cmp,
+    Cast,
+    Call,
+    KernelLaunch,
+    Phi,
+    Select,
+    Br,
+    Ret,
+    InstEnd = Ret,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(const std::string &N) { Name = N; }
+  bool hasName() const { return !Name.empty(); }
+
+  /// All users of this value. A user appears once per use, so a user with
+  /// two identical operands appears twice.
+  const std::vector<User *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+  unsigned getNumUses() const { return Users.size(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  bool isInstruction() const {
+    return Kind >= ValueKind::InstBegin && Kind <= ValueKind::InstEnd;
+  }
+
+protected:
+  Value(ValueKind Kind, Type *Ty, std::string Name = "")
+      : Kind(Kind), Ty(Ty), Name(std::move(Name)) {}
+
+private:
+  friend class User;
+
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+  std::vector<User *> Users;
+};
+
+/// A value that references other values as operands.
+class User : public Value {
+public:
+  ~User() override { dropAllOperands(); }
+
+  unsigned getNumOperands() const { return Operands.size(); }
+
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "getOperand() out of range");
+    return Operands[I];
+  }
+
+  /// Replaces operand \p I, maintaining use lists on both old and new
+  /// values.
+  void setOperand(unsigned I, Value *V);
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Removes this user from the use lists of all of its operands and
+  /// clears the operand list.
+  void dropAllOperands();
+
+protected:
+  User(ValueKind Kind, Type *Ty, std::string Name = "")
+      : Value(Kind, Ty, std::move(Name)) {}
+
+  /// Appends \p V to the operand list, registering the use.
+  void addOperand(Value *V);
+
+  /// Removes operand \p I entirely (shrinking the operand list).
+  void removeOperand(unsigned I);
+
+private:
+  std::vector<Value *> Operands;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_IR_VALUE_H

@@ -1,0 +1,312 @@
+//===- ir/Verifier.cpp - IR structural invariant checking ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Function &F) : F(F) {}
+
+  bool run(std::string *Err) {
+    if (!checkBlocks() || !checkTypes() || !checkPhis() || !checkDominance() ||
+        !checkKernelRestrictions()) {
+      if (Err)
+        *Err = Message;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "in function '" << F.getName() << "': " << Msg;
+    Message = OS.str();
+    return false;
+  }
+
+  bool checkBlocks() {
+    std::set<const BasicBlock *> InFunction;
+    for (const auto &BB : F)
+      InFunction.insert(BB.get());
+    for (const auto &BB : F) {
+      if (BB->empty())
+        return fail("empty basic block '" + BB->getName() + "'");
+      if (!BB->getTerminator())
+        return fail("block '" + BB->getName() + "' lacks a terminator");
+      bool SeenNonPhi = false;
+      for (const auto &I : *BB) {
+        if (I->isTerminator() && I.get() != BB->back())
+          return fail("terminator in the middle of block '" + BB->getName() +
+                      "'");
+        if (isa<PhiInst>(I.get())) {
+          if (SeenNonPhi)
+            return fail("phi after non-phi in block '" + BB->getName() + "'");
+        } else {
+          SeenNonPhi = true;
+        }
+        if (I->getParent() != BB.get())
+          return fail("instruction parent link is stale");
+      }
+      for (BasicBlock *Succ : BB->successors())
+        if (!InFunction.count(Succ))
+          return fail("branch to block outside the function");
+    }
+    return true;
+  }
+
+  bool checkTypes() {
+    for (const Instruction *I : F.instructions()) {
+      switch (I->getKind()) {
+      case Value::ValueKind::Load: {
+        const auto *PT = dyn_cast<PointerType>(I->getOperand(0)->getType());
+        if (!PT)
+          return fail("load from a non-pointer operand");
+        if (PT->getPointeeType() != I->getType())
+          return fail("load result type does not match pointee type");
+        break;
+      }
+      case Value::ValueKind::Store: {
+        const auto *SI = cast<StoreInst>(I);
+        const auto *PT =
+            dyn_cast<PointerType>(SI->getPointerOperand()->getType());
+        if (!PT)
+          return fail("store to a non-pointer operand");
+        if (PT->getPointeeType() != SI->getValueOperand()->getType())
+          return fail("store value type does not match pointee type");
+        break;
+      }
+      case Value::ValueKind::GEP: {
+        if (!isa<PointerType>(I->getOperand(0)->getType()))
+          return fail("gep on a non-pointer operand");
+        if (!I->getOperand(1)->getType()->isIntegerTy())
+          return fail("gep index is not an integer");
+        break;
+      }
+      case Value::ValueKind::BinOp: {
+        const auto *B = cast<BinOpInst>(I);
+        if (B->getLHS()->getType() != B->getRHS()->getType())
+          return fail("binop operand types differ");
+        if (B->isFloatingPointOp() != B->getLHS()->getType()->isFloatingPointTy())
+          return fail("binop opcode does not match operand types");
+        break;
+      }
+      case Value::ValueKind::Cmp: {
+        const auto *C = cast<CmpInst>(I);
+        if (C->getLHS()->getType() != C->getRHS()->getType())
+          return fail("cmp operand types differ");
+        break;
+      }
+      case Value::ValueKind::Call: {
+        const auto *C = cast<CallInst>(I);
+        const FunctionType *FTy = C->getCallee()->getFunctionType();
+        if (C->getNumArgs() != FTy->getNumParams())
+          return fail("call to '" + C->getCallee()->getName() +
+                      "' with wrong argument count");
+        for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
+          if (C->getArg(A)->getType() != FTy->getParamType(A))
+            return fail("call to '" + C->getCallee()->getName() +
+                        "' argument " + std::to_string(A) + " type mismatch");
+        if (C->getType() != FTy->getReturnType())
+          return fail("call result type mismatch");
+        break;
+      }
+      case Value::ValueKind::KernelLaunch: {
+        const auto *K = cast<KernelLaunchInst>(I);
+        if (!K->getKernel()->isKernel())
+          return fail("launch of non-kernel function '" +
+                      K->getKernel()->getName() + "'");
+        if (!K->getGrid()->getType()->isIntegerTy() ||
+            !K->getBlock()->getType()->isIntegerTy())
+          return fail("launch grid/block dimensions must be integers");
+        const FunctionType *FTy = K->getKernel()->getFunctionType();
+        if (K->getNumArgs() != FTy->getNumParams())
+          return fail("launch of '" + K->getKernel()->getName() +
+                      "' with wrong argument count");
+        for (unsigned A = 0, E = K->getNumArgs(); A != E; ++A)
+          if (K->getArg(A)->getType() != FTy->getParamType(A))
+            return fail("launch of '" + K->getKernel()->getName() +
+                        "' argument " + std::to_string(A) + " type mismatch");
+        break;
+      }
+      case Value::ValueKind::Br: {
+        const auto *B = cast<BranchInst>(I);
+        if (B->isConditional()) {
+          const auto *IT =
+              dyn_cast<IntegerType>(B->getCondition()->getType());
+          if (!IT || IT->getBitWidth() != 1)
+            return fail("branch condition is not i1");
+        }
+        break;
+      }
+      case Value::ValueKind::Ret: {
+        const auto *R = cast<RetInst>(I);
+        Type *RetTy = F.getReturnType();
+        if (R->hasReturnValue()) {
+          if (R->getReturnValue()->getType() != RetTy)
+            return fail("returned value type does not match function type");
+        } else if (!RetTy->isVoidTy()) {
+          return fail("missing return value in non-void function");
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    return true;
+  }
+
+  bool checkPhis() {
+    for (const auto &BB : F) {
+      std::vector<BasicBlock *> Preds = BB->predecessors();
+      for (const auto &I : *BB) {
+        const auto *P = dyn_cast<PhiInst>(I.get());
+        if (!P)
+          break;
+        if (P->getNumIncoming() != Preds.size())
+          return fail("phi incoming count does not match predecessors in '" +
+                      BB->getName() + "'");
+        for (unsigned V = 0, E = P->getNumIncoming(); V != E; ++V) {
+          if (std::find(Preds.begin(), Preds.end(), P->getIncomingBlock(V)) ==
+              Preds.end())
+            return fail("phi references a non-predecessor block");
+          if (P->getIncomingValue(V)->getType() != P->getType())
+            return fail("phi incoming value type mismatch");
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Computes dominators with the classic iterative set algorithm (blocks
+  /// here are few) and checks defs dominate uses.
+  bool checkDominance() {
+    std::vector<const BasicBlock *> Blocks;
+    std::map<const BasicBlock *, unsigned> Index;
+    for (const auto &BB : F) {
+      Index[BB.get()] = Blocks.size();
+      Blocks.push_back(BB.get());
+    }
+    unsigned N = Blocks.size();
+    // Dom[i] = bitset of blocks dominating block i.
+    std::vector<std::set<unsigned>> Dom(N);
+    std::set<unsigned> All;
+    for (unsigned I = 0; I != N; ++I)
+      All.insert(I);
+    for (unsigned I = 0; I != N; ++I)
+      Dom[I] = All;
+    Dom[0] = {0};
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned I = 1; I != N; ++I) {
+        std::set<unsigned> NewDom = All;
+        std::vector<BasicBlock *> Preds = Blocks[I]->predecessors();
+        if (Preds.empty()) {
+          NewDom = {I}; // Unreachable block: dominated only by itself.
+        } else {
+          for (BasicBlock *P : Preds) {
+            const std::set<unsigned> &PD = Dom[Index[P]];
+            std::set<unsigned> Tmp;
+            std::set_intersection(NewDom.begin(), NewDom.end(), PD.begin(),
+                                  PD.end(), std::inserter(Tmp, Tmp.begin()));
+            NewDom = std::move(Tmp);
+          }
+          NewDom.insert(I);
+        }
+        if (NewDom != Dom[I]) {
+          Dom[I] = std::move(NewDom);
+          Changed = true;
+        }
+      }
+    }
+
+    auto Dominates = [&](const Instruction *Def, const Instruction *Use,
+                         const BasicBlock *UseBB) {
+      const BasicBlock *DefBB = Def->getParent();
+      if (DefBB != UseBB)
+        return Dom[Index[UseBB]].count(Index[DefBB]) != 0;
+      for (const auto &I : *DefBB) {
+        if (I.get() == Def)
+          return true;
+        if (I.get() == Use)
+          return false;
+      }
+      return false;
+    };
+
+    for (const auto &BB : F) {
+      for (const auto &I : *BB) {
+        for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI) {
+          const auto *Def = dyn_cast<Instruction>(I->getOperand(OpI));
+          if (!Def)
+            continue;
+          if (Def->getFunction() != &F)
+            return fail("operand defined in a different function");
+          if (const auto *P = dyn_cast<PhiInst>(I.get())) {
+            // Phi uses must dominate the end of the incoming block.
+            const BasicBlock *In = P->getIncomingBlock(OpI);
+            if (Def->getParent() != In &&
+                !Dom[Index[In]].count(Index[Def->getParent()]))
+              return fail("phi incoming value does not dominate its edge");
+            continue;
+          }
+          if (!Dominates(Def, I.get(), BB.get()))
+            return fail("definition does not dominate use of '" +
+                        std::string(Def->getOpcodeName()) + "' result");
+        }
+      }
+    }
+    return true;
+  }
+
+  /// The paper's restriction: pointers may not be stored inside GPU
+  /// functions (section 2.3). Enforced here on declared types; the GPU
+  /// executor additionally enforces it dynamically.
+  bool checkKernelRestrictions() {
+    if (!F.isKernel())
+      return true;
+    for (const Instruction *I : F.instructions())
+      if (const auto *SI = dyn_cast<StoreInst>(I))
+        if (SI->getValueOperand()->getType()->isPointerTy() &&
+            !isa<AllocaInst>(SI->getPointerOperand()))
+          // Spills to the kernel's own frame (direct alloca targets) are
+          // fine; the restriction is about pointers escaping into
+          // GPU-visible data structures.
+          return fail("kernel stores a pointer, which CGCM forbids");
+    return true;
+  }
+
+  const Function &F;
+  std::string Message;
+};
+
+} // namespace
+
+bool cgcm::verifyFunction(const Function &F, std::string *Err) {
+  if (F.isDeclaration())
+    return true;
+  return VerifierImpl(F).run(Err);
+}
+
+bool cgcm::verifyModule(const Module &M, std::string *Err) {
+  for (const auto &F : M.functions())
+    if (!verifyFunction(*F, Err))
+      return false;
+  return true;
+}

@@ -1,0 +1,34 @@
+//===- ir/Verifier.h - IR structural invariant checking --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks structural IR invariants after construction and after every
+/// transformation pass: terminated blocks, operand typing, phi/predecessor
+/// agreement, def-before-use within blocks and across the dominator tree,
+/// and the CGCM kernel restrictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_IR_VERIFIER_H
+#define CGCM_IR_VERIFIER_H
+
+#include <string>
+
+namespace cgcm {
+
+class Module;
+class Function;
+
+/// Verifies \p M. On failure returns false and, if \p Err is non-null,
+/// stores a description of the first violation found.
+bool verifyModule(const Module &M, std::string *Err = nullptr);
+
+/// Verifies a single function definition.
+bool verifyFunction(const Function &F, std::string *Err = nullptr);
+
+} // namespace cgcm
+
+#endif // CGCM_IR_VERIFIER_H

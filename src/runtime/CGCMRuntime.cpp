@@ -1,0 +1,244 @@
+//===- runtime/CGCMRuntime.cpp - The CGCM run-time library ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CGCMRuntime.h"
+
+#include "support/ErrorHandling.h"
+
+#include <vector>
+
+using namespace cgcm;
+
+void CGCMRuntime::chargeCall() {
+  Stats.RuntimeCycles += TM.RuntimeCallOverhead;
+  ++Stats.RuntimeCalls;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracking (section 3.1)
+//===----------------------------------------------------------------------===//
+
+void CGCMRuntime::declareGlobal(const std::string &Name, uint64_t Ptr,
+                                uint64_t Size, bool IsReadOnly) {
+  chargeCall();
+  AllocUnitInfo Info;
+  Info.Base = Ptr;
+  Info.Size = Size;
+  Info.IsGlobal = true;
+  Info.IsReadOnly = IsReadOnly;
+  Info.Name = Name;
+  Units[Ptr] = Info;
+}
+
+void CGCMRuntime::declareAlloca(uint64_t Ptr, uint64_t Size) {
+  chargeCall();
+  AllocUnitInfo Info;
+  Info.Base = Ptr;
+  Info.Size = Size;
+  Units[Ptr] = Info;
+}
+
+void CGCMRuntime::removeAlloca(uint64_t Ptr) {
+  auto It = Units.find(Ptr);
+  if (It == Units.end())
+    return;
+  // A mapped stack unit going out of scope releases its GPU copy; keeping
+  // it would leak device memory for the rest of the program.
+  if (It->second.RefCount > 0 && !It->second.IsGlobal)
+    Device.cuMemFree(It->second.DevPtr);
+  Units.erase(It);
+}
+
+void CGCMRuntime::notifyHeapAlloc(uint64_t Ptr, uint64_t Size) {
+  chargeCall();
+  AllocUnitInfo Info;
+  Info.Base = Ptr;
+  Info.Size = Size;
+  Units[Ptr] = Info;
+}
+
+void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
+                                    uint64_t NewSize) {
+  chargeCall();
+  notifyHeapFree(OldPtr);
+  notifyHeapAlloc(NewPtr, NewSize);
+}
+
+void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
+  chargeCall();
+  auto It = Units.find(Ptr);
+  if (It == Units.end())
+    reportFatalError("cgcm runtime: free of untracked heap pointer");
+  if (It->second.RefCount > 0 && !It->second.IsGlobal)
+    Device.cuMemFree(It->second.DevPtr);
+  Units.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup
+//===----------------------------------------------------------------------===//
+
+const AllocUnitInfo *CGCMRuntime::lookup(uint64_t Ptr) const {
+  auto It = Units.upper_bound(Ptr);
+  if (It == Units.begin())
+    return nullptr;
+  --It;
+  const AllocUnitInfo &Info = It->second;
+  if (Ptr >= Info.Base + Info.Size)
+    return nullptr;
+  return &Info;
+}
+
+AllocUnitInfo &CGCMRuntime::lookupOrFail(uint64_t Ptr, const char *Op) {
+  const AllocUnitInfo *Info = lookup(Ptr);
+  if (!Info)
+    reportFatalError(std::string("cgcm runtime: ") + Op + " of pointer " +
+                     std::to_string(Ptr) +
+                     " which is in no tracked allocation unit");
+  return const_cast<AllocUnitInfo &>(*Info);
+}
+
+size_t CGCMRuntime::getNumMappedUnits() const {
+  size_t N = 0;
+  for (const auto &[Base, Info] : Units)
+    if (Info.RefCount > 0)
+      ++N;
+  return N;
+}
+
+bool CGCMRuntime::translateToDevice(uint64_t HostPtr, uint64_t &DevPtr) const {
+  const AllocUnitInfo *Info = lookup(HostPtr);
+  if (!Info || Info->RefCount == 0)
+    return false;
+  DevPtr = Info->DevPtr + (HostPtr - Info->Base);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// map / unmap / release (Algorithms 1-3)
+//===----------------------------------------------------------------------===//
+
+uint64_t CGCMRuntime::map(uint64_t Ptr) {
+  chargeCall();
+  AllocUnitInfo &Info = lookupOrFail(Ptr, "map");
+  if (Info.RefCount > 0 && !RefCountReuseEnabled) {
+    // Ablation: pretend we did not know the unit was resident.
+    Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+  }
+  if (Info.RefCount == 0) {
+    if (!Info.IsGlobal)
+      Info.DevPtr = Device.cuMemAlloc(Info.Size);
+    else
+      Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
+    Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    // A fresh GPU copy is current as of this epoch; unmap needs to copy
+    // back only after a later kernel launch.
+    Info.Epoch = GlobalEpoch;
+  }
+  ++Info.RefCount;
+  return Info.DevPtr + (Ptr - Info.Base);
+}
+
+void CGCMRuntime::unmap(uint64_t Ptr) {
+  chargeCall();
+  AllocUnitInfo &Info = lookupOrFail(Ptr, "unmap");
+  if (Info.RefCount == 0)
+    return; // Nothing on the GPU to copy back.
+  if ((Info.Epoch != GlobalEpoch || !EpochCheckEnabled) && !Info.IsReadOnly) {
+    Device.cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size);
+    Info.Epoch = GlobalEpoch;
+  }
+}
+
+void CGCMRuntime::release(uint64_t Ptr) {
+  chargeCall();
+  AllocUnitInfo &Info = lookupOrFail(Ptr, "release");
+  if (Info.RefCount == 0)
+    reportFatalError("cgcm runtime: release of an unmapped allocation unit");
+  --Info.RefCount;
+  if (Info.RefCount == 0 && !Info.IsGlobal) {
+    Device.cuMemFree(Info.DevPtr);
+    Info.DevPtr = 0;
+    Info.IsPointerArray = false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Array variants (doubly indirect pointers)
+//===----------------------------------------------------------------------===//
+
+uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
+  chargeCall();
+  AllocUnitInfo &Info = lookupOrFail(Ptr, "mapArray");
+  uint64_t NumSlots = Info.Size / 8;
+  bool NeedsCopy = Info.RefCount == 0;
+
+  // Map every pointer stored in the unit, translating to device pointers.
+  std::vector<uint64_t> Translated(NumSlots, 0);
+  for (uint64_t I = 0; I != NumSlots; ++I) {
+    uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
+    if (Elem == 0)
+      continue;
+    Translated[I] = map(Elem);
+  }
+
+  // lookupOrFail reference may have been invalidated by nested map()
+  // rebalancing? std::map nodes are stable, so Info stays valid.
+  if (NeedsCopy) {
+    if (!Info.IsGlobal)
+      Info.DevPtr = Device.cuMemAlloc(Info.Size);
+    else
+      Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
+    // The device copy holds *translated* pointers, not raw host bytes.
+    // Transfer cost is identical to a raw copy of the unit.
+    Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    for (uint64_t I = 0; I != NumSlots; ++I)
+      Device.getMemory().writeUInt(Info.DevPtr + I * 8, Translated[I], 8);
+    Info.Epoch = GlobalEpoch;
+    Info.IsPointerArray = true;
+  }
+  ++Info.RefCount;
+  return Info.DevPtr + (Ptr - Info.Base);
+}
+
+void CGCMRuntime::unmapArray(uint64_t Ptr) {
+  chargeCall();
+  AllocUnitInfo &Info = lookupOrFail(Ptr, "unmapArray");
+  // Update each pointed-to unit from the GPU. The pointer array itself is
+  // not copied back: its GPU copy holds device pointers that would
+  // corrupt the host array.
+  uint64_t NumSlots = Info.Size / 8;
+  for (uint64_t I = 0; I != NumSlots; ++I) {
+    uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
+    if (Elem == 0)
+      continue;
+    unmap(Elem);
+  }
+}
+
+void CGCMRuntime::releaseArray(uint64_t Ptr) {
+  chargeCall();
+  AllocUnitInfo &Info = lookupOrFail(Ptr, "releaseArray");
+  uint64_t NumSlots = Info.Size / 8;
+  for (uint64_t I = 0; I != NumSlots; ++I) {
+    uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
+    if (Elem == 0)
+      continue;
+    release(Elem);
+  }
+  release(Info.Base);
+}
+
+void CGCMRuntime::releaseAll() {
+  for (auto &[Base, Info] : Units) {
+    if (Info.RefCount == 0)
+      continue;
+    if (!Info.IsGlobal)
+      Device.cuMemFree(Info.DevPtr);
+    Info.RefCount = 0;
+    Info.DevPtr = 0;
+  }
+}

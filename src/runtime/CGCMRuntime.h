@@ -1,0 +1,157 @@
+//===- runtime/CGCMRuntime.h - The CGCM run-time library --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's run-time support library (section 3). It tracks allocation
+/// units in a self-balancing tree keyed by base address, translates CPU
+/// pointers to equivalent GPU pointers, and manages GPU copies with
+/// reference counts and a per-launch epoch:
+///
+///   map(ptr)      — Algorithm 1: copy the unit to the GPU on first map,
+///                   bump its reference count, translate the pointer.
+///   unmap(ptr)    — Algorithm 2: copy the unit back to the CPU at most
+///                   once per epoch, unless it is read-only.
+///   release(ptr)  — Algorithm 3: drop a reference; free the GPU copy at
+///                   zero (globals are never freed).
+///   mapArray / unmapArray / releaseArray — the same semantics for doubly
+///                   indirect pointers: every CPU pointer stored in the
+///                   unit is itself mapped and translated into the GPU
+///                   copy of the array.
+///   declareGlobal / declareAlloca / heap wrappers — section 3.1 tracking
+///                   for globals, escaping stack variables, and the heap.
+///
+/// The runtime never consults static types: everything is an opaque
+/// address, exactly as in the paper. Pointer arithmetic and aliasing are
+/// handled by the greatest-lower-bound lookup over allocation units.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_RUNTIME_CGCMRUNTIME_H
+#define CGCM_RUNTIME_CGCMRUNTIME_H
+
+#include "gpusim/GPUDevice.h"
+#include "gpusim/SimMemory.h"
+#include "gpusim/Timing.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cgcm {
+
+/// Allocation-unit bookkeeping record (the paper's allocInfoMap values).
+struct AllocUnitInfo {
+  uint64_t Base = 0;
+  uint64_t Size = 0;
+  uint64_t DevPtr = 0;
+  unsigned RefCount = 0;
+  uint64_t Epoch = 0;
+  bool IsGlobal = false;
+  bool IsReadOnly = false;
+  bool IsPointerArray = false; ///< Mapped via mapArray.
+  std::string Name;            ///< For globals: cuModuleGetGlobal key.
+};
+
+class CGCMRuntime {
+public:
+  CGCMRuntime(SimMemory &Host, GPUDevice &Device, TimingModel &TM,
+              ExecStats &Stats)
+      : Host(Host), Device(Device), TM(TM), Stats(Stats) {}
+
+  //===--------------------------------------------------------------------===//
+  // Section 3.1: tracking allocation units
+  //===--------------------------------------------------------------------===//
+
+  /// Registers a global variable (compiler inserts a call before main).
+  /// Declaring at run time sidesteps position-independent code and ASLR,
+  /// as the paper notes.
+  void declareGlobal(const std::string &Name, uint64_t Ptr, uint64_t Size,
+                     bool IsReadOnly);
+
+  /// Registers an escaping stack variable. The registration expires when
+  /// the frame is popped (removeAlloca).
+  void declareAlloca(uint64_t Ptr, uint64_t Size);
+
+  /// Expires a stack registration at scope exit.
+  void removeAlloca(uint64_t Ptr);
+
+  /// Heap wrapper hooks: malloc/calloc register, realloc re-registers,
+  /// free unregisters.
+  void notifyHeapAlloc(uint64_t Ptr, uint64_t Size);
+  void notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr, uint64_t NewSize);
+  void notifyHeapFree(uint64_t Ptr);
+
+  //===--------------------------------------------------------------------===//
+  // Section 3.2/3.3: mapping semantics
+  //===--------------------------------------------------------------------===//
+
+  /// Maps a CPU pointer to the equivalent GPU pointer (Algorithm 1).
+  uint64_t map(uint64_t Ptr);
+
+  /// Updates CPU memory from the GPU copy if stale (Algorithm 2).
+  void unmap(uint64_t Ptr);
+
+  /// Releases one reference to the GPU copy (Algorithm 3).
+  void release(uint64_t Ptr);
+
+  /// Array (doubly indirect) variants.
+  uint64_t mapArray(uint64_t Ptr);
+  void unmapArray(uint64_t Ptr);
+  void releaseArray(uint64_t Ptr);
+
+  /// Called on every kernel launch; advances the epoch that makes unmap
+  /// copy back at most once per launch.
+  void onKernelLaunch() { ++GlobalEpoch; }
+
+  uint64_t getEpoch() const { return GlobalEpoch; }
+
+  //===--------------------------------------------------------------------===//
+  // Introspection (tests, benches, inspector oracle)
+  //===--------------------------------------------------------------------===//
+
+  /// Greatest-LTE lookup; null if the pointer is in no tracked unit.
+  const AllocUnitInfo *lookup(uint64_t Ptr) const;
+
+  size_t getNumTrackedUnits() const { return Units.size(); }
+  size_t getNumMappedUnits() const;
+
+  /// Translates a host pointer to its device equivalent if the unit is
+  /// currently mapped; returns false otherwise. (Used by the GPU executor
+  /// to resolve pointers the compiler proved map-promotable.)
+  bool translateToDevice(uint64_t HostPtr, uint64_t &DevPtr) const;
+
+  /// Releases every mapped unit (end-of-program cleanup in tests).
+  void releaseAll();
+
+  //===--------------------------------------------------------------------===//
+  // Ablation knobs (benchmarks only)
+  //===--------------------------------------------------------------------===//
+
+  /// Disables the epoch check: unmap copies back on every call, not once
+  /// per kernel launch (ablates Algorithm 2's staleness test).
+  void setEpochCheckEnabled(bool V) { EpochCheckEnabled = V; }
+
+  /// Disables reference-count reuse: map re-copies host data even when
+  /// the unit is already resident (ablates Algorithm 1's refCount test).
+  void setRefCountReuseEnabled(bool V) { RefCountReuseEnabled = V; }
+
+private:
+  AllocUnitInfo &lookupOrFail(uint64_t Ptr, const char *Op);
+  void chargeCall();
+
+  SimMemory &Host;
+  GPUDevice &Device;
+  TimingModel &TM;
+  ExecStats &Stats;
+  std::map<uint64_t, AllocUnitInfo> Units; ///< Keyed by base address.
+  uint64_t GlobalEpoch = 1;
+  bool EpochCheckEnabled = true;
+  bool RefCountReuseEnabled = true;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_RUNTIME_CGCMRUNTIME_H

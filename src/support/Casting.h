@@ -1,0 +1,76 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast templates --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the isa<>, cast<>, and dyn_cast<> templates, a hand-rolled,
+/// opt-in form of RTTI in the style of llvm/Support/Casting.h. A class
+/// hierarchy participates by providing a static `classof(const Base *)`
+/// predicate on each derived class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_CASTING_H
+#define CGCM_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace cgcm {
+
+/// Returns true if \p Val is an instance of the class \p To (or one of its
+/// descendants). \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else
+    return To::classof(Val);
+}
+
+/// Variadic isa<>: true if \p Val is an instance of any of the listed types.
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked cast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking cast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null argument (returning false).
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null argument (propagating it).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_CASTING_H

@@ -1,0 +1,23 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting -----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cgcm;
+
+void cgcm::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "cgcm fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void cgcm::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

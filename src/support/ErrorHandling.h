@@ -1,0 +1,37 @@
+//===- support/ErrorHandling.h - Fatal error reporting -------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the CGCM_UNREACHABLE marker, mirroring
+/// llvm/Support/ErrorHandling.h. Library code never throws; invariant
+/// violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_ERRORHANDLING_H
+#define CGCM_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace cgcm {
+
+/// Reports a fatal error (an unrecoverable environment or usage problem)
+/// and aborts the process. The message follows tool-style conventions:
+/// lowercase first letter, no trailing period.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Implementation hook for CGCM_UNREACHABLE.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace cgcm
+
+/// Marks a point in code that should never be reached if program invariants
+/// hold. Prints the message, file, and line, then aborts.
+#define CGCM_UNREACHABLE(msg)                                                  \
+  ::cgcm::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // CGCM_SUPPORT_ERRORHANDLING_H

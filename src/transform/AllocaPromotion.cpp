@@ -1,0 +1,161 @@
+//===- transform/AllocaPromotion.cpp - Hoist locals up the call graph -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/AllocaPromotion.h"
+
+#include "analysis/CallGraph.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/Utils.h"
+
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+/// True if \p F's parameter \p ArgNo participates in GPU work: used by a
+/// runtime call or kernel launch, or forwarded to a parameter that is.
+bool paramFeedsGPUWork(const Function *F, unsigned ArgNo,
+                       std::set<std::pair<const Function *, unsigned>> &Seen);
+
+/// Walks forward from \p V through casts/geps looking for GPU uses.
+bool valueFeedsGPUWork(const Value *V,
+                       std::set<std::pair<const Function *, unsigned>> &Seen) {
+  for (const User *U : V->users()) {
+    if (isa<KernelLaunchInst>(U))
+      return true;
+    if (const auto *CI = dyn_cast<CallInst>(U)) {
+      if (isRuntimeFunction(CI->getCallee()))
+        return true;
+      if (!CI->getCallee()->isDeclaration()) {
+        for (unsigned I = 0, E = CI->getNumArgs(); I != E; ++I)
+          if (CI->getArg(I) == V &&
+              paramFeedsGPUWork(CI->getCallee(), I, Seen))
+            return true;
+      }
+      continue;
+    }
+    if (isa<CastInst>(U) || isa<GEPInst>(U))
+      if (valueFeedsGPUWork(static_cast<const Value *>(U), Seen))
+        return true;
+  }
+  return false;
+}
+
+bool paramFeedsGPUWork(const Function *F, unsigned ArgNo,
+                       std::set<std::pair<const Function *, unsigned>> &Seen) {
+  if (!Seen.insert({F, ArgNo}).second)
+    return false;
+  return valueFeedsGPUWork(F->getArg(ArgNo), Seen);
+}
+
+class AllocaPromoter {
+public:
+  explicit AllocaPromoter(Module &M) : M(M) {}
+
+  AllocaPromotionStats run() {
+    bool Changed = true;
+    while (Changed && Stats.Iterations < 16) {
+      Changed = false;
+      ++Stats.Iterations;
+      CallGraph CG(M);
+      for (Function *F : CG.getBottomUpOrder()) {
+        if (F->isKernel() || CG.isRecursive(F) || F->getName() == "main")
+          continue;
+        if (hoistOneAlloca(*F, CG)) {
+          Changed = true;
+          break; // Call graph changed; rebuild.
+        }
+      }
+    }
+    std::string Err;
+    if (!verifyModule(M, &Err))
+      reportFatalError("alloca promotion produced invalid IR: " + Err);
+    return Stats;
+  }
+
+private:
+  bool hoistOneAlloca(Function &F, CallGraph &CG) {
+    const std::vector<CallInst *> &Callers = CG.getCallers(&F);
+    if (Callers.empty())
+      return false;
+    for (CallInst *CS : Callers)
+      if (CS->getFunction()->isKernel())
+        return false;
+
+    for (Instruction *I : F.instructions()) {
+      auto *AI = dyn_cast<AllocaInst>(I);
+      if (!AI || AI->hasArraySize())
+        continue;
+      std::set<std::pair<const Function *, unsigned>> Seen;
+      if (!valueFeedsGPUWork(AI, Seen))
+        continue;
+      hoist(F, AI, Callers);
+      ++Stats.AllocasHoisted;
+      return true;
+    }
+    return false;
+  }
+
+  void hoist(Function &F, AllocaInst *AI, std::vector<CallInst *> Callers) {
+    // Drop F's own registration: the buffer now lives in the caller's
+    // frame, so the caller registers it.
+    CallInst *DeclCall = nullptr;
+    Value *DeclCast = nullptr;
+    for (User *U : AI->users()) {
+      if (auto *CI = dyn_cast<CallInst>(U)) {
+        if (CI->getCallee()->getName() == "cgcm_declare_alloca")
+          DeclCall = CI;
+      } else if (auto *Cast = dyn_cast<CastInst>(U)) {
+        for (User *CU : Cast->users())
+          if (auto *CI = dyn_cast<CallInst>(CU))
+            if (CI->getCallee()->getName() == "cgcm_declare_alloca") {
+              DeclCall = CI;
+              DeclCast = Cast;
+            }
+      }
+    }
+    if (DeclCall)
+      DeclCall->eraseFromParent();
+    if (DeclCast && !DeclCast->hasUses())
+      cast<Instruction>(DeclCast)->eraseFromParent();
+
+    Argument *NewArg = F.appendArgument(
+        AI->getType(), AI->hasName() ? AI->getName() : "hoisted");
+    AI->replaceAllUsesWith(NewArg);
+    AI->eraseFromParent();
+
+    RuntimeAPI API = getOrDeclareRuntimeAPI(M);
+    for (CallInst *CS : Callers) {
+      Function *Caller = CS->getFunction();
+      // Preallocate in the caller's frame: entry block, before its first
+      // real instruction, so one buffer serves every call.
+      IRBuilder B(M);
+      B.setInsertPoint(Caller->getEntryBlock()->front());
+      AllocaInst *Pre = B.createAlloca(
+          cast<PointerType>(NewArg->getType())->getPointeeType(), nullptr,
+          NewArg->getName());
+      Value *P8 = B.createCast(
+          CastInst::Op::Bitcast, Pre,
+          M.getContext().getPointerTo(M.getContext().getInt8Ty()));
+      B.createCall(API.DeclareAlloca,
+                   {P8, M.getInt64(static_cast<int64_t>(
+                            Pre->getAllocatedType()->getSizeInBytes()))});
+      CS->appendArg(Pre);
+    }
+  }
+
+  Module &M;
+  AllocaPromotionStats Stats;
+};
+
+} // namespace
+
+AllocaPromotionStats cgcm::promoteAllocasUpCallGraph(Module &M) {
+  return AllocaPromoter(M).run();
+}

@@ -1,0 +1,38 @@
+//===- transform/AllocaPromotion.h - Hoist locals up the call graph ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alloca promotion (paper section 5.2): map promotion cannot hoist a
+/// local variable's map above the function that allocates it. This pass
+/// preallocates escaping locals in the parents' stack frames — the
+/// alloca becomes a new parameter, each caller allocates the buffer —
+/// letting map operations climb higher in the call graph. Like map
+/// promotion it iterates to convergence and skips recursive functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_ALLOCAPROMOTION_H
+#define CGCM_TRANSFORM_ALLOCAPROMOTION_H
+
+#include "ir/Module.h"
+
+namespace cgcm {
+
+struct AllocaPromotionStats {
+  unsigned AllocasHoisted = 0;
+  unsigned Iterations = 0;
+};
+
+/// Hoists escaping constant-size allocas into callers. Must run before
+/// the management pass inserts declareAlloca calls (the pass schedule is
+/// glue kernels, alloca promotion, management bookkeeping for new sites,
+/// then map promotion) — here we hoist both the alloca and, if present,
+/// its cgcm_declare_alloca registration.
+AllocaPromotionStats promoteAllocasUpCallGraph(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_ALLOCAPROMOTION_H

@@ -1,0 +1,146 @@
+//===- transform/Applicability.cpp - Framework applicability models ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Applicability.h"
+
+#include "analysis/TypeInference.h"
+
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+/// Strips value-preserving casts from a launch argument.
+const Value *stripCasts(const Value *V, bool &SawIntPtrCast) {
+  while (const auto *C = dyn_cast<CastInst>(V)) {
+    if (C->getOp() == CastInst::Op::IntToPtr ||
+        C->getOp() == CastInst::Op::PtrToInt)
+      SawIntPtrCast = true;
+    else if (C->getOp() != CastInst::Op::Bitcast)
+      break;
+    V = C->getValueOperand();
+  }
+  return V;
+}
+
+/// A "named allocation unit": a whole global, a whole alloca, or a whole
+/// heap allocation — not a pointer derived by arithmetic.
+bool isNamedUnit(const Value *Root) {
+  if (isa<GlobalVariable>(Root) || isa<AllocaInst>(Root))
+    return true;
+  if (const auto *CI = dyn_cast<CallInst>(Root)) {
+    const std::string &N = CI->getCallee()->getName();
+    return N == "malloc" || N == "calloc" || N == "realloc";
+  }
+  return false;
+}
+
+/// True if \p V's computation tree (within the kernel) contains a load —
+/// a data-dependent ("irregular") subscript.
+bool indexUsesLoad(const Value *V, std::set<const Value *> &Visited) {
+  if (!Visited.insert(V).second)
+    return false;
+  if (isa<LoadInst>(V))
+    return true;
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+  for (const Value *Op : I->operands())
+    if (!isa<BasicBlock>(Op) && indexUsesLoad(Op, Visited))
+      return true;
+  return false;
+}
+
+unsigned degreeValue(PointerDegree D) {
+  switch (D) {
+  case PointerDegree::Scalar:
+    return 0;
+  case PointerDegree::Pointer:
+    return 1;
+  case PointerDegree::DoublePointer:
+    return 2;
+  case PointerDegree::Deeper:
+    return 3;
+  }
+  return 3;
+}
+
+} // namespace
+
+LaunchApplicability
+cgcm::analyzeLaunchApplicability(const KernelLaunchInst *KL) {
+  LaunchApplicability R;
+  R.Launch = KL;
+  const Function *Kernel = KL->getKernel();
+  KernelLiveIns LI = analyzeKernelLiveIns(*Kernel);
+
+  // Max indirection over arguments and globals.
+  for (PointerDegree D : LI.ArgDegrees)
+    R.MaxIndirection = std::max(R.MaxIndirection, degreeValue(D));
+  for (const auto &[GV, D] : LI.GlobalDegrees)
+    R.MaxIndirection = std::max(R.MaxIndirection, degreeValue(D));
+
+  // Pointer live-ins must be distinct named units for NR/affine/IE.
+  std::set<const Value *> Roots;
+  for (unsigned I = 0, E = KL->getNumArgs(); I != E; ++I) {
+    if (LI.ArgDegrees[I] == PointerDegree::Scalar)
+      continue;
+    bool SawIntPtr = false;
+    const Value *Root = stripCasts(KL->getArg(I), SawIntPtr);
+    if (SawIntPtr)
+      R.UsesSubversiveCasts = true;
+    if (!isNamedUnit(Root)) {
+      R.LiveInsAreDistinctNamedUnits = false;
+      R.HasPointerArithmeticLiveIn = true;
+    } else if (!Roots.insert(Root).second) {
+      R.LiveInsAreDistinctNamedUnits = false; // Aliasing live-ins.
+    }
+  }
+  for (const auto &[GV, D] : LI.GlobalDegrees) {
+    (void)D;
+    if (!Roots.insert(GV).second)
+      R.LiveInsAreDistinctNamedUnits = false;
+  }
+
+  // Irregular subscripts and subversive casts inside the kernel.
+  for (const Function *F : LI.DeviceFunctions) {
+    for (const auto &BB : *F) {
+      for (const auto &I : *BB) {
+        if (const auto *G = dyn_cast<GEPInst>(I.get())) {
+          std::set<const Value *> Visited;
+          if (indexUsesLoad(G->getIndexOperand(), Visited))
+            R.HasIrregularIndexing = true;
+        }
+        if (const auto *C = dyn_cast<CastInst>(I.get()))
+          if (C->getOp() == CastInst::Op::IntToPtr ||
+              C->getOp() == CastInst::Op::PtrToInt)
+            R.UsesSubversiveCasts = true;
+      }
+    }
+  }
+
+  R.CGCM = R.MaxIndirection <= 2;
+  R.NamedRegions = R.LiveInsAreDistinctNamedUnits && R.MaxIndirection <= 1 &&
+                   !R.HasIrregularIndexing && !R.UsesSubversiveCasts;
+  R.Affine = R.NamedRegions; // Same applicability (paper section 6.3).
+  R.InspectorExecutor =
+      R.LiveInsAreDistinctNamedUnits && R.MaxIndirection <= 1 &&
+      !R.UsesSubversiveCasts;
+  return R;
+}
+
+std::vector<LaunchApplicability> cgcm::analyzeModuleApplicability(Module &M) {
+  std::vector<LaunchApplicability> Result;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration() || F->isKernel())
+      continue;
+    for (Instruction *I : F->instructions())
+      if (const auto *KL = dyn_cast<KernelLaunchInst>(I))
+        Result.push_back(analyzeLaunchApplicability(KL));
+  }
+  return Result;
+}

@@ -1,0 +1,63 @@
+//===- transform/Applicability.h - Framework applicability models -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the applicability guards of the communication-management
+/// frameworks the paper compares against (Table 1, and the right half of
+/// Table 3):
+///
+///  * CGCM — applicable whenever no live-in exceeds two levels of
+///    indirection; tolerates aliasing, interior pointers, pointer
+///    arithmetic, irregular accesses, and weak typing.
+///  * Named regions (OpenMP-to-GPGPU) and the affine PGI model — require
+///    every pointer live-in to be a *distinct named allocation unit*
+///    (a global or a whole malloc/alloca result, not a derived pointer),
+///    at most one level of indirection, induction-variable based array
+///    indexes (no loaded subscripts), and no pointer/integer casts.
+///  * Inspector-executor — requires distinct named allocation units and
+///    single indirection, but handles irregular subscripts (that is what
+///    the inspector is for).
+///
+/// These predicates run on the *unmanaged* module (before the management
+/// pass rewrites launch arguments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_APPLICABILITY_H
+#define CGCM_TRANSFORM_APPLICABILITY_H
+
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace cgcm {
+
+struct LaunchApplicability {
+  const KernelLaunchInst *Launch = nullptr;
+
+  // Feature probes (Table 1 columns).
+  unsigned MaxIndirection = 0;
+  bool LiveInsAreDistinctNamedUnits = true;
+  bool HasIrregularIndexing = false;
+  bool UsesSubversiveCasts = false;
+  bool HasPointerArithmeticLiveIn = false;
+
+  // Per-framework verdicts.
+  bool CGCM = false;
+  bool NamedRegions = false;
+  bool Affine = false;
+  bool InspectorExecutor = false;
+};
+
+/// Analyzes one kernel launch in unmanaged IR.
+LaunchApplicability analyzeLaunchApplicability(const KernelLaunchInst *KL);
+
+/// Analyzes every launch in the module.
+std::vector<LaunchApplicability> analyzeModuleApplicability(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_APPLICABILITY_H

@@ -1,0 +1,235 @@
+//===- transform/CommManagement.cpp - Insert runtime management calls -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/CommManagement.h"
+
+#include "analysis/TypeInference.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/Utils.h"
+
+#include <map>
+
+using namespace cgcm;
+
+namespace {
+
+/// Casts \p V to i8* before \p InsertPt (reusing nothing; promotion dedups
+/// by looking through the cast).
+Value *castToBytePtr(Module &M, IRBuilder &B, Value *V) {
+  TypeContext &Ctx = M.getContext();
+  Type *I8Ptr = Ctx.getPointerTo(Ctx.getInt8Ty());
+  if (V->getType() == I8Ptr)
+    return V;
+  return B.createCast(CastInst::Op::Bitcast, V, I8Ptr);
+}
+
+class ManagementPass {
+public:
+  explicit ManagementPass(Module &M)
+      : M(M), API(getOrDeclareRuntimeAPI(M)), B(M) {}
+
+  ManagementStats run() {
+    declareGlobals();
+    declareAllocas();
+    manageAllLaunches();
+    std::string Err;
+    if (!verifyModule(M, &Err))
+      reportFatalError("communication management produced invalid IR: " +
+                       Err);
+    return Stats;
+  }
+
+  void manageLaunch(KernelLaunchInst *Launch) {
+    Function *Kernel = Launch->getKernel();
+    const KernelLiveIns &LI = liveInsFor(Kernel);
+    BasicBlock *BB = Launch->getParent();
+
+    // Find the instruction after the launch (launches never terminate a
+    // block) to anchor the unmap/release insertions.
+    auto It = BB->getIterator(Launch);
+    ++It;
+    assert(It != BB->end() && "kernel launch at end of block");
+    Instruction *After = It->get();
+
+    struct Managed {
+      Value *BytePtr;
+      bool IsArray;
+    };
+    std::vector<Managed> ManagedPtrs;
+
+    // Arguments, by inferred degree (the declared types are ignored).
+    B.setInsertPoint(Launch);
+    for (unsigned I = 0, E = Launch->getNumArgs(); I != E; ++I) {
+      PointerDegree D = LI.ArgDegrees[I];
+      if (D == PointerDegree::Scalar)
+        continue;
+      if (D == PointerDegree::Deeper)
+        reportFatalError(
+            "kernel '" + Kernel->getName() + "' argument " +
+            std::to_string(I) +
+            " has three or more levels of indirection; CGCM supports at "
+            "most two (paper section 2.3)");
+      Value *HostPtr = Launch->getArg(I);
+      Value *A8 = castToBytePtr(M, B, HostPtr);
+      bool IsArray = D == PointerDegree::DoublePointer;
+      Value *D8 =
+          B.createCall(IsArray ? API.MapArray : API.Map, {A8}, "dev");
+      Value *DevPtr = D8;
+      if (HostPtr->getType() != D8->getType())
+        DevPtr = B.createCast(CastInst::Op::Bitcast, D8, HostPtr->getType());
+      Launch->setArg(I, DevPtr);
+      ManagedPtrs.push_back({A8, IsArray});
+      if (IsArray)
+        ++Stats.MapArraysInserted;
+      else
+        ++Stats.MapsInserted;
+    }
+
+    // Globals used by the kernel: map them so the runtime copies into the
+    // device's named region (cuModuleGetGlobal); the kernel references
+    // the global directly, so the translated pointer is unused.
+    for (const auto &[GV, D] : LI.GlobalDegrees) {
+      if (D == PointerDegree::Deeper)
+        reportFatalError("global '" + GV->getName() +
+                         "' has three or more levels of indirection");
+      B.setInsertPoint(Launch);
+      Value *G8 = castToBytePtr(M, B, const_cast<GlobalVariable *>(GV));
+      bool IsArray = D == PointerDegree::DoublePointer;
+      B.createCall(IsArray ? API.MapArray : API.Map, {G8});
+      ManagedPtrs.push_back({G8, IsArray});
+      if (IsArray)
+        ++Stats.MapArraysInserted;
+      else
+        ++Stats.MapsInserted;
+    }
+
+    // After the launch: unmap everything, then release everything.
+    B.setInsertPoint(After);
+    for (const Managed &MP : ManagedPtrs)
+      B.createCall(MP.IsArray ? API.UnmapArray : API.Unmap, {MP.BytePtr});
+    for (const Managed &MP : ManagedPtrs)
+      B.createCall(MP.IsArray ? API.ReleaseArray : API.Release,
+                   {MP.BytePtr});
+
+    ++Stats.LaunchesManaged;
+  }
+
+  ManagementStats Stats;
+
+private:
+  const KernelLiveIns &liveInsFor(Function *Kernel) {
+    auto It = LiveInCache.find(Kernel);
+    if (It != LiveInCache.end())
+      return It->second;
+    return LiveInCache[Kernel] = analyzeKernelLiveIns(*Kernel);
+  }
+
+  void declareGlobals() {
+    Function *Main = M.getFunction("main");
+    if (!Main || Main->isDeclaration())
+      reportFatalError("management requires a defined main");
+    // Snapshot: creating name-string globals must not redeclare them.
+    std::vector<GlobalVariable *> Originals;
+    for (const auto &GV : M.globals())
+      Originals.push_back(GV.get());
+
+    Instruction *First = Main->getEntryBlock()->front();
+    B.setInsertPoint(First);
+    TypeContext &Ctx = M.getContext();
+    for (GlobalVariable *GV : Originals) {
+      // The runtime receives the name at run time (section 3.1: declaring
+      // addresses at run time sidesteps PIC and ASLR).
+      GlobalVariable *NameStr = internName(GV->getName());
+      Value *NamePtr = B.createArrayDecay(NameStr);
+      Value *G8 = castToBytePtr(M, B, GV);
+      B.createCall(API.DeclareGlobal,
+                   {NamePtr, G8,
+                    M.getInt64(static_cast<int64_t>(GV->getSizeInBytes())),
+                    M.getInt32(GV->isConstant() ? 1 : 0)});
+      ++Stats.GlobalsDeclared;
+    }
+  }
+
+  GlobalVariable *internName(const std::string &Name) {
+    std::string SymName = ".cgcmname." + Name;
+    if (GlobalVariable *Existing = M.getGlobal(SymName))
+      return Existing;
+    TypeContext &Ctx = M.getContext();
+    auto *GV = M.createGlobal(Ctx.getArrayTy(Ctx.getInt8Ty(), Name.size() + 1),
+                              SymName, /*IsConstant=*/true);
+    std::vector<uint8_t> Bytes(Name.begin(), Name.end());
+    Bytes.push_back(0);
+    GV->setInitializer(std::move(Bytes));
+    return GV;
+  }
+
+  void declareAllocas() {
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration() || F->isKernel())
+        continue;
+      std::vector<AllocaInst *> Allocas;
+      for (Instruction *I : F->instructions())
+        if (auto *AI = dyn_cast<AllocaInst>(I))
+          Allocas.push_back(AI);
+      for (AllocaInst *AI : Allocas) {
+        // Insert immediately after the alloca.
+        auto It = AI->getParent()->getIterator(AI);
+        ++It;
+        assert(It != AI->getParent()->end() && "alloca terminates a block?");
+        B.setInsertPoint(It->get());
+        Value *A8 = castToBytePtr(M, B, AI);
+        Value *Size =
+            M.getInt64(static_cast<int64_t>(
+                AI->getAllocatedType()->getSizeInBytes()));
+        if (AI->hasArraySize()) {
+          Value *Count = AI->getArraySize();
+          if (Count->getType() != M.getContext().getInt64Ty())
+            Count = B.createCast(CastInst::Op::SExt, Count,
+                                 M.getContext().getInt64Ty());
+          Size = B.createMul(Size, Count);
+        }
+        B.createCall(API.DeclareAlloca, {A8, Size});
+        ++Stats.AllocasDeclared;
+      }
+    }
+  }
+
+  void manageAllLaunches() {
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration() || F->isKernel())
+        continue;
+      std::vector<KernelLaunchInst *> Launches;
+      for (Instruction *I : F->instructions())
+        if (auto *KL = dyn_cast<KernelLaunchInst>(I))
+          Launches.push_back(KL);
+      for (KernelLaunchInst *KL : Launches)
+        manageLaunch(KL);
+    }
+  }
+
+  Module &M;
+  RuntimeAPI API;
+  IRBuilder B;
+  std::map<const Function *, KernelLiveIns> LiveInCache;
+};
+
+} // namespace
+
+ManagementStats cgcm::insertCommunicationManagement(Module &M) {
+  ManagementPass Pass(M);
+  return Pass.run();
+}
+
+void cgcm::manageSingleLaunch(Module &M, KernelLaunchInst *Launch,
+                              ManagementStats &Stats) {
+  ManagementPass Pass(M);
+  Pass.manageLaunch(Launch);
+  Stats.LaunchesManaged += Pass.Stats.LaunchesManaged;
+  Stats.MapsInserted += Pass.Stats.MapsInserted;
+  Stats.MapArraysInserted += Pass.Stats.MapArraysInserted;
+}

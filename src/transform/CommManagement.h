@@ -1,0 +1,51 @@
+//===- transform/CommManagement.h - Insert runtime management calls ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The communication-management compiler pass (paper section 4). Starting
+/// from CPU code that calls GPU kernels with *no* communication at all
+/// (one shared namespace), it:
+///
+///  * registers every global with the runtime before main runs
+///    (declareGlobal) and every escaping stack variable at its
+///    allocation (declareAlloca);
+///  * for each kernel launch, computes the live-in values (arguments and
+///    used globals), infers their pointer degree by use (section 4's
+///    type inference, ignoring the unreliable C types), and wraps the
+///    launch in map/mapArray before and unmap/unmapArray +
+///    release/releaseArray after.
+///
+/// The result is correct but maximally cyclic communication — exactly
+/// Listing 3 — which the optimization passes then improve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_COMMMANAGEMENT_H
+#define CGCM_TRANSFORM_COMMMANAGEMENT_H
+
+#include "ir/Module.h"
+
+namespace cgcm {
+
+struct ManagementStats {
+  unsigned LaunchesManaged = 0;
+  unsigned MapsInserted = 0;
+  unsigned MapArraysInserted = 0;
+  unsigned GlobalsDeclared = 0;
+  unsigned AllocasDeclared = 0;
+};
+
+/// Runs full management over the module.
+ManagementStats insertCommunicationManagement(Module &M);
+
+/// Manages a single launch (used by the glue-kernel pass for launches it
+/// creates after the main management pass has run).
+void manageSingleLaunch(Module &M, KernelLaunchInst *Launch,
+                        ManagementStats &Stats);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_COMMMANAGEMENT_H

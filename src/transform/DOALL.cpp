@@ -1,0 +1,641 @@
+//===- transform/DOALL.cpp - Simple DOALL loop parallelizer -----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/DOALL.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryObjects.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/Utils.h"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+/// DOALL-local object identification: like findMemoryObject, but treats
+/// distinct pointer arguments as distinct objects (the restrict-style
+/// assumption simple parallelizers make; see header comment).
+struct DOALLObject {
+  const Value *Root = nullptr;
+  bool Identified = false;
+
+  bool operator==(const DOALLObject &O) const { return Root == O.Root; }
+  bool operator<(const DOALLObject &O) const { return Root < O.Root; }
+};
+
+DOALLObject classifyForDOALL(const Value *Addr) {
+  MemoryObject O = findMemoryObject(Addr);
+  DOALLObject R;
+  R.Root = O.Root;
+  R.Identified = O.isIdentified() || isa<Argument>(O.Root);
+  return R;
+}
+
+/// The canonical loop shape the parallelizer accepts.
+struct CanonicalLoop {
+  Loop *L = nullptr;
+  PhiInst *IV = nullptr;
+  Value *Init = nullptr;
+  Value *Bound = nullptr;
+  BinOpInst *Increment = nullptr;
+  CmpInst *Cond = nullptr;
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Latch = nullptr;
+  BasicBlock *Exit = nullptr;
+};
+
+class DOALLDriver {
+public:
+  explicit DOALLDriver(Module &M) : M(M) {}
+
+  DOALLStats run() {
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration() || F->isKernel())
+        continue;
+      // Transforming invalidates loop structures; iterate one loop at a
+      // time to a fixpoint per function.
+      while (parallelizeOneLoop(*F))
+        ;
+    }
+    return Stats;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Loop recognition
+  //===--------------------------------------------------------------------===//
+
+  std::optional<CanonicalLoop> matchCanonical(Loop *L) {
+    CanonicalLoop C;
+    C.L = L;
+    BasicBlock *H = L->getHeader();
+
+    C.Preheader = L->getPreheader();
+    if (!C.Preheader)
+      return std::nullopt;
+    Instruction *PreTerm = C.Preheader->getTerminator();
+    auto *PreBr = dyn_cast<BranchInst>(PreTerm);
+    if (!PreBr || PreBr->isConditional())
+      return std::nullopt;
+
+    std::vector<BasicBlock *> Latches = L->getLatches();
+    if (Latches.size() != 1)
+      return std::nullopt;
+    C.Latch = Latches[0];
+    auto *LatchBr = dyn_cast<BranchInst>(C.Latch->getTerminator());
+    if (!LatchBr || LatchBr->isConditional())
+      return std::nullopt;
+
+    // Exactly one phi: the induction variable.
+    PhiInst *IV = nullptr;
+    for (const auto &I : *H) {
+      auto *P = dyn_cast<PhiInst>(I.get());
+      if (!P)
+        break;
+      if (IV)
+        return std::nullopt; // Second phi: a recurrence; not DOALL.
+      IV = P;
+    }
+    if (!IV || IV->getNumIncoming() != 2)
+      return std::nullopt;
+    C.IV = IV;
+    for (unsigned I = 0; I != 2; ++I) {
+      if (IV->getIncomingBlock(I) == C.Preheader)
+        C.Init = IV->getIncomingValue(I);
+      else if (IV->getIncomingBlock(I) == C.Latch) {
+        auto *Inc = dyn_cast<BinOpInst>(IV->getIncomingValue(I));
+        if (!Inc || Inc->getOp() != BinOpInst::Op::Add)
+          return std::nullopt;
+        auto *One = dyn_cast<ConstantInt>(Inc->getRHS());
+        if (Inc->getLHS() != IV || !One || !One->isOne())
+          return std::nullopt;
+        C.Increment = Inc;
+      }
+    }
+    if (!C.Init || !C.Increment)
+      return std::nullopt;
+
+    // Header: phi; cmp slt(IV, Bound); condbr(body, exit).
+    auto *HBr = dyn_cast<BranchInst>(H->getTerminator());
+    if (!HBr || !HBr->isConditional())
+      return std::nullopt;
+    auto *Cmp = dyn_cast<CmpInst>(HBr->getCondition());
+    if (!Cmp || Cmp->getPredicate() != CmpInst::Predicate::SLT ||
+        Cmp->getLHS() != IV)
+      return std::nullopt;
+    C.Cond = Cmp;
+    C.Bound = Cmp->getRHS();
+    if (auto *BI = dyn_cast<Instruction>(C.Bound))
+      if (L->contains(BI))
+        return std::nullopt; // Bound varies inside the loop.
+    if (L->contains(HBr->getSuccessor(0)) == L->contains(HBr->getSuccessor(1)))
+      return std::nullopt;
+    C.Exit = L->contains(HBr->getSuccessor(0)) ? HBr->getSuccessor(1)
+                                               : HBr->getSuccessor(0);
+    if (C.Exit != HBr->getSuccessor(1))
+      return std::nullopt; // Canonical: true branch enters the loop.
+
+    // The header must be the only block that exits the loop.
+    for (BasicBlock *BB : L->getBlocks())
+      for (BasicBlock *S : BB->successors())
+        if (!L->contains(S) && BB != H)
+          return std::nullopt;
+    // The exit block must have the header as its only predecessor and no
+    // phis (no SSA values flow out of a DOALL loop).
+    if (C.Exit->predecessors().size() != 1)
+      return std::nullopt;
+    if (isa<PhiInst>(C.Exit->front()))
+      return std::nullopt;
+    return C;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Dependence testing
+  //===--------------------------------------------------------------------===//
+
+  /// An address (or integer) expression viewed as
+  ///   IVCoeff * IV + Const + (terms in IV-free symbols).
+  /// Symbol terms (inner-loop phis, loop-invariant values) contribute to
+  /// neither field; a value the walker cannot classify fails.
+  struct AffineForm {
+    int64_t IVCoeff = 0;
+    int64_t Const = 0;
+  };
+
+  std::optional<AffineForm> affineParts(const Value *V,
+                                        const CanonicalLoop &C,
+                                        std::set<const Value *> &Visiting) {
+    if (V == C.IV)
+      return AffineForm{1, 0};
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return AffineForm{0, CI->getValue()};
+    if (isa<GlobalVariable>(V) || isa<Argument>(V))
+      return AffineForm{0, 0}; // Symbol.
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return std::nullopt;
+    if (!C.L->contains(I))
+      return AffineForm{0, 0}; // Loop-invariant symbol.
+    if (PhiAssumptions.count(I))
+      return AffineForm{0, 0}; // Assumed-symbolic inner induction.
+    if (!Visiting.insert(V).second)
+      return std::nullopt; // Cycle (non-IV recurrence).
+
+    std::optional<AffineForm> R;
+    switch (I->getKind()) {
+    case Value::ValueKind::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      auto P = affineParts(G->getPointerOperand(), C, Visiting);
+      auto X = affineParts(G->getIndexOperand(), C, Visiting);
+      if (P && X) {
+        int64_t Step =
+            static_cast<int64_t>(G->getSteppedType()->getSizeInBytes());
+        R = AffineForm{P->IVCoeff + X->IVCoeff * Step,
+                       P->Const + X->Const * Step};
+      }
+      break;
+    }
+    case Value::ValueKind::Cast:
+      R = affineParts(cast<CastInst>(I)->getValueOperand(), C, Visiting);
+      break;
+    case Value::ValueKind::BinOp: {
+      const auto *B = cast<BinOpInst>(I);
+      auto X = affineParts(B->getLHS(), C, Visiting);
+      auto Y = affineParts(B->getRHS(), C, Visiting);
+      if (!X || !Y)
+        break;
+      switch (B->getOp()) {
+      case BinOpInst::Op::Add:
+        R = AffineForm{X->IVCoeff + Y->IVCoeff, X->Const + Y->Const};
+        break;
+      case BinOpInst::Op::Sub:
+        R = AffineForm{X->IVCoeff - Y->IVCoeff, X->Const - Y->Const};
+        break;
+      case BinOpInst::Op::Mul: {
+        // Linear only when one side is a literal constant (a symbol-free
+        // constant expression has IVCoeff 0 and carries its value in
+        // Const only if it really is a ConstantInt; be conservative).
+        const auto *KL = dyn_cast<ConstantInt>(B->getLHS());
+        const auto *KR = dyn_cast<ConstantInt>(B->getRHS());
+        if (KR && X)
+          R = AffineForm{X->IVCoeff * KR->getValue(),
+                         X->Const * KR->getValue()};
+        else if (KL && Y)
+          R = AffineForm{Y->IVCoeff * KL->getValue(),
+                         Y->Const * KL->getValue()};
+        else if (X->IVCoeff == 0 && Y->IVCoeff == 0 && X->Const == 0 &&
+                 Y->Const == 0)
+          R = AffineForm{0, 0}; // symbol * symbol stays a symbol.
+        break;
+      }
+      default:
+        if (X->IVCoeff == 0 && Y->IVCoeff == 0 && X->Const == 0 &&
+            Y->Const == 0)
+          R = AffineForm{0, 0}; // IV-free bit-twiddling of symbols.
+        break;
+      }
+      break;
+    }
+    case Value::ValueKind::Phi: {
+      // An inner-loop induction variable: a symbol iff IV-free on every
+      // incoming path. Optimistically assume the phi itself is a symbol
+      // so its own recurrence (j = j + 1) resolves, then verify.
+      const auto *P = cast<PhiInst>(I);
+      PhiAssumptions.insert(P);
+      bool Symbol = true;
+      for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+        auto X = affineParts(P->getIncomingValue(K), C, Visiting);
+        if (!X || X->IVCoeff != 0) {
+          Symbol = false;
+          break;
+        }
+      }
+      PhiAssumptions.erase(P);
+      if (Symbol)
+        R = AffineForm{0, 0};
+      break;
+    }
+    case Value::ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      auto X = affineParts(S->getTrueValue(), C, Visiting);
+      auto Y = affineParts(S->getFalseValue(), C, Visiting);
+      auto Z = affineParts(S->getCondition(), C, Visiting);
+      if (X && Y && Z && X->IVCoeff == 0 && Y->IVCoeff == 0 &&
+          Z->IVCoeff == 0)
+        R = AffineForm{0, 0};
+      break;
+    }
+    default:
+      break; // Loads, calls: not classifiable.
+    }
+    Visiting.erase(V);
+    return R;
+  }
+
+  static bool isPureMath(const Function *F) {
+    const std::string &N = F->getName();
+    return N == "sqrt" || N == "exp" || N == "log" || N == "sin" ||
+           N == "cos" || N == "fabs" || N == "pow";
+  }
+
+  bool isIndependent(const CanonicalLoop &C) {
+    // Gather all memory effects.
+    struct WriteInfo {
+      const StoreInst *SI;
+      DOALLObject Obj;
+      AffineForm Form;
+    };
+    std::vector<WriteInfo> Writes;
+    std::vector<const LoadInst *> Loads;
+
+    for (BasicBlock *BB : C.L->getBlocks()) {
+      for (const auto &I : *BB) {
+        if (isa<KernelLaunchInst>(I.get()) || isa<AllocaInst>(I.get()))
+          return false;
+        if (const auto *CI = dyn_cast<CallInst>(I.get())) {
+          if (!isPureMath(CI->getCallee()))
+            return false;
+          continue;
+        }
+        if (const auto *SI = dyn_cast<StoreInst>(I.get())) {
+          // CGCM forbids pointer stores inside GPU functions (section
+          // 2.3), so a loop storing pointers cannot become a kernel.
+          if (SI->getValueOperand()->getType()->isPointerTy())
+            return false;
+          DOALLObject Obj = classifyForDOALL(SI->getPointerOperand());
+          if (!Obj.Identified)
+            return false;
+          std::set<const Value *> Visiting;
+          auto Form = affineParts(SI->getPointerOperand(), C, Visiting);
+          if (!Form || Form->IVCoeff == 0)
+            return false; // Same address every iteration, or non-affine.
+          Writes.push_back({SI, Obj, *Form});
+          continue;
+        }
+        if (const auto *LI = dyn_cast<LoadInst>(I.get()))
+          Loads.push_back(LI);
+      }
+    }
+
+    // All writes to one object must target the same per-iteration slice:
+    // equal IV coefficients and constant offsets within one stride.
+    for (const WriteInfo &A : Writes) {
+      for (const WriteInfo &B : Writes) {
+        if (&A == &B)
+          continue;
+        bool Alias = (!A.Obj.Identified || !B.Obj.Identified)
+                         ? true
+                         : A.Obj.Root == B.Obj.Root;
+        if (!Alias)
+          continue;
+        if (A.Form.IVCoeff != B.Form.IVCoeff ||
+            std::llabs(A.Form.Const - B.Form.Const) >=
+                std::llabs(A.Form.IVCoeff))
+          return false;
+      }
+    }
+
+    // Reads: a load may touch a written object only inside the same
+    // iteration's slice: equal IV coefficient and a constant offset
+    // smaller than the IV's byte stride. That admits read-modify-write
+    // (A[i][j] += x), intra-row shifts (X[i][j-1] vs X[i][j]), and
+    // same-row symbolic indices (A[i][k] vs A[i][j]) under the row-local
+    // in-bounds assumption documented in DESIGN.md; it rejects
+    // cross-iteration stencils (A[i-1][j] vs A[i][j]).
+    for (const LoadInst *LI : Loads) {
+      DOALLObject Obj = classifyForDOALL(LI->getPointerOperand());
+      for (const WriteInfo &W : Writes) {
+        bool Alias = (!Obj.Identified || !W.Obj.Identified)
+                         ? true
+                         : Obj.Root == W.Obj.Root;
+        if (!Alias)
+          continue;
+        std::set<const Value *> Visiting;
+        auto RF = affineParts(LI->getPointerOperand(), C, Visiting);
+        if (!RF || RF->IVCoeff != W.Form.IVCoeff ||
+            std::llabs(RF->Const - W.Form.Const) >=
+                std::llabs(W.Form.IVCoeff))
+          return false;
+      }
+    }
+    return !Writes.empty(); // A loop with no writes gains nothing.
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Outlining
+  //===--------------------------------------------------------------------===//
+
+  /// Values defined outside the loop but used inside (excluding globals
+  /// and constants, which kernels reference directly).
+  std::vector<Value *> collectLiveIns(const CanonicalLoop &C) {
+    std::vector<Value *> LiveIns;
+    std::set<Value *> Seen;
+    for (BasicBlock *BB : C.L->getBlocks()) {
+      for (const auto &I : *BB) {
+        for (Value *Op : I->operands()) {
+          if (isa<Constant>(Op) || isa<GlobalVariable>(Op) ||
+              isa<Function>(Op) || isa<BasicBlock>(Op))
+            continue;
+          if (const auto *OI = dyn_cast<Instruction>(Op))
+            if (C.L->contains(OI))
+              continue;
+          if (Seen.insert(Op).second)
+            LiveIns.push_back(Op);
+        }
+      }
+    }
+    return LiveIns;
+  }
+
+  bool parallelizeOneLoop(Function &F) {
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+
+    // Outermost-first; parallelizing an outer loop absorbs its children.
+    for (const auto &LPtr : LI.getLoops()) {
+      Loop *L = LPtr.get();
+      ++Stats.LoopsConsidered;
+      std::optional<CanonicalLoop> C = matchCanonical(L);
+      if (!C || !isIndependent(*C) || hasLiveOuts(*C)) {
+        ++Stats.LoopsRejected;
+        continue;
+      }
+      outline(F, *C);
+      return true;
+    }
+    return false;
+  }
+
+  bool hasLiveOuts(const CanonicalLoop &C) {
+    for (BasicBlock *BB : C.L->getBlocks())
+      for (const auto &I : *BB)
+        for (const User *U : I->users()) {
+          const auto *UI = dyn_cast<Instruction>(U);
+          if (UI && !C.L->contains(UI))
+            return true;
+        }
+    return false;
+  }
+
+  void outline(Function &F, const CanonicalLoop &C) {
+    TypeContext &Ctx = M.getContext();
+    std::vector<Value *> LiveIns = collectLiveIns(C);
+
+    // Kernel signature: one parameter per live-in.
+    std::vector<Type *> ParamTys;
+    for (Value *V : LiveIns)
+      ParamTys.push_back(V->getType());
+    std::string KName =
+        F.getName() + "_k" + std::to_string(Stats.KernelsCreated);
+    Function *K = M.getOrCreateFunction(
+        KName, Ctx.getFunctionTy(Ctx.getVoidTy(), ParamTys));
+    K->setKernel(true);
+    Stats.Kernels.push_back(K);
+    ++Stats.KernelsCreated;
+
+    std::map<const Value *, Value *> VMap;
+    for (unsigned I = 0; I != LiveIns.size(); ++I) {
+      VMap[LiveIns[I]] = K->getArg(I);
+      K->getArg(I)->setName(LiveIns[I]->getName());
+    }
+
+    // Entry: compute this thread's starting IV and the grid stride.
+    auto *IVTy = cast<IntegerType>(C.IV->getType());
+    BasicBlock *Entry = K->createBlock("entry");
+    IRBuilder B(M);
+    B.setInsertPoint(Entry);
+    Function *TidFn = M.getFunction("__tid");
+    Function *NTidFn = M.getFunction("__ntid");
+    assert(TidFn && NTidFn && "builtins not declared");
+    Value *Tid = B.createCall(TidFn, {}, "tid");
+    Value *NTid = B.createCall(NTidFn, {}, "ntid");
+    if (IVTy->getBitWidth() < 64) {
+      Tid = B.createCast(CastInst::Op::Trunc, Tid, IVTy);
+      NTid = B.createCast(CastInst::Op::Trunc, NTid, IVTy);
+    }
+    Value *InitV = VMap.count(C.Init)
+                       ? VMap[C.Init]
+                       : C.Init; // Constant stays as-is.
+    Value *I0 = B.createAdd(InitV, Tid, "i0");
+
+    // Clone loop blocks in RPO (defs before uses for non-phi operands).
+    std::map<const BasicBlock *, BasicBlock *> BMap;
+    std::vector<BasicBlock *> Order;
+    DominatorTree KernelDT(F);
+    for (BasicBlock *BB : KernelDT.getReversePostOrder())
+      if (C.L->contains(BB))
+        Order.push_back(BB);
+    for (BasicBlock *BB : Order)
+      BMap[BB] = K->createBlock(BB->getName());
+    BasicBlock *ExitBB = K->createBlock("kexit");
+
+    B.setInsertPoint(Entry);
+    B.createBr(BMap[C.L->getHeader()]);
+    B.setInsertPoint(ExitBB);
+    B.createRet();
+
+    auto MapValue = [&](Value *Op) -> Value * {
+      auto It = VMap.find(Op);
+      if (It != VMap.end())
+        return It->second;
+      assert((isa<Constant>(Op) || isa<GlobalVariable>(Op) ||
+              isa<Function>(Op)) &&
+             "unmapped non-constant operand while cloning");
+      return Op;
+    };
+    auto MapBlock = [&](BasicBlock *BB) -> BasicBlock * {
+      if (BB == C.Exit)
+        return ExitBB;
+      auto It = BMap.find(BB);
+      assert(It != BMap.end() && "branch out of the cloned region");
+      return It->second;
+    };
+
+    std::vector<std::pair<const PhiInst *, PhiInst *>> Phis;
+    for (BasicBlock *BB : Order) {
+      B.setInsertPoint(BMap[BB]);
+      for (const auto &I : *BB) {
+        Instruction *NewI = nullptr;
+        switch (I->getKind()) {
+        case Value::ValueKind::Phi: {
+          auto *P = cast<PhiInst>(I.get());
+          auto *NP = B.createPhi(P->getType(), P->getName());
+          Phis.push_back({P, NP});
+          NewI = NP;
+          break;
+        }
+        case Value::ValueKind::Load:
+          NewI = B.createLoad(MapValue(I->getOperand(0)), I->getName());
+          break;
+        case Value::ValueKind::Store:
+          NewI = B.createStore(MapValue(I->getOperand(0)),
+                               MapValue(I->getOperand(1)));
+          break;
+        case Value::ValueKind::GEP: {
+          auto *G = cast<GEPInst>(I.get());
+          NewI = B.createGEP(MapValue(G->getPointerOperand()),
+                             MapValue(G->getIndexOperand()), G->getName());
+          break;
+        }
+        case Value::ValueKind::BinOp: {
+          auto *BO = cast<BinOpInst>(I.get());
+          NewI = B.createBinOp(BO->getOp(), MapValue(BO->getLHS()),
+                               MapValue(BO->getRHS()), BO->getName());
+          break;
+        }
+        case Value::ValueKind::Cmp: {
+          auto *CI = cast<CmpInst>(I.get());
+          NewI = B.createCmp(CI->getPredicate(), MapValue(CI->getLHS()),
+                             MapValue(CI->getRHS()), CI->getName());
+          break;
+        }
+        case Value::ValueKind::Cast: {
+          auto *CA = cast<CastInst>(I.get());
+          NewI = B.createCast(CA->getOp(), MapValue(CA->getValueOperand()),
+                              CA->getType(), CA->getName());
+          break;
+        }
+        case Value::ValueKind::Select: {
+          auto *S = cast<SelectInst>(I.get());
+          NewI = B.createSelect(MapValue(S->getCondition()),
+                                MapValue(S->getTrueValue()),
+                                MapValue(S->getFalseValue()), S->getName());
+          break;
+        }
+        case Value::ValueKind::Call: {
+          auto *CI = cast<CallInst>(I.get());
+          std::vector<Value *> Args;
+          for (unsigned A = 0, E = CI->getNumArgs(); A != E; ++A)
+            Args.push_back(MapValue(CI->getArg(A)));
+          NewI = B.createCall(CI->getCallee(), Args, CI->getName());
+          break;
+        }
+        case Value::ValueKind::Br: {
+          auto *Br = cast<BranchInst>(I.get());
+          if (Br->isConditional())
+            NewI = B.createCondBr(MapValue(Br->getCondition()),
+                                  MapBlock(Br->getSuccessor(0)),
+                                  MapBlock(Br->getSuccessor(1)));
+          else
+            NewI = B.createBr(MapBlock(Br->getSuccessor(0)));
+          break;
+        }
+        default:
+          reportFatalError("unexpected instruction kind while outlining "
+                           "DOALL loop");
+        }
+        VMap[I.get()] = NewI;
+      }
+    }
+
+    // Fill phi incomings, rerouting the IV's preheader edge to entry.
+    for (auto &[OldP, NewP] : Phis) {
+      for (unsigned I = 0, E = OldP->getNumIncoming(); I != E; ++I) {
+        BasicBlock *InBB = OldP->getIncomingBlock(I);
+        Value *InV = OldP->getIncomingValue(I);
+        if (OldP == C.IV && InBB == C.Preheader) {
+          NewP->addIncoming(I0, Entry);
+          continue;
+        }
+        NewP->addIncoming(MapValue(InV), MapBlock(InBB));
+      }
+    }
+
+    // Grid-stride: the cloned increment steps by the thread count.
+    auto *NewInc = cast<BinOpInst>(VMap.at(C.Increment));
+    NewInc->setOperand(1, NTid);
+
+    // Call site: replace the loop with a launch in the preheader.
+    B.setInsertPoint(C.Preheader->getTerminator());
+    Value *BoundV = C.Bound;
+    Value *InitCallerV = C.Init;
+    Value *Span = B.createSub(BoundV, InitCallerV, "span");
+    Value *Plus = B.createAdd(Span, M.getConstantInt(IVTy, 127));
+    Value *Grid =
+        B.createBinOp(BinOpInst::Op::SDiv, Plus, M.getConstantInt(IVTy, 128),
+                      "grid");
+    Value *TooSmall = B.createCmp(CmpInst::Predicate::SLT, Grid,
+                                  M.getConstantInt(IVTy, 1));
+    Grid = B.createSelect(TooSmall, M.getConstantInt(IVTy, 1), Grid);
+    if (IVTy->getBitWidth() < 64)
+      Grid = B.createCast(CastInst::Op::SExt, Grid, Ctx.getInt64Ty());
+    B.createKernelLaunch(K, Grid, M.getInt64(128), LiveIns);
+
+    // Reroute the preheader around the loop and delete the loop body.
+    auto *PreBr = cast<BranchInst>(C.Preheader->getTerminator());
+    PreBr->setSuccessor(0, C.Exit);
+    for (BasicBlock *BB : C.L->getBlocks())
+      for (const auto &I : *BB)
+        I->dropAllOperands();
+    for (BasicBlock *BB : C.L->getBlocks())
+      F.eraseBlock(BB);
+
+    std::string Err;
+    if (!verifyFunction(F, &Err) || !verifyFunction(*K, &Err))
+      reportFatalError("DOALL outlining produced invalid IR: " + Err +
+                       "\n" + M.getString());
+  }
+
+  Module &M;
+  DOALLStats Stats;
+  /// Inner-loop phis optimistically treated as IV-free symbols while
+  /// their recurrences are being classified.
+  std::set<const Instruction *> PhiAssumptions;
+};
+
+} // namespace
+
+DOALLStats cgcm::parallelizeDOALLLoops(Module &M) {
+  return DOALLDriver(M).run();
+}

@@ -1,0 +1,42 @@
+//===- transform/DOALL.h - Simple DOALL loop parallelizer -------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "simple automatic DOALL parallelizer" of the paper's evaluation
+/// (section 6): canonical counted loops whose iterations are provably
+/// independent are outlined into GPU kernels launched over a grid-stride
+/// thread range. Unlike CGCM itself, the parallelizer relies on static
+/// alias analysis (and, like the parallelizers the paper targets,
+/// assumes distinct pointer arguments do not alias — the PolyBench-style
+/// restrict convention). No communication is inserted here: launching the
+/// produced kernels without the management pass faults on the first GPU
+/// access to host memory, which is the paper's motivating bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_DOALL_H
+#define CGCM_TRANSFORM_DOALL_H
+
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace cgcm {
+
+struct DOALLStats {
+  unsigned KernelsCreated = 0;
+  unsigned LoopsConsidered = 0;
+  unsigned LoopsRejected = 0;
+  std::vector<Function *> Kernels;
+};
+
+/// Parallelizes every eligible DOALL loop in CPU code. Requires Mem2Reg
+/// to have run. Returns creation statistics.
+DOALLStats parallelizeDOALLLoops(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_DOALL_H

@@ -1,0 +1,316 @@
+//===- transform/GlueKernels.cpp - Lower blocking CPU code to the GPU --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/GlueKernels.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/CommManagement.h"
+#include "transform/Utils.h"
+
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+bool isPureMathCall(const Instruction *I) {
+  const auto *CI = dyn_cast<CallInst>(I);
+  if (!CI)
+    return false;
+  const std::string &N = CI->getCallee()->getName();
+  return N == "sqrt" || N == "exp" || N == "log" || N == "sin" ||
+         N == "cos" || N == "fabs" || N == "pow";
+}
+
+/// Instructions a glue kernel may contain: straight-line compute and
+/// memory traffic. No control flow, no launches, no runtime calls, no
+/// allocation, no pointer stores (CGCM forbids pointer stores on the
+/// GPU).
+bool isGlueable(const Instruction *I) {
+  switch (I->getKind()) {
+  case Value::ValueKind::Load:
+  case Value::ValueKind::GEP:
+  case Value::ValueKind::BinOp:
+  case Value::ValueKind::Cmp:
+  case Value::ValueKind::Cast:
+  case Value::ValueKind::Select:
+    return true;
+  case Value::ValueKind::Store:
+    return !cast<StoreInst>(I)
+                ->getValueOperand()
+                ->getType()
+                ->isPointerTy();
+  case Value::ValueKind::Call:
+    return isPureMathCall(I);
+  default:
+    return false;
+  }
+}
+
+class GlueDriver {
+public:
+  explicit GlueDriver(Module &M) : M(M) {}
+
+  GlueStats run() {
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration() || F->isKernel())
+        continue;
+      // One outlining invalidates iterators; fixpoint per function.
+      while (outlineOneRun(*F))
+        ;
+    }
+    std::string Err;
+    if (!verifyModule(M, &Err))
+      reportFatalError("glue kernels produced invalid IR: " + Err);
+    return Stats;
+  }
+
+private:
+  /// Managed pointers (runtime-call operands) within a loop, and whether
+  /// promotion of each is blocked by CPU memory traffic.
+  std::vector<Value *> blockedPointers(Loop *L) {
+    std::vector<Instruction *> Insts;
+    for (BasicBlock *BB : L->getBlocks())
+      for (const auto &I : *BB)
+        Insts.push_back(I.get());
+    std::set<Value *> Managed;
+    for (Instruction *I : Insts)
+      if (Value *P = getRuntimeCallPointer(I))
+        Managed.insert(P);
+    std::vector<Instruction *> NonRuntime;
+    for (Instruction *I : Insts)
+      if (!getRuntimeCallPointer(I))
+        NonRuntime.push_back(I);
+    std::vector<Value *> Blocked;
+    for (Value *P : Managed)
+      if (regionMayModRef(P, NonRuntime))
+        Blocked.push_back(P);
+    return Blocked;
+  }
+
+  bool outlineOneRun(Function &F) {
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    for (const auto &L : LI.getLoops()) {
+      std::vector<Value *> Blocked = blockedPointers(L.get());
+      if (Blocked.empty())
+        continue;
+      // Only straight-line code at the top level of the launching loop is
+      // "a small CPU region between two GPU functions" (section 5.3);
+      // code in nested loops executes too often for a 1-thread kernel.
+      for (BasicBlock *BB : L->getBlocks()) {
+        if (LI.getLoopFor(BB) != L.get())
+          continue;
+        if (outlineInBlock(F, BB, Blocked))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if \p I is a memory access that blocks one of \p Blocked.
+  bool blocksPromotion(Instruction *I, const std::vector<Value *> &Blocked) {
+    if (!isa<LoadInst>(I) && !isa<StoreInst>(I))
+      return false;
+    for (Value *P : Blocked)
+      if (regionMayModRef(P, {I}))
+        return true;
+    return false;
+  }
+
+  bool outlineInBlock(Function &F, BasicBlock *BB,
+                      const std::vector<Value *> &Blocked) {
+    // Maximal contiguous glueable runs.
+    std::vector<Instruction *> Run;
+    for (auto It = BB->begin(), E = BB->end();; ++It) {
+      Instruction *I = It == E ? nullptr : It->get();
+      if (I && isGlueable(I)) {
+        Run.push_back(I);
+        continue;
+      }
+      if (!Run.empty() && tryOutline(F, Run, Blocked))
+        return true;
+      Run.clear();
+      if (!I)
+        return false;
+    }
+  }
+
+  bool tryOutline(Function &F, std::vector<Instruction *> Run,
+                  const std::vector<Value *> &Blocked) {
+    auto UsedOutside = [&](Instruction *I) {
+      for (const User *U : I->users()) {
+        const auto *UI = cast<Instruction>(U);
+        bool Inside = false;
+        for (Instruction *R : Run)
+          if (R == UI) {
+            Inside = true;
+            break;
+          }
+        if (!Inside)
+          return true;
+      }
+      return false;
+    };
+
+    // Trim leading/trailing instructions whose values escape the run.
+    bool Trimmed = true;
+    while (Trimmed && !Run.empty()) {
+      Trimmed = false;
+      if (UsedOutside(Run.back())) {
+        Run.pop_back();
+        Trimmed = true;
+        continue;
+      }
+      if (UsedOutside(Run.front())) {
+        Run.erase(Run.begin());
+        Trimmed = true;
+      }
+    }
+    if (Run.empty() || Run.size() > GlueMaxInstructions)
+      return false;
+
+    // The run must actually unblock something and have no live-outs.
+    bool Blocks = false;
+    for (Instruction *I : Run)
+      if (blocksPromotion(I, Blocked)) {
+        Blocks = true;
+        break;
+      }
+    if (!Blocks)
+      return false;
+    for (Instruction *I : Run)
+      if (UsedOutside(I))
+        return false;
+
+    outline(F, Run);
+    return true;
+  }
+
+  void outline(Function &F, const std::vector<Instruction *> &Run) {
+    TypeContext &Ctx = M.getContext();
+    std::set<Instruction *> InRun(Run.begin(), Run.end());
+
+    // Live-ins: operands defined outside the run.
+    std::vector<Value *> LiveIns;
+    std::set<Value *> Seen;
+    for (Instruction *I : Run) {
+      for (Value *Op : I->operands()) {
+        if (isa<Constant>(Op) || isa<GlobalVariable>(Op) ||
+            isa<Function>(Op))
+          continue;
+        if (auto *OI = dyn_cast<Instruction>(Op))
+          if (InRun.count(OI))
+            continue;
+        if (Seen.insert(Op).second)
+          LiveIns.push_back(Op);
+      }
+    }
+
+    std::vector<Type *> ParamTys;
+    for (Value *V : LiveIns)
+      ParamTys.push_back(V->getType());
+    Function *GK = M.getOrCreateFunction(
+        "glue_k" + std::to_string(Stats.GlueKernelsCreated),
+        Ctx.getFunctionTy(Ctx.getVoidTy(), ParamTys));
+    GK->setKernel(true);
+    GK->setGlueKernel(true);
+    ++Stats.GlueKernelsCreated;
+    Stats.InstructionsLowered += Run.size();
+
+    std::map<const Value *, Value *> VMap;
+    for (unsigned I = 0; I != LiveIns.size(); ++I)
+      VMap[LiveIns[I]] = GK->getArg(I);
+
+    BasicBlock *Body = GK->createBlock("glue");
+    IRBuilder B(M);
+    B.setInsertPoint(Body);
+    auto MapValue = [&](Value *Op) -> Value * {
+      auto It = VMap.find(Op);
+      return It != VMap.end() ? It->second : Op;
+    };
+    for (Instruction *I : Run) {
+      Instruction *NewI = nullptr;
+      switch (I->getKind()) {
+      case Value::ValueKind::Load:
+        NewI = B.createLoad(MapValue(I->getOperand(0)), I->getName());
+        break;
+      case Value::ValueKind::Store:
+        NewI = B.createStore(MapValue(I->getOperand(0)),
+                             MapValue(I->getOperand(1)));
+        break;
+      case Value::ValueKind::GEP: {
+        auto *G = cast<GEPInst>(I);
+        NewI = B.createGEP(MapValue(G->getPointerOperand()),
+                           MapValue(G->getIndexOperand()), G->getName());
+        break;
+      }
+      case Value::ValueKind::BinOp: {
+        auto *BO = cast<BinOpInst>(I);
+        NewI = B.createBinOp(BO->getOp(), MapValue(BO->getLHS()),
+                             MapValue(BO->getRHS()), BO->getName());
+        break;
+      }
+      case Value::ValueKind::Cmp: {
+        auto *CI = cast<CmpInst>(I);
+        NewI = B.createCmp(CI->getPredicate(), MapValue(CI->getLHS()),
+                           MapValue(CI->getRHS()), CI->getName());
+        break;
+      }
+      case Value::ValueKind::Cast: {
+        auto *CA = cast<CastInst>(I);
+        NewI = B.createCast(CA->getOp(), MapValue(CA->getValueOperand()),
+                            CA->getType(), CA->getName());
+        break;
+      }
+      case Value::ValueKind::Select: {
+        auto *S = cast<SelectInst>(I);
+        NewI = B.createSelect(MapValue(S->getCondition()),
+                              MapValue(S->getTrueValue()),
+                              MapValue(S->getFalseValue()), S->getName());
+        break;
+      }
+      case Value::ValueKind::Call: {
+        auto *CI = cast<CallInst>(I);
+        std::vector<Value *> Args;
+        for (unsigned A = 0, E = CI->getNumArgs(); A != E; ++A)
+          Args.push_back(MapValue(CI->getArg(A)));
+        NewI = B.createCall(CI->getCallee(), Args, CI->getName());
+        break;
+      }
+      default:
+        CGCM_UNREACHABLE("non-glueable instruction in run");
+      }
+      VMap[I] = NewI;
+    }
+    B.createRet();
+
+    // Replace the run with a single-threaded launch, managed like any
+    // other kernel launch.
+    B.setInsertPoint(Run.front());
+    auto *Launch = B.createKernelLaunch(GK, M.getInt64(1), M.getInt64(1),
+                                        LiveIns);
+    for (auto It = Run.rbegin(), E = Run.rend(); It != E; ++It) {
+      (*It)->dropAllOperands();
+      (*It)->eraseFromParent();
+    }
+    ManagementStats MS;
+    manageSingleLaunch(M, Launch, MS);
+  }
+
+  Module &M;
+  GlueStats Stats;
+};
+
+} // namespace
+
+GlueStats cgcm::createGlueKernels(Module &M) {
+  return GlueDriver(M).run();
+}

@@ -1,0 +1,41 @@
+//===- transform/GlueKernels.h - Lower blocking CPU code to the GPU ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The glue-kernel optimization (paper section 5.3): small CPU code
+/// regions between two GPU functions sometimes touch mapped data and
+/// thereby prevent map promotion. The performance of that code is
+/// inconsequential, so lowering it to a single-threaded GPU function
+/// removes the CPU's need for the data, letting the map operations rise
+/// higher. Runs before alloca promotion and map promotion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_GLUEKERNELS_H
+#define CGCM_TRANSFORM_GLUEKERNELS_H
+
+#include "ir/Module.h"
+
+namespace cgcm {
+
+struct GlueStats {
+  unsigned GlueKernelsCreated = 0;
+  unsigned InstructionsLowered = 0;
+};
+
+/// Maximum run length (in instructions) a glue kernel may absorb; the
+/// code must be "small" for the single-threaded GPU execution to be
+/// inconsequential.
+inline constexpr unsigned GlueMaxInstructions = 48;
+
+/// Outlines blocking CPU sequences inside loops that launch kernels.
+/// Requires communication management to have run (candidates are found
+/// through the inserted runtime calls).
+GlueStats createGlueKernels(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_GLUEKERNELS_H

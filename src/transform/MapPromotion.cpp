@@ -1,0 +1,272 @@
+//===- transform/MapPromotion.cpp - Hoist runtime calls out of regions ------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/MapPromotion.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/Utils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+/// The runtime calls operating on one pointer within one region
+/// (Algorithm 4's "candidate").
+struct Candidate {
+  Value *Ptr = nullptr;
+  bool IsArray = false;
+  std::vector<CallInst *> Maps;
+  std::vector<CallInst *> Unmaps;
+  std::vector<CallInst *> Releases;
+};
+
+class PromotionDriver {
+public:
+  explicit PromotionDriver(Module &M) : M(M), API(getOrDeclareRuntimeAPI(M)) {}
+
+  PromotionStats run() {
+    // Iterate to convergence: maps climb one region per round.
+    bool Changed = true;
+    while (Changed && Stats.Iterations < 512) {
+      Changed = false;
+      ++Stats.Iterations;
+      CallGraph CG(M);
+      for (Function *F : CG.getBottomUpOrder()) {
+        if (F->isKernel())
+          continue;
+        if (promoteLoopsIn(*F))
+          Changed = true;
+        if (!CG.isRecursive(F) && promoteFunction(*F, CG))
+          Changed = true;
+      }
+    }
+    std::string Err;
+    if (!verifyModule(M, &Err))
+      reportFatalError("map promotion produced invalid IR: " + Err);
+    return Stats;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Candidate discovery
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Candidate>
+  findCandidates(const std::vector<Instruction *> &Insts) {
+    std::map<Value *, Candidate> ByPtr;
+    for (Instruction *I : Insts) {
+      Value *P = getRuntimeCallPointer(I);
+      if (!P)
+        continue;
+      auto *CI = cast<CallInst>(I);
+      Candidate &C = ByPtr[P];
+      C.Ptr = P;
+      const std::string &N = CI->getCallee()->getName();
+      if (N == "cgcm_map" || N == "cgcm_map_array") {
+        C.Maps.push_back(CI);
+        C.IsArray = N == "cgcm_map_array";
+      } else if (N == "cgcm_unmap" || N == "cgcm_unmap_array") {
+        C.Unmaps.push_back(CI);
+        C.IsArray = N == "cgcm_unmap_array";
+      } else if (N == "cgcm_release" || N == "cgcm_release_array") {
+        C.Releases.push_back(CI);
+        C.IsArray = N == "cgcm_release_array";
+      }
+    }
+    std::vector<Candidate> Result;
+    for (auto &[P, C] : ByPtr)
+      Result.push_back(std::move(C));
+    return Result;
+  }
+
+  /// Region instructions minus the candidate's own runtime calls.
+  std::vector<Instruction *>
+  nonCandidateInsts(const std::vector<Instruction *> &Insts) {
+    std::vector<Instruction *> Out;
+    for (Instruction *I : Insts)
+      if (!getRuntimeCallPointer(I))
+        Out.push_back(I);
+    return Out;
+  }
+
+  void emitMap(IRBuilder &B, Value *P, bool IsArray) {
+    Value *P8 = P;
+    TypeContext &Ctx = M.getContext();
+    Type *I8Ptr = Ctx.getPointerTo(Ctx.getInt8Ty());
+    if (P->getType() != I8Ptr)
+      P8 = B.createCast(CastInst::Op::Bitcast, P, I8Ptr);
+    B.createCall(IsArray ? API.MapArray : API.Map, {P8});
+  }
+
+  void emitUnmapRelease(IRBuilder &B, Value *P, bool IsArray) {
+    Value *P8 = P;
+    TypeContext &Ctx = M.getContext();
+    Type *I8Ptr = Ctx.getPointerTo(Ctx.getInt8Ty());
+    if (P->getType() != I8Ptr)
+      P8 = B.createCast(CastInst::Op::Bitcast, P, I8Ptr);
+    B.createCall(IsArray ? API.UnmapArray : API.Unmap, {P8});
+    B.createCall(IsArray ? API.ReleaseArray : API.Release, {P8});
+  }
+
+  void deleteUnmaps(Candidate &C) {
+    for (CallInst *U : C.Unmaps) {
+      Value *Arg = U->getArg(0);
+      U->eraseFromParent();
+      ++Stats.UnmapsDeleted;
+      // The i8* adapter cast may now be dead.
+      if (auto *Cast = dyn_cast<CastInst>(Arg))
+        if (!Cast->hasUses())
+          Cast->eraseFromParent();
+    }
+    C.Unmaps.clear();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Loop regions
+  //===--------------------------------------------------------------------===//
+
+  bool promoteLoopsIn(Function &F) {
+    if (F.isDeclaration())
+      return false;
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    // Innermost first so calls climb one level per round.
+    std::vector<Loop *> Order;
+    for (const auto &L : LI.getLoops())
+      Order.push_back(L.get());
+    std::sort(Order.begin(), Order.end(), [](Loop *A, Loop *B) {
+      return A->getDepth() > B->getDepth();
+    });
+    for (Loop *L : Order)
+      if (promoteLoop(F, L))
+        return true; // Structures changed; caller reruns.
+    return false;
+  }
+
+  bool promoteLoop(Function &F, Loop *L) {
+    BasicBlock *Preheader = L->getPreheader();
+    if (!Preheader)
+      return false;
+    auto *PreBr = dyn_cast<BranchInst>(Preheader->getTerminator());
+    if (!PreBr || PreBr->isConditional())
+      return false;
+    // A unique exit block, reached only from inside the loop, and with no
+    // phis: the sole place control resumes after the loop.
+    std::vector<BasicBlock *> Exits = L->getExitBlocks();
+    if (Exits.size() != 1)
+      return false;
+    BasicBlock *Exit = Exits[0];
+    for (BasicBlock *P : Exit->predecessors())
+      if (!L->contains(P))
+        return false;
+    if (!Exit->empty() && isa<PhiInst>(Exit->front()))
+      return false;
+
+    std::vector<Instruction *> Insts;
+    for (BasicBlock *BB : L->getBlocks())
+      for (const auto &I : *BB)
+        Insts.push_back(I.get());
+
+    for (Candidate &C : findCandidates(Insts)) {
+      if (C.Maps.empty() || C.Unmaps.empty())
+        continue; // Nothing cyclic to fix (or already promoted).
+      // pointsToChanges: the pointer must be loop-invariant.
+      if (auto *PI = dyn_cast<Instruction>(C.Ptr))
+        if (L->contains(PI))
+          continue;
+      // modOrRef: CPU code in the loop must not touch the unit.
+      if (regionMayModRef(C.Ptr, nonCandidateInsts(Insts)))
+        continue;
+
+      IRBuilder B(M);
+      B.setInsertPoint(Preheader->getTerminator());
+      emitMap(B, C.Ptr, C.IsArray);
+      Instruction *ExitAnchor = Exit->front();
+      B.setInsertPoint(ExitAnchor);
+      emitUnmapRelease(B, C.Ptr, C.IsArray);
+      deleteUnmaps(C);
+      ++Stats.LoopHoists;
+      // Deleting calls invalidates the instruction snapshot the other
+      // candidates were scanned from; let the caller rescan.
+      return true;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function regions
+  //===--------------------------------------------------------------------===//
+
+  bool promoteFunction(Function &F, CallGraph &CG) {
+    if (F.isDeclaration())
+      return false;
+    const std::vector<CallInst *> &Callers = CG.getCallers(&F);
+    if (Callers.empty())
+      return false;
+    for (CallInst *CS : Callers) {
+      Function *Caller = CS->getFunction();
+      if (!Caller || Caller->isKernel())
+        return false;
+    }
+
+    std::vector<Instruction *> Insts = F.instructions();
+    for (Candidate &C : findCandidates(Insts)) {
+      if (C.Maps.empty() || C.Unmaps.empty())
+        continue;
+      // The pointer must be computable in the caller: an argument of F or
+      // a global. ("Some code may be copied to the parent" — the simple
+      // cases below are the ones our workloads exercise.)
+      const auto *Arg = dyn_cast<Argument>(C.Ptr);
+      const auto *GV = dyn_cast<GlobalVariable>(C.Ptr);
+      if (!Arg && !GV)
+        continue;
+      if (Arg && Arg->getParent() != &F)
+        continue;
+      if (regionMayModRef(C.Ptr, nonCandidateInsts(Insts)))
+        continue;
+
+      for (CallInst *CS : Callers) {
+        Value *CallerPtr =
+            Arg ? CS->getArg(Arg->getArgNo())
+                : static_cast<Value *>(const_cast<GlobalVariable *>(GV));
+        IRBuilder B(M);
+        B.setInsertPoint(CS);
+        emitMap(B, CallerPtr, C.IsArray);
+        // Anchor after the call site.
+        BasicBlock *BB = CS->getParent();
+        auto It = BB->getIterator(CS);
+        ++It;
+        assert(It != BB->end() && "call terminates a block?");
+        B.setInsertPoint(It->get());
+        emitUnmapRelease(B, CallerPtr, C.IsArray);
+      }
+      deleteUnmaps(C);
+      ++Stats.FunctionHoists;
+      // Snapshot invalidated (see promoteLoop); rescan from the top.
+      return true;
+    }
+    return false;
+  }
+
+  Module &M;
+  RuntimeAPI API;
+  PromotionStats Stats;
+};
+
+} // namespace
+
+PromotionStats cgcm::promoteMaps(Module &M) {
+  return PromotionDriver(M).run();
+}

@@ -1,0 +1,45 @@
+//===- transform/MapPromotion.h - Hoist runtime calls out of regions --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Map promotion (paper section 5.1, Algorithm 4): for each region (a
+/// loop body or a whole function) and each pointer with runtime-library
+/// calls inside the region, if the pointer's points-to target cannot
+/// change within the region and the region's CPU code neither modifies
+/// nor references the allocation unit, then:
+///
+///   * a map call is copied above the region (the in-region map remains,
+///     providing CPU-to-GPU pointer translation at zero transfer cost);
+///   * unmap and release calls are copied below the region;
+///   * the device-to-host copies inside the region (the unmaps) are
+///     deleted.
+///
+/// Function-scope promotion hoists the calls into every caller, so maps
+/// gradually climb the call graph. The pass iterates to convergence;
+/// recursive functions are not eligible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_MAPPROMOTION_H
+#define CGCM_TRANSFORM_MAPPROMOTION_H
+
+#include "ir/Module.h"
+
+namespace cgcm {
+
+struct PromotionStats {
+  unsigned LoopHoists = 0;
+  unsigned FunctionHoists = 0;
+  unsigned UnmapsDeleted = 0;
+  unsigned Iterations = 0;
+};
+
+/// Runs map promotion to convergence over the module.
+PromotionStats promoteMaps(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_MAPPROMOTION_H

@@ -1,0 +1,245 @@
+//===- transform/Mem2Reg.cpp - Promote allocas to SSA registers ------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Mem2Reg.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Module.h"
+#include "transform/Utils.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// True if every use of \p AI is a direct load or a store *to* it (not of
+/// its address), and the allocated type is a promotable scalar.
+bool isPromotable(const AllocaInst *AI) {
+  if (AI->hasArraySize())
+    return false;
+  Type *Ty = AI->getAllocatedType();
+  if (!Ty->isIntegerTy() && !Ty->isFloatingPointTy() && !Ty->isPointerTy())
+    return false;
+  for (const User *U : AI->users()) {
+    if (isa<LoadInst>(U))
+      continue;
+    if (const auto *SI = dyn_cast<StoreInst>(U)) {
+      if (SI->getValueOperand() == AI)
+        return false; // Address escapes by being stored.
+      continue;
+    }
+    return false; // GEP, cast, call argument, kernel argument, ...
+  }
+  return true;
+}
+
+class Promoter {
+public:
+  explicit Promoter(Function &F) : F(F), DT(F) {
+    for (BasicBlock *BB : DT.getReversePostOrder())
+      if (BasicBlock *P = DT.getIDom(BB))
+        DomChildren[P].push_back(BB);
+  }
+
+  unsigned run() {
+    std::vector<AllocaInst *> Candidates;
+    for (Instruction *I : F.instructions())
+      if (auto *AI = dyn_cast<AllocaInst>(I))
+        if (DT.isReachable(AI->getParent()) && isPromotable(AI))
+          Candidates.push_back(AI);
+    if (Candidates.empty())
+      return 0;
+
+    for (unsigned Idx = 0; Idx != Candidates.size(); ++Idx)
+      AllocaIndex[Candidates[Idx]] = Idx;
+    Allocas = Candidates;
+    CurrentDef.resize(Allocas.size());
+
+    insertPhis();
+    rename(F.getEntryBlock(),
+           std::vector<Value *>(Allocas.size(), nullptr));
+    cleanup();
+    return Allocas.size();
+  }
+
+private:
+  void insertPhis() {
+    Module &M = *F.getParent();
+    for (AllocaInst *AI : Allocas) {
+      // Blocks containing stores (defs).
+      std::set<BasicBlock *> DefBlocks;
+      for (User *U : AI->users())
+        if (auto *SI = dyn_cast<StoreInst>(U))
+          DefBlocks.insert(SI->getParent());
+
+      // Iterated dominance frontier.
+      std::set<BasicBlock *> PhiBlocks;
+      std::vector<BasicBlock *> Work(DefBlocks.begin(), DefBlocks.end());
+      while (!Work.empty()) {
+        BasicBlock *BB = Work.back();
+        Work.pop_back();
+        for (BasicBlock *FB : DT.getFrontier(BB))
+          if (PhiBlocks.insert(FB).second)
+            Work.push_back(FB);
+      }
+
+      for (BasicBlock *BB : PhiBlocks) {
+        auto Phi = std::make_unique<PhiInst>(AI->getAllocatedType(),
+                                             AI->getName());
+        PhiToAlloca[Phi.get()] = AllocaIndex[AI];
+        BB->insertBefore(BB->front(), std::move(Phi));
+      }
+      (void)M;
+    }
+  }
+
+  Value *zeroFor(Type *Ty) {
+    Module &M = *F.getParent();
+    if (auto *IT = dyn_cast<IntegerType>(Ty))
+      return M.getConstantInt(IT, 0);
+    if (Ty->isFloatingPointTy())
+      return M.getConstantFP(Ty, 0.0);
+    return M.getNullPtr(cast<PointerType>(Ty));
+  }
+
+  void rename(BasicBlock *BB, std::vector<Value *> Defs) {
+    // Phase 1: phis in this block define new values.
+    for (const auto &I : *BB) {
+      auto *P = dyn_cast<PhiInst>(I.get());
+      if (!P)
+        break;
+      auto It = PhiToAlloca.find(P);
+      if (It != PhiToAlloca.end())
+        Defs[It->second] = P;
+    }
+    // Phase 2: rewrite loads, record stores.
+    std::vector<Instruction *> ToErase;
+    for (const auto &I : *BB) {
+      if (auto *LI = dyn_cast<LoadInst>(I.get())) {
+        auto *AI = dyn_cast<AllocaInst>(LI->getPointerOperand());
+        if (!AI)
+          continue;
+        auto It = AllocaIndex.find(AI);
+        if (It == AllocaIndex.end())
+          continue;
+        Value *V = Defs[It->second];
+        if (!V)
+          V = zeroFor(AI->getAllocatedType());
+        LI->replaceAllUsesWith(V);
+        ToErase.push_back(LI);
+        continue;
+      }
+      if (auto *SI = dyn_cast<StoreInst>(I.get())) {
+        auto *AI = dyn_cast<AllocaInst>(SI->getPointerOperand());
+        if (!AI)
+          continue;
+        auto It = AllocaIndex.find(AI);
+        if (It == AllocaIndex.end())
+          continue;
+        Defs[It->second] = SI->getValueOperand();
+        ToErase.push_back(SI);
+      }
+    }
+    for (Instruction *I : ToErase)
+      I->eraseFromParent();
+
+    // Phase 3: feed successor phis.
+    for (BasicBlock *Succ : BB->successors()) {
+      for (const auto &I : *Succ) {
+        auto *P = dyn_cast<PhiInst>(I.get());
+        if (!P)
+          break;
+        auto It = PhiToAlloca.find(P);
+        if (It == PhiToAlloca.end())
+          continue;
+        Value *V = Defs[It->second];
+        if (!V)
+          V = zeroFor(P->getType());
+        P->addIncoming(V, BB);
+      }
+    }
+
+    // Phase 4: recurse into dominator-tree children.
+    auto It = DomChildren.find(BB);
+    if (It != DomChildren.end())
+      for (BasicBlock *Child : It->second)
+        rename(Child, Defs);
+  }
+
+  void cleanup() {
+    // Remove inserted phis that no real (non-inserted-phi) code uses,
+    // including mutually-referencing dead phi cycles: mark phis reachable
+    // from real uses, then delete the rest together.
+    std::set<const PhiInst *> Live;
+    std::vector<const PhiInst *> Work;
+    for (const auto &[P, Idx] : PhiToAlloca) {
+      (void)Idx;
+      for (const User *U : P->users()) {
+        const auto *UP = dyn_cast<PhiInst>(U);
+        if (!UP || !PhiToAlloca.count(UP)) {
+          if (Live.insert(P).second)
+            Work.push_back(P);
+          break;
+        }
+      }
+    }
+    while (!Work.empty()) {
+      const PhiInst *P = Work.back();
+      Work.pop_back();
+      // Everything a live phi reads must stay live.
+      for (const Value *Op : P->operands()) {
+        const auto *OP = dyn_cast<PhiInst>(Op);
+        if (OP && PhiToAlloca.count(OP) && Live.insert(OP).second)
+          Work.push_back(OP);
+      }
+    }
+    std::vector<PhiInst *> Dead;
+    for (const auto &[P, Idx] : PhiToAlloca) {
+      (void)Idx;
+      if (!Live.count(P))
+        Dead.push_back(const_cast<PhiInst *>(P));
+    }
+    for (PhiInst *P : Dead)
+      P->dropAllOperands();
+    for (PhiInst *P : Dead) {
+      assert(!P->hasUses() && "dead phi still used by live code");
+      P->eraseFromParent();
+    }
+    for (AllocaInst *AI : Allocas) {
+      assert(!AI->hasUses() && "promoted alloca still has uses");
+      AI->eraseFromParent();
+    }
+  }
+
+  Function &F;
+  DominatorTree DT;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
+  std::vector<AllocaInst *> Allocas;
+  std::map<const AllocaInst *, unsigned> AllocaIndex;
+  std::map<const PhiInst *, unsigned> PhiToAlloca;
+  std::vector<Value *> CurrentDef;
+};
+
+} // namespace
+
+unsigned cgcm::promoteAllocasToRegisters(Function &F) {
+  if (F.isDeclaration())
+    return 0;
+  // Dead blocks would keep loads/stores of promoted allocas alive and are
+  // invisible to the dominator-tree renaming walk.
+  removeUnreachableBlocks(F);
+  return Promoter(F).run();
+}
+
+unsigned cgcm::promoteAllocasToRegisters(Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    N += promoteAllocasToRegisters(*F);
+  return N;
+}

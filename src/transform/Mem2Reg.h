@@ -1,0 +1,32 @@
+//===- transform/Mem2Reg.h - Promote allocas to SSA registers --------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Promotes non-escaping scalar allocas (the frontend's -O0 spill slots)
+/// to SSA values with phi nodes, using iterated dominance frontiers. After
+/// this pass the only remaining allocas are *escaping* stack variables —
+/// precisely the ones CGCM's declareAlloca must register (section 3.1) and
+/// alloca promotion hoists (section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_MEM2REG_H
+#define CGCM_TRANSFORM_MEM2REG_H
+
+namespace cgcm {
+
+class Function;
+class Module;
+
+/// Promotes allocas in \p F. Returns the number of promoted allocas.
+unsigned promoteAllocasToRegisters(Function &F);
+
+/// Runs alloca promotion over every defined function.
+unsigned promoteAllocasToRegisters(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_MEM2REG_H

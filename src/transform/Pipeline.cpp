@@ -1,0 +1,42 @@
+//===- transform/Pipeline.cpp - The CGCM compilation pipeline ----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/Mem2Reg.h"
+
+using namespace cgcm;
+
+PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
+  PipelineResult R;
+  R.AllocasPromotedToSSA = promoteAllocasToRegisters(M);
+
+  if (Opts.Parallelize)
+    R.Doall = parallelizeDOALLLoops(M);
+
+  if (Opts.Manage)
+    R.Mgmt = insertCommunicationManagement(M);
+
+  if (Opts.Manage && Opts.Optimize) {
+    // Paper schedule: glue kernels, then alloca promotion, then map
+    // promotion (each earlier pass widens the later passes' reach).
+    if (Opts.EnableGlueKernels)
+      R.Glue = createGlueKernels(M);
+    if (Opts.EnableAllocaPromotion)
+      R.AllocaPromo = promoteAllocasUpCallGraph(M);
+    if (Opts.EnableMapPromotion)
+      R.MapPromo = promoteMaps(M);
+    if (Opts.EnableSimplify)
+      R.Simplify = simplifyModule(M);
+  }
+
+  std::string Err;
+  if (!verifyModule(M, &Err))
+    reportFatalError("CGCM pipeline produced invalid IR: " + Err);
+  return R;
+}

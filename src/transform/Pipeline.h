@@ -1,0 +1,61 @@
+//===- transform/Pipeline.h - The CGCM compilation pipeline -----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the paper's compilation schedule (section 5.3): SSA
+/// construction, DOALL parallelization, communication management, then —
+/// because glue kernels and alloca promotion improve map promotion's
+/// applicability, and glue kernels can create new alloca-promotion
+/// opportunities — glue kernels, alloca promotion, and map promotion
+/// last, iterating internally to convergence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_PIPELINE_H
+#define CGCM_TRANSFORM_PIPELINE_H
+
+#include "transform/AllocaPromotion.h"
+#include "transform/CommManagement.h"
+#include "transform/DOALL.h"
+#include "transform/GlueKernels.h"
+#include "transform/MapPromotion.h"
+#include "transform/Simplify.h"
+
+namespace cgcm {
+
+struct PipelineOptions {
+  /// Run the DOALL parallelizer (off when the input is manually
+  /// parallelized with `launch`).
+  bool Parallelize = true;
+  /// Insert communication management (map/unmap/release).
+  bool Manage = true;
+  /// Run the communication optimizations.
+  bool Optimize = true;
+  /// Ablation switches for the individual optimizations.
+  bool EnableGlueKernels = true;
+  bool EnableAllocaPromotion = true;
+  bool EnableMapPromotion = true;
+  /// Final cleanup: constant folding + dead-code elimination.
+  bool EnableSimplify = true;
+};
+
+struct PipelineResult {
+  unsigned AllocasPromotedToSSA = 0;
+  DOALLStats Doall;
+  ManagementStats Mgmt;
+  GlueStats Glue;
+  AllocaPromotionStats AllocaPromo;
+  PromotionStats MapPromo;
+  SimplifyStats Simplify;
+};
+
+/// Runs the configured pipeline over \p M.
+PipelineResult runCGCMPipeline(Module &M,
+                               const PipelineOptions &Opts = PipelineOptions());
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_PIPELINE_H

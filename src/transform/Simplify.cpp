@@ -1,0 +1,389 @@
+//===- transform/Simplify.cpp - Constant folding and dead-code removal --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Simplify.h"
+
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "transform/Utils.h"
+
+#include <cmath>
+
+using namespace cgcm;
+
+namespace {
+
+/// Folds a binary operation over integer constants; null if inapplicable
+/// (notably division by zero stays for the executor to trap on).
+Value *foldIntBinOp(Module &M, BinOpInst *B, ConstantInt *L, ConstantInt *R) {
+  auto *Ty = cast<IntegerType>(B->getType());
+  int64_t X = L->getValue(), Y = R->getValue(), V;
+  switch (B->getOp()) {
+  case BinOpInst::Op::Add:
+    V = X + Y;
+    break;
+  case BinOpInst::Op::Sub:
+    V = X - Y;
+    break;
+  case BinOpInst::Op::Mul:
+    V = X * Y;
+    break;
+  case BinOpInst::Op::SDiv:
+    if (Y == 0)
+      return nullptr;
+    V = X / Y;
+    break;
+  case BinOpInst::Op::SRem:
+    if (Y == 0)
+      return nullptr;
+    V = X % Y;
+    break;
+  case BinOpInst::Op::And:
+    V = X & Y;
+    break;
+  case BinOpInst::Op::Or:
+    V = X | Y;
+    break;
+  case BinOpInst::Op::Xor:
+    V = X ^ Y;
+    break;
+  case BinOpInst::Op::Shl:
+    V = static_cast<int64_t>(static_cast<uint64_t>(X)
+                             << (static_cast<uint64_t>(Y) & 63));
+    break;
+  case BinOpInst::Op::AShr:
+    V = X >> (static_cast<uint64_t>(Y) & 63);
+    break;
+  default:
+    return nullptr;
+  }
+  return M.getConstantInt(Ty, V);
+}
+
+Value *foldFPBinOp(Module &M, BinOpInst *B, ConstantFP *L, ConstantFP *R) {
+  double X = L->getValue(), Y = R->getValue(), V;
+  switch (B->getOp()) {
+  case BinOpInst::Op::FAdd:
+    V = X + Y;
+    break;
+  case BinOpInst::Op::FSub:
+    V = X - Y;
+    break;
+  case BinOpInst::Op::FMul:
+    V = X * Y;
+    break;
+  case BinOpInst::Op::FDiv:
+    V = X / Y;
+    break;
+  default:
+    return nullptr;
+  }
+  if (B->getType()->isFloatTy())
+    V = static_cast<double>(static_cast<float>(V));
+  return M.getConstantFP(B->getType(), V);
+}
+
+Value *foldCmp(Module &M, CmpInst *C) {
+  const auto *LI = dyn_cast<ConstantInt>(C->getLHS());
+  const auto *RI = dyn_cast<ConstantInt>(C->getRHS());
+  const auto *LF = dyn_cast<ConstantFP>(C->getLHS());
+  const auto *RF = dyn_cast<ConstantFP>(C->getRHS());
+  bool V;
+  if (LI && RI) {
+    int64_t X = LI->getValue(), Y = RI->getValue();
+    switch (C->getPredicate()) {
+    case CmpInst::Predicate::EQ:
+      V = X == Y;
+      break;
+    case CmpInst::Predicate::NE:
+      V = X != Y;
+      break;
+    case CmpInst::Predicate::SLT:
+      V = X < Y;
+      break;
+    case CmpInst::Predicate::SLE:
+      V = X <= Y;
+      break;
+    case CmpInst::Predicate::SGT:
+      V = X > Y;
+      break;
+    case CmpInst::Predicate::SGE:
+      V = X >= Y;
+      break;
+    default:
+      return nullptr;
+    }
+  } else if (LF && RF) {
+    double X = LF->getValue(), Y = RF->getValue();
+    switch (C->getPredicate()) {
+    case CmpInst::Predicate::FOEQ:
+      V = X == Y;
+      break;
+    case CmpInst::Predicate::FONE:
+      V = X != Y;
+      break;
+    case CmpInst::Predicate::FOLT:
+      V = X < Y;
+      break;
+    case CmpInst::Predicate::FOLE:
+      V = X <= Y;
+      break;
+    case CmpInst::Predicate::FOGT:
+      V = X > Y;
+      break;
+    case CmpInst::Predicate::FOGE:
+      V = X >= Y;
+      break;
+    default:
+      return nullptr;
+    }
+  } else {
+    return nullptr;
+  }
+  return M.getInt1(V);
+}
+
+Value *foldCast(Module &M, CastInst *C) {
+  const auto *CI = dyn_cast<ConstantInt>(C->getValueOperand());
+  const auto *CF = dyn_cast<ConstantFP>(C->getValueOperand());
+  switch (C->getOp()) {
+  case CastInst::Op::Trunc:
+  case CastInst::Op::SExt:
+    if (CI)
+      return M.getConstantInt(cast<IntegerType>(C->getType()),
+                              CI->getValue());
+    return nullptr;
+  case CastInst::Op::ZExt:
+    if (CI)
+      return M.getConstantInt(cast<IntegerType>(C->getType()),
+                              static_cast<int64_t>(CI->getZExtValue()));
+    return nullptr;
+  case CastInst::Op::SIToFP:
+    if (CI)
+      return M.getConstantFP(C->getType(),
+                             static_cast<double>(CI->getValue()));
+    return nullptr;
+  case CastInst::Op::FPToSI:
+    if (CF)
+      return M.getConstantInt(cast<IntegerType>(C->getType()),
+                              static_cast<int64_t>(CF->getValue()));
+    return nullptr;
+  case CastInst::Op::FPExt:
+    if (CF)
+      return M.getConstantFP(C->getType(), CF->getValue());
+    return nullptr;
+  case CastInst::Op::FPTrunc:
+    if (CF)
+      return M.getConstantFP(
+          C->getType(),
+          static_cast<double>(static_cast<float>(CF->getValue())));
+    return nullptr;
+  default:
+    return nullptr; // Pointer casts are not value computations.
+  }
+}
+
+/// Algebraic identities that do not need both operands constant.
+Value *foldIdentity(Module &M, BinOpInst *B) {
+  auto *RC = dyn_cast<ConstantInt>(B->getRHS());
+  switch (B->getOp()) {
+  case BinOpInst::Op::Add:
+  case BinOpInst::Op::Sub:
+    if (RC && RC->isZero())
+      return B->getLHS();
+    return nullptr;
+  case BinOpInst::Op::Mul:
+    if (RC && RC->isOne())
+      return B->getLHS();
+    if (RC && RC->isZero())
+      return RC;
+    return nullptr;
+  default:
+    return nullptr;
+  }
+  (void)M;
+}
+
+/// True if removing \p I (when unused) is safe.
+bool isSideEffectFree(const Instruction *I) {
+  switch (I->getKind()) {
+  case Value::ValueKind::BinOp:
+  case Value::ValueKind::Cmp:
+  case Value::ValueKind::Cast:
+  case Value::ValueKind::GEP:
+  case Value::ValueKind::Select:
+  case Value::ValueKind::Phi:
+    return true;
+  default:
+    return false; // Loads kept (checked-memory mode observes them).
+  }
+}
+
+class Simplifier {
+public:
+  Simplifier(Function &F, SimplifyStats &Stats) : F(F), Stats(Stats) {}
+
+  bool runOnce() {
+    bool Changed = false;
+    Changed |= foldConstants();
+    Changed |= simplifyBranches();
+    if (unsigned N = removeUnreachableBlocks(F)) {
+      Stats.BlocksRemoved += N;
+      Changed = true;
+    }
+    Changed |= removeDeadInstructions();
+    return Changed;
+  }
+
+private:
+  bool foldConstants() {
+    Module &M = *F.getParent();
+    bool Changed = false;
+    for (Instruction *I : F.instructions()) {
+      Value *Folded = nullptr;
+      if (auto *B = dyn_cast<BinOpInst>(I)) {
+        auto *LI = dyn_cast<ConstantInt>(B->getLHS());
+        auto *RI = dyn_cast<ConstantInt>(B->getRHS());
+        auto *LF = dyn_cast<ConstantFP>(B->getLHS());
+        auto *RF = dyn_cast<ConstantFP>(B->getRHS());
+        if (LI && RI)
+          Folded = foldIntBinOp(M, B, LI, RI);
+        else if (LF && RF)
+          Folded = foldFPBinOp(M, B, LF, RF);
+        else
+          Folded = foldIdentity(M, B);
+      } else if (auto *C = dyn_cast<CmpInst>(I)) {
+        Folded = foldCmp(M, C);
+      } else if (auto *C = dyn_cast<CastInst>(I)) {
+        Folded = foldCast(M, C);
+      } else if (auto *S = dyn_cast<SelectInst>(I)) {
+        if (auto *Cond = dyn_cast<ConstantInt>(S->getCondition()))
+          Folded = Cond->isZero() ? S->getFalseValue() : S->getTrueValue();
+        else if (S->getTrueValue() == S->getFalseValue())
+          Folded = S->getTrueValue();
+      } else if (auto *P = dyn_cast<PhiInst>(I)) {
+        // A phi whose incomings are all the same value (or itself).
+        Value *Only = nullptr;
+        bool Uniform = true;
+        for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+          Value *In = P->getIncomingValue(K);
+          if (In == P)
+            continue;
+          if (Only && In != Only) {
+            Uniform = false;
+            break;
+          }
+          Only = In;
+        }
+        if (Uniform && Only)
+          Folded = Only;
+      }
+      if (Folded && Folded != I) {
+        I->replaceAllUsesWith(Folded);
+        ++Stats.ConstantsFolded;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  bool simplifyBranches() {
+    bool Changed = false;
+    for (const auto &BB : F) {
+      auto *Br = dyn_cast_or_null<BranchInst>(BB->getTerminator());
+      if (!Br || !Br->isConditional())
+        continue;
+      auto *C = dyn_cast<ConstantInt>(Br->getCondition());
+      if (!C)
+        continue;
+      BasicBlock *Taken = Br->getSuccessor(C->isZero() ? 1 : 0);
+      BasicBlock *Dead = Br->getSuccessor(C->isZero() ? 0 : 1);
+      // Remove the dead edge from phis in the not-taken successor.
+      if (Dead != Taken) {
+        for (const auto &I : *Dead) {
+          auto *P = dyn_cast<PhiInst>(I.get());
+          if (!P)
+            break;
+          for (unsigned K = 0; K != P->getNumIncoming(); ++K)
+            if (P->getIncomingBlock(K) == BB.get()) {
+              std::vector<std::pair<Value *, BasicBlock *>> Keep;
+              for (unsigned J = 0; J != P->getNumIncoming(); ++J)
+                if (J != K)
+                  Keep.push_back(
+                      {P->getIncomingValue(J), P->getIncomingBlock(J)});
+              P->clearIncoming();
+              for (auto &[V, B2] : Keep)
+                P->addIncoming(V, B2);
+              break;
+            }
+        }
+      }
+      IRBuilderLiteReplace(BB.get(), Br, Taken);
+      ++Stats.BranchesSimplified;
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  /// Replaces a conditional branch with an unconditional one.
+  void IRBuilderLiteReplace(BasicBlock *BB, BranchInst *Old,
+                            BasicBlock *Dest) {
+    Old->dropAllOperands();
+    BB->remove(Old);
+    auto New = std::make_unique<BranchInst>(
+        Dest, F.getParent()->getContext().getVoidTy());
+    BB->push_back(std::move(New));
+  }
+
+  bool removeDeadInstructions() {
+    bool Changed = true, Any = false;
+    while (Changed) {
+      Changed = false;
+      for (Instruction *I : F.instructions()) {
+        if (I->getType()->isVoidTy() || I->hasUses() ||
+            !isSideEffectFree(I))
+          continue;
+        I->dropAllOperands();
+        I->eraseFromParent();
+        ++Stats.DeadInstructionsRemoved;
+        Changed = true;
+        Any = true;
+      }
+    }
+    return Any;
+  }
+
+  Function &F;
+  SimplifyStats &Stats;
+};
+
+} // namespace
+
+SimplifyStats cgcm::simplifyFunction(Function &F) {
+  SimplifyStats Stats;
+  if (F.isDeclaration())
+    return Stats;
+  Simplifier S(F, Stats);
+  unsigned Guard = 0;
+  while (S.runOnce() && ++Guard < 64)
+    ;
+  std::string Err;
+  if (!verifyFunction(F, &Err))
+    reportFatalError("simplify produced invalid IR: " + Err);
+  return Stats;
+}
+
+SimplifyStats cgcm::simplifyModule(Module &M) {
+  SimplifyStats Total;
+  for (const auto &F : M.functions()) {
+    SimplifyStats S = simplifyFunction(*F);
+    Total.ConstantsFolded += S.ConstantsFolded;
+    Total.BranchesSimplified += S.BranchesSimplified;
+    Total.DeadInstructionsRemoved += S.DeadInstructionsRemoved;
+    Total.BlocksRemoved += S.BlocksRemoved;
+  }
+  return Total;
+}

@@ -1,0 +1,39 @@
+//===- transform/Simplify.h - Constant folding and dead-code removal ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic cleanup pass: folds constant expressions, simplifies
+/// branches on constant conditions, removes unreachable blocks, and
+/// deletes dead side-effect-free instructions. Run after the CGCM
+/// pipeline it tidies the grid computations and adapter casts the
+/// transformations leave behind; it is also exercised independently as a
+/// generic optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_SIMPLIFY_H
+#define CGCM_TRANSFORM_SIMPLIFY_H
+
+#include "ir/Module.h"
+
+namespace cgcm {
+
+struct SimplifyStats {
+  unsigned ConstantsFolded = 0;
+  unsigned BranchesSimplified = 0;
+  unsigned DeadInstructionsRemoved = 0;
+  unsigned BlocksRemoved = 0;
+};
+
+/// Simplifies \p F to a fixpoint.
+SimplifyStats simplifyFunction(Function &F);
+
+/// Simplifies every defined function.
+SimplifyStats simplifyModule(Module &M);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_SIMPLIFY_H

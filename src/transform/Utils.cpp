@@ -1,0 +1,189 @@
+//===- transform/Utils.cpp - Shared transformation utilities ---------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Utils.h"
+
+#include "analysis/MemoryObjects.h"
+
+#include <set>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// Restrict-style aliasing for promotion profitability (see DESIGN.md):
+/// distinct identified objects do not alias; distinct pointer arguments
+/// do not alias each other or identified objects; loads and other
+/// unknown roots alias everything.
+bool promoMayAlias(const MemoryObject &A, const MemoryObject &B) {
+  auto Strength = [](const MemoryObject &O) {
+    if (O.isIdentified())
+      return 2;
+    if (isa<Argument>(O.Root))
+      return 1;
+    return 0;
+  };
+  int SA = Strength(A), SB = Strength(B);
+  if (SA == 0 || SB == 0)
+    return true;
+  return A.Root == B.Root;
+}
+
+bool mayModRefImpl(const MemoryObject &Obj,
+                   const std::vector<Instruction *> &Insts,
+                   std::set<const Function *> &VisitedFns);
+
+bool callMayModRef(const MemoryObject &Obj, const CallInst *CI,
+                   std::set<const Function *> &VisitedFns) {
+  const Function *Callee = CI->getCallee();
+  const std::string &N = Callee->getName();
+  if (isRuntimeFunction(Callee))
+    return false;
+  if (N == "sqrt" || N == "exp" || N == "log" || N == "sin" || N == "cos" ||
+      N == "fabs" || N == "pow" || N == "print_i64" || N == "print_f64" ||
+      N == "__tid" || N == "__ntid" || N == "malloc" || N == "calloc")
+    return false;
+  if (N == "free" || N == "realloc" || N == "print_str")
+    return promoMayAlias(Obj, findMemoryObject(CI->getArg(0)));
+  if (Callee->isDeclaration())
+    return true; // Unknown external.
+  if (!VisitedFns.insert(Callee).second)
+    return false; // Already being scanned higher in the recursion.
+  std::vector<Instruction *> Body =
+      const_cast<Function *>(Callee)->instructions();
+  return mayModRefImpl(Obj, Body, VisitedFns);
+}
+
+bool mayModRefImpl(const MemoryObject &Obj,
+                   const std::vector<Instruction *> &Insts,
+                   std::set<const Function *> &VisitedFns) {
+  for (Instruction *I : Insts) {
+    if (const auto *LI = dyn_cast<LoadInst>(I)) {
+      if (promoMayAlias(Obj, findMemoryObject(LI->getPointerOperand())))
+        return true;
+      continue;
+    }
+    if (const auto *SI = dyn_cast<StoreInst>(I)) {
+      if (promoMayAlias(Obj, findMemoryObject(SI->getPointerOperand())))
+        return true;
+      continue;
+    }
+    if (const auto *CI = dyn_cast<CallInst>(I)) {
+      if (callMayModRef(Obj, CI, VisitedFns))
+        return true;
+      continue;
+    }
+    // Kernel launches: GPU-side accesses are managed; not CPU mod/ref.
+  }
+  return false;
+}
+
+} // namespace
+
+bool cgcm::regionMayModRef(const Value *P,
+                           const std::vector<Instruction *> &Insts) {
+  MemoryObject Obj = findMemoryObject(P);
+  std::set<const Function *> VisitedFns;
+  return mayModRefImpl(Obj, Insts, VisitedFns);
+}
+
+unsigned cgcm::removeUnreachableBlocks(Function &F) {
+  if (F.isDeclaration())
+    return 0;
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{F.getEntryBlock()};
+  Reachable.insert(F.getEntryBlock());
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : BB->successors())
+      if (Reachable.insert(S).second)
+        Work.push_back(S);
+  }
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F)
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  // Drop operand edges first: dead code may reference live values, and
+  // dead phis may reference each other.
+  for (BasicBlock *BB : Dead) {
+    for (const auto &I : *BB)
+      I->dropAllOperands();
+  }
+  // Phis in live blocks may list dead predecessors.
+  for (const auto &BB : F) {
+    if (!Reachable.count(BB.get()))
+      continue;
+    for (const auto &I : *BB) {
+      auto *P = dyn_cast<PhiInst>(I.get());
+      if (!P)
+        break;
+      for (unsigned K = P->getNumIncoming(); K-- > 0;)
+        if (!Reachable.count(P->getIncomingBlock(K))) {
+          // Rebuild without the dead edge (rare; simple linear rebuild).
+          std::vector<std::pair<Value *, BasicBlock *>> Keep;
+          for (unsigned J = 0; J != P->getNumIncoming(); ++J)
+            if (Reachable.count(P->getIncomingBlock(J)))
+              Keep.push_back({P->getIncomingValue(J), P->getIncomingBlock(J)});
+          P->clearIncoming();
+          for (auto &[V, B] : Keep)
+            P->addIncoming(V, B);
+          break;
+        }
+    }
+  }
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+  return Dead.size();
+}
+
+RuntimeAPI cgcm::getOrDeclareRuntimeAPI(Module &M) {
+  TypeContext &Ctx = M.getContext();
+  Type *I8Ptr = Ctx.getPointerTo(Ctx.getInt8Ty());
+  Type *I64 = Ctx.getInt64Ty();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *VoidTy = Ctx.getVoidTy();
+  auto Declare = [&](const char *Name, Type *Ret, std::vector<Type *> Params) {
+    return M.getOrCreateFunction(Name, Ctx.getFunctionTy(Ret, std::move(Params)));
+  };
+  RuntimeAPI API;
+  API.Map = Declare("cgcm_map", I8Ptr, {I8Ptr});
+  API.Unmap = Declare("cgcm_unmap", VoidTy, {I8Ptr});
+  API.Release = Declare("cgcm_release", VoidTy, {I8Ptr});
+  API.MapArray = Declare("cgcm_map_array", I8Ptr, {I8Ptr});
+  API.UnmapArray = Declare("cgcm_unmap_array", VoidTy, {I8Ptr});
+  API.ReleaseArray = Declare("cgcm_release_array", VoidTy, {I8Ptr});
+  API.DeclareGlobal =
+      Declare("cgcm_declare_global", VoidTy, {I8Ptr, I8Ptr, I64, I32});
+  API.DeclareAlloca = Declare("cgcm_declare_alloca", VoidTy, {I8Ptr, I64});
+  return API;
+}
+
+bool cgcm::isRuntimeFunction(const Function *F) {
+  const std::string &N = F->getName();
+  return N == "cgcm_map" || N == "cgcm_unmap" || N == "cgcm_release" ||
+         N == "cgcm_map_array" || N == "cgcm_unmap_array" ||
+         N == "cgcm_release_array" || N == "cgcm_declare_global" ||
+         N == "cgcm_declare_alloca";
+}
+
+Value *cgcm::getRuntimeCallPointer(const Instruction *I) {
+  const auto *CI = dyn_cast<CallInst>(I);
+  if (!CI)
+    return nullptr;
+  const std::string &N = CI->getCallee()->getName();
+  if (N != "cgcm_map" && N != "cgcm_unmap" && N != "cgcm_release" &&
+      N != "cgcm_map_array" && N != "cgcm_unmap_array" &&
+      N != "cgcm_release_array")
+    return nullptr;
+  Value *Arg = CI->getArg(0);
+  // Look through the i8* adapter cast the management pass inserts.
+  if (auto *Cast = dyn_cast<CastInst>(Arg))
+    if (Cast->getOp() == CastInst::Op::Bitcast)
+      return Cast->getValueOperand();
+  return Arg;
+}

@@ -1,0 +1,57 @@
+//===- transform/Utils.h - Shared transformation utilities -----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small IR utilities shared by the passes: unreachable-block removal and
+/// helpers for declaring/bitcasting around the CGCM runtime interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_TRANSFORM_UTILS_H
+#define CGCM_TRANSFORM_UTILS_H
+
+#include "ir/Module.h"
+
+namespace cgcm {
+
+/// Deletes blocks not reachable from the entry (the frontend emits them
+/// after return/break/continue). Returns the number removed.
+unsigned removeUnreachableBlocks(Function &F);
+
+/// Declares (or fetches) the CGCM runtime interface functions in \p M:
+/// cgcm_map, cgcm_unmap, cgcm_release, their *_array variants,
+/// cgcm_declare_global, and cgcm_declare_alloca.
+struct RuntimeAPI {
+  Function *Map;
+  Function *Unmap;
+  Function *Release;
+  Function *MapArray;
+  Function *UnmapArray;
+  Function *ReleaseArray;
+  Function *DeclareGlobal;
+  Function *DeclareAlloca;
+};
+RuntimeAPI getOrDeclareRuntimeAPI(Module &M);
+
+/// True if \p F is one of the CGCM runtime interface functions.
+bool isRuntimeFunction(const Function *F);
+
+/// For a call to cgcm_map/unmap/release (any variant), the pointer the
+/// call tracks, looking through the bitcast the inserter added; null for
+/// other instructions.
+Value *getRuntimeCallPointer(const Instruction *I);
+
+/// True if CPU code in \p Insts may modify or reference the allocation
+/// unit \p P points to. Kernel launches and CGCM runtime calls do not
+/// count (GPU-side accesses are what promotion enables); calls into
+/// defined CPU functions are scanned transitively. Uses the project's
+/// restrict-style aliasing (distinct identified objects and distinct
+/// pointer arguments do not alias; see DESIGN.md).
+bool regionMayModRef(const Value *P, const std::vector<Instruction *> &Insts);
+
+} // namespace cgcm
+
+#endif // CGCM_TRANSFORM_UTILS_H

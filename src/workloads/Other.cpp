@@ -1,0 +1,121 @@
+//===- workloads/Other.cpp - StreamIt fm and PARSEC blackscholes -------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cgcm;
+
+std::vector<Workload> cgcm::workload_sources::others() {
+  std::vector<Workload> W;
+
+  // fm (StreamIt): FM radio pipeline. The FIR filter stages parallelize;
+  // the demodulator is a sequential phase recurrence that dominates run
+  // time, so the program is CPU-bound ("Other", like the paper where both
+  // GPU and communication round to 0%). K1 signal synthesis; K2 low-pass
+  // FIR; K3 band-pass FIR; K4 equalizer.
+  W.push_back({"fm", "StreamIt", R"(
+    double samples[512];
+    double lp[512];
+    double bp[512];
+    double eq[512];
+    double demod[512];
+    int main() {
+      int i; int t;
+      for (i = 0; i < 512; i++)
+        samples[i] = sin(i * 0.11) * 0.7 + sin(i * 0.013) * 0.3;
+      for (i = 0; i < 504; i++) {
+        double s = 0.0;
+        for (t = 0; t < 8; t++)
+          s += samples[i + t] * (0.125 - (t - 3.5) * 0.002);
+        lp[i] = s;
+      }
+      for (i = 0; i < 504; i++) {
+        double s = 0.0;
+        for (t = 0; t < 8; t++)
+          s += samples[i + t] * ((t % 2) * 0.25 - 0.0625);
+        bp[i] = s;
+      }
+      for (i = 0; i < 504; i++)
+        eq[i] = lp[i] * 0.6 + bp[i] * 0.4;
+      int r;
+      double phase = 0.0;
+      double out = 0.0;
+      for (r = 0; r < 18; r++) {
+        for (i = 0; i < 504; i++) {
+          phase = phase * 0.95 + eq[i] * 0.05;
+          out += sin(phase) * cos(phase * 0.5) * 0.001;
+        }
+      }
+      print_f64(out);
+      return 0;
+    }
+  )",
+               "Other", 4, 4, 0.00, 0.00, 0.00, 0.00});
+
+  // blackscholes (PARSEC): option pricing. The pricing kernel receives a
+  // pointer laundered through integer casts (the original's packed
+  // struct-of-arrays access), so no named-region technique applies (0 of
+  // 1). The CPU reference valuation dominates ("Other"); without
+  // promotion the repeated launches re-transfer every array each round.
+  W.push_back({"blackscholes", "PARSEC", R"(
+    double spot[256];
+    double strike[256];
+    double tte[256];
+    double vol[256];
+    double price[256];
+    double refp[256];
+    int main() {
+      int i; int t;
+      double v = 0.71;
+      for (i = 0; i < 256; i++) {
+        v = v * 0.83 + 0.19;
+        if (v > 1.0)
+          v = v - 1.0;
+        spot[i] = 80.0 + v * 40.0;
+        strike[i] = 90.0 + v * 25.0;
+        tte[i] = 0.25 + v * 0.5;
+        vol[i] = 0.15 + v * 0.3;
+      }
+      double check = 0.0;
+      for (i = 0; i < 256; i++) {
+        double u = 1.06;
+        double dn = 0.94;
+        double p = spot[i];
+        int s;
+        for (s = 0; s < 48; s++) {
+          p = p * (((s + i) % 2) * (u - dn) + dn);
+          if (p > strike[i] * 2.0)
+            p = strike[i] * 2.0;
+          check += p * 0.00001;
+        }
+        refp[i] = p;
+      }
+      double *sp = (double*)((long)spot);
+      for (t = 0; t < 12; t++) {
+        for (i = 0; i < 256; i++) {
+          double s0 = sp[i];
+          double k = strike[i];
+          double sig = vol[i];
+          double tt = tte[i];
+          double d1 = (log(s0 / k) + (0.03 + 0.5 * sig * sig) * tt) /
+                      (sig * sqrt(tt));
+          double d2 = d1 - sig * sqrt(tt);
+          double n1 = 1.0 / (1.0 + exp(0.0 - 1.702 * d1));
+          double n2 = 1.0 / (1.0 + exp(0.0 - 1.702 * d2));
+          price[i] = s0 * n1 - k * exp(0.0 - 0.03 * tt) * n2;
+        }
+      }
+      double sum = check;
+      for (i = 0; i < 256; i++)
+        sum += price[i] + refp[i] * 0.001;
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Other", 1, 0, 1.74, 3.23, 45.84, 0.96});
+
+  return W;
+}

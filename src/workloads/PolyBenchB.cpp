@@ -1,0 +1,434 @@
+//===- workloads/PolyBenchB.cpp - PolyBench workloads (gemver .. 3mm) -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cgcm;
+
+std::vector<Workload> cgcm::workload_sources::polybenchB() {
+  std::vector<Workload> W;
+
+  // gemver: vector multiply and matrix addition. K1 init everything;
+  // K2 A += u1 v1^T + u2 v2^T; K3 x = beta A^T y; K4 x += z; K5 w = alpha A x.
+  W.push_back({"gemver", "PolyBench", R"(
+    double A[64][64];
+    double u1[64];
+    double v1[64];
+    double u2[64];
+    double v2[64];
+    double x[64];
+    double y[64];
+    double z[64];
+    double w[64];
+    int main() {
+      int i; int j;
+      for (i = 0; i < 64; i++) {
+        u1[i] = (i % 9) * 0.1;
+        v1[i] = ((i + 3) % 7) * 0.1;
+        u2[i] = ((i + 1) % 5) * 0.1;
+        v2[i] = ((i + 2) % 11) * 0.05;
+        y[i] = (i % 13) * 0.04;
+        z[i] = (i % 3) * 0.2;
+        for (j = 0; j < 64; j++)
+          A[i][j] = ((i * j + i + j) % 19) * 0.02;
+      }
+      for (i = 0; i < 64; i++) {
+        for (j = 0; j < 64; j++)
+          A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+      }
+      for (i = 0; i < 64; i++) {
+        double s = 0.0;
+        for (j = 0; j < 64; j++)
+          s += A[j][i] * y[j];
+        x[i] = 0.9 * s;
+      }
+      for (i = 0; i < 64; i++)
+        x[i] = x[i] + z[i];
+      for (i = 0; i < 64; i++) {
+        double s = 0.0;
+        for (j = 0; j < 64; j++)
+          s += A[i][j] * x[j];
+        w[i] = 1.1 * s;
+      }
+      double sum = 0.0;
+      for (i = 0; i < 64; i++)
+        sum += w[i];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Comm.", 5, 5, 4.06, 4.10, 88.21, 89.36});
+
+  // gesummv: y = alpha A x + beta B x. Initialization is a CPU
+  // recurrence; K1 tmp = A x; K2 y = alpha*tmp + beta*(B x).
+  W.push_back({"gesummv", "PolyBench", R"(
+    double A[72][72];
+    double B[72][72];
+    double x[72];
+    double y[72];
+    int main() {
+      int i; int j;
+      for (i = 0; i < 72; i++) {
+        x[i] = 0.05 + (i % 11) * 0.01;
+        for (j = 0; j < 72; j++) {
+          A[i][j] = ((i * 5 + j * 3) % 23) * 0.03;
+          B[i][j] = ((i + j * 7) % 19) * 0.04;
+        }
+      }
+      for (i = 0; i < 72; i++) {
+        double sa = 0.0;
+        double sb = 0.0;
+        for (j = 0; j < 72; j++) {
+          sa += A[i][j] * x[j];
+          sb += B[i][j] * x[j];
+        }
+        y[i] = 1.3 * sa + 0.7 * sb;
+      }
+      double sum = 0.0;
+      for (i = 0; i < 72; i++)
+        sum += y[i];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Comm.", 2, 2, 6.17, 6.29, 86.17, 86.74});
+
+  // gramschmidt: QR factorization. The per-column norms and projections
+  // are CPU reductions between the kernels, which keeps CGCM's
+  // communication cyclic; this is the one program the paper's idealized
+  // inspector-executor wins. K1 init A; K2 column scale; K3 column update.
+  W.push_back({"gramschmidt", "PolyBench", R"(
+    double A[20][20];
+    double Q[20][20];
+    double R[20][20];
+    int main() {
+      int i; int j; int k;
+      double total = 0.0;
+      for (i = 0; i < 20; i++) {
+        for (j = 0; j < 20; j++)
+          A[i][j] = ((i * 13 + j * 5) % 31) * 0.03 + 0.5;
+      }
+      for (k = 0; k < 20; k++) {
+        double nrm = 0.0;
+        for (i = 0; i < 20; i++)
+          nrm += A[i][k] * A[i][k];
+        double rkk = sqrt(nrm);
+        R[k][k] = rkk;
+        double inv = 1.0 / rkk;
+        for (i = 0; i < 20; i++)
+          Q[i][k] = A[i][k] * inv;
+        for (j = k + 1; j < 20; j++) {
+          double proj = 0.0;
+          for (i = 0; i < 20; i++)
+            proj += Q[i][k] * A[i][j];
+          R[k][j] = proj;
+          total += proj * 0.001;
+          for (i = 0; i < 20; i++)
+            A[i][j] = A[i][j] - Q[i][k] * proj;
+        }
+      }
+      double sum = total;
+      for (i = 0; i < 20; i++)
+        for (j = 0; j < 20; j++)
+          sum += R[i][j] + Q[i][j];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Comm.", 3, 3, 1.82, 8.37, 98.18, 90.91});
+
+  // jacobi-2d-imper: two-array five-point stencil over timesteps.
+  // K1 init; per step: K2 stencil A->B; K3 copy B->A. With promotion the
+  // arrays stay resident across the whole time loop (GPU-bound).
+  W.push_back({"jacobi-2d-imper", "PolyBench", R"(
+    double A[26][26];
+    double B[26][26];
+    int main() {
+      int i; int j; int t;
+      for (i = 0; i < 26; i++) {
+        for (j = 0; j < 26; j++) {
+          A[i][j] = ((i * 26 + j) % 37) * 0.027 + 0.1;
+          B[i][j] = 0.0;
+        }
+      }
+      for (t = 0; t < 20; t++) {
+        for (i = 1; i < 25; i++) {
+          for (j = 1; j < 25; j++)
+            B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] +
+                             A[i - 1][j] + A[i + 1][j]);
+        }
+        for (i = 1; i < 25; i++) {
+          for (j = 1; j < 25; j++)
+            A[i][j] = B[i][j];
+        }
+      }
+      double sum = 0.0;
+      for (i = 0; i < 26; i++)
+        for (j = 0; j < 26; j++)
+          sum += A[i][j];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 3, 3, 7.20, 95.97, 92.82, 3.32});
+
+  // seidel: in-place Gauss-Seidel sweep; the sweep itself is sequential
+  // (loop-carried in both dimensions), so only the initialization becomes
+  // a kernel and the program stays CPU-bound ("Other").
+  W.push_back({"seidel", "PolyBench", R"(
+    double A[30][30];
+    int main() {
+      int i; int j; int t;
+      for (i = 0; i < 30; i++) {
+        for (j = 0; j < 30; j++)
+          A[i][j] = ((i * 3 + j * 7) % 41) * 0.02 + 0.25;
+      }
+      for (t = 0; t < 6; t++) {
+        for (i = 1; i < 29; i++) {
+          for (j = 1; j < 29; j++)
+            A[i][j] = (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] +
+                       A[i][j + 1] + A[i][j]) * 0.2;
+        }
+      }
+      double sum = 0.0;
+      for (i = 0; i < 30; i++)
+        for (j = 0; j < 30; j++)
+          sum += A[i][j];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Other", 1, 1, 0.01, 0.01, 0.59, 0.59});
+
+  // lu: in-place LU factorization. The pivot reciprocal is a small CPU
+  // region between kernels: the glue-kernel pass lowers it to the GPU so
+  // map promotion can hoist A out of the k loop. The row-scale kernel
+  // takes an interior pointer into A (the current row), which named-region
+  // and inspector-executor techniques cannot express: 2 of 3 applicable.
+  // K1 init; K2 row scale + pivot row copy; K3 trailing update.
+  W.push_back({"lu", "PolyBench", R"(
+    double A[48][48];
+    double prow[48];
+    double pivbuf[2];
+    void scale_row(double *abase, int k) {
+      int j;
+      for (j = k + 1; j < 48; j++) {
+        abase[k * 48 + j - 1] = abase[k * 48 + j - 1] * pivbuf[0];
+        prow[j] = abase[k * 48 + j - 1];
+      }
+    }
+    int main() {
+      int i; int j; int k;
+      for (i = 0; i < 48; i++) {
+        for (j = 0; j < 48; j++) {
+          if (i == j)
+            A[i][j] = 48.0 + ((i * 3) % 5);
+          else
+            A[i][j] = ((i + j * 7) % 13) * 0.05;
+        }
+      }
+      double *abase = (double*)A + 1;
+      for (k = 0; k < 47; k++) {
+        pivbuf[0] = 1.0 / A[k][k];
+        scale_row(abase, k);
+        for (i = k + 1; i < 48; i++) {
+          for (j = k + 1; j < 48; j++)
+            A[i][j] = A[i][j] - A[i][k] * prow[j];
+        }
+      }
+      double sum = 0.0;
+      for (i = 0; i < 48; i++)
+        sum += A[i][i] + A[i][(i * 11 + 3) % 48];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 3, 2, 0.41, 88.05, 99.59, 7.02});
+
+  // ludcmp: LU factorization plus triangular solves. Two kernels take
+  // non-named pointers (an interior row pointer and a pointer laundered
+  // through integer casts): 3 of 5 named-region applicable.
+  // K1 init; K2 row scale; K3 trailing update; K4 diagonal solve seed
+  // (cast pointer); K5 result scale.
+  W.push_back({"ludcmp", "PolyBench", R"(
+    double A[48][48];
+    double b[48];
+    double d[48];
+    double xr[48];
+    double prow[48];
+    double pivbuf[2];
+    void scale_row(double *abase, int k) {
+      int j;
+      for (j = k + 1; j < 48; j++) {
+        abase[k * 48 + j - 1] = abase[k * 48 + j - 1] * pivbuf[0];
+        prow[j] = abase[k * 48 + j - 1];
+      }
+    }
+    __kernel void seed_solve(double *dd, double *bb, int n) {
+      long t = __tid();
+      if (t < n)
+        dd[t] = bb[t] * 0.5 + 0.25;
+    }
+    int main() {
+      int i; int j; int k;
+      for (i = 0; i < 48; i++) {
+        b[i] = (i % 7) * 0.3 + 0.5;
+        for (j = 0; j < 48; j++) {
+          if (i == j)
+            A[i][j] = 48.0 + (i % 3);
+          else
+            A[i][j] = ((i * 5 + j) % 11) * 0.04;
+        }
+      }
+      double *abase = (double*)A + 1;
+      for (k = 0; k < 47; k++) {
+        pivbuf[0] = 1.0 / A[k][k];
+        scale_row(abase, k);
+        for (i = k + 1; i < 48; i++) {
+          for (j = k + 1; j < 48; j++)
+            A[i][j] = A[i][j] - A[i][k] * prow[j];
+        }
+      }
+      launch seed_solve<<<1, 48>>>((double*)((long)d), b, 48);
+      for (i = 0; i < 48; i++)
+        xr[i] = d[i] / A[i][i];
+      double sum = 0.0;
+      for (i = 0; i < 48; i++)
+        sum += xr[i];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 5, 3, 1.23, 87.38, 98.10, 4.13});
+
+  // 2mm: D = A*B*C via a temporary. K1-K4 initialize; K5 tmp = A*B;
+  // K6 D = tmp*C; K7 scale D.
+  W.push_back({"2mm", "PolyBench", R"(
+    double A[32][32];
+    double B[32][32];
+    double C[32][32];
+    double D[32][32];
+    double tmp[32][32];
+    void kernels() {
+      int i; int j; int k;
+      for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+          A[i][j] = ((i * j) % 15) * 0.04 + 0.1;
+      for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+          B[i][j] = ((i + j * 2) % 19) * 0.03 + 0.2;
+      for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+          C[i][j] = ((i * 2 + j) % 13) * 0.05;
+      for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+          D[i][j] = ((i + j) % 9) * 0.02;
+      for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+          double s = 0.0;
+          for (k = 0; k < 32; k++)
+            s += A[i][k] * B[k][j];
+          tmp[i][j] = s;
+        }
+      }
+      for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+          double s = 0.0;
+          for (k = 0; k < 32; k++)
+            s += tmp[i][k] * C[k][j];
+          D[i][j] = D[i][j] + s;
+        }
+      }
+      for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+          D[i][j] = D[i][j] * 0.8;
+    }
+    int main() {
+      int i; int j;
+      kernels();
+      double sum = 0.0;
+      for (i = 0; i < 32; i++)
+        for (j = 0; j < 32; j++)
+          sum += D[i][j];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 7, 7, 75.53, 77.25, 17.96, 18.25});
+
+  // 3mm: G = (A*B)*(C*D). K1-K4 init inputs; K5-K7 zero E, F, G;
+  // K8 E = A*B; K9 F = C*D; K10 G = E*F.
+  W.push_back({"3mm", "PolyBench", R"(
+    double A[28][28];
+    double B[28][28];
+    double C[28][28];
+    double D[28][28];
+    double E[28][28];
+    double F[28][28];
+    double G[28][28];
+    void kernels() {
+      int i; int j; int k;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          A[i][j] = ((i * j + 1) % 17) * 0.05;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          B[i][j] = ((i + j * 3) % 13) * 0.06;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          C[i][j] = ((i * 2 + j) % 11) * 0.07;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          D[i][j] = ((i + j * 5) % 7) * 0.08;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          E[i][j] = 0.0;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          F[i][j] = 0.0;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          G[i][j] = 0.0;
+      for (i = 0; i < 28; i++) {
+        for (j = 0; j < 28; j++) {
+          double s = 0.0;
+          for (k = 0; k < 28; k++)
+            s += A[i][k] * B[k][j];
+          E[i][j] = s;
+        }
+      }
+      for (i = 0; i < 28; i++) {
+        for (j = 0; j < 28; j++) {
+          double s = 0.0;
+          for (k = 0; k < 28; k++)
+            s += C[i][k] * D[k][j];
+          F[i][j] = s;
+        }
+      }
+      for (i = 0; i < 28; i++) {
+        for (j = 0; j < 28; j++) {
+          double s = 0.0;
+          for (k = 0; k < 28; k++)
+            s += E[i][k] * F[k][j];
+          G[i][j] = s;
+        }
+      }
+    }
+    int main() {
+      int i; int j;
+      kernels();
+      double sum = 0.0;
+      for (i = 0; i < 28; i++)
+        for (j = 0; j < 28; j++)
+          sum += G[i][j];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 10, 10, 78.75, 79.29, 17.86, 17.85});
+
+  return W;
+}

@@ -1,0 +1,418 @@
+//===- workloads/Rodinia.cpp - Rodinia-style workloads ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC re-implementations of the six Rodinia programs the paper's
+/// DOALL parallelizer handles. These are larger and messier than the
+/// PolyBench codes: interior pointers into component-blocked arrays
+/// (cfd, hotspot, lud, srad), rotating buffers (nw), and CPU phases
+/// between kernels (kmeans, srad) — the features that separate CGCM's
+/// applicability from the named-region and inspector-executor baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cgcm;
+
+std::vector<Workload> cgcm::workload_sources::rodinia() {
+  std::vector<Workload> W;
+
+  // cfd: unstructured-grid Euler solver skeleton. State lives in one
+  // component-blocked array (density, momentum x/y, energy); the flux and
+  // update kernels receive interior pointers to the component blocks,
+  // which named-region techniques cannot express: 3 of 9 applicable.
+  W.push_back({"cfd", "Rodinia", R"(
+    double vars[2048];
+    double old[2048];
+    double flux[2048];
+    double step[512];
+    int main() {
+      int i; int t;
+      for (i = 0; i < 2048; i++)
+        vars[i] = ((i * 7) % 23) * 0.04 + 0.4;
+      double *vmom = (double*)vars + 512;
+      double *vmy = (double*)vars + 1024;
+      double *vene = (double*)vars + 1536;
+      double *omom = (double*)old + 512;
+      double *omy = (double*)old + 1024;
+      double *oene = (double*)old + 1536;
+      double *fl = (double*)flux + 1;
+      for (t = 0; t < 8; t++) {
+        for (i = 0; i < 2048; i++)
+          old[i] = vars[i];
+        for (i = 0; i < 512; i++)
+          step[i] = 0.5 / (fabs(vars[i]) + 0.2);
+        for (i = 1; i < 511; i++)
+          flux[i] = (omom[i + 1] - omom[i - 1]) * step[i];
+        for (i = 1; i < 511; i++)
+          vmom[i] = omom[i] - 0.05 * (oene[i] - oene[i - 1]) * step[i];
+        for (i = 1; i < 511; i++)
+          vmy[i] = omy[i] - 0.05 * (omom[i + 1] - omom[i]) * step[i];
+        for (i = 1; i < 511; i++)
+          vene[i] = oene[i] - 0.02 * (omom[i] * omom[i] + omy[i] * omy[i]);
+        for (i = 1; i < 511; i++)
+          vars[i] = old[i] - fl[i - 1] * 0.1;
+        for (i = 1; i < 511; i++)
+          vene[i] = vene[i] * 0.999 + 0.001 * oene[i];
+      }
+      double sum = 0.0;
+      for (i = 0; i < 2048; i++)
+        sum += vars[i];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 9, 3, 4.65, 77.96, 85.90, 0.16});
+
+  // hotspot: thermal stencil. The stencil kernel reads the temperature
+  // grid through an offset pointer (the Rodinia code's halo border), so
+  // only the write-back kernel is named-region applicable: 1 of 2.
+  W.push_back({"hotspot", "Rodinia", R"(
+    double temp[32][32];
+    double tnext[32][32];
+    double power[32][32];
+    int main() {
+      int i; int j; int t;
+      double v = 0.61;
+      for (i = 0; i < 32; i++) {
+        for (j = 0; j < 32; j++) {
+          v = v * 0.89 + 0.13;
+          if (v > 1.0)
+            v = v - 1.0;
+          temp[i][j] = 320.0 + v * 10.0;
+          power[i][j] = v * 0.01;
+          tnext[i][j] = 0.0;
+        }
+      }
+      double *tin = (double*)temp + 33;
+      for (t = 0; t < 32; t++) {
+        for (i = 1; i < 31; i++) {
+          for (j = 1; j < 31; j++)
+            tnext[i][j] = tin[(i - 1) * 32 + (j - 1)] * 0.6 +
+                          0.1 * (tin[(i - 2) * 32 + (j - 1)] +
+                                 tin[i * 32 + (j - 1)] +
+                                 tin[(i - 1) * 32 + (j - 2)] +
+                                 tin[(i - 1) * 32 + j]);
+        }
+        for (i = 1; i < 31; i++) {
+          for (j = 1; j < 31; j++)
+            temp[i][j] = tnext[i][j] + power[i][j] * 0.5;
+        }
+      }
+      double sum = 0.0;
+      for (i = 0; i < 32; i++)
+        sum += temp[i][i] + temp[i][(i * 7 + 5) % 32];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 2, 1, 2.78, 71.57, 92.60, 0.89});
+
+  // kmeans: the assignment step runs on the GPU; the centroid update is
+  // an irregular CPU reduction that keeps the points resident data moving
+  // every iteration. A heavy CPU refinement phase afterwards makes the
+  // program CPU-bound, as in the paper ("Other").
+  W.push_back({"kmeans", "Rodinia", R"(
+    double points[96][4];
+    double cent[4][4];
+    double acc[4][4];
+    int count[4];
+    int membership[96];
+    int main() {
+      int i; int c; int d; int t;
+      for (i = 0; i < 96; i++) {
+        membership[i] = 0;
+        for (d = 0; d < 4; d++)
+          points[i][d] = ((i * 11 + d * 17) % 29) * 0.1;
+      }
+      double v = 0.45;
+      for (c = 0; c < 4; c++) {
+        for (d = 0; d < 4; d++) {
+          v = v * 0.77 + 0.21;
+          if (v > 2.8)
+            v = v - 2.8;
+          cent[c][d] = v;
+        }
+      }
+      for (t = 0; t < 4; t++) {
+        for (i = 0; i < 96; i++) {
+          double bestd = 1000000.0;
+          int best = 0;
+          for (c = 0; c < 4; c++) {
+            double dist = 0.0;
+            for (d = 0; d < 4; d++)
+              dist += (points[i][d] - cent[c][d]) *
+                      (points[i][d] - cent[c][d]);
+            if (dist < bestd) {
+              bestd = dist;
+              best = c;
+            }
+          }
+          membership[i] = best;
+        }
+        double zz = 0.0;
+        for (c = 0; c < 4; c++) {
+          count[c] = (int)zz;
+          for (d = 0; d < 4; d++) {
+            acc[c][d] = zz;
+            zz = zz * 0.5;
+          }
+        }
+        for (i = 0; i < 96; i++) {
+          int m = membership[i];
+          count[m] = count[m] + 1;
+          for (d = 0; d < 4; d++)
+            acc[membership[i]][d] = acc[membership[i]][d] + points[i][d];
+        }
+        double cc = 1.0;
+        for (c = 0; c < 4; c++) {
+          for (d = 0; d < 4; d++) {
+            if (count[c] > 0)
+              cent[c][d] = acc[c][d] / count[c] * cc;
+            cc = cc * 1.0;
+          }
+        }
+      }
+      double refine = 0.0;
+      double ph = 0.1;
+      for (i = 0; i < 96; i++) {
+        int r;
+        for (r = 0; r < 40; r++) {
+          ph = ph * 0.97 + points[i][ (r % 4) ] * 0.01;
+          refine += sin(ph) * 0.001;
+        }
+      }
+      double sum = refine;
+      for (c = 0; c < 4; c++)
+        for (d = 0; d < 4; d++)
+          sum += cent[c][d];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Other", 2, 2, 0.65, 0.00, 10.84, 0.05});
+
+  // lud: blocked-style LU decomposition. Every compute kernel works
+  // through an interior base pointer into the matrix (block offsets), so
+  // only the initialization kernel is named-region applicable: 1 of 6.
+  // The pivot reciprocal between kernels is glue-kernel fodder.
+  W.push_back({"lud", "Rodinia", R"(
+    double A[48][48];
+    double prow[48];
+    double pcol[48];
+    double dsq[48];
+    double xr[48];
+    double pivbuf[2];
+    int main() {
+      int i; int j; int k;
+      for (i = 0; i < 48; i++) {
+        for (j = 0; j < 48; j++) {
+          if (i == j)
+            A[i][j] = 48.0 + (i % 7);
+          else
+            A[i][j] = ((i * 3 + j * 5) % 17) * 0.04;
+        }
+      }
+      double *ab = (double*)A + 1;
+      double *xp = (double*)((long)xr);
+      for (k = 0; k < 47; k++) {
+        pivbuf[0] = 1.0 / A[k][k];
+        for (j = k + 1; j < 48; j++) {
+          ab[k * 48 + j - 1] = ab[k * 48 + j - 1] * pivbuf[0];
+          prow[j] = ab[k * 48 + j - 1];
+        }
+        for (i = k + 1; i < 48; i++)
+          pcol[i] = ab[i * 48 + k - 1];
+        for (i = k + 1; i < 48; i++) {
+          for (j = k + 1; j < 48; j++)
+            ab[i * 48 + j - 1] =
+                ab[i * 48 + j - 1] - pcol[i] * prow[j];
+        }
+      }
+      for (i = 0; i < 48; i++)
+        dsq[i] = ab[i * 48 + i - 1] * ab[i * 48 + i - 1];
+      for (i = 0; i < 48; i++)
+        xp[i] = dsq[i] * 0.5 + 1.0;
+      double sum = 0.0;
+      for (i = 0; i < 48; i++)
+        sum += xr[i];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "GPU", 6, 1, 3.77, 63.57, 91.56, 0.39});
+
+  // nw: Needleman-Wunsch. Anti-diagonal wavefront with three rotating
+  // buffers: the fill and extract kernels receive pointers that vary per
+  // diagonal (phis), which no named-region technique can express (2 of 4
+  // applicable) and which also pins the communication pattern cyclic —
+  // matching the paper's poor nw results even after optimization.
+  W.push_back({"nw", "Rodinia", R"(
+    double ref[48][48];
+    double res[96];
+    int main() {
+      int i; int d;
+      for (i = 0; i < 48; i++) {
+        int j;
+        for (j = 0; j < 48; j++)
+          ref[i][j] = ((i * 5 + j * 3) % 13) * 0.2 - 1.0;
+      }
+      double *b0 = (double*)malloc(96 * sizeof(double));
+      double *b1 = (double*)malloc(96 * sizeof(double));
+      double *b2 = (double*)malloc(96 * sizeof(double));
+      for (i = 0; i < 96; i++) {
+        b0[i] = 0.0 - i * 0.1;
+        b1[i] = 0.0 - i * 0.1;
+        b2[i] = 0.0;
+      }
+      double *prev2 = b0;
+      double *prev = b1;
+      double *cur = b2;
+      for (d = 2; d < 95; d++) {
+        int lo = d - 47;
+        if (lo < 1)
+          lo = 1;
+        int hi = d - 1;
+        if (hi > 47)
+          hi = 47;
+        launch nw_fill<<<1, 64>>>(cur, prev, prev2, lo, hi + 1, d);
+        double *tmp = prev2;
+        prev2 = prev;
+        prev = cur;
+        cur = tmp;
+      }
+      launch nw_out<<<1, 96>>>(prev, 96);
+      double traceScore = 0.0;
+      double ph = 0.3;
+      for (i = 0; i < 96; i++) {
+        int r;
+        for (r = 0; r < 24; r++) {
+          ph = ph * 0.93 + res[i] * 0.001;
+          traceScore += ph * 0.01;
+        }
+      }
+      free((char*)b0);
+      free((char*)b1);
+      free((char*)b2);
+      print_f64(traceScore);
+      return 0;
+    }
+    __kernel void nw_fill(double *curb, double *prevb, double *prev2b,
+                          int lo, int hi, int d) {
+      long t = __tid();
+      long i = lo + t;
+      if (i < hi) {
+        double up = prevb[i] - 0.5;
+        double left = prevb[i - 1] - 0.5;
+        double diag = prev2b[i - 1] + ref[i][d - i];
+        double best = up;
+        if (left > best)
+          best = left;
+        if (diag > best)
+          best = diag;
+        curb[i] = best;
+      }
+    }
+    __kernel void nw_out(double *prevb, int n) {
+      long t = __tid();
+      if (t < n)
+        res[t] = prevb[t] * 0.5;
+    }
+  )",
+               "Other", 4, 2, 0.00, 2.44, 100.00, 24.19});
+
+  // srad: speckle-reducing anisotropic diffusion. The outer row loops
+  // carry a bookkeeping recurrence, so the parallelizer extracts the
+  // *inner* per-row loops — one kernel launch per row per stage per
+  // timestep, the pattern behind the paper's catastrophic 4,437x
+  // unoptimized slowdown. All compute kernels use interior pointers
+  // (1 of 6 named-region applicable); a small CPU reduction per step
+  // keeps one tiny unit cycling even after promotion.
+  W.push_back({"srad", "Rodinia", R"(
+    double img[48][48];
+    double c[48][48];
+    double dN[48][48];
+    double dS[48][48];
+    double dW[48][48];
+    double dE[48][48];
+    double rowsum[48];
+    double q0buf[2];
+    int main() {
+      int i; int j; int t;
+      double rkacc = 0.0;
+      for (i = 0; i < 48; i++) {
+        for (j = 0; j < 48; j++)
+          img[i][j] = 1.0 + ((i * 7 + j * 11) % 19) * 0.05;
+      }
+      q0buf[0] = 0.5;
+      double *ib = (double*)img + 49;
+      double *cb = (double*)c + 49;
+      double *dnb = (double*)dN + 1;
+      double *dwb = (double*)dW + 1;
+      for (t = 0; t < 16; t++) {
+        for (i = 1; i < 47; i++) {
+          rkacc = rkacc + 0.001;
+          for (j = 1; j < 47; j++) {
+            double cv = ib[(i - 1) * 48 + (j - 1)];
+            double dn = ib[(i - 2) * 48 + (j - 1)] - cv;
+            double ds = ib[i * 48 + (j - 1)] - cv;
+            double dw = ib[(i - 1) * 48 + (j - 2)] - cv;
+            double de = ib[(i - 1) * 48 + j] - cv;
+            dN[i][j] = dn;
+            dS[i][j] = ds;
+            dW[i][j] = dw;
+            dE[i][j] = de;
+            double g2 = (dn * dn + ds * ds + dw * dw + de * de) /
+                        (cv * cv + 0.0001);
+            double q = (g2 - q0buf[0]) / (1.0 + q0buf[0] + 0.0001);
+            cb[(i - 1) * 48 + (j - 1)] = 1.0 / (1.0 + q * q);
+          }
+        }
+        for (i = 1; i < 47; i++) {
+          rkacc = rkacc + 0.001;
+          for (j = 1; j < 47; j++) {
+            double div = dN[i][j] + dS[i][j] + dW[i][j] + dE[i][j];
+            ib[(i - 1) * 48 + (j - 1)] =
+                ib[(i - 1) * 48 + (j - 1)] +
+                0.05 * cb[(i - 1) * 48 + (j - 1)] * div;
+          }
+        }
+        for (i = 1; i < 47; i++) {
+          rkacc = rkacc + 0.001;
+          for (j = 1; j < 47; j++)
+            dnb[i * 48 + j - 1] =
+                dnb[i * 48 + j - 1] * 0.5 + dS[i][j] * 0.5;
+        }
+        for (i = 1; i < 47; i++) {
+          rkacc = rkacc + 0.001;
+          for (j = 1; j < 47; j++)
+            dwb[i * 48 + j - 1] =
+                dwb[i * 48 + j - 1] * 0.5 + dE[i][j] * 0.5;
+        }
+        for (i = 0; i < 48; i++) {
+          double s = 0.0;
+          for (j = 0; j < 48; j++)
+            s += ib[i * 48 + j - 49] * 0.001;
+          rowsum[i] = s;
+        }
+        double q0 = 0.0;
+        for (i = 0; i < 48; i++)
+          q0 += rowsum[i];
+        q0buf[0] = q0 / 48.0 + 0.3;
+      }
+      double sum = rkacc;
+      for (i = 0; i < 48; i++)
+        for (j = 0; j < 48; j++)
+          sum += img[i][j];
+      print_f64(sum);
+      return 0;
+    }
+  )",
+               "Other", 6, 1, 0.00, 27.08, 100.00, 6.20});
+
+  return W;
+}

@@ -1,0 +1,98 @@
+//===- workloads/Runner.cpp - Workload execution harness ---------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "support/ErrorHandling.h"
+
+using namespace cgcm;
+
+const char *cgcm::getConfigName(BenchConfig C) {
+  switch (C) {
+  case BenchConfig::Sequential:
+    return "sequential";
+  case BenchConfig::InspectorExecutor:
+    return "inspector-executor";
+  case BenchConfig::CGCMUnoptimized:
+    return "cgcm-unoptimized";
+  case BenchConfig::CGCMOptimized:
+    return "cgcm-optimized";
+  case BenchConfig::DemandPaged:
+    return "demand-paged";
+  }
+  return "?";
+}
+
+WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C) {
+  std::unique_ptr<Module> M = compileMiniC(W.Source, W.Name);
+  WorkloadRun R;
+
+  PipelineOptions Opts;
+  LaunchPolicy Policy = LaunchPolicy::Managed;
+  switch (C) {
+  case BenchConfig::Sequential:
+    // The paper's baseline is the original single-threaded program: no
+    // parallelization, and any manual `launch` executes as the loop it
+    // stands for (host memory, CPU cost, no transfer or launch overhead).
+    Opts.Parallelize = false;
+    Opts.Manage = false;
+    Opts.Optimize = false;
+    Policy = LaunchPolicy::CpuEmulation;
+    break;
+  case BenchConfig::InspectorExecutor:
+    Opts.Manage = false;
+    Opts.Optimize = false;
+    Policy = LaunchPolicy::InspectorExecutor;
+    break;
+  case BenchConfig::CGCMUnoptimized:
+    Opts.Optimize = false;
+    break;
+  case BenchConfig::CGCMOptimized:
+    break;
+  case BenchConfig::DemandPaged:
+    // The extension needs no compiler-inserted communication at all.
+    Opts.Manage = false;
+    Opts.Optimize = false;
+    Policy = LaunchPolicy::DemandManaged;
+    break;
+  }
+
+  R.Pipeline = runCGCMPipeline(*M, Opts);
+  for (const auto &F : M->functions())
+    if (F->isKernel() && !F->isGlueKernel())
+      ++R.StaticKernels;
+
+  Machine Mach;
+  Mach.setLaunchPolicy(Policy);
+  Mach.setOpLimit(500u * 1000u * 1000u);
+  Mach.loadModule(*M);
+  Mach.run();
+  R.Output = Mach.getOutput();
+  R.Stats = Mach.getStats();
+  R.TotalCycles = R.Stats.totalCycles();
+  return R;
+}
+
+std::vector<LaunchApplicability>
+cgcm::analyzeWorkloadApplicability(const Workload &W) {
+  std::unique_ptr<Module> M = compileMiniC(W.Source, W.Name);
+  PipelineOptions Opts;
+  Opts.Manage = false;
+  Opts.Optimize = false;
+  runCGCMPipeline(*M, Opts);
+  return analyzeModuleApplicability(*M);
+}
+
+double cgcm::measureSpeedup(const Workload &W, BenchConfig C) {
+  WorkloadRun Seq = runWorkload(W, BenchConfig::Sequential);
+  WorkloadRun Run = runWorkload(W, C);
+  if (Run.Output != Seq.Output)
+    reportFatalError("workload '" + W.Name + "' produced different output "
+                     "under " + getConfigName(C));
+  return Seq.TotalCycles / Run.TotalCycles;
+}

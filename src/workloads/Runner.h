@@ -1,0 +1,58 @@
+//===- workloads/Runner.h - Workload execution harness ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles and runs a workload under one of the paper's four evaluation
+/// configurations and returns the modeled statistics. The same harness
+/// backs the integration tests and every benchmark binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_WORKLOADS_RUNNER_H
+#define CGCM_WORKLOADS_RUNNER_H
+
+#include "gpusim/Timing.h"
+#include "transform/Applicability.h"
+#include "transform/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// The execution configurations of Figure 4.
+enum class BenchConfig {
+  Sequential,        ///< Best sequential CPU-only execution (the baseline).
+  InspectorExecutor, ///< Idealized inspector-executor (section 6.3).
+  CGCMUnoptimized,   ///< Management only (Listing 3 communication).
+  CGCMOptimized,     ///< Management + glue/alloca/map promotion.
+  DemandPaged,       ///< DyManD-style extension (docs/Extensions.md).
+};
+
+const char *getConfigName(BenchConfig C);
+
+struct WorkloadRun {
+  std::string Output;
+  ExecStats Stats;
+  PipelineResult Pipeline;
+  double TotalCycles = 0;
+  unsigned StaticKernels = 0; ///< Kernel functions after parallelization.
+};
+
+/// Compiles \p W from source and executes it under \p C.
+WorkloadRun runWorkload(const Workload &W, BenchConfig C);
+
+/// Applicability of each framework per kernel launch for \p W (analyzed
+/// on the unmanaged parallelized module).
+std::vector<LaunchApplicability> analyzeWorkloadApplicability(const Workload &W);
+
+/// Whole-program speedup of \p C over sequential for the same workload.
+double measureSpeedup(const Workload &W, BenchConfig C);
+
+} // namespace cgcm
+
+#endif // CGCM_WORKLOADS_RUNNER_H

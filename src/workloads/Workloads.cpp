@@ -1,0 +1,32 @@
+//===- workloads/Workloads.cpp - Registry of the 24 programs ----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace cgcm;
+
+const std::vector<Workload> &cgcm::getWorkloads() {
+  static const std::vector<Workload> All = [] {
+    std::vector<Workload> W;
+    auto Append = [&W](std::vector<Workload> Part) {
+      for (Workload &P : Part)
+        W.push_back(std::move(P));
+    };
+    Append(workload_sources::polybenchA());
+    Append(workload_sources::polybenchB());
+    Append(workload_sources::rodinia());
+    Append(workload_sources::others());
+    return W;
+  }();
+  return All;
+}
+
+const Workload *cgcm::findWorkload(const std::string &Name) {
+  for (const Workload &W : getWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,67 @@
+//===- workloads/Workloads.h - The 24 evaluation programs -------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates CGCM on 24 programs from PolyBench (16), Rodinia
+/// (6), StreamIt (1), and PARSEC (1). The original sources need native
+/// compilation, OpenMP, and file inputs, so this module provides MiniC
+/// re-implementations with the same loop and communication structure:
+/// the same number of DOALL kernels (101 across the suite), the same
+/// named-region / inspector-executor applicability per kernel, and the
+/// same performance-limiting shape (GPU-bound, communication-bound, or
+/// CPU-bound). Every program prints a checksum so the harness can verify
+/// all execution configurations agree bit-for-bit.
+///
+/// Each workload records the paper's Table 3 reference values for
+/// comparison in EXPERIMENTS.md and the benchmark output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_WORKLOADS_WORKLOADS_H
+#define CGCM_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+struct Workload {
+  std::string Name;
+  std::string Suite; ///< PolyBench | Rodinia | StreamIt | PARSEC
+  std::string Source; ///< MiniC implementation.
+
+  //===--------------------------------------------------------------------===//
+  // Paper reference values (Table 3)
+  //===--------------------------------------------------------------------===//
+
+  /// "GPU", "Comm.", or "Other".
+  std::string PaperLimitingFactor;
+  /// Static kernels the DOALL parallelizer creates (CGCM manages all).
+  unsigned PaperKernels = 0;
+  /// Kernels the named-region / inspector-executor techniques can handle.
+  unsigned PaperNamedRegionKernels = 0;
+  /// GPU and communication time as % of total (unoptimized / optimized).
+  double PaperGpuPctUnopt = 0, PaperGpuPctOpt = 0;
+  double PaperCommPctUnopt = 0, PaperCommPctOpt = 0;
+};
+
+/// The full suite, in Table 3 order.
+const std::vector<Workload> &getWorkloads();
+
+/// Lookup by name; null if unknown.
+const Workload *findWorkload(const std::string &Name);
+
+namespace workload_sources {
+// Defined across the suite translation units.
+std::vector<Workload> polybenchA(); ///< adi .. gemm
+std::vector<Workload> polybenchB(); ///< gemver .. 3mm
+std::vector<Workload> rodinia();
+std::vector<Workload> others(); ///< fm, blackscholes
+} // namespace workload_sources
+
+} // namespace cgcm
+
+#endif // CGCM_WORKLOADS_WORKLOADS_H

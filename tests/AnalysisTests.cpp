@@ -1,0 +1,309 @@
+//===- tests/AnalysisTests.cpp - Analysis unit tests ---------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the analyses: dominator tree and frontiers, natural
+/// loops, the call graph (including recursion detection), memory-object
+/// rooting, and the use-based pointer-degree type inference of paper
+/// section 4 — including the subversive-cast cases that motivate it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/MemoryObjects.h"
+#include "analysis/TypeInference.h"
+#include "frontend/IRGen.h"
+#include "transform/Mem2Reg.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+/// Finds a block by name within a function.
+BasicBlock *blockNamed(Function &F, const std::string &Name) {
+  for (const auto &BB : F)
+    if (BB->getName() == Name)
+      return BB.get();
+  return nullptr;
+}
+
+TEST(Dominators, DiamondCFG) {
+  auto M = compileMiniC(R"(
+    int main() {
+      int x = 1;
+      if (x > 0)
+        x = 2;
+      else
+        x = 3;
+      return x;
+    }
+  )",
+                        "dom");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->getEntryBlock();
+  BasicBlock *Then = blockNamed(*F, "if.then");
+  BasicBlock *Else = blockNamed(*F, "if.else");
+  BasicBlock *End = blockNamed(*F, "if.end");
+  ASSERT_TRUE(Then && Else && End);
+  EXPECT_TRUE(DT.dominates(Entry, Then));
+  EXPECT_TRUE(DT.dominates(Entry, End));
+  EXPECT_FALSE(DT.dominates(Then, End));
+  EXPECT_FALSE(DT.dominates(Then, Else));
+  EXPECT_EQ(DT.getIDom(End), Entry);
+  // The join block is in the frontier of both arms.
+  EXPECT_TRUE(DT.getFrontier(Then).count(End));
+  EXPECT_TRUE(DT.getFrontier(Else).count(End));
+}
+
+TEST(Dominators, ReversePostOrderStartsAtEntry) {
+  auto M = compileMiniC(
+      "int main() { int i; int s = 0; for (i = 0; i < 4; i++) s += i; "
+      "return s; }",
+      "rpo");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  DominatorTree DT(*F);
+  ASSERT_FALSE(DT.getReversePostOrder().empty());
+  EXPECT_EQ(DT.getReversePostOrder().front(), F->getEntryBlock());
+  // Every reachable block appears exactly once.
+  EXPECT_EQ(DT.getReversePostOrder().size(), F->size());
+}
+
+TEST(LoopInfoTest, FindsNestAndStructure) {
+  auto M = compileMiniC(R"(
+    double A[8][8];
+    int main() {
+      int i; int j;
+      for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++)
+          A[i][j] = i + j;
+      }
+      return 0;
+    }
+  )",
+                        "loops");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.getLoops().size(), 2u);
+  std::vector<Loop *> Top = LI.getTopLevelLoops();
+  ASSERT_EQ(Top.size(), 1u);
+  Loop *Outer = Top[0];
+  ASSERT_EQ(Outer->getSubLoops().size(), 1u);
+  Loop *Inner = Outer->getSubLoops()[0];
+  EXPECT_EQ(Inner->getParentLoop(), Outer);
+  EXPECT_EQ(Outer->getDepth(), 0u);
+  EXPECT_EQ(Inner->getDepth(), 1u);
+  EXPECT_TRUE(Outer->contains(Inner));
+  EXPECT_FALSE(Inner->contains(Outer));
+  // Preheaders, latches, exits.
+  EXPECT_NE(Outer->getPreheader(), nullptr);
+  EXPECT_EQ(Outer->getLatches().size(), 1u);
+  EXPECT_EQ(Outer->getExitBlocks().size(), 1u);
+  EXPECT_EQ(LI.getLoopFor(Inner->getHeader()), Inner);
+}
+
+TEST(CallGraphTest, BottomUpOrderAndRecursion) {
+  auto M = compileMiniC(R"(
+    int leaf(int x) { return x + 1; }
+    int mid(int x) { return leaf(x) * 2; }
+    int rec(int x) { if (x <= 0) return 1; return rec(x - 1) + mid(x); }
+    int main() { return rec(3); }
+  )",
+                        "cg");
+  CallGraph CG(*M);
+  Function *Leaf = M->getFunction("leaf");
+  Function *Mid = M->getFunction("mid");
+  Function *Rec = M->getFunction("rec");
+  Function *Main = M->getFunction("main");
+  EXPECT_FALSE(CG.isRecursive(Leaf));
+  EXPECT_FALSE(CG.isRecursive(Mid));
+  EXPECT_TRUE(CG.isRecursive(Rec));
+  EXPECT_FALSE(CG.isRecursive(Main));
+  EXPECT_EQ(CG.getCallers(Leaf).size(), 1u);
+  EXPECT_EQ(CG.getCallers(Mid).size(), 1u);
+  // Bottom-up: leaf before mid before main.
+  const auto &Order = CG.getBottomUpOrder();
+  auto Pos = [&](Function *F) {
+    return std::find(Order.begin(), Order.end(), F) - Order.begin();
+  };
+  EXPECT_LT(Pos(Leaf), Pos(Mid));
+  EXPECT_LT(Pos(Mid), Pos(Main));
+}
+
+TEST(MemoryObjectsTest, RootsThroughCastsAndGeps) {
+  auto M = compileMiniC(R"(
+    double G[16];
+    int main() {
+      double *p = (double*)G + 3;
+      double *q = (double*)((long)p + 8);
+      double *h = (double*)malloc(64);
+      *q = 1.0;
+      *h = 2.0;
+      return 0;
+    }
+  )",
+                        "mo");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  const GlobalVariable *G = M->getGlobal("G");
+  MemoryObject GObj, HObj;
+  for (Instruction *I : F->instructions()) {
+    if (auto *SI = dyn_cast<StoreInst>(I)) {
+      MemoryObject O = findMemoryObject(SI->getPointerOperand());
+      if (O.Root == G)
+        GObj = O;
+      else
+        HObj = O;
+    }
+  }
+  EXPECT_EQ(GObj.K, MemoryObject::Kind::Global);
+  EXPECT_EQ(GObj.Root, G);
+  EXPECT_EQ(HObj.K, MemoryObject::Kind::HeapSite);
+  EXPECT_FALSE(mayAlias(GObj, HObj));
+  EXPECT_TRUE(mayAlias(GObj, GObj));
+}
+
+TEST(MemoryObjectsTest, UnknownRootsAliasEverything) {
+  auto M = compileMiniC(R"(
+    double *table[4];
+    int main() {
+      double *p = table[2];
+      *p = 1.0;
+      return 0;
+    }
+  )",
+                        "mo2");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  MemoryObject Loaded;
+  for (Instruction *I : F->instructions())
+    if (auto *SI = dyn_cast<StoreInst>(I))
+      if (SI->getValueOperand()->getType()->isDoubleTy())
+        Loaded = findMemoryObject(SI->getPointerOperand());
+  EXPECT_FALSE(Loaded.isIdentified());
+  MemoryObject G;
+  G.K = MemoryObject::Kind::Global;
+  G.Root = M->getGlobal("table");
+  EXPECT_TRUE(mayAlias(Loaded, G));
+}
+
+//===----------------------------------------------------------------------===//
+// Type inference (paper section 4)
+//===----------------------------------------------------------------------===//
+
+KernelLiveIns inferFor(Module &M, const std::string &KernelName) {
+  Function *K = M.getFunction(KernelName);
+  EXPECT_NE(K, nullptr);
+  return analyzeKernelLiveIns(*K);
+}
+
+TEST(TypeInferenceTest, ScalarPointerAndDoublePointer) {
+  auto M = compileMiniC(R"(
+    __kernel void k(double *a, double **rows, long n, double scale) {
+      long i = __tid();
+      if (i < n) {
+        a[i] = a[i] * scale;
+        rows[0][i] = a[i];
+      }
+    }
+    int main() { return 0; }
+  )",
+                        "ti");
+  promoteAllocasToRegisters(*M);
+  KernelLiveIns LI = inferFor(*M, "k");
+  ASSERT_EQ(LI.ArgDegrees.size(), 4u);
+  EXPECT_EQ(LI.ArgDegrees[0], PointerDegree::Pointer);
+  EXPECT_EQ(LI.ArgDegrees[1], PointerDegree::DoublePointer);
+  EXPECT_EQ(LI.ArgDegrees[2], PointerDegree::Scalar);
+  EXPECT_EQ(LI.ArgDegrees[3], PointerDegree::Scalar);
+}
+
+TEST(TypeInferenceTest, SeesThroughSubversiveCasts) {
+  // The declared type of `a` is long, but it flows through arithmetic
+  // and an inttoptr to a store address: use-based inference calls it a
+  // pointer anyway. This is the paper's core motivation for ignoring
+  // the C type system.
+  auto M = compileMiniC(R"(
+    __kernel void k(long a, long n) {
+      long i = __tid();
+      if (i < n) {
+        double *p = (double*)(a + i * 8);
+        *p = 1.0;
+      }
+    }
+    int main() { return 0; }
+  )",
+                        "ti2");
+  promoteAllocasToRegisters(*M);
+  KernelLiveIns LI = inferFor(*M, "k");
+  EXPECT_EQ(LI.ArgDegrees[0], PointerDegree::Pointer);
+  EXPECT_EQ(LI.ArgDegrees[1], PointerDegree::Scalar);
+}
+
+TEST(TypeInferenceTest, GlobalsAreLiveInsWithDegrees) {
+  auto M = compileMiniC(R"(
+    double data[32];
+    double *table[4];
+    int counter[1];
+    __kernel void k(long n) {
+      long i = __tid();
+      if (i < n) {
+        data[i] = table[0][i] + counter[0];
+      }
+    }
+    int main() { return 0; }
+  )",
+                        "ti3");
+  promoteAllocasToRegisters(*M);
+  KernelLiveIns LI = inferFor(*M, "k");
+  const GlobalVariable *Data = M->getGlobal("data");
+  const GlobalVariable *Table = M->getGlobal("table");
+  const GlobalVariable *Counter = M->getGlobal("counter");
+  ASSERT_EQ(LI.GlobalDegrees.size(), 3u);
+  EXPECT_EQ(LI.GlobalDegrees.at(Data), PointerDegree::Pointer);
+  EXPECT_EQ(LI.GlobalDegrees.at(Table), PointerDegree::DoublePointer);
+  EXPECT_EQ(LI.GlobalDegrees.at(Counter), PointerDegree::Pointer);
+}
+
+TEST(TypeInferenceTest, FlowsThroughDeviceCalls) {
+  auto M = compileMiniC(R"(
+    void helper(double *p, long i) { p[i] = 1.0; }
+    __kernel void k(double *a, long n) {
+      long i = __tid();
+      if (i < n)
+        helper(a, i);
+    }
+    int main() { return 0; }
+  )",
+                        "ti4");
+  promoteAllocasToRegisters(*M);
+  KernelLiveIns LI = inferFor(*M, "k");
+  EXPECT_EQ(LI.ArgDegrees[0], PointerDegree::Pointer);
+  EXPECT_EQ(LI.DeviceFunctions.size(), 2u); // Kernel + helper.
+}
+
+TEST(TypeInferenceTest, TripleIndirectionIsDeeper) {
+  auto M = compileMiniC(R"(
+    __kernel void k(double ***ppp) {
+      ppp[0][0][0] = 1.0;
+    }
+    int main() { return 0; }
+  )",
+                        "ti5");
+  promoteAllocasToRegisters(*M);
+  KernelLiveIns LI = inferFor(*M, "k");
+  EXPECT_EQ(LI.ArgDegrees[0], PointerDegree::Deeper);
+}
+
+} // namespace

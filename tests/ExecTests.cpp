@@ -1,0 +1,252 @@
+//===- tests/ExecTests.cpp - Interpreter and machine tests ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+/// Compiles and runs MiniC source, returning main's exit value.
+int64_t runProgram(const std::string &Src, std::string *Output = nullptr) {
+  auto M = compileMiniC(Src, "test");
+  Machine Mach;
+  Mach.loadModule(*M);
+  int64_t R = Mach.run();
+  if (Output)
+    *Output = Mach.getOutput();
+  return R;
+}
+
+} // namespace
+
+TEST(Interp, ArithmeticAndControlFlow) {
+  EXPECT_EQ(runProgram("int main() { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(runProgram("int main() { int x = 10; if (x > 5) return 1; "
+                       "return 0; }"),
+            1);
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      int s = 0;
+      int i;
+      for (i = 1; i <= 10; i++) s += i;
+      return s;
+    }
+  )"),
+            55);
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      int n = 0;
+      while (n < 7) { n++; if (n == 5) break; }
+      return n;
+    }
+  )"),
+            5);
+}
+
+TEST(Interp, IntegerWidthSemantics) {
+  EXPECT_EQ(runProgram("int main() { char c = 200; return c < 0 ? 1 : 0; }"),
+            1); // i8 sign wraps.
+  EXPECT_EQ(runProgram("int main() { long big = 1; int i; "
+                       "for (i = 0; i < 40; i++) big = big * 2; "
+                       "return big > 1000000000 ? 1 : 0; }"),
+            1);
+  EXPECT_EQ(runProgram("int main() { return 7 % 3 + (-7) % 3; }"), 0);
+  EXPECT_EQ(runProgram("int main() { return (1 << 10) >> 8; }"), 4);
+}
+
+TEST(Interp, FloatingPoint) {
+  EXPECT_EQ(runProgram("int main() { double d = 0.5; return (int)(d * 8.0); }"),
+            4);
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      float f = 0.1;
+      double d = f;
+      return d > 0.09 && d < 0.11 ? 1 : 0;
+    }
+  )"),
+            1);
+  EXPECT_EQ(runProgram("int main() { return (int)sqrt(81.0); }"), 9);
+  EXPECT_EQ(runProgram("int main() { return (int)pow(2.0, 10.0); }"), 1024);
+}
+
+TEST(Interp, GlobalsAndArrays) {
+  EXPECT_EQ(runProgram(R"(
+    int table[5] = {10, 20, 30, 40, 50};
+    int main() { return table[0] + table[4]; }
+  )"),
+            60);
+  EXPECT_EQ(runProgram(R"(
+    double A[3][3];
+    int main() {
+      int i; int j;
+      for (i = 0; i < 3; i++)
+        for (j = 0; j < 3; j++)
+          A[i][j] = i * 3 + j;
+      return (int)(A[2][2] + A[1][0]);
+    }
+  )"),
+            11);
+}
+
+TEST(Interp, HeapAndPointers) {
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      double *p = (double*)malloc(8 * sizeof(double));
+      int i;
+      for (i = 0; i < 8; i++) p[i] = i * 1.5;
+      double s = 0.0;
+      for (i = 0; i < 8; i++) s += p[i];
+      free((char*)p);
+      return (int)s;
+    }
+  )"),
+            42);
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      int x = 5;
+      int *p = &x;
+      *p = 9;
+      return x;
+    }
+  )"),
+            9);
+  EXPECT_EQ(runProgram(R"(
+    int main() {
+      long *a = (long*)calloc(4, sizeof(long));
+      long s = a[0] + a[1] + a[2] + a[3];
+      a = (long*)realloc((char*)a, 8 * sizeof(long));
+      a[7] = 11;
+      s += a[7];
+      free((char*)a);
+      return (int)s;
+    }
+  )"),
+            11);
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  EXPECT_EQ(runProgram(R"(
+    int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+    int main() { return fib(10); }
+  )"),
+            55);
+  EXPECT_EQ(runProgram(R"(
+    void fill(int *a, int n, int v) {
+      int i;
+      for (i = 0; i < n; i++) a[i] = v;
+    }
+    int sum(int *a, int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) s += a[i];
+      return s;
+    }
+    int main() {
+      int buf[10];
+      fill(buf, 10, 7);
+      return sum(buf, 10);
+    }
+  )"),
+            70);
+}
+
+TEST(Interp, PrintBuiltins) {
+  std::string Out;
+  runProgram(R"(
+    int main() {
+      print_i64(42);
+      print_f64(2.5);
+      print_str("hello");
+      return 0;
+    }
+  )",
+             &Out);
+  EXPECT_EQ(Out, "42\n2.5\nhello\n");
+}
+
+TEST(Interp, StringGlobals) {
+  std::string Out;
+  runProgram(R"(
+    char *words[2] = {"foo", "barbaz"};
+    int main() {
+      print_str(words[0]);
+      print_str(words[1]);
+      return 0;
+    }
+  )",
+             &Out);
+  EXPECT_EQ(Out, "foo\nbarbaz\n");
+}
+
+TEST(Interp, StatsCountCpuWork) {
+  auto M = compileMiniC("int main() { int s = 0; int i; "
+                        "for (i = 0; i < 100; i++) s += i; return s; }",
+                        "stats");
+  Machine Mach;
+  Mach.loadModule(*M);
+  Mach.run();
+  EXPECT_GT(Mach.getStats().CpuOps, 400u);
+  EXPECT_EQ(Mach.getStats().KernelLaunches, 0u);
+  EXPECT_EQ(Mach.getStats().GpuOps, 0u);
+}
+
+TEST(Interp, UnmanagedKernelLaunchTrapsOnHostAccess) {
+  auto M = compileMiniC(R"(
+    double data[16];
+    __kernel void k(double *a) {
+      long i = __tid();
+      a[i] = 1.0;
+    }
+    int main() {
+      launch k<<<1, 16>>>(data);
+      return 0;
+    }
+  )",
+                        "trap");
+  Machine Mach;
+  Mach.loadModule(*M);
+  EXPECT_DEATH(Mach.run(), "GPU function dereferenced a CPU pointer");
+}
+
+TEST(Interp, CpuDerefOfDevicePointerTraps) {
+  auto M = compileMiniC(R"(
+    int main() {
+      double *p = (double*)malloc(8);
+      *p = 1.0;
+      return 0;
+    }
+  )",
+                        "devderef");
+  Machine Mach;
+  Mach.loadModule(*M);
+  // Manually map and then dereference the device pointer on the CPU.
+  Mach.run(); // Normal run is fine.
+  uint64_t Host = Mach.getHostMemory().allocate(32);
+  Mach.getRuntime().notifyHeapAlloc(Host, 32);
+  uint64_t Dev = Mach.getRuntime().map(Host);
+  EXPECT_TRUE(isDeviceAddress(Dev));
+}
+
+TEST(Interp, OpLimitGuardsRunaways) {
+  auto M = compileMiniC("int main() { while (1) { } return 0; }", "spin");
+  Machine Mach;
+  Mach.loadModule(*M);
+  Mach.setOpLimit(10000);
+  EXPECT_DEATH(Mach.run(), "op limit");
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  auto M = compileMiniC("int zero() { return 0; } "
+                        "int main() { return 5 / zero(); }",
+                        "div0");
+  Machine Mach;
+  Mach.loadModule(*M);
+  EXPECT_DEATH(Mach.run(), "division by zero");
+}

@@ -1,0 +1,166 @@
+//===- tests/FrontendTests.cpp - Lexer/Parser/IRGen unit tests -------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/IRGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  auto Tokens = lexSource("int x = 1 + 2; // comment\n x <<< >>> &&");
+  std::vector<Token::Kind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.K);
+  EXPECT_EQ(Kinds, std::vector<Token::Kind>(
+                       {Token::Kind::KwInt, Token::Kind::Ident,
+                        Token::Kind::Assign, Token::Kind::IntLit,
+                        Token::Kind::Plus, Token::Kind::IntLit,
+                        Token::Kind::Semi, Token::Kind::Ident,
+                        Token::Kind::TripleLt, Token::Kind::TripleGt,
+                        Token::Kind::AmpAmp, Token::Kind::Eof}));
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  auto Tokens = lexSource("42 3.5 1e3 'a' \"hi\\n\"");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 3.5);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1000.0);
+  EXPECT_EQ(Tokens[3].IntValue, 'a');
+  EXPECT_EQ(Tokens[4].Text, "hi\n");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto Tokens = lexSource("int\nx\n=\n3;");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[3].Loc.Line, 4u);
+}
+
+TEST(Parser, ParsesFunctionsAndGlobals) {
+  TranslationUnit TU = parseSource(R"(
+    double data[8];
+    const int N = 4;
+    int add(int a, int b) { return a + b; }
+    void empty(void);
+  )");
+  ASSERT_EQ(TU.Globals.size(), 2u);
+  EXPECT_EQ(TU.Globals[0].Name, "data");
+  EXPECT_EQ(TU.Globals[0].Ty.ArrayDims, std::vector<uint64_t>{8});
+  EXPECT_TRUE(TU.Globals[1].Ty.IsConst);
+  ASSERT_EQ(TU.Functions.size(), 2u);
+  EXPECT_EQ(TU.Functions[0].Name, "add");
+  ASSERT_EQ(TU.Functions[0].Params.size(), 2u);
+  EXPECT_TRUE(TU.Functions[0].Body != nullptr);
+  EXPECT_TRUE(TU.Functions[1].Body == nullptr);
+}
+
+TEST(Parser, ParsesKernelAndLaunch) {
+  TranslationUnit TU = parseSource(R"(
+    __kernel void k(double *a, long n) { }
+    int main() {
+      launch k<<<4, 32>>>((double*)0, 10);
+      return 0;
+    }
+  )");
+  ASSERT_EQ(TU.Functions.size(), 2u);
+  EXPECT_TRUE(TU.Functions[0].IsKernel);
+  const auto *Body = static_cast<const BlockStmt *>(TU.Functions[1].Body.get());
+  ASSERT_GE(Body->Body.size(), 1u);
+  EXPECT_EQ(Body->Body[0]->K, Stmt::Kind::Launch);
+}
+
+TEST(Parser, ArrayParameterDecays) {
+  TranslationUnit TU = parseSource("void f(double a[16]) { }");
+  ASSERT_EQ(TU.Functions[0].Params.size(), 1u);
+  EXPECT_EQ(TU.Functions[0].Params[0].Ty.PtrDepth, 1u);
+  EXPECT_TRUE(TU.Functions[0].Params[0].Ty.ArrayDims.empty());
+}
+
+TEST(IRGen, CompilesAndVerifies) {
+  auto M = compileMiniC(R"(
+    double A[4][4];
+    int main() {
+      int i;
+      for (i = 0; i < 4; i++) {
+        int j;
+        for (j = 0; j < 4; j++)
+          A[i][j] = i * 4.0 + j;
+      }
+      return (int)A[3][3];
+    }
+  )",
+                        "gen");
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, &Err)) << Err;
+  Function *Main = M->getFunction("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_FALSE(Main->isDeclaration());
+}
+
+TEST(IRGen, StringArrayGlobalGetsRelocations) {
+  auto M = compileMiniC(R"(
+    char *names[3] = {"alpha", "beta", "gamma"};
+    int main() { return 0; }
+  )",
+                        "strs");
+  GlobalVariable *Names = M->getGlobal("names");
+  ASSERT_NE(Names, nullptr);
+  EXPECT_EQ(Names->getRelocations().size(), 3u);
+  EXPECT_EQ(Names->getSizeInBytes(), 24u);
+}
+
+TEST(IRGen, KernelFlagAndTidBuiltins) {
+  auto M = compileMiniC(R"(
+    __kernel void scale(double *a, long n) {
+      long i = __tid();
+      if (i < n)
+        a[i] = a[i] * 2.0;
+    }
+    int main() { return 0; }
+  )",
+                        "kern");
+  Function *K = M->getFunction("scale");
+  ASSERT_NE(K, nullptr);
+  EXPECT_TRUE(K->isKernel());
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, &Err)) << Err;
+}
+
+TEST(IRGen, PointerArithmeticAndCasts) {
+  auto M = compileMiniC(R"(
+    int main() {
+      char *p = malloc(64);
+      long q = (long)p;
+      int *ip = (int*)(p + 8);
+      *ip = 42;
+      free((char*)((long)p));
+      return (int)(q % 2);
+    }
+  )",
+                        "ptr");
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, &Err)) << Err;
+}
+
+TEST(IRGen, ShortCircuitAndTernary) {
+  auto M = compileMiniC(R"(
+    int main() {
+      int a = 3;
+      int b = 0;
+      int c = (a > 0 && b > 0) ? 1 : 2;
+      int d = (a > 0 || b > 0) ? 5 : 6;
+      return c * 10 + d;
+    }
+  )",
+                        "sc");
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, &Err)) << Err;
+}

@@ -1,0 +1,192 @@
+//===- tests/GpuSimTests.cpp - Simulated memory and device tests --------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GPUDevice.h"
+#include "gpusim/SimMemory.h"
+#include "gpusim/Timing.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+TEST(SimMemory, AllocateFreeReuse) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(100);
+  uint64_t B = M.allocate(100);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(M.getNumLiveAllocations(), 2u);
+  M.free(A);
+  EXPECT_EQ(M.getNumLiveAllocations(), 1u);
+  uint64_t C = M.allocate(100); // Same rounded size: block reused.
+  EXPECT_EQ(C, A);
+}
+
+TEST(SimMemory, FindAllocationHandlesInteriorAndGaps) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(64);
+  uint64_t B = M.allocate(64);
+  M.free(A);
+  uint64_t Base, Size;
+  EXPECT_FALSE(M.findAllocation(A + 10, Base, Size)); // Freed.
+  ASSERT_TRUE(M.findAllocation(B + 63, Base, Size));
+  EXPECT_EQ(Base, B);
+}
+
+TEST(SimMemory, IsAccessibleChecksSpansWithinUnits) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(64);
+  EXPECT_TRUE(M.isAccessible(A, 64));
+  EXPECT_TRUE(M.isAccessible(A + 56, 8));
+  EXPECT_FALSE(M.isAccessible(A + 60, 8)); // Crosses the 64-byte bound.
+}
+
+TEST(SimMemory, ReallocPreservesContents) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(32);
+  uint64_t V = 0xDEADBEEF;
+  M.writeUInt(A + 8, V, 8);
+  uint64_t B = M.reallocate(A, 128);
+  EXPECT_EQ(M.readUInt(B + 8, 8), V);
+  uint64_t Base, Size;
+  ASSERT_TRUE(M.findAllocation(B, Base, Size));
+  EXPECT_EQ(Size, 128u);
+}
+
+TEST(SimMemory, ScalarReadWriteWidths) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(16);
+  M.writeUInt(A, 0xAB, 1);
+  M.writeUInt(A + 4, 0xCDEF, 2);
+  M.writeUInt(A + 8, 0x123456789ABCDEFull, 8);
+  EXPECT_EQ(M.readUInt(A, 1), 0xABu);
+  EXPECT_EQ(M.readUInt(A + 4, 2), 0xCDEFu);
+  EXPECT_EQ(M.readUInt(A + 8, 8), 0x123456789ABCDEFull);
+}
+
+TEST(SimMemory, CStringRoundTrip) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(16);
+  const char *S = "hello";
+  M.write(A, S, 6);
+  EXPECT_EQ(M.readCString(A), "hello");
+}
+
+TEST(SimMemory, FreeOfInteriorPointerIsFatal) {
+  SimMemory M(HostAddressBase, "test");
+  uint64_t A = M.allocate(64);
+  EXPECT_DEATH(M.free(A + 8), "not a live allocation base");
+}
+
+TEST(SimMemory, OutOfSpaceAccessIsFatal) {
+  SimMemory M(HostAddressBase, "test");
+  EXPECT_DEATH(M.readUInt(HostAddressBase - 100, 8),
+               "outside this memory space");
+}
+
+TEST(SimMemory, DeviceAddressPredicate) {
+  EXPECT_FALSE(isDeviceAddress(HostAddressBase));
+  EXPECT_FALSE(isDeviceAddress(DeviceAddressBase - 1));
+  EXPECT_TRUE(isDeviceAddress(DeviceAddressBase));
+  EXPECT_TRUE(isDeviceAddress(DeviceAddressBase + (1ull << 30)));
+}
+
+TEST(GPUDevice, TransfersMoveBytesAndChargeModel) {
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host(HostAddressBase, "host");
+  GPUDevice Dev(TM, Stats);
+
+  uint64_t H = Host.allocate(256);
+  for (unsigned I = 0; I != 256; ++I) {
+    uint8_t B = static_cast<uint8_t>(I);
+    Host.write(H + I, &B, 1);
+  }
+  uint64_t D = Dev.cuMemAlloc(256);
+  Dev.cuMemcpyHtoD(D, Host, H, 256);
+  EXPECT_EQ(Stats.BytesHtoD, 256u);
+  EXPECT_EQ(Stats.TransfersHtoD, 1u);
+  EXPECT_DOUBLE_EQ(Stats.CommCycles, TM.transferCycles(256));
+
+  uint8_t Byte;
+  Dev.getMemory().read(D + 200, &Byte, 1);
+  EXPECT_EQ(Byte, 200);
+
+  // Mutate on device, copy back.
+  Byte = 77;
+  Dev.getMemory().write(D + 3, &Byte, 1);
+  Dev.cuMemcpyDtoH(Host, H, D, 256);
+  Host.read(H + 3, &Byte, 1);
+  EXPECT_EQ(Byte, 77);
+  EXPECT_EQ(Stats.BytesDtoH, 256u);
+}
+
+TEST(GPUDevice, ModuleGlobalsAreStableNamedRegions) {
+  TimingModel TM;
+  ExecStats Stats;
+  GPUDevice Dev(TM, Stats);
+  uint64_t A1 = Dev.cuModuleGetGlobal("alpha", 64);
+  uint64_t A2 = Dev.cuModuleGetGlobal("alpha", 64);
+  uint64_t B = Dev.cuModuleGetGlobal("beta", 16);
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, B);
+  EXPECT_TRUE(Dev.hasModuleGlobal("alpha"));
+  EXPECT_FALSE(Dev.hasModuleGlobal("gamma"));
+}
+
+TEST(GPUDevice, TimelineRecordsTransfers) {
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host(HostAddressBase, "host");
+  GPUDevice Dev(TM, Stats);
+  Dev.setTimelineEnabled(true);
+  uint64_t H = Host.allocate(64);
+  uint64_t D = Dev.cuMemAlloc(64);
+  Dev.cuMemcpyHtoD(D, Host, H, 64);
+  Dev.cuMemcpyDtoH(Host, H, D, 64);
+  ASSERT_EQ(Dev.getTimeline().size(), 2u);
+  EXPECT_EQ(Dev.getTimeline()[0].Kind, EventKind::HtoD);
+  EXPECT_EQ(Dev.getTimeline()[1].Kind, EventKind::DtoH);
+  EXPECT_EQ(Dev.getTimeline()[0].Bytes, 64u);
+  // Events are ordered in time.
+  EXPECT_LE(Dev.getTimeline()[0].StartCycle,
+            Dev.getTimeline()[1].StartCycle);
+}
+
+TEST(TimingModel, KernelCostSaturatesAtWidth) {
+  TimingModel TM;
+  // Fewer threads than lanes: cost scales with 1/threads.
+  double Narrow = TM.kernelCycles(/*Ops=*/6400, /*Threads=*/2);
+  double Wide = TM.kernelCycles(6400, 1u << 20);
+  EXPECT_GT(Narrow, Wide);
+  EXPECT_DOUBLE_EQ(Wide - TM.KernelLaunchLatency,
+                   6400.0 * TM.GpuThreadCyclesPerOp / TM.GpuParallelWidth);
+  // Zero-op launch still pays the launch latency.
+  EXPECT_DOUBLE_EQ(TM.kernelCycles(0, 1), TM.KernelLaunchLatency);
+}
+
+TEST(TimingModel, TransferCostIsAffineInBytes) {
+  TimingModel TM;
+  double C0 = TM.transferCycles(0);
+  double C1 = TM.transferCycles(8000);
+  EXPECT_DOUBLE_EQ(C0, TM.TransferLatency);
+  EXPECT_DOUBLE_EQ(C1 - C0, 8000.0 / TM.TransferBytesPerCycle);
+}
+
+TEST(ExecStats, TotalIsTheSumOfComponents) {
+  ExecStats S;
+  S.CpuCycles = 10;
+  S.GpuCycles = 20;
+  S.CommCycles = 30;
+  S.InspectorCycles = 40;
+  S.RuntimeCycles = 50;
+  EXPECT_DOUBLE_EQ(S.totalCycles(), 150.0);
+  S.reset();
+  EXPECT_DOUBLE_EQ(S.totalCycles(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- tests/IRTests.cpp - IR core unit tests ----------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the IR substrate: type uniquing and layout, constant
+/// interning, def-use maintenance and RAUW, block/instruction surgery,
+/// the printer, and the verifier's rejection of malformed IR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+TEST(Types, UniquingAndIdentity) {
+  Module M("t");
+  TypeContext &Ctx = M.getContext();
+  EXPECT_EQ(Ctx.getInt32Ty(), Ctx.getIntegerTy(32));
+  EXPECT_EQ(Ctx.getPointerTo(Ctx.getDoubleTy()),
+            Ctx.getPointerTo(Ctx.getDoubleTy()));
+  EXPECT_NE(Ctx.getPointerTo(Ctx.getDoubleTy()),
+            Ctx.getPointerTo(Ctx.getFloatTy()));
+  EXPECT_EQ(Ctx.getArrayTy(Ctx.getInt8Ty(), 16),
+            Ctx.getArrayTy(Ctx.getInt8Ty(), 16));
+  EXPECT_NE(Ctx.getArrayTy(Ctx.getInt8Ty(), 16),
+            Ctx.getArrayTy(Ctx.getInt8Ty(), 17));
+  EXPECT_EQ(Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}),
+            Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+}
+
+TEST(Types, SizesAndStrings) {
+  Module M("t");
+  TypeContext &Ctx = M.getContext();
+  EXPECT_EQ(Ctx.getInt1Ty()->getSizeInBytes(), 1u);
+  EXPECT_EQ(Ctx.getInt16Ty()->getSizeInBytes(), 2u);
+  EXPECT_EQ(Ctx.getFloatTy()->getSizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getPointerTo(Ctx.getVoidTy())->getSizeInBytes(), 8u);
+  Type *Arr = Ctx.getArrayTy(Ctx.getArrayTy(Ctx.getDoubleTy(), 4), 3);
+  EXPECT_EQ(Arr->getSizeInBytes(), 96u);
+  EXPECT_EQ(Arr->getString(), "[3 x [4 x double]]");
+  EXPECT_EQ(Ctx.getPointerTo(Ctx.getInt8Ty())->getString(), "i8*");
+}
+
+TEST(Constants, InterningCanonicalizesByWidth) {
+  Module M("t");
+  TypeContext &Ctx = M.getContext();
+  EXPECT_EQ(M.getInt32(5), M.getInt32(5));
+  EXPECT_NE(M.getInt32(5), M.getInt64(5));
+  // i8 constants canonicalize to their sign-extended value.
+  ConstantInt *A = M.getConstantInt(Ctx.getInt8Ty(), 200);
+  ConstantInt *B = M.getConstantInt(Ctx.getInt8Ty(), -56);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A->getValue(), -56);
+  EXPECT_EQ(A->getZExtValue(), 200u);
+  EXPECT_EQ(M.getConstantFP(Ctx.getDoubleTy(), 1.5),
+            M.getConstantFP(Ctx.getDoubleTy(), 1.5));
+  EXPECT_EQ(M.getNullPtr(Ctx.getPointerTo(Ctx.getInt8Ty())),
+            M.getNullPtr(Ctx.getPointerTo(Ctx.getInt8Ty())));
+}
+
+/// Builds `i32 f(i32 a) { return a + 1 + a + 1; }`-ish IR for use-list
+/// tests.
+struct TestFunction {
+  Module M{"t"};
+  Function *F = nullptr;
+  BasicBlock *Entry = nullptr;
+  IRBuilder B{M};
+
+  TestFunction() {
+    TypeContext &Ctx = M.getContext();
+    F = M.getOrCreateFunction(
+        "f", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+    Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+  }
+};
+
+TEST(UseLists, RAUWRewritesAllUses) {
+  TestFunction T;
+  Value *A = T.F->getArg(0);
+  Value *One = T.M.getInt32(1);
+  auto *Add1 = T.B.createAdd(A, One);
+  auto *Add2 = T.B.createAdd(Add1, Add1); // Two uses of Add1.
+  T.B.createRet(Add2);
+
+  EXPECT_EQ(Add1->getNumUses(), 2u);
+  auto *Sub = T.B.createSub(A, One);
+  // Move Sub before its new users so dominance still holds.
+  auto Owned = Sub->removeFromParent();
+  T.Entry->insertBefore(Add1, std::move(Owned));
+  Add1->replaceAllUsesWith(Sub);
+  EXPECT_EQ(Add1->getNumUses(), 0u);
+  EXPECT_EQ(Sub->getNumUses(), 2u);
+  EXPECT_EQ(Add2->getLHS(), Sub);
+  EXPECT_EQ(Add2->getRHS(), Sub);
+  Add1->eraseFromParent();
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*T.F, &Err)) << Err;
+}
+
+TEST(UseLists, SetOperandMaintainsBothSides) {
+  TestFunction T;
+  Value *A = T.F->getArg(0);
+  Value *One = T.M.getInt32(1);
+  Value *Two = T.M.getInt32(2);
+  auto *Add = T.B.createAdd(A, One);
+  EXPECT_EQ(One->getNumUses(), 1u);
+  Add->setOperand(1, Two);
+  EXPECT_EQ(One->getNumUses(), 0u);
+  EXPECT_EQ(Two->getNumUses(), 1u);
+  T.B.createRet(Add);
+}
+
+TEST(Blocks, InsertionAndRemoval) {
+  TestFunction T;
+  Value *A = T.F->getArg(0);
+  auto *Add = T.B.createAdd(A, T.M.getInt32(1));
+  auto *Ret = T.B.createRet(Add);
+  // Insert a mul between add and ret.
+  T.B.setInsertPoint(Ret);
+  auto *Mul = T.B.createMul(Add, T.M.getInt32(3));
+  Ret->setOperand(0, Mul);
+  std::vector<Instruction *> Order = T.F->instructions();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], Add);
+  EXPECT_EQ(Order[1], Mul);
+  EXPECT_EQ(Order[2], Ret);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*T.F, &Err)) << Err;
+}
+
+TEST(Printer, RendersRecognizableText) {
+  TestFunction T;
+  Value *A = T.F->getArg(0);
+  auto *Add = T.B.createAdd(A, T.M.getInt32(1), "sum");
+  T.B.createRet(Add);
+  std::string Text = T.M.getString();
+  EXPECT_NE(Text.find("define i32 @f"), std::string::npos);
+  EXPECT_NE(Text.find("add"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+  EXPECT_NE(Text.find("%sum"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier rejection tests
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, RejectsMissingTerminator) {
+  TestFunction T;
+  T.B.createAdd(T.F->getArg(0), T.M.getInt32(1));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*T.F, &Err));
+  EXPECT_NE(Err.find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsTypeMismatchedStore) {
+  TestFunction T;
+  TypeContext &Ctx = T.M.getContext();
+  auto *Slot = T.B.createAlloca(Ctx.getDoubleTy());
+  // Store an i32 into a double slot: constructed manually to bypass the
+  // builder's assert.
+  auto Bad = std::make_unique<StoreInst>(T.M.getInt32(1), Slot,
+                                         Ctx.getVoidTy());
+  T.Entry->push_back(std::move(Bad));
+  T.B.createRet(T.M.getInt32(0));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*T.F, &Err));
+  EXPECT_NE(Err.find("store value type"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  TestFunction T;
+  Value *A = T.F->getArg(0);
+  auto *Add1 = T.B.createAdd(A, T.M.getInt32(1));
+  auto *Add2 = T.B.createAdd(Add1, T.M.getInt32(2));
+  T.B.createRet(Add2);
+  // Move Add2 before Add1: now it uses a later definition.
+  auto Owned = Add2->removeFromParent();
+  T.Entry->insertBefore(Add1, std::move(Owned));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*T.F, &Err));
+  EXPECT_NE(Err.find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadPhiIncoming) {
+  TestFunction T;
+  TypeContext &Ctx = T.M.getContext();
+  BasicBlock *Next = T.F->createBlock("next");
+  T.B.createBr(Next);
+  T.B.setInsertPoint(Next);
+  auto *Phi = T.B.createPhi(Ctx.getInt32Ty());
+  Phi->addIncoming(T.M.getInt32(1), T.Entry);
+  Phi->addIncoming(T.M.getInt32(2), Next); // Not a predecessor.
+  T.B.createRet(Phi);
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*T.F, &Err));
+  EXPECT_NE(Err.find("phi"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongArgumentCount) {
+  TestFunction T;
+  TypeContext &Ctx = T.M.getContext();
+  Function *Callee = T.M.getOrCreateFunction(
+      "g", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+  auto Bad = std::make_unique<CallInst>(Callee, Ctx.getVoidTy(),
+                                        std::vector<Value *>{}, "");
+  T.Entry->push_back(std::move(Bad));
+  T.B.createRet(T.M.getInt32(0));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*T.F, &Err));
+  EXPECT_NE(Err.find("argument count"), std::string::npos);
+}
+
+TEST(Verifier, RejectsPointerStoreInKernel) {
+  Module M("k");
+  TypeContext &Ctx = M.getContext();
+  Type *I8Ptr = Ctx.getPointerTo(Ctx.getInt8Ty());
+  Function *K = M.getOrCreateFunction(
+      "kern", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                {I8Ptr, Ctx.getPointerTo(I8Ptr)}));
+  K->setKernel(true);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createStore(K->getArg(0), K->getArg(1)); // Pointer store: forbidden.
+  B.createRet();
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*K, &Err));
+  EXPECT_NE(Err.find("pointer"), std::string::npos);
+}
+
+TEST(Functions, AppendArgumentExtendsTypeAndCalls) {
+  Module M("t");
+  TypeContext &Ctx = M.getContext();
+  Function *F = M.getOrCreateFunction(
+      "f", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+  IRBuilder B(M);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet();
+
+  Function *Main = M.getOrCreateFunction(
+      "main", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  B.setInsertPoint(Main->createBlock("entry"));
+  auto *Call = B.createCall(F, {M.getInt32(7)});
+  B.createRet(M.getInt32(0));
+
+  Argument *New = F->appendArgument(Ctx.getDoubleTy(), "extra");
+  Call->appendArg(M.getConstantFP(Ctx.getDoubleTy(), 2.5));
+  EXPECT_EQ(F->getNumArgs(), 2u);
+  EXPECT_EQ(New->getArgNo(), 1u);
+  EXPECT_EQ(F->getFunctionType()->getNumParams(), 2u);
+  std::string Err;
+  EXPECT_TRUE(verifyModule(M, &Err)) << Err;
+}
+
+TEST(Casting, IsaCastDynCast) {
+  Module M("t");
+  Value *C = M.getInt32(1);
+  EXPECT_TRUE(isa<ConstantInt>(C));
+  EXPECT_TRUE(isa<Constant>(C));
+  EXPECT_FALSE(isa<ConstantFP>(C));
+  EXPECT_TRUE((isa<ConstantFP, ConstantInt>(C))); // Variadic isa.
+  EXPECT_NE(dyn_cast<ConstantInt>(C), nullptr);
+  EXPECT_EQ(dyn_cast<ConstantFP>(C), nullptr);
+  EXPECT_EQ(cast<ConstantInt>(C)->getValue(), 1);
+  Value *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<ConstantInt>(Null), nullptr);
+  EXPECT_FALSE(isa_and_nonnull<ConstantInt>(Null));
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+//===- tests/InterpreterEdgeTests.cpp - Interpreter semantics corners ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases of the execution model: integer width wrap-around, float
+/// rounding through memory, pointer/int casts, shift semantics, global
+/// relocations, nested/recursive calls on the GPU, grid-stride coverage
+/// with odd extents, and the machine's diagnostic traps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+int64_t runMain(const std::string &Src, std::string *Out = nullptr) {
+  auto M = compileMiniC(Src, "edge");
+  Machine Mach;
+  Mach.loadModule(*M);
+  int64_t R = Mach.run();
+  if (Out)
+    *Out = Mach.getOutput();
+  return R;
+}
+
+TEST(InterpEdge, CharWrapAndSignedness) {
+  EXPECT_EQ(runMain("int main() { char c = 127; c = c + 1; return c; }"),
+            -128);
+  EXPECT_EQ(runMain("int main() { char c = 255; return c; }"), -1);
+  EXPECT_EQ(runMain(R"(
+    int main() {
+      char buf[2];
+      buf[0] = 200;
+      return buf[0] < 0 ? 1 : 0;
+    }
+  )"),
+            1); // Sign-extends on load too.
+}
+
+TEST(InterpEdge, LongArithmeticKeeps64Bits) {
+  EXPECT_EQ(runMain(R"(
+    int main() {
+      long big = 1;
+      int i;
+      for (i = 0; i < 62; i++) big = big * 2;
+      long half = big / 2;
+      return half * 2 == big ? 1 : 0;
+    }
+  )"),
+            1);
+}
+
+TEST(InterpEdge, ShiftSemantics) {
+  EXPECT_EQ(runMain("int main() { return (-8) >> 1; }"), -4); // Arithmetic.
+  EXPECT_EQ(runMain("int main() { return 1 << 30 >> 29; }"), 2);
+}
+
+TEST(InterpEdge, FloatRoundsThroughMemory) {
+  // 0.1f stored to a float slot then widened differs from 0.1 double.
+  EXPECT_EQ(runMain(R"(
+    int main() {
+      float f = 0.1;
+      double d = 0.1;
+      double fd = f;
+      return fd == d ? 1 : 0;
+    }
+  )"),
+            0);
+  // But stays consistent with itself.
+  EXPECT_EQ(runMain(R"(
+    float spill[4];
+    int main() {
+      float f = 0.1;
+      spill[2] = f;
+      return spill[2] == f ? 1 : 0;
+    }
+  )"),
+            1);
+}
+
+TEST(InterpEdge, PointerIntRoundTrip) {
+  EXPECT_EQ(runMain(R"(
+    double slot[4];
+    int main() {
+      double *p = slot + 2;
+      long bits = (long)p;
+      double *q = (double*)bits;
+      *q = 9.0;
+      return (int)slot[2];
+    }
+  )"),
+            9);
+}
+
+TEST(InterpEdge, PointerComparisons) {
+  EXPECT_EQ(runMain(R"(
+    double a[8];
+    int main() {
+      double *lo = a + 1;
+      double *hi = a + 5;
+      int n = 0;
+      double *p;
+      for (p = lo; p < hi; p = p + 1)
+        n++;
+      return n;
+    }
+  )"),
+            4);
+}
+
+TEST(InterpEdge, GlobalRelocationsPointAtGlobals) {
+  std::string Out;
+  runMain(R"(
+    char a0[4] = "ab";
+    char a1[4] = "cd";
+    char *table[2];
+    int main() {
+      table[0] = a0;
+      table[1] = a1;
+      table[0][0] = 'z';
+      print_str(a0);
+      return 0;
+    }
+  )",
+          &Out);
+  EXPECT_EQ(Out, "zb\n");
+}
+
+TEST(InterpEdge, RecursiveDeviceFunctionInsideKernel) {
+  const char *Src = R"(
+    long fact(long n) {
+      if (n <= 1)
+        return 1;
+      return n * fact(n - 1);
+    }
+    long out[8];
+    __kernel void k(long n) {
+      long i = __tid();
+      if (i < n)
+        out[i] = fact(i + 1);
+    }
+    int main() {
+      launch k<<<1, 8>>>(8);
+      print_i64(out[7]);
+      return 0;
+    }
+  )";
+  auto M = compileMiniC(Src, "rec");
+  PipelineOptions Opts;
+  Opts.Parallelize = false;
+  runCGCMPipeline(*M, Opts);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(*M);
+  Mach.run();
+  EXPECT_EQ(Mach.getOutput(), "40320\n");
+}
+
+TEST(InterpEdge, GridStrideWithOddExtents) {
+  // 1000 iterations over 2 blocks x 128 threads: each thread loops ~4x.
+  const char *Src = R"(
+    long out[1000];
+    __kernel void fill(long n) {
+      long i = __tid();
+      long stride = __ntid();
+      while (i < n) {
+        out[i] = i * 3;
+        i = i + stride;
+      }
+    }
+    int main() {
+      launch fill<<<2, 128>>>(1000);
+      long s = 0;
+      int i;
+      for (i = 0; i < 1000; i++) s += out[i];
+      print_i64(s);
+      return 0;
+    }
+  )";
+  auto M = compileMiniC(Src, "grid");
+  PipelineOptions Opts;
+  Opts.Parallelize = false;
+  runCGCMPipeline(*M, Opts);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(*M);
+  Mach.run();
+  EXPECT_EQ(Mach.getOutput(), "1498500\n"); // 3 * 999*1000/2
+}
+
+TEST(InterpEdge, StackOverflowTraps) {
+  EXPECT_DEATH(runMain("int f(int n) { return f(n + 1); } "
+                       "int main() { return f(0); }"),
+               "call stack overflow");
+}
+
+TEST(InterpEdge, TidOutsideKernelTraps) {
+  EXPECT_DEATH(runMain("int main() { return (int)__tid(); }"),
+               "outside a GPU function");
+}
+
+TEST(InterpEdge, MallocInsideKernelTraps) {
+  const char *Src = R"(
+    __kernel void k() {
+      char *p = malloc(8);
+      p[0] = 1;
+    }
+    int main() {
+      launch k<<<1, 1>>>();
+      return 0;
+    }
+  )";
+  auto M = compileMiniC(Src, "mk");
+  Machine Mach;
+  Mach.loadModule(*M);
+  EXPECT_DEATH(Mach.run(), "malloc called inside a GPU function");
+}
+
+TEST(InterpEdge, CheckedMemoryCatchesOutOfBounds) {
+  const char *Src = R"(
+    int main() {
+      double *p = (double*)malloc(4 * sizeof(double));
+      p[9] = 1.0;
+      return 0;
+    }
+  )";
+  auto M = compileMiniC(Src, "oob");
+  Machine Mach;
+  Mach.setCheckedMemory(true);
+  Mach.loadModule(*M);
+  EXPECT_DEATH(Mach.run(), "outside every live allocation unit");
+}
+
+TEST(InterpEdge, SelectAndTernaryAgree) {
+  EXPECT_EQ(runMain(R"(
+    int main() {
+      int x = -5;
+      int abs1 = x < 0 ? 0 - x : x;
+      return abs1;
+    }
+  )"),
+            5);
+}
+
+TEST(InterpEdge, ModuloAndDivisionSigns) {
+  EXPECT_EQ(runMain("int main() { return -7 / 2; }"), -3); // Truncating.
+  EXPECT_EQ(runMain("int main() { return -7 % 2; }"), -1);
+  EXPECT_EQ(runMain("int main() { return 7 % -2; }"), 1);
+}
+
+} // namespace

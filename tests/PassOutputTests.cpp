@@ -1,0 +1,180 @@
+//===- tests/PassOutputTests.cpp - Golden-text checks on pass output -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FileCheck-style tests: run a pass, print the IR, and assert the
+/// transformation left the expected textual shape — call placement
+/// relative to loops, kernel signatures, launch configuration — plus
+/// regression tests for executor policy interactions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+/// Asserts each needle occurs in order within \p Haystack (a CHECK line
+/// sequence).
+void expectInOrder(const std::string &Haystack,
+                   std::initializer_list<const char *> Needles) {
+  size_t Pos = 0;
+  for (const char *N : Needles) {
+    size_t Found = Haystack.find(N, Pos);
+    ASSERT_NE(Found, std::string::npos)
+        << "expected '" << N << "' after offset " << Pos << " in:\n"
+        << Haystack;
+    Pos = Found + 1;
+  }
+}
+
+std::string pipelineIR(const char *Src, bool Optimize) {
+  auto M = compileMiniC(Src, "golden");
+  PipelineOptions Opts;
+  Opts.Optimize = Optimize;
+  runCGCMPipeline(*M, Opts);
+  return M->getString();
+}
+
+const char *TimeLoop = R"(
+  double a[32];
+  int main() {
+    int t; int i;
+    for (i = 0; i < 32; i++) a[i] = i;
+    for (t = 0; t < 5; t++) {
+      for (i = 0; i < 32; i++) a[i] = a[i] * 0.5;
+    }
+    double s = 0.0;
+    for (i = 0; i < 32; i++) s += a[i];
+    print_f64(s);
+    return 0;
+  }
+)";
+
+TEST(GoldenIR, ManagementWrapsEveryLaunch) {
+  std::string IR = pipelineIR(TimeLoop, /*Optimize=*/false);
+  // Listing 3 shape inside the time loop: map, launch, unmap, release.
+  expectInOrder(IR, {"for.cond", "call @cgcm_map", "launch @main_k1",
+                     "call @cgcm_unmap", "call @cgcm_release"});
+  // declareGlobal precedes everything in main.
+  expectInOrder(IR, {"define i32 @main", "call @cgcm_declare_global",
+                     "launch @main_k0"});
+}
+
+TEST(GoldenIR, PromotionHoistsAboveTimeLoopAndDeletesUnmaps) {
+  std::string IR = pipelineIR(TimeLoop, /*Optimize=*/true);
+  // Listing 4 shape: a map in the preheader, the in-loop map retained,
+  // the in-loop unmap gone, unmap+release in the exit.
+  size_t Launch = IR.find("launch @main_k1");
+  ASSERT_NE(Launch, std::string::npos);
+  size_t LoopUnmap = IR.find("call @cgcm_unmap", Launch);
+  size_t LoopEnd = IR.find("for.end", Launch);
+  ASSERT_NE(LoopEnd, std::string::npos);
+  // No unmap between the launch and the loop end.
+  EXPECT_TRUE(LoopUnmap == std::string::npos || LoopUnmap > LoopEnd)
+      << IR.substr(Launch, LoopEnd - Launch);
+}
+
+TEST(GoldenIR, DOALLKernelHasGridStrideShape) {
+  std::string IR = [] {
+    auto M = compileMiniC(TimeLoop, "k");
+    PipelineOptions Opts;
+    Opts.Manage = false;
+    Opts.Optimize = false;
+    runCGCMPipeline(*M, Opts);
+    return M->getString();
+  }();
+  // The kernel computes its start index from __tid and strides by
+  // __ntid; the caller launches with block size 128.
+  expectInOrder(IR, {"define kernel void @main_k0", "call @__tid",
+                     "call @__ntid", "phi i32"});
+  expectInOrder(IR, {"define i32 @main", "<<<", ", 128>>>"});
+}
+
+TEST(GoldenIR, GlueKernelIsMarkedAndSingleThreaded) {
+  const char *Src = R"(
+    double a[32];
+    double pivbuf[2];
+    int main() {
+      int t; int i;
+      for (i = 0; i < 32; i++) a[i] = i + 1.0;
+      for (t = 0; t < 6; t++) {
+        pivbuf[0] = 1.0 / a[1];
+        for (i = 0; i < 32; i++) a[i] = a[i] * pivbuf[0];
+      }
+      print_f64(a[5]);
+      return 0;
+    }
+  )";
+  std::string IR = pipelineIR(Src, /*Optimize=*/true);
+  expectInOrder(IR, {"define glue_kernel void @glue_k0"});
+  // Launched <<<1, 1>>>.
+  expectInOrder(IR, {"launch @glue_k0<<<1, 1>>>"});
+}
+
+//===----------------------------------------------------------------------===//
+// Executor policy regressions
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyRegression, SequentialBaselineIsUnmanagedEmulation) {
+  // The sequential baseline contract (what cgcmc --policy=seq and the
+  // workload runner use): parallelize if you like, but do NOT manage —
+  // CpuEmulation runs kernels against host memory, so a managed module
+  // (device-pointer arguments, device global instances) is a different
+  // program under this policy and is not a supported combination.
+  auto Par = compileMiniC(TimeLoop, "emu");
+  PipelineOptions Opts;
+  Opts.Manage = false;
+  Opts.Optimize = false;
+  runCGCMPipeline(*Par, Opts); // Parallelized, unmanaged.
+  Machine Emu;
+  Emu.setLaunchPolicy(LaunchPolicy::CpuEmulation);
+  Emu.loadModule(*Par);
+  Emu.run();
+
+  auto M2 = compileMiniC(TimeLoop, "ref");
+  Machine Ref;
+  Ref.setLaunchPolicy(LaunchPolicy::CpuEmulation);
+  Ref.loadModule(*M2);
+  Ref.run();
+  EXPECT_EQ(Emu.getOutput(), Ref.getOutput());
+  // And the emulated run charges no GPU or communication time at all.
+  EXPECT_EQ(Emu.getStats().GpuOps, 0u);
+  EXPECT_EQ(Emu.getStats().BytesHtoD, 0u);
+  EXPECT_DOUBLE_EQ(Emu.getStats().GpuCycles, 0.0);
+}
+
+TEST(PolicyRegression, CheckedMemoryAcceptsWholeSuitePrograms) {
+  // Allocation-level bounds checking across a full optimized run: no
+  // access may leave a live allocation unit.
+  auto M = compileMiniC(TimeLoop, "chk");
+  runCGCMPipeline(*M);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setCheckedMemory(true);
+  Mach.loadModule(*M);
+  Mach.run();
+  EXPECT_FALSE(Mach.getOutput().empty());
+}
+
+TEST(PolicyRegression, TrapPolicyFaultsOnMappedModuleNever) {
+  // A managed module is device-clean: Trap (which is Managed without the
+  // name) must run it without faults.
+  auto M = compileMiniC(TimeLoop, "trap");
+  runCGCMPipeline(*M);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Trap);
+  Mach.loadModule(*M);
+  Mach.run();
+  EXPECT_FALSE(Mach.getOutput().empty());
+}
+
+} // namespace

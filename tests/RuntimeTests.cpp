@@ -1,0 +1,341 @@
+//===- tests/RuntimeTests.cpp - CGCM runtime library unit tests ---------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the run-time support library (paper section 3,
+/// Algorithms 1-3): allocation-unit tracking, greatest-LTE lookup,
+/// pointer translation, reference counting, epochs, read-only units,
+/// array mapping, stack registration expiry, and heap wrapper behaviour,
+/// plus property-style sweeps over random map/release sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GPUDevice.h"
+#include "runtime/CGCMRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace cgcm;
+
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+protected:
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host{HostAddressBase, "host"};
+  GPUDevice Device{TM, Stats};
+  CGCMRuntime RT{Host, Device, TM, Stats};
+
+  uint64_t heapUnit(uint64_t Size) {
+    uint64_t P = Host.allocate(Size);
+    RT.notifyHeapAlloc(P, Size);
+    return P;
+  }
+};
+
+TEST_F(RuntimeTest, GreatestLTELookupFindsInteriorPointers) {
+  uint64_t A = heapUnit(256);
+  uint64_t B = heapUnit(64);
+
+  const AllocUnitInfo *Info = RT.lookup(A);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Base, A);
+  EXPECT_EQ(Info->Size, 256u);
+
+  // Interior pointer resolves to the same unit.
+  Info = RT.lookup(A + 255);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Base, A);
+
+  // One-past-the-end belongs to no unit (or the next unit, never A).
+  Info = RT.lookup(A + 256);
+  if (Info)
+    EXPECT_NE(Info->Base, A);
+
+  Info = RT.lookup(B + 10);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Base, B);
+}
+
+TEST_F(RuntimeTest, MapTranslatesWithOffsetPreserved) {
+  uint64_t P = heapUnit(512);
+  uint64_t Dev = RT.map(P + 100);
+  EXPECT_TRUE(isDeviceAddress(Dev));
+  uint64_t DevBase = RT.map(P);
+  EXPECT_EQ(Dev, DevBase + 100);
+  // Aliases map to a single device unit (paper: map preserves aliasing).
+  uint64_t Dev2 = RT.map(P + 100);
+  EXPECT_EQ(Dev2, Dev);
+  RT.release(P);
+  RT.release(P);
+  RT.release(P);
+}
+
+TEST_F(RuntimeTest, MapCopiesOnlyOnFirstReference) {
+  uint64_t P = heapUnit(1024);
+  uint64_t Before = Stats.BytesHtoD;
+  RT.map(P);
+  EXPECT_EQ(Stats.BytesHtoD - Before, 1024u);
+  RT.map(P); // Already resident: no copy.
+  RT.map(P + 8);
+  EXPECT_EQ(Stats.BytesHtoD - Before, 1024u);
+  RT.release(P);
+  RT.release(P);
+  RT.release(P);
+  // Fully released: the next map copies again.
+  RT.map(P);
+  EXPECT_EQ(Stats.BytesHtoD - Before, 2048u);
+  RT.release(P);
+}
+
+TEST_F(RuntimeTest, MapRoundTripsData) {
+  uint64_t P = heapUnit(64);
+  double V = 3.25;
+  Host.write(P + 16, &V, 8);
+  uint64_t Dev = RT.map(P);
+  double DevV;
+  Device.getMemory().read(Dev + 16, &DevV, 8);
+  EXPECT_DOUBLE_EQ(DevV, 3.25);
+
+  // "Kernel" writes; unmap brings it home.
+  double W = 7.5;
+  Device.getMemory().write(Dev + 16, &W, 8);
+  RT.onKernelLaunch();
+  RT.unmap(P);
+  Host.read(P + 16, &V, 8);
+  EXPECT_DOUBLE_EQ(V, 7.5);
+  RT.release(P);
+}
+
+TEST_F(RuntimeTest, UnmapCopiesAtMostOncePerEpoch) {
+  uint64_t P = heapUnit(256);
+  RT.map(P);
+  RT.onKernelLaunch();
+  uint64_t Before = Stats.BytesDtoH;
+  RT.unmap(P);
+  EXPECT_EQ(Stats.BytesDtoH - Before, 256u);
+  RT.unmap(P); // Same epoch: no copy.
+  RT.unmap(P + 30);
+  EXPECT_EQ(Stats.BytesDtoH - Before, 256u);
+  RT.onKernelLaunch(); // New launch: stale again.
+  RT.unmap(P);
+  EXPECT_EQ(Stats.BytesDtoH - Before, 512u);
+  RT.release(P);
+}
+
+TEST_F(RuntimeTest, UnmapOfUnmappedUnitIsHarmless) {
+  uint64_t P = heapUnit(64);
+  uint64_t Before = Stats.BytesDtoH;
+  RT.unmap(P); // Nothing resident.
+  EXPECT_EQ(Stats.BytesDtoH, Before);
+}
+
+TEST_F(RuntimeTest, ReadOnlyUnitsNeverCopyBack) {
+  uint64_t G = Host.allocate(128);
+  RT.declareGlobal("lookup_table", G, 128, /*IsReadOnly=*/true);
+  RT.map(G);
+  RT.onKernelLaunch();
+  uint64_t Before = Stats.BytesDtoH;
+  RT.unmap(G);
+  EXPECT_EQ(Stats.BytesDtoH, Before);
+  RT.release(G);
+}
+
+TEST_F(RuntimeTest, GlobalsUseNamedRegionsAndSurviveRelease) {
+  uint64_t G = Host.allocate(64);
+  RT.declareGlobal("state", G, 64, false);
+  uint64_t Dev1 = RT.map(G);
+  EXPECT_TRUE(Device.hasModuleGlobal("state"));
+  RT.release(G); // Reference count zero, but globals are never freed.
+  uint64_t Dev2 = RT.map(G);
+  EXPECT_EQ(Dev1, Dev2); // Same named region.
+  RT.release(G);
+}
+
+TEST_F(RuntimeTest, ReleaseFreesDeviceMemoryAtZero) {
+  uint64_t P = heapUnit(128);
+  RT.map(P);
+  RT.map(P);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 1u);
+  RT.release(P);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 1u);
+  RT.release(P);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, ReleaseUnderflowIsFatal) {
+  uint64_t P = heapUnit(64);
+  EXPECT_DEATH(RT.release(P), "release of an unmapped allocation unit");
+}
+
+TEST_F(RuntimeTest, MapOfUntrackedPointerIsFatal) {
+  EXPECT_DEATH(RT.map(HostAddressBase + 999999),
+               "in no tracked allocation unit");
+}
+
+TEST_F(RuntimeTest, HeapFreeOfMappedUnitReleasesDeviceCopy) {
+  uint64_t P = heapUnit(64);
+  RT.map(P);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 1u);
+  RT.notifyHeapFree(P);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+  EXPECT_EQ(RT.lookup(P), nullptr);
+}
+
+TEST_F(RuntimeTest, ReallocRetracksTheUnit) {
+  uint64_t P = heapUnit(64);
+  uint64_t Q = Host.reallocate(P, 256);
+  RT.notifyHeapRealloc(P, Q, 256);
+  EXPECT_EQ(RT.lookup(P), nullptr);
+  const AllocUnitInfo *Info = RT.lookup(Q + 200);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Size, 256u);
+}
+
+TEST_F(RuntimeTest, DeclareAllocaExpiresAtScopeExit) {
+  uint64_t P = Host.allocate(96);
+  RT.declareAlloca(P, 96);
+  EXPECT_NE(RT.lookup(P), nullptr);
+  RT.map(P);
+  RT.removeAlloca(P); // Scope exit frees the device copy too.
+  EXPECT_EQ(RT.lookup(P), nullptr);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, MapArrayTranslatesEveryElement) {
+  // A pointer table with two targets and a null slot.
+  uint64_t T0 = heapUnit(64);
+  uint64_t T1 = heapUnit(32);
+  uint64_t Table = heapUnit(3 * 8);
+  Host.writeUInt(Table + 0, T0 + 8, 8); // Interior pointer element.
+  Host.writeUInt(Table + 8, 0, 8);      // Null stays null.
+  Host.writeUInt(Table + 16, T1, 8);
+
+  uint64_t DevTable = RT.mapArray(Table);
+  uint64_t E0 = Device.getMemory().readUInt(DevTable + 0, 8);
+  uint64_t E1 = Device.getMemory().readUInt(DevTable + 8, 8);
+  uint64_t E2 = Device.getMemory().readUInt(DevTable + 16, 8);
+  EXPECT_TRUE(isDeviceAddress(E0));
+  EXPECT_EQ(E1, 0u);
+  EXPECT_TRUE(isDeviceAddress(E2));
+  // The interior offset survives translation.
+  uint64_t DevT0 = RT.map(T0);
+  EXPECT_EQ(E0, DevT0 + 8);
+  RT.release(T0);
+
+  // Element data actually moved.
+  double V = 1.5;
+  Host.write(T1, &V, 8); // Host changed *after* the copy...
+  double DevV;
+  Device.getMemory().read(E2, &DevV, 8);
+  EXPECT_DOUBLE_EQ(DevV, 0.0); // ...so the device still has the old bytes.
+
+  RT.onKernelLaunch();
+  RT.unmapArray(Table);
+  RT.releaseArray(Table);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+}
+
+TEST_F(RuntimeTest, MapArrayBalancedRefcountsAcrossRepeats) {
+  uint64_t T0 = heapUnit(64);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, T0, 8);
+  RT.mapArray(Table);
+  RT.mapArray(Table); // Second map: refcounts go to 2 everywhere.
+  RT.releaseArray(Table);
+  EXPECT_GT(RT.getNumMappedUnits(), 0u);
+  RT.releaseArray(Table);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+}
+
+TEST_F(RuntimeTest, TranslateToDeviceOnlyWhenResident) {
+  uint64_t P = heapUnit(128);
+  uint64_t Dev;
+  EXPECT_FALSE(RT.translateToDevice(P, Dev));
+  uint64_t Mapped = RT.map(P);
+  ASSERT_TRUE(RT.translateToDevice(P + 64, Dev));
+  EXPECT_EQ(Dev, Mapped + 64);
+  RT.release(P);
+  EXPECT_FALSE(RT.translateToDevice(P, Dev));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweeps
+//===----------------------------------------------------------------------===//
+
+class RuntimePropertyTest : public RuntimeTest,
+                            public ::testing::WithParamInterface<unsigned> {};
+
+TEST_F(RuntimeTest, ManyUnitsLookupConsistency) {
+  // Greatest-LTE over a dense population of units.
+  std::vector<std::pair<uint64_t, uint64_t>> Units;
+  std::mt19937 Rng(42);
+  for (unsigned I = 0; I != 200; ++I) {
+    uint64_t Size = 16 + (Rng() % 512);
+    Units.push_back({heapUnit(Size), Size});
+  }
+  for (const auto &[Base, Size] : Units) {
+    for (uint64_t Off : {uint64_t(0), Size / 2, Size - 1}) {
+      const AllocUnitInfo *Info = RT.lookup(Base + Off);
+      ASSERT_NE(Info, nullptr);
+      EXPECT_EQ(Info->Base, Base);
+      EXPECT_EQ(Info->Size, Size);
+    }
+  }
+}
+
+TEST_P(RuntimePropertyTest, RandomMapReleaseSequencesBalance) {
+  // Invariant: after any balanced sequence of map/release (with kernel
+  // launches and unmaps sprinkled in), no device memory survives and the
+  // host data reflects the last device state.
+  std::mt19937 Rng(GetParam());
+  constexpr unsigned NumUnits = 8;
+  uint64_t Units[NumUnits];
+  int Refs[NumUnits] = {0};
+  for (unsigned I = 0; I != NumUnits; ++I)
+    Units[I] = heapUnit(64 + I * 16);
+
+  for (unsigned Step = 0; Step != 300; ++Step) {
+    unsigned U = Rng() % NumUnits;
+    switch (Rng() % 4) {
+    case 0:
+      RT.map(Units[U] + Rng() % 32);
+      ++Refs[U];
+      break;
+    case 1:
+      if (Refs[U] > 0) {
+        RT.release(Units[U]);
+        --Refs[U];
+      }
+      break;
+    case 2:
+      RT.unmap(Units[U]);
+      break;
+    case 3:
+      RT.onKernelLaunch();
+      break;
+    }
+    // The runtime's view matches our shadow refcounts.
+    unsigned Mapped = 0;
+    for (int R : Refs)
+      if (R > 0)
+        ++Mapped;
+    EXPECT_EQ(RT.getNumMappedUnits(), Mapped);
+  }
+  for (unsigned U = 0; U != NumUnits; ++U)
+    while (Refs[U]-- > 0)
+      RT.release(Units[U]);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimePropertyTest,
+                         ::testing::Values(1u, 7u, 13u, 99u, 12345u));
+
+} // namespace

@@ -1,0 +1,167 @@
+//===- tests/SimplifyTests.cpp - Constant folding / DCE tests ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Mem2Reg.h"
+#include "transform/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+unsigned instCount(Function &F) { return F.instructions().size(); }
+
+unsigned countPhis(Function &F) {
+  unsigned N = 0;
+  for (Instruction *I : F.instructions())
+    if (isa<PhiInst>(I))
+      ++N;
+  return N;
+}
+
+TEST(Simplify, FoldsConstantArithmetic) {
+  auto M = compileMiniC("int main() { return (2 + 3) * 4 - 6 / 2; }", "cf");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  SimplifyStats S = simplifyFunction(*F);
+  EXPECT_GE(S.ConstantsFolded, 3u);
+  // Only the return remains.
+  ASSERT_EQ(instCount(*F), 1u);
+  auto *Ret = cast<RetInst>(F->instructions()[0]);
+  EXPECT_EQ(cast<ConstantInt>(Ret->getReturnValue())->getValue(), 17);
+}
+
+TEST(Simplify, FoldsFloatingPointWithFloatRounding) {
+  auto M = compileMiniC(R"(
+    int main() {
+      float f = 0.1;
+      double d = f * 2.0;
+      return (int)(d * 100.0);
+    }
+  )",
+                        "cff");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  simplifyFunction(*F);
+  // Constant-folded result must equal the interpreted result.
+  Machine Mach;
+  Mach.loadModule(*M);
+  EXPECT_EQ(Mach.run(), 20);
+}
+
+TEST(Simplify, KeepsDivisionByZeroForTheTrap) {
+  auto M = compileMiniC("int main() { int z = 0; return 7 / z; }", "dbz");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  simplifyFunction(*F);
+  bool HasDiv = false;
+  for (Instruction *I : F->instructions())
+    if (auto *B = dyn_cast<BinOpInst>(I))
+      if (B->getOp() == BinOpInst::Op::SDiv)
+        HasDiv = true;
+  EXPECT_TRUE(HasDiv);
+}
+
+TEST(Simplify, SimplifiesConstantBranchesAndRemovesDeadBlocks) {
+  auto M = compileMiniC(R"(
+    int main() {
+      int x = 5;
+      if (x > 3)
+        return 1;
+      return 2;
+    }
+  )",
+                        "br");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  SimplifyStats S = simplifyFunction(*F);
+  EXPECT_GE(S.BranchesSimplified, 1u);
+  EXPECT_GE(S.BlocksRemoved, 1u);
+  Machine Mach;
+  Mach.loadModule(*M);
+  EXPECT_EQ(Mach.run(), 1);
+}
+
+TEST(Simplify, AlgebraicIdentities) {
+  auto M = compileMiniC(R"(
+    int main(void);
+    int f(int x) { return (x + 0) * 1; }
+    int main() { return f(9); }
+  )",
+                        "ident");
+  Function *F = M->getFunction("f");
+  promoteAllocasToRegisters(*F);
+  simplifyFunction(*F);
+  // x + 0 and * 1 both fold away: only the return remains.
+  EXPECT_EQ(instCount(*F), 1u);
+}
+
+TEST(Simplify, RemovesDeadComputation) {
+  auto M = compileMiniC(R"(
+    int main() {
+      int unused = 3 * 7;
+      double alsoUnused = 1.5 * 2.0;
+      return 4;
+    }
+  )",
+                        "dce");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  SimplifyStats S = simplifyFunction(*F);
+  EXPECT_EQ(instCount(*F), 1u);
+  EXPECT_GT(S.ConstantsFolded + S.DeadInstructionsRemoved, 0u);
+}
+
+TEST(Simplify, KeepsSideEffects) {
+  auto M = compileMiniC(R"(
+    double g[4];
+    int main() {
+      g[1] = 2.0;
+      print_i64(5);
+      return 0;
+    }
+  )",
+                        "se");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  simplifyFunction(*F);
+  unsigned Stores = 0, Calls = 0;
+  for (Instruction *I : F->instructions()) {
+    if (isa<StoreInst>(I))
+      ++Stores;
+    if (isa<CallInst>(I))
+      ++Calls;
+  }
+  EXPECT_EQ(Stores, 1u);
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(Simplify, UniformPhiCollapses) {
+  auto M = compileMiniC(R"(
+    int main() {
+      int x = 7;
+      int y;
+      if (x > 0)
+        y = 3;
+      else
+        y = 3;
+      return y;
+    }
+  )",
+                        "phi");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  simplifyFunction(*F);
+  EXPECT_EQ(countPhis(*F), 0u);
+  Machine Mach;
+  Mach.loadModule(*M);
+  EXPECT_EQ(Mach.run(), 3);
+}
+
+} // namespace

@@ -1,0 +1,615 @@
+//===- tests/TransformTests.cpp - Transformation pass unit tests ---------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for each transformation: Mem2Reg SSA construction, the
+/// DOALL parallelizer's acceptance/rejection logic, communication
+/// management insertion, map promotion's hoisting and safety conditions,
+/// alloca promotion, and glue kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/AllocaPromotion.h"
+#include "transform/CommManagement.h"
+#include "transform/DOALL.h"
+#include "transform/GlueKernels.h"
+#include "transform/MapPromotion.h"
+#include "transform/Mem2Reg.h"
+#include "transform/Utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgcm;
+
+namespace {
+
+unsigned countInstKind(Function &F, Value::ValueKind K) {
+  unsigned N = 0;
+  for (Instruction *I : F.instructions())
+    if (I->getKind() == K)
+      ++N;
+  return N;
+}
+
+unsigned countCallsTo(Module &M, const std::string &Name) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    for (Instruction *I : F->instructions())
+      if (auto *CI = dyn_cast<CallInst>(I))
+        if (CI->getCallee()->getName() == Name)
+          ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Mem2Reg
+//===----------------------------------------------------------------------===//
+
+TEST(Mem2Reg, PromotesScalarsInsertsPhis) {
+  auto M = compileMiniC(R"(
+    int main() {
+      int s = 0;
+      int i;
+      for (i = 0; i < 10; i++)
+        s += i;
+      return s;
+    }
+  )",
+                        "m2r");
+  Function *F = M->getFunction("main");
+  unsigned Before = countInstKind(*F, Value::ValueKind::Alloca);
+  EXPECT_GE(Before, 2u); // s and i (at least).
+  unsigned Promoted = promoteAllocasToRegisters(*F);
+  EXPECT_EQ(Promoted, Before);
+  EXPECT_EQ(countInstKind(*F, Value::ValueKind::Alloca), 0u);
+  EXPECT_EQ(countInstKind(*F, Value::ValueKind::Load), 0u);
+  EXPECT_EQ(countInstKind(*F, Value::ValueKind::Store), 0u);
+  EXPECT_GE(countInstKind(*F, Value::ValueKind::Phi), 2u);
+}
+
+TEST(Mem2Reg, KeepsEscapingAllocas) {
+  auto M = compileMiniC(R"(
+    void fill(double *p) { p[0] = 1.0; }
+    int main() {
+      double buf[4];
+      fill(buf);
+      int plain = 3;
+      return plain + (int)buf[0];
+    }
+  )",
+                        "m2r2");
+  Function *F = M->getFunction("main");
+  promoteAllocasToRegisters(*F);
+  // buf escapes into the call (and is an array); plain promotes.
+  EXPECT_EQ(countInstKind(*F, Value::ValueKind::Alloca), 1u);
+}
+
+TEST(Mem2Reg, PreservesSemantics) {
+  const char *Src = R"(
+    int collatz(int n) {
+      int steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0)
+          n = n / 2;
+        else
+          n = 3 * n + 1;
+        steps++;
+      }
+      return steps;
+    }
+    int main() { return collatz(27); }
+  )";
+  auto Plain = compileMiniC(Src, "a");
+  Machine M1;
+  M1.loadModule(*Plain);
+  int64_t Ref = M1.run();
+
+  auto Ssa = compileMiniC(Src, "b");
+  promoteAllocasToRegisters(*Ssa);
+  Machine M2;
+  M2.loadModule(*Ssa);
+  EXPECT_EQ(M2.run(), Ref);
+  EXPECT_EQ(Ref, 111); // Collatz(27) takes 111 steps.
+  // And the SSA version executes fewer instructions (no load/store traffic).
+  EXPECT_LT(M2.getStats().CpuOps, M1.getStats().CpuOps);
+}
+
+//===----------------------------------------------------------------------===//
+// DOALL acceptance and rejection
+//===----------------------------------------------------------------------===//
+
+unsigned doallKernels(const std::string &Body) {
+  auto M = compileMiniC(Body, "doall");
+  promoteAllocasToRegisters(*M);
+  return parallelizeDOALLLoops(*M).KernelsCreated;
+}
+
+TEST(DOALL, AcceptsIndependentLoops) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64]; double b[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) a[i] = b[i] * 2.0;
+      return 0;
+    })"),
+            1u);
+  // Read-modify-write of the same element is fine.
+  EXPECT_EQ(doallKernels(R"(
+    double a[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) a[i] = a[i] + 1.0;
+      return 0;
+    })"),
+            1u);
+  // Intra-row shift against a row-indexed write is fine (adi pattern).
+  EXPECT_EQ(doallKernels(R"(
+    double x[16][16];
+    int main() {
+      int i; int j;
+      for (i = 0; i < 16; i++)
+        for (j = 1; j < 16; j++)
+          x[i][j] = x[i][j] - x[i][j - 1];
+      return 0;
+    })"),
+            1u);
+}
+
+TEST(DOALL, RejectsReductions) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64]; double out[2];
+    int main() {
+      int i; double s = 0.0;
+      for (i = 0; i < 64; i++) s += a[i];
+      out[0] = s;
+      return 0;
+    })"),
+            0u);
+}
+
+TEST(DOALL, RejectsCrossIterationStencil) {
+  // seidel shape: reads row i-1 while writing row i.
+  EXPECT_EQ(doallKernels(R"(
+    double a[16][16];
+    int main() {
+      int i; int j;
+      for (i = 1; i < 16; i++)
+        for (j = 0; j < 16; j++)
+          a[i][j] = a[i - 1][j] * 0.5;
+      return 0;
+    })"),
+            0u);
+  // 1D neighbor dependence.
+  EXPECT_EQ(doallKernels(R"(
+    double a[64];
+    int main() {
+      int i;
+      for (i = 1; i < 64; i++) a[i] = a[i - 1] + 1.0;
+      return 0;
+    })"),
+            0u);
+}
+
+TEST(DOALL, RejectsLoopInvariantWrites) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) a[0] = i;
+      return 0;
+    })"),
+            0u);
+}
+
+TEST(DOALL, RejectsDataDependentSubscriptWrites) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64]; int idx[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) a[idx[i]] = i;
+      return 0;
+    })"),
+            0u);
+}
+
+TEST(DOALL, RejectsCallsAndAllocas) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) {
+        a[i] = i;
+        print_i64(i);
+      }
+      return 0;
+    })"),
+            0u);
+}
+
+TEST(DOALL, RejectsLiveOuts) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64];
+    int main() {
+      int i; int last = 0;
+      for (i = 0; i < 64; i++) {
+        a[i] = i;
+        last = i;
+      }
+      return last;
+    })"),
+            0u);
+}
+
+TEST(DOALL, AcceptsMathCallsInBody) {
+  EXPECT_EQ(doallKernels(R"(
+    double a[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) a[i] = sqrt(i * 1.0) + exp(0.1);
+      return 0;
+    })"),
+            1u);
+}
+
+TEST(DOALL, GridStrideKernelCoversAllIterations) {
+  // More iterations than launched threads: the grid-stride loop must
+  // still touch every element.
+  const char *Src = R"(
+    double a[1000];
+    int main() {
+      int i;
+      for (i = 0; i < 1000; i++)
+        a[i] = i * 1.0;
+      double s = 0.0;
+      for (i = 0; i < 1000; i++) s += a[i];
+      print_f64(s);
+      return 0;
+    }
+  )";
+  auto Seq = compileMiniC(Src, "seq");
+  Machine M1;
+  M1.loadModule(*Seq);
+  M1.run();
+
+  auto Par = compileMiniC(Src, "par");
+  promoteAllocasToRegisters(*Par);
+  EXPECT_EQ(parallelizeDOALLLoops(*Par).KernelsCreated, 1u);
+  insertCommunicationManagement(*Par);
+  Machine M2;
+  M2.setLaunchPolicy(LaunchPolicy::Managed);
+  M2.loadModule(*Par);
+  M2.run();
+  EXPECT_EQ(M2.getOutput(), M1.getOutput());
+}
+
+//===----------------------------------------------------------------------===//
+// Communication management
+//===----------------------------------------------------------------------===//
+
+TEST(Management, InsertsBalancedCallsAndDeclares) {
+  auto M = compileMiniC(R"(
+    double g[32];
+    const double lut[4] = {1.0, 2.0, 3.0, 4.0};
+    __kernel void k(double *p, long n) {
+      long i = __tid();
+      if (i < n) p[i] = g[i % 32] + lut[0];
+    }
+    int main() {
+      double *h = (double*)malloc(64 * sizeof(double));
+      launch k<<<1, 64>>>(h, 64);
+      free((char*)h);
+      return 0;
+    }
+  )",
+                        "mgmt");
+  promoteAllocasToRegisters(*M);
+  ManagementStats S = insertCommunicationManagement(*M);
+  EXPECT_EQ(S.LaunchesManaged, 1u);
+  // h (arg) + g + lut mapped.
+  EXPECT_EQ(S.MapsInserted, 3u);
+  EXPECT_EQ(S.MapArraysInserted, 0u);
+  // Every original global declared (g, lut, plus interned strings if any).
+  EXPECT_GE(S.GlobalsDeclared, 2u);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_map"), 3u);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_unmap"), 3u);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_release"), 3u);
+  EXPECT_GE(countCallsTo(*M, "cgcm_declare_global"), 2u);
+}
+
+TEST(Management, UsesMapArrayForDoublePointers) {
+  auto M = compileMiniC(R"(
+    double r0[8];
+    double r1[8];
+    double *rows[2];
+    __kernel void k(double **r) {
+      long i = __tid();
+      if (i < 8) r[0][i] = r[1][i] + 1.0;
+    }
+    int main() {
+      rows[0] = r0;
+      rows[1] = r1;
+      launch k<<<1, 8>>>(rows);
+      return 0;
+    }
+  )",
+                        "mgmt2");
+  promoteAllocasToRegisters(*M);
+  ManagementStats S = insertCommunicationManagement(*M);
+  EXPECT_EQ(S.MapArraysInserted, 1u);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_map_array"), 1u);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_unmap_array"), 1u);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_release_array"), 1u);
+}
+
+TEST(Management, TripleIndirectionIsRejected) {
+  auto M = compileMiniC(R"(
+    double x[4];
+    double *p1[1];
+    double **p2[1];
+    __kernel void k(double ***ppp) { ppp[0][0][0] = 1.0; }
+    int main() {
+      p1[0] = x;
+      p2[0] = p1;
+      launch k<<<1, 1>>>(p2);
+      return 0;
+    }
+  )",
+                        "mgmt3");
+  promoteAllocasToRegisters(*M);
+  EXPECT_DEATH(insertCommunicationManagement(*M),
+               "three or more levels of indirection");
+}
+
+TEST(Management, DeclareAllocaInsertedForEscapingStack) {
+  auto M = compileMiniC(R"(
+    void fill(double *p, int n) {
+      int i;
+      for (i = 0; i < n; i++) p[i] = i;
+    }
+    int main() {
+      double buf[16];
+      fill(buf, 16);
+      return (int)buf[3];
+    }
+  )",
+                        "mgmt4");
+  promoteAllocasToRegisters(*M);
+  insertCommunicationManagement(*M);
+  EXPECT_EQ(countCallsTo(*M, "cgcm_declare_alloca"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Map promotion
+//===----------------------------------------------------------------------===//
+
+struct PromotionHarness {
+  std::unique_ptr<Module> M;
+  PromotionStats Stats;
+
+  explicit PromotionHarness(const char *Src) {
+    M = compileMiniC(Src, "promo");
+    promoteAllocasToRegisters(*M);
+    parallelizeDOALLLoops(*M);
+    insertCommunicationManagement(*M);
+    Stats = promoteMaps(*M);
+  }
+
+  ExecStats run() {
+    Machine Mach;
+    Mach.setLaunchPolicy(LaunchPolicy::Managed);
+    Mach.loadModule(*M);
+    Mach.run();
+    return Mach.getStats();
+  }
+};
+
+TEST(MapPromotionTest, HoistsOutOfTimeLoop) {
+  PromotionHarness H(R"(
+    double a[128];
+    int main() {
+      int t; int i;
+      for (i = 0; i < 128; i++) a[i] = i;
+      for (t = 0; t < 50; t++) {
+        for (i = 0; i < 128; i++) a[i] = a[i] * 0.99;
+      }
+      double s = 0.0;
+      for (i = 0; i < 128; i++) s += a[i];
+      print_f64(s);
+      return 0;
+    }
+  )");
+  EXPECT_GT(H.Stats.LoopHoists, 0u);
+  EXPECT_GT(H.Stats.UnmapsDeleted, 0u);
+  ExecStats S = H.run();
+  // 51 launches but only ~2 HtoD copies (the checksum forces one DtoH).
+  EXPECT_EQ(S.KernelLaunches, 51u);
+  EXPECT_LE(S.TransfersHtoD, 3u);
+  EXPECT_LE(S.TransfersDtoH, 3u);
+}
+
+TEST(MapPromotionTest, CpuReadBlocksHoisting) {
+  // The CPU reads the array every iteration: promotion must NOT hoist,
+  // or the CPU would read stale data. Correctness is the test.
+  PromotionHarness H(R"(
+    double a[64];
+    double trace[100];
+    int main() {
+      int t; int i;
+      for (i = 0; i < 64; i++) a[i] = i;
+      for (t = 0; t < 30; t++) {
+        for (i = 0; i < 64; i++) a[i] = a[i] + 1.0;
+        trace[t] = a[t % 64];
+      }
+      double s = 0.0;
+      for (t = 0; t < 30; t++) s += trace[t];
+      print_f64(s);
+      return 0;
+    }
+  )");
+  ExecStats S = H.run();
+  // Every iteration must copy back for the CPU read.
+  EXPECT_GE(S.TransfersDtoH, 30u);
+}
+
+TEST(MapPromotionTest, CorrectnessWithCpuPhases) {
+  // Alternating CPU and GPU writes; outputs must match sequential.
+  const char *Src = R"(
+    double a[64];
+    int main() {
+      int t; int i;
+      for (i = 0; i < 64; i++) a[i] = i * 0.5;
+      for (t = 0; t < 10; t++) {
+        for (i = 0; i < 64; i++) a[i] = a[i] * 1.01;
+        if (t % 3 == 0) {
+          double bump = a[0] * 0.001;
+          int j;
+          for (j = 0; j < 64; j++) {
+            a[j] = a[j] + bump;
+            bump = bump * 1.0001;
+          }
+        }
+      }
+      double s = 0.0;
+      for (i = 0; i < 64; i++) s += a[i];
+      print_f64(s);
+      return 0;
+    }
+  )";
+  auto Seq = compileMiniC(Src, "seq");
+  Machine M1;
+  M1.loadModule(*Seq);
+  M1.run();
+  PromotionHarness H(Src);
+  Machine M2;
+  M2.setLaunchPolicy(LaunchPolicy::Managed);
+  M2.loadModule(*H.M);
+  M2.run();
+  EXPECT_EQ(M2.getOutput(), M1.getOutput());
+}
+
+//===----------------------------------------------------------------------===//
+// Alloca promotion and glue kernels
+//===----------------------------------------------------------------------===//
+
+TEST(AllocaPromotionTest, HoistsEscapingLocalIntoCaller) {
+  auto M = compileMiniC(R"(
+    double g[32];
+    void step() {
+      double tmp[32];
+      int i;
+      for (i = 0; i < 32; i++) tmp[i] = g[i] * 2.0;
+      for (i = 0; i < 32; i++) g[i] = tmp[i];
+    }
+    int main() {
+      int t;
+      for (t = 0; t < 5; t++) step();
+      return 0;
+    }
+  )",
+                        "ap");
+  promoteAllocasToRegisters(*M);
+  parallelizeDOALLLoops(*M);
+  insertCommunicationManagement(*M);
+  AllocaPromotionStats S = promoteAllocasUpCallGraph(*M);
+  EXPECT_EQ(S.AllocasHoisted, 1u);
+  Function *Step = M->getFunction("step");
+  // The local became a parameter; main now owns the buffer.
+  EXPECT_EQ(Step->getNumArgs(), 1u);
+  Function *Main = M->getFunction("main");
+  unsigned MainAllocas = countInstKind(*Main, Value::ValueKind::Alloca);
+  EXPECT_EQ(MainAllocas, 1u);
+}
+
+TEST(GlueKernelsTest, OutlinesBlockingPivotCode) {
+  auto M = compileMiniC(R"(
+    double a[64];
+    double pivbuf[2];
+    int main() {
+      int t; int i;
+      for (i = 0; i < 64; i++) a[i] = i + 1.0;
+      for (t = 0; t < 20; t++) {
+        pivbuf[0] = 1.0 / a[t % 8 + 1];
+        for (i = 0; i < 64; i++) a[i] = a[i] * pivbuf[0] + 1.0;
+      }
+      double s = 0.0;
+      for (i = 0; i < 64; i++) s += a[i];
+      print_f64(s);
+      return 0;
+    }
+  )",
+                        "glue");
+  promoteAllocasToRegisters(*M);
+  parallelizeDOALLLoops(*M);
+  insertCommunicationManagement(*M);
+  GlueStats S = createGlueKernels(*M);
+  EXPECT_EQ(S.GlueKernelsCreated, 1u);
+  unsigned GlueFns = 0;
+  for (const auto &F : M->functions())
+    if (F->isGlueKernel())
+      ++GlueFns;
+  EXPECT_EQ(GlueFns, 1u);
+  // With the glue kernel in place, map promotion can hoist everything.
+  PromotionStats P = promoteMaps(*M);
+  EXPECT_GT(P.LoopHoists, 0u);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(*M);
+  Mach.run();
+  // Whole t-loop runs without DtoH traffic (except the final unmap).
+  EXPECT_LE(Mach.getStats().TransfersDtoH, 3u);
+}
+
+TEST(GlueKernelsTest, LeavesNonBlockingCodeAlone) {
+  auto M = compileMiniC(R"(
+    double a[64];
+    int main() {
+      int t; int i;
+      double phase = 0.0;
+      for (i = 0; i < 64; i++) a[i] = i;
+      for (t = 0; t < 10; t++) {
+        phase = phase + 0.25;
+        for (i = 0; i < 64; i++) a[i] = a[i] + 1.0;
+      }
+      print_f64(phase + a[0]);
+      return 0;
+    }
+  )",
+                        "glue2");
+  promoteAllocasToRegisters(*M);
+  parallelizeDOALLLoops(*M);
+  insertCommunicationManagement(*M);
+  // The scalar phase arithmetic never touches mapped memory.
+  GlueStats S = createGlueKernels(*M);
+  EXPECT_EQ(S.GlueKernelsCreated, 0u);
+}
+
+TEST(Utils, RuntimeCallPointerLooksThroughCasts) {
+  auto M = compileMiniC(R"(
+    double a[16];
+    __kernel void k(double *p) { p[0] = 1.0; }
+    int main() {
+      launch k<<<1, 1>>>(a);
+      return 0;
+    }
+  )",
+                        "utils");
+  promoteAllocasToRegisters(*M);
+  insertCommunicationManagement(*M);
+  unsigned Found = 0;
+  for (const auto &F : M->functions())
+    for (Instruction *I : F->instructions())
+      if (Value *P = getRuntimeCallPointer(I)) {
+        ++Found;
+        // The underlying pointer is the decayed global, not the i8* cast.
+        EXPECT_TRUE(P->getType()->isPointerTy());
+        EXPECT_FALSE(isRuntimeFunction(M->getFunction("k")));
+      }
+  EXPECT_EQ(Found, 3u); // map + unmap + release on one pointer.
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- tools/cgcmc.cpp - The CGCM compiler driver ------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver: compiles a MiniC file, runs the CGCM pipeline,
+/// and executes the program on the simulated machine (or dumps IR).
+///
+///   cgcmc prog.minic                  # full pipeline, managed execution
+///   cgcmc --no-parallelize prog.minic # manual launches only
+///   cgcmc --no-manage prog.minic      # stop before management (will trap!)
+///   cgcmc --no-optimize prog.minic    # Listing-3-style cyclic management
+///   cgcmc --policy=ie prog.minic      # inspector-executor baseline
+///   cgcmc --policy=seq prog.minic     # sequential CPU baseline
+///   cgcmc --dump-ir[=stage] prog.minic  # print IR (stage: front, ssa,
+///                                       # doall, managed, opt)
+///   cgcmc --stats prog.minic          # print execution statistics
+///   cgcmc saved.ir                    # run previously dumped IR as-is
+///   cgcmc --applicability prog.minic  # per-launch framework applicability
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "ir/IRParser.h"
+#include "transform/Applicability.h"
+#include "transform/AllocaPromotion.h"
+#include "transform/CommManagement.h"
+#include "transform/DOALL.h"
+#include "transform/GlueKernels.h"
+#include "transform/MapPromotion.h"
+#include "transform/Mem2Reg.h"
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace cgcm;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  bool Parallelize = true;
+  bool Manage = true;
+  bool Optimize = true;
+  bool Stats = false;
+  bool Applicability = false;
+  std::string DumpStage; ///< Empty = no dump; "opt" dumps the final IR.
+  LaunchPolicy Policy = LaunchPolicy::Managed;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cgcmc [options] <input.minic>\n"
+      "  --no-parallelize    skip the DOALL parallelizer\n"
+      "  --no-manage         skip communication management (kernels trap)\n"
+      "  --no-optimize       skip glue/alloca/map promotion\n"
+      "  --policy=<p>        managed | trap | ie | seq (default managed)\n"
+      "  --dump-ir[=stage]   print IR: front, ssa, doall, managed, opt\n"
+      "  --stats             print execution statistics\n"
+      "  --applicability     print per-launch framework applicability\n");
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--no-parallelize")
+      O.Parallelize = false;
+    else if (A == "--no-manage")
+      O.Manage = false;
+    else if (A == "--no-optimize")
+      O.Optimize = false;
+    else if (A == "--stats")
+      O.Stats = true;
+    else if (A == "--applicability")
+      O.Applicability = true;
+    else if (A == "--dump-ir")
+      O.DumpStage = "opt";
+    else if (A.rfind("--dump-ir=", 0) == 0)
+      O.DumpStage = A.substr(10);
+    else if (A.rfind("--policy=", 0) == 0) {
+      std::string P = A.substr(9);
+      if (P == "managed")
+        O.Policy = LaunchPolicy::Managed;
+      else if (P == "trap")
+        O.Policy = LaunchPolicy::Trap;
+      else if (P == "ie") {
+        // Inspector-executor *replaces* CGCM management (section 6.3).
+        O.Policy = LaunchPolicy::InspectorExecutor;
+        O.Manage = false;
+      }
+      else if (P == "seq") {
+        // The sequential baseline is the program as written: no
+        // parallelization and no management.
+        O.Policy = LaunchPolicy::CpuEmulation;
+        O.Parallelize = false;
+        O.Manage = false;
+      }
+      else {
+        std::fprintf(stderr, "cgcmc: unknown policy '%s'\n", P.c_str());
+        return false;
+      }
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      std::exit(0);
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "cgcmc: unknown option '%s'\n", A.c_str());
+      return false;
+    } else if (O.InputPath.empty()) {
+      O.InputPath = A;
+    } else {
+      std::fprintf(stderr, "cgcmc: multiple inputs\n");
+      return false;
+    }
+  }
+  return !O.InputPath.empty();
+}
+
+void printApplicability(Module &M) {
+  std::printf("%-24s %6s %8s %8s %8s\n", "kernel", "CGCM", "named",
+              "affine", "insp-ex");
+  for (const LaunchApplicability &A : analyzeModuleApplicability(M))
+    std::printf("%-24s %6s %8s %8s %8s\n",
+                A.Launch->getKernel()->getName().c_str(),
+                A.CGCM ? "yes" : "no", A.NamedRegions ? "yes" : "no",
+                A.Affine ? "yes" : "no",
+                A.InspectorExecutor ? "yes" : "no");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(O.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "cgcmc: cannot open '%s'\n", O.InputPath.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  // A .ir input is parsed as already-lowered IR (e.g. saved --dump-ir
+  // output) and run as-is; anything else goes through the frontend and
+  // pipeline.
+  if (O.InputPath.size() > 3 &&
+      O.InputPath.compare(O.InputPath.size() - 3, 3, ".ir") == 0) {
+    std::unique_ptr<Module> M = parseIR(Buf.str(), O.InputPath);
+    Machine Mach;
+    Mach.setLaunchPolicy(O.Policy);
+    Mach.loadModule(*M);
+    int64_t Exit = Mach.run();
+    std::fputs(Mach.getOutput().c_str(), stdout);
+    return static_cast<int>(Exit);
+  }
+
+  std::unique_ptr<Module> M = compileMiniC(Buf.str(), O.InputPath);
+  if (O.DumpStage == "front") {
+    std::fputs(M->getString().c_str(), stdout);
+    return 0;
+  }
+
+  // The pipeline, one pass at a time, so --dump-ir can stop anywhere.
+  promoteAllocasToRegisters(*M);
+  if (O.DumpStage == "ssa") {
+    std::fputs(M->getString().c_str(), stdout);
+    return 0;
+  }
+  if (O.Parallelize)
+    parallelizeDOALLLoops(*M);
+  if (O.DumpStage == "doall") {
+    std::fputs(M->getString().c_str(), stdout);
+    return 0;
+  }
+  if (O.Applicability) {
+    printApplicability(*M);
+    return 0;
+  }
+  if (O.Manage)
+    insertCommunicationManagement(*M);
+  if (O.DumpStage == "managed") {
+    std::fputs(M->getString().c_str(), stdout);
+    return 0;
+  }
+  if (O.Manage && O.Optimize) {
+    createGlueKernels(*M);
+    promoteAllocasUpCallGraph(*M);
+    promoteMaps(*M);
+  }
+  if (!O.DumpStage.empty()) {
+    std::fputs(M->getString().c_str(), stdout);
+    return 0;
+  }
+
+  Machine Mach;
+  Mach.setLaunchPolicy(O.Policy);
+  Mach.loadModule(*M);
+  int64_t Exit = Mach.run();
+  std::fputs(Mach.getOutput().c_str(), stdout);
+
+  if (O.Stats) {
+    const ExecStats &S = Mach.getStats();
+    std::fprintf(stderr,
+                 "-- cgcmc stats --\n"
+                 "cpu ops        %llu\n"
+                 "gpu ops        %llu\n"
+                 "kernel launches %llu\n"
+                 "HtoD           %llu transfers, %llu bytes\n"
+                 "DtoH           %llu transfers, %llu bytes\n"
+                 "runtime calls  %llu\n"
+                 "modeled cycles %.0f (cpu %.0f, gpu %.0f, comm %.0f, "
+                 "runtime %.0f, inspect %.0f)\n",
+                 static_cast<unsigned long long>(S.CpuOps),
+                 static_cast<unsigned long long>(S.GpuOps),
+                 static_cast<unsigned long long>(S.KernelLaunches),
+                 static_cast<unsigned long long>(S.TransfersHtoD),
+                 static_cast<unsigned long long>(S.BytesHtoD),
+                 static_cast<unsigned long long>(S.TransfersDtoH),
+                 static_cast<unsigned long long>(S.BytesDtoH),
+                 static_cast<unsigned long long>(S.RuntimeCalls),
+                 S.totalCycles(), S.CpuCycles, S.GpuCycles, S.CommCycles,
+                 S.RuntimeCycles, S.InspectorCycles);
+  }
+  return static_cast<int>(Exit);
+}
