@@ -1,0 +1,80 @@
+//===- analysis/checkers/Checkers.h - Static CGCM checkers -----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static checkers for the CGCM soundness properties that were previously
+/// enforced only dynamically by the interpreter and the GPU executor
+/// (docs/StaticAnalysis.md):
+///
+///  * checkCommunicationSoundness — forward dataflow over post-pipeline
+///    host IR proving every kernel-launch live-in pointer is mapped on
+///    every path to the launch and released on every path to return, and
+///    flagging double releases and unmaps of unmapped pointers.
+///  * checkCGCMRestrictions — the paper's applicability restrictions
+///    (section 2.3) as compile-time diagnostics: live-ins inferring to
+///    three or more levels of indirection, and pointer stores reachable
+///    inside GPU code.
+///  * checkKernelRaces — re-derives cross-thread independence for a GPU
+///    kernel. Strict mode mirrors the DOALL parallelizer's dependence
+///    test against the outlined kernel (defense in depth for the
+///    pipeline); Conservative mode reports only provable races in
+///    hand-written kernels.
+///
+/// Checkers never mutate IR and never abort: findings accumulate in a
+/// DiagnosticEngine for the driver to render.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_CHECKERS_CHECKERS_H
+#define CGCM_ANALYSIS_CHECKERS_CHECKERS_H
+
+#include "ir/Module.h"
+#include "support/Diagnostics.h"
+
+namespace cgcm {
+
+/// Diagnostic IDs emitted by the checkers (stable; tests match on them).
+namespace diag {
+inline constexpr const char *MissingMap = "cgcm-missing-map";
+inline constexpr const char *MissingRelease = "cgcm-missing-release";
+inline constexpr const char *DoubleRelease = "cgcm-double-release";
+inline constexpr const char *UseAfterRelease = "cgcm-use-after-release";
+inline constexpr const char *UnmapUnmapped = "cgcm-unmap-unmapped";
+inline constexpr const char *PointerDegree = "cgcm-pointer-degree";
+inline constexpr const char *PointerStore = "cgcm-pointer-store";
+inline constexpr const char *DoallRace = "cgcm-doall-race";
+inline constexpr const char *DoallUnproven = "cgcm-doall-unproven";
+} // namespace diag
+
+/// Verifies the map/release protocol in every defined host function of
+/// \p M (which must be post-management IR). Reports MissingMap,
+/// MissingRelease, DoubleRelease, UseAfterRelease, and UnmapUnmapped.
+void checkCommunicationSoundness(const Module &M, DiagnosticEngine &DE);
+
+/// Diagnoses CGCM applicability restrictions in the kernels of \p M
+/// using use-based type inference. Reports PointerDegree and
+/// PointerStore. Valid on pre- or post-management IR.
+void checkCGCMRestrictions(const Module &M, DiagnosticEngine &DE);
+
+enum class RaceCheckMode {
+  /// Re-prove full cross-thread independence (the DOALL dependence test
+  /// transposed onto the grid-stride kernel). Anything unprovable is a
+  /// finding — apply only to kernels the parallelizer itself produced.
+  Strict,
+  /// Report only provable races; hand-written kernels are allowed to use
+  /// idioms the affine analysis cannot model.
+  Conservative,
+};
+
+/// Checks \p Kernel for cross-thread data races. \p M is consulted for
+/// the kernel's launch sites (a kernel only ever launched single-threaded
+/// cannot race). Reports DoallRace and, in Strict mode, DoallUnproven.
+void checkKernelRaces(const Module &M, const Function &Kernel,
+                      RaceCheckMode Mode, DiagnosticEngine &DE);
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_CHECKERS_CHECKERS_H

@@ -1,0 +1,327 @@
+//===- analysis/checkers/CommSoundness.cpp - Map/release protocol check -----===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward dataflow proof that host code follows the CGCM communication
+/// protocol. For every *communicated pointer* — any pointer that reaches a
+/// cgcm_map/unmap/release call or is a pointer live-in (global) of a
+/// launched kernel — the checker tracks an interval [Lo, Hi] of how many
+/// outstanding map references the pointer can have at each program point:
+///
+///   map      : [Lo+1, Hi+1]
+///   release  : requires Hi >= 1 (else DoubleRelease), then [Lo-1, Hi-1]
+///   unmap    : requires Hi >= 1 (else UnmapUnmapped); no count change
+///   launch   : every pointer live-in must have Lo >= 1 (MissingMap if the
+///              pointer was never mapped on some path, UseAfterRelease if
+///              its mapping came from a map call that a release already
+///              retired)
+///   ret      : every tracked pointer must be [0, 0] (else MissingRelease)
+///
+/// Intervals join by convex hull at control-flow merges and are clamped
+/// to [0, Cap] so loops that accumulate references converge. The analysis
+/// is intraprocedural; that is sound for pipeline output because every
+/// pass keeps map/release contributions balanced within each function
+/// (map promotion deletes only unmaps; promoting a mapping to callers
+/// adds an *extra* balanced pair there, it never moves the callee's own).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TypeInference.h"
+#include "analysis/checkers/Checkers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// Upper clamp for reference-count intervals. Anything above this is
+/// "many"; all protocol rules only distinguish 0 from >= 1.
+constexpr int64_t Cap = 16;
+
+bool isMapCall(const CallInst *CI) {
+  const std::string &N = CI->getCallee()->getName();
+  return N == "cgcm_map" || N == "cgcm_map_array";
+}
+
+bool isUnmapCall(const CallInst *CI) {
+  const std::string &N = CI->getCallee()->getName();
+  return N == "cgcm_unmap" || N == "cgcm_unmap_array";
+}
+
+bool isReleaseCall(const CallInst *CI) {
+  const std::string &N = CI->getCallee()->getName();
+  return N == "cgcm_release" || N == "cgcm_release_array";
+}
+
+/// Looks through the bitcasts the management pass wraps runtime-call
+/// operands in, yielding the host pointer that names the mapping.
+const Value *stripCasts(const Value *V) {
+  while (const auto *C = dyn_cast<CastInst>(V))
+    V = C->getValueOperand();
+  return V;
+}
+
+struct Interval {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+
+  bool operator==(const Interval &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+};
+
+using State = std::map<const Value *, Interval>;
+
+/// Convex hull; returns true if \p Into changed.
+bool joinInto(State &Into, const State &From) {
+  bool Changed = false;
+  for (const auto &[K, V] : From) {
+    auto It = Into.find(K);
+    if (It == Into.end()) {
+      // Absent means [0, 0]; hull with V.
+      Interval H{std::min<int64_t>(0, V.Lo), std::max<int64_t>(0, V.Hi)};
+      if (!(H == Interval{})) {
+        Into[K] = H;
+        Changed = true;
+      }
+      continue;
+    }
+    Interval H{std::min(It->second.Lo, V.Lo), std::max(It->second.Hi, V.Hi)};
+    if (!(H == It->second)) {
+      It->second = H;
+      Changed = true;
+    }
+  }
+  // Keys present in Into but absent in From hull with [0, 0].
+  for (auto &[K, V] : Into) {
+    if (From.count(K))
+      continue;
+    Interval H{std::min<int64_t>(V.Lo, 0), std::max<int64_t>(V.Hi, 0)};
+    if (!(H == V)) {
+      V = H;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+class SoundnessChecker {
+public:
+  SoundnessChecker(const Module &M, DiagnosticEngine &DE) : M(M), DE(DE) {}
+
+  void run() {
+    for (const auto &F : M.functions())
+      if (!F->isDeclaration() && !F->isKernel())
+        checkFunction(*F);
+  }
+
+private:
+  const KernelLiveIns &liveIns(const Function *K) {
+    auto It = LiveInCache.find(K);
+    if (It == LiveInCache.end())
+      It = LiveInCache.emplace(K, analyzeKernelLiveIns(*K)).first;
+    return It->second;
+  }
+
+  void diagnose(const char *ID, const Instruction *At, const std::string &Msg,
+                const Function &F) {
+    if (!Reported.insert({At, ID}).second)
+      return;
+    DE.report(ID, DiagSeverity::Error, At->getLoc(), Msg, F.getName());
+  }
+
+  static std::string describe(const Value *P) {
+    if (P->getName().empty())
+      return "<pointer>";
+    // SSA temporaries print with their sigil so the name matches the
+    // --dump-ir output the user would cross-reference.
+    if (isa<Instruction>(P) || isa<Argument>(P))
+      return "'%" + P->getName() + "'";
+    if (isa<GlobalVariable>(P))
+      return "'@" + P->getName() + "'";
+    return "'" + P->getName() + "'";
+  }
+
+  /// Blocks reachable from the entry, in reverse post-order. The frontend
+  /// leaves trivially unreachable "dead" blocks behind statements after a
+  /// return; the protocol only applies to code that can execute.
+  std::vector<const BasicBlock *> reachableRPO(const Function &F) {
+    std::vector<const BasicBlock *> PostOrder;
+    std::set<const BasicBlock *> Visited;
+    // Iterative DFS with an explicit successor index.
+    std::vector<std::pair<const BasicBlock *, unsigned>> Stack;
+    Visited.insert(F.getEntryBlock());
+    Stack.push_back({F.getEntryBlock(), 0});
+    while (!Stack.empty()) {
+      auto &[BB, Idx] = Stack.back();
+      std::vector<BasicBlock *> Succs = BB->successors();
+      if (Idx == Succs.size()) {
+        PostOrder.push_back(BB);
+        Stack.pop_back();
+        continue;
+      }
+      const BasicBlock *S = Succs[Idx++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+    }
+    std::reverse(PostOrder.begin(), PostOrder.end());
+    return PostOrder;
+  }
+
+  void checkFunction(const Function &F) {
+    std::vector<const BasicBlock *> Order = reachableRPO(F);
+    std::set<const BasicBlock *> Reachable(Order.begin(), Order.end());
+
+    // A function with no communication traffic needs no analysis.
+    bool HasTraffic = false;
+    for (const BasicBlock *BB : Order)
+      for (const auto &I : *BB) {
+        if (isa<KernelLaunchInst>(I.get()))
+          HasTraffic = true;
+        else if (const auto *CI = dyn_cast<CallInst>(I.get()))
+          if (isMapCall(CI) || isUnmapCall(CI) || isReleaseCall(CI))
+            HasTraffic = true;
+      }
+    if (!HasTraffic)
+      return;
+
+    std::map<const BasicBlock *, State> In;
+    // Blocks whose In state has been computed at least once. An
+    // uninitialized In is lattice bottom: the first incoming state is
+    // copied, not hulled with [0, 0].
+    std::set<const BasicBlock *> HasIn{F.getEntryBlock()};
+    In[F.getEntryBlock()]; // Entry starts with everything unmapped.
+
+    bool Changed = true;
+    bool Report = false; // Diagnostics only once the fixpoint is reached.
+    while (Changed || Report) {
+      Changed = false;
+      for (const BasicBlock *BB : Order) {
+        if (!HasIn.count(BB))
+          continue;
+        State S = In[BB];
+        transferBlock(F, BB, S, Report);
+        if (Report)
+          continue;
+        for (BasicBlock *Succ : BB->successors()) {
+          if (!Reachable.count(Succ))
+            continue;
+          if (!HasIn.count(Succ)) {
+            In[Succ] = S;
+            HasIn.insert(Succ);
+            Changed = true;
+          } else if (joinInto(In[Succ], S)) {
+            Changed = true;
+          }
+        }
+      }
+      if (Report)
+        break;
+      if (!Changed)
+        Report = true; // One final pass that emits diagnostics.
+    }
+  }
+
+  void transferBlock(const Function &F, const BasicBlock *BB, State &S,
+                     bool Report) {
+    for (const auto &IP : *BB) {
+      const Instruction *I = IP.get();
+      if (const auto *CI = dyn_cast<CallInst>(I)) {
+        if (isMapCall(CI)) {
+          Interval &V = S[stripCasts(CI->getArg(0))];
+          V.Lo = std::min(V.Lo + 1, Cap);
+          V.Hi = std::min(V.Hi + 1, Cap);
+        } else if (isUnmapCall(CI)) {
+          const Value *P = stripCasts(CI->getArg(0));
+          if (Report && S[P].Hi < 1)
+            diagnose(diag::UnmapUnmapped, I,
+                     "unmap of " + describe(P) +
+                         " which is not mapped on any path",
+                     F);
+        } else if (isReleaseCall(CI)) {
+          const Value *P = stripCasts(CI->getArg(0));
+          Interval &V = S[P];
+          if (Report && V.Hi < 1)
+            diagnose(diag::DoubleRelease, I,
+                     "release of " + describe(P) +
+                         " which has no outstanding mapping (double "
+                         "release)",
+                     F);
+          V.Lo = std::max<int64_t>(V.Lo - 1, 0);
+          V.Hi = std::max<int64_t>(V.Hi - 1, 0);
+        }
+      } else if (const auto *KL = dyn_cast<KernelLaunchInst>(I)) {
+        if (Report)
+          checkLaunch(F, KL, S);
+      } else if (isa<RetInst>(I) && Report) {
+        for (const auto &[P, V] : S) {
+          if (V.Hi < 1)
+            continue;
+          diagnose(diag::MissingRelease, I,
+                   "function returns while " + describe(P) +
+                       (V.Lo >= 1 ? " still has an outstanding mapping"
+                                  : " may still have an outstanding "
+                                    "mapping on some path"),
+                   F);
+        }
+      }
+    }
+  }
+
+  /// Every pointer live-in of the launched kernel must be mapped here.
+  void checkLaunch(const Function &F, const KernelLaunchInst *KL, State &S) {
+    const Function *K = KL->getKernel();
+    const KernelLiveIns &L = liveIns(K);
+    for (unsigned A = 0, E = KL->getNumArgs(); A != E; ++A) {
+      if (A >= L.ArgDegrees.size() ||
+          L.ArgDegrees[A] == PointerDegree::Scalar)
+        continue;
+      const Value *U = stripCasts(KL->getArg(A));
+      if (const auto *MC = dyn_cast<CallInst>(U); MC && isMapCall(MC)) {
+        // The argument is a device pointer produced by a map call; the
+        // mapping must still be live (not retired by a release).
+        const Value *P = stripCasts(MC->getArg(0));
+        if (S[P].Lo < 1)
+          diagnose(diag::UseAfterRelease, KL,
+                   "launch of '" + K->getName() + "' uses " + describe(P) +
+                       " whose mapping may already be released",
+                   F);
+        continue;
+      }
+      // Raw host pointer passed straight to the kernel.
+      if (S[U].Lo < 1)
+        diagnose(diag::MissingMap, KL,
+                 "launch of '" + K->getName() + "' passes pointer " +
+                     describe(U) + " with no mapping on some path",
+                 F);
+    }
+    for (const auto &[GV, Deg] : L.GlobalDegrees) {
+      if (Deg == PointerDegree::Scalar)
+        continue;
+      if (S[GV].Lo < 1)
+        diagnose(diag::MissingMap, KL,
+                 "launch of '" + K->getName() + "' uses global '" +
+                     GV->getName() + "' with no mapping on some path",
+                 F);
+    }
+  }
+
+  const Module &M;
+  DiagnosticEngine &DE;
+  std::map<const Function *, KernelLiveIns> LiveInCache;
+  std::set<std::pair<const Instruction *, const char *>> Reported;
+};
+
+} // namespace
+
+void cgcm::checkCommunicationSoundness(const Module &M,
+                                       DiagnosticEngine &DE) {
+  SoundnessChecker(M, DE).run();
+}

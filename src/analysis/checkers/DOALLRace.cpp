@@ -1,0 +1,480 @@
+//===- analysis/checkers/DOALLRace.cpp - Cross-thread race re-derivation ---===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independently re-derives cross-thread independence for GPU kernels.
+/// The DOALL parallelizer proves loop iterations independent *before*
+/// outlining; this checker proves the same property *after*, directly on
+/// the grid-stride kernel, so a bug anywhere in the outline/management
+/// pipeline surfaces as a diagnostic instead of silent data corruption.
+///
+/// Addresses are classified as
+///
+///     Coeff * D + NtidCoeff * ntid + Const (+ uniform symbols)
+///
+/// where D is a per-thread-distinct index: the __tid builtin itself, or a
+/// grid-stride induction phi (seeded with `init + tid`, stepped by exact
+/// multiples of ntid — every thread then owns a distinct residue class
+/// modulo the thread count, so distinct threads never share a D value).
+/// Two accesses with the same D, equal coefficients, and constant offsets
+/// within one stride cannot touch the same location from different
+/// threads — the transposition of the parallelizer's `equal IV
+/// coefficient, |delta| < |coeff|` rule. Symbols (kernel arguments,
+/// globals) are uniform across threads; inner-loop induction phis are
+/// symbols too but *per-thread* ones, which blocks the one judgement that
+/// would otherwise be unsound (declaring a store "the same address for
+/// every thread" when its address involves a per-thread symbol).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryObjects.h"
+#include "analysis/checkers/Checkers.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+bool isPureMath(const Function *F) {
+  const std::string &N = F->getName();
+  return N == "sqrt" || N == "exp" || N == "log" || N == "sin" ||
+         N == "cos" || N == "fabs" || N == "pow";
+}
+
+/// Restrict-style object identification: like findMemoryObject but, as in
+/// the parallelizer, distinct pointer arguments are distinct objects.
+struct KernelObject {
+  const Value *Root = nullptr;
+  bool Identified = false;
+  bool IsAlloca = false;
+};
+
+KernelObject classifyObject(const Value *Addr) {
+  MemoryObject O = findMemoryObject(Addr);
+  KernelObject R;
+  R.Root = O.Root;
+  R.Identified = O.isIdentified() || isa<Argument>(O.Root);
+  R.IsAlloca = O.K == MemoryObject::Kind::Alloca;
+  return R;
+}
+
+/// An address viewed against the thread index (see file comment).
+struct Form {
+  const Value *Base = nullptr; ///< Distinct index: __tid Function or a phi.
+  int64_t Coeff = 0;           ///< Coefficient of Base.
+  int64_t NtidCoeff = 0;       ///< Coefficient of the __ntid builtin.
+  int64_t Const = 0;
+  bool HasSym = false;    ///< Absorbed a uniform symbol term.
+  bool HasPhiSym = false; ///< Absorbed a per-thread symbol (inner phi).
+};
+
+class RaceChecker {
+public:
+  RaceChecker(const Module &M, const Function &K, RaceCheckMode Mode,
+              DiagnosticEngine &DE)
+      : M(M), K(K), Mode(Mode), DE(DE) {}
+
+  void run() {
+    if (K.isDeclaration() || K.isGlueKernel() || !mayRunMultiThreaded())
+      return;
+    HasThreadDependentBranch = scanBranches();
+    checkBody();
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Thread-affine classification
+  //===--------------------------------------------------------------------===//
+
+  const Function *calleeAsBuiltin(const Value *V, const char *Name) const {
+    const auto *CI = dyn_cast<CallInst>(V);
+    if (CI && CI->getCallee()->getName() == Name)
+      return CI->getCallee();
+    return nullptr;
+  }
+
+  /// Adds two forms; fails when both carry different distinct bases.
+  static std::optional<Form> add(const Form &A, const Form &B, int Sign) {
+    Form R = A;
+    if (B.Base) {
+      if (R.Base && R.Base != B.Base)
+        return std::nullopt;
+      R.Base = B.Base;
+    }
+    R.Coeff += Sign * B.Coeff;
+    R.NtidCoeff += Sign * B.NtidCoeff;
+    R.Const += Sign * B.Const;
+    R.HasSym |= B.HasSym;
+    R.HasPhiSym |= B.HasPhiSym;
+    return R;
+  }
+
+  static Form scaled(const Form &A, int64_t F) {
+    Form R = A;
+    R.Coeff *= F;
+    R.NtidCoeff *= F;
+    R.Const *= F;
+    return R;
+  }
+
+  static bool isPureSymbol(const Form &F) {
+    return !F.Base && F.Coeff == 0 && F.NtidCoeff == 0 && F.Const == 0;
+  }
+
+  std::optional<Form> affine(const Value *V,
+                             std::set<const Value *> &Visiting) {
+    if (const Function *Tid = calleeAsBuiltin(V, "__tid"))
+      return Form{Tid, 1, 0, 0, false, false};
+    if (calleeAsBuiltin(V, "__ntid"))
+      return Form{nullptr, 0, 1, 0, false, false};
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return Form{nullptr, 0, 0, CI->getValue(), false, false};
+    if (isa<GlobalVariable>(V) || isa<Argument>(V))
+      return Form{nullptr, 0, 0, 0, true, false};
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return std::nullopt;
+    auto AIt = Assumed.find(I);
+    if (AIt != Assumed.end()) {
+      UsedAssumption.insert(I);
+      return AIt->second;
+    }
+    if (!Visiting.insert(V).second)
+      return std::nullopt; // Unclassified cycle.
+
+    std::optional<Form> R;
+    switch (I->getKind()) {
+    case Value::ValueKind::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      auto P = affine(G->getPointerOperand(), Visiting);
+      auto X = affine(G->getIndexOperand(), Visiting);
+      if (P && X) {
+        int64_t Step =
+            static_cast<int64_t>(G->getSteppedType()->getSizeInBytes());
+        R = add(*P, scaled(*X, Step), 1);
+      }
+      break;
+    }
+    case Value::ValueKind::Cast:
+      R = affine(cast<CastInst>(I)->getValueOperand(), Visiting);
+      break;
+    case Value::ValueKind::BinOp: {
+      const auto *B = cast<BinOpInst>(I);
+      auto X = affine(B->getLHS(), Visiting);
+      auto Y = affine(B->getRHS(), Visiting);
+      if (!X || !Y)
+        break;
+      switch (B->getOp()) {
+      case BinOpInst::Op::Add:
+        R = add(*X, *Y, 1);
+        break;
+      case BinOpInst::Op::Sub:
+        R = add(*X, *Y, -1);
+        break;
+      case BinOpInst::Op::Mul: {
+        const auto *KL = dyn_cast<ConstantInt>(B->getLHS());
+        const auto *KR = dyn_cast<ConstantInt>(B->getRHS());
+        if (KR)
+          R = scaled(*X, KR->getValue());
+        else if (KL)
+          R = scaled(*Y, KL->getValue());
+        else if (isPureSymbol(*X) && isPureSymbol(*Y))
+          R = Form{nullptr, 0, 0, 0, X->HasSym || Y->HasSym,
+                   X->HasPhiSym || Y->HasPhiSym};
+        break;
+      }
+      default:
+        if (isPureSymbol(*X) && isPureSymbol(*Y))
+          R = Form{nullptr, 0, 0, 0, X->HasSym || Y->HasSym,
+                   X->HasPhiSym || Y->HasPhiSym};
+        break;
+      }
+      break;
+    }
+    case Value::ValueKind::Phi:
+      R = classifyPhi(cast<PhiInst>(I), Visiting);
+      break;
+    case Value::ValueKind::Cmp: {
+      // Comparisons are never addresses, but they guard stores: a
+      // comparison of two thread-uniform values is itself uniform.
+      const auto *C = cast<CmpInst>(I);
+      auto X = affine(C->getLHS(), Visiting);
+      auto Y = affine(C->getRHS(), Visiting);
+      if (X && Y && !X->Base && !Y->Base && X->NtidCoeff == 0 &&
+          Y->NtidCoeff == 0)
+        R = Form{nullptr, 0, 0, 0, true, X->HasPhiSym || Y->HasPhiSym};
+      break;
+    }
+    case Value::ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      auto X = affine(S->getTrueValue(), Visiting);
+      auto Y = affine(S->getFalseValue(), Visiting);
+      auto Z = affine(S->getCondition(), Visiting);
+      if (X && Y && Z && !X->Base && !Y->Base && !Z->Base &&
+          X->NtidCoeff == 0 && Y->NtidCoeff == 0 && Z->NtidCoeff == 0)
+        R = Form{nullptr, 0, 0, 0, true,
+                 X->HasPhiSym || Y->HasPhiSym || Z->HasPhiSym};
+      break;
+    }
+    default:
+      break; // Loads, cmps, calls: not classifiable.
+    }
+    Visiting.erase(V);
+    return R;
+  }
+
+  /// A phi is either a grid-stride thread index (distinct per thread) or
+  /// a per-thread symbol (an inner induction variable). Tried in that
+  /// order, optimistically assuming the phi's own form so recurrences
+  /// resolve, then verifying every incoming against the assumption.
+  std::optional<Form> classifyPhi(const PhiInst *P,
+                                  std::set<const Value *> &Visiting) {
+    // Attempt 1: thread-distinct index. Each recurrence step must add an
+    // exact multiple of ntid (nothing else — no constants, no symbols),
+    // and each external seed must be tid plus uniform terms, so every
+    // thread keeps a distinct residue modulo the thread count.
+    {
+      Assumed[P] = Form{P, 1, 0, 0, false, false};
+      bool OK = true, SawExternal = false;
+      std::optional<int64_t> SeedConst;
+      for (unsigned I = 0, E = P->getNumIncoming(); I != E && OK; ++I) {
+        UsedAssumption.erase(P);
+        auto F = affine(P->getIncomingValue(I), Visiting);
+        bool Recurrent = UsedAssumption.count(P) != 0;
+        if (!F) {
+          OK = false;
+        } else if (Recurrent) {
+          OK = F->Base == P && F->Coeff == 1 && F->Const == 0 && !F->HasSym;
+        } else {
+          // The seed may carry any uniform offset (`for (i = 1; ...)`
+          // outlines to `i0 = 1 + tid`), as long as every seed carries
+          // the *same* one; uniform terms shift all threads' residues
+          // identically and preserve distinctness.
+          SawExternal = true;
+          OK = F->Base && F->Base != P && F->Coeff == 1 &&
+               F->NtidCoeff == 0 && !F->HasPhiSym &&
+               (!SeedConst || *SeedConst == F->Const);
+          SeedConst = F->Const;
+        }
+      }
+      Assumed.erase(P);
+      UsedAssumption.erase(P);
+      if (OK && SawExternal)
+        return Form{P, 1, 0, 0, false, false};
+    }
+    // Attempt 2: per-thread symbol (IV-free on every path).
+    {
+      Assumed[P] = Form{nullptr, 0, 0, 0, true, true};
+      bool OK = true;
+      for (unsigned I = 0, E = P->getNumIncoming(); I != E && OK; ++I) {
+        auto F = affine(P->getIncomingValue(I), Visiting);
+        OK = F && !F->Base && F->NtidCoeff == 0;
+      }
+      Assumed.erase(P);
+      UsedAssumption.erase(P);
+      if (OK)
+        return Form{nullptr, 0, 0, 0, true, true};
+    }
+    return std::nullopt;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Launch-shape and guard queries
+  //===--------------------------------------------------------------------===//
+
+  /// False only when every launch of the kernel is provably one thread
+  /// (constant grid * block == 1) — such kernels cannot race.
+  bool mayRunMultiThreaded() const {
+    bool SawLaunch = false;
+    for (const auto &F : M.functions())
+      for (const auto &BB : *F)
+        for (const auto &I : *BB) {
+          const auto *KL = dyn_cast<KernelLaunchInst>(I.get());
+          if (!KL || KL->getKernel() != &K)
+            continue;
+          SawLaunch = true;
+          // Dimensions are usually widened literals (`sext i32 1 to i64`).
+          const Value *GV = KL->getGrid(), *BV = KL->getBlock();
+          while (const auto *C = dyn_cast<CastInst>(GV))
+            GV = C->getValueOperand();
+          while (const auto *C = dyn_cast<CastInst>(BV))
+            BV = C->getValueOperand();
+          const auto *G = dyn_cast<ConstantInt>(GV);
+          const auto *B = dyn_cast<ConstantInt>(BV);
+          if (!G || !B || G->getValue() * B->getValue() != 1)
+            return true;
+        }
+    return !SawLaunch; // Unlaunched kernels are checked pessimistically.
+  }
+
+  /// True when any conditional branch depends on the thread index: a
+  /// store below it may be executed by a subset of threads, so a shared
+  /// address is no longer a *provable* race.
+  bool scanBranches() {
+    for (const Instruction *I : K.instructions()) {
+      const auto *Br = dyn_cast<BranchInst>(I);
+      if (!Br || !Br->isConditional())
+        continue;
+      std::set<const Value *> Visiting;
+      auto F = affine(Br->getCondition(), Visiting);
+      if (!F || F->Base || F->NtidCoeff != 0 || F->HasPhiSym)
+        return true;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // The dependence test
+  //===--------------------------------------------------------------------===//
+
+  void report(const char *ID, DiagSeverity Sev, const Instruction *At,
+              const std::string &Msg) {
+    if (!Reported.insert({At, ID}).second)
+      return;
+    DE.report(ID, Sev, At->getLoc(), Msg, K.getName());
+  }
+
+  void unproven(const Instruction *At, const std::string &Why) {
+    if (Mode == RaceCheckMode::Strict)
+      report(diag::DoallUnproven, DiagSeverity::Warning, At,
+             "cannot prove kernel '" + K.getName() +
+                 "' free of cross-thread races: " + Why);
+  }
+
+  /// A write all threads provably aim at one shared location.
+  bool isProvablyShared(const Form &F, const KernelObject &Obj) const {
+    return !F.Base && F.NtidCoeff == 0 && !F.HasPhiSym && Obj.Identified &&
+           !Obj.IsAlloca && !HasThreadDependentBranch;
+  }
+
+  void checkBody() {
+    struct WriteInfo {
+      const StoreInst *SI;
+      KernelObject Obj;
+      Form F;
+    };
+    std::vector<WriteInfo> Writes;
+    std::vector<const LoadInst *> Loads;
+
+    for (const Instruction *I : K.instructions()) {
+      if (isa<AllocaInst>(I)) {
+        unproven(I, "kernel-side alloca");
+        continue;
+      }
+      if (isa<KernelLaunchInst>(I)) {
+        unproven(I, "nested kernel launch");
+        continue;
+      }
+      if (const auto *CI = dyn_cast<CallInst>(I)) {
+        const std::string &N = CI->getCallee()->getName();
+        if (N != "__tid" && N != "__ntid" && !isPureMath(CI->getCallee()))
+          unproven(I, "call to '" + N + "' with unknown memory effects");
+        continue;
+      }
+      if (const auto *LI = dyn_cast<LoadInst>(I)) {
+        Loads.push_back(LI);
+        continue;
+      }
+      const auto *SI = dyn_cast<StoreInst>(I);
+      if (!SI)
+        continue;
+      if (SI->getValueOperand()->getType()->isPointerTy()) {
+        unproven(SI, "pointer store (also a CGCM restriction violation)");
+        continue;
+      }
+      KernelObject Obj = classifyObject(SI->getPointerOperand());
+      if (Obj.IsAlloca)
+        continue; // Thread-private stack slot.
+      std::set<const Value *> Visiting;
+      auto F = affine(SI->getPointerOperand(), Visiting);
+      if (!F) {
+        unproven(SI, "store address is not affine in the thread index");
+        continue;
+      }
+      if (isProvablyShared(*F, Obj)) {
+        report(diag::DoallRace, DiagSeverity::Error, SI,
+               "store in kernel '" + K.getName() +
+                   "' writes one shared location from every thread");
+        continue;
+      }
+      if (Mode == RaceCheckMode::Strict &&
+          (!Obj.Identified || !F->Base || F->Coeff == 0)) {
+        unproven(SI, !Obj.Identified
+                         ? "store target object is not identified"
+                         : "store address does not advance with the "
+                           "thread index");
+        continue;
+      }
+      Writes.push_back({SI, Obj, *F});
+    }
+
+    if (Mode != RaceCheckMode::Strict)
+      return;
+
+    // Writes pairwise: one per-thread slice per object — same distinct
+    // base, equal coefficients, constant offsets within one stride.
+    for (const WriteInfo &A : Writes)
+      for (const WriteInfo &B : Writes) {
+        if (A.SI == B.SI)
+          continue;
+        bool Alias = (!A.Obj.Identified || !B.Obj.Identified)
+                         ? true
+                         : A.Obj.Root == B.Obj.Root;
+        if (!Alias)
+          continue;
+        if (A.F.Base != B.F.Base || A.F.Coeff != B.F.Coeff ||
+            A.F.NtidCoeff != B.F.NtidCoeff ||
+            std::llabs(A.F.Const - B.F.Const) >= std::llabs(A.F.Coeff))
+          unproven(A.SI, "two stores to '" +
+                             std::string(A.Obj.Root->getName()) +
+                             "' may target different threads' slices");
+      }
+
+    // Loads against writes: reads must stay within the writing thread's
+    // slice (the parallelizer's read-modify-write rule).
+    for (const LoadInst *LI : Loads) {
+      KernelObject Obj = classifyObject(LI->getPointerOperand());
+      if (Obj.IsAlloca)
+        continue;
+      for (const WriteInfo &W : Writes) {
+        bool Alias = (!Obj.Identified || !W.Obj.Identified)
+                         ? true
+                         : Obj.Root == W.Obj.Root;
+        if (!Alias)
+          continue;
+        std::set<const Value *> Visiting;
+        auto RF = affine(LI->getPointerOperand(), Visiting);
+        if (!RF || RF->Base != W.F.Base || RF->Coeff != W.F.Coeff ||
+            RF->NtidCoeff != W.F.NtidCoeff ||
+            std::llabs(RF->Const - W.F.Const) >= std::llabs(W.F.Coeff))
+          unproven(LI, "load may read another thread's slice of '" +
+                           std::string(W.Obj.Root->getName()) + "'");
+      }
+    }
+  }
+
+  const Module &M;
+  const Function &K;
+  RaceCheckMode Mode;
+  DiagnosticEngine &DE;
+  bool HasThreadDependentBranch = false;
+  std::map<const Instruction *, Form> Assumed;
+  std::set<const Instruction *> UsedAssumption;
+  std::set<std::pair<const Instruction *, const char *>> Reported;
+};
+
+} // namespace
+
+void cgcm::checkKernelRaces(const Module &M, const Function &Kernel,
+                            RaceCheckMode Mode, DiagnosticEngine &DE) {
+  RaceChecker(M, Kernel, Mode, DE).run();
+}

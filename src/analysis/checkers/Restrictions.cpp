@@ -1,0 +1,144 @@
+//===- analysis/checkers/Restrictions.cpp - CGCM applicability checks ------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's applicability restrictions (section 2.3) as compile-time
+/// diagnostics. The management pass aborts on a degree-3 live-in and the
+/// GPU executor faults on a pointer store; this checker finds both ahead
+/// of time and points at the MiniC source. Degrees come from the same
+/// use-based type inference the management pass consults, so the checker
+/// cannot disagree with the transformation it guards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TypeInference.h"
+#include "analysis/checkers/Checkers.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// A store's value operand is "pointer-like" if any value in its cast
+/// chain carries a pointer type; ptrtoint laundering does not hide the
+/// pointer from the GPU executor, so it must not hide it from us.
+bool storesPointer(const StoreInst *SI) {
+  const Value *V = SI->getValueOperand();
+  while (true) {
+    if (V->getType()->isPointerTy())
+      return true;
+    if (const auto *C = dyn_cast<CastInst>(V)) {
+      V = C->getValueOperand();
+      continue;
+    }
+    return false;
+  }
+}
+
+class RestrictionChecker {
+public:
+  RestrictionChecker(const Module &M, DiagnosticEngine &DE) : M(M), DE(DE) {}
+
+  void run() {
+    indexLaunchSites();
+    for (const auto &F : M.functions())
+      if (F->isKernel() && !F->isDeclaration() && !F->isGlueKernel())
+        checkKernel(*F);
+  }
+
+private:
+  void indexLaunchSites() {
+    for (const auto &F : M.functions())
+      for (const auto &BB : *F)
+        for (const auto &I : *BB)
+          if (const auto *KL = dyn_cast<KernelLaunchInst>(I.get()))
+            LaunchSites[KL->getKernel()].push_back(KL);
+  }
+
+  /// The source position blamed for a live-in restriction: the first
+  /// located launch of the kernel (the communication happens there), or
+  /// the kernel body itself if it is never launched.
+  SourceLoc blameLoc(const Function &K) const {
+    auto It = LaunchSites.find(&K);
+    if (It != LaunchSites.end())
+      for (const KernelLaunchInst *KL : It->second)
+        if (KL->hasLoc())
+          return KL->getLoc();
+    for (const Instruction *I : K.instructions())
+      if (I->hasLoc())
+        return I->getLoc();
+    return SourceLoc::none();
+  }
+
+  void checkKernel(const Function &K) {
+    KernelLiveIns L = analyzeKernelLiveIns(K);
+
+    for (unsigned A = 0, E = K.getNumArgs(); A != E; ++A) {
+      if (A >= L.ArgDegrees.size() ||
+          L.ArgDegrees[A] != PointerDegree::Deeper)
+        continue;
+      DE.report(diag::PointerDegree, DiagSeverity::Error, blameLoc(K),
+                "live-in '" + K.getArg(A)->getName() + "' of kernel '" +
+                    K.getName() +
+                    "' is used with three or more levels of indirection; "
+                    "CGCM supports at most two",
+                K.getName());
+    }
+    for (const auto &[GV, Deg] : L.GlobalDegrees) {
+      if (Deg != PointerDegree::Deeper)
+        continue;
+      DE.report(diag::PointerDegree, DiagSeverity::Error, blameLoc(K),
+                "global '" + GV->getName() + "' used by kernel '" +
+                    K.getName() +
+                    "' is used with three or more levels of indirection; "
+                    "CGCM supports at most two",
+                K.getName());
+    }
+
+    // Pointer stores anywhere GPU-reachable: the kernel itself plus the
+    // device functions it calls (the IR verifier only inspects kernels,
+    // so helpers are covered here).
+    checkPointerStores(K, K);
+    for (const Function *DF : L.DeviceFunctions)
+      if (!DF->isDeclaration())
+        checkPointerStores(K, *DF);
+  }
+
+  void checkPointerStores(const Function &K, const Function &Body) {
+    for (const Instruction *I : Body.instructions()) {
+      const auto *SI = dyn_cast<StoreInst>(I);
+      if (!SI || !storesPointer(SI))
+        continue;
+      // A spill into the function's own stack slot stays thread-local
+      // (the verifier admits it for the same reason).
+      if (isa<AllocaInst>(SI->getPointerOperand()))
+        continue;
+      if (!ReportedStores.insert(SI).second)
+        continue;
+      DE.report(diag::PointerStore, DiagSeverity::Error, SI->getLoc(),
+                "pointer value stored to memory inside GPU code reachable "
+                    "from kernel '" +
+                    K.getName() + "'; CGCM forbids pointer stores on the GPU",
+                Body.getName());
+    }
+  }
+
+  const Module &M;
+  DiagnosticEngine &DE;
+  std::map<const Function *, std::vector<const KernelLaunchInst *>>
+      LaunchSites;
+  std::set<const StoreInst *> ReportedStores;
+};
+
+} // namespace
+
+void cgcm::checkCGCMRestrictions(const Module &M, DiagnosticEngine &DE) {
+  RestrictionChecker(M, DE).run();
+}

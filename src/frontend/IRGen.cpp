@@ -390,6 +390,7 @@ private:
 
   /// Generates the address of an lvalue expression.
   Value *genLValue(const Expr *E) {
+    B.setCurrentLoc(E->Loc);
     switch (E->K) {
     case Expr::Kind::Var: {
       const auto *V = static_cast<const VarExpr *>(E);
@@ -442,6 +443,7 @@ private:
   Value *decayArray(Value *Addr) { return B.createArrayDecay(Addr); }
 
   Value *genRValue(const Expr *E) {
+    B.setCurrentLoc(E->Loc);
     switch (E->K) {
     case Expr::Kind::IntLit:
       return M->getInt32(
@@ -764,6 +766,7 @@ private:
 
   void genStmt(const Stmt *S) {
     ensureOpenBlock();
+    B.setCurrentLoc(S->Loc);
     switch (S->K) {
     case Stmt::Kind::Block: {
       Scopes.emplace_back();
@@ -902,6 +905,7 @@ private:
       for (unsigned I = 0; I != L->Args.size(); ++I)
         Args.push_back(convert(genRValue(L->Args[I].get()),
                                FTy->getParamType(I), S->Loc));
+      B.setCurrentLoc(S->Loc);
       B.createKernelLaunch(K, Grid, Block, Args);
       return;
     }

@@ -14,21 +14,13 @@
 #ifndef CGCM_FRONTEND_LEXER_H
 #define CGCM_FRONTEND_LEXER_H
 
+#include "support/SourceLoc.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace cgcm {
-
-/// A source position for diagnostics (1-based line/column).
-struct SourceLoc {
-  unsigned Line = 1;
-  unsigned Col = 1;
-
-  std::string getString() const {
-    return std::to_string(Line) + ":" + std::to_string(Col);
-  }
-};
 
 struct Token {
   enum class Kind {

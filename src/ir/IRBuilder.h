@@ -42,6 +42,13 @@ public:
 
   BasicBlock *getInsertBlock() const { return InsertBB; }
 
+  /// Sets the source location stamped onto subsequently created
+  /// instructions (LLVM debug-location style). The frontend updates this
+  /// per statement/expression; transformation passes set it when the new
+  /// code stands in for located source (or leave it at "none").
+  void setCurrentLoc(SourceLoc L) { CurLoc = L; }
+  const SourceLoc &getCurrentLoc() const { return CurLoc; }
+
   //===--------------------------------------------------------------------===//
   // Memory
   //===--------------------------------------------------------------------===//
@@ -167,6 +174,7 @@ private:
   template <typename InstT> InstT *insert(std::unique_ptr<InstT> I) {
     assert(InsertBB && "no insertion point set");
     InstT *Raw = I.get();
+    Raw->setLoc(CurLoc);
     if (InsertBefore)
       InsertBB->insertBefore(InsertBefore, std::move(I));
     else
@@ -177,6 +185,7 @@ private:
   Module &M;
   BasicBlock *InsertBB = nullptr;
   Instruction *InsertBefore = nullptr;
+  SourceLoc CurLoc = SourceLoc::none();
 };
 
 } // namespace cgcm

@@ -565,7 +565,8 @@ private:
       }
     } else if (Op == "ret") {
       C.skipSpace();
-      if (C.peekRaw('\n') || C.peekRaw('\r') || C.atEnd()) {
+      if (C.peekRaw('\n') || C.peekRaw('\r') || C.peekRaw('!') ||
+          C.atEnd()) {
         B.createRet();
       } else {
         Type *Ty = parseType();
@@ -573,6 +574,16 @@ private:
       }
     } else {
       C.fail("unknown instruction '" + Op + "'");
+    }
+
+    // Optional trailing source location: `!loc <line>:<col>`.
+    if (C.consume("!loc")) {
+      std::string Line = C.numberToken();
+      C.expect(":");
+      std::string Col = C.numberToken();
+      B.getInsertBlock()->back()->setLoc(
+          {static_cast<unsigned>(std::stoul(Line)),
+           static_cast<unsigned>(std::stoul(Col))});
     }
 
     if (!ResultTok.empty()) {

@@ -228,6 +228,8 @@ private:
     default:
       CGCM_UNREACHABLE("unknown instruction kind in printer");
     }
+    if (I->hasLoc())
+      OS << " !loc " << I->getLoc().Line << ":" << I->getLoc().Col;
     OS << "\n";
   }
 

@@ -17,6 +17,7 @@
 
 #include "ir/Constants.h"
 #include "ir/Value.h"
+#include "support/SourceLoc.h"
 
 #include <cassert>
 #include <vector>
@@ -51,6 +52,14 @@ public:
   /// Returns a human-readable opcode name, e.g. "load".
   const char *getOpcodeName() const;
 
+  /// The MiniC source position this instruction was lowered from.
+  /// Pass-created instructions inherit the location of the construct
+  /// they implement (e.g. management calls carry their launch's
+  /// location); {0, 0} means no location.
+  const SourceLoc &getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+  bool hasLoc() const { return Loc.isValid(); }
+
   static bool classof(const Value *V) { return V->isInstruction(); }
 
 protected:
@@ -59,6 +68,7 @@ protected:
 
 private:
   BasicBlock *Parent = nullptr;
+  SourceLoc Loc = SourceLoc::none();
 };
 
 /// Stack allocation of one object (or a dynamic count of objects) of the

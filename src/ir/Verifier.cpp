@@ -141,6 +141,31 @@ private:
           if (K->getArg(A)->getType() != FTy->getParamType(A))
             return fail("launch of '" + K->getKernel()->getName() +
                         "' argument " + std::to_string(A) + " type mismatch");
+        // Live-in hygiene: passing the same underlying pointer twice
+        // gives the management pass two independent map/release pairings
+        // for one allocation unit — and if the two uses infer different
+        // pointer degrees, a map/mapArray double-booking. Casts do not
+        // create new allocation units, so compare cast-stripped roots.
+        std::map<const Value *, Type *> PointerRoots;
+        for (unsigned A = 0, E = K->getNumArgs(); A != E; ++A) {
+          const Value *Arg = K->getArg(A);
+          if (!Arg->getType()->isPointerTy())
+            continue;
+          const Value *Root = Arg;
+          while (const auto *CV = dyn_cast<CastInst>(Root))
+            Root = CV->getValueOperand();
+          auto [It, Inserted] = PointerRoots.insert({Root, Arg->getType()});
+          if (Inserted)
+            continue;
+          if (It->second == Arg->getType())
+            return fail("launch of '" + K->getKernel()->getName() +
+                        "' passes the same pointer live-in more than once");
+          return fail("launch of '" + K->getKernel()->getName() +
+                      "' passes the same pointer live-in at inconsistent "
+                      "pointer degrees (" +
+                      It->second->getString() + " and " +
+                      Arg->getType()->getString() + ")");
+        }
         break;
       }
       case Value::ValueKind::Br: {

@@ -1,0 +1,59 @@
+//===- support/Diagnostics.cpp - Checker diagnostics -----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace cgcm;
+
+std::string Diagnostic::getString() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.getString() << ": ";
+  else
+    OS << "<unknown>: ";
+  OS << (Severity == DiagSeverity::Error ? "error" : "warning") << "[" << ID
+     << "]: " << Message;
+  if (!FunctionName.empty())
+    OS << " [in '" << FunctionName << "']";
+  return OS.str();
+}
+
+unsigned DiagnosticEngine::getNumErrors() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Error)
+      ++N;
+  return N;
+}
+
+unsigned DiagnosticEngine::getNumWarnings() const {
+  return static_cast<unsigned>(Diags.size()) - getNumErrors();
+}
+
+bool DiagnosticEngine::hasErrors() const {
+  if (WarningsAsErrors)
+    return !Diags.empty();
+  return getNumErrors() != 0;
+}
+
+bool DiagnosticEngine::hasDiagnostic(const std::string &ID) const {
+  for (const Diagnostic &D : Diags)
+    if (D.ID == ID)
+      return true;
+  return false;
+}
+
+void DiagnosticEngine::print(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.getString() << "\n";
+  if (Diags.empty())
+    return;
+  unsigned Errors = getNumErrors(), Warnings = getNumWarnings();
+  OS << Errors << (Errors == 1 ? " error, " : " errors, ") << Warnings
+     << (Warnings == 1 ? " warning" : " warnings") << " generated\n";
+}

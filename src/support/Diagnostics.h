@@ -1,0 +1,85 @@
+//===- support/Diagnostics.h - Checker diagnostics -------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine for the static checkers (docs/StaticAnalysis.md).
+/// Unlike ErrorHandling.h — which aborts on invariant violations — the
+/// engine *collects* findings about the user's program so a single
+/// `cgcmc --analyze` run can report every problem at once, each tagged
+/// with a stable diagnostic ID and the MiniC source location of the
+/// offending construct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_DIAGNOSTICS_H
+#define CGCM_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+enum class DiagSeverity {
+  Warning, ///< Suspicious but not provably wrong; promotable via -Werror.
+  Error,   ///< A proven violation of a CGCM soundness property.
+};
+
+/// One checker finding. IDs are stable strings ("cgcm-missing-map", ...)
+/// listed in docs/StaticAnalysis.md; tests match on them.
+struct Diagnostic {
+  std::string ID;
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;            ///< MiniC position; may be invalid for pass-made IR.
+  std::string Message;
+  std::string FunctionName; ///< Host/kernel function the finding is in.
+
+  /// "12:3: error[cgcm-missing-map]: ..." (or "<unknown>:" without a loc).
+  std::string getString() const;
+};
+
+/// Collects diagnostics across checker runs. Checkers append via report();
+/// drivers query hasErrors() and render with print().
+class DiagnosticEngine {
+public:
+  /// When set, warnings count as errors for hasErrors() (the --Werror
+  /// flag); already-reported diagnostics keep their printed severity.
+  void setWarningsAsErrors(bool V) { WarningsAsErrors = V; }
+  bool getWarningsAsErrors() const { return WarningsAsErrors; }
+
+  void report(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  /// Convenience for the common case.
+  void report(const std::string &ID, DiagSeverity Severity, SourceLoc Loc,
+              const std::string &Message, const std::string &FunctionName) {
+    Diags.push_back({ID, Severity, Loc, Message, FunctionName});
+  }
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  unsigned getNumErrors() const;
+  unsigned getNumWarnings() const;
+
+  /// True if analysis must fail: any error, or any warning under -Werror.
+  bool hasErrors() const;
+
+  /// True if any diagnostic with exactly this ID was reported (test aid).
+  bool hasDiagnostic(const std::string &ID) const;
+
+  /// Writes every diagnostic, one per line, followed by a summary line
+  /// ("2 errors, 1 warning generated") if anything was reported.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  bool WarningsAsErrors = false;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,43 @@
+//===- support/SourceLoc.h - Source positions ------------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MiniC source position, shared between the frontend (tokens, AST
+/// nodes) and the IR (instructions carry the location of the construct
+/// they were lowered from, so diagnostics and the static checkers can
+/// point back at source lines). Line 0 means "no location".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_SOURCELOC_H
+#define CGCM_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace cgcm {
+
+/// A source position for diagnostics (1-based line/column).
+struct SourceLoc {
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  /// A location that points nowhere (unlowered or pass-created IR).
+  static SourceLoc none() { return {0, 0}; }
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+
+  std::string getString() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_SOURCELOC_H

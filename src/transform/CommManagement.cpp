@@ -48,6 +48,9 @@ public:
     Function *Kernel = Launch->getKernel();
     const KernelLiveIns &LI = liveInsFor(Kernel);
     BasicBlock *BB = Launch->getParent();
+    // Management calls implement the launch: diagnostics about them
+    // should point at the launch statement.
+    B.setCurrentLoc(Launch->getLoc());
 
     // Find the instruction after the launch (launches never terminate a
     // block) to anchor the unmap/release insertions.

@@ -454,6 +454,7 @@ private:
     auto *IVTy = cast<IntegerType>(C.IV->getType());
     BasicBlock *Entry = K->createBlock("entry");
     IRBuilder B(M);
+    B.setCurrentLoc(C.Cond->getLoc()); // Prologue stands in for the loop.
     B.setInsertPoint(Entry);
     Function *TidFn = M.getFunction("__tid");
     Function *NTidFn = M.getFunction("__ntid");
@@ -575,6 +576,7 @@ private:
           reportFatalError("unexpected instruction kind while outlining "
                            "DOALL loop");
         }
+        NewI->setLoc(I->getLoc()); // Kernel code keeps the loop's source.
         VMap[I.get()] = NewI;
       }
     }
@@ -596,7 +598,9 @@ private:
     auto *NewInc = cast<BinOpInst>(VMap.at(C.Increment));
     NewInc->setOperand(1, NTid);
 
-    // Call site: replace the loop with a launch in the preheader.
+    // Call site: replace the loop with a launch in the preheader. The
+    // launch and its grid arithmetic stand in for the loop statement.
+    B.setCurrentLoc(C.Cond->getLoc());
     B.setInsertPoint(C.Preheader->getTerminator());
     Value *BoundV = C.Bound;
     Value *InitCallerV = C.Init;

@@ -191,6 +191,9 @@ private:
         continue;
 
       IRBuilder B(M);
+      // The hoisted pair stands in for the original in-loop mapping;
+      // keep pointing diagnostics at that source position.
+      B.setCurrentLoc(C.Maps.front()->getLoc());
       B.setInsertPoint(Preheader->getTerminator());
       emitMap(B, C.Ptr, C.IsArray);
       Instruction *ExitAnchor = Exit->front();
@@ -242,6 +245,7 @@ private:
             Arg ? CS->getArg(Arg->getArgNo())
                 : static_cast<Value *>(const_cast<GlobalVariable *>(GV));
         IRBuilder B(M);
+        B.setCurrentLoc(C.Maps.front()->getLoc());
         B.setInsertPoint(CS);
         emitMap(B, CallerPtr, C.IsArray);
         // Anchor after the call site.

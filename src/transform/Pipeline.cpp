@@ -6,9 +6,12 @@
 
 #include "transform/Pipeline.h"
 
+#include "analysis/checkers/Checkers.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
 #include "transform/Mem2Reg.h"
+
+#include <sstream>
 
 using namespace cgcm;
 
@@ -38,5 +41,22 @@ PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
   std::string Err;
   if (!verifyModule(M, &Err))
     reportFatalError("CGCM pipeline produced invalid IR: " + Err);
+
+  // Defense in depth: the parallelizer proved loop iterations
+  // independent before outlining; re-prove the same property on the
+  // grid-stride kernels it produced. Any finding — even an unprovable
+  // one — means a pass broke an invariant the proof relied on.
+  if (Opts.VerifyParallelization) {
+    DiagnosticEngine DE;
+    for (Function *K : R.Doall.Kernels)
+      checkKernelRaces(M, *K, RaceCheckMode::Strict, DE);
+    if (!DE.empty()) {
+      std::ostringstream OS;
+      DE.print(OS);
+      reportFatalError("CGCM pipeline produced a kernel that fails the "
+                       "independence re-derivation:\n" +
+                       OS.str());
+    }
+  }
   return R;
 }

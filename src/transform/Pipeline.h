@@ -40,6 +40,10 @@ struct PipelineOptions {
   bool EnableMapPromotion = true;
   /// Final cleanup: constant folding + dead-code elimination.
   bool EnableSimplify = true;
+  /// Defense in depth: after the pipeline, re-derive cross-thread
+  /// independence for every kernel the DOALL parallelizer produced and
+  /// abort on any finding (see docs/StaticAnalysis.md).
+  bool VerifyParallelization = true;
 };
 
 struct PipelineResult {

@@ -1,0 +1,466 @@
+//===- tests/CheckerTests.cpp - Static checker tests ---------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the static checkers (docs/StaticAnalysis.md): negative cases
+/// that must produce specific diagnostic IDs with MiniC source positions,
+/// a clean-analysis sweep over all 24 pipeline-compiled workloads, and a
+/// fault-injection sweep proving that deleting any single release the
+/// management pass inserted is caught by the soundness dataflow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/checkers/Checkers.h"
+#include "frontend/IRGen.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "transform/Mem2Reg.h"
+#include "transform/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cgcm;
+
+namespace {
+
+/// Returns the first diagnostic with \p ID, or null.
+const Diagnostic *findDiag(const DiagnosticEngine &DE, const std::string &ID) {
+  for (const Diagnostic &D : DE.getDiagnostics())
+    if (D.ID == ID)
+      return &D;
+  return nullptr;
+}
+
+std::string renderAll(const DiagnosticEngine &DE) {
+  std::ostringstream OS;
+  DE.print(OS);
+  return OS.str();
+}
+
+/// Every release call in module order (what the fault injector deletes).
+std::vector<Instruction *> releaseCalls(Module &M) {
+  std::vector<Instruction *> Calls;
+  for (const auto &F : M.functions())
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (const auto *CI = dyn_cast<CallInst>(I.get())) {
+          const std::string &N = CI->getCallee()->getName();
+          if (N == "cgcm_release" || N == "cgcm_release_array")
+            Calls.push_back(I.get());
+        }
+  return Calls;
+}
+
+/// The full --analyze schedule on an already-pipelined module.
+void analyzePipelined(const Module &M, const DOALLStats &DS,
+                      DiagnosticEngine &DE) {
+  checkCGCMRestrictions(M, DE);
+  checkCommunicationSoundness(M, DE);
+  std::set<const Function *> Doall(DS.Kernels.begin(), DS.Kernels.end());
+  for (const auto &F : M.functions()) {
+    if (!F->isKernel() || F->isDeclaration() || F->isGlueKernel())
+      continue;
+    checkKernelRaces(M, *F,
+                     Doall.count(F.get()) ? RaceCheckMode::Strict
+                                          : RaceCheckMode::Conservative,
+                     DE);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Negative cases: each must fire its diagnostic ID at the MiniC position.
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerNegative, MissingMapAtUnmanagedLaunch) {
+  // Management never ran, so the launch passes raw host pointers.
+  auto M = compileMiniC(R"(__kernel void k(double *p, long n) {
+  long i = __tid();
+  if (i < n) p[i] = p[i] + 1.0;
+}
+int main() {
+  double *p = (double*)malloc(64);
+  launch k<<<1, 8>>>(p, 8);
+  return 0;
+}
+)",
+                        "missing_map");
+  promoteAllocasToRegisters(*M);
+  DiagnosticEngine DE;
+  checkCommunicationSoundness(*M, DE);
+  const Diagnostic *D = findDiag(DE, diag::MissingMap);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_EQ(D->Severity, DiagSeverity::Error);
+  EXPECT_TRUE(D->Loc.isValid());
+  EXPECT_EQ(D->Loc.Line, 7u) << D->getString(); // The `launch` statement.
+  EXPECT_EQ(D->FunctionName, "main");
+}
+
+TEST(CheckerNegative, MissingReleaseWhenOneIsDeleted) {
+  auto M = compileMiniC(R"(__kernel void k(double *p, long n) {
+  long i = __tid();
+  if (i < n) p[i] = p[i] + 1.0;
+}
+int main() {
+  double *p = (double*)malloc(64);
+  launch k<<<1, 8>>>(p, 8);
+  return 0;
+}
+)",
+                        "missing_release");
+  promoteAllocasToRegisters(*M);
+  insertCommunicationManagement(*M);
+  std::vector<Instruction *> Releases = releaseCalls(*M);
+  ASSERT_FALSE(Releases.empty());
+  Releases.front()->getParent()->remove(Releases.front());
+
+  DiagnosticEngine DE;
+  checkCommunicationSoundness(*M, DE);
+  const Diagnostic *D = findDiag(DE, diag::MissingRelease);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_EQ(D->FunctionName, "main");
+  EXPECT_TRUE(D->Loc.isValid()) << D->getString(); // The `return` statement.
+}
+
+TEST(CheckerNegative, DoubleReleaseWhenOneIsDuplicated) {
+  auto M = compileMiniC(R"(__kernel void k(double *p, long n) {
+  long i = __tid();
+  if (i < n) p[i] = p[i] + 1.0;
+}
+int main() {
+  double *p = (double*)malloc(64);
+  launch k<<<1, 8>>>(p, 8);
+  return 0;
+}
+)",
+                        "double_release");
+  promoteAllocasToRegisters(*M);
+  insertCommunicationManagement(*M);
+  std::vector<Instruction *> Releases = releaseCalls(*M);
+  ASSERT_FALSE(Releases.empty());
+  auto *CI = cast<CallInst>(Releases.front());
+  IRBuilder B(*M);
+  B.setInsertPoint(CI->getParent()->getTerminator());
+  B.setCurrentLoc(CI->getLoc());
+  B.createCall(CI->getCallee(), {CI->getArg(0)});
+
+  DiagnosticEngine DE;
+  checkCommunicationSoundness(*M, DE);
+  const Diagnostic *D = findDiag(DE, diag::DoubleRelease);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_TRUE(D->Loc.isValid());
+}
+
+TEST(CheckerNegative, UseAfterReleaseWhenReleaseMovesBeforeLaunch) {
+  auto M = compileMiniC(R"(__kernel void k(double *p, long n) {
+  long i = __tid();
+  if (i < n) p[i] = p[i] + 1.0;
+}
+int main() {
+  double *p = (double*)malloc(64);
+  launch k<<<1, 8>>>(p, 8);
+  return 0;
+}
+)",
+                        "use_after_release");
+  promoteAllocasToRegisters(*M);
+  insertCommunicationManagement(*M);
+  // Hoist the release above the launch: the map call's result is then a
+  // dangling device pointer at the launch.
+  Instruction *Launch = nullptr;
+  for (Instruction *I : M->getFunction("main")->instructions())
+    if (isa<KernelLaunchInst>(I))
+      Launch = I;
+  ASSERT_NE(Launch, nullptr);
+  std::vector<Instruction *> Releases = releaseCalls(*M);
+  ASSERT_FALSE(Releases.empty());
+  BasicBlock *BB = Releases.front()->getParent();
+  BB->insertBefore(Launch, BB->remove(Releases.front()));
+
+  DiagnosticEngine DE;
+  checkCommunicationSoundness(*M, DE);
+  const Diagnostic *D = findDiag(DE, diag::UseAfterRelease);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_TRUE(D->Loc.isValid());
+  EXPECT_EQ(D->Loc.Line, 7u) << D->getString(); // The launch.
+}
+
+TEST(CheckerNegative, UnmapOfUnmappedPointer) {
+  auto M = compileMiniC(R"(__kernel void k(double *p, long n) {
+  long i = __tid();
+  if (i < n) p[i] = p[i] + 1.0;
+}
+int main() {
+  double *p = (double*)malloc(64);
+  launch k<<<1, 8>>>(p, 8);
+  return 0;
+}
+)",
+                        "unmap_unmapped");
+  promoteAllocasToRegisters(*M);
+  insertCommunicationManagement(*M);
+  // Hoist the release above the unmap: the unmap then operates on a
+  // mapping that no longer exists.
+  Instruction *Unmap = nullptr;
+  std::vector<Instruction *> Releases;
+  for (Instruction *I : M->getFunction("main")->instructions())
+    if (auto *CI = dyn_cast<CallInst>(I)) {
+      if (CI->getCallee()->getName() == "cgcm_unmap" && !Unmap)
+        Unmap = I;
+      if (CI->getCallee()->getName() == "cgcm_release")
+        Releases.push_back(I);
+    }
+  ASSERT_NE(Unmap, nullptr);
+  ASSERT_FALSE(Releases.empty());
+  BasicBlock *BB = Releases.front()->getParent();
+  BB->insertBefore(Unmap, BB->remove(Releases.front()));
+
+  DiagnosticEngine DE;
+  checkCommunicationSoundness(*M, DE);
+  EXPECT_TRUE(DE.hasDiagnostic(diag::UnmapUnmapped)) << renderAll(DE);
+}
+
+TEST(CheckerNegative, PointerDegreeThreeLiveIn) {
+  auto M = compileMiniC(R"(double x[4];
+double *p1[1];
+double **p2[1];
+__kernel void k(double ***ppp) { ppp[0][0][0] = 1.0; }
+int main() {
+  p1[0] = x;
+  p2[0] = p1;
+  launch k<<<1, 1>>>(p2);
+  return 0;
+}
+)",
+                        "degree3");
+  promoteAllocasToRegisters(*M);
+  DiagnosticEngine DE;
+  checkCGCMRestrictions(*M, DE);
+  const Diagnostic *D = findDiag(DE, diag::PointerDegree);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_EQ(D->Severity, DiagSeverity::Error);
+  EXPECT_TRUE(D->Loc.isValid());
+  EXPECT_EQ(D->Loc.Line, 8u) << D->getString(); // Blames the launch site.
+  EXPECT_EQ(D->FunctionName, "k");
+}
+
+TEST(CheckerNegative, PointerStoreLaunderedThroughInteger) {
+  // The declared store type is i64, so the IR verifier cannot object;
+  // only the use-based checker sees the pointer round-tripping through
+  // the cast (paper section 4.1's subversive-cast problem).
+  auto M = compileMiniC(R"(__kernel void k(long *p, long *q, long n) {
+  long i = __tid();
+  if (i < n)
+    q[i] = (long)(p + i);
+}
+int main() {
+  long *p = (long*)malloc(64);
+  long *q = (long*)malloc(64);
+  launch k<<<1, 8>>>(p, q, 8);
+  return 0;
+}
+)",
+                        "ptr_store");
+  promoteAllocasToRegisters(*M);
+  DiagnosticEngine DE;
+  checkCGCMRestrictions(*M, DE);
+  const Diagnostic *D = findDiag(DE, diag::PointerStore);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_TRUE(D->Loc.isValid());
+  EXPECT_EQ(D->Loc.Line, 4u) << D->getString(); // The store statement.
+  EXPECT_EQ(D->FunctionName, "k");
+}
+
+TEST(CheckerNegative, RacyHandWrittenKernel) {
+  // Every thread writes out[0]: a provable cross-thread race, reported
+  // even in the conservative mode applied to hand-written kernels.
+  auto M = compileMiniC(R"(__kernel void k(double *out, double *in, long n) {
+  long i = __tid();
+  out[0] = out[0] + in[i];
+}
+int main() {
+  double *out = (double*)malloc(8);
+  double *in = (double*)malloc(512 * 8);
+  launch k<<<4, 128>>>(out, in, 512);
+  return 0;
+}
+)",
+                        "racy");
+  promoteAllocasToRegisters(*M);
+  Function *K = M->getFunction("k");
+  ASSERT_NE(K, nullptr);
+  DiagnosticEngine DE;
+  checkKernelRaces(*M, *K, RaceCheckMode::Conservative, DE);
+  const Diagnostic *D = findDiag(DE, diag::DoallRace);
+  ASSERT_NE(D, nullptr) << renderAll(DE);
+  EXPECT_EQ(D->Severity, DiagSeverity::Error);
+  EXPECT_TRUE(D->Loc.isValid());
+  EXPECT_EQ(D->Loc.Line, 3u) << D->getString(); // The racy store.
+}
+
+TEST(CheckerNegative, SingleThreadedLaunchCannotRace) {
+  // Same racy kernel, but every launch is <<<1, 1>>>: one thread, no race.
+  auto M = compileMiniC(R"(__kernel void k(double *out, double *in, long n) {
+  long i = __tid();
+  out[0] = out[0] + in[i];
+}
+int main() {
+  double *out = (double*)malloc(8);
+  double *in = (double*)malloc(8);
+  launch k<<<1, 1>>>(out, in, 1);
+  return 0;
+}
+)",
+                        "single");
+  promoteAllocasToRegisters(*M);
+  Function *K = M->getFunction("k");
+  ASSERT_NE(K, nullptr);
+  DiagnosticEngine DE;
+  checkKernelRaces(*M, *K, RaceCheckMode::Conservative, DE);
+  EXPECT_TRUE(DE.empty()) << renderAll(DE);
+}
+
+TEST(CheckerNegative, WerrorPromotesWarningsToFailure) {
+  DiagnosticEngine DE;
+  DE.report(diag::DoallUnproven, DiagSeverity::Warning, {3, 1}, "unproven",
+            "k");
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_EQ(DE.getNumWarnings(), 1u);
+  DE.setWarningsAsErrors(true);
+  EXPECT_TRUE(DE.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier launch hygiene (satellite of the checker work).
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierLaunch, RejectsDuplicatePointerLiveIn) {
+  Module M("dup");
+  TypeContext &Ctx = M.getContext();
+  Type *F64Ptr = Ctx.getPointerTo(Ctx.getDoubleTy());
+  Function *K = M.getOrCreateFunction(
+      "kern", Ctx.getFunctionTy(Ctx.getVoidTy(), {F64Ptr, F64Ptr}));
+  K->setKernel(true);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createRet();
+
+  Function *Main =
+      M.getOrCreateFunction("main", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  B.setInsertPoint(Main->createBlock("entry"));
+  AllocaInst *A = B.createAlloca(Ctx.getDoubleTy());
+  B.createKernelLaunch(K, M.getInt64(1), M.getInt64(1), {A, A});
+  B.createRet(M.getInt32(0));
+
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*Main, &Err));
+  EXPECT_NE(Err.find("more than once"), std::string::npos) << Err;
+}
+
+TEST(VerifierLaunch, RejectsInconsistentPointerDegreeAlias) {
+  Module M("alias");
+  TypeContext &Ctx = M.getContext();
+  Type *F64Ptr = Ctx.getPointerTo(Ctx.getDoubleTy());
+  Type *F64PtrPtr = Ctx.getPointerTo(F64Ptr);
+  Function *K = M.getOrCreateFunction(
+      "kern", Ctx.getFunctionTy(Ctx.getVoidTy(), {F64Ptr, F64PtrPtr}));
+  K->setKernel(true);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createRet();
+
+  Function *Main =
+      M.getOrCreateFunction("main", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  B.setInsertPoint(Main->createBlock("entry"));
+  AllocaInst *A = B.createAlloca(Ctx.getDoubleTy());
+  Value *Laundered = B.createCast(CastInst::Op::Bitcast, A, F64PtrPtr);
+  B.createKernelLaunch(K, M.getInt64(1), M.getInt64(1), {A, Laundered});
+  B.createRet(M.getInt32(0));
+
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*Main, &Err));
+  EXPECT_NE(Err.find("inconsistent pointer degrees"), std::string::npos)
+      << Err;
+}
+
+TEST(VerifierLaunch, AcceptsDistinctPointerLiveIns) {
+  Module M("ok");
+  TypeContext &Ctx = M.getContext();
+  Type *F64Ptr = Ctx.getPointerTo(Ctx.getDoubleTy());
+  Function *K = M.getOrCreateFunction(
+      "kern", Ctx.getFunctionTy(Ctx.getVoidTy(), {F64Ptr, F64Ptr}));
+  K->setKernel(true);
+  IRBuilder B(M);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createRet();
+
+  Function *Main =
+      M.getOrCreateFunction("main", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  B.setInsertPoint(Main->createBlock("entry"));
+  AllocaInst *A = B.createAlloca(Ctx.getDoubleTy());
+  AllocaInst *C = B.createAlloca(Ctx.getDoubleTy());
+  B.createKernelLaunch(K, M.getInt64(1), M.getInt64(1), {A, C});
+  B.createRet(M.getInt32(0));
+
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*Main, &Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-suite properties: pipeline output is clean, and removing any
+// single release breaks it in a way the checker catches.
+//===----------------------------------------------------------------------===//
+
+class CheckerWorkloads : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(CheckerWorkloads, PipelineOutputAnalyzesClean) {
+  const Workload &W = GetParam();
+  auto M = compileMiniC(W.Source, W.Name);
+  PipelineResult R = runCGCMPipeline(*M);
+  DiagnosticEngine DE;
+  analyzePipelined(*M, R.Doall, DE);
+  EXPECT_TRUE(DE.empty()) << W.Name << ":\n" << renderAll(DE);
+}
+
+TEST_P(CheckerWorkloads, DeletingAnyReleaseIsCaught) {
+  // Fault injection: compile once, then for every release call the
+  // pipeline inserted, delete exactly that call in a fresh copy of the
+  // module (via the textual round trip) and require the soundness
+  // checker to report the leak.
+  const Workload &W = GetParam();
+  auto M = compileMiniC(W.Source, W.Name);
+  runCGCMPipeline(*M);
+  std::string Text = M->getString();
+  size_t NumReleases = releaseCalls(*M).size();
+  ASSERT_GT(NumReleases, 0u) << W.Name;
+  for (size_t Victim = 0; Victim != NumReleases; ++Victim) {
+    auto Copy = parseIR(Text, W.Name);
+    std::vector<Instruction *> Releases = releaseCalls(*Copy);
+    ASSERT_EQ(Releases.size(), NumReleases);
+    Releases[Victim]->getParent()->remove(Releases[Victim]);
+    DiagnosticEngine DE;
+    checkCommunicationSoundness(*Copy, DE);
+    EXPECT_TRUE(DE.hasDiagnostic(diag::MissingRelease))
+        << W.Name << ": deleting release #" << Victim
+        << " went undetected\n"
+        << renderAll(DE);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, CheckerWorkloads,
+                         ::testing::ValuesIn(getWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &Info) {
+                           std::string N = Info.param.Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+} // namespace

@@ -120,6 +120,56 @@ TEST(IRParserBasics, ErrorsAreFatalWithLineNumbers) {
   EXPECT_DEATH(parseIR("@g = global i33\n"), "unsupported integer");
 }
 
+TEST(IRParserBasics, ParsesExplicitSourceLocations) {
+  auto M = parseIR("define i32 @main() {\n"
+                   "entry:\n"
+                   "  %0 = add i32 1, 2 !loc 7:3\n"
+                   "  ret i32 %0\n"
+                   "}\n",
+                   "loc");
+  std::vector<Instruction *> Insts = M->getFunction("main")->instructions();
+  ASSERT_EQ(Insts.size(), 2u);
+  EXPECT_EQ(Insts[0]->getLoc(), (SourceLoc{7, 3}));
+  EXPECT_FALSE(Insts[1]->hasLoc()); // No metadata: location stays "none".
+}
+
+TEST(IRParserBasics, RoundTripsSourceLocations) {
+  auto M = compileMiniC(R"(
+    __kernel void scale(double *p, long n) {
+      long i = __tid();
+      if (i < n) p[i] = p[i] * 3.0;
+    }
+    int main() {
+      double *p = (double*)malloc(8 * 8);
+      launch scale<<<1, 8>>>(p, 8);
+      return 0;
+    }
+  )",
+                        "loc_rt");
+  runCGCMPipeline(*M, [] {
+    PipelineOptions O;
+    O.Parallelize = false;
+    return O;
+  }());
+  auto P = parseIR(M->getString(), "loc_rt2");
+  bool SawLocated = false;
+  for (const auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    Function *PF = P->getFunction(F->getName());
+    ASSERT_NE(PF, nullptr);
+    std::vector<Instruction *> A = F->instructions();
+    std::vector<Instruction *> B = PF->instructions();
+    ASSERT_EQ(A.size(), B.size()) << F->getName();
+    for (size_t I = 0; I != A.size(); ++I) {
+      EXPECT_EQ(A[I]->getLoc(), B[I]->getLoc())
+          << F->getName() << " instruction " << I;
+      SawLocated |= A[I]->hasLoc();
+    }
+  }
+  EXPECT_TRUE(SawLocated); // The frontend stamped real positions.
+}
+
 //===----------------------------------------------------------------------===//
 // Whole-suite round trip
 //===----------------------------------------------------------------------===//

@@ -19,9 +19,12 @@
 ///   cgcmc --stats prog.minic          # print execution statistics
 ///   cgcmc saved.ir                    # run previously dumped IR as-is
 ///   cgcmc --applicability prog.minic  # per-launch framework applicability
+///   cgcmc --analyze prog.minic        # static checkers only, no execution
+///   cgcmc --analyze --Werror prog.minic # warnings fail the analysis too
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/checkers/Checkers.h"
 #include "exec/Machine.h"
 #include "frontend/IRGen.h"
 #include "ir/IRParser.h"
@@ -37,6 +40,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -51,6 +56,8 @@ struct Options {
   bool Optimize = true;
   bool Stats = false;
   bool Applicability = false;
+  bool Analyze = false;
+  bool Werror = false;
   std::string DumpStage; ///< Empty = no dump; "opt" dumps the final IR.
   LaunchPolicy Policy = LaunchPolicy::Managed;
 };
@@ -65,7 +72,9 @@ void usage() {
       "  --policy=<p>        managed | trap | ie | seq (default managed)\n"
       "  --dump-ir[=stage]   print IR: front, ssa, doall, managed, opt\n"
       "  --stats             print execution statistics\n"
-      "  --applicability     print per-launch framework applicability\n");
+      "  --applicability     print per-launch framework applicability\n"
+      "  --analyze           run the static checkers, do not execute\n"
+      "  --Werror            with --analyze, warnings fail the analysis\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -81,6 +90,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Stats = true;
     else if (A == "--applicability")
       O.Applicability = true;
+    else if (A == "--analyze")
+      O.Analyze = true;
+    else if (A == "--Werror")
+      O.Werror = true;
     else if (A == "--dump-ir")
       O.DumpStage = "opt";
     else if (A.rfind("--dump-ir=", 0) == 0)
@@ -123,6 +136,51 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   return !O.InputPath.empty();
 }
 
+/// The --analyze mode (docs/StaticAnalysis.md): run every static checker
+/// over the same pass schedule the compiler would apply, print the
+/// findings with source positions, and never execute the program.
+/// Returns the process exit code.
+int runAnalysis(Module &M, const Options &O, const DOALLStats &DS) {
+  DiagnosticEngine DE;
+  DE.setWarningsAsErrors(O.Werror);
+
+  // Applicability restrictions first, on pre-management IR: a degree-3
+  // live-in would abort the management pass, so it must gate it.
+  checkCGCMRestrictions(M, DE);
+
+  if (!DE.hasErrors()) {
+    if (O.Manage)
+      insertCommunicationManagement(M);
+    if (O.Manage && O.Optimize) {
+      createGlueKernels(M);
+      promoteAllocasUpCallGraph(M);
+      promoteMaps(M);
+    }
+    checkCommunicationSoundness(M, DE);
+
+    // Parallelizer-produced kernels must re-prove full independence;
+    // hand-written kernels are only held to provable races.
+    std::set<const Function *> DoallKernels(DS.Kernels.begin(),
+                                            DS.Kernels.end());
+    for (const auto &F : M.functions()) {
+      if (!F->isKernel() || F->isDeclaration() || F->isGlueKernel())
+        continue;
+      checkKernelRaces(M, *F,
+                       DoallKernels.count(F.get()) ? RaceCheckMode::Strict
+                                                   : RaceCheckMode::Conservative,
+                       DE);
+    }
+  }
+
+  for (const Diagnostic &D : DE.getDiagnostics())
+    std::cerr << O.InputPath << ":" << D.getString() << "\n";
+  if (DE.hasErrors())
+    return 1;
+  std::cerr << O.InputPath << ": analysis clean ("
+            << DE.getNumWarnings() << " warnings)\n";
+  return 0;
+}
+
 void printApplicability(Module &M) {
   std::printf("%-24s %6s %8s %8s %8s\n", "kernel", "CGCM", "named",
               "affine", "insp-ex");
@@ -157,6 +215,14 @@ int main(int Argc, char **Argv) {
   if (O.InputPath.size() > 3 &&
       O.InputPath.compare(O.InputPath.size() - 3, 3, ".ir") == 0) {
     std::unique_ptr<Module> M = parseIR(Buf.str(), O.InputPath);
+    if (O.Analyze) {
+      // Saved IR is analyzed as-is: it already carries whatever
+      // management it was dumped with, so no passes are re-run (and
+      // kernel provenance is lost, so races are checked conservatively).
+      Options AsIs = O;
+      AsIs.Manage = false;
+      return runAnalysis(*M, AsIs, DOALLStats());
+    }
     Machine Mach;
     Mach.setLaunchPolicy(O.Policy);
     Mach.loadModule(*M);
@@ -177,8 +243,9 @@ int main(int Argc, char **Argv) {
     std::fputs(M->getString().c_str(), stdout);
     return 0;
   }
+  DOALLStats DS;
   if (O.Parallelize)
-    parallelizeDOALLLoops(*M);
+    DS = parallelizeDOALLLoops(*M);
   if (O.DumpStage == "doall") {
     std::fputs(M->getString().c_str(), stdout);
     return 0;
@@ -187,6 +254,8 @@ int main(int Argc, char **Argv) {
     printApplicability(*M);
     return 0;
   }
+  if (O.Analyze)
+    return runAnalysis(*M, O, DS);
   if (O.Manage)
     insertCommunicationManagement(*M);
   if (O.DumpStage == "managed") {
