@@ -1,0 +1,91 @@
+//===- bench/BenchJson.h - Shared --json output for bench drivers -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench driver accepts `--json <file>` and emits its measurements
+/// in the shared "cgcm-bench-v1" schema (docs/Observability.md):
+///
+///   { "schema": "cgcm-bench-v1", "bench": "<driver>", "rows": [
+///       { "workload": ..., "config": ..., "cycles": ...,
+///         "bytes_htod": ..., "bytes_dtoh": ..., "speedup": ... }, ... ] }
+///
+/// `speedup` is relative to the driver's own baseline configuration and 0
+/// when the row has no meaningful baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_BENCH_BENCHJSON_H
+#define CGCM_BENCH_BENCHJSON_H
+
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+namespace benchjson {
+
+struct Row {
+  std::string Workload;
+  std::string Config;
+  double Cycles = 0;
+  uint64_t BytesHtoD = 0;
+  uint64_t BytesDtoH = 0;
+  double Speedup = 0;
+};
+
+/// Extracts `--json <file>` from the argument vector (removing both
+/// tokens so later parsing never sees them) and returns the path, or ""
+/// when the flag is absent.
+inline std::string consumeJsonArg(int &Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::string(Argv[I]) == "--json" && I + 1 < Argc) {
+      std::string Path = Argv[I + 1];
+      for (int J = I; J + 2 < Argc; ++J)
+        Argv[J] = Argv[J + 2];
+      Argc -= 2;
+      return Path;
+    }
+  }
+  return "";
+}
+
+/// Writes \p Rows to \p Path in the shared schema; no-op when \p Path is
+/// empty. Returns false only when the file cannot be opened.
+inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
+                           const std::vector<Row> &Rows) {
+  if (Path.empty())
+    return true;
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("schema").string("cgcm-bench-v1");
+  W.key("bench").string(Bench);
+  W.key("rows").beginArray();
+  for (const Row &R : Rows) {
+    W.beginObject();
+    W.key("workload").string(R.Workload);
+    W.key("config").string(R.Config);
+    W.key("cycles").number(R.Cycles);
+    W.key("bytes_htod").number(R.BytesHtoD);
+    W.key("bytes_dtoh").number(R.BytesDtoH);
+    W.key("speedup").number(R.Speedup);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  Out << "\n";
+  return true;
+}
+
+} // namespace benchjson
+} // namespace cgcm
+
+#endif // CGCM_BENCH_BENCHJSON_H

@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "exec/Machine.h"
 #include "frontend/IRGen.h"
 #include "transform/Pipeline.h"
@@ -42,7 +43,13 @@ const Variant Variants[] = {
     {"+glue +alloca +map (full)", true, true, true},
 };
 
-double runVariant(const std::string &Source, const Variant &V) {
+struct VariantResult {
+  double Cycles = 0;
+  uint64_t BytesHtoD = 0;
+  uint64_t BytesDtoH = 0;
+};
+
+VariantResult runVariant(const std::string &Source, const Variant &V) {
   auto M = compileMiniC(Source, "ablation");
   PipelineOptions Opts;
   Opts.EnableGlueKernels = V.Glue;
@@ -53,7 +60,8 @@ double runVariant(const std::string &Source, const Variant &V) {
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
   Mach.loadModule(*M);
   Mach.run();
-  return Mach.getStats().totalCycles();
+  return {Mach.getStats().totalCycles(), Mach.getStats().BytesHtoD,
+          Mach.getStats().BytesDtoH};
 }
 
 /// A scenario built for alloca promotion: a helper with an escaping local
@@ -86,7 +94,10 @@ const char *AllocaScenario = R"(
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+  std::vector<benchjson::Row> Rows;
+
   std::printf("Ablation: contribution of each communication optimization\n");
   std::printf("(total modeled cycles; lower is better)\n\n");
   std::printf("%-28s", "variant");
@@ -96,14 +107,24 @@ int main() {
   std::printf(" %15s\n", "alloca-scenario");
 
   double Cycles[4][5];
+  auto AddRow = [&](const char *Program, unsigned V, const VariantResult &R,
+                    unsigned P) {
+    // Speedup relative to the "management only" variant, which runs first.
+    Rows.push_back({Program, Variants[V].Name, R.Cycles, R.BytesHtoD,
+                    R.BytesDtoH, Cycles[0][P] / R.Cycles});
+  };
   for (unsigned V = 0; V != 4; ++V) {
     std::printf("%-28s", Variants[V].Name);
     for (unsigned P = 0; P != 4; ++P) {
       const Workload *W = findWorkload(Programs[P]);
-      Cycles[V][P] = runVariant(W->Source, Variants[V]);
+      VariantResult R = runVariant(W->Source, Variants[V]);
+      Cycles[V][P] = R.Cycles;
+      AddRow(Programs[P], V, R, P);
       std::printf(" %15.0f", Cycles[V][P]);
     }
-    Cycles[V][4] = runVariant(AllocaScenario, Variants[V]);
+    VariantResult R = runVariant(AllocaScenario, Variants[V]);
+    Cycles[V][4] = R.Cycles;
+    AddRow("alloca-scenario", V, R, 4);
     std::printf(" %15.0f\n", Cycles[V][4]);
   }
 
@@ -134,5 +155,9 @@ int main() {
       if (Cycles[3][P] > Cycles[V][P] * 1.05)
         FullBest = false;
   Check(FullBest, "the full schedule is never worse than a partial one");
+  if (!benchjson::writeBenchJson(JsonPath, "ablation_passes", Rows)) {
+    std::printf("  [FAIL] cannot write %s\n", JsonPath.c_str());
+    ++Failures;
+  }
   return Failures == 0 ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "exec/Machine.h"
 #include "frontend/IRGen.h"
 #include "transform/Pipeline.h"
@@ -50,7 +51,9 @@ Result runWith(const std::string &Src, bool EpochCheck, bool RefCountReuse) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+
   // jacobi shows the refcount-reuse story (redundant in-loop maps);
   // lu shows the epoch story (its interior pointer and the whole-matrix
   // pointer alias one unit, so two unmaps follow each launch).
@@ -64,6 +67,19 @@ int main() {
   Result Neither = runWith(W->Source, false, false);
   Result LUFull = runWith(LU->Source, true, true);
   Result LUNoEpoch = runWith(LU->Source, false, true);
+
+  std::vector<benchjson::Row> Rows;
+  auto AddRow = [&](const std::string &Workload, const char *Config,
+                    const Result &R, const Result &Baseline) {
+    Rows.push_back({Workload, Config, R.Cycles, R.BytesHtoD, R.BytesDtoH,
+                    Baseline.Cycles / R.Cycles});
+  };
+  AddRow(W->Name, "full-runtime", Full, Full);
+  AddRow(W->Name, "no-epoch-check", NoEpoch, Full);
+  AddRow(W->Name, "no-refcount-reuse", NoReuse, Full);
+  AddRow(W->Name, "neither", Neither, Full);
+  AddRow(LU->Name, "full-runtime", LUFull, LUFull);
+  AddRow(LU->Name, "no-epoch-check", LUNoEpoch, LUFull);
 
   std::printf("%-36s %14s %12s %12s\n", "configuration", "cycles", "HtoD B",
               "DtoH B");
@@ -96,5 +112,9 @@ int main() {
   Check(Full.Cycles <= NoReuse.Cycles && Full.Cycles <= NoEpoch.Cycles &&
             Full.Cycles <= Neither.Cycles,
         "the full runtime dominates every ablated configuration");
+  if (!benchjson::writeBenchJson(JsonPath, "ablation_runtime", Rows)) {
+    std::printf("  [FAIL] cannot write %s\n", JsonPath.c_str());
+    ++Failures;
+  }
   return Failures == 0 ? 0 : 1;
 }

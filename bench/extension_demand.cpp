@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "exec/Machine.h"
 #include "frontend/IRGen.h"
 #include "transform/Pipeline.h"
@@ -36,6 +37,7 @@ namespace {
 struct Row {
   double Cycles = 0;
   uint64_t HtoD = 0, DtoH = 0, Faults = 0;
+  uint64_t BytesHtoD = 0, BytesDtoH = 0;
   std::string Output;
 };
 
@@ -46,8 +48,9 @@ Row runCGCM(const std::string &Src) {
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
   Mach.loadModule(*M);
   Mach.run();
-  return {Mach.getStats().totalCycles(), Mach.getStats().TransfersHtoD,
-          Mach.getStats().TransfersDtoH, 0, Mach.getOutput()};
+  const ExecStats &S = Mach.getStats();
+  return {S.totalCycles(), S.TransfersHtoD, S.TransfersDtoH, 0,
+          S.BytesHtoD,     S.BytesDtoH,     Mach.getOutput()};
 }
 
 Row runDemand(const std::string &Src) {
@@ -60,9 +63,9 @@ Row runDemand(const std::string &Src) {
   Mach.setLaunchPolicy(LaunchPolicy::DemandManaged);
   Mach.loadModule(*M);
   Mach.run();
-  return {Mach.getStats().totalCycles(), Mach.getStats().TransfersHtoD,
-          Mach.getStats().TransfersDtoH, Mach.getStats().DemandFaults,
-          Mach.getOutput()};
+  const ExecStats &S = Mach.getStats();
+  return {S.totalCycles(), S.TransfersHtoD, S.TransfersDtoH, S.DemandFaults,
+          S.BytesHtoD,     S.BytesDtoH,     Mach.getOutput()};
 }
 
 const char *DeepProgram = R"(
@@ -96,7 +99,9 @@ const char *DeepProgram = R"(
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+
   std::printf("Extension: CGCM (static) vs DyManD-style demand paging\n\n");
   std::printf("%-22s %14s %8s %8s %8s\n", "program / system", "cycles",
               "HtoD", "DtoH", "faults");
@@ -143,5 +148,19 @@ int main() {
   Check(!DD.Output.empty() && DD.Faults >= 4,
         "demand paging runs 3-level indirection (CGCM's management pass "
         "rejects it; see Management.TripleIndirectionIsRejected)");
+
+  std::vector<benchjson::Row> Rows = {
+      {"jacobi-2d-imper", "cgcm", JC.Cycles, JC.BytesHtoD, JC.BytesDtoH, 1.0},
+      {"jacobi-2d-imper", "demand-paging", JD.Cycles, JD.BytesHtoD,
+       JD.BytesDtoH, JC.Cycles / JD.Cycles},
+      {"gramschmidt", "cgcm", GC.Cycles, GC.BytesHtoD, GC.BytesDtoH, 1.0},
+      {"gramschmidt", "demand-paging", GD.Cycles, GD.BytesHtoD, GD.BytesDtoH,
+       GC.Cycles / GD.Cycles},
+      {"3-level-indirection", "demand-paging", DD.Cycles, DD.BytesHtoD,
+       DD.BytesDtoH, 0.0}};
+  if (!benchjson::writeBenchJson(JsonPath, "extension_demand", Rows)) {
+    std::printf("  [FAIL] cannot write %s\n", JsonPath.c_str());
+    ++Failures;
+  }
   return Failures == 0 ? 0 : 1;
 }

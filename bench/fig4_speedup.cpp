@@ -21,6 +21,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "workloads/Runner.h"
 
 #include <cmath>
@@ -30,7 +31,15 @@
 
 using namespace cgcm;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+  std::vector<benchjson::Row> Rows;
+  auto AddRow = [&](const Workload &W, const char *Config,
+                    const WorkloadRun &R, double Speedup) {
+    Rows.push_back({W.Name, Config, R.TotalCycles, R.Stats.BytesHtoD,
+                    R.Stats.BytesDtoH, Speedup});
+  };
+
   std::printf("Figure 4: whole-program speedup over sequential CPU-only\n");
   std::printf("%-16s %10s %12s %12s\n", "program", "insp-exec", "cgcm-unopt",
               "cgcm-opt");
@@ -42,14 +51,16 @@ int main() {
   const std::vector<Workload> &Suite = getWorkloads();
   for (const Workload &W : Suite) {
     WorkloadRun Seq = runWorkload(W, BenchConfig::Sequential);
-    double IE =
-        Seq.TotalCycles /
-        runWorkload(W, BenchConfig::InspectorExecutor).TotalCycles;
-    double Unopt =
-        Seq.TotalCycles /
-        runWorkload(W, BenchConfig::CGCMUnoptimized).TotalCycles;
-    double Opt = Seq.TotalCycles /
-                 runWorkload(W, BenchConfig::CGCMOptimized).TotalCycles;
+    WorkloadRun RunIE = runWorkload(W, BenchConfig::InspectorExecutor);
+    WorkloadRun RunUnopt = runWorkload(W, BenchConfig::CGCMUnoptimized);
+    WorkloadRun RunOpt = runWorkload(W, BenchConfig::CGCMOptimized);
+    double IE = Seq.TotalCycles / RunIE.TotalCycles;
+    double Unopt = Seq.TotalCycles / RunUnopt.TotalCycles;
+    double Opt = Seq.TotalCycles / RunOpt.TotalCycles;
+    AddRow(W, "sequential", Seq, 1.0);
+    AddRow(W, "inspector-executor", RunIE, IE);
+    AddRow(W, "cgcm-unopt", RunUnopt, Unopt);
+    AddRow(W, "cgcm-opt", RunOpt, Opt);
     IESpeedup[W.Name] = IE;
     UnoptSpeedup[W.Name] = Unopt;
     OptSpeedup[W.Name] = Opt;
@@ -93,5 +104,9 @@ int main() {
         "srad and nw show dramatic unoptimized slowdowns");
   Check(IESpeedup["gramschmidt"] > OptSpeedup["gramschmidt"],
         "gramschmidt is the one program where inspector-executor wins");
+  if (!benchjson::writeBenchJson(JsonPath, "fig4_speedup", Rows)) {
+    std::printf("  [FAIL] cannot write %s\n", JsonPath.c_str());
+    ++Failures;
+  }
   return Failures == 0 ? 0 : 1;
 }

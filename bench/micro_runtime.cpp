@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "gpusim/GPUDevice.h"
 #include "runtime/CGCMRuntime.h"
 
@@ -118,6 +119,35 @@ void BM_DeclareExpireAlloca(benchmark::State &State) {
 }
 BENCHMARK(BM_DeclareExpireAlloca);
 
+/// A console reporter that additionally collects each run for --json
+/// output. These benchmarks measure real host nanoseconds, so the shared
+/// schema's `cycles` field carries ns/op and the byte/speedup fields stay
+/// zero.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports)
+      if (R.run_type == Run::RT_Iteration && !R.error_occurred)
+        Rows.push_back(
+            {R.benchmark_name(), "host-ns-per-op", R.GetAdjustedRealTime(), 0,
+             0, 0});
+    benchmark::ConsoleReporter::ReportRuns(Reports);
+  }
+
+  std::vector<cgcm::benchjson::Row> Rows;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  CollectingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  if (!benchjson::writeBenchJson(JsonPath, "micro_runtime", Reporter.Rows))
+    return 1;
+  return 0;
+}

@@ -23,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "frontend/IRGen.h"
 #include "transform/Applicability.h"
 #include "transform/Pipeline.h"
@@ -154,7 +155,13 @@ const Probe Probes[] = {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+  // This bench measures applicability, not execution: rows carry the
+  // boolean verdict in `speedup` (1 = framework applies, 0 = it does not)
+  // and leave the timing fields at zero.
+  std::vector<benchjson::Row> Rows;
+
   std::printf("Table 1: communication-framework applicability by feature\n");
   std::printf("%-32s %6s %6s %8s %8s\n", "probe", "NR", "affine", "insp-ex",
               "CGCM");
@@ -174,6 +181,11 @@ int main() {
       continue;
     }
     const LaunchApplicability &A = Apps[0];
+    Rows.push_back({P.Name, "named-regions", 0, 0, 0, A.NamedRegions ? 1. : 0.});
+    Rows.push_back({P.Name, "affine", 0, 0, 0, A.Affine ? 1. : 0.});
+    Rows.push_back(
+        {P.Name, "inspector-executor", 0, 0, 0, A.InspectorExecutor ? 1. : 0.});
+    Rows.push_back({P.Name, "cgcm", 0, 0, 0, A.CGCM ? 1. : 0.});
     bool Ok = A.NamedRegions == P.ExpectNR &&
               A.InspectorExecutor == P.ExpectIE && A.CGCM == P.ExpectCGCM &&
               A.Affine == A.NamedRegions;
@@ -189,5 +201,9 @@ int main() {
               "distinct whole named units, induction-variable\nindexes, and "
               "sound types; inspector-executor additionally tolerates "
               "irregular\nsubscripts (that is what inspection is for).\n");
+  if (!benchjson::writeBenchJson(JsonPath, "table1_applicability", Rows)) {
+    std::printf("  [FAIL] cannot write %s\n", JsonPath.c_str());
+    ++Failures;
+  }
   return Failures == 0 ? 0 : 1;
 }

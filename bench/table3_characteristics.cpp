@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
@@ -49,7 +50,10 @@ const char *classify(const Percents &P) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+  std::vector<benchjson::Row> Rows;
+
   std::printf("Table 3: program characteristics (measured | paper)\n");
   std::printf("%-16s %-9s %-7s %-7s | %-15s %-15s | %-9s %-9s\n", "program",
               "suite", "limit", "paper", "GPU%% un/opt", "Comm%% un/opt",
@@ -65,6 +69,10 @@ int main() {
     Percents PU = percents(Unopt.Stats);
     Percents PO = percents(Opt.Stats);
     const char *Limit = classify(PO);
+    Rows.push_back({W.Name, "cgcm-unopt", Unopt.TotalCycles,
+                    Unopt.Stats.BytesHtoD, Unopt.Stats.BytesDtoH, 1.0});
+    Rows.push_back({W.Name, "cgcm-opt", Opt.TotalCycles, Opt.Stats.BytesHtoD,
+                    Opt.Stats.BytesDtoH, Unopt.TotalCycles / Opt.TotalCycles});
 
     std::vector<LaunchApplicability> Apps = analyzeWorkloadApplicability(W);
     unsigned NR = 0;
@@ -105,5 +113,9 @@ int main() {
   Check(TotalNR == 78, "named-region applicability matches Table 3's sums");
   Check(LimitMatches >= 16,
         "limiting-factor classification matches the paper for most programs");
+  if (!benchjson::writeBenchJson(JsonPath, "table3_characteristics", Rows)) {
+    std::printf("  [FAIL] cannot write %s\n", JsonPath.c_str());
+    ++Failures;
+  }
   return Failures == 0 ? 0 : 1;
 }

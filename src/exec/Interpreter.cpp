@@ -63,6 +63,9 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
       if (!M.Runtime->translateToDevice(Addr, Translated)) {
         M.Stats.RuntimeCycles += M.TM.DemandFaultLatency;
         ++M.Stats.DemandFaults;
+        if (M.Trace.isEnabled())
+          M.Trace.instant("demand-fault", "runtime", M.Stats.totalCycles(),
+                          TraceArgs().add("addr", Addr).add("dir", "to-gpu"));
         Translated = M.Runtime->map(Addr);
         const AllocUnitInfo *Info = M.Runtime->lookup(Addr);
         assert(Info && "mapped unit must be tracked");
@@ -78,6 +81,11 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
             // Fault the unit back: copy-back (epoch permitting) + free.
             M.Stats.RuntimeCycles += M.TM.DemandFaultLatency;
             ++M.Stats.DemandFaults;
+            if (M.Trace.isEnabled())
+              M.Trace.instant("demand-fault", "runtime",
+                              M.Stats.totalCycles(),
+                              TraceArgs().add("addr", Addr).add("dir",
+                                                                "to-cpu"));
             M.Runtime->unmap(Info->Base);
             M.Runtime->release(Info->Base);
           }
@@ -267,7 +275,7 @@ uint64_t Interpreter::execFunction(Function *F,
       if (!Ctx.OnGPU && M.Policy == LaunchPolicy::DemandManaged) {
         // Demand paging needs every unit tracked; there is no compiler
         // pass to insert declareAlloca, so the machine registers it.
-        M.Runtime->declareAlloca(Addr, Size);
+        M.Runtime->declareAlloca(Addr, Size, AI->getLoc());
         AutoDeclared = true;
       }
       Fr.Allocas.push_back({Addr, AutoDeclared});
@@ -564,7 +572,7 @@ uint64_t Interpreter::execCall(const CallInst *CI, Frame &Fr,
     uint64_t Addr = M.Host.allocate(Args[0]);
     uint64_t Base, Size;
     M.Host.findAllocation(Addr, Base, Size);
-    M.Runtime->notifyHeapAlloc(Addr, Size);
+    M.Runtime->notifyHeapAlloc(Addr, Size, CI->getLoc());
     return Addr;
   }
   case Machine::Intrinsic::Calloc: {
@@ -576,7 +584,7 @@ uint64_t Interpreter::execCall(const CallInst *CI, Frame &Fr,
     M.Host.findAllocation(Addr, Base, Size);
     std::vector<uint8_t> Zeros(Size, 0);
     M.Host.write(Addr, Zeros.data(), Size);
-    M.Runtime->notifyHeapAlloc(Addr, Size);
+    M.Runtime->notifyHeapAlloc(Addr, Size, CI->getLoc());
     return Addr;
   }
   case Machine::Intrinsic::Realloc: {
@@ -586,13 +594,13 @@ uint64_t Interpreter::execCall(const CallInst *CI, Frame &Fr,
       uint64_t Addr = M.Host.allocate(Args[1]);
       uint64_t Base, Size;
       M.Host.findAllocation(Addr, Base, Size);
-      M.Runtime->notifyHeapAlloc(Addr, Size);
+      M.Runtime->notifyHeapAlloc(Addr, Size, CI->getLoc());
       return Addr;
     }
     uint64_t NewAddr = M.Host.reallocate(Args[0], Args[1]);
     uint64_t Base, Size;
     M.Host.findAllocation(NewAddr, Base, Size);
-    M.Runtime->notifyHeapRealloc(Args[0], NewAddr, Size);
+    M.Runtime->notifyHeapRealloc(Args[0], NewAddr, Size, CI->getLoc());
     return NewAddr;
   }
   case Machine::Intrinsic::Free: {
@@ -672,7 +680,7 @@ uint64_t Interpreter::execCall(const CallInst *CI, Frame &Fr,
   }
   case Machine::Intrinsic::CgcmDeclareAlloca: {
     RequireCPU("cgcm_declare_alloca");
-    M.Runtime->declareAlloca(Args[0], Args[1]);
+    M.Runtime->declareAlloca(Args[0], Args[1], CI->getLoc());
     // Mark the owning frame entry so the registration expires with it.
     for (auto &[Addr, Declared] : Fr.Allocas)
       if (Addr == Args[0])
@@ -712,8 +720,16 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
       GCtx.GpuOpCounter = &GpuOps;
       execFunction(Kernel, Args, GCtx);
     }
+    double ECost = static_cast<double>(GpuOps) * M.TM.CpuCyclesPerOp;
+    if (M.Trace.isEnabled())
+      M.Trace.complete(Kernel->getName(), "kernel",
+                       M.Stats.totalCycles(), ECost,
+                       TraceArgs()
+                           .add("threads", Threads)
+                           .add("ops", GpuOps)
+                           .add("policy", "cpu-emulation"));
     M.Stats.CpuOps += GpuOps;
-    M.Stats.CpuCycles += static_cast<double>(GpuOps) * M.TM.CpuCyclesPerOp;
+    M.Stats.CpuCycles += ECost;
     // Keep the runtime's epoch honest even in emulation, so a managed
     // module still unmaps correctly under this policy.
     M.Runtime->onKernelLaunch();
@@ -743,6 +759,9 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
         static_cast<double>(Accesses) * M.TM.InspectorCyclesPerAccess;
     M.Device.recordEvent(EventKind::Inspect, M.Stats.totalCycles(),
                          InspectCost);
+    if (M.Trace.isEnabled())
+      M.Trace.complete("inspect", "kernel", M.Stats.totalCycles(),
+                       InspectCost, TraceArgs().add("accesses", Accesses));
     M.Stats.InspectorCycles += InspectCost;
     uint64_t HtoDBytes = ReadUnits.size() + WriteUnits.size();
     if (HtoDBytes) {
@@ -755,6 +774,13 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
     }
     double KCost = M.TM.kernelCycles(GpuOps, Threads);
     M.Device.recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
+    if (M.Trace.isEnabled())
+      M.Trace.complete(Kernel->getName(), "kernel", M.Stats.totalCycles(),
+                       KCost,
+                       TraceArgs()
+                           .add("threads", Threads)
+                           .add("ops", GpuOps)
+                           .add("policy", "inspector-executor"));
     M.Stats.GpuCycles += KCost;
     M.Stats.GpuOps += GpuOps;
     if (!WriteUnits.empty()) {
@@ -785,6 +811,15 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
   }
   double KCost = M.TM.kernelCycles(GpuOps, Threads);
   M.Device.recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
+  if (M.Trace.isEnabled())
+    M.Trace.complete(Kernel->getName(), "kernel", M.Stats.totalCycles(),
+                     KCost,
+                     TraceArgs()
+                         .add("threads", Threads)
+                         .add("ops", GpuOps)
+                         .add("policy", Policy == LaunchPolicy::DemandManaged
+                                            ? "demand-managed"
+                                            : "managed"));
   M.Stats.GpuCycles += KCost;
   M.Stats.GpuOps += GpuOps;
   ++M.Stats.KernelLaunches;

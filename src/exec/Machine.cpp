@@ -13,7 +13,10 @@ using namespace cgcm;
 
 Machine::Machine()
     : Host(HostAddressBase, "host"), Device(TM, Stats),
-      Runtime(std::make_unique<CGCMRuntime>(Host, Device, TM, Stats)) {}
+      Runtime(std::make_unique<CGCMRuntime>(Host, Device, TM, Stats)) {
+  Device.setTrace(&Trace);
+  Runtime->setTrace(&Trace);
+}
 
 void Machine::loadModule(Module &M) {
   assert(!LoadedModule && "Machine is one-shot; create a new one per run");

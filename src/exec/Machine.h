@@ -30,6 +30,7 @@
 #include "gpusim/Timing.h"
 #include "ir/Module.h"
 #include "runtime/CGCMRuntime.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <memory>
@@ -85,6 +86,13 @@ public:
   /// Hard cap on interpreted operations (runaway guard). 0 = unlimited.
   void setOpLimit(uint64_t Limit) { OpLimit = Limit; }
   uint64_t getOpLimit() const { return OpLimit; }
+
+  /// The machine's structured event trace (docs/Observability.md).
+  /// Disabled by default; enabling it makes the runtime, the device, and
+  /// the interpreter emit events timestamped in modeled cycles.
+  TraceCollector &getTraceCollector() { return Trace; }
+  void setTracingEnabled(bool V) { Trace.setEnabled(V); }
+  bool isTracingEnabled() const { return Trace.isEnabled(); }
 
   //===--------------------------------------------------------------------===//
   // Program loading and execution
@@ -149,6 +157,7 @@ private:
   ExecStats Stats;
   SimMemory Host;
   GPUDevice Device;
+  TraceCollector Trace;
   std::unique_ptr<CGCMRuntime> Runtime;
   LaunchPolicy Policy = LaunchPolicy::Trap;
   bool CheckedMemory = false;

@@ -16,7 +16,14 @@ void GPUDevice::cuMemcpyHtoD(uint64_t DevPtr, const SimMemory &Host,
   Host.read(HostPtr, Buf.data(), Size);
   Mem.write(DevPtr, Buf.data(), Size);
   double Cost = TM.transferCycles(Size);
-  recordEvent(EventKind::HtoD, Stats.totalCycles(), Cost, Size);
+  double Start = Stats.totalCycles();
+  recordEvent(EventKind::HtoD, Start, Cost, Size);
+  if (Trace && Trace->isEnabled())
+    Trace->complete("HtoD", "xfer", Start, Cost,
+                    TraceArgs()
+                        .add("bytes", Size)
+                        .add("host", HostPtr)
+                        .add("dev", DevPtr));
   Stats.CommCycles += Cost;
   Stats.BytesHtoD += Size;
   ++Stats.TransfersHtoD;
@@ -28,7 +35,14 @@ void GPUDevice::cuMemcpyDtoH(SimMemory &Host, uint64_t HostPtr,
   Mem.read(DevPtr, Buf.data(), Size);
   Host.write(HostPtr, Buf.data(), Size);
   double Cost = TM.transferCycles(Size);
-  recordEvent(EventKind::DtoH, Stats.totalCycles(), Cost, Size);
+  double Start = Stats.totalCycles();
+  recordEvent(EventKind::DtoH, Start, Cost, Size);
+  if (Trace && Trace->isEnabled())
+    Trace->complete("DtoH", "xfer", Start, Cost,
+                    TraceArgs()
+                        .add("bytes", Size)
+                        .add("host", HostPtr)
+                        .add("dev", DevPtr));
   Stats.CommCycles += Cost;
   Stats.BytesDtoH += Size;
   ++Stats.TransfersDtoH;
@@ -39,6 +53,7 @@ uint64_t GPUDevice::cuModuleGetGlobal(const std::string &Name, uint64_t Size) {
   if (It != ModuleGlobals.end())
     return It->second;
   uint64_t Addr = Mem.allocate(Size);
+  noteResidency();
   ModuleGlobals[Name] = Addr;
   return Addr;
 }

@@ -17,7 +17,9 @@
 
 #include "gpusim/SimMemory.h"
 #include "gpusim/Timing.h"
+#include "support/Trace.h"
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,7 +39,11 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Allocates device memory; returns a device-space address.
-  uint64_t cuMemAlloc(uint64_t Size) { return Mem.allocate(Size); }
+  uint64_t cuMemAlloc(uint64_t Size) {
+    uint64_t Addr = Mem.allocate(Size);
+    noteResidency();
+    return Addr;
+  }
 
   /// Frees device memory allocated by cuMemAlloc.
   void cuMemFree(uint64_t DevPtr) { Mem.free(DevPtr); }
@@ -63,6 +69,11 @@ public:
   // Timeline (for the Figure 2 schedule bench)
   //===--------------------------------------------------------------------===//
 
+  /// Attaches the machine's structured trace collector; transfers emit
+  /// events into it when tracing is enabled. Null detaches.
+  void setTrace(TraceCollector *T) { Trace = T; }
+  TraceCollector *getTrace() const { return Trace; }
+
   void setTimelineEnabled(bool V) { TimelineEnabled = V; }
   const std::vector<TimelineEvent> &getTimeline() const { return Timeline; }
   void recordEvent(EventKind Kind, double Start, double Duration,
@@ -80,10 +91,17 @@ public:
   }
 
 private:
+  /// Updates the peak-resident counter after an allocation.
+  void noteResidency() {
+    Stats.PeakResidentDeviceBytes =
+        std::max(Stats.PeakResidentDeviceBytes, Mem.getLiveBytes());
+  }
+
   SimMemory Mem;
   TimingModel &TM;
   ExecStats &Stats;
   std::map<std::string, uint64_t> ModuleGlobals;
+  TraceCollector *Trace = nullptr;
   bool TimelineEnabled = false;
   std::vector<TimelineEvent> Timeline;
 };

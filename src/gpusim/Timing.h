@@ -93,6 +93,12 @@ struct ExecStats {
   uint64_t GpuOps = 0;
   uint64_t RuntimeCalls = 0;
   uint64_t DemandFaults = 0;
+  /// Device-to-host copies the runtime skipped because the unit's epoch
+  /// showed the host copy was already current (Algorithm 2's staleness
+  /// test paying off).
+  uint64_t EpochSuppressedCopies = 0;
+  /// High-water mark of live device-memory bytes across the run.
+  uint64_t PeakResidentDeviceBytes = 0;
 
   /// Total modeled wall clock: the machine model is synchronous (the CPU
   /// blocks on transfers and kernels), so components add.

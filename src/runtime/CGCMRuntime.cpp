@@ -17,6 +17,19 @@ void CGCMRuntime::chargeCall() {
   ++Stats.RuntimeCalls;
 }
 
+void CGCMRuntime::traceCall(const char *Op, const AllocUnitInfo &Info,
+                            bool Copied) {
+  if (!Trace || !Trace->isEnabled())
+    return;
+  Trace->complete(Op, "runtime", Stats.totalCycles(), TM.RuntimeCallOverhead,
+                  TraceArgs()
+                      .add("base", Info.Base)
+                      .add("size", Info.Size)
+                      .add("refcount", Info.RefCount)
+                      .add("epoch", Info.Epoch)
+                      .add("copied", Copied));
+}
+
 //===----------------------------------------------------------------------===//
 // Tracking (section 3.1)
 //===----------------------------------------------------------------------===//
@@ -30,14 +43,19 @@ void CGCMRuntime::declareGlobal(const std::string &Name, uint64_t Ptr,
   Info.IsGlobal = true;
   Info.IsReadOnly = IsReadOnly;
   Info.Name = Name;
+  Info.Ledger = Ledger.entryFor("global " + Name, SourceLoc::none());
+  ++Info.Ledger->Units;
   Units[Ptr] = Info;
 }
 
-void CGCMRuntime::declareAlloca(uint64_t Ptr, uint64_t Size) {
+void CGCMRuntime::declareAlloca(uint64_t Ptr, uint64_t Size, SourceLoc Loc) {
   chargeCall();
   AllocUnitInfo Info;
   Info.Base = Ptr;
   Info.Size = Size;
+  Info.Ledger = Ledger.entryFor(
+      Loc.isValid() ? "alloca@" + Loc.getString() : "alloca@<unknown>", Loc);
+  ++Info.Ledger->Units;
   Units[Ptr] = Info;
 }
 
@@ -52,26 +70,43 @@ void CGCMRuntime::removeAlloca(uint64_t Ptr) {
   Units.erase(It);
 }
 
-void CGCMRuntime::notifyHeapAlloc(uint64_t Ptr, uint64_t Size) {
+void CGCMRuntime::notifyHeapAlloc(uint64_t Ptr, uint64_t Size,
+                                  SourceLoc Loc) {
   chargeCall();
   AllocUnitInfo Info;
   Info.Base = Ptr;
   Info.Size = Size;
+  Info.Ledger = Ledger.entryFor(
+      Loc.isValid() ? "heap@" + Loc.getString() : "heap@<unknown>", Loc);
+  ++Info.Ledger->Units;
   Units[Ptr] = Info;
 }
 
 void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
-                                    uint64_t NewSize) {
+                                    uint64_t NewSize, SourceLoc Loc) {
+  auto It = Units.find(OldPtr);
+  if (It == Units.end())
+    reportFatalError("cgcm runtime: realloc of untracked heap pointer");
+  // One user-level realloc is one runtime call: charge once, not once per
+  // internal free/alloc step.
   chargeCall();
-  notifyHeapFree(OldPtr);
-  notifyHeapAlloc(NewPtr, NewSize);
+  if (It->second.RefCount > 0 && !It->second.IsGlobal)
+    Device.cuMemFree(It->second.DevPtr);
+  Units.erase(It);
+  AllocUnitInfo Info;
+  Info.Base = NewPtr;
+  Info.Size = NewSize;
+  Info.Ledger = Ledger.entryFor(
+      Loc.isValid() ? "heap@" + Loc.getString() : "heap@<unknown>", Loc);
+  ++Info.Ledger->Units;
+  Units[NewPtr] = Info;
 }
 
 void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
-  chargeCall();
   auto It = Units.find(Ptr);
   if (It == Units.end())
     reportFatalError("cgcm runtime: free of untracked heap pointer");
+  chargeCall();
   if (It->second.RefCount > 0 && !It->second.IsGlobal)
     Device.cuMemFree(It->second.DevPtr);
   Units.erase(It);
@@ -122,11 +157,19 @@ bool CGCMRuntime::translateToDevice(uint64_t HostPtr, uint64_t &DevPtr) const {
 //===----------------------------------------------------------------------===//
 
 uint64_t CGCMRuntime::map(uint64_t Ptr) {
-  chargeCall();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "map");
+  chargeCall();
+  bool Copied = false;
+  if (Info.Ledger)
+    ++Info.Ledger->MapCalls;
   if (Info.RefCount > 0 && !RefCountReuseEnabled) {
     // Ablation: pretend we did not know the unit was resident.
     Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    Copied = true;
+    if (Info.Ledger) {
+      Info.Ledger->BytesHtoD += Info.Size;
+      ++Info.Ledger->TransfersHtoD;
+    }
   }
   if (Info.RefCount == 0) {
     if (!Info.IsGlobal)
@@ -134,36 +177,64 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
     else
       Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
     Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    Copied = true;
+    if (Info.Ledger) {
+      Info.Ledger->BytesHtoD += Info.Size;
+      ++Info.Ledger->TransfersHtoD;
+    }
     // A fresh GPU copy is current as of this epoch; unmap needs to copy
     // back only after a later kernel launch.
     Info.Epoch = GlobalEpoch;
+  } else if (RefCountReuseEnabled) {
+    // The reference-count test suppressed a host-to-device copy.
+    if (Info.Ledger)
+      ++Info.Ledger->ReuseSuppressed;
   }
   ++Info.RefCount;
+  traceCall("map", Info, Copied);
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
 void CGCMRuntime::unmap(uint64_t Ptr) {
-  chargeCall();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "unmap");
   if (Info.RefCount == 0)
-    return; // Nothing on the GPU to copy back.
+    return; // Nothing on the GPU to copy back; a no-op costs nothing.
+  chargeCall();
+  bool Copied = false;
+  if (Info.Ledger)
+    ++Info.Ledger->UnmapCalls;
   if ((Info.Epoch != GlobalEpoch || !EpochCheckEnabled) && !Info.IsReadOnly) {
     Device.cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size);
+    Copied = true;
+    if (Info.Ledger) {
+      Info.Ledger->BytesDtoH += Info.Size;
+      ++Info.Ledger->TransfersDtoH;
+    }
     Info.Epoch = GlobalEpoch;
+  } else if (Info.Epoch == GlobalEpoch && EpochCheckEnabled &&
+             !Info.IsReadOnly) {
+    // The epoch test proved the host copy current: a suppressed copy.
+    ++Stats.EpochSuppressedCopies;
+    if (Info.Ledger)
+      ++Info.Ledger->EpochSuppressed;
   }
+  traceCall("unmap", Info, Copied);
 }
 
 void CGCMRuntime::release(uint64_t Ptr) {
-  chargeCall();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "release");
   if (Info.RefCount == 0)
     reportFatalError("cgcm runtime: release of an unmapped allocation unit");
+  chargeCall();
+  if (Info.Ledger)
+    ++Info.Ledger->ReleaseCalls;
   --Info.RefCount;
   if (Info.RefCount == 0 && !Info.IsGlobal) {
     Device.cuMemFree(Info.DevPtr);
     Info.DevPtr = 0;
     Info.IsPointerArray = false;
   }
+  traceCall("release", Info, /*Copied=*/false);
 }
 
 //===----------------------------------------------------------------------===//
@@ -171,8 +242,10 @@ void CGCMRuntime::release(uint64_t Ptr) {
 //===----------------------------------------------------------------------===//
 
 uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
-  chargeCall();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "mapArray");
+  chargeCall();
+  if (Info.Ledger)
+    ++Info.Ledger->MapCalls;
   uint64_t NumSlots = Info.Size / 8;
   bool NeedsCopy = Info.RefCount == 0;
 
@@ -195,18 +268,27 @@ uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
     // The device copy holds *translated* pointers, not raw host bytes.
     // Transfer cost is identical to a raw copy of the unit.
     Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    if (Info.Ledger) {
+      Info.Ledger->BytesHtoD += Info.Size;
+      ++Info.Ledger->TransfersHtoD;
+    }
     for (uint64_t I = 0; I != NumSlots; ++I)
       Device.getMemory().writeUInt(Info.DevPtr + I * 8, Translated[I], 8);
     Info.Epoch = GlobalEpoch;
     Info.IsPointerArray = true;
+  } else if (Info.Ledger) {
+    ++Info.Ledger->ReuseSuppressed;
   }
   ++Info.RefCount;
+  traceCall("mapArray", Info, NeedsCopy);
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
 void CGCMRuntime::unmapArray(uint64_t Ptr) {
-  chargeCall();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "unmapArray");
+  chargeCall();
+  if (Info.Ledger)
+    ++Info.Ledger->UnmapCalls;
   // Update each pointed-to unit from the GPU. The pointer array itself is
   // not copied back: its GPU copy holds device pointers that would
   // corrupt the host array.
@@ -217,11 +299,12 @@ void CGCMRuntime::unmapArray(uint64_t Ptr) {
       continue;
     unmap(Elem);
   }
+  traceCall("unmapArray", Info, /*Copied=*/false);
 }
 
 void CGCMRuntime::releaseArray(uint64_t Ptr) {
-  chargeCall();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "releaseArray");
+  chargeCall();
   uint64_t NumSlots = Info.Size / 8;
   for (uint64_t I = 0; I != NumSlots; ++I) {
     uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
@@ -230,6 +313,13 @@ void CGCMRuntime::releaseArray(uint64_t Ptr) {
     release(Elem);
   }
   release(Info.Base);
+}
+
+void CGCMRuntime::onKernelLaunch() {
+  ++GlobalEpoch;
+  if (Trace && Trace->isEnabled())
+    Trace->instant("epoch", "runtime", Stats.totalCycles(),
+                   TraceArgs().add("epoch", GlobalEpoch));
 }
 
 void CGCMRuntime::releaseAll() {

@@ -35,6 +35,9 @@
 #include "gpusim/GPUDevice.h"
 #include "gpusim/SimMemory.h"
 #include "gpusim/Timing.h"
+#include "runtime/TransferLedger.h"
+#include "support/SourceLoc.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <map>
@@ -53,6 +56,7 @@ struct AllocUnitInfo {
   bool IsReadOnly = false;
   bool IsPointerArray = false; ///< Mapped via mapArray.
   std::string Name;            ///< For globals: cuModuleGetGlobal key.
+  LedgerEntry *Ledger = nullptr; ///< Allocation-site accounting row.
 };
 
 class CGCMRuntime {
@@ -72,16 +76,21 @@ public:
                      bool IsReadOnly);
 
   /// Registers an escaping stack variable. The registration expires when
-  /// the frame is popped (removeAlloca).
-  void declareAlloca(uint64_t Ptr, uint64_t Size);
+  /// the frame is popped (removeAlloca). \p Loc is the source position of
+  /// the allocating instruction, used to attribute the unit's transfers
+  /// in the communication ledger.
+  void declareAlloca(uint64_t Ptr, uint64_t Size,
+                     SourceLoc Loc = SourceLoc::none());
 
   /// Expires a stack registration at scope exit.
   void removeAlloca(uint64_t Ptr);
 
   /// Heap wrapper hooks: malloc/calloc register, realloc re-registers,
-  /// free unregisters.
-  void notifyHeapAlloc(uint64_t Ptr, uint64_t Size);
-  void notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr, uint64_t NewSize);
+  /// free unregisters. \p Loc attributes the unit in the ledger.
+  void notifyHeapAlloc(uint64_t Ptr, uint64_t Size,
+                       SourceLoc Loc = SourceLoc::none());
+  void notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr, uint64_t NewSize,
+                         SourceLoc Loc = SourceLoc::none());
   void notifyHeapFree(uint64_t Ptr);
 
   //===--------------------------------------------------------------------===//
@@ -104,7 +113,7 @@ public:
 
   /// Called on every kernel launch; advances the epoch that makes unmap
   /// copy back at most once per launch.
-  void onKernelLaunch() { ++GlobalEpoch; }
+  void onKernelLaunch();
 
   uint64_t getEpoch() const { return GlobalEpoch; }
 
@@ -127,6 +136,18 @@ public:
   void releaseAll();
 
   //===--------------------------------------------------------------------===//
+  // Observability
+  //===--------------------------------------------------------------------===//
+
+  /// Per-allocation-site communication accounting (always on).
+  const TransferLedger &getLedger() const { return Ledger; }
+  TransferLedger &getLedger() { return Ledger; }
+
+  /// Attaches the machine's structured trace collector; runtime calls
+  /// emit events into it when tracing is enabled. Null detaches.
+  void setTrace(TraceCollector *T) { Trace = T; }
+
+  //===--------------------------------------------------------------------===//
   // Ablation knobs (benchmarks only)
   //===--------------------------------------------------------------------===//
 
@@ -140,13 +161,21 @@ public:
 
 private:
   AllocUnitInfo &lookupOrFail(uint64_t Ptr, const char *Op);
+  /// Charges one runtime call to the overhead counters. Entry points call
+  /// this only after validating their arguments, so failed or no-op calls
+  /// never inflate the modeled overhead.
   void chargeCall();
+  /// Emits a runtime-call trace event for \p Info (no-op when tracing is
+  /// off or no collector is attached).
+  void traceCall(const char *Op, const AllocUnitInfo &Info, bool Copied);
 
   SimMemory &Host;
   GPUDevice &Device;
   TimingModel &TM;
   ExecStats &Stats;
   std::map<uint64_t, AllocUnitInfo> Units; ///< Keyed by base address.
+  TransferLedger Ledger;
+  TraceCollector *Trace = nullptr;
   uint64_t GlobalEpoch = 1;
   bool EpochCheckEnabled = true;
   bool RefCountReuseEnabled = true;

@@ -1,0 +1,134 @@
+//===- runtime/TransferLedger.cpp - Per-allocation-unit accounting ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TransferLedger.h"
+
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace cgcm;
+
+LedgerEntry *TransferLedger::entryFor(const std::string &Site,
+                                      SourceLoc Loc) {
+  auto [It, Inserted] = Entries.try_emplace(Site);
+  if (Inserted) {
+    It->second.Site = Site;
+    It->second.Loc = Loc;
+  }
+  return &It->second;
+}
+
+uint64_t TransferLedger::totalBytesHtoD() const {
+  uint64_t N = 0;
+  for (const auto &[Site, E] : Entries)
+    N += E.BytesHtoD;
+  return N;
+}
+
+uint64_t TransferLedger::totalBytesDtoH() const {
+  uint64_t N = 0;
+  for (const auto &[Site, E] : Entries)
+    N += E.BytesDtoH;
+  return N;
+}
+
+std::vector<const LedgerEntry *> TransferLedger::sortedByBytes() const {
+  std::vector<const LedgerEntry *> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Site, E] : Entries)
+    Out.push_back(&E);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const LedgerEntry *A, const LedgerEntry *B) {
+                     return A->totalBytes() > B->totalBytes();
+                   });
+  return Out;
+}
+
+void TransferLedger::report(std::ostream &OS, size_t TopN) const {
+  std::vector<const LedgerEntry *> Sorted = sortedByBytes();
+  OS << "-- communication ledger: top " << std::min(TopN, Sorted.size())
+     << " of " << Sorted.size() << " allocation sites by bytes moved --\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "%-24s %6s %12s %12s %8s %8s %10s %10s\n",
+                "site", "units", "HtoD bytes", "DtoH bytes", "HtoD#",
+                "DtoH#", "epoch-skip", "reuse-skip");
+  OS << Buf;
+  size_t N = 0;
+  for (const LedgerEntry *E : Sorted) {
+    if (N++ == TopN)
+      break;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-24s %6llu %12llu %12llu %8llu %8llu %10llu %10llu\n",
+                  E->Site.c_str(), static_cast<unsigned long long>(E->Units),
+                  static_cast<unsigned long long>(E->BytesHtoD),
+                  static_cast<unsigned long long>(E->BytesDtoH),
+                  static_cast<unsigned long long>(E->TransfersHtoD),
+                  static_cast<unsigned long long>(E->TransfersDtoH),
+                  static_cast<unsigned long long>(E->EpochSuppressed),
+                  static_cast<unsigned long long>(E->ReuseSuppressed));
+    OS << Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%-24s %6s %12llu %12llu\n", "total", "",
+                static_cast<unsigned long long>(totalBytesHtoD()),
+                static_cast<unsigned long long>(totalBytesDtoH()));
+  OS << Buf;
+}
+
+void cgcm::writeProfileJson(std::ostream &OS, const ExecStats &Stats,
+                            const TransferLedger &Ledger) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("schema").string("cgcm-profile-v1");
+
+  W.key("stats").beginObject();
+  W.key("cpu_cycles").number(Stats.CpuCycles);
+  W.key("gpu_cycles").number(Stats.GpuCycles);
+  W.key("comm_cycles").number(Stats.CommCycles);
+  W.key("inspector_cycles").number(Stats.InspectorCycles);
+  W.key("runtime_cycles").number(Stats.RuntimeCycles);
+  W.key("total_cycles").number(Stats.totalCycles());
+  W.key("kernel_launches").number(Stats.KernelLaunches);
+  W.key("transfers_htod").number(Stats.TransfersHtoD);
+  W.key("transfers_dtoh").number(Stats.TransfersDtoH);
+  W.key("bytes_htod").number(Stats.BytesHtoD);
+  W.key("bytes_dtoh").number(Stats.BytesDtoH);
+  W.key("cpu_ops").number(Stats.CpuOps);
+  W.key("gpu_ops").number(Stats.GpuOps);
+  W.key("runtime_calls").number(Stats.RuntimeCalls);
+  W.key("demand_faults").number(Stats.DemandFaults);
+  W.key("epoch_suppressed_copies").number(Stats.EpochSuppressedCopies);
+  W.key("peak_resident_device_bytes").number(Stats.PeakResidentDeviceBytes);
+  W.endObject();
+
+  W.key("ledger").beginArray();
+  for (const LedgerEntry *E : Ledger.sortedByBytes()) {
+    W.beginObject();
+    W.key("site").string(E->Site);
+    if (E->Loc.isValid()) {
+      W.key("line").number(static_cast<uint64_t>(E->Loc.Line));
+      W.key("col").number(static_cast<uint64_t>(E->Loc.Col));
+    } else {
+      W.key("line").null();
+      W.key("col").null();
+    }
+    W.key("units").number(E->Units);
+    W.key("bytes_htod").number(E->BytesHtoD);
+    W.key("bytes_dtoh").number(E->BytesDtoH);
+    W.key("transfers_htod").number(E->TransfersHtoD);
+    W.key("transfers_dtoh").number(E->TransfersDtoH);
+    W.key("epoch_suppressed").number(E->EpochSuppressed);
+    W.key("reuse_suppressed").number(E->ReuseSuppressed);
+    W.key("map_calls").number(E->MapCalls);
+    W.key("unmap_calls").number(E->UnmapCalls);
+    W.key("release_calls").number(E->ReleaseCalls);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << "\n";
+}

@@ -1,0 +1,92 @@
+//===- runtime/TransferLedger.h - Per-allocation-unit transfer accounting ---===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The communication ledger of the observability subsystem
+/// (docs/Observability.md): the runtime attributes every copy it issues
+/// — and every copy it *suppresses* via the epoch or reference-count
+/// tests — to the allocation site of the unit involved (the `!loc` of
+/// the allocating instruction, or the global's name). Aggregating by
+/// site rather than by raw base address keeps the ledger meaningful
+/// across unit churn: a malloc in a loop is one hot spot, not a thousand
+/// one-row entries.
+///
+/// The ledger is always on: it costs a pointer dereference and a few
+/// integer increments per runtime call, all of which are already charged
+/// 40 modeled cycles. `cgcmc --profile=<file>` exports it (with
+/// ExecStats) as JSON; the text report lists the top-N hot spots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_RUNTIME_TRANSFERLEDGER_H
+#define CGCM_RUNTIME_TRANSFERLEDGER_H
+
+#include "gpusim/Timing.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// One allocation site's accumulated communication.
+struct LedgerEntry {
+  std::string Site; ///< "heap@12:3", "alloca@8:5", "global A", ...
+  SourceLoc Loc;    ///< Source position when known (heap/alloca sites).
+  uint64_t Units = 0; ///< Allocation units attributed to this site.
+  uint64_t BytesHtoD = 0;
+  uint64_t BytesDtoH = 0;
+  uint64_t TransfersHtoD = 0;
+  uint64_t TransfersDtoH = 0;
+  /// DtoH copies unmap skipped because the epoch proved the host copy
+  /// current.
+  uint64_t EpochSuppressed = 0;
+  /// HtoD copies map skipped because the unit was already resident.
+  uint64_t ReuseSuppressed = 0;
+  uint64_t MapCalls = 0;
+  uint64_t UnmapCalls = 0;
+  uint64_t ReleaseCalls = 0;
+
+  uint64_t totalBytes() const { return BytesHtoD + BytesDtoH; }
+};
+
+class TransferLedger {
+public:
+  /// Finds or creates the entry for \p Site (creation records \p Loc).
+  /// The returned pointer is stable for the ledger's lifetime.
+  LedgerEntry *entryFor(const std::string &Site, SourceLoc Loc);
+
+  const std::map<std::string, LedgerEntry> &entries() const {
+    return Entries;
+  }
+  bool empty() const { return Entries.empty(); }
+
+  uint64_t totalBytesHtoD() const;
+  uint64_t totalBytesDtoH() const;
+
+  /// Entries sorted by total bytes moved, descending.
+  std::vector<const LedgerEntry *> sortedByBytes() const;
+
+  /// Human-readable hot-spot table: top \p TopN sites by bytes moved.
+  void report(std::ostream &OS, size_t TopN = 10) const;
+
+  void clear() { Entries.clear(); }
+
+private:
+  std::map<std::string, LedgerEntry> Entries;
+};
+
+/// Exports \p Stats and \p Ledger as the machine-readable profile
+/// (schema "cgcm-profile-v1"; see docs/Observability.md).
+void writeProfileJson(std::ostream &OS, const ExecStats &Stats,
+                      const TransferLedger &Ledger);
+
+} // namespace cgcm
+
+#endif // CGCM_RUNTIME_TRANSFERLEDGER_H

@@ -16,8 +16,10 @@ std::string Diagnostic::getString() const {
     OS << Loc.getString() << ": ";
   else
     OS << "<unknown>: ";
-  OS << (Severity == DiagSeverity::Error ? "error" : "warning") << "[" << ID
-     << "]: " << Message;
+  const char *Sev = Severity == DiagSeverity::Error     ? "error"
+                    : Severity == DiagSeverity::Warning ? "warning"
+                                                        : "remark";
+  OS << Sev << "[" << ID << "]: " << Message;
   if (!FunctionName.empty())
     OS << " [in '" << FunctionName << "']";
   return OS.str();
@@ -32,12 +34,25 @@ unsigned DiagnosticEngine::getNumErrors() const {
 }
 
 unsigned DiagnosticEngine::getNumWarnings() const {
-  return static_cast<unsigned>(Diags.size()) - getNumErrors();
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Warning)
+      ++N;
+  return N;
+}
+
+unsigned DiagnosticEngine::getNumRemarks() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Remark)
+      ++N;
+  return N;
 }
 
 bool DiagnosticEngine::hasErrors() const {
-  if (WarningsAsErrors)
-    return !Diags.empty();
+  // Remarks are never failures, even under -Werror.
+  if (WarningsAsErrors && getNumWarnings() != 0)
+    return true;
   return getNumErrors() != 0;
 }
 
@@ -54,6 +69,10 @@ void DiagnosticEngine::print(std::ostream &OS) const {
   if (Diags.empty())
     return;
   unsigned Errors = getNumErrors(), Warnings = getNumWarnings();
+  unsigned Remarks = getNumRemarks();
   OS << Errors << (Errors == 1 ? " error, " : " errors, ") << Warnings
-     << (Warnings == 1 ? " warning" : " warnings") << " generated\n";
+     << (Warnings == 1 ? " warning" : " warnings");
+  if (Remarks != 0)
+    OS << ", " << Remarks << (Remarks == 1 ? " remark" : " remarks");
+  OS << " generated\n";
 }

@@ -26,6 +26,8 @@
 namespace cgcm {
 
 enum class DiagSeverity {
+  Remark,  ///< An optimization report (what a pass did, or why it did
+           ///< not); never an error, surfaced via cgcmc --remarks.
   Warning, ///< Suspicious but not provably wrong; promotable via -Werror.
   Error,   ///< A proven violation of a CGCM soundness property.
 };
@@ -60,10 +62,17 @@ public:
     Diags.push_back({ID, Severity, Loc, Message, FunctionName});
   }
 
+  /// Convenience for optimization remarks (the transform passes).
+  void remark(const std::string &ID, SourceLoc Loc, const std::string &Message,
+              const std::string &FunctionName) {
+    Diags.push_back({ID, DiagSeverity::Remark, Loc, Message, FunctionName});
+  }
+
   const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
   bool empty() const { return Diags.empty(); }
   unsigned getNumErrors() const;
   unsigned getNumWarnings() const;
+  unsigned getNumRemarks() const;
 
   /// True if analysis must fail: any error, or any warning under -Werror.
   bool hasErrors() const;

@@ -1,0 +1,398 @@
+//===- support/JSON.cpp - Minimal JSON writing and parsing ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cgcm;
+
+std::string cgcm::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string cgcm::jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  // Integral doubles print without a fraction so counters stay readable.
+  if (V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // key() already wrote the separator.
+  }
+  if (!HasValue.empty()) {
+    if (HasValue.back())
+      OS << ",";
+    HasValue.back() = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  OS << "{";
+  IsObject.push_back(true);
+  HasValue.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  OS << "}";
+  IsObject.pop_back();
+  HasValue.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  OS << "[";
+  IsObject.push_back(false);
+  HasValue.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  OS << "]";
+  IsObject.pop_back();
+  HasValue.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  if (!HasValue.empty()) {
+    if (HasValue.back())
+      OS << ",";
+    HasValue.back() = true;
+  }
+  OS << "\"" << jsonEscape(K) << "\":";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::string(const std::string &V) {
+  beforeValue();
+  OS << "\"" << jsonEscape(V) << "\"";
+  return *this;
+}
+
+JsonWriter &JsonWriter::number(double V) {
+  beforeValue();
+  OS << jsonNumber(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::number(uint64_t V) {
+  beforeValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::number(int64_t V) {
+  beforeValue();
+  OS << V;
+  return *this;
+}
+
+JsonWriter &JsonWriter::boolean(bool V) {
+  beforeValue();
+  OS << (V ? "true" : "false");
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  beforeValue();
+  OS << "null";
+  return *this;
+}
+
+JsonWriter &JsonWriter::raw(const std::string &Raw) {
+  beforeValue();
+  OS << Raw;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const JsonValue &JsonValue::operator[](const std::string &Key) const {
+  static const JsonValue Null;
+  if (K != Kind::Object)
+    return Null;
+  auto It = Object.find(Key);
+  return It == Object.end() ? Null : It->second;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err) : Text(Text), Err(Err) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Err)
+      *Err = "json offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::string(Lit).size();
+    if (Text.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.String);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.Bool = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.Bool = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' in object");
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Object[Key] = std::move(V);
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Array.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = static_cast<unsigned>(
+            std::strtoul(Text.substr(Pos, 4).c_str(), nullptr, 16));
+        Pos += 4;
+        // Basic-multilingual-plane only; enough for our own output.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    Out.K = JsonValue::Kind::Number;
+    Out.Number = std::strtod(Text.substr(Start, Pos - Start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string &Text;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool cgcm::parseJson(const std::string &Text, JsonValue &Out,
+                     std::string *Err) {
+  return Parser(Text, Err).parse(Out);
+}

@@ -1,0 +1,107 @@
+//===- support/JSON.h - Minimal JSON writing and parsing --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON toolkit for the observability subsystem: string escaping
+/// and a streaming writer (used by the trace/profile/bench exporters) and
+/// a recursive-descent parser (used by tests and validators to parse the
+/// emitted files back). Deliberately tiny: objects, arrays, strings,
+/// numbers, booleans, and null — no streaming reads, no comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_JSON_H
+#define CGCM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// Escapes \p S for inclusion inside a JSON string literal (no quotes
+/// added).
+std::string jsonEscape(const std::string &S);
+
+/// Renders a double the way JSON expects: finite values in shortest
+/// round-trippable form, non-finite values as null.
+std::string jsonNumber(double V);
+
+/// A streaming JSON writer with automatic comma management. Usage:
+///
+///   JsonWriter W(OS);
+///   W.beginObject();
+///   W.key("name").string("saxpy");
+///   W.key("events").beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Writes an object key; the next value call supplies its value.
+  JsonWriter &key(const std::string &K);
+
+  JsonWriter &string(const std::string &V);
+  JsonWriter &number(double V);
+  JsonWriter &number(uint64_t V);
+  JsonWriter &number(int64_t V);
+  JsonWriter &boolean(bool V);
+  JsonWriter &null();
+
+  /// Writes \p Raw verbatim as a value (caller guarantees valid JSON);
+  /// used by the trace layer, whose event args are pre-rendered.
+  JsonWriter &raw(const std::string &Raw);
+
+private:
+  void beforeValue();
+
+  std::ostream &OS;
+  /// One entry per open container: true = object, false = array.
+  std::vector<bool> IsObject;
+  /// Whether the current container already holds a value.
+  std::vector<bool> HasValue;
+  bool PendingKey = false;
+};
+
+/// A parsed JSON value (tests and validators only; not a DOM for hot
+/// paths).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string String;
+  std::vector<JsonValue> Array;
+  std::map<std::string, JsonValue> Object;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member access; returns null for missing keys or non-objects.
+  const JsonValue &operator[](const std::string &Key) const;
+};
+
+/// Parses \p Text as a single JSON document. On failure returns false and
+/// fills \p Err with a position-tagged message.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string *Err);
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_JSON_H

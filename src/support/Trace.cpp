@@ -1,0 +1,160 @@
+//===- support/Trace.cpp - Structured communication event tracing -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/JSON.h"
+
+#include <algorithm>
+
+using namespace cgcm;
+
+TraceArgs &TraceArgs::addRaw(const std::string &Key,
+                             const std::string &Rendered) {
+  if (!Json.empty())
+    Json += ",";
+  Json += "\"" + jsonEscape(Key) + "\":" + Rendered;
+  return *this;
+}
+
+TraceArgs &TraceArgs::add(const std::string &Key, double V) {
+  return addRaw(Key, jsonNumber(V));
+}
+
+TraceArgs &TraceArgs::add(const std::string &Key, const std::string &V) {
+  return addRaw(Key, "\"" + jsonEscape(V) + "\"");
+}
+
+TraceCollector::TraceCollector(size_t Capacity)
+    : Capacity(Capacity ? Capacity : 1) {}
+
+void TraceCollector::push(TraceEvent E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  E.Seq = NextSeq++;
+  if (Ring.size() < Capacity) {
+    Ring.push_back(std::move(E));
+    return;
+  }
+  // Ring overwrite: slot index cycles through the buffer; Seq keeps the
+  // true order for export.
+  Ring[static_cast<size_t>(E.Seq % Capacity)] = std::move(E);
+}
+
+void TraceCollector::instant(const std::string &Name,
+                             const std::string &Category, double TsCycles,
+                             TraceArgs Args) {
+  if (!Enabled)
+    return;
+  TraceEvent E;
+  E.Phase = TracePhase::Instant;
+  E.Name = Name;
+  E.Category = Category;
+  E.TsCycles = TsCycles;
+  E.ArgsJson = Args.getJson();
+  push(std::move(E));
+}
+
+void TraceCollector::complete(const std::string &Name,
+                              const std::string &Category, double TsCycles,
+                              double DurCycles, TraceArgs Args) {
+  if (!Enabled)
+    return;
+  TraceEvent E;
+  E.Phase = TracePhase::Complete;
+  E.Name = Name;
+  E.Category = Category;
+  E.TsCycles = TsCycles;
+  E.DurCycles = DurCycles;
+  E.ArgsJson = Args.getJson();
+  push(std::move(E));
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ring.size();
+}
+
+uint64_t TraceCollector::getNumEmitted() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NextSeq;
+}
+
+uint64_t TraceCollector::getNumDropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NextSeq > Ring.size() ? NextSeq - Ring.size() : 0;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.clear();
+  NextSeq = 0;
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out = Ring;
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              return A.Seq < B.Seq;
+            });
+  return Out;
+}
+
+namespace {
+
+void writeEventFields(JsonWriter &W, const TraceEvent &E) {
+  W.key("name").string(E.Name);
+  W.key("cat").string(E.Category);
+  if (E.Phase == TracePhase::Complete) {
+    W.key("ph").string("X");
+    W.key("dur").number(E.DurCycles);
+  } else {
+    W.key("ph").string("i");
+    W.key("s").string("g"); // Global-scope instant marker.
+  }
+  W.key("ts").number(E.TsCycles);
+  W.key("pid").number(static_cast<uint64_t>(1));
+  W.key("tid").number(static_cast<uint64_t>(1));
+  W.key("seq").number(E.Seq);
+  W.key("args");
+  if (E.ArgsJson.empty())
+    W.beginObject().endObject();
+  else
+    W.raw("{" + E.ArgsJson + "}");
+}
+
+} // namespace
+
+void TraceCollector::exportChromeTrace(std::ostream &OS) const {
+  std::vector<TraceEvent> Events = snapshot();
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("traceEvents").beginArray();
+  for (const TraceEvent &E : Events) {
+    W.beginObject();
+    writeEventFields(W, E);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("displayTimeUnit").string("ns");
+  W.key("otherData").beginObject();
+  W.key("clock").string("modeled-cycles");
+  W.key("emitted").number(getNumEmitted());
+  W.key("dropped").number(getNumDropped());
+  W.endObject();
+  W.endObject();
+  OS << "\n";
+}
+
+void TraceCollector::exportJsonl(std::ostream &OS) const {
+  for (const TraceEvent &E : snapshot()) {
+    JsonWriter W(OS);
+    W.beginObject();
+    writeEventFields(W, E);
+    W.endObject();
+    OS << "\n";
+  }
+}

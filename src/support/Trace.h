@@ -1,0 +1,178 @@
+//===- support/Trace.h - Structured communication event tracing -------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured event layer of the observability subsystem
+/// (docs/Observability.md). The runtime, the GPU simulator, and the
+/// interpreter emit events into a shared, thread-safe, bounded ring
+/// buffer; exporters render the buffer as Chrome `trace_event` JSON
+/// (loadable in chrome://tracing and Perfetto) or as JSONL, one event
+/// per line.
+///
+/// Tracing is off by default: every emission site is guarded by
+/// `isEnabled()`, so a disabled collector records nothing and costs one
+/// predictable branch. Timestamps are *modeled* cycles (ExecStats
+/// totalCycles at emission), not host time — the trace shows the
+/// simulated schedule, which is the thing the paper's Figure 2 plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_TRACE_H
+#define CGCM_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// Pre-rendered JSON arguments for one event ("k":v pairs without the
+/// enclosing braces). Building the string eagerly keeps the ring buffer
+/// POD-simple and the export step trivial.
+class TraceArgs {
+public:
+  TraceArgs &add(const std::string &Key, uint64_t V) {
+    return addRaw(Key, std::to_string(V));
+  }
+  TraceArgs &add(const std::string &Key, int64_t V) {
+    return addRaw(Key, std::to_string(V));
+  }
+  TraceArgs &add(const std::string &Key, unsigned V) {
+    return addRaw(Key, std::to_string(V));
+  }
+  TraceArgs &add(const std::string &Key, double V);
+  TraceArgs &add(const std::string &Key, const std::string &V);
+  TraceArgs &add(const std::string &Key, const char *V) {
+    return add(Key, std::string(V));
+  }
+  TraceArgs &add(const std::string &Key, bool V) {
+    return addRaw(Key, V ? "true" : "false");
+  }
+
+  const std::string &getJson() const { return Json; }
+  bool empty() const { return Json.empty(); }
+
+private:
+  TraceArgs &addRaw(const std::string &Key, const std::string &Rendered);
+
+  std::string Json;
+};
+
+enum class TracePhase : uint8_t {
+  Complete, ///< A span with a duration (Chrome "ph":"X").
+  Instant,  ///< A point event (Chrome "ph":"i").
+};
+
+struct TraceEvent {
+  uint64_t Seq = 0; ///< Global emission order (stable sort key).
+  TracePhase Phase = TracePhase::Instant;
+  std::string Name;
+  std::string Category;
+  double TsCycles = 0;  ///< Modeled start time.
+  double DurCycles = 0; ///< Modeled duration (Complete only).
+  std::string ArgsJson; ///< Pre-rendered "k":v pairs, may be empty.
+};
+
+/// Thread-safe bounded event sink. When the ring fills, the oldest
+/// events are overwritten and counted as dropped; the exporters note the
+/// loss so a truncated trace is never mistaken for a complete one.
+class TraceCollector {
+public:
+  explicit TraceCollector(size_t Capacity = DefaultCapacity);
+
+  /// The branch every emission site checks first. Disabled collectors
+  /// record nothing.
+  bool isEnabled() const { return Enabled; }
+  void setEnabled(bool V) { Enabled = V; }
+
+  void instant(const std::string &Name, const std::string &Category,
+               double TsCycles, TraceArgs Args = TraceArgs());
+  void complete(const std::string &Name, const std::string &Category,
+                double TsCycles, double DurCycles,
+                TraceArgs Args = TraceArgs());
+
+  size_t size() const;
+  uint64_t getNumEmitted() const;
+  uint64_t getNumDropped() const;
+  void clear();
+
+  /// Events in emission order (oldest retained first).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace_event format: {"traceEvents": [...], ...}. "ts"/"dur"
+  /// carry modeled cycles in the microsecond fields, so one trace
+  /// microsecond = one modeled cycle.
+  void exportChromeTrace(std::ostream &OS) const;
+
+  /// One JSON object per line, same fields as the Chrome export.
+  void exportJsonl(std::ostream &OS) const;
+
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+private:
+  void push(TraceEvent E);
+
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Ring;
+  size_t Capacity;
+  uint64_t NextSeq = 0;
+  bool Enabled = false;
+};
+
+/// RAII span: records the start timestamp at construction and emits one
+/// Complete event at destruction (or at explicit end()). The clock is a
+/// caller-supplied callable returning modeled cycles, keeping this layer
+/// independent of the timing model.
+class TraceSpan {
+public:
+  template <typename ClockFn>
+  TraceSpan(TraceCollector &C, std::string Name, std::string Category,
+            ClockFn &&Clock)
+      : C(C), Name(std::move(Name)), Category(std::move(Category)) {
+    Active = C.isEnabled();
+    if (Active) {
+      Start = Clock();
+      End = [Fn = std::forward<ClockFn>(Clock)]() { return Fn(); };
+    }
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  void addArg(const std::string &Key, uint64_t V) {
+    if (Active)
+      Args.add(Key, V);
+  }
+  void addArg(const std::string &Key, const std::string &V) {
+    if (Active)
+      Args.add(Key, V);
+  }
+
+  void end() {
+    if (!Active)
+      return;
+    Active = false;
+    double Now = End();
+    C.complete(Name, Category, Start, Now - Start, std::move(Args));
+  }
+
+  ~TraceSpan() { end(); }
+
+private:
+  TraceCollector &C;
+  std::string Name;
+  std::string Category;
+  TraceArgs Args;
+  double Start = 0;
+  std::function<double()> End;
+  bool Active = false;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_TRACE_H

@@ -9,6 +9,7 @@
 #include "analysis/CallGraph.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "transform/Utils.h"
 
@@ -56,7 +57,8 @@ bool paramFeedsGPUWork(const Function *F, unsigned ArgNo,
 
 class AllocaPromoter {
 public:
-  explicit AllocaPromoter(Module &M) : M(M) {}
+  AllocaPromoter(Module &M, DiagnosticEngine *Remarks)
+      : M(M), Remarks(Remarks) {}
 
   AllocaPromotionStats run() {
     bool Changed = true;
@@ -95,6 +97,14 @@ private:
       std::set<std::pair<const Function *, unsigned>> Seen;
       if (!valueFeedsGPUWork(AI, Seen))
         continue;
+      if (Remarks)
+        Remarks->remark("cgcm-alloca-hoist", AI->getLoc(),
+                        "preallocated local " +
+                            (AI->hasName() ? "'" + AI->getName() + "'"
+                                           : std::string("<unnamed>")) +
+                            " in " + std::to_string(Callers.size()) +
+                            " caller(s) so its map can climb the call graph",
+                        F.getName());
       hoist(F, AI, Callers);
       ++Stats.AllocasHoisted;
       return true;
@@ -151,11 +161,13 @@ private:
   }
 
   Module &M;
+  DiagnosticEngine *Remarks;
   AllocaPromotionStats Stats;
 };
 
 } // namespace
 
-AllocaPromotionStats cgcm::promoteAllocasUpCallGraph(Module &M) {
-  return AllocaPromoter(M).run();
+AllocaPromotionStats
+cgcm::promoteAllocasUpCallGraph(Module &M, DiagnosticEngine *Remarks) {
+  return AllocaPromoter(M, Remarks).run();
 }

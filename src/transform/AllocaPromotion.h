@@ -21,6 +21,8 @@
 
 namespace cgcm {
 
+class DiagnosticEngine;
+
 struct AllocaPromotionStats {
   unsigned AllocasHoisted = 0;
   unsigned Iterations = 0;
@@ -30,8 +32,10 @@ struct AllocaPromotionStats {
 /// the management pass inserts declareAlloca calls (the pass schedule is
 /// glue kernels, alloca promotion, management bookkeeping for new sites,
 /// then map promotion) — here we hoist both the alloca and, if present,
-/// its cgcm_declare_alloca registration.
-AllocaPromotionStats promoteAllocasUpCallGraph(Module &M);
+/// its cgcm_declare_alloca registration. When \p Remarks is non-null each
+/// hoist is reported as a cgcm-alloca-hoist remark.
+AllocaPromotionStats
+promoteAllocasUpCallGraph(Module &M, DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm
 

@@ -11,6 +11,7 @@
 #include "analysis/MemoryObjects.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "transform/Utils.h"
 
@@ -57,7 +58,8 @@ struct CanonicalLoop {
 
 class DOALLDriver {
 public:
-  explicit DOALLDriver(Module &M) : M(M) {}
+  DOALLDriver(Module &M, DiagnosticEngine *Remarks)
+      : M(M), Remarks(Remarks) {}
 
   DOALLStats run() {
     for (const auto &F : M.functions()) {
@@ -398,6 +400,21 @@ private:
     return LiveIns;
   }
 
+  /// Loops are rescanned every fixpoint round; report each (function,
+  /// loop, reason) once.
+  void remarkReject(const Function &F, const Loop *L, const char *Why) {
+    if (!Remarks)
+      return;
+    SourceLoc Loc = L->getHeader()->empty()
+                        ? SourceLoc::none()
+                        : L->getHeader()->front()->getLoc();
+    std::string Msg = std::string("not parallelizing loop: ") + Why;
+    if (!SeenRejects.insert(F.getName() + "|" + Loc.getString() + "|" + Msg)
+             .second)
+      return;
+    Remarks->remark("cgcm-doall-reject", Loc, Msg, F.getName());
+  }
+
   bool parallelizeOneLoop(Function &F) {
     DominatorTree DT(F);
     LoopInfo LI(F, DT);
@@ -407,8 +424,16 @@ private:
       Loop *L = LPtr.get();
       ++Stats.LoopsConsidered;
       std::optional<CanonicalLoop> C = matchCanonical(L);
-      if (!C || !isIndependent(*C) || hasLiveOuts(*C)) {
+      const char *Why = nullptr;
+      if (!C)
+        Why = "the loop is not a canonical counted loop";
+      else if (!isIndependent(*C))
+        Why = "iterations may not be independent";
+      else if (hasLiveOuts(*C))
+        Why = "a loop value is used after the loop";
+      if (Why) {
         ++Stats.LoopsRejected;
+        remarkReject(F, L, Why);
         continue;
       }
       outline(F, *C);
@@ -441,6 +466,11 @@ private:
     Function *K = M.getOrCreateFunction(
         KName, Ctx.getFunctionTy(Ctx.getVoidTy(), ParamTys));
     K->setKernel(true);
+    if (Remarks)
+      Remarks->remark("cgcm-doall-outline", C.Cond->getLoc(),
+                      "parallelized DOALL loop into GPU kernel '" + KName +
+                          "'",
+                      F.getName());
     Stats.Kernels.push_back(K);
     ++Stats.KernelsCreated;
 
@@ -632,7 +662,9 @@ private:
   }
 
   Module &M;
+  DiagnosticEngine *Remarks;
   DOALLStats Stats;
+  std::set<std::string> SeenRejects;
   /// Inner-loop phis optimistically treated as IV-free symbols while
   /// their recurrences are being classified.
   std::set<const Instruction *> PhiAssumptions;
@@ -640,6 +672,6 @@ private:
 
 } // namespace
 
-DOALLStats cgcm::parallelizeDOALLLoops(Module &M) {
-  return DOALLDriver(M).run();
+DOALLStats cgcm::parallelizeDOALLLoops(Module &M, DiagnosticEngine *Remarks) {
+  return DOALLDriver(M, Remarks).run();
 }

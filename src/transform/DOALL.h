@@ -26,6 +26,8 @@
 
 namespace cgcm {
 
+class DiagnosticEngine;
+
 struct DOALLStats {
   unsigned KernelsCreated = 0;
   unsigned LoopsConsidered = 0;
@@ -34,8 +36,11 @@ struct DOALLStats {
 };
 
 /// Parallelizes every eligible DOALL loop in CPU code. Requires Mem2Reg
-/// to have run. Returns creation statistics.
-DOALLStats parallelizeDOALLLoops(Module &M);
+/// to have run. Returns creation statistics. When \p Remarks is non-null
+/// each outlined loop — and each rejected one, with the reason — is
+/// reported as a cgcm-doall-* remark.
+DOALLStats parallelizeDOALLLoops(Module &M,
+                                 DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm
 

@@ -10,6 +10,7 @@
 #include "analysis/LoopInfo.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "transform/CommManagement.h"
 #include "transform/Utils.h"
@@ -56,7 +57,8 @@ bool isGlueable(const Instruction *I) {
 
 class GlueDriver {
 public:
-  explicit GlueDriver(Module &M) : M(M) {}
+  GlueDriver(Module &M, DiagnosticEngine *Remarks)
+      : M(M), Remarks(Remarks) {}
 
   GlueStats run() {
     for (const auto &F : M.functions()) {
@@ -222,6 +224,12 @@ private:
         Ctx.getFunctionTy(Ctx.getVoidTy(), ParamTys));
     GK->setKernel(true);
     GK->setGlueKernel(true);
+    if (Remarks)
+      Remarks->remark("cgcm-glue-outline", Run.front()->getLoc(),
+                      "lowered " + std::to_string(Run.size()) +
+                          " blocking CPU instruction(s) into glue kernel '" +
+                          GK->getName() + "'",
+                      F.getName());
     ++Stats.GlueKernelsCreated;
     Stats.InstructionsLowered += Run.size();
 
@@ -306,11 +314,12 @@ private:
   }
 
   Module &M;
+  DiagnosticEngine *Remarks;
   GlueStats Stats;
 };
 
 } // namespace
 
-GlueStats cgcm::createGlueKernels(Module &M) {
-  return GlueDriver(M).run();
+GlueStats cgcm::createGlueKernels(Module &M, DiagnosticEngine *Remarks) {
+  return GlueDriver(M, Remarks).run();
 }

@@ -21,6 +21,8 @@
 
 namespace cgcm {
 
+class DiagnosticEngine;
+
 struct GlueStats {
   unsigned GlueKernelsCreated = 0;
   unsigned InstructionsLowered = 0;
@@ -33,8 +35,9 @@ inline constexpr unsigned GlueMaxInstructions = 48;
 
 /// Outlines blocking CPU sequences inside loops that launch kernels.
 /// Requires communication management to have run (candidates are found
-/// through the inserted runtime calls).
-GlueStats createGlueKernels(Module &M);
+/// through the inserted runtime calls). When \p Remarks is non-null each
+/// lowering is reported as a cgcm-glue-outline remark.
+GlueStats createGlueKernels(Module &M, DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm
 

@@ -11,6 +11,7 @@
 #include "analysis/LoopInfo.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "transform/Utils.h"
 
@@ -34,7 +35,8 @@ struct Candidate {
 
 class PromotionDriver {
 public:
-  explicit PromotionDriver(Module &M) : M(M), API(getOrDeclareRuntimeAPI(M)) {}
+  PromotionDriver(Module &M, DiagnosticEngine *Remarks)
+      : M(M), API(getOrDeclareRuntimeAPI(M)), Remarks(Remarks) {}
 
   PromotionStats run() {
     // Iterate to convergence: maps climb one region per round.
@@ -120,6 +122,50 @@ private:
     B.createCall(IsArray ? API.ReleaseArray : API.Release, {P8});
   }
 
+  //===--------------------------------------------------------------------===//
+  // Remarks
+  //===--------------------------------------------------------------------===//
+
+  /// Names the candidate pointer for a remark, looking through the i8*
+  /// adapter casts and GEPs the management pass inserts.
+  static std::string describePtr(const Value *P) {
+    while (!P->hasName()) {
+      if (const auto *C = dyn_cast<CastInst>(P))
+        P = C->getValueOperand();
+      else if (const auto *G = dyn_cast<GEPInst>(P))
+        P = G->getPointerOperand();
+      else
+        break;
+    }
+    return P->hasName() ? "'" + P->getName() + "'" : "<unnamed pointer>";
+  }
+
+  void remarkHoist(const Function &F, const Candidate &C,
+                   const std::string &Where) {
+    if (!Remarks)
+      return;
+    Remarks->remark("cgcm-map-promotion-hoist", C.Maps.front()->getLoc(),
+                    "hoisted map/unmap of " + describePtr(C.Ptr) + " " +
+                        Where + " (" + std::to_string(C.Unmaps.size()) +
+                        " in-region unmap(s) deleted)",
+                    F.getName());
+  }
+
+  /// Rejections recur every fixpoint round; report each (function,
+  /// candidate, reason) once.
+  void remarkReject(const Function &F, const Candidate &C, const char *Why) {
+    if (!Remarks)
+      return;
+    std::string Msg =
+        "not promoting map of " + describePtr(C.Ptr) + ": " + Why;
+    if (!SeenRejects.insert(F.getName() + "|" +
+                            C.Maps.front()->getLoc().getString() + "|" + Msg)
+             .second)
+      return;
+    Remarks->remark("cgcm-map-promotion-reject", C.Maps.front()->getLoc(),
+                    Msg, F.getName());
+  }
+
   void deleteUnmaps(Candidate &C) {
     for (CallInst *U : C.Unmaps) {
       Value *Arg = U->getArg(0);
@@ -184,11 +230,16 @@ private:
         continue; // Nothing cyclic to fix (or already promoted).
       // pointsToChanges: the pointer must be loop-invariant.
       if (auto *PI = dyn_cast<Instruction>(C.Ptr))
-        if (L->contains(PI))
+        if (L->contains(PI)) {
+          remarkReject(F, C, "the pointer may change within the loop");
           continue;
+        }
       // modOrRef: CPU code in the loop must not touch the unit.
-      if (regionMayModRef(C.Ptr, nonCandidateInsts(Insts)))
+      if (regionMayModRef(C.Ptr, nonCandidateInsts(Insts))) {
+        remarkReject(F, C,
+                     "CPU code in the loop may access the allocation unit");
         continue;
+      }
 
       IRBuilder B(M);
       // The hoisted pair stands in for the original in-loop mapping;
@@ -199,6 +250,7 @@ private:
       Instruction *ExitAnchor = Exit->front();
       B.setInsertPoint(ExitAnchor);
       emitUnmapRelease(B, C.Ptr, C.IsArray);
+      remarkHoist(F, C, "out of a loop");
       deleteUnmaps(C);
       ++Stats.LoopHoists;
       // Deleting calls invalidates the instruction snapshot the other
@@ -233,12 +285,17 @@ private:
       // cases below are the ones our workloads exercise.)
       const auto *Arg = dyn_cast<Argument>(C.Ptr);
       const auto *GV = dyn_cast<GlobalVariable>(C.Ptr);
-      if (!Arg && !GV)
+      if (!Arg && !GV) {
+        remarkReject(F, C, "the pointer is not computable in the caller");
         continue;
+      }
       if (Arg && Arg->getParent() != &F)
         continue;
-      if (regionMayModRef(C.Ptr, nonCandidateInsts(Insts)))
+      if (regionMayModRef(C.Ptr, nonCandidateInsts(Insts))) {
+        remarkReject(
+            F, C, "CPU code in the function may access the allocation unit");
         continue;
+      }
 
       for (CallInst *CS : Callers) {
         Value *CallerPtr =
@@ -256,6 +313,8 @@ private:
         B.setInsertPoint(It->get());
         emitUnmapRelease(B, CallerPtr, C.IsArray);
       }
+      remarkHoist(F, C,
+                  "into " + std::to_string(Callers.size()) + " caller(s)");
       deleteUnmaps(C);
       ++Stats.FunctionHoists;
       // Snapshot invalidated (see promoteLoop); rescan from the top.
@@ -266,11 +325,13 @@ private:
 
   Module &M;
   RuntimeAPI API;
+  DiagnosticEngine *Remarks;
   PromotionStats Stats;
+  std::set<std::string> SeenRejects;
 };
 
 } // namespace
 
-PromotionStats cgcm::promoteMaps(Module &M) {
-  return PromotionDriver(M).run();
+PromotionStats cgcm::promoteMaps(Module &M, DiagnosticEngine *Remarks) {
+  return PromotionDriver(M, Remarks).run();
 }

@@ -30,6 +30,8 @@
 
 namespace cgcm {
 
+class DiagnosticEngine;
+
 struct PromotionStats {
   unsigned LoopHoists = 0;
   unsigned FunctionHoists = 0;
@@ -37,8 +39,10 @@ struct PromotionStats {
   unsigned Iterations = 0;
 };
 
-/// Runs map promotion to convergence over the module.
-PromotionStats promoteMaps(Module &M);
+/// Runs map promotion to convergence over the module. When \p Remarks is
+/// non-null the pass reports every hoist — and every candidate it had to
+/// reject, with the reason — as cgcm-map-promotion-* remarks.
+PromotionStats promoteMaps(Module &M, DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm
 

@@ -20,7 +20,7 @@ PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
   R.AllocasPromotedToSSA = promoteAllocasToRegisters(M);
 
   if (Opts.Parallelize)
-    R.Doall = parallelizeDOALLLoops(M);
+    R.Doall = parallelizeDOALLLoops(M, Opts.Remarks);
 
   if (Opts.Manage)
     R.Mgmt = insertCommunicationManagement(M);
@@ -29,11 +29,11 @@ PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
     // Paper schedule: glue kernels, then alloca promotion, then map
     // promotion (each earlier pass widens the later passes' reach).
     if (Opts.EnableGlueKernels)
-      R.Glue = createGlueKernels(M);
+      R.Glue = createGlueKernels(M, Opts.Remarks);
     if (Opts.EnableAllocaPromotion)
-      R.AllocaPromo = promoteAllocasUpCallGraph(M);
+      R.AllocaPromo = promoteAllocasUpCallGraph(M, Opts.Remarks);
     if (Opts.EnableMapPromotion)
-      R.MapPromo = promoteMaps(M);
+      R.MapPromo = promoteMaps(M, Opts.Remarks);
     if (Opts.EnableSimplify)
       R.Simplify = simplifyModule(M);
   }

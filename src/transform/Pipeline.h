@@ -44,6 +44,10 @@ struct PipelineOptions {
   /// independence for every kernel the DOALL parallelizer produced and
   /// abort on any finding (see docs/StaticAnalysis.md).
   bool VerifyParallelization = true;
+  /// When non-null, the transform passes report what they did (and what
+  /// they rejected, with reasons) as Remark-severity diagnostics here
+  /// (surfaced by cgcmc --remarks; see docs/Observability.md).
+  DiagnosticEngine *Remarks = nullptr;
 };
 
 struct PipelineResult {

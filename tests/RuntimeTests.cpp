@@ -290,6 +290,57 @@ TEST_F(RuntimeTest, ManyUnitsLookupConsistency) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Overhead accounting: entry points charge only validated, effective calls
+// (a failed or no-op call must not inflate the modeled runtime overhead).
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, NoOpUnmapIsNotCharged) {
+  uint64_t P = heapUnit(128);
+  uint64_t Before = Stats.RuntimeCalls;
+  double CyclesBefore = Stats.RuntimeCycles;
+  // The unit is tracked but not mapped: unmap has nothing to copy back
+  // and must cost nothing.
+  RT.unmap(P);
+  EXPECT_EQ(Stats.RuntimeCalls, Before);
+  EXPECT_EQ(Stats.RuntimeCycles, CyclesBefore);
+}
+
+TEST_F(RuntimeTest, EffectiveCallsChargeExactlyOnce) {
+  uint64_t P = heapUnit(128);
+  uint64_t Base = Stats.RuntimeCalls;
+  RT.map(P);
+  EXPECT_EQ(Stats.RuntimeCalls, Base + 1);
+  RT.onKernelLaunch();
+  RT.unmap(P);
+  EXPECT_EQ(Stats.RuntimeCalls, Base + 2);
+  RT.release(P);
+  EXPECT_EQ(Stats.RuntimeCalls, Base + 3);
+}
+
+TEST_F(RuntimeTest, ReallocChargesOneCall) {
+  uint64_t P = heapUnit(64);
+  uint64_t Before = Stats.RuntimeCalls;
+  uint64_t Q = Host.reallocate(P, 256);
+  // One user-level realloc is one runtime call, not a charge per internal
+  // free/alloc step.
+  RT.notifyHeapRealloc(P, Q, 256);
+  EXPECT_EQ(Stats.RuntimeCalls, Before + 1);
+  ASSERT_NE(RT.lookup(Q), nullptr);
+  EXPECT_EQ(RT.lookup(P), nullptr);
+}
+
+TEST_F(RuntimeTest, EpochSuppressedCopiesAreCounted) {
+  uint64_t P = heapUnit(256);
+  RT.map(P);
+  RT.onKernelLaunch();
+  uint64_t Suppressed = Stats.EpochSuppressedCopies;
+  RT.unmap(P); // Copies back; epoch becomes current.
+  RT.unmap(P); // Epoch proves the host copy current: suppressed.
+  EXPECT_EQ(Stats.EpochSuppressedCopies, Suppressed + 1);
+  RT.release(P);
+}
+
 TEST_P(RuntimePropertyTest, RandomMapReleaseSequencesBalance) {
   // Invariant: after any balanced sequence of map/release (with kernel
   // launches and unmaps sprinkled in), no device memory survives and the

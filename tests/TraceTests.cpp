@@ -1,0 +1,347 @@
+//===- tests/TraceTests.cpp - Observability subsystem tests -------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observability subsystem (docs/Observability.md): the
+/// structured trace collector (event ordering, Chrome-JSON export
+/// well-formedness, zero-overhead when disabled), the per-allocation-site
+/// transfer ledger (totals agree with ExecStats), and the optimization
+/// remarks each transform pass emits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "support/Diagnostics.h"
+#include "support/JSON.h"
+#include "support/Trace.h"
+#include "transform/Pipeline.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+/// A two-kernel-launch program: a time loop spawning kernels over one
+/// array, the shape the trace should show as epochs with communication
+/// around them.
+const char *TwoKernelProgram = R"(
+  double data[128];
+  int main() {
+    int i; int t;
+    for (i = 0; i < 128; i++)
+      data[i] = i * 0.5;
+    for (t = 0; t < 2; t++) {
+      for (i = 0; i < 128; i++)
+        data[i] = data[i] * 0.5 + 1.0;
+    }
+    double sum = 0.0;
+    for (i = 0; i < 128; i++)
+      sum += data[i];
+    print_f64(sum);
+    return 0;
+  }
+)";
+
+/// Runs \p Source through the full pipeline on a managed machine, with
+/// tracing on or off. The machine references the module, so both live in
+/// the returned bundle (Machine itself is neither copyable nor movable).
+struct TracedRun {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<Machine> Mach;
+};
+
+TracedRun runTraced(const char *Source, bool Tracing) {
+  TracedRun R;
+  R.M = compileMiniC(Source, "trace-test");
+  runCGCMPipeline(*R.M);
+  R.Mach = std::make_unique<Machine>();
+  R.Mach->setLaunchPolicy(LaunchPolicy::Managed);
+  R.Mach->setTracingEnabled(Tracing);
+  R.Mach->loadModule(*R.M);
+  R.Mach->run();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceCollector unit behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(TraceCollector, DisabledCollectorRecordsNothing) {
+  TraceCollector C;
+  EXPECT_FALSE(C.isEnabled());
+  C.instant("a", "cat", 1.0);
+  C.complete("b", "cat", 2.0, 3.0);
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.getNumEmitted(), 0u);
+}
+
+TEST(TraceCollector, AssignsMonotonicSequenceNumbers) {
+  TraceCollector C;
+  C.setEnabled(true);
+  C.instant("a", "cat", 10.0);
+  C.complete("b", "cat", 20.0, 5.0, TraceArgs().add("k", uint64_t(7)));
+  C.instant("c", "cat", 30.0);
+  std::vector<TraceEvent> Events = C.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  for (size_t I = 1; I != Events.size(); ++I)
+    EXPECT_GT(Events[I].Seq, Events[I - 1].Seq);
+  EXPECT_EQ(Events[1].Phase, TracePhase::Complete);
+  EXPECT_EQ(Events[1].DurCycles, 5.0);
+  EXPECT_EQ(Events[1].ArgsJson, "\"k\":7");
+}
+
+TEST(TraceCollector, RingDropsOldestAndCountsTheLoss) {
+  TraceCollector C(/*Capacity=*/4);
+  C.setEnabled(true);
+  for (uint64_t I = 0; I != 10; ++I)
+    C.instant("e" + std::to_string(I), "cat", static_cast<double>(I));
+  EXPECT_EQ(C.size(), 4u);
+  EXPECT_EQ(C.getNumEmitted(), 10u);
+  EXPECT_EQ(C.getNumDropped(), 6u);
+  std::vector<TraceEvent> Events = C.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  // Oldest retained first: events 6..9.
+  EXPECT_EQ(Events.front().Name, "e6");
+  EXPECT_EQ(Events.back().Name, "e9");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end tracing through the machine
+//===----------------------------------------------------------------------===//
+
+TEST(MachineTrace, TwoKernelWorkloadEmitsOrderedEvents) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/true);
+  std::vector<TraceEvent> Events = R.Mach->getTraceCollector().snapshot();
+  ASSERT_FALSE(Events.empty());
+
+  // Emission order is globally sequenced and modeled time never runs
+  // backwards.
+  unsigned Kernels = 0, Epochs = 0, Transfers = 0, RuntimeCalls = 0;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (I) {
+      EXPECT_GT(Events[I].Seq, Events[I - 1].Seq);
+      EXPECT_GE(Events[I].TsCycles, Events[I - 1].TsCycles);
+    }
+    if (Events[I].Category == "kernel" && Events[I].Name != "inspect")
+      ++Kernels;
+    else if (Events[I].Name == "epoch")
+      ++Epochs;
+    else if (Events[I].Category == "xfer")
+      ++Transfers;
+    else if (Events[I].Category == "runtime")
+      ++RuntimeCalls;
+  }
+  // The DOALL pass outlines all three array loops; at minimum the two
+  // time-loop iterations launch, each bumping the epoch.
+  EXPECT_GE(Kernels, 2u);
+  EXPECT_GE(Epochs, 2u);
+  EXPECT_GE(Transfers, 2u); // At least one copy in and one copy out.
+  EXPECT_GE(RuntimeCalls, 2u);
+
+  // A kernel span carries its launch policy.
+  for (const TraceEvent &E : Events)
+    if (E.Category == "kernel" && E.Name != "inspect")
+      EXPECT_NE(E.ArgsJson.find("\"policy\""), std::string::npos);
+}
+
+TEST(MachineTrace, DisabledTracingAddsZeroEvents) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/false);
+  EXPECT_EQ(R.Mach->getTraceCollector().getNumEmitted(), 0u);
+  EXPECT_EQ(R.Mach->getTraceCollector().size(), 0u);
+}
+
+TEST(MachineTrace, ChromeExportParsesBackWellFormed) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/true);
+  std::ostringstream OS;
+  R.Mach->getTraceCollector().exportChromeTrace(OS);
+
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(parseJson(OS.str(), Doc, &Err)) << Err;
+  ASSERT_TRUE(Doc.isObject());
+  EXPECT_EQ(Doc["displayTimeUnit"].String, "ns");
+  EXPECT_EQ(Doc["otherData"]["clock"].String, "modeled-cycles");
+  EXPECT_EQ(Doc["otherData"]["emitted"].Number,
+            static_cast<double>(R.Mach->getTraceCollector().getNumEmitted()));
+
+  const JsonValue &Events = Doc["traceEvents"];
+  ASSERT_TRUE(Events.isArray());
+  ASSERT_FALSE(Events.Array.empty());
+  for (const JsonValue &E : Events.Array) {
+    ASSERT_TRUE(E.isObject());
+    EXPECT_TRUE(E["name"].isString());
+    EXPECT_TRUE(E["cat"].isString());
+    ASSERT_TRUE(E["ph"].isString());
+    EXPECT_TRUE(E["ph"].String == "X" || E["ph"].String == "i");
+    EXPECT_TRUE(E["ts"].isNumber());
+    EXPECT_EQ(E["pid"].Number, 1.0);
+    EXPECT_EQ(E["tid"].Number, 1.0);
+    if (E["ph"].String == "X")
+      EXPECT_TRUE(E["dur"].isNumber());
+  }
+}
+
+TEST(MachineTrace, JsonlExportIsOneParsableObjectPerLine) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/true);
+  std::ostringstream OS;
+  R.Mach->getTraceCollector().exportJsonl(OS);
+  std::istringstream IS(OS.str());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    JsonValue Doc;
+    std::string Err;
+    ASSERT_TRUE(parseJson(Line, Doc, &Err)) << Err << ": " << Line;
+    EXPECT_TRUE(Doc.isObject());
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, R.Mach->getTraceCollector().size());
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer ledger
+//===----------------------------------------------------------------------===//
+
+TEST(TransferLedger, TotalsAgreeWithExecStats) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/false);
+  const TransferLedger &Ledger = R.Mach->getRuntime().getLedger();
+  const ExecStats &Stats = R.Mach->getStats();
+  EXPECT_GT(Stats.BytesHtoD, 0u);
+  EXPECT_EQ(Ledger.totalBytesHtoD(), Stats.BytesHtoD);
+  EXPECT_EQ(Ledger.totalBytesDtoH(), Stats.BytesDtoH);
+}
+
+TEST(TransferLedger, AttributesGlobalsToNamedSites) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/false);
+  const TransferLedger &Ledger = R.Mach->getRuntime().getLedger();
+  auto It = Ledger.entries().find("global data");
+  ASSERT_NE(It, Ledger.entries().end());
+  EXPECT_GT(It->second.BytesHtoD, 0u);
+  EXPECT_EQ(It->second.Units, 1u);
+}
+
+TEST(TransferLedger, ProfileJsonLedgerMatchesStats) {
+  TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/false);
+  std::ostringstream OS;
+  writeProfileJson(OS, R.Mach->getStats(), R.Mach->getRuntime().getLedger());
+
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(parseJson(OS.str(), Doc, &Err)) << Err;
+  EXPECT_EQ(Doc["schema"].String, "cgcm-profile-v1");
+  const JsonValue &Ledger = Doc["ledger"];
+  ASSERT_TRUE(Ledger.isArray());
+  double LedgerHtoD = 0, LedgerDtoH = 0;
+  for (const JsonValue &E : Ledger.Array) {
+    LedgerHtoD += E["bytes_htod"].Number;
+    LedgerDtoH += E["bytes_dtoh"].Number;
+  }
+  EXPECT_EQ(LedgerHtoD, Doc["stats"]["bytes_htod"].Number);
+  EXPECT_EQ(LedgerDtoH, Doc["stats"]["bytes_dtoh"].Number);
+  EXPECT_EQ(LedgerHtoD, static_cast<double>(R.Mach->getStats().BytesHtoD));
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization remarks
+//===----------------------------------------------------------------------===//
+
+/// Runs the pipeline over \p Source collecting remarks.
+DiagnosticEngine pipelineRemarks(const std::string &Source,
+                                 bool Parallelize = true) {
+  auto M = compileMiniC(Source, "remark-test");
+  DiagnosticEngine DE;
+  PipelineOptions Opts;
+  Opts.Parallelize = Parallelize;
+  Opts.Remarks = &DE;
+  runCGCMPipeline(*M, Opts);
+  return DE;
+}
+
+TEST(Remarks, MapPromotionHoistCarriesSourceLocation) {
+  DiagnosticEngine DE = pipelineRemarks(TwoKernelProgram);
+  EXPECT_TRUE(DE.hasDiagnostic("cgcm-map-promotion-hoist"));
+  EXPECT_GT(DE.getNumRemarks(), 0u);
+  EXPECT_EQ(DE.getNumErrors(), 0u);
+  EXPECT_EQ(DE.getNumWarnings(), 0u);
+  bool FoundLocated = false;
+  for (const Diagnostic &D : DE.getDiagnostics())
+    if (D.ID == "cgcm-map-promotion-hoist") {
+      EXPECT_EQ(D.Severity, DiagSeverity::Remark);
+      if (D.Loc.isValid())
+        FoundLocated = true;
+    }
+  EXPECT_TRUE(FoundLocated);
+}
+
+TEST(Remarks, DoallOutlineAndRejectReasons) {
+  // The array loops parallelize; the `sum` reduction has a live-out and
+  // must be rejected with a reason.
+  DiagnosticEngine DE = pipelineRemarks(TwoKernelProgram);
+  EXPECT_TRUE(DE.hasDiagnostic("cgcm-doall-outline"));
+  EXPECT_TRUE(DE.hasDiagnostic("cgcm-doall-reject"));
+}
+
+TEST(Remarks, GlueKernelLoweringIsReported) {
+  // lu's pivot row normalization is the glue-kernel showcase: small CPU
+  // regions between launches that block map promotion until outlined.
+  const Workload *LU = findWorkload("lu");
+  ASSERT_NE(LU, nullptr);
+  DiagnosticEngine DE = pipelineRemarks(LU->Source);
+  EXPECT_TRUE(DE.hasDiagnostic("cgcm-glue-outline"));
+}
+
+TEST(Remarks, AllocaPromotionIsReported) {
+  // A helper whose escaping local buffer blocks promotion until it is
+  // preallocated in the caller's frame.
+  const char *Source = R"(
+    double data[256];
+    void step() {
+      double tmp[256];
+      int i;
+      for (i = 0; i < 256; i++)
+        tmp[i] = data[i] * 0.5 + 1.0;
+      for (i = 0; i < 256; i++)
+        data[i] = tmp[i] * 0.99;
+    }
+    int main() {
+      int i; int t;
+      for (i = 0; i < 256; i++)
+        data[i] = i * 0.01;
+      for (t = 0; t < 4; t++)
+        step();
+      double sum = 0.0;
+      for (i = 0; i < 256; i++)
+        sum += data[i];
+      print_f64(sum);
+      return 0;
+    }
+  )";
+  DiagnosticEngine DE = pipelineRemarks(Source);
+  EXPECT_TRUE(DE.hasDiagnostic("cgcm-alloca-hoist"));
+}
+
+TEST(Remarks, RejectionsAreDeduplicatedAcrossFixpointRounds) {
+  DiagnosticEngine DE = pipelineRemarks(TwoKernelProgram);
+  // The promotion passes iterate to convergence; the same (function,
+  // site, reason) must not repeat once per round.
+  std::map<std::string, unsigned> Counts;
+  for (const Diagnostic &D : DE.getDiagnostics())
+    if (D.ID == "cgcm-map-promotion-reject" || D.ID == "cgcm-doall-reject")
+      ++Counts[D.FunctionName + "|" + D.Loc.getString() + "|" + D.Message];
+  for (const auto &[Key, N] : Counts)
+    EXPECT_EQ(N, 1u) << Key;
+}
+
+} // namespace

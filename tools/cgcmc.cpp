@@ -21,6 +21,9 @@
 ///   cgcmc --applicability prog.minic  # per-launch framework applicability
 ///   cgcmc --analyze prog.minic        # static checkers only, no execution
 ///   cgcmc --analyze --Werror prog.minic # warnings fail the analysis too
+///   cgcmc --trace=t.json prog.minic   # Chrome trace of the execution
+///   cgcmc --profile=p.json prog.minic # stats + transfer ledger as JSON
+///   cgcmc --remarks prog.minic        # print optimization remarks
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +31,7 @@
 #include "exec/Machine.h"
 #include "frontend/IRGen.h"
 #include "ir/IRParser.h"
+#include "runtime/TransferLedger.h"
 #include "transform/Applicability.h"
 #include "transform/AllocaPromotion.h"
 #include "transform/CommManagement.h"
@@ -60,6 +64,10 @@ struct Options {
   bool Werror = false;
   std::string DumpStage; ///< Empty = no dump; "opt" dumps the final IR.
   LaunchPolicy Policy = LaunchPolicy::Managed;
+  std::string TracePath;   ///< --trace=<file>: structured event trace.
+  std::string ProfilePath; ///< --profile=<file>: stats + ledger JSON.
+  bool Remarks = false;    ///< --remarks: print optimization remarks.
+  std::string RemarksFilter; ///< --remarks=<substr>: filter by remark ID.
 };
 
 void usage() {
@@ -74,7 +82,14 @@ void usage() {
       "  --stats             print execution statistics\n"
       "  --applicability     print per-launch framework applicability\n"
       "  --analyze           run the static checkers, do not execute\n"
-      "  --Werror            with --analyze, warnings fail the analysis\n");
+      "  --Werror            with --analyze, warnings fail the analysis\n"
+      "  --trace=<file>      write a Chrome trace_event JSON of the\n"
+      "                      execution (.jsonl extension: one event per\n"
+      "                      line instead)\n"
+      "  --profile=<file>    write execution stats + the per-allocation-\n"
+      "                      site transfer ledger as JSON\n"
+      "  --remarks[=filter]  print optimization remarks (optionally only\n"
+      "                      those whose ID contains <filter>)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -94,6 +109,15 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Analyze = true;
     else if (A == "--Werror")
       O.Werror = true;
+    else if (A == "--remarks")
+      O.Remarks = true;
+    else if (A.rfind("--remarks=", 0) == 0) {
+      O.Remarks = true;
+      O.RemarksFilter = A.substr(10);
+    } else if (A.rfind("--trace=", 0) == 0)
+      O.TracePath = A.substr(8);
+    else if (A.rfind("--profile=", 0) == 0)
+      O.ProfilePath = A.substr(10);
     else if (A == "--dump-ir")
       O.DumpStage = "opt";
     else if (A.rfind("--dump-ir=", 0) == 0)
@@ -181,6 +205,44 @@ int runAnalysis(Module &M, const Options &O, const DOALLStats &DS) {
   return 0;
 }
 
+/// Prints the pass-reported remarks collected in \p DE, applying the
+/// --remarks=<filter> ID-substring filter.
+void printRemarks(const DiagnosticEngine &DE, const Options &O) {
+  for (const Diagnostic &D : DE.getDiagnostics()) {
+    if (!O.RemarksFilter.empty() &&
+        D.ID.find(O.RemarksFilter) == std::string::npos)
+      continue;
+    std::cerr << O.InputPath << ":" << D.getString() << "\n";
+  }
+}
+
+/// Writes the observability artifacts the user asked for. Runs after
+/// execution so the trace and ledger cover the whole program.
+void exportObservability(Machine &Mach, const Options &O) {
+  if (!O.TracePath.empty()) {
+    std::ofstream Out(O.TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cgcmc: cannot write '%s'\n", O.TracePath.c_str());
+      return;
+    }
+    bool Jsonl = O.TracePath.size() > 6 &&
+                 O.TracePath.compare(O.TracePath.size() - 6, 6, ".jsonl") == 0;
+    if (Jsonl)
+      Mach.getTraceCollector().exportJsonl(Out);
+    else
+      Mach.getTraceCollector().exportChromeTrace(Out);
+  }
+  if (!O.ProfilePath.empty()) {
+    std::ofstream Out(O.ProfilePath);
+    if (!Out) {
+      std::fprintf(stderr, "cgcmc: cannot write '%s'\n",
+                   O.ProfilePath.c_str());
+      return;
+    }
+    writeProfileJson(Out, Mach.getStats(), Mach.getRuntime().getLedger());
+  }
+}
+
 void printApplicability(Module &M) {
   std::printf("%-24s %6s %8s %8s %8s\n", "kernel", "CGCM", "named",
               "affine", "insp-ex");
@@ -225,9 +287,11 @@ int main(int Argc, char **Argv) {
     }
     Machine Mach;
     Mach.setLaunchPolicy(O.Policy);
+    Mach.setTracingEnabled(!O.TracePath.empty());
     Mach.loadModule(*M);
     int64_t Exit = Mach.run();
     std::fputs(Mach.getOutput().c_str(), stdout);
+    exportObservability(Mach, O);
     return static_cast<int>(Exit);
   }
 
@@ -243,9 +307,11 @@ int main(int Argc, char **Argv) {
     std::fputs(M->getString().c_str(), stdout);
     return 0;
   }
+  DiagnosticEngine RemarksDE;
+  DiagnosticEngine *RE = O.Remarks ? &RemarksDE : nullptr;
   DOALLStats DS;
   if (O.Parallelize)
-    DS = parallelizeDOALLLoops(*M);
+    DS = parallelizeDOALLLoops(*M, RE);
   if (O.DumpStage == "doall") {
     std::fputs(M->getString().c_str(), stdout);
     return 0;
@@ -263,10 +329,12 @@ int main(int Argc, char **Argv) {
     return 0;
   }
   if (O.Manage && O.Optimize) {
-    createGlueKernels(*M);
-    promoteAllocasUpCallGraph(*M);
-    promoteMaps(*M);
+    createGlueKernels(*M, RE);
+    promoteAllocasUpCallGraph(*M, RE);
+    promoteMaps(*M, RE);
   }
+  if (O.Remarks)
+    printRemarks(RemarksDE, O);
   if (!O.DumpStage.empty()) {
     std::fputs(M->getString().c_str(), stdout);
     return 0;
@@ -274,32 +342,38 @@ int main(int Argc, char **Argv) {
 
   Machine Mach;
   Mach.setLaunchPolicy(O.Policy);
+  Mach.setTracingEnabled(!O.TracePath.empty());
   Mach.loadModule(*M);
   int64_t Exit = Mach.run();
   std::fputs(Mach.getOutput().c_str(), stdout);
+  exportObservability(Mach, O);
 
   if (O.Stats) {
     const ExecStats &S = Mach.getStats();
+    auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
     std::fprintf(stderr,
                  "-- cgcmc stats --\n"
-                 "cpu ops        %llu\n"
-                 "gpu ops        %llu\n"
-                 "kernel launches %llu\n"
-                 "HtoD           %llu transfers, %llu bytes\n"
-                 "DtoH           %llu transfers, %llu bytes\n"
-                 "runtime calls  %llu\n"
-                 "modeled cycles %.0f (cpu %.0f, gpu %.0f, comm %.0f, "
+                 "%-28s %14llu\n"
+                 "%-28s %14llu\n"
+                 "%-28s %14llu\n"
+                 "%-28s %14llu\n"
+                 "%-28s %14llu\n"
+                 "%-28s %14llu transfers, %llu bytes\n"
+                 "%-28s %14llu transfers, %llu bytes\n"
+                 "%-28s %14llu\n"
+                 "%-28s %14llu bytes\n"
+                 "%-28s %14.0f (cpu %.0f, gpu %.0f, comm %.0f, "
                  "runtime %.0f, inspect %.0f)\n",
-                 static_cast<unsigned long long>(S.CpuOps),
-                 static_cast<unsigned long long>(S.GpuOps),
-                 static_cast<unsigned long long>(S.KernelLaunches),
-                 static_cast<unsigned long long>(S.TransfersHtoD),
-                 static_cast<unsigned long long>(S.BytesHtoD),
-                 static_cast<unsigned long long>(S.TransfersDtoH),
-                 static_cast<unsigned long long>(S.BytesDtoH),
-                 static_cast<unsigned long long>(S.RuntimeCalls),
-                 S.totalCycles(), S.CpuCycles, S.GpuCycles, S.CommCycles,
-                 S.RuntimeCycles, S.InspectorCycles);
+                 "cpu ops", U(S.CpuOps), "gpu ops", U(S.GpuOps),
+                 "kernel launches", U(S.KernelLaunches), "runtime calls",
+                 U(S.RuntimeCalls), "demand faults", U(S.DemandFaults),
+                 "HtoD", U(S.TransfersHtoD), U(S.BytesHtoD), "DtoH",
+                 U(S.TransfersDtoH), U(S.BytesDtoH),
+                 "epoch-suppressed copies", U(S.EpochSuppressedCopies),
+                 "peak resident device", U(S.PeakResidentDeviceBytes),
+                 "modeled cycles", S.totalCycles(), S.CpuCycles, S.GpuCycles,
+                 S.CommCycles, S.RuntimeCycles, S.InspectorCycles);
+    Mach.getRuntime().getLedger().report(std::cerr);
   }
   return static_cast<int>(Exit);
 }

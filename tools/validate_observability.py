@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate CGCM observability JSON documents against their schemas.
+
+Usage:
+  validate_observability.py --trace trace.json --profile profile.json \
+      [--bench out.json ...]
+
+Checks the Chrome trace export, the cgcm-profile-v1 document (including
+the ledger == ExecStats totals invariant), and any number of
+cgcm-bench-v1 files. Exits non-zero with a message on the first
+violation. Stdlib only — runnable anywhere CI can run python3.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_PHASES = {"X", "i"}
+
+STATS_KEYS = {
+    "cpu_cycles", "gpu_cycles", "comm_cycles", "inspector_cycles",
+    "runtime_cycles", "total_cycles", "kernel_launches",
+    "transfers_htod", "transfers_dtoh", "bytes_htod", "bytes_dtoh",
+    "cpu_ops", "gpu_ops", "runtime_calls", "demand_faults",
+    "epoch_suppressed_copies", "peak_resident_device_bytes",
+}
+
+LEDGER_KEYS = {
+    "site", "line", "col", "units", "bytes_htod", "bytes_dtoh",
+    "transfers_htod", "transfers_dtoh", "epoch_suppressed",
+    "reuse_suppressed", "map_calls", "unmap_calls", "release_calls",
+}
+
+BENCH_ROW_KEYS = {
+    "workload", "config", "cycles", "bytes_htod", "bytes_dtoh", "speedup",
+}
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def expect(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse: {e}")
+
+
+def validate_trace(path):
+    doc = load(path)
+    expect(isinstance(doc.get("traceEvents"), list), path,
+           "missing traceEvents array")
+    other = doc.get("otherData", {})
+    expect(other.get("clock") == "modeled-cycles", path,
+           f"otherData.clock is {other.get('clock')!r}, "
+           "expected 'modeled-cycles'")
+    emitted = other.get("emitted")
+    dropped = other.get("dropped")
+    expect(isinstance(emitted, int) and isinstance(dropped, int), path,
+           "otherData.emitted/dropped missing or not integers")
+    events = doc["traceEvents"]
+    expect(len(events) == emitted - dropped, path,
+           f"{len(events)} events but emitted={emitted} dropped={dropped}")
+    last_seq = -1
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        for key in ("name", "cat", "ph", "ts", "pid", "tid", "seq"):
+            expect(key in ev, path, f"{where}: missing {key!r}")
+        expect(ev["ph"] in TRACE_PHASES, path,
+               f"{where}: phase {ev['ph']!r} not in {sorted(TRACE_PHASES)}")
+        if ev["ph"] == "X":
+            expect("dur" in ev, path, f"{where}: span missing 'dur'")
+        expect(ev["seq"] > last_seq, path,
+               f"{where}: seq {ev['seq']} not increasing")
+        last_seq = ev["seq"]
+    print(f"{path}: OK ({len(events)} events, {dropped} dropped)")
+
+
+def validate_profile(path):
+    doc = load(path)
+    expect(doc.get("schema") == "cgcm-profile-v1", path,
+           f"schema is {doc.get('schema')!r}, expected 'cgcm-profile-v1'")
+    stats = doc.get("stats")
+    expect(isinstance(stats, dict), path, "missing stats object")
+    missing = STATS_KEYS - stats.keys()
+    expect(not missing, path, f"stats missing keys: {sorted(missing)}")
+    ledger = doc.get("ledger")
+    expect(isinstance(ledger, list), path, "missing ledger array")
+    for i, row in enumerate(ledger):
+        missing = LEDGER_KEYS - row.keys()
+        expect(not missing, path,
+               f"ledger[{i}] missing keys: {sorted(missing)}")
+    # The invariant the ledger is built on: per-site attribution must
+    # account for every byte and every transfer ExecStats counted.
+    for stat_key, ledger_key in (("bytes_htod", "bytes_htod"),
+                                 ("bytes_dtoh", "bytes_dtoh"),
+                                 ("transfers_htod", "transfers_htod"),
+                                 ("transfers_dtoh", "transfers_dtoh")):
+        total = sum(row[ledger_key] for row in ledger)
+        expect(total == stats[stat_key], path,
+               f"ledger {ledger_key} sum {total} != "
+               f"stats.{stat_key} {stats[stat_key]}")
+    print(f"{path}: OK ({len(ledger)} ledger sites, "
+          f"{stats['bytes_htod']}B HtoD / {stats['bytes_dtoh']}B DtoH)")
+
+
+def validate_bench(path):
+    doc = load(path)
+    expect(doc.get("schema") == "cgcm-bench-v1", path,
+           f"schema is {doc.get('schema')!r}, expected 'cgcm-bench-v1'")
+    expect(isinstance(doc.get("bench"), str) and doc["bench"], path,
+           "missing bench name")
+    rows = doc.get("rows")
+    expect(isinstance(rows, list) and rows, path, "missing or empty rows")
+    for i, row in enumerate(rows):
+        expect(set(row.keys()) == BENCH_ROW_KEYS, path,
+               f"rows[{i}] keys {sorted(row.keys())} != "
+               f"{sorted(BENCH_ROW_KEYS)}")
+    print(f"{path}: OK (bench {doc['bench']!r}, {len(rows)} rows)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace export to validate")
+    ap.add_argument("--profile", help="cgcm-profile-v1 document to validate")
+    ap.add_argument("--bench", nargs="*", default=[],
+                    help="cgcm-bench-v1 documents to validate")
+    args = ap.parse_args()
+    if not (args.trace or args.profile or args.bench):
+        ap.error("nothing to validate")
+    if args.trace:
+        validate_trace(args.trace)
+    if args.profile:
+        validate_profile(args.profile)
+    for path in args.bench:
+        validate_bench(path)
+
+
+if __name__ == "__main__":
+    main()
