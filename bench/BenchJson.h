@@ -15,6 +15,16 @@
 /// `speedup` is relative to the driver's own baseline configuration and 0
 /// when the row has no meaningful baseline.
 ///
+/// Drivers that instrument the pass pipeline (time_passes,
+/// ablation_passes) append two optional top-level sections:
+///
+///   "pass_timings":   [ { "pass": ..., "wall_ms": ..., "ir_delta": ...,
+///                         "runs": ... }, ... ]
+///   "analysis_cache": [ { "analysis": ..., "constructions": ...,
+///                         "hits": ... }, ... ]
+///
+/// aggregated over every pipeline execution the driver performed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGCM_BENCH_BENCHJSON_H
@@ -39,6 +49,31 @@ struct Row {
   double Speedup = 0;
 };
 
+/// One "pass_timings" entry: aggregated wall time, IR-size delta, and
+/// execution count of one pass (pass/StandardInstrumentations.h produces
+/// the per-run numbers; drivers sum them).
+struct PassTimingRow {
+  std::string Pass;
+  double WallMs = 0;
+  int64_t IrDelta = 0;
+  uint64_t Runs = 0;
+};
+
+/// One "analysis_cache" entry: how often the named analysis was rebuilt
+/// versus served from the manager's cache.
+struct AnalysisCacheRow {
+  std::string Analysis;
+  uint64_t Constructions = 0;
+  uint64_t Hits = 0;
+};
+
+/// The optional pipeline-instrumentation sections; empty vectors are
+/// omitted from the output.
+struct PipelineSections {
+  std::vector<PassTimingRow> PassTimings;
+  std::vector<AnalysisCacheRow> AnalysisCache;
+};
+
 /// Extracts `--json <file>` from the argument vector (removing both
 /// tokens so later parsing never sees them) and returns the path, or ""
 /// when the flag is absent.
@@ -55,10 +90,12 @@ inline std::string consumeJsonArg(int &Argc, char **Argv) {
   return "";
 }
 
-/// Writes \p Rows to \p Path in the shared schema; no-op when \p Path is
-/// empty. Returns false only when the file cannot be opened.
+/// Writes \p Rows (plus \p Sections, when any are non-empty) to \p Path
+/// in the shared schema; no-op when \p Path is empty. Returns false only
+/// when the file cannot be opened.
 inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
-                           const std::vector<Row> &Rows) {
+                           const std::vector<Row> &Rows,
+                           const PipelineSections &Sections = {}) {
   if (Path.empty())
     return true;
   std::ofstream Out(Path);
@@ -80,6 +117,29 @@ inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
     W.endObject();
   }
   W.endArray();
+  if (!Sections.PassTimings.empty()) {
+    W.key("pass_timings").beginArray();
+    for (const PassTimingRow &T : Sections.PassTimings) {
+      W.beginObject();
+      W.key("pass").string(T.Pass);
+      W.key("wall_ms").number(T.WallMs);
+      W.key("ir_delta").number(T.IrDelta);
+      W.key("runs").number(T.Runs);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (!Sections.AnalysisCache.empty()) {
+    W.key("analysis_cache").beginArray();
+    for (const AnalysisCacheRow &C : Sections.AnalysisCache) {
+      W.beginObject();
+      W.key("analysis").string(C.Analysis);
+      W.key("constructions").number(C.Constructions);
+      W.key("hits").number(C.Hits);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
   Out << "\n";
   return true;

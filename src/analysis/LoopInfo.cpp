@@ -68,8 +68,21 @@ LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
     }
   }
 
-  for (auto &[Header, Body] : HeaderToBody)
-    Loops.push_back(std::make_unique<Loop>(Header, std::move(Body)));
+  // Hand each loop its blocks in reverse post-order: iteration order over
+  // a loop's blocks must not depend on their allocation addresses.
+  std::map<BasicBlock *, unsigned> RPOIndex;
+  unsigned N = 0;
+  for (BasicBlock *BB : DT.getReversePostOrder())
+    RPOIndex[BB] = N++;
+
+  for (auto &[Header, Body] : HeaderToBody) {
+    std::vector<BasicBlock *> Blocks(Body.begin(), Body.end());
+    std::sort(Blocks.begin(), Blocks.end(),
+              [&](BasicBlock *A, BasicBlock *B) {
+                return RPOIndex[A] < RPOIndex[B];
+              });
+    Loops.push_back(std::make_unique<Loop>(Header, std::move(Blocks)));
+  }
 
   // Establish nesting: the parent is the smallest strictly-containing loop.
   for (auto &L : Loops) {
@@ -91,14 +104,10 @@ LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
   }
 
   // Sort outermost-first (by depth, then by header RPO for determinism).
-  std::map<BasicBlock *, unsigned> HeaderOrder;
-  unsigned N = 0;
-  for (BasicBlock *BB : DT.getReversePostOrder())
-    HeaderOrder[BB] = N++;
   std::sort(Loops.begin(), Loops.end(), [&](const auto &A, const auto &B) {
     if (A->getDepth() != B->getDepth())
       return A->getDepth() < B->getDepth();
-    return HeaderOrder[A->getHeader()] < HeaderOrder[B->getHeader()];
+    return RPOIndex[A->getHeader()] < RPOIndex[B->getHeader()];
   });
 }
 

@@ -26,13 +26,18 @@ namespace cgcm {
 
 class Loop {
 public:
-  Loop(BasicBlock *Header, std::set<BasicBlock *> Blocks)
-      : Header(Header), Blocks(std::move(Blocks)) {}
+  /// \p Blocks must be in a deterministic order (LoopInfo uses reverse
+  /// post-order) — transforms iterate it to collect region instructions,
+  /// so pointer-ordered blocks would make output IR depend on allocation
+  /// addresses.
+  Loop(BasicBlock *Header, std::vector<BasicBlock *> Blocks)
+      : Header(Header), Blocks(std::move(Blocks)),
+        BlockSet(this->Blocks.begin(), this->Blocks.end()) {}
 
   BasicBlock *getHeader() const { return Header; }
-  const std::set<BasicBlock *> &getBlocks() const { return Blocks; }
+  const std::vector<BasicBlock *> &getBlocks() const { return Blocks; }
   bool contains(const BasicBlock *BB) const {
-    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+    return BlockSet.count(const_cast<BasicBlock *>(BB)) != 0;
   }
   bool contains(const Instruction *I) const {
     return contains(I->getParent());
@@ -69,7 +74,8 @@ public:
 
 private:
   BasicBlock *Header;
-  std::set<BasicBlock *> Blocks;
+  std::vector<BasicBlock *> Blocks;
+  std::set<BasicBlock *> BlockSet;
   Loop *Parent = nullptr;
   std::vector<Loop *> SubLoops;
 };

@@ -146,6 +146,7 @@ KernelLiveIns cgcm::analyzeKernelLiveIns(const Function &Kernel) {
   // Device-reachable functions (kernels may call device helpers).
   std::vector<const Function *> Work{&Kernel};
   Result.DeviceFunctions.insert(&Kernel);
+  Result.DeviceOrder.push_back(&Kernel);
   while (!Work.empty()) {
     const Function *F = Work.back();
     Work.pop_back();
@@ -153,8 +154,10 @@ KernelLiveIns cgcm::analyzeKernelLiveIns(const Function &Kernel) {
       for (const auto &I : *BB)
         if (const auto *CI = dyn_cast<CallInst>(I.get()))
           if (!CI->getCallee()->isDeclaration() &&
-              Result.DeviceFunctions.insert(CI->getCallee()).second)
+              Result.DeviceFunctions.insert(CI->getCallee()).second) {
+            Result.DeviceOrder.push_back(CI->getCallee());
             Work.push_back(CI->getCallee());
+          }
   }
 
   InferenceEngine Engine(Result.DeviceFunctions);
@@ -165,7 +168,9 @@ KernelLiveIns cgcm::analyzeKernelLiveIns(const Function &Kernel) {
 
   // Globals used anywhere on the device are live-ins; a global that is
   // merely *used* is at least a pointer (its storage must reach the GPU).
-  for (const Function *F : Result.DeviceFunctions) {
+  // Walk functions in discovery order so GlobalOrder is program-order
+  // deterministic, not allocation-address dependent.
+  for (const Function *F : Result.DeviceOrder) {
     for (const auto &BB : *F) {
       for (const auto &I : *BB) {
         for (const Value *Op : I->operands()) {
@@ -175,6 +180,8 @@ KernelLiveIns cgcm::analyzeKernelLiveIns(const Function &Kernel) {
           unsigned D = std::max(1u, Engine.degreeOf(GV));
           PointerDegree PD = toDegree(D);
           auto It = Result.GlobalDegrees.find(GV);
+          if (It == Result.GlobalDegrees.end())
+            Result.GlobalOrder.push_back(GV);
           if (It == Result.GlobalDegrees.end() || It->second < PD)
             Result.GlobalDegrees[GV] = PD;
         }

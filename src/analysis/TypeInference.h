@@ -49,8 +49,15 @@ enum class PointerDegree {
 struct KernelLiveIns {
   std::vector<PointerDegree> ArgDegrees;      ///< Indexed by argument number.
   std::map<const GlobalVariable *, PointerDegree> GlobalDegrees;
+  /// GlobalDegrees' keys in discovery order (program order over the
+  /// device-reachable code). Iterate this — not the pointer-keyed map —
+  /// when the iteration order reaches the output (inserted calls,
+  /// diagnostics), so results do not depend on allocation addresses.
+  std::vector<const GlobalVariable *> GlobalOrder;
   /// Functions reachable from the kernel on the device.
   std::set<const Function *> DeviceFunctions;
+  /// DeviceFunctions in discovery order (kernel first).
+  std::vector<const Function *> DeviceOrder;
 };
 
 /// Computes live-ins and their inferred degrees for \p Kernel.

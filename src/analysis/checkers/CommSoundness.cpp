@@ -302,7 +302,8 @@ private:
                      describe(U) + " with no mapping on some path",
                  F);
     }
-    for (const auto &[GV, Deg] : L.GlobalDegrees) {
+    for (const GlobalVariable *GV : L.GlobalOrder) {
+      PointerDegree Deg = L.GlobalDegrees.at(GV);
       if (Deg == PointerDegree::Scalar)
         continue;
       if (S[GV].Lo < 1)

@@ -91,8 +91,8 @@ private:
                     "CGCM supports at most two",
                 K.getName());
     }
-    for (const auto &[GV, Deg] : L.GlobalDegrees) {
-      if (Deg != PointerDegree::Deeper)
+    for (const GlobalVariable *GV : L.GlobalOrder) {
+      if (L.GlobalDegrees.at(GV) != PointerDegree::Deeper)
         continue;
       DE.report(diag::PointerDegree, DiagSeverity::Error, blameLoc(K),
                 "global '" + GV->getName() + "' used by kernel '" +
@@ -106,7 +106,7 @@ private:
     // device functions it calls (the IR verifier only inspects kernels,
     // so helpers are covered here).
     checkPointerStores(K, K);
-    for (const Function *DF : L.DeviceFunctions)
+    for (const Function *DF : L.DeviceOrder)
       if (!DF->isDeclaration())
         checkPointerStores(K, *DF);
   }

@@ -1,0 +1,77 @@
+//===- pass/Analyses.cpp - Cached analysis wrappers -------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/Analyses.h"
+
+#include "pass/AnalysisManager.h"
+
+using namespace cgcm;
+
+namespace {
+
+/// FNV-1a, the usual small-data mixer.
+inline uint64_t mix(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+uint64_t hashString(uint64_t H, const std::string &S) {
+  for (char C : S)
+    H = mix(H, static_cast<uint64_t>(static_cast<unsigned char>(C)));
+  return mix(H, S.size());
+}
+
+} // namespace
+
+uint64_t cgcm::fingerprintCFG(const Function &F) {
+  // Index blocks by position so the fingerprint is content-based, not
+  // address-based.
+  std::map<const BasicBlock *, uint64_t> Index;
+  uint64_t N = 0;
+  for (const auto &BB : F)
+    Index[BB.get()] = N++;
+  uint64_t H = mix(0xcbf29ce484222325ull, N);
+  for (const auto &BB : F) {
+    H = mix(H, Index[BB.get()]);
+    for (const BasicBlock *S : BB->successors())
+      H = mix(H, Index.count(S) ? Index[S] + 1 : 0);
+  }
+  return H;
+}
+
+uint64_t cgcm::fingerprintCallStructure(const Module &M) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    H = hashString(H, F->getName());
+    for (const Instruction *I : F->instructions()) {
+      const auto *CI = dyn_cast<CallInst>(I);
+      if (!CI || CI->getCallee()->isDeclaration())
+        continue;
+      H = hashString(H, CI->getCallee()->getName());
+    }
+  }
+  return H;
+}
+
+std::unique_ptr<DominatorTree>
+DominatorTreeAnalysis::run(Function &F, FunctionAnalysisManager &AM) {
+  (void)AM;
+  return std::make_unique<DominatorTree>(F);
+}
+
+std::unique_ptr<LoopInfo> LoopAnalysis::run(Function &F,
+                                            FunctionAnalysisManager &AM) {
+  return std::make_unique<LoopInfo>(F,
+                                    AM.getResult<DominatorTreeAnalysis>(F));
+}
+
+std::unique_ptr<CallGraph> CallGraphAnalysis::run(Module &M,
+                                                  ModuleAnalysisManager &AM) {
+  (void)AM;
+  return std::make_unique<CallGraph>(M);
+}

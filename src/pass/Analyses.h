@@ -1,0 +1,100 @@
+//===- pass/Analyses.h - Cached analysis wrappers ---------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapters presenting the concrete analyses (`src/analysis/`) to the
+/// analysis managers. Each wrapper names the analysis, owns its identity
+/// key, knows how to compute it, and — for the stale-analysis detector —
+/// provides a *fingerprint* of exactly the IR features the result
+/// depends on:
+///
+///  * DominatorTree / LoopInfo depend only on the CFG (blocks and
+///    terminator targets); instruction-level queries re-read the block
+///    contents on demand, so instruction insertion/deletion does not
+///    stale them;
+///  * CallGraph depends on the set of defined functions and the call
+///    instructions whose callee is defined (calls to declarations — the
+///    runtime API — are invisible to it).
+///
+/// A pass that mutates the IR without changing an analysis's fingerprint
+/// may preserve it; the detector (AnalysisManager.h) enforces exactly
+/// this contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_PASS_ANALYSES_H
+#define CGCM_PASS_ANALYSES_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "pass/PreservedAnalyses.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace cgcm {
+
+class FunctionAnalysisManager;
+class ModuleAnalysisManager;
+
+/// Fingerprint of \p F's control-flow graph: block count plus every
+/// terminator edge, by block position. Instruction-level changes do not
+/// alter it.
+uint64_t fingerprintCFG(const Function &F);
+
+/// Fingerprint of \p M's call structure: the defined-function set and
+/// every call to a defined callee, in program order.
+uint64_t fingerprintCallStructure(const Module &M);
+
+//===----------------------------------------------------------------------===//
+// Function-level analyses
+//===----------------------------------------------------------------------===//
+
+struct DominatorTreeAnalysis {
+  using Result = DominatorTree;
+  static AnalysisKey ID() {
+    static char Tag;
+    return &Tag;
+  }
+  static const char *name() { return "dominators"; }
+  static uint64_t fingerprint(const Function &F) { return fingerprintCFG(F); }
+  static std::unique_ptr<DominatorTree> run(Function &F,
+                                            FunctionAnalysisManager &AM);
+};
+
+struct LoopAnalysis {
+  using Result = LoopInfo;
+  static AnalysisKey ID() {
+    static char Tag;
+    return &Tag;
+  }
+  static const char *name() { return "loops"; }
+  static uint64_t fingerprint(const Function &F) { return fingerprintCFG(F); }
+  static std::unique_ptr<LoopInfo> run(Function &F,
+                                       FunctionAnalysisManager &AM);
+};
+
+//===----------------------------------------------------------------------===//
+// Module-level analyses
+//===----------------------------------------------------------------------===//
+
+struct CallGraphAnalysis {
+  using Result = CallGraph;
+  static AnalysisKey ID() {
+    static char Tag;
+    return &Tag;
+  }
+  static const char *name() { return "callgraph"; }
+  static uint64_t fingerprint(const Module &M) {
+    return fingerprintCallStructure(M);
+  }
+  static std::unique_ptr<CallGraph> run(Module &M, ModuleAnalysisManager &AM);
+};
+
+} // namespace cgcm
+
+#endif // CGCM_PASS_ANALYSES_H

@@ -1,0 +1,108 @@
+//===- pass/AnalysisManager.cpp - Cached, invalidatable analyses ------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/AnalysisManager.h"
+
+using namespace cgcm;
+
+[[noreturn]] void cgcm::detail::reportStaleAnalysis(const char *Analysis,
+                                                    const std::string &Unit) {
+  reportFatalError("stale analysis: '" + std::string(Analysis) + "' for '" +
+                   Unit +
+                   "' consumed after the IR changed without invalidation");
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionAnalysisManager
+//===----------------------------------------------------------------------===//
+
+void FunctionAnalysisManager::invalidate(Function &F) {
+  auto It = Cache.lower_bound({&F, nullptr});
+  while (It != Cache.end() && It->first.first == &F) {
+    if (PI)
+      PI->runAnalysisInvalidated(It->second.Name, F.getName());
+    It = Cache.erase(It);
+  }
+}
+
+void FunctionAnalysisManager::invalidate(const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved())
+    return;
+  for (auto It = Cache.begin(); It != Cache.end();) {
+    if (!PA.isPreserved(It->first.second)) {
+      if (PI)
+        PI->runAnalysisInvalidated(It->second.Name,
+                                   It->first.first->getName());
+      It = Cache.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void FunctionAnalysisManager::clear() { Cache.clear(); }
+
+std::vector<AnalysisCacheStats> FunctionAnalysisManager::getCacheStats() const {
+  std::vector<AnalysisCacheStats> Out;
+  for (const auto &[K, C] : Counters) {
+    (void)K;
+    Out.push_back({C.Name, C.Constructions, C.Hits});
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleAnalysisManager
+//===----------------------------------------------------------------------===//
+
+void ModuleAnalysisManager::invalidate(const PreservedAnalyses &PA) {
+  if (PA.areAllPreserved())
+    return;
+  for (auto It = Cache.begin(); It != Cache.end();) {
+    if (!PA.isPreserved(It->first)) {
+      if (PI)
+        PI->runAnalysisInvalidated(It->second.Name, "<module>");
+      It = Cache.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  FAM.invalidate(PA);
+}
+
+void ModuleAnalysisManager::clear() {
+  Cache.clear();
+  FAM.clear();
+}
+
+std::vector<AnalysisCacheStats> ModuleAnalysisManager::getCacheStats() const {
+  std::vector<AnalysisCacheStats> Out;
+  for (const auto &[K, C] : Counters) {
+    (void)K;
+    Out.push_back({C.Name, C.Constructions, C.Hits});
+  }
+  for (const AnalysisCacheStats &S : FAM.getCacheStats())
+    Out.push_back(S);
+  return Out;
+}
+
+uint64_t ModuleAnalysisManager::getConstructionCount(
+    const std::string &AnalysisName) const {
+  uint64_t N = 0;
+  for (const AnalysisCacheStats &S : getCacheStats())
+    if (S.Name == AnalysisName)
+      N += S.Constructions;
+  return N;
+}
+
+uint64_t
+ModuleAnalysisManager::getHitCount(const std::string &AnalysisName) const {
+  uint64_t N = 0;
+  for (const AnalysisCacheStats &S : getCacheStats())
+    if (S.Name == AnalysisName)
+      N += S.Hits;
+  return N;
+}

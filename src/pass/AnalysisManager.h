@@ -1,0 +1,218 @@
+//===- pass/AnalysisManager.h - Cached, invalidatable analyses --------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lazily computes and caches analyses so every pass (and every
+/// iteration of a convergence loop) that needs dominators, loops, or the
+/// call graph asks the manager instead of rebuilding from scratch
+/// (docs/PassManager.md). Results live until invalidated: the pass
+/// manager intersects each pass's PreservedAnalyses with the caches, and
+/// passes doing targeted mutation may invalidate single functions
+/// mid-run.
+///
+/// Every construction and every cache hit is counted per analysis —
+/// `--time-passes` and the ablation bench report these — and each cached
+/// result carries a fingerprint of the IR features it depends on. With
+/// stale checking enabled (setStaleCheckingEnabled, or automatically
+/// under `--verify-each`), a cache hit whose fingerprint no longer
+/// matches the IR is a fatal error: some pass mutated the IR and kept
+/// consuming the cached result without invalidating it.
+///
+/// One manager serves one module; function results are keyed by
+/// Function pointer, which is stable (no pass deletes functions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_PASS_ANALYSISMANAGER_H
+#define CGCM_PASS_ANALYSISMANAGER_H
+
+#include "ir/Module.h"
+#include "pass/PassInstrumentation.h"
+#include "pass/PreservedAnalyses.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// Per-analysis cache accounting, exposed for --time-passes and the
+/// ablation bench.
+struct AnalysisCacheStats {
+  std::string Name;
+  uint64_t Constructions = 0;
+  uint64_t Hits = 0;
+};
+
+namespace detail {
+
+/// Type-erased owner of one analysis result.
+struct CachedResult {
+  std::shared_ptr<void> Result;
+  uint64_t Fingerprint = 0;
+  const char *Name = "";
+};
+
+struct CacheCounter {
+  const char *Name = "";
+  uint64_t Constructions = 0;
+  uint64_t Hits = 0;
+};
+
+[[noreturn]] void reportStaleAnalysis(const char *Analysis,
+                                      const std::string &Unit);
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// FunctionAnalysisManager
+//===----------------------------------------------------------------------===//
+
+class FunctionAnalysisManager {
+public:
+  /// The cached result of analysis \p A on \p F, computing it on a miss.
+  /// The reference stays valid until the entry is invalidated.
+  template <typename A> typename A::Result &getResult(Function &F) {
+    const AnalysisKey K = A::ID();
+    detail::CacheCounter &C = Counters[K];
+    C.Name = A::name();
+    auto It = Cache.find({&F, K});
+    if (It != Cache.end()) {
+      ++C.Hits;
+      if (StaleChecking && It->second.Fingerprint != A::fingerprint(F))
+        detail::reportStaleAnalysis(A::name(), F.getName());
+      return *static_cast<typename A::Result *>(It->second.Result.get());
+    }
+    ++C.Constructions;
+    // run() may recurse into getResult (loops need dominators), so do not
+    // hold an iterator across it.
+    std::unique_ptr<typename A::Result> R = A::run(F, *this);
+    typename A::Result *Raw = R.release();
+    detail::CachedResult E;
+    E.Result = std::shared_ptr<void>(static_cast<void *>(Raw), [](void *P) {
+      delete static_cast<typename A::Result *>(P);
+    });
+    E.Fingerprint = A::fingerprint(F);
+    E.Name = A::name();
+    Cache[{&F, K}] = std::move(E);
+    if (PI)
+      PI->runAnalysisComputed(A::name(), F.getName());
+    return *Raw;
+  }
+
+  /// True if \p A is currently cached for \p F (no side effects).
+  template <typename A> bool isCached(const Function &F) const {
+    return Cache.count({const_cast<Function *>(&F), A::ID()}) != 0;
+  }
+
+  /// Drops every cached analysis of \p F (the function was mutated).
+  void invalidate(Function &F);
+
+  /// Drops, for every function, the analyses \p PA does not preserve.
+  void invalidate(const PreservedAnalyses &PA);
+
+  void clear();
+
+  void setInstrumentation(PassInstrumentation *P) { PI = P; }
+  void setStaleCheckingEnabled(bool V) { StaleChecking = V; }
+  bool isStaleCheckingEnabled() const { return StaleChecking; }
+
+  std::vector<AnalysisCacheStats> getCacheStats() const;
+
+private:
+  std::map<std::pair<Function *, AnalysisKey>, detail::CachedResult> Cache;
+  std::map<AnalysisKey, detail::CacheCounter> Counters;
+  PassInstrumentation *PI = nullptr;
+  bool StaleChecking = false;
+};
+
+//===----------------------------------------------------------------------===//
+// ModuleAnalysisManager
+//===----------------------------------------------------------------------===//
+
+class ModuleAnalysisManager {
+public:
+  FunctionAnalysisManager &getFunctionAnalysisManager() { return FAM; }
+
+  template <typename A> typename A::Result &getResult(Module &M) {
+    const AnalysisKey K = A::ID();
+    detail::CacheCounter &C = Counters[K];
+    C.Name = A::name();
+    auto It = Cache.find(K);
+    if (It != Cache.end()) {
+      ++C.Hits;
+      if (StaleChecking && It->second.Fingerprint != A::fingerprint(M))
+        detail::reportStaleAnalysis(A::name(), "<module>");
+      return *static_cast<typename A::Result *>(It->second.Result.get());
+    }
+    ++C.Constructions;
+    std::unique_ptr<typename A::Result> R = A::run(M, *this);
+    typename A::Result *Raw = R.release();
+    detail::CachedResult E;
+    E.Result = std::shared_ptr<void>(static_cast<void *>(Raw), [](void *P) {
+      delete static_cast<typename A::Result *>(P);
+    });
+    E.Fingerprint = A::fingerprint(M);
+    E.Name = A::name();
+    Cache[K] = std::move(E);
+    if (PI)
+      PI->runAnalysisComputed(A::name(), "<module>");
+    return *Raw;
+  }
+
+  template <typename A> bool isCached() const {
+    return Cache.count(A::ID()) != 0;
+  }
+
+  /// Module-level targeted invalidation.
+  template <typename A> void invalidateResult() {
+    auto It = Cache.find(A::ID());
+    if (It == Cache.end())
+      return;
+    if (PI)
+      PI->runAnalysisInvalidated(It->second.Name, "<module>");
+    Cache.erase(It);
+  }
+
+  /// Drops everything \p PA does not preserve, at both levels.
+  void invalidate(const PreservedAnalyses &PA);
+
+  void clear();
+
+  void setInstrumentation(PassInstrumentation *P) {
+    PI = P;
+    FAM.setInstrumentation(P);
+  }
+  PassInstrumentation *getInstrumentation() const { return PI; }
+
+  void setStaleCheckingEnabled(bool V) {
+    StaleChecking = V;
+    FAM.setStaleCheckingEnabled(V);
+  }
+  bool isStaleCheckingEnabled() const { return StaleChecking; }
+
+  /// Module- and function-level counters, merged by analysis name.
+  std::vector<AnalysisCacheStats> getCacheStats() const;
+
+  /// Constructions of the named analysis so far (0 if never requested).
+  uint64_t getConstructionCount(const std::string &AnalysisName) const;
+  /// Cache hits of the named analysis so far.
+  uint64_t getHitCount(const std::string &AnalysisName) const;
+
+private:
+  FunctionAnalysisManager FAM;
+  std::map<AnalysisKey, detail::CachedResult> Cache;
+  std::map<AnalysisKey, detail::CacheCounter> Counters;
+  PassInstrumentation *PI = nullptr;
+  bool StaleChecking = false;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_PASS_ANALYSISMANAGER_H

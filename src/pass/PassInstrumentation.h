@@ -1,0 +1,84 @@
+//===- pass/PassInstrumentation.h - Per-pass hook bus -----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation bus of the pass manager (docs/PassManager.md).
+/// Interested parties — timing, IR verification, staged printing, trace
+/// spans — register callbacks; the pass manager and the analysis
+/// managers fire them at the corresponding points. Multiple subscribers
+/// per hook are supported; they run in registration order.
+///
+/// Nested pass managers (the `fixpoint(...)` group) fire before/after
+/// for the container *and* for every contained pass, strictly LIFO, so
+/// subscribers may keep a stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_PASS_PASSINSTRUMENTATION_H
+#define CGCM_PASS_PASSINSTRUMENTATION_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class Module;
+
+class PassInstrumentation {
+public:
+  using BeforePassFn = std::function<void(const std::string &Pass, Module &M)>;
+  using AfterPassFn =
+      std::function<void(const std::string &Pass, Module &M, bool Changed)>;
+  /// \p Unit is the function name for function analyses, "<module>" for
+  /// module analyses.
+  using AnalysisFn =
+      std::function<void(const std::string &Analysis, const std::string &Unit)>;
+
+  void registerBeforePass(BeforePassFn Fn) {
+    BeforePass.push_back(std::move(Fn));
+  }
+  void registerAfterPass(AfterPassFn Fn) { AfterPass.push_back(std::move(Fn)); }
+  void registerAnalysisComputed(AnalysisFn Fn) {
+    AnalysisComputed.push_back(std::move(Fn));
+  }
+  void registerAnalysisInvalidated(AnalysisFn Fn) {
+    AnalysisInvalidated.push_back(std::move(Fn));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Firing (called by PassManager / AnalysisManager)
+  //===--------------------------------------------------------------------===//
+
+  void runBeforePass(const std::string &Pass, Module &M) const {
+    for (const BeforePassFn &Fn : BeforePass)
+      Fn(Pass, M);
+  }
+  void runAfterPass(const std::string &Pass, Module &M, bool Changed) const {
+    for (const AfterPassFn &Fn : AfterPass)
+      Fn(Pass, M, Changed);
+  }
+  void runAnalysisComputed(const std::string &Analysis,
+                           const std::string &Unit) const {
+    for (const AnalysisFn &Fn : AnalysisComputed)
+      Fn(Analysis, Unit);
+  }
+  void runAnalysisInvalidated(const std::string &Analysis,
+                              const std::string &Unit) const {
+    for (const AnalysisFn &Fn : AnalysisInvalidated)
+      Fn(Analysis, Unit);
+  }
+
+private:
+  std::vector<BeforePassFn> BeforePass;
+  std::vector<AfterPassFn> AfterPass;
+  std::vector<AnalysisFn> AnalysisComputed;
+  std::vector<AnalysisFn> AnalysisInvalidated;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_PASS_PASSINSTRUMENTATION_H

@@ -1,0 +1,44 @@
+//===- pass/PassManager.cpp - Declarative pass scheduling -------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/PassManager.h"
+
+using namespace cgcm;
+
+std::vector<std::string> PassManager::getPassNames() const {
+  std::vector<std::string> Names;
+  for (const auto &P : Passes)
+    Names.push_back(P->name());
+  return Names;
+}
+
+bool PassManager::run(Module &M, ModuleAnalysisManager &AM) {
+  bool AnyChanged = false;
+  PassInstrumentation *PI = AM.getInstrumentation();
+  for (const auto &P : Passes) {
+    if (PI)
+      PI->runBeforePass(P->name(), M);
+    PassExecResult R = P->run(M, AM);
+    AM.invalidate(R.PA);
+    if (PI)
+      PI->runAfterPass(P->name(), M, R.Changed);
+    AnyChanged |= R.Changed;
+  }
+  return AnyChanged;
+}
+
+PassExecResult FixpointPass::run(Module &M, ModuleAnalysisManager &AM) {
+  PassExecResult R;
+  R.PA = PreservedAnalyses::all(); // Inner passes already invalidated.
+  LastIterations = 0;
+  for (unsigned I = 0; I != MaxIterations; ++I) {
+    ++LastIterations;
+    if (!Inner.run(M, AM))
+      break;
+    R.Changed = true;
+  }
+  return R;
+}

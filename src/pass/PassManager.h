@@ -1,0 +1,93 @@
+//===- pass/PassManager.h - Declarative pass scheduling ---------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass manager (docs/PassManager.md): passes request analyses from
+/// a ModuleAnalysisManager instead of rebuilding them, and report what
+/// they preserved; the manager invalidates the rest after each pass, so
+/// dominators/loops/call-graph survive exactly as long as they are
+/// valid. `FixpointPass` wraps an inner pipeline and reruns it until a
+/// full sweep changes nothing — with preservation-aware caching, the
+/// final (no-change) sweep runs entirely out of the analysis cache.
+///
+/// Instrumentation (timing, verification, staged printing, trace spans)
+/// attaches through the PassInstrumentation registered on the analysis
+/// manager; the pass manager fires before/after hooks around every pass,
+/// including passes inside nested groups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_PASS_PASSMANAGER_H
+#define CGCM_PASS_PASSMANAGER_H
+
+#include "pass/AnalysisManager.h"
+#include "pass/PreservedAnalyses.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// What one pass execution reports back: which analyses survived, and
+/// whether the IR changed at all (drives fixpoint convergence — an
+/// unchanged sweep terminates the group).
+struct PassExecResult {
+  PreservedAnalyses PA;
+  bool Changed = false;
+};
+
+class ModulePass {
+public:
+  virtual ~ModulePass() = default;
+  /// Stable name, as written in a `--passes=` string.
+  virtual const char *name() const = 0;
+  virtual PassExecResult run(Module &M, ModuleAnalysisManager &AM) = 0;
+};
+
+class PassManager {
+public:
+  PassManager() = default;
+  PassManager(PassManager &&) = default;
+  PassManager &operator=(PassManager &&) = default;
+
+  void addPass(std::unique_ptr<ModulePass> P) {
+    Passes.push_back(std::move(P));
+  }
+  bool empty() const { return Passes.empty(); }
+  size_t size() const { return Passes.size(); }
+  std::vector<std::string> getPassNames() const;
+
+  /// Runs every pass in order, invalidating unpreserved analyses after
+  /// each. Returns true if any pass changed the IR.
+  bool run(Module &M, ModuleAnalysisManager &AM);
+
+private:
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+};
+
+/// Reruns an inner pipeline until one full sweep reports no change (or
+/// the iteration cap trips — a safety net, matching the bounded loops
+/// the converging transforms already had).
+class FixpointPass : public ModulePass {
+public:
+  explicit FixpointPass(PassManager Inner, unsigned MaxIterations = 32)
+      : Inner(std::move(Inner)), MaxIterations(MaxIterations) {}
+
+  const char *name() const override { return "fixpoint"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override;
+
+  unsigned getLastIterationCount() const { return LastIterations; }
+
+private:
+  PassManager Inner;
+  unsigned MaxIterations;
+  unsigned LastIterations = 0;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_PASS_PASSMANAGER_H

@@ -1,0 +1,85 @@
+//===- pass/PreservedAnalyses.h - What a pass kept valid --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pass's declaration of which cached analyses remain valid after it
+/// ran (docs/PassManager.md). The pass manager intersects this with the
+/// analysis caches after every pass: anything not preserved is dropped
+/// and will be recomputed on the next request.
+///
+/// The conservative default is `none()` — "I changed the IR, trust
+/// nothing". Passes opt analyses back in individually; `all()` is for
+/// passes that made no change at all (and is what every pass should
+/// return on a no-op run, so convergence iterations keep their caches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_PASS_PRESERVEDANALYSES_H
+#define CGCM_PASS_PRESERVEDANALYSES_H
+
+#include <set>
+
+namespace cgcm {
+
+/// Identity of one analysis type: the address of a per-type static tag
+/// (see AnalysisInfo in Analyses.h). Stable for the process lifetime,
+/// never dereferenced.
+using AnalysisKey = const void *;
+
+class PreservedAnalyses {
+public:
+  /// Nothing survives (the default for a mutating pass).
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  /// Everything survives (the pass changed nothing).
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.All = true;
+    return PA;
+  }
+
+  PreservedAnalyses &preserve(AnalysisKey K) {
+    Preserved.insert(K);
+    return *this;
+  }
+
+  template <typename AnalysisT> PreservedAnalyses &preserve() {
+    return preserve(AnalysisT::ID());
+  }
+
+  /// Intersection: preserved only if both agree.
+  void intersect(const PreservedAnalyses &Other) {
+    if (Other.All)
+      return;
+    if (All) {
+      *this = Other;
+      return;
+    }
+    std::set<AnalysisKey> Out;
+    for (AnalysisKey K : Preserved)
+      if (Other.Preserved.count(K))
+        Out.insert(K);
+    Preserved = std::move(Out);
+  }
+
+  bool isPreserved(AnalysisKey K) const {
+    return All || Preserved.count(K) != 0;
+  }
+
+  template <typename AnalysisT> bool isPreserved() const {
+    return isPreserved(AnalysisT::ID());
+  }
+
+  bool areAllPreserved() const { return All; }
+
+private:
+  bool All = false;
+  std::set<AnalysisKey> Preserved;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_PASS_PRESERVEDANALYSES_H

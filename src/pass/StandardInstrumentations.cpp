@@ -1,0 +1,133 @@
+//===- pass/StandardInstrumentations.cpp - Stock instrumentation hooks ------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/StandardInstrumentations.h"
+
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "support/Trace.h"
+
+#include <chrono>
+#include <iomanip>
+
+using namespace cgcm;
+
+uint64_t cgcm::moduleInstructionCount(const Module &M) {
+  uint64_t N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : *F)
+      N += BB->size();
+  return N;
+}
+
+namespace {
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TimePassesHandler
+//===----------------------------------------------------------------------===//
+
+void TimePassesHandler::registerCallbacks(PassInstrumentation &PI) {
+  PI.registerBeforePass([this](const std::string &Pass, Module &M) {
+    size_t Idx = Timings.size();
+    for (size_t I = 0; I != Timings.size(); ++I)
+      if (Timings[I].Pass == Pass) {
+        Idx = I;
+        break;
+      }
+    if (Idx == Timings.size())
+      Timings.push_back({Pass, 0, 0, 0});
+    Stack.push_back({Idx, nowMs(), moduleInstructionCount(M)});
+  });
+  PI.registerAfterPass([this](const std::string &Pass, Module &M, bool) {
+    if (Stack.empty() || Timings[Stack.back().TimingIndex].Pass != Pass)
+      return; // A handler was registered mid-run; ignore the orphan.
+    Frame F = Stack.back();
+    Stack.pop_back();
+    PassTiming &T = Timings[F.TimingIndex];
+    T.WallMs += nowMs() - F.StartMs;
+    T.IrDelta += static_cast<int64_t>(moduleInstructionCount(M)) -
+                 static_cast<int64_t>(F.SizeBefore);
+    ++T.Runs;
+  });
+}
+
+void TimePassesHandler::print(std::ostream &OS,
+                              const ModuleAnalysisManager &AM) const {
+  OS << "-- time-passes --\n";
+  OS << std::left << std::setw(28) << "pass" << std::right << std::setw(10)
+     << "wall-ms" << std::setw(10) << "ir-delta" << std::setw(6) << "runs"
+     << "\n";
+  for (const PassTiming &T : Timings) {
+    OS << std::left << std::setw(28) << T.Pass << std::right << std::fixed
+       << std::setprecision(3) << std::setw(10) << T.WallMs << std::setw(10)
+       << T.IrDelta << std::setw(6) << T.Runs << "\n";
+  }
+  OS << "-- analysis cache --\n";
+  OS << std::left << std::setw(28) << "analysis" << std::right << std::setw(14)
+     << "constructions" << std::setw(10) << "hits"
+     << "\n";
+  for (const AnalysisCacheStats &S : AM.getCacheStats())
+    OS << std::left << std::setw(28) << S.Name << std::right << std::setw(14)
+       << S.Constructions << std::setw(10) << S.Hits << "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// VerifyEachHandler
+//===----------------------------------------------------------------------===//
+
+void VerifyEachHandler::registerCallbacks(PassInstrumentation &PI) {
+  PI.registerAfterPass([](const std::string &Pass, Module &M, bool) {
+    std::string Err;
+    if (!verifyModule(M, &Err))
+      reportFatalError("--verify-each: invalid IR after pass '" + Pass +
+                       "': " + Err);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// PrintAfterHandler
+//===----------------------------------------------------------------------===//
+
+void PrintAfterHandler::registerCallbacks(PassInstrumentation &PI) {
+  PI.registerAfterPass([this](const std::string &Pass, Module &M, bool) {
+    if (PassName != "*" && PassName != Pass)
+      return;
+    OS << "; IR after pass '" << Pass << "'\n" << M.getString() << "\n";
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSpanHandler
+//===----------------------------------------------------------------------===//
+
+void TraceSpanHandler::registerCallbacks(PassInstrumentation &PI) {
+  PI.registerBeforePass([this](const std::string &, Module &) {
+    StartStack.push_back(nowMs() * 1000.0); // µs
+  });
+  PI.registerAfterPass([this](const std::string &Pass, Module &M,
+                              bool Changed) {
+    if (StartStack.empty())
+      return;
+    double Start = StartStack.back();
+    StartStack.pop_back();
+    if (!Trace.isEnabled())
+      return;
+    TraceArgs Args;
+    Args.add("changed", Changed);
+    Args.add("ir_insts", moduleInstructionCount(M));
+    Trace.complete(Pass, "pass", Start, nowMs() * 1000.0 - Start,
+                   std::move(Args));
+  });
+}

@@ -1,0 +1,105 @@
+//===- pass/StandardInstrumentations.h - Stock instrumentation hooks --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation subscribers cgcmc exposes as flags
+/// (docs/PassManager.md):
+///
+///  * TimePassesHandler   — `--time-passes`: wall time and IR-size delta
+///    per pass (aggregated over fixpoint reruns), plus the analysis
+///    managers' construction/hit counters;
+///  * VerifyEachHandler   — `--verify-each`: run the IR verifier after
+///    every pass and abort, naming the pass, on the first failure;
+///  * PrintAfterHandler   — `--print-after=<pass>`: staged IR dumps
+///    (`<pass>` may be `*` for every pass);
+///  * TraceSpanHandler    — with `--trace`: one Complete span per pass
+///    execution in the Chrome trace, category "pass", wall-clock
+///    microseconds (compilation happens before the modeled clock starts
+///    ticking).
+///
+/// Handlers must outlive the pipeline run they are registered on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_PASS_STANDARDINSTRUMENTATIONS_H
+#define CGCM_PASS_STANDARDINSTRUMENTATIONS_H
+
+#include "pass/AnalysisManager.h"
+#include "pass/PassInstrumentation.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class TraceCollector;
+
+/// Total instruction count over all defined functions — the "modeled IR
+/// size" whose per-pass delta --time-passes reports.
+uint64_t moduleInstructionCount(const Module &M);
+
+/// Aggregated measurements for one pass name.
+struct PassTiming {
+  std::string Pass;
+  double WallMs = 0;    ///< Summed over runs.
+  int64_t IrDelta = 0;  ///< Instructions added (+) or removed (-), summed.
+  unsigned Runs = 0;    ///< Executions (fixpoint groups rerun passes).
+};
+
+class TimePassesHandler {
+public:
+  void registerCallbacks(PassInstrumentation &PI);
+
+  /// Timings in first-execution order. Nested groups (`fixpoint`) appear
+  /// as their own row *including* their children's time.
+  const std::vector<PassTiming> &getTimings() const { return Timings; }
+
+  /// Human-readable report: per-pass table plus \p AM's analysis
+  /// construction/hit counters.
+  void print(std::ostream &OS, const ModuleAnalysisManager &AM) const;
+
+private:
+  struct Frame {
+    size_t TimingIndex;
+    double StartMs;
+    uint64_t SizeBefore;
+  };
+  std::vector<PassTiming> Timings;
+  std::vector<Frame> Stack;
+};
+
+class VerifyEachHandler {
+public:
+  void registerCallbacks(PassInstrumentation &PI);
+};
+
+class PrintAfterHandler {
+public:
+  /// \p PassName: exact pass name, or "*" for all passes.
+  PrintAfterHandler(std::string PassName, std::ostream &OS)
+      : PassName(std::move(PassName)), OS(OS) {}
+  void registerCallbacks(PassInstrumentation &PI);
+
+private:
+  std::string PassName;
+  std::ostream &OS;
+};
+
+class TraceSpanHandler {
+public:
+  explicit TraceSpanHandler(TraceCollector &Trace) : Trace(Trace) {}
+  void registerCallbacks(PassInstrumentation &PI);
+
+private:
+  TraceCollector &Trace;
+  std::vector<double> StartStack;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_PASS_STANDARDINSTRUMENTATIONS_H

@@ -8,6 +8,8 @@
 
 #include "analysis/CallGraph.h"
 #include "ir/IRBuilder.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
 #include "ir/Verifier.h"
 #include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
@@ -57,21 +59,26 @@ bool paramFeedsGPUWork(const Function *F, unsigned ArgNo,
 
 class AllocaPromoter {
 public:
-  AllocaPromoter(Module &M, DiagnosticEngine *Remarks)
-      : M(M), Remarks(Remarks) {}
+  AllocaPromoter(Module &M, ModuleAnalysisManager &AM,
+                 DiagnosticEngine *Remarks)
+      : M(M), AM(AM), Remarks(Remarks) {}
 
   AllocaPromotionStats run() {
     bool Changed = true;
     while (Changed && Stats.Iterations < 16) {
       Changed = false;
       ++Stats.Iterations;
-      CallGraph CG(M);
+      // Hoisting rewrites signatures and call sites but introduces no new
+      // calls to defined functions, so the cached call graph stays valid;
+      // restarting the bottom-up walk after each hoist keeps the historic
+      // visit order without paying for a rebuild.
+      CallGraph &CG = AM.getResult<CallGraphAnalysis>(M);
       for (Function *F : CG.getBottomUpOrder()) {
         if (F->isKernel() || CG.isRecursive(F) || F->getName() == "main")
           continue;
         if (hoistOneAlloca(*F, CG)) {
           Changed = true;
-          break; // Call graph changed; rebuild.
+          break; // Restart the walk from the leaves.
         }
       }
     }
@@ -161,6 +168,7 @@ private:
   }
 
   Module &M;
+  ModuleAnalysisManager &AM;
   DiagnosticEngine *Remarks;
   AllocaPromotionStats Stats;
 };
@@ -168,6 +176,13 @@ private:
 } // namespace
 
 AllocaPromotionStats
+cgcm::promoteAllocasUpCallGraph(Module &M, ModuleAnalysisManager &AM,
+                                DiagnosticEngine *Remarks) {
+  return AllocaPromoter(M, AM, Remarks).run();
+}
+
+AllocaPromotionStats
 cgcm::promoteAllocasUpCallGraph(Module &M, DiagnosticEngine *Remarks) {
-  return AllocaPromoter(M, Remarks).run();
+  ModuleAnalysisManager MAM;
+  return promoteAllocasUpCallGraph(M, MAM, Remarks);
 }

@@ -22,6 +22,7 @@
 namespace cgcm {
 
 class DiagnosticEngine;
+class ModuleAnalysisManager;
 
 struct AllocaPromotionStats {
   unsigned AllocasHoisted = 0;
@@ -36,6 +37,14 @@ struct AllocaPromotionStats {
 /// hoist is reported as a cgcm-alloca-hoist remark.
 AllocaPromotionStats
 promoteAllocasUpCallGraph(Module &M, DiagnosticEngine *Remarks = nullptr);
+
+/// Analysis-manager variant: fetches the call graph from \p AM. Hoisting
+/// rewrites signatures and call sites but adds no calls to defined
+/// functions and touches no CFG, so the cached call graph stays valid
+/// across iterations and nothing is invalidated.
+AllocaPromotionStats
+promoteAllocasUpCallGraph(Module &M, ModuleAnalysisManager &AM,
+                          DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm
 

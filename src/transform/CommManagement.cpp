@@ -96,7 +96,8 @@ public:
     // Globals used by the kernel: map them so the runtime copies into the
     // device's named region (cuModuleGetGlobal); the kernel references
     // the global directly, so the translated pointer is unused.
-    for (const auto &[GV, D] : LI.GlobalDegrees) {
+    for (const GlobalVariable *GV : LI.GlobalOrder) {
+      PointerDegree D = LI.GlobalDegrees.at(GV);
       if (D == PointerDegree::Deeper)
         reportFatalError("global '" + GV->getName() +
                          "' has three or more levels of indirection");

@@ -11,6 +11,8 @@
 #include "analysis/MemoryObjects.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
 #include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "transform/Utils.h"
@@ -58,18 +60,23 @@ struct CanonicalLoop {
 
 class DOALLDriver {
 public:
-  DOALLDriver(Module &M, DiagnosticEngine *Remarks)
-      : M(M), Remarks(Remarks) {}
+  DOALLDriver(Module &M, ModuleAnalysisManager &AM, DiagnosticEngine *Remarks)
+      : M(M), AM(AM), Remarks(Remarks) {}
 
   DOALLStats run() {
+    FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
     for (const auto &F : M.functions()) {
       if (F->isDeclaration() || F->isKernel())
         continue;
       // Transforming invalidates loop structures; iterate one loop at a
-      // time to a fixpoint per function.
+      // time to a fixpoint per function, dropping the function's cached
+      // analyses after each rewrite.
       while (parallelizeOneLoop(*F))
-        ;
+        FAM.invalidate(*F);
     }
+    // Outlined kernels are new defined functions.
+    if (Stats.KernelsCreated)
+      AM.invalidateResult<CallGraphAnalysis>();
     return Stats;
   }
 
@@ -416,8 +423,8 @@ private:
   }
 
   bool parallelizeOneLoop(Function &F) {
-    DominatorTree DT(F);
-    LoopInfo LI(F, DT);
+    LoopInfo &LI =
+        AM.getFunctionAnalysisManager().getResult<LoopAnalysis>(F);
 
     // Outermost-first; parallelizing an outer loop absorbs its children.
     for (const auto &LPtr : LI.getLoops()) {
@@ -503,7 +510,10 @@ private:
     // Clone loop blocks in RPO (defs before uses for non-phi operands).
     std::map<const BasicBlock *, BasicBlock *> BMap;
     std::vector<BasicBlock *> Order;
-    DominatorTree KernelDT(F);
+    // F is still untouched here, so this is a cache hit on the tree the
+    // loop forest was built from.
+    const DominatorTree &KernelDT =
+        AM.getFunctionAnalysisManager().getResult<DominatorTreeAnalysis>(F);
     for (BasicBlock *BB : KernelDT.getReversePostOrder())
       if (C.L->contains(BB))
         Order.push_back(BB);
@@ -662,6 +672,7 @@ private:
   }
 
   Module &M;
+  ModuleAnalysisManager &AM;
   DiagnosticEngine *Remarks;
   DOALLStats Stats;
   std::set<std::string> SeenRejects;
@@ -672,6 +683,12 @@ private:
 
 } // namespace
 
+DOALLStats cgcm::parallelizeDOALLLoops(Module &M, ModuleAnalysisManager &AM,
+                                       DiagnosticEngine *Remarks) {
+  return DOALLDriver(M, AM, Remarks).run();
+}
+
 DOALLStats cgcm::parallelizeDOALLLoops(Module &M, DiagnosticEngine *Remarks) {
-  return DOALLDriver(M, Remarks).run();
+  ModuleAnalysisManager MAM;
+  return parallelizeDOALLLoops(M, MAM, Remarks);
 }

@@ -27,6 +27,7 @@
 namespace cgcm {
 
 class DiagnosticEngine;
+class ModuleAnalysisManager;
 
 struct DOALLStats {
   unsigned KernelsCreated = 0;
@@ -40,6 +41,14 @@ struct DOALLStats {
 /// each outlined loop — and each rejected one, with the reason — is
 /// reported as a cgcm-doall-* remark.
 DOALLStats parallelizeDOALLLoops(Module &M,
+                                 DiagnosticEngine *Remarks = nullptr);
+
+/// Analysis-manager variant. Outlining a loop restructures the host
+/// function's CFG and adds a kernel, so the pass invalidates the mutated
+/// function's analyses after each outlined loop and module analyses when
+/// any kernel was created; the dominator tree reused while cloning the
+/// body is a cache hit rather than a rebuild.
+DOALLStats parallelizeDOALLLoops(Module &M, ModuleAnalysisManager &AM,
                                  DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm

@@ -9,6 +9,8 @@
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/IRBuilder.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
 #include "ir/Verifier.h"
 #include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
@@ -57,17 +59,22 @@ bool isGlueable(const Instruction *I) {
 
 class GlueDriver {
 public:
-  GlueDriver(Module &M, DiagnosticEngine *Remarks)
-      : M(M), Remarks(Remarks) {}
+  GlueDriver(Module &M, ModuleAnalysisManager &AM, DiagnosticEngine *Remarks)
+      : M(M), AM(AM), Remarks(Remarks) {}
 
   GlueStats run() {
     for (const auto &F : M.functions()) {
       if (F->isDeclaration() || F->isKernel())
         continue;
       // One outlining invalidates iterators; fixpoint per function.
+      // Outlining swaps instructions for a launch inside one block, so
+      // the host loop forest survives every round.
       while (outlineOneRun(*F))
         ;
     }
+    // New glue kernels change the module's call structure.
+    if (Stats.GlueKernelsCreated)
+      AM.invalidateResult<CallGraphAnalysis>();
     std::string Err;
     if (!verifyModule(M, &Err))
       reportFatalError("glue kernels produced invalid IR: " + Err);
@@ -82,10 +89,14 @@ private:
     for (BasicBlock *BB : L->getBlocks())
       for (const auto &I : *BB)
         Insts.push_back(I.get());
-    std::set<Value *> Managed;
+    // First-seen order, not pointer order: Blocked's order must not
+    // depend on allocation addresses (deterministic output).
+    std::vector<Value *> Managed;
+    std::set<Value *> ManagedSeen;
     for (Instruction *I : Insts)
       if (Value *P = getRuntimeCallPointer(I))
-        Managed.insert(P);
+        if (ManagedSeen.insert(P).second)
+          Managed.push_back(P);
     std::vector<Instruction *> NonRuntime;
     for (Instruction *I : Insts)
       if (!getRuntimeCallPointer(I))
@@ -98,8 +109,8 @@ private:
   }
 
   bool outlineOneRun(Function &F) {
-    DominatorTree DT(F);
-    LoopInfo LI(F, DT);
+    LoopInfo &LI =
+        AM.getFunctionAnalysisManager().getResult<LoopAnalysis>(F);
     for (const auto &L : LI.getLoops()) {
       std::vector<Value *> Blocked = blockedPointers(L.get());
       if (Blocked.empty())
@@ -314,12 +325,19 @@ private:
   }
 
   Module &M;
+  ModuleAnalysisManager &AM;
   DiagnosticEngine *Remarks;
   GlueStats Stats;
 };
 
 } // namespace
 
+GlueStats cgcm::createGlueKernels(Module &M, ModuleAnalysisManager &AM,
+                                  DiagnosticEngine *Remarks) {
+  return GlueDriver(M, AM, Remarks).run();
+}
+
 GlueStats cgcm::createGlueKernels(Module &M, DiagnosticEngine *Remarks) {
-  return GlueDriver(M, Remarks).run();
+  ModuleAnalysisManager MAM;
+  return createGlueKernels(M, MAM, Remarks);
 }

@@ -22,6 +22,7 @@
 namespace cgcm {
 
 class DiagnosticEngine;
+class ModuleAnalysisManager;
 
 struct GlueStats {
   unsigned GlueKernelsCreated = 0;
@@ -38,6 +39,14 @@ inline constexpr unsigned GlueMaxInstructions = 48;
 /// through the inserted runtime calls). When \p Remarks is non-null each
 /// lowering is reported as a cgcm-glue-outline remark.
 GlueStats createGlueKernels(Module &M, DiagnosticEngine *Remarks = nullptr);
+
+/// Analysis-manager variant: fetches loop forests from \p AM. Outlining
+/// replaces a straight-line run of instructions with a launch call in the
+/// same block — host CFGs are preserved — but the new glue kernels change
+/// the module's call structure, so the pass invalidates module-level
+/// analyses when it creates any.
+GlueStats createGlueKernels(Module &M, ModuleAnalysisManager &AM,
+                            DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm
 

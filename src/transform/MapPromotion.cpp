@@ -10,6 +10,8 @@
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/IRBuilder.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
 #include "ir/Verifier.h"
 #include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
@@ -35,16 +37,20 @@ struct Candidate {
 
 class PromotionDriver {
 public:
-  PromotionDriver(Module &M, DiagnosticEngine *Remarks)
-      : M(M), API(getOrDeclareRuntimeAPI(M)), Remarks(Remarks) {}
+  PromotionDriver(Module &M, ModuleAnalysisManager &AM,
+                  DiagnosticEngine *Remarks)
+      : M(M), AM(AM), API(getOrDeclareRuntimeAPI(M)), Remarks(Remarks) {}
 
   PromotionStats run() {
-    // Iterate to convergence: maps climb one region per round.
+    // Iterate to convergence: maps climb one region per round. The pass
+    // only moves calls to the (declaration-only) runtime API, so the
+    // call graph — and every function's CFG — stays valid throughout:
+    // every round after the first is an analysis cache hit.
     bool Changed = true;
     while (Changed && Stats.Iterations < 512) {
       Changed = false;
       ++Stats.Iterations;
-      CallGraph CG(M);
+      CallGraph &CG = AM.getResult<CallGraphAnalysis>(M);
       for (Function *F : CG.getBottomUpOrder()) {
         if (F->isKernel())
           continue;
@@ -67,13 +73,20 @@ private:
 
   std::vector<Candidate>
   findCandidates(const std::vector<Instruction *> &Insts) {
-    std::map<Value *, Candidate> ByPtr;
+    // Keyed by first appearance in program order, NOT by pointer value —
+    // the emission order of hoisted maps must not depend on allocation
+    // addresses (bit-identical IR across runs).
+    std::map<Value *, size_t> Index;
+    std::vector<Candidate> ByPtr;
     for (Instruction *I : Insts) {
       Value *P = getRuntimeCallPointer(I);
       if (!P)
         continue;
       auto *CI = cast<CallInst>(I);
-      Candidate &C = ByPtr[P];
+      auto [It, New] = Index.try_emplace(P, ByPtr.size());
+      if (New)
+        ByPtr.emplace_back();
+      Candidate &C = ByPtr[It->second];
       C.Ptr = P;
       const std::string &N = CI->getCallee()->getName();
       if (N == "cgcm_map" || N == "cgcm_map_array") {
@@ -87,10 +100,7 @@ private:
         C.IsArray = N == "cgcm_release_array";
       }
     }
-    std::vector<Candidate> Result;
-    for (auto &[P, C] : ByPtr)
-      Result.push_back(std::move(C));
-    return Result;
+    return ByPtr;
   }
 
   /// Region instructions minus the candidate's own runtime calls.
@@ -186,8 +196,8 @@ private:
   bool promoteLoopsIn(Function &F) {
     if (F.isDeclaration())
       return false;
-    DominatorTree DT(F);
-    LoopInfo LI(F, DT);
+    LoopInfo &LI =
+        AM.getFunctionAnalysisManager().getResult<LoopAnalysis>(F);
     // Innermost first so calls climb one level per round.
     std::vector<Loop *> Order;
     for (const auto &L : LI.getLoops())
@@ -324,6 +334,7 @@ private:
   }
 
   Module &M;
+  ModuleAnalysisManager &AM;
   RuntimeAPI API;
   DiagnosticEngine *Remarks;
   PromotionStats Stats;
@@ -332,6 +343,12 @@ private:
 
 } // namespace
 
+PromotionStats cgcm::promoteMaps(Module &M, ModuleAnalysisManager &AM,
+                                 DiagnosticEngine *Remarks) {
+  return PromotionDriver(M, AM, Remarks).run();
+}
+
 PromotionStats cgcm::promoteMaps(Module &M, DiagnosticEngine *Remarks) {
-  return PromotionDriver(M, Remarks).run();
+  ModuleAnalysisManager MAM;
+  return promoteMaps(M, MAM, Remarks);
 }

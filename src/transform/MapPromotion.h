@@ -31,6 +31,7 @@
 namespace cgcm {
 
 class DiagnosticEngine;
+class ModuleAnalysisManager;
 
 struct PromotionStats {
   unsigned LoopHoists = 0;
@@ -39,9 +40,17 @@ struct PromotionStats {
   unsigned Iterations = 0;
 };
 
-/// Runs map promotion to convergence over the module. When \p Remarks is
-/// non-null the pass reports every hoist — and every candidate it had to
-/// reject, with the reason — as cgcm-map-promotion-* remarks.
+/// Runs map promotion to convergence over the module, fetching the call
+/// graph and loop forests from \p AM. The pass only moves calls to the
+/// runtime API (declarations), so it preserves both the call graph and
+/// every function's CFG — it invalidates nothing.
+PromotionStats promoteMaps(Module &M, ModuleAnalysisManager &AM,
+                           DiagnosticEngine *Remarks = nullptr);
+
+/// Convenience overload that runs with a private analysis manager. When
+/// \p Remarks is non-null the pass reports every hoist — and every
+/// candidate it had to reject, with the reason — as cgcm-map-promotion-*
+/// remarks.
 PromotionStats promoteMaps(Module &M, DiagnosticEngine *Remarks = nullptr);
 
 } // namespace cgcm

@@ -8,6 +8,8 @@
 
 #include "analysis/Dominators.h"
 #include "ir/Module.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
 #include "transform/Utils.h"
 
 #include <map>
@@ -41,7 +43,7 @@ bool isPromotable(const AllocaInst *AI) {
 
 class Promoter {
 public:
-  explicit Promoter(Function &F) : F(F), DT(F) {
+  Promoter(Function &F, const DominatorTree &DT) : F(F), DT(DT) {
     for (BasicBlock *BB : DT.getReversePostOrder())
       if (BasicBlock *P = DT.getIDom(BB))
         DomChildren[P].push_back(BB);
@@ -218,7 +220,7 @@ private:
   }
 
   Function &F;
-  DominatorTree DT;
+  const DominatorTree &DT;
   std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
   std::vector<AllocaInst *> Allocas;
   std::map<const AllocaInst *, unsigned> AllocaIndex;
@@ -234,12 +236,29 @@ unsigned cgcm::promoteAllocasToRegisters(Function &F) {
   // Dead blocks would keep loads/stores of promoted allocas alive and are
   // invisible to the dominator-tree renaming walk.
   removeUnreachableBlocks(F);
-  return Promoter(F).run();
+  DominatorTree DT(F);
+  return Promoter(F, DT).run();
 }
 
 unsigned cgcm::promoteAllocasToRegisters(Module &M) {
   unsigned N = 0;
   for (const auto &F : M.functions())
     N += promoteAllocasToRegisters(*F);
+  return N;
+}
+
+unsigned cgcm::promoteAllocasToRegisters(Module &M,
+                                         ModuleAnalysisManager &AM) {
+  FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+  unsigned N = 0;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    if (removeUnreachableBlocks(*F))
+      FAM.invalidate(*F);
+    // Promotion rewrites instructions only, so the tree computed here
+    // stays cached for downstream passes.
+    N += Promoter(*F, FAM.getResult<DominatorTreeAnalysis>(*F)).run();
+  }
   return N;
 }

@@ -20,12 +20,19 @@ namespace cgcm {
 
 class Function;
 class Module;
+class ModuleAnalysisManager;
 
 /// Promotes allocas in \p F. Returns the number of promoted allocas.
 unsigned promoteAllocasToRegisters(Function &F);
 
 /// Runs alloca promotion over every defined function.
 unsigned promoteAllocasToRegisters(Module &M);
+
+/// Analysis-manager variant: unreachable-block removal invalidates the
+/// mutated function first, then promotion runs against the cached
+/// dominator tree — seeding it for later passes, since promotion itself
+/// rewrites only instructions and preserves the CFG.
+unsigned promoteAllocasToRegisters(Module &M, ModuleAnalysisManager &AM);
 
 } // namespace cgcm
 

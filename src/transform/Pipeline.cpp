@@ -8,45 +8,216 @@
 
 #include "analysis/checkers/Checkers.h"
 #include "ir/Verifier.h"
+#include "pass/Analyses.h"
+#include "pass/StandardInstrumentations.h"
+#include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "transform/Mem2Reg.h"
 
+#include <cctype>
+#include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace cgcm;
 
-PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
-  PipelineResult R;
-  R.AllocasPromotedToSSA = promoteAllocasToRegisters(M);
+//===----------------------------------------------------------------------===//
+// Pass definitions
+//===----------------------------------------------------------------------===//
+//
+// Each transform becomes a thin ModulePass that accumulates its stats
+// into the shared PipelineResult (summed across fixpoint reruns) and
+// reports what it preserved. The preservation claims are load-bearing:
+// see each pass's comment and docs/PassManager.md.
 
-  if (Opts.Parallelize)
-    R.Doall = parallelizeDOALLLoops(M, Opts.Remarks);
+namespace {
 
-  if (Opts.Manage)
-    R.Mgmt = insertCommunicationManagement(M);
-
-  if (Opts.Manage && Opts.Optimize) {
-    // Paper schedule: glue kernels, then alloca promotion, then map
-    // promotion (each earlier pass widens the later passes' reach).
-    if (Opts.EnableGlueKernels)
-      R.Glue = createGlueKernels(M, Opts.Remarks);
-    if (Opts.EnableAllocaPromotion)
-      R.AllocaPromo = promoteAllocasUpCallGraph(M, Opts.Remarks);
-    if (Opts.EnableMapPromotion)
-      R.MapPromo = promoteMaps(M, Opts.Remarks);
-    if (Opts.EnableSimplify)
-      R.Simplify = simplifyModule(M);
+/// SSA construction. Unreachable-block removal invalidates mutated
+/// functions inside the callee; promotion itself rewrites instructions
+/// only, so the dominator trees computed during renaming stay cached.
+/// Dead blocks may have held calls, so the call graph is not preserved.
+class Mem2RegPass : public ModulePass {
+public:
+  Mem2RegPass(PipelineResult &R) : R(R) {}
+  const char *name() const override { return "mem2reg"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    unsigned N = promoteAllocasToRegisters(M, AM);
+    R.AllocasPromotedToSSA += N;
+    PassExecResult Res;
+    Res.Changed = N > 0;
+    Res.PA = PreservedAnalyses::none();
+    Res.PA.preserve<DominatorTreeAnalysis>();
+    Res.PA.preserve<LoopAnalysis>();
+    return Res;
   }
 
-  std::string Err;
-  if (!verifyModule(M, &Err))
-    reportFatalError("CGCM pipeline produced invalid IR: " + Err);
+private:
+  PipelineResult &R;
+};
 
-  // Defense in depth: the parallelizer proved loop iterations
-  // independent before outlining; re-prove the same property on the
-  // grid-stride kernels it produced. Any finding — even an unprovable
-  // one — means a pass broke an invariant the proof relied on.
-  if (Opts.VerifyParallelization) {
+/// DOALL parallelization restructures host CFGs and creates kernels;
+/// the callee invalidates precisely (per function after each outlined
+/// loop, call graph when kernels appear), so nothing further to drop.
+class DOALLPass : public ModulePass {
+public:
+  DOALLPass(PipelineResult &R, DiagnosticEngine *Remarks)
+      : R(R), Remarks(Remarks) {}
+  const char *name() const override { return "doall"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    DOALLStats S = parallelizeDOALLLoops(M, AM, Remarks);
+    R.Doall.KernelsCreated += S.KernelsCreated;
+    R.Doall.LoopsConsidered += S.LoopsConsidered;
+    R.Doall.LoopsRejected += S.LoopsRejected;
+    R.Doall.Kernels.insert(R.Doall.Kernels.end(), S.Kernels.begin(),
+                           S.Kernels.end());
+    PassExecResult Res;
+    Res.Changed = S.KernelsCreated > 0;
+    Res.PA = PreservedAnalyses::all();
+    return Res;
+  }
+
+private:
+  PipelineResult &R;
+  DiagnosticEngine *Remarks;
+};
+
+/// Communication management wraps launches in runtime calls — calls to
+/// declarations, inserted without touching any CFG — so every cached
+/// analysis survives.
+class CommPass : public ModulePass {
+public:
+  CommPass(PipelineResult &R) : R(R) {}
+  const char *name() const override { return "comm"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &) override {
+    ManagementStats S = insertCommunicationManagement(M);
+    R.Mgmt.LaunchesManaged += S.LaunchesManaged;
+    R.Mgmt.MapsInserted += S.MapsInserted;
+    R.Mgmt.MapArraysInserted += S.MapArraysInserted;
+    R.Mgmt.GlobalsDeclared += S.GlobalsDeclared;
+    R.Mgmt.AllocasDeclared += S.AllocasDeclared;
+    PassExecResult Res;
+    Res.Changed = S.LaunchesManaged + S.GlobalsDeclared + S.AllocasDeclared > 0;
+    Res.PA = PreservedAnalyses::all();
+    return Res;
+  }
+
+private:
+  PipelineResult &R;
+};
+
+/// Glue-kernel outlining swaps straight-line instruction runs for a
+/// launch inside the same block — host loop forests survive — and the
+/// callee drops the call graph itself when it creates kernels.
+class GluePass : public ModulePass {
+public:
+  GluePass(PipelineResult &R, DiagnosticEngine *Remarks)
+      : R(R), Remarks(Remarks) {}
+  const char *name() const override { return "glue"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    GlueStats S = createGlueKernels(M, AM, Remarks);
+    R.Glue.GlueKernelsCreated += S.GlueKernelsCreated;
+    R.Glue.InstructionsLowered += S.InstructionsLowered;
+    PassExecResult Res;
+    Res.Changed = S.GlueKernelsCreated > 0;
+    Res.PA = PreservedAnalyses::all();
+    return Res;
+  }
+
+private:
+  PipelineResult &R;
+  DiagnosticEngine *Remarks;
+};
+
+/// Alloca hoisting rewrites signatures and call sites but adds no calls
+/// to defined functions and no control flow, so everything survives.
+class AllocaPromotePass : public ModulePass {
+public:
+  AllocaPromotePass(PipelineResult &R, DiagnosticEngine *Remarks)
+      : R(R), Remarks(Remarks) {}
+  const char *name() const override { return "alloca-promote"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    AllocaPromotionStats S = promoteAllocasUpCallGraph(M, AM, Remarks);
+    R.AllocaPromo.AllocasHoisted += S.AllocasHoisted;
+    R.AllocaPromo.Iterations += S.Iterations;
+    PassExecResult Res;
+    Res.Changed = S.AllocasHoisted > 0;
+    Res.PA = PreservedAnalyses::all();
+    return Res;
+  }
+
+private:
+  PipelineResult &R;
+  DiagnosticEngine *Remarks;
+};
+
+/// Map promotion copies/deletes calls to the (declaration-only) runtime
+/// API; neither the call graph nor any CFG changes.
+class MapPromotePass : public ModulePass {
+public:
+  MapPromotePass(PipelineResult &R, DiagnosticEngine *Remarks)
+      : R(R), Remarks(Remarks) {}
+  const char *name() const override { return "map-promote"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    PromotionStats S = promoteMaps(M, AM, Remarks);
+    R.MapPromo.LoopHoists += S.LoopHoists;
+    R.MapPromo.FunctionHoists += S.FunctionHoists;
+    R.MapPromo.UnmapsDeleted += S.UnmapsDeleted;
+    R.MapPromo.Iterations += S.Iterations;
+    PassExecResult Res;
+    Res.Changed = S.LoopHoists + S.FunctionHoists + S.UnmapsDeleted > 0;
+    Res.PA = PreservedAnalyses::all();
+    return Res;
+  }
+
+private:
+  PipelineResult &R;
+  DiagnosticEngine *Remarks;
+};
+
+/// Cleanup folds branches and deletes blocks — preserves nothing.
+class SimplifyPass : public ModulePass {
+public:
+  SimplifyPass(PipelineResult &R) : R(R) {}
+  const char *name() const override { return "simplify"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &) override {
+    SimplifyStats S = simplifyModule(M);
+    R.Simplify.ConstantsFolded += S.ConstantsFolded;
+    R.Simplify.BranchesSimplified += S.BranchesSimplified;
+    R.Simplify.DeadInstructionsRemoved += S.DeadInstructionsRemoved;
+    R.Simplify.BlocksRemoved += S.BlocksRemoved;
+    PassExecResult Res;
+    Res.Changed = S.ConstantsFolded + S.BranchesSimplified +
+                      S.DeadInstructionsRemoved + S.BlocksRemoved >
+                  0;
+    Res.PA = PreservedAnalyses::none();
+    return Res;
+  }
+
+private:
+  PipelineResult &R;
+};
+
+/// Structural verification; fatal on invalid IR.
+class VerifyPass : public ModulePass {
+public:
+  const char *name() const override { return "verify"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &) override {
+    std::string Err;
+    if (!verifyModule(M, &Err))
+      reportFatalError("CGCM pipeline produced invalid IR: " + Err);
+    return {PreservedAnalyses::all(), false};
+  }
+};
+
+/// Defense in depth: the parallelizer proved loop iterations independent
+/// before outlining; re-prove the same property on the grid-stride
+/// kernels it produced. Any finding — even an unprovable one — means a
+/// pass broke an invariant the proof relied on.
+class VerifyParallelizationPass : public ModulePass {
+public:
+  VerifyParallelizationPass(PipelineResult &R) : R(R) {}
+  const char *name() const override { return "verify-par"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &) override {
     DiagnosticEngine DE;
     for (Function *K : R.Doall.Kernels)
       checkKernelRaces(M, *K, RaceCheckMode::Strict, DE);
@@ -57,6 +228,217 @@ PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
                        "independence re-derivation:\n" +
                        OS.str());
     }
+    return {PreservedAnalyses::all(), false};
   }
+
+private:
+  PipelineResult &R;
+};
+
+//===----------------------------------------------------------------------===//
+// Pipeline parser
+//===----------------------------------------------------------------------===//
+
+class PipelineParser {
+public:
+  PipelineParser(const std::string &Text, PipelineResult &R,
+                 DiagnosticEngine *Remarks)
+      : Text(Text), R(R), Remarks(Remarks) {}
+
+  bool parse(PassManager &PM) {
+    if (!parseList(PM))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("unexpected '" + std::string(1, Text[Pos]) + "'");
+    if (PM.empty())
+      return fail("empty pipeline");
+    return true;
+  }
+
+  const std::string &error() const { return Err; }
+
+private:
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at position " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  std::string parseName() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '_'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Parses a comma-separated pass list into \p PM, stopping (without
+  /// consuming) at ')' or end of input.
+  bool parseList(PassManager &PM) {
+    while (true) {
+      std::string Name = parseName();
+      if (Name.empty())
+        return fail("expected pass name");
+      skipSpace();
+      if (Name == "fixpoint") {
+        if (Pos == Text.size() || Text[Pos] != '(')
+          return fail("expected '(' after 'fixpoint'");
+        ++Pos;
+        PassManager Inner;
+        if (!parseList(Inner))
+          return false;
+        skipSpace();
+        if (Pos == Text.size() || Text[Pos] != ')')
+          return fail("expected ')' closing 'fixpoint('");
+        ++Pos;
+        if (Inner.empty())
+          return fail("'fixpoint()' needs at least one inner pass");
+        PM.addPass(std::make_unique<FixpointPass>(std::move(Inner)));
+      } else {
+        std::unique_ptr<ModulePass> P = createPass(Name);
+        if (!P)
+          return fail("unknown pass '" + Name + "'");
+        PM.addPass(std::move(P));
+      }
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return true;
+    }
+  }
+
+  std::unique_ptr<ModulePass> createPass(const std::string &Name) {
+    if (Name == "mem2reg")
+      return std::make_unique<Mem2RegPass>(R);
+    if (Name == "doall")
+      return std::make_unique<DOALLPass>(R, Remarks);
+    if (Name == "comm")
+      return std::make_unique<CommPass>(R);
+    if (Name == "glue")
+      return std::make_unique<GluePass>(R, Remarks);
+    if (Name == "alloca-promote")
+      return std::make_unique<AllocaPromotePass>(R, Remarks);
+    if (Name == "map-promote")
+      return std::make_unique<MapPromotePass>(R, Remarks);
+    if (Name == "simplify")
+      return std::make_unique<SimplifyPass>(R);
+    if (Name == "verify")
+      return std::make_unique<VerifyPass>();
+    if (Name == "verify-par")
+      return std::make_unique<VerifyParallelizationPass>(R);
+    return nullptr;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  PipelineResult &R;
+  DiagnosticEngine *Remarks;
+  std::string Err;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+bool cgcm::parsePassPipeline(PassManager &PM, const std::string &Text,
+                             PipelineResult &R, DiagnosticEngine *Remarks,
+                             std::string *Err) {
+  PipelineParser P(Text, R, Remarks);
+  if (P.parse(PM))
+    return true;
+  if (Err)
+    *Err = P.error();
+  return false;
+}
+
+std::string cgcm::buildDefaultPipelineText(const PipelineOptions &Opts) {
+  std::string S = "mem2reg";
+  if (Opts.Parallelize)
+    S += ",doall";
+  if (Opts.Manage)
+    S += ",comm";
+  if (Opts.Manage && Opts.Optimize) {
+    // Paper schedule: glue kernels, then alloca promotion, then map
+    // promotion (each earlier pass widens the later passes' reach),
+    // swept to convergence. Each pass converges internally, so the
+    // second sweep normally confirms quiescence out of the analysis
+    // cache without changing anything.
+    std::string Group;
+    if (Opts.EnableGlueKernels)
+      Group += "glue";
+    if (Opts.EnableAllocaPromotion)
+      Group += std::string(Group.empty() ? "" : ",") + "alloca-promote";
+    if (Opts.EnableMapPromotion)
+      Group += std::string(Group.empty() ? "" : ",") + "map-promote";
+    if (!Group.empty())
+      S += ",fixpoint(" + Group + ")";
+    if (Opts.EnableSimplify)
+      S += ",simplify";
+  }
+  S += ",verify";
+  if (Opts.VerifyParallelization)
+    S += ",verify-par";
+  return S;
+}
+
+PipelineResult cgcm::runPassPipeline(Module &M, const std::string &Text,
+                                     const PipelineRunOptions &RunOpts) {
+  PipelineResult R;
+  PassManager PM;
+  std::string Err;
+  if (!parsePassPipeline(PM, Text, R, RunOpts.Remarks, &Err))
+    reportFatalError("invalid pass pipeline '" + Text + "': " + Err);
+
+  ModuleAnalysisManager PrivateAM;
+  ModuleAnalysisManager &AM = RunOpts.AM ? *RunOpts.AM : PrivateAM;
+
+  PassInstrumentation PI;
+  TimePassesHandler Timer;
+  if (RunOpts.TimePasses)
+    Timer.registerCallbacks(PI);
+  VerifyEachHandler VerifyEach;
+  if (RunOpts.VerifyEach) {
+    VerifyEach.registerCallbacks(PI);
+    AM.setStaleCheckingEnabled(true);
+  }
+  std::unique_ptr<PrintAfterHandler> Printer;
+  if (!RunOpts.PrintAfter.empty()) {
+    Printer = std::make_unique<PrintAfterHandler>(
+        RunOpts.PrintAfter,
+        RunOpts.PrintAfterStream ? *RunOpts.PrintAfterStream : std::cout);
+    Printer->registerCallbacks(PI);
+  }
+  std::unique_ptr<TraceSpanHandler> Spans;
+  if (RunOpts.Trace) {
+    Spans = std::make_unique<TraceSpanHandler>(*RunOpts.Trace);
+    Spans->registerCallbacks(PI);
+  }
+
+  AM.setInstrumentation(&PI);
+  PM.run(M, AM);
+  AM.setInstrumentation(nullptr);
+
+  if (RunOpts.TimePasses)
+    Timer.print(RunOpts.TimePassesStream ? *RunOpts.TimePassesStream
+                                         : std::cerr,
+                AM);
   return R;
+}
+
+PipelineResult cgcm::runCGCMPipeline(Module &M, const PipelineOptions &Opts) {
+  PipelineRunOptions RunOpts;
+  RunOpts.Remarks = Opts.Remarks;
+  return runPassPipeline(M, buildDefaultPipelineText(Opts), RunOpts);
 }

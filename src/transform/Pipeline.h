@@ -10,13 +10,23 @@
 /// because glue kernels and alloca promotion improve map promotion's
 /// applicability, and glue kernels can create new alloca-promotion
 /// opportunities — glue kernels, alloca promotion, and map promotion
-/// last, iterating internally to convergence.
+/// last, iterating to convergence.
+///
+/// The schedule is declarative (docs/PassManager.md): a pipeline is a
+/// textual pass list parsed into a PassManager, e.g.
+///
+///   mem2reg,doall,comm,fixpoint(glue,alloca-promote,map-promote),simplify
+///
+/// `fixpoint(...)` reruns its inner pipeline until a full sweep changes
+/// nothing. `runCGCMPipeline` is a thin wrapper that builds the default
+/// text from PipelineOptions and runs it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGCM_TRANSFORM_PIPELINE_H
 #define CGCM_TRANSFORM_PIPELINE_H
 
+#include "pass/PassManager.h"
 #include "transform/AllocaPromotion.h"
 #include "transform/CommManagement.h"
 #include "transform/DOALL.h"
@@ -24,7 +34,12 @@
 #include "transform/MapPromotion.h"
 #include "transform/Simplify.h"
 
+#include <iosfwd>
+#include <string>
+
 namespace cgcm {
+
+class TraceCollector;
 
 struct PipelineOptions {
   /// Run the DOALL parallelizer (off when the input is manually
@@ -60,7 +75,57 @@ struct PipelineResult {
   SimplifyStats Simplify;
 };
 
-/// Runs the configured pipeline over \p M.
+/// Builds the `--passes=` text for the paper schedule under \p Opts —
+/// what runCGCMPipeline executes. With everything enabled:
+///   mem2reg,doall,comm,fixpoint(glue,alloca-promote,map-promote),
+///   simplify,verify,verify-par
+std::string buildDefaultPipelineText(const PipelineOptions &Opts);
+
+/// Parses \p Text into \p PM.
+///
+///   pipeline := pass (',' pass)*
+///   pass     := NAME | 'fixpoint' '(' pipeline ')'
+///
+/// Known names: mem2reg, doall, comm, glue, alloca-promote, map-promote,
+/// simplify, verify, verify-par. Whitespace around names and separators
+/// is ignored. The constructed passes accumulate statistics into \p R
+/// and report remarks to \p Remarks (may be null); both must outlive the
+/// pipeline run. Returns false and fills \p Err on a malformed string or
+/// unknown pass name.
+bool parsePassPipeline(PassManager &PM, const std::string &Text,
+                       PipelineResult &R, DiagnosticEngine *Remarks,
+                       std::string *Err = nullptr);
+
+/// Instrumentation and plumbing for one pipeline execution; every field
+/// is optional.
+struct PipelineRunOptions {
+  /// Transform remarks (same as PipelineOptions::Remarks).
+  DiagnosticEngine *Remarks = nullptr;
+  /// Print the per-pass timing + analysis-cache table after the run.
+  bool TimePasses = false;
+  /// Destination for the --time-passes report (std::cerr when null).
+  std::ostream *TimePassesStream = nullptr;
+  /// Verify the module after every pass and enable stale-analysis
+  /// fingerprint checking in the analysis manager.
+  bool VerifyEach = false;
+  /// Dump IR after the named pass ("*" = after every pass); empty = off.
+  std::string PrintAfter;
+  /// Destination for --print-after dumps (std::cout when null).
+  std::ostream *PrintAfterStream = nullptr;
+  /// When non-null, one Complete span per pass execution.
+  TraceCollector *Trace = nullptr;
+  /// External analysis manager — lets callers inspect cache counters
+  /// after the run (a private manager is used when null).
+  ModuleAnalysisManager *AM = nullptr;
+};
+
+/// Parses \p Text and runs it over \p M with the requested
+/// instrumentation attached. Fatal on a malformed pipeline string.
+PipelineResult runPassPipeline(Module &M, const std::string &Text,
+                               const PipelineRunOptions &RunOpts = {});
+
+/// Runs the paper schedule configured by \p Opts — equivalent to
+/// runPassPipeline(M, buildDefaultPipelineText(Opts)).
 PipelineResult runCGCMPipeline(Module &M,
                                const PipelineOptions &Opts = PipelineOptions());
 

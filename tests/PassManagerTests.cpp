@@ -1,0 +1,616 @@
+//===- tests/PassManagerTests.cpp - Pass manager and analysis caching -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass-manager architecture (docs/PassManager.md): analysis caching
+/// and invalidation, preservation intersection, the stale-analysis
+/// fingerprint detector (including a deliberately buggy pass that lies
+/// about preservation), the `--passes=` pipeline parser, and the two
+/// global guarantees — the declarative default pipeline is bit-identical
+/// to the legacy hardcoded schedule on all 24 workloads, and cached
+/// analyses are constructed strictly fewer times than the convergence
+/// loops used to rebuild them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
+#include "pass/PassManager.h"
+#include "pass/StandardInstrumentations.h"
+#include "transform/Mem2Reg.h"
+#include "transform/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+/// A program with control flow (so the dominator tree is non-trivial),
+/// two defined functions, and a deterministic output.
+const char *BranchyProgram = R"(
+  int helper(int x) {
+    int y = x + 1;
+    if (y > 3)
+      y = y * 2;
+    return y;
+  }
+  int main() {
+    print_i64(helper(4));
+    return 0;
+  }
+)";
+
+Function *firstDefinedFunction(Module &M) {
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      return F.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis caching and invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerTest, FunctionResultsAreCachedAndCounted) {
+  auto M = compileMiniC(BranchyProgram, "am");
+  ModuleAnalysisManager AM;
+  FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+  Function *F = firstDefinedFunction(*M);
+  ASSERT_NE(F, nullptr);
+
+  DominatorTree &First = FAM.getResult<DominatorTreeAnalysis>(*F);
+  DominatorTree &Second = FAM.getResult<DominatorTreeAnalysis>(*F);
+  EXPECT_EQ(&First, &Second) << "hit must return the cached object";
+
+  EXPECT_EQ(AM.getConstructionCount("dominators"), 1u);
+  EXPECT_EQ(AM.getHitCount("dominators"), 1u);
+}
+
+TEST(AnalysisManagerTest, LoopAnalysisSeedsDominators) {
+  auto M = compileMiniC(BranchyProgram, "am");
+  ModuleAnalysisManager AM;
+  FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+  Function *F = firstDefinedFunction(*M);
+  ASSERT_NE(F, nullptr);
+
+  FAM.getResult<LoopAnalysis>(*F);
+  // Computing loops computed (and cached) the dominator tree too.
+  EXPECT_TRUE(FAM.isCached<DominatorTreeAnalysis>(*F));
+  FAM.getResult<DominatorTreeAnalysis>(*F);
+  EXPECT_EQ(AM.getConstructionCount("dominators"), 1u);
+}
+
+TEST(AnalysisManagerTest, InvalidateFunctionDropsItsResults) {
+  auto M = compileMiniC(BranchyProgram, "am");
+  ModuleAnalysisManager AM;
+  FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+  Function *F = firstDefinedFunction(*M);
+  ASSERT_NE(F, nullptr);
+
+  FAM.getResult<LoopAnalysis>(*F);
+  FAM.invalidate(*F);
+  EXPECT_FALSE(FAM.isCached<DominatorTreeAnalysis>(*F));
+  EXPECT_FALSE(FAM.isCached<LoopAnalysis>(*F));
+  FAM.getResult<DominatorTreeAnalysis>(*F);
+  EXPECT_EQ(AM.getConstructionCount("dominators"), 2u);
+}
+
+TEST(AnalysisManagerTest, ModuleResultsAreCachedAndInvalidated) {
+  auto M = compileMiniC(BranchyProgram, "am");
+  ModuleAnalysisManager AM;
+
+  CallGraph &First = AM.getResult<CallGraphAnalysis>(*M);
+  CallGraph &Second = AM.getResult<CallGraphAnalysis>(*M);
+  EXPECT_EQ(&First, &Second);
+  EXPECT_EQ(AM.getConstructionCount("callgraph"), 1u);
+  EXPECT_EQ(AM.getHitCount("callgraph"), 1u);
+
+  AM.invalidateResult<CallGraphAnalysis>();
+  EXPECT_FALSE(AM.isCached<CallGraphAnalysis>());
+  AM.getResult<CallGraphAnalysis>(*M);
+  EXPECT_EQ(AM.getConstructionCount("callgraph"), 2u);
+}
+
+TEST(PreservedAnalysesTest, IntersectionSemantics) {
+  PreservedAnalyses All = PreservedAnalyses::all();
+  EXPECT_TRUE(All.areAllPreserved());
+  EXPECT_TRUE(All.isPreserved<DominatorTreeAnalysis>());
+
+  PreservedAnalyses None = PreservedAnalyses::none();
+  EXPECT_FALSE(None.isPreserved<DominatorTreeAnalysis>());
+
+  PreservedAnalyses OnlyDT = PreservedAnalyses::none();
+  OnlyDT.preserve<DominatorTreeAnalysis>();
+  EXPECT_TRUE(OnlyDT.isPreserved<DominatorTreeAnalysis>());
+  EXPECT_FALSE(OnlyDT.isPreserved<LoopAnalysis>());
+
+  // all ∩ X = X; X ∩ none = none.
+  PreservedAnalyses A = PreservedAnalyses::all();
+  A.intersect(OnlyDT);
+  EXPECT_TRUE(A.isPreserved<DominatorTreeAnalysis>());
+  EXPECT_FALSE(A.isPreserved<LoopAnalysis>());
+  A.intersect(PreservedAnalyses::none());
+  EXPECT_FALSE(A.isPreserved<DominatorTreeAnalysis>());
+}
+
+TEST(AnalysisManagerTest, PreservationAwareInvalidation) {
+  auto M = compileMiniC(BranchyProgram, "am");
+  ModuleAnalysisManager AM;
+  FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+  Function *F = firstDefinedFunction(*M);
+  ASSERT_NE(F, nullptr);
+
+  FAM.getResult<LoopAnalysis>(*F);
+  AM.getResult<CallGraphAnalysis>(*M);
+
+  PreservedAnalyses PA = PreservedAnalyses::none();
+  PA.preserve<DominatorTreeAnalysis>();
+  AM.invalidate(PA);
+
+  EXPECT_TRUE(FAM.isCached<DominatorTreeAnalysis>(*F));
+  EXPECT_FALSE(FAM.isCached<LoopAnalysis>(*F));
+  EXPECT_FALSE(AM.isCached<CallGraphAnalysis>());
+}
+
+//===----------------------------------------------------------------------===//
+// Pass manager mechanics
+//===----------------------------------------------------------------------===//
+
+/// Reports "changed" for its first \p ChangesToReport runs, then settles.
+class CountingPass : public ModulePass {
+public:
+  CountingPass(unsigned ChangesToReport, unsigned &Runs)
+      : Remaining(ChangesToReport), Runs(Runs) {}
+  const char *name() const override { return "test-counter"; }
+  PassExecResult run(Module &, ModuleAnalysisManager &) override {
+    ++Runs;
+    PassExecResult R;
+    R.PA = PreservedAnalyses::all();
+    if (Remaining) {
+      --Remaining;
+      R.Changed = true;
+    }
+    return R;
+  }
+
+private:
+  unsigned Remaining;
+  unsigned &Runs;
+};
+
+TEST(PassManagerTest, FixpointRerunsUntilQuiescent) {
+  auto M = compileMiniC(BranchyProgram, "pm");
+  ModuleAnalysisManager AM;
+
+  unsigned Runs = 0;
+  PassManager Inner;
+  Inner.addPass(std::make_unique<CountingPass>(2, Runs));
+  FixpointPass FP(std::move(Inner));
+  PassExecResult R = FP.run(*M, AM);
+
+  // Two changing sweeps plus the quiescent one that stops the loop.
+  EXPECT_EQ(Runs, 3u);
+  EXPECT_EQ(FP.getLastIterationCount(), 3u);
+  EXPECT_TRUE(R.Changed);
+}
+
+TEST(PassManagerTest, InstrumentationFiresAroundEveryPass) {
+  auto M = compileMiniC(BranchyProgram, "pm");
+  ModuleAnalysisManager AM;
+  PassInstrumentation PI;
+  std::vector<std::string> Events;
+  PI.registerBeforePass([&](const std::string &P, Module &) {
+    Events.push_back("before:" + P);
+  });
+  PI.registerAfterPass([&](const std::string &P, Module &, bool) {
+    Events.push_back("after:" + P);
+  });
+  AM.setInstrumentation(&PI);
+
+  unsigned Runs = 0;
+  PassManager Inner;
+  Inner.addPass(std::make_unique<CountingPass>(0, Runs));
+  PassManager PM;
+  PM.addPass(std::make_unique<FixpointPass>(std::move(Inner)));
+  PM.run(*M, AM);
+
+  // The fixpoint group fires for itself and for its contents, LIFO.
+  std::vector<std::string> Expected = {
+      "before:fixpoint", "before:test-counter", "after:test-counter",
+      "after:fixpoint"};
+  EXPECT_EQ(Events, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Stale-analysis detection
+//===----------------------------------------------------------------------===//
+
+/// Deliberately buggy: mutates the CFG of every defined function but
+/// claims it preserved everything, leaving stale dominator trees in the
+/// cache.
+class LyingCFGMutationPass : public ModulePass {
+public:
+  const char *name() const override { return "test-liar"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      FAM.getResult<DominatorTreeAnalysis>(*F); // Populate the cache.
+      BasicBlock *BB = F->createBlock("sneaky");
+      IRBuilder B(M);
+      B.setInsertPoint(BB);
+      B.createRet();
+    }
+    return {PreservedAnalyses::all(), true}; // The lie.
+  }
+};
+
+/// Consumes the dominator tree of every defined function.
+class DominatorConsumerPass : public ModulePass {
+public:
+  const char *name() const override { return "test-consumer"; }
+  PassExecResult run(Module &M, ModuleAnalysisManager &AM) override {
+    FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+    for (const auto &F : M.functions())
+      if (!F->isDeclaration())
+        FAM.getResult<DominatorTreeAnalysis>(*F);
+    return {PreservedAnalyses::all(), false};
+  }
+};
+
+TEST(StaleAnalysisDetectorTest, BuggyPreservationIsFatal) {
+  auto M = compileMiniC(BranchyProgram, "stale");
+  ModuleAnalysisManager AM;
+  AM.setStaleCheckingEnabled(true);
+
+  PassManager PM;
+  PM.addPass(std::make_unique<LyingCFGMutationPass>());
+  PM.addPass(std::make_unique<DominatorConsumerPass>());
+  EXPECT_DEATH(PM.run(*M, AM), "stale analysis");
+}
+
+TEST(StaleAnalysisDetectorTest, HonestInvalidationIsClean) {
+  auto M = compileMiniC(BranchyProgram, "fresh");
+  ModuleAnalysisManager AM;
+  AM.setStaleCheckingEnabled(true);
+  FunctionAnalysisManager &FAM = AM.getFunctionAnalysisManager();
+  Function *F = firstDefinedFunction(*M);
+  ASSERT_NE(F, nullptr);
+
+  FAM.getResult<DominatorTreeAnalysis>(*F);
+  BasicBlock *BB = F->createBlock("declared");
+  IRBuilder B(*M);
+  B.setInsertPoint(BB);
+  B.createRet();
+  FAM.invalidate(*F); // The honest version of the pass above.
+  FAM.getResult<DominatorTreeAnalysis>(*F);
+  EXPECT_EQ(AM.getConstructionCount("dominators"), 2u);
+}
+
+TEST(StaleAnalysisDetectorTest, DisabledCheckingToleratesTheLie) {
+  // Fingerprints are always recorded but only verified when enabled, so
+  // production runs pay a lookup, not a recomputation.
+  auto M = compileMiniC(BranchyProgram, "stale-off");
+  ModuleAnalysisManager AM;
+  PassManager PM;
+  PM.addPass(std::make_unique<LyingCFGMutationPass>());
+  PM.addPass(std::make_unique<DominatorConsumerPass>());
+  PM.run(*M, AM); // No death without stale checking.
+  EXPECT_GT(AM.getHitCount("dominators"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline parser
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> parseNames(const std::string &Text) {
+  PassManager PM;
+  PipelineResult R;
+  std::string Err;
+  EXPECT_TRUE(parsePassPipeline(PM, Text, R, nullptr, &Err)) << Err;
+  return PM.getPassNames();
+}
+
+TEST(PipelineParserTest, DefaultTextParses) {
+  PipelineOptions Opts;
+  std::string Text = buildDefaultPipelineText(Opts);
+  EXPECT_EQ(Text, "mem2reg,doall,comm,fixpoint(glue,alloca-promote,"
+                  "map-promote),simplify,verify,verify-par");
+  std::vector<std::string> Names = parseNames(Text);
+  std::vector<std::string> Expected = {"mem2reg",  "doall",  "comm",
+                                       "fixpoint", "simplify", "verify",
+                                       "verify-par"};
+  EXPECT_EQ(Names, Expected);
+}
+
+TEST(PipelineParserTest, DefaultTextFollowsOptions) {
+  PipelineOptions Opts;
+  Opts.Manage = false;
+  EXPECT_EQ(buildDefaultPipelineText(Opts),
+            "mem2reg,doall,verify,verify-par");
+
+  Opts = PipelineOptions();
+  Opts.Optimize = false;
+  Opts.VerifyParallelization = false;
+  EXPECT_EQ(buildDefaultPipelineText(Opts), "mem2reg,doall,comm,verify");
+
+  Opts = PipelineOptions();
+  Opts.EnableGlueKernels = false;
+  EXPECT_EQ(buildDefaultPipelineText(Opts),
+            "mem2reg,doall,comm,fixpoint(alloca-promote,map-promote),"
+            "simplify,verify,verify-par");
+}
+
+TEST(PipelineParserTest, AcceptsWhitespaceAndNesting) {
+  EXPECT_EQ(parseNames("  mem2reg ,  doall  "),
+            (std::vector<std::string>{"mem2reg", "doall"}));
+  EXPECT_EQ(parseNames("fixpoint( fixpoint( simplify ) )"),
+            (std::vector<std::string>{"fixpoint"}));
+}
+
+TEST(PipelineParserTest, RejectsMalformedText) {
+  for (const char *Bad :
+       {"", "nosuch-pass", "mem2reg,,comm", "mem2reg,", "fixpoint",
+        "fixpoint(", "fixpoint()", "fixpoint(mem2reg", "mem2reg)",
+        "fixpoint(nosuch)"}) {
+    PassManager PM;
+    PipelineResult R;
+    std::string Err;
+    EXPECT_FALSE(parsePassPipeline(PM, Bad, R, nullptr, &Err))
+        << "accepted: " << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation plumbing through runPassPipeline
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineInstrumentationTest, TimePassesReportsPassesAndCaches) {
+  auto M = compileMiniC(BranchyProgram, "tp");
+  std::ostringstream OS;
+  PipelineRunOptions RunOpts;
+  RunOpts.TimePasses = true;
+  RunOpts.TimePassesStream = &OS;
+  runPassPipeline(*M, buildDefaultPipelineText(PipelineOptions()), RunOpts);
+
+  std::string Report = OS.str();
+  EXPECT_NE(Report.find("-- time-passes --"), std::string::npos);
+  EXPECT_NE(Report.find("mem2reg"), std::string::npos);
+  EXPECT_NE(Report.find("fixpoint"), std::string::npos);
+  EXPECT_NE(Report.find("-- analysis cache --"), std::string::npos);
+  EXPECT_NE(Report.find("callgraph"), std::string::npos);
+}
+
+TEST(PipelineInstrumentationTest, PrintAfterDumpsNamedStage) {
+  auto M = compileMiniC(BranchyProgram, "pa");
+  std::ostringstream OS;
+  PipelineRunOptions RunOpts;
+  RunOpts.PrintAfter = "comm";
+  RunOpts.PrintAfterStream = &OS;
+  runPassPipeline(*M, "mem2reg,comm,verify", RunOpts);
+  EXPECT_NE(OS.str().find("; IR after pass 'comm'"), std::string::npos);
+}
+
+TEST(PipelineInstrumentationTest, VerifyEachPassesOnTheDefaultPipeline) {
+  auto M = compileMiniC(BranchyProgram, "ve");
+  PipelineRunOptions RunOpts;
+  RunOpts.VerifyEach = true;
+  runPassPipeline(*M, buildDefaultPipelineText(PipelineOptions()), RunOpts);
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*M, &Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Workload-level guarantees
+//===----------------------------------------------------------------------===//
+
+class PassManagerWorkloads : public ::testing::TestWithParam<Workload> {};
+
+struct ExecutedRun {
+  std::string IR;
+  std::string Output;
+  ExecStats Stats;
+};
+
+ExecutedRun executeManaged(Module &M) {
+  ExecutedRun E;
+  E.IR = M.getString();
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.loadModule(M);
+  Mach.run();
+  E.Output = Mach.getOutput();
+  E.Stats = Mach.getStats();
+  return E;
+}
+
+/// The paper schedule spelled with the legacy free functions: glue →
+/// alloca promotion → map promotion iterated to convergence (§5.3),
+/// every round rebuilding every analysis from scratch. The pass-manager
+/// pipeline must produce bit-identical IR out of its caches.
+void runLegacySchedule(Module &M) {
+  promoteAllocasToRegisters(M);
+  parallelizeDOALLLoops(M);
+  insertCommunicationManagement(M);
+  for (int I = 0; I != 32; ++I) {
+    GlueStats G = createGlueKernels(M);
+    AllocaPromotionStats A = promoteAllocasUpCallGraph(M);
+    PromotionStats P = promoteMaps(M);
+    if (G.GlueKernelsCreated == 0 && A.AllocasHoisted == 0 &&
+        P.LoopHoists + P.FunctionHoists + P.UnmapsDeleted == 0)
+      break;
+  }
+  simplifyModule(M);
+  std::string Err;
+  ASSERT_TRUE(verifyModule(M, &Err)) << Err;
+}
+
+TEST_P(PassManagerWorkloads, DefaultPipelineMatchesLegacySchedule) {
+  const Workload &W = GetParam();
+
+  auto Legacy = compileMiniC(W.Source, W.Name);
+  runLegacySchedule(*Legacy);
+
+  auto Managed = compileMiniC(W.Source, W.Name);
+  runCGCMPipeline(*Managed);
+
+  ExecutedRun L = executeManaged(*Legacy);
+  ExecutedRun P = executeManaged(*Managed);
+
+  EXPECT_EQ(P.IR, L.IR) << W.Name << ": pass-manager pipeline diverged";
+  EXPECT_EQ(P.Output, L.Output) << W.Name;
+  EXPECT_EQ(P.Stats.BytesHtoD, L.Stats.BytesHtoD) << W.Name;
+  EXPECT_EQ(P.Stats.BytesDtoH, L.Stats.BytesDtoH) << W.Name;
+  EXPECT_EQ(P.Stats.KernelLaunches, L.Stats.KernelLaunches) << W.Name;
+  EXPECT_EQ(P.Stats.totalCycles(), L.Stats.totalCycles()) << W.Name;
+}
+
+TEST_P(PassManagerWorkloads, CachingBeatsPerIterationRebuilds) {
+  // Satellite of the refactor: the convergence loops used to rebuild the
+  // call graph once per iteration; with the analysis manager it is
+  // constructed strictly fewer times than there were iterations.
+  const Workload &W = GetParam();
+  auto M = compileMiniC(W.Source, W.Name);
+
+  ModuleAnalysisManager AM;
+  PipelineRunOptions RunOpts;
+  RunOpts.AM = &AM;
+  PipelineResult R =
+      runPassPipeline(*M, buildDefaultPipelineText(PipelineOptions()),
+                      RunOpts);
+
+  unsigned LegacyBuilds = R.AllocaPromo.Iterations + R.MapPromo.Iterations;
+  ASSERT_GE(LegacyBuilds, 2u) << W.Name;
+  EXPECT_LT(AM.getConstructionCount("callgraph"), LegacyBuilds) << W.Name;
+  EXPECT_GT(AM.getHitCount("callgraph"), 0u) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, PassManagerWorkloads,
+                         ::testing::ValuesIn(getWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &Info) {
+                           std::string N = Info.param.Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Randomized pipeline property test
+//===----------------------------------------------------------------------===//
+
+/// Generates a random legal pipeline: mem2reg first (the transforms
+/// assume SSA form), then a random subset of the remaining passes in
+/// random order, with an optional fixpoint(...) wrapped around a
+/// contiguous run of the convergent optimization passes.
+std::string randomPipeline(std::mt19937 &Rng) {
+  std::vector<std::string> Pool = {"doall",       "comm",
+                                   "glue",        "alloca-promote",
+                                   "map-promote", "simplify",
+                                   "verify"};
+  std::shuffle(Pool.begin(), Pool.end(), Rng);
+  size_t Take = std::uniform_int_distribution<size_t>(0, Pool.size())(Rng);
+  std::vector<std::string> Seq = {"mem2reg"};
+  Seq.insert(Seq.end(), Pool.begin(), Pool.begin() + Take);
+
+  auto Fixpointable = [](const std::string &P) {
+    return P == "glue" || P == "alloca-promote" || P == "map-promote" ||
+           P == "simplify";
+  };
+  std::vector<size_t> Starts;
+  for (size_t I = 1; I < Seq.size(); ++I)
+    if (Fixpointable(Seq[I]))
+      Starts.push_back(I);
+  if (!Starts.empty() && Rng() % 2 == 0) {
+    size_t Begin =
+        Starts[std::uniform_int_distribution<size_t>(0, Starts.size() - 1)(
+            Rng)];
+    size_t End = Begin + 1;
+    while (End < Seq.size() && Fixpointable(Seq[End]) && Rng() % 2 == 0)
+      ++End;
+    std::string Group;
+    for (size_t I = Begin; I != End; ++I)
+      Group += (I == Begin ? "" : ",") + Seq[I];
+    Seq.erase(Seq.begin() + Begin, Seq.begin() + End);
+    Seq.insert(Seq.begin() + Begin, "fixpoint(" + Group + ")");
+  }
+
+  std::string Text;
+  for (size_t I = 0; I != Seq.size(); ++I)
+    Text += (I ? "," : "") + Seq[I];
+  return Text;
+}
+
+/// Managed execution only makes sense when management ran, after any
+/// parallelization (kernels created later would launch unmanaged).
+bool executableUnderManaged(const std::string &Text) {
+  size_t Comm = Text.find("comm");
+  if (Comm == std::string::npos)
+    return false;
+  size_t Doall = Text.find("doall");
+  return Doall == std::string::npos || Doall < Comm;
+}
+
+class RandomPipelines : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(RandomPipelines, LegalPipelinesVerifyAndPreserveOutput) {
+  const Workload &W = GetParam();
+
+  auto Ref = compileMiniC(W.Source, W.Name);
+  runCGCMPipeline(*Ref);
+  std::string RefOutput = executeManaged(*Ref).Output;
+  ASSERT_FALSE(RefOutput.empty()) << W.Name << " printed nothing";
+
+  // Distinct deterministic seed per workload; 9 pipelines x 6 workloads
+  // = 54 randomized schedules suite-wide.
+  std::mt19937 Rng(1000u + static_cast<unsigned>(W.Name.size()) * 31u +
+                   static_cast<unsigned>(W.Name[0]));
+  for (int Trial = 0; Trial != 9; ++Trial) {
+    std::string Text = randomPipeline(Rng);
+    SCOPED_TRACE(W.Name + " --passes=" + Text);
+
+    auto M = compileMiniC(W.Source, W.Name);
+    PipelineRunOptions RunOpts;
+    RunOpts.VerifyEach = true; // Stale detection on, verify every pass.
+    runPassPipeline(*M, Text, RunOpts);
+    std::string Err;
+    ASSERT_TRUE(verifyModule(*M, &Err)) << Err;
+
+    // Any pipeline that manages communication after parallelizing must
+    // compute the same answer as the fully optimized reference.
+    if (executableUnderManaged(Text))
+      EXPECT_EQ(executeManaged(*M).Output, RefOutput);
+  }
+}
+
+std::vector<Workload> propertyWorkloads() {
+  const std::vector<Workload> &All = getWorkloads();
+  return {All.begin(), All.begin() + std::min<size_t>(6, All.size())};
+}
+
+INSTANTIATE_TEST_SUITE_P(SixPrograms, RandomPipelines,
+                         ::testing::ValuesIn(propertyWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &Info) {
+                           std::string N = Info.param.Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+} // namespace

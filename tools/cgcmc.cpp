@@ -24,6 +24,14 @@
 ///   cgcmc --trace=t.json prog.minic   # Chrome trace of the execution
 ///   cgcmc --profile=p.json prog.minic # stats + transfer ledger as JSON
 ///   cgcmc --remarks prog.minic        # print optimization remarks
+///   cgcmc --passes='mem2reg,doall,comm,fixpoint(glue,map-promote)' p.minic
+///                                     # run an explicit pass pipeline
+///   cgcmc --time-passes prog.minic    # per-pass timing + analysis-cache
+///                                     # counters to stderr
+///   cgcmc --verify-each prog.minic    # verify IR + analysis freshness
+///                                     # after every pass
+///   cgcmc --print-after=comm p.minic  # dump IR after the named pass
+///                                     # ('*' = after every pass)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,7 +46,6 @@
 #include "transform/DOALL.h"
 #include "transform/GlueKernels.h"
 #include "transform/MapPromotion.h"
-#include "transform/Mem2Reg.h"
 #include "transform/Pipeline.h"
 
 #include <cstdio>
@@ -68,6 +75,10 @@ struct Options {
   std::string ProfilePath; ///< --profile=<file>: stats + ledger JSON.
   bool Remarks = false;    ///< --remarks: print optimization remarks.
   std::string RemarksFilter; ///< --remarks=<substr>: filter by remark ID.
+  std::string Passes;      ///< --passes=<pipeline>: explicit pass list.
+  bool TimePasses = false; ///< --time-passes: per-pass timing report.
+  bool VerifyEach = false; ///< --verify-each: verify after every pass.
+  std::string PrintAfter;  ///< --print-after=<pass>: staged IR dumps.
 };
 
 void usage() {
@@ -89,7 +100,17 @@ void usage() {
       "  --profile=<file>    write execution stats + the per-allocation-\n"
       "                      site transfer ledger as JSON\n"
       "  --remarks[=filter]  print optimization remarks (optionally only\n"
-      "                      those whose ID contains <filter>)\n");
+      "                      those whose ID contains <filter>)\n"
+      "  --passes=<list>     run an explicit pass pipeline instead of the\n"
+      "                      default schedule; grammar: name[,name...],\n"
+      "                      with fixpoint(...) groups. Passes: mem2reg,\n"
+      "                      doall, comm, glue, alloca-promote,\n"
+      "                      map-promote, simplify, verify, verify-par\n"
+      "  --time-passes       per-pass wall time, IR-size delta, and\n"
+      "                      analysis construction/hit counters (stderr)\n"
+      "  --verify-each       verify the IR and analysis-cache freshness\n"
+      "                      after every pass\n"
+      "  --print-after=<p>   dump IR after pass <p> ('*' = every pass)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -114,7 +135,15 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     else if (A.rfind("--remarks=", 0) == 0) {
       O.Remarks = true;
       O.RemarksFilter = A.substr(10);
-    } else if (A.rfind("--trace=", 0) == 0)
+    } else if (A.rfind("--passes=", 0) == 0)
+      O.Passes = A.substr(9);
+    else if (A == "--time-passes")
+      O.TimePasses = true;
+    else if (A == "--verify-each")
+      O.VerifyEach = true;
+    else if (A.rfind("--print-after=", 0) == 0)
+      O.PrintAfter = A.substr(14);
+    else if (A.rfind("--trace=", 0) == 0)
       O.TracePath = A.substr(8);
     else if (A.rfind("--profile=", 0) == 0)
       O.ProfilePath = A.substr(10);
@@ -301,38 +330,52 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  // The pipeline, one pass at a time, so --dump-ir can stop anywhere.
-  promoteAllocasToRegisters(*M);
-  if (O.DumpStage == "ssa") {
-    std::fputs(M->getString().c_str(), stdout);
-    return 0;
-  }
   DiagnosticEngine RemarksDE;
   DiagnosticEngine *RE = O.Remarks ? &RemarksDE : nullptr;
-  DOALLStats DS;
+
+  // The compilation schedule as a pipeline string. Staged --dump-ir,
+  // --applicability, and --analyze need the module at an intermediate
+  // point, so they run a truncated prefix of the default schedule;
+  // everything else runs either the user's --passes or the full default.
+  std::string Prefix = "mem2reg";
   if (O.Parallelize)
-    DS = parallelizeDOALLLoops(*M, RE);
-  if (O.DumpStage == "doall") {
-    std::fputs(M->getString().c_str(), stdout);
-    return 0;
-  }
+    Prefix += ",doall";
+  std::string Text = Prefix;
+  if (O.Manage)
+    Text += ",comm";
+  if (O.Manage && O.Optimize)
+    Text += ",fixpoint(glue,alloca-promote,map-promote)";
+  if (!O.Passes.empty())
+    Text = O.Passes;
+
+  if (O.DumpStage == "ssa")
+    Text = "mem2reg";
+  else if (O.DumpStage == "doall" || O.Applicability || O.Analyze)
+    Text = Prefix;
+  else if (O.DumpStage == "managed")
+    Text = Prefix + (O.Manage ? ",comm" : "");
+
+  // The machine exists before compilation so per-pass trace spans land
+  // in the same collector as the execution events.
+  Machine Mach;
+  Mach.setLaunchPolicy(O.Policy);
+  Mach.setTracingEnabled(!O.TracePath.empty());
+
+  PipelineRunOptions RunOpts;
+  RunOpts.Remarks = RE;
+  RunOpts.TimePasses = O.TimePasses;
+  RunOpts.VerifyEach = O.VerifyEach;
+  RunOpts.PrintAfter = O.PrintAfter;
+  if (!O.TracePath.empty())
+    RunOpts.Trace = &Mach.getTraceCollector();
+  PipelineResult R = runPassPipeline(*M, Text, RunOpts);
+
   if (O.Applicability) {
     printApplicability(*M);
     return 0;
   }
   if (O.Analyze)
-    return runAnalysis(*M, O, DS);
-  if (O.Manage)
-    insertCommunicationManagement(*M);
-  if (O.DumpStage == "managed") {
-    std::fputs(M->getString().c_str(), stdout);
-    return 0;
-  }
-  if (O.Manage && O.Optimize) {
-    createGlueKernels(*M, RE);
-    promoteAllocasUpCallGraph(*M, RE);
-    promoteMaps(*M, RE);
-  }
+    return runAnalysis(*M, O, R.Doall);
   if (O.Remarks)
     printRemarks(RemarksDE, O);
   if (!O.DumpStage.empty()) {
@@ -340,9 +383,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  Machine Mach;
-  Mach.setLaunchPolicy(O.Policy);
-  Mach.setTracingEnabled(!O.TracePath.empty());
   Mach.loadModule(*M);
   int64_t Exit = Mach.run();
   std::fputs(Mach.getOutput().c_str(), stdout);

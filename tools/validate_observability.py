@@ -35,6 +35,10 @@ BENCH_ROW_KEYS = {
     "workload", "config", "cycles", "bytes_htod", "bytes_dtoh", "speedup",
 }
 
+# Optional pipeline-instrumentation sections (bench/BenchJson.h).
+PASS_TIMING_KEYS = {"pass", "wall_ms", "ir_delta", "runs"}
+ANALYSIS_CACHE_KEYS = {"analysis", "constructions", "hits"}
+
 
 def fail(path, msg):
     sys.exit(f"{path}: {msg}")
@@ -123,7 +127,21 @@ def validate_bench(path):
         expect(set(row.keys()) == BENCH_ROW_KEYS, path,
                f"rows[{i}] keys {sorted(row.keys())} != "
                f"{sorted(BENCH_ROW_KEYS)}")
-    print(f"{path}: OK (bench {doc['bench']!r}, {len(rows)} rows)")
+    for section, keys in (("pass_timings", PASS_TIMING_KEYS),
+                          ("analysis_cache", ANALYSIS_CACHE_KEYS)):
+        entries = doc.get(section)
+        if entries is None:
+            continue
+        expect(isinstance(entries, list) and entries, path,
+               f"{section} present but empty")
+        for i, entry in enumerate(entries):
+            expect(set(entry.keys()) == keys, path,
+                   f"{section}[{i}] keys {sorted(entry.keys())} != "
+                   f"{sorted(keys)}")
+    extra = ", ".join(s for s in ("pass_timings", "analysis_cache")
+                      if s in doc)
+    print(f"{path}: OK (bench {doc['bench']!r}, {len(rows)} rows"
+          + (f", sections: {extra}" if extra else "") + ")")
 
 
 def main():
