@@ -1,0 +1,647 @@
+//===- fuzz/ApiFuzz.cpp - Runtime API-sequence differential fuzzer ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ApiFuzz.h"
+
+#include "gpusim/GPUDevice.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// Specification-level mirror of one allocation unit. Kept deliberately
+/// independent of AllocUnitInfo: it re-derives what the paper's
+/// semantics *require*, not what the implementation stores.
+struct ModelUnit {
+  uint64_t Base = 0;
+  uint64_t Size = 0;
+  unsigned Ref = 0;
+  /// References held by outstanding mapArray snapshots of some table
+  /// (these may only drain through releaseArray, never a loose release).
+  unsigned SnapRefs = 0;
+  bool Dead = false; ///< Host memory freed while mapped (zombie).
+  bool IsGlobal = false;
+  bool IsAlloca = false;
+  bool IsTable = false;
+  std::string Name; ///< Globals only.
+  /// Outstanding mapArray generations: the element *bases* each call
+  /// resolved and mapped, in slot order (nulls omitted).
+  std::vector<std::vector<uint64_t>> Snapshots;
+};
+
+class Session {
+public:
+  Session(uint64_t Seed, unsigned MaxSteps)
+      : Rng(Seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull),
+        MaxSteps(MaxSteps), Host(HostAddressBase, "host"), Device(TM, Stats),
+        RT(Host, Device, TM, Stats) {
+    RT.setObserver(&Auditor);
+  }
+
+  ApiFuzzResult run();
+
+private:
+  std::mt19937_64 Rng;
+  unsigned MaxSteps;
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host;
+  GPUDevice Device;
+  CGCMRuntime RT;
+  RuntimeAuditor Auditor;
+
+  std::map<uint64_t, ModelUnit> Model;
+  std::set<std::string> InstantiatedGlobals; ///< Named regions live on device.
+  unsigned NextGlobal = 0;
+  std::deque<std::string> Log; ///< Trailing operation window.
+  std::string Failure;
+
+  unsigned pick(unsigned N) { return unsigned(Rng() % N); }
+  void note(const std::string &S) {
+    Log.push_back(S);
+    if (Log.size() > 40)
+      Log.pop_front();
+  }
+  void fail(const std::string &Why);
+  bool failed() const { return !Failure.empty(); }
+
+  ModelUnit *lookupModel(uint64_t Ptr);
+  std::vector<uint64_t> unitsWhere(bool (*Pred)(const ModelUnit &));
+  void evictZombiesOverlapping(uint64_t Lo, uint64_t Hi);
+  void dropUnitRefs(ModelUnit &U); // Mirror of forced teardown.
+  void nullSlotsInto(uint64_t Lo, uint64_t Hi);
+  void modelReleaseOne(uint64_t Base, bool FromSnapshot);
+
+  // Operations. Each returns false if it chose not to apply.
+  bool opAlloc();
+  bool opAllocTable();
+  bool opDeclareGlobal();
+  bool opDeclareAlloca();
+  bool opMap();
+  bool opUnmap();
+  bool opRelease();
+  bool opMapArray();
+  bool opUnmapArray();
+  bool opReleaseArray();
+  bool opSlotWrite();
+  bool opKernelLaunch();
+  bool opFree();
+  bool opRealloc();
+  bool opRemoveAlloca();
+
+  void crossCheck();
+  void verifyTableTranslations(const ModelUnit &T);
+  void drain();
+};
+
+void Session::fail(const std::string &Why) {
+  if (failed())
+    return;
+  std::ostringstream OS;
+  OS << Why << "\nlast operations:\n";
+  for (const std::string &L : Log)
+    OS << "  " << L << "\n";
+  Failure = OS.str();
+}
+
+ModelUnit *Session::lookupModel(uint64_t Ptr) {
+  auto It = Model.upper_bound(Ptr);
+  if (It == Model.begin())
+    return nullptr;
+  --It;
+  if (Ptr >= It->second.Base + It->second.Size)
+    return nullptr;
+  return &It->second;
+}
+
+std::vector<uint64_t> Session::unitsWhere(bool (*Pred)(const ModelUnit &)) {
+  std::vector<uint64_t> Out;
+  for (const auto &[Base, U] : Model)
+    if (Pred(U))
+      Out.push_back(Base);
+  return Out;
+}
+
+void Session::evictZombiesOverlapping(uint64_t Lo, uint64_t Hi) {
+  std::vector<uint64_t> Evict;
+  for (const auto &[Base, U] : Model)
+    if (U.Dead && Base < Hi && Base + U.Size > Lo)
+      Evict.push_back(Base);
+  for (uint64_t B : Evict) {
+    uint64_t Size = Model[B].Size;
+    dropUnitRefs(Model[B]);
+    Model.erase(B);
+    // Mirror of the runtime's eviction scrub: snapshot entries naming
+    // the evicted unit die with it (their references are gone).
+    for (auto &[TB, T] : Model)
+      for (auto &Snap : T.Snapshots)
+        Snap.erase(std::remove_if(Snap.begin(), Snap.end(),
+                                  [&](uint64_t E) {
+                                    return E >= B && E < B + Size;
+                                  }),
+                   Snap.end());
+  }
+}
+
+void Session::dropUnitRefs(ModelUnit &U) {
+  // Mirrors CGCMRuntime::forceReclaim: every outstanding snapshot's
+  // element references drain, then the unit itself is forgotten by the
+  // caller (its own refcount simply vanishes).
+  for (auto SI = U.Snapshots.rbegin(); SI != U.Snapshots.rend(); ++SI)
+    for (uint64_t ElemBase : *SI) {
+      auto It = Model.find(ElemBase);
+      if (It == Model.end())
+        continue;
+      ModelUnit &E = It->second;
+      if (E.Ref == 0)
+        continue;
+      --E.Ref;
+      --E.SnapRefs;
+      if (E.Ref == 0 && E.Dead)
+        Model.erase(It);
+    }
+  U.Snapshots.clear();
+}
+
+void Session::nullSlotsInto(uint64_t Lo, uint64_t Hi) {
+  for (auto &[Base, T] : Model) {
+    if (!T.IsTable || T.Dead)
+      continue;
+    uint64_t Slots = T.Size / 8;
+    for (uint64_t S = 0; S != Slots; ++S) {
+      uint64_t Elem = Host.readUInt(T.Base + S * 8, 8);
+      if (Elem >= Lo && Elem < Hi)
+        Host.writeUInt(T.Base + S * 8, 0, 8);
+    }
+  }
+}
+
+void Session::modelReleaseOne(uint64_t Base, bool FromSnapshot) {
+  auto It = Model.find(Base);
+  if (It == Model.end())
+    return;
+  ModelUnit &U = It->second;
+  if (U.Ref == 0)
+    return;
+  --U.Ref;
+  if (FromSnapshot && U.SnapRefs > 0)
+    --U.SnapRefs;
+  if (U.Ref == 0 && U.Dead)
+    Model.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// Operations
+//===----------------------------------------------------------------------===//
+
+bool Session::opAlloc() {
+  static const uint64_t Sizes[] = {5, 13, 16, 24, 40, 64, 100};
+  uint64_t Size = Sizes[pick(7)];
+  uint64_t P = Host.allocate(Size);
+  // Fill with a pattern so transfers move real data.
+  for (uint64_t I = 0; I + 8 <= Size; I += 8)
+    Host.writeUInt(P + I, 0x1111111111111111ull * ((P + I) & 0xF), 8);
+  evictZombiesOverlapping(P, P + Size);
+  RT.notifyHeapAlloc(P, Size);
+  ModelUnit U;
+  U.Base = P;
+  U.Size = Size;
+  Model[P] = U;
+  note("alloc " + std::to_string(P) + " size " + std::to_string(Size));
+  return true;
+}
+
+bool Session::opAllocTable() {
+  unsigned Slots = 1 + pick(4);
+  uint64_t Size = Slots * 8 + (pick(2) ? 4 : 0); // Sometimes a tail.
+  uint64_t P = Host.allocate(Size);
+  // Candidate targets: live, non-table, non-alloca, non-dead units.
+  std::vector<uint64_t> Cand;
+  for (const auto &[Base, U] : Model)
+    if (!U.IsTable && !U.Dead && !U.IsAlloca)
+      Cand.push_back(Base);
+  for (unsigned S = 0; S != Slots; ++S) {
+    uint64_t Elem = 0;
+    if (!Cand.empty() && pick(4) != 0) {
+      uint64_t B = Cand[pick(unsigned(Cand.size()))];
+      // Interior pointers exercise greatest-LTE translation.
+      uint64_t Off = pick(2) ? 0 : (pick(unsigned(Model[B].Size / 8 + 1)));
+      Elem = B + Off;
+    }
+    Host.writeUInt(P + S * 8, Elem, 8);
+  }
+  if (Size % 8)
+    Host.writeUInt(P + Slots * 8, 0xBEEF, 4);
+  evictZombiesOverlapping(P, P + Size);
+  RT.notifyHeapAlloc(P, Size);
+  ModelUnit U;
+  U.Base = P;
+  U.Size = Size;
+  U.IsTable = true;
+  Model[P] = U;
+  note("alloc-table " + std::to_string(P) + " slots " + std::to_string(Slots));
+  return true;
+}
+
+bool Session::opDeclareGlobal() {
+  if (NextGlobal >= 6)
+    return false;
+  uint64_t Size = 8 + pick(5) * 8;
+  uint64_t P = Host.allocate(Size);
+  std::string Name = "g" + std::to_string(NextGlobal++);
+  evictZombiesOverlapping(P, P + Size);
+  RT.declareGlobal(Name, P, Size, /*IsReadOnly=*/false);
+  ModelUnit U;
+  U.Base = P;
+  U.Size = Size;
+  U.IsGlobal = true;
+  U.Name = Name;
+  Model[P] = U;
+  note("global " + Name + " at " + std::to_string(P));
+  return true;
+}
+
+bool Session::opDeclareAlloca() {
+  uint64_t Size = 8 + pick(8) * 8;
+  uint64_t P = Host.allocate(Size);
+  evictZombiesOverlapping(P, P + Size);
+  RT.declareAlloca(P, Size);
+  ModelUnit U;
+  U.Base = P;
+  U.Size = Size;
+  U.IsAlloca = true;
+  Model[P] = U;
+  note("alloca " + std::to_string(P));
+  return true;
+}
+
+bool Session::opMap() {
+  std::vector<uint64_t> Cand = unitsWhere(
+      [](const ModelUnit &U) { return !U.Dead && !U.IsTable; });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  uint64_t Off = pick(2) ? 0 : pick(unsigned(Model[B].Size));
+  RT.map(B + Off);
+  ++Model[B].Ref;
+  note("map " + std::to_string(B) + "+" + std::to_string(Off));
+  return true;
+}
+
+bool Session::opUnmap() {
+  if (Model.empty())
+    return false;
+  auto It = Model.begin();
+  std::advance(It, pick(unsigned(Model.size())));
+  if (It->second.IsTable)
+    return false; // unmapArray is the paired operation for tables.
+  RT.unmap(It->first);
+  note("unmap " + std::to_string(It->first));
+  return true;
+}
+
+bool Session::opRelease() {
+  std::vector<uint64_t> Cand = unitsWhere([](const ModelUnit &U) {
+    return U.Ref > U.SnapRefs && !U.IsTable;
+  });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  RT.release(B);
+  modelReleaseOne(B, /*FromSnapshot=*/false);
+  note("release " + std::to_string(B));
+  return true;
+}
+
+bool Session::opMapArray() {
+  std::vector<uint64_t> Cand = unitsWhere(
+      [](const ModelUnit &U) { return U.IsTable && !U.Dead; });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  ModelUnit &T = Model[B];
+  // Resolve the current host slots exactly the way the runtime must.
+  std::vector<uint64_t> Snapshot;
+  uint64_t Slots = T.Size / 8;
+  for (uint64_t S = 0; S != Slots; ++S) {
+    uint64_t Elem = Host.readUInt(T.Base + S * 8, 8);
+    if (Elem == 0)
+      continue;
+    ModelUnit *E = lookupModel(Elem);
+    if (!E || E->Dead)
+      return false; // A dangling slot would (rightly) be fatal; skip.
+    Snapshot.push_back(Elem);
+  }
+  RT.mapArray(B);
+  for (uint64_t Elem : Snapshot) {
+    ModelUnit *E = lookupModel(Elem);
+    ++E->Ref;
+    ++E->SnapRefs;
+  }
+  // Store resolved bases: releaseArray pairs against these.
+  std::vector<uint64_t> Bases;
+  for (uint64_t Elem : Snapshot)
+    Bases.push_back(lookupModel(Elem)->Base);
+  T.Snapshots.push_back(std::move(Bases));
+  ++T.Ref;
+  note("mapArray " + std::to_string(B));
+  verifyTableTranslations(T);
+  return true;
+}
+
+bool Session::opUnmapArray() {
+  std::vector<uint64_t> Cand =
+      unitsWhere([](const ModelUnit &U) { return U.IsTable; });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  RT.unmapArray(B);
+  note("unmapArray " + std::to_string(B));
+  return true;
+}
+
+bool Session::opReleaseArray() {
+  std::vector<uint64_t> Cand = unitsWhere(
+      [](const ModelUnit &U) { return U.IsTable && !U.Snapshots.empty(); });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  ModelUnit &T = Model[B];
+  std::vector<uint64_t> Snapshot = T.Snapshots.back();
+  T.Snapshots.pop_back();
+  RT.releaseArray(B);
+  for (uint64_t ElemBase : Snapshot)
+    modelReleaseOne(ElemBase, /*FromSnapshot=*/true);
+  modelReleaseOne(B, /*FromSnapshot=*/false);
+  note("releaseArray " + std::to_string(B));
+  return true;
+}
+
+bool Session::opSlotWrite() {
+  std::vector<uint64_t> Cand = unitsWhere(
+      [](const ModelUnit &U) { return U.IsTable && !U.Dead; });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  ModelUnit &T = Model[B];
+  uint64_t Slots = T.Size / 8;
+  if (Slots == 0)
+    return false;
+  uint64_t S = pick(unsigned(Slots));
+  uint64_t Elem = 0;
+  std::vector<uint64_t> Targets;
+  for (const auto &[UB, U] : Model)
+    if (!U.IsTable && !U.Dead && !U.IsAlloca)
+      Targets.push_back(UB);
+  if (!Targets.empty() && pick(3) != 0)
+    Elem = Targets[pick(unsigned(Targets.size()))];
+  Host.writeUInt(T.Base + S * 8, Elem, 8);
+  note("slot " + std::to_string(B) + "[" + std::to_string(S) + "] = " +
+       std::to_string(Elem));
+  return true;
+}
+
+bool Session::opKernelLaunch() {
+  RT.onKernelLaunch();
+  // Model a kernel dirtying one mapped unit's device copy.
+  std::vector<uint64_t> Mapped = unitsWhere(
+      [](const ModelUnit &U) { return U.Ref > 0 && !U.IsTable; });
+  if (!Mapped.empty()) {
+    uint64_t B = Mapped[pick(unsigned(Mapped.size()))];
+    const AllocUnitInfo *Info = RT.lookup(B);
+    if (Info && Info->DevPtr && Info->Size >= 8)
+      Device.getMemory().writeUInt(Info->DevPtr, Rng(), 8);
+  }
+  note("launch");
+  return true;
+}
+
+bool Session::opFree() {
+  std::vector<uint64_t> Cand = unitsWhere([](const ModelUnit &U) {
+    return !U.IsGlobal && !U.IsAlloca && !U.Dead;
+  });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  ModelUnit &U = Model[B];
+  // A table with mapArray generations outstanding frees like any unit —
+  // its snapshots drain later through the paired releaseArray calls.
+  nullSlotsInto(B, B + U.Size);
+  RT.notifyHeapFree(B);
+  Host.free(B);
+  if (U.Ref > 0) {
+    U.Dead = true;
+    note("free " + std::to_string(B) + " (deferred)");
+  } else {
+    Model.erase(B);
+    note("free " + std::to_string(B));
+  }
+  return true;
+}
+
+bool Session::opRealloc() {
+  std::vector<uint64_t> Cand = unitsWhere([](const ModelUnit &U) {
+    return !U.IsGlobal && !U.IsAlloca && !U.Dead && !U.IsTable;
+  });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  static const uint64_t Sizes[] = {5, 13, 24, 48, 80};
+  uint64_t NewSize = Sizes[pick(5)];
+  nullSlotsInto(B, B + Model[B].Size);
+  uint64_t NewPtr = Host.reallocate(B, NewSize);
+  RT.notifyHeapRealloc(B, NewPtr, NewSize);
+  ModelUnit &U = Model[B];
+  if (U.Ref > 0)
+    U.Dead = true;
+  else
+    Model.erase(B);
+  evictZombiesOverlapping(NewPtr, NewPtr + NewSize);
+  ModelUnit N;
+  N.Base = NewPtr;
+  N.Size = NewSize;
+  Model[NewPtr] = N;
+  note("realloc " + std::to_string(B) + " -> " + std::to_string(NewPtr));
+  return true;
+}
+
+bool Session::opRemoveAlloca() {
+  std::vector<uint64_t> Cand = unitsWhere([](const ModelUnit &U) {
+    return U.IsAlloca && U.SnapRefs == 0;
+  });
+  if (Cand.empty())
+    return false;
+  uint64_t B = Cand[pick(unsigned(Cand.size()))];
+  RT.removeAlloca(B);
+  dropUnitRefs(Model[B]);
+  Model.erase(B);
+  Host.free(B);
+  note("remove-alloca " + std::to_string(B));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-checking
+//===----------------------------------------------------------------------===//
+
+void Session::verifyTableTranslations(const ModelUnit &T) {
+  const AllocUnitInfo *Info = RT.lookup(T.Base);
+  if (!Info || Info->RefCount == 0) {
+    fail("table " + std::to_string(T.Base) + " not mapped after mapArray");
+    return;
+  }
+  uint64_t Slots = T.Size / 8;
+  for (uint64_t S = 0; S != Slots; ++S) {
+    uint64_t HostElem = Host.readUInt(T.Base + S * 8, 8);
+    uint64_t DevSlot = Device.getMemory().readUInt(Info->DevPtr + S * 8, 8);
+    if (HostElem == 0) {
+      if (DevSlot != 0)
+        fail("null slot " + std::to_string(S) + " of table " +
+             std::to_string(T.Base) + " translated to " +
+             std::to_string(DevSlot));
+      continue;
+    }
+    uint64_t Expect;
+    if (!RT.translateToDevice(HostElem, Expect)) {
+      fail("slot target " + std::to_string(HostElem) + " not resident");
+      continue;
+    }
+    if (DevSlot != Expect)
+      fail("stale device translation in table " + std::to_string(T.Base) +
+           " slot " + std::to_string(S) + ": device has " +
+           std::to_string(DevSlot) + ", current translation is " +
+           std::to_string(Expect));
+  }
+}
+
+void Session::crossCheck() {
+  if (RT.getNumTrackedUnits() != Model.size())
+    fail("tracked-unit divergence: runtime " +
+         std::to_string(RT.getNumTrackedUnits()) + " vs model " +
+         std::to_string(Model.size()));
+  size_t MappedModel = 0;
+  for (const auto &[Base, U] : Model)
+    if (U.Ref > 0)
+      ++MappedModel;
+  if (RT.getNumMappedUnits() != MappedModel)
+    fail("mapped-unit divergence: runtime " +
+         std::to_string(RT.getNumMappedUnits()) + " vs model " +
+         std::to_string(MappedModel));
+  // Device residency: one allocation per mapped non-global unit plus one
+  // per instantiated named region.
+  size_t ExpectDevice = InstantiatedGlobals.size();
+  for (const auto &[Base, U] : Model)
+    if (U.Ref > 0 && !U.IsGlobal)
+      ++ExpectDevice;
+  for (const auto &[Base, U] : Model)
+    if (U.IsGlobal && U.Ref > 0 && !InstantiatedGlobals.count(U.Name)) {
+      InstantiatedGlobals.insert(U.Name);
+      ++ExpectDevice;
+    }
+  if (Device.getMemory().getNumLiveAllocations() != ExpectDevice)
+    fail("device-allocation divergence: device has " +
+         std::to_string(Device.getMemory().getNumLiveAllocations()) +
+         " live, model expects " + std::to_string(ExpectDevice));
+  // Spot-check translation of one mapped unit.
+  for (const auto &[Base, U] : Model)
+    if (U.Ref > 0) {
+      uint64_t Dev;
+      if (!RT.translateToDevice(Base + U.Size / 2, Dev))
+        fail("mapped unit " + std::to_string(Base) + " fails translation");
+      break;
+    }
+}
+
+void Session::drain() {
+  // Pairwise teardown: releaseArray drains snapshots (LIFO per table),
+  // then loose releases drain what remains.
+  bool Progress = true;
+  while (Progress && !failed()) {
+    Progress = false;
+    for (auto &[Base, U] : Model)
+      if (U.IsTable && !U.Snapshots.empty()) {
+        std::vector<uint64_t> Snapshot = U.Snapshots.back();
+        U.Snapshots.pop_back();
+        RT.releaseArray(Base);
+        for (uint64_t ElemBase : Snapshot)
+          modelReleaseOne(ElemBase, /*FromSnapshot=*/true);
+        modelReleaseOne(Base, /*FromSnapshot=*/false);
+        Progress = true;
+        break; // Iterators invalidated if a zombie drained away.
+      }
+  }
+  Progress = true;
+  while (Progress && !failed()) {
+    Progress = false;
+    for (auto &[Base, U] : Model)
+      if (U.Ref > 0) {
+        RT.release(Base);
+        modelReleaseOne(Base, /*FromSnapshot=*/false);
+        Progress = true;
+        break;
+      }
+  }
+  crossCheck();
+  if (Device.getMemory().getNumLiveAllocations() !=
+      InstantiatedGlobals.size())
+    fail("device allocations leaked after drain: " +
+         std::to_string(Device.getMemory().getNumLiveAllocations()) +
+         " live, " + std::to_string(InstantiatedGlobals.size()) +
+         " named regions expected");
+}
+
+ApiFuzzResult Session::run() {
+  ApiFuzzResult R;
+  // A few starting units so early operations have targets.
+  opAlloc();
+  opAlloc();
+  opAllocTable();
+  for (unsigned Step = 0; Step != MaxSteps && !failed(); ++Step) {
+    ++R.Steps;
+    switch (pick(20)) {
+    case 0: opAlloc(); break;
+    case 1: opAllocTable(); break;
+    case 2: opDeclareGlobal(); break;
+    case 3: opDeclareAlloca(); break;
+    case 4: case 5: case 6: opMap(); break;
+    case 7: case 8: opUnmap(); break;
+    case 9: case 10: opRelease(); break;
+    case 11: case 12: opMapArray(); break;
+    case 13: opUnmapArray(); break;
+    case 14: opReleaseArray(); break;
+    case 15: opSlotWrite(); break;
+    case 16: opKernelLaunch(); break;
+    case 17: opFree(); break;
+    case 18: opRealloc(); break;
+    case 19: opRemoveAlloca(); break;
+    }
+    crossCheck();
+  }
+  if (!failed())
+    drain();
+  Auditor.finish(RT, Device, Stats);
+  R.Audit = Auditor.getReport();
+  if (!R.Audit.clean() && Failure.empty())
+    fail("auditor violations:\n" + R.Audit.str());
+  R.Failed = failed();
+  R.Failure = Failure;
+  return R;
+}
+
+} // namespace
+
+ApiFuzzResult cgcm::runApiFuzz(uint64_t Seed, unsigned MaxSteps) {
+  Session S(Seed, MaxSteps);
+  return S.run();
+}

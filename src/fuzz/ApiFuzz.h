@@ -1,0 +1,52 @@
+//===- fuzz/ApiFuzz.h - Runtime API-sequence differential fuzzer ------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives CGCMRuntime directly with randomized — but contract-valid —
+/// call sequences and cross-checks every step against an independent
+/// specification-level model of Algorithms 1-3 (docs/Fuzzing.md).
+///
+/// This mode exists because *compiled* programs cannot reach the nastiest
+/// lifecycle states: map promotion refuses to hoist communication across
+/// a free/realloc that may alias the promoted pointer, so free-while-
+/// mapped, realloc-while-mapped, zombie address reuse, and stale array
+/// re-translations only arise from raw API sequences (or future compiler
+/// bugs — which is exactly what the ctest smoke tier is for).
+///
+/// Checked at every step: tracked-unit count, mapped-unit count, live
+/// device allocations vs model expectation, pointer translation, and —
+/// after every mapArray — that each device slot holds the *current*
+/// translation of its host slot. At the end the sequence is drained
+/// pairwise and the RuntimeAuditor must report clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FUZZ_APIFUZZ_H
+#define CGCM_FUZZ_APIFUZZ_H
+
+#include "runtime/RuntimeAuditor.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cgcm {
+
+struct ApiFuzzResult {
+  bool Failed = false;
+  /// First divergence plus the trailing operation log (empty when OK).
+  std::string Failure;
+  uint64_t Steps = 0; ///< Operations actually executed.
+  AuditReport Audit;
+};
+
+/// Runs one seeded API-sequence session of roughly \p MaxSteps
+/// operations. Deterministic in \p Seed. Fatal runtime errors abort the
+/// process — run under fork isolation (cgcm-fuzz) to record them.
+ApiFuzzResult runApiFuzz(uint64_t Seed, unsigned MaxSteps = 400);
+
+} // namespace cgcm
+
+#endif // CGCM_FUZZ_APIFUZZ_H

@@ -1,0 +1,137 @@
+//===- fuzz/Differ.cpp - Differential execution oracle ----------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Differ.h"
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "transform/Pipeline.h"
+
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+/// One executed configuration's observables.
+struct ModeRun {
+  std::string Output;
+  int64_t ExitValue = 0;
+  /// Final bytes of every named global, keyed by name (managed modules
+  /// gain internal .cgcmname.* string globals; those are skipped).
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> Globals;
+  AuditReport Audit;
+};
+
+ModeRun runMode(const std::string &Source, const std::string &Name,
+                bool Manage, bool Optimize, bool Audit) {
+  std::unique_ptr<Module> M = compileMiniC(Source, Name);
+  PipelineOptions Opts;
+  Opts.Parallelize = false; // Launches are explicit; isolate management.
+  Opts.Manage = Manage;
+  Opts.Optimize = Optimize;
+  runCGCMPipeline(*M, Opts);
+
+  Machine Mach;
+  Mach.setLaunchPolicy(Manage ? LaunchPolicy::Managed
+                              : LaunchPolicy::CpuEmulation);
+  Mach.setOpLimit(200u * 1000u * 1000u);
+  Mach.loadModule(*M);
+
+  RuntimeAuditor Auditor;
+  if (Audit)
+    Mach.getRuntime().setObserver(&Auditor);
+
+  ModeRun R;
+  R.ExitValue = Mach.run();
+  R.Output = Mach.getOutput();
+  if (Audit) {
+    Auditor.finish(Mach.getRuntime(), Mach.getDevice(), Mach.getStats());
+    Mach.getRuntime().setObserver(nullptr);
+    R.Audit = Auditor.getReport();
+  }
+
+  for (const auto &GV : M->globals()) {
+    // Skip compiler-internal string globals (kernel/global name tables).
+    if (!GV->getName().empty() && GV->getName()[0] == '.')
+      continue;
+    uint64_t Addr = Mach.getGlobalAddress(GV.get());
+    std::vector<uint8_t> Bytes(GV->getSizeInBytes());
+    if (!Bytes.empty())
+      Mach.getHostMemory().read(Addr, Bytes.data(), Bytes.size());
+    R.Globals.emplace_back(GV->getName(), std::move(Bytes));
+  }
+  return R;
+}
+
+/// Appends the first observable difference between \p Ref and \p Got to
+/// \p Failure; returns true if they agree.
+bool compareRuns(const ModeRun &Ref, const ModeRun &Got,
+                 const char *GotName, std::string &Failure) {
+  if (Ref.ExitValue != Got.ExitValue) {
+    Failure += std::string(GotName) + ": exit value " +
+               std::to_string(Got.ExitValue) + " vs reference " +
+               std::to_string(Ref.ExitValue) + "\n";
+    return false;
+  }
+  if (Ref.Output != Got.Output) {
+    Failure += std::string(GotName) + ": output diverged\n--- reference\n" +
+               Ref.Output + "--- " + GotName + "\n" + Got.Output;
+    return false;
+  }
+  for (const auto &[Name, Bytes] : Ref.Globals) {
+    const std::vector<uint8_t> *GotBytes = nullptr;
+    for (const auto &[GName, GBytes] : Got.Globals)
+      if (GName == Name) {
+        GotBytes = &GBytes;
+        break;
+      }
+    if (!GotBytes) {
+      Failure += std::string(GotName) + ": global '" + Name + "' missing\n";
+      return false;
+    }
+    if (*GotBytes != Bytes) {
+      uint64_t Off = 0;
+      while (Off < Bytes.size() && Off < GotBytes->size() &&
+             Bytes[Off] == (*GotBytes)[Off])
+        ++Off;
+      Failure += std::string(GotName) + ": global '" + Name +
+                 "' differs at byte " + std::to_string(Off) + "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+DiffResult cgcm::diffProgram(const std::string &Source,
+                             const std::string &Name) {
+  DiffResult R;
+  ModeRun Ref = runMode(Source, Name + ".ref", /*Manage=*/false,
+                        /*Optimize=*/false, /*Audit=*/false);
+  ModeRun Unopt = runMode(Source, Name + ".unopt", /*Manage=*/true,
+                          /*Optimize=*/false, /*Audit=*/true);
+  ModeRun Opt = runMode(Source, Name + ".opt", /*Manage=*/true,
+                        /*Optimize=*/true, /*Audit=*/true);
+
+  R.ReferenceOutput = Ref.Output;
+  R.UnoptimizedAudit = Unopt.Audit;
+  R.OptimizedAudit = Opt.Audit;
+
+  bool OK = compareRuns(Ref, Unopt, "unoptimized", R.Failure);
+  OK &= compareRuns(Ref, Opt, "optimized", R.Failure);
+  if (!Unopt.Audit.clean()) {
+    R.Failure += "unoptimized audit:\n" + Unopt.Audit.str() + "\n";
+    OK = false;
+  }
+  if (!Opt.Audit.clean()) {
+    R.Failure += "optimized audit:\n" + Opt.Audit.str() + "\n";
+    OK = false;
+  }
+  R.Agreed = OK;
+  return R;
+}

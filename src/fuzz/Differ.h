@@ -1,0 +1,51 @@
+//===- fuzz/Differ.h - Differential execution oracle ------------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one MiniC program through three configurations and diffs the
+/// observable results (docs/Fuzzing.md):
+///
+///   reference  — CPU-only (no management, launches emulated as host loops)
+///   unoptimized — communication management only, Managed launches
+///   optimized  — management + fixpoint(glue,alloca-promote,map-promote)
+///
+/// Agreement means: identical printed output, identical exit values,
+/// identical final bytes in every named global, and — for the two
+/// managed runs — a clean RuntimeAuditor report (balanced refcounts, no
+/// device leaks, ledger/stats byte conservation). Heap state is diffed
+/// indirectly: generated programs print checksums of every live buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FUZZ_DIFFER_H
+#define CGCM_FUZZ_DIFFER_H
+
+#include "runtime/RuntimeAuditor.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cgcm {
+
+struct DiffResult {
+  bool Agreed = false;
+  /// Human-readable description of the first disagreement (empty when
+  /// Agreed). Fatal runtime errors abort the process — run under fork
+  /// isolation (cgcm-fuzz) to convert those into recorded failures.
+  std::string Failure;
+  std::string ReferenceOutput;
+  AuditReport UnoptimizedAudit;
+  AuditReport OptimizedAudit;
+};
+
+/// Compiles and runs \p Source under all three configurations and diffs
+/// them. \p Name labels compiler diagnostics.
+DiffResult diffProgram(const std::string &Source,
+                       const std::string &Name = "fuzz");
+
+} // namespace cgcm
+
+#endif // CGCM_FUZZ_DIFFER_H

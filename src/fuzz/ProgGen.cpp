@@ -1,0 +1,435 @@
+//===- fuzz/ProgGen.cpp - Seeded random MiniC program generator -------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProgGen.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+/// Every double buffer is at least this many elements long, so table
+/// kernels can use a fixed trip count no matter which buffers occupy
+/// the slots, and realloc can never shrink below kernel reach.
+constexpr unsigned MinLen = 8;
+
+const unsigned DoubleLens[] = {8, 9, 12, 16, 24, 33, 40};
+const unsigned ByteLens[] = {9, 13, 21, 27, 35}; // All % 8 != 0.
+const double Factors[] = {0.5, 1.0, 1.25, 2.0};
+
+bool isDouble(const BufferDesc &B) { return B.K != BufferDesc::Bytes; }
+bool isFreeable(const BufferDesc &B) {
+  return B.K == BufferDesc::Heap || B.K == BufferDesc::Bytes;
+}
+
+} // namespace
+
+unsigned ProgDesc::numEnabledOps() const {
+  unsigned N = 0;
+  for (const OpDesc &Op : Ops)
+    if (Op.Enabled)
+      ++N;
+  return N;
+}
+
+ProgDesc cgcm::generateProgram(uint64_t Seed) {
+  std::mt19937_64 Rng(Seed * 0x9E3779B97F4A7C15ull + 1);
+  auto Pick = [&](unsigned N) { return unsigned(Rng() % N); };
+
+  ProgDesc P;
+  P.Seed = Seed;
+
+  unsigned NumHeap = 2 + Pick(3);
+  for (unsigned I = 0; I != NumHeap; ++I)
+    P.Buffers.push_back({BufferDesc::Heap, DoubleLens[Pick(7)]});
+  if (Pick(2))
+    P.Buffers.push_back({BufferDesc::Bytes, ByteLens[Pick(5)]});
+  if (Pick(2))
+    P.Buffers.push_back({BufferDesc::Global, DoubleLens[Pick(7)]});
+  if (Pick(2))
+    P.Buffers.push_back({BufferDesc::Local, DoubleLens[Pick(7)]});
+
+  std::vector<unsigned> DoubleIdx, HeapIdx, ByteIdx;
+  for (unsigned I = 0; I != P.Buffers.size(); ++I) {
+    if (isDouble(P.Buffers[I]))
+      DoubleIdx.push_back(I);
+    if (P.Buffers[I].K == BufferDesc::Heap)
+      HeapIdx.push_back(I);
+    if (P.Buffers[I].K == BufferDesc::Bytes)
+      ByteIdx.push_back(I);
+  }
+
+  P.HasTable = Pick(10) < 7;
+  if (P.HasTable) {
+    P.TableSlots = 2 + Pick(3);
+    P.TableIsLocal = Pick(2);
+    P.TableTail = !P.TableIsLocal && Pick(2);
+    for (unsigned S = 0; S != P.TableSlots; ++S) {
+      // Null, duplicate, and ordinary slots all occur.
+      if (Pick(4) == 0)
+        P.TableInit.push_back(0);
+      else
+        P.TableInit.push_back(DoubleIdx[Pick(unsigned(DoubleIdx.size()))] + 1);
+    }
+  }
+
+  unsigned NumOps = 6 + Pick(9);
+  for (unsigned I = 0; I != NumOps; ++I) {
+    OpDesc Op;
+    unsigned R = Pick(100);
+    if (R < 22) {
+      Op.K = OpDesc::LaunchScale;
+      Op.A = DoubleIdx[Pick(unsigned(DoubleIdx.size()))];
+      Op.Off = Pick(2) ? 0 : Pick(4);
+      Op.F = Factors[Pick(4)];
+      Op.Loop = 1 + Pick(3);
+      Op.Loop2 = Pick(3) == 0 ? 1 + Pick(2) : 0;
+    } else if (R < 34) {
+      Op.K = OpDesc::LaunchAdd;
+      // Distinct operands: the verifier rejects passing the same
+      // pointer live-in twice. At least two heap doubles always exist.
+      unsigned PA = Pick(unsigned(DoubleIdx.size()));
+      unsigned PB = Pick(unsigned(DoubleIdx.size()));
+      if (PB == PA)
+        PB = (PB + 1) % unsigned(DoubleIdx.size());
+      Op.A = DoubleIdx[PA];
+      Op.B = DoubleIdx[PB];
+      Op.Loop = 1 + Pick(3);
+    } else if (R < 42 && !ByteIdx.empty()) {
+      Op.K = OpDesc::LaunchBytes;
+      Op.A = ByteIdx[Pick(unsigned(ByteIdx.size()))];
+      Op.Loop = 1 + Pick(2);
+    } else if (R < 56 && P.HasTable) {
+      Op.K = Pick(4) == 0 ? OpDesc::LaunchTable2 : OpDesc::LaunchTable;
+      Op.F = Factors[Pick(4)];
+      Op.Loop = 1 + Pick(3);
+      Op.Loop2 = Pick(4) == 0 ? 1 + Pick(2) : 0;
+    } else if (R < 66) {
+      Op.K = OpDesc::HostTouch;
+      Op.A = Pick(unsigned(P.Buffers.size()));
+    } else if (R < 76 && P.HasTable) {
+      Op.K = OpDesc::SlotSet;
+      Op.Slot = Pick(P.TableSlots);
+      Op.Null = Pick(4) == 0;
+      Op.B = DoubleIdx[Pick(unsigned(DoubleIdx.size()))];
+    } else if (R < 82 && !HeapIdx.empty()) {
+      Op.K = OpDesc::FreeBuf;
+      Op.A = HeapIdx[Pick(unsigned(HeapIdx.size()))];
+    } else if (R < 90 && !HeapIdx.empty()) {
+      Op.K = OpDesc::ReallocBuf;
+      Op.A = Pick(4) && !ByteIdx.empty() ? ByteIdx[Pick(unsigned(ByteIdx.size()))]
+                                         : HeapIdx[Pick(unsigned(HeapIdx.size()))];
+      Op.NewLen = P.Buffers[Op.A].K == BufferDesc::Bytes ? ByteLens[Pick(5)]
+                                                         : DoubleLens[Pick(7)];
+    } else {
+      Op.K = OpDesc::Checksum;
+      Op.A = Pick(unsigned(P.Buffers.size()));
+    }
+    P.Ops.push_back(Op);
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Render-time mutable view of one buffer.
+struct BufState {
+  unsigned CurLen;
+  bool Alive = true;
+};
+
+std::string bufName(unsigned I) { return "u" + std::to_string(I); }
+
+std::string fmtF(double V) {
+  std::ostringstream OS;
+  OS << V;
+  std::string S = OS.str();
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+unsigned gridFor(unsigned N) { return (N + 31) / 32; }
+
+} // namespace
+
+std::string ProgDesc::render() const {
+  std::ostringstream OS;
+  OS << "/* generated: seed " << Seed << " */\n";
+
+  // File-scope globals.
+  for (unsigned I = 0; I != Buffers.size(); ++I)
+    if (Buffers[I].K == BufferDesc::Global)
+      OS << "double " << bufName(I) << "[" << Buffers[I].Len << "];\n";
+
+  // The kernel zoo. All are emitted whether or not an op uses them.
+  OS << R"(
+__kernel void k_scale(double *a, long n, double f) {
+  long i = __tid();
+  if (i < n)
+    a[i] = a[i] * f + 1.0;
+}
+__kernel void k_add(double *a, double *b, long n) {
+  long i = __tid();
+  if (i < n)
+    a[i] = a[i] + b[i] * 0.25;
+}
+__kernel void k_bytes(char *c, long n) {
+  long i = __tid();
+  if (i < n)
+    c[i] = (char)((long)c[i] + i + 1);
+}
+__kernel void k_table(double **t, long rows, long n, double f) {
+  long i = __tid();
+  long j;
+  if (i < n) {
+    for (j = 0; j < rows; j++) {
+      double *p = t[j];
+      if (p != (double*)0)
+        p[i] = p[i] * f + (double)j;
+    }
+  }
+}
+__kernel void k_table2(double **t, double **u, long rows, long n) {
+  long i = __tid();
+  long j;
+  if (i < n) {
+    for (j = 0; j < rows; j++) {
+      double *p = t[j];
+      double *q = u[rows - 1 - j];
+      if (p != (double*)0)
+        if (q != (double*)0)
+          p[i] = p[i] + q[i] * 0.125;
+    }
+  }
+}
+)";
+
+  OS << "int main() {\n";
+  OS << "  long t0; long t1; long ci; double s; long si;\n";
+
+  // Buffer declarations + deterministic initialization.
+  std::vector<BufState> St;
+  for (unsigned I = 0; I != Buffers.size(); ++I) {
+    const BufferDesc &B = Buffers[I];
+    St.push_back({B.Len, true});
+    std::string N = bufName(I);
+    switch (B.K) {
+    case BufferDesc::Heap:
+      OS << "  double *" << N << " = (double*)malloc(" << B.Len
+         << " * sizeof(double));\n";
+      break;
+    case BufferDesc::Bytes:
+      OS << "  char *" << N << " = malloc(" << B.Len << ");\n";
+      break;
+    case BufferDesc::Local:
+      OS << "  double " << N << "[" << B.Len << "];\n";
+      break;
+    case BufferDesc::Global:
+      break; // Declared at file scope.
+    }
+    if (B.K == BufferDesc::Bytes)
+      OS << "  for (ci = 0; ci < " << B.Len << "; ci++) " << N
+         << "[ci] = (char)(ci * 3 + " << (I + 1) << ");\n";
+    else
+      OS << "  for (ci = 0; ci < " << B.Len << "; ci++) " << N
+         << "[ci] = (double)(ci % 7) * 0.5 + " << fmtF(double(I + 1)) << ";\n";
+  }
+
+  // The pointer table.
+  std::vector<unsigned> Slots = TableInit; // buffer index + 1, 0 = null
+  if (HasTable) {
+    if (TableIsLocal)
+      OS << "  double *tab[" << TableSlots << "];\n";
+    else
+      OS << "  double **tab = (double**)malloc(" << TableSlots
+         << " * sizeof(double*)" << (TableTail ? " + 4" : "") << ");\n";
+    for (unsigned S = 0; S != TableSlots; ++S) {
+      if (Slots[S] == 0)
+        OS << "  tab[" << S << "] = (double*)0;\n";
+      else
+        OS << "  tab[" << S << "] = " << bufName(Slots[S] - 1) << ";\n";
+    }
+  }
+
+  auto nullSlotsOf = [&](unsigned Buf, std::ostream &Out) {
+    if (!HasTable)
+      return;
+    for (unsigned S = 0; S != TableSlots; ++S)
+      if (Slots[S] == Buf + 1) {
+        Out << "  tab[" << S << "] = (double*)0;\n";
+        Slots[S] = 0;
+      }
+  };
+  auto refreshSlotsOf = [&](unsigned Buf, std::ostream &Out) {
+    if (!HasTable)
+      return;
+    for (unsigned S = 0; S != TableSlots; ++S)
+      if (Slots[S] == Buf + 1)
+        Out << "  tab[" << S << "] = " << bufName(Buf) << ";\n";
+  };
+  auto checksum = [&](unsigned I, std::ostream &Out) {
+    std::string N = bufName(I);
+    if (Buffers[I].K == BufferDesc::Bytes) {
+      Out << "  si = 0;\n  for (ci = 0; ci < " << St[I].CurLen
+          << "; ci++) si = si + (long)" << N << "[ci];\n  print_i64(si);\n";
+    } else {
+      Out << "  s = 0.0;\n  for (ci = 0; ci < " << St[I].CurLen
+          << "; ci++) s = s + " << N << "[ci];\n  print_f64(s);\n";
+    }
+  };
+  auto launchHeader = [&](const OpDesc &Op, std::ostream &Out) -> std::string {
+    std::string Indent = "  ";
+    if (Op.Loop2 > 0) {
+      Out << Indent << "for (t1 = 0; t1 < " << Op.Loop2 << "; t1++)\n";
+      Indent += "  ";
+    }
+    if (Op.Loop > 1) {
+      Out << Indent << "for (t0 = 0; t0 < " << Op.Loop << "; t0++)\n";
+      Indent += "  ";
+    }
+    return Indent;
+  };
+
+  for (const OpDesc &Op : Ops) {
+    if (!Op.Enabled)
+      continue;
+    switch (Op.K) {
+    case OpDesc::LaunchScale: {
+      if (!St[Op.A].Alive)
+        break;
+      unsigned Off = std::min(Op.Off, St[Op.A].CurLen - MinLen + 4);
+      if (Off >= St[Op.A].CurLen)
+        Off = 0;
+      unsigned N = St[Op.A].CurLen - Off;
+      std::string In = launchHeader(Op, OS);
+      OS << In << "launch k_scale<<<" << gridFor(N) << ", 32>>>("
+         << bufName(Op.A) << (Off ? " + " + std::to_string(Off) : "") << ", "
+         << N << ", " << fmtF(Op.F) << ");\n";
+      break;
+    }
+    case OpDesc::LaunchAdd: {
+      if (!St[Op.A].Alive || !St[Op.B].Alive)
+        break;
+      unsigned N = std::min(St[Op.A].CurLen, St[Op.B].CurLen);
+      std::string In = launchHeader(Op, OS);
+      OS << In << "launch k_add<<<" << gridFor(N) << ", 32>>>("
+         << bufName(Op.A) << ", " << bufName(Op.B) << ", " << N << ");\n";
+      break;
+    }
+    case OpDesc::LaunchBytes: {
+      if (!St[Op.A].Alive)
+        break;
+      unsigned N = St[Op.A].CurLen;
+      std::string In = launchHeader(Op, OS);
+      OS << In << "launch k_bytes<<<" << gridFor(N) << ", 32>>>("
+         << bufName(Op.A) << ", " << N << ");\n";
+      break;
+    }
+    case OpDesc::LaunchTable: {
+      if (!HasTable)
+        break;
+      std::string In = launchHeader(Op, OS);
+      OS << In << "launch k_table<<<" << gridFor(MinLen) << ", 32>>>(tab, "
+         << TableSlots << ", " << MinLen << ", " << fmtF(Op.F) << ");\n";
+      break;
+    }
+    case OpDesc::LaunchTable2: {
+      if (!HasTable)
+        break;
+      // Both parameters view the same allocation unit, but through
+      // distinct pointers (the verifier rejects duplicate live-ins by
+      // SSA root): the second mapArray of the launch is a re-map with
+      // RefCount already 1 — the refcount-reuse translation-refresh
+      // path a single-table launch never reaches.
+      std::string In = launchHeader(Op, OS);
+      OS << In << "launch k_table2<<<" << gridFor(MinLen) << ", 32>>>(tab, "
+         << "tab + 1, " << (TableSlots - 1) << ", " << MinLen << ");\n";
+      break;
+    }
+    case OpDesc::HostTouch: {
+      if (!St[Op.A].Alive)
+        break;
+      std::string N = bufName(Op.A);
+      if (Buffers[Op.A].K == BufferDesc::Bytes)
+        OS << "  for (ci = 0; ci < " << St[Op.A].CurLen << "; ci++) " << N
+           << "[ci] = (char)((long)" << N << "[ci] + 1);\n";
+      else
+        OS << "  for (ci = 0; ci < " << St[Op.A].CurLen << "; ci++) " << N
+           << "[ci] = " << N << "[ci] + 0.5;\n";
+      break;
+    }
+    case OpDesc::SlotSet: {
+      if (!HasTable || Op.Slot >= TableSlots)
+        break;
+      if (Op.Null || !St[Op.B].Alive) {
+        OS << "  tab[" << Op.Slot << "] = (double*)0;\n";
+        Slots[Op.Slot] = 0;
+      } else {
+        OS << "  tab[" << Op.Slot << "] = " << bufName(Op.B) << ";\n";
+        Slots[Op.Slot] = Op.B + 1;
+      }
+      break;
+    }
+    case OpDesc::FreeBuf: {
+      if (!St[Op.A].Alive || !isFreeable(Buffers[Op.A]))
+        break;
+      nullSlotsOf(Op.A, OS);
+      OS << "  free((char*)" << bufName(Op.A) << ");\n";
+      St[Op.A].Alive = false;
+      break;
+    }
+    case OpDesc::ReallocBuf: {
+      if (!St[Op.A].Alive || !isFreeable(Buffers[Op.A]))
+        break;
+      std::string N = bufName(Op.A);
+      if (Buffers[Op.A].K == BufferDesc::Bytes)
+        OS << "  " << N << " = realloc(" << N << ", " << Op.NewLen << ");\n";
+      else
+        OS << "  " << N << " = (double*)realloc((char*)" << N << ", "
+           << Op.NewLen << " * sizeof(double));\n";
+      // Growth exposes uninitialized bytes: give them defined values so
+      // every mode sees identical data.
+      if (Op.NewLen > St[Op.A].CurLen) {
+        if (Buffers[Op.A].K == BufferDesc::Bytes)
+          OS << "  for (ci = " << St[Op.A].CurLen << "; ci < " << Op.NewLen
+             << "; ci++) " << N << "[ci] = (char)ci;\n";
+        else
+          OS << "  for (ci = " << St[Op.A].CurLen << "; ci < " << Op.NewLen
+             << "; ci++) " << N << "[ci] = (double)ci * 0.25;\n";
+      }
+      St[Op.A].CurLen = Op.NewLen;
+      refreshSlotsOf(Op.A, OS);
+      break;
+    }
+    case OpDesc::Checksum: {
+      if (!St[Op.A].Alive)
+        break;
+      checksum(Op.A, OS);
+      break;
+    }
+    }
+  }
+
+  // Final checksums over everything still alive, then tidy teardown.
+  for (unsigned I = 0; I != Buffers.size(); ++I)
+    if (St[I].Alive)
+      checksum(I, OS);
+  for (unsigned I = 0; I != Buffers.size(); ++I)
+    if (St[I].Alive && isFreeable(Buffers[I]))
+      OS << "  free((char*)" << bufName(I) << ");\n";
+  if (HasTable && !TableIsLocal)
+    OS << "  free((char*)tab);\n";
+  OS << "  return 0;\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,97 @@
+//===- fuzz/ProgGen.h - Seeded random MiniC program generator ---------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random-but-valid MiniC programs that concentrate on the
+/// communication-management bug surface (docs/Fuzzing.md): aliased
+/// heap/global/alloca allocation units, doubly-indirect pointer tables
+/// with null and duplicate slots, realloc/free between kernel launches,
+/// buffer sizes not divisible by 8, and nested loops around launches.
+///
+/// Generation is two-phase so failing programs can be minimized: a seed
+/// deterministically expands to a structured ProgDesc (buffers, an
+/// optional pointer table, and a sequence of top-level operations), and
+/// render() turns the description into MiniC source. The reducer works
+/// by clearing OpDesc::Enabled bits and re-rendering — render() tracks
+/// buffer liveness and table contents itself, so *any* mask yields a
+/// valid program (operations on dead buffers are skipped, slots holding
+/// freed buffers are nulled before the free).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FUZZ_PROGGEN_H
+#define CGCM_FUZZ_PROGGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// One allocation unit the generated program owns.
+struct BufferDesc {
+  enum Kind {
+    Heap,   ///< double array from malloc/calloc (free/realloc eligible)
+    Bytes,  ///< char array from malloc with size % 8 != 0
+    Global, ///< file-scope double array (registered via declareGlobal)
+    Local,  ///< double array in main's frame (registered via declareAlloca)
+  };
+  Kind K = Heap;
+  unsigned Len = 8; ///< Elements (doubles) or bytes (Bytes kind).
+};
+
+/// One top-level operation in main, in program order.
+struct OpDesc {
+  enum Kind {
+    LaunchScale, ///< launch k_scale(A + Off, n, F) inside Loop (x Loop2)
+    LaunchAdd,   ///< launch k_add(A, B, n) inside Loop
+    LaunchBytes, ///< launch k_bytes(A, n) — char buffer traffic
+    LaunchTable, ///< launch k_table(tab, rows, n, F) inside Loop
+    LaunchTable2,///< launch k_table2(tab, tab, rows, n) — re-map path
+    HostTouch,   ///< CPU writes a pattern into A (forces DtoH sync)
+    SlotSet,     ///< tab[Slot] = B (or null) — retarget between launches
+    FreeBuf,     ///< free(A) (slots holding A are nulled first)
+    ReallocBuf,  ///< A = realloc(A, NewLen) (slots are refreshed)
+    Checksum,    ///< CPU reduction over A, printed
+  };
+  Kind K = LaunchScale;
+  unsigned A = 0;      ///< Primary buffer index.
+  unsigned B = 0;      ///< Secondary buffer index (LaunchAdd/SlotSet).
+  unsigned Slot = 0;   ///< Table slot (SlotSet).
+  bool Null = false;   ///< SlotSet: store null instead of B.
+  unsigned Off = 0;    ///< Interior-pointer offset in elements.
+  unsigned Loop = 1;   ///< Launch repeat count (for-loop around it).
+  unsigned Loop2 = 0;  ///< Outer loop trips; 0 = no outer loop.
+  double F = 1.0;      ///< Kernel scale factor.
+  unsigned NewLen = 8; ///< ReallocBuf: new element count.
+  bool Enabled = true; ///< Cleared by the reducer.
+};
+
+/// A complete generated program.
+struct ProgDesc {
+  uint64_t Seed = 0;
+  std::vector<BufferDesc> Buffers;
+  bool HasTable = false;
+  unsigned TableSlots = 0;
+  bool TableIsLocal = false; ///< `double *tab[N]` vs heap `double **`.
+  bool TableTail = false;    ///< Heap table gets 4 trailing bytes.
+  /// Initial slot contents: buffer index + 1, or 0 for null.
+  std::vector<unsigned> TableInit;
+  std::vector<OpDesc> Ops;
+
+  /// Renders the description to MiniC source. Valid for any Enabled
+  /// mask; see file comment.
+  std::string render() const;
+
+  unsigned numEnabledOps() const;
+};
+
+/// Expands \p Seed into a program description. Deterministic.
+ProgDesc generateProgram(uint64_t Seed);
+
+} // namespace cgcm
+
+#endif // CGCM_FUZZ_PROGGEN_H

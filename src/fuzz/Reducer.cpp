@@ -1,0 +1,84 @@
+//===- fuzz/Reducer.cpp - Greedy failing-program minimizer ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+std::vector<size_t> enabledIndices(const ProgDesc &P) {
+  std::vector<size_t> Out;
+  for (size_t I = 0; I != P.Ops.size(); ++I)
+    if (P.Ops[I].Enabled)
+      Out.push_back(I);
+  return Out;
+}
+
+} // namespace
+
+ProgDesc cgcm::reduceProgram(
+    ProgDesc P, const std::function<bool(const ProgDesc &)> &StillFails,
+    ReduceStats *Stats) {
+  ReduceStats Local;
+  Local.OpsBefore = P.numEnabledOps();
+
+  ++Local.CandidatesTried;
+  if (!StillFails(P)) {
+    // Not reproducible — refuse to "minimize" into a vacuous program.
+    Local.OpsAfter = Local.OpsBefore;
+    if (Stats)
+      *Stats = Local;
+    return P;
+  }
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+
+    // Chunk phase: drop contiguous runs of enabled ops, halving the
+    // chunk size down to 2. For the typical 6-14 op program this clears
+    // unrelated preambles in a couple of tests.
+    std::vector<size_t> Idx = enabledIndices(P);
+    for (size_t Chunk = Idx.size() / 2; Chunk >= 2; Chunk /= 2) {
+      Idx = enabledIndices(P);
+      for (size_t Start = 0; Start + Chunk <= Idx.size();) {
+        ProgDesc Candidate = P;
+        for (size_t I = 0; I != Chunk; ++I)
+          Candidate.Ops[Idx[Start + I]].Enabled = false;
+        ++Local.CandidatesTried;
+        if (StillFails(Candidate)) {
+          P = std::move(Candidate);
+          Idx = enabledIndices(P);
+          Progress = true;
+          // Indices shifted; stay at the same position.
+        } else {
+          Start += Chunk;
+        }
+      }
+    }
+
+    // Single-op phase.
+    for (size_t I = 0; I != P.Ops.size(); ++I) {
+      if (!P.Ops[I].Enabled)
+        continue;
+      ProgDesc Candidate = P;
+      Candidate.Ops[I].Enabled = false;
+      ++Local.CandidatesTried;
+      if (StillFails(Candidate)) {
+        P = std::move(Candidate);
+        Progress = true;
+      }
+    }
+  }
+
+  Local.OpsAfter = P.numEnabledOps();
+  if (Stats)
+    *Stats = Local;
+  return P;
+}

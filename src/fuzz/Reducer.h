@@ -1,0 +1,45 @@
+//===- fuzz/Reducer.h - Greedy failing-program minimizer --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimizes a failing generated program by greedily clearing
+/// OpDesc::Enabled bits and re-testing. ProgDesc::render() keeps any
+/// mask valid (dead-buffer operations are skipped, slots are nulled
+/// before frees), so reduction never has to reason about program
+/// semantics — only about whether the failure reproduces.
+///
+/// The caller supplies the oracle as a predicate so it can run each
+/// candidate under fork isolation (fatal runtime errors abort the
+/// process; see tools/cgcm-fuzz.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_FUZZ_REDUCER_H
+#define CGCM_FUZZ_REDUCER_H
+
+#include "fuzz/ProgGen.h"
+
+#include <functional>
+
+namespace cgcm {
+
+struct ReduceStats {
+  unsigned CandidatesTried = 0;
+  unsigned OpsBefore = 0;
+  unsigned OpsAfter = 0;
+};
+
+/// Returns \p P with a minimal Enabled mask such that \p StillFails
+/// holds. Tries chunk removal first (halving), then single operations,
+/// iterating to a fixed point. \p StillFails must be true for \p P
+/// itself; it is re-checked and the input returned unchanged if not.
+ProgDesc reduceProgram(ProgDesc P,
+                       const std::function<bool(const ProgDesc &)> &StillFails,
+                       ReduceStats *Stats = nullptr);
+
+} // namespace cgcm
+
+#endif // CGCM_FUZZ_REDUCER_H

@@ -65,6 +65,13 @@ public:
     return ModuleGlobals.count(Name) != 0;
   }
 
+  /// All named regions instantiated so far (name -> device address). The
+  /// fuzzing auditor uses this to exclude module globals — which are
+  /// deliberately never freed — from its device-leak sweep.
+  const std::map<std::string, uint64_t> &getModuleGlobals() const {
+    return ModuleGlobals;
+  }
+
   //===--------------------------------------------------------------------===//
   // Timeline (for the Figure 2 schedule bench)
   //===--------------------------------------------------------------------===//

@@ -8,6 +8,7 @@
 
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace cgcm;
@@ -34,6 +35,33 @@ void CGCMRuntime::traceCall(const char *Op, const AllocUnitInfo &Info,
 // Tracking (section 3.1)
 //===----------------------------------------------------------------------===//
 
+void CGCMRuntime::trackUnit(AllocUnitInfo Info) {
+  // The host allocator may reuse the address range of a unit whose
+  // destruction was deferred (free/realloc while still mapped). Once the
+  // range has a new owner the zombie's pending release can no longer be
+  // matched by address: reclaim it now so the new unit starts clean. The
+  // abandoned release, if it ever arrives, fails with the untracked-
+  // pointer diagnostic instead of corrupting the new unit's refcount.
+  uint64_t Lo = Info.Base, Hi = Info.Base + Info.Size;
+  std::vector<uint64_t> Evict;
+  auto It = Units.lower_bound(Lo);
+  if (It != Units.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second.HostDead && Prev->second.Base + Prev->second.Size > Lo)
+      Evict.push_back(Prev->first);
+  }
+  for (; It != Units.end() && It->first < Hi; ++It)
+    if (It->second.HostDead)
+      Evict.push_back(It->first);
+  for (uint64_t B : Evict)
+    forceReclaim(Units.find(B)->second, "evicted");
+
+  uint64_t Base = Info.Base;
+  Units[Base] = std::move(Info);
+  if (Observer)
+    Observer->onUnitTracked(Units[Base]);
+}
+
 void CGCMRuntime::declareGlobal(const std::string &Name, uint64_t Ptr,
                                 uint64_t Size, bool IsReadOnly) {
   chargeCall();
@@ -45,7 +73,7 @@ void CGCMRuntime::declareGlobal(const std::string &Name, uint64_t Ptr,
   Info.Name = Name;
   Info.Ledger = Ledger.entryFor("global " + Name, SourceLoc::none());
   ++Info.Ledger->Units;
-  Units[Ptr] = Info;
+  trackUnit(std::move(Info));
 }
 
 void CGCMRuntime::declareAlloca(uint64_t Ptr, uint64_t Size, SourceLoc Loc) {
@@ -56,18 +84,29 @@ void CGCMRuntime::declareAlloca(uint64_t Ptr, uint64_t Size, SourceLoc Loc) {
   Info.Ledger = Ledger.entryFor(
       Loc.isValid() ? "alloca@" + Loc.getString() : "alloca@<unknown>", Loc);
   ++Info.Ledger->Units;
-  Units[Ptr] = Info;
+  trackUnit(std::move(Info));
 }
 
 void CGCMRuntime::removeAlloca(uint64_t Ptr) {
   auto It = Units.find(Ptr);
   if (It == Units.end())
     return;
-  // A mapped stack unit going out of scope releases its GPU copy; keeping
-  // it would leak device memory for the rest of the program.
-  if (It->second.RefCount > 0 && !It->second.IsGlobal)
-    Device.cuMemFree(It->second.DevPtr);
+  AllocUnitInfo &Info = It->second;
+  if (Info.RefCount > 0 && !Info.IsGlobal) {
+    // A mapped stack unit going out of scope: the frame is gone, so no
+    // paired release can ever arrive. Drop every reference the unit
+    // still holds — nested mapArray element references included, which
+    // the old behaviour leaked — and free the GPU copy; keeping it
+    // would leak device memory for the rest of the program.
+    if (Observer)
+      Observer->onDeferredReclaim(Info, "remove-alloca");
+    forceReclaim(Info, "remove-alloca");
+    return;
+  }
+  AllocUnitInfo Dead = std::move(Info);
   Units.erase(It);
+  if (Observer)
+    Observer->onUnitForgotten(Dead, "remove-alloca");
 }
 
 void CGCMRuntime::notifyHeapAlloc(uint64_t Ptr, uint64_t Size,
@@ -79,7 +118,7 @@ void CGCMRuntime::notifyHeapAlloc(uint64_t Ptr, uint64_t Size,
   Info.Ledger = Ledger.entryFor(
       Loc.isValid() ? "heap@" + Loc.getString() : "heap@<unknown>", Loc);
   ++Info.Ledger->Units;
-  Units[Ptr] = Info;
+  trackUnit(std::move(Info));
 }
 
 void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
@@ -90,16 +129,44 @@ void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
   // One user-level realloc is one runtime call: charge once, not once per
   // internal free/alloc step.
   chargeCall();
-  if (It->second.RefCount > 0 && !It->second.IsGlobal)
-    Device.cuMemFree(It->second.DevPtr);
-  Units.erase(It);
+  AllocUnitInfo &Old = It->second;
+  if (Old.RefCount > 0 && !Old.IsGlobal) {
+    // Reallocated while still mapped. The heap wrapper already moved the
+    // *host* bytes to the new block, but the device copy may hold newer
+    // data (a kernel wrote since the last sync): salvage it into the new
+    // block so device-side updates are not silently lost. Pointer arrays
+    // are host-authoritative (their device copy holds translated
+    // pointers) and read-only units cannot be dirty, so neither copies.
+    uint64_t SalvageBytes = std::min(Old.Size, NewSize);
+    if (!Old.IsReadOnly && !Old.IsPointerArray && SalvageBytes != 0 &&
+        (Old.Epoch != GlobalEpoch || !EpochCheckEnabled)) {
+      Device.cuMemcpyDtoH(Host, NewPtr, Old.DevPtr, SalvageBytes);
+      if (Old.Ledger) {
+        Old.Ledger->BytesDtoH += SalvageBytes;
+        ++Old.Ledger->TransfersDtoH;
+      }
+    }
+    // Defer destruction: the compiler's paired unmap/release for the old
+    // unit are still outstanding. unmap skips the copy-back from now on
+    // (the host block is gone) and the final release frees the device
+    // copy and forgets the unit.
+    Old.HostDead = true;
+    traceCall("realloc-deferred", Old, /*Copied=*/false);
+    if (Observer)
+      Observer->onDeferredReclaim(Old, "realloc");
+  } else {
+    AllocUnitInfo Dead = std::move(Old);
+    Units.erase(It);
+    if (Observer)
+      Observer->onUnitForgotten(Dead, "realloc");
+  }
   AllocUnitInfo Info;
   Info.Base = NewPtr;
   Info.Size = NewSize;
   Info.Ledger = Ledger.entryFor(
       Loc.isValid() ? "heap@" + Loc.getString() : "heap@<unknown>", Loc);
   ++Info.Ledger->Units;
-  Units[NewPtr] = Info;
+  trackUnit(std::move(Info));
 }
 
 void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
@@ -107,9 +174,23 @@ void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
   if (It == Units.end())
     reportFatalError("cgcm runtime: free of untracked heap pointer");
   chargeCall();
-  if (It->second.RefCount > 0 && !It->second.IsGlobal)
-    Device.cuMemFree(It->second.DevPtr);
+  AllocUnitInfo &Info = It->second;
+  if (Info.RefCount > 0 && !Info.IsGlobal) {
+    // Freed while still mapped. The old behaviour freed the device copy
+    // and erased the unit, leaving the compiler's paired release to die
+    // on "no tracked allocation unit". Defer instead: keep the (host-
+    // dead) unit so the outstanding unmap/release resolve; the final
+    // release reclaims the device copy.
+    Info.HostDead = true;
+    traceCall("free-deferred", Info, /*Copied=*/false);
+    if (Observer)
+      Observer->onDeferredReclaim(Info, "free");
+    return;
+  }
+  AllocUnitInfo Dead = std::move(Info);
   Units.erase(It);
+  if (Observer)
+    Observer->onUnitForgotten(Dead, "free");
 }
 
 //===----------------------------------------------------------------------===//
@@ -153,11 +234,71 @@ bool CGCMRuntime::translateToDevice(uint64_t HostPtr, uint64_t &DevPtr) const {
 }
 
 //===----------------------------------------------------------------------===//
+// Internal teardown helpers
+//===----------------------------------------------------------------------===//
+
+void CGCMRuntime::releaseSnapshotElements(AllocUnitInfo &Info) {
+  std::vector<std::vector<uint64_t>> Snapshots =
+      std::move(Info.ElemSnapshots);
+  Info.ElemSnapshots.clear();
+  for (auto SI = Snapshots.rbegin(), SE = Snapshots.rend(); SI != SE; ++SI) {
+    for (uint64_t Elem : *SI) {
+      const AllocUnitInfo *E = lookup(Elem);
+      if (!E || E == &Info)
+        continue; // Element vanished, or a pathological self-pointer.
+      auto &Unit = const_cast<AllocUnitInfo &>(*E);
+      if (Unit.RefCount == 0)
+        continue;
+      --Unit.RefCount;
+      bool Freed = false;
+      if (Unit.RefCount == 0 && !Unit.IsGlobal) {
+        Device.cuMemFree(Unit.DevPtr);
+        Unit.DevPtr = 0;
+        Unit.IsPointerArray = false;
+        Unit.ElemSnapshots.clear();
+        Freed = true;
+      }
+      if (Observer)
+        Observer->onRelease(Unit, Freed);
+      if (Unit.RefCount == 0 && Unit.HostDead) {
+        AllocUnitInfo Dead = std::move(Unit);
+        Units.erase(Dead.Base);
+        if (Observer)
+          Observer->onUnitForgotten(Dead, "release");
+      }
+    }
+  }
+}
+
+void CGCMRuntime::forceReclaim(AllocUnitInfo &Info, const char *Why) {
+  releaseSnapshotElements(Info);
+  if (!Info.IsGlobal && Info.RefCount > 0)
+    Device.cuMemFree(Info.DevPtr);
+  AllocUnitInfo Dead = std::move(Info);
+  Units.erase(Dead.Base);
+  // Outstanding snapshots of other pointer arrays may still list element
+  // pointers into the reclaimed range; those references died with the
+  // unit. Scrub them so the paired unmapArray/releaseArray cannot
+  // misdirect an unmap or release at whatever owns the range next.
+  uint64_t Lo = Dead.Base, Hi = Dead.Base + Dead.Size;
+  for (auto &[B, U] : Units)
+    for (auto &Snap : U.ElemSnapshots)
+      Snap.erase(std::remove_if(Snap.begin(), Snap.end(),
+                                [&](uint64_t E) { return E >= Lo && E < Hi; }),
+                 Snap.end());
+  if (Observer)
+    Observer->onUnitForgotten(Dead, Why);
+}
+
+//===----------------------------------------------------------------------===//
 // map / unmap / release (Algorithms 1-3)
 //===----------------------------------------------------------------------===//
 
 uint64_t CGCMRuntime::map(uint64_t Ptr) {
   AllocUnitInfo &Info = lookupOrFail(Ptr, "map");
+  if (Info.HostDead)
+    reportFatalError("cgcm runtime: map of an allocation unit whose host "
+                     "memory was already freed");
   chargeCall();
   bool Copied = false;
   if (Info.Ledger)
@@ -192,6 +333,8 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
   }
   ++Info.RefCount;
   traceCall("map", Info, Copied);
+  if (Observer)
+    Observer->onMap(Info, Copied);
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
@@ -203,7 +346,10 @@ void CGCMRuntime::unmap(uint64_t Ptr) {
   bool Copied = false;
   if (Info.Ledger)
     ++Info.Ledger->UnmapCalls;
-  if ((Info.Epoch != GlobalEpoch || !EpochCheckEnabled) && !Info.IsReadOnly) {
+  // A host-dead unit has no host buffer to update: the copy-back is
+  // skipped, not merely suppressed.
+  if ((Info.Epoch != GlobalEpoch || !EpochCheckEnabled) && !Info.IsReadOnly &&
+      !Info.HostDead) {
     Device.cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size);
     Copied = true;
     if (Info.Ledger) {
@@ -212,13 +358,15 @@ void CGCMRuntime::unmap(uint64_t Ptr) {
     }
     Info.Epoch = GlobalEpoch;
   } else if (Info.Epoch == GlobalEpoch && EpochCheckEnabled &&
-             !Info.IsReadOnly) {
+             !Info.IsReadOnly && !Info.HostDead) {
     // The epoch test proved the host copy current: a suppressed copy.
     ++Stats.EpochSuppressedCopies;
     if (Info.Ledger)
       ++Info.Ledger->EpochSuppressed;
   }
   traceCall("unmap", Info, Copied);
+  if (Observer)
+    Observer->onUnmap(Info, Copied);
 }
 
 void CGCMRuntime::release(uint64_t Ptr) {
@@ -229,12 +377,25 @@ void CGCMRuntime::release(uint64_t Ptr) {
   if (Info.Ledger)
     ++Info.Ledger->ReleaseCalls;
   --Info.RefCount;
+  bool Freed = false;
   if (Info.RefCount == 0 && !Info.IsGlobal) {
     Device.cuMemFree(Info.DevPtr);
     Info.DevPtr = 0;
     Info.IsPointerArray = false;
+    Info.ElemSnapshots.clear();
+    Freed = true;
   }
   traceCall("release", Info, /*Copied=*/false);
+  if (Observer)
+    Observer->onRelease(Info, Freed);
+  if (Info.RefCount == 0 && Info.HostDead) {
+    // Last outstanding reference to a unit whose host memory is gone:
+    // nothing can legitimately name it again, so stop tracking it.
+    AllocUnitInfo Dead = std::move(Info);
+    Units.erase(Dead.Base);
+    if (Observer)
+      Observer->onUnitForgotten(Dead, "release");
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -243,76 +404,121 @@ void CGCMRuntime::release(uint64_t Ptr) {
 
 uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
   AllocUnitInfo &Info = lookupOrFail(Ptr, "mapArray");
+  if (Info.HostDead)
+    reportFatalError("cgcm runtime: mapArray of an allocation unit whose "
+                     "host memory was already freed");
   chargeCall();
   if (Info.Ledger)
     ++Info.Ledger->MapCalls;
   uint64_t NumSlots = Info.Size / 8;
-  bool NeedsCopy = Info.RefCount == 0;
+  bool FirstMap = Info.RefCount == 0;
+  // Honor the reference-count ablation exactly like scalar map: with
+  // reuse disabled, a re-map re-copies the raw bytes too.
+  bool NeedsCopy = FirstMap || !RefCountReuseEnabled;
 
-  // Map every pointer stored in the unit, translating to device pointers.
+  // Map every pointer currently stored in the unit, translating to device
+  // pointers, and snapshot exactly what was mapped: the paired
+  // unmapArray/releaseArray walk this snapshot, so host slots overwritten
+  // while the array is mapped cannot leak or misdirect a reference.
+  std::vector<uint64_t> Snapshot;
   std::vector<uint64_t> Translated(NumSlots, 0);
   for (uint64_t I = 0; I != NumSlots; ++I) {
     uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
     if (Elem == 0)
       continue;
+    // Nested map() never rebalances away Info: std::map nodes are stable.
     Translated[I] = map(Elem);
+    Snapshot.push_back(Elem);
   }
 
-  // lookupOrFail reference may have been invalidated by nested map()
-  // rebalancing? std::map nodes are stable, so Info stays valid.
-  if (NeedsCopy) {
+  if (FirstMap) {
     if (!Info.IsGlobal)
       Info.DevPtr = Device.cuMemAlloc(Info.Size);
     else
       Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
+    Info.Epoch = GlobalEpoch;
+  }
+  if (NeedsCopy) {
     // The device copy holds *translated* pointers, not raw host bytes.
-    // Transfer cost is identical to a raw copy of the unit.
+    // Transfer cost is identical to a raw copy of the unit (and the raw
+    // copy carries any non-pointer tail bytes when Size % 8 != 0).
     Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
       ++Info.Ledger->TransfersHtoD;
     }
-    for (uint64_t I = 0; I != NumSlots; ++I)
-      Device.getMemory().writeUInt(Info.DevPtr + I * 8, Translated[I], 8);
-    Info.Epoch = GlobalEpoch;
-    Info.IsPointerArray = true;
   } else if (Info.Ledger) {
     ++Info.Ledger->ReuseSuppressed;
   }
+  // Refresh every slot's translation in the device copy — on a re-map
+  // too, so a host slot updated between maps cannot leave a stale device
+  // pointer behind.
+  for (uint64_t I = 0; I != NumSlots; ++I)
+    Device.getMemory().writeUInt(Info.DevPtr + I * 8, Translated[I], 8);
+  Info.IsPointerArray = true;
+  Info.ElemSnapshots.push_back(std::move(Snapshot));
   ++Info.RefCount;
   traceCall("mapArray", Info, NeedsCopy);
+  if (Observer)
+    Observer->onMap(Info, NeedsCopy);
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
 void CGCMRuntime::unmapArray(uint64_t Ptr) {
   AllocUnitInfo &Info = lookupOrFail(Ptr, "unmapArray");
+  if (Info.RefCount == 0)
+    return; // Matches scalar unmap: nothing resident, a no-op costs nothing.
   chargeCall();
   if (Info.Ledger)
     ++Info.Ledger->UnmapCalls;
-  // Update each pointed-to unit from the GPU. The pointer array itself is
-  // not copied back: its GPU copy holds device pointers that would
-  // corrupt the host array.
-  uint64_t NumSlots = Info.Size / 8;
-  for (uint64_t I = 0; I != NumSlots; ++I) {
-    uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
-    if (Elem == 0)
-      continue;
-    unmap(Elem);
+  // Update each pointed-to unit from the GPU — the ones this array's most
+  // recent mapArray actually mapped, not whatever the host slots hold
+  // now. The pointer array itself is not copied back: its GPU copy holds
+  // device pointers that would corrupt the host array.
+  if (!Info.ElemSnapshots.empty()) {
+    for (uint64_t Elem : Info.ElemSnapshots.back())
+      unmap(Elem);
+  } else {
+    // Mapped without mapArray (manual runtime use): fall back to the
+    // host slots.
+    uint64_t NumSlots = Info.Size / 8;
+    for (uint64_t I = 0; I != NumSlots; ++I) {
+      uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
+      if (Elem == 0)
+        continue;
+      unmap(Elem);
+    }
   }
   traceCall("unmapArray", Info, /*Copied=*/false);
+  if (Observer)
+    Observer->onUnmap(Info, /*Copied=*/false);
 }
 
 void CGCMRuntime::releaseArray(uint64_t Ptr) {
   AllocUnitInfo &Info = lookupOrFail(Ptr, "releaseArray");
+  if (Info.RefCount == 0)
+    reportFatalError("cgcm runtime: release of an unmapped allocation unit");
   chargeCall();
-  uint64_t NumSlots = Info.Size / 8;
-  for (uint64_t I = 0; I != NumSlots; ++I) {
-    uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
-    if (Elem == 0)
-      continue;
-    release(Elem);
+  uint64_t Base = Info.Base;
+  if (!Info.ElemSnapshots.empty()) {
+    // Release exactly the elements the matching mapArray mapped. Without
+    // the snapshot, a host slot overwritten between map and release
+    // leaked the originally-mapped element's refcount and underflowed
+    // the new occupant's.
+    std::vector<uint64_t> Snapshot = std::move(Info.ElemSnapshots.back());
+    Info.ElemSnapshots.pop_back();
+    for (uint64_t Elem : Snapshot)
+      release(Elem);
+  } else {
+    uint64_t NumSlots = Info.Size / 8;
+    for (uint64_t I = 0; I != NumSlots; ++I) {
+      uint64_t Elem = Host.readUInt(Info.Base + I * 8, 8);
+      if (Elem == 0)
+        continue;
+      release(Elem);
+    }
   }
-  release(Info.Base);
+  release(Base);
 }
 
 void CGCMRuntime::onKernelLaunch() {
@@ -320,15 +526,30 @@ void CGCMRuntime::onKernelLaunch() {
   if (Trace && Trace->isEnabled())
     Trace->instant("epoch", "runtime", Stats.totalCycles(),
                    TraceArgs().add("epoch", GlobalEpoch));
+  if (Observer)
+    Observer->onKernelLaunch(GlobalEpoch);
 }
 
 void CGCMRuntime::releaseAll() {
-  for (auto &[Base, Info] : Units) {
-    if (Info.RefCount == 0)
-      continue;
-    if (!Info.IsGlobal)
+  for (auto It = Units.begin(); It != Units.end();) {
+    AllocUnitInfo &Info = It->second;
+    if (Info.RefCount > 0 && !Info.IsGlobal)
       Device.cuMemFree(Info.DevPtr);
+    if (Info.HostDead) {
+      AllocUnitInfo Dead = std::move(Info);
+      It = Units.erase(It);
+      if (Observer)
+        Observer->onUnitForgotten(Dead, "release-all");
+      continue;
+    }
+    // Reset the whole mapping state, not just the refcount: stale
+    // IsPointerArray/Epoch/snapshots would corrupt the unit's next
+    // mapping generation.
     Info.RefCount = 0;
     Info.DevPtr = 0;
+    Info.Epoch = 0;
+    Info.IsPointerArray = false;
+    Info.ElemSnapshots.clear();
+    ++It;
   }
 }

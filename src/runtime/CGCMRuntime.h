@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace cgcm {
 
@@ -55,8 +56,45 @@ struct AllocUnitInfo {
   bool IsGlobal = false;
   bool IsReadOnly = false;
   bool IsPointerArray = false; ///< Mapped via mapArray.
+  /// The host backing store was freed (heap free/realloc) while the GPU
+  /// copy still had references. The unit stays tracked so the paired
+  /// unmap/release calls the compiler already emitted still resolve;
+  /// unmap skips the copy-back (the host buffer is gone) and the final
+  /// release reclaims the device copy and forgets the unit.
+  bool HostDead = false;
+  /// One entry per outstanding mapArray call: the non-null element
+  /// pointers that call mapped, in slot order. unmapArray walks the top
+  /// snapshot and releaseArray pops it, so a host slot overwritten while
+  /// the array is mapped cannot leak the originally-mapped element's
+  /// reference (the paper's pairing is by map generation, not by the
+  /// host array's current contents).
+  std::vector<std::vector<uint64_t>> ElemSnapshots;
   std::string Name;            ///< For globals: cuModuleGetGlobal key.
   LedgerEntry *Ledger = nullptr; ///< Allocation-site accounting row.
+};
+
+/// Observation hooks for every state transition the runtime performs.
+/// The fuzzing subsystem's RuntimeAuditor implements this to maintain a
+/// shadow reference-count model and cross-check it against the runtime's
+/// own bookkeeping (docs/Fuzzing.md); tests use it to pin event orders.
+/// All callbacks fire *after* the runtime applied the transition.
+class RuntimeObserver {
+public:
+  virtual ~RuntimeObserver() = default;
+  /// A unit entered the tracking map (declare*/notifyHeapAlloc/realloc).
+  virtual void onUnitTracked(const AllocUnitInfo &Info) {}
+  /// A unit left the tracking map. \p Why is one of "free", "realloc",
+  /// "remove-alloca", "release", "release-all", or "evicted" (a new
+  /// allocation reused the address range of a host-dead zombie).
+  virtual void onUnitForgotten(const AllocUnitInfo &Info, const char *Why) {}
+  virtual void onMap(const AllocUnitInfo &Info, bool Copied) {}
+  virtual void onUnmap(const AllocUnitInfo &Info, bool Copied) {}
+  virtual void onRelease(const AllocUnitInfo &Info, bool FreedDevice) {}
+  virtual void onKernelLaunch(uint64_t NewEpoch) {}
+  /// Destruction of a still-mapped unit was deferred (heap free/realloc
+  /// with live references) or forced (alloca scope exit). \p Op is
+  /// "free", "realloc", or "remove-alloca".
+  virtual void onDeferredReclaim(const AllocUnitInfo &Info, const char *Op) {}
 };
 
 class CGCMRuntime {
@@ -147,6 +185,10 @@ public:
   /// emit events into it when tracing is enabled. Null detaches.
   void setTrace(TraceCollector *T) { Trace = T; }
 
+  /// Attaches an observer notified of every runtime state transition
+  /// (the fuzzing auditor's hook). Null detaches.
+  void setObserver(RuntimeObserver *O) { Observer = O; }
+
   //===--------------------------------------------------------------------===//
   // Ablation knobs (benchmarks only)
   //===--------------------------------------------------------------------===//
@@ -168,6 +210,17 @@ private:
   /// Emits a runtime-call trace event for \p Info (no-op when tracing is
   /// off or no collector is attached).
   void traceCall(const char *Op, const AllocUnitInfo &Info, bool Copied);
+  /// Registers a fresh unit, first force-reclaiming any host-dead zombie
+  /// whose range the new allocation reuses (the host allocator may hand
+  /// the same addresses out again).
+  void trackUnit(AllocUnitInfo Info);
+  /// Drops every reference a zombie still holds (nested element
+  /// snapshots included), frees its device copy, and forgets it.
+  void forceReclaim(AllocUnitInfo &Info, const char *Why);
+  /// Releases the element references recorded in every outstanding
+  /// mapArray snapshot of \p Info (used when the array unit itself is
+  /// being torn down rather than released pairwise).
+  void releaseSnapshotElements(AllocUnitInfo &Info);
 
   SimMemory &Host;
   GPUDevice &Device;
@@ -176,6 +229,7 @@ private:
   std::map<uint64_t, AllocUnitInfo> Units; ///< Keyed by base address.
   TransferLedger Ledger;
   TraceCollector *Trace = nullptr;
+  RuntimeObserver *Observer = nullptr;
   uint64_t GlobalEpoch = 1;
   bool EpochCheckEnabled = true;
   bool RefCountReuseEnabled = true;

@@ -1,0 +1,206 @@
+//===- runtime/RuntimeAuditor.cpp - Shadow-refcount runtime oracle ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RuntimeAuditor.h"
+
+#include "gpusim/GPUDevice.h"
+#include "gpusim/Timing.h"
+
+#include <cstring>
+
+using namespace cgcm;
+
+std::string AuditReport::str() const {
+  std::string Out;
+  for (const std::string &V : Violations) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += V;
+  }
+  if (DroppedViolations)
+    Out += "\n... and " + std::to_string(DroppedViolations) + " more";
+  return Out;
+}
+
+void RuntimeAuditor::violation(std::string Msg) {
+  if (Report.Violations.size() >= Opts.MaxViolations) {
+    ++Report.DroppedViolations;
+    return;
+  }
+  Report.Violations.push_back(std::move(Msg));
+}
+
+RuntimeAuditor::Shadow *RuntimeAuditor::find(uint64_t Base) {
+  auto It = Shadows.find(Base);
+  return It == Shadows.end() ? nullptr : &It->second;
+}
+
+void RuntimeAuditor::onUnitTracked(const AllocUnitInfo &Info) {
+  ++Report.Events;
+  // Tracking fires after zombie eviction, so any surviving overlap with a
+  // unit that still holds references is a runtime bookkeeping bug.
+  for (auto &[Base, S] : Shadows) {
+    bool Overlaps = Base < Info.Base + Info.Size && Info.Base < Base + S.Size;
+    if (Overlaps && S.Ref > 0 && Base != Info.Base)
+      violation("tracked unit [" + std::to_string(Info.Base) + "," +
+                std::to_string(Info.Base + Info.Size) +
+                ") overlaps still-mapped unit base=" + std::to_string(Base));
+  }
+  Shadows[Info.Base] =
+      Shadow{Info.Size, 0, /*Ref=*/0, Info.IsGlobal, /*HostDead=*/false};
+}
+
+void RuntimeAuditor::onUnitForgotten(const AllocUnitInfo &Info,
+                                     const char *Why) {
+  ++Report.Events;
+  Shadow *S = find(Info.Base);
+  if (!S) {
+    violation("forgot unknown unit base=" + std::to_string(Info.Base) +
+              " (" + Why + ")");
+    return;
+  }
+  bool Forced = std::strcmp(Why, "remove-alloca") == 0 ||
+                std::strcmp(Why, "evicted") == 0 ||
+                std::strcmp(Why, "release-all") == 0;
+  if (Forced)
+    ++Report.ForcedReclaims;
+  else if (S->Ref != 0)
+    violation(std::string("unit base=") + std::to_string(Info.Base) +
+              " forgotten via '" + Why + "' with refcount " +
+              std::to_string(S->Ref) + " (should have been deferred)");
+  Shadows.erase(Info.Base);
+}
+
+void RuntimeAuditor::onMap(const AllocUnitInfo &Info, bool Copied) {
+  ++Report.Events;
+  Shadow *S = find(Info.Base);
+  if (!S) {
+    violation("map of untracked unit base=" + std::to_string(Info.Base));
+    return;
+  }
+  if (S->HostDead)
+    violation("map of host-dead unit base=" + std::to_string(Info.Base));
+  if (S->Ref == 0 && !Copied)
+    violation("first map of base=" + std::to_string(Info.Base) +
+              " did not copy to the device");
+  ++S->Ref;
+  S->DevPtr = Info.DevPtr;
+  if (S->Ref != Info.RefCount)
+    violation("refcount divergence on map of base=" +
+              std::to_string(Info.Base) + ": shadow " +
+              std::to_string(S->Ref) + " vs runtime " +
+              std::to_string(Info.RefCount));
+}
+
+void RuntimeAuditor::onUnmap(const AllocUnitInfo &Info, bool Copied) {
+  ++Report.Events;
+  (void)Copied;
+  Shadow *S = find(Info.Base);
+  if (!S) {
+    violation("unmap of untracked unit base=" + std::to_string(Info.Base));
+    return;
+  }
+  if (S->Ref == 0)
+    violation("unmap of unmapped unit base=" + std::to_string(Info.Base) +
+              " was not a no-op");
+  if (S->HostDead && Copied)
+    violation("unmap copied back into freed host memory, base=" +
+              std::to_string(Info.Base));
+  if (S->Ref != Info.RefCount)
+    violation("refcount divergence on unmap of base=" +
+              std::to_string(Info.Base) + ": shadow " +
+              std::to_string(S->Ref) + " vs runtime " +
+              std::to_string(Info.RefCount));
+}
+
+void RuntimeAuditor::onRelease(const AllocUnitInfo &Info, bool FreedDevice) {
+  ++Report.Events;
+  Shadow *S = find(Info.Base);
+  if (!S) {
+    violation("release of untracked unit base=" + std::to_string(Info.Base));
+    return;
+  }
+  if (S->Ref == 0) {
+    violation("release underflow on base=" + std::to_string(Info.Base));
+    return;
+  }
+  --S->Ref;
+  if (S->Ref != Info.RefCount)
+    violation("refcount divergence on release of base=" +
+              std::to_string(Info.Base) + ": shadow " +
+              std::to_string(S->Ref) + " vs runtime " +
+              std::to_string(Info.RefCount));
+  bool ShouldFree = S->Ref == 0 && !S->IsGlobal;
+  if (FreedDevice != ShouldFree)
+    violation(std::string("release of base=") + std::to_string(Info.Base) +
+              (FreedDevice ? " freed the device copy early"
+                           : " failed to free the device copy at refcount 0"));
+  if (FreedDevice)
+    S->DevPtr = 0;
+}
+
+void RuntimeAuditor::onKernelLaunch(uint64_t NewEpoch) {
+  ++Report.Events;
+  (void)NewEpoch;
+}
+
+void RuntimeAuditor::onDeferredReclaim(const AllocUnitInfo &Info,
+                                       const char *Op) {
+  ++Report.Events;
+  ++Report.DeferredReclaims;
+  Shadow *S = find(Info.Base);
+  if (!S) {
+    violation("deferred reclaim of untracked unit base=" +
+              std::to_string(Info.Base));
+    return;
+  }
+  if (std::strcmp(Op, "remove-alloca") != 0)
+    S->HostDead = true;
+}
+
+void RuntimeAuditor::finish(const CGCMRuntime &RT, const GPUDevice &Device,
+                            const ExecStats &Stats) {
+  // 1. Paired map/release: every reference count drains to zero.
+  for (const auto &[Base, S] : Shadows)
+    if (S.Ref != 0)
+      violation("unit base=" + std::to_string(Base) +
+                " still mapped at exit (refcount " + std::to_string(S.Ref) +
+                ")");
+
+  // 2. The shadow unit set and the runtime's tracked set agree in size.
+  if (Shadows.size() != RT.getNumTrackedUnits())
+    violation("tracked-unit divergence at exit: shadow " +
+              std::to_string(Shadows.size()) + " vs runtime " +
+              std::to_string(RT.getNumTrackedUnits()));
+
+  // 3. Device leaks: every live device allocation must be a module
+  // global (named regions are deliberately never freed).
+  for (const auto &[Base, Size] : Device.getMemory().allocations()) {
+    bool IsModuleGlobal = false;
+    for (const auto &[Name, Addr] : Device.getModuleGlobals())
+      if (Addr == Base) {
+        IsModuleGlobal = true;
+        break;
+      }
+    if (!IsModuleGlobal)
+      violation("leaked device allocation at " + std::to_string(Base) + " (" +
+                std::to_string(Size) + " bytes)");
+  }
+
+  // 4. Byte conservation: the per-site ledger and the global counters
+  // must describe the same traffic.
+  if (Opts.CheckTransferTotals) {
+    const TransferLedger &L = RT.getLedger();
+    if (L.totalBytesHtoD() != Stats.BytesHtoD)
+      violation("HtoD byte divergence: ledger " +
+                std::to_string(L.totalBytesHtoD()) + " vs stats " +
+                std::to_string(Stats.BytesHtoD));
+    if (L.totalBytesDtoH() != Stats.BytesDtoH)
+      violation("DtoH byte divergence: ledger " +
+                std::to_string(L.totalBytesDtoH()) + " vs stats " +
+                std::to_string(Stats.BytesDtoH));
+  }
+}

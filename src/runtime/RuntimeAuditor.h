@@ -1,0 +1,105 @@
+//===- runtime/RuntimeAuditor.h - Shadow-refcount runtime oracle ------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RuntimeObserver that maintains an independent shadow model of the
+/// runtime's allocation-unit state — reference counts, residency, and
+/// host-liveness — and cross-checks every transition against it. At the
+/// end of a run, finish() sweeps for the invariants the differential
+/// fuzzer cares about (docs/Fuzzing.md):
+///
+///   * every reference count is zero at exit (map/release calls paired),
+///   * every live device allocation is a module global (no device leaks),
+///   * the per-site transfer ledger and the global ExecStats counters
+///     agree byte-for-byte (no transfer escapes accounting),
+///   * the shadow unit set matches the runtime's tracked-unit count.
+///
+/// The auditor is deliberately written against the observer callbacks
+/// only — it never reaches into CGCMRuntime's private state — so a
+/// bookkeeping bug in the runtime cannot hide itself in the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_RUNTIME_RUNTIMEAUDITOR_H
+#define CGCM_RUNTIME_RUNTIMEAUDITOR_H
+
+#include "runtime/CGCMRuntime.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class GPUDevice;
+struct ExecStats;
+
+/// Outcome of an audited run. Violations are capped (see
+/// RuntimeAuditor::Options) so a catastrophic bug cannot OOM the fuzzer.
+struct AuditReport {
+  std::vector<std::string> Violations;
+  uint64_t Events = 0;           ///< Observer callbacks seen.
+  uint64_t DeferredReclaims = 0; ///< free/realloc deferred on a mapped unit.
+  uint64_t ForcedReclaims = 0;   ///< remove-alloca / eviction teardowns.
+  uint64_t DroppedViolations = 0; ///< Past the cap; counted, not stored.
+
+  bool clean() const { return Violations.empty(); }
+  /// All violations joined with newlines (empty when clean).
+  std::string str() const;
+};
+
+class RuntimeAuditor : public RuntimeObserver {
+public:
+  struct Options {
+    /// Check ledger totals == ExecStats totals in finish(). Only valid
+    /// when every transfer in the run went through the runtime (true for
+    /// the managed pipeline; false for inspector-executor or demand
+    /// paging, which issue their own copies).
+    bool CheckTransferTotals = true;
+    size_t MaxViolations = 64;
+  };
+
+  RuntimeAuditor() = default;
+  explicit RuntimeAuditor(Options O) : Opts(O) {}
+
+  void onUnitTracked(const AllocUnitInfo &Info) override;
+  void onUnitForgotten(const AllocUnitInfo &Info, const char *Why) override;
+  void onMap(const AllocUnitInfo &Info, bool Copied) override;
+  void onUnmap(const AllocUnitInfo &Info, bool Copied) override;
+  void onRelease(const AllocUnitInfo &Info, bool FreedDevice) override;
+  void onKernelLaunch(uint64_t NewEpoch) override;
+  void onDeferredReclaim(const AllocUnitInfo &Info, const char *Op) override;
+
+  /// End-of-run invariant sweep. Call after the program finished (and
+  /// after any releaseAll the harness performs deliberately happens —
+  /// the fuzzer does *not* call releaseAll, precisely so unpaired maps
+  /// surface here).
+  void finish(const CGCMRuntime &RT, const GPUDevice &Device,
+              const ExecStats &Stats);
+
+  const AuditReport &getReport() const { return Report; }
+
+private:
+  struct Shadow {
+    uint64_t Size = 0;
+    uint64_t DevPtr = 0;
+    unsigned Ref = 0;
+    bool IsGlobal = false;
+    bool HostDead = false;
+  };
+
+  void violation(std::string Msg);
+  Shadow *find(uint64_t Base);
+
+  Options Opts;
+  std::map<uint64_t, Shadow> Shadows;
+  AuditReport Report;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_RUNTIME_RUNTIMEAUDITOR_H

@@ -1,0 +1,200 @@
+//===- tests/FuzzTests.cpp - Differential fuzzing subsystem tests -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ApiFuzz.h"
+#include "fuzz/Differ.h"
+#include "fuzz/ProgGen.h"
+#include "fuzz/Reducer.h"
+
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  EXPECT_TRUE(IS.good()) << "cannot open " << Path;
+  std::ostringstream OS;
+  OS << IS.rdbuf();
+  return OS.str();
+}
+
+std::string regressionDir() {
+  // Set by tests/CMakeLists.txt to the source-tree tests/fuzz directory.
+#ifdef CGCM_FUZZ_REGRESSION_DIR
+  return CGCM_FUZZ_REGRESSION_DIR;
+#else
+  return "tests/fuzz";
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+TEST(ProgGenTest, DeterministicInSeed) {
+  for (uint64_t Seed : {0ull, 1ull, 42ull, 12345ull}) {
+    ProgDesc A = generateProgram(Seed);
+    ProgDesc B = generateProgram(Seed);
+    EXPECT_EQ(A.render(), B.render()) << "seed " << Seed;
+  }
+}
+
+TEST(ProgGenTest, SeedsProduceDistinctPrograms) {
+  std::set<std::string> Rendered;
+  for (uint64_t Seed = 0; Seed != 20; ++Seed)
+    Rendered.insert(generateProgram(Seed).render());
+  // Collisions would mean the seed isn't actually feeding the generator.
+  EXPECT_GT(Rendered.size(), 15u);
+}
+
+TEST(ProgGenTest, GeneratedProgramsCompileAndAgree) {
+  // A handful of seeds through the full oracle — this is the in-tree
+  // smoke slice of the cgcm-fuzz sweep.
+  for (uint64_t Seed = 0; Seed != 8; ++Seed) {
+    ProgDesc P = generateProgram(Seed);
+    DiffResult R = diffProgram(P.render(), "seed" + std::to_string(Seed));
+    EXPECT_TRUE(R.Agreed) << "seed " << Seed << ":\n"
+                          << R.Failure << "\nprogram:\n"
+                          << P.render();
+  }
+}
+
+TEST(ProgGenTest, AnyEnabledMaskRendersValidPrograms) {
+  // The reducer relies on this: clearing arbitrary Enabled bits must
+  // still yield a program every configuration agrees on.
+  ProgDesc P = generateProgram(7);
+  for (unsigned Drop = 0; Drop != std::min<size_t>(P.Ops.size(), 4); ++Drop) {
+    ProgDesc Candidate = P;
+    for (size_t I = Drop; I < Candidate.Ops.size(); I += 3)
+      Candidate.Ops[I].Enabled = false;
+    DiffResult R = diffProgram(Candidate.render(), "mask");
+    EXPECT_TRUE(R.Agreed) << R.Failure << "\nprogram:\n" << Candidate.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differ
+//===----------------------------------------------------------------------===//
+
+TEST(DifferTest, AgreesOnStraightLineProgram) {
+  const char *Src = R"(
+__kernel void k(double *a, long n) {
+  long i = __tid();
+  if (i < n)
+    a[i] = a[i] * 2.0;
+}
+int main() {
+  long i; double s;
+  double *a = (double*)malloc(8 * sizeof(double));
+  for (i = 0; i < 8; i++) a[i] = (double)i;
+  launch k<<<1, 32>>>(a, 8);
+  s = 0.0;
+  for (i = 0; i < 8; i++) s = s + a[i];
+  print_f64(s);
+  free((char*)a);
+  return 0;
+}
+)";
+  DiffResult R = diffProgram(Src, "straight");
+  EXPECT_TRUE(R.Agreed) << R.Failure;
+  EXPECT_NE(R.ReferenceOutput.find("56"), std::string::npos)
+      << R.ReferenceOutput;
+  EXPECT_TRUE(R.UnoptimizedAudit.clean()) << R.UnoptimizedAudit.str();
+  EXPECT_TRUE(R.OptimizedAudit.clean()) << R.OptimizedAudit.str();
+}
+
+TEST(DifferTest, ComparesGlobalBytes) {
+  // Kernel writes a global; all three configurations must leave the
+  // same final bytes in it.
+  const char *Src = R"(
+double g[8];
+__kernel void k(double *a, long n) {
+  long i = __tid();
+  if (i < n)
+    a[i] = (double)i * 3.0;
+}
+int main() {
+  launch k<<<1, 32>>>(g, 8);
+  print_f64(g[7]);
+  return 0;
+}
+)";
+  DiffResult R = diffProgram(Src, "globals");
+  EXPECT_TRUE(R.Agreed) << R.Failure;
+}
+
+TEST(DifferTest, RegressionProgramsAgree) {
+  // The minimized anchors for the lifecycle fixes this subsystem found.
+  for (const char *Name :
+       {"free_while_mapped", "realloc_while_mapped", "array_remap_stale",
+        "array_slot_swap"}) {
+    std::string Src = readFile(regressionDir() + "/" + Name + ".minic");
+    ASSERT_FALSE(Src.empty()) << Name;
+    DiffResult R = diffProgram(Src, Name);
+    EXPECT_TRUE(R.Agreed) << Name << ":\n" << R.Failure;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// API-sequence fuzzing
+//===----------------------------------------------------------------------===//
+
+TEST(ApiFuzzTest, SmokeSeedsRunClean) {
+  for (uint64_t Seed = 0; Seed != 10; ++Seed) {
+    ApiFuzzResult R = runApiFuzz(Seed, 200);
+    EXPECT_FALSE(R.Failed) << "seed " << Seed << ":\n" << R.Failure;
+    EXPECT_TRUE(R.Audit.clean()) << "seed " << Seed << ":\n" << R.Audit.str();
+    EXPECT_EQ(R.Steps, 200u);
+  }
+}
+
+TEST(ApiFuzzTest, DeterministicInSeed) {
+  ApiFuzzResult A = runApiFuzz(3, 100);
+  ApiFuzzResult B = runApiFuzz(3, 100);
+  EXPECT_EQ(A.Failed, B.Failed);
+  EXPECT_EQ(A.Failure, B.Failure);
+  EXPECT_EQ(A.Audit.Events, B.Audit.Events);
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer
+//===----------------------------------------------------------------------===//
+
+TEST(ReducerTest, MinimizesToThePredicateCore) {
+  // Synthetic oracle: "fails" iff ops 2 and 5 are both enabled. The
+  // reducer must strip everything else and keep exactly those two.
+  ProgDesc P = generateProgram(11);
+  ASSERT_GE(P.Ops.size(), 6u);
+  auto StillFails = [](const ProgDesc &C) {
+    return C.Ops[2].Enabled && C.Ops[5].Enabled;
+  };
+  ReduceStats Stats;
+  ProgDesc Min = reduceProgram(P, StillFails, &Stats);
+  EXPECT_EQ(Min.numEnabledOps(), 2u);
+  EXPECT_TRUE(Min.Ops[2].Enabled);
+  EXPECT_TRUE(Min.Ops[5].Enabled);
+  EXPECT_GT(Stats.CandidatesTried, 1u);
+  EXPECT_EQ(Stats.OpsBefore, P.numEnabledOps());
+  EXPECT_EQ(Stats.OpsAfter, 2u);
+}
+
+TEST(ReducerTest, RefusesNonFailingInput) {
+  ProgDesc P = generateProgram(11);
+  unsigned Before = P.numEnabledOps();
+  ReduceStats Stats;
+  ProgDesc Out =
+      reduceProgram(P, [](const ProgDesc &) { return false; }, &Stats);
+  EXPECT_EQ(Out.numEnabledOps(), Before);
+  EXPECT_EQ(Stats.CandidatesTried, 1u);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 
 #include "gpusim/GPUDevice.h"
 #include "runtime/CGCMRuntime.h"
+#include "runtime/RuntimeAuditor.h"
 
 #include <gtest/gtest.h>
 
@@ -179,13 +180,110 @@ TEST_F(RuntimeTest, MapOfUntrackedPointerIsFatal) {
                "in no tracked allocation unit");
 }
 
-TEST_F(RuntimeTest, HeapFreeOfMappedUnitReleasesDeviceCopy) {
+TEST_F(RuntimeTest, HeapFreeOfMappedUnitDefersReclaim) {
+  // Freeing a still-mapped unit used to free the device copy and erase
+  // the unit, so the compiler's paired release() died on "no tracked
+  // allocation unit". Destruction is now deferred until the references
+  // drain (minimized program: tests/fuzz/free_while_mapped.minic).
   uint64_t P = heapUnit(64);
   RT.map(P);
   EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 1u);
   RT.notifyHeapFree(P);
+  // Still tracked, device copy intact: the paired unmap/release resolve.
+  const AllocUnitInfo *Info = RT.lookup(P);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_TRUE(Info->HostDead);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 1u);
+  // unmap must not copy back into freed host memory.
+  RT.onKernelLaunch();
+  uint64_t Before = Stats.BytesDtoH;
+  RT.unmap(P);
+  EXPECT_EQ(Stats.BytesDtoH, Before);
+  // The final release reclaims the device copy and forgets the unit.
+  RT.release(P);
   EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
   EXPECT_EQ(RT.lookup(P), nullptr);
+}
+
+TEST_F(RuntimeTest, MapOfHostDeadUnitIsFatal) {
+  uint64_t P = heapUnit(64);
+  RT.map(P);
+  RT.notifyHeapFree(P);
+  EXPECT_DEATH(RT.map(P), "host memory was already freed");
+}
+
+TEST_F(RuntimeTest, ReallocOfMappedUnitSalvagesDeviceData) {
+  // realloc of a mapped unit used to discard the device copy outright,
+  // losing kernel writes the host had not yet seen (minimized program:
+  // tests/fuzz/realloc_while_mapped.minic).
+  uint64_t P = heapUnit(64);
+  double V = 1.0;
+  Host.write(P + 16, &V, 8);
+  uint64_t Dev = RT.map(P);
+  double W = 42.5; // "Kernel" writes; the host copy is now stale.
+  Device.getMemory().write(Dev + 16, &W, 8);
+  RT.onKernelLaunch();
+
+  uint64_t Q = Host.reallocate(P, 128);
+  RT.notifyHeapRealloc(P, Q, 128);
+  // The device-side update was salvaged into the new block.
+  Host.read(Q + 16, &V, 8);
+  EXPECT_DOUBLE_EQ(V, 42.5);
+  // The old unit is a deferred zombie; its paired calls still resolve.
+  ASSERT_NE(RT.lookup(P), nullptr);
+  RT.unmap(P);
+  RT.release(P);
+  EXPECT_EQ(RT.lookup(P), nullptr);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+  ASSERT_NE(RT.lookup(Q), nullptr);
+}
+
+TEST_F(RuntimeTest, AddressReuseEvictsHostDeadZombie) {
+  // The host allocator may hand a zombie's address range out again; the
+  // new registration must evict the zombie rather than corrupt it.
+  uint64_t P = heapUnit(64);
+  RT.map(P);
+  RT.notifyHeapFree(P); // Deferred: zombie keeps the device copy.
+  Host.free(P);
+  uint64_t Q = Host.allocate(64); // Exact-size reuse returns P again.
+  ASSERT_EQ(Q, P);
+  RT.notifyHeapAlloc(Q, 64);
+  const AllocUnitInfo *Info = RT.lookup(Q);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_FALSE(Info->HostDead);
+  EXPECT_EQ(Info->RefCount, 0u);
+  // The zombie's device copy went with it.
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+  EXPECT_EQ(RT.getNumTrackedUnits(), 1u);
+}
+
+TEST_F(RuntimeTest, EvictionScrubsOtherUnitsSnapshots) {
+  // Found by the API-sequence fuzzer (cgcm-fuzz --mode=api): a mapped
+  // pointer table snapshots its elements, an element is freed while
+  // mapped (zombie), and the zombie's address range is reused. Eviction
+  // must scrub the table's snapshot — otherwise the paired releaseArray
+  // misdirects a release at whatever owns the range next (fatal
+  // "release of an unmapped allocation unit" or refcount corruption).
+  uint64_t E = heapUnit(64);
+  uint64_t Table = heapUnit(2 * 8);
+  Host.writeUInt(Table + 0, E, 8);
+  Host.writeUInt(Table + 8, 0, 8);
+  RT.mapArray(Table); // Snapshot holds E; E.RefCount == 1.
+
+  RT.notifyHeapFree(E); // Deferred: the snapshot's reference keeps it.
+  Host.free(E);
+  uint64_t Reuse = Host.allocate(64); // Exact-size reuse returns E.
+  ASSERT_EQ(Reuse, E);
+  RT.notifyHeapAlloc(Reuse, 64); // Evicts the zombie.
+
+  // The new unit must be untouched by the table's teardown.
+  RT.releaseArray(Table);
+  const AllocUnitInfo *Info = RT.lookup(Reuse);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->RefCount, 0u);
+  EXPECT_FALSE(Info->HostDead);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
 }
 
 TEST_F(RuntimeTest, ReallocRetracksTheUnit) {
@@ -252,6 +350,185 @@ TEST_F(RuntimeTest, MapArrayBalancedRefcountsAcrossRepeats) {
   EXPECT_GT(RT.getNumMappedUnits(), 0u);
   RT.releaseArray(Table);
   EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+}
+
+TEST_F(RuntimeTest, MapArrayRemapRefreshesDeviceTranslations) {
+  // A host slot updated between two mapArray calls used to leave the
+  // *old* translation in the device copy (the re-map path never wrote
+  // the new one). Minimized program: tests/fuzz/array_remap_stale.minic.
+  uint64_t T0 = heapUnit(32);
+  uint64_t T1 = heapUnit(32);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, T0, 8);
+  uint64_t DevTable = RT.mapArray(Table);
+  Host.writeUInt(Table, T1, 8); // Retarget the slot...
+  RT.mapArray(Table);           // ...and re-map.
+  uint64_t Slot = Device.getMemory().readUInt(DevTable, 8);
+  uint64_t DevT1 = RT.map(T1);
+  EXPECT_EQ(Slot, DevT1); // Device slot points at T1's copy, not T0's.
+  RT.release(T1);
+  // LIFO teardown pairs each releaseArray with its own map generation.
+  RT.releaseArray(Table);
+  RT.releaseArray(Table);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, MapArrayHonorsRefCountReuseAblation) {
+  uint64_t T0 = heapUnit(64);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, T0, 8);
+  RT.setRefCountReuseEnabled(false);
+  RT.mapArray(Table);
+  uint64_t After1 = Stats.BytesHtoD;
+  RT.mapArray(Table); // Ablated: the re-map re-copies the raw bytes.
+  EXPECT_EQ(Stats.BytesHtoD - After1, 8u + 64u); // Table + element.
+  RT.releaseArray(Table);
+  RT.releaseArray(Table);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, UnmapArrayOfUnmappedUnitIsFreeNoOp) {
+  // Parity with scalar unmap: nothing resident, nothing charged.
+  uint64_t Table = heapUnit(16);
+  uint64_t Calls = Stats.RuntimeCalls;
+  double Cycles = Stats.RuntimeCycles;
+  RT.unmapArray(Table);
+  EXPECT_EQ(Stats.RuntimeCalls, Calls);
+  EXPECT_EQ(Stats.RuntimeCycles, Cycles);
+}
+
+TEST_F(RuntimeTest, ReleaseArrayUsesSnapshotNotCurrentSlots) {
+  // A slot overwritten between mapArray and releaseArray used to leak
+  // the originally-mapped element's reference and underflow the new
+  // occupant's. Minimized program: tests/fuzz/array_slot_swap.minic.
+  uint64_t T0 = heapUnit(32);
+  uint64_t T1 = heapUnit(32);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, T0, 8);
+  RT.mapArray(Table);
+  Host.writeUInt(Table, T1, 8); // Overwritten while mapped.
+  RT.onKernelLaunch();
+  RT.unmapArray(Table);  // Syncs T0 (what was mapped), not T1.
+  RT.releaseArray(Table); // Releases T0, not T1 (no underflow).
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, PointerArrayTailBytesSurviveMapping) {
+  // Size % 8 != 0: the trailing non-slot bytes still travel with the
+  // raw copy.
+  uint64_t T0 = heapUnit(32);
+  uint64_t Table = heapUnit(20); // Two slots + a 4-byte tail.
+  Host.writeUInt(Table + 0, T0, 8);
+  Host.writeUInt(Table + 8, 0, 8);
+  Host.writeUInt(Table + 16, 0xDEADBEEF, 4);
+  uint64_t DevTable = RT.mapArray(Table);
+  EXPECT_EQ(Device.getMemory().readUInt(DevTable + 16, 4), 0xDEADBEEFu);
+  RT.releaseArray(Table);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, DuplicateSlotsBalanceElementRefcounts) {
+  uint64_t T0 = heapUnit(32);
+  uint64_t Table = heapUnit(16);
+  Host.writeUInt(Table + 0, T0, 8);
+  Host.writeUInt(Table + 8, T0 + 16, 8); // Duplicate via interior pointer.
+  RT.mapArray(Table);
+  const AllocUnitInfo *Info = RT.lookup(T0);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->RefCount, 2u); // Mapped once per slot.
+  RT.releaseArray(Table);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, RemoveAllocaReleasesNestedArrayReferences) {
+  // A mapped pointer-array alloca going out of scope used to free only
+  // its own device copy, leaking every element reference it held.
+  uint64_t T0 = heapUnit(64);
+  uint64_t A = Host.allocate(16);
+  RT.declareAlloca(A, 16);
+  Host.writeUInt(A + 0, T0, 8);
+  Host.writeUInt(A + 8, 0, 8);
+  RT.mapArray(A);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 2u);
+  RT.removeAlloca(A); // Scope exit: nested references drain too.
+  EXPECT_EQ(RT.lookup(A), nullptr);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, ReleaseAllResetsPointerArrayState) {
+  // releaseAll used to zero only RefCount/DevPtr, leaving IsPointerArray
+  // and Epoch stale for the unit's next mapping generation.
+  uint64_t T0 = heapUnit(32);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, T0, 8);
+  RT.mapArray(Table);
+  RT.onKernelLaunch();
+  RT.releaseAll();
+  const AllocUnitInfo *Info = RT.lookup(Table);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->RefCount, 0u);
+  EXPECT_FALSE(Info->IsPointerArray);
+  EXPECT_EQ(Info->Epoch, 0u);
+  EXPECT_TRUE(Info->ElemSnapshots.empty());
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+  // The next scalar mapping generation starts clean.
+  RT.map(Table);
+  RT.release(Table);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The shadow-refcount auditor (the fuzzer's oracle)
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, AuditorCleanOnBalancedSequence) {
+  RuntimeAuditor Auditor;
+  RT.setObserver(&Auditor);
+  uint64_t P = heapUnit(64);
+  uint64_t T0 = heapUnit(32);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, T0, 8);
+  RT.map(P);
+  RT.mapArray(Table);
+  RT.onKernelLaunch();
+  RT.unmap(P);
+  RT.unmapArray(Table);
+  RT.release(P);
+  RT.releaseArray(Table);
+  RT.notifyHeapFree(Table);
+  RT.notifyHeapFree(T0);
+  RT.notifyHeapFree(P);
+  Auditor.finish(RT, Device, Stats);
+  EXPECT_TRUE(Auditor.getReport().clean()) << Auditor.getReport().str();
+  EXPECT_GT(Auditor.getReport().Events, 0u);
+}
+
+TEST_F(RuntimeTest, AuditorFlagsUnbalancedMapAsLeak) {
+  RuntimeAuditor Auditor;
+  RT.setObserver(&Auditor);
+  uint64_t P = heapUnit(64);
+  RT.map(P); // Never released.
+  Auditor.finish(RT, Device, Stats);
+  const AuditReport &R = Auditor.getReport();
+  ASSERT_FALSE(R.clean());
+  EXPECT_NE(R.str().find("still mapped at exit"), std::string::npos);
+  EXPECT_NE(R.str().find("leaked device allocation"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, AuditorTracksDeferredReclaims) {
+  RuntimeAuditor Auditor;
+  RT.setObserver(&Auditor);
+  uint64_t P = heapUnit(64);
+  RT.map(P);
+  RT.notifyHeapFree(P);
+  RT.release(P);
+  Auditor.finish(RT, Device, Stats);
+  EXPECT_TRUE(Auditor.getReport().clean()) << Auditor.getReport().str();
+  EXPECT_EQ(Auditor.getReport().DeferredReclaims, 1u);
 }
 
 TEST_F(RuntimeTest, TranslateToDeviceOnlyWhenResident) {

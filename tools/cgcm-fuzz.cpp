@@ -1,0 +1,303 @@
+//===- tools/cgcm-fuzz.cpp - Differential fuzzing driver ---------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the differential fuzzing subsystem (docs/Fuzzing.md):
+///
+///   cgcm-fuzz --count=200                   # 200 program seeds from 0
+///   cgcm-fuzz --seed=17                     # one specific seed
+///   cgcm-fuzz --mode=api --count=100        # raw API-sequence sessions
+///   cgcm-fuzz --mode=both --count=100       # programs + API sequences
+///   cgcm-fuzz --seed=17 --reduce            # minimize a failing program
+///   cgcm-fuzz --seed=17 --print             # dump the generated program
+///   cgcm-fuzz --count=500 --out=artifacts   # write failing seeds + repro
+///   cgcm-fuzz --steps=800                   # longer API sessions
+///   cgcm-fuzz --no-fork                     # in-process (debugger-friendly)
+///
+/// Each candidate normally runs in a forked child: the runtime reports
+/// contract violations via reportFatalError (which aborts), and fork
+/// isolation converts those aborts into recorded failures instead of
+/// killing the sweep. Exit status is nonzero iff any seed failed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ApiFuzz.h"
+#include "fuzz/Differ.h"
+#include "fuzz/ProgGen.h"
+#include "fuzz/Reducer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cgcm;
+
+namespace {
+
+struct ToolOptions {
+  uint64_t Seed = 0;
+  bool HaveSeed = false;
+  uint64_t Count = 1;
+  std::string Mode = "prog"; // prog | api | both
+  unsigned Steps = 400;
+  bool Reduce = false;
+  bool Print = false;
+  bool Fork = true;
+  std::string OutDir;
+};
+
+/// Outcome of running one candidate (possibly in a child process).
+struct Verdict {
+  bool Failed = false;
+  bool Crashed = false; ///< Fatal runtime error / signal, not a diff.
+  std::string Detail;   ///< Child stderr+stdout or in-process failure.
+};
+
+[[noreturn]] void usageError(const std::string &Msg) {
+  std::cerr << "cgcm-fuzz: " << Msg << "\n"
+            << "usage: cgcm-fuzz [--seed=N | --count=N] [--mode=prog|api|both]\n"
+            << "                 [--steps=N] [--reduce] [--print] [--out=DIR]\n"
+            << "                 [--no-fork]\n";
+  std::exit(2);
+}
+
+ToolOptions parseArgs(int Argc, char **Argv) {
+  ToolOptions O;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> std::string {
+      return A.substr(std::strlen(Prefix));
+    };
+    if (A.rfind("--seed=", 0) == 0) {
+      O.Seed = std::strtoull(Value("--seed=").c_str(), nullptr, 0);
+      O.HaveSeed = true;
+    } else if (A.rfind("--count=", 0) == 0) {
+      O.Count = std::strtoull(Value("--count=").c_str(), nullptr, 0);
+    } else if (A.rfind("--mode=", 0) == 0) {
+      O.Mode = Value("--mode=");
+      if (O.Mode != "prog" && O.Mode != "api" && O.Mode != "both")
+        usageError("unknown mode '" + O.Mode + "'");
+    } else if (A.rfind("--steps=", 0) == 0) {
+      O.Steps = unsigned(std::strtoul(Value("--steps=").c_str(), nullptr, 0));
+    } else if (A.rfind("--out=", 0) == 0) {
+      O.OutDir = Value("--out=");
+    } else if (A == "--reduce") {
+      O.Reduce = true;
+    } else if (A == "--print") {
+      O.Print = true;
+    } else if (A == "--no-fork") {
+      O.Fork = false;
+    } else if (A == "--help" || A == "-h") {
+      usageError("help");
+    } else {
+      usageError("unknown argument '" + A + "'");
+    }
+  }
+  if (O.Reduce && !O.HaveSeed)
+    usageError("--reduce needs --seed=N");
+  if (O.Reduce && O.Mode != "prog")
+    usageError("--reduce only applies to generated programs (--mode=prog); "
+               "API sessions minimize by lowering --steps");
+  return O;
+}
+
+/// Runs \p Body in a forked child, capturing its combined output through a
+/// pipe. The child exits 0 when the candidate passes, 1 when it fails;
+/// any other exit (or a signal — reportFatalError aborts) is a crash.
+Verdict runIsolated(bool Fork, const std::function<Verdict()> &Body) {
+  if (!Fork)
+    return Body();
+
+  int Pipe[2];
+  if (pipe(Pipe) != 0) {
+    std::perror("cgcm-fuzz: pipe");
+    std::exit(2);
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::perror("cgcm-fuzz: fork");
+    std::exit(2);
+  }
+  if (Pid == 0) {
+    close(Pipe[0]);
+    dup2(Pipe[1], 1);
+    dup2(Pipe[1], 2);
+    close(Pipe[1]);
+    Verdict V = Body();
+    if (!V.Detail.empty())
+      std::fputs(V.Detail.c_str(), stderr);
+    std::fflush(nullptr);
+    _exit(V.Failed ? 1 : 0);
+  }
+  close(Pipe[1]);
+  std::string Captured;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = read(Pipe[0], Buf, sizeof(Buf))) > 0)
+    Captured.append(Buf, size_t(N));
+  close(Pipe[0]);
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+
+  Verdict V;
+  V.Detail = Captured;
+  if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+    return V;
+  V.Failed = true;
+  if (WIFSIGNALED(Status)) {
+    V.Crashed = true;
+    V.Detail += "\n[child killed by signal " +
+                std::to_string(WTERMSIG(Status)) + "]\n";
+  } else if (WIFEXITED(Status) && WEXITSTATUS(Status) != 1) {
+    V.Crashed = true;
+    V.Detail += "\n[child exited with status " +
+                std::to_string(WEXITSTATUS(Status)) + "]\n";
+  }
+  return V;
+}
+
+Verdict checkProgramSeed(uint64_t Seed, bool Fork) {
+  return runIsolated(Fork, [Seed] {
+    Verdict V;
+    ProgDesc P = generateProgram(Seed);
+    DiffResult R = diffProgram(P.render(), "seed" + std::to_string(Seed));
+    if (!R.Agreed) {
+      V.Failed = true;
+      V.Detail = R.Failure;
+    }
+    return V;
+  });
+}
+
+Verdict checkApiSeed(uint64_t Seed, unsigned Steps, bool Fork) {
+  return runIsolated(Fork, [Seed, Steps] {
+    Verdict V;
+    ApiFuzzResult R = runApiFuzz(Seed, Steps);
+    if (R.Failed) {
+      V.Failed = true;
+      V.Detail = R.Failure;
+    }
+    return V;
+  });
+}
+
+void writeArtifacts(const std::string &OutDir, const std::string &Kind,
+                    uint64_t Seed, const std::string &Source,
+                    const std::string &Report) {
+  if (OutDir.empty())
+    return;
+  ::mkdir(OutDir.c_str(), 0755); // Best effort; open errors reported below.
+  std::string Stem = OutDir + "/" + Kind + "_seed_" + std::to_string(Seed);
+  if (!Source.empty()) {
+    std::ofstream OS(Stem + ".minic");
+    if (!OS)
+      std::cerr << "cgcm-fuzz: cannot write " << Stem << ".minic\n";
+    OS << Source;
+  }
+  std::ofstream RS(Stem + ".txt");
+  if (!RS)
+    std::cerr << "cgcm-fuzz: cannot write " << Stem << ".txt\n";
+  RS << Report;
+}
+
+int runReduce(const ToolOptions &O) {
+  ProgDesc P = generateProgram(O.Seed);
+  std::cerr << "reducing seed " << O.Seed << " (" << P.numEnabledOps()
+            << " ops)...\n";
+  auto StillFails = [&O](const ProgDesc &Candidate) {
+    // Each candidate runs isolated: crashing candidates count as failing.
+    Verdict V = runIsolated(O.Fork, [&Candidate] {
+      Verdict Inner;
+      DiffResult R = diffProgram(Candidate.render(), "reduce");
+      if (!R.Agreed) {
+        Inner.Failed = true;
+        Inner.Detail = R.Failure;
+      }
+      return Inner;
+    });
+    return V.Failed;
+  };
+  ReduceStats Stats;
+  ProgDesc Min = reduceProgram(P, StillFails, &Stats);
+  if (Stats.OpsAfter == Stats.OpsBefore && Stats.CandidatesTried == 1) {
+    std::cerr << "cgcm-fuzz: seed " << O.Seed
+              << " does not fail; nothing to reduce\n";
+    return 2;
+  }
+  std::cerr << "reduced " << Stats.OpsBefore << " -> " << Stats.OpsAfter
+            << " ops in " << Stats.CandidatesTried << " runs\n";
+  std::cout << Min.render();
+  writeArtifacts(O.OutDir, "reduced", O.Seed, Min.render(),
+                 "ops " + std::to_string(Stats.OpsBefore) + " -> " +
+                     std::to_string(Stats.OpsAfter));
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions O = parseArgs(Argc, Argv);
+
+  if (O.Print) {
+    if (!O.HaveSeed)
+      usageError("--print needs --seed=N");
+    std::cout << generateProgram(O.Seed).render();
+    return 0;
+  }
+  if (O.Reduce)
+    return runReduce(O);
+
+  uint64_t First = O.HaveSeed ? O.Seed : 0;
+  uint64_t Count = O.HaveSeed && O.Count == 1 ? 1 : O.Count;
+  uint64_t Failures = 0, Crashes = 0;
+
+  for (uint64_t S = First; S != First + Count; ++S) {
+    if (O.Mode == "prog" || O.Mode == "both") {
+      Verdict V = checkProgramSeed(S, O.Fork);
+      if (V.Failed) {
+        ++Failures;
+        Crashes += V.Crashed;
+        std::cerr << "FAIL prog seed " << S << (V.Crashed ? " (crash)" : "")
+                  << "\n" << V.Detail << "\n";
+        writeArtifacts(O.OutDir, "prog", S, generateProgram(S).render(),
+                       V.Detail);
+      }
+    }
+    if (O.Mode == "api" || O.Mode == "both") {
+      Verdict V = checkApiSeed(S, O.Steps, O.Fork);
+      if (V.Failed) {
+        ++Failures;
+        Crashes += V.Crashed;
+        std::cerr << "FAIL api seed " << S << (V.Crashed ? " (crash)" : "")
+                  << "\n" << V.Detail << "\n";
+        writeArtifacts(O.OutDir, "api", S, /*Source=*/"", V.Detail);
+      }
+    }
+    // Progress heartbeat for long sweeps.
+    if (Count >= 100 && (S - First + 1) % 100 == 0)
+      std::cerr << "... " << (S - First + 1) << "/" << Count << " seeds, "
+                << Failures << " failures\n";
+  }
+
+  uint64_t Sessions = Count * (O.Mode == "both" ? 2 : 1);
+  std::cerr << "cgcm-fuzz: " << Sessions << " session(s), " << Failures
+            << " failure(s)";
+  if (Crashes)
+    std::cerr << " (" << Crashes << " fatal)";
+  std::cerr << "\n";
+  return Failures ? 1 : 0;
+}
