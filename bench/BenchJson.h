@@ -25,6 +25,21 @@
 ///
 /// aggregated over every pipeline execution the driver performed.
 ///
+/// Drivers that exercise the asynchronous transfer engine (micro_runtime,
+/// fig4_speedup) append one more optional top-level section
+/// (docs/TransferEngine.md):
+///
+///   "transfer_overlap": [ { "workload": ..., "streams": ...,
+///       "coalesce": ..., "pinned": ..., "total_cycles": ...,
+///       "wall_cycles": ..., "stall_cycles": ...,
+///       "overlap_saved_cycles": ..., "async_transfers": ...,
+///       "dma_batches": ..., "coalesced_transfers": ...,
+///       "host_syncs": ..., "output_equal": ... }, ... ]
+///
+/// Every driver also accepts `--streams=<n>`, `--no-async`, and
+/// `--no-coalesce` (mirroring cgcmc); drivers that execute workloads run
+/// them under the requested transfer model.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGCM_BENCH_BENCHJSON_H
@@ -33,6 +48,8 @@
 #include "support/JSON.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -67,12 +84,90 @@ struct AnalysisCacheRow {
   uint64_t Hits = 0;
 };
 
+/// One "transfer_overlap" entry: a workload (or synthetic scenario) run
+/// under one asynchronous-engine configuration, with the overlap-aware
+/// wall clock next to the serialized cycle total so the saving is
+/// visible in the artifact itself.
+struct TransferOverlapRow {
+  std::string Workload;
+  unsigned Streams = 0; ///< 0 = the synchronous reference row.
+  bool Coalesce = true;
+  bool Pinned = false;
+  double TotalCycles = 0;        ///< Serialized sum of all charges.
+  double WallCycles = 0;         ///< Overlap-aware modeled wall clock.
+  double StallCycles = 0;        ///< Host cycles blocked at use points.
+  double OverlapSavedCycles = 0; ///< TotalCycles - WallCycles (>= 0).
+  uint64_t AsyncTransfers = 0;
+  uint64_t DmaBatches = 0;
+  uint64_t CoalescedTransfers = 0;
+  uint64_t HostSyncs = 0;
+  bool OutputEqual = true; ///< Async output bit-identical to sync.
+};
+
 /// The optional pipeline-instrumentation sections; empty vectors are
 /// omitted from the output.
 struct PipelineSections {
   std::vector<PassTimingRow> PassTimings;
   std::vector<AnalysisCacheRow> AnalysisCache;
+  std::vector<TransferOverlapRow> TransferOverlap;
 };
+
+/// Asynchronous-transfer-engine knobs shared by every bench driver
+/// (mirroring cgcmc's flags; see docs/TransferEngine.md).
+struct StreamOpts {
+  unsigned Streams = 0; ///< 0 = the default synchronous model.
+  bool Coalesce = true;
+};
+
+/// Extracts `--streams=<n>`, `--no-async`, and `--no-coalesce` from the
+/// argument vector (removing the tokens so later parsing never sees
+/// them). Returns false on a malformed `--streams` value.
+inline bool consumeStreamArgs(int &Argc, char **Argv, StreamOpts &O) {
+  int Out = 1;
+  bool Ok = true;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--streams=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 10);
+      if (N < 1) {
+        std::fprintf(stderr, "%s: --streams wants a positive count\n",
+                     Argv[0]);
+        Ok = false;
+      } else
+        O.Streams = static_cast<unsigned>(N);
+    } else if (A == "--no-async")
+      O.Streams = 0;
+    else if (A == "--no-coalesce")
+      O.Coalesce = false;
+    else
+      Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  return Ok;
+}
+
+/// Handles `--help` / `-h`: prints the shared bench usage block (plus
+/// \p Extra, one line per driver-specific flag) and returns true when
+/// the caller should exit successfully.
+inline bool consumeHelpArg(int Argc, char **Argv, const char *Extra = "") {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A != "--help" && A != "-h")
+      continue;
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --json <file>   write results in the cgcm-bench-v1 schema\n"
+        "  --streams=<n>   run workloads under the asynchronous transfer\n"
+        "                  engine with <n> DMA streams\n"
+        "  --no-async      force the synchronous transfer model (default)\n"
+        "  --no-coalesce   with --streams, disable DMA-batch coalescing\n"
+        "%s",
+        Argv[0], Extra);
+    return true;
+  }
+  return false;
+}
 
 /// Extracts `--json <file>` from the argument vector (removing both
 /// tokens so later parsing never sees them) and returns the path, or ""
@@ -136,6 +231,27 @@ inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
       W.key("analysis").string(C.Analysis);
       W.key("constructions").number(C.Constructions);
       W.key("hits").number(C.Hits);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (!Sections.TransferOverlap.empty()) {
+    W.key("transfer_overlap").beginArray();
+    for (const TransferOverlapRow &T : Sections.TransferOverlap) {
+      W.beginObject();
+      W.key("workload").string(T.Workload);
+      W.key("streams").number(static_cast<uint64_t>(T.Streams));
+      W.key("coalesce").boolean(T.Coalesce);
+      W.key("pinned").boolean(T.Pinned);
+      W.key("total_cycles").number(T.TotalCycles);
+      W.key("wall_cycles").number(T.WallCycles);
+      W.key("stall_cycles").number(T.StallCycles);
+      W.key("overlap_saved_cycles").number(T.OverlapSavedCycles);
+      W.key("async_transfers").number(T.AsyncTransfers);
+      W.key("dma_batches").number(T.DmaBatches);
+      W.key("coalesced_transfers").number(T.CoalescedTransfers);
+      W.key("host_syncs").number(T.HostSyncs);
+      W.key("output_equal").boolean(T.OutputEqual);
       W.endObject();
     }
     W.endArray();

@@ -61,6 +61,8 @@ struct VariantResult {
   std::vector<AnalysisCacheStats> Cache;
 };
 
+benchjson::StreamOpts GStreams;
+
 VariantResult runVariant(const std::string &Source, const Variant &V) {
   auto M = compileMiniC(Source, "ablation");
   ModuleAnalysisManager AM;
@@ -69,9 +71,10 @@ VariantResult runVariant(const std::string &Source, const Variant &V) {
   runPassPipeline(*M, V.Passes, RunOpts);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();
-  return {Mach.getStats().totalCycles(), Mach.getStats().BytesHtoD,
+  return {Mach.getStats().wallCycles(), Mach.getStats().BytesHtoD,
           Mach.getStats().BytesDtoH, AM.getCacheStats()};
 }
 
@@ -106,6 +109,10 @@ const char *AllocaScenario = R"(
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(Argc, Argv))
+    return 0;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, GStreams))
+    return 2;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
   std::vector<benchjson::Row> Rows;
 

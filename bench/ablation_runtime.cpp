@@ -36,22 +36,29 @@ struct Result {
   uint64_t BytesDtoH;
 };
 
+benchjson::StreamOpts GStreams;
+
 Result runWith(const std::string &Src, bool EpochCheck, bool RefCountReuse) {
   auto M = compileMiniC(Src, "rtabl");
   runCGCMPipeline(*M);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.getRuntime().setEpochCheckEnabled(EpochCheck);
   Mach.getRuntime().setRefCountReuseEnabled(RefCountReuse);
   Mach.loadModule(*M);
   Mach.run();
-  return {Mach.getStats().totalCycles(), Mach.getStats().BytesHtoD,
+  return {Mach.getStats().wallCycles(), Mach.getStats().BytesHtoD,
           Mach.getStats().BytesDtoH};
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(Argc, Argv))
+    return 0;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, GStreams))
+    return 2;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
 
   // jacobi shows the refcount-reuse story (redundant in-loop maps);

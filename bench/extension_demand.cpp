@@ -41,15 +41,18 @@ struct Row {
   std::string Output;
 };
 
+benchjson::StreamOpts GStreams;
+
 Row runCGCM(const std::string &Src) {
   auto M = compileMiniC(Src, "cgcm");
   runCGCMPipeline(*M);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();
   const ExecStats &S = Mach.getStats();
-  return {S.totalCycles(), S.TransfersHtoD, S.TransfersDtoH, 0,
+  return {S.wallCycles(), S.TransfersHtoD, S.TransfersDtoH, 0,
           S.BytesHtoD,     S.BytesDtoH,     Mach.getOutput()};
 }
 
@@ -61,10 +64,11 @@ Row runDemand(const std::string &Src) {
   runCGCMPipeline(*M, Opts);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::DemandManaged);
+  Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();
   const ExecStats &S = Mach.getStats();
-  return {S.totalCycles(), S.TransfersHtoD, S.TransfersDtoH, S.DemandFaults,
+  return {S.wallCycles(), S.TransfersHtoD, S.TransfersDtoH, S.DemandFaults,
           S.BytesHtoD,     S.BytesDtoH,     Mach.getOutput()};
 }
 
@@ -100,6 +104,10 @@ const char *DeepProgram = R"(
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(Argc, Argv))
+    return 0;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, GStreams))
+    return 2;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
 
   std::printf("Extension: CGCM (static) vs DyManD-style demand paging\n\n");

@@ -119,6 +119,65 @@ void BM_DeclareExpireAlloca(benchmark::State &State) {
 }
 BENCHMARK(BM_DeclareExpireAlloca);
 
+/// Modeled-cycle scenario for the "transfer_overlap" JSON section (these
+/// numbers are modeled cycles, unlike the host-ns rows above): a
+/// pipelined map -> kernel -> unmap loop over 8 heap buffers of 64 KiB,
+/// run under one transfer-engine configuration. Data movement is eager,
+/// so the final host bytes must match the synchronous run exactly;
+/// \p FinalBytes receives them for that comparison.
+benchjson::TransferOverlapRow runOverlapScenario(unsigned Streams,
+                                                 bool Coalesce, bool Pinned,
+                                                 std::string &FinalBytes) {
+  RuntimeFixture F;
+  StreamEngineConfig C;
+  C.Async = Streams > 0;
+  C.Streams = Streams ? Streams : 1;
+  C.Coalesce = Coalesce;
+  StreamEngine &Eng = F.Device.getStreamEngine();
+  Eng.configure(C);
+
+  constexpr unsigned Buffers = 8;
+  constexpr uint64_t Size = 65536;
+  auto Ptrs = populate(F, Buffers, Size);
+  for (unsigned B = 0; B != Buffers; ++B)
+    for (uint64_t I = 0; I != Size; I += 8)
+      F.Host.writeUInt(Ptrs[B] + I, (B * 1315423911ull) ^ I, 8);
+  if (Pinned)
+    for (uint64_t P : Ptrs)
+      F.RT.setHostPinned(P, true);
+
+  for (unsigned Iter = 0; Iter != 4; ++Iter) {
+    for (uint64_t P : Ptrs)
+      F.RT.map(P);
+    F.RT.onKernelLaunch();
+    Eng.kernelLaunch(20000.0);
+    for (uint64_t P : Ptrs) {
+      F.RT.unmap(P);
+      F.RT.release(P);
+    }
+  }
+  Eng.drain();
+
+  FinalBytes.resize(Buffers * Size);
+  for (unsigned B = 0; B != Buffers; ++B)
+    F.Host.read(Ptrs[B], &FinalBytes[B * Size], Size);
+
+  benchjson::TransferOverlapRow T;
+  T.Workload = "pipeline-map-kernel-unmap";
+  T.Streams = Streams;
+  T.Coalesce = Coalesce;
+  T.Pinned = Pinned;
+  T.TotalCycles = F.Stats.totalCycles();
+  T.WallCycles = F.Stats.wallCycles();
+  T.StallCycles = F.Stats.StallCycles;
+  T.OverlapSavedCycles = F.Stats.overlapSavedCycles();
+  T.AsyncTransfers = F.Stats.AsyncTransfers;
+  T.DmaBatches = F.Stats.DmaBatches;
+  T.CoalescedTransfers = F.Stats.CoalescedTransfers;
+  T.HostSyncs = F.Stats.HostSyncs;
+  return T;
+}
+
 /// A console reporter that additionally collects each run for --json
 /// output. These benchmarks measure real host nanoseconds, so the shared
 /// schema's `cycles` field carries ns/op and the byte/speedup fields stay
@@ -140,6 +199,13 @@ public:
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(
+          Argc, Argv,
+          "  (remaining flags are passed through to google-benchmark)\n"))
+    return 0;
+  benchjson::StreamOpts SO;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, SO))
+    return 2;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
@@ -147,7 +213,42 @@ int main(int Argc, char **Argv) {
   CollectingReporter Reporter;
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
-  if (!benchjson::writeBenchJson(JsonPath, "micro_runtime", Reporter.Rows))
+
+  // The transfer-overlap sweep: the synchronous reference against the
+  // asynchronous engine at 1/2/4 streams (plus --streams if different),
+  // pageable and pinned. Modeled cycles; bit-identical data required.
+  benchjson::PipelineSections Sections;
+  std::string SyncBytes;
+  Sections.TransferOverlap.push_back(
+      runOverlapScenario(0, SO.Coalesce, false, SyncBytes));
+  std::vector<unsigned> StreamCounts = {1, 2, 4};
+  if (SO.Streams && SO.Streams != 1 && SO.Streams != 2 && SO.Streams != 4)
+    StreamCounts.push_back(SO.Streams);
+  int Failures = 0;
+  std::printf("\ntransfer_overlap (modeled cycles; sync total %.0f):\n",
+              Sections.TransferOverlap.front().TotalCycles);
+  for (bool Pinned : {false, true})
+    for (unsigned Streams : StreamCounts) {
+      std::string Bytes;
+      benchjson::TransferOverlapRow T =
+          runOverlapScenario(Streams, SO.Coalesce, Pinned, Bytes);
+      T.OutputEqual = Bytes == SyncBytes;
+      if (!T.OutputEqual) {
+        std::printf("  [FAIL] streams=%u %s: host bytes differ from sync\n",
+                    Streams, Pinned ? "pinned" : "pageable");
+        ++Failures;
+      }
+      std::printf("  streams=%u %-8s wall %10.0f (saved %8.0f, "
+                  "%llu batches, %llu coalesced)\n",
+                  Streams, Pinned ? "pinned" : "pageable", T.WallCycles,
+                  T.OverlapSavedCycles,
+                  static_cast<unsigned long long>(T.DmaBatches),
+                  static_cast<unsigned long long>(T.CoalescedTransfers));
+      Sections.TransferOverlap.push_back(T);
+    }
+
+  if (!benchjson::writeBenchJson(JsonPath, "micro_runtime", Reporter.Rows,
+                                 Sections))
     return 1;
-  return 0;
+  return Failures == 0 ? 0 : 1;
 }

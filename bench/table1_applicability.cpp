@@ -156,6 +156,14 @@ const Probe Probes[] = {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(
+          Argc, Argv,
+          "  (this bench never executes code, so the stream flags are\n"
+          "   accepted for interface uniformity but have no effect)\n"))
+    return 0;
+  benchjson::StreamOpts SO;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, SO))
+    return 2;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
   // This bench measures applicability, not execution: rows carry the
   // boolean verdict in `speedup` (1 = framework applies, 0 = it does not)

@@ -51,6 +51,14 @@ const char *classify(const Percents &P) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(Argc, Argv))
+    return 0;
+  benchjson::StreamOpts SO;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, SO))
+    return 2;
+  RunnerOptions RO;
+  RO.AsyncStreams = SO.Streams;
+  RO.Coalesce = SO.Coalesce;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
   std::vector<benchjson::Row> Rows;
 
@@ -64,8 +72,8 @@ int main(int Argc, char **Argv) {
   int Failures = 0;
 
   for (const Workload &W : getWorkloads()) {
-    WorkloadRun Unopt = runWorkload(W, BenchConfig::CGCMUnoptimized);
-    WorkloadRun Opt = runWorkload(W, BenchConfig::CGCMOptimized);
+    WorkloadRun Unopt = runWorkload(W, BenchConfig::CGCMUnoptimized, RO);
+    WorkloadRun Opt = runWorkload(W, BenchConfig::CGCMOptimized, RO);
     Percents PU = percents(Unopt.Stats);
     Percents PO = percents(Opt.Stats);
     const char *Limit = classify(PO);

@@ -56,6 +56,8 @@ struct SweepResult {
   uint64_t BytesDtoH = 0;
 };
 
+benchjson::StreamOpts GStreams;
+
 SweepResult sweepWorkload(const Workload &W, const std::string &Text,
                           bool VerifyEach) {
   auto M = compileMiniC(W.Source, W.Name);
@@ -89,9 +91,10 @@ SweepResult sweepWorkload(const Workload &W, const std::string &Text,
 
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();
-  R.Cycles = Mach.getStats().totalCycles();
+  R.Cycles = Mach.getStats().wallCycles();
   R.BytesHtoD = Mach.getStats().BytesHtoD;
   R.BytesDtoH = Mach.getStats().BytesDtoH;
   return R;
@@ -108,6 +111,11 @@ uint64_t cacheCount(const std::vector<AnalysisCacheStats> &Stats,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(
+          Argc, Argv, "  --verify-each   verifier after every pass\n"))
+    return 0;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, GStreams))
+    return 2;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
   bool VerifyEach = false;
   for (int I = 1; I < Argc; ++I) {

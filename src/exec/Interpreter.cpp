@@ -70,6 +70,9 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
         const AllocUnitInfo *Info = M.Runtime->lookup(Addr);
         assert(Info && "mapped unit must be tracked");
         M.DemandResident.insert(Info->Base);
+        // A demand fault is a synchronous round trip by definition: the
+        // faulting thread cannot proceed until the data arrived.
+        M.Device.getStreamEngine().waitAll();
       }
       Addr = Translated;
       Dev = true;
@@ -88,11 +91,20 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
                                                                 "to-cpu"));
             M.Runtime->unmap(Info->Base);
             M.Runtime->release(Info->Base);
+            M.Device.getStreamEngine().waitAll();
           }
           M.DemandResident.erase(It);
         }
       }
     }
+  }
+  if (!Ctx.OnGPU && !Dev) {
+    // True host use point: if an in-flight asynchronous copy still owns
+    // this range, the host blocks until it completes
+    // (docs/TransferEngine.md). One empty-vector check when idle.
+    StreamEngine &Eng = M.Device.getStreamEngine();
+    if (Eng.hasPendingHostRanges())
+      Eng.hostAccess(Addr, Size, IsWrite);
   }
   if (!Ctx.OnGPU && Dev)
     reportFatalError("CPU code dereferenced a GPU pointer (address " +
@@ -769,6 +781,9 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
       M.Device.recordEvent(EventKind::HtoD, M.Stats.totalCycles(), Cost,
                            HtoDBytes);
       M.Stats.CommCycles += Cost;
+      // The IE baseline is inherently synchronous: tell the stream engine
+      // so its host clock stays consistent with ExecStats.
+      M.Device.getStreamEngine().noteSyncCharge(Cost);
       M.Stats.BytesHtoD += HtoDBytes;
       ++M.Stats.TransfersHtoD;
     }
@@ -782,12 +797,14 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
                            .add("ops", GpuOps)
                            .add("policy", "inspector-executor"));
     M.Stats.GpuCycles += KCost;
+    M.Device.getStreamEngine().noteSyncCharge(KCost);
     M.Stats.GpuOps += GpuOps;
     if (!WriteUnits.empty()) {
       double Cost = M.TM.transferCycles(WriteUnits.size());
       M.Device.recordEvent(EventKind::DtoH, M.Stats.totalCycles(), Cost,
                            WriteUnits.size());
       M.Stats.CommCycles += Cost;
+      M.Device.getStreamEngine().noteSyncCharge(Cost);
       M.Stats.BytesDtoH += WriteUnits.size();
       ++M.Stats.TransfersDtoH;
     }
@@ -810,17 +827,22 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
     execFunction(Kernel, Args, GCtx);
   }
   double KCost = M.TM.kernelCycles(GpuOps, Threads);
-  M.Device.recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
+  // The engine decides when the kernel starts: synchronously at the
+  // current clock (legacy behavior), or — async — after every pending
+  // HtoD copy has landed, on the compute lane. GpuCycles are charged by
+  // the engine either way.
+  StreamEngine &Eng = M.Device.getStreamEngine();
+  double KStart = Eng.kernelLaunch(KCost);
+  M.Device.recordEvent(EventKind::Kernel, KStart, KCost);
   if (M.Trace.isEnabled())
-    M.Trace.complete(Kernel->getName(), "kernel", M.Stats.totalCycles(),
-                     KCost,
+    M.Trace.complete(Kernel->getName(), "kernel", KStart, KCost,
                      TraceArgs()
                          .add("threads", Threads)
                          .add("ops", GpuOps)
                          .add("policy", Policy == LaunchPolicy::DemandManaged
                                             ? "demand-managed"
-                                            : "managed"));
-  M.Stats.GpuCycles += KCost;
+                                            : "managed"),
+                     Eng.isAsync() ? LaneCompute : LaneHost);
   M.Stats.GpuOps += GpuOps;
   ++M.Stats.KernelLaunches;
   M.Runtime->onKernelLaunch();

@@ -140,7 +140,12 @@ int64_t Machine::run() {
   Function *Main = LoadedModule->getFunction("main");
   if (!Main || Main->isDeclaration())
     reportFatalError("module '" + LoadedModule->getName() + "' has no main");
-  return static_cast<int64_t>(runFunction(Main, {}));
+  int64_t Ret = static_cast<int64_t>(runFunction(Main, {}));
+  // End-of-run fence: the program is over, so the host observes every
+  // in-flight transfer; records the overlap-aware wall clock. A no-op on
+  // synchronous runs.
+  Device.getStreamEngine().drain();
+  return Ret;
 }
 
 uint64_t Machine::runFunction(Function *F, const std::vector<uint64_t> &Args) {

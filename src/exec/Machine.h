@@ -79,6 +79,19 @@ public:
   void setLaunchPolicy(LaunchPolicy P) { Policy = P; }
   LaunchPolicy getLaunchPolicy() const { return Policy; }
 
+  /// Configures the asynchronous transfer engine
+  /// (docs/TransferEngine.md): \p Streams == 0 restores the default
+  /// synchronous model; >= 1 enables async issue with that many stream
+  /// lanes (>= 2 unlocks copy/compute overlap). Call before run().
+  void setAsyncTransfers(unsigned Streams, bool Coalesce = true) {
+    StreamEngineConfig C;
+    C.Async = Streams > 0;
+    C.Streams = Streams ? Streams : 1;
+    C.Coalesce = Coalesce;
+    Device.getStreamEngine().configure(C);
+  }
+  StreamEngine &getStreamEngine() { return Device.getStreamEngine(); }
+
   /// Per-access allocation-unit bounds checking (slow; used in tests).
   void setCheckedMemory(bool V) { CheckedMemory = V; }
   bool isCheckedMemory() const { return CheckedMemory; }

@@ -27,7 +27,8 @@ struct ModeRun {
 };
 
 ModeRun runMode(const std::string &Source, const std::string &Name,
-                bool Manage, bool Optimize, bool Audit) {
+                bool Manage, bool Optimize, bool Audit,
+                unsigned AsyncStreams = 0) {
   std::unique_ptr<Module> M = compileMiniC(Source, Name);
   PipelineOptions Opts;
   Opts.Parallelize = false; // Launches are explicit; isolate management.
@@ -39,6 +40,7 @@ ModeRun runMode(const std::string &Source, const std::string &Name,
   Mach.setLaunchPolicy(Manage ? LaunchPolicy::Managed
                               : LaunchPolicy::CpuEmulation);
   Mach.setOpLimit(200u * 1000u * 1000u);
+  Mach.setAsyncTransfers(AsyncStreams);
   Mach.loadModule(*M);
 
   RuntimeAuditor Auditor;
@@ -109,7 +111,8 @@ bool compareRuns(const ModeRun &Ref, const ModeRun &Got,
 } // namespace
 
 DiffResult cgcm::diffProgram(const std::string &Source,
-                             const std::string &Name) {
+                             const std::string &Name,
+                             unsigned AsyncStreams) {
   DiffResult R;
   ModeRun Ref = runMode(Source, Name + ".ref", /*Manage=*/false,
                         /*Optimize=*/false, /*Audit=*/false);
@@ -131,6 +134,20 @@ DiffResult cgcm::diffProgram(const std::string &Source,
   if (!Opt.Audit.clean()) {
     R.Failure += "optimized audit:\n" + Opt.Audit.str() + "\n";
     OK = false;
+  }
+
+  // The asynchronous pair: data movement is eager, so any observable
+  // divergence means a missing fence or a corrupting overlap, not an
+  // "expected" reordering.
+  if (AsyncStreams > 0) {
+    ModeRun Async = runMode(Source, Name + ".async", /*Manage=*/true,
+                            /*Optimize=*/true, /*Audit=*/true, AsyncStreams);
+    R.AsyncAudit = Async.Audit;
+    OK &= compareRuns(Ref, Async, "optimized-async", R.Failure);
+    if (!Async.Audit.clean()) {
+      R.Failure += "optimized-async audit:\n" + Async.Audit.str() + "\n";
+      OK = false;
+    }
   }
   R.Agreed = OK;
   return R;

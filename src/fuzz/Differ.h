@@ -11,6 +11,12 @@
 ///   reference  — CPU-only (no management, launches emulated as host loops)
 ///   unoptimized — communication management only, Managed launches
 ///   optimized  — management + fixpoint(glue,alloca-promote,map-promote)
+///   optimized-async — the optimized pipeline re-run under the
+///                 asynchronous transfer engine (docs/TransferEngine.md);
+///                 data movement is eager, so it must stay bit-identical
+///                 to the synchronous runs while only modeled time moves
+///
+/// The fourth configuration is skipped when AsyncStreams is 0.
 ///
 /// Agreement means: identical printed output, identical exit values,
 /// identical final bytes in every named global, and — for the two
@@ -39,12 +45,15 @@ struct DiffResult {
   std::string ReferenceOutput;
   AuditReport UnoptimizedAudit;
   AuditReport OptimizedAudit;
+  AuditReport AsyncAudit; ///< Empty/clean when the async run was skipped.
 };
 
-/// Compiles and runs \p Source under all three configurations and diffs
-/// them. \p Name labels compiler diagnostics.
+/// Compiles and runs \p Source under every configuration and diffs them.
+/// \p Name labels compiler diagnostics; \p AsyncStreams sets the stream
+/// count of the optimized-async run (0 skips it).
 DiffResult diffProgram(const std::string &Source,
-                       const std::string &Name = "fuzz");
+                       const std::string &Name = "fuzz",
+                       unsigned AsyncStreams = 4);
 
 } // namespace cgcm
 

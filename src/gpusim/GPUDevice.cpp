@@ -10,42 +10,52 @@
 
 using namespace cgcm;
 
-void GPUDevice::cuMemcpyHtoD(uint64_t DevPtr, const SimMemory &Host,
-                             uint64_t HostPtr, uint64_t Size) {
+StreamEngine::TransferResult GPUDevice::cuMemcpyHtoD(uint64_t DevPtr,
+                                                     const SimMemory &Host,
+                                                     uint64_t HostPtr,
+                                                     uint64_t Size,
+                                                     bool Pinned) {
+  // Bytes move eagerly regardless of the engine's timing decision, so an
+  // asynchronous run is output-identical to a synchronous one.
   std::vector<uint8_t> Buf(Size);
   Host.read(HostPtr, Buf.data(), Size);
   Mem.write(DevPtr, Buf.data(), Size);
-  double Cost = TM.transferCycles(Size);
-  double Start = Stats.totalCycles();
-  recordEvent(EventKind::HtoD, Start, Cost, Size);
-  if (Trace && Trace->isEnabled())
-    Trace->complete("HtoD", "xfer", Start, Cost,
-                    TraceArgs()
-                        .add("bytes", Size)
-                        .add("host", HostPtr)
-                        .add("dev", DevPtr));
-  Stats.CommCycles += Cost;
+  StreamEngine::TransferResult R = Engine.transferHtoD(Size, Pinned, HostPtr);
+  recordEvent(EventKind::HtoD, R.Start, R.Duration, Size);
+  if (Trace && Trace->isEnabled()) {
+    TraceArgs Args;
+    Args.add("bytes", Size).add("host", HostPtr).add("dev", DevPtr);
+    if (Engine.isAsync())
+      Args.add("stream", R.Stream).add("coalesced", R.Coalesced);
+    Trace->complete("HtoD", "xfer", R.Start, R.Duration, std::move(Args),
+                    R.Lane);
+  }
   Stats.BytesHtoD += Size;
   ++Stats.TransfersHtoD;
+  return R;
 }
 
-void GPUDevice::cuMemcpyDtoH(SimMemory &Host, uint64_t HostPtr,
-                             uint64_t DevPtr, uint64_t Size) {
+StreamEngine::TransferResult GPUDevice::cuMemcpyDtoH(SimMemory &Host,
+                                                     uint64_t HostPtr,
+                                                     uint64_t DevPtr,
+                                                     uint64_t Size,
+                                                     bool Pinned) {
   std::vector<uint8_t> Buf(Size);
   Mem.read(DevPtr, Buf.data(), Size);
   Host.write(HostPtr, Buf.data(), Size);
-  double Cost = TM.transferCycles(Size);
-  double Start = Stats.totalCycles();
-  recordEvent(EventKind::DtoH, Start, Cost, Size);
-  if (Trace && Trace->isEnabled())
-    Trace->complete("DtoH", "xfer", Start, Cost,
-                    TraceArgs()
-                        .add("bytes", Size)
-                        .add("host", HostPtr)
-                        .add("dev", DevPtr));
-  Stats.CommCycles += Cost;
+  StreamEngine::TransferResult R = Engine.transferDtoH(Size, Pinned, HostPtr);
+  recordEvent(EventKind::DtoH, R.Start, R.Duration, Size);
+  if (Trace && Trace->isEnabled()) {
+    TraceArgs Args;
+    Args.add("bytes", Size).add("host", HostPtr).add("dev", DevPtr);
+    if (Engine.isAsync())
+      Args.add("stream", R.Stream).add("coalesced", R.Coalesced);
+    Trace->complete("DtoH", "xfer", R.Start, R.Duration, std::move(Args),
+                    R.Lane);
+  }
   Stats.BytesDtoH += Size;
   ++Stats.TransfersDtoH;
+  return R;
 }
 
 uint64_t GPUDevice::cuModuleGetGlobal(const std::string &Name, uint64_t Size) {

@@ -16,6 +16,7 @@
 #define CGCM_GPUSIM_GPUDEVICE_H
 
 #include "gpusim/SimMemory.h"
+#include "gpusim/StreamEngine.h"
 #include "gpusim/Timing.h"
 #include "support/Trace.h"
 
@@ -29,10 +30,16 @@ namespace cgcm {
 class GPUDevice {
 public:
   GPUDevice(TimingModel &TM, ExecStats &Stats)
-      : Mem(DeviceAddressBase, "device"), TM(TM), Stats(Stats) {}
+      : Mem(DeviceAddressBase, "device"), TM(TM), Stats(Stats),
+        Engine(TM, Stats) {}
 
   SimMemory &getMemory() { return Mem; }
   const SimMemory &getMemory() const { return Mem; }
+
+  /// The modeled DMA engine every copy's timing routes through
+  /// (docs/TransferEngine.md). Synchronous (disabled) by default.
+  StreamEngine &getStreamEngine() { return Engine; }
+  const StreamEngine &getStreamEngine() const { return Engine; }
 
   //===--------------------------------------------------------------------===//
   // Driver-style API (paper Algorithms 1-3 call these)
@@ -48,13 +55,19 @@ public:
   /// Frees device memory allocated by cuMemAlloc.
   void cuMemFree(uint64_t DevPtr) { Mem.free(DevPtr); }
 
-  /// Copies host bytes to device memory, charging transfer cost.
-  void cuMemcpyHtoD(uint64_t DevPtr, const SimMemory &Host, uint64_t HostPtr,
-                    uint64_t Size);
+  /// Copies host bytes to device memory, charging transfer cost through
+  /// the stream engine (synchronous blocking cost by default). \p Pinned
+  /// marks a page-locked source buffer (async staging model). Returns the
+  /// engine's timing decision so callers can account coalescing.
+  StreamEngine::TransferResult cuMemcpyHtoD(uint64_t DevPtr,
+                                            const SimMemory &Host,
+                                            uint64_t HostPtr, uint64_t Size,
+                                            bool Pinned = false);
 
-  /// Copies device bytes to host memory, charging transfer cost.
-  void cuMemcpyDtoH(SimMemory &Host, uint64_t HostPtr, uint64_t DevPtr,
-                    uint64_t Size);
+  /// Copies device bytes to host memory; see cuMemcpyHtoD.
+  StreamEngine::TransferResult cuMemcpyDtoH(SimMemory &Host, uint64_t HostPtr,
+                                            uint64_t DevPtr, uint64_t Size,
+                                            bool Pinned = false);
 
   /// Returns the device-space address of the named module global,
   /// allocating it on first use (the "named region" of global variables).
@@ -107,6 +120,7 @@ private:
   SimMemory Mem;
   TimingModel &TM;
   ExecStats &Stats;
+  StreamEngine Engine;
   std::map<std::string, uint64_t> ModuleGlobals;
   TraceCollector *Trace = nullptr;
   bool TimelineEnabled = false;

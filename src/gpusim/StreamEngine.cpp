@@ -1,0 +1,179 @@
+//===- gpusim/StreamEngine.cpp - Modeled asynchronous DMA engine ------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/StreamEngine.h"
+
+using namespace cgcm;
+
+unsigned StreamEngine::pickStream() {
+  unsigned S = NextStream % Cfg.Streams;
+  ++NextStream;
+  return S;
+}
+
+void StreamEngine::hostWaitUntil(double T) {
+  double Now = hostNow();
+  if (T <= Now)
+    return;
+  Stats.StallCycles += T - Now;
+  ++Stats.HostSyncs;
+}
+
+void StreamEngine::prunePending() {
+  double Now = hostNow();
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [Now](const PendingRange &R) {
+                                 return R.Ready <= Now;
+                               }),
+                Pending.end());
+}
+
+StreamEngine::TransferResult
+StreamEngine::transferHtoD(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
+  TransferResult R;
+  if (!Cfg.Async) {
+    // Legacy synchronous model, bit-identical to the pre-engine code: the
+    // host blocks for the full latency + per-byte cost.
+    R.Duration = TM.transferCycles(Bytes);
+    R.Start = Stats.totalCycles();
+    R.Lane = LaneHost;
+    Stats.CommCycles += R.Duration;
+    SyncCommitted += R.Duration;
+    ++Stats.DmaBatches;
+    return R;
+  }
+  double Issue = hostNow();
+  // An opposite-direction copy breaks DtoH adjacency.
+  DtoHBatch.Open = false;
+  bool Join = Cfg.Coalesce && HtoDBatch.Open && Issue <= HtoDBatch.End;
+  if (Join) {
+    R.Stream = HtoDBatch.Stream;
+    R.Start = HtoDBatch.End;
+    R.Duration = TM.asyncCopyCycles(/*HtoD=*/true, Bytes, Pinned,
+                                    /*BatchHead=*/false);
+    R.Coalesced = true;
+    ++Stats.CoalescedTransfers;
+  } else {
+    R.Stream = pickStream();
+    R.Start = std::max(Issue, std::max(HtoDBusy, StreamBusy[R.Stream]));
+    if (Cfg.Streams <= 1)
+      R.Start = std::max(R.Start, std::max(ComputeBusy, DtoHBusy));
+    R.Duration = TM.asyncCopyCycles(/*HtoD=*/true, Bytes, Pinned,
+                                    /*BatchHead=*/true);
+    HtoDBatch.Open = true;
+    HtoDBatch.Stream = R.Stream;
+    ++Stats.DmaBatches;
+  }
+  double End = R.Start + R.Duration;
+  HtoDBatch.End = End;
+  HtoDBusy = End;
+  StreamBusy[R.Stream] = End;
+  PendingHtoDFence = std::max(PendingHtoDFence, End);
+  R.Lane = laneForStream(R.Stream);
+  Stats.CommCycles += R.Duration;
+  ++Stats.AsyncTransfers;
+  Pending.push_back({HostAddr, HostAddr + Bytes, End, /*IsDtoH=*/false});
+  return R;
+}
+
+StreamEngine::TransferResult
+StreamEngine::transferDtoH(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
+  TransferResult R;
+  if (!Cfg.Async) {
+    R.Duration = TM.transferCycles(Bytes);
+    R.Start = Stats.totalCycles();
+    R.Lane = LaneHost;
+    Stats.CommCycles += R.Duration;
+    SyncCommitted += R.Duration;
+    ++Stats.DmaBatches;
+    return R;
+  }
+  double Issue = hostNow();
+  HtoDBatch.Open = false;
+  bool Join = Cfg.Coalesce && DtoHBatch.Open && Issue <= DtoHBatch.End;
+  if (Join) {
+    R.Stream = DtoHBatch.Stream;
+    R.Start = DtoHBatch.End;
+    R.Duration = TM.asyncCopyCycles(/*HtoD=*/false, Bytes, Pinned,
+                                    /*BatchHead=*/false);
+    R.Coalesced = true;
+    ++Stats.CoalescedTransfers;
+  } else {
+    R.Stream = pickStream();
+    // A DtoH copy reads what the latest kernel wrote: fence compute.
+    R.Start = std::max(std::max(Issue, ComputeBusy),
+                       std::max(DtoHBusy, StreamBusy[R.Stream]));
+    if (Cfg.Streams <= 1)
+      R.Start = std::max(R.Start, HtoDBusy);
+    R.Duration = TM.asyncCopyCycles(/*HtoD=*/false, Bytes, Pinned,
+                                    /*BatchHead=*/true);
+    DtoHBatch.Open = true;
+    DtoHBatch.Stream = R.Stream;
+    ++Stats.DmaBatches;
+  }
+  double End = R.Start + R.Duration;
+  DtoHBatch.End = End;
+  DtoHBusy = End;
+  StreamBusy[R.Stream] = End;
+  R.Lane = laneForStream(R.Stream);
+  Stats.CommCycles += R.Duration;
+  ++Stats.AsyncTransfers;
+  Pending.push_back({HostAddr, HostAddr + Bytes, End, /*IsDtoH=*/true});
+  return R;
+}
+
+double StreamEngine::kernelLaunch(double Cycles) {
+  if (!Cfg.Async) {
+    double Start = Stats.totalCycles();
+    Stats.GpuCycles += Cycles;
+    SyncCommitted += Cycles;
+    return Start;
+  }
+  // A kernel launch closes both coalescing windows and fences every
+  // outstanding HtoD copy (conservatively: any of them may be an input).
+  HtoDBatch.Open = DtoHBatch.Open = false;
+  double Start = std::max(std::max(hostNow(), ComputeBusy), PendingHtoDFence);
+  if (Cfg.Streams <= 1)
+    Start = std::max(Start, std::max(HtoDBusy, DtoHBusy));
+  ComputeBusy = Start + Cycles;
+  Stats.GpuCycles += Cycles;
+  return Start;
+}
+
+void StreamEngine::hostAccess(uint64_t Addr, uint64_t Size, bool IsWrite) {
+  if (!Cfg.Async || Pending.empty())
+    return;
+  prunePending();
+  uint64_t Lo = Addr, Hi = Addr + (Size ? Size : 1);
+  double WaitUntil = 0;
+  for (auto It = Pending.begin(); It != Pending.end();) {
+    bool Overlaps = It->Lo < Hi && Lo < It->Hi;
+    // Reads conflict with in-flight DtoH landings; writes additionally
+    // conflict with HtoD copies still reading the range.
+    if (Overlaps && (It->IsDtoH || IsWrite)) {
+      WaitUntil = std::max(WaitUntil, It->Ready);
+      It = Pending.erase(It);
+      continue;
+    }
+    ++It;
+  }
+  hostWaitUntil(WaitUntil);
+}
+
+void StreamEngine::waitAll() {
+  if (!Cfg.Async)
+    return;
+  HtoDBatch.Open = DtoHBatch.Open = false;
+  hostWaitUntil(wallNow());
+  Pending.clear();
+}
+
+void StreamEngine::drain() {
+  if (!Cfg.Async)
+    return;
+  waitAll();
+  Stats.WallCycles = hostNow();
+}

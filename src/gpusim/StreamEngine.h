@@ -1,0 +1,198 @@
+//===- gpusim/StreamEngine.h - Modeled asynchronous DMA engine --------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous transfer engine (docs/TransferEngine.md): a modeled
+/// DMA subsystem with N streams, one copy engine per direction, and one
+/// compute lane, all advancing on the modeled clock in ExecStats.
+///
+/// The simulation always moves bytes eagerly — asynchrony changes *time*,
+/// never *data* — so an async run is output-identical to a sync run by
+/// construction; the engine only decides when each operation starts and
+/// how long the host blocks. Disabled (the default), every operation
+/// takes the exact legacy synchronous cost path, keeping historical
+/// cycle counts bit-identical.
+///
+/// Timing rules (worked examples in docs/TransferEngine.md):
+///  * Copies serialize on their direction's engine; opposite directions
+///    and compute proceed concurrently when Streams >= 2. With
+///    Streams == 1 every operation serializes in issue order (one CUDA
+///    stream's FIFO semantics).
+///  * Adjacent same-direction copies with no intervening kernel launch
+///    or opposite-direction copy coalesce into one DMA batch: only the
+///    batch head pays TransferLatency.
+///  * A kernel launch fences all outstanding HtoD copies (its inputs);
+///    DtoH copies fence the latest kernel (their producer).
+///  * The host blocks only at true use points: reading a host range with
+///    an in-flight DtoH copy, writing a host range an in-flight copy
+///    still uses, or the end-of-run drain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_GPUSIM_STREAMENGINE_H
+#define CGCM_GPUSIM_STREAMENGINE_H
+
+#include "gpusim/Timing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cgcm {
+
+/// Trace lane numbering (exported as Chrome trace tids, see
+/// support/Trace.h): lane 0 is the host, lane 1 the compute engine, and
+/// lane 2+s stream s. Synchronous runs put everything on lane 0, which
+/// preserves the historical single-lane export.
+constexpr unsigned LaneHost = 0;
+constexpr unsigned LaneCompute = 1;
+inline unsigned laneForStream(unsigned Stream) { return 2 + Stream; }
+
+struct StreamEngineConfig {
+  /// Number of stream lanes. 1 models a single in-order stream (copies
+  /// and kernels all serialize); >= 2 unlocks copy/compute overlap.
+  unsigned Streams = 4;
+  /// Master switch; off = exact legacy synchronous behavior.
+  bool Async = false;
+  /// Merge adjacent same-direction copies into batched DMA operations.
+  bool Coalesce = true;
+};
+
+class StreamEngine {
+public:
+  StreamEngine(TimingModel &TM, ExecStats &Stats) : TM(TM), Stats(Stats) {
+    reset();
+  }
+
+  /// Applies \p C and resets all engine state. Configure between runs,
+  /// not mid-run.
+  void configure(const StreamEngineConfig &C) {
+    Cfg = C;
+    if (Cfg.Streams == 0)
+      Cfg.Streams = 1;
+    reset();
+  }
+  const StreamEngineConfig &getConfig() const { return Cfg; }
+  bool isAsync() const { return Cfg.Async; }
+
+  /// Clears all lane frontiers and pending fences (config is kept).
+  void reset() {
+    StreamBusy.assign(Cfg.Streams, 0.0);
+    HtoDBusy = DtoHBusy = ComputeBusy = 0;
+    SyncCommitted = 0;
+    PendingHtoDFence = 0;
+    NextStream = 0;
+    HtoDBatch = DtoHBatch = Batch();
+    Pending.clear();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // The modeled clock
+  //===--------------------------------------------------------------------===//
+
+  /// Where the host's own timeline stands: busy components charged to the
+  /// host plus stalls plus every synchronously-committed cost. On a
+  /// synchronous run this equals ExecStats::totalCycles().
+  double hostNow() const {
+    return Stats.CpuCycles + Stats.RuntimeCycles + Stats.InspectorCycles +
+           Stats.StallCycles + SyncCommitted;
+  }
+
+  /// The frontier of the busiest lane — the overlap-aware wall clock.
+  double wallNow() const {
+    return std::max(std::max(hostNow(), ComputeBusy),
+                    std::max(HtoDBusy, DtoHBusy));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Operations (time only; the caller has already moved the bytes)
+  //===--------------------------------------------------------------------===//
+
+  struct TransferResult {
+    double Start = 0;
+    double Duration = 0;
+    unsigned Stream = 0;   ///< Stream the copy ran on (async only).
+    unsigned Lane = 0;     ///< Trace lane for the event.
+    bool Coalesced = false;///< Merged into the previous DMA batch.
+  };
+
+  /// Models one host-to-device copy of \p Bytes. \p HostAddr names the
+  /// source range so later host *writes* to it can fence.
+  TransferResult transferHtoD(uint64_t Bytes, bool Pinned, uint64_t HostAddr);
+
+  /// Models one device-to-host copy of \p Bytes landing at \p HostAddr;
+  /// later host reads or writes of that range fence on its completion.
+  TransferResult transferDtoH(uint64_t Bytes, bool Pinned, uint64_t HostAddr);
+
+  /// Models a kernel of \p Cycles on the compute lane, fencing all
+  /// outstanding HtoD traffic first. Returns the start time and charges
+  /// GpuCycles.
+  double kernelLaunch(double Cycles);
+
+  /// Adds a synchronous cost the engine did not issue itself (inspector-
+  /// executor transfers, emulated kernels) so hostNow() stays consistent
+  /// with ExecStats when those paths charge Comm/Gpu cycles directly.
+  void noteSyncCharge(double Cycles) { SyncCommitted += Cycles; }
+
+  //===--------------------------------------------------------------------===//
+  // Fences
+  //===--------------------------------------------------------------------===//
+
+  /// Cheap guard for the interpreter's access path: any host ranges with
+  /// in-flight copies at all?
+  bool hasPendingHostRanges() const { return !Pending.empty(); }
+
+  /// Host touches [Addr, Addr+Size): blocks until every conflicting
+  /// in-flight copy completes (reads conflict with DtoH landings, writes
+  /// with copies in either direction).
+  void hostAccess(uint64_t Addr, uint64_t Size, bool IsWrite);
+
+  /// Blocks the host until every lane is idle (demand-paging faults and
+  /// the end-of-run drain need full synchronization).
+  void waitAll();
+
+  /// End of run: waits for everything, records the overlap-aware wall
+  /// clock in Stats.WallCycles, and clears pending state.
+  void drain();
+
+private:
+  struct Batch {
+    bool Open = false;
+    unsigned Stream = 0;
+    double End = 0;
+  };
+  struct PendingRange {
+    uint64_t Lo = 0, Hi = 0;
+    double Ready = 0;
+    bool IsDtoH = false;
+  };
+
+  /// Advances the host to \p T, accounting the gap as stall.
+  void hostWaitUntil(double T);
+  void prunePending();
+  unsigned pickStream();
+
+  TimingModel &TM;
+  ExecStats &Stats;
+  StreamEngineConfig Cfg;
+
+  std::vector<double> StreamBusy; ///< Per-stream FIFO frontier.
+  double HtoDBusy = 0;            ///< HtoD copy-engine frontier.
+  double DtoHBusy = 0;            ///< DtoH copy-engine frontier.
+  double ComputeBusy = 0;         ///< Compute-lane frontier.
+  /// Comm/Gpu cycles committed synchronously (the host blocked for
+  /// them), so hostNow() can be derived from ExecStats components.
+  double SyncCommitted = 0;
+  /// Completion frontier of all HtoD copies a future kernel must see.
+  double PendingHtoDFence = 0;
+  unsigned NextStream = 0;
+  Batch HtoDBatch, DtoHBatch;
+  std::vector<PendingRange> Pending;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_GPUSIM_STREAMENGINE_H

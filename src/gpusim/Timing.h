@@ -59,8 +59,39 @@ struct TimingModel {
   /// transfer itself.
   double DemandFaultLatency = 1500.0;
 
+  //===--------------------------------------------------------------------===//
+  // Asynchronous transfer engine (docs/TransferEngine.md)
+  //===--------------------------------------------------------------------===//
+
+  /// Per-direction DMA throughput for asynchronous copies. Defaults equal
+  /// TransferBytesPerCycle so the per-byte cost of a pinned async copy
+  /// matches a synchronous one; only latency amortization (coalescing)
+  /// and overlap change the modeled wall clock.
+  double HtoDBytesPerCycle = 8.0;
+  double DtoHBytesPerCycle = 8.0;
+
+  /// Extra per-byte cost of staging a *pageable* host buffer through a
+  /// DMA-able bounce buffer. Pinned buffers skip this term entirely.
+  /// Modeled inside the copy duration: the effective pageable bandwidth
+  /// is 1 / (1/BW + 1/Staging) bytes per cycle.
+  double PageableStagingBytesPerCycle = 24.0;
+
   double transferCycles(uint64_t Bytes) const {
     return TransferLatency + static_cast<double>(Bytes) / TransferBytesPerCycle;
+  }
+
+  /// Duration of one asynchronous copy on its DMA engine. Only the first
+  /// copy of a coalesced batch (\p BatchHead) pays TransferLatency; the
+  /// followers ride the already-programmed descriptor chain.
+  double asyncCopyCycles(bool HtoD, uint64_t Bytes, bool Pinned,
+                         bool BatchHead) const {
+    double BW = HtoD ? HtoDBytesPerCycle : DtoHBytesPerCycle;
+    double Cost = static_cast<double>(Bytes) / BW;
+    if (!Pinned)
+      Cost += static_cast<double>(Bytes) / PageableStagingBytesPerCycle;
+    if (BatchHead)
+      Cost += TransferLatency;
+    return Cost;
   }
 
   /// Wall-clock cycles for a kernel that executed \p TotalThreadOps IR
@@ -100,11 +131,53 @@ struct ExecStats {
   /// High-water mark of live device-memory bytes across the run.
   uint64_t PeakResidentDeviceBytes = 0;
 
-  /// Total modeled wall clock: the machine model is synchronous (the CPU
-  /// blocks on transfers and kernels), so components add.
+  //===--------------------------------------------------------------------===//
+  // Asynchronous transfer engine counters (docs/TransferEngine.md).
+  // All zero on a synchronous run.
+  //===--------------------------------------------------------------------===//
+
+  /// Cycles the host spent blocked at a fence (kernel waiting on HtoD
+  /// traffic is charged to the compute lane, not here; this is host-side
+  /// stall only: reads of in-flight DtoH data, writes under a pending
+  /// copy, and the end-of-run drain).
+  double StallCycles = 0;
+  /// Overlap-aware wall clock, set when the stream engine drains at the
+  /// end of an asynchronous run; 0 while unset (synchronous runs).
+  double WallCycles = 0;
+  /// Copies issued asynchronously through the stream engine.
+  uint64_t AsyncTransfers = 0;
+  /// Distinct DMA operations after coalescing. Synchronous copies count
+  /// one batch each, so for copies issued through the device copy path
+  /// batches + coalesced equals transfers (the inspector-executor
+  /// baseline charges its modeled scheduler copies directly and is not
+  /// counted here).
+  uint64_t DmaBatches = 0;
+  /// Copies merged into the preceding same-direction batch, paying no
+  /// TransferLatency of their own.
+  uint64_t CoalescedTransfers = 0;
+  /// Number of fences at which the host actually blocked.
+  uint64_t HostSyncs = 0;
+
+  /// Sum of busy cycles across components. On a synchronous run the
+  /// machine model blocks the CPU on transfers and kernels, so this *is*
+  /// the wall clock; on an asynchronous run lanes overlap and the wall
+  /// clock is WallCycles (see wallCycles()).
   double totalCycles() const {
     return CpuCycles + GpuCycles + CommCycles + InspectorCycles +
            RuntimeCycles;
+  }
+
+  /// The modeled wall clock: overlap-aware when the stream engine ran
+  /// asynchronously, the synchronous component sum otherwise.
+  double wallCycles() const {
+    return WallCycles > 0 ? WallCycles : totalCycles();
+  }
+
+  /// Busy cycles hidden by overlap: serial cost minus actual wall clock.
+  double overlapSavedCycles() const {
+    if (WallCycles <= 0 || totalCycles() <= WallCycles)
+      return 0;
+    return totalCycles() - WallCycles;
   }
 
   void reset() { *this = ExecStats(); }

@@ -18,11 +18,16 @@ void CGCMRuntime::chargeCall() {
   ++Stats.RuntimeCalls;
 }
 
+double CGCMRuntime::clockNow() const {
+  const StreamEngine &E = Device.getStreamEngine();
+  return E.isAsync() ? E.hostNow() : Stats.totalCycles();
+}
+
 void CGCMRuntime::traceCall(const char *Op, const AllocUnitInfo &Info,
                             bool Copied) {
   if (!Trace || !Trace->isEnabled())
     return;
-  Trace->complete(Op, "runtime", Stats.totalCycles(), TM.RuntimeCallOverhead,
+  Trace->complete(Op, "runtime", clockNow(), TM.RuntimeCallOverhead,
                   TraceArgs()
                       .add("base", Info.Base)
                       .add("size", Info.Size)
@@ -140,10 +145,13 @@ void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
     uint64_t SalvageBytes = std::min(Old.Size, NewSize);
     if (!Old.IsReadOnly && !Old.IsPointerArray && SalvageBytes != 0 &&
         (Old.Epoch != GlobalEpoch || !EpochCheckEnabled)) {
-      Device.cuMemcpyDtoH(Host, NewPtr, Old.DevPtr, SalvageBytes);
+      auto R = Device.cuMemcpyDtoH(Host, NewPtr, Old.DevPtr, SalvageBytes,
+                                   Old.Pinned);
       if (Old.Ledger) {
         Old.Ledger->BytesDtoH += SalvageBytes;
         ++Old.Ledger->TransfersDtoH;
+        if (R.Coalesced)
+          ++Old.Ledger->Coalesced;
       }
     }
     // Defer destruction: the compiler's paired unmap/release for the old
@@ -233,6 +241,14 @@ bool CGCMRuntime::translateToDevice(uint64_t HostPtr, uint64_t &DevPtr) const {
   return true;
 }
 
+bool CGCMRuntime::setHostPinned(uint64_t Ptr, bool Pinned) {
+  const AllocUnitInfo *Info = lookup(Ptr);
+  if (!Info)
+    return false;
+  const_cast<AllocUnitInfo *>(Info)->Pinned = Pinned;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Internal teardown helpers
 //===----------------------------------------------------------------------===//
@@ -263,6 +279,7 @@ void CGCMRuntime::releaseSnapshotElements(AllocUnitInfo &Info) {
       if (Unit.RefCount == 0 && Unit.HostDead) {
         AllocUnitInfo Dead = std::move(Unit);
         Units.erase(Dead.Base);
+        scrubSnapshots(Dead.Base, Dead.Base + Dead.Size);
         if (Observer)
           Observer->onUnitForgotten(Dead, "release");
       }
@@ -278,16 +295,18 @@ void CGCMRuntime::forceReclaim(AllocUnitInfo &Info, const char *Why) {
   Units.erase(Dead.Base);
   // Outstanding snapshots of other pointer arrays may still list element
   // pointers into the reclaimed range; those references died with the
-  // unit. Scrub them so the paired unmapArray/releaseArray cannot
-  // misdirect an unmap or release at whatever owns the range next.
-  uint64_t Lo = Dead.Base, Hi = Dead.Base + Dead.Size;
+  // unit.
+  scrubSnapshots(Dead.Base, Dead.Base + Dead.Size);
+  if (Observer)
+    Observer->onUnitForgotten(Dead, Why);
+}
+
+void CGCMRuntime::scrubSnapshots(uint64_t Lo, uint64_t Hi) {
   for (auto &[B, U] : Units)
     for (auto &Snap : U.ElemSnapshots)
       Snap.erase(std::remove_if(Snap.begin(), Snap.end(),
                                 [&](uint64_t E) { return E >= Lo && E < Hi; }),
                  Snap.end());
-  if (Observer)
-    Observer->onUnitForgotten(Dead, Why);
 }
 
 //===----------------------------------------------------------------------===//
@@ -305,11 +324,14 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
     ++Info.Ledger->MapCalls;
   if (Info.RefCount > 0 && !RefCountReuseEnabled) {
     // Ablation: pretend we did not know the unit was resident.
-    Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    auto R = Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
+                                 Info.Pinned);
     Copied = true;
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
       ++Info.Ledger->TransfersHtoD;
+      if (R.Coalesced)
+        ++Info.Ledger->Coalesced;
     }
   }
   if (Info.RefCount == 0) {
@@ -317,11 +339,14 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
       Info.DevPtr = Device.cuMemAlloc(Info.Size);
     else
       Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
-    Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    auto R = Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
+                                 Info.Pinned);
     Copied = true;
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
       ++Info.Ledger->TransfersHtoD;
+      if (R.Coalesced)
+        ++Info.Ledger->Coalesced;
     }
     // A fresh GPU copy is current as of this epoch; unmap needs to copy
     // back only after a later kernel launch.
@@ -347,18 +372,24 @@ void CGCMRuntime::unmap(uint64_t Ptr) {
   if (Info.Ledger)
     ++Info.Ledger->UnmapCalls;
   // A host-dead unit has no host buffer to update: the copy-back is
-  // skipped, not merely suppressed.
+  // skipped, not merely suppressed. A pointer-array unit's GPU copy holds
+  // *translated* device pointers: copying it back verbatim would corrupt
+  // the host array, so scalar unmap skips it exactly as unmapArray does
+  // (the elements are updated by the paired unmapArray walk).
   if ((Info.Epoch != GlobalEpoch || !EpochCheckEnabled) && !Info.IsReadOnly &&
-      !Info.HostDead) {
-    Device.cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size);
+      !Info.HostDead && !Info.IsPointerArray) {
+    auto R = Device.cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size,
+                                 Info.Pinned);
     Copied = true;
     if (Info.Ledger) {
       Info.Ledger->BytesDtoH += Info.Size;
       ++Info.Ledger->TransfersDtoH;
+      if (R.Coalesced)
+        ++Info.Ledger->Coalesced;
     }
     Info.Epoch = GlobalEpoch;
   } else if (Info.Epoch == GlobalEpoch && EpochCheckEnabled &&
-             !Info.IsReadOnly && !Info.HostDead) {
+             !Info.IsReadOnly && !Info.HostDead && !Info.IsPointerArray) {
     // The epoch test proved the host copy current: a suppressed copy.
     ++Stats.EpochSuppressedCopies;
     if (Info.Ledger)
@@ -390,9 +421,12 @@ void CGCMRuntime::release(uint64_t Ptr) {
     Observer->onRelease(Info, Freed);
   if (Info.RefCount == 0 && Info.HostDead) {
     // Last outstanding reference to a unit whose host memory is gone:
-    // nothing can legitimately name it again, so stop tracking it.
+    // nothing can legitimately name it again, so stop tracking it. An
+    // outstanding mapArray snapshot may still list it (the scalar
+    // reference can outlive the table's), so scrub like forceReclaim.
     AllocUnitInfo Dead = std::move(Info);
     Units.erase(Dead.Base);
+    scrubSnapshots(Dead.Base, Dead.Base + Dead.Size);
     if (Observer)
       Observer->onUnitForgotten(Dead, "release");
   }
@@ -442,10 +476,13 @@ uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
     // The device copy holds *translated* pointers, not raw host bytes.
     // Transfer cost is identical to a raw copy of the unit (and the raw
     // copy carries any non-pointer tail bytes when Size % 8 != 0).
-    Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size);
+    auto R = Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
+                                 Info.Pinned);
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
       ++Info.Ledger->TransfersHtoD;
+      if (R.Coalesced)
+        ++Info.Ledger->Coalesced;
     }
   } else if (Info.Ledger) {
     ++Info.Ledger->ReuseSuppressed;
@@ -476,8 +513,16 @@ void CGCMRuntime::unmapArray(uint64_t Ptr) {
   // now. The pointer array itself is not copied back: its GPU copy holds
   // device pointers that would corrupt the host array.
   if (!Info.ElemSnapshots.empty()) {
-    for (uint64_t Elem : Info.ElemSnapshots.back())
+    for (uint64_t Elem : Info.ElemSnapshots.back()) {
+      // Tolerate vanished elements exactly like releaseSnapshotElements:
+      // a release of a host-dead element (or an eviction scrub racing an
+      // older snapshot) can erase the unit while this snapshot still
+      // lists it; there is nothing left to sync.
+      const AllocUnitInfo *E = lookup(Elem);
+      if (!E || E == &Info)
+        continue;
       unmap(Elem);
+    }
   } else {
     // Mapped without mapArray (manual runtime use): fall back to the
     // host slots.
@@ -524,7 +569,7 @@ void CGCMRuntime::releaseArray(uint64_t Ptr) {
 void CGCMRuntime::onKernelLaunch() {
   ++GlobalEpoch;
   if (Trace && Trace->isEnabled())
-    Trace->instant("epoch", "runtime", Stats.totalCycles(),
+    Trace->instant("epoch", "runtime", clockNow(),
                    TraceArgs().add("epoch", GlobalEpoch));
   if (Observer)
     Observer->onKernelLaunch(GlobalEpoch);

@@ -62,6 +62,10 @@ struct AllocUnitInfo {
   /// unmap skips the copy-back (the host buffer is gone) and the final
   /// release reclaims the device copy and forgets the unit.
   bool HostDead = false;
+  /// The host buffer is page-locked: asynchronous copies of this unit
+  /// skip the pageable staging cost (docs/TransferEngine.md). Purely a
+  /// timing attribute; set via setHostPinned.
+  bool Pinned = false;
   /// One entry per outstanding mapArray call: the non-null element
   /// pointers that call mapped, in slot order. unmapArray walks the top
   /// snapshot and releaseArray pops it, so a host slot overwritten while
@@ -170,6 +174,11 @@ public:
   /// to resolve pointers the compiler proved map-promotable.)
   bool translateToDevice(uint64_t HostPtr, uint64_t &DevPtr) const;
 
+  /// Marks the unit containing \p Ptr as page-locked (or pageable again).
+  /// Affects only the asynchronous staging cost model, never data or
+  /// synchronous cost; returns false if the pointer is untracked.
+  bool setHostPinned(uint64_t Ptr, bool Pinned);
+
   /// Releases every mapped unit (end-of-program cleanup in tests).
   void releaseAll();
 
@@ -210,6 +219,10 @@ private:
   /// Emits a runtime-call trace event for \p Info (no-op when tracing is
   /// off or no collector is attached).
   void traceCall(const char *Op, const AllocUnitInfo &Info, bool Copied);
+  /// The host-lane clock for runtime trace events: the stream engine's
+  /// hostNow() on asynchronous runs, ExecStats::totalCycles() otherwise
+  /// (identical values on a synchronous run).
+  double clockNow() const;
   /// Registers a fresh unit, first force-reclaiming any host-dead zombie
   /// whose range the new allocation reuses (the host allocator may hand
   /// the same addresses out again).
@@ -221,6 +234,12 @@ private:
   /// mapArray snapshot of \p Info (used when the array unit itself is
   /// being torn down rather than released pairwise).
   void releaseSnapshotElements(AllocUnitInfo &Info);
+  /// Removes element pointers into [Lo, Hi) from every outstanding
+  /// mapArray snapshot. Must run whenever a unit leaves the tracking map
+  /// while snapshots may still list it — otherwise the paired
+  /// unmapArray/releaseArray misdirects an unmap or release at whatever
+  /// owns the range next.
+  void scrubSnapshots(uint64_t Lo, uint64_t Hi);
 
   SimMemory &Host;
   GPUDevice &Device;

@@ -103,6 +103,15 @@ void cgcm::writeProfileJson(std::ostream &OS, const ExecStats &Stats,
   W.key("demand_faults").number(Stats.DemandFaults);
   W.key("epoch_suppressed_copies").number(Stats.EpochSuppressedCopies);
   W.key("peak_resident_device_bytes").number(Stats.PeakResidentDeviceBytes);
+  // Stream-engine accounting (docs/TransferEngine.md); all zero on a
+  // synchronous run except wall_cycles, which then equals total_cycles.
+  W.key("wall_cycles").number(Stats.wallCycles());
+  W.key("stall_cycles").number(Stats.StallCycles);
+  W.key("overlap_saved_cycles").number(Stats.overlapSavedCycles());
+  W.key("async_transfers").number(Stats.AsyncTransfers);
+  W.key("dma_batches").number(Stats.DmaBatches);
+  W.key("coalesced_transfers").number(Stats.CoalescedTransfers);
+  W.key("host_syncs").number(Stats.HostSyncs);
   W.endObject();
 
   W.key("ledger").beginArray();
@@ -123,6 +132,7 @@ void cgcm::writeProfileJson(std::ostream &OS, const ExecStats &Stats,
     W.key("transfers_dtoh").number(E->TransfersDtoH);
     W.key("epoch_suppressed").number(E->EpochSuppressed);
     W.key("reuse_suppressed").number(E->ReuseSuppressed);
+    W.key("coalesced").number(E->Coalesced);
     W.key("map_calls").number(E->MapCalls);
     W.key("unmap_calls").number(E->UnmapCalls);
     W.key("release_calls").number(E->ReleaseCalls);

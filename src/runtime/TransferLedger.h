@@ -49,6 +49,10 @@ struct LedgerEntry {
   uint64_t EpochSuppressed = 0;
   /// HtoD copies map skipped because the unit was already resident.
   uint64_t ReuseSuppressed = 0;
+  /// Copies of this site's units the stream engine merged into a
+  /// preceding same-direction DMA batch, paying no per-copy latency
+  /// (asynchronous runs only; docs/TransferEngine.md).
+  uint64_t Coalesced = 0;
   uint64_t MapCalls = 0;
   uint64_t UnmapCalls = 0;
   uint64_t ReleaseCalls = 0;

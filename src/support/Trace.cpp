@@ -45,7 +45,7 @@ void TraceCollector::push(TraceEvent E) {
 
 void TraceCollector::instant(const std::string &Name,
                              const std::string &Category, double TsCycles,
-                             TraceArgs Args) {
+                             TraceArgs Args, unsigned Lane) {
   if (!Enabled)
     return;
   TraceEvent E;
@@ -54,12 +54,14 @@ void TraceCollector::instant(const std::string &Name,
   E.Category = Category;
   E.TsCycles = TsCycles;
   E.ArgsJson = Args.getJson();
+  E.Lane = Lane;
   push(std::move(E));
 }
 
 void TraceCollector::complete(const std::string &Name,
                               const std::string &Category, double TsCycles,
-                              double DurCycles, TraceArgs Args) {
+                              double DurCycles, TraceArgs Args,
+                              unsigned Lane) {
   if (!Enabled)
     return;
   TraceEvent E;
@@ -69,6 +71,7 @@ void TraceCollector::complete(const std::string &Name,
   E.TsCycles = TsCycles;
   E.DurCycles = DurCycles;
   E.ArgsJson = Args.getJson();
+  E.Lane = Lane;
   push(std::move(E));
 }
 
@@ -117,7 +120,9 @@ void writeEventFields(JsonWriter &W, const TraceEvent &E) {
   }
   W.key("ts").number(E.TsCycles);
   W.key("pid").number(static_cast<uint64_t>(1));
-  W.key("tid").number(static_cast<uint64_t>(1));
+  // Lanes map 1:1 onto Chrome threads; lane 0 (the host, and everything
+  // in a synchronous run) keeps the historical tid 1.
+  W.key("tid").number(static_cast<uint64_t>(E.Lane + 1));
   W.key("seq").number(E.Seq);
   W.key("args");
   if (E.ArgsJson.empty())
@@ -126,13 +131,36 @@ void writeEventFields(JsonWriter &W, const TraceEvent &E) {
     W.raw("{" + E.ArgsJson + "}");
 }
 
+/// Names one lane for the Chrome/Perfetto track list ("M" metadata
+/// event). Only emitted when a trace actually used multiple lanes.
+void writeThreadName(JsonWriter &W, unsigned Lane, const std::string &Name) {
+  W.beginObject();
+  W.key("name").string("thread_name");
+  W.key("ph").string("M");
+  W.key("pid").number(static_cast<uint64_t>(1));
+  W.key("tid").number(static_cast<uint64_t>(Lane + 1));
+  W.key("args");
+  W.raw("{\"name\":\"" + jsonEscape(Name) + "\"}");
+  W.endObject();
+}
+
 } // namespace
 
 void TraceCollector::exportChromeTrace(std::ostream &OS) const {
   std::vector<TraceEvent> Events = snapshot();
+  unsigned MaxLane = 0;
+  for (const TraceEvent &E : Events)
+    MaxLane = std::max(MaxLane, E.Lane);
   JsonWriter W(OS);
   W.beginObject();
   W.key("traceEvents").beginArray();
+  if (MaxLane > 0) {
+    // Asynchronous run: name the lanes (StreamEngine.h numbering).
+    writeThreadName(W, 0, "host");
+    writeThreadName(W, 1, "gpu-compute");
+    for (unsigned L = 2; L <= MaxLane; ++L)
+      writeThreadName(W, L, "stream-" + std::to_string(L - 2));
+  }
   for (const TraceEvent &E : Events) {
     W.beginObject();
     writeEventFields(W, E);

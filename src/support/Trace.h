@@ -77,6 +77,10 @@ struct TraceEvent {
   double TsCycles = 0;  ///< Modeled start time.
   double DurCycles = 0; ///< Modeled duration (Complete only).
   std::string ArgsJson; ///< Pre-rendered "k":v pairs, may be empty.
+  /// Execution lane (gpusim/StreamEngine.h numbering: 0 host, 1 compute,
+  /// 2+s stream s). Exported as Chrome tid = Lane + 1, so synchronous
+  /// traces — everything on lane 0 — keep the historical single tid 1.
+  unsigned Lane = 0;
 };
 
 /// Thread-safe bounded event sink. When the ring fills, the oldest
@@ -92,10 +96,11 @@ public:
   void setEnabled(bool V) { Enabled = V; }
 
   void instant(const std::string &Name, const std::string &Category,
-               double TsCycles, TraceArgs Args = TraceArgs());
+               double TsCycles, TraceArgs Args = TraceArgs(),
+               unsigned Lane = 0);
   void complete(const std::string &Name, const std::string &Category,
                 double TsCycles, double DurCycles,
-                TraceArgs Args = TraceArgs());
+                TraceArgs Args = TraceArgs(), unsigned Lane = 0);
 
   size_t size() const;
   uint64_t getNumEmitted() const;

@@ -28,7 +28,8 @@ const char *cgcm::getConfigName(BenchConfig C) {
   return "?";
 }
 
-WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C) {
+WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C,
+                              const RunnerOptions &RO) {
   std::unique_ptr<Module> M = compileMiniC(W.Source, W.Name);
   WorkloadRun R;
 
@@ -70,11 +71,12 @@ WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C) {
   Machine Mach;
   Mach.setLaunchPolicy(Policy);
   Mach.setOpLimit(500u * 1000u * 1000u);
+  Mach.setAsyncTransfers(RO.AsyncStreams, RO.Coalesce);
   Mach.loadModule(*M);
   Mach.run();
   R.Output = Mach.getOutput();
   R.Stats = Mach.getStats();
-  R.TotalCycles = R.Stats.totalCycles();
+  R.TotalCycles = R.Stats.wallCycles();
   return R;
 }
 
@@ -88,9 +90,12 @@ cgcm::analyzeWorkloadApplicability(const Workload &W) {
   return analyzeModuleApplicability(*M);
 }
 
-double cgcm::measureSpeedup(const Workload &W, BenchConfig C) {
+double cgcm::measureSpeedup(const Workload &W, BenchConfig C,
+                            const RunnerOptions &RO) {
+  // The sequential baseline never uses the device, so async streams are
+  // irrelevant to it; only the measured configuration gets the knobs.
   WorkloadRun Seq = runWorkload(W, BenchConfig::Sequential);
-  WorkloadRun Run = runWorkload(W, C);
+  WorkloadRun Run = runWorkload(W, C, RO);
   if (Run.Output != Seq.Output)
     reportFatalError("workload '" + W.Name + "' produced different output "
                      "under " + getConfigName(C));

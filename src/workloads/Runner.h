@@ -39,19 +39,33 @@ struct WorkloadRun {
   std::string Output;
   ExecStats Stats;
   PipelineResult Pipeline;
+  /// Modeled wall clock: equal to Stats.totalCycles() on synchronous
+  /// runs, the overlap-aware Stats.wallCycles() on asynchronous ones.
   double TotalCycles = 0;
   unsigned StaticKernels = 0; ///< Kernel functions after parallelization.
 };
 
+/// Execution knobs shared by every driver that uses the harness.
+struct RunnerOptions {
+  /// Asynchronous transfer engine streams (docs/TransferEngine.md);
+  /// 0 keeps the default synchronous model.
+  unsigned AsyncStreams = 0;
+  bool Coalesce = true; ///< With AsyncStreams > 0: batch adjacent copies.
+};
+
 /// Compiles \p W from source and executes it under \p C.
-WorkloadRun runWorkload(const Workload &W, BenchConfig C);
+WorkloadRun runWorkload(const Workload &W, BenchConfig C,
+                        const RunnerOptions &RO = RunnerOptions());
 
 /// Applicability of each framework per kernel launch for \p W (analyzed
 /// on the unmanaged parallelized module).
 std::vector<LaunchApplicability> analyzeWorkloadApplicability(const Workload &W);
 
 /// Whole-program speedup of \p C over sequential for the same workload.
-double measureSpeedup(const Workload &W, BenchConfig C);
+/// Aborts if the configuration changes program output; async runs must
+/// stay bit-identical to synchronous ones (eager data movement).
+double measureSpeedup(const Workload &W, BenchConfig C,
+                      const RunnerOptions &RO = RunnerOptions());
 
 } // namespace cgcm
 

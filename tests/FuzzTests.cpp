@@ -144,6 +144,38 @@ TEST(DifferTest, RegressionProgramsAgree) {
   }
 }
 
+TEST(DifferTest, AsyncSyncSweepAgrees) {
+  // The asynchronous engine must be a pure timing change: for generated
+  // programs, every stream count has to reproduce the synchronous
+  // output, globals, and a clean audit (docs/TransferEngine.md).
+  for (uint64_t Seed = 0; Seed != 6; ++Seed) {
+    ProgDesc P = generateProgram(Seed);
+    for (unsigned Streams : {1u, 2u, 8u}) {
+      DiffResult R = diffProgram(
+          P.render(), "async" + std::to_string(Seed), Streams);
+      EXPECT_TRUE(R.Agreed) << "seed " << Seed << " streams " << Streams
+                            << ":\n"
+                            << R.Failure << "\nprogram:\n"
+                            << P.render();
+      EXPECT_TRUE(R.AsyncAudit.clean()) << R.AsyncAudit.str();
+    }
+  }
+}
+
+TEST(DifferTest, AsyncRegressionProgramsAgree) {
+  // The lifecycle-bug anchors re-run under the async engine: the
+  // free/realloc/remap races they pin down must not resurface as
+  // missing-fence bugs.
+  for (const char *Name :
+       {"free_while_mapped", "realloc_while_mapped", "array_remap_stale",
+        "array_slot_swap"}) {
+    std::string Src = readFile(regressionDir() + "/" + Name + ".minic");
+    ASSERT_FALSE(Src.empty()) << Name;
+    DiffResult R = diffProgram(Src, Name, /*AsyncStreams=*/8);
+    EXPECT_TRUE(R.Agreed) << Name << ":\n" << R.Failure;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // API-sequence fuzzing
 //===----------------------------------------------------------------------===//

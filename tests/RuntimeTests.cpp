@@ -398,6 +398,87 @@ TEST_F(RuntimeTest, UnmapArrayOfUnmappedUnitIsFreeNoOp) {
   EXPECT_EQ(Stats.RuntimeCycles, Cycles);
 }
 
+TEST_F(RuntimeTest, ScalarUnmapOfPointerArrayPreservesHostSlots) {
+  // A unit mapped via mapArray can reach a *scalar* unmap (aliasing, or
+  // manual runtime use). Its GPU copy holds translated device pointers;
+  // copying it back verbatim would corrupt the host slots, so scalar
+  // unmap must skip the copy-back exactly like unmapArray does.
+  uint64_t T0 = heapUnit(32);
+  uint64_t Table = heapUnit(2 * 8);
+  Host.writeUInt(Table + 0, T0, 8);
+  Host.writeUInt(Table + 8, 0, 8);
+  RT.mapArray(Table);
+  RT.onKernelLaunch(); // Fresh epoch: unmap would copy back if eligible.
+  RT.unmap(Table);
+  EXPECT_EQ(Host.readUInt(Table + 0, 8), T0); // Still the host pointer.
+  EXPECT_EQ(Host.readUInt(Table + 8, 8), 0u);
+  RT.releaseArray(Table);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+}
+
+TEST_F(RuntimeTest, ZombieElementReleaseScrubsSnapshots) {
+  // The scalar reference to an element can outlive the table's: map(E),
+  // mapArray(Table), free(E) (zombie), then the scalar release chain
+  // drops E to zero and forgets it. The table's snapshot still listed E,
+  // so without scrubbing the paired unmapArray/releaseArray would
+  // misdirect an unmap/release at a dead address (fatal lookup).
+  uint64_t E = heapUnit(64);
+  uint64_t Table = heapUnit(8);
+  Host.writeUInt(Table, E, 8);
+  RT.map(E);          // Scalar reference: E.RefCount == 1.
+  RT.mapArray(Table); // Snapshot holds E; E.RefCount == 2.
+  RT.notifyHeapFree(E); // Zombie: references keep the device copy.
+  Host.free(E);
+  RT.release(E); // Scalar release: E.RefCount == 1 (snapshot's).
+  // Tear the table down through releaseSnapshotElements' zombie-erase
+  // path; the snapshot's reference is the last one.
+  RT.onKernelLaunch();
+  RT.unmapArray(Table); // E is host-dead: unmap skips the copy-back.
+  RT.releaseArray(Table);
+  EXPECT_EQ(RT.lookup(E), nullptr);
+  EXPECT_EQ(RT.getNumMappedUnits(), 0u);
+  EXPECT_EQ(Device.getMemory().getNumLiveAllocations(), 0u);
+}
+
+TEST_F(RuntimeTest, SetHostPinnedMarksTheUnit) {
+  uint64_t P = heapUnit(128);
+  const AllocUnitInfo *Info = RT.lookup(P);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_FALSE(Info->Pinned);
+  EXPECT_TRUE(RT.setHostPinned(P + 100, true)); // Interior pointer works.
+  EXPECT_TRUE(Info->Pinned);
+  EXPECT_TRUE(RT.setHostPinned(P, false));
+  EXPECT_FALSE(Info->Pinned);
+  // Untracked pointers are reported, not fatal.
+  EXPECT_FALSE(RT.setHostPinned(P + 4096, true));
+}
+
+TEST_F(RuntimeTest, PinnedSkipsStagingCostOnAsyncCopies) {
+  // Pinning is purely a timing attribute of the asynchronous model: the
+  // pageable run pays the staging cost on top of the DMA time, the
+  // pinned run does not, and the bytes moved are identical.
+  StreamEngineConfig C;
+  C.Async = true;
+  C.Streams = 2;
+  C.Coalesce = false; // Both copies are batch heads: same fixed latency.
+  Device.getStreamEngine().configure(C);
+
+  uint64_t Pageable = heapUnit(4096);
+  uint64_t Pinned = heapUnit(4096);
+  RT.setHostPinned(Pinned, true);
+
+  double Before = Stats.CommCycles;
+  RT.map(Pageable);
+  double PageableCost = Stats.CommCycles - Before;
+  Before = Stats.CommCycles;
+  RT.map(Pinned);
+  double PinnedCost = Stats.CommCycles - Before;
+  EXPECT_NEAR(PageableCost - PinnedCost,
+              4096.0 / TM.PageableStagingBytesPerCycle, 1e-9);
+  RT.release(Pageable);
+  RT.release(Pinned);
+}
+
 TEST_F(RuntimeTest, ReleaseArrayUsesSnapshotNotCurrentSlots) {
   // A slot overwritten between mapArray and releaseArray used to leak
   // the originally-mapped element's reference and underflow the new

@@ -1,0 +1,349 @@
+//===- tests/StreamEngineTests.cpp - Async transfer engine tests -------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic-clock regressions for the asynchronous transfer engine
+/// (docs/TransferEngine.md): exact-cycle checks of the coalescing and
+/// overlap arithmetic against the analytic model, fence placement,
+/// host-stall accounting, the sync-path bit-identity guarantee, and the
+/// end-to-end output equivalence + trace-lane contract through Machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+#include "frontend/IRGen.h"
+#include "gpusim/StreamEngine.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+class StreamEngineTest : public ::testing::Test {
+protected:
+  TimingModel TM;
+  ExecStats Stats;
+  StreamEngine Eng{TM, Stats};
+
+  void asyncConfig(unsigned Streams, bool Coalesce = true) {
+    StreamEngineConfig C;
+    C.Async = true;
+    C.Streams = Streams;
+    C.Coalesce = Coalesce;
+    Eng.configure(C);
+  }
+
+  /// The analytic copy duration (docs/TransferEngine.md performance
+  /// model), spelled out so a model change breaks these tests loudly.
+  double copyCycles(uint64_t Bytes, bool Pinned, bool Head) const {
+    double D = static_cast<double>(Bytes) / TM.HtoDBytesPerCycle;
+    if (!Pinned)
+      D += static_cast<double>(Bytes) / TM.PageableStagingBytesPerCycle;
+    if (Head)
+      D += TM.TransferLatency;
+    return D;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Synchronous path: bit-identical to the legacy model
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamEngineTest, SyncPathChargesLegacyCostsAndNeverSetsWallClock) {
+  auto R = Eng.transferHtoD(4096, /*Pinned=*/false, 0x1000);
+  EXPECT_DOUBLE_EQ(R.Duration, TM.transferCycles(4096));
+  EXPECT_EQ(R.Lane, LaneHost);
+  EXPECT_FALSE(R.Coalesced);
+  EXPECT_DOUBLE_EQ(Stats.CommCycles, TM.transferCycles(4096));
+  EXPECT_EQ(Stats.AsyncTransfers, 0u);
+  EXPECT_EQ(Stats.DmaBatches, 1u); // Every sync copy is its own batch.
+  EXPECT_EQ(Stats.CoalescedTransfers, 0u);
+
+  double KStart = Eng.kernelLaunch(1000.0);
+  EXPECT_DOUBLE_EQ(KStart, TM.transferCycles(4096)); // Host timeline.
+  EXPECT_DOUBLE_EQ(Eng.hostNow(), Stats.totalCycles());
+
+  Eng.drain(); // No-op when synchronous: the wall clock stays unset.
+  EXPECT_DOUBLE_EQ(Stats.WallCycles, 0.0);
+  EXPECT_DOUBLE_EQ(Stats.wallCycles(), Stats.totalCycles());
+  EXPECT_DOUBLE_EQ(Stats.StallCycles, 0.0);
+  EXPECT_EQ(Stats.HostSyncs, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Coalescing arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamEngineTest, CoalescedFollowerPaysNoTransferLatency) {
+  asyncConfig(4);
+  auto A = Eng.transferHtoD(1024, /*Pinned=*/true, 0x1000);
+  EXPECT_DOUBLE_EQ(A.Start, 0.0);
+  EXPECT_DOUBLE_EQ(A.Duration, copyCycles(1024, true, /*Head=*/true));
+  EXPECT_FALSE(A.Coalesced);
+
+  // Issued while the batch is still in flight: rides the descriptor
+  // chain — same stream, back-to-back start, no fixed latency.
+  auto B = Eng.transferHtoD(2048, /*Pinned=*/true, 0x2000);
+  EXPECT_TRUE(B.Coalesced);
+  EXPECT_EQ(B.Stream, A.Stream);
+  EXPECT_DOUBLE_EQ(B.Start, A.Start + A.Duration);
+  EXPECT_DOUBLE_EQ(B.Duration, copyCycles(2048, true, /*Head=*/false));
+
+  EXPECT_EQ(Stats.AsyncTransfers, 2u);
+  EXPECT_EQ(Stats.DmaBatches, 1u);
+  EXPECT_EQ(Stats.CoalescedTransfers, 1u);
+}
+
+TEST_F(StreamEngineTest, NoCoalesceMakesEveryCopyABatchHead) {
+  asyncConfig(4, /*Coalesce=*/false);
+  auto A = Eng.transferHtoD(1024, true, 0x1000);
+  auto B = Eng.transferHtoD(1024, true, 0x2000);
+  EXPECT_FALSE(B.Coalesced);
+  EXPECT_NE(B.Stream, A.Stream); // Round-robin across streams.
+  EXPECT_DOUBLE_EQ(B.Duration, copyCycles(1024, true, /*Head=*/true));
+  // Batch heads still serialize on the single HtoD copy engine.
+  EXPECT_DOUBLE_EQ(B.Start, A.Start + A.Duration);
+  EXPECT_EQ(Stats.DmaBatches, 2u);
+  EXPECT_EQ(Stats.CoalescedTransfers, 0u);
+}
+
+TEST_F(StreamEngineTest, OppositeDirectionCopyBreaksTheBatch) {
+  asyncConfig(4);
+  Eng.transferHtoD(1024, true, 0x1000);
+  Eng.transferDtoH(1024, true, 0x9000); // Closes the HtoD window.
+  auto C = Eng.transferHtoD(1024, true, 0x2000);
+  EXPECT_FALSE(C.Coalesced);
+  EXPECT_EQ(Stats.DmaBatches, 3u);
+  EXPECT_EQ(Stats.CoalescedTransfers, 0u);
+}
+
+TEST_F(StreamEngineTest, KernelLaunchClosesTheCoalescingWindow) {
+  asyncConfig(4);
+  Eng.transferHtoD(1024, true, 0x1000);
+  Eng.kernelLaunch(500.0);
+  auto B = Eng.transferHtoD(1024, true, 0x2000);
+  EXPECT_FALSE(B.Coalesced);
+  EXPECT_EQ(Stats.DmaBatches, 2u);
+}
+
+TEST_F(StreamEngineTest, PageableCopyPaysTheStagingTerm) {
+  asyncConfig(2, /*Coalesce=*/false);
+  auto Pinned = Eng.transferHtoD(4096, /*Pinned=*/true, 0x1000);
+  auto Pageable = Eng.transferHtoD(4096, /*Pinned=*/false, 0x9000);
+  EXPECT_NEAR(Pageable.Duration - Pinned.Duration,
+              4096.0 / TM.PageableStagingBytesPerCycle, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Fences and overlap
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamEngineTest, KernelFencesOutstandingHtoDTraffic) {
+  asyncConfig(4);
+  auto A = Eng.transferHtoD(4096, true, 0x1000);
+  double Start = Eng.kernelLaunch(1000.0);
+  // The kernel's inputs may still be in flight: it starts at the HtoD
+  // completion frontier, not at the host's issue time.
+  EXPECT_DOUBLE_EQ(Start, A.Start + A.Duration);
+  // The host itself never blocked for either operation.
+  EXPECT_DOUBLE_EQ(Stats.StallCycles, 0.0);
+  EXPECT_EQ(Stats.HostSyncs, 0u);
+}
+
+TEST_F(StreamEngineTest, DtoHFencesTheLatestKernel) {
+  asyncConfig(4);
+  auto Up = Eng.transferHtoD(4096, true, 0x1000);
+  double KStart = Eng.kernelLaunch(1000.0);
+  auto Down = Eng.transferDtoH(4096, true, 0x1000);
+  // The copy reads what the kernel wrote: it starts at kernel end.
+  EXPECT_DOUBLE_EQ(Down.Start, KStart + 1000.0);
+  EXPECT_GT(Down.Start, Up.Start + Up.Duration);
+}
+
+TEST_F(StreamEngineTest, OppositeDirectionsOverlapWithTwoStreams) {
+  asyncConfig(2, /*Coalesce=*/false);
+  auto Up = Eng.transferHtoD(4096, true, 0x1000);
+  auto Down = Eng.transferDtoH(4096, true, 0x9000);
+  // Separate copy engines: both start at issue time zero.
+  EXPECT_DOUBLE_EQ(Up.Start, 0.0);
+  EXPECT_DOUBLE_EQ(Down.Start, 0.0);
+
+  Eng.drain();
+  // Serial busy time is 2 copies; the wall clock is max of the lanes, so
+  // the overlap saving is exactly one copy's duration.
+  EXPECT_DOUBLE_EQ(Stats.WallCycles, std::max(Up.Duration, Down.Duration));
+  EXPECT_DOUBLE_EQ(Stats.overlapSavedCycles(),
+                   std::min(Up.Duration, Down.Duration));
+}
+
+TEST_F(StreamEngineTest, SingleStreamSerializesEverything) {
+  asyncConfig(1, /*Coalesce=*/false);
+  auto Up = Eng.transferHtoD(4096, true, 0x1000);
+  auto Down = Eng.transferDtoH(4096, true, 0x9000);
+  // One CUDA stream's FIFO: the DtoH waits for the HtoD.
+  EXPECT_DOUBLE_EQ(Down.Start, Up.Start + Up.Duration);
+  double KStart = Eng.kernelLaunch(500.0);
+  EXPECT_DOUBLE_EQ(KStart, Down.Start + Down.Duration);
+  Eng.drain();
+  // Fully serial: no overlap savings at all.
+  EXPECT_DOUBLE_EQ(Stats.overlapSavedCycles(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Host stalls (true use points)
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamEngineTest, HostReadDoesNotStallOnInFlightHtoD) {
+  asyncConfig(4);
+  Eng.transferHtoD(4096, true, 0x1000);
+  // The copy only *reads* the host range; a concurrent host read is safe.
+  Eng.hostAccess(0x1000, 8, /*IsWrite=*/false);
+  EXPECT_DOUBLE_EQ(Stats.StallCycles, 0.0);
+  EXPECT_EQ(Stats.HostSyncs, 0u);
+}
+
+TEST_F(StreamEngineTest, HostWriteStallsUntilInFlightHtoDCompletes) {
+  asyncConfig(4);
+  auto A = Eng.transferHtoD(4096, true, 0x1000);
+  // Overwriting the source of an in-flight copy must wait for it.
+  Eng.hostAccess(0x1000, 8, /*IsWrite=*/true);
+  EXPECT_DOUBLE_EQ(Stats.StallCycles, A.Start + A.Duration);
+  EXPECT_EQ(Stats.HostSyncs, 1u);
+  // The stall advanced the host clock; a second touch is free.
+  Eng.hostAccess(0x1000, 8, /*IsWrite=*/true);
+  EXPECT_EQ(Stats.HostSyncs, 1u);
+}
+
+TEST_F(StreamEngineTest, HostReadStallsOnInFlightDtoHLanding) {
+  asyncConfig(4);
+  auto A = Eng.transferDtoH(4096, true, 0x1000);
+  // Disjoint range: no conflict, no stall.
+  Eng.hostAccess(0x9000, 8, /*IsWrite=*/false);
+  EXPECT_EQ(Stats.HostSyncs, 0u);
+  // Reading the landing zone blocks until the copy completes.
+  Eng.hostAccess(0x1000 + 4000, 8, /*IsWrite=*/false);
+  EXPECT_DOUBLE_EQ(Stats.StallCycles, A.Start + A.Duration);
+  EXPECT_EQ(Stats.HostSyncs, 1u);
+}
+
+TEST_F(StreamEngineTest, DrainRecordsTheOverlapAwareWallClock) {
+  asyncConfig(4);
+  auto A = Eng.transferHtoD(65536, /*Pinned=*/false, 0x1000);
+  EXPECT_TRUE(Eng.hasPendingHostRanges());
+  Eng.drain();
+  EXPECT_FALSE(Eng.hasPendingHostRanges());
+  EXPECT_DOUBLE_EQ(Stats.WallCycles, A.Start + A.Duration);
+  EXPECT_DOUBLE_EQ(Stats.wallCycles(), Stats.WallCycles);
+  EXPECT_EQ(Stats.HostSyncs, 1u); // The drain itself blocked the host.
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: output equivalence and trace lanes through Machine
+//===----------------------------------------------------------------------===//
+
+const char *PipelineSource = R"(
+__kernel void scale(double *a, long n) {
+  long i = __tid();
+  if (i < n)
+    a[i] = a[i] * 2.0 + 1.0;
+}
+int main() {
+  long i; long r; double s;
+  double *a = (double*)malloc(64 * sizeof(double));
+  double *b = (double*)malloc(64 * sizeof(double));
+  for (r = 0; r < 3; r++) {
+    for (i = 0; i < 64; i++) { a[i] = (double)(i + r); b[i] = (double)i; }
+    launch scale<<<1, 64>>>(a, 64);
+    launch scale<<<1, 64>>>(b, 64);
+    s = 0.0;
+    for (i = 0; i < 64; i++) s = s + a[i] + b[i];
+    print_f64(s);
+  }
+  free((char*)a); free((char*)b);
+  return 0;
+}
+)";
+
+struct E2ERun {
+  std::string Output;
+  double Total = 0, Wall = 0;
+  uint64_t AsyncTransfers = 0;
+  std::vector<TraceEvent> Events;
+  std::string ChromeJson;
+};
+
+E2ERun runPipeline(unsigned Streams) {
+  std::unique_ptr<Module> M = compileMiniC(PipelineSource, "e2e");
+  PipelineOptions Opts;
+  Opts.Parallelize = false;
+  Opts.Manage = true;
+  Opts.Optimize = true;
+  runCGCMPipeline(*M, Opts);
+
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setAsyncTransfers(Streams);
+  Mach.setTracingEnabled(true);
+  Mach.loadModule(*M);
+  EXPECT_EQ(Mach.run(), 0);
+
+  E2ERun R;
+  R.Output = Mach.getOutput();
+  R.Total = Mach.getStats().totalCycles();
+  R.Wall = Mach.getStats().wallCycles();
+  R.AsyncTransfers = Mach.getStats().AsyncTransfers;
+  R.Events = Mach.getTraceCollector().snapshot();
+  std::ostringstream OS;
+  Mach.getTraceCollector().exportChromeTrace(OS);
+  R.ChromeJson = OS.str();
+  return R;
+}
+
+TEST(StreamEngineE2ETest, AsyncIsOutputIdenticalAndWallClockBounded) {
+  E2ERun Sync = runPipeline(0);
+  EXPECT_FALSE(Sync.Output.empty());
+  EXPECT_EQ(Sync.AsyncTransfers, 0u);
+  EXPECT_DOUBLE_EQ(Sync.Wall, Sync.Total); // Sync wall == busy sum.
+
+  for (unsigned Streams : {1u, 2u, 4u}) {
+    E2ERun Async = runPipeline(Streams);
+    // Eager data movement: bit-identical output at every stream count.
+    EXPECT_EQ(Async.Output, Sync.Output) << "streams " << Streams;
+    EXPECT_GT(Async.AsyncTransfers, 0u);
+    // The wall clock never exceeds the serial busy sum, and with real
+    // overlap (>= 2 streams) it strictly beats it.
+    EXPECT_LE(Async.Wall, Async.Total + 1e-9) << "streams " << Streams;
+    if (Streams >= 2)
+      EXPECT_LT(Async.Wall, Async.Total) << "streams " << Streams;
+  }
+}
+
+TEST(StreamEngineE2ETest, AsyncTraceUsesStreamLanesSyncStaysSingleLane) {
+  E2ERun Sync = runPipeline(0);
+  for (const TraceEvent &E : Sync.Events)
+    EXPECT_EQ(E.Lane, LaneHost);
+  // Single-lane traces keep the historical export: no lane metadata.
+  EXPECT_EQ(Sync.ChromeJson.find("thread_name"), std::string::npos);
+
+  E2ERun Async = runPipeline(4);
+  bool SawCompute = false, SawStream = false;
+  for (const TraceEvent &E : Async.Events) {
+    SawCompute |= E.Lane == LaneCompute;
+    SawStream |= E.Lane >= laneForStream(0);
+  }
+  EXPECT_TRUE(SawCompute);
+  EXPECT_TRUE(SawStream);
+  // The Chrome export names the lanes so Perfetto shows distinct tracks.
+  EXPECT_NE(Async.ChromeJson.find("thread_name"), std::string::npos);
+  EXPECT_NE(Async.ChromeJson.find("gpu-compute"), std::string::npos);
+  EXPECT_NE(Async.ChromeJson.find("stream-0"), std::string::npos);
+}
+
+} // namespace

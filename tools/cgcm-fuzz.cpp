@@ -16,6 +16,8 @@
 ///   cgcm-fuzz --count=500 --out=artifacts   # write failing seeds + repro
 ///   cgcm-fuzz --steps=800                   # longer API sessions
 ///   cgcm-fuzz --no-fork                     # in-process (debugger-friendly)
+///   cgcm-fuzz --streams=8                   # async differ pair at 8 streams
+///   cgcm-fuzz --no-async                    # skip the optimized-async run
 ///
 /// Each candidate normally runs in a forked child: the runtime reports
 /// contract violations via reportFatalError (which aborts), and fork
@@ -58,6 +60,9 @@ struct ToolOptions {
   bool Print = false;
   bool Fork = true;
   std::string OutDir;
+  /// Stream count for the differ's optimized-async configuration
+  /// (docs/TransferEngine.md); 0 skips that run.
+  unsigned AsyncStreams = 4;
 };
 
 /// Outcome of running one candidate (possibly in a child process).
@@ -71,7 +76,7 @@ struct Verdict {
   std::cerr << "cgcm-fuzz: " << Msg << "\n"
             << "usage: cgcm-fuzz [--seed=N | --count=N] [--mode=prog|api|both]\n"
             << "                 [--steps=N] [--reduce] [--print] [--out=DIR]\n"
-            << "                 [--no-fork]\n";
+            << "                 [--no-fork] [--streams=N] [--no-async]\n";
   std::exit(2);
 }
 
@@ -101,6 +106,14 @@ ToolOptions parseArgs(int Argc, char **Argv) {
       O.Print = true;
     } else if (A == "--no-fork") {
       O.Fork = false;
+    } else if (A.rfind("--streams=", 0) == 0) {
+      O.AsyncStreams =
+          unsigned(std::strtoul(Value("--streams=").c_str(), nullptr, 0));
+      if (O.AsyncStreams == 0)
+        usageError("--streams wants a positive count (--no-async skips "
+                   "the async configuration)");
+    } else if (A == "--no-async") {
+      O.AsyncStreams = 0;
     } else if (A == "--help" || A == "-h") {
       usageError("help");
     } else {
@@ -170,11 +183,12 @@ Verdict runIsolated(bool Fork, const std::function<Verdict()> &Body) {
   return V;
 }
 
-Verdict checkProgramSeed(uint64_t Seed, bool Fork) {
-  return runIsolated(Fork, [Seed] {
+Verdict checkProgramSeed(uint64_t Seed, bool Fork, unsigned AsyncStreams) {
+  return runIsolated(Fork, [Seed, AsyncStreams] {
     Verdict V;
     ProgDesc P = generateProgram(Seed);
-    DiffResult R = diffProgram(P.render(), "seed" + std::to_string(Seed));
+    DiffResult R = diffProgram(P.render(), "seed" + std::to_string(Seed),
+                               AsyncStreams);
     if (!R.Agreed) {
       V.Failed = true;
       V.Detail = R.Failure;
@@ -220,9 +234,10 @@ int runReduce(const ToolOptions &O) {
             << " ops)...\n";
   auto StillFails = [&O](const ProgDesc &Candidate) {
     // Each candidate runs isolated: crashing candidates count as failing.
-    Verdict V = runIsolated(O.Fork, [&Candidate] {
+    Verdict V = runIsolated(O.Fork, [&Candidate, &O] {
       Verdict Inner;
-      DiffResult R = diffProgram(Candidate.render(), "reduce");
+      DiffResult R = diffProgram(Candidate.render(), "reduce",
+                                 O.AsyncStreams);
       if (!R.Agreed) {
         Inner.Failed = true;
         Inner.Detail = R.Failure;
@@ -267,7 +282,7 @@ int main(int Argc, char **Argv) {
 
   for (uint64_t S = First; S != First + Count; ++S) {
     if (O.Mode == "prog" || O.Mode == "both") {
-      Verdict V = checkProgramSeed(S, O.Fork);
+      Verdict V = checkProgramSeed(S, O.Fork, O.AsyncStreams);
       if (V.Failed) {
         ++Failures;
         Crashes += V.Crashed;

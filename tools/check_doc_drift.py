@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Fail when the documentation drifts from the tools it describes.
+
+Usage:
+  check_doc_drift.py --build-dir build [--repo-root .]
+
+Two invariants, both cheap enough for every ctest run and CI push:
+
+1. **Flags.** Every `--flag` token mentioned anywhere in README.md or
+   docs/*.md must appear in the `--help` output of at least one built
+   tool (cgcmc, cgcm-fuzz, every bench driver). A renamed or deleted
+   flag therefore breaks the build until its documentation follows.
+   Flags belonging to external tools (cmake, ctest, google-benchmark,
+   gtest) are allowlisted by prefix.
+
+2. **Reachability.** Every file under docs/ must be linked from
+   docs/INDEX.md — the index stays the index — and every relative
+   `.md` link in README.md, DESIGN.md, and docs/*.md must resolve to an
+   existing file, so crosslinks cannot silently go stale.
+
+Stdlib only — runnable anywhere CI can run python3.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9_-]*")
+LINK_RE = re.compile(r"\]\(([^)#\s]+\.md)\)")
+
+# Flags documented for tools this repo does not build.
+EXTERNAL_PREFIXES = (
+    "--build",      # cmake --build
+    "--test-dir",   # ctest --test-dir
+    "--benchmark",  # google-benchmark passthrough
+    "--gtest",      # gtest passthrough
+    "--help",
+)
+
+ERRORS = []
+
+
+def error(msg):
+    ERRORS.append(msg)
+
+
+def tool_help(path):
+    """--help output (both streams; exit status is irrelevant here)."""
+    try:
+        r = subprocess.run([path, "--help"], capture_output=True,
+                           text=True, timeout=60)
+    except OSError as e:
+        error(f"{path}: cannot run --help: {e}")
+        return ""
+    return r.stdout + r.stderr
+
+
+def collect_tool_flags(build_dir):
+    tools = []
+    for name in ("cgcmc", "cgcm-fuzz"):
+        p = os.path.join(build_dir, "tools", name)
+        if os.path.isfile(p) and os.access(p, os.X_OK):
+            tools.append(p)
+        else:
+            error(f"{p}: tool binary missing (build first)")
+    bench_dir = os.path.join(build_dir, "bench")
+    if os.path.isdir(bench_dir):
+        for name in sorted(os.listdir(bench_dir)):
+            p = os.path.join(bench_dir, name)
+            if os.path.isfile(p) and os.access(p, os.X_OK):
+                tools.append(p)
+    else:
+        error(f"{bench_dir}: bench directory missing (build first)")
+    flags = set()
+    for p in tools:
+        flags |= set(FLAG_RE.findall(tool_help(p)))
+    return flags, tools
+
+
+def doc_files(root):
+    docs = [os.path.join(root, "README.md"), os.path.join(root, "DESIGN.md")]
+    docs_dir = os.path.join(root, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            docs.append(os.path.join(docs_dir, name))
+    return docs
+
+
+def check_flags(root, known_flags):
+    for path in doc_files(root):
+        with open(path) as f:
+            text = f.read()
+        for flag in sorted(set(FLAG_RE.findall(text))):
+            if flag in known_flags:
+                continue
+            if any(flag.startswith(p) for p in EXTERNAL_PREFIXES):
+                continue
+            rel = os.path.relpath(path, root)
+            error(f"{rel}: documents {flag!r}, which no built tool's "
+                  "--help mentions")
+
+
+def check_links(root):
+    docs_dir = os.path.join(root, "docs")
+    index = os.path.join(docs_dir, "INDEX.md")
+    if not os.path.isfile(index):
+        error("docs/INDEX.md: missing")
+        return
+    with open(index) as f:
+        index_links = set(LINK_RE.findall(f.read()))
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md") and name != "INDEX.md":
+            if name not in index_links:
+                error(f"docs/{name}: not linked from docs/INDEX.md")
+    # Every relative .md link must resolve.
+    for path in doc_files(root) + [index]:
+        base = os.path.dirname(path)
+        with open(path) as f:
+            links = LINK_RE.findall(f.read())
+        for link in links:
+            if link.startswith(("http://", "https://")):
+                continue
+            if not os.path.isfile(os.path.normpath(os.path.join(base, link))):
+                rel = os.path.relpath(path, root)
+                error(f"{rel}: stale link to {link!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory holding the tool binaries")
+    ap.add_argument("--repo-root", default=None,
+                    help="repository root (default: this script's parent)")
+    args = ap.parse_args()
+    root = args.repo_root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    known_flags, tools = collect_tool_flags(args.build_dir)
+    if known_flags:
+        check_flags(root, known_flags)
+    check_links(root)
+
+    if ERRORS:
+        for e in ERRORS:
+            print(f"doc-drift: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"doc-drift: OK ({len(tools)} tools, {len(known_flags)} flags, "
+          f"{len(doc_files(root)) + 1} documents)")
+
+
+if __name__ == "__main__":
+    main()

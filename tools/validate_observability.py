@@ -23,12 +23,16 @@ STATS_KEYS = {
     "transfers_htod", "transfers_dtoh", "bytes_htod", "bytes_dtoh",
     "cpu_ops", "gpu_ops", "runtime_calls", "demand_faults",
     "epoch_suppressed_copies", "peak_resident_device_bytes",
+    # Stream-engine accounting (docs/TransferEngine.md).
+    "wall_cycles", "stall_cycles", "overlap_saved_cycles",
+    "async_transfers", "dma_batches", "coalesced_transfers", "host_syncs",
 }
 
 LEDGER_KEYS = {
     "site", "line", "col", "units", "bytes_htod", "bytes_dtoh",
     "transfers_htod", "transfers_dtoh", "epoch_suppressed",
-    "reuse_suppressed", "map_calls", "unmap_calls", "release_calls",
+    "reuse_suppressed", "coalesced", "map_calls", "unmap_calls",
+    "release_calls",
 }
 
 BENCH_ROW_KEYS = {
@@ -38,6 +42,12 @@ BENCH_ROW_KEYS = {
 # Optional pipeline-instrumentation sections (bench/BenchJson.h).
 PASS_TIMING_KEYS = {"pass", "wall_ms", "ir_delta", "runs"}
 ANALYSIS_CACHE_KEYS = {"analysis", "constructions", "hits"}
+TRANSFER_OVERLAP_KEYS = {
+    "workload", "streams", "coalesce", "pinned", "total_cycles",
+    "wall_cycles", "stall_cycles", "overlap_saved_cycles",
+    "async_transfers", "dma_batches", "coalesced_transfers", "host_syncs",
+    "output_equal",
+}
 
 
 def fail(path, msg):
@@ -69,10 +79,21 @@ def validate_trace(path):
     dropped = other.get("dropped")
     expect(isinstance(emitted, int) and isinstance(dropped, int), path,
            "otherData.emitted/dropped missing or not integers")
-    events = doc["traceEvents"]
+    # Lane-name metadata ("ph":"M", emitted only by multi-lane async
+    # traces) is presentation, not data: validate its shape, then exclude
+    # it from the count/sequence invariants below.
+    meta = [ev for ev in doc["traceEvents"] if ev.get("ph") == "M"]
+    for i, ev in enumerate(meta):
+        where = f"traceEvents metadata[{i}]"
+        for key in ("name", "pid", "tid", "args"):
+            expect(key in ev, path, f"{where}: missing {key!r}")
+        expect(ev["name"] == "thread_name", path,
+               f"{where}: metadata name {ev['name']!r}")
+    events = [ev for ev in doc["traceEvents"] if ev.get("ph") != "M"]
     expect(len(events) == emitted - dropped, path,
            f"{len(events)} events but emitted={emitted} dropped={dropped}")
     last_seq = -1
+    lanes = set()
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         for key in ("name", "cat", "ph", "ts", "pid", "tid", "seq"):
@@ -84,7 +105,19 @@ def validate_trace(path):
         expect(ev["seq"] > last_seq, path,
                f"{where}: seq {ev['seq']} not increasing")
         last_seq = ev["seq"]
-    print(f"{path}: OK ({len(events)} events, {dropped} dropped)")
+        lanes.add(ev["tid"])
+    # Multi-lane traces must name every lane they use (and vice versa:
+    # metadata only appears when there is more than the host lane).
+    if meta:
+        named = {ev["tid"] for ev in meta}
+        expect(lanes <= named, path,
+               f"lanes {sorted(lanes - named)} used but not named")
+    else:
+        expect(lanes <= {1}, path,
+               f"multi-lane trace {sorted(lanes)} without thread_name "
+               "metadata")
+    print(f"{path}: OK ({len(events)} events, {len(lanes)} lanes, "
+          f"{dropped} dropped)")
 
 
 def validate_profile(path):
@@ -128,7 +161,8 @@ def validate_bench(path):
                f"rows[{i}] keys {sorted(row.keys())} != "
                f"{sorted(BENCH_ROW_KEYS)}")
     for section, keys in (("pass_timings", PASS_TIMING_KEYS),
-                          ("analysis_cache", ANALYSIS_CACHE_KEYS)):
+                          ("analysis_cache", ANALYSIS_CACHE_KEYS),
+                          ("transfer_overlap", TRANSFER_OVERLAP_KEYS)):
         entries = doc.get(section)
         if entries is None:
             continue
@@ -138,7 +172,14 @@ def validate_bench(path):
             expect(set(entry.keys()) == keys, path,
                    f"{section}[{i}] keys {sorted(entry.keys())} != "
                    f"{sorted(keys)}")
-    extra = ", ".join(s for s in ("pass_timings", "analysis_cache")
+    for i, entry in enumerate(doc.get("transfer_overlap", [])):
+        expect(entry["output_equal"] is True, path,
+               f"transfer_overlap[{i}] ({entry['workload']!r}, "
+               f"streams={entry['streams']}): output diverged from sync")
+        expect(entry["wall_cycles"] <= entry["total_cycles"] + 1e-6, path,
+               f"transfer_overlap[{i}]: wall_cycles exceeds total_cycles")
+    extra = ", ".join(s for s in ("pass_timings", "analysis_cache",
+                                  "transfer_overlap")
                       if s in doc)
     print(f"{path}: OK (bench {doc['bench']!r}, {len(rows)} rows"
           + (f", sections: {extra}" if extra else "") + ")")
