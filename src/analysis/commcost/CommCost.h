@@ -1,0 +1,144 @@
+//===- analysis/commcost/CommCost.h - Static communication cost --------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static prediction of the TransferLedger (docs/StaticAnalysis.md): an
+/// interprocedural, summary-based abstract interpreter over managed IR
+/// that
+///
+///  * classifies every map/unmap/release/launch call site into the
+///    paper's schedule classes (hoisted / cyclic / acyclic),
+///  * derives per-allocation-site transfer volumes as symbolic formulas
+///    (bytes = size x trip-count terms, folded when constant), and
+///  * model-checks each allocation unit's lifecycle against the same
+///    protocol the runtime enforces dynamically (map/unmap pairing,
+///    free/realloc while mapped, refcount underflow, stale pointer-array
+///    snapshots), reporting source-located diagnostics.
+///
+/// Predictions use the same site keys as the dynamic TransferLedger
+/// ("heap@L:C", "alloca@L:C", "global NAME"), so a run's actual ledger
+/// joins row-by-row with the static prediction. The soundness contract:
+/// where a site is marked exact, every predicted counter equals the
+/// dynamic one; otherwise predicted counters are upper bounds. The
+/// cgcm-static-parity harness enforces this over every workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_COMMCOST_COMMCOST_H
+#define CGCM_ANALYSIS_COMMCOST_COMMCOST_H
+
+#include "analysis/commcost/SymExpr.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class Module;
+
+/// Diagnostic IDs emitted by the static lifecycle checker. Errors are
+/// provable protocol violations (the runtime would reportFatalError);
+/// warnings are hazard patterns the fuzzer historically caught
+/// dynamically and that depend on data the checker cannot prove safe.
+namespace diag {
+inline constexpr const char *StaticMapAfterFree = "cgcm-static-map-after-free";
+inline constexpr const char *StaticReleaseUnderflow =
+    "cgcm-static-release-underflow";
+inline constexpr const char *StaticFreeBetweenLaunches =
+    "cgcm-static-free-between-launches";
+inline constexpr const char *StaticReallocBetweenLaunches =
+    "cgcm-static-realloc-between-launches";
+inline constexpr const char *StaticStaleSnapshot = "cgcm-static-stale-snapshot";
+inline constexpr const char *StaticUnresolvedUnit =
+    "cgcm-static-unresolved-unit";
+} // namespace diag
+
+/// The paper's communication schedule classes, assigned per call site.
+enum class SchedClass {
+  Acyclic, ///< Straight-line management: one transfer pair per execution.
+  Hoisted, ///< Loop-invariant: promoted to a preheader/exit pair.
+  Cyclic,  ///< Inside a loop: executes once per iteration.
+  Mixed,   ///< Aggregate of sites in more than one class (per-unit only).
+};
+
+const char *getSchedClassName(SchedClass C);
+
+/// Predicted ledger row for one allocation site. Counters mirror
+/// LedgerEntry field-for-field; each is a SymExpr that folds to a plain
+/// constant whenever sizes and trip counts are statically known.
+struct SitePrediction {
+  std::string Site; ///< Ledger key: "heap@12:3", "alloca@8:5", "global A".
+  SourceLoc Loc;
+  SchedClass Class = SchedClass::Acyclic;
+  /// True when every counter below is an unconditional constant; the
+  /// parity contract then requires equality with the dynamic ledger.
+  /// False degrades the contract to "sound upper bound".
+  bool Exact = true;
+  SymExpr Units;
+  SymExpr BytesHtoD, BytesDtoH;
+  SymExpr TransfersHtoD, TransfersDtoH;
+  SymExpr EpochSuppressed, ReuseSuppressed;
+  SymExpr MapCalls, UnmapCalls, ReleaseCalls;
+};
+
+/// Schedule classification of one management/launch call site.
+struct CallSiteClass {
+  std::string Kind; ///< "map", "unmap", "release", "map_array", ..., "launch".
+  SourceLoc Loc;
+  std::string FunctionName;
+  SchedClass Class = SchedClass::Acyclic;
+  unsigned LoopDepth = 0;
+};
+
+struct CommCostReport {
+  /// False when some unit, size, or control structure was unresolvable:
+  /// the per-site counters then do not bound the program (a prediction
+  /// consumer must not trust them). Diagnosed via
+  /// cgcm-static-unresolved-unit.
+  bool Sound = true;
+  /// True when every site is exact (implies Sound).
+  bool Exact = true;
+  /// Per-allocation-site predictions, sorted by site key.
+  std::vector<SitePrediction> Sites;
+  /// Per-call-site schedule classes, in module order.
+  std::vector<CallSiteClass> CallSites;
+  /// Predicted kernel launches (glue kernels included; epoch advances).
+  SymExpr KernelLaunches;
+  /// Lifecycle findings, sorted by source location.
+  std::vector<Diagnostic> Diagnostics;
+  /// Abstract events interpreted (budget/diagnostic aid).
+  uint64_t SimulatedEvents = 0;
+
+  /// Totals over Sites (Unknown-absorbing).
+  SymExpr totalBytesHtoD() const;
+  SymExpr totalBytesDtoH() const;
+  SymExpr totalTransfersHtoD() const;
+  SymExpr totalTransfersDtoH() const;
+
+  const SitePrediction *findSite(const std::string &Site) const;
+  bool hasDiagnostic(const std::string &ID) const;
+};
+
+/// Runs the static communication-cost and lifecycle analysis over \p M.
+/// Expects managed IR (post-`comm`, with or without the optimization
+/// fixpoint); on unmanaged IR the prediction is trivially empty.
+CommCostReport runCommCostAnalysis(Module &M);
+
+/// Emits \p R as the "cgcm-static-cost-v1" JSON schema
+/// (docs/StaticAnalysis.md).
+void writeStaticCostJson(std::ostream &OS, const CommCostReport &R,
+                         const std::string &ModuleName);
+
+/// Stable diagnostic order for deterministic --analyze output: by source
+/// location (line, column), then checker ID, then severity and message.
+void sortDiagnostics(std::vector<Diagnostic> &Diags);
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_COMMCOST_COMMCOST_H

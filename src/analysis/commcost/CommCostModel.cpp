@@ -1,0 +1,581 @@
+//===- analysis/commcost/CommCostModel.cpp - Event-tree construction ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers managed IR into the per-function communication event trees the
+/// abstract interpreter replays (CommCostSim.cpp). A region is either a
+/// function body or a loop body (the paper's Algorithm 4 vocabulary):
+/// blocks are walked in reverse post order, nested loops become Loop
+/// events carrying a trip-count recipe and their loop-carried pointer
+/// phis, and every event records whether its block is guaranteed to run
+/// on each pass through the region (dominance over the region's exits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/commcost/CommCostModel.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace cgcm;
+using namespace cgcm::commcost;
+
+const char *cgcm::getSchedClassName(SchedClass C) {
+  switch (C) {
+  case SchedClass::Acyclic:
+    return "acyclic";
+  case SchedClass::Hoisted:
+    return "hoisted";
+  case SchedClass::Cyclic:
+    return "cyclic";
+  case SchedClass::Mixed:
+    return "mixed";
+  }
+  return "?";
+}
+
+const Value *commcost::stripPointerRoot(const Value *V) {
+  for (;;) {
+    if (const auto *CI = dyn_cast<CastInst>(V)) {
+      // Only pointer-preserving casts: a bitcast or an int round trip of
+      // the same value. FPToSI etc. cannot produce a unit pointer.
+      switch (CI->getOp()) {
+      case CastInst::Op::Bitcast:
+      case CastInst::Op::IntToPtr:
+      case CastInst::Op::PtrToInt:
+        V = CI->getValueOperand();
+        continue;
+      default:
+        return V;
+      }
+    }
+    if (const auto *GEP = dyn_cast<GEPInst>(V)) {
+      V = GEP->getPointerOperand();
+      continue;
+    }
+    return V;
+  }
+}
+
+namespace {
+
+/// Recognized callee kinds by name (the runtime API surface plus the
+/// libc heap the interpreter intercepts).
+enum class CalleeKind {
+  None,
+  Map,
+  Unmap,
+  Release,
+  MapArray,
+  UnmapArray,
+  ReleaseArray,
+  DeclareAlloca,
+  DeclareGlobal,
+  Malloc,
+  Calloc,
+  Realloc,
+  Free,
+  UserCall,
+};
+
+CalleeKind classifyCallee(const Function *Callee) {
+  const std::string &N = Callee->getName();
+  if (N == "cgcm_map")
+    return CalleeKind::Map;
+  if (N == "cgcm_unmap")
+    return CalleeKind::Unmap;
+  if (N == "cgcm_release")
+    return CalleeKind::Release;
+  if (N == "cgcm_map_array")
+    return CalleeKind::MapArray;
+  if (N == "cgcm_unmap_array")
+    return CalleeKind::UnmapArray;
+  if (N == "cgcm_release_array")
+    return CalleeKind::ReleaseArray;
+  if (N == "cgcm_declare_alloca")
+    return CalleeKind::DeclareAlloca;
+  if (N == "cgcm_declare_global")
+    return CalleeKind::DeclareGlobal;
+  if (N == "malloc")
+    return CalleeKind::Malloc;
+  if (N == "calloc")
+    return CalleeKind::Calloc;
+  if (N == "realloc")
+    return CalleeKind::Realloc;
+  if (N == "free")
+    return CalleeKind::Free;
+  if (!Callee->isDeclaration() && !Callee->isKernel())
+    return CalleeKind::UserCall;
+  return CalleeKind::None; // print_*, math intrinsics, ...
+}
+
+const char *eventKindName(EvKind K) {
+  switch (K) {
+  case EvKind::Map:
+    return "map";
+  case EvKind::Unmap:
+    return "unmap";
+  case EvKind::Release:
+    return "release";
+  case EvKind::MapArray:
+    return "map_array";
+  case EvKind::UnmapArray:
+    return "unmap_array";
+  case EvKind::ReleaseArray:
+    return "release_array";
+  case EvKind::Launch:
+    return "launch";
+  default:
+    return "?";
+  }
+}
+
+class ModelBuilder {
+public:
+  ModelBuilder(Module &M, CostModel &Out) : M(M), Out(Out) {}
+
+  void run() {
+    // Mark call-graph cycles among defined non-kernel functions first so
+    // Call events into a cycle are built as unresolvable.
+    findRecursion();
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration() || F->isKernel())
+        continue;
+      buildFunction(*F);
+    }
+  }
+
+private:
+  Module &M;
+  CostModel &Out;
+  std::set<const Function *> RecursiveFns;
+
+  void findRecursion() {
+    // Iterative DFS with an on-stack set; any back edge marks every
+    // function on the cycle (conservatively: the whole current stack
+    // from the target up).
+    for (const auto &Root : M.functions()) {
+      if (Root->isDeclaration() || Root->isKernel())
+        continue;
+      std::vector<const Function *> Stack{Root.get()};
+      std::vector<size_t> EdgeIdx{0};
+      std::vector<const Function *> Callees = directCallees(Root.get());
+      std::vector<std::vector<const Function *>> CalleeStack{Callees};
+      std::set<const Function *> OnStack{Root.get()};
+      while (!Stack.empty()) {
+        if (EdgeIdx.back() >= CalleeStack.back().size()) {
+          OnStack.erase(Stack.back());
+          Stack.pop_back();
+          EdgeIdx.pop_back();
+          CalleeStack.pop_back();
+          continue;
+        }
+        const Function *Next = CalleeStack.back()[EdgeIdx.back()++];
+        if (OnStack.count(Next)) {
+          // Cycle: everything from Next to the top participates.
+          bool In = false;
+          for (const Function *F : Stack) {
+            if (F == Next)
+              In = true;
+            if (In)
+              RecursiveFns.insert(F);
+          }
+          continue;
+        }
+        if (Stack.size() > 64)
+          continue; // Depth guard; deeper chains are vanishingly rare.
+        Stack.push_back(Next);
+        EdgeIdx.push_back(0);
+        CalleeStack.push_back(directCallees(Next));
+        OnStack.insert(Next);
+      }
+    }
+  }
+
+  std::vector<const Function *> directCallees(const Function *F) {
+    std::vector<const Function *> Res;
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (const auto *CI = dyn_cast<CallInst>(I.get()))
+          if (classifyCallee(CI->getCallee()) == CalleeKind::UserCall)
+            Res.push_back(CI->getCallee());
+    return Res;
+  }
+
+  void buildFunction(Function &F) {
+    auto FM = std::make_unique<FunctionModel>();
+    FM->F = &F;
+    FM->Recursive = RecursiveFns.count(&F) != 0;
+    FM->DT = std::make_unique<DominatorTree>(F);
+    FM->LI = std::make_unique<LoopInfo>(F, *FM->DT);
+
+    // The function region's exits: every reachable block ending in ret.
+    std::vector<BasicBlock *> Exits;
+    for (BasicBlock *BB : FM->DT->getReversePostOrder())
+      if (BB->getTerminator() && isa<RetInst>(BB->getTerminator()))
+        Exits.push_back(BB);
+
+    std::set<const Loop *> Emitted;
+    for (BasicBlock *BB : FM->DT->getReversePostOrder()) {
+      Loop *L = FM->LI->getLoopFor(BB);
+      if (!L) {
+        bool Cond = !dominatesAll(*FM->DT, BB, Exits);
+        collectBlockEvents(*FM, BB, Cond, FM->Body);
+        continue;
+      }
+      // First time we meet a block of a top-level loop: emit the whole
+      // loop as one event, then skip its remaining blocks.
+      Loop *Top = L;
+      while (Top->getParentLoop())
+        Top = Top->getParentLoop();
+      if (Emitted.insert(Top).second) {
+        bool Cond = !dominatesAll(*FM->DT, Top->getHeader(), Exits);
+        FM->Body.Events.push_back(buildLoop(*FM, Top, Cond));
+      }
+    }
+    Out.Functions[&F] = std::move(FM);
+  }
+
+  static bool dominatesAll(const DominatorTree &DT, BasicBlock *BB,
+                           const std::vector<BasicBlock *> &Targets) {
+    for (BasicBlock *T : Targets)
+      if (!DT.dominates(BB, T))
+        return false;
+    return !Targets.empty() || BB->getParent()->getEntryBlock() == BB;
+  }
+
+  Event buildLoop(FunctionModel &FM, Loop *L, bool OuterCond) {
+    Event Ev;
+    Ev.K = EvKind::Loop;
+    Ev.L = L;
+    Ev.Conditional = OuterCond;
+    Ev.Body = std::make_unique<EventSeq>();
+    Ev.Trip = analyzeTripCount(L);
+    collectCarriedPtrs(L, Ev);
+
+    std::vector<BasicBlock *> Latches = L->getLatches();
+    std::set<const Loop *> Emitted;
+    for (BasicBlock *BB : L->getBlocks()) {
+      Loop *Inner = FM.LI->getLoopFor(BB);
+      if (Inner == L) {
+        // Once per iteration iff the block dominates every latch.
+        bool Cond = !dominatesAll(*FM.DT, BB, Latches);
+        collectBlockEvents(FM, BB, Cond, *Ev.Body);
+        continue;
+      }
+      // A block of a nested loop: find the immediate child of L that
+      // contains it and emit that child once.
+      Loop *Child = Inner;
+      while (Child && Child->getParentLoop() != L)
+        Child = Child->getParentLoop();
+      if (Child && Emitted.insert(Child).second) {
+        bool Cond = !dominatesAll(*FM.DT, Child->getHeader(), Latches);
+        Ev.Body->Events.push_back(buildLoop(FM, Child, Cond));
+      }
+    }
+    return Ev;
+  }
+
+  /// Canonical trip count: header phi `i = phi [Init, pre], [i+Step,
+  /// latch]`, exit test `cmp Pred i, Bound` controlling the header (or an
+  /// exiting block) branch with the in-loop successor on the matching
+  /// side.
+  TripCount analyzeTripCount(Loop *L) {
+    TripCount T;
+    auto *Br = dyn_cast_or_null<BranchInst>(L->getHeader()->getTerminator());
+    if (!Br || !Br->isConditional())
+      return T;
+    auto *Cmp = dyn_cast<CmpInst>(Br->getCondition());
+    if (!Cmp)
+      return T;
+    bool TrueInLoop = L->contains(Br->getSuccessor(0));
+    bool FalseInLoop = L->contains(Br->getSuccessor(1));
+    if (TrueInLoop == FalseInLoop)
+      return T;
+
+    std::vector<BasicBlock *> Latches = L->getLatches();
+    if (Latches.size() != 1)
+      return T;
+
+    // Find the induction phi among the header phis: one operand of the
+    // compare (through casts) that is a header phi whose latch incoming
+    // is phi + constant.
+    for (unsigned OpIdx = 0; OpIdx != 2; ++OpIdx) {
+      const Value *CmpOp = Cmp->getOperand(OpIdx);
+      while (const auto *C = dyn_cast<CastInst>(CmpOp))
+        CmpOp = C->getValueOperand();
+      const auto *IV = dyn_cast<PhiInst>(CmpOp);
+      if (!IV || IV->getParent() != L->getHeader())
+        continue;
+      const Value *Next = IV->getIncomingValueFor(Latches.front());
+      const Value *Init = nullptr;
+      for (unsigned I = 0; I != IV->getNumIncoming(); ++I)
+        if (!L->contains(IV->getIncomingBlock(I)))
+          Init = IV->getIncomingValue(I);
+      if (!Next || !Init)
+        continue;
+      const auto *Step = dyn_cast<BinOpInst>(Next);
+      if (!Step)
+        continue;
+      int64_t StepK = 0;
+      if (Step->getOp() == BinOpInst::Op::Add &&
+          Step->getOperand(0) == IV && isa<ConstantInt>(Step->getOperand(1)))
+        StepK = cast<ConstantInt>(Step->getOperand(1))->getValue();
+      else if (Step->getOp() == BinOpInst::Op::Add &&
+               Step->getOperand(1) == IV &&
+               isa<ConstantInt>(Step->getOperand(0)))
+        StepK = cast<ConstantInt>(Step->getOperand(0))->getValue();
+      else if (Step->getOp() == BinOpInst::Op::Sub &&
+               Step->getOperand(0) == IV &&
+               isa<ConstantInt>(Step->getOperand(1)))
+        StepK = -cast<ConstantInt>(Step->getOperand(1))->getValue();
+      else
+        continue;
+      if (StepK == 0)
+        continue;
+
+      CmpInst::Predicate Pred = Cmp->getPredicate();
+      // Normalize so the induction variable is the left operand.
+      if (OpIdx == 1) {
+        switch (Pred) {
+        case CmpInst::Predicate::SLT:
+          Pred = CmpInst::Predicate::SGT;
+          break;
+        case CmpInst::Predicate::SLE:
+          Pred = CmpInst::Predicate::SGE;
+          break;
+        case CmpInst::Predicate::SGT:
+          Pred = CmpInst::Predicate::SLT;
+          break;
+        case CmpInst::Predicate::SGE:
+          Pred = CmpInst::Predicate::SLE;
+          break;
+        default:
+          break;
+        }
+      }
+      // Normalize so the predicate holds while the loop continues.
+      if (FalseInLoop) {
+        switch (Pred) {
+        case CmpInst::Predicate::SLT:
+          Pred = CmpInst::Predicate::SGE;
+          break;
+        case CmpInst::Predicate::SLE:
+          Pred = CmpInst::Predicate::SGT;
+          break;
+        case CmpInst::Predicate::SGT:
+          Pred = CmpInst::Predicate::SLE;
+          break;
+        case CmpInst::Predicate::SGE:
+          Pred = CmpInst::Predicate::SLT;
+          break;
+        case CmpInst::Predicate::EQ:
+          Pred = CmpInst::Predicate::NE;
+          break;
+        case CmpInst::Predicate::NE:
+          Pred = CmpInst::Predicate::EQ;
+          break;
+        default:
+          return T;
+        }
+      }
+      switch (Pred) {
+      case CmpInst::Predicate::SLT:
+      case CmpInst::Predicate::SLE:
+      case CmpInst::Predicate::SGT:
+      case CmpInst::Predicate::SGE:
+      case CmpInst::Predicate::NE:
+        break;
+      default:
+        return T;
+      }
+      T.Valid = true;
+      T.IV = IV;
+      T.Init = Init;
+      T.Bound = Cmp->getOperand(OpIdx == 0 ? 1 : 0);
+      T.Step = StepK;
+      T.Pred = Pred;
+      return T;
+    }
+    return T;
+  }
+
+  void collectCarriedPtrs(Loop *L, Event &Ev) {
+    std::vector<BasicBlock *> Latches = L->getLatches();
+    for (const auto &I : *L->getHeader()) {
+      const auto *Phi = dyn_cast<PhiInst>(I.get());
+      if (!Phi)
+        break; // Phis lead the block.
+      if (!Phi->getType()->isPointerTy())
+        continue;
+      Event::CarriedPtr CP;
+      CP.Phi = Phi;
+      bool InitConflict = false, NextConflict = false;
+      for (unsigned K = 0; K != Phi->getNumIncoming(); ++K) {
+        const Value *V = Phi->getIncomingValue(K);
+        if (L->contains(Phi->getIncomingBlock(K))) {
+          NextConflict |= CP.Next && CP.Next != V;
+          CP.Next = V;
+        } else {
+          InitConflict |= CP.Init && CP.Init != V;
+          CP.Init = V;
+        }
+      }
+      if (InitConflict)
+        CP.Init = nullptr;
+      if (NextConflict)
+        CP.Next = nullptr;
+      Ev.CarriedPtrs.push_back(CP);
+    }
+  }
+
+  void collectBlockEvents(FunctionModel &FM, BasicBlock *BB, bool Conditional,
+                          EventSeq &Seq) {
+    for (const auto &IP : *BB) {
+      const Instruction *I = IP.get();
+      if (const auto *KL = dyn_cast<KernelLaunchInst>(I)) {
+        (void)KL;
+        Event Ev;
+        Ev.K = EvKind::Launch;
+        Ev.I = I;
+        Ev.Conditional = Conditional;
+        classifySite(FM, Ev);
+        Seq.Events.push_back(std::move(Ev));
+        continue;
+      }
+      if (const auto *SI = dyn_cast<StoreInst>(I)) {
+        // Only stores that can retarget a pointer-table slot matter:
+        // the stored value is itself a pointer.
+        if (SI->getValueOperand()->getType()->isPointerTy()) {
+          Event Ev;
+          Ev.K = EvKind::StoreSlot;
+          Ev.I = I;
+          Ev.Conditional = Conditional;
+          Seq.Events.push_back(std::move(Ev));
+        }
+        continue;
+      }
+      const auto *CI = dyn_cast<CallInst>(I);
+      if (!CI)
+        continue;
+      Event Ev;
+      Ev.I = I;
+      Ev.Conditional = Conditional;
+      switch (classifyCallee(CI->getCallee())) {
+      case CalleeKind::Map:
+        Ev.K = EvKind::Map;
+        break;
+      case CalleeKind::Unmap:
+        Ev.K = EvKind::Unmap;
+        break;
+      case CalleeKind::Release:
+        Ev.K = EvKind::Release;
+        break;
+      case CalleeKind::MapArray:
+        Ev.K = EvKind::MapArray;
+        break;
+      case CalleeKind::UnmapArray:
+        Ev.K = EvKind::UnmapArray;
+        break;
+      case CalleeKind::ReleaseArray:
+        Ev.K = EvKind::ReleaseArray;
+        break;
+      case CalleeKind::DeclareAlloca:
+        Ev.K = EvKind::DeclareAlloca;
+        break;
+      case CalleeKind::DeclareGlobal:
+        Ev.K = EvKind::DeclareGlobal;
+        break;
+      case CalleeKind::Malloc:
+      case CalleeKind::Calloc:
+        Ev.K = EvKind::HeapAlloc;
+        break;
+      case CalleeKind::Realloc:
+        Ev.K = EvKind::HeapRealloc;
+        break;
+      case CalleeKind::Free:
+        Ev.K = EvKind::HeapFree;
+        break;
+      case CalleeKind::UserCall:
+        Ev.K = EvKind::Call;
+        Ev.Callee = CI->getCallee();
+        break;
+      case CalleeKind::None:
+        continue;
+      }
+      switch (Ev.K) {
+      case EvKind::Map:
+      case EvKind::Unmap:
+      case EvKind::Release:
+      case EvKind::MapArray:
+      case EvKind::UnmapArray:
+      case EvKind::ReleaseArray:
+        classifySite(FM, Ev);
+        break;
+      default:
+        break;
+      }
+      Seq.Events.push_back(std::move(Ev));
+    }
+  }
+
+  /// Paper schedule classes, syntactically: inside a loop = cyclic; a
+  /// map in the preheader (or an unmap/release in an exit block) of a
+  /// launch-containing loop = hoisted (map promotion's exact placement);
+  /// anything else = acyclic.
+  void classifySite(FunctionModel &FM, Event &Ev) {
+    BasicBlock *BB = Ev.I->getParent();
+    Loop *In = FM.LI->getLoopFor(BB);
+    if (In) {
+      Ev.Class = SchedClass::Cyclic;
+      Ev.LoopDepth = In->getDepth() + 1;
+    } else if (Ev.K != EvKind::Launch) {
+      for (const auto &L : FM.LI->getLoops()) {
+        if (!loopLaunches(*L))
+          continue;
+        bool MapSide = Ev.K == EvKind::Map || Ev.K == EvKind::MapArray;
+        if (MapSide && L->getPreheader() == BB) {
+          Ev.Class = SchedClass::Hoisted;
+          break;
+        }
+        if (!MapSide) {
+          std::vector<BasicBlock *> Exits = L->getExitBlocks();
+          if (std::find(Exits.begin(), Exits.end(), BB) != Exits.end()) {
+            Ev.Class = SchedClass::Hoisted;
+            break;
+          }
+        }
+      }
+    }
+    CallSiteClass CSC;
+    CSC.Kind = eventKindName(Ev.K);
+    CSC.Loc = Ev.I->getLoc();
+    CSC.FunctionName = FM.F->getName();
+    CSC.Class = Ev.Class;
+    CSC.LoopDepth = Ev.LoopDepth;
+    Out.CallSites.push_back(std::move(CSC));
+  }
+
+  static bool loopLaunches(const Loop &L) {
+    for (const BasicBlock *BB : L.getBlocks())
+      for (const auto &I : *BB)
+        if (isa<KernelLaunchInst>(I.get()))
+          return true;
+    return false;
+  }
+};
+
+} // namespace
+
+CostModel commcost::buildCostModel(Module &M) {
+  CostModel Model;
+  Model.M = &M;
+  ModelBuilder(M, Model).run();
+  return Model;
+}

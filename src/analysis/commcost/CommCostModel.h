@@ -1,0 +1,136 @@
+//===- analysis/commcost/CommCostModel.h - Event-tree program model ----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate form between managed IR and the abstract interpreter
+/// (CommCostSim.cpp): per-function trees of *communication events* —
+/// runtime-API calls, heap traffic, kernel launches, pointer-table slot
+/// stores — with loops as nested sequences carrying a trip-count recipe
+/// and calls as references to the callee's model. Everything the
+/// simulator needs to replay the runtime's ledger accounting without
+/// executing user code survives here; everything else is dropped.
+///
+/// Internal to the commcost analysis (and its tests); the public surface
+/// is CommCost.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_COMMCOST_COMMCOSTMODEL_H
+#define CGCM_ANALYSIS_COMMCOST_COMMCOSTMODEL_H
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/commcost/CommCost.h"
+#include "ir/Instructions.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace cgcm {
+namespace commcost {
+
+enum class EvKind {
+  Map,
+  Unmap,
+  Release,
+  MapArray,
+  UnmapArray,
+  ReleaseArray,
+  DeclareAlloca,
+  DeclareGlobal,
+  HeapAlloc,
+  HeapRealloc,
+  HeapFree,
+  Launch,
+  StoreSlot,
+  Call,
+  Loop,
+};
+
+/// Canonical-loop trip-count recipe: the induction phi starts at Init,
+/// steps by the constant Step each latch traversal, and the loop runs
+/// while `phi Pred Bound` holds. Evaluated at simulation time so Init and
+/// Bound may be argument-dependent.
+struct TripCount {
+  bool Valid = false;
+  const PhiInst *IV = nullptr;
+  const Value *Init = nullptr;
+  const Value *Bound = nullptr;
+  int64_t Step = 0;
+  CmpInst::Predicate Pred = CmpInst::Predicate::SLT;
+};
+
+struct EventSeq;
+
+struct Event {
+  EvKind K = EvKind::Call;
+  /// The originating instruction (call/launch/store); null for Loop.
+  const Instruction *I = nullptr;
+  /// True when the owning block may not execute on every pass through
+  /// its region: effects still apply (upper bound) but exactness is lost
+  /// and provable-violation errors are downgraded.
+  bool Conditional = false;
+
+  // Loop events only.
+  std::unique_ptr<EventSeq> Body;
+  TripCount Trip;
+  const Loop *L = nullptr;
+  /// Loop-carried pointer values: header phis of pointer type, with the
+  /// value entering from outside and the value flowing around the back
+  /// edge (null when not unique).
+  struct CarriedPtr {
+    const PhiInst *Phi = nullptr;
+    const Value *Init = nullptr;
+    const Value *Next = nullptr;
+  };
+  std::vector<CarriedPtr> CarriedPtrs;
+
+  // Call events only.
+  const Function *Callee = nullptr;
+
+  // Management/launch events: schedule classification (build-time).
+  SchedClass Class = SchedClass::Acyclic;
+  unsigned LoopDepth = 0;
+};
+
+struct EventSeq {
+  std::vector<Event> Events;
+};
+
+struct FunctionModel {
+  const Function *F = nullptr;
+  EventSeq Body;
+  /// Part of a call-graph cycle: the simulator treats calls to it as
+  /// unresolvable (Sound = false) instead of recursing forever.
+  bool Recursive = false;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+};
+
+struct CostModel {
+  Module *M = nullptr;
+  std::map<const Function *, std::unique_ptr<FunctionModel>> Functions;
+  /// Schedule classification of every management/launch call site, in
+  /// module order (copied verbatim into the report).
+  std::vector<CallSiteClass> CallSites;
+};
+
+/// Builds the event-tree model for every defined non-kernel function.
+CostModel buildCostModel(Module &M);
+
+/// Replays \p Model from main, mirroring CGCMRuntime's accounting.
+CommCostReport simulateCostModel(const CostModel &Model);
+
+/// Strips pointer-preserving casts and pointer arithmetic down to the
+/// root value a unit lookup would resolve (same idiom the runtime's
+/// greatest-LTE lookup implements dynamically).
+const Value *stripPointerRoot(const Value *V);
+
+} // namespace commcost
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_COMMCOST_COMMCOSTMODEL_H

@@ -1,0 +1,1380 @@
+//===- analysis/commcost/CommCostSim.cpp - Abstract ledger interpreter -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the event-tree model (CommCostModel.h) from main, mirroring
+/// CGCMRuntime's ledger accounting transition-for-transition over
+/// *abstract* allocation units: reference counts and staleness are exact
+/// integers where the program is statically determined, and degrade to an
+/// explicit ambiguous state (per-counter both-branch upper bounds) where
+/// it is not. Loops are simulated iteration-by-iteration with a
+/// steady-state detector: once an iteration's per-site counter delta and
+/// post-state both repeat, the remaining iterations are folded in as
+/// delta x (trip - k) — exactly for constant trips, symbolically
+/// otherwise.
+///
+/// Staleness uses a relative epoch: 0 = the host copy is current,
+/// 1 = a kernel has launched since the last sync (unmap would copy),
+/// 2 = ambiguous. Kernel launches move 0 -> 1 and collapse ambiguity to
+/// definitely-stale, which keeps steady-state signatures finite without
+/// tracking absolute epoch numbers.
+///
+/// The model simulates the runtime's DEFAULT configuration (epoch check
+/// and refcount reuse both enabled) — the same configuration the parity
+/// harness runs dynamically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/commcost/CommCostModel.h"
+
+#include "ir/Module.h"
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace cgcm;
+using namespace cgcm::commcost;
+
+namespace {
+
+/// Abstract unit handles. Non-negative values index Sim::UnitStates.
+constexpr int NullUnit = -1;
+constexpr int UnknownUnit = -2;
+
+/// Relative staleness of a unit's host copy.
+enum : int { HostCurrent = 0, HostStale = 1, StaleAmbiguous = 2 };
+
+/// Counter indices into a site's accounting row (LedgerEntry order).
+enum CounterIdx {
+  CI_Units,
+  CI_BytesHtoD,
+  CI_BytesDtoH,
+  CI_TransfersHtoD,
+  CI_TransfersDtoH,
+  CI_EpochSuppressed,
+  CI_ReuseSuppressed,
+  CI_MapCalls,
+  CI_UnmapCalls,
+  CI_ReleaseCalls,
+  NumCounters,
+};
+
+/// Pseudo-site index for module-wide counters (kernel launches).
+constexpr int GlobalSite = -1;
+
+struct UnitState {
+  int Id = 0;
+  int Site = 0;           ///< Index into Sim::Sites.
+  SymExpr Size;           ///< Bytes; non-const sizes make copies symbolic.
+  int64_t ConstSize = -1; ///< Size when constant, else -1 (slot math).
+  bool IsGlobal = false;
+  bool IsReadOnly = false;
+  int RefCount = 0;
+  int Stale = HostCurrent;
+  bool HostDead = false;
+  bool MaybeHostDead = false;
+  bool IsPointerArray = false;
+  bool EverMapped = false;
+  bool EverMapArrayed = false;
+  /// State no longer trusted (conditional event touched it, or a loop
+  /// was extrapolated past its state-changing prefix): every later event
+  /// applies per-counter both-branch upper bounds and no error is
+  /// provable against it.
+  bool Poisoned = false;
+  bool Tracked = true;
+  std::vector<std::vector<int>> Snapshots; ///< mapArray generations.
+  std::map<int64_t, int> Slots;            ///< slot index -> unit id.
+  bool SlotsUnknown = false;
+  /// Host memory was freed/realloc'd after the unit fed a kernel; a
+  /// later launch turns this into a between-launches hazard warning.
+  SourceLoc PendingFreeLoc = SourceLoc::none();
+  SourceLoc PendingReallocLoc = SourceLoc::none();
+};
+
+struct SiteState {
+  std::string Key;
+  SourceLoc Loc;
+  bool Exact = true;
+  std::set<SchedClass> MapClasses; ///< Classes of map events that hit it.
+};
+
+struct Frame {
+  std::map<const Value *, int> PtrEnv;
+  std::map<const Value *, SymExpr> IntEnv;
+  std::vector<int> DeclaredAllocas; ///< Expired on return (removeAlloca).
+  const Function *F = nullptr;
+};
+
+/// One accumulation scope: the function/loop-iteration the simulator is
+/// currently attributing counters to. Loop extrapolation multiplies a
+/// popped scope's delta and folds it into the parent.
+struct Accumulator {
+  /// (site index, counter) -> accumulated value.
+  std::map<std::pair<int, int>, SymExpr> Deltas;
+
+  void add(int Site, int Counter, const SymExpr &V) {
+    auto &Slot = Deltas[{Site, Counter}];
+    Slot += V;
+  }
+  void addScaled(const Accumulator &O, const SymExpr &Scale) {
+    for (const auto &[K, V] : O.Deltas)
+      add(K.first, K.second, V * Scale);
+  }
+  bool equals(const Accumulator &O) const {
+    if (Deltas.size() != O.Deltas.size())
+      return false;
+    auto It = O.Deltas.begin();
+    for (const auto &KV : Deltas) {
+      if (KV.first != It->first || KV.second != It->second)
+        return false;
+      ++It;
+    }
+    return true;
+  }
+};
+
+class Simulator {
+public:
+  Simulator(const CostModel &Model) : Model(Model) {}
+
+  CommCostReport run();
+
+private:
+  const CostModel &Model;
+  CommCostReport Report;
+
+  std::vector<UnitState> Units;
+  std::vector<SiteState> Sites;
+  std::map<std::string, int> SiteIndex;
+  std::map<const GlobalVariable *, int> GlobalUnits;
+  std::vector<Accumulator> Accums; ///< Bottom entry = program totals.
+  std::vector<Frame> Frames;
+  std::set<std::pair<std::string, std::pair<unsigned, unsigned>>> Reported;
+  unsigned CallDepth = 0;
+
+  static constexpr int64_t IterCap = 4096;
+  static constexpr int SymbolicProbe = 8; ///< Iterations to find steady state.
+
+  //===------------------------------------------------------------------===//
+  // Bookkeeping
+  //===------------------------------------------------------------------===//
+
+  Frame &frame() { return Frames.back(); }
+
+  int siteFor(const std::string &Key, SourceLoc Loc) {
+    auto It = SiteIndex.find(Key);
+    if (It != SiteIndex.end())
+      return It->second;
+    int Idx = (int)Sites.size();
+    Sites.push_back({Key, Loc, true, {}});
+    SiteIndex[Key] = Idx;
+    return Idx;
+  }
+
+  void add(int Site, int Counter, const SymExpr &V) {
+    if (V.isConst(0))
+      return;
+    Accums.back().add(Site, Counter, V);
+    if (!V.isConst() && Site >= 0)
+      Sites[Site].Exact = false;
+  }
+
+  void inexact(int Site) {
+    if (Site >= 0)
+      Sites[Site].Exact = false;
+  }
+
+  void diagnose(const char *ID, DiagSeverity Sev, SourceLoc Loc,
+                const std::string &Msg) {
+    if (!Reported.insert({ID, {Loc.Line, Loc.Col}}).second)
+      return;
+    Diagnostic D;
+    D.ID = ID;
+    D.Severity = Sev;
+    D.Loc = Loc;
+    D.Message = Msg;
+    D.FunctionName = Frames.empty() ? "" : frame().F->getName();
+    Report.Diagnostics.push_back(std::move(D));
+  }
+
+  void unresolved(SourceLoc Loc, const std::string &What) {
+    Report.Sound = false;
+    diagnose(diag::StaticUnresolvedUnit, DiagSeverity::Warning, Loc,
+             "static cost analysis lost track of " + What +
+                 "; predictions are not a sound bound from here");
+  }
+
+  int newUnit(int Site, SymExpr Size, bool IsGlobal, bool IsReadOnly,
+              bool Poisoned) {
+    UnitState U;
+    U.Id = (int)Units.size();
+    U.Site = Site;
+    U.ConstSize = Size.isConst() ? Size.getConst() : -1;
+    U.Size = std::move(Size);
+    U.IsGlobal = IsGlobal;
+    U.IsReadOnly = IsReadOnly;
+    U.Poisoned = Poisoned;
+    add(Site, CI_Units, SymExpr::constant(1));
+    if (!U.Size.isConst())
+      inexact(Site);
+    Units.push_back(std::move(U));
+    return Units.back().Id;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Value evaluation
+  //===------------------------------------------------------------------===//
+
+  SymExpr evalInt(const Value *V) {
+    if (const auto *C = dyn_cast<ConstantInt>(V))
+      return SymExpr::constant(C->getValue());
+    if (const auto *Cast = dyn_cast<CastInst>(V)) {
+      switch (Cast->getOp()) {
+      case CastInst::Op::Trunc:
+      case CastInst::Op::ZExt:
+      case CastInst::Op::SExt:
+        return evalInt(Cast->getValueOperand());
+      default:
+        return SymExpr::unknown();
+      }
+    }
+    if (const auto *B = dyn_cast<BinOpInst>(V)) {
+      SymExpr L = evalInt(B->getLHS()), R = evalInt(B->getRHS());
+      switch (B->getOp()) {
+      case BinOpInst::Op::Add:
+        return L + R;
+      case BinOpInst::Op::Sub:
+        return L - R;
+      case BinOpInst::Op::Mul:
+        return L * R;
+      case BinOpInst::Op::SDiv:
+        if (L.isConst() && R.isConst() && R.getConst() != 0)
+          return SymExpr::constant(L.getConst() / R.getConst());
+        return SymExpr::unknown();
+      case BinOpInst::Op::SRem:
+        if (L.isConst() && R.isConst() && R.getConst() != 0)
+          return SymExpr::constant(L.getConst() % R.getConst());
+        return SymExpr::unknown();
+      case BinOpInst::Op::Shl:
+        if (L.isConst() && R.isConst() && R.getConst() >= 0 &&
+            R.getConst() < 63)
+          return SymExpr::constant(L.getConst() << R.getConst());
+        return SymExpr::unknown();
+      default:
+        return SymExpr::unknown();
+      }
+    }
+    if (isa<Argument>(V) || isa<PhiInst>(V) || isa<CallInst>(V) ||
+        isa<SelectInst>(V)) {
+      auto It = frame().IntEnv.find(V);
+      if (It != frame().IntEnv.end())
+        return It->second;
+      if (const auto *A = dyn_cast<Argument>(V))
+        return SymExpr::symbol(A->getParent()->getName() + ":" +
+                               (A->hasName() ? A->getName()
+                                             : "arg" +
+                                                   std::to_string(
+                                                       A->getArgNo())));
+      return SymExpr::unknown();
+    }
+    return SymExpr::unknown();
+  }
+
+  int resolveUnit(const Value *V) {
+    const Value *Root = stripPointerRoot(V);
+    if (isa<ConstantNull>(Root))
+      return NullUnit;
+    if (const auto *GV = dyn_cast<GlobalVariable>(Root)) {
+      auto It = GlobalUnits.find(GV);
+      return It != GlobalUnits.end() ? It->second : UnknownUnit;
+    }
+    auto It = frame().PtrEnv.find(Root);
+    if (It != frame().PtrEnv.end())
+      return It->second;
+    return UnknownUnit;
+  }
+
+  /// Constant byte offset of \p Ptr from its root, or false. Array decay
+  /// is a bitcast (offset 0); each gep steps by index * sizeof(stepped).
+  bool constByteOffset(const Value *Ptr, int64_t &Off) {
+    Off = 0;
+    for (;;) {
+      if (const auto *CI = dyn_cast<CastInst>(Ptr)) {
+        if (CI->getOp() != CastInst::Op::Bitcast)
+          return false;
+        Ptr = CI->getValueOperand();
+        continue;
+      }
+      if (const auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+        SymExpr Idx = evalInt(GEP->getIndexOperand());
+        if (!Idx.isConst())
+          return false;
+        Off += Idx.getConst() * (int64_t)GEP->getSteppedType()->getSizeInBytes();
+        Ptr = GEP->getPointerOperand();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Runtime transitions (CGCMRuntime.cpp mirrored, default config)
+  //===------------------------------------------------------------------===//
+
+  /// A management call on an erased unit (freed/reclaimed at refcount
+  /// zero) is a provable abort: the runtime's pointer lookup fails.
+  /// Returns false when the unit is dead and the event was consumed.
+  bool checkAlive(int Id, const Event &Ev, bool Cond) {
+    UnitState &U = Units[Id];
+    if (U.Tracked)
+      return true;
+    if (!Cond && !U.Poisoned)
+      diagnose(diag::StaticMapAfterFree, DiagSeverity::Error, Ev.I->getLoc(),
+               "management call on allocation unit '" + Sites[U.Site].Key +
+                   "' whose host memory was already freed and reclaimed "
+                   "(the runtime aborts on unknown pointers)");
+    U.Poisoned = true;
+    return false;
+  }
+
+  void simMap(int Id, const Event &Ev, bool Forced = false) {
+    UnitState &U = Units[Id];
+    bool Cond = Ev.Conditional || Forced;
+    if (!checkAlive(Id, Ev, Cond))
+      return;
+    if (U.Poisoned || Cond) {
+      // Both-branch upper bound: charge the copy and the suppression.
+      add(U.Site, CI_MapCalls, SymExpr::constant(1));
+      add(U.Site, CI_BytesHtoD, U.Size);
+      add(U.Site, CI_TransfersHtoD, SymExpr::constant(1));
+      add(U.Site, CI_ReuseSuppressed, SymExpr::constant(1));
+      inexact(U.Site);
+      U.Stale = StaleAmbiguous;
+      U.Poisoned = true;
+      U.EverMapped = true;
+      return;
+    }
+    if (U.HostDead) {
+      if (!Ev.Conditional)
+        diagnose(diag::StaticMapAfterFree, DiagSeverity::Error, Ev.I->getLoc(),
+                 "map of allocation unit '" + Sites[U.Site].Key +
+                     "' whose host memory was already freed (the runtime "
+                     "aborts here)");
+      // The runtime would abort; keep going with a poisoned unit so one
+      // bug does not hide the rest of the program's findings.
+      U.Poisoned = true;
+      return;
+    }
+    add(U.Site, CI_MapCalls, SymExpr::constant(1));
+    if (U.RefCount == 0) {
+      add(U.Site, CI_BytesHtoD, U.Size);
+      add(U.Site, CI_TransfersHtoD, SymExpr::constant(1));
+      U.Stale = HostCurrent;
+    } else {
+      add(U.Site, CI_ReuseSuppressed, SymExpr::constant(1));
+    }
+    ++U.RefCount;
+    U.EverMapped = true;
+  }
+
+  void simUnmap(int Id, const Event &Ev, bool Forced = false) {
+    UnitState &U = Units[Id];
+    bool Cond = Ev.Conditional || Forced;
+    if (!checkAlive(Id, Ev, Cond))
+      return;
+    if (U.Poisoned || Cond) {
+      add(U.Site, CI_UnmapCalls, SymExpr::constant(1));
+      add(U.Site, CI_BytesDtoH, U.Size);
+      add(U.Site, CI_TransfersDtoH, SymExpr::constant(1));
+      add(U.Site, CI_EpochSuppressed, SymExpr::constant(1));
+      inexact(U.Site);
+      if (Cond)
+        U.Poisoned = true;
+      U.Stale = StaleAmbiguous;
+      return;
+    }
+    if (U.RefCount == 0)
+      return; // Silent no-op; the runtime charges nothing.
+    add(U.Site, CI_UnmapCalls, SymExpr::constant(1));
+    bool CanCopy =
+        !U.IsReadOnly && !U.HostDead && !U.MaybeHostDead && !U.IsPointerArray;
+    if (U.MaybeHostDead && !U.IsReadOnly && !U.IsPointerArray) {
+      // Maybe-dead: the copy-back may be skipped. Upper-bound both
+      // counters.
+      add(U.Site, CI_BytesDtoH, U.Size);
+      add(U.Site, CI_TransfersDtoH, SymExpr::constant(1));
+      if (U.Stale != HostStale)
+        add(U.Site, CI_EpochSuppressed, SymExpr::constant(1));
+      inexact(U.Site);
+      U.Stale = HostCurrent;
+      return;
+    }
+    if (CanCopy && U.Stale == HostStale) {
+      add(U.Site, CI_BytesDtoH, U.Size);
+      add(U.Site, CI_TransfersDtoH, SymExpr::constant(1));
+      U.Stale = HostCurrent;
+    } else if (CanCopy && U.Stale == HostCurrent) {
+      add(U.Site, CI_EpochSuppressed, SymExpr::constant(1));
+    } else if (CanCopy && U.Stale == StaleAmbiguous) {
+      // Either the copy or the suppression happened; afterwards the
+      // host copy is current either way.
+      add(U.Site, CI_BytesDtoH, U.Size);
+      add(U.Site, CI_TransfersDtoH, SymExpr::constant(1));
+      add(U.Site, CI_EpochSuppressed, SymExpr::constant(1));
+      inexact(U.Site);
+      U.Stale = HostCurrent;
+    }
+  }
+
+  void simRelease(int Id, const Event &Ev, bool Forced = false) {
+    UnitState &U = Units[Id];
+    bool Cond = Ev.Conditional || Forced;
+    if (!checkAlive(Id, Ev, Cond))
+      return;
+    if (U.Poisoned || Cond) {
+      add(U.Site, CI_ReleaseCalls, SymExpr::constant(1));
+      inexact(U.Site);
+      if (Cond)
+        U.Poisoned = true;
+      return;
+    }
+    if (U.RefCount == 0) {
+      diagnose(diag::StaticReleaseUnderflow, DiagSeverity::Error,
+               Ev.I->getLoc(),
+               "release of allocation unit '" + Sites[U.Site].Key +
+                   "' whose reference count is zero (the runtime aborts "
+                   "here)");
+      U.Poisoned = true;
+      return;
+    }
+    add(U.Site, CI_ReleaseCalls, SymExpr::constant(1));
+    --U.RefCount;
+    if (U.RefCount == 0 && !U.IsGlobal) {
+      U.IsPointerArray = false;
+      U.Snapshots.clear();
+      if (U.HostDead)
+        U.Tracked = false;
+    }
+  }
+
+  void simMapArray(int Id, const Event &Ev) {
+    if (!checkAlive(Id, Ev, Ev.Conditional))
+      return;
+    UnitState &U = Units[Id];
+    if (U.HostDead && !U.Poisoned && !Ev.Conditional)
+      diagnose(diag::StaticMapAfterFree, DiagSeverity::Error, Ev.I->getLoc(),
+               "mapArray of allocation unit '" + Sites[U.Site].Key +
+                   "' whose host memory was already freed (the runtime "
+                   "aborts here)");
+    bool Cond = Ev.Conditional || U.Poisoned || U.HostDead;
+    // Elements first, in ascending slot order, exactly like the runtime's
+    // slot walk. Unknown slot contents make the element accounting — and
+    // this table's pairing — untrackable.
+    std::vector<int> Snapshot;
+    if (U.SlotsUnknown) {
+      unresolved(Ev.I->getLoc(), "the element pointers of pointer array '" +
+                                     Sites[U.Site].Key + "'");
+      inexact(U.Site);
+    } else {
+      for (const auto &[Slot, Elem] : Units[Id].Slots) {
+        (void)Slot;
+        if (Elem == NullUnit)
+          continue;
+        if (Elem == UnknownUnit || Elem < 0) {
+          unresolved(Ev.I->getLoc(), "an element pointer of pointer array '" +
+                                         Sites[U.Site].Key + "'");
+          continue;
+        }
+        simMap(Elem, Ev, /*Forced=*/Cond);
+        Snapshot.push_back(Elem);
+      }
+    }
+    UnitState &T = Units[Id]; // Re-fetch: simMap may have grown nothing,
+                              // but keep the idiom safe for future edits.
+    if (T.Poisoned || Cond) {
+      add(T.Site, CI_MapCalls, SymExpr::constant(1));
+      add(T.Site, CI_BytesHtoD, T.Size);
+      add(T.Site, CI_TransfersHtoD, SymExpr::constant(1));
+      add(T.Site, CI_ReuseSuppressed, SymExpr::constant(1));
+      inexact(T.Site);
+      T.Poisoned = true;
+      T.Stale = StaleAmbiguous;
+      T.EverMapped = true;
+      T.EverMapArrayed = true;
+      T.IsPointerArray = true;
+      T.Snapshots.push_back(std::move(Snapshot));
+      return;
+    }
+    add(T.Site, CI_MapCalls, SymExpr::constant(1));
+    bool FirstMap = T.RefCount == 0;
+    if (FirstMap) {
+      T.Stale = HostCurrent;
+      add(T.Site, CI_BytesHtoD, T.Size);
+      add(T.Site, CI_TransfersHtoD, SymExpr::constant(1));
+    } else {
+      add(T.Site, CI_ReuseSuppressed, SymExpr::constant(1));
+    }
+    T.IsPointerArray = true;
+    T.EverMapped = true;
+    T.EverMapArrayed = true;
+    T.Snapshots.push_back(std::move(Snapshot));
+    ++T.RefCount;
+  }
+
+  void simUnmapArray(int Id, const Event &Ev) {
+    if (!checkAlive(Id, Ev, Ev.Conditional))
+      return;
+    UnitState &U = Units[Id];
+    if (!U.Poisoned && !Ev.Conditional && U.RefCount == 0)
+      return; // No-op, exactly like scalar unmap at refcount zero.
+    add(U.Site, CI_UnmapCalls, SymExpr::constant(1));
+    if (Ev.Conditional || U.Poisoned)
+      inexact(U.Site);
+    std::vector<int> Elems;
+    if (!Units[Id].Snapshots.empty())
+      Elems = Units[Id].Snapshots.back();
+    else
+      for (const auto &[Slot, Elem] : Units[Id].Slots) {
+        (void)Slot;
+        if (Elem >= 0)
+          Elems.push_back(Elem);
+      }
+    for (int Elem : Elems) {
+      if (Elem < 0 || !Units[Elem].Tracked)
+        continue; // Vanished element; the runtime tolerates it too.
+      simUnmap(Elem, Ev, /*Forced=*/Ev.Conditional || Units[Id].Poisoned);
+    }
+  }
+
+  void simReleaseArray(int Id, const Event &Ev) {
+    if (!checkAlive(Id, Ev, Ev.Conditional))
+      return;
+    UnitState &U = Units[Id];
+    if (!U.Poisoned && !Ev.Conditional && U.RefCount == 0) {
+      diagnose(diag::StaticReleaseUnderflow, DiagSeverity::Error,
+               Ev.I->getLoc(),
+               "releaseArray of allocation unit '" + Sites[U.Site].Key +
+                   "' whose reference count is zero (the runtime aborts "
+                   "here)");
+      U.Poisoned = true;
+      return;
+    }
+    bool Forced = Ev.Conditional || U.Poisoned;
+    std::vector<int> Elems;
+    if (!Units[Id].Snapshots.empty()) {
+      Elems = Units[Id].Snapshots.back();
+      Units[Id].Snapshots.pop_back();
+    } else {
+      for (const auto &[Slot, Elem] : Units[Id].Slots) {
+        (void)Slot;
+        if (Elem >= 0)
+          Elems.push_back(Elem);
+      }
+    }
+    for (int Elem : Elems) {
+      if (Elem < 0 || !Units[Elem].Tracked)
+        continue;
+      simRelease(Elem, Ev, Forced);
+    }
+    simRelease(Id, Ev, Forced);
+  }
+
+  void simLaunch(const Event &Ev) {
+    add(GlobalSite, CI_Units /*unused slot for launches*/,
+        SymExpr::constant(1));
+    for (UnitState &U : Units) {
+      // Pending free/realloc hazards fire even for units the runtime has
+      // already reclaimed: the hazard is about the freed range being
+      // handed out again while kernels keep running, so erasure does not
+      // retire it.
+      if (U.PendingFreeLoc.isValid()) {
+        diagnose(diag::StaticFreeBetweenLaunches, DiagSeverity::Warning,
+                 U.PendingFreeLoc,
+                 "allocation unit '" + Sites[U.Site].Key +
+                     "' is freed after feeding a kernel while later kernel "
+                     "launches follow; the runtime must keep a host-dead "
+                     "zombie to resolve its remaining unmap/release calls");
+        U.PendingFreeLoc = SourceLoc::none();
+      }
+      if (U.PendingReallocLoc.isValid()) {
+        diagnose(diag::StaticReallocBetweenLaunches, DiagSeverity::Warning,
+                 U.PendingReallocLoc,
+                 "allocation unit '" + Sites[U.Site].Key +
+                     "' is reallocated after feeding a kernel while later "
+                     "kernel launches follow; device-side updates must be "
+                     "salvaged into the new block");
+        U.PendingReallocLoc = SourceLoc::none();
+      }
+      if (!U.Tracked)
+        continue;
+      if (Ev.Conditional) {
+        // The epoch may or may not have advanced.
+        if (U.Stale == HostCurrent)
+          U.Stale = StaleAmbiguous;
+      } else if (U.Stale != HostStale) {
+        // A launch makes even an ambiguous host copy definitely stale.
+        U.Stale = HostStale;
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Event dispatch
+  //===------------------------------------------------------------------===//
+
+  void simulateSeq(const EventSeq &Seq) {
+    for (const Event &Ev : Seq.Events)
+      simulateEvent(Ev);
+  }
+
+  void simulateEvent(const Event &Ev) {
+    ++Report.SimulatedEvents;
+    switch (Ev.K) {
+    case EvKind::Loop:
+      simulateLoop(Ev);
+      return;
+    case EvKind::Launch:
+      simLaunch(Ev);
+      return;
+    case EvKind::Call:
+      simulateCall(Ev);
+      return;
+    case EvKind::StoreSlot:
+      simStoreSlot(cast<StoreInst>(Ev.I), Ev);
+      return;
+    default:
+      break;
+    }
+
+    const auto *CI = cast<CallInst>(Ev.I);
+    switch (Ev.K) {
+    case EvKind::DeclareGlobal: {
+      // cgcm_declare_global(name, ptr, size, readonly); ptr is the
+      // global (through a bitcast).
+      const auto *GV =
+          dyn_cast<GlobalVariable>(stripPointerRoot(CI->getArg(1)));
+      if (!GV) {
+        unresolved(CI->getLoc(), "a cgcm_declare_global operand");
+        return;
+      }
+      SymExpr RO = evalInt(CI->getArg(3));
+      int Id = newUnit(siteFor("global " + GV->getName(), SourceLoc::none()),
+                       evalInt(CI->getArg(2)), /*IsGlobal=*/true,
+                       RO.isConst() ? RO.getConst() != 0 : GV->isConstant(),
+                       Ev.Conditional);
+      GlobalUnits[GV] = Id;
+      return;
+    }
+    case EvKind::DeclareAlloca: {
+      SourceLoc Loc = CI->getLoc();
+      int Site = siteFor(
+          Loc.isValid() ? "alloca@" + Loc.getString() : "alloca@<unknown>",
+          Loc);
+      int Id = newUnit(Site, evalInt(CI->getArg(1)), false, false,
+                       Ev.Conditional);
+      frame().PtrEnv[stripPointerRoot(CI->getArg(0))] = Id;
+      frame().DeclaredAllocas.push_back(Id);
+      return;
+    }
+    case EvKind::HeapAlloc: {
+      SourceLoc Loc = CI->getLoc();
+      SymExpr Size = evalInt(CI->getArg(0));
+      if (CI->getCallee()->getName() == "calloc")
+        Size = Size * evalInt(CI->getArg(1));
+      int Site = siteFor(
+          Loc.isValid() ? "heap@" + Loc.getString() : "heap@<unknown>", Loc);
+      int Id = newUnit(Site, Size, false, false, Ev.Conditional);
+      frame().PtrEnv[CI] = Id;
+      return;
+    }
+    case EvKind::HeapRealloc:
+      simHeapRealloc(CI, Ev);
+      return;
+    case EvKind::HeapFree: {
+      int Id = resolveUnit(CI->getArg(0));
+      if (Id == NullUnit)
+        return; // free(NULL) never reaches the runtime hook.
+      if (Id == UnknownUnit) {
+        unresolved(CI->getLoc(), "the operand of a free call");
+        return;
+      }
+      UnitState &U = Units[Id];
+      if (U.EverMapped)
+        U.PendingFreeLoc = CI->getLoc();
+      if (Ev.Conditional || U.Poisoned) {
+        U.MaybeHostDead = true;
+        U.Poisoned = true;
+        inexact(U.Site);
+        return;
+      }
+      if (U.RefCount > 0)
+        U.HostDead = true; // Deferred reclamation (zombie).
+      else
+        U.Tracked = false;
+      return;
+    }
+    case EvKind::Map:
+    case EvKind::Unmap:
+    case EvKind::Release:
+    case EvKind::MapArray:
+    case EvKind::UnmapArray:
+    case EvKind::ReleaseArray: {
+      int Id = resolveUnit(CI->getArg(0));
+      if (Id == NullUnit || Id == UnknownUnit) {
+        unresolved(CI->getLoc(),
+                   std::string("the operand of a ") +
+                       CI->getCallee()->getName() + " call");
+        return;
+      }
+      recordMapClass(Ev, Units[Id].Site);
+      switch (Ev.K) {
+      case EvKind::Map:
+        simMap(Id, Ev);
+        return;
+      case EvKind::Unmap:
+        simUnmap(Id, Ev);
+        return;
+      case EvKind::Release:
+        simRelease(Id, Ev);
+        return;
+      case EvKind::MapArray:
+        simMapArray(Id, Ev);
+        return;
+      case EvKind::UnmapArray:
+        simUnmapArray(Id, Ev);
+        return;
+      case EvKind::ReleaseArray:
+        simReleaseArray(Id, Ev);
+        return;
+      default:
+        return;
+      }
+    }
+    default:
+      return;
+    }
+  }
+
+  void recordMapClass(const Event &Ev, int Site) {
+    if (Ev.K == EvKind::Map || Ev.K == EvKind::MapArray)
+      Sites[Site].MapClasses.insert(Ev.Class);
+  }
+
+  void simHeapRealloc(const CallInst *CI, const Event &Ev) {
+    int OldId = resolveUnit(CI->getArg(0));
+    SymExpr NewSize = evalInt(CI->getArg(1));
+    SourceLoc Loc = CI->getLoc();
+    if (OldId == UnknownUnit)
+      unresolved(Loc, "the operand of a realloc call");
+    if (OldId >= 0) {
+      UnitState &Old = Units[OldId];
+      if (Old.EverMapped)
+        Old.PendingReallocLoc = Loc;
+      bool Forced = Ev.Conditional || Old.Poisoned;
+      if (Old.RefCount > 0 || (Forced && Old.EverMapped)) {
+        // Salvage: device bytes flow back into the new block, charged to
+        // the OLD unit's site.
+        SymExpr Salvage =
+            Old.Size.isConst() && NewSize.isConst()
+                ? SymExpr::constant(
+                      std::min(Old.Size.getConst(), NewSize.getConst()))
+                : SymExpr::unknown();
+        bool SalvageKnownZero = Salvage.isConst(0);
+        bool CanSalvage = !Old.IsReadOnly && !Old.IsPointerArray &&
+                          !SalvageKnownZero;
+        if (CanSalvage && (Forced || Old.Stale != HostCurrent)) {
+          add(Old.Site, CI_BytesDtoH, Salvage);
+          add(Old.Site, CI_TransfersDtoH, SymExpr::constant(1));
+          if (Forced || Old.Stale == StaleAmbiguous)
+            inexact(Old.Site);
+        }
+        if (Forced) {
+          Old.MaybeHostDead = true;
+          Old.Poisoned = true;
+          inexact(Old.Site);
+        } else {
+          Old.HostDead = true;
+        }
+      } else if (!Forced) {
+        Old.Tracked = false;
+      } else {
+        Old.MaybeHostDead = true;
+        Old.Poisoned = true;
+        inexact(Old.Site);
+      }
+    }
+    int Site =
+        siteFor(Loc.isValid() ? "heap@" + Loc.getString() : "heap@<unknown>",
+                Loc);
+    int Id = newUnit(Site, NewSize, false, false, Ev.Conditional);
+    frame().PtrEnv[CI] = Id;
+  }
+
+  void simStoreSlot(const StoreInst *SI, const Event &Ev) {
+    int Target = resolveUnit(SI->getPointerOperand());
+    if (Target < 0)
+      return; // Pointer store outside any tracked table.
+    UnitState &T = Units[Target];
+    int64_t Off = 0;
+    bool KnownOff = constByteOffset(SI->getPointerOperand(), Off);
+    int Val = resolveUnit(SI->getValueOperand());
+    if (T.EverMapArrayed)
+      diagnose(diag::StaticStaleSnapshot, DiagSeverity::Warning, SI->getLoc(),
+               "pointer slot of array '" + Sites[T.Site].Key +
+                   "' is retargeted after the array fed a kernel; the "
+                   "runtime's map-generation snapshots must pair the "
+                   "originally-mapped element, not the new occupant");
+    if (!KnownOff || Ev.Conditional) {
+      T.SlotsUnknown = true;
+      return;
+    }
+    T.Slots[Off / 8] = Val;
+  }
+
+  void simulateCall(const Event &Ev) {
+    const auto *CI = cast<CallInst>(Ev.I);
+    auto It = Model.Functions.find(Ev.Callee);
+    if (It == Model.Functions.end() || It->second->Recursive ||
+        CallDepth > 64) {
+      unresolved(CI->getLoc(), "a call to '" + Ev.Callee->getName() + "'" +
+                                   (It != Model.Functions.end() &&
+                                            It->second->Recursive
+                                        ? " (recursive)"
+                                        : ""));
+      return;
+    }
+    const FunctionModel &FM = *It->second;
+    Frame Callee;
+    Callee.F = Ev.Callee;
+    for (unsigned I = 0;
+         I != std::min(CI->getNumArgs(), Ev.Callee->getNumArgs()); ++I) {
+      Argument *A = Ev.Callee->getArg(I);
+      if (A->getType()->isPointerTy())
+        Callee.PtrEnv[A] = resolveUnit(CI->getArg(I));
+      else
+        Callee.IntEnv[A] = evalInt(CI->getArg(I));
+    }
+    // Conditional calls poison everything they touch; simplest sound
+    // treatment is to force-poison the units reachable through the
+    // arguments and simulate the body as conditional would — but event
+    // conditionality is per-block inside the callee. Approximate by
+    // poisoning pointer arguments' units up front.
+    if (Ev.Conditional)
+      for (auto &[V, Id] : Callee.PtrEnv) {
+        (void)V;
+        if (Id >= 0) {
+          Units[Id].Poisoned = true;
+          inexact(Units[Id].Site);
+        }
+      }
+    ++CallDepth;
+    Frames.push_back(std::move(Callee));
+    simulateSeq(FM.Body);
+    // Single-return functions propagate their result.
+    const Value *RetVal = nullptr;
+    unsigned NumRets = 0;
+    for (BasicBlock *BB : FM.DT->getReversePostOrder())
+      if (auto *R = dyn_cast_or_null<RetInst>(BB->getTerminator())) {
+        ++NumRets;
+        RetVal = R->getReturnValue();
+      }
+    int RetUnit = UnknownUnit;
+    SymExpr RetInt = SymExpr::unknown();
+    if (NumRets == 1 && RetVal) {
+      if (RetVal->getType()->isPointerTy())
+        RetUnit = resolveUnit(RetVal);
+      else
+        RetInt = evalInt(RetVal);
+    }
+    // Expire this activation's alloca registrations (interpreter frame
+    // pop -> removeAlloca; no ledger counters either way).
+    for (int Id : frame().DeclaredAllocas)
+      Units[Id].Tracked = false;
+    Frames.pop_back();
+    --CallDepth;
+    if (CI->getType()->isPointerTy())
+      frame().PtrEnv[CI] = RetUnit;
+    else
+      frame().IntEnv[CI] = RetInt;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Loops
+  //===------------------------------------------------------------------===//
+
+  static bool seqHasEvents(const EventSeq &Seq) {
+    for (const Event &Ev : Seq.Events) {
+      if (Ev.K != EvKind::Loop)
+        return true;
+      if (Ev.Body && seqHasEvents(*Ev.Body))
+        return true;
+    }
+    return false;
+  }
+
+  /// Constant trip count for a canonical loop, or -1.
+  static int64_t constTrip(int64_t Init, int64_t Bound, int64_t Step,
+                           CmpInst::Predicate Pred) {
+    auto CeilDiv = [](int64_t A, int64_t B) { return (A + B - 1) / B; };
+    switch (Pred) {
+    case CmpInst::Predicate::SLT:
+      return Step > 0 ? std::max<int64_t>(0, CeilDiv(Bound - Init, Step)) : -1;
+    case CmpInst::Predicate::SLE:
+      return Step > 0 ? std::max<int64_t>(0, (Bound - Init) / Step + 1) : -1;
+    case CmpInst::Predicate::SGT:
+      return Step < 0 ? std::max<int64_t>(0, CeilDiv(Init - Bound, -Step))
+                      : -1;
+    case CmpInst::Predicate::SGE:
+      return Step < 0 ? std::max<int64_t>(0, (Init - Bound) / (-Step) + 1)
+                      : -1;
+    case CmpInst::Predicate::NE:
+      if (Step != 0 && (Bound - Init) % Step == 0 &&
+          (Bound - Init) / Step >= 0)
+        return (Bound - Init) / Step;
+      return -1;
+    default:
+      return -1;
+    }
+  }
+
+  /// Symbolic trip count; Unknown when the shape is not affine-simple.
+  SymExpr symTrip(const SymExpr &Init, const SymExpr &Bound, int64_t Step,
+                  CmpInst::Predicate Pred) {
+    if (Init.isUnknown() || Bound.isUnknown())
+      return SymExpr::unknown();
+    if (Step == 1 && Pred == CmpInst::Predicate::SLT)
+      return Bound - Init;
+    if (Step == 1 && Pred == CmpInst::Predicate::SLE)
+      return Bound - Init + SymExpr::constant(1);
+    if (Step == -1 && Pred == CmpInst::Predicate::SGT)
+      return Init - Bound;
+    if (Step == -1 && Pred == CmpInst::Predicate::SGE)
+      return Init - Bound + SymExpr::constant(1);
+    return SymExpr::unknown();
+  }
+
+  /// Signature of the mutable state a loop iteration can change — unit
+  /// states, slots, snapshots, and the loop's pointer-phi bindings. The
+  /// induction variable is deliberately excluded (it always changes);
+  /// iteration-dependence shows up as a delta mismatch instead.
+  std::string stateSignature(const Event &LoopEv) {
+    std::ostringstream SS;
+    for (const UnitState &U : Units) {
+      if (!U.Tracked)
+        continue;
+      SS << U.Id << ':' << U.RefCount << ',' << U.Stale << ','
+         << U.HostDead << U.MaybeHostDead << U.IsPointerArray << U.Poisoned
+         << U.EverMapped << U.EverMapArrayed << U.SlotsUnknown << ','
+         << U.PendingFreeLoc.isValid() << U.PendingReallocLoc.isValid()
+         << ";s";
+      for (const auto &Snap : U.Snapshots) {
+        for (int E : Snap)
+          SS << E << '.';
+        SS << '|';
+      }
+      SS << ";l";
+      for (const auto &[K, V] : U.Slots)
+        SS << K << '=' << V << '.';
+      SS << '\n';
+    }
+    SS << "phi:";
+    for (const auto &CP : LoopEv.CarriedPtrs) {
+      auto It = frame().PtrEnv.find(CP.Phi);
+      SS << (It == frame().PtrEnv.end() ? UnknownUnit : It->second) << ',';
+    }
+    return SS.str();
+  }
+
+  void simulateLoop(const Event &Ev) {
+    if (!Ev.Body || !seqHasEvents(*Ev.Body))
+      return; // Pure compute; nothing the ledger can see.
+
+    // Bind loop-carried pointer phis to their entry values and the
+    // induction variable to its start.
+    for (const auto &CP : Ev.CarriedPtrs)
+      frame().PtrEnv[CP.Phi] =
+          CP.Init ? resolveUnit(CP.Init) : UnknownUnit;
+    SymExpr IVVal;
+    bool HaveIV = Ev.Trip.Valid && Ev.Trip.IV;
+    if (HaveIV) {
+      IVVal = evalInt(Ev.Trip.Init);
+      frame().IntEnv[Ev.Trip.IV] = IVVal;
+    }
+
+    SymExpr Trip = SymExpr::unknown();
+    int64_t N = -1;
+    if (Ev.Trip.Valid) {
+      SymExpr Init = evalInt(Ev.Trip.Init), Bound = evalInt(Ev.Trip.Bound);
+      if (Init.isConst() && Bound.isConst())
+        N = constTrip(Init.getConst(), Bound.getConst(), Ev.Trip.Step,
+                      Ev.Trip.Pred);
+      if (N < 0)
+        Trip = symTrip(Init, Bound, Ev.Trip.Step, Ev.Trip.Pred);
+      else
+        Trip = SymExpr::constant(N);
+    }
+    bool ConstN = N >= 0;
+    bool Approximate = !ConstN || Ev.Conditional;
+    if (ConstN && N == 0 && !Ev.Conditional)
+      return;
+
+    int64_t Budget = ConstN ? std::min(N, IterCap) : SymbolicProbe;
+    Accumulator PrevDelta;
+    std::string PrevSig;
+    bool HavePrev = false;
+    int64_t Done = 0;
+    bool Steady = false;
+
+    for (int64_t K = 0; K != Budget; ++K) {
+      Accums.push_back({});
+      simulateSeq(*Ev.Body);
+      Accumulator Delta = std::move(Accums.back());
+      Accums.pop_back();
+
+      // Advance loop-carried state for the next iteration: all phi
+      // updates read this iteration's bindings before any commit.
+      std::vector<std::pair<const Value *, int>> NewPtrs;
+      for (const auto &CP : Ev.CarriedPtrs)
+        NewPtrs.push_back(
+            {CP.Phi, CP.Next ? resolveUnit(CP.Next) : UnknownUnit});
+      for (const auto &[Phi, Id] : NewPtrs)
+        frame().PtrEnv[Phi] = Id;
+      if (HaveIV) {
+        IVVal += SymExpr::constant(Ev.Trip.Step);
+        frame().IntEnv[Ev.Trip.IV] = IVVal;
+      }
+
+      ++Done;
+      std::string Sig = stateSignature(Ev);
+      Accums.back().addScaled(Delta, SymExpr::constant(1));
+      if (HavePrev && Sig == PrevSig && Delta.equals(PrevDelta)) {
+        Steady = true;
+        // Iterations beyond `Done` repeat this exact delta with an
+        // identical post-state: fold them in closed form.
+        SymExpr Remaining = ConstN
+                                ? SymExpr::constant(N - Done)
+                                : (Trip.isUnknown()
+                                       ? SymExpr::unknown()
+                                       : Trip - SymExpr::constant(Done));
+        if (!Remaining.isConst(0))
+          Accums.back().addScaled(Delta, Remaining);
+        if (!ConstN)
+          for (const auto &[KC, V] : Delta.Deltas) {
+            (void)V;
+            inexact(KC.first);
+          }
+        break;
+      }
+      PrevDelta = std::move(Delta);
+      PrevSig = std::move(Sig);
+      HavePrev = true;
+    }
+
+    if (!Steady && (!ConstN || Done < N)) {
+      // Gave up: either a symbolic trip with no steady state within the
+      // probe window, or a constant trip beyond the iteration cap. The
+      // remaining iterations' effects are unbounded from here.
+      unresolved(loopLoc(Ev), "a loop whose remaining iterations have no "
+                              "steady per-iteration cost");
+      poisonSeqUnits(*Ev.Body);
+    } else if (Approximate) {
+      // The loop ran a data-dependent (or conditional) number of times:
+      // the post-loop unit states assumed at least `Done` iterations.
+      poisonSeqUnits(*Ev.Body);
+    }
+  }
+
+  SourceLoc loopLoc(const Event &Ev) {
+    if (Ev.L && Ev.L->getHeader())
+      for (const auto &I : *Ev.L->getHeader())
+        if (I->hasLoc())
+          return I->getLoc();
+    return SourceLoc::none();
+  }
+
+  /// Marks every unit any event in \p Seq could have touched as poisoned
+  /// (its future behaviour, and this loop's residual effect on it, are
+  /// upper bounds only).
+  void poisonSeqUnits(const EventSeq &Seq) {
+    for (const Event &Ev : Seq.Events) {
+      if (Ev.K == EvKind::Loop) {
+        if (Ev.Body)
+          poisonSeqUnits(*Ev.Body);
+        continue;
+      }
+      if (Ev.K == EvKind::Launch) {
+        for (UnitState &U : Units)
+          if (U.Tracked && U.Stale == HostCurrent)
+            U.Stale = StaleAmbiguous;
+        continue;
+      }
+      if (Ev.K == EvKind::Call) {
+        auto It = Model.Functions.find(Ev.Callee);
+        if (It != Model.Functions.end() && !It->second->Recursive)
+          poisonSeqUnits(It->second->Body);
+        continue;
+      }
+      const Value *Ptr = nullptr;
+      if (const auto *CI = dyn_cast_or_null<CallInst>(Ev.I)) {
+        if (CI->getNumArgs() > 0)
+          Ptr = CI->getArg(Ev.K == EvKind::DeclareGlobal ? 1 : 0);
+      } else if (const auto *SI = dyn_cast_or_null<StoreInst>(Ev.I)) {
+        Ptr = SI->getPointerOperand();
+      }
+      if (!Ptr)
+        continue;
+      int Id = resolveUnit(Ptr);
+      if (Id >= 0) {
+        Units[Id].Poisoned = true;
+        inexact(Units[Id].Site);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Report assembly
+  //===------------------------------------------------------------------===//
+
+  SymExpr counterOf(int Site, int Counter) {
+    auto It = Accums.front().Deltas.find({Site, Counter});
+    return It == Accums.front().Deltas.end() ? SymExpr() : It->second;
+  }
+
+  void buildReport() {
+    for (int S = 0; S != (int)Sites.size(); ++S) {
+      SitePrediction P;
+      P.Site = Sites[S].Key;
+      P.Loc = Sites[S].Loc;
+      P.Exact = Sites[S].Exact && Report.Sound;
+      P.Units = counterOf(S, CI_Units);
+      P.BytesHtoD = counterOf(S, CI_BytesHtoD);
+      P.BytesDtoH = counterOf(S, CI_BytesDtoH);
+      P.TransfersHtoD = counterOf(S, CI_TransfersHtoD);
+      P.TransfersDtoH = counterOf(S, CI_TransfersDtoH);
+      P.EpochSuppressed = counterOf(S, CI_EpochSuppressed);
+      P.ReuseSuppressed = counterOf(S, CI_ReuseSuppressed);
+      P.MapCalls = counterOf(S, CI_MapCalls);
+      P.UnmapCalls = counterOf(S, CI_UnmapCalls);
+      P.ReleaseCalls = counterOf(S, CI_ReleaseCalls);
+      const auto &Classes = Sites[S].MapClasses;
+      if (Classes.count(SchedClass::Hoisted))
+        P.Class = SchedClass::Hoisted;
+      else if (Classes.size() == 1)
+        P.Class = *Classes.begin();
+      else if (Classes.size() > 1)
+        P.Class = SchedClass::Mixed;
+      if (!P.Exact)
+        Report.Exact = false;
+      Report.Sites.push_back(std::move(P));
+    }
+    std::sort(Report.Sites.begin(), Report.Sites.end(),
+              [](const SitePrediction &A, const SitePrediction &B) {
+                return A.Site < B.Site;
+              });
+    Report.KernelLaunches = counterOf(GlobalSite, CI_Units);
+    Report.CallSites = Model.CallSites;
+    if (!Report.Sound)
+      Report.Exact = false;
+    sortDiagnostics(Report.Diagnostics);
+  }
+};
+
+CommCostReport Simulator::run() {
+  const Function *Main = nullptr;
+  for (const auto &[F, FM] : Model.Functions) {
+    (void)FM;
+    if (F->getName() == "main")
+      Main = F;
+  }
+  if (!Main) {
+    // Nothing runs; an empty module predicts an empty ledger, exactly.
+    Report.CallSites = Model.CallSites;
+    return std::move(Report);
+  }
+  Accums.push_back({});
+  Frame Top;
+  Top.F = Main;
+  Frames.push_back(std::move(Top));
+  simulateSeq(Model.Functions.at(Main)->Body);
+  Frames.pop_back();
+  buildReport();
+  return std::move(Report);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+CommCostReport commcost::simulateCostModel(const CostModel &Model) {
+  return Simulator(Model).run();
+}
+
+CommCostReport cgcm::runCommCostAnalysis(Module &M) {
+  CostModel Model = buildCostModel(M);
+  return simulateCostModel(Model);
+}
+
+void cgcm::sortDiagnostics(std::vector<Diagnostic> &Diags) {
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     if (A.Loc.Col != B.Loc.Col)
+                       return A.Loc.Col < B.Loc.Col;
+                     if (A.ID != B.ID)
+                       return A.ID < B.ID;
+                     if (A.Severity != B.Severity)
+                       return A.Severity < B.Severity;
+                     if (A.Message != B.Message)
+                       return A.Message < B.Message;
+                     return A.FunctionName < B.FunctionName;
+                   });
+}
+
+SymExpr CommCostReport::totalBytesHtoD() const {
+  SymExpr T;
+  for (const SitePrediction &P : Sites)
+    T += P.BytesHtoD;
+  return T;
+}
+
+SymExpr CommCostReport::totalBytesDtoH() const {
+  SymExpr T;
+  for (const SitePrediction &P : Sites)
+    T += P.BytesDtoH;
+  return T;
+}
+
+SymExpr CommCostReport::totalTransfersHtoD() const {
+  SymExpr T;
+  for (const SitePrediction &P : Sites)
+    T += P.TransfersHtoD;
+  return T;
+}
+
+SymExpr CommCostReport::totalTransfersDtoH() const {
+  SymExpr T;
+  for (const SitePrediction &P : Sites)
+    T += P.TransfersDtoH;
+  return T;
+}
+
+const SitePrediction *CommCostReport::findSite(const std::string &Site) const {
+  for (const SitePrediction &P : Sites)
+    if (P.Site == Site)
+      return &P;
+  return nullptr;
+}
+
+bool CommCostReport::hasDiagnostic(const std::string &ID) const {
+  for (const Diagnostic &D : Diagnostics)
+    if (D.ID == ID)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export (schema "cgcm-static-cost-v1")
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Remark:
+    return "remark";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+/// Counters render as JSON numbers when constant, formula strings
+/// otherwise ("8*n", "?").
+void writeSym(JsonWriter &W, const char *Key, const SymExpr &E) {
+  W.key(Key);
+  if (E.isConst())
+    W.number((int64_t)E.getConst());
+  else
+    W.string(E.getString());
+}
+
+} // namespace
+
+void cgcm::writeStaticCostJson(std::ostream &OS, const CommCostReport &R,
+                               const std::string &ModuleName) {
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("schema").string("cgcm-static-cost-v1");
+  W.key("module").string(ModuleName);
+  W.key("sound").boolean(R.Sound);
+  W.key("exact").boolean(R.Exact);
+  writeSym(W, "kernel_launches", R.KernelLaunches);
+  W.key("simulated_events").number((uint64_t)R.SimulatedEvents);
+
+  W.key("sites").beginArray();
+  for (const SitePrediction &P : R.Sites) {
+    W.beginObject();
+    W.key("site").string(P.Site);
+    W.key("loc").string(P.Loc.isValid() ? P.Loc.getString() : "");
+    W.key("class").string(getSchedClassName(P.Class));
+    W.key("exact").boolean(P.Exact);
+    writeSym(W, "units", P.Units);
+    writeSym(W, "bytes_htod", P.BytesHtoD);
+    writeSym(W, "bytes_dtoh", P.BytesDtoH);
+    writeSym(W, "transfers_htod", P.TransfersHtoD);
+    writeSym(W, "transfers_dtoh", P.TransfersDtoH);
+    writeSym(W, "epoch_suppressed", P.EpochSuppressed);
+    writeSym(W, "reuse_suppressed", P.ReuseSuppressed);
+    writeSym(W, "map_calls", P.MapCalls);
+    writeSym(W, "unmap_calls", P.UnmapCalls);
+    writeSym(W, "release_calls", P.ReleaseCalls);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("call_sites").beginArray();
+  for (const CallSiteClass &C : R.CallSites) {
+    W.beginObject();
+    W.key("kind").string(C.Kind);
+    W.key("loc").string(C.Loc.isValid() ? C.Loc.getString() : "");
+    W.key("function").string(C.FunctionName);
+    W.key("class").string(getSchedClassName(C.Class));
+    W.key("loop_depth").number((uint64_t)C.LoopDepth);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("diagnostics").beginArray();
+  for (const Diagnostic &D : R.Diagnostics) {
+    W.beginObject();
+    W.key("id").string(D.ID);
+    W.key("severity").string(severityName(D.Severity));
+    W.key("loc").string(D.Loc.isValid() ? D.Loc.getString() : "");
+    W.key("message").string(D.Message);
+    W.key("function").string(D.FunctionName);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("totals").beginObject();
+  writeSym(W, "bytes_htod", R.totalBytesHtoD());
+  writeSym(W, "bytes_dtoh", R.totalBytesDtoH());
+  writeSym(W, "transfers_htod", R.totalTransfersHtoD());
+  writeSym(W, "transfers_dtoh", R.totalTransfersDtoH());
+  W.endObject();
+
+  W.endObject();
+  OS << "\n";
+}

@@ -1,0 +1,159 @@
+//===- analysis/commcost/SymExpr.cpp - Symbolic expressions ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/commcost/SymExpr.h"
+
+#include <algorithm>
+
+using namespace cgcm;
+
+namespace {
+
+/// Canonical operand order: by rendered form, so structurally equal
+/// expressions built in different orders compare equal.
+void sortOps(std::vector<SymExpr> &Ops) {
+  std::stable_sort(Ops.begin(), Ops.end(),
+                   [](const SymExpr &A, const SymExpr &B) {
+                     return A.getString() < B.getString();
+                   });
+}
+
+} // namespace
+
+SymExpr SymExpr::operator+(const SymExpr &O) const {
+  if (isUnknown() || O.isUnknown())
+    return unknown();
+  if (isConst() && O.isConst())
+    return constant(getConst() + O.getConst());
+  if (isConst(0))
+    return O;
+  if (O.isConst(0))
+    return *this;
+  // Flatten nested sums and fold the constant tail.
+  std::vector<SymExpr> Ops;
+  int64_t C = 0;
+  auto Absorb = [&](const SymExpr &E) {
+    if (E.getKind() == Kind::Add) {
+      for (const SymExpr &Sub : E.N->Ops) {
+        if (Sub.isConst())
+          C += Sub.getConst();
+        else
+          Ops.push_back(Sub);
+      }
+    } else if (E.isConst()) {
+      C += E.getConst();
+    } else {
+      Ops.push_back(E);
+    }
+  };
+  Absorb(*this);
+  Absorb(O);
+  if (C != 0)
+    Ops.push_back(constant(C));
+  if (Ops.size() == 1)
+    return Ops.front();
+  sortOps(Ops);
+  auto N = std::make_shared<Node>();
+  N->K = Kind::Add;
+  N->Ops = std::move(Ops);
+  return SymExpr(std::move(N));
+}
+
+SymExpr SymExpr::operator*(const SymExpr &O) const {
+  if (isConst(0) || O.isConst(0))
+    return constant(0);
+  if (isUnknown() || O.isUnknown())
+    return unknown();
+  if (isConst() && O.isConst())
+    return constant(getConst() * O.getConst());
+  if (isConst(1))
+    return O;
+  if (O.isConst(1))
+    return *this;
+  std::vector<SymExpr> Ops;
+  int64_t C = 1;
+  auto Absorb = [&](const SymExpr &E) {
+    if (E.getKind() == Kind::Mul) {
+      for (const SymExpr &Sub : E.N->Ops) {
+        if (Sub.isConst())
+          C *= Sub.getConst();
+        else
+          Ops.push_back(Sub);
+      }
+    } else if (E.isConst()) {
+      C *= E.getConst();
+    } else {
+      Ops.push_back(E);
+    }
+  };
+  Absorb(*this);
+  Absorb(O);
+  if (C != 1)
+    Ops.push_back(constant(C));
+  if (Ops.size() == 1)
+    return Ops.front();
+  sortOps(Ops);
+  auto N = std::make_shared<Node>();
+  N->K = Kind::Mul;
+  N->Ops = std::move(Ops);
+  return SymExpr(std::move(N));
+}
+
+bool SymExpr::equals(const SymExpr &O) const {
+  if (N == O.N)
+    return true;
+  if (N->K != O.N->K)
+    return false;
+  switch (N->K) {
+  case Kind::Const:
+    return N->C == O.N->C;
+  case Kind::Sym:
+    return N->Name == O.N->Name;
+  case Kind::Unknown:
+    return true;
+  case Kind::Add:
+  case Kind::Mul: {
+    if (N->Ops.size() != O.N->Ops.size())
+      return false;
+    for (size_t I = 0; I != N->Ops.size(); ++I)
+      if (!N->Ops[I].equals(O.N->Ops[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::string SymExpr::getString() const {
+  switch (N->K) {
+  case Kind::Const:
+    return std::to_string(N->C);
+  case Kind::Sym:
+    return N->Name;
+  case Kind::Unknown:
+    return "?";
+  case Kind::Add: {
+    std::string S;
+    for (const SymExpr &E : N->Ops) {
+      if (!S.empty())
+        S += " + ";
+      S += E.getString();
+    }
+    return S;
+  }
+  case Kind::Mul: {
+    std::string S;
+    for (const SymExpr &E : N->Ops) {
+      if (!S.empty())
+        S += "*";
+      bool Paren = E.getKind() == Kind::Add;
+      S += Paren ? "(" + E.getString() + ")" : E.getString();
+    }
+    return S;
+  }
+  }
+  return "?";
+}

@@ -1,0 +1,95 @@
+//===- analysis/commcost/SymExpr.h - Symbolic byte/count expressions --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small immutable symbolic expressions over 64-bit integers for the
+/// static communication-cost analysis (docs/StaticAnalysis.md): transfer
+/// volumes and call counts are sums of products of constants, symbolic
+/// parameters (unknown trip counts, argument-dependent sizes), and an
+/// absorbing Unknown. Construction folds constants eagerly, so a fully
+/// constant program yields plain numbers and only genuinely symbolic
+/// inputs keep a formula.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_ANALYSIS_COMMCOST_SYMEXPR_H
+#define CGCM_ANALYSIS_COMMCOST_SYMEXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+/// An immutable symbolic integer: constant, named symbol, n-ary sum or
+/// product, or Unknown (absorbing: any arithmetic with Unknown is
+/// Unknown). Value-semantic; copies share nodes.
+class SymExpr {
+public:
+  enum class Kind { Const, Sym, Add, Mul, Unknown };
+
+  /// Default: the constant 0.
+  SymExpr() : SymExpr(makeConst(0)) {}
+
+  static SymExpr constant(int64_t K) { return SymExpr(makeConst(K)); }
+  static SymExpr symbol(const std::string &Name) {
+    auto N = std::make_shared<Node>();
+    N->K = Kind::Sym;
+    N->Name = Name;
+    return SymExpr(std::move(N));
+  }
+  static SymExpr unknown() {
+    auto N = std::make_shared<Node>();
+    N->K = Kind::Unknown;
+    return SymExpr(std::move(N));
+  }
+
+  Kind getKind() const { return N->K; }
+  bool isConst() const { return N->K == Kind::Const; }
+  bool isConst(int64_t K) const { return isConst() && N->C == K; }
+  bool isUnknown() const { return N->K == Kind::Unknown; }
+  int64_t getConst() const { return N->C; }
+
+  SymExpr operator+(const SymExpr &O) const;
+  SymExpr operator*(const SymExpr &O) const;
+  SymExpr operator-(const SymExpr &O) const {
+    return *this + O * constant(-1);
+  }
+  SymExpr &operator+=(const SymExpr &O) { return *this = *this + O; }
+
+  /// Structural equality (constants by value; sums/products compare
+  /// operand lists in canonical order).
+  bool equals(const SymExpr &O) const;
+  bool operator==(const SymExpr &O) const { return equals(O); }
+  bool operator!=(const SymExpr &O) const { return !equals(O); }
+
+  /// "4096", "8*n", "512 + 24*T", "?".
+  std::string getString() const;
+
+private:
+  struct Node {
+    Kind K = Kind::Const;
+    int64_t C = 0;
+    std::string Name;           ///< Sym only.
+    std::vector<SymExpr> Ops;   ///< Add/Mul only.
+  };
+
+  explicit SymExpr(std::shared_ptr<const Node> N) : N(std::move(N)) {}
+
+  static std::shared_ptr<const Node> makeConst(int64_t K) {
+    auto N = std::make_shared<Node>();
+    N->K = Kind::Const;
+    N->C = K;
+    return N;
+  }
+
+  std::shared_ptr<const Node> N;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_ANALYSIS_COMMCOST_SYMEXPR_H

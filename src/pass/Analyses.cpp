@@ -75,3 +75,13 @@ std::unique_ptr<CallGraph> CallGraphAnalysis::run(Module &M,
   (void)AM;
   return std::make_unique<CallGraph>(M);
 }
+
+uint64_t cgcm::fingerprintModuleText(const Module &M) {
+  return hashString(0xcbf29ce484222325ull, M.getString());
+}
+
+std::unique_ptr<CommCostReport>
+CommCostAnalysis::run(Module &M, ModuleAnalysisManager &AM) {
+  (void)AM;
+  return std::make_unique<CommCostReport>(runCommCostAnalysis(M));
+}

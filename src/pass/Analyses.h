@@ -31,6 +31,7 @@
 #include "analysis/CallGraph.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/commcost/CommCost.h"
 #include "pass/PreservedAnalyses.h"
 
 #include <cstdint>
@@ -49,6 +50,12 @@ uint64_t fingerprintCFG(const Function &F);
 /// Fingerprint of \p M's call structure: the defined-function set and
 /// every call to a defined callee, in program order.
 uint64_t fingerprintCallStructure(const Module &M);
+
+/// Fingerprint of \p M's full printed text. The coarsest (and safest)
+/// fingerprint: any IR change invalidates. Used by analyses whose result
+/// depends on instruction-level content (sizes, constants, locations),
+/// not just structure.
+uint64_t fingerprintModuleText(const Module &M);
 
 //===----------------------------------------------------------------------===//
 // Function-level analyses
@@ -93,6 +100,24 @@ struct CallGraphAnalysis {
     return fingerprintCallStructure(M);
   }
   static std::unique_ptr<CallGraph> run(Module &M, ModuleAnalysisManager &AM);
+};
+
+/// Static communication-cost and lifecycle prediction (CommCost.h). The
+/// result depends on everything — sizes, constants, loop bounds, source
+/// locations — so it fingerprints the full module text and is preserved
+/// only by passes that change nothing at all.
+struct CommCostAnalysis {
+  using Result = CommCostReport;
+  static AnalysisKey ID() {
+    static char Tag;
+    return &Tag;
+  }
+  static const char *name() { return "commcost"; }
+  static uint64_t fingerprint(const Module &M) {
+    return fingerprintModuleText(M);
+  }
+  static std::unique_ptr<CommCostReport> run(Module &M,
+                                             ModuleAnalysisManager &AM);
 };
 
 } // namespace cgcm

@@ -181,11 +181,15 @@ private:
         if (auto *AI = dyn_cast<AllocaInst>(I))
           Allocas.push_back(AI);
       for (AllocaInst *AI : Allocas) {
-        // Insert immediately after the alloca.
+        // Insert immediately after the alloca. The declaration call
+        // inherits the alloca's source location so the runtime keys the
+        // unit's ledger site as "alloca@L:C" instead of collapsing every
+        // stack unit into "alloca@<unknown>".
         auto It = AI->getParent()->getIterator(AI);
         ++It;
         assert(It != AI->getParent()->end() && "alloca terminates a block?");
         B.setInsertPoint(It->get());
+        B.setCurrentLoc(AI->getLoc());
         Value *A8 = castToBytePtr(M, B, AI);
         Value *Size =
             M.getInt64(static_cast<int64_t>(

@@ -67,6 +67,8 @@ WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C,
   for (const auto &F : M->functions())
     if (F->isKernel() && !F->isGlueKernel())
       ++R.StaticKernels;
+  if (RO.PredictStaticCost)
+    R.StaticCost = runCommCostAnalysis(*M);
 
   Machine Mach;
   Mach.setLaunchPolicy(Policy);
@@ -77,6 +79,7 @@ WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C,
   R.Output = Mach.getOutput();
   R.Stats = Mach.getStats();
   R.TotalCycles = R.Stats.wallCycles();
+  R.Ledger = Mach.getRuntime().getLedger();
   return R;
 }
 

@@ -14,7 +14,9 @@
 #ifndef CGCM_WORKLOADS_RUNNER_H
 #define CGCM_WORKLOADS_RUNNER_H
 
+#include "analysis/commcost/CommCost.h"
 #include "gpusim/Timing.h"
+#include "runtime/TransferLedger.h"
 #include "transform/Applicability.h"
 #include "transform/Pipeline.h"
 #include "workloads/Workloads.h"
@@ -43,6 +45,12 @@ struct WorkloadRun {
   /// runs, the overlap-aware Stats.wallCycles() on asynchronous ones.
   double TotalCycles = 0;
   unsigned StaticKernels = 0; ///< Kernel functions after parallelization.
+  /// Per-site transfer accounting of the run (the dynamic ground truth
+  /// the static predictor is validated against).
+  TransferLedger Ledger;
+  /// Static prediction computed on the exact module that executed
+  /// (RunnerOptions::PredictStaticCost).
+  CommCostReport StaticCost;
 };
 
 /// Execution knobs shared by every driver that uses the harness.
@@ -51,6 +59,9 @@ struct RunnerOptions {
   /// 0 keeps the default synchronous model.
   unsigned AsyncStreams = 0;
   bool Coalesce = true; ///< With AsyncStreams > 0: batch adjacent copies.
+  /// Run the static communication-cost analysis over the post-pipeline
+  /// module (before execution) and record it in WorkloadRun::StaticCost.
+  bool PredictStaticCost = false;
 };
 
 /// Compiles \p W from source and executes it under \p C.

@@ -1,0 +1,467 @@
+//===- tests/CommCostTests.cpp - Static communication-cost analysis ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static transfer-ledger predictor and lifecycle model checker
+/// (docs/StaticAnalysis.md): symbolic-expression algebra, schedule
+/// classification, exact parity between static predictions and the
+/// dynamic TransferLedger on real workloads, static detection of every
+/// fuzz-regression lifecycle bug, deterministic diagnostic ordering,
+/// source-location threading through the management pass, and
+/// pass-manager caching of the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/commcost/CommCost.h"
+#include "analysis/commcost/SymExpr.h"
+#include "frontend/IRGen.h"
+#include "ir/IRParser.h"
+#include "ir/Module.h"
+#include "pass/Analyses.h"
+#include "pass/AnalysisManager.h"
+#include "transform/Pipeline.h"
+#include "workloads/Runner.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+using namespace cgcm;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  EXPECT_TRUE(IS.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+std::string regressionDir() {
+#ifdef CGCM_FUZZ_REGRESSION_DIR
+  return CGCM_FUZZ_REGRESSION_DIR;
+#else
+  return "tests/fuzz";
+#endif
+}
+
+/// Compiles \p Source through the full default pipeline and runs the
+/// static analysis on the managed module.
+CommCostReport analyzeSource(const std::string &Source,
+                             const std::string &Name) {
+  std::unique_ptr<Module> M = compileMiniC(Source, Name);
+  PipelineOptions Opts;
+  runCGCMPipeline(*M, Opts);
+  return runCommCostAnalysis(*M);
+}
+
+//===----------------------------------------------------------------------===//
+// SymExpr algebra
+//===----------------------------------------------------------------------===//
+
+TEST(SymExprTest, ConstantFolding) {
+  SymExpr A = SymExpr::constant(6), B = SymExpr::constant(7);
+  EXPECT_TRUE((A + B).isConst(13));
+  EXPECT_TRUE((A * B).isConst(42));
+  EXPECT_TRUE((A - A).isConst(0));
+  EXPECT_TRUE(SymExpr().isConst(0));
+}
+
+TEST(SymExprTest, IdentitiesAndAbsorption) {
+  SymExpr N = SymExpr::symbol("n");
+  EXPECT_TRUE((N + SymExpr::constant(0)).equals(N));
+  EXPECT_TRUE((N * SymExpr::constant(1)).equals(N));
+  EXPECT_TRUE((N * SymExpr::constant(0)).isConst(0));
+  // Unknown absorbs addition and multiplication (by nonzero).
+  EXPECT_TRUE((N + SymExpr::unknown()).isUnknown());
+  EXPECT_TRUE((SymExpr::unknown() * SymExpr::constant(8)).isUnknown());
+  // ...but multiplication by a literal zero is still zero.
+  EXPECT_TRUE((SymExpr::unknown() * SymExpr::constant(0)).isConst(0));
+}
+
+TEST(SymExprTest, CanonicalOperandOrder) {
+  SymExpr N = SymExpr::symbol("n"), M = SymExpr::symbol("m");
+  EXPECT_TRUE((N + M).equals(M + N));
+  EXPECT_TRUE((N * M).equals(M * N));
+  EXPECT_EQ((N + M).getString(), (M + N).getString());
+}
+
+TEST(SymExprTest, Rendering) {
+  SymExpr N = SymExpr::symbol("n");
+  EXPECT_EQ((N * SymExpr::constant(8)).getString(), "8*n");
+  // Operands are sorted by rendered text, so constants print first.
+  EXPECT_EQ((N + SymExpr::constant(2)).getString(), "2 + n");
+  EXPECT_EQ(((N + SymExpr::constant(1)) * SymExpr::constant(8)).getString(),
+            "(1 + n)*8");
+  EXPECT_EQ(SymExpr::unknown().getString(), "?");
+}
+
+//===----------------------------------------------------------------------===//
+// Static-vs-dynamic parity on workloads
+//===----------------------------------------------------------------------===//
+
+/// Joins the static prediction against the dynamic ledger and requires
+/// exact equality of every counter at every site (the workload suite has
+/// statically-known trip counts throughout).
+void expectExactParity(const Workload &W) {
+  RunnerOptions RO;
+  RO.PredictStaticCost = true;
+  WorkloadRun R = runWorkload(W, BenchConfig::CGCMOptimized, RO);
+  const CommCostReport &P = R.StaticCost;
+
+  EXPECT_TRUE(P.Sound) << W.Name;
+  EXPECT_TRUE(P.Exact) << W.Name;
+  EXPECT_TRUE(P.Diagnostics.empty())
+      << W.Name << ": " << P.Diagnostics.front().getString();
+
+  EXPECT_EQ(P.Sites.size(), R.Ledger.entries().size()) << W.Name;
+  for (const auto &[Site, E] : R.Ledger.entries()) {
+    const SitePrediction *SP = P.findSite(Site);
+    ASSERT_NE(SP, nullptr) << W.Name << " site " << Site;
+    EXPECT_TRUE(SP->Exact) << W.Name << " site " << Site;
+    EXPECT_TRUE(SP->Units.isConst(int64_t(E.Units))) << W.Name << " " << Site;
+    EXPECT_TRUE(SP->BytesHtoD.isConst(int64_t(E.BytesHtoD)))
+        << W.Name << " " << Site << ": " << SP->BytesHtoD.getString()
+        << " vs " << E.BytesHtoD;
+    EXPECT_TRUE(SP->BytesDtoH.isConst(int64_t(E.BytesDtoH)))
+        << W.Name << " " << Site << ": " << SP->BytesDtoH.getString()
+        << " vs " << E.BytesDtoH;
+    EXPECT_TRUE(SP->TransfersHtoD.isConst(int64_t(E.TransfersHtoD)))
+        << W.Name << " " << Site;
+    EXPECT_TRUE(SP->TransfersDtoH.isConst(int64_t(E.TransfersDtoH)))
+        << W.Name << " " << Site;
+    EXPECT_TRUE(SP->EpochSuppressed.isConst(int64_t(E.EpochSuppressed)))
+        << W.Name << " " << Site;
+    EXPECT_TRUE(SP->ReuseSuppressed.isConst(int64_t(E.ReuseSuppressed)))
+        << W.Name << " " << Site;
+    EXPECT_TRUE(SP->MapCalls.isConst(int64_t(E.MapCalls)))
+        << W.Name << " " << Site;
+    EXPECT_TRUE(SP->UnmapCalls.isConst(int64_t(E.UnmapCalls)))
+        << W.Name << " " << Site;
+    EXPECT_TRUE(SP->ReleaseCalls.isConst(int64_t(E.ReleaseCalls)))
+        << W.Name << " " << Site;
+  }
+
+  EXPECT_TRUE(P.KernelLaunches.isConst(int64_t(R.Stats.KernelLaunches)))
+      << W.Name << ": predicted " << P.KernelLaunches.getString()
+      << ", actual " << R.Stats.KernelLaunches;
+}
+
+TEST(CommCostParityTest, GemmExact) {
+  expectExactParity(*findWorkload("gemm"));
+}
+
+TEST(CommCostParityTest, HoistedCyclicWorkloadExact) {
+  // jacobi-2d-imper runs its kernels inside a time loop: map hoisting
+  // plus per-iteration epoch traffic, the hardest accounting shape.
+  expectExactParity(*findWorkload("jacobi-2d-imper"));
+}
+
+TEST(CommCostParityTest, FreeUsingWorkloadExact) {
+  // nw is the one workload that frees kernel-fed buffers; its frees sit
+  // after the last launch, so the hazard checker must stay silent.
+  expectExactParity(*findWorkload("nw"));
+}
+
+TEST(CommCostParityTest, ScheduleClassesAssigned) {
+  RunnerOptions RO;
+  RO.PredictStaticCost = true;
+  WorkloadRun R =
+      runWorkload(*findWorkload("jacobi-2d-imper"), BenchConfig::CGCMOptimized,
+                  RO);
+  const CommCostReport &P = R.StaticCost;
+  ASSERT_FALSE(P.CallSites.empty());
+  bool SawHoisted = false, SawCyclic = false;
+  for (const CallSiteClass &C : P.CallSites) {
+    SawHoisted |= C.Class == SchedClass::Hoisted;
+    SawCyclic |= C.Class == SchedClass::Cyclic;
+    if (C.Class == SchedClass::Cyclic) {
+      EXPECT_GE(C.LoopDepth, 1u);
+    }
+  }
+  // The time loop guarantees both classes exist: maps hoisted to the
+  // preheader, launches cyclic inside.
+  EXPECT_TRUE(SawHoisted);
+  EXPECT_TRUE(SawCyclic);
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle verification: the fuzz corpus must be flagged statically
+//===----------------------------------------------------------------------===//
+
+TEST(CommCostLifecycleTest, FreeWhileMappedFlagged) {
+  CommCostReport R = analyzeSource(
+      readFile(regressionDir() + "/free_while_mapped.minic"), "fwm");
+  EXPECT_TRUE(R.hasDiagnostic(diag::StaticFreeBetweenLaunches));
+}
+
+TEST(CommCostLifecycleTest, ReallocWhileMappedFlagged) {
+  CommCostReport R = analyzeSource(
+      readFile(regressionDir() + "/realloc_while_mapped.minic"), "rwm");
+  EXPECT_TRUE(R.hasDiagnostic(diag::StaticReallocBetweenLaunches));
+}
+
+TEST(CommCostLifecycleTest, ArraySlotSwapFlagged) {
+  CommCostReport R = analyzeSource(
+      readFile(regressionDir() + "/array_slot_swap.minic"), "ass");
+  EXPECT_TRUE(R.hasDiagnostic(diag::StaticStaleSnapshot));
+}
+
+TEST(CommCostLifecycleTest, ArrayRemapStaleFlagged) {
+  CommCostReport R = analyzeSource(
+      readFile(regressionDir() + "/array_remap_stale.minic"), "ars");
+  EXPECT_TRUE(R.hasDiagnostic(diag::StaticStaleSnapshot));
+}
+
+TEST(CommCostLifecycleTest, UseAfterFreeIsAnError) {
+  // The second launch region re-maps a buffer that was freed at
+  // reference count zero — the runtime aborts on the unknown pointer,
+  // and the checker must prove it.
+  const char *Source = R"(
+    __kernel void k(double *a, long n) {
+      long i = __tid();
+      if (i < n) a[i] = a[i] + 1.0;
+    }
+    int main() {
+      long i;
+      double *p = (double*)malloc(8 * sizeof(double));
+      for (i = 0; i < 8; i++) p[i] = 1.0;
+      launch k<<<1, 32>>>(p, 8);
+      free((char*)p);
+      launch k<<<1, 32>>>(p, 8);
+      print_f64(p[0]);
+      return 0;
+    }
+  )";
+  CommCostReport R = analyzeSource(Source, "uaf");
+  EXPECT_TRUE(R.hasDiagnostic(diag::StaticMapAfterFree));
+  bool SawError = false;
+  for (const Diagnostic &D : R.Diagnostics)
+    SawError |= D.Severity == DiagSeverity::Error;
+  EXPECT_TRUE(SawError);
+}
+
+TEST(CommCostLifecycleTest, CleanProgramStaysClean) {
+  const char *Source = R"(
+    __kernel void k(double *a, long n) {
+      long i = __tid();
+      if (i < n) a[i] = a[i] * 2.0;
+    }
+    int main() {
+      long i;
+      double *p = (double*)malloc(16 * sizeof(double));
+      for (i = 0; i < 16; i++) p[i] = (double)i;
+      launch k<<<1, 32>>>(p, 16);
+      print_f64(p[3]);
+      free((char*)p);
+      return 0;
+    }
+  )";
+  CommCostReport R = analyzeSource(Source, "clean");
+  EXPECT_TRUE(R.Sound);
+  EXPECT_TRUE(R.Diagnostics.empty())
+      << R.Diagnostics.front().getString();
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic diagnostics (satellite: stable --analyze output)
+//===----------------------------------------------------------------------===//
+
+Diagnostic makeDiag(const char *ID, DiagSeverity Sev, unsigned Line,
+                    unsigned Col, const char *Msg) {
+  Diagnostic D;
+  D.ID = ID;
+  D.Severity = Sev;
+  D.Loc = SourceLoc{Line, Col};
+  D.Message = Msg;
+  D.FunctionName = "main";
+  return D;
+}
+
+TEST(CommCostDeterminismTest, SortIsTotalAndStableAcrossShuffles) {
+  std::vector<Diagnostic> Base = {
+      makeDiag("b-check", DiagSeverity::Warning, 10, 4, "w1"),
+      makeDiag("a-check", DiagSeverity::Warning, 10, 4, "w2"),
+      makeDiag("a-check", DiagSeverity::Error, 3, 9, "e1"),
+      makeDiag("c-check", DiagSeverity::Warning, 3, 1, "w3"),
+      makeDiag("a-check", DiagSeverity::Warning, 10, 2, "w4"),
+  };
+  std::vector<Diagnostic> Sorted = Base;
+  sortDiagnostics(Sorted);
+
+  std::mt19937 Rng(1234);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    std::vector<Diagnostic> Shuffled = Base;
+    std::shuffle(Shuffled.begin(), Shuffled.end(), Rng);
+    sortDiagnostics(Shuffled);
+    ASSERT_EQ(Shuffled.size(), Sorted.size());
+    for (size_t I = 0; I != Sorted.size(); ++I)
+      EXPECT_EQ(Shuffled[I].getString(), Sorted[I].getString()) << I;
+  }
+  // Source order dominates: line 3 entries first, then column order.
+  EXPECT_EQ(Sorted.front().Loc.Line, 3u);
+  EXPECT_EQ(Sorted.front().Loc.Col, 1u);
+  EXPECT_EQ(Sorted.back().Loc.Line, 10u);
+  EXPECT_EQ(Sorted.back().Loc.Col, 4u);
+}
+
+TEST(CommCostDeterminismTest, PermutedFixpointPipelinesAgree) {
+  // The optimization fixpoint is confluent: permuting its member order
+  // must leave the managed module — and therefore the analysis JSON,
+  // diagnostics included — bit-identical.
+  std::string Source =
+      readFile(regressionDir() + "/free_while_mapped.minic");
+  auto Analyze = [&](const std::string &Pipeline) {
+    std::unique_ptr<Module> M = compileMiniC(Source, "det");
+    runPassPipeline(*M, Pipeline, PipelineRunOptions());
+    CommCostReport R = runCommCostAnalysis(*M);
+    std::ostringstream SS;
+    writeStaticCostJson(SS, R, "det");
+    return SS.str();
+  };
+  std::string A =
+      Analyze("mem2reg,doall,comm,fixpoint(glue,alloca-promote,map-promote)");
+  std::string B =
+      Analyze("mem2reg,doall,comm,fixpoint(map-promote,glue,alloca-promote)");
+  EXPECT_EQ(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Source-location threading (satellite: alloca ledger sites)
+//===----------------------------------------------------------------------===//
+
+TEST(CommCostLocTest, DeclaredAllocasCarryTheAllocaLoc) {
+  const char *Source = R"(
+    __kernel void k(double *a, long n) {
+      long i = __tid();
+      if (i < n) a[i] = a[i] + 1.0;
+    }
+    int main() {
+      double buf[4];
+      long i;
+      for (i = 0; i < 4; i++) buf[i] = 1.0;
+      launch k<<<1, 32>>>(buf, 4);
+      print_f64(buf[0]);
+      return 0;
+    }
+  )";
+  std::unique_ptr<Module> M = compileMiniC(Source, "loc");
+  PipelineOptions Opts;
+  runCGCMPipeline(*M, Opts);
+
+  bool SawDeclare = false;
+  for (const auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    for (const Instruction *I : F->instructions()) {
+      const auto *CI = dyn_cast<CallInst>(I);
+      if (!CI || CI->getCallee()->getName() != "cgcm_declare_alloca")
+        continue;
+      SawDeclare = true;
+      EXPECT_TRUE(CI->getLoc().isValid())
+          << "declare_alloca lost its source location";
+    }
+  }
+  EXPECT_TRUE(SawDeclare);
+
+  // And the ledger keys stack units by position, not "<unknown>".
+  CommCostReport R = runCommCostAnalysis(*M);
+  bool SawLocatedAlloca = false;
+  for (const SitePrediction &P : R.Sites) {
+    EXPECT_EQ(P.Site.find("alloca@<unknown>"), std::string::npos) << P.Site;
+    if (P.Site.rfind("alloca@", 0) == 0)
+      SawLocatedAlloca = true;
+  }
+  EXPECT_TRUE(SawLocatedAlloca);
+}
+
+TEST(CommCostLocTest, ManagedModuleRoundTripsThroughParser) {
+  const char *Source = R"(
+    __kernel void k(double *a, long n) {
+      long i = __tid();
+      if (i < n) a[i] = a[i] * 3.0;
+    }
+    int main() {
+      double buf[4];
+      long i;
+      for (i = 0; i < 4; i++) buf[i] = (double)i;
+      launch k<<<1, 32>>>(buf, 4);
+      print_f64(buf[2]);
+      return 0;
+    }
+  )";
+  std::unique_ptr<Module> M = compileMiniC(Source, "rt");
+  PipelineOptions Opts;
+  runCGCMPipeline(*M, Opts);
+  std::string Printed = M->getString();
+  ASSERT_NE(Printed.find("!loc"), std::string::npos);
+
+  std::unique_ptr<Module> Reparsed = parseIR(Printed, "rt.ir");
+  ASSERT_NE(Reparsed, nullptr);
+  // The parser renumbers SSA values, so the reprint is not byte-identical;
+  // what must survive is every !loc attachment.
+  std::string Reprinted = Reparsed->getString();
+  auto countLocs = [](const std::string &S) {
+    size_t N = 0;
+    for (size_t P = S.find("!loc"); P != std::string::npos;
+         P = S.find("!loc", P + 4))
+      ++N;
+    return N;
+  };
+  EXPECT_EQ(countLocs(Reprinted), countLocs(Printed));
+  // And the analysis sees identical sites either way.
+  CommCostReport A = runCommCostAnalysis(*M);
+  CommCostReport B = runCommCostAnalysis(*Reparsed);
+  std::ostringstream SA, SB;
+  writeStaticCostJson(SA, A, "rt");
+  writeStaticCostJson(SB, B, "rt");
+  EXPECT_EQ(SA.str(), SB.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Pass-manager integration
+//===----------------------------------------------------------------------===//
+
+TEST(CommCostAnalysisManagerTest, ResultIsCachedAndInvalidated) {
+  const char *Source = R"(
+    __kernel void k(double *a, long n) {
+      long i = __tid();
+      if (i < n) a[i] = a[i] + 1.0;
+    }
+    int main() {
+      long i;
+      double *p = (double*)malloc(8 * sizeof(double));
+      for (i = 0; i < 8; i++) p[i] = 1.0;
+      launch k<<<1, 32>>>(p, 8);
+      print_f64(p[0]);
+      return 0;
+    }
+  )";
+  std::unique_ptr<Module> M = compileMiniC(Source, "cache");
+  PipelineOptions Opts;
+  runCGCMPipeline(*M, Opts);
+
+  ModuleAnalysisManager AM;
+  CommCostReport &First = AM.getResult<CommCostAnalysis>(*M);
+  CommCostReport &Second = AM.getResult<CommCostAnalysis>(*M);
+  EXPECT_EQ(&First, &Second);
+  EXPECT_EQ(AM.getConstructionCount("commcost"), 1u);
+  EXPECT_EQ(AM.getHitCount("commcost"), 1u);
+  EXPECT_TRUE(First.Sound);
+  EXPECT_FALSE(First.Sites.empty());
+
+  AM.invalidateResult<CommCostAnalysis>();
+  EXPECT_FALSE(AM.isCached<CommCostAnalysis>());
+  AM.getResult<CommCostAnalysis>(*M);
+  EXPECT_EQ(AM.getConstructionCount("commcost"), 2u);
+}
+
+} // namespace

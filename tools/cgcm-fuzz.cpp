@@ -11,6 +11,11 @@
 ///   cgcm-fuzz --seed=17                     # one specific seed
 ///   cgcm-fuzz --mode=api --count=100        # raw API-sequence sessions
 ///   cgcm-fuzz --mode=both --count=100       # programs + API sequences
+///   cgcm-fuzz --mode=static-parity --count=100
+///                                           # false-positive sweep: seeds
+///                                           # the differ accepts must be
+///                                           # clean of static lifecycle
+///                                           # errors (docs/StaticAnalysis.md)
 ///   cgcm-fuzz --seed=17 --reduce            # minimize a failing program
 ///   cgcm-fuzz --seed=17 --print             # dump the generated program
 ///   cgcm-fuzz --count=500 --out=artifacts   # write failing seeds + repro
@@ -26,10 +31,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/commcost/CommCost.h"
+#include "frontend/IRGen.h"
 #include "fuzz/ApiFuzz.h"
 #include "fuzz/Differ.h"
 #include "fuzz/ProgGen.h"
 #include "fuzz/Reducer.h"
+#include "transform/Pipeline.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -74,7 +82,8 @@ struct Verdict {
 
 [[noreturn]] void usageError(const std::string &Msg) {
   std::cerr << "cgcm-fuzz: " << Msg << "\n"
-            << "usage: cgcm-fuzz [--seed=N | --count=N] [--mode=prog|api|both]\n"
+            << "usage: cgcm-fuzz [--seed=N | --count=N]\n"
+            << "                 [--mode=prog|api|both|static-parity]\n"
             << "                 [--steps=N] [--reduce] [--print] [--out=DIR]\n"
             << "                 [--no-fork] [--streams=N] [--no-async]\n";
   std::exit(2);
@@ -94,7 +103,8 @@ ToolOptions parseArgs(int Argc, char **Argv) {
       O.Count = std::strtoull(Value("--count=").c_str(), nullptr, 0);
     } else if (A.rfind("--mode=", 0) == 0) {
       O.Mode = Value("--mode=");
-      if (O.Mode != "prog" && O.Mode != "api" && O.Mode != "both")
+      if (O.Mode != "prog" && O.Mode != "api" && O.Mode != "both" &&
+          O.Mode != "static-parity")
         usageError("unknown mode '" + O.Mode + "'");
     } else if (A.rfind("--steps=", 0) == 0) {
       O.Steps = unsigned(std::strtoul(Value("--steps=").c_str(), nullptr, 0));
@@ -197,6 +207,36 @@ Verdict checkProgramSeed(uint64_t Seed, bool Fork, unsigned AsyncStreams) {
   });
 }
 
+/// False-positive sweep for the static lifecycle checker: a seed the
+/// differential harness *accepts* (all execution configurations agree,
+/// no runtime contract violation) must not be rejected by the static
+/// checker — any error-severity finding on such a program is a false
+/// positive. Hazard *warnings* are allowed: they flag data-dependent
+/// patterns that are suspicious but not provably wrong.
+Verdict checkStaticParitySeed(uint64_t Seed, bool Fork) {
+  return runIsolated(Fork, [Seed] {
+    Verdict V;
+    ProgDesc P = generateProgram(Seed);
+    std::string Name = "seed" + std::to_string(Seed);
+    DiffResult R = diffProgram(P.render(), Name, /*AsyncStreams=*/0);
+    if (!R.Agreed)
+      return V; // Dynamically failing seeds are the differ's findings.
+    std::unique_ptr<Module> M = compileMiniC(P.render(), Name);
+    PipelineOptions Opts; // Defaults: full optimized schedule.
+    runCGCMPipeline(*M, Opts);
+    CommCostReport Rep = runCommCostAnalysis(*M);
+    for (const Diagnostic &D : Rep.Diagnostics) {
+      if (D.Severity != DiagSeverity::Error)
+        continue;
+      V.Failed = true;
+      V.Detail += "static false positive (differ accepts, checker "
+                  "rejects): " +
+                  D.getString() + "\n";
+    }
+    return V;
+  });
+}
+
 Verdict checkApiSeed(uint64_t Seed, unsigned Steps, bool Fork) {
   return runIsolated(Fork, [Seed, Steps] {
     Verdict V;
@@ -290,6 +330,18 @@ int main(int Argc, char **Argv) {
                   << "\n" << V.Detail << "\n";
         writeArtifacts(O.OutDir, "prog", S, generateProgram(S).render(),
                        V.Detail);
+      }
+    }
+    if (O.Mode == "static-parity") {
+      Verdict V = checkStaticParitySeed(S, O.Fork);
+      if (V.Failed) {
+        ++Failures;
+        Crashes += V.Crashed;
+        std::cerr << "FAIL static-parity seed " << S
+                  << (V.Crashed ? " (crash)" : "") << "\n"
+                  << V.Detail << "\n";
+        writeArtifacts(O.OutDir, "static_parity", S,
+                       generateProgram(S).render(), V.Detail);
       }
     }
     if (O.Mode == "api" || O.Mode == "both") {

@@ -1,0 +1,192 @@
+//===- tools/cgcm-static-parity.cpp - Static-vs-dynamic ledger parity --------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validates the static communication-cost analysis against the
+/// dynamic TransferLedger over the full workload suite: each workload is
+/// compiled through the default (optimized, synchronous) pipeline, the
+/// static prediction is computed on the exact module that will execute,
+/// the program runs, and the two ledgers are joined row-by-row by site
+/// key. The soundness contract enforced here:
+///
+///  * every dynamic site must have a predicted row;
+///  * where the prediction marks a site *exact*, every counter must be a
+///    constant equal to the dynamic value;
+///  * where it does not, constant counters must be >= the dynamic value
+///    (sound upper bound); symbolic counters make no numeric claim;
+///  * the workloads are diagnostic-clean: any lifecycle finding on a
+///    correct program is a false positive and fails the run;
+///  * the run itself uses no demand paging (DemandFaults == 0), so the
+///    ledger only contains traffic the static model covers.
+///
+/// Exit code 0 = parity holds on every selected workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/commcost/CommCost.h"
+#include "runtime/TransferLedger.h"
+#include "workloads/Runner.h"
+#include "workloads/Workloads.h"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+struct Options {
+  std::string Only; ///< Run a single workload by name.
+  bool Verbose = false;
+};
+
+struct CounterCheck {
+  const char *Name;
+  const SymExpr *Predicted;
+  uint64_t Actual;
+};
+
+/// Joins one workload's prediction against its dynamic ledger; returns
+/// the number of violations (each printed on stderr).
+unsigned checkWorkload(const Workload &W, const WorkloadRun &R,
+                       bool Verbose) {
+  unsigned Violations = 0;
+  auto Fail = [&](const std::string &Msg) {
+    std::cerr << "[" << W.Name << "] PARITY VIOLATION: " << Msg << "\n";
+    ++Violations;
+  };
+
+  const CommCostReport &P = R.StaticCost;
+
+  if (R.Stats.DemandFaults != 0)
+    Fail("run used demand paging (" + std::to_string(R.Stats.DemandFaults) +
+         " faults); the static model does not cover demand traffic");
+
+  for (const Diagnostic &D : P.Diagnostics)
+    Fail("false positive on a correct program: " + D.getString());
+
+  if (!P.Sound)
+    Fail("analysis reported itself unsound on a workload it must cover");
+
+  for (const auto &[Site, E] : R.Ledger.entries()) {
+    const SitePrediction *SP = P.findSite(Site);
+    if (!SP) {
+      Fail("dynamic site '" + Site + "' has no predicted row (" +
+           std::to_string(E.totalBytes()) + " bytes unaccounted)");
+      continue;
+    }
+    const CounterCheck Checks[] = {
+        {"units", &SP->Units, E.Units},
+        {"bytes_htod", &SP->BytesHtoD, E.BytesHtoD},
+        {"bytes_dtoh", &SP->BytesDtoH, E.BytesDtoH},
+        {"transfers_htod", &SP->TransfersHtoD, E.TransfersHtoD},
+        {"transfers_dtoh", &SP->TransfersDtoH, E.TransfersDtoH},
+        {"epoch_suppressed", &SP->EpochSuppressed, E.EpochSuppressed},
+        {"reuse_suppressed", &SP->ReuseSuppressed, E.ReuseSuppressed},
+        {"map_calls", &SP->MapCalls, E.MapCalls},
+        {"unmap_calls", &SP->UnmapCalls, E.UnmapCalls},
+        {"release_calls", &SP->ReleaseCalls, E.ReleaseCalls},
+    };
+    for (const CounterCheck &C : Checks) {
+      if (SP->Exact) {
+        if (!C.Predicted->isConst()) {
+          Fail("site '" + Site + "' is marked exact but " + C.Name +
+               " is symbolic: " + C.Predicted->getString());
+          continue;
+        }
+        if ((uint64_t)C.Predicted->getConst() != C.Actual)
+          Fail("site '" + Site + "' " + C.Name + ": predicted " +
+               std::to_string(C.Predicted->getConst()) + ", actual " +
+               std::to_string(C.Actual));
+      } else if (C.Predicted->isConst() &&
+                 (uint64_t)C.Predicted->getConst() < C.Actual) {
+        Fail("site '" + Site + "' " + C.Name + ": predicted upper bound " +
+             std::to_string(C.Predicted->getConst()) + " < actual " +
+             std::to_string(C.Actual));
+      }
+    }
+    // The synchronous pipeline never coalesces; anything else means the
+    // configuration is not the one the contract is stated for.
+    if (E.Coalesced != 0)
+      Fail("site '" + Site + "' has coalesced copies in synchronous mode");
+  }
+
+  // Predicted-but-silent sites are fine only as upper bounds (the
+  // dynamic value is zero everywhere); an exact site that never
+  // materialized with nonzero counters is a prediction bug.
+  for (const SitePrediction &SP : P.Sites) {
+    if (R.Ledger.entries().count(SP.Site))
+      continue;
+    if (SP.Exact && SP.Units.isConst() && SP.Units.getConst() != 0)
+      Fail("exact site '" + SP.Site +
+           "' predicted units but never materialized dynamically");
+  }
+
+  if (Verbose && !Violations) {
+    std::cout << "[" << W.Name << "] OK: " << P.Sites.size()
+              << " sites predicted, " << R.Ledger.entries().size()
+              << " dynamic, exact=" << (P.Exact ? "yes" : "no")
+              << ", launches=" << P.KernelLaunches.getString() << "\n";
+  }
+  return Violations;
+}
+
+void usage() {
+  std::cout
+      << "usage: cgcm-static-parity [options]\n"
+         "\n"
+         "Validates static transfer-ledger predictions against dynamic\n"
+         "ground truth over the workload suite (docs/StaticAnalysis.md).\n"
+         "\n"
+         "  --workload=<name>  check a single workload\n"
+         "  --verbose          per-workload summary lines\n"
+         "  --help             this text\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (A == "--verbose" || A == "-v") {
+      Opt.Verbose = true;
+    } else if (A.rfind("--workload=", 0) == 0) {
+      Opt.Only = A.substr(strlen("--workload="));
+    } else {
+      std::cerr << "cgcm-static-parity: unknown option '" << A << "'\n";
+      usage();
+      return 2;
+    }
+  }
+
+  RunnerOptions RO;
+  RO.PredictStaticCost = true;
+
+  unsigned Checked = 0, Violations = 0;
+  for (const Workload &W : getWorkloads()) {
+    if (!Opt.Only.empty() && W.Name != Opt.Only)
+      continue;
+    WorkloadRun R = runWorkload(W, BenchConfig::CGCMOptimized, RO);
+    Violations += checkWorkload(W, R, Opt.Verbose);
+    ++Checked;
+  }
+
+  if (!Opt.Only.empty() && Checked == 0) {
+    std::cerr << "cgcm-static-parity: no workload named '" << Opt.Only
+              << "'\n";
+    return 2;
+  }
+
+  std::cout << "cgcm-static-parity: " << Checked << " workload(s), "
+            << Violations << " violation(s)\n";
+  return Violations ? 1 : 0;
+}

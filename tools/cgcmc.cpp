@@ -41,6 +41,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/checkers/Checkers.h"
+#include "analysis/commcost/CommCost.h"
 #include "exec/Machine.h"
 #include "frontend/IRGen.h"
 #include "ir/IRParser.h"
@@ -74,6 +75,9 @@ struct Options {
   bool Stats = false;
   bool Applicability = false;
   bool Analyze = false;
+  /// --analyze=cost: static transfer-ledger prediction + lifecycle
+  /// verification over the fully-managed module; JSON on stdout.
+  bool AnalyzeCost = false;
   bool Werror = false;
   std::string DumpStage; ///< Empty = no dump; "opt" dumps the final IR.
   LaunchPolicy Policy = LaunchPolicy::Managed;
@@ -102,6 +106,11 @@ void usage() {
       "  --stats             print execution statistics\n"
       "  --applicability     print per-launch framework applicability\n"
       "  --analyze           run the static checkers, do not execute\n"
+      "  --analyze=cost      predict the transfer ledger statically over\n"
+      "                      the fully-managed module and verify every\n"
+      "                      allocation unit's lifecycle; emits the\n"
+      "                      cgcm-static-cost-v1 JSON on stdout and\n"
+      "                      sorted diagnostics on stderr\n"
       "  --Werror            with --analyze, warnings fail the analysis\n"
       "  --trace=<file>      write a Chrome trace_event JSON of the\n"
       "                      execution (.jsonl extension: one event per\n"
@@ -144,7 +153,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Applicability = true;
     else if (A == "--analyze")
       O.Analyze = true;
-    else if (A == "--Werror")
+    else if (A == "--analyze=cost") {
+      O.Analyze = true;
+      O.AnalyzeCost = true;
+    } else if (A.rfind("--analyze=", 0) == 0) {
+      std::fprintf(stderr, "cgcmc: unknown analysis '%s' (try 'cost')\n",
+                   A.c_str() + 10);
+      return false;
+    } else if (A == "--Werror")
       O.Werror = true;
     else if (A == "--remarks")
       O.Remarks = true;
@@ -252,13 +268,34 @@ int runAnalysis(Module &M, const Options &O, const DOALLStats &DS) {
     }
   }
 
-  for (const Diagnostic &D : DE.getDiagnostics())
+  // Deterministic output: findings print in source order regardless of
+  // the order the checkers discovered them in.
+  std::vector<Diagnostic> Sorted = DE.getDiagnostics();
+  sortDiagnostics(Sorted);
+  for (const Diagnostic &D : Sorted)
     std::cerr << O.InputPath << ":" << D.getString() << "\n";
   if (DE.hasErrors())
     return 1;
   std::cerr << O.InputPath << ": analysis clean ("
             << DE.getNumWarnings() << " warnings)\n";
   return 0;
+}
+
+/// The --analyze=cost mode: static transfer-ledger prediction plus
+/// lifecycle verification over the module as compiled (the full default
+/// schedule, unlike plain --analyze which stops pre-management). JSON on
+/// stdout, sorted diagnostics on stderr. Returns the process exit code.
+int runCostAnalysis(Module &M, const Options &O) {
+  CommCostReport R = runCommCostAnalysis(M);
+  writeStaticCostJson(std::cout, R, M.getName());
+  bool HasErrors = false;
+  for (const Diagnostic &D : R.Diagnostics) {
+    std::cerr << O.InputPath << ":" << D.getString() << "\n";
+    if (D.Severity == DiagSeverity::Error ||
+        (O.Werror && D.Severity == DiagSeverity::Warning))
+      HasErrors = true;
+  }
+  return HasErrors ? 1 : 0;
 }
 
 /// Prints the pass-reported remarks collected in \p DE, applying the
@@ -333,6 +370,8 @@ int main(int Argc, char **Argv) {
   if (O.InputPath.size() > 3 &&
       O.InputPath.compare(O.InputPath.size() - 3, 3, ".ir") == 0) {
     std::unique_ptr<Module> M = parseIR(Buf.str(), O.InputPath);
+    if (O.AnalyzeCost)
+      return runCostAnalysis(*M, O);
     if (O.Analyze) {
       // Saved IR is analyzed as-is: it already carries whatever
       // management it was dumped with, so no passes are re-run (and
@@ -376,9 +415,12 @@ int main(int Argc, char **Argv) {
   if (!O.Passes.empty())
     Text = O.Passes;
 
+  // --analyze=cost wants the module exactly as it would execute, so it
+  // keeps the full schedule; plain --analyze stops pre-management.
   if (O.DumpStage == "ssa")
     Text = "mem2reg";
-  else if (O.DumpStage == "doall" || O.Applicability || O.Analyze)
+  else if (O.DumpStage == "doall" || O.Applicability ||
+           (O.Analyze && !O.AnalyzeCost))
     Text = Prefix;
   else if (O.DumpStage == "managed")
     Text = Prefix + (O.Manage ? ",comm" : "");
@@ -403,6 +445,8 @@ int main(int Argc, char **Argv) {
     printApplicability(*M);
     return 0;
   }
+  if (O.AnalyzeCost)
+    return runCostAnalysis(*M, O);
   if (O.Analyze)
     return runAnalysis(*M, O, R.Doall);
   if (O.Remarks)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate bench results against the committed repo-root baselines.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_transfer.json \
+      --current build/bench_transfer.json [--threshold 0.15]
+
+Compares the deterministic modeled-cycle sections of two cgcm-bench-v1
+files:
+
+  * ``transfer_overlap`` (micro_runtime): per (workload, streams,
+    coalesce, pinned) scenario, ``wall_cycles`` must not exceed the
+    baseline by more than ``--threshold`` (default 15%), and
+    ``output_equal`` must stay true.
+  * ``rows`` entries whose config is not a host wall-time row
+    (time_passes / micro_runtime modeled rows): ``cycles`` is checked
+    the same way.
+
+Host wall-time rows (config ``host-ns-per-op``) and the ``pass_timings``
+section are machine-noise and are ignored.  Scenarios present only in
+the current run are reported but do not fail the gate (new coverage);
+scenarios that disappeared fail it (lost coverage).
+
+Exit status: 0 = within budget, 1 = regression or lost coverage,
+2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+NOISY_CONFIGS = {"host-ns-per-op"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "cgcm-bench-v1":
+        print(f"error: {path}: not a cgcm-bench-v1 file", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def overlap_key(row):
+    return (row.get("workload"), row.get("streams"), row.get("coalesce"),
+            row.get("pinned"))
+
+
+def modeled_rows(doc):
+    out = {}
+    for row in doc.get("rows", []):
+        if row.get("config") in NOISY_CONFIGS:
+            continue
+        out[(row.get("workload"), row.get("config"))] = row
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional wall-cycle growth (default .15)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = 0
+
+    def check(name, key, base_val, cur_val):
+        nonlocal failures
+        if base_val <= 0:
+            return
+        growth = (cur_val - base_val) / base_val
+        if growth > args.threshold:
+            failures += 1
+            print(f"REGRESSION {name} {key}: {base_val:.0f} -> "
+                  f"{cur_val:.0f} cycles (+{growth * 100:.1f}% > "
+                  f"{args.threshold * 100:.0f}%)")
+        elif growth < -args.threshold:
+            print(f"note: {name} {key} improved {-growth * 100:.1f}%; "
+                  f"consider refreshing the committed baseline")
+
+    base_overlap = {overlap_key(r): r for r in base.get("transfer_overlap", [])}
+    cur_overlap = {overlap_key(r): r for r in cur.get("transfer_overlap", [])}
+    for key, brow in sorted(base_overlap.items(), key=str):
+        crow = cur_overlap.get(key)
+        if crow is None:
+            failures += 1
+            print(f"MISSING transfer_overlap scenario {key}")
+            continue
+        if not crow.get("output_equal", True):
+            failures += 1
+            print(f"OUTPUT MISMATCH transfer_overlap {key}")
+        check("transfer_overlap", key, brow.get("wall_cycles", 0),
+              crow.get("wall_cycles", 0))
+    for key in sorted(set(cur_overlap) - set(base_overlap), key=str):
+        print(f"note: new transfer_overlap scenario {key} (unchecked)")
+
+    base_rows = modeled_rows(base)
+    cur_rows = modeled_rows(cur)
+    for key, brow in sorted(base_rows.items(), key=str):
+        crow = cur_rows.get(key)
+        if crow is None:
+            failures += 1
+            print(f"MISSING modeled row {key}")
+            continue
+        check("row", key, brow.get("cycles", 0), crow.get("cycles", 0))
+    for key in sorted(set(cur_rows) - set(base_rows), key=str):
+        print(f"note: new modeled row {key} (unchecked)")
+
+    checked = len(base_overlap) + len(base_rows)
+    if failures:
+        print(f"{failures} regression(s) across {checked} checked entries")
+        return 1
+    print(f"bench within budget: {checked} entries within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

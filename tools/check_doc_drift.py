@@ -57,9 +57,9 @@ def tool_help(path):
     return r.stdout + r.stderr
 
 
-def collect_tool_flags(build_dir):
+def collect_tool_flags(build_dir, root):
     tools = []
-    for name in ("cgcmc", "cgcm-fuzz"):
+    for name in ("cgcmc", "cgcm-fuzz", "cgcm-static-parity"):
         p = os.path.join(build_dir, "tools", name)
         if os.path.isfile(p) and os.access(p, os.X_OK):
             tools.append(p)
@@ -76,6 +76,19 @@ def collect_tool_flags(build_dir):
     flags = set()
     for p in tools:
         flags |= set(FLAG_RE.findall(tool_help(p)))
+    # The python helper scripts document argparse flags of their own.
+    scripts_dir = os.path.join(root, "tools")
+    for name in sorted(os.listdir(scripts_dir)):
+        if not name.endswith(".py"):
+            continue
+        p = os.path.join(scripts_dir, name)
+        try:
+            r = subprocess.run([sys.executable, p, "--help"],
+                               capture_output=True, text=True, timeout=60)
+            flags |= set(FLAG_RE.findall(r.stdout + r.stderr))
+            tools.append(p)
+        except OSError as e:
+            error(f"{p}: cannot run --help: {e}")
     return flags, tools
 
 
@@ -137,7 +150,7 @@ def main():
     root = args.repo_root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
 
-    known_flags, tools = collect_tool_flags(args.build_dir)
+    known_flags, tools = collect_tool_flags(args.build_dir, root)
     if known_flags:
         check_flags(root, known_flags)
     check_links(root)
