@@ -40,12 +40,18 @@
 /// `--no-coalesce` (mirroring cgcmc); drivers that execute workloads run
 /// them under the requested transfer model.
 ///
+/// Every artifact additionally embeds the process-wide metrics registry
+/// (support/Metrics.h) as a "metrics" section in the cgcm-metrics-v1
+/// shape, so cgcm-metrics-diff can regression-compare bench runs without
+/// a separate export step.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGCM_BENCH_BENCHJSON_H
 #define CGCM_BENCH_BENCHJSON_H
 
 #include "support/JSON.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -256,6 +262,8 @@ inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
     }
     W.endArray();
   }
+  W.key("metrics");
+  writeMetricsObject(W, MetricsRegistry::get().snapshot());
   W.endObject();
   Out << "\n";
   return true;

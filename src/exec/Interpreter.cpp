@@ -7,11 +7,36 @@
 #include "exec/Interpreter.h"
 
 #include "support/ErrorHandling.h"
+#include "support/Metrics.h"
 
 #include <cmath>
 #include <cstring>
 
 using namespace cgcm;
+
+Interpreter::~Interpreter() {
+  // Cached once: MetricsRegistry instruments live for the whole process,
+  // so the pointers never dangle (reset() zeroes values only). The names
+  // track the instruction range of Value::ValueKind.
+  static const char *const OpcodeNames[NumOpcodeKinds] = {
+      "alloca", "load",   "store",         "gep", "binop",  "cmp",
+      "cast",   "call",   "kernel_launch", "phi", "select", "br",
+      "ret"};
+  static MetricCounter *OpcodeCounters[NumOpcodeKinds] = {};
+  static MetricCounter *FenceChecks = nullptr;
+  if (!FenceChecks) {
+    MetricsRegistry &R = MetricsRegistry::get();
+    for (unsigned I = 0; I < NumOpcodeKinds; ++I)
+      OpcodeCounters[I] =
+          &R.counter(std::string("interp.op.") + OpcodeNames[I]);
+    FenceChecks = &R.counter("interp.host_fence_checks");
+  }
+  for (unsigned I = 0; I < NumOpcodeKinds; ++I)
+    if (OpcodeCounts[I])
+      OpcodeCounters[I]->inc(OpcodeCounts[I]);
+  if (HostFenceChecks)
+    FenceChecks->inc(HostFenceChecks);
+}
 
 namespace {
 
@@ -103,8 +128,10 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
     // this range, the host blocks until it completes
     // (docs/TransferEngine.md). One empty-vector check when idle.
     StreamEngine &Eng = M.Device.getStreamEngine();
-    if (Eng.hasPendingHostRanges())
+    if (Eng.hasPendingHostRanges()) {
+      ++HostFenceChecks;
       Eng.hostAccess(Addr, Size, IsWrite);
+    }
   }
   if (!Ctx.OnGPU && Dev)
     reportFatalError("CPU code dereferenced a GPU pointer (address " +
@@ -258,6 +285,8 @@ uint64_t Interpreter::execFunction(Function *F,
     assert(It != BB->end() && "fell off the end of a basic block");
     Instruction *I = It->get();
     ChargeOps(1);
+    ++OpcodeCounts[static_cast<unsigned>(I->getKind()) -
+                   static_cast<unsigned>(Value::ValueKind::InstBegin)];
 
     switch (I->getKind()) {
     case Value::ValueKind::Phi: {
@@ -780,10 +809,10 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
       double Cost = M.TM.transferCycles(HtoDBytes);
       M.Device.recordEvent(EventKind::HtoD, M.Stats.totalCycles(), Cost,
                            HtoDBytes);
-      M.Stats.CommCycles += Cost;
-      // The IE baseline is inherently synchronous: tell the stream engine
-      // so its host clock stays consistent with ExecStats.
-      M.Device.getStreamEngine().noteSyncCharge(Cost);
+      // The IE baseline is inherently synchronous: the stream engine
+      // charges the Comm split and the host-timeline attribution mirror.
+      M.Device.getStreamEngine().noteSyncCharge(Cost,
+                                                StreamEngine::SyncKind::HtoD);
       M.Stats.BytesHtoD += HtoDBytes;
       ++M.Stats.TransfersHtoD;
     }
@@ -796,15 +825,15 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
                            .add("threads", Threads)
                            .add("ops", GpuOps)
                            .add("policy", "inspector-executor"));
-    M.Stats.GpuCycles += KCost;
-    M.Device.getStreamEngine().noteSyncCharge(KCost);
+    M.Device.getStreamEngine().noteSyncCharge(
+        KCost, StreamEngine::SyncKind::Compute);
     M.Stats.GpuOps += GpuOps;
     if (!WriteUnits.empty()) {
       double Cost = M.TM.transferCycles(WriteUnits.size());
       M.Device.recordEvent(EventKind::DtoH, M.Stats.totalCycles(), Cost,
                            WriteUnits.size());
-      M.Stats.CommCycles += Cost;
-      M.Device.getStreamEngine().noteSyncCharge(Cost);
+      M.Device.getStreamEngine().noteSyncCharge(
+          Cost, StreamEngine::SyncKind::DtoH);
       M.Stats.BytesDtoH += WriteUnits.size();
       ++M.Stats.TransfersDtoH;
     }

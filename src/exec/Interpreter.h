@@ -48,6 +48,10 @@ struct ExecContext {
 class Interpreter {
 public:
   explicit Interpreter(Machine &M) : M(M) {}
+  /// Flushes the per-instance dispatch/fence tallies into the process-wide
+  /// metrics registry (support/Metrics.h) — one batched add per opcode
+  /// instead of an atomic on every dispatched instruction.
+  ~Interpreter();
 
   /// Executes \p F with \p Args; returns the register value of the
   /// returned result (0 for void).
@@ -56,6 +60,16 @@ public:
 
 private:
   struct Frame;
+
+  /// Opcode dispatch tallies, indexed by Value::ValueKind for the
+  /// instruction range [InstBegin, InstEnd].
+  static constexpr unsigned NumOpcodeKinds =
+      static_cast<unsigned>(Value::ValueKind::InstEnd) -
+      static_cast<unsigned>(Value::ValueKind::InstBegin) + 1;
+  uint64_t OpcodeCounts[NumOpcodeKinds] = {};
+  /// How often memoryFor consulted the stream engine's pending-range set
+  /// at a host use point.
+  uint64_t HostFenceChecks = 0;
 
   uint64_t evalOperand(const Value *V, Frame &Fr, ExecContext &Ctx);
   void execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,

@@ -6,6 +6,8 @@
 
 #include "gpusim/StreamEngine.h"
 
+#include "support/Metrics.h"
+
 using namespace cgcm;
 
 unsigned StreamEngine::pickStream() {
@@ -14,12 +16,42 @@ unsigned StreamEngine::pickStream() {
   return S;
 }
 
-void StreamEngine::hostWaitUntil(double T) {
+void StreamEngine::hostWaitUntil(double T, StallCause Cause) {
   double Now = hostNow();
   if (T <= Now)
     return;
-  Stats.StallCycles += T - Now;
+  const double Delta = T - Now;
+  switch (Cause) {
+  case StallCause::HtoDFence:
+    Stats.StallHtoDFenceCycles += Delta;
+    break;
+  case StallCause::DtoHFence:
+    Stats.StallDtoHFenceCycles += Delta;
+    break;
+  case StallCause::HostSync:
+    Stats.StallHostSyncCycles += Delta;
+    break;
+  }
+  // Recompute the stored total so it is always bitwise-equal to the
+  // canonical (htod + dtoh) + sync shape over the final bucket values
+  // (the attribution exactness invariant; see gpusim/Timing.h).
+  Stats.StallCycles =
+      (Stats.StallHtoDFenceCycles + Stats.StallDtoHFenceCycles) +
+      Stats.StallHostSyncCycles;
   ++Stats.HostSyncs;
+  // Process-wide stall attribution; instruments are created once and the
+  // pointers stay valid for the life of the process.
+  static MetricGauge *const StallGauges[3] = {
+      &MetricsRegistry::get().gauge("stream.stall.htod_fence_cycles"),
+      &MetricsRegistry::get().gauge("stream.stall.dtoh_fence_cycles"),
+      &MetricsRegistry::get().gauge("stream.stall.host_sync_cycles")};
+  StallGauges[static_cast<unsigned>(Cause)]->add(Delta);
+}
+
+void StreamEngine::recordQueueDepth() {
+  static MetricHistogram *const Depth =
+      &MetricsRegistry::get().histogram("stream.pending_ranges");
+  Depth->record(Pending.size());
 }
 
 void StreamEngine::prunePending() {
@@ -40,8 +72,7 @@ StreamEngine::transferHtoD(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
     R.Duration = TM.transferCycles(Bytes);
     R.Start = Stats.totalCycles();
     R.Lane = LaneHost;
-    Stats.CommCycles += R.Duration;
-    SyncCommitted += R.Duration;
+    noteSyncCharge(R.Duration, SyncKind::HtoD);
     ++Stats.DmaBatches;
     return R;
   }
@@ -66,6 +97,7 @@ StreamEngine::transferHtoD(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
     HtoDBatch.Open = true;
     HtoDBatch.Stream = R.Stream;
     ++Stats.DmaBatches;
+    ++laneStats(R.Stream).Batches;
   }
   double End = R.Start + R.Duration;
   HtoDBatch.End = End;
@@ -73,9 +105,14 @@ StreamEngine::transferHtoD(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
   StreamBusy[R.Stream] = End;
   PendingHtoDFence = std::max(PendingHtoDFence, End);
   R.Lane = laneForStream(R.Stream);
-  Stats.CommCycles += R.Duration;
+  Stats.HtoDCommCycles += R.Duration;
+  Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
+  ExecStats::StreamLaneStats &LS = laneStats(R.Stream);
+  LS.HtoDBusyCycles += R.Duration;
+  ++LS.Copies;
   ++Stats.AsyncTransfers;
   Pending.push_back({HostAddr, HostAddr + Bytes, End, /*IsDtoH=*/false});
+  recordQueueDepth();
   return R;
 }
 
@@ -86,8 +123,7 @@ StreamEngine::transferDtoH(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
     R.Duration = TM.transferCycles(Bytes);
     R.Start = Stats.totalCycles();
     R.Lane = LaneHost;
-    Stats.CommCycles += R.Duration;
-    SyncCommitted += R.Duration;
+    noteSyncCharge(R.Duration, SyncKind::DtoH);
     ++Stats.DmaBatches;
     return R;
   }
@@ -113,23 +149,28 @@ StreamEngine::transferDtoH(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
     DtoHBatch.Open = true;
     DtoHBatch.Stream = R.Stream;
     ++Stats.DmaBatches;
+    ++laneStats(R.Stream).Batches;
   }
   double End = R.Start + R.Duration;
   DtoHBatch.End = End;
   DtoHBusy = End;
   StreamBusy[R.Stream] = End;
   R.Lane = laneForStream(R.Stream);
-  Stats.CommCycles += R.Duration;
+  Stats.DtoHCommCycles += R.Duration;
+  Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
+  ExecStats::StreamLaneStats &LS = laneStats(R.Stream);
+  LS.DtoHBusyCycles += R.Duration;
+  ++LS.Copies;
   ++Stats.AsyncTransfers;
   Pending.push_back({HostAddr, HostAddr + Bytes, End, /*IsDtoH=*/true});
+  recordQueueDepth();
   return R;
 }
 
 double StreamEngine::kernelLaunch(double Cycles) {
   if (!Cfg.Async) {
     double Start = Stats.totalCycles();
-    Stats.GpuCycles += Cycles;
-    SyncCommitted += Cycles;
+    noteSyncCharge(Cycles, SyncKind::Compute);
     return Start;
   }
   // A kernel launch closes both coalescing windows and fences every
@@ -140,6 +181,7 @@ double StreamEngine::kernelLaunch(double Cycles) {
     Start = std::max(Start, std::max(HtoDBusy, DtoHBusy));
   ComputeBusy = Start + Cycles;
   Stats.GpuCycles += Cycles;
+  Stats.ComputeLaneBusyCycles += Cycles;
   return Start;
 }
 
@@ -149,25 +191,32 @@ void StreamEngine::hostAccess(uint64_t Addr, uint64_t Size, bool IsWrite) {
   prunePending();
   uint64_t Lo = Addr, Hi = Addr + (Size ? Size : 1);
   double WaitUntil = 0;
+  bool CauseDtoH = false;
   for (auto It = Pending.begin(); It != Pending.end();) {
     bool Overlaps = It->Lo < Hi && Lo < It->Hi;
     // Reads conflict with in-flight DtoH landings; writes additionally
     // conflict with HtoD copies still reading the range.
     if (Overlaps && (It->IsDtoH || IsWrite)) {
-      WaitUntil = std::max(WaitUntil, It->Ready);
+      if (It->Ready >= WaitUntil) {
+        // The stall is attributed to the copy the host actually waits
+        // longest for.
+        WaitUntil = It->Ready;
+        CauseDtoH = It->IsDtoH;
+      }
       It = Pending.erase(It);
       continue;
     }
     ++It;
   }
-  hostWaitUntil(WaitUntil);
+  hostWaitUntil(WaitUntil,
+                CauseDtoH ? StallCause::DtoHFence : StallCause::HtoDFence);
 }
 
 void StreamEngine::waitAll() {
   if (!Cfg.Async)
     return;
   HtoDBatch.Open = DtoHBatch.Open = false;
-  hostWaitUntil(wallNow());
+  hostWaitUntil(wallNow(), StallCause::HostSync);
   Pending.clear();
 }
 

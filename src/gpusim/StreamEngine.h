@@ -82,7 +82,6 @@ public:
   void reset() {
     StreamBusy.assign(Cfg.Streams, 0.0);
     HtoDBusy = DtoHBusy = ComputeBusy = 0;
-    SyncCommitted = 0;
     PendingHtoDFence = 0;
     NextStream = 0;
     HtoDBatch = DtoHBatch = Batch();
@@ -94,11 +93,14 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Where the host's own timeline stands: busy components charged to the
-  /// host plus stalls plus every synchronously-committed cost. On a
-  /// synchronous run this equals ExecStats::totalCycles().
+  /// host, synchronously-committed kernel/transfer costs, and stalls. On
+  /// a synchronous run this equals ExecStats::totalCycles() bitwise —
+  /// the association shape here deliberately mirrors totalCycles() and
+  /// WallAttribution::sum() (see gpusim/Timing.h).
   double hostNow() const {
-    return Stats.CpuCycles + Stats.RuntimeCycles + Stats.InspectorCycles +
-           Stats.StallCycles + SyncCommitted;
+    return ((Stats.hostBusyCycles() + Stats.HostComputeCycles) +
+            (Stats.HostHtoDCycles + Stats.HostDtoHCycles)) +
+           Stats.StallCycles;
   }
 
   /// The frontier of the busiest lane — the overlap-aware wall clock.
@@ -132,10 +134,33 @@ public:
   /// GpuCycles.
   double kernelLaunch(double Cycles);
 
-  /// Adds a synchronous cost the engine did not issue itself (inspector-
-  /// executor transfers, emulated kernels) so hostNow() stays consistent
-  /// with ExecStats when those paths charge Comm/Gpu cycles directly.
-  void noteSyncCharge(double Cycles) { SyncCommitted += Cycles; }
+  /// What a synchronously-committed charge paid for, so the attribution
+  /// decomposition can split the host timeline by kind.
+  enum class SyncKind { Compute, HtoD, DtoH };
+
+  /// Accounts a synchronous cost the host blocked for: updates the
+  /// kind's ExecStats accumulators (GpuCycles/Comm split plus the
+  /// Host*Cycles attribution mirror) and recomputes the stored derived
+  /// totals. Call sites that used to charge Comm/Gpu cycles directly now
+  /// route through here so the split can never drift from the totals.
+  void noteSyncCharge(double Cycles, SyncKind Kind) {
+    switch (Kind) {
+    case SyncKind::Compute:
+      Stats.GpuCycles += Cycles;
+      Stats.HostComputeCycles += Cycles;
+      break;
+    case SyncKind::HtoD:
+      Stats.HtoDCommCycles += Cycles;
+      Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
+      Stats.HostHtoDCycles += Cycles;
+      break;
+    case SyncKind::DtoH:
+      Stats.DtoHCommCycles += Cycles;
+      Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
+      Stats.HostDtoHCycles += Cycles;
+      break;
+    }
+  }
 
   //===--------------------------------------------------------------------===//
   // Fences
@@ -170,8 +195,21 @@ private:
     bool IsDtoH = false;
   };
 
-  /// Advances the host to \p T, accounting the gap as stall.
-  void hostWaitUntil(double T);
+  /// Why the host blocked, for the stall-by-cause split in ExecStats.
+  enum class StallCause { HtoDFence, DtoHFence, HostSync };
+
+  /// Advances the host to \p T, accounting the gap as stall attributed
+  /// to \p Cause.
+  void hostWaitUntil(double T, StallCause Cause);
+  /// Samples the in-flight host-range queue depth into the process-wide
+  /// metrics registry (called at every async issue).
+  void recordQueueDepth();
+  /// Ensures Stats.StreamLanes covers stream \p S and returns its slot.
+  ExecStats::StreamLaneStats &laneStats(unsigned S) {
+    if (Stats.StreamLanes.size() <= S)
+      Stats.StreamLanes.resize(S + 1);
+    return Stats.StreamLanes[S];
+  }
   void prunePending();
   unsigned pickStream();
 
@@ -183,9 +221,6 @@ private:
   double HtoDBusy = 0;            ///< HtoD copy-engine frontier.
   double DtoHBusy = 0;            ///< DtoH copy-engine frontier.
   double ComputeBusy = 0;         ///< Compute-lane frontier.
-  /// Comm/Gpu cycles committed synchronously (the host blocked for
-  /// them), so hostNow() can be derived from ExecStats components.
-  double SyncCommitted = 0;
   /// Completion frontier of all HtoD copies a future kernel must see.
   double PendingHtoDFence = 0;
   unsigned NextStream = 0;

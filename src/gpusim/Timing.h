@@ -20,6 +20,7 @@
 #define CGCM_GPUSIM_TIMING_H
 
 #include <cstdint>
+#include <vector>
 
 namespace cgcm {
 
@@ -111,9 +112,34 @@ struct TimingModel {
 struct ExecStats {
   double CpuCycles = 0;
   double GpuCycles = 0;
+  /// Total transfer cycles. Derived but stored: recomputed as
+  /// HtoDCommCycles + DtoHCommCycles at every charge site, so reading it
+  /// is free and it is always bitwise-equal to that sum of the current
+  /// direction accumulators.
   double CommCycles = 0;
   double InspectorCycles = 0;
   double RuntimeCycles = 0;
+
+  /// Direction split of CommCycles (every charge updates one of these,
+  /// then recomputes CommCycles).
+  double HtoDCommCycles = 0;
+  double DtoHCommCycles = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Host-timeline attribution (docs/Observability.md §Metrics). These
+  // track what the *host* paid for, by kind: on a synchronous run every
+  // kernel/transfer charge blocks the host, so HostComputeCycles mirrors
+  // GpuCycles and HostHtoD/DtoH mirror the Comm split bitwise; on an
+  // asynchronous run the lanes absorb those costs and the host-side
+  // fields stay near zero — the time reappears as stall-by-cause below.
+  //===--------------------------------------------------------------------===//
+
+  /// Kernel cycles the host blocked for (sync launches; async launches
+  /// charge the compute lane instead).
+  double HostComputeCycles = 0;
+  /// HtoD / DtoH copy cycles the host blocked for.
+  double HostHtoDCycles = 0;
+  double HostDtoHCycles = 0;
 
   uint64_t KernelLaunches = 0;
   uint64_t TransfersHtoD = 0;
@@ -139,8 +165,20 @@ struct ExecStats {
   /// Cycles the host spent blocked at a fence (kernel waiting on HtoD
   /// traffic is charged to the compute lane, not here; this is host-side
   /// stall only: reads of in-flight DtoH data, writes under a pending
-  /// copy, and the end-of-run drain).
+  /// copy, and the end-of-run drain). Derived but stored: recomputed as
+  /// (StallHtoDFenceCycles + StallDtoHFenceCycles) + StallHostSyncCycles
+  /// at every stall site.
   double StallCycles = 0;
+  /// Cause split of StallCycles: host writes fencing on in-flight HtoD
+  /// sources, host reads/writes fencing on in-flight DtoH landings, and
+  /// full synchronization points (waitAll / drain / demand faults).
+  double StallHtoDFenceCycles = 0;
+  double StallDtoHFenceCycles = 0;
+  double StallHostSyncCycles = 0;
+  /// Kernel cycles executed on the asynchronous compute lane (the async
+  /// counterpart of HostComputeCycles; GpuCycles is always the sum of
+  /// both regimes).
+  double ComputeLaneBusyCycles = 0;
   /// Overlap-aware wall clock, set when the stream engine drains at the
   /// end of an asynchronous run; 0 while unset (synchronous runs).
   double WallCycles = 0;
@@ -158,13 +196,35 @@ struct ExecStats {
   /// Number of fences at which the host actually blocked.
   uint64_t HostSyncs = 0;
 
+  /// Per-stream utilization on an asynchronous run (index = stream id;
+  /// empty on synchronous runs). Busy cycles are copy durations on that
+  /// stream; idle is wallCycles() minus busy, computed by the reporter.
+  struct StreamLaneStats {
+    double HtoDBusyCycles = 0;
+    double DtoHBusyCycles = 0;
+    uint64_t Copies = 0;
+    uint64_t Batches = 0;
+  };
+  std::vector<StreamLaneStats> StreamLanes;
+
+  /// Host-side busy work: interpreted CPU ops plus runtime-call and
+  /// inspector bookkeeping. One leg of both totalCycles() and the
+  /// attribution decomposition.
+  double hostBusyCycles() const {
+    return CpuCycles + RuntimeCycles + InspectorCycles;
+  }
+
   /// Sum of busy cycles across components. On a synchronous run the
   /// machine model blocks the CPU on transfers and kernels, so this *is*
   /// the wall clock; on an asynchronous run lanes overlap and the wall
   /// clock is WallCycles (see wallCycles()).
+  ///
+  /// The association shape ((host + gpu) + comm) is deliberate: it is
+  /// the same shape StreamEngine::hostNow() and WallAttribution::sum()
+  /// use, which is what makes the attribution decomposition *bitwise*
+  /// equal to the wall clock (MetricsTests.cpp locks this in).
   double totalCycles() const {
-    return CpuCycles + GpuCycles + CommCycles + InspectorCycles +
-           RuntimeCycles;
+    return (hostBusyCycles() + GpuCycles) + CommCycles;
   }
 
   /// The modeled wall clock: overlap-aware when the stream engine ran
@@ -182,6 +242,48 @@ struct ExecStats {
 
   void reset() { *this = ExecStats(); }
 };
+
+/// The "where did the wall cycles go" decomposition (docs/Observability.md
+/// §Metrics): every modeled wall cycle attributed to exactly one of host
+/// busy work, kernel compute the host blocked for, transfer time the host
+/// blocked for (by direction), or a stall cause. sum() reproduces
+/// ExecStats::wallCycles() *bitwise* in both regimes, because it uses the
+/// same accumulators and the same association shape as totalCycles() /
+/// StreamEngine::hostNow() (the exactness is a ctest invariant over all
+/// 24 workloads).
+struct WallAttribution {
+  double Wall = 0;
+  double Host = 0;    ///< ExecStats::hostBusyCycles().
+  double Compute = 0; ///< HostComputeCycles.
+  double HtoD = 0;    ///< HostHtoDCycles.
+  double DtoH = 0;    ///< HostDtoHCycles.
+  double StallHtoDFence = 0;
+  double StallDtoHFence = 0;
+  double StallHostSync = 0;
+  /// Report-only per-stream columns (copied from ExecStats::StreamLanes).
+  std::vector<ExecStats::StreamLaneStats> Streams;
+
+  /// Same shape as totalCycles() and hostNow(); bitwise-equal to Wall.
+  double sum() const {
+    return ((Host + Compute) + (HtoD + DtoH)) +
+           ((StallHtoDFence + StallDtoHFence) + StallHostSync);
+  }
+};
+
+/// Builds the decomposition from final run statistics.
+inline WallAttribution attributeWall(const ExecStats &S) {
+  WallAttribution A;
+  A.Wall = S.wallCycles();
+  A.Host = S.hostBusyCycles();
+  A.Compute = S.HostComputeCycles;
+  A.HtoD = S.HostHtoDCycles;
+  A.DtoH = S.HostDtoHCycles;
+  A.StallHtoDFence = S.StallHtoDFenceCycles;
+  A.StallDtoHFence = S.StallDtoHFenceCycles;
+  A.StallHostSync = S.StallHostSyncCycles;
+  A.Streams = S.StreamLanes;
+  return A;
+}
 
 /// Kinds of timeline events recorded for schedule visualization (Fig. 2).
 enum class EventKind { CpuCompute, HtoD, DtoH, Kernel, Inspect };

@@ -9,6 +9,7 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <chrono>
@@ -81,6 +82,53 @@ void TimePassesHandler::print(std::ostream &OS,
   for (const AnalysisCacheStats &S : AM.getCacheStats())
     OS << std::left << std::setw(28) << S.Name << std::right << std::setw(14)
        << S.Constructions << std::setw(10) << S.Hits << "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsPassHandler
+//===----------------------------------------------------------------------===//
+
+void MetricsPassHandler::registerCallbacks(PassInstrumentation &PI) {
+  PI.registerBeforePass([this](const std::string &, Module &) {
+    StartStack.push_back(nowMs());
+  });
+  PI.registerAfterPass(
+      [this](const std::string &Pass, Module &, bool Changed) {
+        if (StartStack.empty())
+          return;
+        double Start = StartStack.back();
+        StartStack.pop_back();
+        MetricsRegistry &R = MetricsRegistry::get();
+        R.histogram("pass." + Pass + ".wall_us")
+            .record(static_cast<uint64_t>((nowMs() - Start) * 1000.0));
+        R.counter("pass." + Pass + ".runs").inc();
+        if (Changed)
+          R.counter("pass." + Pass + ".changed").inc();
+      });
+}
+
+void MetricsPassHandler::captureCacheBaseline(
+    const ModuleAnalysisManager &AM) {
+  Baseline = AM.getCacheStats();
+}
+
+void MetricsPassHandler::flushCacheStats(
+    const ModuleAnalysisManager &AM) const {
+  MetricsRegistry &R = MetricsRegistry::get();
+  for (const AnalysisCacheStats &S : AM.getCacheStats()) {
+    uint64_t BaseConstructions = 0, BaseHits = 0;
+    for (const AnalysisCacheStats &B : Baseline)
+      if (B.Name == S.Name) {
+        BaseConstructions = B.Constructions;
+        BaseHits = B.Hits;
+        break;
+      }
+    if (S.Constructions > BaseConstructions)
+      R.counter("pass.analysis." + S.Name + ".constructions")
+          .inc(S.Constructions - BaseConstructions);
+    if (S.Hits > BaseHits)
+      R.counter("pass.analysis." + S.Name + ".hits").inc(S.Hits - BaseHits);
+  }
 }
 
 //===----------------------------------------------------------------------===//

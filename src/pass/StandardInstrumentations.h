@@ -73,6 +73,24 @@ private:
   std::vector<Frame> Stack;
 };
 
+/// Always-on subscriber publishing per-pass wall time and run counts
+/// into the process-wide metrics registry (support/Metrics.h):
+/// `pass.<name>.wall_us` histograms (host wall clock, so filtered as
+/// noisy by cgcm-metrics-diff) plus `pass.<name>.runs` and
+/// `pass.<name>.changed` counters. flushCacheStats() publishes the
+/// analysis managers' construction/hit deltas accumulated since
+/// captureCacheBaseline() as `pass.analysis.<name>.{constructions,hits}`.
+class MetricsPassHandler {
+public:
+  void registerCallbacks(PassInstrumentation &PI);
+  void captureCacheBaseline(const ModuleAnalysisManager &AM);
+  void flushCacheStats(const ModuleAnalysisManager &AM) const;
+
+private:
+  std::vector<double> StartStack; ///< Start times in ms, LIFO.
+  std::vector<AnalysisCacheStats> Baseline;
+};
+
 class VerifyEachHandler {
 public:
   void registerCallbacks(PassInstrumentation &PI);

@@ -7,11 +7,48 @@
 #include "runtime/CGCMRuntime.h"
 
 #include "support/ErrorHandling.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <vector>
 
 using namespace cgcm;
+
+namespace {
+
+/// Host-side nanoseconds since \p T0, for the runtime's own-overhead
+/// histograms (names carry the host_ns suffix the diff tool filters).
+uint64_t hostNsSince(std::chrono::steady_clock::time_point T0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+}
+
+} // namespace
+
+CGCMRuntime::SiteInstruments &
+CGCMRuntime::siteInstruments(const LedgerEntry *E) {
+  auto It = SiteCache.find(E);
+  if (It != SiteCache.end())
+    return It->second;
+  std::string Site = E ? E->Site : std::string("<none>");
+  for (char &C : Site)
+    if (C == ' ')
+      C = '_';
+  MetricsRegistry &R = MetricsRegistry::get();
+  SiteInstruments SI;
+  const std::string Prefix = "runtime.site." + Site + ".";
+  SI.MapCycles = &R.histogram(Prefix + "map_cycles");
+  SI.MapArrayCycles = &R.histogram(Prefix + "map_array_cycles");
+  SI.UnmapCycles = &R.histogram(Prefix + "unmap_cycles");
+  SI.MapHostNs = &R.histogram(Prefix + "map_host_ns");
+  SI.MapArrayHostNs = &R.histogram(Prefix + "map_array_host_ns");
+  SI.UnmapHostNs = &R.histogram(Prefix + "unmap_host_ns");
+  return SiteCache.emplace(E, SI).first->second;
+}
 
 void CGCMRuntime::chargeCall() {
   Stats.RuntimeCycles += TM.RuntimeCallOverhead;
@@ -58,6 +95,11 @@ void CGCMRuntime::trackUnit(AllocUnitInfo Info) {
   for (; It != Units.end() && It->first < Hi; ++It)
     if (It->second.HostDead)
       Evict.push_back(It->first);
+  if (!Evict.empty()) {
+    static MetricCounter *const ZombiesEvicted =
+        &MetricsRegistry::get().counter("runtime.zombies.evicted");
+    ZombiesEvicted->inc(Evict.size());
+  }
   for (uint64_t B : Evict)
     forceReclaim(Units.find(B)->second, "evicted");
 
@@ -159,6 +201,11 @@ void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
     // (the host block is gone) and the final release frees the device
     // copy and forgets the unit.
     Old.HostDead = true;
+    {
+      static MetricCounter *const ZombiesCreated =
+          &MetricsRegistry::get().counter("runtime.zombies.created");
+      ZombiesCreated->inc();
+    }
     traceCall("realloc-deferred", Old, /*Copied=*/false);
     if (Observer)
       Observer->onDeferredReclaim(Old, "realloc");
@@ -190,6 +237,11 @@ void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
     // dead) unit so the outstanding unmap/release resolve; the final
     // release reclaims the device copy.
     Info.HostDead = true;
+    {
+      static MetricCounter *const ZombiesCreated =
+          &MetricsRegistry::get().counter("runtime.zombies.created");
+      ZombiesCreated->inc();
+    }
     traceCall("free-deferred", Info, /*Copied=*/false);
     if (Observer)
       Observer->onDeferredReclaim(Info, "free");
@@ -206,6 +258,11 @@ void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
 //===----------------------------------------------------------------------===//
 
 const AllocUnitInfo *CGCMRuntime::lookup(uint64_t Ptr) const {
+  // Probe depth of the greatest-LTE search: the balanced tree visits
+  // ~log2(size) nodes, so record that as the per-lookup depth sample.
+  static MetricHistogram *const Depth =
+      &MetricsRegistry::get().histogram("runtime.lookup.depth");
+  Depth->record(std::bit_width(Units.size()));
   auto It = Units.upper_bound(Ptr);
   if (It == Units.begin())
     return nullptr;
@@ -314,6 +371,8 @@ void CGCMRuntime::scrubSnapshots(uint64_t Lo, uint64_t Hi) {
 //===----------------------------------------------------------------------===//
 
 uint64_t CGCMRuntime::map(uint64_t Ptr) {
+  const auto HostT0 = std::chrono::steady_clock::now();
+  const double ClockT0 = clockNow();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "map");
   if (Info.HostDead)
     reportFatalError("cgcm runtime: map of an allocation unit whose host "
@@ -360,10 +419,15 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
   traceCall("map", Info, Copied);
   if (Observer)
     Observer->onMap(Info, Copied);
+  SiteInstruments &SI = siteInstruments(Info.Ledger);
+  SI.MapCycles->record(static_cast<uint64_t>(clockNow() - ClockT0));
+  SI.MapHostNs->record(hostNsSince(HostT0));
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
 void CGCMRuntime::unmap(uint64_t Ptr) {
+  const auto HostT0 = std::chrono::steady_clock::now();
+  const double ClockT0 = clockNow();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "unmap");
   if (Info.RefCount == 0)
     return; // Nothing on the GPU to copy back; a no-op costs nothing.
@@ -398,6 +462,9 @@ void CGCMRuntime::unmap(uint64_t Ptr) {
   traceCall("unmap", Info, Copied);
   if (Observer)
     Observer->onUnmap(Info, Copied);
+  SiteInstruments &SI = siteInstruments(Info.Ledger);
+  SI.UnmapCycles->record(static_cast<uint64_t>(clockNow() - ClockT0));
+  SI.UnmapHostNs->record(hostNsSince(HostT0));
 }
 
 void CGCMRuntime::release(uint64_t Ptr) {
@@ -437,6 +504,8 @@ void CGCMRuntime::release(uint64_t Ptr) {
 //===----------------------------------------------------------------------===//
 
 uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
+  const auto HostT0 = std::chrono::steady_clock::now();
+  const double ClockT0 = clockNow();
   AllocUnitInfo &Info = lookupOrFail(Ptr, "mapArray");
   if (Info.HostDead)
     reportFatalError("cgcm runtime: mapArray of an allocation unit whose "
@@ -498,6 +567,9 @@ uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
   traceCall("mapArray", Info, NeedsCopy);
   if (Observer)
     Observer->onMap(Info, NeedsCopy);
+  SiteInstruments &SI = siteInstruments(Info.Ledger);
+  SI.MapArrayCycles->record(static_cast<uint64_t>(clockNow() - ClockT0));
+  SI.MapArrayHostNs->record(hostNsSince(HostT0));
   return Info.DevPtr + (Ptr - Info.Base);
 }
 

@@ -46,6 +46,8 @@
 
 namespace cgcm {
 
+class MetricHistogram;
+
 /// Allocation-unit bookkeeping record (the paper's allocInfoMap values).
 struct AllocUnitInfo {
   uint64_t Base = 0;
@@ -241,11 +243,28 @@ private:
   /// owns the range next.
   void scrubSnapshots(uint64_t Lo, uint64_t Hi);
 
+  /// Per-allocation-site latency instruments in the process-wide metrics
+  /// registry (support/Metrics.h), cached by ledger entry so the hot
+  /// path pays one tree lookup instead of a registry string lookup.
+  /// Modeled-cycle histograms feed the attribution profiler; the host-ns
+  /// variants measure the runtime's own wall overhead and are filtered
+  /// as noisy by cgcm-metrics-diff.
+  struct SiteInstruments {
+    MetricHistogram *MapCycles = nullptr;
+    MetricHistogram *MapArrayCycles = nullptr;
+    MetricHistogram *UnmapCycles = nullptr;
+    MetricHistogram *MapHostNs = nullptr;
+    MetricHistogram *MapArrayHostNs = nullptr;
+    MetricHistogram *UnmapHostNs = nullptr;
+  };
+  SiteInstruments &siteInstruments(const LedgerEntry *E);
+
   SimMemory &Host;
   GPUDevice &Device;
   TimingModel &TM;
   ExecStats &Stats;
   std::map<uint64_t, AllocUnitInfo> Units; ///< Keyed by base address.
+  std::map<const LedgerEntry *, SiteInstruments> SiteCache;
   TransferLedger Ledger;
   TraceCollector *Trace = nullptr;
   RuntimeObserver *Observer = nullptr;

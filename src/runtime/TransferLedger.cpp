@@ -42,10 +42,22 @@ std::vector<const LedgerEntry *> TransferLedger::sortedByBytes() const {
   Out.reserve(Entries.size());
   for (const auto &[Site, E] : Entries)
     Out.push_back(&E);
-  std::stable_sort(Out.begin(), Out.end(),
-                   [](const LedgerEntry *A, const LedgerEntry *B) {
-                     return A->totalBytes() > B->totalBytes();
-                   });
+  // Fully deterministic order regardless of insertion history: bytes
+  // moved, then transfer count, then source position, then site name.
+  std::stable_sort(
+      Out.begin(), Out.end(), [](const LedgerEntry *A, const LedgerEntry *B) {
+        if (A->totalBytes() != B->totalBytes())
+          return A->totalBytes() > B->totalBytes();
+        uint64_t TA = A->TransfersHtoD + A->TransfersDtoH;
+        uint64_t TB = B->TransfersHtoD + B->TransfersDtoH;
+        if (TA != TB)
+          return TA > TB;
+        if (A->Loc.Line != B->Loc.Line)
+          return A->Loc.Line < B->Loc.Line;
+        if (A->Loc.Col != B->Loc.Col)
+          return A->Loc.Col < B->Loc.Col;
+        return A->Site < B->Site;
+      });
   return Out;
 }
 

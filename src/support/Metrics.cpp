@@ -1,0 +1,166 @@
+//===- support/Metrics.cpp - Process-wide metrics registry ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/JSON.h"
+
+#include <cmath>
+
+using namespace cgcm;
+
+//===----------------------------------------------------------------------===//
+// MetricHistogram
+//===----------------------------------------------------------------------===//
+
+uint64_t MetricHistogram::percentile(double P) const {
+  const uint64_t N = count();
+  if (N == 0)
+    return 0;
+  const uint64_t Rank =
+      static_cast<uint64_t>(std::ceil(P * static_cast<double>(N)));
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Cum += bucketCount(I);
+    if (Cum >= Rank)
+      return bucketUpperBound(I);
+  }
+  return bucketUpperBound(NumBuckets - 1);
+}
+
+void MetricHistogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(UINT64_MAX, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::get() {
+  static MetricsRegistry R;
+  return R;
+}
+
+MetricCounter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<MetricCounter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<MetricCounter>();
+  return *Slot;
+}
+
+MetricGauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<MetricGauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<MetricGauge>();
+  return *Slot;
+}
+
+MetricHistogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<MetricHistogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<MetricHistogram>();
+  return *Slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MetricsSnapshot S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.push_back({Name, C->value()});
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.push_back({Name, G->value()});
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot HS;
+    HS.Name = Name;
+    HS.Count = H->count();
+    HS.Sum = H->sum();
+    HS.Min = H->min();
+    HS.Max = H->max();
+    HS.P50 = H->percentile(0.50);
+    HS.P90 = H->percentile(0.90);
+    HS.P99 = H->percentile(0.99);
+    for (unsigned I = 0; I < MetricHistogram::NumBuckets; ++I)
+      if (uint64_t N = H->bucketCount(I))
+        HS.Buckets.push_back({MetricHistogram::bucketUpperBound(I), N});
+    S.Histograms.push_back(std::move(HS));
+  }
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+void MetricsRegistry::writeJson(std::ostream &OS,
+                                const std::string &AttributionRaw) const {
+  JsonWriter W(OS);
+  writeMetricsObject(W, snapshot(), AttributionRaw);
+  OS << "\n";
+}
+
+void cgcm::writeMetricsObject(JsonWriter &W, const MetricsSnapshot &S,
+                              const std::string &AttributionRaw) {
+  W.beginObject();
+  W.key("schema").string("cgcm-metrics-v1");
+  W.key("counters").beginArray();
+  for (const CounterSnapshot &C : S.Counters) {
+    W.beginObject();
+    W.key("name").string(C.Name);
+    W.key("value").number(C.Value);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("gauges").beginArray();
+  for (const GaugeSnapshot &G : S.Gauges) {
+    W.beginObject();
+    W.key("name").string(G.Name);
+    W.key("value").number(G.Value);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("histograms").beginArray();
+  for (const HistogramSnapshot &H : S.Histograms) {
+    W.beginObject();
+    W.key("name").string(H.Name);
+    W.key("count").number(H.Count);
+    W.key("sum").number(H.Sum);
+    W.key("min").number(H.Min);
+    W.key("max").number(H.Max);
+    W.key("p50").number(H.P50);
+    W.key("p90").number(H.P90);
+    W.key("p99").number(H.P99);
+    W.key("buckets").beginArray();
+    for (const HistogramSnapshot::Bucket &B : H.Buckets) {
+      W.beginObject();
+      W.key("le").number(B.Le);
+      W.key("count").number(B.Count);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  if (!AttributionRaw.empty())
+    W.key("attribution").raw(AttributionRaw);
+  W.endObject();
+}

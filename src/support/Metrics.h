@@ -1,0 +1,221 @@
+//===- support/Metrics.h - Process-wide metrics registry --------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of counters, gauges, and log-bucketed
+/// histograms, cheap enough to leave always-on (docs/Observability.md
+/// §Metrics). Producers hold stable references obtained once from
+/// MetricsRegistry::get() and update them with relaxed atomics; consumers
+/// take a name-sorted snapshot and render it as `cgcm-metrics-v1` JSON.
+///
+/// Histogram semantics, fixed and tested (MetricsTests.cpp):
+///  - bucket index for a value V is std::bit_width(V): V == 0 lands in
+///    bucket 0, V in [2^(k-1), 2^k) lands in bucket k, for 65 buckets
+///    total (k <= 64);
+///  - bucket k's inclusive upper bound is 2^k - 1 (UINT64_MAX for k=64);
+///  - percentile(P) is the upper bound of the smallest bucket whose
+///    cumulative count reaches ceil(P * count) — a deterministic,
+///    conservative (rounded-up) quantile. min/max/sum/count are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_METRICS_H
+#define CGCM_SUPPORT_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgcm {
+
+class JsonWriter;
+
+//===----------------------------------------------------------------------===//
+// Instruments
+//===----------------------------------------------------------------------===//
+
+/// A monotonically increasing event count.
+class MetricCounter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A last-written (or accumulated) level; doubles because most gauges
+/// mirror modeled-cycle quantities.
+class MetricGauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  void add(double X) { V.fetch_add(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// A log2-bucketed distribution of non-negative integer samples. See the
+/// file comment for the exact bucket and percentile definitions.
+class MetricHistogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  /// Bucket index for \p Value: 0 for 0, else bit_width (so
+  /// [2^(k-1), 2^k) -> k).
+  static unsigned bucketIndex(uint64_t Value) {
+    return static_cast<unsigned>(std::bit_width(Value));
+  }
+
+  /// Inclusive upper bound of bucket \p Index.
+  static uint64_t bucketUpperBound(unsigned Index) {
+    return Index >= 64 ? UINT64_MAX : (uint64_t(1) << Index) - 1;
+  }
+
+  void record(uint64_t Value) {
+    Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    updateMin(Value);
+    updateMax(Value);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const {
+    uint64_t M = Min.load(std::memory_order_relaxed);
+    return M == UINT64_MAX ? 0 : M;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+
+  /// The upper bound of the smallest bucket whose cumulative count
+  /// reaches ceil(P * count()); 0 when empty. P in (0, 1].
+  uint64_t percentile(double P) const;
+
+  uint64_t bucketCount(unsigned Index) const {
+    return Buckets[Index].load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+private:
+  void updateMin(uint64_t Value) {
+    uint64_t Cur = Min.load(std::memory_order_relaxed);
+    while (Value < Cur &&
+           !Min.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+  void updateMax(uint64_t Value) {
+    uint64_t Cur = Max.load(std::memory_order_relaxed);
+    while (Value > Cur &&
+           !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+struct CounterSnapshot {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string Name;
+  double Value = 0;
+};
+
+struct HistogramSnapshot {
+  struct Bucket {
+    uint64_t Le = 0; ///< Inclusive upper bound.
+    uint64_t Count = 0;
+  };
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = 0;
+  uint64_t Max = 0;
+  uint64_t P50 = 0;
+  uint64_t P90 = 0;
+  uint64_t P99 = 0;
+  /// Non-empty buckets only, ascending by Le.
+  std::vector<Bucket> Buckets;
+};
+
+/// A consistent-enough, name-sorted copy of the registry (exact when no
+/// writer is concurrently active, which is the only mode we snapshot in).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> Counters;
+  std::vector<GaugeSnapshot> Gauges;
+  std::vector<HistogramSnapshot> Histograms;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// The process-wide registry. Lookup takes a mutex; callers on hot paths
+/// look up once and cache the returned reference, which stays valid for
+/// the life of the process (reset() zeroes values, never removes
+/// instruments).
+class MetricsRegistry {
+public:
+  static MetricsRegistry &get();
+
+  MetricCounter &counter(const std::string &Name);
+  MetricGauge &gauge(const std::string &Name);
+  MetricHistogram &histogram(const std::string &Name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered instrument (tests; the registry is
+  /// process-wide and would otherwise accumulate across cases).
+  void reset();
+
+  /// Renders a standalone `cgcm-metrics-v1` document. \p AttributionRaw,
+  /// when non-empty, is pre-rendered JSON spliced in as the
+  /// "attribution" member (the renderer lives above support/ — see
+  /// WallAttribution in gpusim/Timing.h).
+  void writeJson(std::ostream &OS, const std::string &AttributionRaw = "") const;
+
+private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<MetricCounter>> Counters;
+  std::map<std::string, std::unique_ptr<MetricGauge>> Gauges;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> Histograms;
+};
+
+/// Writes \p S as a complete `cgcm-metrics-v1` JSON object value on \p W
+/// (including the "schema" member), so embedders (bench/BenchJson.h) can
+/// nest it inside their own documents. \p AttributionRaw as in
+/// MetricsRegistry::writeJson.
+void writeMetricsObject(JsonWriter &W, const MetricsSnapshot &S,
+                        const std::string &AttributionRaw = "");
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_METRICS_H

@@ -1,0 +1,290 @@
+//===- support/MetricsDiff.cpp - Cross-run metric comparison ----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MetricsDiff.h"
+
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+using namespace cgcm;
+
+//===----------------------------------------------------------------------===//
+// Series extraction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string joinKey(std::initializer_list<std::string> Parts) {
+  std::string Out;
+  for (const std::string &P : Parts) {
+    if (!Out.empty())
+      Out += "/";
+    Out += P;
+  }
+  return Out;
+}
+
+void extractAttribution(const JsonValue &A, const std::string &Prefix,
+                        MetricSeries &Out) {
+  if (!A.isObject())
+    return;
+  for (const auto &[Key, V] : A.Object) {
+    if (V.isNumber())
+      Out[joinKey({Prefix, Key})] = V.Number;
+    else if (Key == "streams" && V.isArray())
+      for (const JsonValue &S : V.Array) {
+        if (!S.isObject() || !S["stream"].isNumber())
+          continue;
+        std::string SP = joinKey(
+            {Prefix, "stream" + std::to_string(
+                         static_cast<long long>(S["stream"].Number))});
+        for (const auto &[SK, SV] : S.Object)
+          if (SK != "stream" && SV.isNumber())
+            Out[joinKey({SP, SK})] = SV.Number;
+      }
+  }
+}
+
+void extractMetricsV1(const JsonValue &Doc, const std::string &Prefix,
+                      MetricSeries &Out) {
+  for (const JsonValue &C : Doc["counters"].Array)
+    if (C["name"].isString() && C["value"].isNumber())
+      Out[joinKey({Prefix, C["name"].String})] = C["value"].Number;
+  for (const JsonValue &G : Doc["gauges"].Array)
+    if (G["name"].isString() && G["value"].isNumber())
+      Out[joinKey({Prefix, G["name"].String})] = G["value"].Number;
+  for (const JsonValue &H : Doc["histograms"].Array) {
+    if (!H["name"].isString())
+      continue;
+    const std::string Base = joinKey({Prefix, H["name"].String});
+    for (const char *Field :
+         {"count", "sum", "min", "max", "p50", "p90", "p99"})
+      if (H[Field].isNumber())
+        Out[Base + "." + Field] = H[Field].Number;
+  }
+  extractAttribution(Doc["attribution"],
+                     Prefix.empty() ? "attribution"
+                                    : Prefix + "/attribution",
+                     Out);
+}
+
+std::string formatNumberKey(double V) {
+  // Bench keys are small integers (stream counts); render without a
+  // fractional part when exact.
+  long long I = static_cast<long long>(V);
+  if (static_cast<double>(I) == V)
+    return std::to_string(I);
+  return jsonNumber(V);
+}
+
+void extractBenchV1(const JsonValue &Doc, MetricSeries &Out) {
+  for (const JsonValue &R : Doc["rows"].Array) {
+    if (!R["workload"].isString() || !R["config"].isString())
+      continue;
+    std::string Base =
+        joinKey({"rows", R["workload"].String, R["config"].String});
+    for (const char *Field : {"cycles", "bytes_htod", "bytes_dtoh"})
+      if (R[Field].isNumber())
+        Out[joinKey({Base, Field})] = R[Field].Number;
+  }
+  for (const JsonValue &T : Doc["transfer_overlap"].Array) {
+    if (!T["workload"].isString())
+      continue;
+    std::string Base = joinKey(
+        {"transfer_overlap", T["workload"].String,
+         "s" + formatNumberKey(T["streams"].Number),
+         T["coalesce"].Bool ? "coalesce" : "no-coalesce",
+         T["pinned"].Bool ? "pinned" : "pageable"});
+    for (const char *Field :
+         {"total_cycles", "wall_cycles", "stall_cycles",
+          "overlap_saved_cycles", "async_transfers", "dma_batches",
+          "coalesced_transfers", "host_syncs"})
+      if (T[Field].isNumber())
+        Out[joinKey({Base, Field})] = T[Field].Number;
+  }
+  for (const JsonValue &P : Doc["pass_timings"].Array)
+    if (P["pass"].isString()) {
+      std::string Base = joinKey({"pass_timings", P["pass"].String});
+      if (P["runs"].isNumber())
+        Out[joinKey({Base, "runs"})] = P["runs"].Number;
+      // wall_ms measures real time; exported under its noisy name so the
+      // default filter drops it.
+      if (P["wall_ms"].isNumber())
+        Out[joinKey({Base, "wall_ms"})] = P["wall_ms"].Number;
+    }
+  for (const JsonValue &A : Doc["analysis_cache"].Array)
+    if (A["analysis"].isString()) {
+      std::string Base = joinKey({"analysis_cache", A["analysis"].String});
+      for (const char *Field : {"constructions", "hits"})
+        if (A[Field].isNumber())
+          Out[joinKey({Base, Field})] = A[Field].Number;
+    }
+  if (Doc["metrics"].isObject() &&
+      Doc["metrics"]["schema"].String == "cgcm-metrics-v1")
+    extractMetricsV1(Doc["metrics"], "metrics", Out);
+}
+
+} // namespace
+
+bool cgcm::extractSeries(const JsonValue &Doc, MetricSeries &Out,
+                         std::string *Err) {
+  const JsonValue &Schema = Doc["schema"];
+  if (!Schema.isString()) {
+    if (Err)
+      *Err = "document has no \"schema\" member";
+    return false;
+  }
+  if (Schema.String == "cgcm-metrics-v1") {
+    extractMetricsV1(Doc, "", Out);
+    return true;
+  }
+  if (Schema.String == "cgcm-bench-v1") {
+    extractBenchV1(Doc, Out);
+    return true;
+  }
+  if (Err)
+    *Err = "unsupported schema \"" + Schema.String +
+           "\" (want cgcm-metrics-v1 or cgcm-bench-v1)";
+  return false;
+}
+
+bool cgcm::extractSeriesFromText(const std::string &Text, MetricSeries &Out,
+                                 std::string *Err) {
+  JsonValue Doc;
+  if (!parseJson(Text, Doc, Err))
+    return false;
+  return extractSeries(Doc, Out, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Diffing
+//===----------------------------------------------------------------------===//
+
+bool cgcm::isNoisySeries(const std::string &Name) {
+  // "host-ns" is the bench row config spelling (rows/<w>/host-ns-per-op).
+  for (const char *Sub : {"host_ns", "host-ns", "wall_ms", "wall_us"})
+    if (Name.find(Sub) != std::string::npos)
+      return true;
+  return false;
+}
+
+double DiffOptions::thresholdFor(const std::string &Name) const {
+  double T = Threshold;
+  for (const auto &[Substr, Override] : Overrides)
+    if (Name.find(Substr) != std::string::npos)
+      T = Override;
+  return T;
+}
+
+DiffResult cgcm::diffSeries(const MetricSeries &Base, const MetricSeries &Cur,
+                            const DiffOptions &Opts) {
+  DiffResult R;
+  auto skip = [&](const std::string &Name) {
+    if (Opts.IncludeNoisy || !isNoisySeries(Name))
+      return false;
+    ++R.NoisySkipped;
+    return true;
+  };
+  for (const auto &[Name, BaseV] : Base) {
+    if (skip(Name))
+      continue;
+    DiffEntry E;
+    E.Name = Name;
+    E.Base = BaseV;
+    auto It = Cur.find(Name);
+    if (It == Cur.end()) {
+      E.S = DiffEntry::Status::Missing;
+      ++R.Missing;
+      R.Entries.push_back(std::move(E));
+      continue;
+    }
+    E.Cur = It->second;
+    ++R.Compared;
+    if (BaseV == 0)
+      E.Delta = E.Cur == 0 ? 0
+                : E.Cur > 0 ? std::numeric_limits<double>::infinity()
+                            : -std::numeric_limits<double>::infinity();
+    else
+      E.Delta = (E.Cur - BaseV) / std::fabs(BaseV);
+    const double T = Opts.thresholdFor(Name);
+    if (E.Delta > T) {
+      E.S = DiffEntry::Status::Regressed;
+      ++R.Regressions;
+    } else if (E.Delta < -T) {
+      E.S = DiffEntry::Status::Improved;
+      ++R.Improvements;
+    }
+    R.Entries.push_back(std::move(E));
+  }
+  for (const auto &[Name, CurV] : Cur) {
+    if (Base.count(Name) || skip(Name))
+      continue;
+    DiffEntry E;
+    E.Name = Name;
+    E.Cur = CurV;
+    E.S = DiffEntry::Status::New;
+    ++R.NewSeries;
+    R.Entries.push_back(std::move(E));
+  }
+  // Two interleaved sorted passes: merge back to one name order.
+  std::sort(R.Entries.begin(), R.Entries.end(),
+            [](const DiffEntry &A, const DiffEntry &B) {
+              return A.Name < B.Name;
+            });
+  return R;
+}
+
+void cgcm::printDiffReport(std::ostream &OS, const DiffResult &R,
+                           bool Verbose) {
+  auto statusName = [](DiffEntry::Status S) {
+    switch (S) {
+    case DiffEntry::Status::Ok:
+      return "ok       ";
+    case DiffEntry::Status::Regressed:
+      return "REGRESSED";
+    case DiffEntry::Status::Improved:
+      return "improved ";
+    case DiffEntry::Status::Missing:
+      return "MISSING  ";
+    case DiffEntry::Status::New:
+      return "new      ";
+    }
+    return "?        ";
+  };
+  for (const DiffEntry &E : R.Entries) {
+    if (!Verbose && E.S == DiffEntry::Status::Ok)
+      continue;
+    OS << "  " << statusName(E.S) << " " << E.Name;
+    if (E.S == DiffEntry::Status::Missing)
+      OS << "  base=" << E.Base << " (absent in candidate)";
+    else if (E.S == DiffEntry::Status::New)
+      OS << "  cur=" << E.Cur << " (absent in baseline)";
+    else {
+      OS << "  base=" << E.Base << " cur=" << E.Cur << " (";
+      if (std::isinf(E.Delta))
+        OS << (E.Delta > 0 ? "+inf" : "-inf");
+      else {
+        std::ostringstream Pct;
+        Pct << std::showpos << std::fixed << std::setprecision(1)
+            << E.Delta * 100.0;
+        OS << Pct.str() << "%";
+      }
+      OS << ")";
+    }
+    OS << "\n";
+  }
+  OS << (R.failed() ? "FAIL" : "OK") << ": " << R.Compared << " compared, "
+     << R.Regressions << " regressed, " << R.Missing << " missing, "
+     << R.Improvements << " improved, " << R.NewSeries << " new";
+  if (R.NoisySkipped)
+    OS << ", " << R.NoisySkipped << " noisy skipped";
+  OS << "\n";
+}

@@ -1,0 +1,106 @@
+//===- support/MetricsDiff.h - Cross-run metric comparison ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison engine behind tools/cgcm-metrics-diff (and the
+/// regression gate in CI): flattens a `cgcm-metrics-v1` or
+/// `cgcm-bench-v1` document into a name -> value series, aligns two such
+/// series, and classifies every per-series delta against configurable
+/// thresholds. Lives in support/ (not the tool) so MetricsTests.cpp can
+/// exercise the doctored-snapshot and identity cases in-process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SUPPORT_METRICSDIFF_H
+#define CGCM_SUPPORT_METRICSDIFF_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cgcm {
+
+struct JsonValue;
+
+/// A flattened document: slash-joined series name -> numeric value.
+using MetricSeries = std::map<std::string, double>;
+
+/// Flattens \p Doc into \p Out. Accepts `cgcm-metrics-v1` (counters and
+/// gauges by name; histograms as name.count/.sum/.min/.max/.p50/.p90/.p99;
+/// the attribution block as attribution/<field>) and `cgcm-bench-v1`
+/// (rows as rows/<workload>/<config>/{cycles,bytes_htod,bytes_dtoh};
+/// transfer_overlap keyed by workload/streams/coalesce/pinned;
+/// pass_timings runs; analysis_cache counters; an embedded "metrics"
+/// section recursed under metrics/). Returns false with \p Err set on an
+/// unrecognized schema.
+bool extractSeries(const JsonValue &Doc, MetricSeries &Out, std::string *Err);
+
+/// Parses \p Text as JSON and flattens it (extractSeries on the result).
+bool extractSeriesFromText(const std::string &Text, MetricSeries &Out,
+                           std::string *Err);
+
+struct DiffOptions {
+  /// Relative growth beyond which a series counts as regressed (and
+  /// shrinkage beyond which it counts as improved).
+  double Threshold = 0.15;
+  /// Substring-matched per-series overrides; the last match wins.
+  std::vector<std::pair<std::string, double>> Overrides;
+  /// Compare wall-time series too (names containing host_ns / host-ns /
+  /// wall_ms / wall_us measure real time and are skipped by default).
+  bool IncludeNoisy = false;
+
+  double thresholdFor(const std::string &Name) const;
+};
+
+/// True for series that measure host wall time (non-deterministic across
+/// runs); skipped unless DiffOptions::IncludeNoisy.
+bool isNoisySeries(const std::string &Name);
+
+struct DiffEntry {
+  enum class Status {
+    Ok,        ///< Within threshold (delta may still be nonzero).
+    Regressed, ///< Grew beyond the threshold.
+    Improved,  ///< Shrank beyond the threshold (a note, not a failure).
+    Missing,   ///< In the baseline but not the candidate — a failure:
+               ///< deleted series cannot hide regressions.
+    New,       ///< In the candidate only (a note).
+  };
+  std::string Name;
+  double Base = 0;
+  double Cur = 0;
+  /// (Cur - Base) / |Base|; +-inf when Base == 0 and Cur != 0.
+  double Delta = 0;
+  Status S = Status::Ok;
+};
+
+struct DiffResult {
+  /// Every aligned series, name-sorted (noisy ones excluded unless
+  /// requested).
+  std::vector<DiffEntry> Entries;
+  unsigned Compared = 0;
+  unsigned Regressions = 0;
+  unsigned Missing = 0;
+  unsigned Improvements = 0;
+  unsigned NewSeries = 0;
+  unsigned NoisySkipped = 0;
+
+  /// The exit-nonzero condition: any regression or missing series.
+  bool failed() const { return Regressions + Missing > 0; }
+};
+
+DiffResult diffSeries(const MetricSeries &Base, const MetricSeries &Cur,
+                      const DiffOptions &Opts = {});
+
+/// Human-readable report: one line per non-Ok entry (every entry when
+/// \p Verbose), then a summary line.
+void printDiffReport(std::ostream &OS, const DiffResult &R,
+                     bool Verbose = false);
+
+} // namespace cgcm
+
+#endif // CGCM_SUPPORT_METRICSDIFF_H

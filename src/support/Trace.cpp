@@ -7,8 +7,10 @@
 #include "support/Trace.h"
 
 #include "support/JSON.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
+#include <iostream>
 
 using namespace cgcm;
 
@@ -40,6 +42,9 @@ void TraceCollector::push(TraceEvent E) {
   }
   // Ring overwrite: slot index cycles through the buffer; Seq keeps the
   // true order for export.
+  static MetricCounter *const DroppedEvents =
+      &MetricsRegistry::get().counter("trace.dropped_events");
+  DroppedEvents->inc();
   Ring[static_cast<size_t>(E.Seq % Capacity)] = std::move(E);
 }
 
@@ -146,7 +151,16 @@ void writeThreadName(JsonWriter &W, unsigned Lane, const std::string &Name) {
 
 } // namespace
 
+void TraceCollector::warnIfDropped() const {
+  uint64_t Dropped = getNumDropped();
+  if (Dropped)
+    std::cerr << "trace: ring buffer overwrote " << Dropped << " of "
+              << getNumEmitted()
+              << " events (oldest lost; raise the capacity to keep them)\n";
+}
+
 void TraceCollector::exportChromeTrace(std::ostream &OS) const {
+  warnIfDropped();
   std::vector<TraceEvent> Events = snapshot();
   unsigned MaxLane = 0;
   for (const TraceEvent &E : Events)
@@ -178,6 +192,7 @@ void TraceCollector::exportChromeTrace(std::ostream &OS) const {
 }
 
 void TraceCollector::exportJsonl(std::ostream &OS) const {
+  warnIfDropped();
   for (const TraceEvent &E : snapshot()) {
     JsonWriter W(OS);
     W.beginObject();

@@ -118,6 +118,10 @@ public:
   /// One JSON object per line, same fields as the Chrome export.
   void exportJsonl(std::ostream &OS) const;
 
+  /// One-line stderr warning when the ring buffer overwrote events (both
+  /// exporters call it, so a truncated artifact is never silent).
+  void warnIfDropped() const;
+
   static constexpr size_t DefaultCapacity = 1 << 16;
 
 private:

@@ -405,6 +405,11 @@ PipelineResult cgcm::runPassPipeline(Module &M, const std::string &Text,
   ModuleAnalysisManager &AM = RunOpts.AM ? *RunOpts.AM : PrivateAM;
 
   PassInstrumentation PI;
+  // Always-on metrics registry rows (per-pass wall time / run counts and
+  // analysis-cache deltas); the opt-in handlers below remain flag-gated.
+  MetricsPassHandler Metrics;
+  Metrics.registerCallbacks(PI);
+  Metrics.captureCacheBaseline(AM);
   TimePassesHandler Timer;
   if (RunOpts.TimePasses)
     Timer.registerCallbacks(PI);
@@ -429,6 +434,7 @@ PipelineResult cgcm::runPassPipeline(Module &M, const std::string &Text,
   AM.setInstrumentation(&PI);
   PM.run(M, AM);
   AM.setInstrumentation(nullptr);
+  Metrics.flushCacheStats(AM);
 
   if (RunOpts.TimePasses)
     Timer.print(RunOpts.TimePassesStream ? *RunOpts.TimePassesStream

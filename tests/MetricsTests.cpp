@@ -1,0 +1,373 @@
+//===- tests/MetricsTests.cpp - Metrics registry and attribution ------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locks in the observability contracts of docs/Observability.md
+/// §Metrics: exact log2-histogram semantics, registry thread safety and
+/// snapshot determinism, the MetricsDiff identity / doctored / missing
+/// classifications, deterministic TransferLedger ordering, and — the big
+/// one — that the wall-clock attribution decomposition sums *bitwise* to
+/// ExecStats::wallCycles() on every workload in both the synchronous and
+/// the asynchronous execution regime.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/MetricsDiff.h"
+
+#include "runtime/TransferLedger.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Histogram semantics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricHistogram, BucketIndexIsBitWidth) {
+  EXPECT_EQ(MetricHistogram::bucketIndex(0), 0u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(1), 1u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(2), 2u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(3), 2u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(4), 3u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(7), 3u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(8), 4u);
+  EXPECT_EQ(MetricHistogram::bucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(MetricHistogram, BucketUpperBoundsAreInclusivePowersMinusOne) {
+  EXPECT_EQ(MetricHistogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(MetricHistogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(MetricHistogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(MetricHistogram::bucketUpperBound(3), 7u);
+  EXPECT_EQ(MetricHistogram::bucketUpperBound(10), 1023u);
+  EXPECT_EQ(MetricHistogram::bucketUpperBound(64), UINT64_MAX);
+  // Every value lands in the bucket whose bound covers it.
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(5), uint64_t(1000),
+                     uint64_t(1) << 40, UINT64_MAX}) {
+    unsigned I = MetricHistogram::bucketIndex(V);
+    EXPECT_LE(V, MetricHistogram::bucketUpperBound(I)) << V;
+    if (I > 0)
+      EXPECT_GT(V, MetricHistogram::bucketUpperBound(I - 1)) << V;
+  }
+}
+
+TEST(MetricHistogram, RecordAndPercentilesExact) {
+  MetricHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u); // Empty histograms report 0, not UINT64_MAX.
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(0.5), 0u);
+
+  for (uint64_t V : {0, 1, 2, 3, 4})
+    H.record(V);
+
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 10u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 4u);
+  // Buckets: [0]->{0}, [1]->{1}, [2]->{2,3}, [3]->{4}.
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.bucketCount(4), 0u);
+  // p50: rank ceil(.5*5)=3, cumulative hits 3 at bucket 2 -> bound 3.
+  EXPECT_EQ(H.percentile(0.50), 3u);
+  // p90/p99/p100: rank 5, reached at bucket 3 -> bound 7.
+  EXPECT_EQ(H.percentile(0.90), 7u);
+  EXPECT_EQ(H.percentile(0.99), 7u);
+  EXPECT_EQ(H.percentile(1.00), 7u);
+
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+}
+
+TEST(MetricHistogram, SingleValue) {
+  MetricHistogram H;
+  H.record(10);
+  EXPECT_EQ(H.min(), 10u);
+  EXPECT_EQ(H.max(), 10u);
+  EXPECT_EQ(H.sum(), 10u);
+  // 10 lands in bucket 4 ([8,15]); every percentile reports its bound.
+  EXPECT_EQ(H.percentile(0.50), 15u);
+  EXPECT_EQ(H.percentile(0.99), 15u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, InstrumentsAreStableAndResettable) {
+  MetricsRegistry &R = MetricsRegistry::get();
+  R.reset();
+  MetricCounter &C = R.counter("test.registry.counter");
+  C.inc(3);
+  // Same name -> same instrument (cached references stay valid).
+  EXPECT_EQ(&R.counter("test.registry.counter"), &C);
+  EXPECT_EQ(C.value(), 3u);
+  R.gauge("test.registry.gauge").set(2.5);
+  R.gauge("test.registry.gauge").add(0.5);
+  EXPECT_EQ(R.gauge("test.registry.gauge").value(), 3.0);
+  R.reset();
+  // reset() zeroes but never removes: the reference is still live.
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(R.gauge("test.registry.gauge").value(), 0.0);
+}
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNoUpdates) {
+  MetricsRegistry &R = MetricsRegistry::get();
+  R.reset();
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&R] {
+      // Lookup *and* update race across all threads.
+      MetricCounter &C = R.counter("test.mt.counter");
+      MetricHistogram &H = R.histogram("test.mt.hist");
+      for (unsigned I = 0; I < PerThread; ++I) {
+        C.inc();
+        H.record(I);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(R.counter("test.mt.counter").value(), NumThreads * PerThread);
+  MetricHistogram &H = R.histogram("test.mt.hist");
+  EXPECT_EQ(H.count(), NumThreads * PerThread);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), PerThread - 1);
+  R.reset();
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDeterministic) {
+  MetricsRegistry &R = MetricsRegistry::get();
+  R.reset();
+  R.counter("test.snap.b").inc(2);
+  R.counter("test.snap.a").inc(1);
+  R.histogram("test.snap.h").record(6);
+  MetricsSnapshot S1 = R.snapshot();
+  MetricsSnapshot S2 = R.snapshot();
+
+  // Name-sorted sections.
+  for (size_t I = 1; I < S1.Counters.size(); ++I)
+    EXPECT_LT(S1.Counters[I - 1].Name, S1.Counters[I].Name);
+  for (size_t I = 1; I < S1.Histograms.size(); ++I)
+    EXPECT_LT(S1.Histograms[I - 1].Name, S1.Histograms[I].Name);
+
+  // Two snapshots of a quiescent registry render identically.
+  std::ostringstream O1, O2;
+  R.writeJson(O1);
+  R.writeJson(O2);
+  EXPECT_EQ(O1.str(), O2.str());
+  ASSERT_EQ(S1.Counters.size(), S2.Counters.size());
+
+  // Only non-empty buckets appear, ascending by bound.
+  for (const HistogramSnapshot &HS : S1.Histograms) {
+    uint64_t BucketTotal = 0;
+    for (size_t I = 0; I < HS.Buckets.size(); ++I) {
+      EXPECT_GT(HS.Buckets[I].Count, 0u);
+      if (I > 0)
+        EXPECT_LT(HS.Buckets[I - 1].Le, HS.Buckets[I].Le);
+      BucketTotal += HS.Buckets[I].Count;
+    }
+    EXPECT_EQ(BucketTotal, HS.Count) << HS.Name;
+  }
+  R.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsDiff
+//===----------------------------------------------------------------------===//
+
+/// Renders the live registry as a cgcm-metrics-v1 document and flattens
+/// it back, exercising the same path the CLI tool takes on real files.
+MetricSeries seriesFromRegistry() {
+  std::ostringstream OS;
+  MetricsRegistry::get().writeJson(OS);
+  MetricSeries S;
+  std::string Err;
+  EXPECT_TRUE(extractSeriesFromText(OS.str(), S, &Err)) << Err;
+  return S;
+}
+
+TEST(MetricsDiff, IdenticalDocumentsPass) {
+  MetricsRegistry &R = MetricsRegistry::get();
+  R.reset();
+  R.counter("test.diff.launches").inc(42);
+  R.gauge("test.diff.stall").set(128);
+  R.histogram("test.diff.lat").record(100);
+  R.histogram("test.diff.lat").record(200);
+
+  MetricSeries Base = seriesFromRegistry();
+  MetricSeries Cur = seriesFromRegistry();
+  ASSERT_FALSE(Base.empty());
+  EXPECT_EQ(Base, Cur);
+
+  DiffResult D = diffSeries(Base, Cur);
+  EXPECT_FALSE(D.failed());
+  EXPECT_EQ(D.Regressions, 0u);
+  EXPECT_EQ(D.Missing, 0u);
+  EXPECT_GT(D.Compared, 0u);
+  R.reset();
+}
+
+TEST(MetricsDiff, DoctoredSnapshotFails) {
+  MetricsRegistry &R = MetricsRegistry::get();
+  R.reset();
+  R.counter("test.diff.launches").inc(42);
+  R.histogram("test.diff.lat").record(100);
+
+  MetricSeries Base = seriesFromRegistry();
+  MetricSeries Doctored = Base;
+  // Grow one series well past the 15% default threshold.
+  ASSERT_TRUE(Doctored.count("test.diff.launches"));
+  Doctored["test.diff.launches"] *= 2.0;
+  DiffResult D = diffSeries(Base, Doctored);
+  EXPECT_TRUE(D.failed());
+  EXPECT_EQ(D.Regressions, 1u);
+
+  // Deleting a series is also a failure: lost coverage can hide
+  // regressions.
+  MetricSeries Shrunk = Base;
+  Shrunk.erase("test.diff.launches");
+  DiffResult M = diffSeries(Base, Shrunk);
+  EXPECT_TRUE(M.failed());
+  EXPECT_EQ(M.Missing, 1u);
+
+  // An *extra* series is new coverage, not a failure.
+  MetricSeries Grown = Base;
+  Grown["test.diff.extra"] = 1.0;
+  DiffResult N = diffSeries(Base, Grown);
+  EXPECT_FALSE(N.failed());
+  EXPECT_EQ(N.NewSeries, 1u);
+
+  // Improvements are notes, not failures.
+  MetricSeries Faster = Base;
+  Faster["test.diff.launches"] = 1.0;
+  DiffResult I = diffSeries(Base, Faster);
+  EXPECT_FALSE(I.failed());
+  EXPECT_EQ(I.Improvements, 1u);
+  R.reset();
+}
+
+TEST(MetricsDiff, NoisySeriesAndOverrides) {
+  EXPECT_TRUE(isNoisySeries("runtime.site.x.map_host_ns.p50"));
+  EXPECT_TRUE(isNoisySeries("pass.mem2reg.wall_us.sum"));
+  EXPECT_FALSE(isNoisySeries("runtime.site.x.map_cycles.p50"));
+
+  MetricSeries Base{{"a.cycles", 100.0}, {"b.host_ns.sum", 100.0}};
+  MetricSeries Cur{{"a.cycles", 100.0}, {"b.host_ns.sum", 900.0}};
+  // Host-time series are skipped by default...
+  DiffResult D = diffSeries(Base, Cur);
+  EXPECT_FALSE(D.failed());
+  EXPECT_EQ(D.NoisySkipped, 1u);
+  // ...but compared under --include-noisy.
+  DiffOptions Opts;
+  Opts.IncludeNoisy = true;
+  EXPECT_TRUE(diffSeries(Base, Cur, Opts).failed());
+
+  // Substring overrides widen (or tighten) per-series thresholds.
+  MetricSeries Slow{{"a.cycles", 120.0}};
+  MetricSeries SlowBase{{"a.cycles", 100.0}};
+  EXPECT_TRUE(diffSeries(SlowBase, Slow).failed());
+  DiffOptions Loose;
+  Loose.Overrides.emplace_back("a.cycles", 0.5);
+  EXPECT_FALSE(diffSeries(SlowBase, Slow, Loose).failed());
+}
+
+//===----------------------------------------------------------------------===//
+// TransferLedger determinism
+//===----------------------------------------------------------------------===//
+
+TEST(TransferLedger, TopNOrderIgnoresInsertionHistory) {
+  // Four sites with identical byte totals; two also tie on transfer
+  // count and differ only by source position.
+  struct Row {
+    const char *Site;
+    unsigned Line, Col;
+    uint64_t Bytes, Transfers;
+  };
+  const std::vector<Row> Rows = {
+      {"heap@9:1", 9, 1, 4096, 4},
+      {"heap@3:7", 3, 7, 4096, 4},
+      {"heap@3:2", 3, 2, 4096, 8},
+      {"global A", 0, 0, 8192, 1},
+  };
+  // Bytes desc, then transfers desc, then line/col asc, then name.
+  const std::vector<std::string> Expected = {"global A", "heap@3:2",
+                                             "heap@3:7", "heap@9:1"};
+
+  std::vector<std::vector<size_t>> Orders = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}};
+  for (const std::vector<size_t> &Order : Orders) {
+    TransferLedger L;
+    for (size_t I : Order) {
+      const Row &R = Rows[I];
+      LedgerEntry *E = L.entryFor(R.Site, SourceLoc{R.Line, R.Col});
+      E->BytesHtoD = R.Bytes;
+      E->TransfersHtoD = R.Transfers;
+    }
+    std::vector<std::string> Got;
+    for (const LedgerEntry *E : L.sortedByBytes())
+      Got.push_back(E->Site);
+    EXPECT_EQ(Got, Expected);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: attribution decomposition is bitwise-exact
+//===----------------------------------------------------------------------===//
+
+class AttributionSuite : public ::testing::TestWithParam<Workload> {};
+
+/// The acceptance invariant: every modeled wall cycle is attributed to
+/// exactly one bucket, with no rounding slack — the decomposition uses
+/// the same accumulators and association shape as the wall clock itself.
+TEST_P(AttributionSuite, SumsBitwiseToWallClockSync) {
+  const Workload &W = GetParam();
+  WorkloadRun R = runWorkload(W, BenchConfig::CGCMOptimized);
+  WallAttribution A = attributeWall(R.Stats);
+  EXPECT_EQ(A.sum(), R.Stats.wallCycles()) << W.Name;
+  EXPECT_EQ(A.Wall, R.Stats.wallCycles()) << W.Name;
+}
+
+TEST_P(AttributionSuite, SumsBitwiseToWallClockAsync) {
+  const Workload &W = GetParam();
+  RunnerOptions RO;
+  RO.AsyncStreams = 4;
+  WorkloadRun R = runWorkload(W, BenchConfig::CGCMOptimized, RO);
+  WallAttribution A = attributeWall(R.Stats);
+  EXPECT_EQ(A.sum(), R.Stats.wallCycles()) << W.Name;
+  // Async runs publish per-stream lane stats for the report.
+  EXPECT_EQ(A.Streams.size(), R.Stats.StreamLanes.size()) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, AttributionSuite, ::testing::ValuesIn(getWorkloads()),
+    [](const ::testing::TestParamInfo<Workload> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- tools/cgcm-metrics-diff.cpp - Cross-run metric regression gate -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two observability artifacts — `cgcm-metrics-v1` or
+/// `cgcm-bench-v1` JSON, in any combination — series by series and exits
+/// nonzero when the candidate regressed (or lost) a series the baseline
+/// had. The flattening and classification live in support/MetricsDiff.h;
+/// this driver only parses flags and files.
+///
+///   cgcm-metrics-diff baseline.json current.json
+///   cgcm-metrics-diff --threshold=0.05 base.json cur.json
+///   cgcm-metrics-diff --threshold=cycles=0.02 base.json cur.json
+///   cgcm-metrics-diff --include-noisy --verbose base.json cur.json
+///
+/// Exit codes: 0 = no regression, 1 = regression or missing series,
+/// 2 = usage or parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/MetricsDiff.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace cgcm;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cgcm-metrics-diff [options] <baseline.json> <current.json>\n"
+      "  --threshold=<f>          relative growth that counts as a\n"
+      "                           regression (default 0.15)\n"
+      "  --threshold=<substr>=<f> per-series override for names containing\n"
+      "                           <substr> (repeatable; last match wins)\n"
+      "  --include-noisy          compare host wall-time series too\n"
+      "                           (host_ns / host-ns / wall_ms / wall_us;\n"
+      "                           skipped by default: they vary per run)\n"
+      "  --verbose                print every compared series, not only\n"
+      "                           the notable ones\n"
+      "inputs may be cgcm-metrics-v1 or cgcm-bench-v1, in any combination\n"
+      "exit: 0 ok, 1 regression or missing series, 2 usage/parse error\n");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DiffOptions Opts;
+  bool Verbose = false;
+  std::string BasePath, CurPath;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--threshold=", 0) == 0) {
+      std::string Spec = A.substr(12);
+      size_t Eq = Spec.rfind('=');
+      std::string Num = Eq == std::string::npos ? Spec : Spec.substr(Eq + 1);
+      char *End = nullptr;
+      double F = std::strtod(Num.c_str(), &End);
+      if (Num.empty() || !End || *End != '\0' || F < 0) {
+        std::fprintf(stderr, "cgcm-metrics-diff: bad threshold '%s'\n",
+                     A.c_str());
+        usage();
+        return 2;
+      }
+      if (Eq == std::string::npos)
+        Opts.Threshold = F;
+      else
+        Opts.Overrides.emplace_back(Spec.substr(0, Eq), F);
+    } else if (A == "--include-noisy")
+      Opts.IncludeNoisy = true;
+    else if (A == "--verbose")
+      Verbose = true;
+    else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "cgcm-metrics-diff: unknown option '%s'\n",
+                   A.c_str());
+      usage();
+      return 2;
+    } else if (BasePath.empty())
+      BasePath = A;
+    else if (CurPath.empty())
+      CurPath = A;
+    else {
+      std::fprintf(stderr, "cgcm-metrics-diff: too many inputs\n");
+      usage();
+      return 2;
+    }
+  }
+  if (BasePath.empty() || CurPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string BaseText, CurText;
+  if (!readFile(BasePath, BaseText)) {
+    std::fprintf(stderr, "cgcm-metrics-diff: cannot read '%s'\n",
+                 BasePath.c_str());
+    return 2;
+  }
+  if (!readFile(CurPath, CurText)) {
+    std::fprintf(stderr, "cgcm-metrics-diff: cannot read '%s'\n",
+                 CurPath.c_str());
+    return 2;
+  }
+
+  MetricSeries Base, Cur;
+  std::string Err;
+  if (!extractSeriesFromText(BaseText, Base, &Err)) {
+    std::fprintf(stderr, "cgcm-metrics-diff: %s: %s\n", BasePath.c_str(),
+                 Err.c_str());
+    return 2;
+  }
+  if (!extractSeriesFromText(CurText, Cur, &Err)) {
+    std::fprintf(stderr, "cgcm-metrics-diff: %s: %s\n", CurPath.c_str(),
+                 Err.c_str());
+    return 2;
+  }
+
+  DiffResult R = diffSeries(Base, Cur, Opts);
+  printDiffReport(std::cout, R, Verbose);
+  return R.failed() ? 1 : 0;
+}

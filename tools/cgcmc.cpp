@@ -46,6 +46,8 @@
 #include "frontend/IRGen.h"
 #include "ir/IRParser.h"
 #include "runtime/TransferLedger.h"
+#include "support/JSON.h"
+#include "support/Metrics.h"
 #include "transform/Applicability.h"
 #include "transform/AllocaPromotion.h"
 #include "transform/CommManagement.h"
@@ -92,6 +94,9 @@ struct Options {
   unsigned Streams = 0;    ///< --streams=<n>: async transfer engine lanes
                            ///< (0 = synchronous model, the default).
   bool Coalesce = true;    ///< --no-coalesce: disable DMA batching.
+  bool Metrics = false;    ///< --metrics[=file]: cgcm-metrics-v1 JSON.
+  std::string MetricsPath; ///< Empty with Metrics set = write to stderr.
+  bool MetricsReport = false; ///< --metrics-report: attribution table.
 };
 
 void usage() {
@@ -135,7 +140,13 @@ void usage() {
       "  --no-async          force the synchronous transfer model (the\n"
       "                      default; overrides an earlier --streams)\n"
       "  --no-coalesce       with --streams, disable coalescing of\n"
-      "                      adjacent same-direction copies into batches\n");
+      "                      adjacent same-direction copies into batches\n"
+      "  --metrics[=<file>]  write the process-wide metrics registry as\n"
+      "                      cgcm-metrics-v1 JSON (stderr without <file>),\n"
+      "                      including the wall-clock attribution section\n"
+      "  --metrics-report    print a human-readable wall-clock attribution\n"
+      "                      report (compute / HtoD / DtoH / stalls by\n"
+      "                      cause / host, per stream) to stderr\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -186,6 +197,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Streams = 0;
     else if (A == "--no-coalesce")
       O.Coalesce = false;
+    else if (A == "--metrics")
+      O.Metrics = true;
+    else if (A.rfind("--metrics=", 0) == 0) {
+      O.Metrics = true;
+      O.MetricsPath = A.substr(10);
+    } else if (A == "--metrics-report")
+      O.MetricsReport = true;
     else if (A.rfind("--trace=", 0) == 0)
       O.TracePath = A.substr(8);
     else if (A.rfind("--profile=", 0) == 0)
@@ -309,6 +327,74 @@ void printRemarks(const DiagnosticEngine &DE, const Options &O) {
   }
 }
 
+/// Renders the wall-clock attribution decomposition as the JSON object
+/// spliced into cgcm-metrics-v1 under the "attribution" key. Per-stream
+/// idle time is the wall clock minus the stream's copy-busy cycles.
+std::string renderAttributionJson(const ExecStats &S) {
+  WallAttribution A = attributeWall(S);
+  std::ostringstream OS;
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("wall_cycles").number(A.Wall);
+  W.key("host").number(A.Host);
+  W.key("compute").number(A.Compute);
+  W.key("htod").number(A.HtoD);
+  W.key("dtoh").number(A.DtoH);
+  W.key("stall_htod_fence").number(A.StallHtoDFence);
+  W.key("stall_dtoh_fence").number(A.StallDtoHFence);
+  W.key("stall_host_sync").number(A.StallHostSync);
+  W.key("streams").beginArray();
+  for (size_t I = 0; I != A.Streams.size(); ++I) {
+    const ExecStats::StreamLaneStats &L = A.Streams[I];
+    double Busy = L.HtoDBusyCycles + L.DtoHBusyCycles;
+    W.beginObject();
+    W.key("stream").number(static_cast<uint64_t>(I));
+    W.key("htod_busy").number(L.HtoDBusyCycles);
+    W.key("dtoh_busy").number(L.DtoHBusyCycles);
+    W.key("copies").number(static_cast<uint64_t>(L.Copies));
+    W.key("batches").number(static_cast<uint64_t>(L.Batches));
+    W.key("idle").number(A.Wall > Busy ? A.Wall - Busy : 0.0);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return OS.str();
+}
+
+/// The --metrics-report table: where the wall clock went. On a
+/// synchronous run the decomposition covers the whole modeled time; on
+/// an asynchronous run the compute/HtoD/DtoH rows cover only the costs
+/// the host blocked for, and overlapped work shows up as stall time (or
+/// not at all when the host never had to wait for it).
+void printMetricsReport(const ExecStats &S) {
+  WallAttribution A = attributeWall(S);
+  double Wall = A.Wall > 0 ? A.Wall : 1.0;
+  auto Row = [&](const char *Name, double V) {
+    std::fprintf(stderr, "%-26s %16.0f %6.1f%%\n", Name, V, 100.0 * V / Wall);
+  };
+  std::fprintf(stderr, "-- wall-clock attribution --\n");
+  Row("host (cpu+runtime+inspect)", A.Host);
+  Row("compute (host-blocking)", A.Compute);
+  Row("HtoD (host-blocking)", A.HtoD);
+  Row("DtoH (host-blocking)", A.DtoH);
+  Row("stall: HtoD fence", A.StallHtoDFence);
+  Row("stall: DtoH fence", A.StallDtoHFence);
+  Row("stall: host sync", A.StallHostSync);
+  std::fprintf(stderr, "%-26s %16.0f\n", "decomposed sum", A.sum());
+  std::fprintf(stderr, "%-26s %16.0f\n", "wall cycles", A.Wall);
+  for (size_t I = 0; I != A.Streams.size(); ++I) {
+    const ExecStats::StreamLaneStats &L = A.Streams[I];
+    double Busy = L.HtoDBusyCycles + L.DtoHBusyCycles;
+    std::fprintf(stderr,
+                 "stream %-2zu HtoD %12.0f  DtoH %12.0f  idle %12.0f  "
+                 "(%llu copies, %llu batches)\n",
+                 I, L.HtoDBusyCycles, L.DtoHBusyCycles,
+                 A.Wall > Busy ? A.Wall - Busy : 0.0,
+                 static_cast<unsigned long long>(L.Copies),
+                 static_cast<unsigned long long>(L.Batches));
+  }
+}
+
 /// Writes the observability artifacts the user asked for. Runs after
 /// execution so the trace and ledger cover the whole program.
 void exportObservability(Machine &Mach, const Options &O) {
@@ -334,6 +420,22 @@ void exportObservability(Machine &Mach, const Options &O) {
     }
     writeProfileJson(Out, Mach.getStats(), Mach.getRuntime().getLedger());
   }
+  if (O.Metrics) {
+    std::string Attribution = renderAttributionJson(Mach.getStats());
+    if (O.MetricsPath.empty()) {
+      MetricsRegistry::get().writeJson(std::cerr, Attribution);
+    } else {
+      std::ofstream Out(O.MetricsPath);
+      if (!Out) {
+        std::fprintf(stderr, "cgcmc: cannot write '%s'\n",
+                     O.MetricsPath.c_str());
+        return;
+      }
+      MetricsRegistry::get().writeJson(Out, Attribution);
+    }
+  }
+  if (O.MetricsReport)
+    printMetricsReport(Mach.getStats());
 }
 
 void printApplicability(Module &M) {

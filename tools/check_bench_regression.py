@@ -21,8 +21,14 @@ section are machine-noise and are ignored.  Scenarios present only in
 the current run are reported but do not fail the gate (new coverage);
 scenarios that disappeared fail it (lost coverage).
 
-Exit status: 0 = within budget, 1 = regression or lost coverage,
-2 = usage / malformed input.
+The workload *name sets* of the two files — taken over every ``rows``
+and ``transfer_overlap`` entry, noisy configs included — must also
+match: a silently shrunk or swapped workload set would make the
+per-entry comparison vacuously green.  Drift fails the gate unless
+``--allow-workload-drift`` downgrades it to a loud warning.
+
+Exit status: 0 = within budget, 1 = regression, lost coverage, or
+workload-set drift, 2 = usage / malformed input.
 """
 
 import argparse
@@ -50,6 +56,17 @@ def overlap_key(row):
             row.get("pinned"))
 
 
+def workload_set(doc):
+    """Every workload named anywhere in the file, noisy rows included."""
+    names = set()
+    for section in ("rows", "transfer_overlap"):
+        for row in doc.get(section, []):
+            w = row.get("workload")
+            if w is not None:
+                names.add(w)
+    return names
+
+
 def modeled_rows(doc):
     out = {}
     for row in doc.get("rows", []):
@@ -65,11 +82,25 @@ def main():
     ap.add_argument("--current", required=True)
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional wall-cycle growth (default .15)")
+    ap.add_argument("--allow-workload-drift", action="store_true",
+                    help="warn instead of failing when the two files cover "
+                         "different workload name sets")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
     failures = 0
+
+    lost = sorted(workload_set(base) - workload_set(cur))
+    gained = sorted(workload_set(cur) - workload_set(base))
+    if lost or gained:
+        msg = (f"workload-set drift: lost {lost if lost else 'none'}, "
+               f"gained {gained if gained else 'none'}")
+        if args.allow_workload_drift:
+            print(f"WARNING: {msg} (tolerated by --allow-workload-drift)")
+        else:
+            failures += 1
+            print(f"DRIFT: {msg}")
 
     def check(name, key, base_val, cur_val):
         nonlocal failures

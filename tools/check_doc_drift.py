@@ -59,7 +59,8 @@ def tool_help(path):
 
 def collect_tool_flags(build_dir, root):
     tools = []
-    for name in ("cgcmc", "cgcm-fuzz", "cgcm-static-parity"):
+    for name in ("cgcmc", "cgcm-fuzz", "cgcm-static-parity",
+                 "cgcm-metrics-diff"):
         p = os.path.join(build_dir, "tools", name)
         if os.path.isfile(p) and os.access(p, os.X_OK):
             tools.append(p)

@@ -3,12 +3,13 @@
 
 Usage:
   validate_observability.py --trace trace.json --profile profile.json \
-      [--bench out.json ...]
+      [--bench out.json ...] [--metrics metrics.json ...]
 
 Checks the Chrome trace export, the cgcm-profile-v1 document (including
-the ledger == ExecStats totals invariant), and any number of
-cgcm-bench-v1 files. Exits non-zero with a message on the first
-violation. Stdlib only — runnable anywhere CI can run python3.
+the ledger == ExecStats totals invariant), any number of cgcm-bench-v1
+files (including their embedded "metrics" section), and any number of
+standalone cgcm-metrics-v1 files. Exits non-zero with a message on the
+first violation. Stdlib only — runnable anywhere CI can run python3.
 """
 
 import argparse
@@ -148,6 +149,77 @@ def validate_profile(path):
           f"{stats['bytes_htod']}B HtoD / {stats['bytes_dtoh']}B DtoH)")
 
 
+METRIC_HISTOGRAM_KEYS = {
+    "name", "count", "sum", "min", "max", "p50", "p90", "p99", "buckets",
+}
+ATTRIBUTION_KEYS = {
+    "wall_cycles", "host", "compute", "htod", "dtoh", "stall_htod_fence",
+    "stall_dtoh_fence", "stall_host_sync", "streams",
+}
+ATTRIBUTION_STREAM_KEYS = {
+    "stream", "htod_busy", "dtoh_busy", "copies", "batches", "idle",
+}
+
+
+def validate_metrics_object(path, doc, where="metrics"):
+    """Validates one cgcm-metrics-v1 object (standalone file or the
+    embedded bench section)."""
+    expect(doc.get("schema") == "cgcm-metrics-v1", path,
+           f"{where}: schema is {doc.get('schema')!r}, "
+           "expected 'cgcm-metrics-v1'")
+    for section in ("counters", "gauges"):
+        entries = doc.get(section)
+        expect(isinstance(entries, list), path,
+               f"{where}: missing {section} array")
+        for i, entry in enumerate(entries):
+            expect(set(entry.keys()) == {"name", "value"}, path,
+                   f"{where}: {section}[{i}] keys {sorted(entry.keys())}")
+    hists = doc.get("histograms")
+    expect(isinstance(hists, list), path, f"{where}: missing histograms")
+    for i, h in enumerate(hists):
+        label = f"{where}: histograms[{i}]"
+        expect(set(h.keys()) == METRIC_HISTOGRAM_KEYS, path,
+               f"{label} keys {sorted(h.keys())}")
+        buckets = h["buckets"]
+        expect(isinstance(buckets, list), path, f"{label}: buckets not a list")
+        expect(sum(b["count"] for b in buckets) == h["count"], path,
+               f"{label}: bucket counts do not sum to count")
+        les = [b["le"] for b in buckets]
+        expect(les == sorted(les) and len(set(les)) == len(les), path,
+               f"{label}: bucket bounds not strictly ascending")
+        if h["count"]:
+            expect(h["min"] <= h["p50"] <= h["p90"] <= h["p99"], path,
+                   f"{label}: percentiles not monotone")
+    for section in ("counters", "gauges", "histograms"):
+        names = [e["name"] for e in doc[section]]
+        expect(names == sorted(names), path,
+               f"{where}: {section} not name-sorted")
+    attr = doc.get("attribution")
+    if attr is not None:
+        missing = ATTRIBUTION_KEYS - attr.keys()
+        expect(not missing, path,
+               f"{where}: attribution missing keys {sorted(missing)}")
+        for i, s in enumerate(attr["streams"]):
+            expect(set(s.keys()) == ATTRIBUTION_STREAM_KEYS, path,
+                   f"{where}: attribution.streams[{i}] keys "
+                   f"{sorted(s.keys())}")
+        parts = (attr["host"] + attr["compute"] + attr["htod"] + attr["dtoh"]
+                 + attr["stall_htod_fence"] + attr["stall_dtoh_fence"]
+                 + attr["stall_host_sync"])
+        expect(abs(parts - attr["wall_cycles"]) <= 1e-6 *
+               max(1.0, attr["wall_cycles"]), path,
+               f"{where}: attribution parts {parts} != wall "
+               f"{attr['wall_cycles']}")
+    return (len(doc["counters"]), len(doc["gauges"]), len(hists))
+
+
+def validate_metrics(path):
+    doc = load(path)
+    nc, ng, nh = validate_metrics_object(path, doc, where="document")
+    print(f"{path}: OK ({nc} counters, {ng} gauges, {nh} histograms"
+          + (", attribution" if "attribution" in doc else "") + ")")
+
+
 def validate_bench(path):
     doc = load(path)
     expect(doc.get("schema") == "cgcm-bench-v1", path,
@@ -178,8 +250,12 @@ def validate_bench(path):
                f"streams={entry['streams']}): output diverged from sync")
         expect(entry["wall_cycles"] <= entry["total_cycles"] + 1e-6, path,
                f"transfer_overlap[{i}]: wall_cycles exceeds total_cycles")
+    if "metrics" in doc:
+        expect(isinstance(doc["metrics"], dict), path,
+               "metrics section not an object")
+        validate_metrics_object(path, doc["metrics"])
     extra = ", ".join(s for s in ("pass_timings", "analysis_cache",
-                                  "transfer_overlap")
+                                  "transfer_overlap", "metrics")
                       if s in doc)
     print(f"{path}: OK (bench {doc['bench']!r}, {len(rows)} rows"
           + (f", sections: {extra}" if extra else "") + ")")
@@ -191,8 +267,10 @@ def main():
     ap.add_argument("--profile", help="cgcm-profile-v1 document to validate")
     ap.add_argument("--bench", nargs="*", default=[],
                     help="cgcm-bench-v1 documents to validate")
+    ap.add_argument("--metrics", nargs="*", default=[],
+                    help="cgcm-metrics-v1 documents to validate")
     args = ap.parse_args()
-    if not (args.trace or args.profile or args.bench):
+    if not (args.trace or args.profile or args.bench or args.metrics):
         ap.error("nothing to validate")
     if args.trace:
         validate_trace(args.trace)
@@ -200,6 +278,8 @@ def main():
         validate_profile(args.profile)
     for path in args.bench:
         validate_bench(path)
+    for path in args.metrics:
+        validate_metrics(path)
 
 
 if __name__ == "__main__":
