@@ -110,24 +110,43 @@ struct TransferOverlapRow {
   bool OutputEqual = true; ///< Async output bit-identical to sync.
 };
 
+/// One "devices" entry: per-device traffic and compute of a device-pool
+/// run (docs/MultiGPU.md). Only emitted when a driver ran with
+/// --devices > 1, so single-device artifacts stay byte-identical.
+struct DeviceRow {
+  unsigned Device = 0;
+  uint64_t BytesHtoD = 0;
+  uint64_t BytesDtoH = 0;
+  uint64_t TransfersHtoD = 0;
+  uint64_t TransfersDtoH = 0;
+  uint64_t P2PTransfers = 0;
+  uint64_t P2PBytes = 0;
+  double ComputeCycles = 0;
+};
+
 /// The optional pipeline-instrumentation sections; empty vectors are
 /// omitted from the output.
 struct PipelineSections {
   std::vector<PassTimingRow> PassTimings;
   std::vector<AnalysisCacheRow> AnalysisCache;
   std::vector<TransferOverlapRow> TransferOverlap;
+  std::vector<DeviceRow> Devices;
 };
 
-/// Asynchronous-transfer-engine knobs shared by every bench driver
-/// (mirroring cgcmc's flags; see docs/TransferEngine.md).
+/// Asynchronous-transfer-engine and device-pool knobs shared by every
+/// bench driver (mirroring cgcmc's flags; see docs/TransferEngine.md
+/// and docs/MultiGPU.md).
 struct StreamOpts {
   unsigned Streams = 0; ///< 0 = the default synchronous model.
   bool Coalesce = true;
+  unsigned Devices = 1;         ///< Simulated GPUs in the pool.
+  std::string Placement = "rr"; ///< "rr" (round-robin) or "bytes".
 };
 
-/// Extracts `--streams=<n>`, `--no-async`, and `--no-coalesce` from the
-/// argument vector (removing the tokens so later parsing never sees
-/// them). Returns false on a malformed `--streams` value.
+/// Extracts `--streams=<n>`, `--no-async`, `--no-coalesce`,
+/// `--devices=<n>`, and `--placement=<rr|bytes>` from the argument
+/// vector (removing the tokens so later parsing never sees them).
+/// Returns false on a malformed value.
 inline bool consumeStreamArgs(int &Argc, char **Argv, StreamOpts &O) {
   int Out = 1;
   bool Ok = true;
@@ -145,7 +164,23 @@ inline bool consumeStreamArgs(int &Argc, char **Argv, StreamOpts &O) {
       O.Streams = 0;
     else if (A == "--no-coalesce")
       O.Coalesce = false;
-    else
+    else if (A.rfind("--devices=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 10);
+      if (N < 1) {
+        std::fprintf(stderr, "%s: --devices wants a positive count\n",
+                     Argv[0]);
+        Ok = false;
+      } else
+        O.Devices = static_cast<unsigned>(N);
+    } else if (A.rfind("--placement=", 0) == 0) {
+      std::string P = A.substr(12);
+      if (P != "rr" && P != "bytes") {
+        std::fprintf(stderr, "%s: --placement wants 'rr' or 'bytes'\n",
+                     Argv[0]);
+        Ok = false;
+      } else
+        O.Placement = P;
+    } else
       Argv[Out++] = Argv[I];
   }
   Argc = Out;
@@ -168,6 +203,10 @@ inline bool consumeHelpArg(int Argc, char **Argv, const char *Extra = "") {
         "                  engine with <n> DMA streams\n"
         "  --no-async      force the synchronous transfer model (default)\n"
         "  --no-coalesce   with --streams, disable DMA-batch coalescing\n"
+        "  --devices=<n>   run workloads on a pool of <n> simulated GPUs\n"
+        "                  (default 1; shardable DOALL kernels split)\n"
+        "  --placement=<p> device-pool placement policy: rr (round-robin,\n"
+        "                  default) or bytes (bytes-balanced)\n"
         "%s",
         Argv[0], Extra);
     return true;
@@ -258,6 +297,22 @@ inline bool writeBenchJson(const std::string &Path, const std::string &Bench,
       W.key("coalesced_transfers").number(T.CoalescedTransfers);
       W.key("host_syncs").number(T.HostSyncs);
       W.key("output_equal").boolean(T.OutputEqual);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (!Sections.Devices.empty()) {
+    W.key("devices").beginArray();
+    for (const DeviceRow &D : Sections.Devices) {
+      W.beginObject();
+      W.key("device").number(static_cast<uint64_t>(D.Device));
+      W.key("bytes_htod").number(D.BytesHtoD);
+      W.key("bytes_dtoh").number(D.BytesDtoH);
+      W.key("transfers_htod").number(D.TransfersHtoD);
+      W.key("transfers_dtoh").number(D.TransfersDtoH);
+      W.key("p2p_transfers").number(D.P2PTransfers);
+      W.key("p2p_bytes").number(D.P2PBytes);
+      W.key("compute_cycles").number(D.ComputeCycles);
       W.endObject();
     }
     W.endArray();

@@ -71,6 +71,11 @@ VariantResult runVariant(const std::string &Source, const Variant &V) {
   runPassPipeline(*M, V.Passes, RunOpts);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();

@@ -43,6 +43,11 @@ Result runWith(const std::string &Src, bool EpochCheck, bool RefCountReuse) {
   runCGCMPipeline(*M);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.getRuntime().setEpochCheckEnabled(EpochCheck);
   Mach.getRuntime().setRefCountReuseEnabled(RefCountReuse);

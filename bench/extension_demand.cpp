@@ -48,6 +48,11 @@ Row runCGCM(const std::string &Src) {
   runCGCMPipeline(*M);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();
@@ -64,6 +69,11 @@ Row runDemand(const std::string &Src) {
   runCGCMPipeline(*M, Opts);
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::DemandManaged);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();

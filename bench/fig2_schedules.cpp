@@ -76,6 +76,11 @@ ScheduleResult runSchedule(bool Manage, bool Optimize, LaunchPolicy Policy) {
   runCGCMPipeline(*M, Opts);
   Machine Mach;
   Mach.setLaunchPolicy(Policy);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.getDevice().setTimelineEnabled(true);
   Mach.loadModule(*M);

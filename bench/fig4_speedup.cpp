@@ -44,6 +44,9 @@ int main(int Argc, char **Argv) {
   RunnerOptions RO;
   RO.AsyncStreams = SO.Streams;
   RO.Coalesce = SO.Coalesce;
+  RO.Devices = SO.Devices;
+  RO.Placement = SO.Placement == "bytes" ? PlacementPolicy::BytesBalanced
+                                         : PlacementPolicy::RoundRobin;
   unsigned OverlapStreams = SO.Streams ? SO.Streams : 4;
   std::vector<benchjson::Row> Rows;
   benchjson::PipelineSections Sections;
@@ -73,8 +76,13 @@ int main(int Argc, char **Argv) {
     RunnerOptions ARO;
     ARO.AsyncStreams = OverlapStreams;
     ARO.Coalesce = SO.Coalesce;
+    ARO.Devices = RO.Devices;
+    ARO.Placement = RO.Placement;
+    RunnerOptions SyncRO;
+    SyncRO.Devices = RO.Devices;
+    SyncRO.Placement = RO.Placement;
     WorkloadRun Sync =
-        SO.Streams ? runWorkload(W, BenchConfig::CGCMOptimized) : RunOpt;
+        SO.Streams ? runWorkload(W, BenchConfig::CGCMOptimized, SyncRO) : RunOpt;
     WorkloadRun Async =
         SO.Streams ? RunOpt : runWorkload(W, BenchConfig::CGCMOptimized, ARO);
     bool OutputEqual = Async.Output == Sync.Output;
@@ -107,6 +115,23 @@ int main(int Argc, char **Argv) {
     AddRow(W, "inspector-executor", RunIE, IE);
     AddRow(W, "cgcm-unopt", RunUnopt, Unopt);
     AddRow(W, "cgcm-opt", RunOpt, Opt);
+    // Per-device traffic/compute, summed across the suite; populated
+    // only under --devices>1 so single-device artifacts are unchanged.
+    for (size_t D = 0; D < RunOpt.Stats.Devices.size(); ++D) {
+      if (Sections.Devices.size() <= D) {
+        Sections.Devices.resize(D + 1);
+        Sections.Devices[D].Device = static_cast<unsigned>(D);
+      }
+      const auto &DS = RunOpt.Stats.Devices[D];
+      benchjson::DeviceRow &Out = Sections.Devices[D];
+      Out.BytesHtoD += DS.BytesHtoD;
+      Out.BytesDtoH += DS.BytesDtoH;
+      Out.TransfersHtoD += DS.TransfersHtoD;
+      Out.TransfersDtoH += DS.TransfersDtoH;
+      Out.P2PTransfers += DS.P2PTransfers;
+      Out.P2PBytes += DS.P2PBytes;
+      Out.ComputeCycles += DS.ComputeCycles;
+    }
     IESpeedup[W.Name] = IE;
     UnoptSpeedup[W.Name] = Unopt;
     OptSpeedup[W.Name] = Opt;

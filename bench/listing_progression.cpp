@@ -87,6 +87,11 @@ StageResult runStage(bool Optimize) {
 
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();

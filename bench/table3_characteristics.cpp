@@ -59,6 +59,9 @@ int main(int Argc, char **Argv) {
   RunnerOptions RO;
   RO.AsyncStreams = SO.Streams;
   RO.Coalesce = SO.Coalesce;
+  RO.Devices = SO.Devices;
+  RO.Placement = SO.Placement == "bytes" ? PlacementPolicy::BytesBalanced
+                                         : PlacementPolicy::RoundRobin;
   std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
   std::vector<benchjson::Row> Rows;
 

@@ -91,6 +91,11 @@ SweepResult sweepWorkload(const Workload &W, const std::string &Text,
 
   Machine Mach;
   Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  if (GStreams.Devices > 1)
+    Mach.setDevices(GStreams.Devices,
+                    GStreams.Placement == "bytes"
+                        ? PlacementPolicy::BytesBalanced
+                        : PlacementPolicy::RoundRobin);
   Mach.setAsyncTransfers(GStreams.Streams, GStreams.Coalesce);
   Mach.loadModule(*M);
   Mach.run();

@@ -9,6 +9,7 @@
 #include "support/ErrorHandling.h"
 #include "support/Metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -97,7 +98,7 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
         M.DemandResident.insert(Info->Base);
         // A demand fault is a synchronous round trip by definition: the
         // faulting thread cannot proceed until the data arrived.
-        M.Device.getStreamEngine().waitAll();
+        M.getStreamEngine().waitAll();
       }
       Addr = Translated;
       Dev = true;
@@ -116,7 +117,7 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
                                                                 "to-cpu"));
             M.Runtime->unmap(Info->Base);
             M.Runtime->release(Info->Base);
-            M.Device.getStreamEngine().waitAll();
+            M.getStreamEngine().waitAll();
           }
           M.DemandResident.erase(It);
         }
@@ -127,11 +128,18 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
     // True host use point: if an in-flight asynchronous copy still owns
     // this range, the host blocks until it completes
     // (docs/TransferEngine.md). One empty-vector check when idle.
-    StreamEngine &Eng = M.Device.getStreamEngine();
-    if (Eng.hasPendingHostRanges()) {
-      ++HostFenceChecks;
-      Eng.hostAccess(Addr, Size, IsWrite);
+    for (unsigned D = 0, N = M.Pool.size(); D != N; ++D) {
+      StreamEngine &Eng = M.Pool.device(D).getStreamEngine();
+      if (Eng.hasPendingHostRanges()) {
+        ++HostFenceChecks;
+        Eng.hostAccess(Addr, Size, IsWrite);
+      }
     }
+    // A host write makes every peer-device replica of the unit stale;
+    // the next sharded launch re-replicates (docs/MultiGPU.md). One
+    // counter check while no replicas are live.
+    if (IsWrite && M.Runtime->hasReplicas())
+      M.Runtime->noteHostWrite(Addr);
   }
   if (!Ctx.OnGPU && Dev)
     reportFatalError("CPU code dereferenced a GPU pointer (address " +
@@ -142,7 +150,7 @@ SimMemory &Interpreter::memoryFor(uint64_t &Addr, bool IsWrite, uint64_t Size,
         "GPU function dereferenced a CPU pointer (address " +
         std::to_string(Addr) +
         "); CPU-GPU communication was not managed for this value");
-  SimMemory &Mem = Dev ? M.Device.getMemory() : M.Host;
+  SimMemory &Mem = Dev ? M.deviceMemoryFor(Addr) : M.Host;
   if (M.CheckedMemory && !Mem.isAccessible(Addr, Size))
     reportFatalError(Mem.getSpaceName() + ": access of " +
                      std::to_string(Size) + " bytes at " +
@@ -220,8 +228,17 @@ uint64_t Interpreter::evalOperand(const Value *V, Frame &Fr,
     // (cuModuleGetGlobal); on the CPU it is a host address. Under the
     // inspector-executor policy kernels run against host memory, and
     // under demand paging the host address faults per access.
-    if (Ctx.OnGPU && Ctx.EnforceSpace && !Ctx.DemandPage)
-      return M.Device.cuModuleGetGlobal(GV->getName(), GV->getSizeInBytes());
+    if (Ctx.OnGPU && Ctx.EnforceSpace && !Ctx.DemandPage) {
+      // With a device pool the global lives on its home device (sticky
+      // placement); untracked globals resolve against device 0.
+      unsigned Home = 0;
+      if (M.Pool.size() > 1)
+        if (const AllocUnitInfo *Info =
+                M.Runtime->lookup(M.getGlobalAddress(GV)))
+          Home = Info->HomeDevice;
+      return M.Pool.device(Home).cuModuleGetGlobal(GV->getName(),
+                                                   GV->getSizeInBytes());
+    }
     return M.getGlobalAddress(GV);
   }
   default: {
@@ -271,7 +288,7 @@ uint64_t Interpreter::execFunction(Function *F,
       if (It->second)
         M.Runtime->removeAlloca(It->first);
       SimMemory &Mem =
-          isDeviceAddress(It->first) ? M.Device.getMemory() : M.Host;
+          isDeviceAddress(It->first) ? M.deviceMemoryFor(It->first) : M.Host;
       Mem.free(It->first);
     }
     --CallDepth;
@@ -310,7 +327,7 @@ uint64_t Interpreter::execFunction(Function *F,
       uint64_t Count =
           AI->hasArraySize() ? evalOperand(AI->getArraySize(), Fr, Ctx) : 1;
       uint64_t Size = AI->getAllocatedType()->getSizeInBytes() * Count;
-      SimMemory &Mem = Ctx.OnGPU ? M.Device.getMemory() : M.Host;
+      SimMemory &Mem = Ctx.OnGPU ? M.getDevice().getMemory() : M.Host;
       uint64_t Addr = Mem.allocate(Size);
       bool AutoDeclared = false;
       if (!Ctx.OnGPU && M.Policy == LaunchPolicy::DemandManaged) {
@@ -798,7 +815,7 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
     }
     double InspectCost =
         static_cast<double>(Accesses) * M.TM.InspectorCyclesPerAccess;
-    M.Device.recordEvent(EventKind::Inspect, M.Stats.totalCycles(),
+    M.getDevice().recordEvent(EventKind::Inspect, M.Stats.totalCycles(),
                          InspectCost);
     if (M.Trace.isEnabled())
       M.Trace.complete("inspect", "kernel", M.Stats.totalCycles(),
@@ -807,17 +824,17 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
     uint64_t HtoDBytes = ReadUnits.size() + WriteUnits.size();
     if (HtoDBytes) {
       double Cost = M.TM.transferCycles(HtoDBytes);
-      M.Device.recordEvent(EventKind::HtoD, M.Stats.totalCycles(), Cost,
+      M.getDevice().recordEvent(EventKind::HtoD, M.Stats.totalCycles(), Cost,
                            HtoDBytes);
       // The IE baseline is inherently synchronous: the stream engine
       // charges the Comm split and the host-timeline attribution mirror.
-      M.Device.getStreamEngine().noteSyncCharge(Cost,
+      M.getDevice().getStreamEngine().noteSyncCharge(Cost,
                                                 StreamEngine::SyncKind::HtoD);
       M.Stats.BytesHtoD += HtoDBytes;
       ++M.Stats.TransfersHtoD;
     }
     double KCost = M.TM.kernelCycles(GpuOps, Threads);
-    M.Device.recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
+    M.getDevice().recordEvent(EventKind::Kernel, M.Stats.totalCycles(), KCost);
     if (M.Trace.isEnabled())
       M.Trace.complete(Kernel->getName(), "kernel", M.Stats.totalCycles(),
                        KCost,
@@ -825,14 +842,14 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
                            .add("threads", Threads)
                            .add("ops", GpuOps)
                            .add("policy", "inspector-executor"));
-    M.Device.getStreamEngine().noteSyncCharge(
+    M.getDevice().getStreamEngine().noteSyncCharge(
         KCost, StreamEngine::SyncKind::Compute);
     M.Stats.GpuOps += GpuOps;
     if (!WriteUnits.empty()) {
       double Cost = M.TM.transferCycles(WriteUnits.size());
-      M.Device.recordEvent(EventKind::DtoH, M.Stats.totalCycles(), Cost,
+      M.getDevice().recordEvent(EventKind::DtoH, M.Stats.totalCycles(), Cost,
                            WriteUnits.size());
-      M.Device.getStreamEngine().noteSyncCharge(
+      M.getDevice().getStreamEngine().noteSyncCharge(
           Cost, StreamEngine::SyncKind::DtoH);
       M.Stats.BytesDtoH += WriteUnits.size();
       ++M.Stats.TransfersDtoH;
@@ -844,34 +861,172 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
 
   // Trap / Managed / DemandManaged: threads execute against device
   // memory; a host access faults — fatally under Trap/Managed (the
-  // unmanaged-communication bug), or into the demand pager.
+  // unmanaged-communication bug), or into the demand pager. A DOALL
+  // kernel the optimizer proved shardable may split its iteration space
+  // across the device pool (docs/MultiGPU.md).
+  unsigned Cand = 1;
+  if (M.Pool.size() > 1 && Kernel->isShardable() && Threads > 1)
+    Cand = unsigned(std::min<uint64_t>(M.Pool.size(), Threads));
+
+  // Execute every thread in ascending tid order — sharded or not, this
+  // is the single-device order, so the data plane is bit-identical by
+  // construction (execution always reads and writes the home replica of
+  // every unit; peer replicas carry modeled traffic only). When a pool
+  // could shard, ops are recorded per contiguous tid chunk so shard
+  // boundaries can balance measured work, not thread counts: grid-stride
+  // kernels concentrate iterations in low tids whenever the trip count
+  // is below the launch width.
+  uint64_t NumChunks =
+      Cand > 1 ? std::min<uint64_t>(Threads, 4096) : 1;
+  std::vector<uint64_t> ChunkOps(NumChunks, 0);
   for (uint64_t Tid = 0; Tid != Threads; ++Tid) {
     ExecContext GCtx;
     GCtx.OnGPU = true;
     GCtx.EnforceSpace = true;
     GCtx.Tid = Tid;
     GCtx.NTid = Threads;
-    GCtx.GpuOpCounter = &GpuOps;
+    GCtx.GpuOpCounter =
+        Cand > 1 ? &ChunkOps[Tid * NumChunks / Threads] : &GpuOps;
     GCtx.DemandPage = Policy == LaunchPolicy::DemandManaged;
     execFunction(Kernel, Args, GCtx);
   }
-  double KCost = M.TM.kernelCycles(GpuOps, Threads);
-  // The engine decides when the kernel starts: synchronously at the
-  // current clock (legacy behavior), or — async — after every pending
-  // HtoD copy has landed, on the compute lane. GpuCycles are charged by
-  // the engine either way.
-  StreamEngine &Eng = M.Device.getStreamEngine();
-  double KStart = Eng.kernelLaunch(KCost);
-  M.Device.recordEvent(EventKind::Kernel, KStart, KCost);
-  if (M.Trace.isEnabled())
-    M.Trace.complete(Kernel->getName(), "kernel", KStart, KCost,
-                     TraceArgs()
-                         .add("threads", Threads)
-                         .add("ops", GpuOps)
-                         .add("policy", Policy == LaunchPolicy::DemandManaged
-                                            ? "demand-managed"
-                                            : "managed"),
-                     Eng.isAsync() ? LaneCompute : LaneHost);
+  if (Cand > 1)
+    for (uint64_t C = 0; C != NumChunks; ++C)
+      GpuOps += ChunkOps[C];
+  const char *PolicyName =
+      Policy == LaunchPolicy::DemandManaged ? "demand-managed" : "managed";
+  double SingleCost = M.TM.kernelCycles(GpuOps, Threads);
+
+  // Shard plan: contiguous chunk ranges whose op counts track the ideal
+  // per-device share. Shards left empty by a skewed distribution are
+  // dropped (their devices would only pay launch latency).
+  unsigned ND = 1;
+  std::vector<uint64_t> ShardOps, ShardThreads;
+  std::vector<double> KCost;
+  double MaxCost = 0;
+  if (Cand > 1) {
+    uint64_t Acc = 0, ChunkLo = 0;
+    for (unsigned D = 0; D != Cand; ++D) {
+      uint64_t Target = GpuOps * (D + 1) / Cand;
+      uint64_t ChunkHi = ChunkLo, Ops = 0;
+      while (ChunkHi != NumChunks &&
+             (D + 1 == Cand || Acc + Ops < Target)) {
+        Ops += ChunkOps[ChunkHi];
+        ++ChunkHi;
+      }
+      if (ChunkHi == ChunkLo)
+        continue;
+      // Chunk C covers tids [C*Threads/NumChunks, (C+1)*Threads/NumChunks).
+      uint64_t TidLo = ChunkLo * Threads / NumChunks;
+      uint64_t TidHi = ChunkHi * Threads / NumChunks;
+      ShardOps.push_back(Ops);
+      ShardThreads.push_back(TidHi - TidLo);
+      Acc += Ops;
+      ChunkLo = ChunkHi;
+    }
+    ND = unsigned(ShardOps.size());
+    KCost.resize(ND);
+    for (unsigned D = 0; D != ND; ++D) {
+      // Every pool device launches the full-width grid over its
+      // iteration slice (the standard multi-GPU grid-stride
+      // decomposition): per-shard parallel width matches the original
+      // launch; only the iteration count shrinks.
+      KCost[D] = M.TM.kernelCycles(ShardOps[D], Threads);
+      MaxCost = std::max(MaxCost, KCost[D]);
+    }
+    // Profitability gate: shard only when the modeled sharded schedule —
+    // slowest shard, plus halo re-coherence, plus replication — beats
+    // the single-device charge. Stale replicas (host writes between
+    // launches re-dirty them every iteration) are priced in full;
+    // missing replicas are one-time setup, amortized over the timing
+    // model's creation horizon so a kernel that relaunches can
+    // bootstrap. Everything here is modeled time; the data already
+    // moved.
+    if (ND > 1) {
+      double ShardedCost = MaxCost;
+      if (uint64_t Halo = Kernel->getHaloBytes())
+        ShardedCost += (ND - 1) * M.TM.p2pCopyCycles(Halo);
+      for (uint64_t A : Args)
+        if (isDeviceAddress(A)) {
+          CGCMRuntime::ReplicationEstimate E =
+              M.Runtime->estimateReplicationCycles(A, ND);
+          ShardedCost +=
+              E.StaleCycles + E.MissingCycles / M.TM.ShardCreationHorizon;
+        }
+      if (ShardedCost >= SingleCost)
+        ND = 1;
+    }
+  }
+
+  if (ND == 1) {
+    // The engine decides when the kernel starts: synchronously at the
+    // current clock (legacy behavior), or — async — after every pending
+    // HtoD copy has landed, on the compute lane. GpuCycles are charged by
+    // the engine either way.
+    StreamEngine &Eng = M.getDevice().getStreamEngine();
+    double KStart = Eng.kernelLaunch(SingleCost);
+    M.getDevice().recordEvent(EventKind::Kernel, KStart, SingleCost);
+    if (M.Trace.isEnabled())
+      M.Trace.complete(Kernel->getName(), "kernel", KStart, SingleCost,
+                       TraceArgs()
+                           .add("threads", Threads)
+                           .add("ops", GpuOps)
+                           .add("policy", PolicyName),
+                       Eng.isAsync() ? LaneCompute : LaneHost);
+    M.Stats.GpuOps += GpuOps;
+    ++M.Stats.KernelLaunches;
+    M.Runtime->onKernelLaunch();
+    return;
+  }
+
+  // Committed to sharding: give every shard device a current replica of
+  // each device-resident argument (timing-only peer copies; stale or
+  // missing replicas were priced into the gate above).
+  for (uint64_t A : Args)
+    if (isDeviceAddress(A))
+      for (unsigned D = 0; D != ND; ++D)
+        M.Runtime->replicateForDevice(A, D);
+
+  StreamEngine &Eng0 = M.getDevice().getStreamEngine();
+  if (!Eng0.isAsync()) {
+    // Synchronous regime: the shards run concurrently, so the host
+    // blocks once, for the slowest shard.
+    double KStart = Eng0.kernelLaunch(MaxCost);
+    for (unsigned D = 0; D != ND; ++D) {
+      M.Pool.device(D).recordEvent(EventKind::Kernel, KStart, KCost[D]);
+      M.Stats.deviceStats(D).ComputeCycles += KCost[D];
+      if (M.Trace.isEnabled())
+        M.Trace.complete(Kernel->getName() + "/shard" + std::to_string(D),
+                         "kernel", KStart, KCost[D],
+                         TraceArgs()
+                             .add("threads", ShardThreads[D])
+                             .add("ops", ShardOps[D])
+                             .add("device", D)
+                             .add("policy", PolicyName),
+                         LaneHost);
+    }
+  } else {
+    for (unsigned D = 0; D != ND; ++D) {
+      StreamEngine &Eng = M.Pool.device(D).getStreamEngine();
+      double KStart = Eng.kernelLaunch(KCost[D]);
+      M.Pool.device(D).recordEvent(EventKind::Kernel, KStart, KCost[D]);
+      M.Stats.deviceStats(D).ComputeCycles += KCost[D];
+      if (M.Trace.isEnabled())
+        M.Trace.complete(Kernel->getName() + "/shard" + std::to_string(D),
+                         "kernel", KStart, KCost[D],
+                         TraceArgs()
+                             .add("threads", ShardThreads[D])
+                             .add("ops", ShardOps[D])
+                             .add("device", D)
+                             .add("policy", PolicyName),
+                         Eng.computeLane());
+    }
+  }
+  // Halo re-coherence between adjacent shards: timing-only peer traffic
+  // (every shard wrote the single authoritative replica).
+  if (uint64_t Halo = Kernel->getHaloBytes())
+    for (unsigned D = 0; D + 1 != ND; ++D)
+      M.Pool.chargeP2P(D, D + 1, Halo);
   M.Stats.GpuOps += GpuOps;
   ++M.Stats.KernelLaunches;
   M.Runtime->onKernelLaunch();

@@ -12,10 +12,40 @@
 using namespace cgcm;
 
 Machine::Machine()
-    : Host(HostAddressBase, "host"), Device(TM, Stats),
-      Runtime(std::make_unique<CGCMRuntime>(Host, Device, TM, Stats)) {
-  Device.setTrace(&Trace);
+    : Host(HostAddressBase, "host"), Pool(TM, Stats),
+      Runtime(std::make_unique<CGCMRuntime>(Host, Pool.device(0), TM, Stats)) {
+  Pool.device(0).setTrace(&Trace);
   Runtime->setTrace(&Trace);
+}
+
+void Machine::setDevices(unsigned N, PlacementPolicy P) {
+  Pool.setDeviceCount(N);
+  for (unsigned D = 0; D != Pool.size(); ++D)
+    Pool.device(D).setTrace(&Trace);
+  Runtime->setPlacementPolicy(P);
+  Runtime->setDevicePool(Pool.size() > 1 ? &Pool : nullptr);
+  applyLaneLayout();
+}
+
+void Machine::applyLaneLayout() {
+  if (Pool.size() <= 1)
+    return;
+  // Every engine carries the same stream count (setAsyncTransfers
+  // configures them together), so the per-device lane block is uniform:
+  // compute + Streams lanes per device, after the shared host lane 0.
+  unsigned Streams = Pool.device(0).getStreamEngine().getConfig().Streams;
+  unsigned PerDevice = Streams + 1;
+  Trace.setLaneName(LaneHost, "host");
+  for (unsigned D = 0; D != Pool.size(); ++D) {
+    StreamEngine &Eng = Pool.device(D).getStreamEngine();
+    Eng.setLaneBase(D * PerDevice);
+    std::string Dev = "dev" + std::to_string(D);
+    Eng.setMetricPrefix(Dev + ".");
+    Trace.setLaneName(D * PerDevice + LaneCompute, Dev + "/gpu-compute");
+    for (unsigned S = 0; S != Streams; ++S)
+      Trace.setLaneName(D * PerDevice + laneForStream(S),
+                        Dev + "/stream-" + std::to_string(S));
+  }
 }
 
 void Machine::loadModule(Module &M) {
@@ -143,8 +173,11 @@ int64_t Machine::run() {
   int64_t Ret = static_cast<int64_t>(runFunction(Main, {}));
   // End-of-run fence: the program is over, so the host observes every
   // in-flight transfer; records the overlap-aware wall clock. A no-op on
-  // synchronous runs.
-  Device.getStreamEngine().drain();
+  // synchronous runs. Drained in device order: stalls accumulate
+  // monotonically into the shared stats, so the last drain records the
+  // pool-wide wall clock.
+  for (unsigned D = 0; D != Pool.size(); ++D)
+    Pool.device(D).getStreamEngine().drain();
   return Ret;
 }
 

@@ -25,6 +25,7 @@
 #ifndef CGCM_EXEC_MACHINE_H
 #define CGCM_EXEC_MACHINE_H
 
+#include "gpusim/DevicePool.h"
 #include "gpusim/GPUDevice.h"
 #include "gpusim/SimMemory.h"
 #include "gpusim/Timing.h"
@@ -73,8 +74,17 @@ public:
   TimingModel &getTiming() { return TM; }
   ExecStats &getStats() { return Stats; }
   SimMemory &getHostMemory() { return Host; }
-  GPUDevice &getDevice() { return Device; }
+  /// Device 0 — the only device unless setDevices grew the pool.
+  GPUDevice &getDevice() { return Pool.device(0); }
+  DevicePool &getDevicePool() { return Pool; }
   CGCMRuntime &getRuntime() { return *Runtime; }
+
+  /// Grows the device pool to \p N simulated GPUs and selects the
+  /// runtime's placement policy (docs/MultiGPU.md). N == 1 (the default)
+  /// is byte-identical to the pre-pool machine. Call before loadModule.
+  void setDevices(unsigned N,
+                  PlacementPolicy P = PlacementPolicy::RoundRobin);
+  unsigned getNumDevices() const { return Pool.size(); }
 
   void setLaunchPolicy(LaunchPolicy P) { Policy = P; }
   LaunchPolicy getLaunchPolicy() const { return Policy; }
@@ -88,9 +98,21 @@ public:
     C.Async = Streams > 0;
     C.Streams = Streams ? Streams : 1;
     C.Coalesce = Coalesce;
-    Device.getStreamEngine().configure(C);
+    for (unsigned D = 0; D != Pool.size(); ++D)
+      Pool.device(D).getStreamEngine().configure(C);
+    applyLaneLayout();
   }
-  StreamEngine &getStreamEngine() { return Device.getStreamEngine(); }
+  StreamEngine &getStreamEngine() { return Pool.device(0).getStreamEngine(); }
+
+  /// The device memory an address belongs to. With one device this is
+  /// always that device's memory (preserving historical fatal-error
+  /// text for out-of-window addresses); with a pool the address's
+  /// stride window picks the device.
+  SimMemory &deviceMemoryFor(uint64_t Addr) {
+    if (Pool.size() == 1)
+      return Pool.device(0).getMemory();
+    return Pool.deviceForAddress(Addr).getMemory();
+  }
 
   /// Per-access allocation-unit bounds checking (slow; used in tests).
   void setCheckedMemory(bool V) { CheckedMemory = V; }
@@ -166,10 +188,14 @@ public:
   Intrinsic getIntrinsic(const Function *F);
 
 private:
+  /// Assigns per-device trace-lane bases, lane names, and metric
+  /// prefixes; a no-op while the pool holds one device.
+  void applyLaneLayout();
+
   TimingModel TM;
   ExecStats Stats;
   SimMemory Host;
-  GPUDevice Device;
+  DevicePool Pool;
   TraceCollector Trace;
   std::unique_ptr<CGCMRuntime> Runtime;
   LaunchPolicy Policy = LaunchPolicy::Trap;

@@ -28,7 +28,7 @@ struct ModeRun {
 
 ModeRun runMode(const std::string &Source, const std::string &Name,
                 bool Manage, bool Optimize, bool Audit,
-                unsigned AsyncStreams = 0) {
+                unsigned AsyncStreams = 0, unsigned Devices = 1) {
   std::unique_ptr<Module> M = compileMiniC(Source, Name);
   PipelineOptions Opts;
   Opts.Parallelize = false; // Launches are explicit; isolate management.
@@ -40,6 +40,8 @@ ModeRun runMode(const std::string &Source, const std::string &Name,
   Mach.setLaunchPolicy(Manage ? LaunchPolicy::Managed
                               : LaunchPolicy::CpuEmulation);
   Mach.setOpLimit(200u * 1000u * 1000u);
+  if (Devices > 1)
+    Mach.setDevices(Devices);
   Mach.setAsyncTransfers(AsyncStreams);
   Mach.loadModule(*M);
 
@@ -112,7 +114,7 @@ bool compareRuns(const ModeRun &Ref, const ModeRun &Got,
 
 DiffResult cgcm::diffProgram(const std::string &Source,
                              const std::string &Name,
-                             unsigned AsyncStreams) {
+                             unsigned AsyncStreams, unsigned Devices) {
   DiffResult R;
   ModeRun Ref = runMode(Source, Name + ".ref", /*Manage=*/false,
                         /*Optimize=*/false, /*Audit=*/false);
@@ -146,6 +148,24 @@ DiffResult cgcm::diffProgram(const std::string &Source,
     OK &= compareRuns(Ref, Async, "optimized-async", R.Failure);
     if (!Async.Audit.clean()) {
       R.Failure += "optimized-async audit:\n" + Async.Audit.str() + "\n";
+      OK = false;
+    }
+  }
+
+  // The multi-device configuration: allocation units place across a
+  // device pool, exercising the per-device routing of every runtime
+  // call. Execution reads home replicas only, so any divergence is a
+  // routing bug, not an "expected" placement effect.
+  if (Devices > 1) {
+    ModeRun MultiDev =
+        runMode(Source, Name + ".multidev", /*Manage=*/true,
+                /*Optimize=*/true, /*Audit=*/true, /*AsyncStreams=*/0,
+                Devices);
+    R.MultiDevAudit = MultiDev.Audit;
+    OK &= compareRuns(Ref, MultiDev, "optimized-multidev", R.Failure);
+    if (!MultiDev.Audit.clean()) {
+      R.Failure +=
+          "optimized-multidev audit:\n" + MultiDev.Audit.str() + "\n";
       OK = false;
     }
   }

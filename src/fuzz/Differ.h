@@ -15,8 +15,14 @@
 ///                 asynchronous transfer engine (docs/TransferEngine.md);
 ///                 data movement is eager, so it must stay bit-identical
 ///                 to the synchronous runs while only modeled time moves
+///   optimized-multidev — the optimized pipeline re-run on a device pool
+///                 (docs/MultiGPU.md): allocation units place across
+///                 devices, so every map/unmap/launch exercises the
+///                 per-device routing while the output must stay
+///                 bit-identical to the single-device runs
 ///
-/// The fourth configuration is skipped when AsyncStreams is 0.
+/// The fourth configuration is skipped when AsyncStreams is 0; the fifth
+/// when Devices <= 1.
 ///
 /// Agreement means: identical printed output, identical exit values,
 /// identical final bytes in every named global, and — for the two
@@ -46,14 +52,17 @@ struct DiffResult {
   AuditReport UnoptimizedAudit;
   AuditReport OptimizedAudit;
   AuditReport AsyncAudit; ///< Empty/clean when the async run was skipped.
+  /// Empty/clean when the multi-device run was skipped.
+  AuditReport MultiDevAudit;
 };
 
 /// Compiles and runs \p Source under every configuration and diffs them.
 /// \p Name labels compiler diagnostics; \p AsyncStreams sets the stream
-/// count of the optimized-async run (0 skips it).
+/// count of the optimized-async run (0 skips it); \p Devices the pool
+/// size of the optimized-multidev run (<= 1 skips it).
 DiffResult diffProgram(const std::string &Source,
                        const std::string &Name = "fuzz",
-                       unsigned AsyncStreams = 4);
+                       unsigned AsyncStreams = 4, unsigned Devices = 2);
 
 } // namespace cgcm
 

@@ -1,0 +1,55 @@
+//===- gpusim/DevicePool.cpp - N simulated devices + P2P copy lanes ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/DevicePool.h"
+
+#include <vector>
+
+using namespace cgcm;
+
+StreamEngine::TransferResult
+DevicePool::chargeP2PImpl(unsigned Src, unsigned Dst, uint64_t Bytes,
+                          uint64_t SrcPtr, uint64_t DstPtr, bool WithArgs) {
+  GPUDevice &SrcDev = device(Src);
+  GPUDevice &DstDev = device(Dst);
+  StreamEngine &DstEngine = DstDev.getStreamEngine();
+  double SrcReady = SrcDev.getStreamEngine().dataReadyFrontier();
+  StreamEngine::TransferResult R = DstEngine.transferP2P(Bytes, SrcReady);
+  DstDev.recordEvent(EventKind::HtoD, R.Start, R.Duration, Bytes);
+  TraceCollector *T = DstDev.getTrace();
+  if (T && T->isEnabled()) {
+    TraceArgs Args;
+    Args.add("bytes", Bytes).add("src_dev", Src).add("dst_dev", Dst);
+    if (WithArgs)
+      Args.add("src", SrcPtr).add("dst", DstPtr);
+    T->complete("P2P", "xfer", R.Start, R.Duration, std::move(Args), R.Lane);
+  }
+  Stats.BytesP2P += Bytes;
+  ++Stats.TransfersP2P;
+  if (Devices.size() > 1) {
+    ExecStats::DeviceStats &DS = Stats.deviceStats(Dst);
+    DS.P2PBytes += Bytes;
+    ++DS.P2PTransfers;
+  }
+  return R;
+}
+
+StreamEngine::TransferResult DevicePool::p2pCopy(unsigned Src, unsigned Dst,
+                                                 uint64_t SrcPtr,
+                                                 uint64_t DstPtr,
+                                                 uint64_t Bytes) {
+  // Bytes move eagerly regardless of the modeled P2P schedule, so a
+  // multi-device run is output-identical to a single-device one.
+  std::vector<uint8_t> Buf(Bytes);
+  device(Src).getMemory().read(SrcPtr, Buf.data(), Bytes);
+  device(Dst).getMemory().write(DstPtr, Buf.data(), Bytes);
+  return chargeP2PImpl(Src, Dst, Bytes, SrcPtr, DstPtr, /*WithArgs=*/true);
+}
+
+StreamEngine::TransferResult DevicePool::chargeP2P(unsigned Src, unsigned Dst,
+                                                   uint64_t Bytes) {
+  return chargeP2PImpl(Src, Dst, Bytes, 0, 0, /*WithArgs=*/false);
+}

@@ -1,0 +1,98 @@
+//===- gpusim/DevicePool.h - N simulated devices + P2P copy lanes -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pool of simulated GPUs (docs/MultiGPU.md). Each device owns its own
+/// SimMemory — strided address windows, so any device address identifies
+/// its owner arithmetically — and its own StreamEngine. The pool adds the
+/// device-to-device copy path: `p2pCopy` moves bytes eagerly between two
+/// device memories and charges the modeled peer-lane cost (or the
+/// DtoH + HtoD staging fallback when TimingModel::P2PEnabled is off)
+/// through the *destination* engine, so kernels launched on the
+/// destination fence the arrival like any other input.
+///
+/// A pool of size 1 is byte-for-byte the pre-pool single device: device 0
+/// sits at the historical DeviceAddressBase, per-device stats stay off,
+/// and no P2P path can be exercised.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_GPUSIM_DEVICEPOOL_H
+#define CGCM_GPUSIM_DEVICEPOOL_H
+
+#include "gpusim/GPUDevice.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cgcm {
+
+class DevicePool {
+public:
+  DevicePool(TimingModel &TM, ExecStats &Stats) : TM(TM), Stats(Stats) {
+    Devices.push_back(std::make_unique<GPUDevice>(TM, Stats, 0));
+  }
+
+  /// Grows (never shrinks below 1) the pool to \p N devices. Device
+  /// objects are stable: references handed out earlier stay valid.
+  /// Growing past 1 turns per-device stats on for every device,
+  /// including device 0.
+  void setDeviceCount(unsigned N) {
+    if (N == 0)
+      N = 1;
+    while (Devices.size() < N)
+      Devices.push_back(
+          std::make_unique<GPUDevice>(TM, Stats, unsigned(Devices.size())));
+    bool PerDevice = Devices.size() > 1;
+    for (auto &D : Devices)
+      D->setPerDeviceStats(PerDevice);
+  }
+
+  unsigned size() const { return unsigned(Devices.size()); }
+
+  GPUDevice &device(unsigned D) { return *Devices.at(D); }
+  const GPUDevice &device(unsigned D) const { return *Devices.at(D); }
+
+  /// The device whose address window holds \p Addr.
+  GPUDevice &deviceForAddress(uint64_t Addr) {
+    return device(deviceIndexForAddress(Addr));
+  }
+
+  /// Copies \p Bytes from \p SrcPtr on device \p Src to \p DstPtr on
+  /// device \p Dst: bytes move eagerly (output identity by construction)
+  /// and the modeled cost lands on the destination engine. Returns the
+  /// engine's timing decision.
+  StreamEngine::TransferResult p2pCopy(unsigned Src, unsigned Dst,
+                                       uint64_t SrcPtr, uint64_t DstPtr,
+                                       uint64_t Bytes);
+
+  /// Charges the timing (and counters) of a peer copy without moving any
+  /// bytes — for halo exchanges after sharded launches, where every shard
+  /// already wrote the single authoritative replica and only the modeled
+  /// re-coherence traffic remains.
+  StreamEngine::TransferResult chargeP2P(unsigned Src, unsigned Dst,
+                                         uint64_t Bytes);
+
+  /// Resets every device (memory, module globals, timelines).
+  void reset() {
+    for (auto &D : Devices)
+      D->reset();
+  }
+
+private:
+  StreamEngine::TransferResult chargeP2PImpl(unsigned Src, unsigned Dst,
+                                             uint64_t Bytes, uint64_t SrcPtr,
+                                             uint64_t DstPtr, bool Trace);
+
+  TimingModel &TM;
+  ExecStats &Stats;
+  std::vector<std::unique_ptr<GPUDevice>> Devices;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_GPUSIM_DEVICEPOOL_H

@@ -32,6 +32,11 @@ StreamEngine::TransferResult GPUDevice::cuMemcpyHtoD(uint64_t DevPtr,
   }
   Stats.BytesHtoD += Size;
   ++Stats.TransfersHtoD;
+  if (PerDeviceStats) {
+    ExecStats::DeviceStats &DS = Stats.deviceStats(Index);
+    DS.BytesHtoD += Size;
+    ++DS.TransfersHtoD;
+  }
   return R;
 }
 
@@ -55,6 +60,11 @@ StreamEngine::TransferResult GPUDevice::cuMemcpyDtoH(SimMemory &Host,
   }
   Stats.BytesDtoH += Size;
   ++Stats.TransfersDtoH;
+  if (PerDeviceStats) {
+    ExecStats::DeviceStats &DS = Stats.deviceStats(Index);
+    DS.BytesDtoH += Size;
+    ++DS.TransfersDtoH;
+  }
   return R;
 }
 

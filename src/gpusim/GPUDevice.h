@@ -29,9 +29,19 @@ namespace cgcm {
 
 class GPUDevice {
 public:
-  GPUDevice(TimingModel &TM, ExecStats &Stats)
-      : Mem(DeviceAddressBase, "device"), TM(TM), Stats(Stats),
+  /// \p Index places this device's memory at
+  /// DeviceAddressBase + Index * DeviceAddressStride; index 0 (the
+  /// default, and the only device outside a pool) keeps exactly the
+  /// historical base.
+  GPUDevice(TimingModel &TM, ExecStats &Stats, unsigned Index = 0)
+      : Index(Index), Mem(baseAddr(), spaceName(Index)), TM(TM), Stats(Stats),
         Engine(TM, Stats) {}
+
+  unsigned getIndex() const { return Index; }
+
+  /// When true (pools with more than one device), traffic through this
+  /// device additionally lands in Stats.Devices[Index].
+  void setPerDeviceStats(bool V) { PerDeviceStats = V; }
 
   SimMemory &getMemory() { return Mem; }
   const SimMemory &getMemory() const { return Mem; }
@@ -105,18 +115,27 @@ public:
 
   /// Resets device memory and module globals between program runs.
   void reset() {
-    Mem = SimMemory(DeviceAddressBase, "device");
+    Mem = SimMemory(baseAddr(), spaceName(Index));
     ModuleGlobals.clear();
     Timeline.clear();
   }
 
 private:
+  uint64_t baseAddr() const {
+    return DeviceAddressBase + Index * DeviceAddressStride;
+  }
+  static std::string spaceName(unsigned Index) {
+    return Index == 0 ? "device" : "device" + std::to_string(Index);
+  }
+
   /// Updates the peak-resident counter after an allocation.
   void noteResidency() {
     Stats.PeakResidentDeviceBytes =
         std::max(Stats.PeakResidentDeviceBytes, Mem.getLiveBytes());
   }
 
+  unsigned Index = 0;
+  bool PerDeviceStats = false;
   SimMemory Mem;
   TimingModel &TM;
   ExecStats &Stats;

@@ -31,8 +31,20 @@ inline constexpr uint64_t HostAddressBase = 0x10000;
 /// with a CPU (or GPU) access is the communication bug CGCM prevents.
 inline constexpr uint64_t DeviceAddressBase = 1ull << 46;
 
+/// Address-space stride between devices in a multi-device pool. Device D's
+/// memory starts at DeviceAddressBase + D * DeviceAddressStride, so device
+/// 0 keeps exactly the historical base and any device address identifies
+/// its owner arithmetically.
+inline constexpr uint64_t DeviceAddressStride = 1ull << 40;
+
 inline bool isDeviceAddress(uint64_t Addr) {
   return Addr >= DeviceAddressBase;
+}
+
+/// Which device owns \p Addr (only meaningful for device addresses).
+inline unsigned deviceIndexForAddress(uint64_t Addr) {
+  return static_cast<unsigned>((Addr - DeviceAddressBase) /
+                               DeviceAddressStride);
 }
 
 class SimMemory {

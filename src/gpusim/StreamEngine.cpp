@@ -39,19 +39,33 @@ void StreamEngine::hostWaitUntil(double T, StallCause Cause) {
       (Stats.StallHtoDFenceCycles + Stats.StallDtoHFenceCycles) +
       Stats.StallHostSyncCycles;
   ++Stats.HostSyncs;
-  // Process-wide stall attribution; instruments are created once and the
-  // pointers stay valid for the life of the process.
-  static MetricGauge *const StallGauges[3] = {
-      &MetricsRegistry::get().gauge("stream.stall.htod_fence_cycles"),
-      &MetricsRegistry::get().gauge("stream.stall.dtoh_fence_cycles"),
-      &MetricsRegistry::get().gauge("stream.stall.host_sync_cycles")};
+  // Stall attribution under this engine's prefix; instruments are
+  // resolved once per prefix and the pointers stay valid for the life of
+  // the process.
+  if (!StallGauges[0]) {
+    StallGauges[0] = &MetricsRegistry::get().gauge(
+        MetricPrefix + "stream.stall.htod_fence_cycles");
+    StallGauges[1] = &MetricsRegistry::get().gauge(
+        MetricPrefix + "stream.stall.dtoh_fence_cycles");
+    StallGauges[2] = &MetricsRegistry::get().gauge(
+        MetricPrefix + "stream.stall.host_sync_cycles");
+  }
   StallGauges[static_cast<unsigned>(Cause)]->add(Delta);
 }
 
 void StreamEngine::recordQueueDepth() {
-  static MetricHistogram *const Depth =
-      &MetricsRegistry::get().histogram("stream.pending_ranges");
-  Depth->record(Pending.size());
+  if (!DepthHist)
+    DepthHist = &MetricsRegistry::get().histogram(MetricPrefix +
+                                                  "stream.pending_ranges");
+  DepthHist->record(Pending.size());
+}
+
+void StreamEngine::setMetricPrefix(std::string Prefix) {
+  if (Prefix == MetricPrefix)
+    return;
+  MetricPrefix = std::move(Prefix);
+  StallGauges[0] = StallGauges[1] = StallGauges[2] = nullptr;
+  DepthHist = nullptr;
 }
 
 void StreamEngine::prunePending() {
@@ -104,9 +118,9 @@ StreamEngine::transferHtoD(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
   HtoDBusy = End;
   StreamBusy[R.Stream] = End;
   PendingHtoDFence = std::max(PendingHtoDFence, End);
-  R.Lane = laneForStream(R.Stream);
+  R.Lane = laneFor(R.Stream);
   Stats.HtoDCommCycles += R.Duration;
-  Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
+  recomputeComm();
   ExecStats::StreamLaneStats &LS = laneStats(R.Stream);
   LS.HtoDBusyCycles += R.Duration;
   ++LS.Copies;
@@ -155,9 +169,9 @@ StreamEngine::transferDtoH(uint64_t Bytes, bool Pinned, uint64_t HostAddr) {
   DtoHBatch.End = End;
   DtoHBusy = End;
   StreamBusy[R.Stream] = End;
-  R.Lane = laneForStream(R.Stream);
+  R.Lane = laneFor(R.Stream);
   Stats.DtoHCommCycles += R.Duration;
-  Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
+  recomputeComm();
   ExecStats::StreamLaneStats &LS = laneStats(R.Stream);
   LS.DtoHBusyCycles += R.Duration;
   ++LS.Copies;
@@ -183,6 +197,42 @@ double StreamEngine::kernelLaunch(double Cycles) {
   Stats.GpuCycles += Cycles;
   Stats.ComputeLaneBusyCycles += Cycles;
   return Start;
+}
+
+StreamEngine::TransferResult StreamEngine::transferP2P(uint64_t Bytes,
+                                                       double SrcReady) {
+  TransferResult R;
+  R.Duration = TM.p2pCopyCycles(Bytes);
+  if (!Cfg.Async) {
+    // Synchronous regime: the host blocks for the peer copy just as it
+    // does for its own transfers.
+    R.Start = Stats.totalCycles();
+    R.Lane = LaneHost;
+    noteSyncCharge(R.Duration, SyncKind::P2P);
+    ++Stats.DmaBatches;
+    return R;
+  }
+  // Peer arrivals land on this (destination) device's copy engine. A P2P
+  // copy never coalesces with host traffic: it closes both windows.
+  HtoDBatch.Open = DtoHBatch.Open = false;
+  double Issue = hostNow();
+  R.Stream = pickStream();
+  R.Start = std::max(std::max(Issue, SrcReady),
+                     std::max(HtoDBusy, StreamBusy[R.Stream]));
+  if (Cfg.Streams <= 1)
+    R.Start = std::max(R.Start, std::max(ComputeBusy, DtoHBusy));
+  double End = R.Start + R.Duration;
+  HtoDBusy = End;
+  StreamBusy[R.Stream] = End;
+  // Feed the kernel-launch fence: a kernel on this device issued after
+  // this arrival must see the peer data, exactly like an HtoD input.
+  PendingHtoDFence = std::max(PendingHtoDFence, End);
+  R.Lane = laneFor(R.Stream);
+  Stats.P2PCommCycles += R.Duration;
+  recomputeComm();
+  ++Stats.AsyncTransfers;
+  ++Stats.DmaBatches;
+  return R;
 }
 
 void StreamEngine::hostAccess(uint64_t Addr, uint64_t Size, bool IsWrite) {

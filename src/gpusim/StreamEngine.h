@@ -39,6 +39,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cgcm {
@@ -46,10 +47,15 @@ namespace cgcm {
 /// Trace lane numbering (exported as Chrome trace tids, see
 /// support/Trace.h): lane 0 is the host, lane 1 the compute engine, and
 /// lane 2+s stream s. Synchronous runs put everything on lane 0, which
-/// preserves the historical single-lane export.
+/// preserves the historical single-lane export. In a multi-device pool
+/// device D's engine shifts its compute/stream lanes by a per-engine
+/// LaneBase (D * (Streams + 1)); device 0 keeps the historical numbers.
 constexpr unsigned LaneHost = 0;
 constexpr unsigned LaneCompute = 1;
 inline unsigned laneForStream(unsigned Stream) { return 2 + Stream; }
+
+class MetricGauge;
+class MetricHistogram;
 
 struct StreamEngineConfig {
   /// Number of stream lanes. 1 models a single in-order stream (copies
@@ -96,10 +102,13 @@ public:
   /// host, synchronously-committed kernel/transfer costs, and stalls. On
   /// a synchronous run this equals ExecStats::totalCycles() bitwise —
   /// the association shape here deliberately mirrors totalCycles() and
-  /// WallAttribution::sum() (see gpusim/Timing.h).
+  /// WallAttribution::sum() (see gpusim/Timing.h). The P2P leg joins the
+  /// transfer group as ((HtoD + DtoH) + P2P), bitwise-identical to the
+  /// old shape when HostP2PCycles is 0.0 (every single-device run).
   double hostNow() const {
     return ((Stats.hostBusyCycles() + Stats.HostComputeCycles) +
-            (Stats.HostHtoDCycles + Stats.HostDtoHCycles)) +
+            ((Stats.HostHtoDCycles + Stats.HostDtoHCycles) +
+             Stats.HostP2PCycles)) +
            Stats.StallCycles;
   }
 
@@ -134,9 +143,17 @@ public:
   /// GpuCycles.
   double kernelLaunch(double Cycles);
 
+  /// Models one device-to-device copy of \p Bytes *landing on this
+  /// engine's device*. \p SrcReady is the source device's data-ready
+  /// frontier, so the copy cannot start before the producer finished.
+  /// Arrivals feed the same HtoD fence a kernel launch honors, which is
+  /// how fences hold across devices: a kernel launched here after a P2P
+  /// landing waits for it.
+  TransferResult transferP2P(uint64_t Bytes, double SrcReady = 0);
+
   /// What a synchronously-committed charge paid for, so the attribution
   /// decomposition can split the host timeline by kind.
-  enum class SyncKind { Compute, HtoD, DtoH };
+  enum class SyncKind { Compute, HtoD, DtoH, P2P };
 
   /// Accounts a synchronous cost the host blocked for: updates the
   /// kind's ExecStats accumulators (GpuCycles/Comm split plus the
@@ -151,16 +168,44 @@ public:
       break;
     case SyncKind::HtoD:
       Stats.HtoDCommCycles += Cycles;
-      Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
       Stats.HostHtoDCycles += Cycles;
+      recomputeComm();
       break;
     case SyncKind::DtoH:
       Stats.DtoHCommCycles += Cycles;
-      Stats.CommCycles = Stats.HtoDCommCycles + Stats.DtoHCommCycles;
       Stats.HostDtoHCycles += Cycles;
+      recomputeComm();
+      break;
+    case SyncKind::P2P:
+      Stats.P2PCommCycles += Cycles;
+      Stats.HostP2PCycles += Cycles;
+      recomputeComm();
       break;
     }
   }
+
+  //===--------------------------------------------------------------------===//
+  // Multi-device pool hooks (no-ops for a standalone single engine)
+  //===--------------------------------------------------------------------===//
+
+  /// Shifts this engine's compute/stream trace lanes; device D in a pool
+  /// uses D * (Streams + 1) so every device gets disjoint lanes and
+  /// device 0 keeps the historical numbering.
+  void setLaneBase(unsigned Base) { LaneBase = Base; }
+  unsigned getLaneBase() const { return LaneBase; }
+  unsigned computeLane() const { return LaneBase + LaneCompute; }
+  unsigned laneFor(unsigned Stream) const {
+    return LaneBase + laneForStream(Stream);
+  }
+
+  /// Prefixes this engine's registry series (e.g. "dev1."). Empty (the
+  /// default) keeps the historical process-wide names; a pool with more
+  /// than one device prefixes *all* engines, including device 0.
+  void setMetricPrefix(std::string Prefix);
+
+  /// The frontier after which this device's data is ready for a peer
+  /// copy out of it: its compute lane (last producer kernel).
+  double dataReadyFrontier() const { return ComputeBusy; }
 
   //===--------------------------------------------------------------------===//
   // Fences
@@ -198,11 +243,18 @@ private:
   /// Why the host blocked, for the stall-by-cause split in ExecStats.
   enum class StallCause { HtoDFence, DtoHFence, HostSync };
 
+  /// Recomputes the stored CommCycles in the canonical association shape
+  /// (see gpusim/Timing.h): bitwise-identical to the historical
+  /// HtoD + DtoH sum whenever P2PCommCycles is 0.0.
+  void recomputeComm() {
+    Stats.CommCycles =
+        (Stats.HtoDCommCycles + Stats.DtoHCommCycles) + Stats.P2PCommCycles;
+  }
   /// Advances the host to \p T, accounting the gap as stall attributed
   /// to \p Cause.
   void hostWaitUntil(double T, StallCause Cause);
-  /// Samples the in-flight host-range queue depth into the process-wide
-  /// metrics registry (called at every async issue).
+  /// Samples the in-flight host-range queue depth into the metrics
+  /// registry (called at every async issue).
   void recordQueueDepth();
   /// Ensures Stats.StreamLanes covers stream \p S and returns its slot.
   ExecStats::StreamLaneStats &laneStats(unsigned S) {
@@ -226,6 +278,16 @@ private:
   unsigned NextStream = 0;
   Batch HtoDBatch, DtoHBatch;
   std::vector<PendingRange> Pending;
+
+  /// Trace-lane offset for this engine's compute/stream lanes (0 for a
+  /// single device; D * (Streams + 1) for device D in a pool).
+  unsigned LaneBase = 0;
+  /// Registry series prefix ("" = historical names, "devN." in pools).
+  std::string MetricPrefix;
+  /// Lazily-resolved registry instruments under MetricPrefix (pointers
+  /// stay valid for the life of the process; reset on prefix change).
+  mutable MetricGauge *StallGauges[3] = {nullptr, nullptr, nullptr};
+  mutable MetricHistogram *DepthHist = nullptr;
 };
 
 } // namespace cgcm

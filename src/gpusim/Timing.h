@@ -77,8 +77,41 @@ struct TimingModel {
   /// is 1 / (1/BW + 1/Staging) bytes per cycle.
   double PageableStagingBytesPerCycle = 24.0;
 
+  //===--------------------------------------------------------------------===//
+  // Peer-to-peer copy lanes (docs/MultiGPU.md). Only exercised when a
+  // DevicePool holds more than one device.
+  //===--------------------------------------------------------------------===//
+
+  /// Whether direct device-to-device copies exist. When false, a P2P
+  /// request is modeled as staging through the host: one DtoH plus one
+  /// HtoD at the synchronous transfer cost each.
+  bool P2PEnabled = true;
+
+  /// Fixed cost of one direct peer copy (NVLink/PCIe peer setup). Cheaper
+  /// than a host round trip but not free.
+  double P2PLatency = 1400.0;
+
+  /// Direct peer-copy throughput in bytes per CPU cycle. Faster than the
+  /// host link: the point of P2P is skipping the host bounce.
+  double P2PBytesPerCycle = 12.0;
+
+  /// Launch horizon over which the shard-profitability gate amortizes
+  /// one-time replica creation: a DOALL kernel shards only when its
+  /// per-launch win covers creation spread over this many launches.
+  /// Higher values shard more eagerly; 1 demands the first launch pay
+  /// for everything (docs/MultiGPU.md).
+  double ShardCreationHorizon = 16.0;
+
   double transferCycles(uint64_t Bytes) const {
     return TransferLatency + static_cast<double>(Bytes) / TransferBytesPerCycle;
+  }
+
+  /// Cycles for one device-to-device copy: a direct peer copy when P2P is
+  /// enabled, otherwise the DtoH + HtoD staging fallback.
+  double p2pCopyCycles(uint64_t Bytes) const {
+    if (P2PEnabled)
+      return P2PLatency + static_cast<double>(Bytes) / P2PBytesPerCycle;
+    return transferCycles(Bytes) + transferCycles(Bytes);
   }
 
   /// Duration of one asynchronous copy on its DMA engine. Only the first
@@ -113,9 +146,11 @@ struct ExecStats {
   double CpuCycles = 0;
   double GpuCycles = 0;
   /// Total transfer cycles. Derived but stored: recomputed as
-  /// HtoDCommCycles + DtoHCommCycles at every charge site, so reading it
-  /// is free and it is always bitwise-equal to that sum of the current
-  /// direction accumulators.
+  /// (HtoDCommCycles + DtoHCommCycles) + P2PCommCycles at every charge
+  /// site, so reading it is free and it is always bitwise-equal to that
+  /// sum of the current direction accumulators. (P2PCommCycles is 0.0 on
+  /// single-device runs, and (a + b) + 0.0 == a + b for finite doubles,
+  /// so the single-device value is unchanged bitwise.)
   double CommCycles = 0;
   double InspectorCycles = 0;
   double RuntimeCycles = 0;
@@ -124,6 +159,8 @@ struct ExecStats {
   /// then recomputes CommCycles).
   double HtoDCommCycles = 0;
   double DtoHCommCycles = 0;
+  /// Device-to-device copy cycles (multi-device pools only; 0 otherwise).
+  double P2PCommCycles = 0;
 
   //===--------------------------------------------------------------------===//
   // Host-timeline attribution (docs/Observability.md §Metrics). These
@@ -140,12 +177,17 @@ struct ExecStats {
   /// HtoD / DtoH copy cycles the host blocked for.
   double HostHtoDCycles = 0;
   double HostDtoHCycles = 0;
+  /// Peer-copy cycles the host blocked for (multi-device pools only).
+  double HostP2PCycles = 0;
 
   uint64_t KernelLaunches = 0;
   uint64_t TransfersHtoD = 0;
   uint64_t TransfersDtoH = 0;
   uint64_t BytesHtoD = 0;
   uint64_t BytesDtoH = 0;
+  /// Device-to-device copies and bytes (multi-device pools only).
+  uint64_t TransfersP2P = 0;
+  uint64_t BytesP2P = 0;
   uint64_t CpuOps = 0;
   uint64_t GpuOps = 0;
   uint64_t RuntimeCalls = 0;
@@ -207,6 +249,28 @@ struct ExecStats {
   };
   std::vector<StreamLaneStats> StreamLanes;
 
+  /// Per-device traffic split for multi-device pools (index = device).
+  /// Populated only when the pool holds more than one device, so
+  /// single-device artifacts (bench JSON, metrics snapshots) are
+  /// byte-identical to the pre-pool engine.
+  struct DeviceStats {
+    uint64_t BytesHtoD = 0;
+    uint64_t BytesDtoH = 0;
+    uint64_t TransfersHtoD = 0;
+    uint64_t TransfersDtoH = 0;
+    uint64_t P2PTransfers = 0; ///< Peer copies landing on this device.
+    uint64_t P2PBytes = 0;
+    double ComputeCycles = 0; ///< Kernel (shard) cycles run here.
+  };
+  std::vector<DeviceStats> Devices;
+
+  /// Devices[D], growing the vector on demand. Callers gate on pool > 1.
+  DeviceStats &deviceStats(unsigned D) {
+    if (Devices.size() <= D)
+      Devices.resize(D + 1);
+    return Devices[D];
+  }
+
   /// Host-side busy work: interpreted CPU ops plus runtime-call and
   /// inspector bookkeeping. One leg of both totalCycles() and the
   /// attribution decomposition.
@@ -257,6 +321,7 @@ struct WallAttribution {
   double Compute = 0; ///< HostComputeCycles.
   double HtoD = 0;    ///< HostHtoDCycles.
   double DtoH = 0;    ///< HostDtoHCycles.
+  double P2P = 0;     ///< HostP2PCycles (0 on single-device runs).
   double StallHtoDFence = 0;
   double StallDtoHFence = 0;
   double StallHostSync = 0;
@@ -264,8 +329,10 @@ struct WallAttribution {
   std::vector<ExecStats::StreamLaneStats> Streams;
 
   /// Same shape as totalCycles() and hostNow(); bitwise-equal to Wall.
+  /// The P2P leg joins the transfer group as ((HtoD + DtoH) + P2P),
+  /// which equals (HtoD + DtoH) bitwise when P2P is 0.0.
   double sum() const {
-    return ((Host + Compute) + (HtoD + DtoH)) +
+    return ((Host + Compute) + ((HtoD + DtoH) + P2P)) +
            ((StallHtoDFence + StallDtoHFence) + StallHostSync);
   }
 };
@@ -278,6 +345,7 @@ inline WallAttribution attributeWall(const ExecStats &S) {
   A.Compute = S.HostComputeCycles;
   A.HtoD = S.HostHtoDCycles;
   A.DtoH = S.HostDtoHCycles;
+  A.P2P = S.HostP2PCycles;
   A.StallHtoDFence = S.StallHtoDFenceCycles;
   A.StallDtoHFence = S.StallDtoHFenceCycles;
   A.StallHostSync = S.StallHostSyncCycles;

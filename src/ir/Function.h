@@ -113,6 +113,18 @@ public:
   bool isGlueKernel() const { return IsGlue; }
   void setGlueKernel(bool V) { IsGlue = V; }
 
+  /// True for DOALL kernels whose iteration space a device pool may
+  /// split into contiguous per-device shards (docs/MultiGPU.md). Set by
+  /// the DOALL pass when its applicability analysis proves iterations
+  /// independent; printed/parsed as `shardable(<halo>)`.
+  bool isShardable() const { return IsShardable; }
+  void setShardable(bool V) { IsShardable = V; }
+
+  /// Modeled boundary-exchange bytes charged per adjacent shard pair
+  /// after a sharded launch (0 = no halo traffic).
+  uint64_t getHaloBytes() const { return HaloBytes; }
+  void setHaloBytes(uint64_t V) { HaloBytes = V; }
+
   unsigned getNumArgs() const { return Args.size(); }
   Argument *getArg(unsigned I) const { return Args[I].get(); }
 
@@ -156,6 +168,8 @@ private:
   FunctionType *FTy;
   bool IsKernel = false;
   bool IsGlue = false;
+  bool IsShardable = false;
+  uint64_t HaloBytes = 0;
   std::vector<std::unique_ptr<Argument>> Args;
   BlockListType Blocks;
 };

@@ -229,6 +229,13 @@ private:
       IsKernel = IsGlue = true;
     else if (S.consume("kernel"))
       IsKernel = true;
+    bool IsShardable = false;
+    uint64_t Halo = 0;
+    if (S.consume("shardable(")) {
+      IsShardable = true;
+      Halo = std::stoull(S.numberToken());
+      S.expect(")");
+    }
     std::swap(C.Pos, S.Pos);
     std::swap(C.Line, S.Line);
     Type *Ret = parseType();
@@ -249,6 +256,8 @@ private:
         Name, M->getContext().getFunctionTy(Ret, Params));
     F->setKernel(IsKernel);
     F->setGlueKernel(IsGlue);
+    F->setShardable(IsShardable);
+    F->setHaloBytes(Halo);
     ArgTokens[F] = ArgNames;
     std::swap(C.Pos, S.Pos);
     std::swap(C.Line, S.Line);
@@ -287,6 +296,10 @@ private:
   void parseBody() {
     C.expect("define");
     C.consume("glue_kernel") || C.consume("kernel");
+    if (C.consume("shardable(")) {
+      C.numberToken();
+      C.expect(")");
+    }
     parseType();
     C.expect("@");
     Function *F = M->getFunction(C.ident());

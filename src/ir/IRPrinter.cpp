@@ -33,6 +33,8 @@ public:
     OS << (F.isDeclaration() ? "declare " : "define ");
     if (F.isKernel())
       OS << (F.isGlueKernel() ? "glue_kernel " : "kernel ");
+    if (F.isShardable())
+      OS << "shardable(" << F.getHaloBytes() << ") ";
     OS << F.getReturnType()->getString() << " @" << F.getName() << "(";
     for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
       if (I)

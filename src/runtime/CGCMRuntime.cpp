@@ -6,6 +6,7 @@
 
 #include "runtime/CGCMRuntime.h"
 
+#include "gpusim/DevicePool.h"
 #include "support/ErrorHandling.h"
 #include "support/Metrics.h"
 
@@ -53,6 +54,135 @@ CGCMRuntime::siteInstruments(const LedgerEntry *E) {
 void CGCMRuntime::chargeCall() {
   Stats.RuntimeCycles += TM.RuntimeCallOverhead;
   ++Stats.RuntimeCalls;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-device routing (docs/MultiGPU.md). Inert without a pool > 1.
+//===----------------------------------------------------------------------===//
+
+GPUDevice &CGCMRuntime::devFor(const AllocUnitInfo &Info) {
+  if (Pool && Pool->size() > 1)
+    return Pool->device(Info.HomeDevice);
+  return Device;
+}
+
+unsigned CGCMRuntime::pickHomeDevice(AllocUnitInfo &Info) {
+  unsigned N = Pool ? Pool->size() : 1;
+  if (N <= 1) {
+    Info.HomeDevice = 0;
+    return 0;
+  }
+  // A global's device region is a named allocation that is never freed:
+  // once placed, it stays put across map generations.
+  if (Info.IsGlobal && Info.HomeChosen)
+    return Info.HomeDevice;
+  unsigned Pick = 0;
+  switch (Placement) {
+  case PlacementPolicy::RoundRobin:
+    Pick = static_cast<unsigned>(NextPlacement++ % N);
+    break;
+  case PlacementPolicy::BytesBalanced: {
+    uint64_t Best = ~0ull;
+    for (unsigned D = 0; D != N; ++D) {
+      uint64_t Live = Pool->device(D).getMemory().getLiveBytes();
+      if (Live < Best) {
+        Best = Live;
+        Pick = D;
+      }
+    }
+    break;
+  }
+  }
+  Info.HomeDevice = Pick;
+  Info.HomeChosen = true;
+  return Pick;
+}
+
+void CGCMRuntime::freeReplicas(AllocUnitInfo &Info) {
+  if (Info.Replicas.empty())
+    return;
+  for (auto &[D, R] : Info.Replicas)
+    if (R.DevPtr) {
+      Pool->device(D).cuMemFree(R.DevPtr);
+      --LiveReplicas;
+    }
+  Info.Replicas.clear();
+}
+
+AllocUnitInfo *CGCMRuntime::findByDevicePtr(uint64_t DevAddr) {
+  for (auto &[B, Info] : Units)
+    if (Info.RefCount > 0 && DevAddr >= Info.DevPtr &&
+        DevAddr < Info.DevPtr + Info.Size)
+      return &Info;
+  return nullptr;
+}
+
+void CGCMRuntime::replicateForDevice(uint64_t DevPtr, unsigned Dev) {
+  if (!Pool || Pool->size() <= 1)
+    return;
+  AllocUnitInfo *Info = findByDevicePtr(DevPtr);
+  if (!Info || Dev == Info->HomeDevice)
+    return;
+  AllocUnitInfo::Replica &R = Info->Replicas[Dev];
+  bool Fresh = R.DevPtr == 0;
+  if (Fresh) {
+    R.DevPtr = Pool->device(Dev).cuMemAlloc(Info->Size);
+    ++LiveReplicas;
+  }
+  if (Fresh || !Info->replicaValid(R)) {
+    Pool->p2pCopy(Info->HomeDevice, Dev, Info->DevPtr, R.DevPtr, Info->Size);
+    R.Version = Info->ContentVersion;
+    if (Info->Ledger) {
+      Info->Ledger->BytesP2P += Info->Size;
+      ++Info->Ledger->TransfersP2P;
+    }
+  }
+}
+
+CGCMRuntime::ReplicationEstimate
+CGCMRuntime::estimateReplicationCycles(uint64_t DevPtr,
+                                       unsigned NumDevices) const {
+  ReplicationEstimate E;
+  if (!Pool || Pool->size() <= 1)
+    return E;
+  const AllocUnitInfo *Info = nullptr;
+  for (const auto &[B, U] : Units)
+    if (U.RefCount > 0 && DevPtr >= U.DevPtr && DevPtr < U.DevPtr + U.Size) {
+      Info = &U;
+      break;
+    }
+  if (!Info)
+    return E;
+  for (unsigned D = 0; D != NumDevices; ++D) {
+    if (D == Info->HomeDevice)
+      continue;
+    auto It = Info->Replicas.find(D);
+    if (It == Info->Replicas.end() || !It->second.DevPtr)
+      E.MissingCycles += TM.p2pCopyCycles(Info->Size);
+    else if (!Info->replicaValid(It->second))
+      E.StaleCycles += TM.p2pCopyCycles(Info->Size);
+  }
+  return E;
+}
+
+void CGCMRuntime::noteHostWrite(uint64_t Addr) {
+  const AllocUnitInfo *Info = lookup(Addr);
+  if (!Info || Info->Replicas.empty())
+    return;
+  // Invalidate every peer replica at once: they all compare their
+  // version against the unit's.
+  ++const_cast<AllocUnitInfo *>(Info)->ContentVersion;
+}
+
+size_t CGCMRuntime::getNumValidReplicas(uint64_t HostPtr) const {
+  const AllocUnitInfo *Info = lookup(HostPtr);
+  if (!Info)
+    return 0;
+  size_t N = 0;
+  for (const auto &[D, R] : Info->Replicas)
+    if (R.DevPtr && Info->replicaValid(R))
+      ++N;
+  return N;
 }
 
 double CGCMRuntime::clockNow() const {
@@ -187,8 +317,8 @@ void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
     uint64_t SalvageBytes = std::min(Old.Size, NewSize);
     if (!Old.IsReadOnly && !Old.IsPointerArray && SalvageBytes != 0 &&
         (Old.Epoch != GlobalEpoch || !EpochCheckEnabled)) {
-      auto R = Device.cuMemcpyDtoH(Host, NewPtr, Old.DevPtr, SalvageBytes,
-                                   Old.Pinned);
+      auto R = devFor(Old).cuMemcpyDtoH(Host, NewPtr, Old.DevPtr, SalvageBytes,
+                                        Old.Pinned);
       if (Old.Ledger) {
         Old.Ledger->BytesDtoH += SalvageBytes;
         ++Old.Ledger->TransfersDtoH;
@@ -325,7 +455,8 @@ void CGCMRuntime::releaseSnapshotElements(AllocUnitInfo &Info) {
       --Unit.RefCount;
       bool Freed = false;
       if (Unit.RefCount == 0 && !Unit.IsGlobal) {
-        Device.cuMemFree(Unit.DevPtr);
+        devFor(Unit).cuMemFree(Unit.DevPtr);
+        freeReplicas(Unit);
         Unit.DevPtr = 0;
         Unit.IsPointerArray = false;
         Unit.ElemSnapshots.clear();
@@ -347,7 +478,8 @@ void CGCMRuntime::releaseSnapshotElements(AllocUnitInfo &Info) {
 void CGCMRuntime::forceReclaim(AllocUnitInfo &Info, const char *Why) {
   releaseSnapshotElements(Info);
   if (!Info.IsGlobal && Info.RefCount > 0)
-    Device.cuMemFree(Info.DevPtr);
+    devFor(Info).cuMemFree(Info.DevPtr);
+  freeReplicas(Info);
   AllocUnitInfo Dead = std::move(Info);
   Units.erase(Dead.Base);
   // Outstanding snapshots of other pointer arrays may still list element
@@ -383,8 +515,8 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
     ++Info.Ledger->MapCalls;
   if (Info.RefCount > 0 && !RefCountReuseEnabled) {
     // Ablation: pretend we did not know the unit was resident.
-    auto R = Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
-                                 Info.Pinned);
+    auto R = devFor(Info).cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
+                                       Info.Pinned);
     Copied = true;
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
@@ -394,12 +526,14 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
     }
   }
   if (Info.RefCount == 0) {
+    pickHomeDevice(Info);
+    GPUDevice &Dev = devFor(Info);
     if (!Info.IsGlobal)
-      Info.DevPtr = Device.cuMemAlloc(Info.Size);
+      Info.DevPtr = Dev.cuMemAlloc(Info.Size);
     else
-      Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
-    auto R = Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
-                                 Info.Pinned);
+      Info.DevPtr = Dev.cuModuleGetGlobal(Info.Name, Info.Size);
+    auto R = Dev.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
+                              Info.Pinned);
     Copied = true;
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
@@ -442,8 +576,8 @@ void CGCMRuntime::unmap(uint64_t Ptr) {
   // (the elements are updated by the paired unmapArray walk).
   if ((Info.Epoch != GlobalEpoch || !EpochCheckEnabled) && !Info.IsReadOnly &&
       !Info.HostDead && !Info.IsPointerArray) {
-    auto R = Device.cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size,
-                                 Info.Pinned);
+    auto R = devFor(Info).cuMemcpyDtoH(Host, Info.Base, Info.DevPtr, Info.Size,
+                                       Info.Pinned);
     Copied = true;
     if (Info.Ledger) {
       Info.Ledger->BytesDtoH += Info.Size;
@@ -477,7 +611,8 @@ void CGCMRuntime::release(uint64_t Ptr) {
   --Info.RefCount;
   bool Freed = false;
   if (Info.RefCount == 0 && !Info.IsGlobal) {
-    Device.cuMemFree(Info.DevPtr);
+    devFor(Info).cuMemFree(Info.DevPtr);
+    freeReplicas(Info);
     Info.DevPtr = 0;
     Info.IsPointerArray = false;
     Info.ElemSnapshots.clear();
@@ -535,18 +670,20 @@ uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
   }
 
   if (FirstMap) {
+    pickHomeDevice(Info);
+    GPUDevice &Dev = devFor(Info);
     if (!Info.IsGlobal)
-      Info.DevPtr = Device.cuMemAlloc(Info.Size);
+      Info.DevPtr = Dev.cuMemAlloc(Info.Size);
     else
-      Info.DevPtr = Device.cuModuleGetGlobal(Info.Name, Info.Size);
+      Info.DevPtr = Dev.cuModuleGetGlobal(Info.Name, Info.Size);
     Info.Epoch = GlobalEpoch;
   }
   if (NeedsCopy) {
     // The device copy holds *translated* pointers, not raw host bytes.
     // Transfer cost is identical to a raw copy of the unit (and the raw
     // copy carries any non-pointer tail bytes when Size % 8 != 0).
-    auto R = Device.cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
-                                 Info.Pinned);
+    auto R = devFor(Info).cuMemcpyHtoD(Info.DevPtr, Host, Info.Base, Info.Size,
+                                       Info.Pinned);
     if (Info.Ledger) {
       Info.Ledger->BytesHtoD += Info.Size;
       ++Info.Ledger->TransfersHtoD;
@@ -560,7 +697,7 @@ uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
   // too, so a host slot updated between maps cannot leave a stale device
   // pointer behind.
   for (uint64_t I = 0; I != NumSlots; ++I)
-    Device.getMemory().writeUInt(Info.DevPtr + I * 8, Translated[I], 8);
+    devFor(Info).getMemory().writeUInt(Info.DevPtr + I * 8, Translated[I], 8);
   Info.IsPointerArray = true;
   Info.ElemSnapshots.push_back(std::move(Snapshot));
   ++Info.RefCount;
@@ -651,7 +788,8 @@ void CGCMRuntime::releaseAll() {
   for (auto It = Units.begin(); It != Units.end();) {
     AllocUnitInfo &Info = It->second;
     if (Info.RefCount > 0 && !Info.IsGlobal)
-      Device.cuMemFree(Info.DevPtr);
+      devFor(Info).cuMemFree(Info.DevPtr);
+    freeReplicas(Info);
     if (Info.HostDead) {
       AllocUnitInfo Dead = std::move(Info);
       It = Units.erase(It);

@@ -46,7 +46,16 @@
 
 namespace cgcm {
 
+class DevicePool;
 class MetricHistogram;
+
+/// How a multi-device runtime chooses the home device of a freshly
+/// mapped allocation unit (docs/MultiGPU.md). Irrelevant with one
+/// device: everything homes on device 0.
+enum class PlacementPolicy {
+  RoundRobin,    ///< Cycle through the pool in map order.
+  BytesBalanced, ///< Home on the device with the fewest live bytes.
+};
 
 /// Allocation-unit bookkeeping record (the paper's allocInfoMap values).
 struct AllocUnitInfo {
@@ -77,6 +86,33 @@ struct AllocUnitInfo {
   std::vector<std::vector<uint64_t>> ElemSnapshots;
   std::string Name;            ///< For globals: cuModuleGetGlobal key.
   LedgerEntry *Ledger = nullptr; ///< Allocation-site accounting row.
+
+  //===--------------------------------------------------------------------===//
+  // Multi-device residency (docs/MultiGPU.md). All fields are inert with
+  // one device: HomeDevice stays 0 and no replicas are ever created.
+  //===--------------------------------------------------------------------===//
+
+  /// The device holding the authoritative mapped copy; DevPtr lives in
+  /// this device's address window. Chosen by the placement policy at the
+  /// map that takes the unit from zero references.
+  unsigned HomeDevice = 0;
+  /// For globals: the home sticks across map generations (the named
+  /// device region is never freed).
+  bool HomeChosen = false;
+  /// Staleness epoch of the unit's contents. Host writes to a replicated
+  /// unit bump it, invalidating every peer replica at once.
+  uint64_t ContentVersion = 0;
+  /// One peer replica per non-home device that received this unit for a
+  /// sharded launch. Valid iff Version == ContentVersion.
+  struct Replica {
+    uint64_t DevPtr = 0;
+    uint64_t Version = 0;
+  };
+  std::map<unsigned, Replica> Replicas;
+
+  bool replicaValid(const Replica &R) const {
+    return R.Version == ContentVersion;
+  }
 };
 
 /// Observation hooks for every state transition the runtime performs.
@@ -185,6 +221,59 @@ public:
   void releaseAll();
 
   //===--------------------------------------------------------------------===//
+  // Multi-device pool (docs/MultiGPU.md). Without a pool — or with a
+  // pool of one — every path below is inert and the runtime behaves
+  // byte-for-byte like the single-device original.
+  //===--------------------------------------------------------------------===//
+
+  /// Attaches the machine's device pool (null, or a pool of one,
+  /// restores pure single-device behavior). Machine::setDevices calls
+  /// this; the runtime keeps routing through its device reference for
+  /// units homed on device 0.
+  void setDevicePool(DevicePool *P) { Pool = P; }
+
+  /// Placement policy for fresh maps (multi-device only).
+  void setPlacementPolicy(PlacementPolicy P) { Placement = P; }
+  PlacementPolicy getPlacementPolicy() const { return Placement; }
+
+  /// Ensures device \p Dev holds a current replica of the mapped unit
+  /// whose *device* (home) address range contains \p DevPtr, issuing a
+  /// P2P copy from the home device when the replica is missing or stale.
+  /// No-op when \p Dev is the home device or the pointer resolves to no
+  /// mapped unit. Called by the interpreter before dispatching a shard.
+  void replicateForDevice(uint64_t DevPtr, unsigned Dev);
+
+  /// Modeled replication cost a sharded launch over devices
+  /// [0, NumDevices) would incur for the unit holding \p DevPtr, split
+  /// by how the cost recurs. StaleCycles prices replicas that exist but
+  /// were invalidated by a host write — a cost that repeats every
+  /// iteration of a host-touching loop. MissingCycles prices replicas
+  /// that do not exist yet — a one-time setup cost that amortizes
+  /// across the kernel's future launches. The interpreter's
+  /// shard-profitability gate charges stale cost in full and missing
+  /// cost divided by the timing model's amortization horizon.
+  struct ReplicationEstimate {
+    double StaleCycles = 0;
+    double MissingCycles = 0;
+  };
+  ReplicationEstimate estimateReplicationCycles(uint64_t DevPtr,
+                                                unsigned NumDevices) const;
+
+  /// Notes a host write into a tracked unit: bumps the unit's content
+  /// version, invalidating every device replica (cross-device
+  /// invalidation on host writes). Cheap to call only when
+  /// hasReplicas() is true; the interpreter gates on that.
+  void noteHostWrite(uint64_t Addr);
+
+  /// Whether any unit currently holds peer replicas (fast gate for the
+  /// interpreter's host-write hook).
+  bool hasReplicas() const { return LiveReplicas > 0; }
+
+  /// Number of *current* (non-stale) peer replicas of the unit holding
+  /// \p HostPtr (tests).
+  size_t getNumValidReplicas(uint64_t HostPtr) const;
+
+  //===--------------------------------------------------------------------===//
   // Observability
   //===--------------------------------------------------------------------===//
 
@@ -213,6 +302,18 @@ public:
   void setRefCountReuseEnabled(bool V) { RefCountReuseEnabled = V; }
 
 private:
+  /// The device a unit's mapped traffic routes through: its home device
+  /// when a multi-device pool is attached, the single device otherwise.
+  GPUDevice &devFor(const AllocUnitInfo &Info);
+  /// Picks (once) the home device for a unit about to be mapped fresh.
+  unsigned pickHomeDevice(AllocUnitInfo &Info);
+  /// Frees every peer replica of \p Info (release-at-zero and teardown).
+  void freeReplicas(AllocUnitInfo &Info);
+  /// The mapped unit whose home-device copy contains \p DevAddr, or
+  /// null. Linear in the number of mapped units; only sharded-launch
+  /// paths use it.
+  AllocUnitInfo *findByDevicePtr(uint64_t DevAddr);
+
   AllocUnitInfo &lookupOrFail(uint64_t Ptr, const char *Op);
   /// Charges one runtime call to the overhead counters. Entry points call
   /// this only after validating their arguments, so failed or no-op calls
@@ -271,6 +372,12 @@ private:
   uint64_t GlobalEpoch = 1;
   bool EpochCheckEnabled = true;
   bool RefCountReuseEnabled = true;
+
+  /// Multi-device state (all inert without a pool of more than one).
+  DevicePool *Pool = nullptr;
+  PlacementPolicy Placement = PlacementPolicy::RoundRobin;
+  uint64_t NextPlacement = 0; ///< Round-robin cursor.
+  uint64_t LiveReplicas = 0;  ///< Peer replicas currently allocated.
 };
 
 } // namespace cgcm

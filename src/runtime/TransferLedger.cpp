@@ -109,6 +109,9 @@ void cgcm::writeProfileJson(std::ostream &OS, const ExecStats &Stats,
   W.key("transfers_dtoh").number(Stats.TransfersDtoH);
   W.key("bytes_htod").number(Stats.BytesHtoD);
   W.key("bytes_dtoh").number(Stats.BytesDtoH);
+  W.key("transfers_p2p").number(Stats.TransfersP2P);
+  W.key("bytes_p2p").number(Stats.BytesP2P);
+  W.key("p2p_comm_cycles").number(Stats.P2PCommCycles);
   W.key("cpu_ops").number(Stats.CpuOps);
   W.key("gpu_ops").number(Stats.GpuOps);
   W.key("runtime_calls").number(Stats.RuntimeCalls);
@@ -142,6 +145,8 @@ void cgcm::writeProfileJson(std::ostream &OS, const ExecStats &Stats,
     W.key("bytes_dtoh").number(E->BytesDtoH);
     W.key("transfers_htod").number(E->TransfersHtoD);
     W.key("transfers_dtoh").number(E->TransfersDtoH);
+    W.key("transfers_p2p").number(E->TransfersP2P);
+    W.key("bytes_p2p").number(E->BytesP2P);
     W.key("epoch_suppressed").number(E->EpochSuppressed);
     W.key("reuse_suppressed").number(E->ReuseSuppressed);
     W.key("coalesced").number(E->Coalesced);

@@ -44,6 +44,10 @@ struct LedgerEntry {
   uint64_t BytesDtoH = 0;
   uint64_t TransfersHtoD = 0;
   uint64_t TransfersDtoH = 0;
+  /// Peer-to-peer replication traffic for this site's units (device pool
+  /// runs only; always 0 with one device).
+  uint64_t BytesP2P = 0;
+  uint64_t TransfersP2P = 0;
   /// DtoH copies unmap skipped because the epoch proved the host copy
   /// current.
   uint64_t EpochSuppressed = 0;

@@ -12,7 +12,9 @@
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <set>
 #include <sstream>
+#include <string_view>
 
 using namespace cgcm;
 
@@ -184,9 +186,52 @@ double DiffOptions::thresholdFor(const std::string &Name) const {
   return T;
 }
 
+namespace {
+
+/// The device indices a flattened document exposes per-device series
+/// for: every name starting with `dev<N>.` (optionally under the
+/// embedded-metrics `metrics/` prefix of a bench document).
+std::set<unsigned> deviceIndexSet(const MetricSeries &S) {
+  std::set<unsigned> Devs;
+  for (const auto &[Name, V] : S) {
+    std::string_view N(Name);
+    if (N.substr(0, 8) == "metrics/")
+      N.remove_prefix(8);
+    if (N.substr(0, 3) != "dev")
+      continue;
+    N.remove_prefix(3);
+    size_t Digits = 0;
+    unsigned Idx = 0;
+    while (Digits < N.size() && N[Digits] >= '0' && N[Digits] <= '9')
+      Idx = Idx * 10 + (N[Digits++] - '0');
+    if (Digits && Digits < N.size() && N[Digits] == '.')
+      Devs.insert(Idx);
+  }
+  return Devs;
+}
+
+std::string formatDeviceSet(const std::set<unsigned> &Devs) {
+  if (Devs.empty())
+    return "none";
+  std::string Out = "{";
+  for (unsigned D : Devs)
+    Out += (Out.size() > 1 ? "," : "") + std::to_string(D);
+  return Out + "}";
+}
+
+} // namespace
+
 DiffResult cgcm::diffSeries(const MetricSeries &Base, const MetricSeries &Cur,
                             const DiffOptions &Opts) {
   DiffResult R;
+  std::set<unsigned> BaseDevs = deviceIndexSet(Base);
+  std::set<unsigned> CurDevs = deviceIndexSet(Cur);
+  if (BaseDevs != CurDevs)
+    R.DeviceMismatch =
+        "per-device series cover different device sets: baseline " +
+        formatDeviceSet(BaseDevs) + ", candidate " + formatDeviceSet(CurDevs) +
+        "; the runs used different --devices=N, so per-series deltas are "
+        "meaningless — regenerate both sides with the same device count";
   auto skip = [&](const std::string &Name) {
     if (Opts.IncludeNoisy || !isNoisySeries(Name))
       return false;
@@ -281,6 +326,8 @@ void cgcm::printDiffReport(std::ostream &OS, const DiffResult &R,
     }
     OS << "\n";
   }
+  if (!R.DeviceMismatch.empty())
+    OS << "  DEVICE-MISMATCH " << R.DeviceMismatch << "\n";
   OS << (R.failed() ? "FAIL" : "OK") << ": " << R.Compared << " compared, "
      << R.Regressions << " regressed, " << R.Missing << " missing, "
      << R.Improvements << " improved, " << R.NewSeries << " new";

@@ -88,9 +88,17 @@ struct DiffResult {
   unsigned Improvements = 0;
   unsigned NewSeries = 0;
   unsigned NoisySkipped = 0;
+  /// Set when the two documents carry per-device (`dev<N>.`) series for
+  /// different device sets — the runs used different --devices=N, so
+  /// per-series deltas are meaningless. Treated as a lost-series
+  /// failure.
+  std::string DeviceMismatch;
 
-  /// The exit-nonzero condition: any regression or missing series.
-  bool failed() const { return Regressions + Missing > 0; }
+  /// The exit-nonzero condition: any regression, missing series, or a
+  /// device-count mismatch between the two runs.
+  bool failed() const {
+    return Regressions + Missing > 0 || !DeviceMismatch.empty();
+  }
 };
 
 DiffResult diffSeries(const MetricSeries &Base, const MetricSeries &Cur,

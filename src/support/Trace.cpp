@@ -101,6 +101,11 @@ void TraceCollector::clear() {
   NextSeq = 0;
 }
 
+void TraceCollector::setLaneName(unsigned Lane, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LaneNames[Lane] = Name;
+}
+
 std::vector<TraceEvent> TraceCollector::snapshot() const {
   std::lock_guard<std::mutex> Lock(Mu);
   std::vector<TraceEvent> Out = Ring;
@@ -168,12 +173,27 @@ void TraceCollector::exportChromeTrace(std::ostream &OS) const {
   JsonWriter W(OS);
   W.beginObject();
   W.key("traceEvents").beginArray();
+  std::map<unsigned, std::string> Names;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Names = LaneNames;
+  }
   if (MaxLane > 0) {
-    // Asynchronous run: name the lanes (StreamEngine.h numbering).
-    writeThreadName(W, 0, "host");
-    writeThreadName(W, 1, "gpu-compute");
-    for (unsigned L = 2; L <= MaxLane; ++L)
-      writeThreadName(W, L, "stream-" + std::to_string(L - 2));
+    // Asynchronous run: name the lanes (StreamEngine.h numbering),
+    // preferring explicit overrides (multi-device pools name per-device
+    // lanes; with none set this is the historical single-device output).
+    auto laneName = [&](unsigned L) -> std::string {
+      auto It = Names.find(L);
+      if (It != Names.end())
+        return It->second;
+      if (L == 0)
+        return "host";
+      if (L == 1)
+        return "gpu-compute";
+      return "stream-" + std::to_string(L - 2);
+    };
+    for (unsigned L = 0; L <= MaxLane; ++L)
+      writeThreadName(W, L, laneName(L));
   }
   for (const TraceEvent &E : Events) {
     W.beginObject();

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -110,6 +111,12 @@ public:
   /// Events in emission order (oldest retained first).
   std::vector<TraceEvent> snapshot() const;
 
+  /// Overrides the exported name of one lane (multi-device pools name
+  /// lanes "dev<D>/gpu-compute" and "dev<D>/stream-<s>"). With no
+  /// overrides set, the exporters keep the historical single-device
+  /// formula (host / gpu-compute / stream-N) byte-for-byte.
+  void setLaneName(unsigned Lane, const std::string &Name);
+
   /// Chrome trace_event format: {"traceEvents": [...], ...}. "ts"/"dur"
   /// carry modeled cycles in the microsecond fields, so one trace
   /// microsecond = one modeled cycle.
@@ -132,6 +139,8 @@ private:
   size_t Capacity;
   uint64_t NextSeq = 0;
   bool Enabled = false;
+  /// Explicit lane names (empty = historical formula).
+  std::map<unsigned, std::string> LaneNames;
 };
 
 /// RAII span: records the start timestamp at construction and emits one

@@ -17,6 +17,7 @@
 #include "support/ErrorHandling.h"
 #include "transform/Utils.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -669,6 +670,58 @@ private:
     if (!verifyFunction(F, &Err) || !verifyFunction(*K, &Err))
       reportFatalError("DOALL outlining produced invalid IR: " + Err +
                        "\n" + M.getString());
+
+    // The independence proof that admitted the loop also admits sharding
+    // its iteration space across a device pool: contiguous thread ranges
+    // touch no cross-range state the analysis could not see. The halo
+    // estimate prices the post-launch boundary exchange between adjacent
+    // shards (docs/MultiGPU.md).
+    uint64_t Halo = computeHaloBytes(*K);
+    K->setShardable(true);
+    K->setHaloBytes(Halo);
+    if (Remarks)
+      Remarks->remark("cgcm-doall-shardable", C.Cond->getLoc(),
+                      "kernel '" + KName +
+                          "' is shardable across a device pool (halo " +
+                          std::to_string(Halo) + " bytes)",
+                      F.getName());
+  }
+
+  /// Modeled boundary-exchange bytes for one adjacent shard pair: every
+  /// pointer parameter the kernel both reads and writes (through GEPs or
+  /// directly) contributes one element of the widest type it moves —
+  /// the stencil-style footprint a shard boundary exposes. Read-only and
+  /// write-only arrays need no re-coherence between shards.
+  uint64_t computeHaloBytes(const Function &K) {
+    uint64_t Halo = 0;
+    for (unsigned A = 0, E = K.getNumArgs(); A != E; ++A) {
+      const Argument *Arg = K.getArg(A);
+      if (!Arg->getType()->isPointerTy())
+        continue;
+      uint64_t LoadBytes = 0, StoreBytes = 0;
+      auto NoteAccess = [&](const Value *Ptr) {
+        for (const User *U : Ptr->users()) {
+          if (const auto *LI = dyn_cast<LoadInst>(U)) {
+            if (LI->getPointerOperand() == Ptr)
+              LoadBytes =
+                  std::max(LoadBytes, LI->getType()->getSizeInBytes());
+          } else if (const auto *SI = dyn_cast<StoreInst>(U)) {
+            if (SI->getPointerOperand() == Ptr)
+              StoreBytes = std::max(
+                  StoreBytes,
+                  SI->getValueOperand()->getType()->getSizeInBytes());
+          }
+        }
+      };
+      NoteAccess(Arg);
+      for (const Instruction *I : K.instructions())
+        if (const auto *G = dyn_cast<GEPInst>(I))
+          if (G->getPointerOperand() == Arg)
+            NoteAccess(G);
+      if (LoadBytes && StoreBytes)
+        Halo += std::max(LoadBytes, StoreBytes);
+    }
+    return Halo;
   }
 
   Module &M;

@@ -73,6 +73,8 @@ WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C,
   Machine Mach;
   Mach.setLaunchPolicy(Policy);
   Mach.setOpLimit(500u * 1000u * 1000u);
+  if (RO.Devices > 1)
+    Mach.setDevices(RO.Devices, RO.Placement);
   Mach.setAsyncTransfers(RO.AsyncStreams, RO.Coalesce);
   Mach.loadModule(*M);
   Mach.run();

@@ -16,6 +16,7 @@
 
 #include "analysis/commcost/CommCost.h"
 #include "gpusim/Timing.h"
+#include "runtime/CGCMRuntime.h"
 #include "runtime/TransferLedger.h"
 #include "transform/Applicability.h"
 #include "transform/Pipeline.h"
@@ -59,6 +60,11 @@ struct RunnerOptions {
   /// 0 keeps the default synchronous model.
   unsigned AsyncStreams = 0;
   bool Coalesce = true; ///< With AsyncStreams > 0: batch adjacent copies.
+  /// Simulated GPUs in the device pool (docs/MultiGPU.md); 1 keeps the
+  /// historical single-device machine, bit-for-bit.
+  unsigned Devices = 1;
+  /// Allocation-unit placement policy used when Devices > 1.
+  PlacementPolicy Placement = PlacementPolicy::RoundRobin;
   /// Run the static communication-cost analysis over the post-pipeline
   /// module (before execution) and record it in WorkloadRun::StaticCost.
   bool PredictStaticCost = false;

@@ -96,6 +96,39 @@ TEST(IRParserBasics, RoundTripsKernelsAndLaunches) {
             runModule(*M, LaunchPolicy::Managed));
 }
 
+TEST(IRParserBasics, ShardableHaloRoundTrips) {
+  const char *Text = R"(
+declare void @print_i64(i64 %arg0.0)
+
+define kernel shardable(64) void @k(i64 %arg0.0) {
+entry:
+  ret
+}
+
+define i32 @main() {
+entry:
+  ret i32 0
+}
+)";
+  auto M = parseIR(Text, "shard");
+  Function *K = M->getFunction("k");
+  ASSERT_NE(K, nullptr);
+  EXPECT_TRUE(K->isKernel());
+  EXPECT_TRUE(K->isShardable());
+  EXPECT_EQ(K->getHaloBytes(), 64u);
+  // The attribute survives print -> parse unchanged, and printing is a
+  // fixpoint.
+  std::string Printed = M->getString();
+  EXPECT_NE(Printed.find("define kernel shardable(64) void @k"),
+            std::string::npos);
+  auto P = parseIR(Printed, "shard");
+  Function *K2 = P->getFunction("k");
+  ASSERT_NE(K2, nullptr);
+  EXPECT_TRUE(K2->isShardable());
+  EXPECT_EQ(K2->getHaloBytes(), 64u);
+  EXPECT_EQ(P->getString(), Printed);
+}
+
 TEST(IRParserBasics, PreservesGlobalInitializersAndRelocations) {
   auto M = compileMiniC(R"(
     char *words[2] = {"ab", "xyz"};

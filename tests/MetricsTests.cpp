@@ -268,6 +268,39 @@ TEST(MetricsDiff, DoctoredSnapshotFails) {
   R.reset();
 }
 
+TEST(MetricsDiff, DeviceCountMismatchIsALostSeriesFailure) {
+  // Two runs at different --devices=N carry per-device (dev<N>.) series
+  // for different device sets; per-series deltas would be meaningless,
+  // so the diff fails the same way a deleted series does.
+  MetricSeries Base{{"dev0.bytes_htod", 100.0},
+                    {"dev1.bytes_htod", 90.0},
+                    {"exec.kernels", 5.0}};
+  MetricSeries OneDevice{{"dev0.bytes_htod", 190.0}, {"exec.kernels", 5.0}};
+  DiffResult D = diffSeries(Base, OneDevice);
+  EXPECT_TRUE(D.failed());
+  EXPECT_FALSE(D.DeviceMismatch.empty());
+
+  // The mismatch is symmetric: a candidate with *more* devices than the
+  // baseline fails too — extra dev series are not just "new coverage".
+  MetricSeries Grown = Base;
+  Grown["dev2.bytes_htod"] = 10.0;
+  DiffResult G = diffSeries(Base, Grown);
+  EXPECT_TRUE(G.failed());
+  EXPECT_FALSE(G.DeviceMismatch.empty());
+
+  // Same device set on both sides: no mismatch, normal comparison.
+  DiffResult S = diffSeries(Base, Base);
+  EXPECT_FALSE(S.failed());
+  EXPECT_TRUE(S.DeviceMismatch.empty());
+
+  // The bench-embedded metrics/ prefix participates in detection.
+  MetricSeries Embedded{{"metrics/dev0.bytes_htod", 5.0}};
+  MetricSeries EmbeddedTwo{{"metrics/dev0.bytes_htod", 5.0},
+                           {"metrics/dev1.bytes_htod", 5.0}};
+  EXPECT_FALSE(diffSeries(Embedded, Embedded).failed());
+  EXPECT_TRUE(diffSeries(Embedded, EmbeddedTwo).failed());
+}
+
 TEST(MetricsDiff, NoisySeriesAndOverrides) {
   EXPECT_TRUE(isNoisySeries("runtime.site.x.map_host_ns.p50"));
   EXPECT_TRUE(isNoisySeries("pass.mem2reg.wall_us.sum"));

@@ -93,9 +93,10 @@ TEST(GoldenIR, DOALLKernelHasGridStrideShape) {
     return M->getString();
   }();
   // The kernel computes its start index from __tid and strides by
-  // __ntid; the caller launches with block size 128.
-  expectInOrder(IR, {"define kernel void @main_k0", "call @__tid",
-                     "call @__ntid", "phi i32"});
+  // __ntid; the caller launches with block size 128. The DOALL proof
+  // also marks the kernel shardable across a device pool.
+  expectInOrder(IR, {"define kernel shardable(", ") void @main_k0",
+                     "call @__tid", "call @__ntid", "phi i32"});
   expectInOrder(IR, {"define i32 @main", "<<<", ", 128>>>"});
 }
 

@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "gpusim/DevicePool.h"
 #include "gpusim/GPUDevice.h"
 #include "runtime/CGCMRuntime.h"
 #include "runtime/RuntimeAuditor.h"
@@ -621,6 +622,77 @@ TEST_F(RuntimeTest, TranslateToDeviceOnlyWhenResident) {
   EXPECT_EQ(Dev, Mapped + 64);
   RT.release(P);
   EXPECT_FALSE(RT.translateToDevice(P, Dev));
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-device pool: replicas and cross-device invalidation
+//===----------------------------------------------------------------------===//
+
+class PoolRuntimeTest : public ::testing::Test {
+protected:
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host{HostAddressBase, "host"};
+  DevicePool Pool{TM, Stats};
+  CGCMRuntime RT{Host, Pool.device(0), TM, Stats};
+
+  PoolRuntimeTest() {
+    Pool.setDeviceCount(4);
+    RT.setDevicePool(&Pool);
+  }
+};
+
+TEST_F(PoolRuntimeTest, HostWriteInvalidatesEveryPeerReplica) {
+  uint64_t P = Host.allocate(256);
+  RT.notifyHeapAlloc(P, 256);
+  uint64_t Dev = RT.map(P);
+  const AllocUnitInfo *Info = RT.lookup(P);
+  ASSERT_NE(Info, nullptr);
+  // Pick two pool peers that are not the unit's home.
+  unsigned A = Info->HomeDevice == 0 ? 1 : 0;
+  unsigned B = Info->HomeDevice == 3 ? 2 : 3;
+  EXPECT_FALSE(RT.hasReplicas());
+  EXPECT_EQ(RT.getNumValidReplicas(P), 0u);
+
+  RT.replicateForDevice(Dev, A);
+  RT.replicateForDevice(Dev, B);
+  EXPECT_TRUE(RT.hasReplicas());
+  EXPECT_EQ(RT.getNumValidReplicas(P), 2u);
+  // Replicating the home device is a no-op, not a third replica.
+  RT.replicateForDevice(Dev, Info->HomeDevice);
+  EXPECT_EQ(RT.getNumValidReplicas(P), 2u);
+
+  // A host write bumps the unit's content version: every peer replica
+  // goes stale at once (cross-device invalidation).
+  RT.noteHostWrite(P + 17);
+  EXPECT_EQ(RT.getNumValidReplicas(P), 0u);
+
+  // Re-replication refreshes the stale copy and is valid again.
+  RT.replicateForDevice(Dev, A);
+  EXPECT_EQ(RT.getNumValidReplicas(P), 1u);
+  RT.release(P);
+}
+
+TEST_F(PoolRuntimeTest, ReplicationEstimateSplitsStaleFromMissing) {
+  uint64_t P = Host.allocate(512);
+  RT.notifyHeapAlloc(P, 512);
+  uint64_t Dev = RT.map(P);
+  // Nothing replicated yet: all three peers are missing, none stale.
+  CGCMRuntime::ReplicationEstimate E = RT.estimateReplicationCycles(Dev, 4);
+  EXPECT_DOUBLE_EQ(E.StaleCycles, 0.0);
+  EXPECT_DOUBLE_EQ(E.MissingCycles, 3.0 * TM.p2pCopyCycles(512));
+
+  const AllocUnitInfo *Info = RT.lookup(P);
+  ASSERT_NE(Info, nullptr);
+  unsigned A = Info->HomeDevice == 0 ? 1 : 0;
+  RT.replicateForDevice(Dev, A);
+  RT.noteHostWrite(P);
+  // One stale replica (it exists but the version moved on), two still
+  // missing: the gate prices the former in full, amortizes the latter.
+  E = RT.estimateReplicationCycles(Dev, 4);
+  EXPECT_DOUBLE_EQ(E.StaleCycles, TM.p2pCopyCycles(512));
+  EXPECT_DOUBLE_EQ(E.MissingCycles, 2.0 * TM.p2pCopyCycles(512));
+  RT.release(P);
 }
 
 //===----------------------------------------------------------------------===//

@@ -245,6 +245,45 @@ TEST_F(StreamEngineTest, DrainRecordsTheOverlapAwareWallClock) {
 }
 
 //===----------------------------------------------------------------------===//
+// Peer-to-peer copies (docs/MultiGPU.md)
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamEngineTest, P2PDirectCopyChargesExactPeerLaneCycles) {
+  ASSERT_TRUE(TM.P2PEnabled);
+  auto R = Eng.transferP2P(4096);
+  // Direct peer lane: latency plus bytes over the peer-link bandwidth,
+  // spelled out so a model change breaks this loudly.
+  EXPECT_DOUBLE_EQ(R.Duration, TM.P2PLatency + 4096.0 / TM.P2PBytesPerCycle);
+  EXPECT_EQ(R.Lane, LaneHost); // Synchronous regime: host blocks.
+}
+
+TEST_F(StreamEngineTest, P2PStagedFallbackCostsTwoHostHopsAndLosesToDirect) {
+  TimingModel Staged;
+  Staged.P2PEnabled = false;
+  ExecStats S2;
+  StreamEngine E2{Staged, S2};
+  auto R = E2.transferP2P(4096);
+  // No peer access: the copy bounces through the host, DtoH then HtoD.
+  EXPECT_DOUBLE_EQ(R.Duration, 2.0 * Staged.transferCycles(4096));
+  // The direct peer lane must be strictly cheaper than staging for any
+  // transfer large enough to matter.
+  EXPECT_LT(TM.p2pCopyCycles(4096), R.Duration);
+}
+
+TEST_F(StreamEngineTest, P2PArrivalFencesTheNextKernelAcrossDevices) {
+  asyncConfig(2);
+  // The producer device's data-ready frontier gates the copy start: the
+  // destination cannot read bytes the source has not produced.
+  auto R = Eng.transferP2P(1 << 20, /*SrcReady=*/500.0);
+  EXPECT_GE(R.Start, 500.0);
+  double End = R.Start + R.Duration;
+  // A kernel launched on the destination after the arrival waits for it,
+  // exactly like an HtoD input (the cross-device fence).
+  double KStart = Eng.kernelLaunch(100.0);
+  EXPECT_DOUBLE_EQ(KStart, End);
+}
+
+//===----------------------------------------------------------------------===//
 // End to end: output equivalence and trace lanes through Machine
 //===----------------------------------------------------------------------===//
 

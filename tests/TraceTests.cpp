@@ -191,6 +191,54 @@ TEST(MachineTrace, ChromeExportParsesBackWellFormed) {
   }
 }
 
+TEST(MachineTrace, DevicePoolTraceNamesPerDeviceLanes) {
+  // A DOALL nest heavy enough that the shard-profitability gate splits
+  // it across the pool: per-device compute and peer-replication events
+  // must land on lanes named by the dev<D>/ scheme the observability
+  // validator checks (docs/MultiGPU.md).
+  const char *Source = R"(
+    double a[4096];
+    double b[4096];
+    int main() {
+      int i; int j;
+      double s;
+      for (i = 0; i < 4096; i++)
+        a[i] = i * 0.25;
+      for (i = 0; i < 4096; i++) {
+        s = 0.0;
+        for (j = 0; j < 16; j++)
+          s = s + a[i] * 0.5;
+        b[i] = s;
+      }
+      s = 0.0;
+      for (i = 0; i < 4096; i++)
+        s += b[i];
+      print_f64(s);
+      return 0;
+    }
+  )";
+  auto M = compileMiniC(Source, "trace-mdev");
+  runCGCMPipeline(*M);
+  Machine Mach;
+  Mach.setLaunchPolicy(LaunchPolicy::Managed);
+  Mach.setTracingEnabled(true);
+  Mach.setDevices(2);
+  Mach.setAsyncTransfers(2);
+  Mach.loadModule(*M);
+  Mach.run();
+
+  std::ostringstream OS;
+  Mach.getTraceCollector().exportChromeTrace(OS);
+  const std::string J = OS.str();
+  // Both devices computed (the nest sharded), and peer replication
+  // landed on the destination device's copy streams.
+  EXPECT_NE(J.find("dev0/gpu-compute"), std::string::npos);
+  EXPECT_NE(J.find("dev1/gpu-compute"), std::string::npos);
+  EXPECT_NE(J.find("dev1/stream-"), std::string::npos);
+  // The shared host lane keeps its historical name.
+  EXPECT_NE(J.find("\"host\""), std::string::npos);
+}
+
 TEST(MachineTrace, JsonlExportIsOneParsableObjectPerLine) {
   TracedRun R = runTraced(TwoKernelProgram, /*Tracing=*/true);
   std::ostringstream OS;

@@ -75,6 +75,34 @@ TEST_P(WorkloadSuite, OptimizationNeverHurts) {
   EXPECT_LE(Opt.TotalCycles, Unopt.TotalCycles * 1.02) << W.Name;
 }
 
+TEST_P(WorkloadSuite, DevicePoolIsOutputIdenticalAndNeverSlower) {
+  // Sharding is a timing-plane decision over the eager single-copy data
+  // plane (docs/MultiGPU.md), so output is bit-identical at every pool
+  // size and placement, and the shard-profitability gate never commits
+  // a schedule whose modeled cost exceeds the single-device launch.
+  const Workload &W = GetParam();
+  WorkloadRun Base = runWorkload(W, BenchConfig::CGCMOptimized);
+  RunnerOptions One;
+  One.Devices = 1;
+  WorkloadRun D1 = runWorkload(W, BenchConfig::CGCMOptimized, One);
+  EXPECT_EQ(D1.Output, Base.Output) << W.Name;
+  // --devices=1 is the pre-pool engine, bit-for-bit in modeled cost.
+  EXPECT_DOUBLE_EQ(D1.TotalCycles, Base.TotalCycles) << W.Name;
+  for (unsigned N : {2u, 4u}) {
+    RunnerOptions RO;
+    RO.Devices = N;
+    WorkloadRun R = runWorkload(W, BenchConfig::CGCMOptimized, RO);
+    EXPECT_EQ(R.Output, Base.Output) << W.Name << " devices=" << N;
+    EXPECT_LE(R.TotalCycles, Base.TotalCycles) << W.Name << " devices=" << N;
+    RunnerOptions BB;
+    BB.Devices = N;
+    BB.Placement = PlacementPolicy::BytesBalanced;
+    WorkloadRun B = runWorkload(W, BenchConfig::CGCMOptimized, BB);
+    EXPECT_EQ(B.Output, Base.Output)
+        << W.Name << " devices=" << N << " placement=bytes";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPrograms, WorkloadSuite,
                          ::testing::ValuesIn(allWorkloads()),
                          [](const ::testing::TestParamInfo<Workload> &Info) {

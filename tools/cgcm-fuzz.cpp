@@ -71,6 +71,9 @@ struct ToolOptions {
   /// Stream count for the differ's optimized-async configuration
   /// (docs/TransferEngine.md); 0 skips that run.
   unsigned AsyncStreams = 4;
+  /// Device-pool size for the differ's optimized-multidev configuration
+  /// (docs/MultiGPU.md); <= 1 skips that run.
+  unsigned Devices = 2;
 };
 
 /// Outcome of running one candidate (possibly in a child process).
@@ -85,7 +88,8 @@ struct Verdict {
             << "usage: cgcm-fuzz [--seed=N | --count=N]\n"
             << "                 [--mode=prog|api|both|static-parity]\n"
             << "                 [--steps=N] [--reduce] [--print] [--out=DIR]\n"
-            << "                 [--no-fork] [--streams=N] [--no-async]\n";
+            << "                 [--no-fork] [--streams=N] [--no-async]\n"
+            << "                 [--devices=N] [--no-multidev]\n";
   std::exit(2);
 }
 
@@ -124,6 +128,14 @@ ToolOptions parseArgs(int Argc, char **Argv) {
                    "the async configuration)");
     } else if (A == "--no-async") {
       O.AsyncStreams = 0;
+    } else if (A.rfind("--devices=", 0) == 0) {
+      O.Devices =
+          unsigned(std::strtoul(Value("--devices=").c_str(), nullptr, 0));
+      if (O.Devices == 0)
+        usageError("--devices wants a positive count (--no-multidev skips "
+                   "the multi-device configuration)");
+    } else if (A == "--no-multidev") {
+      O.Devices = 1;
     } else if (A == "--help" || A == "-h") {
       usageError("help");
     } else {
@@ -193,12 +205,13 @@ Verdict runIsolated(bool Fork, const std::function<Verdict()> &Body) {
   return V;
 }
 
-Verdict checkProgramSeed(uint64_t Seed, bool Fork, unsigned AsyncStreams) {
-  return runIsolated(Fork, [Seed, AsyncStreams] {
+Verdict checkProgramSeed(uint64_t Seed, bool Fork, unsigned AsyncStreams,
+                         unsigned Devices) {
+  return runIsolated(Fork, [Seed, AsyncStreams, Devices] {
     Verdict V;
     ProgDesc P = generateProgram(Seed);
     DiffResult R = diffProgram(P.render(), "seed" + std::to_string(Seed),
-                               AsyncStreams);
+                               AsyncStreams, Devices);
     if (!R.Agreed) {
       V.Failed = true;
       V.Detail = R.Failure;
@@ -277,7 +290,7 @@ int runReduce(const ToolOptions &O) {
     Verdict V = runIsolated(O.Fork, [&Candidate, &O] {
       Verdict Inner;
       DiffResult R = diffProgram(Candidate.render(), "reduce",
-                                 O.AsyncStreams);
+                                 O.AsyncStreams, O.Devices);
       if (!R.Agreed) {
         Inner.Failed = true;
         Inner.Detail = R.Failure;
@@ -322,7 +335,7 @@ int main(int Argc, char **Argv) {
 
   for (uint64_t S = First; S != First + Count; ++S) {
     if (O.Mode == "prog" || O.Mode == "both") {
-      Verdict V = checkProgramSeed(S, O.Fork, O.AsyncStreams);
+      Verdict V = checkProgramSeed(S, O.Fork, O.AsyncStreams, O.Devices);
       if (V.Failed) {
         ++Failures;
         Crashes += V.Crashed;

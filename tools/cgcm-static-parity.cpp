@@ -145,6 +145,9 @@ void usage() {
          "\n"
          "  --workload=<name>  check a single workload\n"
          "  --verbose          per-workload summary lines\n"
+         "  --devices=<n>      out of scope beyond 1: the static model\n"
+         "                     predicts the single-device schedule, so\n"
+         "                     asking for multi-device parity fails fast\n"
          "  --help             this text\n";
 }
 
@@ -161,6 +164,20 @@ int main(int Argc, char **Argv) {
       Opt.Verbose = true;
     } else if (A.rfind("--workload=", 0) == 0) {
       Opt.Only = A.substr(strlen("--workload="));
+    } else if (A.rfind("--devices=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 10);
+      if (N > 1) {
+        // The predictor prices the single-device schedule; sharded
+        // placement and peer traffic have no static counterpart, so a
+        // multi-device parity request cannot be satisfied.
+        std::cerr << "cgcm-static-parity: multi-device runs are out of "
+                     "scope — the static ledger predicts the "
+                     "single-device schedule and has no model of sharded "
+                     "placement or peer-to-peer traffic (rerun with "
+                     "--devices=1, or validate multi-device runs "
+                     "dynamically via cgcm-metrics-diff)\n";
+        return 2;
+      }
     } else {
       std::cerr << "cgcm-static-parity: unknown option '" << A << "'\n";
       usage();

@@ -94,6 +94,8 @@ struct Options {
   unsigned Streams = 0;    ///< --streams=<n>: async transfer engine lanes
                            ///< (0 = synchronous model, the default).
   bool Coalesce = true;    ///< --no-coalesce: disable DMA batching.
+  unsigned Devices = 1;    ///< --devices=<n>: simulated GPUs in the pool.
+  PlacementPolicy Placement = PlacementPolicy::RoundRobin;
   bool Metrics = false;    ///< --metrics[=file]: cgcm-metrics-v1 JSON.
   std::string MetricsPath; ///< Empty with Metrics set = write to stderr.
   bool MetricsReport = false; ///< --metrics-report: attribution table.
@@ -141,6 +143,12 @@ void usage() {
       "                      default; overrides an earlier --streams)\n"
       "  --no-coalesce       with --streams, disable coalescing of\n"
       "                      adjacent same-direction copies into batches\n"
+      "  --devices=<n>       execute on a pool of <n> simulated GPUs\n"
+      "                      (default 1; shardable DOALL kernels split\n"
+      "                      their iteration space; docs/MultiGPU.md)\n"
+      "  --placement=<p>     with --devices, allocation-unit placement:\n"
+      "                      rr (round-robin, default) or bytes\n"
+      "                      (bytes-balanced)\n"
       "  --metrics[=<file>]  write the process-wide metrics registry as\n"
       "                      cgcm-metrics-v1 JSON (stderr without <file>),\n"
       "                      including the wall-clock attribution section\n"
@@ -197,6 +205,25 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Streams = 0;
     else if (A == "--no-coalesce")
       O.Coalesce = false;
+    else if (A.rfind("--devices=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 10);
+      if (N < 1) {
+        std::fprintf(stderr, "cgcmc: --devices wants a positive count\n");
+        return false;
+      }
+      O.Devices = static_cast<unsigned>(N);
+    } else if (A.rfind("--placement=", 0) == 0) {
+      std::string P = A.substr(12);
+      if (P == "rr")
+        O.Placement = PlacementPolicy::RoundRobin;
+      else if (P == "bytes")
+        O.Placement = PlacementPolicy::BytesBalanced;
+      else {
+        std::fprintf(stderr, "cgcmc: unknown placement '%s' (rr|bytes)\n",
+                     P.c_str());
+        return false;
+      }
+    }
     else if (A == "--metrics")
       O.Metrics = true;
     else if (A.rfind("--metrics=", 0) == 0) {
@@ -304,6 +331,19 @@ int runAnalysis(Module &M, const Options &O, const DOALLStats &DS) {
 /// schedule, unlike plain --analyze which stops pre-management). JSON on
 /// stdout, sorted diagnostics on stderr. Returns the process exit code.
 int runCostAnalysis(Module &M, const Options &O) {
+  if (O.Devices > 1) {
+    // The static cost model prices the single-device schedule; sharded
+    // placement and peer traffic are runtime decisions it cannot see
+    // (docs/MultiGPU.md). Not an error: the user asked for a prediction
+    // the model explicitly scopes out.
+    std::fprintf(stderr,
+                 "cgcmc: --analyze=cost models a single device; "
+                 "--devices=%u is out of scope for the static predictor "
+                 "(run with --devices=1, or profile the multi-device "
+                 "schedule dynamically)\n",
+                 O.Devices);
+    return 0;
+  }
   CommCostReport R = runCommCostAnalysis(M);
   writeStaticCostJson(std::cout, R, M.getName());
   bool HasErrors = false;
@@ -485,6 +525,8 @@ int main(int Argc, char **Argv) {
     Machine Mach;
     Mach.setLaunchPolicy(O.Policy);
     Mach.setTracingEnabled(!O.TracePath.empty());
+    if (O.Devices > 1)
+      Mach.setDevices(O.Devices, O.Placement);
     Mach.setAsyncTransfers(O.Streams, O.Coalesce);
     Mach.loadModule(*M);
     int64_t Exit = Mach.run();
@@ -532,6 +574,8 @@ int main(int Argc, char **Argv) {
   Machine Mach;
   Mach.setLaunchPolicy(O.Policy);
   Mach.setTracingEnabled(!O.TracePath.empty());
+  if (O.Devices > 1)
+    Mach.setDevices(O.Devices, O.Placement);
   Mach.setAsyncTransfers(O.Streams, O.Coalesce);
 
   PipelineRunOptions RunOpts;

@@ -14,6 +14,7 @@ first violation. Stdlib only — runnable anywhere CI can run python3.
 
 import argparse
 import json
+import re
 import sys
 
 TRACE_PHASES = {"X", "i"}
@@ -49,6 +50,17 @@ TRANSFER_OVERLAP_KEYS = {
     "async_transfers", "dma_batches", "coalesced_transfers", "host_syncs",
     "output_equal",
 }
+# Per-device traffic/compute rows, emitted only by --devices>1 runs
+# (docs/MultiGPU.md).
+DEVICE_KEYS = {
+    "device", "bytes_htod", "bytes_dtoh", "transfers_htod",
+    "transfers_dtoh", "p2p_transfers", "p2p_bytes", "compute_cycles",
+}
+
+# Trace lane names: the shared host lane, the single-device lanes, and
+# the device-pool scheme dev<D>/gpu-compute, dev<D>/stream-<s>
+# (exec/Machine.cpp applyLaneLayout).
+LANE_NAME_RE = r"^(host|(dev\d+/)?(gpu-compute|stream-\d+))$"
 
 
 def fail(path, msg):
@@ -90,6 +102,10 @@ def validate_trace(path):
             expect(key in ev, path, f"{where}: missing {key!r}")
         expect(ev["name"] == "thread_name", path,
                f"{where}: metadata name {ev['name']!r}")
+        lane = ev["args"].get("name")
+        expect(isinstance(lane, str) and re.match(LANE_NAME_RE, lane), path,
+               f"{where}: lane name {lane!r} does not match the "
+               "host / [dev<D>/]gpu-compute / [dev<D>/]stream-<s> scheme")
     events = [ev for ev in doc["traceEvents"] if ev.get("ph") != "M"]
     expect(len(events) == emitted - dropped, path,
            f"{len(events)} events but emitted={emitted} dropped={dropped}")
@@ -234,7 +250,8 @@ def validate_bench(path):
                f"{sorted(BENCH_ROW_KEYS)}")
     for section, keys in (("pass_timings", PASS_TIMING_KEYS),
                           ("analysis_cache", ANALYSIS_CACHE_KEYS),
-                          ("transfer_overlap", TRANSFER_OVERLAP_KEYS)):
+                          ("transfer_overlap", TRANSFER_OVERLAP_KEYS),
+                          ("devices", DEVICE_KEYS)):
         entries = doc.get(section)
         if entries is None:
             continue
@@ -244,6 +261,10 @@ def validate_bench(path):
             expect(set(entry.keys()) == keys, path,
                    f"{section}[{i}] keys {sorted(entry.keys())} != "
                    f"{sorted(keys)}")
+    devices = doc.get("devices", [])
+    for i, entry in enumerate(devices):
+        expect(entry["device"] == i, path,
+               f"devices[{i}]: device index {entry['device']} out of order")
     for i, entry in enumerate(doc.get("transfer_overlap", [])):
         expect(entry["output_equal"] is True, path,
                f"transfer_overlap[{i}] ({entry['workload']!r}, "
@@ -255,7 +276,7 @@ def validate_bench(path):
                "metrics section not an object")
         validate_metrics_object(path, doc["metrics"])
     extra = ", ".join(s for s in ("pass_timings", "analysis_cache",
-                                  "transfer_overlap", "metrics")
+                                  "transfer_overlap", "devices", "metrics")
                       if s in doc)
     print(f"{path}: OK (bench {doc['bench']!r}, {len(rows)} rows"
           + (f", sections: {extra}" if extra else "") + ")")
