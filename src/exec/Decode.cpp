@@ -1,0 +1,299 @@
+//===- exec/Decode.cpp - Function decoder for table dispatch ----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes a Function into the dense DecodedInst form of exec/Decoded.h.
+/// Two passes: the first sizes each basic block (a consecutive phi run
+/// is one unit) to assign absolute code indices, the second emits
+/// instructions with branch targets resolved against that map.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Decoded.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+using namespace cgcm;
+
+namespace {
+
+uint64_t fpBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  return Bits;
+}
+
+struct Decoder {
+  Machine &M;
+  const FunctionLayout &L;
+  DecodedFunction &DF;
+  std::map<const BasicBlock *, unsigned> Start;
+
+  Decoder(Machine &M, const FunctionLayout &L, DecodedFunction &DF)
+      : M(M), L(L), DF(DF) {}
+
+  DecodedOperand operand(const Value *V) const {
+    DecodedOperand Op;
+    switch (V->getKind()) {
+    case Value::ValueKind::ConstantInt:
+      Op.Imm = static_cast<uint64_t>(cast<ConstantInt>(V)->getValue());
+      return Op;
+    case Value::ValueKind::ConstantFP:
+      Op.Imm = fpBits(cast<ConstantFP>(V)->getValue());
+      return Op;
+    case Value::ValueKind::ConstantNull:
+      return Op;
+    case Value::ValueKind::GlobalVariable:
+      Op.K = DecodedOperand::Kind::Global;
+      Op.GV = cast<GlobalVariable>(V);
+      return Op;
+    default:
+      Op.K = DecodedOperand::Kind::Slot;
+      Op.Slot = L.Slots.at(V);
+      return Op;
+    }
+  }
+
+  static unsigned intWidth(const Type *Ty) {
+    return cast<IntegerType>(Ty)->getBitWidth();
+  }
+
+  DecodedInst decodeOne(const Instruction *I) const {
+    DecodedInst DI;
+    DI.I = I;
+    DI.KindIdx = static_cast<uint8_t>(
+        static_cast<unsigned>(I->getKind()) -
+        static_cast<unsigned>(Value::ValueKind::InstBegin));
+    if (!I->getType()->isVoidTy())
+      DI.Dest = L.Slots.at(I);
+
+    switch (I->getKind()) {
+    case Value::ValueKind::Alloca: {
+      const auto *AI = cast<AllocaInst>(I);
+      DI.Op = DOp::Alloca;
+      DI.Step = AI->getAllocatedType()->getSizeInBytes();
+      if (AI->hasArraySize())
+        DI.A = operand(AI->getArraySize());
+      else
+        DI.A.Imm = 1;
+      return DI;
+    }
+    case Value::ValueKind::Load: {
+      const auto *LI = cast<LoadInst>(I);
+      DI.Op = DOp::Load;
+      DI.A = operand(LI->getPointerOperand());
+      DI.Ty = LI->getType();
+      return DI;
+    }
+    case Value::ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(I);
+      DI.Op = DOp::Store;
+      DI.A = operand(SI->getPointerOperand());
+      DI.B = operand(SI->getValueOperand());
+      DI.Ty = SI->getValueOperand()->getType();
+      return DI;
+    }
+    case Value::ValueKind::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      DI.Op = DOp::GEP;
+      DI.A = operand(G->getPointerOperand());
+      DI.B = operand(G->getIndexOperand());
+      DI.Step = G->getSteppedType()->getSizeInBytes();
+      return DI;
+    }
+    case Value::ValueKind::BinOp: {
+      const auto *BO = cast<BinOpInst>(I);
+      static const DOp Map[] = {
+          DOp::BinAdd,  DOp::BinSub,  DOp::BinMul, DOp::BinSDiv,
+          DOp::BinSRem, DOp::BinFAdd, DOp::BinFSub, DOp::BinFMul,
+          DOp::BinFDiv, DOp::BinAnd,  DOp::BinOr,  DOp::BinXor,
+          DOp::BinShl,  DOp::BinAShr, DOp::BinLShr};
+      DI.Op = Map[static_cast<unsigned>(BO->getOp())];
+      DI.A = operand(BO->getLHS());
+      DI.B = operand(BO->getRHS());
+      if (BO->isFloatingPointOp())
+        DI.IsFloat = BO->getType()->isFloatTy();
+      else
+        DI.Width = intWidth(BO->getType());
+      return DI;
+    }
+    case Value::ValueKind::Cmp: {
+      const auto *C = cast<CmpInst>(I);
+      // Pointer orderings decode to the unsigned forms; EQ/NE compare
+      // raw bits either way.
+      bool Ptr = C->getLHS()->getType()->isPointerTy();
+      static const DOp SignedMap[] = {DOp::CmpEQ,  DOp::CmpNE,  DOp::CmpSLT,
+                                      DOp::CmpSLE, DOp::CmpSGT, DOp::CmpSGE};
+      static const DOp PtrMap[] = {DOp::CmpEQ,  DOp::CmpNE,  DOp::CmpULT,
+                                   DOp::CmpULE, DOp::CmpUGT, DOp::CmpUGE};
+      static const DOp FpMap[] = {DOp::CmpFOEQ, DOp::CmpFONE, DOp::CmpFOLT,
+                                  DOp::CmpFOLE, DOp::CmpFOGT, DOp::CmpFOGE};
+      unsigned P = static_cast<unsigned>(C->getPredicate());
+      if (C->isFloatPredicate())
+        DI.Op = FpMap[P - static_cast<unsigned>(CmpInst::Predicate::FOEQ)];
+      else
+        DI.Op = (Ptr ? PtrMap : SignedMap)[P];
+      DI.A = operand(C->getLHS());
+      DI.B = operand(C->getRHS());
+      return DI;
+    }
+    case Value::ValueKind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      DI.A = operand(C->getValueOperand());
+      Type *From = C->getValueOperand()->getType();
+      Type *To = C->getType();
+      switch (C->getOp()) {
+      case CastInst::Op::Trunc:
+        DI.Op = DOp::CastTrunc;
+        DI.Width = intWidth(To);
+        break;
+      case CastInst::Op::ZExt:
+        DI.Op = DOp::CastZExt;
+        DI.Width = intWidth(From);
+        break;
+      case CastInst::Op::SExt:
+        DI.Op = DOp::CastSExt;
+        DI.Width = intWidth(From);
+        break;
+      case CastInst::Op::FPToSI:
+        DI.Op = DOp::CastFPToSI;
+        DI.Width = intWidth(To);
+        break;
+      case CastInst::Op::SIToFP:
+        DI.Op = DOp::CastSIToFP;
+        DI.IsFloat = To->isFloatTy();
+        break;
+      case CastInst::Op::FPTrunc:
+        DI.Op = DOp::CastFPTrunc;
+        break;
+      case CastInst::Op::FPExt:
+      case CastInst::Op::Bitcast:
+      case CastInst::Op::PtrToInt:
+      case CastInst::Op::IntToPtr:
+        // Registers already hold double bits / raw addresses.
+        DI.Op = DOp::CastBit;
+        break;
+      }
+      return DI;
+    }
+    case Value::ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      DI.Op = DOp::Select;
+      DI.A = operand(S->getCondition());
+      DI.B = operand(S->getTrueValue());
+      DI.C = operand(S->getFalseValue());
+      return DI;
+    }
+    case Value::ValueKind::Call: {
+      const auto *CI = cast<CallInst>(I);
+      DI.Op = DOp::Call;
+      DI.Intr = M.getIntrinsic(CI->getCallee());
+      DI.Extra.reserve(CI->getNumArgs());
+      for (unsigned A = 0, E = CI->getNumArgs(); A != E; ++A)
+        DI.Extra.push_back(operand(CI->getArg(A)));
+      return DI;
+    }
+    case Value::ValueKind::KernelLaunch: {
+      const auto *KL = cast<KernelLaunchInst>(I);
+      DI.Op = DOp::KernelLaunch;
+      DI.A = operand(KL->getGrid());
+      DI.B = operand(KL->getBlock());
+      DI.Extra.reserve(KL->getNumArgs());
+      for (unsigned A = 0, E = KL->getNumArgs(); A != E; ++A)
+        DI.Extra.push_back(operand(KL->getArg(A)));
+      return DI;
+    }
+    case Value::ValueKind::Br: {
+      const auto *Br = cast<BranchInst>(I);
+      DI.SrcBB = I->getParent();
+      if (Br->isConditional()) {
+        DI.Op = DOp::CondBr;
+        DI.A = operand(Br->getCondition());
+        DI.Target0 = Start.at(Br->getSuccessor(0));
+        DI.Target1 = Start.at(Br->getSuccessor(1));
+      } else {
+        DI.Op = DOp::Br;
+        DI.Target0 = Start.at(Br->getSuccessor(0));
+      }
+      return DI;
+    }
+    case Value::ValueKind::Ret: {
+      const auto *R = cast<RetInst>(I);
+      if (R->hasReturnValue()) {
+        DI.Op = DOp::Ret;
+        DI.A = operand(R->getReturnValue());
+      } else {
+        DI.Op = DOp::RetVoid;
+      }
+      return DI;
+    }
+    default:
+      CGCM_UNREACHABLE("unknown instruction kind in decoder");
+    }
+  }
+
+  void run(const Function *F) {
+    DF.F = F;
+    // Pass 1: code index of every block, counting a phi run as one unit.
+    unsigned N = 0;
+    for (const auto &BB : *F) {
+      Start[BB.get()] = N;
+      for (auto It = BB->begin(), E = BB->end(); It != E; ++It) {
+        if (isa<PhiInst>(It->get()))
+          while (std::next(It) != E && isa<PhiInst>(std::next(It)->get()))
+            ++It;
+        ++N;
+      }
+    }
+    // Pass 2: emit.
+    DF.Code.reserve(N);
+    for (const auto &BB : *F) {
+      for (auto It = BB->begin(), E = BB->end(); It != E; ++It) {
+        const Instruction *I = It->get();
+        if (auto *P = dyn_cast<PhiInst>(I)) {
+          DecodedInst DI;
+          DI.Op = DOp::PhiGroup;
+          DI.I = I;
+          DI.KindIdx = static_cast<uint8_t>(
+              static_cast<unsigned>(Value::ValueKind::Phi) -
+              static_cast<unsigned>(Value::ValueKind::InstBegin));
+          for (;;) {
+            DecodedPhi DP;
+            DP.Dest = L.Slots.at(P);
+            DP.Incoming.reserve(P->getNumIncoming());
+            for (unsigned K = 0, E2 = P->getNumIncoming(); K != E2; ++K)
+              DP.Incoming.emplace_back(P->getIncomingBlock(K),
+                                       operand(P->getIncomingValue(K)));
+            DI.Phis.push_back(std::move(DP));
+            if (std::next(It) == E || !isa<PhiInst>(std::next(It)->get()))
+              break;
+            ++It;
+            P = cast<PhiInst>(It->get());
+          }
+          DF.Code.push_back(std::move(DI));
+          continue;
+        }
+        DF.Code.push_back(decodeOne(I));
+      }
+    }
+    assert(DF.Code.size() == N && "pass 1/2 disagree on code size");
+  }
+};
+
+} // namespace
+
+const DecodedFunction &Machine::getDecoded(const Function *F) {
+  auto It = Decoded.find(F);
+  if (It != Decoded.end())
+    return *It->second;
+  auto DF = std::make_unique<DecodedFunction>();
+  Decoder(*this, getLayout(F), *DF).run(F);
+  return *Decoded.emplace(F, std::move(DF)).first->second;
+}

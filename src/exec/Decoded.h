@@ -1,0 +1,163 @@
+//===- exec/Decoded.h - Precomputed interpreter dispatch form ---------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's precomputed dispatch form. Decoding runs once per
+/// function (cached on the Machine) and flattens every per-instruction
+/// decision the tree-walking loop used to redo on each visit: operand
+/// resolution (constant vs register slot vs module global), the nested
+/// opcode/predicate/cast switches, branch-target block lookups, and the
+/// intrinsic-by-name classification of calls. Execution then reduces to
+/// an indexed handler call per DecodedInst.
+///
+/// The decoded form is observationally identical to the switch
+/// interpreter by construction: one DecodedInst per charged operation
+/// (a run of consecutive phis collapses to one PhiGroup, exactly as the
+/// switch loop charges a phi group once), operands evaluate in the same
+/// order, and only statically-resolvable facts are precomputed — module
+/// globals stay symbolic because their address depends on the execution
+/// context (host address vs per-device cuModuleGetGlobal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_EXEC_DECODED_H
+#define CGCM_EXEC_DECODED_H
+
+#include "exec/Machine.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cgcm {
+
+/// Flattened opcode: the IR's kind/op/predicate/cast hierarchy unrolled
+/// into one dense enum so dispatch is a single table index. Pointer
+/// orderings decode to the unsigned compare forms (addresses compare
+/// unsigned; integers signed); identity casts (fpext, bitcast,
+/// ptrtoint, inttoptr) collapse to CastBit.
+enum class DOp : uint8_t {
+  Alloca,
+  Load,
+  Store,
+  GEP,
+  BinAdd,
+  BinSub,
+  BinMul,
+  BinSDiv,
+  BinSRem,
+  BinAnd,
+  BinOr,
+  BinXor,
+  BinShl,
+  BinAShr,
+  BinLShr,
+  BinFAdd,
+  BinFSub,
+  BinFMul,
+  BinFDiv,
+  CmpEQ,
+  CmpNE,
+  CmpSLT,
+  CmpSLE,
+  CmpSGT,
+  CmpSGE,
+  CmpULT,
+  CmpULE,
+  CmpUGT,
+  CmpUGE,
+  CmpFOEQ,
+  CmpFONE,
+  CmpFOLT,
+  CmpFOLE,
+  CmpFOGT,
+  CmpFOGE,
+  CastTrunc,
+  CastZExt,
+  CastSExt,
+  CastFPToSI,
+  CastSIToFP,
+  CastFPTrunc,
+  CastBit,
+  Select,
+  Call,
+  KernelLaunch,
+  Br,
+  CondBr,
+  Ret,
+  RetVoid,
+  PhiGroup,
+};
+
+constexpr unsigned NumDOps = static_cast<unsigned>(DOp::PhiGroup) + 1;
+
+/// One pre-resolved operand. Constants fold to their register image at
+/// decode time (integers sign-extended, floats as double bits, null as
+/// 0); SSA values become their frame slot; module globals stay symbolic
+/// (their address is context-dependent).
+struct DecodedOperand {
+  enum class Kind : uint8_t { Imm, Slot, Global };
+  Kind K = Kind::Imm;
+  uint64_t Imm = 0;
+  unsigned Slot = 0;
+  const GlobalVariable *GV = nullptr;
+};
+
+/// One phi of a PhiGroup: destination slot plus the (predecessor ->
+/// operand) incoming list, scanned against the dynamic predecessor in
+/// declaration order (first match wins, like getIncomingValueFor).
+struct DecodedPhi {
+  unsigned Dest = 0;
+  std::vector<std::pair<const BasicBlock *, DecodedOperand>> Incoming;
+};
+
+/// One executable unit: a single instruction, except that a run of
+/// consecutive phis is one PhiGroup (preserving the switch loop's
+/// one-charge-per-group accounting).
+struct DecodedInst {
+  DOp Op = DOp::RetVoid;
+  /// Opcode-tally index (Value::ValueKind relative to InstBegin).
+  uint8_t KindIdx = 0;
+  /// Result rounds through float precision (FP binops, sitofp).
+  bool IsFloat = false;
+  /// Integer width driving sign-extension (binops: result type; casts:
+  /// whichever side the op truncates/extends from).
+  unsigned Width = 0;
+  /// Destination frame slot; NoSlot when the result is void.
+  static constexpr unsigned NoSlot = ~0u;
+  unsigned Dest = NoSlot;
+  DecodedOperand A, B, C;
+  /// GEP: stepped-type size. Alloca: allocated-type size.
+  uint64_t Step = 0;
+  /// Load: result type. Store: value-operand type.
+  Type *Ty = nullptr;
+  /// The source instruction, for everything not worth flattening: fatal
+  /// messages, source locations, call/launch callees.
+  const Instruction *I = nullptr;
+  /// Branch targets as absolute code indices (CondBr: taken, fallthrough).
+  unsigned Target0 = 0;
+  unsigned Target1 = 0;
+  /// The block this branch leaves — the next block's dynamic predecessor.
+  const BasicBlock *SrcBB = nullptr;
+  /// Calls: the callee's intrinsic classification, resolved at decode.
+  Machine::Intrinsic Intr = Machine::Intrinsic::None;
+  /// Call / kernel-launch arguments.
+  std::vector<DecodedOperand> Extra;
+  /// PhiGroup members, in block order.
+  std::vector<DecodedPhi> Phis;
+};
+
+/// A function decoded into straight-line code with absolute branch
+/// targets. Block boundaries survive only as branch targets and the
+/// SrcBB fields that keep phi resolution honest.
+struct DecodedFunction {
+  const Function *F = nullptr;
+  std::vector<DecodedInst> Code;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_EXEC_DECODED_H

@@ -222,25 +222,8 @@ uint64_t Interpreter::evalOperand(const Value *V, Frame &Fr,
     return doubleToBits(cast<ConstantFP>(V)->getValue());
   case Value::ValueKind::ConstantNull:
     return 0;
-  case Value::ValueKind::GlobalVariable: {
-    const auto *GV = cast<GlobalVariable>(V);
-    // On the GPU a module global names a *device* region
-    // (cuModuleGetGlobal); on the CPU it is a host address. Under the
-    // inspector-executor policy kernels run against host memory, and
-    // under demand paging the host address faults per access.
-    if (Ctx.OnGPU && Ctx.EnforceSpace && !Ctx.DemandPage) {
-      // With a device pool the global lives on its home device (sticky
-      // placement); untracked globals resolve against device 0.
-      unsigned Home = 0;
-      if (M.Pool.size() > 1)
-        if (const AllocUnitInfo *Info =
-                M.Runtime->lookup(M.getGlobalAddress(GV)))
-          Home = Info->HomeDevice;
-      return M.Pool.device(Home).cuModuleGetGlobal(GV->getName(),
-                                                   GV->getSizeInBytes());
-    }
-    return M.getGlobalAddress(GV);
-  }
+  case Value::ValueKind::GlobalVariable:
+    return resolveGlobal(cast<GlobalVariable>(V), Ctx);
   default: {
     const FunctionLayout &L = M.getLayout(
         isa<Argument>(V) ? cast<Argument>(V)->getParent()
@@ -250,6 +233,62 @@ uint64_t Interpreter::evalOperand(const Value *V, Frame &Fr,
     return Fr.Slots[It->second];
   }
   }
+}
+
+uint64_t Interpreter::resolveGlobal(const GlobalVariable *GV,
+                                    ExecContext &Ctx) {
+  // On the GPU a module global names a *device* region
+  // (cuModuleGetGlobal); on the CPU it is a host address. Under the
+  // inspector-executor policy kernels run against host memory, and
+  // under demand paging the host address faults per access.
+  if (Ctx.OnGPU && Ctx.EnforceSpace && !Ctx.DemandPage) {
+    // With a device pool the global lives on its home device (sticky
+    // placement); untracked globals resolve against device 0.
+    unsigned Home = 0;
+    if (M.Pool.size() > 1)
+      if (const AllocUnitInfo *Info =
+              M.Runtime->lookup(M.getGlobalAddress(GV)))
+        Home = Info->HomeDevice;
+    return M.Pool.device(Home).cuModuleGetGlobal(GV->getName(),
+                                                 GV->getSizeInBytes());
+  }
+  return M.getGlobalAddress(GV);
+}
+
+uint64_t Interpreter::evalDecoded(const DecodedOperand &Op, Frame &Fr,
+                                  ExecContext &Ctx) {
+  switch (Op.K) {
+  case DecodedOperand::Kind::Imm:
+    return Op.Imm;
+  case DecodedOperand::Kind::Slot:
+    return Fr.Slots[Op.Slot];
+  case DecodedOperand::Kind::Global:
+    return resolveGlobal(Op.GV, Ctx);
+  }
+  CGCM_UNREACHABLE("covered switch");
+}
+
+void Interpreter::chargeOps(uint64_t N, ExecContext &Ctx) {
+  M.TotalOps += N;
+  if (M.OpLimit && M.TotalOps > M.OpLimit)
+    reportFatalError("interpreter op limit exceeded");
+  if (Ctx.GpuOpCounter) {
+    *Ctx.GpuOpCounter += N;
+  } else {
+    M.Stats.CpuOps += N;
+    M.Stats.CpuCycles += static_cast<double>(N) * M.TM.CpuCyclesPerOp;
+  }
+}
+
+void Interpreter::popFrame(Frame &Fr) {
+  for (auto It = Fr.Allocas.rbegin(), E = Fr.Allocas.rend(); It != E; ++It) {
+    if (It->second)
+      M.Runtime->removeAlloca(It->first);
+    SimMemory &Mem =
+        isDeviceAddress(It->first) ? M.deviceMemoryFor(It->first) : M.Host;
+    Mem.free(It->first);
+  }
+  --CallDepth;
 }
 
 uint64_t Interpreter::execFunction(Function *F,
@@ -268,31 +307,18 @@ uint64_t Interpreter::execFunction(Function *F,
   for (unsigned I = 0; I != Args.size(); ++I)
     Fr.Slots[L.Slots.at(F->getArg(I))] = Args[I];
 
+  if (M.getDispatchMode() == DispatchMode::Table)
+    return execDecoded(M.getDecoded(F), Fr, Ctx);
+  return execSwitch(F, L, Fr, Ctx);
+}
+
+uint64_t Interpreter::execSwitch(Function *F, const FunctionLayout &L,
+                                 Frame &Fr, ExecContext &Ctx) {
   auto SetSlot = [&](const Instruction *I, uint64_t V) {
     Fr.Slots[L.Slots.at(I)] = V;
   };
-  auto ChargeOps = [&](uint64_t N) {
-    M.TotalOps += N;
-    if (M.OpLimit && M.TotalOps > M.OpLimit)
-      reportFatalError("interpreter op limit exceeded");
-    if (Ctx.GpuOpCounter) {
-      *Ctx.GpuOpCounter += N;
-    } else {
-      M.Stats.CpuOps += N;
-      M.Stats.CpuCycles += static_cast<double>(N) * M.TM.CpuCyclesPerOp;
-    }
-  };
-  auto PopFrame = [&] {
-    for (auto It = Fr.Allocas.rbegin(), E = Fr.Allocas.rend(); It != E;
-         ++It) {
-      if (It->second)
-        M.Runtime->removeAlloca(It->first);
-      SimMemory &Mem =
-          isDeviceAddress(It->first) ? M.deviceMemoryFor(It->first) : M.Host;
-      Mem.free(It->first);
-    }
-    --CallDepth;
-  };
+  auto ChargeOps = [&](uint64_t N) { chargeOps(N, Ctx); };
+  auto PopFrame = [&] { popFrame(Fr); };
 
   BasicBlock *BB = F->getEntryBlock();
   BasicBlock *PrevBB = nullptr;
@@ -595,13 +621,17 @@ uint64_t Interpreter::execFunction(Function *F,
 
 uint64_t Interpreter::execCall(const CallInst *CI, Frame &Fr,
                                ExecContext &Ctx) {
-  Function *Callee = CI->getCallee();
   std::vector<uint64_t> Args;
   Args.reserve(CI->getNumArgs());
   for (unsigned I = 0, E = CI->getNumArgs(); I != E; ++I)
     Args.push_back(evalOperand(CI->getArg(I), Fr, Ctx));
+  return execCallImpl(CI, M.getIntrinsic(CI->getCallee()), Args, Fr, Ctx);
+}
 
-  Machine::Intrinsic K = M.getIntrinsic(Callee);
+uint64_t Interpreter::execCallImpl(const CallInst *CI, Machine::Intrinsic K,
+                                   const std::vector<uint64_t> &Args,
+                                   Frame &Fr, ExecContext &Ctx) {
+  Function *Callee = CI->getCallee();
   auto ChargeExtra = [&](uint64_t N) {
     if (Ctx.GpuOpCounter)
       *Ctx.GpuOpCounter += N;
@@ -753,16 +783,22 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
                                    ExecContext &Ctx) {
   if (Ctx.OnGPU)
     reportFatalError("nested kernel launch on the GPU");
-  Function *Kernel = KL->getKernel();
   uint64_t Grid = evalOperand(KL->getGrid(), Fr, Ctx);
   uint64_t Block = evalOperand(KL->getBlock(), Fr, Ctx);
-  uint64_t Threads = Grid * Block;
-  if (Threads == 0)
+  if (Grid * Block == 0)
     reportFatalError("kernel launched with zero threads");
   std::vector<uint64_t> Args;
   for (unsigned I = 0, E = KL->getNumArgs(); I != E; ++I)
     Args.push_back(evalOperand(KL->getArg(I), Fr, Ctx));
+  execKernelLaunchImpl(KL, Grid, Block, Args, Ctx);
+}
 
+void Interpreter::execKernelLaunchImpl(const KernelLaunchInst *KL,
+                                       uint64_t Grid, uint64_t Block,
+                                       const std::vector<uint64_t> &Args,
+                                       ExecContext &Ctx) {
+  Function *Kernel = KL->getKernel();
+  uint64_t Threads = Grid * Block;
   LaunchPolicy Policy = M.Policy;
   uint64_t GpuOps = 0;
 
@@ -1030,4 +1066,351 @@ void Interpreter::execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
   M.Stats.GpuOps += GpuOps;
   ++M.Stats.KernelLaunches;
   M.Runtime->onKernelLaunch();
+}
+
+//===----------------------------------------------------------------------===//
+// Decoded handler-table dispatch (DispatchMode::Table)
+//===----------------------------------------------------------------------===//
+
+/// Per-invocation state the handlers thread through the decoded loop:
+/// the frame, the execution context, and the control-flow registers the
+/// switch walk kept in locals (the dynamic predecessor for phis, the
+/// pending return value).
+struct Interpreter::TableState {
+  Frame &Fr;
+  ExecContext &Ctx;
+  const DecodedFunction &DF;
+  const BasicBlock *PrevBB = nullptr;
+  uint64_t RetVal = 0;
+  bool Returned = false;
+};
+
+namespace cgcm {
+
+/// One static handler per DOp, indexed by the dispatch table below. Each
+/// handler mirrors its switch-interpreter case exactly — same operand
+/// evaluation order, same fatal strings, same rounding — with the decode
+/// work (operand classification, sub-opcode switches, width lookups)
+/// already paid.
+struct TableOps {
+  using Frame = Interpreter::Frame;
+  using TS = Interpreter::TableState;
+  using Handler = void (*)(Interpreter &, const DecodedInst &, TS &,
+                           unsigned &);
+
+  static void hAlloca(Interpreter &IP, const DecodedInst &DI, TS &S,
+                      unsigned &) {
+    const auto *AI = cast<AllocaInst>(DI.I);
+    uint64_t Count = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    uint64_t Size = DI.Step * Count;
+    SimMemory &Mem = S.Ctx.OnGPU ? IP.M.getDevice().getMemory() : IP.M.Host;
+    uint64_t Addr = Mem.allocate(Size);
+    bool AutoDeclared = false;
+    if (!S.Ctx.OnGPU && IP.M.Policy == LaunchPolicy::DemandManaged) {
+      // Demand paging needs every unit tracked; there is no compiler
+      // pass to insert declareAlloca, so the machine registers it.
+      IP.M.Runtime->declareAlloca(Addr, Size, AI->getLoc());
+      AutoDeclared = true;
+    }
+    S.Fr.Allocas.push_back({Addr, AutoDeclared});
+    S.Fr.Slots[DI.Dest] = Addr;
+  }
+
+  static void hLoad(Interpreter &IP, const DecodedInst &DI, TS &S,
+                    unsigned &) {
+    uint64_t Addr = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] = IP.loadValue(Addr, DI.Ty, S.Ctx);
+  }
+
+  static void hStore(Interpreter &IP, const DecodedInst &DI, TS &S,
+                     unsigned &) {
+    uint64_t Addr = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    uint64_t V = IP.evalDecoded(DI.B, S.Fr, S.Ctx);
+    IP.storeValue(Addr, V, DI.Ty, S.Ctx);
+  }
+
+  static void hGEP(Interpreter &IP, const DecodedInst &DI, TS &S,
+                   unsigned &) {
+    uint64_t Base = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    int64_t Idx = static_cast<int64_t>(IP.evalDecoded(DI.B, S.Fr, S.Ctx));
+    S.Fr.Slots[DI.Dest] =
+        Base + static_cast<uint64_t>(Idx * static_cast<int64_t>(DI.Step));
+  }
+
+#define CGCM_INT_BIN(NAME, EXPR)                                               \
+  static void NAME(Interpreter &IP, const DecodedInst &DI, TS &S,              \
+                   unsigned &) {                                               \
+    int64_t X = static_cast<int64_t>(IP.evalDecoded(DI.A, S.Fr, S.Ctx));       \
+    int64_t Y = static_cast<int64_t>(IP.evalDecoded(DI.B, S.Fr, S.Ctx));       \
+    (void)DI;                                                                  \
+    int64_t R = (EXPR);                                                        \
+    S.Fr.Slots[DI.Dest] = signExtend(static_cast<uint64_t>(R), DI.Width);      \
+  }
+
+  CGCM_INT_BIN(hBinAdd, X + Y)
+  CGCM_INT_BIN(hBinSub, X - Y)
+  CGCM_INT_BIN(hBinMul, X *Y)
+  CGCM_INT_BIN(hBinAnd, X &Y)
+  CGCM_INT_BIN(hBinOr, X | Y)
+  CGCM_INT_BIN(hBinXor, X ^ Y)
+  CGCM_INT_BIN(hBinShl, static_cast<int64_t>(static_cast<uint64_t>(X)
+                                             << (static_cast<uint64_t>(Y) &
+                                                 63)))
+  CGCM_INT_BIN(hBinAShr, X >> (static_cast<uint64_t>(Y) & 63))
+#undef CGCM_INT_BIN
+
+  static void hBinSDiv(Interpreter &IP, const DecodedInst &DI, TS &S,
+                       unsigned &) {
+    int64_t X = static_cast<int64_t>(IP.evalDecoded(DI.A, S.Fr, S.Ctx));
+    int64_t Y = static_cast<int64_t>(IP.evalDecoded(DI.B, S.Fr, S.Ctx));
+    if (Y == 0)
+      reportFatalError("integer division by zero");
+    S.Fr.Slots[DI.Dest] =
+        signExtend(static_cast<uint64_t>(X / Y), DI.Width);
+  }
+
+  static void hBinSRem(Interpreter &IP, const DecodedInst &DI, TS &S,
+                       unsigned &) {
+    int64_t X = static_cast<int64_t>(IP.evalDecoded(DI.A, S.Fr, S.Ctx));
+    int64_t Y = static_cast<int64_t>(IP.evalDecoded(DI.B, S.Fr, S.Ctx));
+    if (Y == 0)
+      reportFatalError("integer remainder by zero");
+    S.Fr.Slots[DI.Dest] =
+        signExtend(static_cast<uint64_t>(X % Y), DI.Width);
+  }
+
+  static void hBinLShr(Interpreter &IP, const DecodedInst &DI, TS &S,
+                       unsigned &) {
+    int64_t X = static_cast<int64_t>(IP.evalDecoded(DI.A, S.Fr, S.Ctx));
+    int64_t Y = static_cast<int64_t>(IP.evalDecoded(DI.B, S.Fr, S.Ctx));
+    uint64_t Masked = static_cast<uint64_t>(X);
+    if (DI.Width < 64)
+      Masked &= (1ull << DI.Width) - 1;
+    S.Fr.Slots[DI.Dest] = signExtend(
+        Masked >> (static_cast<uint64_t>(Y) & 63), DI.Width);
+  }
+
+#define CGCM_FP_BIN(NAME, OPR)                                                 \
+  static void NAME(Interpreter &IP, const DecodedInst &DI, TS &S,              \
+                   unsigned &) {                                               \
+    double X = bitsToDouble(IP.evalDecoded(DI.A, S.Fr, S.Ctx));                \
+    double Y = bitsToDouble(IP.evalDecoded(DI.B, S.Fr, S.Ctx));                \
+    double D = X OPR Y;                                                        \
+    if (DI.IsFloat)                                                            \
+      D = static_cast<double>(static_cast<float>(D));                          \
+    S.Fr.Slots[DI.Dest] = doubleToBits(D);                                     \
+  }
+
+  CGCM_FP_BIN(hBinFAdd, +)
+  CGCM_FP_BIN(hBinFSub, -)
+  CGCM_FP_BIN(hBinFMul, *)
+  CGCM_FP_BIN(hBinFDiv, /)
+#undef CGCM_FP_BIN
+
+#define CGCM_CMP(NAME, EXPR)                                                   \
+  static void NAME(Interpreter &IP, const DecodedInst &DI, TS &S,              \
+                   unsigned &) {                                               \
+    uint64_t A = IP.evalDecoded(DI.A, S.Fr, S.Ctx);                            \
+    uint64_t Bv = IP.evalDecoded(DI.B, S.Fr, S.Ctx);                           \
+    int64_t X = static_cast<int64_t>(A), Y = static_cast<int64_t>(Bv);         \
+    (void)X;                                                                   \
+    (void)Y;                                                                   \
+    S.Fr.Slots[DI.Dest] = (EXPR) ? 1 : 0;                                      \
+  }
+
+  CGCM_CMP(hCmpEQ, A == Bv)
+  CGCM_CMP(hCmpNE, A != Bv)
+  CGCM_CMP(hCmpSLT, X < Y)
+  CGCM_CMP(hCmpSLE, X <= Y)
+  CGCM_CMP(hCmpSGT, X > Y)
+  CGCM_CMP(hCmpSGE, X >= Y)
+  CGCM_CMP(hCmpULT, A < Bv)
+  CGCM_CMP(hCmpULE, A <= Bv)
+  CGCM_CMP(hCmpUGT, A > Bv)
+  CGCM_CMP(hCmpUGE, A >= Bv)
+#undef CGCM_CMP
+
+#define CGCM_FCMP(NAME, OPR)                                                   \
+  static void NAME(Interpreter &IP, const DecodedInst &DI, TS &S,              \
+                   unsigned &) {                                               \
+    double X = bitsToDouble(IP.evalDecoded(DI.A, S.Fr, S.Ctx));                \
+    double Y = bitsToDouble(IP.evalDecoded(DI.B, S.Fr, S.Ctx));                \
+    S.Fr.Slots[DI.Dest] = (X OPR Y) ? 1 : 0;                                   \
+  }
+
+  CGCM_FCMP(hCmpFOEQ, ==)
+  CGCM_FCMP(hCmpFONE, !=)
+  CGCM_FCMP(hCmpFOLT, <)
+  CGCM_FCMP(hCmpFOLE, <=)
+  CGCM_FCMP(hCmpFOGT, >)
+  CGCM_FCMP(hCmpFOGE, >=)
+#undef CGCM_FCMP
+
+  static void hCastTrunc(Interpreter &IP, const DecodedInst &DI, TS &S,
+                         unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] = DI.Width == 1 ? (V & 1) : signExtend(V, DI.Width);
+  }
+
+  static void hCastZExt(Interpreter &IP, const DecodedInst &DI, TS &S,
+                        unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] =
+        DI.Width >= 64 ? V : (V & ((1ull << DI.Width) - 1));
+  }
+
+  static void hCastSExt(Interpreter &IP, const DecodedInst &DI, TS &S,
+                        unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] = signExtend(V, DI.Width);
+  }
+
+  static void hCastFPToSI(Interpreter &IP, const DecodedInst &DI, TS &S,
+                          unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] = signExtend(
+        static_cast<uint64_t>(static_cast<int64_t>(bitsToDouble(V))),
+        DI.Width);
+  }
+
+  static void hCastSIToFP(Interpreter &IP, const DecodedInst &DI, TS &S,
+                          unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    double D = static_cast<double>(static_cast<int64_t>(V));
+    if (DI.IsFloat)
+      D = static_cast<double>(static_cast<float>(D));
+    S.Fr.Slots[DI.Dest] = doubleToBits(D);
+  }
+
+  static void hCastFPTrunc(Interpreter &IP, const DecodedInst &DI, TS &S,
+                           unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] = doubleToBits(
+        static_cast<double>(static_cast<float>(bitsToDouble(V))));
+  }
+
+  static void hCastBit(Interpreter &IP, const DecodedInst &DI, TS &S,
+                       unsigned &) {
+    // fpext / bitcast / ptrtoint / inttoptr: registers already hold
+    // double bits or raw addresses.
+    S.Fr.Slots[DI.Dest] = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+  }
+
+  static void hSelect(Interpreter &IP, const DecodedInst &DI, TS &S,
+                      unsigned &) {
+    // Lazy, like the switch walk: only the chosen side is evaluated
+    // (operand resolution has side effects for module globals).
+    uint64_t C = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.Fr.Slots[DI.Dest] = (C & 1) ? IP.evalDecoded(DI.B, S.Fr, S.Ctx)
+                                  : IP.evalDecoded(DI.C, S.Fr, S.Ctx);
+  }
+
+  static void hCall(Interpreter &IP, const DecodedInst &DI, TS &S,
+                    unsigned &) {
+    const auto *CI = cast<CallInst>(DI.I);
+    std::vector<uint64_t> Args;
+    Args.reserve(DI.Extra.size());
+    for (const DecodedOperand &Op : DI.Extra)
+      Args.push_back(IP.evalDecoded(Op, S.Fr, S.Ctx));
+    uint64_t R = IP.execCallImpl(CI, DI.Intr, Args, S.Fr, S.Ctx);
+    if (DI.Dest != DecodedInst::NoSlot)
+      S.Fr.Slots[DI.Dest] = R;
+  }
+
+  static void hKernelLaunch(Interpreter &IP, const DecodedInst &DI, TS &S,
+                            unsigned &) {
+    const auto *KL = cast<KernelLaunchInst>(DI.I);
+    if (S.Ctx.OnGPU)
+      reportFatalError("nested kernel launch on the GPU");
+    uint64_t Grid = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    uint64_t Block = IP.evalDecoded(DI.B, S.Fr, S.Ctx);
+    if (Grid * Block == 0)
+      reportFatalError("kernel launched with zero threads");
+    std::vector<uint64_t> Args;
+    Args.reserve(DI.Extra.size());
+    for (const DecodedOperand &Op : DI.Extra)
+      Args.push_back(IP.evalDecoded(Op, S.Fr, S.Ctx));
+    IP.execKernelLaunchImpl(KL, Grid, Block, Args, S.Ctx);
+  }
+
+  static void hBr(Interpreter &, const DecodedInst &DI, TS &S,
+                  unsigned &PC) {
+    S.PrevBB = DI.SrcBB;
+    PC = DI.Target0;
+  }
+
+  static void hCondBr(Interpreter &IP, const DecodedInst &DI, TS &S,
+                      unsigned &PC) {
+    uint64_t C = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    S.PrevBB = DI.SrcBB;
+    PC = (C & 1) ? DI.Target0 : DI.Target1;
+  }
+
+  static void hRet(Interpreter &IP, const DecodedInst &DI, TS &S,
+                   unsigned &) {
+    uint64_t V = IP.evalDecoded(DI.A, S.Fr, S.Ctx);
+    IP.popFrame(S.Fr);
+    S.RetVal = V;
+    S.Returned = true;
+  }
+
+  static void hRetVoid(Interpreter &IP, const DecodedInst &, TS &S,
+                       unsigned &) {
+    IP.popFrame(S.Fr);
+    S.RetVal = 0;
+    S.Returned = true;
+  }
+
+  static void hPhiGroup(Interpreter &IP, const DecodedInst &DI, TS &S,
+                        unsigned &) {
+    // Evaluate the whole group against the dynamic predecessor
+    // atomically: all reads happen before any write, exactly like the
+    // switch walk's pending list.
+    std::vector<uint64_t> Pending;
+    Pending.reserve(DI.Phis.size());
+    for (const DecodedPhi &P : DI.Phis) {
+      const DecodedOperand *In = nullptr;
+      for (const auto &[BB, Op] : P.Incoming)
+        if (BB == S.PrevBB) {
+          In = &Op;
+          break;
+        }
+      if (!In)
+        reportFatalError("phi has no incoming value for predecessor in '" +
+                         S.DF.F->getName() + "'");
+      Pending.push_back(IP.evalDecoded(*In, S.Fr, S.Ctx));
+    }
+    for (unsigned I = 0, E = unsigned(DI.Phis.size()); I != E; ++I)
+      S.Fr.Slots[DI.Phis[I].Dest] = Pending[I];
+  }
+
+  /// Indexed by DOp; order must match the enum exactly.
+  static constexpr Handler Table[NumDOps] = {
+      hAlloca,     hLoad,       hStore,      hGEP,        hBinAdd,
+      hBinSub,     hBinMul,     hBinSDiv,    hBinSRem,    hBinAnd,
+      hBinOr,      hBinXor,     hBinShl,     hBinAShr,    hBinLShr,
+      hBinFAdd,    hBinFSub,    hBinFMul,    hBinFDiv,    hCmpEQ,
+      hCmpNE,      hCmpSLT,     hCmpSLE,     hCmpSGT,     hCmpSGE,
+      hCmpULT,     hCmpULE,     hCmpUGT,     hCmpUGE,     hCmpFOEQ,
+      hCmpFONE,    hCmpFOLT,    hCmpFOLE,    hCmpFOGT,    hCmpFOGE,
+      hCastTrunc,  hCastZExt,   hCastSExt,   hCastFPToSI, hCastSIToFP,
+      hCastFPTrunc, hCastBit,   hSelect,     hCall,       hKernelLaunch,
+      hBr,         hCondBr,     hRet,        hRetVoid,    hPhiGroup,
+  };
+};
+
+} // namespace cgcm
+
+uint64_t Interpreter::execDecoded(const DecodedFunction &DF, Frame &Fr,
+                                  ExecContext &Ctx) {
+  TableState S{Fr, Ctx, DF};
+  const DecodedInst *Code = DF.Code.data();
+  unsigned PC = 0;
+  while (!S.Returned) {
+    const DecodedInst &DI = Code[PC++];
+    chargeOps(1, Ctx);
+    ++OpcodeCounts[DI.KindIdx];
+    TableOps::Table[static_cast<unsigned>(DI.Op)](*this, DI, S, PC);
+  }
+  return S.RetVal;
 }

@@ -20,6 +20,7 @@
 #ifndef CGCM_EXEC_INTERPRETER_H
 #define CGCM_EXEC_INTERPRETER_H
 
+#include "exec/Decoded.h"
 #include "exec/Machine.h"
 
 #include <set>
@@ -54,12 +55,19 @@ public:
   ~Interpreter();
 
   /// Executes \p F with \p Args; returns the register value of the
-  /// returned result (0 for void).
+  /// returned result (0 for void). Dispatches per the Machine's
+  /// DispatchMode: decoded handler table (default) or the reference
+  /// switch walk — bit-identical by construction.
   uint64_t execFunction(Function *F, const std::vector<uint64_t> &Args,
                         ExecContext &Ctx);
 
 private:
   struct Frame;
+  /// Per-invocation state threaded through the decoded handlers.
+  struct TableState;
+  /// The decoded handlers (static, one per DOp) live in this friend so
+  /// Interpreter.h does not declare fifty functions.
+  friend struct TableOps;
 
   /// Opcode dispatch tallies, indexed by Value::ValueKind for the
   /// instruction range [InstBegin, InstEnd].
@@ -71,10 +79,37 @@ private:
   /// at a host use point.
   uint64_t HostFenceChecks = 0;
 
+  /// The reference tree-walking loop (DispatchMode::Switch).
+  uint64_t execSwitch(Function *F, const FunctionLayout &L, Frame &Fr,
+                      ExecContext &Ctx);
+  /// The decoded handler-table loop (DispatchMode::Table).
+  uint64_t execDecoded(const DecodedFunction &DF, Frame &Fr, ExecContext &Ctx);
+
   uint64_t evalOperand(const Value *V, Frame &Fr, ExecContext &Ctx);
+  uint64_t evalDecoded(const DecodedOperand &Op, Frame &Fr, ExecContext &Ctx);
+  /// A module global's address in \p Ctx (host address, or the home
+  /// device's cuModuleGetGlobal region on the GPU under space
+  /// enforcement). Shared by both operand evaluators; resolution has
+  /// side effects (first GPU touch allocates; lookup touches metrics).
+  uint64_t resolveGlobal(const GlobalVariable *GV, ExecContext &Ctx);
+  /// Charges \p N interpreted ops (op-limit guard, CPU/GPU attribution).
+  void chargeOps(uint64_t N, ExecContext &Ctx);
+  /// Frees the frame's allocas (reverse order) and pops the call depth.
+  void popFrame(Frame &Fr);
   void execKernelLaunch(const KernelLaunchInst *KL, Frame &Fr,
                         ExecContext &Ctx);
+  /// Launch body shared by both dispatch modes; \p Grid, \p Block and
+  /// \p Args are pre-evaluated (and \p Threads pre-checked nonzero).
+  void execKernelLaunchImpl(const KernelLaunchInst *KL, uint64_t Grid,
+                            uint64_t Block,
+                            const std::vector<uint64_t> &Args,
+                            ExecContext &Ctx);
   uint64_t execCall(const CallInst *CI, Frame &Fr, ExecContext &Ctx);
+  /// Call body shared by both dispatch modes; \p K and \p Args are
+  /// pre-resolved.
+  uint64_t execCallImpl(const CallInst *CI, Machine::Intrinsic K,
+                        const std::vector<uint64_t> &Args, Frame &Fr,
+                        ExecContext &Ctx);
   uint64_t loadValue(uint64_t Addr, Type *Ty, ExecContext &Ctx);
   void storeValue(uint64_t Addr, uint64_t Bits, Type *Ty, ExecContext &Ctx);
   /// Resolves the memory space for an access, translating \p Addr when

@@ -6,10 +6,14 @@
 
 #include "exec/Machine.h"
 
+#include "exec/Decoded.h"
 #include "exec/Interpreter.h"
 #include "support/ErrorHandling.h"
 
 using namespace cgcm;
+
+// Out of line: ~Decoded needs DecodedFunction complete.
+Machine::~Machine() = default;
 
 Machine::Machine()
     : Host(HostAddressBase, "host"), Pool(TM, Stats),

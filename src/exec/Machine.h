@@ -61,9 +61,19 @@ struct FunctionLayout {
   unsigned NumSlots = 0;
 };
 
+struct DecodedFunction;
+
+/// How the interpreter executes function bodies: Table precomputes each
+/// function into dense handler-table form on first execution (the
+/// default); Switch walks the IR with the original nested switches.
+/// Both are observationally identical — Switch exists as the reference
+/// semantics for differential testing.
+enum class DispatchMode { Table, Switch };
+
 class Machine {
 public:
   Machine();
+  ~Machine();
   Machine(const Machine &) = delete;
   Machine &operator=(const Machine &) = delete;
 
@@ -121,6 +131,14 @@ public:
   /// Hard cap on interpreted operations (runaway guard). 0 = unlimited.
   void setOpLimit(uint64_t Limit) { OpLimit = Limit; }
   uint64_t getOpLimit() const { return OpLimit; }
+
+  /// Selects the interpreter dispatch strategy. Call any time; decoded
+  /// functions are cached independently of the mode.
+  void setDispatchMode(DispatchMode D) { Dispatch = D; }
+  DispatchMode getDispatchMode() const { return Dispatch; }
+
+  /// The decoded form of \p F, built on first request (exec/Decoded.h).
+  const DecodedFunction &getDecoded(const Function *F);
 
   /// The machine's structured event trace (docs/Observability.md).
   /// Disabled by default; enabling it makes the runtime, the device, and
@@ -199,8 +217,12 @@ private:
   TraceCollector Trace;
   std::unique_ptr<CGCMRuntime> Runtime;
   LaunchPolicy Policy = LaunchPolicy::Trap;
+  DispatchMode Dispatch = DispatchMode::Table;
   bool CheckedMemory = false;
   uint64_t OpLimit = 0;
+  /// Lazily decoded function bodies (Table dispatch). The Machine is
+  /// one-shot per module, so entries never go stale.
+  std::map<const Function *, std::unique_ptr<DecodedFunction>> Decoded;
 
   Module *LoadedModule = nullptr;
   std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
@@ -214,6 +236,8 @@ private:
   std::set<uint64_t> DemandResident;
 
   friend class Interpreter;
+  /// The interpreter's decoded-dispatch handlers (Interpreter.cpp).
+  friend struct TableOps;
 };
 
 } // namespace cgcm

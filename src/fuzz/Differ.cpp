@@ -28,7 +28,8 @@ struct ModeRun {
 
 ModeRun runMode(const std::string &Source, const std::string &Name,
                 bool Manage, bool Optimize, bool Audit,
-                unsigned AsyncStreams = 0, unsigned Devices = 1) {
+                unsigned AsyncStreams = 0, unsigned Devices = 1,
+                bool XlatCache = false) {
   std::unique_ptr<Module> M = compileMiniC(Source, Name);
   PipelineOptions Opts;
   Opts.Parallelize = false; // Launches are explicit; isolate management.
@@ -40,6 +41,10 @@ ModeRun runMode(const std::string &Source, const std::string &Name,
   Mach.setLaunchPolicy(Manage ? LaunchPolicy::Managed
                               : LaunchPolicy::CpuEmulation);
   Mach.setOpLimit(200u * 1000u * 1000u);
+  // The differ's baseline configurations run with the per-call-site
+  // translation cache off so the dedicated optimized-xlatcache run can
+  // diff the cached path against the uncached reference path.
+  Mach.getRuntime().setXlatCacheEnabled(XlatCache);
   if (Devices > 1)
     Mach.setDevices(Devices);
   Mach.setAsyncTransfers(AsyncStreams);
@@ -114,7 +119,8 @@ bool compareRuns(const ModeRun &Ref, const ModeRun &Got,
 
 DiffResult cgcm::diffProgram(const std::string &Source,
                              const std::string &Name,
-                             unsigned AsyncStreams, unsigned Devices) {
+                             unsigned AsyncStreams, unsigned Devices,
+                             bool XlatCache) {
   DiffResult R;
   ModeRun Ref = runMode(Source, Name + ".ref", /*Manage=*/false,
                         /*Optimize=*/false, /*Audit=*/false);
@@ -166,6 +172,25 @@ DiffResult cgcm::diffProgram(const std::string &Source,
     if (!MultiDev.Audit.clean()) {
       R.Failure +=
           "optimized-multidev audit:\n" + MultiDev.Audit.str() + "\n";
+      OK = false;
+    }
+  }
+
+  // The translation-cache configuration: the optimized pipeline re-run
+  // with the runtime's per-call-site translation cache force-enabled.
+  // The cache is a pure memoization of lookup(), so any divergence —
+  // output, globals, or audit — is a stale translation surviving a
+  // free/realloc/eviction, never an "expected" caching effect.
+  if (XlatCache) {
+    ModeRun Cached =
+        runMode(Source, Name + ".xlatcache", /*Manage=*/true,
+                /*Optimize=*/true, /*Audit=*/true, /*AsyncStreams=*/0,
+                /*Devices=*/1, /*XlatCache=*/true);
+    R.XlatCacheAudit = Cached.Audit;
+    OK &= compareRuns(Ref, Cached, "optimized-xlatcache", R.Failure);
+    if (!Cached.Audit.clean()) {
+      R.Failure +=
+          "optimized-xlatcache audit:\n" + Cached.Audit.str() + "\n";
       OK = false;
     }
   }

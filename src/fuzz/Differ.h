@@ -20,9 +20,16 @@
 ///                 devices, so every map/unmap/launch exercises the
 ///                 per-device routing while the output must stay
 ///                 bit-identical to the single-device runs
+///   optimized-xlatcache — the optimized pipeline re-run with the
+///                 runtime's per-call-site translation cache force-
+///                 enabled (DESIGN.md). The other managed
+///                 configurations run with the cache off (the reference
+///                 translation path), so any divergence here is a stale
+///                 cached translation — a missed invalidation on
+///                 free/realloc/eviction — not an "expected" effect
 ///
 /// The fourth configuration is skipped when AsyncStreams is 0; the fifth
-/// when Devices <= 1.
+/// when Devices <= 1; the sixth when XlatCache is false.
 ///
 /// Agreement means: identical printed output, identical exit values,
 /// identical final bytes in every named global, and — for the two
@@ -54,15 +61,19 @@ struct DiffResult {
   AuditReport AsyncAudit; ///< Empty/clean when the async run was skipped.
   /// Empty/clean when the multi-device run was skipped.
   AuditReport MultiDevAudit;
+  /// Empty/clean when the translation-cache run was skipped.
+  AuditReport XlatCacheAudit;
 };
 
 /// Compiles and runs \p Source under every configuration and diffs them.
 /// \p Name labels compiler diagnostics; \p AsyncStreams sets the stream
 /// count of the optimized-async run (0 skips it); \p Devices the pool
-/// size of the optimized-multidev run (<= 1 skips it).
+/// size of the optimized-multidev run (<= 1 skips it); \p XlatCache
+/// false skips the optimized-xlatcache run.
 DiffResult diffProgram(const std::string &Source,
                        const std::string &Name = "fuzz",
-                       unsigned AsyncStreams = 4, unsigned Devices = 2);
+                       unsigned AsyncStreams = 4, unsigned Devices = 2,
+                       bool XlatCache = true);
 
 } // namespace cgcm
 

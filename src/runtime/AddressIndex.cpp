@@ -1,0 +1,101 @@
+//===- runtime/AddressIndex.cpp - Page-granular allocation-unit index -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AddressIndex.h"
+
+#include "runtime/CGCMRuntime.h"
+
+using namespace cgcm;
+
+const AllocUnitInfo *AddressIndex::ambiguous() {
+  // Any non-null pointer no real unit can alias works; a static dummy
+  // keeps it well-defined.
+  static const AllocUnitInfo Sentinel{};
+  return &Sentinel;
+}
+
+void AddressIndex::insert(const AllocUnitInfo *U) {
+  if (U->Size == 0)
+    return; // Occupies no address; every probe misses it anyway.
+  uint64_t End = U->Base + U->Size;
+  if (End > CoverageLimit || End < U->Base) {
+    // Outside the coverage window: from now on a page hit could hide
+    // this unit, so every probe must consult the tree.
+    HaveUnindexed = true;
+    return;
+  }
+  for (uint64_t Page = U->Base >> PageShift, Last = (End - 1) >> PageShift;
+       Page <= Last; ++Page) {
+    std::unique_ptr<Leaf> &L = L1[Page >> LeafBits];
+    if (!L)
+      L = std::make_unique<Leaf>();
+    const AllocUnitInfo *&Slot = L->Slots[Page & (LeafPages - 1)];
+    Slot = Slot ? ambiguous() : U;
+  }
+}
+
+const AllocUnitInfo *
+AddressIndex::ownerOf(uint64_t Page,
+                      const std::map<uint64_t, AllocUnitInfo> &Units) {
+  uint64_t Lo = Page << PageShift, Hi = Lo + PageSize;
+  const AllocUnitInfo *Found = nullptr;
+  auto It = Units.lower_bound(Lo);
+  if (It != Units.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second.Size != 0 && Prev->second.Base + Prev->second.Size > Lo)
+      Found = &Prev->second;
+  }
+  for (; It != Units.end() && It->first < Hi; ++It) {
+    if (It->second.Size == 0)
+      continue;
+    if (Found)
+      return ambiguous();
+    Found = &It->second;
+  }
+  return Found;
+}
+
+void AddressIndex::erase(uint64_t Base, uint64_t Size,
+                         const std::map<uint64_t, AllocUnitInfo> &Units) {
+  if (Size == 0)
+    return;
+  uint64_t End = Base + Size;
+  if (End > CoverageLimit || End < Base)
+    return; // Never indexed (insert set the fallback flag instead).
+  for (uint64_t Page = Base >> PageShift, Last = (End - 1) >> PageShift;
+       Page <= Last; ++Page) {
+    Leaf *L = L1[Page >> LeafBits].get();
+    if (!L)
+      continue;
+    L->Slots[Page & (LeafPages - 1)] = ownerOf(Page, Units);
+  }
+}
+
+AddressIndex::Probe AddressIndex::probe(uint64_t Ptr) const {
+  if (HaveUnindexed)
+    return {false, nullptr, 0};
+  if (Ptr >= CoverageLimit)
+    return {true, nullptr, 1}; // No indexed unit reaches past the window.
+  uint64_t Page = Ptr >> PageShift;
+  const Leaf *L = L1[Page >> LeafBits].get();
+  const AllocUnitInfo *U = L ? L->Slots[Page & (LeafPages - 1)] : nullptr;
+  if (!U)
+    return {true, nullptr, 1};
+  if (U == ambiguous())
+    return {false, nullptr, 1};
+  // Exactly one unit overlaps the page; the range check is exact.
+  if (Ptr >= U->Base && Ptr < U->Base + U->Size)
+    return {true, U, 1};
+  return {true, nullptr, 1};
+}
+
+void AddressIndex::rebuild(const std::map<uint64_t, AllocUnitInfo> &Units) {
+  for (std::unique_ptr<Leaf> &L : L1)
+    L.reset();
+  HaveUnindexed = false;
+  for (const auto &[Base, U] : Units)
+    insert(&U);
+}

@@ -1,0 +1,98 @@
+//===- runtime/AddressIndex.h - Page-granular allocation-unit index ---------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-level radix/page index over the simulated host address space
+/// that accelerates the runtime's greatest-LTE allocation-unit lookup.
+/// The leaves map 4 KiB pages to the single allocation unit overlapping
+/// that page; a page shared by two or more units holds an "ambiguous"
+/// sentinel, and probes of such pages — like probes outside the index's
+/// coverage window — fall back to the balanced tree. The index stores
+/// raw pointers into the runtime's `std::map` nodes, which are stable
+/// for the lifetime of each tracked unit.
+///
+/// The answer model: a probe is either *resolved* (the exact unit, or
+/// exactly "no unit") or *unresolved* (the caller must consult the
+/// tree). Resolved answers are only possible while every tracked unit
+/// is indexed, so tracking any unit outside the coverage window
+/// permanently degrades the index to the unresolved path — a page hit
+/// could otherwise hide an unindexed overlapping unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_RUNTIME_ADDRESSINDEX_H
+#define CGCM_RUNTIME_ADDRESSINDEX_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace cgcm {
+
+struct AllocUnitInfo;
+
+class AddressIndex {
+public:
+  static constexpr unsigned PageShift = 12; ///< 4 KiB pages.
+  static constexpr uint64_t PageSize = 1ull << PageShift;
+  static constexpr unsigned LeafBits = 9; ///< 512 pages (2 MiB) per leaf.
+  static constexpr uint64_t LeafPages = 1ull << LeafBits;
+  /// Units reaching past this address are not indexed (the simulated
+  /// host heap starts at HostAddressBase and grows upward; it never
+  /// comes close). Tracking one sets the permanent fallback flag.
+  static constexpr uint64_t CoverageLimit = 1ull << 32; // 4 GiB
+
+  struct Probe {
+    bool Resolved;             ///< The answer is exact; Unit may be null.
+    const AllocUnitInfo *Unit; ///< Owning unit when Resolved, else null.
+    unsigned Cost;             ///< Probes charged to runtime.index.probes.
+  };
+
+  AddressIndex() : L1(CoverageLimit >> (PageShift + LeafBits)) {}
+
+  /// Indexes \p U over every page its [Base, Base+Size) range overlaps.
+  /// The pointer must stay valid until erase(); the runtime guarantees
+  /// this by pointing into stable std::map nodes.
+  void insert(const AllocUnitInfo *U);
+
+  /// Drops the coverage of a unit that was erased from \p Units (the
+  /// tree erase must happen first): every page the dead range overlapped
+  /// is recomputed from the tree, so pages the dead unit shared with a
+  /// survivor resolve to the survivor again instead of staying
+  /// ambiguous forever.
+  void erase(uint64_t Base, uint64_t Size,
+             const std::map<uint64_t, AllocUnitInfo> &Units);
+
+  /// Resolves \p Ptr to its owning unit, "no unit", or "ask the tree".
+  Probe probe(uint64_t Ptr) const;
+
+  /// Rebuilds the whole index from \p Units (cold recovery path).
+  void rebuild(const std::map<uint64_t, AllocUnitInfo> &Units);
+
+  /// Whether every tracked unit is indexed (false once a unit outside
+  /// the coverage window was tracked; all probes then fall back).
+  bool coversAll() const { return !HaveUnindexed; }
+
+private:
+  struct Leaf {
+    const AllocUnitInfo *Slots[LeafPages] = {};
+  };
+
+  /// The sentinel marking a page overlapped by two or more units.
+  static const AllocUnitInfo *ambiguous();
+
+  /// Recomputes one page's slot value from the tree.
+  static const AllocUnitInfo *
+  ownerOf(uint64_t Page, const std::map<uint64_t, AllocUnitInfo> &Units);
+
+  std::vector<std::unique_ptr<Leaf>> L1;
+  bool HaveUnindexed = false;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_RUNTIME_ADDRESSINDEX_H

@@ -32,15 +32,17 @@ uint64_t hostNsSince(std::chrono::steady_clock::time_point T0) {
 
 CGCMRuntime::SiteInstruments &
 CGCMRuntime::siteInstruments(const LedgerEntry *E) {
-  auto It = SiteCache.find(E);
-  if (It != SiteCache.end())
+  // try_emplace probes the tree once for both the hit and the miss,
+  // where find-then-emplace paid two lookups on every miss.
+  auto [It, Inserted] = SiteCache.try_emplace(E);
+  if (!Inserted)
     return It->second;
   std::string Site = E ? E->Site : std::string("<none>");
   for (char &C : Site)
     if (C == ' ')
       C = '_';
   MetricsRegistry &R = MetricsRegistry::get();
-  SiteInstruments SI;
+  SiteInstruments &SI = It->second;
   const std::string Prefix = "runtime.site." + Site + ".";
   SI.MapCycles = &R.histogram(Prefix + "map_cycles");
   SI.MapArrayCycles = &R.histogram(Prefix + "map_array_cycles");
@@ -48,7 +50,35 @@ CGCMRuntime::siteInstruments(const LedgerEntry *E) {
   SI.MapHostNs = &R.histogram(Prefix + "map_host_ns");
   SI.MapArrayHostNs = &R.histogram(Prefix + "map_array_host_ns");
   SI.UnmapHostNs = &R.histogram(Prefix + "unmap_host_ns");
-  return SiteCache.emplace(E, SI).first->second;
+  return SI;
+}
+
+void CGCMRuntime::cacheXlat(SiteInstruments &SI, const AllocUnitInfo &Info) {
+  if (!XlatCacheEnabled)
+    return;
+  SI.Xlat = {Info.Base, Info.Base + Info.Size, &Info, XlatGen};
+  if (XlatMRU[0] != &SI) {
+    XlatMRU[1] = XlatMRU[0];
+    XlatMRU[0] = &SI;
+  }
+}
+
+std::map<uint64_t, AllocUnitInfo>::iterator
+CGCMRuntime::forgetUnit(std::map<uint64_t, AllocUnitInfo>::iterator It) {
+  uint64_t Base = It->first;
+  uint64_t Size = It->second.Size;
+  auto Next = Units.erase(It);
+  // Order matters: the index recomputes shared pages from the tree, so
+  // the tree erase must already be visible.
+  Index.erase(Base, Size, Units);
+  ++XlatGen;
+  return Next;
+}
+
+void CGCMRuntime::forgetUnit(uint64_t Base, uint64_t Size) {
+  Units.erase(Base);
+  Index.erase(Base, Size, Units);
+  ++XlatGen;
 }
 
 void CGCMRuntime::chargeCall() {
@@ -230,13 +260,32 @@ void CGCMRuntime::trackUnit(AllocUnitInfo Info) {
         &MetricsRegistry::get().counter("runtime.zombies.evicted");
     ZombiesEvicted->inc(Evict.size());
   }
-  for (uint64_t B : Evict)
-    forceReclaim(Units.find(B)->second, "evicted");
+  for (uint64_t B : Evict) {
+    // Re-find each victim instead of caching iterators from the scan:
+    // reclaiming one zombie can erase another (a zombie listed in the
+    // first one's element snapshots is released — and forgotten — by
+    // the snapshot teardown). The old unchecked `Units.find(B)->second`
+    // dereferenced end() in exactly that case.
+    auto EvIt = Units.find(B);
+    if (EvIt != Units.end())
+      forceReclaim(EvIt->second, "evicted");
+  }
 
   uint64_t Base = Info.Base;
-  Units[Base] = std::move(Info);
+  auto [NewIt, Inserted] = Units.insert_or_assign(Base, std::move(Info));
+  if (!Inserted) {
+    // A live unit already occupied this base (defensive: the eviction
+    // scan above already reclaimed overlapping zombies, so only a
+    // same-base re-declaration lands here). The assignment replaced it
+    // in place; the old range's index coverage is stale, and its extent
+    // is gone, so rebuild from the tree and drop cached translations.
+    Index.rebuild(Units);
+    ++XlatGen;
+  } else {
+    Index.insert(&NewIt->second);
+  }
   if (Observer)
-    Observer->onUnitTracked(Units[Base]);
+    Observer->onUnitTracked(NewIt->second);
 }
 
 void CGCMRuntime::declareGlobal(const std::string &Name, uint64_t Ptr,
@@ -281,7 +330,7 @@ void CGCMRuntime::removeAlloca(uint64_t Ptr) {
     return;
   }
   AllocUnitInfo Dead = std::move(Info);
-  Units.erase(It);
+  forgetUnit(It);
   if (Observer)
     Observer->onUnitForgotten(Dead, "remove-alloca");
 }
@@ -341,7 +390,7 @@ void CGCMRuntime::notifyHeapRealloc(uint64_t OldPtr, uint64_t NewPtr,
       Observer->onDeferredReclaim(Old, "realloc");
   } else {
     AllocUnitInfo Dead = std::move(Old);
-    Units.erase(It);
+    forgetUnit(It);
     if (Observer)
       Observer->onUnitForgotten(Dead, "realloc");
   }
@@ -378,7 +427,7 @@ void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
     return;
   }
   AllocUnitInfo Dead = std::move(Info);
-  Units.erase(It);
+  forgetUnit(It);
   if (Observer)
     Observer->onUnitForgotten(Dead, "free");
 }
@@ -388,11 +437,38 @@ void CGCMRuntime::notifyHeapFree(uint64_t Ptr) {
 //===----------------------------------------------------------------------===//
 
 const AllocUnitInfo *CGCMRuntime::lookup(uint64_t Ptr) const {
-  // Probe depth of the greatest-LTE search: the balanced tree visits
-  // ~log2(size) nodes, so record that as the per-lookup depth sample.
-  static MetricHistogram *const Depth =
-      &MetricsRegistry::get().histogram("runtime.lookup.depth");
-  Depth->record(std::bit_width(Units.size()));
+  // Fastest path: the per-call-site translation cache. The MRU chain
+  // holds the two site slots filled most recently, covering the common
+  // map/unmap/release runs a loop replays against one unit. An entry is
+  // live only while its generation matches (every unit forget bumps it).
+  if (XlatCacheEnabled) {
+    for (unsigned I = 0; I != 2; ++I) {
+      SiteInstruments *SI = XlatMRU[I];
+      if (!SI)
+        break;
+      const XlatEntry &X = SI->Xlat;
+      if (X.Gen == XlatGen && Ptr >= X.Base && Ptr < X.End) {
+        static MetricCounter *const Hits =
+            &MetricsRegistry::get().counter("runtime.xlat.hits");
+        Hits->inc();
+        if (I)
+          std::swap(XlatMRU[0], XlatMRU[1]);
+        return X.Unit;
+      }
+    }
+  }
+  // Fast path: the page index answers aligned in-coverage probes in one
+  // step. Probe count replaces the old runtime.lookup.depth series (the
+  // tree depth is meaningless here); a tree fallback charges the page
+  // probe plus the ~log2(size) nodes the greatest-LTE search visits.
+  static MetricHistogram *const Probes =
+      &MetricsRegistry::get().histogram("runtime.index.probes");
+  AddressIndex::Probe P = Index.probe(Ptr);
+  if (P.Resolved) {
+    Probes->record(P.Cost);
+    return P.Unit;
+  }
+  Probes->record(P.Cost + std::bit_width(Units.size()));
   auto It = Units.upper_bound(Ptr);
   if (It == Units.begin())
     return nullptr;
@@ -466,7 +542,7 @@ void CGCMRuntime::releaseSnapshotElements(AllocUnitInfo &Info) {
         Observer->onRelease(Unit, Freed);
       if (Unit.RefCount == 0 && Unit.HostDead) {
         AllocUnitInfo Dead = std::move(Unit);
-        Units.erase(Dead.Base);
+        forgetUnit(Dead.Base, Dead.Size);
         scrubSnapshots(Dead.Base, Dead.Base + Dead.Size);
         if (Observer)
           Observer->onUnitForgotten(Dead, "release");
@@ -481,7 +557,7 @@ void CGCMRuntime::forceReclaim(AllocUnitInfo &Info, const char *Why) {
     devFor(Info).cuMemFree(Info.DevPtr);
   freeReplicas(Info);
   AllocUnitInfo Dead = std::move(Info);
-  Units.erase(Dead.Base);
+  forgetUnit(Dead.Base, Dead.Size);
   // Outstanding snapshots of other pointer arrays may still list element
   // pointers into the reclaimed range; those references died with the
   // unit.
@@ -556,6 +632,7 @@ uint64_t CGCMRuntime::map(uint64_t Ptr) {
   SiteInstruments &SI = siteInstruments(Info.Ledger);
   SI.MapCycles->record(static_cast<uint64_t>(clockNow() - ClockT0));
   SI.MapHostNs->record(hostNsSince(HostT0));
+  cacheXlat(SI, Info);
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
@@ -599,6 +676,7 @@ void CGCMRuntime::unmap(uint64_t Ptr) {
   SiteInstruments &SI = siteInstruments(Info.Ledger);
   SI.UnmapCycles->record(static_cast<uint64_t>(clockNow() - ClockT0));
   SI.UnmapHostNs->record(hostNsSince(HostT0));
+  cacheXlat(SI, Info);
 }
 
 void CGCMRuntime::release(uint64_t Ptr) {
@@ -627,7 +705,7 @@ void CGCMRuntime::release(uint64_t Ptr) {
     // outstanding mapArray snapshot may still list it (the scalar
     // reference can outlive the table's), so scrub like forceReclaim.
     AllocUnitInfo Dead = std::move(Info);
-    Units.erase(Dead.Base);
+    forgetUnit(Dead.Base, Dead.Size);
     scrubSnapshots(Dead.Base, Dead.Base + Dead.Size);
     if (Observer)
       Observer->onUnitForgotten(Dead, "release");
@@ -707,6 +785,7 @@ uint64_t CGCMRuntime::mapArray(uint64_t Ptr) {
   SiteInstruments &SI = siteInstruments(Info.Ledger);
   SI.MapArrayCycles->record(static_cast<uint64_t>(clockNow() - ClockT0));
   SI.MapArrayHostNs->record(hostNsSince(HostT0));
+  cacheXlat(SI, Info);
   return Info.DevPtr + (Ptr - Info.Base);
 }
 
@@ -792,7 +871,7 @@ void CGCMRuntime::releaseAll() {
     freeReplicas(Info);
     if (Info.HostDead) {
       AllocUnitInfo Dead = std::move(Info);
-      It = Units.erase(It);
+      It = forgetUnit(It);
       if (Observer)
         Observer->onUnitForgotten(Dead, "release-all");
       continue;

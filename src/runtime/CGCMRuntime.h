@@ -35,6 +35,7 @@
 #include "gpusim/GPUDevice.h"
 #include "gpusim/SimMemory.h"
 #include "gpusim/Timing.h"
+#include "runtime/AddressIndex.h"
 #include "runtime/TransferLedger.h"
 #include "support/SourceLoc.h"
 #include "support/Trace.h"
@@ -301,6 +302,21 @@ public:
   /// the unit is already resident (ablates Algorithm 1's refCount test).
   void setRefCountReuseEnabled(bool V) { RefCountReuseEnabled = V; }
 
+  /// Enables/disables the per-call-site translation cache (on by
+  /// default). Purely a host-time optimization: every modeled cycle,
+  /// ledger counter, and byte of data is identical either way. The
+  /// cgcmc `--no-xlat-cache` flag and the fuzz differ's force-enabled
+  /// configuration drive this.
+  void setXlatCacheEnabled(bool V) {
+    XlatCacheEnabled = V;
+    XlatMRU[0] = XlatMRU[1] = nullptr;
+  }
+  bool isXlatCacheEnabled() const { return XlatCacheEnabled; }
+
+  /// Whether the radix index can currently resolve probes without the
+  /// tree (tests; false once a unit outside its window was tracked).
+  bool indexCoversAll() const { return Index.coversAll(); }
+
 private:
   /// The device a unit's mapped traffic routes through: its home device
   /// when a multi-device pool is attached, the single device otherwise.
@@ -344,12 +360,28 @@ private:
   /// owns the range next.
   void scrubSnapshots(uint64_t Lo, uint64_t Hi);
 
+  /// One call site's cached pointer translation: the unit the site
+  /// touched last, valid while Gen matches the runtime's XlatGen.
+  /// Every path that forgets a unit bumps the generation, so a cached
+  /// translation can never survive free, realloc, zombie eviction, or
+  /// address-reuse re-tracking. Zombie *transitions* (HostDead flips
+  /// while the unit stays tracked) need no invalidation: the cached
+  /// pointer reads the live node, so map's host-dead check still fires.
+  struct XlatEntry {
+    uint64_t Base = 0;
+    uint64_t End = 0;
+    const AllocUnitInfo *Unit = nullptr;
+    uint64_t Gen = 0;
+  };
+
   /// Per-allocation-site latency instruments in the process-wide metrics
   /// registry (support/Metrics.h), cached by ledger entry so the hot
   /// path pays one tree lookup instead of a registry string lookup.
   /// Modeled-cycle histograms feed the attribution profiler; the host-ns
   /// variants measure the runtime's own wall overhead and are filtered
-  /// as noisy by cgcm-metrics-diff.
+  /// as noisy by cgcm-metrics-diff. The translation-cache entry rides in
+  /// the same per-site slot (the slot's address is stable: SiteCache is
+  /// a std::map that is never erased from).
   struct SiteInstruments {
     MetricHistogram *MapCycles = nullptr;
     MetricHistogram *MapArrayCycles = nullptr;
@@ -357,15 +389,40 @@ private:
     MetricHistogram *MapHostNs = nullptr;
     MetricHistogram *MapArrayHostNs = nullptr;
     MetricHistogram *UnmapHostNs = nullptr;
+    XlatEntry Xlat;
   };
   SiteInstruments &siteInstruments(const LedgerEntry *E);
+
+  /// Records \p Info as \p SI's last-touched unit and promotes the site
+  /// to the front of the MRU probe chain.
+  void cacheXlat(SiteInstruments &SI, const AllocUnitInfo &Info);
+
+  /// Erases the unit at \p It from the tracking map, drops its index
+  /// coverage, and invalidates every cached site translation. ALL unit
+  /// forgetting must funnel through one of these overloads. Returns the
+  /// iterator past the erased unit.
+  std::map<uint64_t, AllocUnitInfo>::iterator
+  forgetUnit(std::map<uint64_t, AllocUnitInfo>::iterator It);
+  /// Key-based overload for teardown paths holding only the dead unit's
+  /// range (\p Size is needed to drop the index coverage).
+  void forgetUnit(uint64_t Base, uint64_t Size);
 
   SimMemory &Host;
   GPUDevice &Device;
   TimingModel &TM;
   ExecStats &Stats;
   std::map<uint64_t, AllocUnitInfo> Units; ///< Keyed by base address.
+  /// Page-granular accelerator over Units; holds raw pointers into the
+  /// tree's stable nodes.
+  AddressIndex Index;
   std::map<const LedgerEntry *, SiteInstruments> SiteCache;
+  /// Translation-cache generation; bumping it (every unit forget)
+  /// invalidates every cached XlatEntry at once.
+  uint64_t XlatGen = 1;
+  /// The two most recently filled site slots, probed before the index.
+  /// Mutable: lookup() is const but maintains the MRU order.
+  mutable SiteInstruments *XlatMRU[2] = {nullptr, nullptr};
+  bool XlatCacheEnabled = true;
   TransferLedger Ledger;
   TraceCollector *Trace = nullptr;
   RuntimeObserver *Observer = nullptr;

@@ -186,6 +186,21 @@ double DiffOptions::thresholdFor(const std::string &Name) const {
   return T;
 }
 
+std::string DiffOptions::renamedName(const std::string &Name) const {
+  auto prefixed = [](const std::string &N, const std::string &P) {
+    return N.size() >= P.size() && N.compare(0, P.size(), P) == 0;
+  };
+  for (const auto &[Old, New] : Renames) {
+    if (prefixed(Name, Old))
+      return New + Name.substr(Old.size());
+    // A bench document's embedded snapshot flattens under "metrics/".
+    std::string Embedded = "metrics/" + Old;
+    if (prefixed(Name, Embedded))
+      return "metrics/" + New + Name.substr(Embedded.size());
+  }
+  return {};
+}
+
 namespace {
 
 /// The device indices a flattened document exposes per-device series
@@ -238,6 +253,9 @@ DiffResult cgcm::diffSeries(const MetricSeries &Base, const MetricSeries &Cur,
     ++R.NoisySkipped;
     return true;
   };
+  // Candidate names consumed by a rename match: the renamed series is
+  // reported once (as Renamed), not a second time as New.
+  std::set<std::string> RenameTargets;
   for (const auto &[Name, BaseV] : Base) {
     if (skip(Name))
       continue;
@@ -246,6 +264,22 @@ DiffResult cgcm::diffSeries(const MetricSeries &Base, const MetricSeries &Cur,
     E.Base = BaseV;
     auto It = Cur.find(Name);
     if (It == Cur.end()) {
+      std::string NewName = Opts.renamedName(Name);
+      if (!NewName.empty()) {
+        auto NewIt = Cur.find(NewName);
+        if (NewIt != Cur.end()) {
+          // A known rename with the new series present: note it, but do
+          // not threshold-check across the rename (the renamed series
+          // measures something different by definition).
+          E.RenamedTo = NewName;
+          E.Cur = NewIt->second;
+          E.S = DiffEntry::Status::Renamed;
+          ++R.Renamed;
+          RenameTargets.insert(std::move(NewName));
+          R.Entries.push_back(std::move(E));
+          continue;
+        }
+      }
       E.S = DiffEntry::Status::Missing;
       ++R.Missing;
       R.Entries.push_back(std::move(E));
@@ -270,7 +304,7 @@ DiffResult cgcm::diffSeries(const MetricSeries &Base, const MetricSeries &Cur,
     R.Entries.push_back(std::move(E));
   }
   for (const auto &[Name, CurV] : Cur) {
-    if (Base.count(Name) || skip(Name))
+    if (Base.count(Name) || RenameTargets.count(Name) || skip(Name))
       continue;
     DiffEntry E;
     E.Name = Name;
@@ -301,6 +335,8 @@ void cgcm::printDiffReport(std::ostream &OS, const DiffResult &R,
       return "MISSING  ";
     case DiffEntry::Status::New:
       return "new      ";
+    case DiffEntry::Status::Renamed:
+      return "renamed  ";
     }
     return "?        ";
   };
@@ -312,6 +348,9 @@ void cgcm::printDiffReport(std::ostream &OS, const DiffResult &R,
       OS << "  base=" << E.Base << " (absent in candidate)";
     else if (E.S == DiffEntry::Status::New)
       OS << "  cur=" << E.Cur << " (absent in baseline)";
+    else if (E.S == DiffEntry::Status::Renamed)
+      OS << " -> " << E.RenamedTo << "  base=" << E.Base << " cur=" << E.Cur
+         << " (not compared across the rename)";
     else {
       OS << "  base=" << E.Base << " cur=" << E.Cur << " (";
       if (std::isinf(E.Delta))
@@ -331,6 +370,8 @@ void cgcm::printDiffReport(std::ostream &OS, const DiffResult &R,
   OS << (R.failed() ? "FAIL" : "OK") << ": " << R.Compared << " compared, "
      << R.Regressions << " regressed, " << R.Missing << " missing, "
      << R.Improvements << " improved, " << R.NewSeries << " new";
+  if (R.Renamed)
+    OS << ", " << R.Renamed << " renamed";
   if (R.NoisySkipped)
     OS << ", " << R.NoisySkipped << " noisy skipped";
   OS << "\n";

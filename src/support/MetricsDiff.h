@@ -53,8 +53,26 @@ struct DiffOptions {
   /// Compare wall-time series too (names containing host_ns / host-ns /
   /// wall_ms / wall_us measure real time and are skipped by default).
   bool IncludeNoisy = false;
+  /// Known series renames, old-prefix -> new-prefix (prefix-matched:
+  /// histograms flatten to seven `.count`/`.sum`/... series, and
+  /// bench-embedded metrics carry a `metrics/` prefix). A baseline
+  /// series matching an old prefix whose renamed counterpart exists in
+  /// the candidate is classified Renamed — a note, not the Missing
+  /// failure — so an intentional rename does not trip the gate while a
+  /// genuinely vanished series still does. Values are NOT threshold-
+  /// checked across a rename: the series measures something new.
+  /// Seeded with the renames this project has performed; the tool's
+  /// --rename=<old>=<new> flag appends more.
+  std::vector<std::pair<std::string, std::string>> Renames = {
+      // PR 9: the balanced-tree probe depth became the radix-index
+      // probe count when the index replaced the tree hot path.
+      {"runtime.lookup.depth", "runtime.index.probes"},
+  };
 
   double thresholdFor(const std::string &Name) const;
+  /// The candidate-side name \p Name maps to under Renames, or "" when
+  /// no rule matches.
+  std::string renamedName(const std::string &Name) const;
 };
 
 /// True for series that measure host wall time (non-deterministic across
@@ -69,8 +87,12 @@ struct DiffEntry {
     Missing,   ///< In the baseline but not the candidate — a failure:
                ///< deleted series cannot hide regressions.
     New,       ///< In the candidate only (a note).
+    Renamed,   ///< Vanished under a known rename rule and present in the
+               ///< candidate under the new name (a note, not a failure).
   };
   std::string Name;
+  /// For Renamed: the candidate-side name that matched.
+  std::string RenamedTo;
   double Base = 0;
   double Cur = 0;
   /// (Cur - Base) / |Base|; +-inf when Base == 0 and Cur != 0.
@@ -87,6 +109,7 @@ struct DiffResult {
   unsigned Missing = 0;
   unsigned Improvements = 0;
   unsigned NewSeries = 0;
+  unsigned Renamed = 0;
   unsigned NoisySkipped = 0;
   /// Set when the two documents carry per-device (`dev<N>.`) series for
   /// different device sets — the runs used different --devices=N, so

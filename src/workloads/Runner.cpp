@@ -72,6 +72,8 @@ WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C,
 
   Machine Mach;
   Mach.setLaunchPolicy(Policy);
+  Mach.setDispatchMode(RO.Dispatch);
+  Mach.getRuntime().setXlatCacheEnabled(RO.XlatCache);
   Mach.setOpLimit(500u * 1000u * 1000u);
   if (RO.Devices > 1)
     Mach.setDevices(RO.Devices, RO.Placement);

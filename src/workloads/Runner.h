@@ -15,6 +15,7 @@
 #define CGCM_WORKLOADS_RUNNER_H
 
 #include "analysis/commcost/CommCost.h"
+#include "exec/Machine.h"
 #include "gpusim/Timing.h"
 #include "runtime/CGCMRuntime.h"
 #include "runtime/TransferLedger.h"
@@ -68,6 +69,11 @@ struct RunnerOptions {
   /// Run the static communication-cost analysis over the post-pipeline
   /// module (before execution) and record it in WorkloadRun::StaticCost.
   bool PredictStaticCost = false;
+  /// Interpreter dispatch strategy; Table and Switch are
+  /// observationally identical (the identity suite checks this).
+  DispatchMode Dispatch = DispatchMode::Table;
+  /// Per-call-site address translation cache in the runtime.
+  bool XlatCache = true;
 };
 
 /// Compiles \p W from source and executes it under \p C.

@@ -1,0 +1,335 @@
+//===- tests/AddressIndexTests.cpp - Radix index + xlat cache tests -----------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact-value unit tests for the two hot-path accelerators in front of
+/// the runtime's balanced tree:
+///
+///  * AddressIndex (runtime/AddressIndex.h): the page-granular radix
+///    index. Tests pin the answer model — resolved hit, resolved miss,
+///    ambiguous fallback, coverage-window fallback — on page-boundary
+///    straddles, unaligned interior pointers, shared pages, and dense
+///    insert/erase churn, cross-checked against a reference
+///    greatest-LTE scan.
+///
+///  * The per-call-site translation cache (CGCMRuntime): staleness
+///    tests proving a cached translation never survives free, realloc,
+///    zombie eviction, or address reuse, and that the zombie-map fatal
+///    still fires with a warm cache. Cache on/off must be
+///    observationally identical.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GPUDevice.h"
+#include "runtime/AddressIndex.h"
+#include "runtime/CGCMRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace cgcm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AddressIndex
+//===----------------------------------------------------------------------===//
+
+/// Owns the unit map the index points into and keeps both in sync the
+/// way the runtime does: tree first, then index.
+class AddressIndexTest : public ::testing::Test {
+protected:
+  std::map<uint64_t, AllocUnitInfo> Units;
+  AddressIndex Index;
+
+  const AllocUnitInfo *track(uint64_t Base, uint64_t Size) {
+    AllocUnitInfo Info;
+    Info.Base = Base;
+    Info.Size = Size;
+    auto [It, Inserted] = Units.emplace(Base, Info);
+    EXPECT_TRUE(Inserted);
+    Index.insert(&It->second);
+    return &It->second;
+  }
+
+  void erase(uint64_t Base) {
+    auto It = Units.find(Base);
+    ASSERT_NE(It, Units.end());
+    uint64_t Size = It->second.Size;
+    Units.erase(It); // Tree first: erase() recomputes pages from it.
+    Index.erase(Base, Size, Units);
+  }
+
+  /// The reference answer: greatest-LTE over the unit map.
+  const AllocUnitInfo *referenceLookup(uint64_t Ptr) const {
+    auto It = Units.upper_bound(Ptr);
+    if (It == Units.begin())
+      return nullptr;
+    --It;
+    const AllocUnitInfo &U = It->second;
+    return (Ptr >= U.Base && Ptr < U.Base + U.Size) ? &U : nullptr;
+  }
+};
+
+TEST_F(AddressIndexTest, EmptyIndexResolvesNoUnit) {
+  AddressIndex::Probe P = Index.probe(0x5000);
+  EXPECT_TRUE(P.Resolved);
+  EXPECT_EQ(P.Unit, nullptr);
+  EXPECT_EQ(P.Cost, 1u);
+
+  // Past the coverage window no indexed unit can exist either.
+  P = Index.probe(AddressIndex::CoverageLimit + 123);
+  EXPECT_TRUE(P.Resolved);
+  EXPECT_EQ(P.Unit, nullptr);
+  EXPECT_TRUE(Index.coversAll());
+}
+
+TEST_F(AddressIndexTest, UnalignedInteriorPointersResolveExactly) {
+  // An unaligned unit inside one page: every interior byte hits, the
+  // bytes on either side miss *exactly* (same page, resolved null).
+  const AllocUnitInfo *U = track(0x10123, 0x85);
+
+  EXPECT_EQ(Index.probe(0x10123).Unit, U);
+  EXPECT_EQ(Index.probe(0x10123 + 0x84).Unit, U);
+  EXPECT_EQ(Index.probe(0x10150).Unit, U);
+
+  AddressIndex::Probe Before = Index.probe(0x10122);
+  EXPECT_TRUE(Before.Resolved);
+  EXPECT_EQ(Before.Unit, nullptr);
+  AddressIndex::Probe PastEnd = Index.probe(0x10123 + 0x85);
+  EXPECT_TRUE(PastEnd.Resolved);
+  EXPECT_EQ(PastEnd.Unit, nullptr);
+}
+
+TEST_F(AddressIndexTest, PageBoundaryStraddleHitsOnBothSides) {
+  // [0x20F80, 0x21080) straddles the page boundary at 0x21000.
+  const AllocUnitInfo *U = track(0x20F80, 0x100);
+
+  EXPECT_EQ(Index.probe(0x20F80).Unit, U);  // First byte, low page.
+  EXPECT_EQ(Index.probe(0x20FFF).Unit, U);  // Last byte of low page.
+  EXPECT_EQ(Index.probe(0x21000).Unit, U);  // First byte of high page.
+  EXPECT_EQ(Index.probe(0x2107F).Unit, U);  // Last byte.
+  EXPECT_EQ(Index.probe(0x21080).Unit, nullptr);
+  EXPECT_TRUE(Index.probe(0x21080).Resolved);
+}
+
+TEST_F(AddressIndexTest, LeafBoundaryStraddleHitsOnBothSides) {
+  // A leaf covers 2 MiB; a unit straddling that boundary must be
+  // indexed in both leaves.
+  uint64_t LeafSpan = AddressIndex::PageSize * AddressIndex::LeafPages;
+  const AllocUnitInfo *U = track(LeafSpan - 0x100, 0x200);
+  EXPECT_EQ(Index.probe(LeafSpan - 1).Unit, U);
+  EXPECT_EQ(Index.probe(LeafSpan).Unit, U);
+  EXPECT_EQ(Index.probe(LeafSpan + 0xFF).Unit, U);
+  EXPECT_EQ(Index.probe(LeafSpan + 0x100).Unit, nullptr);
+}
+
+TEST_F(AddressIndexTest, SharedPageFallsBackAndRecoversOnErase) {
+  // Two units in one page: probes of that page are unresolved (the
+  // tree must disambiguate), but pages the straddler owns alone stay
+  // exact.
+  const AllocUnitInfo *A = track(0x30010, 0x20);
+  const AllocUnitInfo *B = track(0x30800, 0x1000); // Into page 0x31 too.
+
+  EXPECT_FALSE(Index.probe(0x30010).Resolved);
+  EXPECT_FALSE(Index.probe(0x30900).Resolved); // B, but shared page.
+  EXPECT_EQ(Index.probe(0x31000).Unit, B);     // B's exclusive page.
+
+  // Erasing A recomputes the shared page from the tree: B resolves
+  // again instead of the page staying ambiguous forever.
+  erase(0x30010);
+  AddressIndex::Probe P = Index.probe(0x30900);
+  EXPECT_TRUE(P.Resolved);
+  EXPECT_EQ(P.Unit, B);
+  P = Index.probe(0x30010);
+  EXPECT_TRUE(P.Resolved);
+  EXPECT_EQ(P.Unit, nullptr);
+  (void)A;
+}
+
+TEST_F(AddressIndexTest, OutOfWindowUnitDegradesPermanently) {
+  const AllocUnitInfo *In = track(0x40000, 0x100);
+  EXPECT_EQ(Index.probe(0x40000).Unit, In);
+
+  // A unit reaching past the 4 GiB window cannot be indexed; from then
+  // on every probe must consult the tree (a page hit could hide it).
+  track(AddressIndex::CoverageLimit - 0x10, 0x100);
+  EXPECT_FALSE(Index.coversAll());
+  EXPECT_FALSE(Index.probe(0x40000).Resolved);
+  EXPECT_FALSE(Index.probe(0x123).Resolved);
+
+  // Rebuild from a tree holding only in-window units restores coverage.
+  erase(AddressIndex::CoverageLimit - 0x10);
+  Index.rebuild(Units);
+  EXPECT_TRUE(Index.coversAll());
+  EXPECT_EQ(Index.probe(0x40000).Unit, In);
+}
+
+TEST_F(AddressIndexTest, ZeroSizedUnitOccupiesNoPage) {
+  track(0x50000, 0);
+  AddressIndex::Probe P = Index.probe(0x50000);
+  EXPECT_TRUE(P.Resolved);
+  EXPECT_EQ(P.Unit, nullptr);
+  EXPECT_TRUE(Index.coversAll());
+}
+
+TEST_F(AddressIndexTest, DenseChurnMatchesReferenceLookup) {
+  // Dense insert/erase churn over a few leaves: after every mutation
+  // each resolved probe must equal the reference greatest-LTE answer,
+  // and unresolved probes may only occur on genuinely shared pages.
+  uint64_t Base = 0x100000;
+  std::vector<uint64_t> Bases;
+  for (unsigned I = 0; I != 64; ++I) {
+    uint64_t Size = 0x300 + I * 7; // Unaligned, many straddles.
+    Bases.push_back(Base);
+    track(Base, Size);
+    Base += Size + (I % 3) * 0x40;
+  }
+  // Erase every other unit, then re-track into the gaps (address
+  // reuse), checking probes as we go.
+  for (unsigned I = 0; I < Bases.size(); I += 2)
+    erase(Bases[I]);
+  for (unsigned I = 0; I < Bases.size(); I += 4)
+    track(Bases[I], 0x80);
+
+  for (uint64_t Ptr = 0x100000 - 8; Ptr < Base + 16; Ptr += 61) {
+    AddressIndex::Probe P = Index.probe(Ptr);
+    if (P.Resolved)
+      EXPECT_EQ(P.Unit, referenceLookup(Ptr)) << "ptr " << std::hex << Ptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-call-site translation cache staleness
+//===----------------------------------------------------------------------===//
+
+class XlatCacheTest : public ::testing::Test {
+protected:
+  TimingModel TM;
+  ExecStats Stats;
+  SimMemory Host{HostAddressBase, "host"};
+  GPUDevice Device{TM, Stats};
+  CGCMRuntime RT{Host, Device, TM, Stats};
+
+  uint64_t heapUnit(uint64_t Size, SourceLoc Loc = SourceLoc::none()) {
+    uint64_t P = Host.allocate(Size);
+    RT.notifyHeapAlloc(P, Size, Loc);
+    return P;
+  }
+};
+
+TEST_F(XlatCacheTest, FreeThenAddressReuseNeverServesStaleTranslation) {
+  ASSERT_TRUE(RT.isXlatCacheEnabled());
+  uint64_t P = heapUnit(256, {10, 1});
+  RT.map(P); // Warms the site's cached translation with [P, P+256).
+  RT.unmap(P);
+  RT.release(P);
+  RT.notifyHeapFree(P);
+
+  // The allocator hands out an overlapping but different range. A
+  // stale cached translation would still claim [P, P+256).
+  RT.notifyHeapAlloc(P + 64, 128, {11, 1});
+  const AllocUnitInfo *Info = RT.lookup(P + 100);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Base, P + 64);
+  EXPECT_EQ(Info->Size, 128u);
+  EXPECT_EQ(RT.lookup(P), nullptr); // Before the new unit: no owner.
+  RT.notifyHeapFree(P + 64);
+}
+
+TEST_F(XlatCacheTest, ReallocInvalidatesCachedTranslation) {
+  uint64_t P = heapUnit(256, {20, 1});
+  RT.map(P);
+  RT.unmap(P);
+  RT.release(P);
+
+  uint64_t Q = Host.allocate(512);
+  RT.notifyHeapRealloc(P, Q, 512);
+  EXPECT_EQ(RT.lookup(P), nullptr);
+  const AllocUnitInfo *Info = RT.lookup(Q + 500);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Base, Q);
+  EXPECT_EQ(Info->Size, 512u);
+  RT.notifyHeapFree(Q);
+}
+
+TEST_F(XlatCacheTest, ZombieMapFatalStillFiresWithWarmCache) {
+  // Freeing a mapped unit leaves a host-dead zombie; the cached
+  // translation points at the live node, so map's host-dead check must
+  // still fire even though the site's cache is warm.
+  uint64_t P = heapUnit(128, {30, 1});
+  RT.map(P); // Warm cache, RefCount 1.
+  RT.notifyHeapFree(P);
+  EXPECT_DEATH(RT.map(P), "host memory was already freed");
+}
+
+TEST_F(XlatCacheTest, EvictedZombieAddressReuseResolvesNewUnit) {
+  uint64_t P = heapUnit(128, {40, 1});
+  RT.map(P);
+  RT.notifyHeapFree(P); // Zombie: RefCount 1, HostDead.
+
+  // The allocator reuses the range: tracking evicts the zombie, and
+  // the site's stale translation must die with it.
+  RT.notifyHeapAlloc(P, 64, {41, 1});
+  const AllocUnitInfo *Info = RT.lookup(P + 10);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Size, 64u);
+  EXPECT_EQ(Info->RefCount, 0u);
+  EXPECT_FALSE(Info->HostDead);
+  uint64_t Dev = RT.map(P);
+  EXPECT_TRUE(isDeviceAddress(Dev));
+  RT.unmap(P);
+  RT.release(P);
+  RT.notifyHeapFree(P);
+}
+
+TEST_F(XlatCacheTest, CacheOnAndOffAreObservationallyIdentical) {
+  // The cache is a pure memoization of lookup(): the same call
+  // sequence must yield the same translations and the same ledger
+  // either way.
+  auto Run = [](bool Cache, std::vector<uint64_t> &DevPtrs,
+                uint64_t &BytesHtoD, uint64_t &BytesDtoH) {
+    TimingModel TM;
+    ExecStats Stats;
+    SimMemory Host{HostAddressBase, "host"};
+    GPUDevice Device{TM, Stats};
+    CGCMRuntime RT{Host, Device, TM, Stats};
+    RT.setXlatCacheEnabled(Cache);
+
+    uint64_t A = Host.allocate(300);
+    RT.notifyHeapAlloc(A, 300, {50, 1});
+    uint64_t B = Host.allocate(77);
+    RT.notifyHeapAlloc(B, 77, {51, 1});
+
+    DevPtrs.push_back(RT.map(A + 5));
+    DevPtrs.push_back(RT.map(B));
+    DevPtrs.push_back(RT.map(A + 299)); // Cache hit when enabled.
+    RT.onKernelLaunch();
+    RT.unmap(A);
+    RT.unmap(B + 76);
+    RT.release(A);
+    RT.release(A);
+    RT.release(B);
+    DevPtrs.push_back(RT.map(B + 13)); // Fresh map after release-at-zero.
+    RT.unmap(B);
+    RT.release(B);
+    RT.notifyHeapFree(A);
+    RT.notifyHeapFree(B);
+    BytesHtoD = RT.getLedger().totalBytesHtoD();
+    BytesDtoH = RT.getLedger().totalBytesDtoH();
+  };
+
+  std::vector<uint64_t> WithCache, Without;
+  uint64_t HtoDOn = 0, DtoHOn = 0, HtoDOff = 0, DtoHOff = 0;
+  Run(true, WithCache, HtoDOn, DtoHOn);
+  Run(false, Without, HtoDOff, DtoHOff);
+  EXPECT_EQ(WithCache, Without);
+  EXPECT_EQ(HtoDOn, HtoDOff);
+  EXPECT_EQ(DtoHOn, DtoHOff);
+}
+
+} // namespace

@@ -326,6 +326,58 @@ TEST(MetricsDiff, NoisySeriesAndOverrides) {
   EXPECT_FALSE(diffSeries(SlowBase, Slow, Loose).failed());
 }
 
+TEST(MetricsDiff, KnownRenameIsANoteNotAFailure) {
+  // The PR-9 seeded rule: runtime.lookup.depth became
+  // runtime.index.probes. Histograms flatten to seven suffixed series;
+  // the rule is prefix-matched so all of them rename together.
+  MetricSeries Base{{"runtime.lookup.depth.count", 10.0},
+                    {"runtime.lookup.depth.sum", 30.0},
+                    {"other.counter", 5.0}};
+  MetricSeries Cur{{"runtime.index.probes.count", 12.0},
+                   {"runtime.index.probes.sum", 14.0},
+                   {"other.counter", 5.0}};
+  DiffResult D = diffSeries(Base, Cur);
+  EXPECT_FALSE(D.failed());
+  EXPECT_EQ(D.Renamed, 2u);
+  EXPECT_EQ(D.Missing, 0u);
+  // Values are not threshold-checked across a rename (the series
+  // measures something new), so the 10 -> 12 / 30 -> 14 deltas above
+  // must not count as regressions or improvements.
+  EXPECT_EQ(D.Regressions, 0u);
+
+  // Without the rule the same baseline series are hard Missing failures.
+  DiffOptions NoRules;
+  NoRules.Renames.clear();
+  DiffResult M = diffSeries(Base, Cur, NoRules);
+  EXPECT_TRUE(M.failed());
+  EXPECT_EQ(M.Missing, 2u);
+
+  // A rename rule only downgrades Missing when the renamed counterpart
+  // actually exists in the candidate.
+  MetricSeries Gone{{"other.counter", 5.0}};
+  DiffResult G = diffSeries(Base, Gone);
+  EXPECT_TRUE(G.failed());
+  EXPECT_EQ(G.Missing, 2u);
+  EXPECT_EQ(G.Renamed, 0u);
+}
+
+TEST(MetricsDiff, RenameMatchesBenchEmbeddedPrefix) {
+  // Bench documents embed their metrics under a metrics/ prefix; the
+  // rename rules must match through it.
+  MetricSeries Base{{"metrics/runtime.lookup.depth.p50", 3.0}};
+  MetricSeries Cur{{"metrics/runtime.index.probes.p50", 4.0}};
+  DiffResult D = diffSeries(Base, Cur);
+  EXPECT_FALSE(D.failed());
+  EXPECT_EQ(D.Renamed, 1u);
+
+  DiffOptions Opts;
+  EXPECT_EQ(Opts.renamedName("runtime.lookup.depth.p99"),
+            "runtime.index.probes.p99");
+  EXPECT_EQ(Opts.renamedName("metrics/runtime.lookup.depth.max"),
+            "metrics/runtime.index.probes.max");
+  EXPECT_EQ(Opts.renamedName("runtime.xlat.hits"), "");
+}
+
 //===----------------------------------------------------------------------===//
 // TransferLedger determinism
 //===----------------------------------------------------------------------===//

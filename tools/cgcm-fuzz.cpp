@@ -23,6 +23,7 @@
 ///   cgcm-fuzz --no-fork                     # in-process (debugger-friendly)
 ///   cgcm-fuzz --streams=8                   # async differ pair at 8 streams
 ///   cgcm-fuzz --no-async                    # skip the optimized-async run
+///   cgcm-fuzz --no-xlat-cache               # skip the optimized-xlatcache run
 ///
 /// Each candidate normally runs in a forked child: the runtime reports
 /// contract violations via reportFatalError (which aborts), and fork
@@ -74,6 +75,9 @@ struct ToolOptions {
   /// Device-pool size for the differ's optimized-multidev configuration
   /// (docs/MultiGPU.md); <= 1 skips that run.
   unsigned Devices = 2;
+  /// Whether the differ runs the optimized-xlatcache configuration
+  /// (per-call-site translation cache force-enabled); false skips it.
+  bool XlatCache = true;
 };
 
 /// Outcome of running one candidate (possibly in a child process).
@@ -89,7 +93,8 @@ struct Verdict {
             << "                 [--mode=prog|api|both|static-parity]\n"
             << "                 [--steps=N] [--reduce] [--print] [--out=DIR]\n"
             << "                 [--no-fork] [--streams=N] [--no-async]\n"
-            << "                 [--devices=N] [--no-multidev]\n";
+            << "                 [--devices=N] [--no-multidev]\n"
+            << "                 [--no-xlat-cache]\n";
   std::exit(2);
 }
 
@@ -136,6 +141,8 @@ ToolOptions parseArgs(int Argc, char **Argv) {
                    "the multi-device configuration)");
     } else if (A == "--no-multidev") {
       O.Devices = 1;
+    } else if (A == "--no-xlat-cache") {
+      O.XlatCache = false;
     } else if (A == "--help" || A == "-h") {
       usageError("help");
     } else {
@@ -206,12 +213,12 @@ Verdict runIsolated(bool Fork, const std::function<Verdict()> &Body) {
 }
 
 Verdict checkProgramSeed(uint64_t Seed, bool Fork, unsigned AsyncStreams,
-                         unsigned Devices) {
-  return runIsolated(Fork, [Seed, AsyncStreams, Devices] {
+                         unsigned Devices, bool XlatCache) {
+  return runIsolated(Fork, [Seed, AsyncStreams, Devices, XlatCache] {
     Verdict V;
     ProgDesc P = generateProgram(Seed);
     DiffResult R = diffProgram(P.render(), "seed" + std::to_string(Seed),
-                               AsyncStreams, Devices);
+                               AsyncStreams, Devices, XlatCache);
     if (!R.Agreed) {
       V.Failed = true;
       V.Detail = R.Failure;
@@ -290,7 +297,7 @@ int runReduce(const ToolOptions &O) {
     Verdict V = runIsolated(O.Fork, [&Candidate, &O] {
       Verdict Inner;
       DiffResult R = diffProgram(Candidate.render(), "reduce",
-                                 O.AsyncStreams, O.Devices);
+                                 O.AsyncStreams, O.Devices, O.XlatCache);
       if (!R.Agreed) {
         Inner.Failed = true;
         Inner.Detail = R.Failure;
@@ -335,7 +342,8 @@ int main(int Argc, char **Argv) {
 
   for (uint64_t S = First; S != First + Count; ++S) {
     if (O.Mode == "prog" || O.Mode == "both") {
-      Verdict V = checkProgramSeed(S, O.Fork, O.AsyncStreams, O.Devices);
+      Verdict V = checkProgramSeed(S, O.Fork, O.AsyncStreams, O.Devices,
+                                   O.XlatCache);
       if (V.Failed) {
         ++Failures;
         Crashes += V.Crashed;

@@ -45,6 +45,11 @@ void usage() {
       "  --include-noisy          compare host wall-time series too\n"
       "                           (host_ns / host-ns / wall_ms / wall_us;\n"
       "                           skipped by default: they vary per run)\n"
+      "  --rename=<old>=<new>     treat baseline series with prefix <old>\n"
+      "                           as renamed to prefix <new>: a note, not\n"
+      "                           a MISSING failure, when the new series\n"
+      "                           exists (repeatable; the known project\n"
+      "                           renames are built in)\n"
       "  --verbose                print every compared series, not only\n"
       "                           the notable ones\n"
       "inputs may be cgcm-metrics-v1 or cgcm-bench-v1, in any combination\n"
@@ -85,6 +90,15 @@ int main(int Argc, char **Argv) {
         Opts.Threshold = F;
       else
         Opts.Overrides.emplace_back(Spec.substr(0, Eq), F);
+    } else if (A.rfind("--rename=", 0) == 0) {
+      std::string Spec = A.substr(9);
+      size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Spec.size()) {
+        std::fprintf(stderr, "cgcm-metrics-diff: bad rename '%s'\n", A.c_str());
+        usage();
+        return 2;
+      }
+      Opts.Renames.emplace_back(Spec.substr(0, Eq), Spec.substr(Eq + 1));
     } else if (A == "--include-noisy")
       Opts.IncludeNoisy = true;
     else if (A == "--verbose")

@@ -99,6 +99,11 @@ struct Options {
   bool Metrics = false;    ///< --metrics[=file]: cgcm-metrics-v1 JSON.
   std::string MetricsPath; ///< Empty with Metrics set = write to stderr.
   bool MetricsReport = false; ///< --metrics-report: attribution table.
+  /// --interp=table|switch: interpreter dispatch strategy (both are
+  /// observationally identical; switch is the reference walk).
+  DispatchMode Dispatch = DispatchMode::Table;
+  bool XlatCache = true; ///< --no-xlat-cache: disable the per-call-site
+                         ///< translation cache in the runtime.
 };
 
 void usage() {
@@ -154,7 +159,13 @@ void usage() {
       "                      including the wall-clock attribution section\n"
       "  --metrics-report    print a human-readable wall-clock attribution\n"
       "                      report (compute / HtoD / DtoH / stalls by\n"
-      "                      cause / host, per stream) to stderr\n");
+      "                      cause / host, per stream) to stderr\n"
+      "  --interp=<mode>     interpreter dispatch: table (precomputed\n"
+      "                      handler table, the default) or switch (the\n"
+      "                      reference tree walk); outputs are identical\n"
+      "  --no-xlat-cache     disable the runtime's per-call-site address\n"
+      "                      translation cache (the radix index and the\n"
+      "                      tree fallback still serve lookups)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -224,6 +235,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
     }
+    else if (A.rfind("--interp=", 0) == 0) {
+      std::string D = A.substr(9);
+      if (D == "table")
+        O.Dispatch = DispatchMode::Table;
+      else if (D == "switch")
+        O.Dispatch = DispatchMode::Switch;
+      else {
+        std::fprintf(stderr, "cgcmc: unknown dispatch '%s' (table|switch)\n",
+                     D.c_str());
+        return false;
+      }
+    } else if (A == "--no-xlat-cache")
+      O.XlatCache = false;
     else if (A == "--metrics")
       O.Metrics = true;
     else if (A.rfind("--metrics=", 0) == 0) {
@@ -524,6 +548,8 @@ int main(int Argc, char **Argv) {
     }
     Machine Mach;
     Mach.setLaunchPolicy(O.Policy);
+    Mach.setDispatchMode(O.Dispatch);
+    Mach.getRuntime().setXlatCacheEnabled(O.XlatCache);
     Mach.setTracingEnabled(!O.TracePath.empty());
     if (O.Devices > 1)
       Mach.setDevices(O.Devices, O.Placement);
@@ -573,6 +599,8 @@ int main(int Argc, char **Argv) {
   // in the same collector as the execution events.
   Machine Mach;
   Mach.setLaunchPolicy(O.Policy);
+  Mach.setDispatchMode(O.Dispatch);
+  Mach.getRuntime().setXlatCacheEnabled(O.XlatCache);
   Mach.setTracingEnabled(!O.TracePath.empty());
   if (O.Devices > 1)
     Mach.setDevices(O.Devices, O.Placement);
