@@ -1,0 +1,261 @@
+//===- bench/server_throughput.cpp - Multi-tenant server replay --------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays thousands of mixed sessions — the 24 paper workloads plus
+/// fuzz-generated programs — through the runtime server's admission
+/// queue across a pool of worker threads, and checks every session's
+/// output bit-identical against its solo run (docs/Server.md).
+///
+/// Two kinds of numbers come out:
+///
+///   * modeled (deterministic, gated by BENCH_server.json): per-program
+///     service cycles, and the p50/p90/p99/mean latency + makespan +
+///     requests-per-megacycle of the deterministic queueing post-pass;
+///   * host wall clock (noisy, `host-` rows, never gated): the real
+///     requests/sec the live replay achieved on this machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "fuzz/ProgGen.h"
+#include "server/SessionManager.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace cgcm;
+
+namespace {
+
+struct Options {
+  unsigned Sessions = 1200;
+  unsigned Threads = 8;
+  unsigned Batch = 8;
+  unsigned Queue = 256;
+  unsigned FuzzPrograms = 8;
+  uint64_t Seed = 1234;
+  uint64_t SessionQuotaKB = 16384;
+  uint64_t GlobalQuotaKB = 65536;
+  double ArrivalCycles = 100000;
+  bool Verbose = false;
+};
+
+bool parseUnsigned(const char *Arg, const char *Name, uint64_t &Out) {
+  size_t N = std::strlen(Name);
+  if (std::strncmp(Arg, Name, N) != 0 || Arg[N] != '=')
+    return false;
+  Out = std::strtoull(Arg + N + 1, nullptr, 10);
+  return true;
+}
+
+/// splitmix64 — the deterministic mix sampler.
+uint64_t mix(uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (benchjson::consumeHelpArg(Argc, Argv,
+                                "  --sessions=N        total session replays (default 1200)\n"
+                                "  --threads=N         worker threads / modeled lanes (default 8)\n"
+                                "  --batch=N           admission batch size (default 8)\n"
+                                "  --queue=N           admission queue depth (default 256)\n"
+                                "  --fuzz=N            distinct generated programs in the mix (default 8)\n"
+                                "  --seed=N            mix + generator seed (default 1234)\n"
+                                "  --session-quota-kb=N  per-session device quota (default 16384)\n"
+                                "  --global-quota-kb=N   server-wide device quota (default 65536)\n"
+                                "  --arrival=N         modeled cycles between arrivals (default 100000)\n"
+                                "  --verbose           per-mismatch detail\n"))
+    return 0;
+  benchjson::StreamOpts SO;
+  if (!benchjson::consumeStreamArgs(Argc, Argv, SO))
+    return 2;
+  std::string JsonPath = benchjson::consumeJsonArg(Argc, Argv);
+
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    uint64_t V = 0;
+    if (parseUnsigned(A, "--sessions", V))
+      Opt.Sessions = static_cast<unsigned>(V);
+    else if (parseUnsigned(A, "--threads", V))
+      Opt.Threads = static_cast<unsigned>(V);
+    else if (parseUnsigned(A, "--batch", V))
+      Opt.Batch = static_cast<unsigned>(V);
+    else if (parseUnsigned(A, "--queue", V))
+      Opt.Queue = static_cast<unsigned>(V);
+    else if (parseUnsigned(A, "--fuzz", V))
+      Opt.FuzzPrograms = static_cast<unsigned>(V);
+    else if (parseUnsigned(A, "--seed", V))
+      Opt.Seed = V;
+    else if (parseUnsigned(A, "--session-quota-kb", V))
+      Opt.SessionQuotaKB = V;
+    else if (parseUnsigned(A, "--global-quota-kb", V))
+      Opt.GlobalQuotaKB = V;
+    else if (parseUnsigned(A, "--arrival", V))
+      Opt.ArrivalCycles = static_cast<double>(V);
+    else if (std::strcmp(A, "--verbose") == 0)
+      Opt.Verbose = true;
+    else {
+      std::fprintf(stderr, "server_throughput: unknown argument '%s'\n", A);
+      return 2;
+    }
+  }
+
+  RunnerOptions RO;
+  RO.AsyncStreams = SO.Streams;
+  RO.Coalesce = SO.Coalesce;
+  RO.Devices = SO.Devices;
+  RO.Placement = SO.Placement == "bytes" ? PlacementPolicy::BytesBalanced
+                                         : PlacementPolicy::RoundRobin;
+
+  // The unique program set: every paper workload under the optimized
+  // and unoptimized managed configurations, plus generated programs.
+  struct Program {
+    std::string Name;
+    std::string Source;
+    BenchConfig Config;
+  };
+  std::vector<Program> Mix;
+  for (const Workload &W : getWorkloads()) {
+    Mix.push_back({W.Name, W.Source, BenchConfig::CGCMOptimized});
+    Mix.push_back({W.Name + "+unopt", W.Source, BenchConfig::CGCMUnoptimized});
+  }
+  for (unsigned I = 0; I < Opt.FuzzPrograms; ++I) {
+    ProgDesc D = generateProgram(Opt.Seed + I);
+    Mix.push_back({"fuzz-" + std::to_string(Opt.Seed + I), D.render(),
+                   BenchConfig::CGCMOptimized});
+  }
+
+  // Solo references: each unique program alone on a fresh machine. The
+  // per-program modeled service cycles are the deterministic base of
+  // every gated number.
+  std::printf("server_throughput: %zu unique programs, %u sessions, "
+              "%u threads, batch %u\n",
+              Mix.size(), Opt.Sessions, Opt.Threads, Opt.Batch);
+  std::vector<benchjson::Row> Rows;
+  std::vector<WorkloadRun> Solo(Mix.size());
+  for (size_t I = 0; I < Mix.size(); ++I) {
+    Workload W;
+    W.Name = Mix[I].Name;
+    W.Source = Mix[I].Source;
+    Solo[I] = runWorkload(W, Mix[I].Config, RO);
+    Rows.push_back({Mix[I].Name, "service-cycles", Solo[I].TotalCycles,
+                    Solo[I].Stats.BytesHtoD, Solo[I].Stats.BytesDtoH, 0});
+  }
+
+  // The replay: a deterministic sample of the mix.
+  std::vector<ServerRequest> Reqs;
+  std::vector<size_t> ReqProgram;
+  Reqs.reserve(Opt.Sessions);
+  uint64_t Rng = Opt.Seed;
+  for (unsigned I = 0; I < Opt.Sessions; ++I) {
+    size_t P = static_cast<size_t>(mix(Rng) % Mix.size());
+    Reqs.push_back({Mix[P].Name, Mix[P].Source, Mix[P].Config});
+    ReqProgram.push_back(P);
+  }
+
+  ServerConfig SC;
+  SC.Threads = Opt.Threads;
+  SC.BatchSize = Opt.Batch;
+  SC.QueueDepth = Opt.Queue;
+  SC.Quotas.SessionDeviceBytes = Opt.SessionQuotaKB << 10;
+  SC.Quotas.GlobalDeviceBytes = Opt.GlobalQuotaKB << 10;
+  SC.Run = RO;
+  SC.ArrivalSpacingCycles = Opt.ArrivalCycles;
+  SessionManager Mgr(SC);
+  std::vector<ServerResponse> Rs = Mgr.replay(Reqs);
+  ServerStats S = Mgr.summarize(Rs);
+
+  // Identity + failure sweep.
+  unsigned Mismatches = 0, Failures = 0, CycleDrift = 0;
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    const WorkloadRun &Ref = Solo[ReqProgram[I]];
+    if (Rs[I].Output != Ref.Output) {
+      ++Mismatches;
+      if (Opt.Verbose)
+        std::fprintf(stderr, "  output mismatch: session %zu (%s)\n", I + 1,
+                     Reqs[I].Name.c_str());
+    }
+    if (Rs[I].ServiceCycles != Ref.TotalCycles)
+      ++CycleDrift;
+    if (!Rs[I].Ok) {
+      ++Failures;
+      if (Opt.Verbose)
+        std::fprintf(stderr, "  audit failure: session %zu (%s): %s\n", I + 1,
+                     Reqs[I].Name.c_str(), Rs[I].Error.c_str());
+    }
+  }
+
+  const ResidencyIndex &Idx = Mgr.index();
+  std::printf("  identity: %u/%zu outputs bit-identical to solo"
+              " (%u service-cycle drifts)\n",
+              static_cast<unsigned>(Rs.size()) - Mismatches, Rs.size(),
+              CycleDrift);
+  std::printf("  audit:    %zu clean, %u failed\n", Rs.size() - Failures,
+              Failures);
+  std::printf("  evictions: %llu (%llu bytes), capacity stalls: %llu, "
+              "peak resident: %llu bytes\n",
+              static_cast<unsigned long long>(Idx.evictions()),
+              static_cast<unsigned long long>(Idx.evictedBytes()),
+              static_cast<unsigned long long>(Idx.capacityStalls()),
+              static_cast<unsigned long long>(Idx.peakResidentBytes()));
+  std::printf("  modeled latency cycles: p50 %.0f  p90 %.0f  p99 %.0f  "
+              "mean %.0f\n",
+              S.P50LatencyCycles, S.P90LatencyCycles, S.P99LatencyCycles,
+              S.MeanLatencyCycles);
+  std::printf("  modeled makespan: %.0f cycles (%.2f requests/megacycle)\n",
+              S.MakespanCycles, S.RequestsPerMegacycle);
+  std::printf("  host wall: %.2fs (%.1f requests/sec)\n", S.HostWallSeconds,
+              S.HostRequestsPerSec);
+
+  // Deterministic server rows, gated against BENCH_server.json.
+  Rows.push_back({"__server__", "modeled-p50-latency", S.P50LatencyCycles,
+                  0, 0, 0});
+  Rows.push_back({"__server__", "modeled-p90-latency", S.P90LatencyCycles,
+                  0, 0, 0});
+  Rows.push_back({"__server__", "modeled-p99-latency", S.P99LatencyCycles,
+                  0, 0, 0});
+  Rows.push_back({"__server__", "modeled-mean-latency", S.MeanLatencyCycles,
+                  0, 0, 0});
+  Rows.push_back({"__server__", "modeled-makespan", S.MakespanCycles, 0, 0,
+                  0});
+  Rows.push_back({"__server__", "modeled-requests-per-megacycle",
+                  S.RequestsPerMegacycle, 0, 0, 0});
+  // Host-clock rows: real throughput, noisy by definition, skipped by
+  // the regression gate's host- prefix rule.
+  Rows.push_back({"__server__", "host-requests-per-sec",
+                  S.HostRequestsPerSec, 0, 0, 0});
+  Rows.push_back({"__server__", "host-wall-ms", S.HostWallSeconds * 1e3, 0,
+                  0, 0});
+
+  if (!JsonPath.empty() &&
+      !benchjson::writeBenchJson(JsonPath, "server_throughput", Rows)) {
+    std::fprintf(stderr, "server_throughput: cannot write %s\n",
+                 JsonPath.c_str());
+    return 2;
+  }
+  if (Mismatches || Failures || CycleDrift) {
+    std::fprintf(stderr,
+                 "server_throughput: FAILED (%u mismatches, %u audit "
+                 "failures, %u cycle drifts)\n",
+                 Mismatches, Failures, CycleDrift);
+    return 1;
+  }
+  std::printf("server_throughput: PASS\n");
+  return 0;
+}

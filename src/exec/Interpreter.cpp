@@ -15,28 +15,41 @@
 
 using namespace cgcm;
 
-Interpreter::~Interpreter() {
-  // Cached once: MetricsRegistry instruments live for the whole process,
-  // so the pointers never dangle (reset() zeroes values only). The names
-  // track the instruction range of Value::ValueKind.
-  static const char *const OpcodeNames[NumOpcodeKinds] = {
-      "alloca", "load",   "store",         "gep", "binop",  "cmp",
-      "cast",   "call",   "kernel_launch", "phi", "select", "br",
-      "ret"};
-  static MetricCounter *OpcodeCounters[NumOpcodeKinds] = {};
-  static MetricCounter *FenceChecks = nullptr;
-  if (!FenceChecks) {
+namespace {
+// Cached once: MetricsRegistry instruments live for the whole process,
+// so the pointers never dangle (reset() zeroes values only). The names
+// track the instruction range of Value::ValueKind. The holder struct
+// makes initialization a magic static — concurrent interpreter
+// teardowns (the runtime server destroys one machine per session, on N
+// threads) must not race the one-time lookup.
+constexpr unsigned OpcodeKinds =
+    static_cast<unsigned>(Value::ValueKind::InstEnd) -
+    static_cast<unsigned>(Value::ValueKind::InstBegin) + 1;
+
+struct InterpMetrics {
+  MetricCounter *OpcodeCounters[OpcodeKinds];
+  MetricCounter *FenceChecks;
+  InterpMetrics() {
+    static const char *const OpcodeNames[OpcodeKinds] = {
+        "alloca", "load",   "store",         "gep", "binop",  "cmp",
+        "cast",   "call",   "kernel_launch", "phi", "select", "br",
+        "ret"};
     MetricsRegistry &R = MetricsRegistry::get();
-    for (unsigned I = 0; I < NumOpcodeKinds; ++I)
+    for (unsigned I = 0; I < OpcodeKinds; ++I)
       OpcodeCounters[I] =
           &R.counter(std::string("interp.op.") + OpcodeNames[I]);
     FenceChecks = &R.counter("interp.host_fence_checks");
   }
+};
+} // namespace
+
+Interpreter::~Interpreter() {
+  static InterpMetrics M;
   for (unsigned I = 0; I < NumOpcodeKinds; ++I)
     if (OpcodeCounts[I])
-      OpcodeCounters[I]->inc(OpcodeCounts[I]);
+      M.OpcodeCounters[I]->inc(OpcodeCounts[I]);
   if (HostFenceChecks)
-    FenceChecks->inc(HostFenceChecks);
+    M.FenceChecks->inc(HostFenceChecks);
 }
 
 namespace {

@@ -51,6 +51,14 @@ public:
 
   ApiFuzzResult run();
 
+  /// The same session broken into phases so two sessions can interleave
+  /// on one thread (runApiFuzzMultiSession): preamble, one operation +
+  /// cross-check (false once the session failed), end-of-run drain +
+  /// audit sweep.
+  void start();
+  bool stepOnce(ApiFuzzResult &R);
+  void finishRun(ApiFuzzResult &R);
+
 private:
   std::mt19937_64 Rng;
   unsigned MaxSteps;
@@ -601,33 +609,39 @@ void Session::drain() {
          " named regions expected");
 }
 
-ApiFuzzResult Session::run() {
-  ApiFuzzResult R;
+void Session::start() {
   // A few starting units so early operations have targets.
   opAlloc();
   opAlloc();
   opAllocTable();
-  for (unsigned Step = 0; Step != MaxSteps && !failed(); ++Step) {
-    ++R.Steps;
-    switch (pick(20)) {
-    case 0: opAlloc(); break;
-    case 1: opAllocTable(); break;
-    case 2: opDeclareGlobal(); break;
-    case 3: opDeclareAlloca(); break;
-    case 4: case 5: case 6: opMap(); break;
-    case 7: case 8: opUnmap(); break;
-    case 9: case 10: opRelease(); break;
-    case 11: case 12: opMapArray(); break;
-    case 13: opUnmapArray(); break;
-    case 14: opReleaseArray(); break;
-    case 15: opSlotWrite(); break;
-    case 16: opKernelLaunch(); break;
-    case 17: opFree(); break;
-    case 18: opRealloc(); break;
-    case 19: opRemoveAlloca(); break;
-    }
-    crossCheck();
+}
+
+bool Session::stepOnce(ApiFuzzResult &R) {
+  if (failed())
+    return false;
+  ++R.Steps;
+  switch (pick(20)) {
+  case 0: opAlloc(); break;
+  case 1: opAllocTable(); break;
+  case 2: opDeclareGlobal(); break;
+  case 3: opDeclareAlloca(); break;
+  case 4: case 5: case 6: opMap(); break;
+  case 7: case 8: opUnmap(); break;
+  case 9: case 10: opRelease(); break;
+  case 11: case 12: opMapArray(); break;
+  case 13: opUnmapArray(); break;
+  case 14: opReleaseArray(); break;
+  case 15: opSlotWrite(); break;
+  case 16: opKernelLaunch(); break;
+  case 17: opFree(); break;
+  case 18: opRealloc(); break;
+  case 19: opRemoveAlloca(); break;
   }
+  crossCheck();
+  return !failed();
+}
+
+void Session::finishRun(ApiFuzzResult &R) {
   if (!failed())
     drain();
   Auditor.finish(RT, Device, Stats);
@@ -636,6 +650,15 @@ ApiFuzzResult Session::run() {
     fail("auditor violations:\n" + R.Audit.str());
   R.Failed = failed();
   R.Failure = Failure;
+}
+
+ApiFuzzResult Session::run() {
+  ApiFuzzResult R;
+  start();
+  for (unsigned Step = 0; Step != MaxSteps; ++Step)
+    if (!stepOnce(R))
+      break;
+  finishRun(R);
   return R;
 }
 
@@ -644,4 +667,50 @@ ApiFuzzResult Session::run() {
 ApiFuzzResult cgcm::runApiFuzz(uint64_t Seed, unsigned MaxSteps) {
   Session S(Seed, MaxSteps);
   return S.run();
+}
+
+MultiSessionFuzzResult cgcm::runApiFuzzMultiSession(uint64_t Seed,
+                                                    unsigned MaxSteps) {
+  // Two tenants with derived seeds, each on its own simulated machine
+  // (host memory, device, runtime) — exactly the server's isolation
+  // model. A seeded scheduler interleaves their operations on one
+  // thread; every step still cross-checks against that session's own
+  // spec model, so any hidden state shared between concurrently-live
+  // runtime instances shows up as a divergence in whichever session
+  // observes it.
+  MultiSessionFuzzResult R;
+  Session A(Seed * 2 + 1, MaxSteps);
+  Session B(Seed * 2 + 2, MaxSteps);
+  A.start();
+  B.start();
+  std::mt19937_64 Sched(Seed ^ 0xC2B2AE3D27D4EB4Full);
+  unsigned StepsA = 0, StepsB = 0;
+  bool LiveA = true, LiveB = true;
+  while ((StepsA < MaxSteps && LiveA) || (StepsB < MaxSteps && LiveB)) {
+    bool PickA;
+    if (StepsA >= MaxSteps || !LiveA)
+      PickA = false;
+    else if (StepsB >= MaxSteps || !LiveB)
+      PickA = true;
+    else
+      PickA = (Sched() & 1) != 0;
+    if (PickA) {
+      LiveA = A.stepOnce(R.A);
+      ++StepsA;
+    } else {
+      LiveB = B.stepOnce(R.B);
+      ++StepsB;
+    }
+  }
+  A.finishRun(R.A);
+  B.finishRun(R.B);
+  R.Failed = R.A.Failed || R.B.Failed;
+  if (R.A.Failed)
+    R.Failure += "session A: " + R.A.Failure;
+  if (R.B.Failed) {
+    if (!R.Failure.empty())
+      R.Failure += "\n";
+    R.Failure += "session B: " + R.B.Failure;
+  }
+  return R;
 }

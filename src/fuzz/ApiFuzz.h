@@ -47,6 +47,19 @@ struct ApiFuzzResult {
 /// process — run under fork isolation (cgcm-fuzz) to record them.
 ApiFuzzResult runApiFuzz(uint64_t Seed, unsigned MaxSteps = 400);
 
+/// Two interleaved sessions (the runtime server's tenancy model: each
+/// on a private simulated machine, operations shuffled together by a
+/// seeded scheduler), each cross-checked against its own spec model at
+/// every step (docs/Server.md).
+struct MultiSessionFuzzResult {
+  bool Failed = false;
+  std::string Failure; ///< Labeled per session (empty when OK).
+  ApiFuzzResult A;
+  ApiFuzzResult B;
+};
+MultiSessionFuzzResult runApiFuzzMultiSession(uint64_t Seed,
+                                              unsigned MaxSteps = 400);
+
 } // namespace cgcm
 
 #endif // CGCM_FUZZ_APIFUZZ_H

@@ -1,0 +1,246 @@
+//===- server/ResidencyIndex.cpp - Sharded device-residency lease index -----===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ResidencyIndex.h"
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+
+using namespace cgcm;
+
+namespace {
+// Registry names are stable; the pointers are process-lifetime
+// (docs/Observability.md), so one lookup per process is enough. The
+// holder struct makes the lazy initialization a C++ magic static —
+// thread-safe under concurrent index construction.
+struct ServerMetrics {
+  MetricCounter &LeasesCreated;
+  MetricCounter &Evictions;
+  MetricCounter &EvictedBytes;
+  MetricCounter &CapacityStalls;
+  ServerMetrics()
+      : LeasesCreated(MetricsRegistry::get().counter("server.leases_created")),
+        Evictions(MetricsRegistry::get().counter("server.evictions")),
+        EvictedBytes(MetricsRegistry::get().counter("server.evicted_bytes")),
+        CapacityStalls(
+            MetricsRegistry::get().counter("server.capacity_stalls")) {}
+};
+ServerMetrics &metrics() {
+  static ServerMetrics M;
+  return M;
+}
+} // namespace
+
+ResidencyIndex::ResidencyIndex(unsigned ShardCount) {
+  // Round up to a power of two so shardFor can mask.
+  unsigned N = 1;
+  while (N < ShardCount)
+    N <<= 1;
+  Shards = std::vector<Shard>(N);
+  (void)metrics(); // Force registration before any worker thread runs.
+}
+
+void ResidencyIndex::creditGlobal(uint64_t Bytes) {
+  uint64_t Cur = GlobalBytes.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  uint64_t Peak = PeakGlobalBytes.load(std::memory_order_relaxed);
+  while (Cur > Peak && !PeakGlobalBytes.compare_exchange_weak(
+                           Peak, Cur, std::memory_order_relaxed))
+    ;
+}
+
+void ResidencyIndex::debitGlobal(uint64_t Bytes) {
+  GlobalBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+void ResidencyIndex::noteResident(SessionAccount &Acct, uint32_t Sid,
+                                  uint64_t Base, uint64_t Bytes,
+                                  unsigned Device) {
+  uint64_t K = key(Sid, Base);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Leases.find(K);
+  if (It != S.Leases.end()) {
+    // An idle global lease revived by a fresh map generation: same
+    // bytes, back to one reference, newly touched.
+    Lease &L = It->second;
+    L.Ref.store(1, std::memory_order_relaxed);
+    L.Stamp.store(nextStamp(), std::memory_order_relaxed);
+    S.Lru.splice(S.Lru.begin(), S.Lru, L.LruIt);
+    return;
+  }
+  Lease &L = S.Leases[K];
+  L.Sid = Sid;
+  L.Base = Base;
+  L.Bytes = Bytes;
+  L.Device = Device;
+  L.Ref.store(1, std::memory_order_relaxed);
+  L.Stamp.store(nextStamp(), std::memory_order_relaxed);
+  L.Acct = &Acct;
+  S.Lru.push_front(K);
+  L.LruIt = S.Lru.begin();
+  Acct.ResidentBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  Acct.notePeak();
+  Acct.LeasesCreated.fetch_add(1, std::memory_order_relaxed);
+  creditGlobal(Bytes);
+  metrics().LeasesCreated.inc();
+}
+
+void ResidencyIndex::addRef(uint32_t Sid, uint64_t Base) {
+  uint64_t K = key(Sid, Base);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Leases.find(K);
+  if (It == S.Leases.end())
+    return; // Unit never took device residency under this index's watch.
+  Lease &L = It->second;
+  L.Ref.fetch_add(1, std::memory_order_relaxed);
+  L.Stamp.store(nextStamp(), std::memory_order_relaxed);
+  S.Lru.splice(S.Lru.begin(), S.Lru, L.LruIt);
+}
+
+void ResidencyIndex::dropRef(uint32_t Sid, uint64_t Base) {
+  uint64_t K = key(Sid, Base);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Leases.find(K);
+  if (It == S.Leases.end())
+    return;
+  uint32_t Old = It->second.Ref.load(std::memory_order_relaxed);
+  if (Old > 0)
+    It->second.Ref.store(Old - 1, std::memory_order_relaxed);
+}
+
+void ResidencyIndex::drop(SessionAccount &Acct, uint32_t Sid, uint64_t Base) {
+  uint64_t K = key(Sid, Base);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Leases.find(K);
+  if (It == S.Leases.end())
+    return;
+  uint64_t Bytes = It->second.Bytes;
+  S.Lru.erase(It->second.LruIt);
+  S.Leases.erase(It);
+  Acct.ResidentBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+  debitGlobal(Bytes);
+}
+
+ResidencyIndex::SweepResult ResidencyIndex::dropSession(SessionAccount &Acct,
+                                                        uint32_t Sid) {
+  SweepResult R;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (auto It = S.Leases.begin(); It != S.Leases.end();) {
+      if (It->second.Sid != Sid) {
+        ++It;
+        continue;
+      }
+      ++R.Leases;
+      R.Bytes += It->second.Bytes;
+      if (It->second.Ref.load(std::memory_order_relaxed) > 0)
+        ++R.Referenced;
+      Acct.ResidentBytes.fetch_sub(It->second.Bytes,
+                                   std::memory_order_relaxed);
+      debitGlobal(It->second.Bytes);
+      S.Lru.erase(It->second.LruIt);
+      It = S.Leases.erase(It);
+    }
+  }
+  return R;
+}
+
+uint64_t ResidencyIndex::evictIdle(uint64_t WantBytes, uint32_t OnlySid) {
+  uint64_t Freed = 0;
+  while (Freed < WantBytes) {
+    // Pass 1: find the globally oldest idle lease by LRU stamp. Each
+    // stripe is scanned from its own LRU tail under its own lock; the
+    // cross-stripe winner is the smallest stamp.
+    uint64_t BestStamp = ~0ull;
+    uint64_t BestKey = 0;
+    Shard *BestShard = nullptr;
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (auto It = S.Lru.rbegin(); It != S.Lru.rend(); ++It) {
+        auto LIt = S.Leases.find(*It);
+        if (LIt == S.Leases.end())
+          continue;
+        Lease &L = LIt->second;
+        if (L.Ref.load(std::memory_order_relaxed) != 0)
+          continue;
+        if (OnlySid != AnySession && L.Sid != OnlySid)
+          continue;
+        uint64_t St = L.Stamp.load(std::memory_order_relaxed);
+        if (St < BestStamp) {
+          BestStamp = St;
+          BestKey = *It;
+          BestShard = &S;
+        }
+        break; // Oldest qualifying lease of this stripe found.
+      }
+    }
+    if (!BestShard)
+      return Freed; // Nothing idle left to evict.
+
+    // Pass 2: re-check under the winner's lock — the owner may have
+    // re-referenced it between the scan and now.
+    std::lock_guard<std::mutex> Lock(BestShard->Mu);
+    auto It = BestShard->Leases.find(BestKey);
+    if (It == BestShard->Leases.end() ||
+        It->second.Ref.load(std::memory_order_relaxed) != 0)
+      continue;
+    Lease &L = It->second;
+    uint64_t Bytes = L.Bytes;
+    SessionAccount *Victim = L.Acct;
+    BestShard->Lru.erase(L.LruIt);
+    BestShard->Leases.erase(It);
+    if (Victim) {
+      Victim->ResidentBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+      Victim->LeasesEvicted.fetch_add(1, std::memory_order_relaxed);
+      Victim->BytesEvicted.fetch_add(Bytes, std::memory_order_relaxed);
+    }
+    debitGlobal(Bytes);
+    Freed += Bytes;
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    EvictedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+    metrics().Evictions.inc();
+    metrics().EvictedBytes.inc(Bytes);
+  }
+  return Freed;
+}
+
+void ResidencyIndex::noteCapacityStall() {
+  CapacityStalls.fetch_add(1, std::memory_order_relaxed);
+  metrics().CapacityStalls.inc();
+}
+
+uint64_t ResidencyIndex::leaseCount() const {
+  uint64_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Leases.size();
+  }
+  return N;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> ResidencyIndex::idleLeasesLRU()
+    const {
+  std::vector<std::pair<uint64_t, std::pair<uint32_t, uint64_t>>> Stamped;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &KV : S.Leases) {
+      const Lease &L = KV.second;
+      if (L.Ref.load(std::memory_order_relaxed) == 0)
+        Stamped.push_back({L.Stamp.load(std::memory_order_relaxed),
+                           {L.Sid, L.Base}});
+    }
+  }
+  std::sort(Stamped.begin(), Stamped.end());
+  std::vector<std::pair<uint32_t, uint64_t>> Out;
+  Out.reserve(Stamped.size());
+  for (const auto &P : Stamped)
+    Out.push_back(P.second);
+  return Out;
+}

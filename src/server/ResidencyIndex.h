@@ -1,0 +1,190 @@
+//===- server/ResidencyIndex.h - Sharded device-residency lease index -------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-wide view of device memory. Every session mirrors its
+/// runtime's residency transitions (observed through RuntimeObserver
+/// hooks) into this index as *leases*: one lease per allocation unit
+/// that currently holds a device copy, tagged with the owning session.
+/// The index is sharded — a fixed power-of-two number of stripes, each
+/// with its own mutex, hash map, and LRU list — so concurrent sessions
+/// on different stripes never contend on a lock. Reference counts are
+/// atomic: the eviction scan reads them without taking the owner's
+/// write path.
+///
+/// The index is also the eviction policy (docs/Server.md). Leases with
+/// a zero reference count are *idle*: the runtime semantics guarantee
+/// that the next map of an idle unit re-copies it from the host anyway
+/// (map at RefCount==0 always allocates-and-copies, even for globals),
+/// so evicting an idle lease is pure capacity accounting — the victim
+/// pays nothing it would not already pay. Eviction order is global LRU
+/// across stripes, implemented with a lock-free logical clock stamped
+/// on every touch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SERVER_RESIDENCYINDEX_H
+#define CGCM_SERVER_RESIDENCYINDEX_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cgcm {
+
+/// Per-session accounting shared between a Session and the index. All
+/// fields are atomics: the owning session mutates them from its worker
+/// thread while evictions triggered by *other* sessions credit the
+/// eviction counters concurrently.
+struct SessionAccount {
+  std::atomic<uint64_t> ResidentBytes{0};
+  std::atomic<uint64_t> PeakResidentBytes{0};
+  std::atomic<uint64_t> LeasesCreated{0};
+  std::atomic<uint64_t> LeasesEvicted{0};
+  std::atomic<uint64_t> BytesEvicted{0};
+
+  void notePeak() {
+    uint64_t Cur = ResidentBytes.load(std::memory_order_relaxed);
+    uint64_t Peak = PeakResidentBytes.load(std::memory_order_relaxed);
+    while (Cur > Peak && !PeakResidentBytes.compare_exchange_weak(
+                             Peak, Cur, std::memory_order_relaxed))
+      ;
+  }
+};
+
+class ResidencyIndex {
+public:
+  /// Sentinel for evictIdle: consider leases of every session.
+  static constexpr uint32_t AnySession = ~0u;
+
+  explicit ResidencyIndex(unsigned ShardCount = 16);
+
+  //===--------------------------------------------------------------------===//
+  // Lease lifecycle (driven by Session's observer hooks)
+  //===--------------------------------------------------------------------===//
+
+  /// A unit took residency on a device (map at zero references, which
+  /// always copies). Creates the lease with one reference, or — for a
+  /// global whose idle lease survived between map generations — revives
+  /// the existing lease back to one reference.
+  void noteResident(SessionAccount &Acct, uint32_t Sid, uint64_t Base,
+                    uint64_t Bytes, unsigned Device);
+
+  /// map at RefCount > 0: one more reference, touch the LRU.
+  void addRef(uint32_t Sid, uint64_t Base);
+
+  /// release that kept the device copy (refcount still > 0, or a global
+  /// parked at zero references — the lease goes idle and evictable).
+  void dropRef(uint32_t Sid, uint64_t Base);
+
+  /// The device copy is gone (release freed it, or the runtime forgot
+  /// the unit). Removes the lease if present; no-op otherwise.
+  void drop(SessionAccount &Acct, uint32_t Sid, uint64_t Base);
+
+  /// End-of-request sweep: removes every lease the session still holds
+  /// (the runtime destructor fires no hooks, so idle global leases
+  /// survive to here). Returns how many leases still carried references
+  /// — nonzero means the program leaked map/release pairs.
+  struct SweepResult {
+    uint64_t Leases = 0;
+    uint64_t Bytes = 0;
+    uint64_t Referenced = 0;
+  };
+  SweepResult dropSession(SessionAccount &Acct, uint32_t Sid);
+
+  //===--------------------------------------------------------------------===//
+  // Eviction
+  //===--------------------------------------------------------------------===//
+
+  /// Evicts idle (zero-reference) leases in global LRU order until at
+  /// least \p WantBytes were reclaimed or no idle lease remains. With
+  /// \p OnlySid != AnySession, only that session's leases are
+  /// considered (the per-session quota path). Returns bytes reclaimed.
+  uint64_t evictIdle(uint64_t WantBytes, uint32_t OnlySid = AnySession);
+
+  /// Record that a quota overage could not be cleared by eviction.
+  void noteCapacityStall();
+
+  //===--------------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------------===//
+
+  uint64_t residentBytes() const {
+    return GlobalBytes.load(std::memory_order_relaxed);
+  }
+  uint64_t peakResidentBytes() const {
+    return PeakGlobalBytes.load(std::memory_order_relaxed);
+  }
+  uint64_t leaseCount() const;
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  uint64_t evictedBytes() const {
+    return EvictedBytes.load(std::memory_order_relaxed);
+  }
+  uint64_t capacityStalls() const {
+    return CapacityStalls.load(std::memory_order_relaxed);
+  }
+  unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Oldest-first (Sid, Base) of every idle lease — deterministic LRU
+  /// order for tests; takes every stripe lock in sequence.
+  std::vector<std::pair<uint32_t, uint64_t>> idleLeasesLRU() const;
+
+private:
+  struct Lease {
+    uint32_t Sid = 0;
+    uint64_t Base = 0;
+    uint64_t Bytes = 0;
+    unsigned Device = 0;
+    std::atomic<uint32_t> Ref{0};
+    /// Logical LRU clock value of the last touch (map/addRef). Read by
+    /// the eviction scan without the owner's lock.
+    std::atomic<uint64_t> Stamp{0};
+    SessionAccount *Acct = nullptr;
+    std::list<uint64_t>::iterator LruIt; ///< Position in Shard::Lru.
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    /// Keyed by Base ^ (Sid << 1): sessions run in private simulated
+    /// address spaces, so (Sid, Base) is the identity of a lease.
+    std::unordered_map<uint64_t, Lease> Leases;
+    /// Most-recent first; holds keys into Leases.
+    std::list<uint64_t> Lru;
+  };
+
+  static uint64_t key(uint32_t Sid, uint64_t Base) {
+    return Base ^ (static_cast<uint64_t>(Sid) * 0x9E3779B97F4A7C15ull);
+  }
+  Shard &shardFor(uint64_t Key) {
+    return Shards[(Key >> 4) & (Shards.size() - 1)];
+  }
+  const Shard &shardFor(uint64_t Key) const {
+    return Shards[(Key >> 4) & (Shards.size() - 1)];
+  }
+  uint64_t nextStamp() {
+    return Clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void creditGlobal(uint64_t Bytes);
+  void debitGlobal(uint64_t Bytes);
+
+  std::vector<Shard> Shards;
+  std::atomic<uint64_t> Clock{0};
+  std::atomic<uint64_t> GlobalBytes{0};
+  std::atomic<uint64_t> PeakGlobalBytes{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> EvictedBytes{0};
+  std::atomic<uint64_t> CapacityStalls{0};
+};
+
+} // namespace cgcm
+
+#endif // CGCM_SERVER_RESIDENCYINDEX_H

@@ -1,0 +1,175 @@
+//===- server/Session.cpp - One tenant of the runtime server ----------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Session.h"
+
+#include "runtime/RuntimeAuditor.h"
+
+using namespace cgcm;
+
+namespace {
+/// Only the managed pipeline routes every transfer through the runtime,
+/// so only its configurations (and the transfer-free sequential
+/// baseline) can be held to the auditor's full invariant sweep.
+/// Inspector-executor and demand paging issue their own copies and keep
+/// their own mapping lifetimes — out of audit scope, exactly as in the
+/// differential fuzzer.
+bool auditable(BenchConfig C) {
+  switch (C) {
+  case BenchConfig::Sequential:
+  case BenchConfig::CGCMUnoptimized:
+  case BenchConfig::CGCMOptimized:
+    return true;
+  case BenchConfig::InspectorExecutor:
+  case BenchConfig::DemandPaged:
+    return false;
+  }
+  return false;
+}
+} // namespace
+
+void Session::onUnitTracked(const AllocUnitInfo &Info) {
+  if (Chain)
+    Chain->onUnitTracked(Info);
+}
+
+void Session::onUnitForgotten(const AllocUnitInfo &Info, const char *Why) {
+  // Whatever the reason, a forgotten unit holds no device copy anymore
+  // (zombie releases and forced reclaims free it first); retire the
+  // lease if one exists.
+  Index.drop(Acct, Id, Info.Base);
+  if (Chain)
+    Chain->onUnitForgotten(Info, Why);
+}
+
+void Session::onMap(const AllocUnitInfo &Info, bool Copied) {
+  if (Info.RefCount == 1 && Copied) {
+    // The map that took the unit from zero references: a fresh device
+    // copy exists (the runtime re-copies even revived globals).
+    Index.noteResident(Acct, Id, Info.Base, Info.Size, Info.HomeDevice);
+    enforceQuotas();
+  } else {
+    Index.addRef(Id, Info.Base);
+  }
+  if (Chain)
+    Chain->onMap(Info, Copied);
+}
+
+void Session::onUnmap(const AllocUnitInfo &Info, bool Copied) {
+  if (Chain)
+    Chain->onUnmap(Info, Copied);
+}
+
+void Session::onRelease(const AllocUnitInfo &Info, bool FreedDevice) {
+  if (FreedDevice)
+    Index.drop(Acct, Id, Info.Base);
+  else
+    // Still referenced, or a global parked at zero references — the
+    // lease stays, idle and evictable in the latter case.
+    Index.dropRef(Id, Info.Base);
+  if (Chain)
+    Chain->onRelease(Info, FreedDevice);
+}
+
+void Session::onKernelLaunch(uint64_t NewEpoch) {
+  ++KernelLaunches;
+  if (Chain)
+    Chain->onKernelLaunch(NewEpoch);
+}
+
+void Session::onDeferredReclaim(const AllocUnitInfo &Info, const char *Op) {
+  if (Chain)
+    Chain->onDeferredReclaim(Info, Op);
+}
+
+void Session::enforceQuotas() {
+  if (Quotas.SessionDeviceBytes) {
+    uint64_t Mine = Acct.ResidentBytes.load(std::memory_order_relaxed);
+    if (Mine > Quotas.SessionDeviceBytes) {
+      uint64_t Want = Mine - Quotas.SessionDeviceBytes;
+      uint64_t Got = Index.evictIdle(Want, Id);
+      if (Got)
+        ++EvictionsTriggered;
+      if (Got < Want)
+        Index.noteCapacityStall();
+    }
+  }
+  if (Quotas.GlobalDeviceBytes) {
+    uint64_t All = Index.residentBytes();
+    if (All > Quotas.GlobalDeviceBytes) {
+      uint64_t Want = All - Quotas.GlobalDeviceBytes;
+      uint64_t Got = Index.evictIdle(Want);
+      if (Got)
+        ++EvictionsTriggered;
+      if (Got < Want)
+        Index.noteCapacityStall();
+    }
+  }
+}
+
+ServerResponse Session::run(const ServerRequest &R, RunnerOptions RO,
+                            bool Audit) {
+  ++RequestEpoch;
+  KernelLaunches = 0;
+  EvictionsTriggered = 0;
+  Acct.PeakResidentBytes.store(Acct.ResidentBytes.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  uint64_t CreatedBefore = Acct.LeasesCreated.load(std::memory_order_relaxed);
+  uint64_t EvictedBefore = Acct.LeasesEvicted.load(std::memory_order_relaxed);
+
+  ServerResponse Resp;
+  Resp.Session = Id;
+  Resp.Name = R.Name;
+
+  bool DoAudit = Audit && auditable(R.Config);
+  RuntimeAuditor Auditor;
+  Chain = DoAudit ? &Auditor : nullptr;
+  RO.Observer = this;
+  std::string AuditError;
+  RO.PostRun = [&](Machine &M) {
+    if (DoAudit) {
+      Auditor.finish(M.getRuntime(), M.getDevice(), M.getStats());
+      if (!Auditor.getReport().clean())
+        AuditError = Auditor.getReport().str();
+    }
+  };
+
+  Workload W;
+  W.Name = R.Name;
+  W.Source = R.Source;
+  WorkloadRun Run = runWorkload(W, R.Config, RO);
+  Chain = nullptr;
+
+  // The machine is gone and its destructor fires no hooks: sweep the
+  // leases this request left behind (idle globals, by construction).
+  ResidencyIndex::SweepResult Sweep = Index.dropSession(Acct, Id);
+
+  Resp.Output = Run.Output;
+  Resp.ServiceCycles = Run.TotalCycles;
+  Resp.PeakResidentBytes =
+      Acct.PeakResidentBytes.load(std::memory_order_relaxed);
+  Resp.LeasesCreated =
+      Acct.LeasesCreated.load(std::memory_order_relaxed) - CreatedBefore;
+  Resp.LeasesEvictedFrom =
+      Acct.LeasesEvicted.load(std::memory_order_relaxed) - EvictedBefore;
+  Resp.EvictionsTriggered = EvictionsTriggered;
+  Resp.KernelLaunches = KernelLaunches;
+
+  Resp.Ok = true;
+  if (!AuditError.empty()) {
+    Resp.Ok = false;
+    Resp.Error = AuditError;
+  }
+  if (Sweep.Referenced) {
+    Resp.Ok = false;
+    if (!Resp.Error.empty())
+      Resp.Error += "\n";
+    Resp.Error += "session " + std::to_string(Id) + ": " +
+                  std::to_string(Sweep.Referenced) +
+                  " lease(s) still referenced at request teardown";
+  }
+  return Resp;
+}

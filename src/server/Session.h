@@ -1,0 +1,118 @@
+//===- server/Session.h - One tenant of the runtime server ------------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Session is one tenant: it runs MiniC programs on a private Machine
+/// (its own simulated host memory, device pool, and CGCMRuntime — the
+/// per-tenant address-space isolation that makes outputs bit-identical
+/// to solo execution) while mirroring every device-residency transition
+/// into the server-shared ResidencyIndex through the RuntimeObserver
+/// hooks. The session enforces its own device-memory quota and the
+/// server's global quota by triggering LRU eviction of idle leases, and
+/// chains a RuntimeAuditor behind itself so every request is verified
+/// against the shadow refcount model (docs/Server.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SERVER_SESSION_H
+#define CGCM_SERVER_SESSION_H
+
+#include "runtime/CGCMRuntime.h"
+#include "server/ResidencyIndex.h"
+#include "workloads/Runner.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cgcm {
+
+/// Device-memory quotas, in bytes. Zero disables a limit.
+struct ServerQuotas {
+  uint64_t SessionDeviceBytes = 16ull << 20;
+  uint64_t GlobalDeviceBytes = 64ull << 20;
+};
+
+/// One unit of server work: a named MiniC program plus the evaluation
+/// configuration to run it under.
+struct ServerRequest {
+  std::string Name;
+  std::string Source;
+  BenchConfig Config = BenchConfig::CGCMOptimized;
+};
+
+struct ServerResponse {
+  uint32_t Session = 0;
+  std::string Name;
+  std::string Output;
+  bool Ok = false;
+  std::string Error; ///< Audit violations or lease-sweep diagnostics.
+
+  /// Modeled wall cycles of the run itself — deterministic for a given
+  /// program and configuration (the machine is private), independent of
+  /// how requests interleave. The latency post-pass builds on this.
+  double ServiceCycles = 0;
+  uint64_t PeakResidentBytes = 0; ///< This request's device high-water mark.
+  uint64_t LeasesCreated = 0;
+  uint64_t LeasesEvictedFrom = 0; ///< Leases this session lost to eviction.
+  uint64_t EvictionsTriggered = 0; ///< Evictions this session's quotas forced.
+  uint64_t KernelLaunches = 0;
+
+  /// Filled by SessionManager's deterministic latency post-pass
+  /// (docs/Server.md): modeled arrival, admission-queue exit, and
+  /// completion, all in cycles.
+  double ArrivalCycles = 0;
+  double StartCycles = 0;
+  double LatencyCycles = 0;
+};
+
+/// A session observes its own runtime. Hooks fire on the session's
+/// worker thread; the index calls are the only cross-thread traffic.
+class Session final : public RuntimeObserver {
+public:
+  Session(uint32_t Id, ResidencyIndex &Index, const ServerQuotas &Quotas)
+      : Id(Id), Index(Index), Quotas(Quotas) {}
+
+  /// Runs one request to completion on a fresh private machine.
+  /// \p RO carries the server's execution knobs; Observer/PostRun are
+  /// overwritten by the session itself. With \p Audit, a RuntimeAuditor
+  /// is chained behind the session's own hooks and its report gates
+  /// Response.Ok.
+  ServerResponse run(const ServerRequest &R, RunnerOptions RO,
+                     bool Audit = true);
+
+  uint32_t id() const { return Id; }
+  /// Requests served — the session's epoch; each request runs on a
+  /// fresh machine whose runtime epochs are private, so this is the
+  /// only cross-request clock.
+  uint64_t requestEpoch() const { return RequestEpoch; }
+  const SessionAccount &account() const { return Acct; }
+
+  // RuntimeObserver — mirror residency into the index, then forward to
+  // the chained auditor.
+  void onUnitTracked(const AllocUnitInfo &Info) override;
+  void onUnitForgotten(const AllocUnitInfo &Info, const char *Why) override;
+  void onMap(const AllocUnitInfo &Info, bool Copied) override;
+  void onUnmap(const AllocUnitInfo &Info, bool Copied) override;
+  void onRelease(const AllocUnitInfo &Info, bool FreedDevice) override;
+  void onKernelLaunch(uint64_t NewEpoch) override;
+  void onDeferredReclaim(const AllocUnitInfo &Info, const char *Op) override;
+
+private:
+  void enforceQuotas();
+
+  uint32_t Id;
+  ResidencyIndex &Index;
+  ServerQuotas Quotas;
+  SessionAccount Acct;
+  RuntimeObserver *Chain = nullptr; ///< The per-request auditor, if any.
+  uint64_t RequestEpoch = 0;
+  uint64_t KernelLaunches = 0;
+  uint64_t EvictionsTriggered = 0;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_SERVER_SESSION_H

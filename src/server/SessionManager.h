@@ -1,0 +1,119 @@
+//===- server/SessionManager.h - Multi-tenant runtime front end -------------===//
+//
+// Part of the CGCM reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission/batching front end of the runtime server. A bounded
+/// queue feeds a pool of worker threads; each worker drains requests in
+/// batches and runs every request as its own Session against the shared
+/// ResidencyIndex. Outputs are bit-identical to solo execution because
+/// sessions run on private machines; the index is the only shared
+/// mutable state, and it only arbitrates modeled device capacity.
+///
+/// Latency numbers are *not* taken from the live interleave (which is
+/// scheduler-dependent): after the replay completes, a deterministic
+/// queueing post-pass re-derives arrival, admission, and completion
+/// times in modeled cycles from the per-request deterministic
+/// ServiceCycles — fixed arrival spacing, batches admitted whole, FCFS
+/// over as many lanes as worker threads. Same requests + same config =
+/// the same p50/p99, bit for bit, which is what lets BENCH_server.json
+/// be a gated baseline (docs/Server.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGCM_SERVER_SESSIONMANAGER_H
+#define CGCM_SERVER_SESSIONMANAGER_H
+
+#include "server/Session.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgcm {
+
+struct ServerConfig {
+  unsigned Threads = 8;   ///< Worker threads = modeled service lanes.
+  unsigned BatchSize = 8; ///< Requests a worker drains per queue visit.
+  unsigned QueueDepth = 256; ///< Admission bound; submit blocks beyond it.
+  ServerQuotas Quotas;
+  RunnerOptions Run;  ///< Execution knobs forwarded to every session.
+  bool Audit = true;  ///< Chain a RuntimeAuditor behind each session.
+
+  //===--------------------------------------------------------------------===//
+  // Deterministic latency model (docs/Server.md)
+  //===--------------------------------------------------------------------===//
+
+  /// Modeled cycles between consecutive request arrivals.
+  double ArrivalSpacingCycles = 100000;
+  /// Modeled front-end cost paid once per admitted batch.
+  double AdmissionCycles = 5000;
+};
+
+/// Aggregates over one replay, all modeled numbers deterministic.
+struct ServerStats {
+  uint64_t Requests = 0;
+  uint64_t Failures = 0; ///< Responses with Ok == false.
+  double P50LatencyCycles = 0;
+  double P90LatencyCycles = 0;
+  double P99LatencyCycles = 0;
+  double MeanLatencyCycles = 0;
+  double MakespanCycles = 0; ///< Last modeled completion time.
+  /// Modeled throughput: requests per million cycles of makespan.
+  double RequestsPerMegacycle = 0;
+  /// Host-clock throughput of the live replay — real, noisy, never
+  /// gated.
+  double HostWallSeconds = 0;
+  double HostRequestsPerSec = 0;
+};
+
+class SessionManager {
+public:
+  explicit SessionManager(ServerConfig C);
+
+  /// Replays \p Reqs through the live front end (bounded queue, worker
+  /// pool, batch admission, shared index with quota eviction), then
+  /// attaches deterministic modeled latencies. Response order matches
+  /// request order; request i runs as session id i + 1.
+  std::vector<ServerResponse> replay(const std::vector<ServerRequest> &Reqs);
+
+  /// The deterministic queueing post-pass alone (exposed for tests):
+  /// fills Arrival/Start/LatencyCycles from ServiceCycles and \p C.
+  static void computeLatencies(std::vector<ServerResponse> &Rs,
+                               const ServerConfig &C);
+
+  /// Percentiles (nearest-rank over modeled latencies) and throughput
+  /// of a completed replay.
+  ServerStats summarize(const std::vector<ServerResponse> &Rs) const;
+
+  ResidencyIndex &index() { return Index; }
+  const ServerConfig &config() const { return Cfg; }
+
+private:
+  struct Item {
+    size_t Index = 0;
+    const ServerRequest *Req = nullptr;
+  };
+
+  void submit(size_t Index, const ServerRequest *R);
+  void worker(std::vector<ServerResponse> &Out);
+
+  ServerConfig Cfg;
+  ResidencyIndex Index;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;      ///< Work available (or closed).
+  std::condition_variable QueueSpaceCv; ///< Admission slot available.
+  std::deque<Item> Queue;
+  bool Closed = false;
+  double LastReplayWallSeconds = 0;
+};
+
+} // namespace cgcm
+
+#endif // CGCM_SERVER_SESSIONMANAGER_H

@@ -78,12 +78,16 @@ WorkloadRun cgcm::runWorkload(const Workload &W, BenchConfig C,
   if (RO.Devices > 1)
     Mach.setDevices(RO.Devices, RO.Placement);
   Mach.setAsyncTransfers(RO.AsyncStreams, RO.Coalesce);
+  if (RO.Observer)
+    Mach.getRuntime().setObserver(RO.Observer);
   Mach.loadModule(*M);
   Mach.run();
   R.Output = Mach.getOutput();
   R.Stats = Mach.getStats();
   R.TotalCycles = R.Stats.wallCycles();
   R.Ledger = Mach.getRuntime().getLedger();
+  if (RO.PostRun)
+    RO.PostRun(Mach);
   return R;
 }
 

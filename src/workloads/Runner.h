@@ -23,6 +23,7 @@
 #include "transform/Pipeline.h"
 #include "workloads/Workloads.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,15 @@ struct RunnerOptions {
   DispatchMode Dispatch = DispatchMode::Table;
   /// Per-call-site address translation cache in the runtime.
   bool XlatCache = true;
+  /// Observation hooks installed on the machine's runtime before the
+  /// module loads, so declare-time events are seen too. The server's
+  /// Session mirrors residency into the shared index this way
+  /// (docs/Server.md); owned by the caller, must outlive the run.
+  RuntimeObserver *Observer = nullptr;
+  /// Invoked after execution with the machine still alive — the only
+  /// window where a caller can sweep runtime invariants (RuntimeAuditor
+  /// ::finish needs the runtime, device, and stats together).
+  std::function<void(Machine &)> PostRun;
 };
 
 /// Compiles \p W from source and executes it under \p C.

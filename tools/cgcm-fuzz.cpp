@@ -90,7 +90,7 @@ struct Verdict {
 [[noreturn]] void usageError(const std::string &Msg) {
   std::cerr << "cgcm-fuzz: " << Msg << "\n"
             << "usage: cgcm-fuzz [--seed=N | --count=N]\n"
-            << "                 [--mode=prog|api|both|static-parity]\n"
+            << "                 [--mode=prog|api|both|static-parity|multi-session]\n"
             << "                 [--steps=N] [--reduce] [--print] [--out=DIR]\n"
             << "                 [--no-fork] [--streams=N] [--no-async]\n"
             << "                 [--devices=N] [--no-multidev]\n"
@@ -113,7 +113,7 @@ ToolOptions parseArgs(int Argc, char **Argv) {
     } else if (A.rfind("--mode=", 0) == 0) {
       O.Mode = Value("--mode=");
       if (O.Mode != "prog" && O.Mode != "api" && O.Mode != "both" &&
-          O.Mode != "static-parity")
+          O.Mode != "static-parity" && O.Mode != "multi-session")
         usageError("unknown mode '" + O.Mode + "'");
     } else if (A.rfind("--steps=", 0) == 0) {
       O.Steps = unsigned(std::strtoul(Value("--steps=").c_str(), nullptr, 0));
@@ -269,6 +269,18 @@ Verdict checkApiSeed(uint64_t Seed, unsigned Steps, bool Fork) {
   });
 }
 
+Verdict checkMultiSessionSeed(uint64_t Seed, unsigned Steps, bool Fork) {
+  return runIsolated(Fork, [Seed, Steps] {
+    Verdict V;
+    MultiSessionFuzzResult R = runApiFuzzMultiSession(Seed, Steps);
+    if (R.Failed) {
+      V.Failed = true;
+      V.Detail = R.Failure;
+    }
+    return V;
+  });
+}
+
 void writeArtifacts(const std::string &OutDir, const std::string &Kind,
                     uint64_t Seed, const std::string &Source,
                     const std::string &Report) {
@@ -365,6 +377,17 @@ int main(int Argc, char **Argv) {
                        generateProgram(S).render(), V.Detail);
       }
     }
+    if (O.Mode == "multi-session") {
+      Verdict V = checkMultiSessionSeed(S, O.Steps, O.Fork);
+      if (V.Failed) {
+        ++Failures;
+        Crashes += V.Crashed;
+        std::cerr << "FAIL multi-session seed " << S
+                  << (V.Crashed ? " (crash)" : "") << "\n"
+                  << V.Detail << "\n";
+        writeArtifacts(O.OutDir, "multi_session", S, /*Source=*/"", V.Detail);
+      }
+    }
     if (O.Mode == "api" || O.Mode == "both") {
       Verdict V = checkApiSeed(S, O.Steps, O.Fork);
       if (V.Failed) {
@@ -381,7 +404,8 @@ int main(int Argc, char **Argv) {
                 << Failures << " failures\n";
   }
 
-  uint64_t Sessions = Count * (O.Mode == "both" ? 2 : 1);
+  uint64_t Sessions =
+      Count * (O.Mode == "both" || O.Mode == "multi-session" ? 2 : 1);
   std::cerr << "cgcm-fuzz: " << Sessions << " session(s), " << Failures
             << " failure(s)";
   if (Crashes)

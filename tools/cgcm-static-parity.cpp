@@ -148,6 +148,10 @@ void usage() {
          "  --devices=<n>      out of scope beyond 1: the static model\n"
          "                     predicts the single-device schedule, so\n"
          "                     asking for multi-device parity fails fast\n"
+         "  --sessions=<n>     out of scope beyond 1: parity is defined\n"
+         "                     against one solo run; concurrent tenants\n"
+         "                     share device capacity through the server's\n"
+         "                     eviction policy (docs/Server.md)\n"
          "  --help             this text\n";
 }
 
@@ -164,6 +168,22 @@ int main(int Argc, char **Argv) {
       Opt.Verbose = true;
     } else if (A.rfind("--workload=", 0) == 0) {
       Opt.Only = A.substr(strlen("--workload="));
+    } else if (A.rfind("--sessions=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 11);
+      if (N > 1) {
+        // Same out-of-scope shape as --devices: the static ledger is a
+        // solo-run prediction. Under multi-tenancy the server's quota
+        // eviction changes *when* copies happen, never what the program
+        // computes — but parity is a per-copy byte count, so it is only
+        // meaningful against the solo schedule.
+        std::cerr << "cgcm-static-parity: multi-session runs are out of "
+                     "scope — the static ledger predicts one solo "
+                     "session's schedule and has no model of the server's "
+                     "quota eviction (rerun with --sessions=1, or measure "
+                     "the multi-session schedule with "
+                     "bench/server_throughput)\n";
+        return 2;
+      }
     } else if (A.rfind("--devices=", 0) == 0) {
       int N = std::atoi(A.c_str() + 10);
       if (N > 1) {

@@ -43,6 +43,8 @@
 #include "analysis/checkers/Checkers.h"
 #include "analysis/commcost/CommCost.h"
 #include "exec/Machine.h"
+#include "server/SessionManager.h"
+#include "workloads/Runner.h"
 #include "frontend/IRGen.h"
 #include "ir/IRParser.h"
 #include "runtime/TransferLedger.h"
@@ -104,6 +106,10 @@ struct Options {
   DispatchMode Dispatch = DispatchMode::Table;
   bool XlatCache = true; ///< --no-xlat-cache: disable the per-call-site
                          ///< translation cache in the runtime.
+  /// --sessions=<n>: run the program as <n> concurrent tenants of the
+  /// runtime server and verify every session's output bit-identical to
+  /// the solo run (docs/Server.md). 1 = the ordinary single machine.
+  unsigned Sessions = 1;
 };
 
 void usage() {
@@ -165,7 +171,11 @@ void usage() {
       "                      reference tree walk); outputs are identical\n"
       "  --no-xlat-cache     disable the runtime's per-call-site address\n"
       "                      translation cache (the radix index and the\n"
-      "                      tree fallback still serve lookups)\n");
+      "                      tree fallback still serve lookups)\n"
+      "  --sessions=<n>      execute as <n> concurrent sessions of the\n"
+      "                      multi-tenant runtime server and check every\n"
+      "                      output bit-identical to running alone\n"
+      "                      (docs/Server.md)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
@@ -223,6 +233,13 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       O.Devices = static_cast<unsigned>(N);
+    } else if (A.rfind("--sessions=", 0) == 0) {
+      int N = std::atoi(A.c_str() + 11);
+      if (N < 1) {
+        std::fprintf(stderr, "cgcmc: --sessions wants a positive count\n");
+        return false;
+      }
+      O.Sessions = static_cast<unsigned>(N);
     } else if (A.rfind("--placement=", 0) == 0) {
       std::string P = A.substr(12);
       if (P == "rr")
@@ -355,6 +372,19 @@ int runAnalysis(Module &M, const Options &O, const DOALLStats &DS) {
 /// schedule, unlike plain --analyze which stops pre-management). JSON on
 /// stdout, sorted diagnostics on stderr. Returns the process exit code.
 int runCostAnalysis(Module &M, const Options &O) {
+  if (O.Sessions > 1) {
+    // Same out-of-scope shape as --devices: the static predictor prices
+    // one program on one quiet machine. Concurrent tenants share device
+    // capacity through the server's eviction policy, which is a runtime
+    // decision the static model cannot see (docs/Server.md).
+    std::fprintf(stderr,
+                 "cgcmc: --analyze=cost models a single solo session; "
+                 "--sessions=%u is out of scope for the static predictor "
+                 "(run with --sessions=1, or measure the multi-session "
+                 "schedule with bench/server_throughput)\n",
+                 O.Sessions);
+    return 0;
+  }
   if (O.Devices > 1) {
     // The static cost model prices the single-device schedule; sharded
     // placement and peer traffic are runtime decisions it cannot see
@@ -515,6 +545,66 @@ void printApplicability(Module &M) {
 
 } // namespace
 
+/// The --sessions=<n> execution path: the program becomes <n> tenants
+/// of the runtime server (each on a private machine, arbitrating device
+/// capacity through the shared residency index), and every session's
+/// output must be bit-identical to one solo run (docs/Server.md).
+int runSessions(const std::string &Source, const Options &O) {
+  BenchConfig C;
+  if (O.Policy == LaunchPolicy::Managed && O.Manage)
+    C = O.Optimize ? BenchConfig::CGCMOptimized : BenchConfig::CGCMUnoptimized;
+  else if (O.Policy == LaunchPolicy::CpuEmulation)
+    C = BenchConfig::Sequential;
+  else if (O.Policy == LaunchPolicy::InspectorExecutor)
+    C = BenchConfig::InspectorExecutor;
+  else if (O.Policy == LaunchPolicy::DemandManaged)
+    C = BenchConfig::DemandPaged;
+  else {
+    std::fprintf(stderr, "cgcmc: --sessions supports the standard "
+                         "configurations (managed, seq, ie policies); "
+                         "--policy=trap runs single-session only\n");
+    return 2;
+  }
+
+  RunnerOptions RO;
+  RO.AsyncStreams = O.Streams;
+  RO.Coalesce = O.Coalesce;
+  RO.Devices = O.Devices;
+  RO.Placement = O.Placement;
+  RO.Dispatch = O.Dispatch;
+  RO.XlatCache = O.XlatCache;
+  Workload W;
+  W.Name = O.InputPath;
+  W.Source = Source;
+  WorkloadRun Solo = runWorkload(W, C, RO);
+
+  ServerConfig SC;
+  SC.Threads = std::min(O.Sessions, 8u);
+  SC.Run = RO;
+  SessionManager Mgr(SC);
+  std::vector<ServerRequest> Reqs(O.Sessions,
+                                  ServerRequest{W.Name, Source, C});
+  std::vector<ServerResponse> Rs = Mgr.replay(Reqs);
+
+  unsigned Mismatches = 0, Failures = 0;
+  for (const ServerResponse &R : Rs) {
+    if (R.Output != Solo.Output)
+      ++Mismatches;
+    if (!R.Ok) {
+      ++Failures;
+      std::fprintf(stderr, "cgcmc: session %u: %s\n", R.Session,
+                   R.Error.c_str());
+    }
+  }
+  std::fputs(Solo.Output.c_str(), stdout);
+  std::fprintf(stderr,
+               "cgcmc: %u/%u sessions bit-identical to solo, %u audit "
+               "failure(s), %llu eviction(s) server-wide\n",
+               O.Sessions - Mismatches, O.Sessions, Failures,
+               static_cast<unsigned long long>(Mgr.index().evictions()));
+  return (Mismatches || Failures) ? 1 : 0;
+}
+
 int main(int Argc, char **Argv) {
   Options O;
   if (!parseArgs(Argc, Argv, O)) {
@@ -535,6 +625,12 @@ int main(int Argc, char **Argv) {
   // pipeline.
   if (O.InputPath.size() > 3 &&
       O.InputPath.compare(O.InputPath.size() - 3, 3, ".ir") == 0) {
+    if (O.Sessions > 1 && !O.AnalyzeCost) {
+      std::fprintf(stderr, "cgcmc: --sessions compiles its sessions from "
+                           "source; saved .ir input runs single-session "
+                           "only\n");
+      return 2;
+    }
     std::unique_ptr<Module> M = parseIR(Buf.str(), O.InputPath);
     if (O.AnalyzeCost)
       return runCostAnalysis(*M, O);
@@ -559,6 +655,22 @@ int main(int Argc, char **Argv) {
     std::fputs(Mach.getOutput().c_str(), stdout);
     exportObservability(Mach, O);
     return static_cast<int>(Exit);
+  }
+
+  // Multi-session execution bypasses the single-machine path entirely;
+  // analysis modes fall through (--analyze=cost owns its own refusal).
+  if (O.Sessions > 1 && !O.Analyze && !O.AnalyzeCost) {
+    if (!O.Passes.empty() || !O.DumpStage.empty() || O.Applicability ||
+        !O.TracePath.empty() || !O.ProfilePath.empty() || O.Metrics ||
+        O.MetricsReport || O.TimePasses || O.Remarks ||
+        !O.PrintAfter.empty() || O.Stats) {
+      std::fprintf(stderr,
+                   "cgcmc: --sessions runs the standard pipeline on the "
+                   "runtime server; drop the introspection flags (or run "
+                   "them single-session)\n");
+      return 2;
+    }
+    return runSessions(Buf.str(), O);
   }
 
   std::unique_ptr<Module> M = compileMiniC(Buf.str(), O.InputPath);

@@ -16,7 +16,7 @@ files:
     (time_passes / micro_runtime modeled rows): ``cycles`` is checked
     the same way.
 
-Host wall-time rows (config ``host-ns-per-op``) and the ``pass_timings``
+Host wall-time rows (any ``host-*`` config) and the ``pass_timings``
 section are machine-noise and are ignored.  Scenarios present only in
 the current run are reported but do not fail the gate (new coverage);
 scenarios that disappeared fail it (lost coverage).
@@ -36,6 +36,14 @@ import json
 import sys
 
 NOISY_CONFIGS = {"host-ns-per-op"}
+# Any config under this prefix is a host wall-clock measurement (e.g.
+# server_throughput's host-requests-per-sec): real, machine-dependent,
+# never gated.
+NOISY_PREFIX = "host-"
+
+
+def is_noisy(config):
+    return config in NOISY_CONFIGS or (config or "").startswith(NOISY_PREFIX)
 
 
 def load(path):
@@ -70,7 +78,7 @@ def workload_set(doc):
 def modeled_rows(doc):
     out = {}
     for row in doc.get("rows", []):
-        if row.get("config") in NOISY_CONFIGS:
+        if is_noisy(row.get("config")):
             continue
         out[(row.get("workload"), row.get("config"))] = row
     return out

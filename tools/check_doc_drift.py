@@ -18,6 +18,11 @@ Two invariants, both cheap enough for every ctest run and CI push:
    `.md` link in README.md, DESIGN.md, and docs/*.md must resolve to an
    existing file, so crosslinks cannot silently go stale.
 
+3. **Subsystem coverage.** Every `src/<subsystem>/` directory must be
+   mentioned (as ``src/<name>``) somewhere in docs/INDEX.md or a doc
+   it links — a new subsystem cannot land without the documentation
+   map knowing it exists (docs/Architecture.md is the natural home).
+
 Stdlib only — runnable anywhere CI can run python3.
 """
 
@@ -141,6 +146,33 @@ def check_links(root):
                 error(f"{rel}: stale link to {link!r}")
 
 
+def check_subsystems(root):
+    """Every src/<dir>/ must be reachable from docs/INDEX.md."""
+    src_dir = os.path.join(root, "src")
+    docs_dir = os.path.join(root, "docs")
+    index = os.path.join(docs_dir, "INDEX.md")
+    if not os.path.isdir(src_dir) or not os.path.isfile(index):
+        return
+    subsystems = sorted(
+        name for name in os.listdir(src_dir)
+        if os.path.isdir(os.path.join(src_dir, name)))
+    # The reachable set: INDEX.md plus every docs/*.md it links.
+    reachable = [index]
+    with open(index) as f:
+        for link in LINK_RE.findall(f.read()):
+            p = os.path.normpath(os.path.join(docs_dir, link))
+            if os.path.isfile(p):
+                reachable.append(p)
+    text = ""
+    for path in reachable:
+        with open(path) as f:
+            text += f.read()
+    for name in subsystems:
+        if f"src/{name}" not in text:
+            error(f"src/{name}/: subsystem not mentioned in docs/INDEX.md "
+                  "or any doc it links (add it to docs/Architecture.md)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -155,6 +187,7 @@ def main():
     if known_flags:
         check_flags(root, known_flags)
     check_links(root)
+    check_subsystems(root)
 
     if ERRORS:
         for e in ERRORS:
